@@ -1,0 +1,69 @@
+// E2 — §4.1 preliminary evaluation: detection accuracy on perturbed
+// Abilene demand matrices.
+//
+// Paper (τ_e = 0.02): "our approach detects 99.2% of perturbed matrices
+// with two zeroed-out (missing) values out of 144, and 100% of perturbed
+// matrices with three or more zeroed-out values."
+//
+// Per trial: a seeded gravity TM on the real Abilene topology (12 nodes ->
+// 144-entry matrix), routed and simulated; honest telemetry is hardened;
+// k entries of the demand *input* are zeroed; detection = any of the 2·v
+// invariants fires. We report detection rate over 1000 trials per k,
+// plus the false-positive rate on unperturbed matrices.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/demand_check.h"
+#include "faults/demand_perturbations.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace hodor;
+  constexpr int kTrials = 1000;
+  constexpr std::uint64_t kBaseSeed = 1000;
+  constexpr double kTauE = 0.02;
+
+  bench::PrintHeader(
+      "E2", "§4.1 preliminary evaluation (perturbed Abilene demand)",
+      "abilene (12 nodes, 144-entry D), gravity TMs, tau_e=0.02, "
+      "k zeroed entries in {0..6}, trials=1000/row, base_seed=1000");
+
+  core::DemandCheckOptions check_opts;
+  check_opts.tau_e = kTauE;
+
+  util::TablePrinter table({"k zeroed", "detected", "rate", "paper",
+                            "mean violations"});
+  const auto copts = bench::DefaultCollector();
+
+  for (std::size_t k = 0; k <= 6; ++k) {
+    int detected = 0;
+    double violation_sum = 0.0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const std::uint64_t seed = kBaseSeed + trial;
+      bench::Trial t(net::Abilene(), seed, /*max_util=*/0.5, copts);
+      const core::HardenedState hardened =
+          core::HardeningEngine().Harden(t.snapshot);
+
+      flow::DemandMatrix input = t.demand;
+      if (k > 0) {
+        util::Rng prng(seed ^ 0xabcdef);
+        input = faults::ZeroEntries(t.demand, k, prng).matrix;
+      }
+      const auto result =
+          core::CheckDemand(t.topo, hardened, input, check_opts);
+      if (!result.ok()) ++detected;
+      violation_sum += static_cast<double>(result.violations.size());
+    }
+    const double rate = static_cast<double>(detected) / kTrials;
+    std::string paper = "-";
+    if (k == 0) paper = "0% (implied)";
+    if (k == 2) paper = "99.2%";
+    if (k >= 3) paper = "100%";
+    table.AddRowValues(k, detected, util::FormatPercent(rate, 1), paper,
+                       util::FormatDouble(violation_sum / kTrials, 2));
+  }
+  std::cout << table.ToString();
+  std::cout << "\nk=0 row is the false-positive rate under measurement "
+               "jitter (0.5% counters, 0.2% end-host demand noise).\n";
+  return 0;
+}

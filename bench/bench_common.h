@@ -1,0 +1,79 @@
+// Shared machinery for the experiment harnesses in bench/.
+//
+// Each bench regenerates one table/figure of the paper (see DESIGN.md §4
+// and EXPERIMENTS.md): it prints the experiment id, the fixed parameters
+// (including every seed), and the measured rows via util::TablePrinter so
+// outputs are uniform and diffable across runs.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "core/hardening.h"
+#include "core/validator.h"
+#include "flow/routing.h"
+#include "flow/simulator.h"
+#include "flow/tm_generators.h"
+#include "net/state.h"
+#include "net/topologies.h"
+#include "telemetry/collector.h"
+#include "util/table.h"
+
+namespace hodor::bench {
+
+// One ready-to-validate healthy trial: a seeded gravity TM (normalised to
+// an uncongested operating point), shortest-path routing, the resulting
+// true flows, and an honest snapshot.
+struct Trial {
+  net::Topology topo;
+  net::GroundTruthState state;
+  flow::DemandMatrix demand;
+  flow::RoutingPlan plan;
+  flow::SimulationResult sim;
+  telemetry::NetworkSnapshot snapshot;
+
+  Trial(net::Topology t, std::uint64_t seed, double max_util,
+        const telemetry::CollectorOptions& copts)
+      : topo(std::move(t)),
+        state(topo),
+        demand(MakeDemand(topo, seed, max_util)),
+        plan(flow::ShortestPathRouting(topo, demand, net::AllLinks())),
+        sim(flow::SimulateFlow(topo, state, demand, plan)),
+        snapshot(Collect(topo, state, sim, seed, copts)) {}
+
+ private:
+  static flow::DemandMatrix MakeDemand(const net::Topology& topo,
+                                       std::uint64_t seed, double max_util) {
+    util::Rng rng(seed);
+    flow::DemandMatrix d = flow::GravityDemand(topo, rng);
+    flow::NormalizeToMaxUtilization(topo, max_util, d);
+    return d;
+  }
+
+  static telemetry::NetworkSnapshot Collect(
+      const net::Topology& topo, const net::GroundTruthState& state,
+      const flow::SimulationResult& sim, std::uint64_t seed,
+      const telemetry::CollectorOptions& copts) {
+    util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    telemetry::Collector collector(topo, copts);
+    return collector.Collect(state, sim, /*epoch=*/0, rng);
+  }
+};
+
+inline telemetry::CollectorOptions DefaultCollector() {
+  telemetry::CollectorOptions copts;
+  copts.probes.false_loss_rate = 0.0;  // deterministic experiments
+  return copts;
+}
+
+inline void PrintHeader(const std::string& experiment_id,
+                        const std::string& paper_artifact,
+                        const std::string& parameters) {
+  std::cout << "==============================================================\n"
+            << experiment_id << " — " << paper_artifact << "\n"
+            << "parameters: " << parameters << "\n"
+            << "==============================================================\n";
+}
+
+}  // namespace hodor::bench

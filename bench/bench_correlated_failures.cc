@@ -1,0 +1,154 @@
+// E11 — correlated failures (the open question in §3):
+//
+//   "a bug in the vendor OS that causes multiple routers to report
+//    incorrect, but equal signal values. ... network operators already
+//    take several steps to reduce their impact including employing
+//    multiple vendors, and performing staged rollouts."
+//
+// We give every router a "vendor"; a vendor-OS bug scales all counters of
+// that vendor's routers by the same factor. On links internal to the
+// affected fleet, R1 sees two agreeing (wrong) values — detection must
+// come from the fleet's boundary. We sweep:
+//   Part A: vendor interleaving — what fraction of routers runs the buggy
+//           vendor, assigned contiguously (worst case: one big island) vs
+//           alternately (best case: maximum boundary);
+//   Part B: staged rollout — the bug reaches 1, 2, ... routers of an
+//           all-one-vendor network; early stages are highly visible,
+//           full deployment goes dark.
+#include <iostream>
+
+#include "bench_common.h"
+#include "faults/snapshot_faults.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace hodor;
+
+struct Detection {
+  bool hardening_flagged = false;
+  bool demand_violated = false;
+};
+
+Detection Detect(const bench::Trial& t, const std::vector<net::NodeId>& fleet,
+                 double factor) {
+  telemetry::NetworkSnapshot snap = t.snapshot;
+  faults::VendorCounterBug(fleet, factor)(snap);
+  const core::HardenedState hs = core::HardeningEngine().Harden(snap);
+  Detection d;
+  d.hardening_flagged = hs.flagged_rate_count > 0;
+  const auto demand_check = core::CheckDemand(t.topo, hs, t.demand);
+  d.demand_violated = !demand_check.ok();
+  return d;
+}
+
+// Contiguous fleet: BFS from node 0 until the target size (one island).
+std::vector<net::NodeId> ContiguousFleet(const net::Topology& topo,
+                                         std::size_t size) {
+  std::vector<net::NodeId> order =
+      net::ReachableFrom(topo, net::NodeId(0));
+  order.resize(std::min(size, order.size()));
+  return order;
+}
+
+// Interleaved fleet: every other node in id order.
+std::vector<net::NodeId> InterleavedFleet(const net::Topology& topo,
+                                          std::size_t size) {
+  std::vector<net::NodeId> fleet;
+  for (std::size_t i = 0; i < topo.node_count() && fleet.size() < size;
+       i += 2) {
+    fleet.push_back(net::NodeId(static_cast<std::uint32_t>(i)));
+  }
+  for (std::size_t i = 1; i < topo.node_count() && fleet.size() < size;
+       i += 2) {
+    fleet.push_back(net::NodeId(static_cast<std::uint32_t>(i)));
+  }
+  return fleet;
+}
+
+std::size_t BoundaryLinks(const net::Topology& topo,
+                          const std::vector<net::NodeId>& fleet) {
+  std::vector<bool> in(topo.node_count(), false);
+  for (net::NodeId v : fleet) in[v.value()] = true;
+  std::size_t boundary = 0;
+  for (const net::Link& l : topo.links()) {
+    if (l.id.value() < l.reverse.value() &&
+        in[l.src.value()] != in[l.dst.value()]) {
+      ++boundary;
+    }
+  }
+  return boundary;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hodor;
+  constexpr int kTrials = 50;
+  constexpr double kFactor = 0.8;  // all counters read 20% low
+
+  bench::PrintHeader(
+      "E11", "correlated vendor-bug failures (§3 open question)",
+      "geantlike (22 nodes), counters scaled x0.8 across the affected "
+      "fleet, 50 trials/row, seeds 40000+");
+
+  const net::Topology topo = net::GeantLike();
+
+  std::cout << "\n--- Part A: fleet size x placement ---\n";
+  util::TablePrinter table({"fleet", "placement", "boundary links",
+                            "hardening detects", "demand check detects",
+                            "either"});
+  for (double fraction : {0.25, 0.5, 0.75, 1.0}) {
+    const std::size_t size =
+        static_cast<std::size_t>(fraction * topo.node_count());
+    for (const char* placement : {"contiguous", "interleaved"}) {
+      const std::vector<net::NodeId> fleet =
+          std::string(placement) == "contiguous"
+              ? ContiguousFleet(topo, size)
+              : InterleavedFleet(topo, size);
+      int flagged = 0, demand = 0, either = 0;
+      for (int i = 0; i < kTrials; ++i) {
+        bench::Trial t(topo, 40000 + i, 0.5, bench::DefaultCollector());
+        const Detection d = Detect(t, fleet, kFactor);
+        if (d.hardening_flagged) ++flagged;
+        if (d.demand_violated) ++demand;
+        if (d.hardening_flagged || d.demand_violated) ++either;
+      }
+      table.AddRowValues(
+          std::to_string(size) + "/" + std::to_string(topo.node_count()),
+          placement, BoundaryLinks(topo, fleet),
+          util::FormatPercent(util::SafeRate(flagged, kTrials), 0),
+          util::FormatPercent(util::SafeRate(demand, kTrials), 0),
+          util::FormatPercent(util::SafeRate(either, kTrials), 0));
+    }
+  }
+  std::cout << table.ToString();
+
+  std::cout << "\n--- Part B: staged rollout of the buggy OS ---\n";
+  util::TablePrinter staged({"routers on buggy OS", "boundary links",
+                             "hardening detects", "demand check detects"});
+  for (std::size_t stage : {1u, 2u, 4u, 8u, 16u, 22u}) {
+    const std::vector<net::NodeId> fleet = ContiguousFleet(topo, stage);
+    int flagged = 0, demand = 0;
+    for (int i = 0; i < kTrials; ++i) {
+      bench::Trial t(topo, 41000 + i, 0.5, bench::DefaultCollector());
+      const Detection d = Detect(t, fleet, kFactor);
+      if (d.hardening_flagged) ++flagged;
+      if (d.demand_violated) ++demand;
+    }
+    staged.AddRowValues(stage, BoundaryLinks(topo, fleet),
+                        util::FormatPercent(util::SafeRate(flagged, kTrials), 0),
+                        util::FormatPercent(util::SafeRate(demand, kTrials), 0));
+  }
+  std::cout << staged.ToString();
+  std::cout
+      << "\nreading: detection scales with the buggy fleet's boundary. "
+         "Interleaved (multi-vendor) deployments keep many boundary links "
+         "and stay detectable; a full single-vendor rollout has no boundary "
+         "and R1 goes dark — but the demand check still fires, because the "
+         "scaled external counters disagree with the (honest, externally "
+         "measured) demand matrix. Staged rollouts are caught at the first "
+         "stage, supporting the paper's mitigation argument.\n";
+  return 0;
+}

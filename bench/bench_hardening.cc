@@ -1,0 +1,201 @@
+// E4 — hardening efficacy: detection and repair accuracy of the R1+R2
+// machinery as corruption spreads (the "open question" of §3 the paper
+// says it is actively exploring).
+//
+// Part A: k corrupted TX counters (random links, random corruption mode) on
+//         three topologies; report flag rate, repair rate, and median
+//         relative repair error vs ground truth.
+// Part B: the rank limit — flow conservation can recover at most |V|-1
+//         unknowns (paper §4.1 citing rank(M)); we corrupt entire counter
+//         pairs so repairs must come from conservation alone and show
+//         recovery degrading as unknowns approach and pass the bound.
+// Part C: ablation of the repair stages on the k=4 workload.
+#include <iostream>
+
+#include "bench_common.h"
+#include "faults/snapshot_faults.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace hodor;
+
+struct RepairScore {
+  std::size_t corrupted = 0;
+  std::size_t flagged = 0;
+  std::size_t repaired = 0;   // got a value back (any origin)
+  std::size_t accurate = 0;   // value within 5% of ground truth
+  std::vector<double> errors;
+};
+
+// Corrupts the TX side of `k` distinct traffic-carrying links, hardens, and
+// scores the result against the simulation ground truth.
+RepairScore RunTrial(const net::Topology& topo_in, std::uint64_t seed,
+                     std::size_t k, bool corrupt_both_sides,
+                     const core::HardeningOptions& hopts) {
+  const auto copts = bench::DefaultCollector();
+  bench::Trial t(topo_in, seed, 0.5, copts);
+  util::Rng rng(seed ^ 0x5555);
+
+  // Candidate links: those carrying real traffic (corrupting an idle link
+  // is invisible and would dilute the score).
+  std::vector<net::LinkId> busy;
+  for (net::LinkId e : t.topo.LinkIds()) {
+    if (t.sim.carried[e.value()] > 1.0) busy.push_back(e);
+  }
+  if (busy.size() < k) return RepairScore{};
+  const auto picks = rng.SampleWithoutReplacement(busy.size(), k);
+
+  std::vector<telemetry::SnapshotMutator> muts;
+  std::vector<net::LinkId> victims;
+  for (std::size_t idx : picks) {
+    const net::LinkId e = busy[idx];
+    victims.push_back(e);
+    const auto side =
+        corrupt_both_sides ? faults::CounterSide::kBoth
+                           : faults::CounterSide::kTx;
+    const auto mode = corrupt_both_sides
+                          ? faults::CounterCorruption::kDrop
+                          : (rng.Bernoulli(0.5)
+                                 ? faults::CounterCorruption::kZero
+                                 : faults::CounterCorruption::kScale);
+    muts.push_back(faults::CorruptLinkCounter(e, side, mode, 1.7));
+  }
+  auto fault = faults::ComposeFaults(std::move(muts));
+  telemetry::NetworkSnapshot snap = t.snapshot;
+  fault(snap);
+
+  const core::HardenedState hs = core::HardeningEngine(hopts).Harden(snap);
+  RepairScore score;
+  score.corrupted = k;
+  for (net::LinkId e : victims) {
+    const core::HardenedRate& r = hs.rates[e.value()];
+    if (r.flagged) ++score.flagged;
+    if (r.value.has_value()) {
+      ++score.repaired;
+      const double truth = t.sim.carried[e.value()];
+      const double err = util::RelativeDifference(*r.value, truth);
+      score.errors.push_back(err);
+      if (err <= 0.05) ++score.accurate;
+    }
+  }
+  return score;
+}
+
+void RunPart(const std::string& title, const net::Topology& topo,
+             const std::vector<std::size_t>& ks, bool both_sides,
+             const core::HardeningOptions& hopts, int trials,
+             std::uint64_t base_seed) {
+  std::cout << "\n--- " << title << " (" << topo.name() << ", |V|-1 = "
+            << topo.node_count() - 1 << ") ---\n";
+  util::TablePrinter table({"k corrupted", "flag rate", "repair rate",
+                            "accurate (<=5% err)", "median err"});
+  for (std::size_t k : ks) {
+    std::size_t corrupted = 0, flagged = 0, repaired = 0, accurate = 0;
+    std::vector<double> errs;
+    for (int i = 0; i < trials; ++i) {
+      const RepairScore s =
+          RunTrial(topo, base_seed + i, k, both_sides, hopts);
+      corrupted += s.corrupted;
+      flagged += s.flagged;
+      repaired += s.repaired;
+      accurate += s.accurate;
+      errs.insert(errs.end(), s.errors.begin(), s.errors.end());
+    }
+    table.AddRowValues(
+        k, util::FormatPercent(util::SafeRate(flagged, corrupted), 1),
+        util::FormatPercent(util::SafeRate(repaired, corrupted), 1),
+        util::FormatPercent(util::SafeRate(accurate, corrupted), 1),
+        errs.empty() ? std::string("-")
+                     : util::FormatPercent(util::Percentile(errs, 50), 2));
+  }
+  std::cout << table.ToString();
+}
+
+}  // namespace
+
+int main() {
+  using namespace hodor;
+  constexpr int kTrials = 60;
+  bench::PrintHeader(
+      "E4", "hardening efficacy (detect + repair, §3 open question)",
+      "gravity TMs at 0.5 max-util, 60 trials/row, corruption: zero or "
+      "1.7x-scale on one side, or dropped pairs for the rank-limit part");
+
+  core::HardeningOptions defaults;
+
+  util::Rng topo_rng(424242);
+  const net::Topology waxman = net::Waxman(30, topo_rng);
+
+  RunPart("Part A: single-side corruption, Abilene", net::Abilene(),
+          {1, 2, 4, 8, 12, 16}, /*both_sides=*/false, defaults, kTrials,
+          11000);
+  RunPart("Part A: single-side corruption, GEANT-like", net::GeantLike(),
+          {1, 4, 8, 16, 24}, /*both_sides=*/false, defaults, kTrials, 12000);
+  RunPart("Part A: single-side corruption, Waxman-30", waxman,
+          {1, 4, 8, 16, 24}, /*both_sides=*/false, defaults, kTrials, 13000);
+
+  // Part B: whole pairs dropped -> unknowns that only conservation can
+  // recover; the incidence-matrix rank (|V|-1 = 11 for Abilene) caps how
+  // many are recoverable in the worst case.
+  RunPart("Part B: dropped pairs (rank-limit), Abilene", net::Abilene(),
+          {2, 4, 8, 11, 14, 20}, /*both_sides=*/true, defaults, kTrials,
+          14000);
+
+  // Part C: ablations at k=4, Abilene.
+  std::cout << "\n--- Part C: repair-stage ablations (Abilene, k=4) ---\n";
+  util::TablePrinter ab({"configuration", "flag rate", "repair rate",
+                         "accurate (<=5% err)"});
+  struct Config {
+    std::string name;
+    core::HardeningOptions opts;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"full (a+b+c+d)", defaults});
+  {
+    core::HardeningOptions o;
+    o.pairwise_disambiguation = false;
+    configs.push_back({"no pairwise disambiguation", o});
+  }
+  {
+    core::HardeningOptions o;
+    o.propagation_repair = false;
+    configs.push_back({"no constraint propagation", o});
+  }
+  {
+    core::HardeningOptions o;
+    o.global_least_squares = false;
+    configs.push_back({"no global least squares", o});
+  }
+  {
+    core::HardeningOptions o;
+    o.average_adjacent_solutions = false;
+    configs.push_back({"pick-one solve site (footnote 3)", o});
+  }
+  {
+    core::HardeningOptions o;
+    o.pairwise_disambiguation = false;
+    o.propagation_repair = false;
+    o.global_least_squares = false;
+    o.accept_single_witness = false;
+    configs.push_back({"detection only (no repair)", o});
+  }
+  for (const Config& cfg : configs) {
+    std::size_t corrupted = 0, flagged = 0, repaired = 0, accurate = 0;
+    for (int i = 0; i < kTrials; ++i) {
+      const RepairScore s =
+          RunTrial(net::Abilene(), 15000 + i, 4, false, cfg.opts);
+      corrupted += s.corrupted;
+      flagged += s.flagged;
+      repaired += s.repaired;
+      accurate += s.accurate;
+    }
+    ab.AddRowValues(cfg.name,
+                    util::FormatPercent(util::SafeRate(flagged, corrupted), 1),
+                    util::FormatPercent(util::SafeRate(repaired, corrupted), 1),
+                    util::FormatPercent(util::SafeRate(accurate, corrupted), 1));
+  }
+  std::cout << ab.ToString();
+  return 0;
+}

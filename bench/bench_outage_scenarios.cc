@@ -1,0 +1,74 @@
+// E5 — the outage-scenario replay: one row per §2 incident class.
+//
+// Backs the paper's headline claims: incorrect inputs cause major outages
+// while the controller operates correctly (impact column), and "this
+// methodology could have averted the majority of the outages that stem
+// from incorrect inputs in our dataset" (detection/averted columns).
+//
+// Three arms per scenario: no validation, Hodor (fallback policy), and an
+// oracle controller fed honest inputs. "averted" = Hodor's satisfaction
+// recovers to within 1% of the oracle's.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "faults/scenario_catalog.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace hodor;
+  util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+
+  bench::PrintHeader(
+      "E5", "§1/§2 outage replay (one scenario per incident class)",
+      "abilene, gravity TM at 0.35 max-util (seed 77), scenario seed 5, "
+      "fallback-to-last-good policy");
+
+  const net::Topology topo = net::Abilene();
+  const faults::ScenarioCatalog catalog(topo);
+  util::Rng rng(77);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, rng);
+  flow::NormalizeToMaxUtilization(topo, 0.35, demand);
+
+  core::ScenarioRunOptions opts;
+  opts.seed = 5;
+  opts.pipeline.collector.probes.false_loss_rate = 0.0;
+
+  util::TablePrinter table({"scenario", "class", "verdict", "sat: none",
+                            "sat: hodor", "sat: oracle", "averted"});
+  std::size_t input_faults = 0, detected_or_warned = 0, averted = 0;
+
+  for (const faults::OutageScenario& s : catalog.scenarios()) {
+    const core::ScenarioRunResult r =
+        core::RunScenario(topo, s, demand, opts);
+    std::string verdict = r.detected ? "DETECTED" : (r.warned ? "warned" : "-");
+    if (!s.input_fault && s.expect_hardening_flags && r.flagged_rates > 0) {
+      verdict = "hardened (" + std::to_string(r.flagged_rates) + " flags)";
+    }
+    const bool was_averted =
+        r.with_hodor.demand_satisfaction >=
+        r.oracle.demand_satisfaction - 0.01;
+    if (s.input_fault) {
+      ++input_faults;
+      if (r.detected || r.warned) ++detected_or_warned;
+      if (was_averted) ++averted;
+    }
+    table.AddRowValues(
+        s.id, FaultClassName(s.fault_class), verdict,
+        util::FormatPercent(r.no_validation.demand_satisfaction, 1),
+        util::FormatPercent(r.with_hodor.demand_satisfaction, 1),
+        util::FormatPercent(r.oracle.demand_satisfaction, 1),
+        s.input_fault ? (was_averted ? "yes" : "no") : "n/a");
+  }
+  std::cout << table.ToString();
+  std::cout << "\nsummary: " << detected_or_warned << "/" << input_faults
+            << " input-fault scenarios detected or warned; " << averted << "/"
+            << input_faults
+            << " fully averted by the fallback policy (paper: 'could have "
+               "averted the majority').\n"
+            << "Scenarios where the network itself changed (dead routers) "
+               "are detected but need operator action, matching §3's "
+               "alert-and-intervene integration.\n";
+  return 0;
+}

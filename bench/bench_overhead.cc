@@ -1,0 +1,115 @@
+// E7 — always-on feasibility (§3: Hodor is envisioned as a continuously
+// running validator): microbenchmarks of hardening and full validation
+// latency as the network scales, via google-benchmark.
+//
+// The claim to support: one validation round costs far less than a
+// telemetry collection interval (seconds), even at hundreds of routers.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_common.h"
+#include "controlplane/services.h"
+#include "core/validator.h"
+
+namespace {
+
+using namespace hodor;
+
+// Builds a trial network of the requested size (12/22 use the canned WANs;
+// larger sizes use seeded Waxman graphs).
+const bench::Trial& TrialForSize(int n) {
+  static std::map<int, std::unique_ptr<bench::Trial>> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    net::Topology topo = [&]() {
+      if (n == 12) return net::Abilene();
+      if (n == 22) return net::GeantLike();
+      util::Rng rng(99 + n);
+      return net::Waxman(static_cast<std::size_t>(n), rng);
+    }();
+    it = cache
+             .emplace(n, std::make_unique<bench::Trial>(
+                             std::move(topo), 500 + n, 0.5,
+                             bench::DefaultCollector()))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_Harden(benchmark::State& state) {
+  const bench::Trial& t = TrialForSize(static_cast<int>(state.range(0)));
+  const core::HardeningEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Harden(t.snapshot));
+  }
+  state.SetLabel(t.topo.name() + " links=" +
+                 std::to_string(t.topo.link_count()));
+}
+BENCHMARK(BM_Harden)->Arg(12)->Arg(22)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_HardenWithFlaggedCounters(benchmark::State& state) {
+  // Worst-ish case: repairs actually run (10% of TX counters zeroed).
+  const bench::Trial& t = TrialForSize(static_cast<int>(state.range(0)));
+  telemetry::NetworkSnapshot snap = t.snapshot;
+  util::Rng rng(4);
+  for (net::LinkId e : t.topo.LinkIds()) {
+    if (!rng.Bernoulli(0.1)) continue;
+    auto& r = snap.router(t.topo.link(e).src);
+    auto it = r.out_ifaces.find(e);
+    if (it != r.out_ifaces.end()) it->second.tx_rate = 0.0;
+  }
+  const core::HardeningEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Harden(snap));
+  }
+}
+BENCHMARK(BM_HardenWithFlaggedCounters)->Arg(12)->Arg(50)->Arg(200);
+
+void BM_FullValidation(benchmark::State& state) {
+  const bench::Trial& t = TrialForSize(static_cast<int>(state.range(0)));
+  util::Rng rng(7);
+  const auto input = controlplane::AggregateInputs(
+      t.topo, t.snapshot, t.demand, 0, rng, {}, {});
+  const core::Validator validator(t.topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validator.Validate(input, t.snapshot));
+  }
+}
+BENCHMARK(BM_FullValidation)->Arg(12)->Arg(22)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_CollectSnapshot(benchmark::State& state) {
+  const bench::Trial& t = TrialForSize(static_cast<int>(state.range(0)));
+  telemetry::Collector collector(t.topo, bench::DefaultCollector());
+  util::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(collector.Collect(t.state, t.sim, 0, rng));
+  }
+}
+BENCHMARK(BM_CollectSnapshot)->Arg(12)->Arg(50)->Arg(200);
+
+void BM_ControllerTe(benchmark::State& state) {
+  // For scale: the TE computation Hodor guards is itself much more
+  // expensive than validation.
+  const bench::Trial& t = TrialForSize(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flow::GreedyTeRouting(t.topo, t.demand, net::AllLinks()));
+  }
+}
+BENCHMARK(BM_ControllerTe)->Arg(12)->Arg(22)->Arg(50);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hodor::bench::PrintHeader(
+      "E7", "always-on validation overhead (§3)",
+      "google-benchmark; topologies: abilene/geantlike/waxman-N; times per "
+      "full hardening or validation round");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

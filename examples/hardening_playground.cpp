@@ -1,0 +1,104 @@
+// Hardening playground: watch R1-R4 work on a small custom network.
+//
+// Builds a 5-node ring-with-chord WAN, injects three different router
+// telemetry bugs at once (a lying TX counter, a silent router, and a
+// one-sided down status), and prints the hardened view next to the raw
+// signals and the ground truth.
+//
+//   ./build/examples/hardening_playground
+#include <iostream>
+
+#include "core/hardening.h"
+#include "faults/snapshot_faults.h"
+#include "flow/simulator.h"
+#include "flow/tm_generators.h"
+#include "net/topologies.h"
+#include "telemetry/collector.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hodor;
+
+  // A 5-node ring plus one chord.
+  net::Topology topo("playground");
+  std::vector<net::NodeId> n;
+  for (const char* name : {"r0", "r1", "r2", "r3", "r4"}) {
+    n.push_back(topo.AddNode(name));
+    topo.AddExternalPort(n.back(), 400.0);
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    topo.AddBidirectionalLink(n[i], n[(i + 1) % 5], 100.0);
+  }
+  const net::LinkId chord = topo.AddBidirectionalLink(n[0], n[2], 100.0);
+
+  const net::GroundTruthState state(topo);
+  util::Rng rng(7);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, rng);
+  flow::NormalizeToMaxUtilization(topo, 0.6, demand);
+  const flow::RoutingPlan plan =
+      flow::ShortestPathRouting(topo, demand, net::AllLinks());
+  const flow::SimulationResult sim =
+      flow::SimulateFlow(topo, state, demand, plan);
+
+  // Three simultaneous §2.1 bugs.
+  const net::LinkId lying_link = topo.FindLink(n[1], n[2]).value();
+  auto bugs = faults::ComposeFaults({
+      faults::CorruptLinkCounter(lying_link, faults::CounterSide::kTx,
+                                 faults::CounterCorruption::kScale, 1.4),
+      faults::UnresponsiveRouter(n[4]),
+      faults::FalseLinkStatus(chord, /*at_src=*/true,
+                              telemetry::LinkStatus::kDown),
+  });
+
+  telemetry::CollectorOptions copts;
+  copts.probes.false_loss_rate = 0.0;
+  telemetry::Collector collector(topo, copts);
+  const auto snapshot = collector.Collect(state, sim, 0, rng, bugs);
+
+  const core::HardenedState hs = core::HardeningEngine().Harden(snapshot);
+  std::cout << hs.Summary() << "\n\n";
+
+  auto opt = [](const std::optional<double>& v) {
+    return v ? util::FormatDouble(*v, 1) : std::string("-");
+  };
+  util::TablePrinter rates({"link", "truth", "raw TX", "raw RX", "hardened",
+                            "origin"});
+  for (net::LinkId e : topo.LinkIds()) {
+    const auto& r = hs.rates[e.value()];
+    const char* origin = "";
+    switch (r.origin) {
+      case core::RateOrigin::kAgreeing: origin = "agreeing"; break;
+      case core::RateOrigin::kRepaired: origin = "REPAIRED"; break;
+      case core::RateOrigin::kSingleWitness: origin = "single-witness"; break;
+      case core::RateOrigin::kUnknown: origin = "UNKNOWN"; break;
+    }
+    rates.AddRowValues(topo.LinkName(e),
+                       util::FormatDouble(sim.carried[e.value()], 1),
+                       opt(snapshot.TxRate(e)), opt(snapshot.RxRate(e)),
+                       opt(r.value), origin);
+  }
+  std::cout << rates.ToString();
+
+  std::cout << "\nlink-state verdicts (one per physical link):\n";
+  util::TablePrinter links({"link", "status src", "status dst", "probe",
+                            "verdict", "confidence"});
+  for (net::LinkId e : topo.LinkIds()) {
+    if (topo.link(e).reverse.value() < e.value()) continue;
+    auto status = [&](const std::optional<telemetry::LinkStatus>& s) {
+      return s ? telemetry::LinkStatusName(*s) : "-";
+    };
+    const auto p = snapshot.ProbeSucceeded(e);
+    links.AddRowValues(topo.LinkName(e), status(snapshot.StatusAtSrc(e)),
+                       status(snapshot.StatusAtDst(e)),
+                       p ? (*p ? "ok" : "fail") : "-",
+                       core::LinkVerdictName(hs.links[e.value()].verdict),
+                       util::FormatPercent(hs.links[e.value()].confidence, 0));
+  }
+  std::cout << links.ToString();
+  std::cout << "\nNote r4's counters: the router is silent, yet every rate "
+               "is recovered from the far ends and flow conservation, and "
+               "its links stay 'up' thanks to probes (R4) and neighbour "
+               "statuses.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Live pipeline: Hodor as the always-on system §3 envisions.
+//
+// Runs 20 control epochs over the GÉANT-like WAN. Demand drifts epoch to
+// epoch; between epochs 8 and 12 a buggy demand-instrumentation rollout
+// loses a third of the demand entries (the §2.2 external-input outage),
+// then the rollout is reverted. Two pipelines run side by side on the same
+// fault schedule: one unprotected, one with the Hodor validator and the
+// fallback-to-last-good policy.
+//
+//   ./build/examples/live_pipeline
+#include <iostream>
+
+#include "controlplane/pipeline.h"
+#include "core/validator.h"
+#include "faults/aggregation_faults.h"
+#include "flow/tm_generators.h"
+#include "net/topologies.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hodor;
+  util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+
+  const net::Topology topo = net::GeantLike();
+  const net::GroundTruthState state(topo);
+
+  // Base demand plus per-epoch drift: the network's "diurnal" variation.
+  util::Rng demand_rng(99);
+  flow::DemandMatrix base = flow::GravityDemand(topo, demand_rng);
+  flow::NormalizeToMaxUtilization(topo, 0.45, base);
+
+  controlplane::PipelineOptions opts;
+  controlplane::Pipeline unprotected(topo, opts, util::Rng(1));
+  controlplane::Pipeline protected_pipeline(topo, opts, util::Rng(1));
+  const core::Validator validator(topo);
+  protected_pipeline.SetValidator(validator.AsPipelineValidator());
+  unprotected.Bootstrap(state, base);
+  protected_pipeline.Bootstrap(state, base);
+
+  util::TablePrinter table({"epoch", "fault", "sat (unprotected)",
+                            "sat (hodor)", "hodor verdict"});
+
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    // Drift: each pair's demand wobbles a few percent per epoch.
+    util::Rng drift_rng(1000 + epoch);
+    flow::DemandMatrix demand = base;
+    for (const auto& [i, j] : base.Pairs()) {
+      demand.Set(i, j, base.At(i, j) * (1.0 + drift_rng.Uniform(-0.04, 0.04)));
+    }
+
+    const bool buggy_rollout = epoch >= 8 && epoch < 12;
+    controlplane::AggregationFaultHooks hooks;
+    if (buggy_rollout) {
+      hooks.demand = faults::DemandEntriesDropped(
+          0.33, 4242 + static_cast<std::uint64_t>(epoch));
+    }
+
+    const auto u = unprotected.RunEpoch(state, demand, nullptr, hooks);
+    const auto p = protected_pipeline.RunEpoch(state, demand, nullptr, hooks);
+
+    std::string verdict = p.decision.accept ? "accept" : "REJECT";
+    if (p.used_fallback) verdict += " -> fallback";
+    table.AddRowValues(epoch, buggy_rollout ? "demand rollout bug" : "-",
+                       util::FormatPercent(u.metrics.demand_satisfaction, 2),
+                       util::FormatPercent(p.metrics.demand_satisfaction, 2),
+                       verdict);
+  }
+  std::cout << table.ToString();
+  std::cout << "\nDuring the buggy rollout the unprotected controller plans "
+               "around a third of the real traffic;\nthe protected pipeline "
+               "rejects each corrupted input and keeps serving on the last "
+               "good one.\n";
+  return 0;
+}

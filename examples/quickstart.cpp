@@ -1,0 +1,62 @@
+// Quickstart: the whole public API in ~60 lines.
+//
+// Build a WAN, generate traffic, collect router telemetry, aggregate the
+// controller's inputs, corrupt the demand input the way §2.2's partial-
+// aggregation outage did, and watch Hodor reject it.
+//
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "controlplane/services.h"
+#include "core/validator.h"
+#include "faults/aggregation_faults.h"
+#include "flow/simulator.h"
+#include "flow/tm_generators.h"
+#include "net/topologies.h"
+#include "telemetry/collector.h"
+
+int main() {
+  using namespace hodor;
+
+  // 1. A network: the Abilene backbone (12 PoPs, 15 links), all healthy.
+  const net::Topology topo = net::Abilene();
+  const net::GroundTruthState state(topo);
+
+  // 2. Traffic: a gravity-model demand matrix, scaled so shortest-path
+  //    routing peaks at 50% link utilisation.
+  util::Rng rng(2024);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, rng);
+  flow::NormalizeToMaxUtilization(topo, 0.5, demand);
+
+  // 3. The dataplane: route it and compute true per-link rates.
+  const flow::RoutingPlan plan =
+      flow::ShortestPathRouting(topo, demand, net::AllLinks());
+  const flow::SimulationResult sim =
+      flow::SimulateFlow(topo, state, demand, plan);
+
+  // 4. Telemetry: every router reports counters, statuses, drains; active
+  //    probes are attached (Hodor's manufactured signals).
+  telemetry::Collector collector(topo, telemetry::CollectorOptions{});
+  telemetry::NetworkSnapshot snapshot =
+      collector.Collect(state, sim, /*epoch=*/0, rng);
+  std::cout << "collected " << snapshot.PresentSignalCount()
+            << " router signals\n";
+
+  // 5. The control infrastructure aggregates the SDN controller's inputs —
+  //    with a §2.2 bug: all demand from the two busiest sources is lost.
+  controlplane::AggregationFaultHooks bug;
+  bug.demand = faults::DemandRowsDropped(
+      topo, {topo.FindNode("IPLSng").value(),
+             topo.FindNode("ATLAng").value()});
+  const controlplane::ControllerInput input = controlplane::AggregateInputs(
+      topo, snapshot, demand, /*epoch=*/0, rng, {}, bug);
+
+  // 6. Hodor: harden the router signals, then check the inputs against
+  //    the hardened state.
+  const core::Validator validator(topo);
+  const core::ValidationReport report = validator.Validate(input, snapshot);
+
+  std::cout << "verdict: " << report.Summary() << "\n"
+            << report.Describe(topo);
+  return report.ok() ? 1 : 0;  // we expect a rejection here
+}

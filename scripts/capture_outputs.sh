@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerates the committed experiment transcripts (run from anywhere).
+set -e
+cd "$(dirname "$0")/.."
+ctest --test-dir build 2>&1 | tee test_output.txt
+: > bench_output.txt
+for b in build/bench/bench_*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  "$b" 2>&1 | tee -a bench_output.txt
+  echo "" >> bench_output.txt
+done

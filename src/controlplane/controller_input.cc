@@ -1,0 +1,14 @@
+#include "controlplane/controller_input.h"
+
+namespace hodor::controlplane {
+
+ControllerInput MakeEmptyInput(const net::Topology& topo) {
+  ControllerInput input;
+  input.link_available.assign(topo.link_count(), true);
+  input.demand = flow::DemandMatrix(topo.node_count());
+  input.node_drained.assign(topo.node_count(), false);
+  input.link_drained.assign(topo.link_count(), false);
+  return input;
+}
+
+}  // namespace hodor::controlplane

@@ -1,0 +1,60 @@
+// ControllerInput: the abstract view of network state handed to the SDN
+// controller (paper Figure 1) — exactly the three inputs the paper's §4
+// validates: the topology, the traffic demand, and drain status.
+//
+// The controller knows the network *design* (the Topology object); the
+// input tells it the current condition: which links are usable, what the
+// demand is, and what is drained. Everything here is indexed against the
+// designed topology's dense ids.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/demand_matrix.h"
+#include "net/graph_algorithms.h"
+#include "net/topology.h"
+
+namespace hodor::controlplane {
+
+struct ControllerInput {
+  std::uint64_t epoch = 0;
+
+  // Topology input: per directed link, is it present/usable in the view the
+  // control infrastructure stitched together?
+  std::vector<bool> link_available;
+
+  // Demand input: the matrix D aggregated from end-host measurements.
+  flow::DemandMatrix demand;
+
+  // Drain input: routers / links the controller must route around.
+  std::vector<bool> node_drained;
+  std::vector<bool> link_drained;
+
+  // A link the controller may route over: present in the topology input and
+  // not drained (either the link or an endpoint router).
+  bool LinkUsable(const net::Topology& topo, net::LinkId e) const {
+    const net::Link& l = topo.link(e);
+    return link_available[e.value()] && !link_drained[e.value()] &&
+           !node_drained[l.src.value()] && !node_drained[l.dst.value()];
+  }
+
+  // Filter view for the routing algorithms.
+  net::LinkFilter UsableFilter(const net::Topology& topo) const {
+    return [this, &topo](net::LinkId e) { return LinkUsable(topo, e); };
+  }
+
+  std::size_t AvailableLinkCount() const {
+    std::size_t n = 0;
+    for (bool b : link_available) {
+      if (b) ++n;
+    }
+    return n;
+  }
+};
+
+// An input sized for `topo` with every link available, zero demand, and
+// nothing drained.
+ControllerInput MakeEmptyInput(const net::Topology& topo);
+
+}  // namespace hodor::controlplane

@@ -1,0 +1,77 @@
+#include "controlplane/pipeline.h"
+
+#include "util/logging.h"
+
+namespace hodor::controlplane {
+
+Pipeline::Pipeline(const net::Topology& topo, PipelineOptions opts,
+                   util::Rng rng)
+    : topo_(&topo),
+      opts_(std::move(opts)),
+      rng_(rng),
+      collector_(topo, opts_.collector),
+      controller_(topo, opts_.controller) {}
+
+void Pipeline::Bootstrap(const net::GroundTruthState& state,
+                         const flow::DemandMatrix& true_demand) {
+  installed_plan_ = flow::ShortestPathRouting(
+      *topo_, true_demand, [&](net::LinkId e) { return state.LinkUsable(e); });
+}
+
+EpochResult Pipeline::RunEpoch(const net::GroundTruthState& state,
+                               const flow::DemandMatrix& true_demand,
+                               const telemetry::SnapshotMutator& snapshot_fault,
+                               const AggregationFaultHooks& aggregation_faults) {
+  const std::uint64_t epoch = next_epoch_++;
+
+  // 1. Traffic under the currently installed plan: this is what telemetry
+  //    measures.
+  flow::SimulationResult measured =
+      flow::SimulateFlow(*topo_, state, true_demand, installed_plan_);
+
+  // 2-3. Collect and aggregate, with fault hooks.
+  telemetry::NetworkSnapshot snapshot =
+      collector_.Collect(state, measured, epoch, rng_, snapshot_fault);
+  ControllerInput input = AggregateInputs(*topo_, snapshot, true_demand,
+                                          epoch, rng_, opts_.infra,
+                                          aggregation_faults);
+
+  // 4. Validate + policy.
+  EpochResult result{epoch,
+                     input,
+                     /*validated=*/false,
+                     ValidationDecision{},
+                     /*used_fallback=*/false,
+                     flow::NetworkMetrics{},
+                     flow::SimulationResult{},
+                     snapshot};
+  const ControllerInput* chosen = &input;
+  if (validator_) {
+    result.validated = true;
+    result.decision = validator_(input, snapshot);
+    if (!result.decision.accept) {
+      HODOR_LOG(kWarning) << "epoch " << epoch
+                          << ": input rejected: " << result.decision.reason;
+      if (opts_.policy == RejectionPolicy::kFallbackToLastGood &&
+          last_good_input_.has_value()) {
+        chosen = &*last_good_input_;
+        result.used_fallback = true;
+      }
+    }
+  }
+
+  // 5. Program routing from the chosen input.
+  installed_plan_ = controller_.ComputeRouting(*chosen);
+
+  // 6. Outcome under the new plan.
+  result.outcome = flow::SimulateFlow(*topo_, state, true_demand,
+                                      installed_plan_);
+  result.metrics = flow::ComputeMetrics(*topo_, true_demand, result.outcome);
+
+  if (!result.validated || result.decision.accept) {
+    last_good_input_ = input;
+  }
+  return result;
+}
+
+}  // namespace hodor::controlplane

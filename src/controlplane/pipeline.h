@@ -1,0 +1,108 @@
+// The always-on control loop (paper §3: Hodor is envisioned as an always-on
+// system validating inputs as the controller receives them).
+//
+// Each epoch:
+//   1. traffic flows under the currently installed routing plan → the true
+//      per-link rates that telemetry will report;
+//   2. the Collector reads all router signals (router-level faults may
+//      corrupt this snapshot);
+//   3. the instrumentation services aggregate the controller's inputs
+//      (aggregation-level faults may corrupt these);
+//   4. an optional input validator inspects (input, snapshot) and a policy
+//      decides: accept, or fall back to the last accepted input / alert;
+//   5. the controller programs a new plan from the chosen input;
+//   6. the true demand is simulated over the new plan → outcome metrics.
+//
+// The pipeline deliberately knows nothing about Hodor's internals: the
+// validator is injected as a callback, so the same harness runs "no
+// validation", "static checks", "anomaly detection", and "Hodor".
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "controlplane/controller_input.h"
+#include "controlplane/sdn_controller.h"
+#include "controlplane/services.h"
+#include "flow/metrics.h"
+#include "flow/simulator.h"
+#include "net/state.h"
+#include "telemetry/collector.h"
+
+namespace hodor::controlplane {
+
+// What a validator decided about one epoch's inputs.
+struct ValidationDecision {
+  bool accept = true;
+  std::string reason;  // operator-facing summary when rejected
+};
+
+using InputValidatorFn = std::function<ValidationDecision(
+    const ControllerInput&, const telemetry::NetworkSnapshot&)>;
+
+// What to do when the validator rejects an input (paper §3 step 3:
+// "reject inputs that fail validation and fall back temporarily to the
+// last input state, or trigger an alert").
+enum class RejectionPolicy {
+  kAlertOnly,           // log, but use the input anyway
+  kFallbackToLastGood,  // reuse the last accepted input
+};
+
+struct PipelineOptions {
+  telemetry::CollectorOptions collector;
+  ControlInfraOptions infra;
+  ControllerOptions controller;
+  RejectionPolicy policy = RejectionPolicy::kFallbackToLastGood;
+};
+
+struct EpochResult {
+  std::uint64_t epoch = 0;
+  ControllerInput raw_input;           // as aggregated (possibly corrupted)
+  bool validated = false;              // was a validator installed?
+  ValidationDecision decision;
+  bool used_fallback = false;          // rejected and replaced by last-good
+  flow::NetworkMetrics metrics;        // outcome under the new plan
+  flow::SimulationResult outcome;
+  telemetry::NetworkSnapshot snapshot; // what the validator saw
+};
+
+class Pipeline {
+ public:
+  Pipeline(const net::Topology& topo, PipelineOptions opts, util::Rng rng);
+
+  // Installs an initial honest plan: SPF over the true usable topology for
+  // the given demand. Call once before the first RunEpoch.
+  void Bootstrap(const net::GroundTruthState& state,
+                 const flow::DemandMatrix& true_demand);
+
+  void SetValidator(InputValidatorFn validator) {
+    validator_ = std::move(validator);
+  }
+
+  // Runs one epoch. `snapshot_fault` corrupts router telemetry (§2.1),
+  // `aggregation_faults` corrupt service outputs (§2.2); both may be empty
+  // for a healthy epoch.
+  EpochResult RunEpoch(const net::GroundTruthState& state,
+                       const flow::DemandMatrix& true_demand,
+                       const telemetry::SnapshotMutator& snapshot_fault = nullptr,
+                       const AggregationFaultHooks& aggregation_faults = {});
+
+  const flow::RoutingPlan& installed_plan() const { return installed_plan_; }
+  const std::optional<ControllerInput>& last_good_input() const {
+    return last_good_input_;
+  }
+
+ private:
+  const net::Topology* topo_;
+  PipelineOptions opts_;
+  util::Rng rng_;
+  telemetry::Collector collector_;
+  SdnController controller_;
+  InputValidatorFn validator_;
+  flow::RoutingPlan installed_plan_;
+  std::optional<ControllerInput> last_good_input_;
+  std::uint64_t next_epoch_ = 0;
+};
+
+}  // namespace hodor::controlplane

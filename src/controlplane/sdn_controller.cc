@@ -1,0 +1,20 @@
+#include "controlplane/sdn_controller.h"
+
+namespace hodor::controlplane {
+
+flow::RoutingPlan SdnController::ComputeRouting(
+    const ControllerInput& input) const {
+  const auto filter = input.UsableFilter(*topo_);
+  switch (opts_.algorithm) {
+    case RoutingAlgorithm::kShortestPath:
+      return flow::ShortestPathRouting(*topo_, input.demand, filter);
+    case RoutingAlgorithm::kEcmp:
+      return flow::EcmpRouting(*topo_, input.demand, filter,
+                               opts_.ecmp_width);
+    case RoutingAlgorithm::kGreedyTe:
+      break;
+  }
+  return flow::GreedyTeRouting(*topo_, input.demand, filter, opts_.te);
+}
+
+}  // namespace hodor::controlplane

@@ -1,0 +1,42 @@
+// The SDN controller: computes a TE routing plan from its inputs.
+//
+// The controller itself is *correct* — the paper's whole premise is that
+// outages happen while the controller faithfully optimises whatever view it
+// was given. It routes the input demand over the input topology (minus
+// drains) with greedy min-max-utilisation TE.
+#pragma once
+
+#include "controlplane/controller_input.h"
+#include "flow/routing.h"
+#include "net/topology.h"
+
+namespace hodor::controlplane {
+
+// Which routing algorithm the controller runs on its inputs.
+enum class RoutingAlgorithm {
+  kShortestPath,  // classic IGP behaviour
+  kEcmp,          // equal split over equal-cost shortest paths
+  kGreedyTe,      // min-max-utilisation TE (default; a production stand-in)
+};
+
+struct ControllerOptions {
+  RoutingAlgorithm algorithm = RoutingAlgorithm::kGreedyTe;
+  flow::TeOptions te;      // used by kGreedyTe
+  std::size_t ecmp_width = 8;  // max equal-cost paths for kEcmp
+};
+
+class SdnController {
+ public:
+  explicit SdnController(const net::Topology& topo,
+                         ControllerOptions opts = {})
+      : topo_(&topo), opts_(opts) {}
+
+  // Computes the routing plan for `input`. Deterministic in its inputs.
+  flow::RoutingPlan ComputeRouting(const ControllerInput& input) const;
+
+ private:
+  const net::Topology* topo_;
+  ControllerOptions opts_;
+};
+
+}  // namespace hodor::controlplane

@@ -1,0 +1,78 @@
+#include "controlplane/services.h"
+
+namespace hodor::controlplane {
+
+std::vector<bool> TopologyService::Aggregate(
+    const telemetry::NetworkSnapshot& snapshot) const {
+  const net::Topology& topo = snapshot.topology();
+  std::vector<bool> available(topo.link_count(), false);
+  for (net::LinkId e : topo.LinkIds()) {
+    const auto src_status = snapshot.StatusAtSrc(e);
+    const auto dst_status = snapshot.StatusAtDst(e);
+    auto up = [&](const std::optional<telemetry::LinkStatus>& s) {
+      if (!s.has_value()) return !opts_.missing_status_means_down;
+      return *s == telemetry::LinkStatus::kUp;
+    };
+    available[e.value()] = up(src_status) && up(dst_status);
+  }
+  return available;
+}
+
+flow::DemandMatrix DemandService::Measure(const net::Topology& topo,
+                                          const flow::DemandMatrix& true_demand,
+                                          util::Rng& rng) const {
+  flow::DemandMatrix measured(true_demand.node_count());
+  for (net::NodeId i : topo.ExternalNodes()) {
+    for (net::NodeId j : topo.ExternalNodes()) {
+      if (i == j) continue;
+      const double d = true_demand.At(i, j);
+      if (d <= 0.0) continue;
+      const double noise =
+          1.0 + rng.Uniform(-opts_.measurement_noise, opts_.measurement_noise);
+      measured.Set(i, j, d * noise);
+    }
+  }
+  return measured;
+}
+
+void DrainService::Aggregate(const telemetry::NetworkSnapshot& snapshot,
+                             std::vector<bool>& node_drained,
+                             std::vector<bool>& link_drained) const {
+  const net::Topology& topo = snapshot.topology();
+  node_drained.assign(topo.node_count(), false);
+  link_drained.assign(topo.link_count(), false);
+  for (const net::Node& n : topo.nodes()) {
+    node_drained[n.id.value()] = snapshot.NodeDrained(n.id).value_or(false);
+  }
+  for (net::LinkId e : topo.LinkIds()) {
+    // A link counts as drained when either end announces a drain.
+    link_drained[e.value()] = snapshot.LinkDrainAtSrc(e).value_or(false) ||
+                              snapshot.LinkDrainAtDst(e).value_or(false);
+  }
+}
+
+ControllerInput AggregateInputs(const net::Topology& topo,
+                                const telemetry::NetworkSnapshot& snapshot,
+                                const flow::DemandMatrix& true_demand,
+                                std::uint64_t epoch, util::Rng& rng,
+                                const ControlInfraOptions& opts,
+                                const AggregationFaultHooks& hooks) {
+  ControllerInput input;
+  input.epoch = epoch;
+
+  TopologyService topology_service(opts.topology);
+  input.link_available = topology_service.Aggregate(snapshot);
+  if (hooks.topology) hooks.topology(input.link_available);
+
+  DemandService demand_service(opts.demand);
+  input.demand = demand_service.Measure(topo, true_demand, rng);
+  if (hooks.demand) hooks.demand(input.demand);
+
+  DrainService drain_service;
+  drain_service.Aggregate(snapshot, input.node_drained, input.link_drained);
+  if (hooks.drain) hooks.drain(input.node_drained, input.link_drained);
+
+  return input;
+}
+
+}  // namespace hodor::controlplane

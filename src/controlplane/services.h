@@ -1,0 +1,99 @@
+// The control-infrastructure instrumentation services (paper Figure 1).
+//
+// Each service aggregates raw router signals (or end-host measurements)
+// into one piece of the ControllerInput. These are the components whose
+// bugs the paper's §2.2 outages live in, so each service exposes a mutation
+// hook through which the fault library corrupts its *output* — the honest
+// aggregation logic itself stays intact, mirroring how a buggy rollout
+// wraps correct inputs in incorrect processing.
+#pragma once
+
+#include <functional>
+
+#include "controlplane/controller_input.h"
+#include "flow/demand_matrix.h"
+#include "net/topology.h"
+#include "telemetry/snapshot.h"
+#include "util/rng.h"
+
+namespace hodor::controlplane {
+
+// --- topology -----------------------------------------------------------
+
+struct TopologyServiceOptions {
+  // A link is stitched into the topology as available only when BOTH ends
+  // report status up. Missing status is treated per this flag: the
+  // conservative default excludes the link.
+  bool missing_status_means_down = true;
+};
+
+// Builds the per-link availability view from reported link statuses.
+class TopologyService {
+ public:
+  explicit TopologyService(TopologyServiceOptions opts = {}) : opts_(opts) {}
+
+  std::vector<bool> Aggregate(const telemetry::NetworkSnapshot& snapshot) const;
+
+ private:
+  TopologyServiceOptions opts_;
+};
+
+// --- demand ---------------------------------------------------------------
+
+struct DemandServiceOptions {
+  // End-host measurement noise (multiplicative, uniform in ±noise).
+  double measurement_noise = 0.002;
+};
+
+// Measures demand at the end hosts (paper §2.2 "External Input": demand is
+// NOT collected from routers). Sees the true offered demand, with small
+// measurement noise.
+class DemandService {
+ public:
+  explicit DemandService(DemandServiceOptions opts = {}) : opts_(opts) {}
+
+  flow::DemandMatrix Measure(const net::Topology& topo,
+                             const flow::DemandMatrix& true_demand,
+                             util::Rng& rng) const;
+
+ private:
+  DemandServiceOptions opts_;
+};
+
+// --- drain -----------------------------------------------------------------
+
+// Collects drain intent signals into the controller's drain view. Missing
+// signals default to undrained (the dangerous direction, as in the §2.1
+// controller-restart/drain race).
+class DrainService {
+ public:
+  void Aggregate(const telemetry::NetworkSnapshot& snapshot,
+                 std::vector<bool>& node_drained,
+                 std::vector<bool>& link_drained) const;
+};
+
+// --- full aggregation -------------------------------------------------------
+
+// Mutation hooks applied to each service's output before it reaches the
+// controller. Used by the fault library to reproduce §2.2 aggregation bugs.
+struct AggregationFaultHooks {
+  std::function<void(std::vector<bool>& link_available)> topology;
+  std::function<void(flow::DemandMatrix&)> demand;
+  std::function<void(std::vector<bool>& node_drained,
+                     std::vector<bool>& link_drained)> drain;
+};
+
+struct ControlInfraOptions {
+  TopologyServiceOptions topology;
+  DemandServiceOptions demand;
+};
+
+// Runs all three services and assembles the ControllerInput.
+ControllerInput AggregateInputs(const net::Topology& topo,
+                                const telemetry::NetworkSnapshot& snapshot,
+                                const flow::DemandMatrix& true_demand,
+                                std::uint64_t epoch, util::Rng& rng,
+                                const ControlInfraOptions& opts = {},
+                                const AggregationFaultHooks& hooks = {});
+
+}  // namespace hodor::controlplane

@@ -1,0 +1,70 @@
+#include "controlplane/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace hodor::controlplane {
+
+void EpochTrace::Record(const EpochResult& result, bool fault_active) {
+  EpochRecord r;
+  r.epoch = result.epoch;
+  r.demand_satisfaction = result.metrics.demand_satisfaction;
+  r.max_link_utilization = result.metrics.max_link_utilization;
+  r.fault_active = fault_active;
+  r.validated = result.validated;
+  r.rejected = result.validated && !result.decision.accept;
+  r.used_fallback = result.used_fallback;
+  records_.push_back(r);
+}
+
+AvailabilityReport EpochTrace::Summarize(double satisfaction_slo) const {
+  AvailabilityReport report;
+  report.epochs = records_.size();
+  if (records_.empty()) return report;
+
+  double sum = 0.0;
+  std::size_t current_run = 0;
+  for (const EpochRecord& r : records_) {
+    sum += r.demand_satisfaction;
+    report.worst_satisfaction =
+        std::min(report.worst_satisfaction, r.demand_satisfaction);
+    const bool violating = r.demand_satisfaction < satisfaction_slo;
+    if (violating) {
+      ++report.slo_violations;
+      ++current_run;
+      if (current_run == 1) ++report.outage_episodes;
+      report.longest_outage_epochs =
+          std::max(report.longest_outage_epochs, current_run);
+    } else {
+      current_run = 0;
+    }
+    if (r.fault_active) {
+      ++report.faulty_epochs;
+      if (r.rejected) ++report.faulty_epochs_rejected;
+    } else if (r.rejected) {
+      ++report.clean_epochs_rejected;
+    }
+  }
+  report.mean_satisfaction = sum / static_cast<double>(records_.size());
+  report.availability =
+      1.0 - static_cast<double>(report.slo_violations) /
+                static_cast<double>(report.epochs);
+  return report;
+}
+
+std::string AvailabilityReport::ToString() const {
+  std::ostringstream os;
+  os << "availability=" << util::FormatPercent(availability, 2) << " ("
+     << slo_violations << "/" << epochs << " epochs below SLO, "
+     << outage_episodes << " episodes, longest " << longest_outage_epochs
+     << ")  mean_sat=" << util::FormatPercent(mean_satisfaction, 2)
+     << " worst=" << util::FormatPercent(worst_satisfaction, 2)
+     << "  detection=" << faulty_epochs_rejected << "/" << faulty_epochs
+     << " faulty epochs rejected, " << clean_epochs_rejected
+     << " clean rejections";
+  return os.str();
+}
+
+}  // namespace hodor::controlplane

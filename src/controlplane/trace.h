@@ -1,0 +1,67 @@
+// Epoch traces and availability accounting.
+//
+// The paper's motivation is *availability*: operators count outage minutes,
+// not validator verdicts. EpochTrace accumulates per-epoch outcomes from a
+// Pipeline run and reduces them to the numbers an operator would report —
+// availability against an SLO, outage episodes, time-to-detect, and the
+// cost of rejections (fallback epochs).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "controlplane/pipeline.h"
+
+namespace hodor::controlplane {
+
+// One epoch's outcome, reduced to what availability accounting needs.
+struct EpochRecord {
+  std::uint64_t epoch = 0;
+  double demand_satisfaction = 1.0;
+  double max_link_utilization = 0.0;
+  bool fault_active = false;     // harness-side truth: a fault was injected
+  bool validated = false;
+  bool rejected = false;
+  bool used_fallback = false;
+};
+
+struct AvailabilityReport {
+  std::size_t epochs = 0;
+  std::size_t slo_violations = 0;     // epochs below the satisfaction SLO
+  double availability = 1.0;          // 1 - violations/epochs
+  double worst_satisfaction = 1.0;
+  double mean_satisfaction = 1.0;
+
+  // Outage episodes: maximal runs of consecutive SLO-violating epochs.
+  std::size_t outage_episodes = 0;
+  std::size_t longest_outage_epochs = 0;
+
+  // Of the epochs with an active fault, how many were rejected by the
+  // validator (detection coverage over time).
+  std::size_t faulty_epochs = 0;
+  std::size_t faulty_epochs_rejected = 0;
+
+  // Rejections on fault-free epochs (false-positive cost).
+  std::size_t clean_epochs_rejected = 0;
+
+  std::string ToString() const;
+};
+
+class EpochTrace {
+ public:
+  // Records one epoch. `fault_active` is ground truth from the harness
+  // (whether any fault was injected this epoch).
+  void Record(const EpochResult& result, bool fault_active);
+
+  std::size_t size() const { return records_.size(); }
+  const std::vector<EpochRecord>& records() const { return records_; }
+
+  // Reduces the trace against a satisfaction SLO (e.g. 0.999).
+  AvailabilityReport Summarize(double satisfaction_slo = 0.999) const;
+
+ private:
+  std::vector<EpochRecord> records_;
+};
+
+}  // namespace hodor::controlplane

@@ -1,0 +1,116 @@
+#include "core/alerts.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hodor::core {
+
+std::string Alert::Render() const {
+  std::ostringstream os;
+  os << "[" << AlertSeverityName(severity) << "] " << source << " " << entity
+     << ": " << message;
+  if (!signal_paths.empty()) {
+    os << " (inspect:";
+    for (const std::string& p : signal_paths) os << " " << p;
+    os << ")";
+  }
+  return os.str();
+}
+
+namespace {
+
+// Paths of the counter pair measuring directed link e.
+std::vector<std::string> CounterPairPaths(
+    const net::Topology& topo, const telemetry::SignalCatalog& catalog,
+    net::LinkId e) {
+  std::vector<std::string> out;
+  for (const telemetry::SignalDescriptor& d : catalog.signals()) {
+    if (d.link == e && (d.kind == telemetry::SignalKind::kTxRate ||
+                        d.kind == telemetry::SignalKind::kRxRate)) {
+      out.push_back(d.path);
+    }
+  }
+  (void)topo;
+  return out;
+}
+
+std::vector<std::string> ExternalCounterPaths(
+    const telemetry::SignalCatalog& catalog, net::NodeId v,
+    telemetry::SignalKind kind) {
+  std::vector<std::string> out;
+  for (const telemetry::SignalDescriptor& d : catalog.signals()) {
+    if (d.reporter == v && d.kind == kind) out.push_back(d.path);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Alert> BuildAlerts(const net::Topology& topo,
+                               const telemetry::SignalCatalog& catalog,
+                               const ValidationReport& report,
+                               const AlertOptions& opts) {
+  std::vector<Alert> alerts;
+
+  // Hardening findings: repaired counters (info) and unrepairable ones
+  // (warning — the validator is flying with a hole in its view).
+  for (net::LinkId e : topo.LinkIds()) {
+    const HardenedRate& r = report.hardened.rates[e.value()];
+    if (r.origin == RateOrigin::kRepaired && opts.report_repairs) {
+      std::ostringstream msg;
+      msg << "counter pair flagged and repaired";
+      if (r.rejected_value) {
+        msg << " (rejected reading " << *r.rejected_value << ")";
+      }
+      alerts.push_back(Alert{AlertSeverity::kInfo, "hardening",
+                             topo.LinkName(e), msg.str(),
+                             CounterPairPaths(topo, catalog, e)});
+    } else if (r.origin == RateOrigin::kUnknown && r.flagged) {
+      alerts.push_back(Alert{AlertSeverity::kWarning, "hardening",
+                             topo.LinkName(e),
+                             "counter pair spurious and unrepairable",
+                             CounterPairPaths(topo, catalog, e)});
+    }
+  }
+
+  for (const DemandViolation& v : report.demand.violations) {
+    alerts.push_back(Alert{
+        AlertSeverity::kCritical, "demand-check", topo.node(v.node).name,
+        v.ToString(topo),
+        ExternalCounterPaths(catalog, v.node,
+                             v.kind == DemandInvariantKind::kIngress
+                                 ? telemetry::SignalKind::kExtInRate
+                                 : telemetry::SignalKind::kExtOutRate)});
+  }
+
+  for (const TopologyViolation& v : report.topology.violations) {
+    alerts.push_back(Alert{AlertSeverity::kCritical, "topology-check",
+                           topo.LinkName(v.link), v.ToString(topo),
+                           CounterPairPaths(topo, catalog, v.link)});
+  }
+
+  for (const DrainViolation& v : report.drain.violations) {
+    const std::string entity =
+        v.node.valid() ? topo.node(v.node).name : topo.LinkName(v.link);
+    alerts.push_back(Alert{AlertSeverity::kCritical, "drain-check", entity,
+                           v.ToString(topo), {}});
+  }
+  for (net::NodeId v : report.drain.warnings_drained_but_active) {
+    alerts.push_back(Alert{AlertSeverity::kWarning, "drain-check",
+                           topo.node(v).name,
+                           "drained but carrying traffic (§4.3 case 2)",
+                           {}});
+  }
+
+  std::stable_sort(alerts.begin(), alerts.end(),
+                   [](const Alert& a, const Alert& b) {
+                     if (a.severity != b.severity) {
+                       return static_cast<int>(a.severity) >
+                              static_cast<int>(b.severity);
+                     }
+                     return a.source < b.source;
+                   });
+  return alerts;
+}
+
+}  // namespace hodor::core

@@ -1,0 +1,67 @@
+// Operator alerting — the integration surface §3 step 3 describes:
+//
+//   "We anticipate Hodor's validation checks to be integrated in a similar
+//    process to how existing checks are integrated today into alerting and
+//    management tools: for instance, Hodor can reject inputs that fail
+//    validation and fall back temporarily to the last input state, or
+//    trigger an alert for a reliability engineer to intervene."
+//
+// AlertBuilder turns a ValidationReport into structured Alert records a
+// management system can route: severity, the affected entity, a
+// human-readable message, the paper mechanism that fired, and — where the
+// finding concerns concrete router signals — the OpenConfig-style paths an
+// engineer would query first (via the SignalCatalog).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/validator.h"
+#include "telemetry/signal_catalog.h"
+
+namespace hodor::core {
+
+enum class AlertSeverity {
+  kInfo,      // noteworthy, no action needed (e.g. repaired counters)
+  kWarning,   // needs eyes (drained-but-active, low-confidence verdicts)
+  kCritical,  // controller input does not reflect the network: intervene
+};
+
+constexpr const char* AlertSeverityName(AlertSeverity s) {
+  switch (s) {
+    case AlertSeverity::kInfo: return "INFO";
+    case AlertSeverity::kWarning: return "WARNING";
+    case AlertSeverity::kCritical: return "CRITICAL";
+  }
+  return "?";
+}
+
+struct Alert {
+  AlertSeverity severity = AlertSeverity::kInfo;
+  // Which validation mechanism raised it: "hardening", "demand-check",
+  // "topology-check", "drain-check".
+  std::string source;
+  // The affected router or link, by name ("NYCMng", "NYCMng->WASHng").
+  std::string entity;
+  std::string message;
+  // Signal paths an engineer should inspect first (may be empty).
+  std::vector<std::string> signal_paths;
+
+  // "[CRITICAL] demand-check NYCMng: ingress invariant ... (paths: ...)".
+  std::string Render() const;
+};
+
+struct AlertOptions {
+  // Repaired counters are reported as kInfo when true; silently dropped
+  // otherwise (production systems usually want the paper trail).
+  bool report_repairs = true;
+};
+
+// Builds the alert list for one validation report. Deterministic; ordering
+// is severity-descending, then source.
+std::vector<Alert> BuildAlerts(const net::Topology& topo,
+                               const telemetry::SignalCatalog& catalog,
+                               const ValidationReport& report,
+                               const AlertOptions& opts = {});
+
+}  // namespace hodor::core

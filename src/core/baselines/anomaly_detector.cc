@@ -1,0 +1,80 @@
+#include "core/baselines/anomaly_detector.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace hodor::core::baselines {
+
+AnomalyDetector::AnomalyDetector(const net::Topology& topo,
+                                 AnomalyDetectorOptions opts)
+    : topo_(&topo), opts_(opts) {
+  // Feature layout: ext row sums, ext col sums, total, links, drains.
+  const std::size_t n = topo.ExternalNodes().size() * 2 + 3;
+  trackers_.assign(n, util::Ewma(opts_.ewma_alpha));
+}
+
+std::vector<double> AnomalyDetector::Features(
+    const controlplane::ControllerInput& input) const {
+  std::vector<double> f;
+  for (net::NodeId v : topo_->ExternalNodes()) {
+    f.push_back(input.demand.RowSum(v));
+  }
+  for (net::NodeId v : topo_->ExternalNodes()) {
+    f.push_back(input.demand.ColSum(v));
+  }
+  f.push_back(input.demand.Total());
+  f.push_back(static_cast<double>(input.AvailableLinkCount()));
+  double drained = 0.0;
+  for (bool b : input.node_drained) {
+    if (b) drained += 1.0;
+  }
+  f.push_back(drained);
+  return f;
+}
+
+std::string AnomalyDetector::FeatureName(std::size_t i) const {
+  const auto ext = topo_->ExternalNodes();
+  if (i < ext.size()) return "row_sum(" + topo_->node(ext[i]).name + ")";
+  if (i < 2 * ext.size()) {
+    return "col_sum(" + topo_->node(ext[i - ext.size()]).name + ")";
+  }
+  if (i == 2 * ext.size()) return "total_demand";
+  if (i == 2 * ext.size() + 1) return "available_links";
+  return "drained_nodes";
+}
+
+void AnomalyDetector::Observe(const controlplane::ControllerInput& input) {
+  const std::vector<double> f = Features(input);
+  HODOR_CHECK(f.size() == trackers_.size());
+  for (std::size_t i = 0; i < f.size(); ++i) trackers_[i].Add(f[i]);
+  ++observed_;
+}
+
+AnomalyResult AnomalyDetector::Check(
+    const controlplane::ControllerInput& input) const {
+  AnomalyResult result;
+  if (observed_ < opts_.min_history) return result;
+  const std::vector<double> f = Features(input);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    const util::Ewma& t = trackers_[i];
+    if (!t.initialized()) continue;
+    bool flag;
+    if (t.stddev() < 1e-9) {
+      // Flat history: fall back to a relative-deviation test.
+      flag = !util::WithinRelativeTolerance(f[i], t.mean(),
+                                            opts_.flat_signal_rel_tolerance);
+    } else {
+      flag = std::fabs(t.ZScore(f[i])) > opts_.z_threshold;
+    }
+    if (flag) {
+      result.anomalies.push_back(
+          FeatureName(i) + "=" + util::FormatDouble(f[i]) +
+          " deviates from history (mean=" + util::FormatDouble(t.mean()) +
+          ", sd=" + util::FormatDouble(t.stddev()) + ")");
+    }
+  }
+  return result;
+}
+
+}  // namespace hodor::core::baselines

@@ -1,0 +1,55 @@
+// Baseline 2: statistical anomaly detection (paper §5 related work).
+//
+// Tracks an EWMA mean/variance per input feature and flags inputs whose
+// z-score exceeds a threshold. As the paper notes, this detects *outliers
+// against a signal's own history*, not disagreement with ground truth: a
+// stale-but-plausible input sails through, and a legitimate disaster
+// (atypical but true) gets flagged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "controlplane/controller_input.h"
+#include "net/topology.h"
+#include "util/stats.h"
+
+namespace hodor::core::baselines {
+
+struct AnomalyDetectorOptions {
+  double ewma_alpha = 0.3;
+  double z_threshold = 4.0;
+  // Observations needed per feature before checks activate.
+  std::size_t min_history = 5;
+  // Features whose historical stddev is (near) zero flag any deviation
+  // larger than this relative amount.
+  double flat_signal_rel_tolerance = 0.02;
+};
+
+struct AnomalyResult {
+  std::vector<std::string> anomalies;
+  bool ok() const { return anomalies.empty(); }
+};
+
+class AnomalyDetector {
+ public:
+  AnomalyDetector(const net::Topology& topo, AnomalyDetectorOptions opts = {});
+
+  // Folds an accepted input into the per-feature history.
+  void Observe(const controlplane::ControllerInput& input);
+
+  // Scores an input against history *without* updating it.
+  AnomalyResult Check(const controlplane::ControllerInput& input) const;
+
+ private:
+  std::vector<double> Features(
+      const controlplane::ControllerInput& input) const;
+  std::string FeatureName(std::size_t i) const;
+
+  const net::Topology* topo_;
+  AnomalyDetectorOptions opts_;
+  std::vector<util::Ewma> trackers_;
+  std::size_t observed_ = 0;
+};
+
+}  // namespace hodor::core::baselines

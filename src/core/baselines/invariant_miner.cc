@@ -1,0 +1,167 @@
+#include "core/baselines/invariant_miner.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace hodor::core::baselines {
+
+namespace {
+constexpr double kMissing = std::numeric_limits<double>::quiet_NaN();
+}
+
+InvariantMiner::InvariantMiner(const net::Topology& topo,
+                               InvariantMinerOptions opts)
+    : topo_(&topo), opts_(opts) {}
+
+std::vector<double> InvariantMiner::Flatten(
+    const telemetry::NetworkSnapshot& snapshot) const {
+  std::vector<double> v;
+  v.reserve(2 * topo_->link_count() + 3 * topo_->node_count());
+  for (net::LinkId e : topo_->LinkIds()) {
+    const auto tx = snapshot.TxRate(e);
+    const auto rx = snapshot.RxRate(e);
+    v.push_back(tx ? *tx : kMissing);
+    v.push_back(rx ? *rx : kMissing);
+  }
+  for (net::NodeId n : topo_->NodeIds()) {
+    const auto ei = snapshot.ExtInRate(n);
+    const auto eo = snapshot.ExtOutRate(n);
+    const auto dr = snapshot.DroppedRate(n);
+    v.push_back(ei ? *ei : kMissing);
+    v.push_back(eo ? *eo : kMissing);
+    v.push_back(dr ? *dr : kMissing);
+  }
+  return v;
+}
+
+std::string InvariantMiner::SignalName(std::size_t index) const {
+  const std::size_t link_signals = 2 * topo_->link_count();
+  if (index < link_signals) {
+    const net::LinkId e(static_cast<std::uint32_t>(index / 2));
+    return (index % 2 == 0 ? "tx(" : "rx(") + topo_->LinkName(e) + ")";
+  }
+  const std::size_t node_index = (index - link_signals) / 3;
+  const std::size_t kind = (index - link_signals) % 3;
+  const std::string& name =
+      topo_->node(net::NodeId(static_cast<std::uint32_t>(node_index))).name;
+  switch (kind) {
+    case 0: return "ext_in(" + name + ")";
+    case 1: return "ext_out(" + name + ")";
+    default: return "dropped(" + name + ")";
+  }
+}
+
+bool InvariantMiner::Equalish(double a, double b, double tau) const {
+  if (std::isnan(a) || std::isnan(b)) return false;
+  if (std::fabs(a) < opts_.zero_floor && std::fabs(b) < opts_.zero_floor) {
+    return true;
+  }
+  return util::WithinRelativeTolerance(a, b, tau);
+}
+
+void InvariantMiner::Observe(const telemetry::NetworkSnapshot& snapshot) {
+  history_.push_back(Flatten(snapshot));
+}
+
+std::pair<double, double> InvariantMiner::NodeBalance(
+    const std::vector<double>& row, net::NodeId v) const {
+  const auto nan = std::make_pair(kMissing, kMissing);
+  double in_sum = 0.0;
+  double out_sum = 0.0;
+  for (net::LinkId e : topo_->InLinks(v)) {
+    const double rx = row[2 * e.value() + 1];
+    if (std::isnan(rx)) return nan;
+    in_sum += rx;
+  }
+  for (net::LinkId e : topo_->OutLinks(v)) {
+    const double tx = row[2 * e.value()];
+    if (std::isnan(tx)) return nan;
+    out_sum += tx;
+  }
+  const std::size_t base = 2 * topo_->link_count() + 3 * v.value();
+  const double ext_in = row[base];
+  const double ext_out = row[base + 1];
+  const double dropped = row[base + 2];
+  if (std::isnan(dropped)) return nan;
+  out_sum += dropped;
+  if (topo_->node(v).has_external_port) {
+    if (std::isnan(ext_in) || std::isnan(ext_out)) return nan;
+    in_sum += ext_in;
+    out_sum += ext_out;
+  }
+  return {in_sum, out_sum};
+}
+
+void InvariantMiner::Mine() {
+  HODOR_CHECK_MSG(history_.size() >= opts_.min_history,
+                  "not enough history to mine invariants");
+  mined_.clear();
+  const std::size_t n = history_.front().size();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      bool persists = true;
+      for (const auto& row : history_) {
+        if (!Equalish(row[a], row[b], opts_.mine_tau)) {
+          persists = false;
+          break;
+        }
+      }
+      if (persists) {
+        mined_.push_back(
+            MinedInvariant{a, b, SignalName(a) + " ~= " + SignalName(b)});
+      }
+    }
+  }
+
+  mined_conservation_.clear();
+  if (opts_.mine_conservation) {
+    for (const net::Node& node : topo_->nodes()) {
+      bool persists = true;
+      for (const auto& row : history_) {
+        const auto [in_sum, out_sum] = NodeBalance(row, node.id);
+        if (std::isnan(in_sum) ||
+            !Equalish(in_sum, out_sum, opts_.mine_tau)) {
+          persists = false;
+          break;
+        }
+      }
+      if (persists) {
+        mined_conservation_.push_back(
+            MinedConservation{node.id, "conservation(" + node.name + ")"});
+      }
+    }
+  }
+}
+
+MinerCheckResult InvariantMiner::Check(
+    const telemetry::NetworkSnapshot& snapshot) const {
+  MinerCheckResult result;
+  const std::vector<double> v = Flatten(snapshot);
+  for (const MinedInvariant& inv : mined_) {
+    const double a = v[inv.signal_a];
+    const double b = v[inv.signal_b];
+    if (std::isnan(a) || std::isnan(b)) continue;  // can't evaluate
+    ++result.checked;
+    if (!Equalish(a, b, opts_.check_tau)) {
+      result.violations.push_back(
+          inv.name + " broken: " + util::FormatDouble(a, 3) + " vs " +
+          util::FormatDouble(b, 3));
+    }
+  }
+  for (const MinedConservation& inv : mined_conservation_) {
+    const auto [in_sum, out_sum] = NodeBalance(v, inv.node);
+    if (std::isnan(in_sum)) continue;
+    ++result.checked;
+    if (!Equalish(in_sum, out_sum, opts_.check_tau)) {
+      result.violations.push_back(
+          inv.name + " broken: in=" + util::FormatDouble(in_sum, 3) +
+          " out=" + util::FormatDouble(out_sum, 3));
+    }
+  }
+  return result;
+}
+
+}  // namespace hodor::core::baselines

@@ -1,0 +1,112 @@
+// Baseline 3: the "most general approach" of §3.1 — unsupervised discovery
+// of signal relationships from historical data.
+//
+//   "Unsupervised learning techniques can be applied to discover this
+//    structure by analyzing historical system data, bundling all available
+//    data ... and using methods like masked autoencoders and symbolic
+//    regression to identify relationships within these bundles that
+//    persist over time."
+//
+// We implement the tabular core of that idea: mine, from a window of
+// historical snapshots, every pairwise relationship `signal_a ≈ signal_b`
+// that persisted across the window, then flag new snapshots that break a
+// mined relationship. This captures the real R1 symmetries without being
+// told about them — and also captures the paper's predicted failure mode:
+//
+//   "if the routers in a particular POP remain drained ... during the
+//    historically observed period, unsupervised methods might infer that
+//    all interface counters in that POP should always be equal, which
+//    would no longer be accurate once the routers ... are undrained."
+//
+// The miner deliberately does NOT filter such spurious invariants; the
+// comparison bench (E6b) measures exactly how much they cost.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "telemetry/snapshot.h"
+
+namespace hodor::core::baselines {
+
+struct InvariantMinerOptions {
+  // Hysteresis between mining and checking: an invariant is mined only
+  // when the pair stayed within the strict tolerance in every observation,
+  // but flagged only when it leaves the looser one. This keeps signal
+  // pairs that are merely *coincidentally* close (gap just above the
+  // mining bar) from flapping at check time.
+  double mine_tau = 0.02;
+  double check_tau = 0.04;
+  // Both-below-this values count as equal (zeros — including the §3.1
+  // spurious drained-POP zeros, which we deliberately keep).
+  double zero_floor = 1e-3;
+  // An invariant must hold in every one of at least this many observations
+  // to be mined.
+  std::size_t min_history = 5;
+
+  // Also mine per-router sum relationships (§3.1's "which should sum to
+  // others"): for each router whose local signals were all present and
+  // balanced (Σin + ext_in ≈ Σout + dropped + ext_out) throughout the
+  // window, record a conservation invariant. This rediscovers R2 from
+  // data alone.
+  bool mine_conservation = true;
+};
+
+struct MinedInvariant {
+  std::size_t signal_a = 0;  // indexes into the flattened signal vector
+  std::size_t signal_b = 0;
+  std::string name;          // human-readable "tx(A->B) ~= rx(A->B)"
+};
+
+// A mined per-router balance relation (sum form).
+struct MinedConservation {
+  net::NodeId node;
+  std::string name;  // "conservation(NYCMng)"
+};
+
+struct MinerCheckResult {
+  std::vector<std::string> violations;  // broken mined invariants
+  std::size_t checked = 0;
+  bool ok() const { return violations.empty(); }
+};
+
+class InvariantMiner {
+ public:
+  InvariantMiner(const net::Topology& topo, InvariantMinerOptions opts = {});
+
+  // Adds one historical snapshot to the training window.
+  void Observe(const telemetry::NetworkSnapshot& snapshot);
+
+  // Mines the persistent pairwise equalities from the window. Must be
+  // called after at least min_history observations; may be re-run as the
+  // window grows.
+  void Mine();
+
+  std::size_t observation_count() const { return history_.size(); }
+  const std::vector<MinedInvariant>& invariants() const { return mined_; }
+  const std::vector<MinedConservation>& conservation_invariants() const {
+    return mined_conservation_;
+  }
+
+  // Checks a snapshot against the mined invariants.
+  MinerCheckResult Check(const telemetry::NetworkSnapshot& snapshot) const;
+
+ private:
+  // Flattens a snapshot into the signal vector (NaN for missing signals).
+  std::vector<double> Flatten(
+      const telemetry::NetworkSnapshot& snapshot) const;
+  std::string SignalName(std::size_t index) const;
+  bool Equalish(double a, double b, double tau) const;
+  // Per-router (in-sum, out-sum); NaN pair when any local signal missing.
+  std::pair<double, double> NodeBalance(const std::vector<double>& row,
+                                        net::NodeId v) const;
+
+  const net::Topology* topo_;
+  InvariantMinerOptions opts_;
+  std::vector<std::vector<double>> history_;
+  std::vector<MinedInvariant> mined_;
+  std::vector<MinedConservation> mined_conservation_;
+};
+
+}  // namespace hodor::core::baselines

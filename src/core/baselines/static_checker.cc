@@ -1,0 +1,96 @@
+#include "core/baselines/static_checker.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace hodor::core::baselines {
+
+std::vector<double> StaticChecker::Features(
+    const controlplane::ControllerInput& input) const {
+  std::vector<double> f;
+  for (net::NodeId v : topo_->ExternalNodes()) {
+    f.push_back(input.demand.RowSum(v));
+  }
+  f.push_back(input.demand.Total());
+  f.push_back(static_cast<double>(input.AvailableLinkCount()));
+  double drained = 0.0;
+  for (bool b : input.node_drained) {
+    if (b) drained += 1.0;
+  }
+  f.push_back(drained);
+  return f;
+}
+
+void StaticChecker::Observe(const controlplane::ControllerInput& input) {
+  const std::vector<double> f = Features(input);
+  if (observed_ == 0) {
+    feature_min_ = f;
+    feature_max_ = f;
+  } else {
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      feature_min_[i] = std::min(feature_min_[i], f[i]);
+      feature_max_[i] = std::max(feature_max_[i], f[i]);
+    }
+  }
+  ++observed_;
+}
+
+StaticCheckResult StaticChecker::Check(
+    const controlplane::ControllerInput& input) const {
+  StaticCheckResult result;
+
+  if (opts_.enable_impossible_checks) {
+    if (input.demand.node_count() != topo_->node_count()) {
+      result.violations.push_back("demand matrix has wrong dimensions");
+      return result;
+    }
+    if (input.link_available.size() != topo_->link_count() ||
+        input.node_drained.size() != topo_->node_count() ||
+        input.link_drained.size() != topo_->link_count()) {
+      result.violations.push_back("input vectors have wrong dimensions");
+      return result;
+    }
+    for (net::NodeId v : topo_->ExternalNodes()) {
+      const double cap = topo_->node(v).external_capacity;
+      if (input.demand.RowSum(v) > cap * (1.0 + 1e-9)) {
+        result.violations.push_back(
+            "impossible: demand from " + topo_->node(v).name + " (" +
+            util::FormatDouble(input.demand.RowSum(v)) +
+            " Gbps) exceeds its external capacity (" +
+            util::FormatDouble(cap) + " Gbps)");
+      }
+    }
+  }
+
+  if (opts_.enable_history_checks && observed_ >= opts_.min_history) {
+    const std::vector<double> f = Features(input);
+    const std::size_t ext = topo_->ExternalNodes().size();
+    auto name_of = [&](std::size_t i) -> std::string {
+      if (i < ext) {
+        return "row_sum(" + topo_->node(topo_->ExternalNodes()[i]).name + ")";
+      }
+      if (i == ext) return "total_demand";
+      if (i == ext + 1) return "available_links";
+      return "drained_nodes";
+    };
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      const double span =
+          std::max(1e-9, feature_max_[i] - feature_min_[i]);
+      const double lo =
+          feature_min_[i] - opts_.history_margin * std::max(span, feature_min_[i]);
+      const double hi =
+          feature_max_[i] + opts_.history_margin * std::max(span, feature_max_[i]);
+      if (f[i] < lo || f[i] > hi) {
+        result.violations.push_back(
+            "historically unlikely: " + name_of(i) + "=" +
+            util::FormatDouble(f[i]) + " outside [" + util::FormatDouble(lo) +
+            ", " + util::FormatDouble(hi) + "]");
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hodor::core::baselines

@@ -1,0 +1,61 @@
+// Baseline 1: the static sanity checks operators run today (paper §1).
+//
+// Two families, both deliberately faithful to their weaknesses:
+//  - impossible-value checks: inputs that cannot possibly occur (demand
+//    exceeding the physical edge capacity, malformed sizes, drained routers
+//    that don't exist);
+//  - historically-unlikely checks: per-feature [min, max] ranges learned
+//    from past accepted inputs, with a configurable margin. These are the
+//    ad-hoc heuristics the paper criticises: they miss wrong-but-plausible
+//    inputs and false-positive on legitimate atypical states (disasters).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "controlplane/controller_input.h"
+#include "net/topology.h"
+
+namespace hodor::core::baselines {
+
+struct StaticCheckerOptions {
+  // Margin applied around the historically observed [min, max] per feature.
+  double history_margin = 0.10;
+  // History rows needed before the historical checks activate.
+  std::size_t min_history = 3;
+  bool enable_impossible_checks = true;
+  bool enable_history_checks = true;
+};
+
+struct StaticCheckResult {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+class StaticChecker {
+ public:
+  StaticChecker(const net::Topology& topo, StaticCheckerOptions opts = {})
+      : topo_(&topo), opts_(opts) {}
+
+  // Records an input the operator accepted (grows the historical ranges).
+  void Observe(const controlplane::ControllerInput& input);
+
+  StaticCheckResult Check(const controlplane::ControllerInput& input) const;
+
+  std::size_t history_size() const { return observed_; }
+
+ private:
+  // Features tracked per input: per-node demand row sums, total demand,
+  // available-link count, drained-node count.
+  std::vector<double> Features(
+      const controlplane::ControllerInput& input) const;
+
+  const net::Topology* topo_;
+  StaticCheckerOptions opts_;
+  std::size_t observed_ = 0;
+  std::vector<double> feature_min_;
+  std::vector<double> feature_max_;
+};
+
+}  // namespace hodor::core::baselines

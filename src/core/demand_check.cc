@@ -1,0 +1,74 @@
+#include "core/demand_check.h"
+
+#include <sstream>
+
+#include "util/stats.h"
+#include "util/strings.h"
+
+namespace hodor::core {
+
+std::string DemandViolation::ToString(const net::Topology& topo) const {
+  std::ostringstream os;
+  os << (kind == DemandInvariantKind::kIngress ? "ingress" : "egress")
+     << " invariant at " << topo.node(node).name << ": counter="
+     << util::FormatDouble(counter_value, 3)
+     << " demand_sum=" << util::FormatDouble(demand_sum, 3)
+     << " rel_diff=" << util::FormatPercent(relative_diff, 2);
+  return os.str();
+}
+
+DemandCheckResult CheckDemand(const net::Topology& topo,
+                              const HardenedState& hardened,
+                              const flow::DemandMatrix& demand_input,
+                              const DemandCheckOptions& opts) {
+  HODOR_CHECK(demand_input.node_count() == topo.node_count());
+  DemandCheckResult result;
+
+  auto evaluate = [&](net::NodeId v, DemandInvariantKind kind,
+                      const std::optional<double>& counter, double sum) {
+    if (!counter.has_value()) {
+      ++result.skipped_invariants;
+      return;
+    }
+    ++result.checked_invariants;
+    if (*counter < opts.idle_floor && sum < opts.idle_floor) return;
+    const double diff = util::RelativeDifference(*counter, sum);
+    if (diff > opts.tau_e) {
+      result.violations.push_back(
+          DemandViolation{v, kind, *counter, sum, diff});
+    }
+  };
+
+  // Gauge in-network loss from the hardened drop counters: egress
+  // invariants are only meaningful when the network is not eating traffic.
+  double total_dropped = 0.0;
+  double total_ext_in = 0.0;
+  for (const net::Node& n : topo.nodes()) {
+    if (hardened.dropped[n.id.value()]) {
+      total_dropped += *hardened.dropped[n.id.value()];
+    }
+    if (hardened.ext_in[n.id.value()]) {
+      total_ext_in += *hardened.ext_in[n.id.value()];
+    }
+  }
+  if (total_ext_in > opts.idle_floor) {
+    result.network_loss_fraction = total_dropped / total_ext_in;
+  }
+  const bool check_egress =
+      result.network_loss_fraction <= opts.max_network_loss_fraction;
+  result.egress_skipped_due_to_loss = !check_egress;
+
+  for (net::NodeId v : topo.ExternalNodes()) {
+    evaluate(v, DemandInvariantKind::kIngress, hardened.ext_in[v.value()],
+             demand_input.RowSum(v));
+    if (check_egress) {
+      evaluate(v, DemandInvariantKind::kEgress, hardened.ext_out[v.value()],
+               demand_input.ColSum(v));
+    } else {
+      ++result.skipped_invariants;
+    }
+  }
+  return result;
+}
+
+}  // namespace hodor::core

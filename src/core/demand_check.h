@@ -1,0 +1,73 @@
+// Hodor step 3 for the demand input (paper §4.1).
+//
+// The demand matrix D and the hardened external interface counters are
+// interdependent: everything entering the WAN at router i is demand from i,
+// everything leaving at j is demand to j. This yields 2·|V| invariants:
+//
+//   ingress(i):  ext_in(i)  ≈ Σ_j D(i, j)   within τ_e
+//   egress(j):   ext_out(j) ≈ Σ_i D(i, j)   within τ_e
+//
+// Not enough to re-derive all v² entries, but enough to significantly
+// constrain D — and to catch the §2.2 demand outages (partial aggregation,
+// end-host throttling mismatches).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hardened_state.h"
+#include "flow/demand_matrix.h"
+#include "net/topology.h"
+
+namespace hodor::core {
+
+enum class DemandInvariantKind { kIngress, kEgress };
+
+struct DemandViolation {
+  net::NodeId node;
+  DemandInvariantKind kind;
+  double counter_value = 0.0;  // hardened external counter
+  double demand_sum = 0.0;     // row/column sum of the input D
+  double relative_diff = 0.0;
+
+  std::string ToString(const net::Topology& topo) const;
+};
+
+struct DemandCheckResult {
+  std::vector<DemandViolation> violations;
+  // Invariants evaluated (those whose hardened counter was available).
+  std::size_t checked_invariants = 0;
+  // Invariants skipped because the hardened counter was unknown.
+  std::size_t skipped_invariants = 0;
+  // Egress invariants were suppressed because the hardened drop counters
+  // show significant in-network loss (see below).
+  bool egress_skipped_due_to_loss = false;
+  // Observed loss fraction (Σ hardened drops / Σ hardened ext_in).
+  double network_loss_fraction = 0.0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+struct DemandCheckOptions {
+  // τ_e: relative equality tolerance (paper: 0.02).
+  double tau_e = 0.02;
+  // Below this (Gbps) a counter/sum pair is treated as "both idle" and not
+  // compared (avoids flagging noise around zero).
+  double idle_floor = 1e-6;
+  // The egress invariant (ext_out(j) ≈ Σ_i D(i,j)) presumes a loss-free
+  // network: when routers are visibly dropping traffic (e.g. moments after
+  // a real failure, before the controller reroutes), egress counters
+  // legitimately undershoot the demand. When the hardened drop counters
+  // show loss above this fraction of admitted traffic, egress invariants
+  // are skipped rather than reported as input violations — the drops
+  // themselves are the actionable signal, and ingress invariants still
+  // guard the demand input.
+  double max_network_loss_fraction = 0.01;
+};
+
+DemandCheckResult CheckDemand(const net::Topology& topo,
+                              const HardenedState& hardened,
+                              const flow::DemandMatrix& demand_input,
+                              const DemandCheckOptions& opts = {});
+
+}  // namespace hodor::core

@@ -1,0 +1,85 @@
+#include "core/drain_check.h"
+
+#include <sstream>
+
+#include "util/status.h"
+
+namespace hodor::core {
+
+std::string DrainViolation::ToString(const net::Topology& topo) const {
+  std::ostringstream os;
+  auto entity = [&]() {
+    return node.valid() ? topo.node(node).name : topo.LinkName(link);
+  };
+  switch (kind) {
+    case DrainViolationKind::kInputIgnoresDrain:
+      os << "input ignores drain of " << entity();
+      break;
+    case DrainViolationKind::kInputInventsDrain:
+      os << "input drains " << entity() << " which reports undrained";
+      break;
+    case DrainViolationKind::kUndrainedDeadRouter:
+      os << topo.node(node).name
+         << " cannot carry traffic but is not drained";
+      break;
+    case DrainViolationKind::kDrainAsymmetry:
+      os << "link drain asymmetry on " << topo.LinkName(link);
+      break;
+  }
+  return os.str();
+}
+
+DrainCheckResult CheckDrains(const net::Topology& topo,
+                             const HardenedState& hardened,
+                             const std::vector<bool>& node_drained_input,
+                             const std::vector<bool>& link_drained_input) {
+  HODOR_CHECK(node_drained_input.size() == topo.node_count());
+  HODOR_CHECK(link_drained_input.size() == topo.link_count());
+  DrainCheckResult result;
+
+  for (const net::Node& n : topo.nodes()) {
+    const HardenedDrain& hd = hardened.drains[n.id.value()];
+    const bool input_drained = node_drained_input[n.id.value()];
+    if (hd.node_drained.has_value()) {
+      if (*hd.node_drained && !input_drained) {
+        result.violations.push_back(DrainViolation{
+            n.id, net::LinkId::Invalid(),
+            DrainViolationKind::kInputIgnoresDrain});
+      } else if (!*hd.node_drained && input_drained) {
+        result.violations.push_back(DrainViolation{
+            n.id, net::LinkId::Invalid(),
+            DrainViolationKind::kInputInventsDrain});
+      }
+    }
+    if (hd.undrained_but_dead && !input_drained) {
+      result.violations.push_back(DrainViolation{
+          n.id, net::LinkId::Invalid(),
+          DrainViolationKind::kUndrainedDeadRouter});
+    }
+    if (hd.drained_but_active) {
+      result.warnings_drained_but_active.push_back(n.id);
+    }
+  }
+
+  for (net::LinkId e : topo.LinkIds()) {
+    const net::Link& l = topo.link(e);
+    if (l.reverse.value() < e.value()) continue;  // once per physical link
+    if (hardened.link_drain_disagreement[e.value()]) {
+      result.violations.push_back(DrainViolation{
+          net::NodeId::Invalid(), e, DrainViolationKind::kDrainAsymmetry});
+    }
+    const auto& hd = hardened.link_drained[e.value()];
+    if (!hd.has_value()) continue;
+    const bool input_drained = link_drained_input[e.value()];
+    if (*hd && !input_drained) {
+      result.violations.push_back(DrainViolation{
+          net::NodeId::Invalid(), e, DrainViolationKind::kInputIgnoresDrain});
+    } else if (!*hd && input_drained) {
+      result.violations.push_back(DrainViolation{
+          net::NodeId::Invalid(), e, DrainViolationKind::kInputInventsDrain});
+    }
+  }
+  return result;
+}
+
+}  // namespace hodor::core

@@ -1,0 +1,53 @@
+// Hodor step 3 for the drain input (paper §4.3).
+//
+// Drain is semantically overloaded, so the check combines several sources:
+//   - the input's drain set must match the routers' own intent signals
+//     (catches the §2.2 "ignored drain" aggregation bug and aggregation
+//     layers inventing drains);
+//   - §4.3 case 1: a router that evidently cannot carry traffic (probes
+//     fail, counters frozen, statuses up) but is not drained anywhere;
+//   - §4.3 case 2: a drained router still carrying traffic — surfaced as a
+//     warning, since pre-emptive maintenance drains legitimately look like
+//     this;
+//   - link-drain symmetry: both ends of a drained link must announce it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hardened_state.h"
+#include "net/topology.h"
+
+namespace hodor::core {
+
+enum class DrainViolationKind {
+  kInputIgnoresDrain,   // router says drained, input says not
+  kInputInventsDrain,   // input says drained, router says not
+  kUndrainedDeadRouter, // case 1: dead but nobody drained it
+  kDrainAsymmetry,      // link drain announced by one end only
+};
+
+struct DrainViolation {
+  // Exactly one of node/link is meaningful, per kind.
+  net::NodeId node;
+  net::LinkId link;
+  DrainViolationKind kind;
+
+  std::string ToString(const net::Topology& topo) const;
+};
+
+struct DrainCheckResult {
+  std::vector<DrainViolation> violations;
+  // Case-2 style observations that deserve operator attention but are not
+  // necessarily wrong (drained-but-active routers).
+  std::vector<net::NodeId> warnings_drained_but_active;
+
+  bool ok() const { return violations.empty(); }
+};
+
+DrainCheckResult CheckDrains(const net::Topology& topo,
+                             const HardenedState& hardened,
+                             const std::vector<bool>& node_drained_input,
+                             const std::vector<bool>& link_drained_input);
+
+}  // namespace hodor::core

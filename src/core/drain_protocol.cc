@@ -1,0 +1,138 @@
+#include "core/drain_protocol.h"
+
+#include <sstream>
+
+namespace hodor::core {
+
+DrainLedger::DrainLedger(const net::Topology& topo)
+    : topo_(&topo), by_link_(topo.link_count()) {}
+
+void DrainLedger::Announce(net::LinkId link, DrainReason reason) {
+  HODOR_CHECK(link.valid() && link.value() < by_link_.size());
+  by_link_[link.value()] = reason;
+}
+
+void DrainLedger::AnnounceBoth(net::LinkId link, DrainReason reason) {
+  Announce(link, reason);
+  Announce(topo_->link(link).reverse, reason);
+}
+
+void DrainLedger::AnnounceNodeDrain(net::NodeId node) {
+  for (net::LinkId e : topo_->OutLinks(node)) {
+    AnnounceBoth(e, DrainReason::kNodeMaintenance);
+  }
+}
+
+std::optional<DrainReason> DrainLedger::AnnouncementAt(
+    net::LinkId link) const {
+  HODOR_CHECK(link.valid() && link.value() < by_link_.size());
+  return by_link_[link.value()];
+}
+
+bool DrainLedger::PhysicalLinkDrained(net::LinkId link) const {
+  return AnnouncementAt(link).has_value() ||
+         AnnouncementAt(topo_->link(link).reverse).has_value();
+}
+
+bool DrainLedger::NodeFullyDrained(const net::Topology& topo,
+                                   net::NodeId node) const {
+  const auto& out = topo.OutLinks(node);
+  if (out.empty()) return false;
+  for (net::LinkId e : out) {
+    if (!AnnouncementAt(e).has_value() ||
+        !AnnouncementAt(topo.link(e).reverse).has_value()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t DrainLedger::announcement_count() const {
+  std::size_t n = 0;
+  for (const auto& a : by_link_) {
+    if (a.has_value()) ++n;
+  }
+  return n;
+}
+
+std::string DrainProtocolViolation::ToString(const net::Topology& topo) const {
+  std::ostringstream os;
+  switch (kind) {
+    case DrainProtocolViolationKind::kAsymmetricAnnouncement:
+      os << "asymmetric drain announcement on " << topo.LinkName(link);
+      break;
+    case DrainProtocolViolationKind::kReasonMismatch:
+      os << "drain reason mismatch on " << topo.LinkName(link);
+      break;
+    case DrainProtocolViolationKind::kUnsubstantiatedFault:
+      os << "unsubstantiated fault drain on " << topo.LinkName(link);
+      break;
+  }
+  if (!detail.empty()) os << " (" << detail << ")";
+  return os.str();
+}
+
+namespace {
+
+// Maintenance-style reasons encode operator intent and cannot be refuted
+// by link health; fault-style reasons assert an observable condition.
+bool IsFaultReason(DrainReason r) {
+  return r == DrainReason::kFaultyNeighbor || r == DrainReason::kAutomation;
+}
+
+// Two ends may legitimately label one drain differently only when both
+// labels are maintenance-flavoured (e.g. node-maintenance at one end seen
+// as link maintenance by a neighbouring automation rollup).
+bool ReasonsCompatible(DrainReason a, DrainReason b) {
+  if (a == b) return true;
+  return !IsFaultReason(a) && !IsFaultReason(b);
+}
+
+}  // namespace
+
+DrainProtocolResult ValidateDrainLedger(const net::Topology& topo,
+                                        const DrainLedger& ledger,
+                                        const HardenedState& hardened,
+                                        const DrainProtocolOptions& opts) {
+  DrainProtocolResult result;
+  for (net::LinkId e : topo.LinkIds()) {
+    const net::Link& l = topo.link(e);
+    if (l.reverse.value() < e.value()) continue;  // once per physical link
+    const auto here = ledger.AnnouncementAt(e);
+    const auto there = ledger.AnnouncementAt(l.reverse);
+    if (!here && !there) continue;
+    ++result.validated_announcements;
+
+    // Symmetry: link drains must be announced by both ends (§4.3).
+    if (here.has_value() != there.has_value()) {
+      result.violations.push_back(DrainProtocolViolation{
+          e, DrainProtocolViolationKind::kAsymmetricAnnouncement,
+          std::string("announced only at ") +
+              topo.node(here ? l.src : l.dst).name});
+      continue;
+    }
+    if (!ReasonsCompatible(*here, *there)) {
+      result.violations.push_back(DrainProtocolViolation{
+          e, DrainProtocolViolationKind::kReasonMismatch,
+          std::string(DrainReasonName(*here)) + " vs " +
+              DrainReasonName(*there)});
+      continue;
+    }
+
+    // Reason-specific redundancy: a fault drain claims the link is sick;
+    // the hardened verdict can corroborate or refute that claim.
+    if (IsFaultReason(*here) || IsFaultReason(*there)) {
+      const HardenedLinkState& verdict = hardened.links[e.value()];
+      if (verdict.verdict == LinkVerdict::kUp &&
+          verdict.confidence >= opts.refute_confidence) {
+        result.violations.push_back(DrainProtocolViolation{
+            e, DrainProtocolViolationKind::kUnsubstantiatedFault,
+            std::string("reason ") + DrainReasonName(*here) +
+                " but hardened verdict is confidently up"});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hodor::core

@@ -1,0 +1,126 @@
+// The standardized drain protocol the paper proposes in §4.3:
+//
+//   "the right approach might be to standardize the drain process for
+//    greater transparency through a mechanism that enables redundancy. One
+//    approach may be to attach reasons to drain labels ... We could require
+//    all drains to be link drains, as link drains contain natural
+//    symmetry—both sides must agree that the link is drained. A node drain
+//    would then simply drain all links. An announced link drain can be
+//    validated by checking that the neighbor also announced a drain of
+//    that link."
+//
+// This module implements that proposal end to end:
+//   - every drain is a *link* drain carrying a DrainReason;
+//   - a node drain is expressed as draining all of the node's links with
+//     reason kNodeMaintenance;
+//   - validation rules per reason:
+//       kFaultyNeighbor    — Hodor checks the supposedly faulty link really
+//                            is unhealthy (probe fails / statuses down);
+//                            a healthy link refutes the drain;
+//       kMaintenance /
+//       kNodeMaintenance   — inherently operator intent; only symmetry is
+//                            checked;
+//       kAutomation        — must be corroborated by *some* evidence of
+//                            trouble on the link (it was raised by a fault
+//                            detector, so the fault should be observable);
+//   - symmetry: both ends must announce the drain with a compatible reason.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/hardened_state.h"
+#include "net/topology.h"
+#include "telemetry/snapshot.h"
+
+namespace hodor::core {
+
+enum class DrainReason {
+  kMaintenance,      // planned work on the link
+  kNodeMaintenance,  // planned work on an endpoint router (node drain)
+  kFaultyNeighbor,   // automation reacted to a misbehaving far end
+  kAutomation,       // automation reacted to link-local trouble
+};
+
+constexpr const char* DrainReasonName(DrainReason r) {
+  switch (r) {
+    case DrainReason::kMaintenance: return "maintenance";
+    case DrainReason::kNodeMaintenance: return "node-maintenance";
+    case DrainReason::kFaultyNeighbor: return "faulty-neighbor";
+    case DrainReason::kAutomation: return "automation";
+  }
+  return "?";
+}
+
+// One end's announcement that a directed link's physical link is drained.
+struct DrainAnnouncement {
+  net::LinkId link;       // the announcing end's outgoing direction
+  DrainReason reason = DrainReason::kMaintenance;
+};
+
+// The full reason-annotated drain state of the network, as collected from
+// routers (one announcement list per router; the snapshot carries the
+// plain boolean signals, this carries the protocol's richer labels).
+class DrainLedger {
+ public:
+  explicit DrainLedger(const net::Topology& topo);
+
+  // Announces a drain from the src end of `link`.
+  void Announce(net::LinkId link, DrainReason reason);
+
+  // Announces a symmetric drain of the physical link (both ends).
+  void AnnounceBoth(net::LinkId link, DrainReason reason);
+
+  // Drains every link of `node` at both ends (the paper's "a node drain
+  // would then simply drain all links").
+  void AnnounceNodeDrain(net::NodeId node);
+
+  std::optional<DrainReason> AnnouncementAt(net::LinkId link) const;
+
+  // True when either end announced a drain of the physical link.
+  bool PhysicalLinkDrained(net::LinkId link) const;
+
+  // True when every link of the node is drained at both ends.
+  bool NodeFullyDrained(const net::Topology& topo, net::NodeId node) const;
+
+  std::size_t announcement_count() const;
+
+ private:
+  const net::Topology* topo_;
+  std::vector<std::optional<DrainReason>> by_link_;
+};
+
+enum class DrainProtocolViolationKind {
+  kAsymmetricAnnouncement,  // one end announced, the other did not
+  kReasonMismatch,          // both announced, incompatible reasons
+  kUnsubstantiatedFault,    // faulty-neighbor/automation but link healthy
+};
+
+struct DrainProtocolViolation {
+  net::LinkId link;
+  DrainProtocolViolationKind kind;
+  std::string detail;
+
+  std::string ToString(const net::Topology& topo) const;
+};
+
+struct DrainProtocolResult {
+  std::vector<DrainProtocolViolation> violations;
+  std::size_t validated_announcements = 0;
+  bool ok() const { return violations.empty(); }
+};
+
+struct DrainProtocolOptions {
+  // Confidence the hardened link verdict needs before it can refute a
+  // faulty-neighbor/automation drain.
+  double refute_confidence = 0.7;
+};
+
+// Validates a reason-annotated drain ledger against the hardened state.
+DrainProtocolResult ValidateDrainLedger(const net::Topology& topo,
+                                        const DrainLedger& ledger,
+                                        const HardenedState& hardened,
+                                        const DrainProtocolOptions& opts = {});
+
+}  // namespace hodor::core

@@ -1,0 +1,67 @@
+#include "core/experiment.h"
+
+namespace hodor::core {
+
+namespace {
+
+// One pipeline arm: healthy bootstrap epoch, then the scenario epoch.
+controlplane::EpochResult RunArm(const net::Topology& topo,
+                                 const faults::OutageScenario& scenario,
+                                 const flow::DemandMatrix& demand,
+                                 const ScenarioRunOptions& opts,
+                                 const Validator* validator,
+                                 bool honest_inputs) {
+  controlplane::Pipeline pipeline(topo, opts.pipeline, util::Rng(opts.seed));
+  if (validator != nullptr) {
+    pipeline.SetValidator(validator->AsPipelineValidator());
+  }
+
+  net::GroundTruthState state(topo);
+  pipeline.Bootstrap(state, demand);
+  (void)pipeline.RunEpoch(state, demand);  // healthy epoch: trains last-good
+
+  if (scenario.setup) scenario.setup(state);
+  if (honest_inputs) {
+    return pipeline.RunEpoch(state, demand);
+  }
+  return pipeline.RunEpoch(state, demand, scenario.snapshot_fault,
+                           scenario.aggregation);
+}
+
+}  // namespace
+
+ScenarioRunResult RunScenario(const net::Topology& topo,
+                              const faults::OutageScenario& scenario,
+                              const flow::DemandMatrix& demand,
+                              const ScenarioRunOptions& opts) {
+  ScenarioRunResult result;
+  result.scenario_id = scenario.id;
+
+  const Validator validator(topo, opts.validator);
+
+  const auto unvalidated =
+      RunArm(topo, scenario, demand, opts, nullptr, /*honest=*/false);
+  result.no_validation = unvalidated.metrics;
+
+  const auto hodor =
+      RunArm(topo, scenario, demand, opts, &validator, /*honest=*/false);
+  result.with_hodor = hodor.metrics;
+  result.fallback_used = hodor.used_fallback;
+
+  const auto oracle =
+      RunArm(topo, scenario, demand, opts, nullptr, /*honest=*/true);
+  result.oracle = oracle.metrics;
+
+  // Detection verdict: validate the faulted epoch's raw input against the
+  // snapshot the validator saw (deterministic replay of the hodor arm).
+  const ValidationReport report =
+      validator.Validate(hodor.raw_input, hodor.snapshot);
+  result.detected = !report.ok();
+  result.warned = !report.drain.warnings_drained_but_active.empty();
+  result.violation_count = report.violation_count();
+  result.flagged_rates = report.hardened.flagged_rate_count;
+  result.detection_summary = report.Summary();
+  return result;
+}
+
+}  // namespace hodor::core

@@ -1,0 +1,59 @@
+// Scenario experiment harness: replays a catalog outage scenario through
+// the control pipeline under three arms and reports detection + impact.
+//
+//   no-validation — the §2 reality: the controller consumes whatever the
+//                   (corrupted) aggregation produced;
+//   hodor         — the Validator is installed with the fallback policy;
+//   oracle        — the controller receives honest inputs for the true
+//                   network state (the best any validator could enable).
+//
+// Impact is measured as flow metrics of the post-decision epoch. The
+// detection verdict comes from validating the faulted epoch's raw input.
+// Both the outage benches (E5, E6) and the integration tests drive this.
+#pragma once
+
+#include <string>
+
+#include "controlplane/pipeline.h"
+#include "core/validator.h"
+#include "faults/scenario_catalog.h"
+#include "flow/metrics.h"
+
+namespace hodor::core {
+
+struct ScenarioRunResult {
+  std::string scenario_id;
+
+  // Hodor's verdict on the faulted epoch's inputs.
+  bool detected = false;  // >=1 violation
+  bool warned = false;    // drained-but-active style warnings only
+  std::size_t violation_count = 0;
+  // Raw counter pairs the hardening step flagged (detection below the
+  // input level, e.g. the Figure 3 single-counter corruption).
+  std::size_t flagged_rates = 0;
+  std::string detection_summary;
+
+  flow::NetworkMetrics no_validation;
+  flow::NetworkMetrics with_hodor;
+  flow::NetworkMetrics oracle;
+
+  // Fallback actually replaced the bad input in the hodor arm.
+  bool fallback_used = false;
+};
+
+struct ScenarioRunOptions {
+  std::uint64_t seed = 1;
+  ValidatorOptions validator;
+  controlplane::PipelineOptions pipeline;
+};
+
+// Replays `scenario` on `topo` with the given true demand. The demand
+// should be light enough that the healthy network carries it without drops
+// (see flow::NormalizeToMaxUtilization), so that detection verdicts are not
+// confounded by congestion-induced counter drift.
+ScenarioRunResult RunScenario(const net::Topology& topo,
+                              const faults::OutageScenario& scenario,
+                              const flow::DemandMatrix& demand,
+                              const ScenarioRunOptions& opts = {});
+
+}  // namespace hodor::core

@@ -1,0 +1,63 @@
+#include "core/figure3_example.h"
+
+namespace hodor::core {
+
+Figure3Example::Figure3Example() : topo_(net::Figure3Triangle()) {
+  a_ = topo_.FindNode("A").value();
+  b_ = topo_.FindNode("B").value();
+  c_ = topo_.FindNode("C").value();
+  ab_ = topo_.FindLink(a_, b_).value();
+  ba_ = topo_.link(ab_).reverse;
+  bc_ = topo_.FindLink(b_, c_).value();
+  cb_ = topo_.link(bc_).reverse;
+  ac_ = topo_.FindLink(a_, c_).value();
+  ca_ = topo_.link(ac_).reverse;
+}
+
+double Figure3Example::TrueRate(net::LinkId e) const {
+  if (e == ab_) return kTrueRateAB;
+  if (e == cb_) return 23.0;
+  if (e == bc_) return 24.0;
+  if (e == ca_) return 5.0;
+  return 0.0;  // ba, ac idle
+}
+
+telemetry::NetworkSnapshot Figure3Example::HonestSnapshot() const {
+  telemetry::NetworkSnapshot snap(topo_, 0);
+  auto fill = [&](net::NodeId v, double ext_in, double ext_out) {
+    telemetry::RouterSignals& r = snap.router(v);
+    r.drained = false;
+    r.dropped_rate = 0.0;
+    r.ext_in_rate = ext_in;
+    r.ext_out_rate = ext_out;
+    for (net::LinkId e : topo_.OutLinks(v)) {
+      r.out_ifaces[e] = telemetry::OutInterfaceSignals{
+          telemetry::LinkStatus::kUp, TrueRate(e), false};
+    }
+    for (net::LinkId e : topo_.InLinks(v)) {
+      r.in_ifaces[e] = telemetry::InInterfaceSignals{TrueRate(e)};
+    }
+  };
+  fill(a_, 76.0, 5.0);
+  fill(b_, 0.0, 75.0);
+  fill(c_, 28.0, 24.0);
+  return snap;
+}
+
+telemetry::NetworkSnapshot Figure3Example::FaultySnapshot(
+    double faulty_tx) const {
+  telemetry::NetworkSnapshot snap = HonestSnapshot();
+  snap.router(a_).out_ifaces[ab_].tx_rate = faulty_tx;
+  return snap;
+}
+
+flow::DemandMatrix Figure3Example::Demand() const {
+  flow::DemandMatrix d(topo_.node_count());
+  d.Set(a_, b_, 52.0);
+  d.Set(a_, c_, 24.0);
+  d.Set(c_, b_, 23.0);
+  d.Set(c_, a_, 5.0);
+  return d;
+}
+
+}  // namespace hodor::core

@@ -1,0 +1,54 @@
+// The paper's Figure 3 as a reusable, exactly-reproducible object: the
+// three-router triangle, its demand matrix, the honest jitter-free
+// snapshot, and the faulty variant where the TX counter of A->B reports 98
+// instead of the true 76. Flow conservation at B recovers x = 76.
+//
+// Demand (rows -> columns): A->B = 52, A->C = 24 (routed via B),
+// C->B = 23, C->A = 5. True link rates: A->B = 76, C->B = 23, B->C = 24,
+// C->A = 5, B->A = A->C = 0. External counters: ext_in A/B/C = 76/0/28,
+// ext_out A/B/C = 5/75/24.
+#pragma once
+
+#include "flow/demand_matrix.h"
+#include "net/topologies.h"
+#include "telemetry/snapshot.h"
+
+namespace hodor::core {
+
+class Figure3Example {
+ public:
+  Figure3Example();
+
+  const net::Topology& topology() const { return topo_; }
+  net::NodeId a() const { return a_; }
+  net::NodeId b() const { return b_; }
+  net::NodeId c() const { return c_; }
+  net::LinkId ab() const { return ab_; }
+  net::LinkId ba() const { return ba_; }
+  net::LinkId bc() const { return bc_; }
+  net::LinkId cb() const { return cb_; }
+  net::LinkId ac() const { return ac_; }
+  net::LinkId ca() const { return ca_; }
+
+  // True rate on a directed link, Gbps.
+  double TrueRate(net::LinkId e) const;
+
+  // Honest jitter-free snapshot of the scenario.
+  telemetry::NetworkSnapshot HonestSnapshot() const;
+
+  // The figure's faulty snapshot: TX(A->B) corrupted to `faulty_tx`.
+  telemetry::NetworkSnapshot FaultySnapshot(double faulty_tx = 98.0) const;
+
+  // The demand matrix the controller receives (correct in the figure).
+  flow::DemandMatrix Demand() const;
+
+  static constexpr double kTrueRateAB = 76.0;
+  static constexpr double kFaultyTxAB = 98.0;
+
+ private:
+  net::Topology topo_;
+  net::NodeId a_, b_, c_;
+  net::LinkId ab_, ba_, bc_, cb_, ac_, ca_;
+};
+
+}  // namespace hodor::core

@@ -1,0 +1,94 @@
+// HardenedState: the output of Hodor step 2 — a corrected, confidence-
+// annotated view of current network state assembled purely from router
+// signals (never from the control infrastructure's aggregates).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+
+namespace hodor::core {
+
+// How a hardened rate value was obtained.
+enum class RateOrigin {
+  kAgreeing,      // both ends measured and matched within τ_h (averaged)
+  kRepaired,      // flagged/missing, recovered via flow conservation (R2)
+  kSingleWitness, // only one end reported and nothing could corroborate or
+                  // contradict it; accepted at reduced confidence
+  kUnknown,       // could not be recovered
+};
+
+struct HardenedRate {
+  std::optional<double> value;  // Gbps; empty iff origin == kUnknown
+  RateOrigin origin = RateOrigin::kUnknown;
+  // R1 flagged the raw TX/RX pair as spurious (mismatch or missing side).
+  bool flagged = false;
+  // When the repair disambiguated which end's counter was wrong, the
+  // faulty side's reported value (for operator alerts).
+  std::optional<double> rejected_value;
+  // Confidence in `value`, in [0, 1]. Agreeing pairs score 1.0; repairs
+  // start lower and gain when independent signals corroborate them (the
+  // paper's R3/R4 role: "the greater the number of signals, the higher the
+  // confidence that Hodor's inference is correct") — a probe confirming
+  // the link is up while the inferred rate is positive, and link statuses
+  // consistent with activity.
+  double confidence = 0.0;
+};
+
+// Fused link-state verdict (paper §4.2).
+enum class LinkVerdict { kDown = 0, kUp = 1, kUnknown = 2 };
+
+constexpr const char* LinkVerdictName(LinkVerdict v) {
+  switch (v) {
+    case LinkVerdict::kDown: return "down";
+    case LinkVerdict::kUp: return "up";
+    case LinkVerdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+struct HardenedLinkState {
+  LinkVerdict verdict = LinkVerdict::kUnknown;
+  // In [0,1]: fraction of evidence weight agreeing with the verdict.
+  double confidence = 0.0;
+  // The two ends' status reports disagreed (R1 violation).
+  bool status_disagreement = false;
+};
+
+struct HardenedDrain {
+  std::optional<bool> node_drained;  // the router's own intent signal
+  // Evidence says this router cannot forward although it is not marked
+  // drained (§4.3 case 1).
+  bool undrained_but_dead = false;
+  // Marked drained yet clearly carrying traffic (§4.3 case 2 — possibly
+  // legitimate, reported as a warning, not an error).
+  bool drained_but_active = false;
+};
+
+struct HardenedState {
+  // Indexed by directed LinkId.
+  std::vector<HardenedRate> rates;
+  std::vector<HardenedLinkState> links;
+  // Agreed link-drain status (both ends must announce; disagreement noted).
+  std::vector<std::optional<bool>> link_drained;
+  std::vector<bool> link_drain_disagreement;
+
+  // Indexed by NodeId.
+  std::vector<std::optional<double>> ext_in;
+  std::vector<std::optional<double>> ext_out;
+  std::vector<std::optional<double>> dropped;
+  std::vector<HardenedDrain> drains;
+
+  // --- hardening summary ----------------------------------------------------
+  std::size_t flagged_rate_count = 0;
+  std::size_t repaired_rate_count = 0;
+  std::size_t unknown_rate_count = 0;
+  std::size_t status_disagreement_count = 0;
+
+  std::string Summary() const;
+};
+
+}  // namespace hodor::core

@@ -1,0 +1,484 @@
+#include "core/hardening.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/linear_solver.h"
+#include "util/stats.h"
+
+namespace hodor::core {
+
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+using net::Topology;
+using telemetry::NetworkSnapshot;
+
+// Flow-conservation bookkeeping at one router:
+//   (Σ_in rates + ext_in)  vs  (Σ_out rates + dropped + ext_out).
+// Computable only when the node's own scalar signals and all incident link
+// rates are known (an override supplies the candidate value under test).
+struct ConservationCheck {
+  bool computable = false;
+  double relative_residual = 0.0;
+};
+
+ConservationCheck CheckConservation(const Topology& topo,
+                                    const HardenedState& hs, NodeId v,
+                                    LinkId override_link,
+                                    double override_value) {
+  ConservationCheck out;
+  const auto& ei = hs.ext_in[v.value()];
+  const auto& eo = hs.ext_out[v.value()];
+  const auto& dr = hs.dropped[v.value()];
+  const bool is_external = topo.node(v).has_external_port;
+  if ((is_external && (!ei || !eo)) || !dr) return out;
+
+  double in_sum = is_external ? *ei : 0.0;
+  for (LinkId e : topo.InLinks(v)) {
+    if (e == override_link) {
+      in_sum += override_value;
+      continue;
+    }
+    const auto& r = hs.rates[e.value()];
+    if (!r.value) return out;
+    in_sum += *r.value;
+  }
+  double out_sum = *dr + (is_external ? *eo : 0.0);
+  for (LinkId e : topo.OutLinks(v)) {
+    if (e == override_link) {
+      out_sum += override_value;
+      continue;
+    }
+    const auto& r = hs.rates[e.value()];
+    if (!r.value) return out;
+    out_sum += *r.value;
+  }
+  out.computable = true;
+  out.relative_residual = util::RelativeDifference(in_sum, out_sum);
+  return out;
+}
+
+}  // namespace
+
+std::string HardenedState::Summary() const {
+  std::ostringstream os;
+  os << "hardening: flagged=" << flagged_rate_count
+     << " repaired=" << repaired_rate_count
+     << " unknown=" << unknown_rate_count
+     << " status_disagreements=" << status_disagreement_count;
+  return os.str();
+}
+
+HardenedState HardeningEngine::Harden(const NetworkSnapshot& snapshot) const {
+  const Topology& topo = snapshot.topology();
+  HardenedState out;
+  out.rates.resize(topo.link_count());
+  out.links.resize(topo.link_count());
+  out.link_drained.resize(topo.link_count());
+  out.link_drain_disagreement.assign(topo.link_count(), false);
+  out.ext_in.resize(topo.node_count());
+  out.ext_out.resize(topo.node_count());
+  out.dropped.resize(topo.node_count());
+  out.drains.resize(topo.node_count());
+
+  // Node-scalar signals are single-sourced; hardened value == reported value
+  // (when the router answered). Their trustworthiness comes from being used
+  // *jointly* in conservation equations: a corrupt scalar surfaces as an
+  // unresolvable inconsistency rather than silently poisoning repairs.
+  for (const net::Node& n : topo.nodes()) {
+    out.ext_in[n.id.value()] = snapshot.ExtInRate(n.id);
+    out.ext_out[n.id.value()] = snapshot.ExtOutRate(n.id);
+    out.dropped[n.id.value()] = snapshot.DroppedRate(n.id);
+  }
+
+  HardenRates(snapshot, out);
+  HardenLinkStates(snapshot, out);
+  HardenDrains(snapshot, out);
+
+  // Confidence scoring (R3/R4's role in the repair process): agreeing
+  // pairs are fully trusted; inferred values start lower and gain from
+  // each independent corroborating signal.
+  for (LinkId e : topo.LinkIds()) {
+    HardenedRate& r = out.rates[e.value()];
+    switch (r.origin) {
+      case RateOrigin::kAgreeing:
+        r.confidence = 1.0;
+        break;
+      case RateOrigin::kRepaired:
+      case RateOrigin::kSingleWitness: {
+        double c = r.origin == RateOrigin::kRepaired ? 0.7 : 0.5;
+        const bool active = r.value && *r.value > opts_.activity_floor;
+        const auto probe = snapshot.ProbeSucceeded(e);
+        // A successful probe corroborates a positive inferred rate; a
+        // failed probe corroborates an inferred-idle link.
+        if (probe && *probe == active) c += 0.15;
+        const auto status = snapshot.StatusAtSrc(e);
+        if (status &&
+            (*status == telemetry::LinkStatus::kUp) == active) {
+          c += 0.1;
+        }
+        r.confidence = std::min(1.0, c);
+        break;
+      }
+      case RateOrigin::kUnknown:
+        r.confidence = 0.0;
+        break;
+    }
+  }
+
+  for (const HardenedRate& r : out.rates) {
+    if (r.flagged) ++out.flagged_rate_count;
+    if (r.origin == RateOrigin::kRepaired) ++out.repaired_rate_count;
+    if (!r.value) ++out.unknown_rate_count;
+  }
+  for (std::size_t e = 0; e < out.links.size(); ++e) {
+    if (out.links[e].status_disagreement && e < topo.link(LinkId(static_cast<std::uint32_t>(e))).reverse.value()) {
+      ++out.status_disagreement_count;  // count each physical link once
+    }
+  }
+  return out;
+}
+
+void HardeningEngine::HardenRates(const NetworkSnapshot& snapshot,
+                                  HardenedState& out) const {
+  const Topology& topo = snapshot.topology();
+
+  // --- R1: detection via link symmetry -----------------------------------
+  struct Candidates {
+    std::optional<double> tx, rx;
+  };
+  std::vector<Candidates> candidates(topo.link_count());
+  for (LinkId e : topo.LinkIds()) {
+    const auto tx = snapshot.TxRate(e);
+    const auto rx = snapshot.RxRate(e);
+    candidates[e.value()] = Candidates{tx, rx};
+    HardenedRate& r = out.rates[e.value()];
+    if (tx && rx && util::WithinRelativeTolerance(*tx, *rx, opts_.tau_h)) {
+      r.value = (*tx + *rx) / 2.0;
+      r.origin = RateOrigin::kAgreeing;
+    } else {
+      // Mismatch or missing side: the pair is spurious; the true rate
+      // becomes an unknown variable (paper §4.1).
+      r.flagged = true;
+      r.origin = RateOrigin::kUnknown;
+    }
+  }
+
+  // --- repair (a): pairwise disambiguation --------------------------------
+  // Decide from the pre-repair state, then apply, so ordering cannot let
+  // one repaired guess justify another within the same pass.
+  if (opts_.pairwise_disambiguation) {
+    struct Decision {
+      LinkId link;
+      double value;
+      std::optional<double> rejected;
+    };
+    std::vector<Decision> decisions;
+    for (LinkId e : topo.LinkIds()) {
+      const HardenedRate& r = out.rates[e.value()];
+      if (!r.flagged || r.value) continue;
+      const Candidates& c = candidates[e.value()];
+      const net::Link& l = topo.link(e);
+
+      std::optional<double> tx_resid, rx_resid;
+      if (c.tx) {
+        const auto chk = CheckConservation(topo, out, l.src, e, *c.tx);
+        if (chk.computable) tx_resid = chk.relative_residual;
+      }
+      if (c.rx) {
+        const auto chk = CheckConservation(topo, out, l.dst, e, *c.rx);
+        if (chk.computable) rx_resid = chk.relative_residual;
+      }
+      const bool tx_fits = tx_resid && *tx_resid <= opts_.conservation_tau;
+      const bool rx_fits = rx_resid && *rx_resid <= opts_.conservation_tau;
+      if (tx_fits && rx_fits) {
+        // Both candidates satisfy conservation at their own routers; keep
+        // the one that fits more tightly.
+        if (*tx_resid <= *rx_resid) {
+          decisions.push_back({e, *c.tx, c.rx});
+        } else {
+          decisions.push_back({e, *c.rx, c.tx});
+        }
+      } else if (tx_fits) {
+        decisions.push_back({e, *c.tx, c.rx});
+      } else if (rx_fits) {
+        decisions.push_back({e, *c.rx, c.tx});
+      }
+    }
+    for (const Decision& d : decisions) {
+      HardenedRate& r = out.rates[d.link.value()];
+      r.value = d.value;
+      r.origin = RateOrigin::kRepaired;
+      r.rejected_value = d.rejected;
+    }
+  }
+
+  // --- repair (b): constraint propagation ---------------------------------
+  // A node equation with exactly one unknown incident rate determines it
+  // (the paper's worked example: flow conservation at B gives x = 76).
+  if (opts_.propagation_repair) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      // One synchronous round: collect every single-unknown node equation's
+      // solution, then assign. An unknown adjacent to two solvable routers
+      // gets two (slightly differing, per footnote 3) solutions — averaged
+      // or first-picked per the option.
+      std::unordered_map<std::uint32_t, std::vector<double>> solutions;
+      for (const net::Node& n : topo.nodes()) {
+        const bool is_external = n.has_external_port;
+        if (!out.dropped[n.id.value()]) continue;
+        if (is_external &&
+            (!out.ext_in[n.id.value()] || !out.ext_out[n.id.value()])) {
+          continue;
+        }
+        LinkId unknown = LinkId::Invalid();
+        bool unknown_is_in = false;
+        int unknown_count = 0;
+        double in_sum = is_external ? *out.ext_in[n.id.value()] : 0.0;
+        double out_sum = *out.dropped[n.id.value()] +
+                         (is_external ? *out.ext_out[n.id.value()] : 0.0);
+        for (LinkId e : topo.InLinks(n.id)) {
+          const auto& r = out.rates[e.value()];
+          if (r.value) {
+            in_sum += *r.value;
+          } else {
+            ++unknown_count;
+            unknown = e;
+            unknown_is_in = true;
+          }
+        }
+        for (LinkId e : topo.OutLinks(n.id)) {
+          const auto& r = out.rates[e.value()];
+          if (r.value) {
+            out_sum += *r.value;
+          } else {
+            ++unknown_count;
+            unknown = e;
+            unknown_is_in = false;
+          }
+        }
+        if (unknown_count != 1) continue;
+        const double solved =
+            unknown_is_in ? out_sum - in_sum : in_sum - out_sum;
+        solutions[unknown.value()].push_back(solved);
+      }
+      for (const auto& [lid, vals] : solutions) {
+        double v = vals.front();
+        if (opts_.average_adjacent_solutions) {
+          double acc = 0.0;
+          for (double x : vals) acc += x;
+          v = acc / static_cast<double>(vals.size());
+        }
+        HardenedRate& r = out.rates[lid];
+        r.value = std::max(0.0, v);  // jitter can push tiny negatives
+        r.origin = RateOrigin::kRepaired;
+        changed = true;
+      }
+    }
+  }
+
+  // --- repair (c): global least-squares over remaining unknowns -----------
+  if (opts_.global_least_squares) {
+    std::vector<LinkId> unknowns;
+    std::unordered_map<std::uint32_t, std::size_t> column_of;
+    for (LinkId e : topo.LinkIds()) {
+      if (!out.rates[e.value()].value) {
+        column_of[e.value()] = unknowns.size();
+        unknowns.push_back(e);
+      }
+    }
+    if (!unknowns.empty()) {
+      std::vector<std::vector<double>> rows;
+      std::vector<double> rhs;
+      for (const net::Node& n : topo.nodes()) {
+        const bool is_external = n.has_external_port;
+        if (!out.dropped[n.id.value()]) continue;
+        if (is_external &&
+            (!out.ext_in[n.id.value()] || !out.ext_out[n.id.value()])) {
+          continue;
+        }
+        std::vector<double> row(unknowns.size(), 0.0);
+        bool any_unknown = false;
+        // Σ_in(unknown) − Σ_out(unknown) = known_out − known_in.
+        double b = *out.dropped[n.id.value()] +
+                   (is_external ? *out.ext_out[n.id.value()] -
+                                      *out.ext_in[n.id.value()]
+                                : 0.0);
+        for (LinkId e : topo.InLinks(n.id)) {
+          const auto& r = out.rates[e.value()];
+          if (r.value) {
+            b -= *r.value;
+          } else {
+            row[column_of[e.value()]] += 1.0;
+            any_unknown = true;
+          }
+        }
+        for (LinkId e : topo.OutLinks(n.id)) {
+          const auto& r = out.rates[e.value()];
+          if (r.value) {
+            b += *r.value;
+          } else {
+            row[column_of[e.value()]] -= 1.0;
+            any_unknown = true;
+          }
+        }
+        if (!any_unknown) continue;
+        rows.push_back(std::move(row));
+        rhs.push_back(-b);  // move knowns to rhs with matching sign
+      }
+      if (!rows.empty()) {
+        util::Matrix m(rows.size(), unknowns.size());
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+          for (std::size_t c = 0; c < unknowns.size(); ++c) {
+            m.At(r, c) = rows[r][c];
+          }
+        }
+        auto solved = util::SolveLeastSquares(m, rhs);
+        if (solved.ok() &&
+            solved.value().outcome == util::SolveOutcome::kUnique) {
+          const auto& x = solved.value().solution;
+          for (std::size_t c = 0; c < unknowns.size(); ++c) {
+            HardenedRate& r = out.rates[unknowns[c].value()];
+            r.value = std::max(0.0, x[c]);
+            r.origin = RateOrigin::kRepaired;
+          }
+        }
+      }
+    }
+  }
+
+  // --- repair (d): single-witness acceptance -------------------------------
+  if (opts_.accept_single_witness) {
+    for (LinkId e : topo.LinkIds()) {
+      HardenedRate& r = out.rates[e.value()];
+      if (r.value) continue;
+      const Candidates& c = candidates[e.value()];
+      if (c.tx.has_value() == c.rx.has_value()) continue;  // 0 or 2 witnesses
+      r.value = c.tx.has_value() ? *c.tx : *c.rx;
+      r.origin = RateOrigin::kSingleWitness;
+    }
+  }
+}
+
+void HardeningEngine::HardenLinkStates(const NetworkSnapshot& snapshot,
+                                       HardenedState& out) const {
+  const Topology& topo = snapshot.topology();
+  for (LinkId e : topo.LinkIds()) {
+    const net::Link& l = topo.link(e);
+    if (l.reverse.value() < e.value()) continue;  // one pass per physical link
+
+    double up_evidence = 0.0;
+    double down_evidence = 0.0;
+
+    // R1: the two ends' status reports.
+    const auto s_src = snapshot.StatusAtSrc(e);
+    const auto s_dst = snapshot.StatusAtDst(e);
+    for (const auto& s : {s_src, s_dst}) {
+      if (!s) continue;
+      (*s == telemetry::LinkStatus::kUp ? up_evidence : down_evidence) +=
+          opts_.status_weight;
+    }
+    const bool disagreement = s_src && s_dst && *s_src != *s_dst;
+
+    // R3: alternative signals — hardened rates. Traffic flowing is strong
+    // evidence the link is up; both directions idle is weak down-evidence
+    // (an up link may simply be unused).
+    if (opts_.use_alternative_signals) {
+      bool any_active = false;
+      bool all_known_idle = true;
+      for (LinkId dir : {e, l.reverse}) {
+        const auto& r = out.rates[dir.value()];
+        if (!r.value) {
+          all_known_idle = false;
+          continue;
+        }
+        if (*r.value > opts_.activity_floor) {
+          any_active = true;
+          all_known_idle = false;
+        }
+      }
+      if (any_active) up_evidence += opts_.rate_weight;
+      else if (all_known_idle) down_evidence += 0.5 * opts_.rate_weight;
+    }
+
+    // R4: manufactured signals — active probes exercise the dataplane.
+    if (opts_.use_probes) {
+      for (LinkId dir : {e, l.reverse}) {
+        const auto p = snapshot.ProbeSucceeded(dir);
+        if (!p) continue;
+        (*p ? up_evidence : down_evidence) += opts_.probe_weight;
+      }
+    }
+
+    HardenedLinkState verdict;
+    verdict.status_disagreement = disagreement;
+    const double total = up_evidence + down_evidence;
+    if (total <= 0.0 || up_evidence == down_evidence) {
+      verdict.verdict = LinkVerdict::kUnknown;
+      verdict.confidence = 0.0;
+    } else if (up_evidence > down_evidence) {
+      verdict.verdict = LinkVerdict::kUp;
+      verdict.confidence = up_evidence / total;
+    } else {
+      verdict.verdict = LinkVerdict::kDown;
+      verdict.confidence = down_evidence / total;
+    }
+    out.links[e.value()] = verdict;
+    out.links[l.reverse.value()] = verdict;
+  }
+}
+
+void HardeningEngine::HardenDrains(const NetworkSnapshot& snapshot,
+                                   HardenedState& out) const {
+  const Topology& topo = snapshot.topology();
+
+  for (const net::Node& n : topo.nodes()) {
+    HardenedDrain d;
+    d.node_drained = snapshot.NodeDrained(n.id);
+
+    bool carrying = false;
+    bool any_up_status = false;
+    bool any_probe = false;
+    bool any_probe_ok = false;
+    auto consider = [&](LinkId e) {
+      const auto& r = out.rates[e.value()];
+      if (r.value && *r.value > opts_.activity_floor) carrying = true;
+      const auto s = snapshot.StatusAtSrc(e);
+      if (s && *s == telemetry::LinkStatus::kUp) any_up_status = true;
+      const auto p = snapshot.ProbeSucceeded(e);
+      if (p) {
+        any_probe = true;
+        if (*p) any_probe_ok = true;
+      }
+    };
+    for (LinkId e : topo.OutLinks(n.id)) consider(e);
+    for (LinkId e : topo.InLinks(n.id)) consider(e);
+
+    // §4.3 case 1: not marked drained, yet nothing gets through — statuses
+    // are up while every probe fails and no counter moves.
+    d.undrained_but_dead = !d.node_drained.value_or(false) && !carrying &&
+                           any_up_status && any_probe && !any_probe_ok;
+    // §4.3 case 2: marked drained but traffic is clearly flowing.
+    d.drained_but_active = d.node_drained.value_or(false) && carrying;
+    out.drains[n.id.value()] = d;
+  }
+
+  for (LinkId e : topo.LinkIds()) {
+    const auto d1 = snapshot.LinkDrainAtSrc(e);
+    const auto d2 = snapshot.LinkDrainAtDst(e);
+    if (!d1 && !d2) {
+      out.link_drained[e.value()] = std::nullopt;
+      continue;
+    }
+    out.link_drained[e.value()] = d1.value_or(false) || d2.value_or(false);
+    // Link drains carry natural symmetry (§4.3): both ends must agree.
+    out.link_drain_disagreement[e.value()] = d1 && d2 && *d1 != *d2;
+  }
+}
+
+}  // namespace hodor::core

@@ -1,0 +1,87 @@
+// Hodor step 2: hardening router signals (paper §3.2, §4.1-§4.2).
+//
+// Detection uses link symmetry (R1): the TX counter at one end of a link and
+// the RX counter at the other end measure the same traffic and must agree
+// within τ_h; link statuses at the two ends must match. Pairs that disagree
+// or are missing become unknowns.
+//
+// Repair uses flow conservation (R2): at every router,
+//     Σ_in rates + ext_in = Σ_out rates + dropped + ext_out,
+// a linear system over the unknowns whose rank is bounded by |V|−1. Three
+// repair mechanisms run in order:
+//   (a) pairwise disambiguation — when TX≠RX, test each candidate against
+//       conservation at its own router; if exactly one fits, it wins
+//       (the paper's running example: solving at B finds x = 76);
+//   (b) constraint propagation — any node equation with exactly one
+//       remaining unknown determines it; iterate to fixpoint;
+//   (c) a global least-squares solve over whatever unknowns remain.
+//
+// Link-state fusion adds alternative signals (R3: hardened rates — traffic
+// flowing implies up) and manufactured signals (R4: active probes), with a
+// weighted-evidence truth table that can be tuned to operator risk
+// tolerance.
+#pragma once
+
+#include "core/hardened_state.h"
+#include "telemetry/snapshot.h"
+
+namespace hodor::core {
+
+struct HardeningOptions {
+  // τ_h: relative tolerance for R1 counter symmetry (paper: 2% from
+  // production logs).
+  double tau_h = 0.02;
+  // Relative tolerance when testing a candidate counter against flow
+  // conservation at a router; accounts for jitter accumulated across all
+  // of the router's interfaces.
+  double conservation_tau = 0.02;
+  // Rates below this (Gbps) count as "no traffic" for R3 evidence.
+  double activity_floor = 1e-6;
+
+  // Feature switches (ablations in bench_hardening / bench_topology_drain).
+  bool pairwise_disambiguation = true;  // repair (a)
+  bool propagation_repair = true;       // repair (b)
+  bool global_least_squares = true;     // repair (c)
+  // Last resort (d): a pair with exactly one raw measurement left
+  // unresolved by (a)-(c) adopts that measurement at reduced confidence —
+  // e.g. the links of a silent degree-1 router, where conservation offers
+  // no second opinion.
+  bool accept_single_witness = true;
+
+  // Paper footnote 3: a missing link rate can be solved at either adjacent
+  // router, and the two solutions differ slightly under rolling-window
+  // jitter ("We could average solutions from all adjacent routers, or
+  // simply pick one"). When true, constraint propagation averages the two
+  // endpoint solutions whenever both are available; when false it keeps
+  // the first one found (the paper's "simply pick one").
+  bool average_adjacent_solutions = true;
+  bool use_alternative_signals = true;  // R3 in link-state fusion
+  bool use_probes = true;               // R4 in link-state fusion
+
+  // Evidence weights for link-state fusion.
+  double status_weight = 1.0;
+  double probe_weight = 1.5;
+  double rate_weight = 1.0;
+};
+
+class HardeningEngine {
+ public:
+  explicit HardeningEngine(HardeningOptions opts = {}) : opts_(opts) {}
+
+  const HardeningOptions& options() const { return opts_; }
+
+  // Hardens one snapshot. Deterministic; does not modify the snapshot.
+  HardenedState Harden(const telemetry::NetworkSnapshot& snapshot) const;
+
+ private:
+  void HardenRates(const telemetry::NetworkSnapshot& snapshot,
+                   HardenedState& out) const;
+  void HardenLinkStates(const telemetry::NetworkSnapshot& snapshot,
+                        HardenedState& out) const;
+  void HardenDrains(const telemetry::NetworkSnapshot& snapshot,
+                    HardenedState& out) const;
+
+  HardeningOptions opts_;
+};
+
+}  // namespace hodor::core

@@ -1,0 +1,46 @@
+#include "core/topology_check.h"
+
+#include <sstream>
+
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace hodor::core {
+
+std::string TopologyViolation::ToString(const net::Topology& topo) const {
+  std::ostringstream os;
+  os << (kind == TopologyViolationKind::kPhantomLink ? "phantom link "
+                                                     : "missing link ")
+     << topo.LinkName(link) << " (verdict confidence "
+     << util::FormatPercent(confidence, 0) << ")";
+  return os.str();
+}
+
+TopologyCheckResult CheckTopology(const net::Topology& topo,
+                                  const HardenedState& hardened,
+                                  const std::vector<bool>& link_available,
+                                  const TopologyCheckOptions& opts) {
+  HODOR_CHECK(link_available.size() == topo.link_count());
+  TopologyCheckResult result;
+  for (net::LinkId e : topo.LinkIds()) {
+    const HardenedLinkState& hl = hardened.links[e.value()];
+    if (hl.verdict == LinkVerdict::kUnknown ||
+        hl.confidence < opts.min_confidence) {
+      ++result.unknown_links;
+      continue;
+    }
+    ++result.checked_links;
+    const bool input_up = link_available[e.value()];
+    const bool hardened_up = hl.verdict == LinkVerdict::kUp;
+    if (input_up && !hardened_up) {
+      result.violations.push_back(TopologyViolation{
+          e, TopologyViolationKind::kPhantomLink, hl.confidence});
+    } else if (!input_up && hardened_up) {
+      result.violations.push_back(TopologyViolation{
+          e, TopologyViolationKind::kMissingLink, hl.confidence});
+    }
+  }
+  return result;
+}
+
+}  // namespace hodor::core

@@ -1,0 +1,54 @@
+// Hodor step 3 for the topology input (paper §4.2).
+//
+// Once link state has been hardened (status symmetry + alternative signals
+// + probes), checking is direct: compare the controller's topology view
+// with the hardened per-link verdicts. Two violation directions:
+//   - phantom link: the input offers capacity the network doesn't have
+//     (the controller will overload what remains of reality);
+//   - missing link: real capacity absent from the input (sub-optimal
+//     placement and local congestion — the §2.2 liveness-misreport and
+//     partial-stitch outages).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/hardened_state.h"
+#include "net/topology.h"
+
+namespace hodor::core {
+
+enum class TopologyViolationKind {
+  kPhantomLink,  // input: available, hardened verdict: down
+  kMissingLink,  // input: unavailable, hardened verdict: up
+};
+
+struct TopologyViolation {
+  net::LinkId link;
+  TopologyViolationKind kind;
+  double confidence = 0.0;  // confidence of the hardened verdict
+
+  std::string ToString(const net::Topology& topo) const;
+};
+
+struct TopologyCheckResult {
+  std::vector<TopologyViolation> violations;
+  std::size_t checked_links = 0;
+  // Links whose hardened verdict was kUnknown (cannot be checked).
+  std::size_t unknown_links = 0;
+
+  bool ok() const { return violations.empty(); }
+};
+
+struct TopologyCheckOptions {
+  // Ignore hardened verdicts below this confidence (risk-tolerance knob —
+  // the paper leaves the fusion truth table adjustable per operator).
+  double min_confidence = 0.5;
+};
+
+TopologyCheckResult CheckTopology(const net::Topology& topo,
+                                  const HardenedState& hardened,
+                                  const std::vector<bool>& link_available,
+                                  const TopologyCheckOptions& opts = {});
+
+}  // namespace hodor::core

@@ -1,0 +1,66 @@
+#include "core/validator.h"
+
+#include <sstream>
+
+namespace hodor::core {
+
+std::string ValidationReport::Describe(const net::Topology& topo) const {
+  std::ostringstream os;
+  os << hardened.Summary() << "\n";
+  for (const auto& v : demand.violations) {
+    os << "  [demand]   " << v.ToString(topo) << "\n";
+  }
+  for (const auto& v : topology.violations) {
+    os << "  [topology] " << v.ToString(topo) << "\n";
+  }
+  for (const auto& v : drain.violations) {
+    os << "  [drain]    " << v.ToString(topo) << "\n";
+  }
+  for (net::NodeId n : drain.warnings_drained_but_active) {
+    os << "  [drain]    warning: " << topo.node(n).name
+       << " drained but carrying traffic\n";
+  }
+  return os.str();
+}
+
+std::string ValidationReport::Summary() const {
+  if (ok()) return "ACCEPT";
+  std::ostringstream os;
+  os << "REJECT: " << violation_count() << " violations (demand:"
+     << demand.violations.size() << " topology:" << topology.violations.size()
+     << " drain:" << drain.violations.size() << ")";
+  return os.str();
+}
+
+ValidationReport Validator::Validate(
+    const controlplane::ControllerInput& input,
+    const telemetry::NetworkSnapshot& snapshot) const {
+  ValidationReport report;
+  report.hardened = engine_.Harden(snapshot);
+  if (opts_.check_demand) {
+    report.demand =
+        CheckDemand(*topo_, report.hardened, input.demand, opts_.demand);
+  }
+  if (opts_.check_topology) {
+    report.topology = CheckTopology(*topo_, report.hardened,
+                                    input.link_available, opts_.topology);
+  }
+  if (opts_.check_drain) {
+    report.drain = CheckDrains(*topo_, report.hardened, input.node_drained,
+                               input.link_drained);
+  }
+  return report;
+}
+
+controlplane::InputValidatorFn Validator::AsPipelineValidator() const {
+  return [this](const controlplane::ControllerInput& input,
+                const telemetry::NetworkSnapshot& snapshot) {
+    const ValidationReport report = Validate(input, snapshot);
+    controlplane::ValidationDecision decision;
+    decision.accept = report.ok();
+    decision.reason = report.Summary();
+    return decision;
+  };
+}
+
+}  // namespace hodor::core

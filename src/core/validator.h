@@ -1,0 +1,70 @@
+// The Hodor validator: the public entry point tying the three steps
+// together. Collection is the caller's NetworkSnapshot; the validator
+// hardens it and dynamically checks each controller input against the
+// hardened state, returning a structured report plus an accept/reject
+// decision suitable for the pipeline's rejection policy.
+#pragma once
+
+#include <string>
+
+#include "controlplane/controller_input.h"
+#include "controlplane/pipeline.h"
+#include "core/demand_check.h"
+#include "core/drain_check.h"
+#include "core/hardening.h"
+#include "core/topology_check.h"
+#include "telemetry/snapshot.h"
+
+namespace hodor::core {
+
+struct ValidatorOptions {
+  HardeningOptions hardening;
+  DemandCheckOptions demand;
+  TopologyCheckOptions topology;
+
+  // Per-input switches (ablations / staged rollout).
+  bool check_demand = true;
+  bool check_topology = true;
+  bool check_drain = true;
+};
+
+struct ValidationReport {
+  HardenedState hardened;
+  DemandCheckResult demand;
+  TopologyCheckResult topology;
+  DrainCheckResult drain;
+
+  bool ok() const {
+    return demand.ok() && topology.ok() && drain.ok();
+  }
+  std::size_t violation_count() const {
+    return demand.violations.size() + topology.violations.size() +
+           drain.violations.size();
+  }
+
+  // Operator-facing multi-line description of every violation.
+  std::string Describe(const net::Topology& topo) const;
+  // One-line summary, e.g. "REJECT: 3 violations (demand:2 topology:1)".
+  std::string Summary() const;
+};
+
+class Validator {
+ public:
+  explicit Validator(const net::Topology& topo, ValidatorOptions opts = {})
+      : topo_(&topo), opts_(opts), engine_(opts.hardening) {}
+
+  const ValidatorOptions& options() const { return opts_; }
+
+  ValidationReport Validate(const controlplane::ControllerInput& input,
+                            const telemetry::NetworkSnapshot& snapshot) const;
+
+  // Adapts this validator to the pipeline's callback interface.
+  controlplane::InputValidatorFn AsPipelineValidator() const;
+
+ private:
+  const net::Topology* topo_;
+  ValidatorOptions opts_;
+  HardeningEngine engine_;
+};
+
+}  // namespace hodor::core

@@ -1,0 +1,100 @@
+#include "faults/aggregation_faults.h"
+
+namespace hodor::faults {
+
+TopologyHook PartialTopologyStitch(const net::Topology& topo,
+                                   std::vector<net::NodeId> missing_routers) {
+  return [&topo, missing = std::move(missing_routers)](
+             std::vector<bool>& link_available) {
+    for (net::NodeId v : missing) {
+      for (net::LinkId e : topo.OutLinks(v)) {
+        link_available[e.value()] = false;
+        link_available[topo.link(e).reverse.value()] = false;
+      }
+    }
+  };
+}
+
+TopologyHook LinksMarkedDown(const net::Topology& topo,
+                             std::vector<net::LinkId> links) {
+  return [&topo, links = std::move(links)](std::vector<bool>& link_available) {
+    for (net::LinkId e : links) {
+      link_available[e.value()] = false;
+      link_available[topo.link(e).reverse.value()] = false;
+    }
+  };
+}
+
+TopologyHook LinksMarkedUp(const net::Topology& topo,
+                           std::vector<net::LinkId> links) {
+  return [&topo, links = std::move(links)](std::vector<bool>& link_available) {
+    for (net::LinkId e : links) {
+      link_available[e.value()] = true;
+      link_available[topo.link(e).reverse.value()] = true;
+    }
+  };
+}
+
+DrainHook DrainsDropped() {
+  return [](std::vector<bool>& node_drained, std::vector<bool>& link_drained) {
+    node_drained.assign(node_drained.size(), false);
+    link_drained.assign(link_drained.size(), false);
+  };
+}
+
+DrainHook DrainsInvented(std::vector<net::NodeId> routers) {
+  return [routers = std::move(routers)](std::vector<bool>& node_drained,
+                                        std::vector<bool>&) {
+    for (net::NodeId v : routers) node_drained[v.value()] = true;
+  };
+}
+
+DemandHook DemandRowsDropped(const net::Topology& topo,
+                             std::vector<net::NodeId> sources) {
+  return [&topo, sources = std::move(sources)](flow::DemandMatrix& d) {
+    for (net::NodeId i : sources) {
+      for (net::NodeId j : topo.NodeIds()) {
+        if (i != j) d.Set(i, j, 0.0);
+      }
+    }
+  };
+}
+
+DemandHook DemandEntriesDropped(double fraction, std::uint64_t seed) {
+  return [fraction, seed](flow::DemandMatrix& d) {
+    util::Rng rng(seed);
+    for (const auto& [i, j] : d.Pairs()) {
+      if (rng.Bernoulli(fraction)) d.Set(i, j, 0.0);
+    }
+  };
+}
+
+DemandHook DemandScaled(double factor) {
+  return [factor](flow::DemandMatrix& d) { d.Scale(factor); };
+}
+
+DemandHook DemandFrozen(flow::DemandMatrix stale) {
+  return [stale = std::move(stale)](flow::DemandMatrix& d) { d = stale; };
+}
+
+DemandHook DemandRowsRotated(const net::Topology& topo) {
+  return [&topo](flow::DemandMatrix& d) {
+    const std::vector<net::NodeId> ext = topo.ExternalNodes();
+    if (ext.size() < 2) return;
+    flow::DemandMatrix rotated(d.node_count());
+    for (std::size_t i = 0; i < ext.size(); ++i) {
+      const net::NodeId from = ext[i];
+      const net::NodeId to = ext[(i + 1) % ext.size()];
+      for (net::NodeId j : topo.NodeIds()) {
+        if (from == j) continue;
+        // Demand that would land on the new source's diagonal is redirected
+        // back to the old source, keeping the total exactly preserved.
+        const net::NodeId dst = (j == to) ? from : j;
+        rotated.Set(to, dst, rotated.At(to, dst) + d.At(from, j));
+      }
+    }
+    d = rotated;
+  };
+}
+
+}  // namespace hodor::faults

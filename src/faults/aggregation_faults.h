@@ -1,0 +1,63 @@
+// Control-infrastructure fault injection (paper §2.2): factories producing
+// the AggregationFaultHooks that corrupt service outputs between honest
+// aggregation and the SDN controller.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "controlplane/services.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace hodor::faults {
+
+using TopologyHook = std::function<void(std::vector<bool>&)>;
+using DemandHook = std::function<void(flow::DemandMatrix&)>;
+using DrainHook =
+    std::function<void(std::vector<bool>&, std::vector<bool>&)>;
+
+// §2.2 "did not wait for all routers before stitching": every link incident
+// to one of `missing_routers` is dropped from the topology view.
+TopologyHook PartialTopologyStitch(const net::Topology& topo,
+                                   std::vector<net::NodeId> missing_routers);
+
+// §2.2 liveness misreport: the listed (physical) links are marked down in
+// the controller's view although they are fine.
+TopologyHook LinksMarkedDown(const net::Topology& topo,
+                             std::vector<net::LinkId> links);
+
+// The inverse bug: dead links presented as available ("overload the links
+// it believed to be operational", §1).
+TopologyHook LinksMarkedUp(const net::Topology& topo,
+                           std::vector<net::LinkId> links);
+
+// §2.2 ignored drain: the drain view reaching the controller is cleared.
+DrainHook DrainsDropped();
+
+// Aggregation invents a drain for the given routers.
+DrainHook DrainsInvented(std::vector<net::NodeId> routers);
+
+// §2.2 partial demand aggregation: all demand sourced at the given ingress
+// routers is missing from the matrix.
+DemandHook DemandRowsDropped(const net::Topology& topo,
+                             std::vector<net::NodeId> sources);
+
+// A random fraction of demand entries is zeroed (lost aggregation shards).
+DemandHook DemandEntriesDropped(double fraction, std::uint64_t seed);
+
+// §2.2 end-host throttling mismatch: measured demand differs from the
+// traffic actually admitted by `factor` (> 1: the controller plans for
+// traffic that never arrives; < 1: it under-plans).
+DemandHook DemandScaled(double factor);
+
+// Stale demand: the input is replaced by a previously captured matrix.
+DemandHook DemandFrozen(flow::DemandMatrix stale);
+
+// Stale *pattern*: the measured matrix's entries are re-attributed to the
+// wrong ingress routers (each external row moves to the next external
+// node, cyclically). Totals and magnitudes stay plausible, so history-
+// based validators are blind to it; per-node invariants are not.
+DemandHook DemandRowsRotated(const net::Topology& topo);
+
+}  // namespace hodor::faults

@@ -1,0 +1,68 @@
+#include "faults/demand_perturbations.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace hodor::faults {
+
+namespace {
+
+std::vector<std::pair<net::NodeId, net::NodeId>> PickPositiveEntries(
+    const flow::DemandMatrix& d, std::size_t k, util::Rng& rng) {
+  auto pairs = d.Pairs();
+  HODOR_CHECK_MSG(pairs.size() >= k, "not enough positive entries to perturb");
+  std::vector<std::size_t> idx = rng.SampleWithoutReplacement(pairs.size(), k);
+  std::vector<std::pair<net::NodeId, net::NodeId>> out;
+  out.reserve(k);
+  for (std::size_t i : idx) out.push_back(pairs[i]);
+  return out;
+}
+
+}  // namespace
+
+PerturbedDemand ZeroEntries(const flow::DemandMatrix& d, std::size_t k,
+                            util::Rng& rng) {
+  PerturbedDemand out{d, PickPositiveEntries(d, k, rng)};
+  for (const auto& [i, j] : out.touched) out.matrix.Set(i, j, 0.0);
+  return out;
+}
+
+PerturbedDemand ScaleEntries(const flow::DemandMatrix& d, std::size_t k,
+                             double factor, util::Rng& rng) {
+  HODOR_CHECK(factor >= 0.0);
+  PerturbedDemand out{d, PickPositiveEntries(d, k, rng)};
+  for (const auto& [i, j] : out.touched) {
+    out.matrix.Set(i, j, d.At(i, j) * factor);
+  }
+  return out;
+}
+
+PerturbedDemand NoiseAllEntries(const flow::DemandMatrix& d, double sigma,
+                                util::Rng& rng) {
+  HODOR_CHECK(sigma >= 0.0);
+  PerturbedDemand out{d, {}};
+  for (const auto& [i, j] : d.Pairs()) {
+    const double noisy =
+        std::max(0.0, d.At(i, j) * (1.0 + rng.Gaussian(0.0, sigma)));
+    out.matrix.Set(i, j, noisy);
+    out.touched.emplace_back(i, j);
+  }
+  return out;
+}
+
+PerturbedDemand SwapEntries(const flow::DemandMatrix& d, std::size_t k,
+                            util::Rng& rng) {
+  PerturbedDemand out{d, PickPositiveEntries(d, k * 2, rng)};
+  for (std::size_t p = 0; p + 1 < out.touched.size(); p += 2) {
+    const auto& [i1, j1] = out.touched[p];
+    const auto& [i2, j2] = out.touched[p + 1];
+    const double v1 = out.matrix.At(i1, j1);
+    const double v2 = out.matrix.At(i2, j2);
+    out.matrix.Set(i1, j1, v2);
+    out.matrix.Set(i2, j2, v1);
+  }
+  return out;
+}
+
+}  // namespace hodor::faults

@@ -1,0 +1,40 @@
+// Demand-matrix perturbations for the paper's §4.1 preliminary evaluation:
+// "demand matrices ... artificially 'perturbed' to mimic buggy demand
+// matrices". Each function returns the perturbed copy plus which entries
+// changed, so experiments can score detection precisely.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "flow/demand_matrix.h"
+#include "util/rng.h"
+
+namespace hodor::faults {
+
+struct PerturbedDemand {
+  flow::DemandMatrix matrix;
+  // Entries that were modified (i, j).
+  std::vector<std::pair<net::NodeId, net::NodeId>> touched;
+};
+
+// Zeroes `k` distinct positive entries ("missing values", the paper's
+// perturbation). Precondition: the matrix has at least k positive entries.
+PerturbedDemand ZeroEntries(const flow::DemandMatrix& d, std::size_t k,
+                            util::Rng& rng);
+
+// Multiplies `k` distinct positive entries by `factor`.
+PerturbedDemand ScaleEntries(const flow::DemandMatrix& d, std::size_t k,
+                             double factor, util::Rng& rng);
+
+// Adds zero-mean relative Gaussian noise (sigma as a fraction of each
+// entry) to every positive entry.
+PerturbedDemand NoiseAllEntries(const flow::DemandMatrix& d, double sigma,
+                                util::Rng& rng);
+
+// Swaps the values of `k` random pairs of positive entries (aggregation
+// keying bugs: demand attributed to the wrong ingress/egress).
+PerturbedDemand SwapEntries(const flow::DemandMatrix& d, std::size_t k,
+                            util::Rng& rng);
+
+}  // namespace hodor::faults

@@ -1,0 +1,344 @@
+#include "faults/scenario_catalog.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "faults/aggregation_faults.h"
+#include "faults/snapshot_faults.h"
+#include "net/graph_algorithms.h"
+
+namespace hodor::faults {
+
+namespace {
+
+// Nodes ordered by descending degree, ties broken by name: stable,
+// topology-intrinsic "importance" order for picking scenario victims.
+std::vector<net::NodeId> NodesByDegree(const net::Topology& topo) {
+  std::vector<net::NodeId> nodes = topo.NodeIds();
+  std::sort(nodes.begin(), nodes.end(), [&](net::NodeId a, net::NodeId b) {
+    const std::size_t da = topo.OutLinks(a).size();
+    const std::size_t db = topo.OutLinks(b).size();
+    if (da != db) return da > db;
+    return topo.node(a).name < topo.node(b).name;
+  });
+  return nodes;
+}
+
+// The forward direction of each physical link, in id order.
+std::vector<net::LinkId> PhysicalLinks(const net::Topology& topo) {
+  std::vector<net::LinkId> out;
+  for (const net::Link& l : topo.links()) {
+    if (l.id.value() < l.reverse.value()) out.push_back(l.id);
+  }
+  return out;
+}
+
+// Picks up to `want` physical links whose removal (on top of
+// `already_removed`) keeps the topology strongly connected. Used by the
+// disaster control scenario: a real regional outage partitions capacity,
+// not reachability, in the networks we model.
+std::vector<net::LinkId> RemovableLinks(const net::Topology& topo,
+                                        std::size_t want) {
+  std::vector<net::LinkId> removed;
+  std::unordered_set<net::LinkId> dead;
+  for (net::LinkId e : PhysicalLinks(topo)) {
+    if (removed.size() >= want) break;
+    dead.insert(e);
+    dead.insert(topo.link(e).reverse);
+    const bool still_connected = net::IsStronglyConnected(
+        topo, [&](net::LinkId x) { return dead.find(x) == dead.end(); });
+    if (still_connected) {
+      removed.push_back(e);
+    } else {
+      dead.erase(e);
+      dead.erase(topo.link(e).reverse);
+    }
+  }
+  return removed;
+}
+
+}  // namespace
+
+ScenarioCatalog::ScenarioCatalog(const net::Topology& topo,
+                                 std::uint64_t seed)
+    : topo_(&topo) {
+  const std::vector<net::NodeId> by_degree = NodesByDegree(topo);
+  const std::vector<net::LinkId> physical = PhysicalLinks(topo);
+  HODOR_CHECK_MSG(by_degree.size() >= 4 && physical.size() >= 4,
+                  "scenario catalog needs a topology with >=4 nodes/links");
+  const net::NodeId hub = by_degree[0];
+  const net::NodeId second = by_degree[1];
+  const net::NodeId third = by_degree[2];
+  const net::NodeId leaf = by_degree.back();
+
+  // ---- §2.1: incorrect router signals -----------------------------------
+
+  {
+    OutageScenario s;
+    s.id = "telemetry-dup-zero";
+    s.description =
+        "Duplicated telemetry messages randomly report zero packets on a "
+        "router's interfaces; the control plane treats those interfaces as "
+        "faulty and routes around a healthy router.";
+    s.paper_ref = "§2.1 Telemetry Bugs";
+    s.fault_class = FaultClass::kRouterSignal;
+    s.expected_detection = "topology check (missing links) + R1/R2 hardening";
+    s.expect_hardening_flags = true;
+    s.snapshot_fault = ZeroedCountersFault(hub, 0.5, seed ^ 0x1);
+    std::vector<net::LinkId> hub_links(topo.OutLinks(hub).begin(),
+                                       topo.OutLinks(hub).end());
+    s.aggregation.topology = LinksMarkedDown(topo, hub_links);
+    scenarios_.push_back(std::move(s));
+  }
+  {
+    OutageScenario s;
+    s.id = "malformed-telemetry";
+    s.description =
+        "An OS bug makes most of a router's telemetry unparseable; the "
+        "topology service conservatively excludes its links and hands the "
+        "controller a partial view.";
+    s.paper_ref = "§2.1 Telemetry Bugs";
+    s.fault_class = FaultClass::kRouterSignal;
+    s.expected_detection =
+        "topology check (missing links, via far-end status + probes)";
+    s.snapshot_fault = MalformedTelemetry(second, 0.9, seed ^ 0x2);
+    scenarios_.push_back(std::move(s));
+  }
+  {
+    OutageScenario s;
+    s.id = "delayed-telemetry";
+    s.description =
+        "A router exports counters from a stale measurement window (delayed "
+        "telemetry / wrong QoS marking); its rates describe a traffic "
+        "regime that no longer exists.";
+    s.paper_ref = "§2.1 Telemetry Bugs";
+    s.fault_class = FaultClass::kRouterSignal;
+    s.expected_detection = "hardening (R1 flags every counter pair)";
+    s.expect_hardening_flags = true;
+    s.snapshot_fault = ScaledRouterCounters(second, 0.3);
+    scenarios_.push_back(std::move(s));
+  }
+  {
+    OutageScenario s;
+    s.id = "drain-restart-race";
+    s.description =
+        "A controller-job restart races a router marking itself drained for "
+        "maintenance: the router can no longer forward, but its drain "
+        "signal reads undrained, so traffic keeps arriving.";
+    s.paper_ref = "§2.1 Incorrect intent";
+    s.fault_class = FaultClass::kRouterSignal;
+    s.expected_detection = "drain check (undrained-but-dead, via probes)";
+    s.setup = [third](net::GroundTruthState& st) {
+      st.SetNodeDrained(third, true);      // the operator's real intent
+      st.SetNodeForwarding(third, false);  // maintenance in progress
+    };
+    s.snapshot_fault = WrongDrainSignal(third, false);
+    scenarios_.push_back(std::move(s));
+  }
+  {
+    OutageScenario s;
+    s.id = "erroneous-auto-drain";
+    s.description =
+        "A bad drain condition erroneously marks healthy, traffic-carrying "
+        "routers as drained; the controller squeezes their traffic onto the "
+        "rest of the network.";
+    s.paper_ref = "§2.1 Incorrect intent";
+    s.fault_class = FaultClass::kRouterSignal;
+    s.expected_detection =
+        "drain check warning (drained-but-active; §4.3 case 2 is "
+        "fundamentally ambiguous without drain reasons)";
+    s.snapshot_fault = ComposeFaults({WrongDrainSignal(hub, true),
+                                      WrongDrainSignal(second, true)});
+    scenarios_.push_back(std::move(s));
+  }
+  {
+    OutageScenario s;
+    s.id = "counter-corruption";
+    s.description =
+        "A single interface counter reports a wrong value (the Figure 3 "
+        "incident): harmless to routing today, but it poisons any system "
+        "that trusts raw counters.";
+    s.paper_ref = "§4.1 Figure 3";
+    s.fault_class = FaultClass::kRouterSignal;
+    s.expected_detection = "hardening (R1 detect, R2 repair via conservation)";
+    s.input_fault = false;  // the derived inputs stay correct
+    s.expect_hardening_flags = true;
+    s.snapshot_fault = CorruptLinkCounter(physical[0], CounterSide::kTx,
+                                          CounterCorruption::kScale, 1.3);
+    scenarios_.push_back(std::move(s));
+  }
+
+  // ---- §2.2: incorrect aggregation ---------------------------------------
+
+  {
+    OutageScenario s;
+    s.id = "partial-topology-stitch";
+    s.description =
+        "A topology-service rollout stitches the graph before all routers "
+        "reported link status; two routers' links are missing and the "
+        "controller squeezes everything through the remainder.";
+    s.paper_ref = "§2.2 Bugs in the control plane infrastructure";
+    s.fault_class = FaultClass::kAggregation;
+    s.expected_detection = "topology check (missing links)";
+    s.aggregation.topology = PartialTopologyStitch(topo, {hub, second});
+    scenarios_.push_back(std::move(s));
+  }
+  {
+    OutageScenario s;
+    s.id = "liveness-misreport";
+    s.description =
+        "An instrumentation service misreports the liveness of particular "
+        "links; the controller sees less bandwidth than exists and places "
+        "traffic sub-optimally.";
+    s.paper_ref = "§2.2 Bugs in the control plane infrastructure";
+    s.fault_class = FaultClass::kAggregation;
+    s.expected_detection = "topology check (missing links)";
+    s.aggregation.topology = LinksMarkedDown(
+        topo, {physical[0], physical[1], physical[2]});
+    scenarios_.push_back(std::move(s));
+  }
+  {
+    OutageScenario s;
+    s.id = "ignored-drain";
+    s.description =
+        "A router's correct drain signal is partially ignored by the "
+        "topology instrumentation: the drained (and non-forwarding) "
+        "router's capacity is counted as available.";
+    s.paper_ref = "§2.2 Bugs in the control plane infrastructure";
+    s.fault_class = FaultClass::kAggregation;
+    s.expected_detection = "drain check (input ignores drain)";
+    s.setup = [third](net::GroundTruthState& st) {
+      st.SetNodeDrained(third, true);
+      st.SetNodeForwarding(third, false);
+    };
+    s.aggregation.drain = DrainsDropped();
+    scenarios_.push_back(std::move(s));
+  }
+  {
+    OutageScenario s;
+    s.id = "phantom-links";
+    s.description =
+        "Dead links are presented to the controller as operational; it "
+        "overloads links it believes exist and blackholes traffic.";
+    s.paper_ref = "§1 (incorrect topology view)";
+    s.fault_class = FaultClass::kAggregation;
+    s.expected_detection = "topology check (phantom links)";
+    s.setup = [physical](net::GroundTruthState& st) {
+      st.SetLinkUp(physical[1], false);
+      st.SetLinkUp(physical[3], false);
+    };
+    s.aggregation.topology = LinksMarkedUp(topo, {physical[1], physical[3]});
+    scenarios_.push_back(std::move(s));
+  }
+
+  // ---- §2.2: external inputs (demand) ------------------------------------
+
+  {
+    OutageScenario s;
+    s.id = "partial-demand";
+    s.description =
+        "A demand-instrumentation rollout aggregates end-host measurements "
+        "incorrectly: whole ingress routers' demand is missing, so the "
+        "programmed routes ignore a large fraction of real traffic.";
+    s.paper_ref = "§2.2 External Input";
+    s.fault_class = FaultClass::kExternalInput;
+    s.expected_detection = "demand check (ingress/egress invariants)";
+    s.aggregation.demand = DemandRowsDropped(topo, {hub, second});
+    scenarios_.push_back(std::move(s));
+  }
+  {
+    OutageScenario s;
+    s.id = "throttle-mismatch";
+    s.description =
+        "Demand is measured correctly but end hosts are incorrectly "
+        "throttled: the traffic admitted to the network differs from the "
+        "measured demand the controller plans for.";
+    s.paper_ref = "§2.2 External Input";
+    s.fault_class = FaultClass::kExternalInput;
+    s.expected_detection = "demand check (counters vs demand sums)";
+    s.aggregation.demand = DemandScaled(1.7);
+    scenarios_.push_back(std::move(s));
+  }
+  {
+    OutageScenario s;
+    s.id = "stale-demand-pattern";
+    s.description =
+        "A caching bug re-attributes demand to the wrong ingress routers: "
+        "the matrix keeps a plausible total and plausible magnitudes (so "
+        "history-based checks pass), but describes traffic that is not "
+        "currently occurring.";
+    s.paper_ref = "§1 ('not *currently occurring*'), §2.2 External Input";
+    s.fault_class = FaultClass::kExternalInput;
+    s.expected_detection = "demand check (per-node invariants)";
+    s.aggregation.demand = DemandRowsRotated(topo);
+    scenarios_.push_back(std::move(s));
+  }
+
+  // ---- controls ------------------------------------------------------------
+
+  {
+    OutageScenario s;
+    s.id = "healthy";
+    s.description = "Nothing is wrong; every signal and input is correct.";
+    s.paper_ref = "control";
+    s.fault_class = FaultClass::kNone;
+    s.input_fault = false;
+    s.expected_detection = "none";
+    scenarios_.push_back(std::move(s));
+  }
+  {
+    OutageScenario s;
+    s.id = "disaster-legit";
+    s.description =
+        "A regional disaster takes down a third of the links and drains "
+        "several routers. The inputs are atypical but CORRECT — static "
+        "range checks and anomaly detectors false-positive here; a dynamic "
+        "validator must accept.";
+    s.paper_ref = "§1 (false-positive risk of static checks)";
+    s.fault_class = FaultClass::kNone;
+    s.input_fault = false;
+    s.expected_detection = "none (inputs correctly reflect the disaster)";
+    // Links are chosen so the survivors stay connected: the disaster
+    // destroys capacity, not reachability — otherwise stranded demand
+    // would make even a correct demand input legitimately inconsistent.
+    const std::vector<net::LinkId> downed =
+        RemovableLinks(topo, physical.size() / 3);
+    const net::LinkId drained_link =
+        [&]() {
+          std::unordered_set<net::LinkId> dead(downed.begin(), downed.end());
+          for (net::LinkId e : physical) {
+            if (dead.find(e) == dead.end()) {
+              // Must also not disconnect when drained on top of the downs.
+              dead.insert(e);
+              std::unordered_set<net::LinkId> all;
+              for (net::LinkId x : dead) {
+                all.insert(x);
+                all.insert(topo.link(x).reverse);
+              }
+              const bool ok = net::IsStronglyConnected(
+                  topo,
+                  [&](net::LinkId x) { return all.find(x) == all.end(); });
+              if (ok) return e;
+              dead.erase(e);
+            }
+          }
+          return physical[0];
+        }();
+    (void)leaf;
+    s.setup = [downed, drained_link](net::GroundTruthState& st) {
+      for (net::LinkId e : downed) st.SetLinkUp(e, false);
+      st.SetLinkDrained(drained_link, true);
+    };
+    scenarios_.push_back(std::move(s));
+  }
+}
+
+util::StatusOr<const OutageScenario*> ScenarioCatalog::Find(
+    std::string_view id) const {
+  for (const OutageScenario& s : scenarios_) {
+    if (s.id == id) return &s;
+  }
+  return util::NotFoundError("no scenario named '" + std::string(id) + "'");
+}
+
+}  // namespace hodor::faults

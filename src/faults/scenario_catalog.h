@@ -1,0 +1,83 @@
+// The outage-scenario catalog: one reproducible scenario per outage class
+// described in the paper's §2 (plus two controls). This stands in for the
+// paper's five-year production root-cause dataset (DESIGN.md §2): each
+// scenario wires ground-truth setup, router-signal faults, and
+// aggregation faults so that running it through the control pipeline
+// recreates the corresponding incident mechanism.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "controlplane/services.h"
+#include "net/state.h"
+#include "net/topology.h"
+#include "telemetry/collector.h"
+#include "util/status.h"
+
+namespace hodor::faults {
+
+enum class FaultClass {
+  kRouterSignal,   // §2.1: routers produce incorrect signals
+  kAggregation,    // §2.2: correct signals aggregated incorrectly
+  kExternalInput,  // §2.2: inputs measured outside the network (demand)
+  kNone,           // control scenario: nothing is wrong with the inputs
+};
+
+constexpr const char* FaultClassName(FaultClass c) {
+  switch (c) {
+    case FaultClass::kRouterSignal: return "router-signal";
+    case FaultClass::kAggregation: return "aggregation";
+    case FaultClass::kExternalInput: return "external-input";
+    case FaultClass::kNone: return "none";
+  }
+  return "?";
+}
+
+struct OutageScenario {
+  std::string id;
+  std::string description;  // the incident, as told in the paper
+  std::string paper_ref;    // section of the paper it reproduces
+  FaultClass fault_class = FaultClass::kNone;
+
+  // True when the controller's inputs end up not reflecting current network
+  // state (i.e. a validator *should* reject). The disaster control is the
+  // false-positive probe: inputs are atypical but correct.
+  bool input_fault = true;
+
+  // True when the scenario corrupts raw counters in a way hardening should
+  // flag (and usually repair) even if the derived inputs stay correct —
+  // e.g. the Figure 3 single-counter corruption.
+  bool expect_hardening_flags = false;
+
+  // Which Hodor mechanism is expected to catch it (reporting only).
+  std::string expected_detection;
+
+  // Mutates ground truth before the epoch (real drains, dead links…).
+  std::function<void(net::GroundTruthState&)> setup;
+  // §2.1 router-signal corruption; may be null.
+  telemetry::SnapshotMutator snapshot_fault;
+  // §2.2 aggregation corruption; hooks may be null.
+  controlplane::AggregationFaultHooks aggregation;
+};
+
+class ScenarioCatalog {
+ public:
+  // Scenarios pick concrete routers/links deterministically from `topo`
+  // (by degree, then name), so a given topology+seed always reproduces the
+  // same incident. `topo` must outlive the catalog.
+  explicit ScenarioCatalog(const net::Topology& topo,
+                           std::uint64_t seed = 42);
+
+  const std::vector<OutageScenario>& scenarios() const { return scenarios_; }
+
+  util::StatusOr<const OutageScenario*> Find(std::string_view id) const;
+
+ private:
+  const net::Topology* topo_;
+  std::vector<OutageScenario> scenarios_;
+};
+
+}  // namespace hodor::faults

@@ -1,0 +1,158 @@
+#include "faults/snapshot_faults.h"
+
+namespace hodor::faults {
+
+using telemetry::NetworkSnapshot;
+using telemetry::SnapshotMutator;
+
+SnapshotMutator ComposeFaults(std::vector<SnapshotMutator> faults) {
+  return [faults = std::move(faults)](NetworkSnapshot& snapshot) {
+    for (const auto& f : faults) {
+      if (f) f(snapshot);
+    }
+  };
+}
+
+SnapshotMutator ZeroedCountersFault(net::NodeId router, double probability,
+                                    std::uint64_t seed) {
+  return [router, probability, seed](NetworkSnapshot& snapshot) {
+    util::Rng rng(seed);
+    telemetry::RouterSignals& r = snapshot.router(router);
+    for (auto& [lid, iface] : r.out_ifaces) {
+      if (iface.tx_rate && rng.Bernoulli(probability)) iface.tx_rate = 0.0;
+    }
+    for (auto& [lid, iface] : r.in_ifaces) {
+      if (iface.rx_rate && rng.Bernoulli(probability)) iface.rx_rate = 0.0;
+    }
+    if (r.ext_in_rate && rng.Bernoulli(probability)) r.ext_in_rate = 0.0;
+    if (r.ext_out_rate && rng.Bernoulli(probability)) r.ext_out_rate = 0.0;
+  };
+}
+
+SnapshotMutator CorruptLinkCounter(net::LinkId link, CounterSide side,
+                                   CounterCorruption how, double param) {
+  return [link, side, how, param](NetworkSnapshot& snapshot) {
+    const net::Topology& topo = snapshot.topology();
+    const net::Link& l = topo.link(link);
+    auto corrupt = [&](std::optional<double>& value) {
+      switch (how) {
+        case CounterCorruption::kZero: value = 0.0; break;
+        case CounterCorruption::kScale:
+          if (value) value = *value * param;
+          break;
+        case CounterCorruption::kAbsolute: value = param; break;
+        case CounterCorruption::kDrop: value.reset(); break;
+      }
+    };
+    if (side == CounterSide::kTx || side == CounterSide::kBoth) {
+      auto& r = snapshot.router(l.src);
+      auto it = r.out_ifaces.find(link);
+      if (it != r.out_ifaces.end()) corrupt(it->second.tx_rate);
+    }
+    if (side == CounterSide::kRx || side == CounterSide::kBoth) {
+      auto& r = snapshot.router(l.dst);
+      auto it = r.in_ifaces.find(link);
+      if (it != r.in_ifaces.end()) corrupt(it->second.rx_rate);
+    }
+  };
+}
+
+SnapshotMutator UnresponsiveRouter(net::NodeId router) {
+  return [router](NetworkSnapshot& snapshot) {
+    telemetry::RouterSignals& r = snapshot.router(router);
+    r.responded = false;
+    r.drained.reset();
+    r.dropped_rate.reset();
+    r.ext_in_rate.reset();
+    r.ext_out_rate.reset();
+    r.out_ifaces.clear();
+    r.in_ifaces.clear();
+  };
+}
+
+SnapshotMutator MalformedTelemetry(net::NodeId router, double probability,
+                                   std::uint64_t seed) {
+  return [router, probability, seed](NetworkSnapshot& snapshot) {
+    util::Rng rng(seed);
+    telemetry::RouterSignals& r = snapshot.router(router);
+    auto maybe_drop = [&](auto& opt) {
+      if (opt && rng.Bernoulli(probability)) opt.reset();
+    };
+    maybe_drop(r.drained);
+    maybe_drop(r.dropped_rate);
+    maybe_drop(r.ext_in_rate);
+    maybe_drop(r.ext_out_rate);
+    for (auto& [lid, iface] : r.out_ifaces) {
+      maybe_drop(iface.status);
+      maybe_drop(iface.tx_rate);
+      maybe_drop(iface.link_drained);
+    }
+    for (auto& [lid, iface] : r.in_ifaces) {
+      maybe_drop(iface.rx_rate);
+    }
+  };
+}
+
+SnapshotMutator WrongDrainSignal(net::NodeId router, bool reported) {
+  return [router, reported](NetworkSnapshot& snapshot) {
+    snapshot.router(router).drained = reported;
+  };
+}
+
+SnapshotMutator AsymmetricLinkDrain(net::LinkId link) {
+  return [link](NetworkSnapshot& snapshot) {
+    const net::Topology& topo = snapshot.topology();
+    const net::Link& l = topo.link(link);
+    auto& src = snapshot.router(l.src);
+    auto it = src.out_ifaces.find(link);
+    if (it != src.out_ifaces.end()) it->second.link_drained = true;
+    auto& dst = snapshot.router(l.dst);
+    auto rit = dst.out_ifaces.find(l.reverse);
+    if (rit != dst.out_ifaces.end()) rit->second.link_drained = false;
+  };
+}
+
+SnapshotMutator FalseLinkStatus(net::LinkId link, bool at_src,
+                                telemetry::LinkStatus reported) {
+  return [link, at_src, reported](NetworkSnapshot& snapshot) {
+    const net::Topology& topo = snapshot.topology();
+    const net::Link& l = topo.link(link);
+    const net::LinkId iface = at_src ? link : l.reverse;
+    auto& r = snapshot.router(topo.link(iface).src);
+    auto it = r.out_ifaces.find(iface);
+    if (it != r.out_ifaces.end()) it->second.status = reported;
+  };
+}
+
+SnapshotMutator VendorCounterBug(std::vector<net::NodeId> fleet,
+                                 double factor) {
+  return [fleet = std::move(fleet), factor](NetworkSnapshot& snapshot) {
+    for (net::NodeId router : fleet) {
+      telemetry::RouterSignals& r = snapshot.router(router);
+      auto scale = [&](std::optional<double>& v) {
+        if (v) v = *v * factor;
+      };
+      scale(r.dropped_rate);
+      scale(r.ext_in_rate);
+      scale(r.ext_out_rate);
+      for (auto& [lid, iface] : r.out_ifaces) scale(iface.tx_rate);
+      for (auto& [lid, iface] : r.in_ifaces) scale(iface.rx_rate);
+    }
+  };
+}
+
+SnapshotMutator ScaledRouterCounters(net::NodeId router, double factor) {
+  return [router, factor](NetworkSnapshot& snapshot) {
+    telemetry::RouterSignals& r = snapshot.router(router);
+    auto scale = [&](std::optional<double>& v) {
+      if (v) v = *v * factor;
+    };
+    scale(r.dropped_rate);
+    scale(r.ext_in_rate);
+    scale(r.ext_out_rate);
+    for (auto& [lid, iface] : r.out_ifaces) scale(iface.tx_rate);
+    for (auto& [lid, iface] : r.in_ifaces) scale(iface.rx_rate);
+  };
+}
+
+}  // namespace hodor::faults

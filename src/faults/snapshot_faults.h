@@ -1,0 +1,82 @@
+// Router-level fault injection (paper §2.1): mutators that corrupt an
+// honestly collected NetworkSnapshot the way buggy router hardware/software
+// would. Each factory returns a telemetry::SnapshotMutator; compose several
+// with ComposeFaults.
+//
+// Ground truth is never touched — these model a healthy network *reported
+// wrongly*, which is the failure mode the paper is about.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+#include "telemetry/collector.h"
+#include "util/rng.h"
+
+namespace hodor::faults {
+
+// Applies each mutator in order.
+telemetry::SnapshotMutator ComposeFaults(
+    std::vector<telemetry::SnapshotMutator> faults);
+
+// The router-OS duplication bug from §2.1: duplicated telemetry messages
+// randomly report zero packets on a router's interfaces. Each of the
+// router's counters independently drops to zero with `probability`.
+telemetry::SnapshotMutator ZeroedCountersFault(net::NodeId router,
+                                               double probability,
+                                               std::uint64_t seed);
+
+// Which of the two redundant measurements of a directed link to corrupt.
+enum class CounterSide { kTx, kRx, kBoth };
+
+// How to corrupt it.
+enum class CounterCorruption { kZero, kScale, kAbsolute, kDrop };
+
+// Corrupts one link-rate counter: zero it, scale it by `param`, set it to
+// `param`, or remove it (kDrop ignores param).
+telemetry::SnapshotMutator CorruptLinkCounter(net::LinkId link,
+                                              CounterSide side,
+                                              CounterCorruption how,
+                                              double param = 0.0);
+
+// The whole router stops answering telemetry (crash, QoS-starved export,
+// unparseable format change at the aggregation boundary).
+telemetry::SnapshotMutator UnresponsiveRouter(net::NodeId router);
+
+// Malformed responses: each individual signal of this router is
+// independently missing with `probability` (string/int format-change bugs
+// make a random subset unparseable).
+telemetry::SnapshotMutator MalformedTelemetry(net::NodeId router,
+                                              double probability,
+                                              std::uint64_t seed);
+
+// Drain intent signal reported incorrectly (restart races, bad drain
+// conditions): the router reports `reported` regardless of truth.
+telemetry::SnapshotMutator WrongDrainSignal(net::NodeId router,
+                                            bool reported);
+
+// One end of a physical link announces a link drain, the other does not
+// (violates the natural symmetry of link drains, §4.3).
+telemetry::SnapshotMutator AsymmetricLinkDrain(net::LinkId link);
+
+// One end reports the link down although it is up (faulty optics readout).
+// `at_src` selects which end lies.
+telemetry::SnapshotMutator FalseLinkStatus(net::LinkId link, bool at_src,
+                                           telemetry::LinkStatus reported);
+
+// Scales every rate counter the router reports (stale/delayed telemetry
+// window: values from a different traffic regime).
+telemetry::SnapshotMutator ScaledRouterCounters(net::NodeId router,
+                                                double factor);
+
+// The correlated failure of §3's open question: a vendor-OS bug makes an
+// entire fleet of routers mis-report counters by the SAME factor. On links
+// *between* two affected routers both measurements agree at the wrong
+// value, so link symmetry (R1) is blind; only links crossing the fleet
+// boundary (one affected end, one healthy end) expose the bug. Detection
+// therefore depends on how the affected vendor's routers are interleaved
+// with others — the multi-vendor argument the paper makes.
+telemetry::SnapshotMutator VendorCounterBug(std::vector<net::NodeId> fleet,
+                                            double factor);
+
+}  // namespace hodor::faults

@@ -1,0 +1,107 @@
+#include "flow/demand_matrix.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/status.h"
+
+namespace hodor::flow {
+
+DemandMatrix::DemandMatrix(std::size_t node_count)
+    : n_(node_count), data_(node_count * node_count, 0.0) {}
+
+std::size_t DemandMatrix::Index(net::NodeId src, net::NodeId dst) const {
+  HODOR_CHECK(src.valid() && src.value() < n_);
+  HODOR_CHECK(dst.valid() && dst.value() < n_);
+  return static_cast<std::size_t>(src.value()) * n_ + dst.value();
+}
+
+double DemandMatrix::At(net::NodeId src, net::NodeId dst) const {
+  return data_[Index(src, dst)];
+}
+
+void DemandMatrix::Set(net::NodeId src, net::NodeId dst, double gbps) {
+  HODOR_CHECK_MSG(gbps >= 0.0, "demand must be non-negative");
+  HODOR_CHECK_MSG(src != dst || gbps == 0.0, "diagonal demand must be zero");
+  data_[Index(src, dst)] = gbps;
+}
+
+double DemandMatrix::Total() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+double DemandMatrix::RowSum(net::NodeId i) const {
+  double acc = 0.0;
+  for (std::size_t j = 0; j < n_; ++j) {
+    acc += data_[static_cast<std::size_t>(i.value()) * n_ + j];
+  }
+  return acc;
+}
+
+double DemandMatrix::ColSum(net::NodeId j) const {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    acc += data_[i * n_ + j.value()];
+  }
+  return acc;
+}
+
+void DemandMatrix::Scale(double factor) {
+  HODOR_CHECK(factor >= 0.0);
+  for (double& x : data_) x *= factor;
+}
+
+std::size_t DemandMatrix::PositiveEntryCount() const {
+  std::size_t n = 0;
+  for (double x : data_) {
+    if (x > 0.0) ++n;
+  }
+  return n;
+}
+
+std::vector<std::pair<net::NodeId, net::NodeId>> DemandMatrix::Pairs() const {
+  std::vector<std::pair<net::NodeId, net::NodeId>> out;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i != j && data_[i * n_ + j] > 0.0) {
+        out.emplace_back(net::NodeId(static_cast<std::uint32_t>(i)),
+                         net::NodeId(static_cast<std::uint32_t>(j)));
+      }
+    }
+  }
+  return out;
+}
+
+double DemandMatrix::MaxAbsDifference(const DemandMatrix& other) const {
+  HODOR_CHECK(SameShape(other));
+  double worst = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+std::string DemandMatrix::ToString(const net::Topology& topo,
+                                   int precision) const {
+  HODOR_CHECK(topo.node_count() == n_);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  os << std::setw(10) << "";
+  for (std::size_t j = 0; j < n_; ++j) {
+    os << std::setw(10) << topo.node(net::NodeId(static_cast<std::uint32_t>(j))).name;
+  }
+  os << "\n";
+  for (std::size_t i = 0; i < n_; ++i) {
+    os << std::setw(10) << topo.node(net::NodeId(static_cast<std::uint32_t>(i))).name;
+    for (std::size_t j = 0; j < n_; ++j) {
+      os << std::setw(10) << data_[i * n_ + j];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hodor::flow

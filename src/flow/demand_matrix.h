@@ -1,0 +1,66 @@
+// The demand matrix D: D(i, j) is the rate (Gbps) of traffic entering the
+// WAN at ingress router i destined to egress router j (paper §4.1, citing
+// Tune & Roughan's traffic-matrix primer).
+//
+// D is indexed by NodeId over the full node set; entries are zero on the
+// diagonal and for nodes without external ports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "net/ids.h"
+#include "net/topology.h"
+
+namespace hodor::flow {
+
+class DemandMatrix {
+ public:
+  DemandMatrix() = default;
+  // Zero demand over n nodes.
+  explicit DemandMatrix(std::size_t node_count);
+
+  std::size_t node_count() const { return n_; }
+  // Number of entries (n^2); the paper's Abilene experiment has 144.
+  std::size_t entry_count() const { return n_ * n_; }
+
+  double At(net::NodeId src, net::NodeId dst) const;
+  void Set(net::NodeId src, net::NodeId dst, double gbps);
+
+  // Sum of all entries.
+  double Total() const;
+
+  // Σ_j D(i, j): all traffic entering the WAN at router i. This is the
+  // quantity the paper's ingress invariant compares against external
+  // ingress counters.
+  double RowSum(net::NodeId i) const;
+
+  // Σ_i D(i, j): all traffic leaving the WAN at router j (egress invariant).
+  double ColSum(net::NodeId j) const;
+
+  // Multiplies every entry by `factor` (>= 0).
+  void Scale(double factor);
+
+  // Number of strictly positive entries.
+  std::size_t PositiveEntryCount() const;
+
+  // Off-diagonal (i, j) pairs with positive demand.
+  std::vector<std::pair<net::NodeId, net::NodeId>> Pairs() const;
+
+  // Largest absolute entry-wise difference to another matrix of equal size.
+  double MaxAbsDifference(const DemandMatrix& other) const;
+
+  bool SameShape(const DemandMatrix& other) const { return n_ == other.n_; }
+
+  // Multi-line rendering with node names taken from `topo`.
+  std::string ToString(const net::Topology& topo, int precision = 1) const;
+
+ private:
+  std::size_t Index(net::NodeId src, net::NodeId dst) const;
+
+  std::size_t n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hodor::flow

@@ -1,0 +1,55 @@
+#include "flow/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace hodor::flow {
+
+std::string NetworkMetrics::ToString() const {
+  std::ostringstream os;
+  os << "max_util=" << util::FormatDouble(max_link_utilization, 3)
+     << " mean_util=" << util::FormatDouble(mean_link_utilization, 3)
+     << " congested_links=" << congested_link_count
+     << " dropped=" << util::FormatDouble(total_dropped_gbps, 2) << "Gbps"
+     << " unrouted=" << util::FormatDouble(unrouted_gbps, 2) << "Gbps"
+     << " satisfaction=" << util::FormatPercent(demand_satisfaction, 2);
+  return os.str();
+}
+
+NetworkMetrics ComputeMetrics(const net::Topology& topo,
+                              const DemandMatrix& true_demand,
+                              const SimulationResult& result) {
+  NetworkMetrics m;
+  double util_sum = 0.0;
+  std::size_t loaded_links = 0;
+  for (const net::Link& l : topo.links()) {
+    const double cap = l.capacity;
+    const double offered = result.arriving[l.id.value()];
+    const double carried = result.carried[l.id.value()];
+    m.max_link_utilization = std::max(m.max_link_utilization, offered / cap);
+    if (carried > 0.0) {
+      util_sum += carried / cap;
+      ++loaded_links;
+    }
+    if (offered > cap * (1.0 + 1e-9)) ++m.congested_link_count;
+  }
+  if (loaded_links > 0) {
+    m.mean_link_utilization = util_sum / static_cast<double>(loaded_links);
+  }
+  m.total_dropped_gbps = result.total_dropped_gbps;
+  m.unrouted_gbps = result.unrouted_gbps;
+  const double want = true_demand.Total();
+  m.demand_satisfaction =
+      want <= 0.0 ? 1.0 : result.total_delivered_gbps / want;
+  return m;
+}
+
+bool IsMajorOutage(const NetworkMetrics& m, double satisfaction_threshold,
+                   double overload) {
+  return m.demand_satisfaction < satisfaction_threshold ||
+         m.max_link_utilization > overload + 1e-9;
+}
+
+}  // namespace hodor::flow

@@ -1,0 +1,40 @@
+// Outcome metrics: how well the network served the demand.
+//
+// The outage-scenario experiments (E5) quantify "impact" with these
+// numbers: a scenario whose routing was computed from bad inputs shows up
+// as congestion (high max utilisation), drops, and low demand satisfaction.
+#pragma once
+
+#include <string>
+
+#include "flow/simulator.h"
+#include "net/topology.h"
+
+namespace hodor::flow {
+
+struct NetworkMetrics {
+  // max over links of arriving/capacity (can exceed 1: offered overload).
+  double max_link_utilization = 0.0;
+  // mean of carried/capacity over links carrying any traffic.
+  double mean_link_utilization = 0.0;
+  // Links whose offered load exceeds capacity.
+  std::size_t congested_link_count = 0;
+  double total_dropped_gbps = 0.0;
+  double unrouted_gbps = 0.0;
+  // delivered / total true demand (1.0 == every byte arrived).
+  double demand_satisfaction = 1.0;
+
+  std::string ToString() const;
+};
+
+NetworkMetrics ComputeMetrics(const net::Topology& topo,
+                              const DemandMatrix& true_demand,
+                              const SimulationResult& result);
+
+// An operator-facing judgement used by the outage benches: a simulation
+// counts as a "major outage" when satisfaction drops below `threshold`
+// or any link is congested beyond `overload`.
+bool IsMajorOutage(const NetworkMetrics& m, double satisfaction_threshold = 0.999,
+                   double overload = 1.0);
+
+}  // namespace hodor::flow

@@ -1,0 +1,169 @@
+#include "flow/routing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hodor::flow {
+
+const std::vector<WeightedPath> RoutingPlan::kEmpty;
+
+void RoutingPlan::SetPaths(net::NodeId src, net::NodeId dst,
+                           std::vector<WeightedPath> paths) {
+  HODOR_CHECK(!paths.empty());
+  double total = 0.0;
+  for (const WeightedPath& wp : paths) {
+    HODOR_CHECK_MSG(wp.weight > 0.0, "path weights must be positive");
+    HODOR_CHECK_MSG(!wp.path.empty(), "paths must be non-empty");
+    total += wp.weight;
+  }
+  HODOR_CHECK_MSG(std::fabs(total - 1.0) < 1e-6, "path weights must sum to 1");
+  paths_[NodePair{src, dst}] = std::move(paths);
+}
+
+const std::vector<WeightedPath>& RoutingPlan::PathsFor(net::NodeId src,
+                                                       net::NodeId dst) const {
+  auto it = paths_.find(NodePair{src, dst});
+  return it == paths_.end() ? kEmpty : it->second;
+}
+
+bool RoutingPlan::HasRoute(net::NodeId src, net::NodeId dst) const {
+  return paths_.find(NodePair{src, dst}) != paths_.end();
+}
+
+std::vector<net::LinkId> RoutingPlan::UsedLinks() const {
+  std::vector<bool> seen;
+  std::vector<net::LinkId> out;
+  for (const auto& [pair, paths] : paths_) {
+    for (const WeightedPath& wp : paths) {
+      for (net::LinkId lid : wp.path) {
+        if (lid.value() >= seen.size()) seen.resize(lid.value() + 1, false);
+        if (!seen[lid.value()]) {
+          seen[lid.value()] = true;
+          out.push_back(lid);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+RoutingPlan ShortestPathRouting(const net::Topology& topo,
+                                const DemandMatrix& demand,
+                                const net::LinkFilter& filter) {
+  RoutingPlan plan;
+  for (const auto& [src, dst] : demand.Pairs()) {
+    auto path = net::ShortestPath(topo, src, dst, filter);
+    if (!path.ok()) continue;  // unroutable: dropped at ingress
+    plan.SetPaths(src, dst, {WeightedPath{std::move(path).value(), 1.0}});
+  }
+  return plan;
+}
+
+RoutingPlan EcmpRouting(const net::Topology& topo, const DemandMatrix& demand,
+                        const net::LinkFilter& filter, std::size_t k_max) {
+  RoutingPlan plan;
+  for (const auto& [src, dst] : demand.Pairs()) {
+    std::vector<net::Path> candidates =
+        net::KShortestPaths(topo, src, dst, k_max, filter);
+    if (candidates.empty()) continue;
+    const double best = net::PathMetric(topo, candidates.front());
+    std::vector<WeightedPath> equal_cost;
+    for (net::Path& p : candidates) {
+      if (net::PathMetric(topo, p) <= best + 1e-9) {
+        equal_cost.push_back(WeightedPath{std::move(p), 0.0});
+      }
+    }
+    const double w = 1.0 / static_cast<double>(equal_cost.size());
+    for (WeightedPath& wp : equal_cost) wp.weight = w;
+    plan.SetPaths(src, dst, std::move(equal_cost));
+  }
+  return plan;
+}
+
+RoutingPlan GreedyTeRouting(const net::Topology& topo,
+                            const DemandMatrix& demand,
+                            const net::LinkFilter& filter,
+                            const TeOptions& opts) {
+  HODOR_CHECK(opts.k_paths >= 1 && opts.chunks_per_pair >= 1);
+  RoutingPlan plan;
+
+  // Candidate paths per pair.
+  struct PairState {
+    net::NodeId src, dst;
+    double demand_gbps;
+    std::vector<net::Path> candidates;
+    std::vector<double> placed;  // Gbps per candidate
+  };
+  std::vector<PairState> pairs;
+  for (const auto& [src, dst] : demand.Pairs()) {
+    PairState ps;
+    ps.src = src;
+    ps.dst = dst;
+    ps.demand_gbps = demand.At(src, dst);
+    ps.candidates = net::KShortestPaths(topo, src, dst, opts.k_paths, filter);
+    if (ps.candidates.empty()) continue;
+    ps.placed.assign(ps.candidates.size(), 0.0);
+    pairs.push_back(std::move(ps));
+  }
+
+  // Largest pairs first, chunk by chunk, each chunk on the candidate that
+  // minimises the resulting maximum utilisation along its links.
+  std::sort(pairs.begin(), pairs.end(),
+            [](const PairState& a, const PairState& b) {
+              if (a.demand_gbps != b.demand_gbps) {
+                return a.demand_gbps > b.demand_gbps;
+              }
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+
+  std::vector<double> load(topo.link_count(), 0.0);
+  auto path_cost = [&](const net::Path& p, double extra) {
+    double worst = 0.0;
+    for (net::LinkId lid : p) {
+      const double u =
+          (load[lid.value()] + extra) / topo.link(lid).capacity;
+      worst = std::max(worst, u);
+    }
+    return worst;
+  };
+
+  for (PairState& ps : pairs) {
+    const double chunk =
+        ps.demand_gbps / static_cast<double>(opts.chunks_per_pair);
+    for (std::size_t c = 0; c < opts.chunks_per_pair; ++c) {
+      std::size_t best = 0;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < ps.candidates.size(); ++i) {
+        const double cost = path_cost(ps.candidates[i], chunk);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = i;
+        }
+      }
+      ps.placed[best] += chunk;
+      for (net::LinkId lid : ps.candidates[best]) {
+        load[lid.value()] += chunk;
+      }
+    }
+  }
+
+  for (PairState& ps : pairs) {
+    std::vector<WeightedPath> weighted;
+    for (std::size_t i = 0; i < ps.candidates.size(); ++i) {
+      if (ps.placed[i] <= 0.0) continue;
+      weighted.push_back(WeightedPath{std::move(ps.candidates[i]),
+                                      ps.placed[i] / ps.demand_gbps});
+    }
+    if (!weighted.empty()) {
+      // Normalise away floating accumulation error.
+      double total = 0.0;
+      for (const WeightedPath& wp : weighted) total += wp.weight;
+      for (WeightedPath& wp : weighted) wp.weight /= total;
+      plan.SetPaths(ps.src, ps.dst, std::move(weighted));
+    }
+  }
+  return plan;
+}
+
+}  // namespace hodor::flow

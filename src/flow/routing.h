@@ -1,0 +1,91 @@
+// Routing plans and the routing algorithms the SDN controller uses.
+//
+// A RoutingPlan maps each (ingress, egress) pair to a set of weighted
+// paths; weights per pair sum to 1. Three algorithms are provided:
+//   - shortest-path (all traffic on the single SPF path),
+//   - ECMP (equal split over all equal-cost shortest paths),
+//   - greedy TE (k-shortest candidate paths, iterative placement that
+//     minimises maximum link utilisation — a stand-in for a production
+//     TE optimiser, sufficient to show congestion when inputs are wrong).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "flow/demand_matrix.h"
+#include "net/graph_algorithms.h"
+#include "net/topology.h"
+#include "util/status.h"
+
+namespace hodor::flow {
+
+struct WeightedPath {
+  net::Path path;
+  double weight = 1.0;  // fraction of the pair's demand on this path
+};
+
+// Hashable ordered node pair.
+struct NodePair {
+  net::NodeId src;
+  net::NodeId dst;
+  friend bool operator==(const NodePair& a, const NodePair& b) {
+    return a.src == b.src && a.dst == b.dst;
+  }
+};
+
+struct NodePairHash {
+  std::size_t operator()(const NodePair& p) const noexcept {
+    return std::hash<net::NodeId>()(p.src) * 1000003u ^
+           std::hash<net::NodeId>()(p.dst);
+  }
+};
+
+class RoutingPlan {
+ public:
+  // Replaces the path set for a pair. Weights must be positive and sum to
+  // ~1; each path must run src->dst.
+  void SetPaths(net::NodeId src, net::NodeId dst,
+                std::vector<WeightedPath> paths);
+
+  // Paths for a pair; empty when the pair is unrouted.
+  const std::vector<WeightedPath>& PathsFor(net::NodeId src,
+                                            net::NodeId dst) const;
+
+  bool HasRoute(net::NodeId src, net::NodeId dst) const;
+  std::size_t pair_count() const { return paths_.size(); }
+
+  // Every directed link used by any path in the plan.
+  std::vector<net::LinkId> UsedLinks() const;
+
+ private:
+  std::unordered_map<NodePair, std::vector<WeightedPath>, NodePairHash> paths_;
+  static const std::vector<WeightedPath> kEmpty;
+};
+
+struct TeOptions {
+  // Candidate paths per pair for the greedy TE algorithm.
+  std::size_t k_paths = 4;
+  // Number of demand chunks each pair is split into during placement;
+  // more chunks → finer splits and better balance.
+  std::size_t chunks_per_pair = 10;
+};
+
+// All demand on the single shortest path. Pairs with no path under
+// `filter` are left unrouted (their traffic will be dropped at ingress).
+RoutingPlan ShortestPathRouting(const net::Topology& topo,
+                                const DemandMatrix& demand,
+                                const net::LinkFilter& filter);
+
+// Equal split across all minimum-metric paths (up to k_max ties).
+RoutingPlan EcmpRouting(const net::Topology& topo, const DemandMatrix& demand,
+                        const net::LinkFilter& filter,
+                        std::size_t k_max = 8);
+
+// Greedy min-max-utilisation TE over k-shortest candidate paths.
+// This is the algorithm the simulated SDN controller runs on its inputs.
+RoutingPlan GreedyTeRouting(const net::Topology& topo,
+                            const DemandMatrix& demand,
+                            const net::LinkFilter& filter,
+                            const TeOptions& opts = {});
+
+}  // namespace hodor::flow

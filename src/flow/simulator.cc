@@ -1,0 +1,133 @@
+#include "flow/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hodor::flow {
+
+SimulationResult SimulateFlow(const net::Topology& topo,
+                              const net::GroundTruthState& state,
+                              const DemandMatrix& true_demand,
+                              const RoutingPlan& plan,
+                              const SimulatorOptions& opts) {
+  HODOR_CHECK(true_demand.node_count() == topo.node_count());
+  const std::size_t num_links = topo.link_count();
+  const std::size_t num_nodes = topo.node_count();
+
+  SimulationResult res;
+  res.delivered = DemandMatrix(num_nodes);
+
+  // Admission at ingress: a pair's traffic is admitted only when the
+  // ingress router forwards, is undrained, and the plan routes the pair.
+  // Row demand beyond the external port capacity is shed proportionally.
+  struct AdmittedFlow {
+    net::NodeId src, dst;
+    double rate;
+  };
+  std::vector<AdmittedFlow> flows;
+  std::vector<double> row_admit_scale(num_nodes, 1.0);
+  for (const net::Node& node : topo.nodes()) {
+    if (!node.has_external_port) continue;
+    const double row = true_demand.RowSum(node.id);
+    if (row > node.external_capacity && row > 0.0) {
+      row_admit_scale[node.id.value()] = node.external_capacity / row;
+    }
+  }
+  for (const auto& [src, dst] : true_demand.Pairs()) {
+    const double want = true_demand.At(src, dst);
+    const bool ingress_ok = state.node_forwarding(src) &&
+                            !state.node_drained(src);
+    if (!ingress_ok || !plan.HasRoute(src, dst)) {
+      res.unrouted_gbps += want;
+      continue;
+    }
+    const double rate = want * row_admit_scale[src.value()];
+    res.unrouted_gbps += want - rate;
+    if (rate > 0.0) flows.push_back(AdmittedFlow{src, dst, rate});
+  }
+
+  // Fixed-point iteration on per-link pass-through factors.
+  std::vector<double> factor(num_links, 1.0);
+  for (net::LinkId lid : topo.LinkIds()) {
+    if (!state.LinkPhysicallyUsable(lid)) factor[lid.value()] = 0.0;
+  }
+
+  std::vector<double> arriving(num_links, 0.0);
+  std::vector<double> ext_out(num_nodes, 0.0);
+  DemandMatrix delivered(num_nodes);
+
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    std::fill(arriving.begin(), arriving.end(), 0.0);
+    std::fill(ext_out.begin(), ext_out.end(), 0.0);
+    delivered = DemandMatrix(num_nodes);
+
+    for (const AdmittedFlow& f : flows) {
+      for (const WeightedPath& wp : plan.PathsFor(f.src, f.dst)) {
+        double x = f.rate * wp.weight;
+        for (net::LinkId lid : wp.path) {
+          arriving[lid.value()] += x;
+          x *= factor[lid.value()];
+          if (x <= 0.0) break;
+        }
+        if (x > 0.0) {
+          ext_out[f.dst.value()] += x;
+          delivered.Set(f.src, f.dst, delivered.At(f.src, f.dst) + x);
+        }
+      }
+    }
+
+    double worst_change = 0.0;
+    for (net::LinkId lid : topo.LinkIds()) {
+      double nf;
+      if (!state.LinkPhysicallyUsable(lid)) {
+        nf = 0.0;
+      } else if (arriving[lid.value()] <= topo.link(lid).capacity) {
+        nf = 1.0;
+      } else {
+        nf = topo.link(lid).capacity / arriving[lid.value()];
+      }
+      worst_change = std::max(worst_change,
+                              std::fabs(nf - factor[lid.value()]));
+      factor[lid.value()] = nf;
+    }
+    if (worst_change < opts.convergence_eps) break;
+  }
+
+  // Final accounting pass with converged factors.
+  std::fill(arriving.begin(), arriving.end(), 0.0);
+  std::fill(ext_out.begin(), ext_out.end(), 0.0);
+  delivered = DemandMatrix(num_nodes);
+  std::vector<double> ext_in(num_nodes, 0.0);
+  for (const AdmittedFlow& f : flows) {
+    ext_in[f.src.value()] += f.rate;
+    for (const WeightedPath& wp : plan.PathsFor(f.src, f.dst)) {
+      double x = f.rate * wp.weight;
+      for (net::LinkId lid : wp.path) {
+        arriving[lid.value()] += x;
+        x *= factor[lid.value()];
+        if (x <= 0.0) break;
+      }
+      if (x > 0.0) {
+        ext_out[f.dst.value()] += x;
+        delivered.Set(f.src, f.dst, delivered.At(f.src, f.dst) + x);
+      }
+    }
+  }
+
+  res.arriving = arriving;
+  res.carried.assign(num_links, 0.0);
+  res.dropped.assign(num_links, 0.0);
+  for (std::size_t e = 0; e < num_links; ++e) {
+    res.carried[e] = arriving[e] * factor[e];
+    res.dropped[e] = arriving[e] - res.carried[e];
+    res.total_dropped_gbps += res.dropped[e];
+  }
+  res.ext_in = std::move(ext_in);
+  res.ext_out = ext_out;
+  res.delivered = std::move(delivered);
+  for (double x : res.ext_in) res.total_admitted_gbps += x;
+  for (double x : ext_out) res.total_delivered_gbps += x;
+  return res;
+}
+
+}  // namespace hodor::flow

@@ -1,0 +1,62 @@
+// Fluid-model flow simulator.
+//
+// Given the ground-truth network condition, the *true* demand, and the
+// routing plan the controller programmed (possibly computed from incorrect
+// inputs — that mismatch is the whole point), the simulator computes what
+// actually happens on the wire: per-link arriving/carried/dropped rates and
+// per-node external ingress/egress. These true rates are what the telemetry
+// layer turns into interface counters.
+//
+// Drop model: traffic walks its path; at each directed link it is scaled by
+// a pass-through factor f = min(1, capacity / arriving) (f = 0 on links that
+// are not physically usable — routed-over-dead-link traffic blackholes
+// there). Factors are computed by fixed-point iteration, so flow
+// conservation holds exactly at every router:
+//   ext_in(v) + Σ_in carried = ext_out(v) + Σ_out (carried + dropped).
+#pragma once
+
+#include <vector>
+
+#include "flow/demand_matrix.h"
+#include "flow/routing.h"
+#include "net/state.h"
+#include "net/topology.h"
+
+namespace hodor::flow {
+
+struct SimulationResult {
+  // Per directed link (indexed by LinkId), Gbps.
+  std::vector<double> arriving;  // offered at the link's egress queue
+  std::vector<double> carried;   // actually transmitted
+  std::vector<double> dropped;   // arriving - carried
+
+  // Per node (indexed by NodeId), Gbps.
+  std::vector<double> ext_in;    // admitted external ingress
+  std::vector<double> ext_out;   // delivered external egress
+
+  // Demand that had no route (or an ingress unable to admit it); it never
+  // enters the network.
+  double unrouted_gbps = 0.0;
+
+  double total_admitted_gbps = 0.0;
+  double total_delivered_gbps = 0.0;
+  double total_dropped_gbps = 0.0;
+
+  // Per-pair delivered rate, same indexing as DemandMatrix.
+  DemandMatrix delivered;
+};
+
+struct SimulatorOptions {
+  std::size_t max_iterations = 30;
+  double convergence_eps = 1e-12;
+};
+
+// Runs the fluid simulation. The routing plan may reference links that are
+// unusable in `state`; traffic on them is dropped there.
+SimulationResult SimulateFlow(const net::Topology& topo,
+                              const net::GroundTruthState& state,
+                              const DemandMatrix& true_demand,
+                              const RoutingPlan& plan,
+                              const SimulatorOptions& opts = {});
+
+}  // namespace hodor::flow

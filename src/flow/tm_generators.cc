@@ -1,0 +1,116 @@
+#include "flow/tm_generators.h"
+
+#include <vector>
+
+#include "flow/simulator.h"
+#include "net/state.h"
+
+namespace hodor::flow {
+
+DemandMatrix GravityDemand(const net::Topology& topo, util::Rng& rng,
+                           const GravityOptions& opts) {
+  HODOR_CHECK(opts.load_fraction > 0.0);
+  DemandMatrix d(topo.node_count());
+  const std::vector<net::NodeId> ext = topo.ExternalNodes();
+  if (ext.size() < 2) return d;
+
+  std::vector<double> mass(topo.node_count(), 0.0);
+  double mass_total = 0.0;
+  for (net::NodeId id : ext) {
+    mass[id.value()] = rng.Pareto(1.0, opts.mass_alpha);
+    mass_total += mass[id.value()];
+  }
+  HODOR_CHECK(mass_total > 0.0);
+
+  double ext_capacity_sum = 0.0;
+  for (net::NodeId id : ext) {
+    ext_capacity_sum += topo.node(id).external_capacity;
+  }
+  const double target_total = opts.load_fraction * ext_capacity_sum / 2.0;
+
+  // Unnormalised gravity weights, then scale to the target total.
+  double weight_total = 0.0;
+  for (net::NodeId i : ext) {
+    for (net::NodeId j : ext) {
+      if (i == j) continue;
+      weight_total += mass[i.value()] * mass[j.value()];
+    }
+  }
+  for (net::NodeId i : ext) {
+    for (net::NodeId j : ext) {
+      if (i == j) continue;
+      const double w = mass[i.value()] * mass[j.value()] / weight_total;
+      d.Set(i, j, w * target_total);
+    }
+  }
+  return d;
+}
+
+DemandMatrix UniformDemand(const net::Topology& topo, double gbps_per_pair) {
+  HODOR_CHECK(gbps_per_pair >= 0.0);
+  DemandMatrix d(topo.node_count());
+  const std::vector<net::NodeId> ext = topo.ExternalNodes();
+  for (net::NodeId i : ext) {
+    for (net::NodeId j : ext) {
+      if (i != j) d.Set(i, j, gbps_per_pair);
+    }
+  }
+  return d;
+}
+
+DemandMatrix BimodalDemand(const net::Topology& topo, util::Rng& rng,
+                           double lo, double hi, double p_hi) {
+  HODOR_CHECK(lo >= 0.0 && hi >= lo);
+  DemandMatrix d(topo.node_count());
+  for (net::NodeId i : topo.ExternalNodes()) {
+    for (net::NodeId j : topo.ExternalNodes()) {
+      if (i == j) continue;
+      d.Set(i, j, rng.Bernoulli(p_hi) ? hi : lo);
+    }
+  }
+  return d;
+}
+
+DemandMatrix HotspotDemand(const net::Topology& topo, util::Rng& rng,
+                           double background_gbps, std::size_t hotspot_count,
+                           double hotspot_gbps) {
+  DemandMatrix d = UniformDemand(topo, background_gbps);
+  const std::vector<net::NodeId> ext = topo.ExternalNodes();
+  if (ext.size() < 2) return d;
+  for (std::size_t h = 0; h < hotspot_count; ++h) {
+    const net::NodeId i = ext[rng.Index(ext.size())];
+    net::NodeId j = ext[rng.Index(ext.size())];
+    while (j == i) j = ext[rng.Index(ext.size())];
+    d.Set(i, j, d.At(i, j) + hotspot_gbps);
+  }
+  return d;
+}
+
+void NormalizeToExternalCapacity(const net::Topology& topo, double fraction,
+                                 DemandMatrix& d) {
+  HODOR_CHECK(fraction > 0.0);
+  double worst_ratio = 0.0;
+  for (net::NodeId i : topo.ExternalNodes()) {
+    const double cap = topo.node(i).external_capacity;
+    if (cap <= 0.0) continue;
+    worst_ratio = std::max(worst_ratio, d.RowSum(i) / cap);
+  }
+  if (worst_ratio <= 0.0) return;
+  d.Scale(fraction / worst_ratio);
+}
+
+void NormalizeToMaxUtilization(const net::Topology& topo,
+                               double target_max_util, DemandMatrix& d) {
+  HODOR_CHECK(target_max_util > 0.0);
+  const net::GroundTruthState pristine(topo);
+  const RoutingPlan plan = ShortestPathRouting(topo, d, net::AllLinks());
+  const SimulationResult sim = SimulateFlow(topo, pristine, d, plan);
+  double max_util = 0.0;
+  for (const net::Link& l : topo.links()) {
+    max_util = std::max(max_util, sim.arriving[l.id.value()] / l.capacity);
+  }
+  if (max_util <= 0.0) return;
+  d.Scale(target_max_util / max_util);
+}
+
+}  // namespace hodor::flow

@@ -1,0 +1,57 @@
+// Traffic-matrix generators.
+//
+// The paper's §4.1 experiment uses demand matrices for the Abilene network
+// (SNDlib). The SNDlib measurement archive is not redistributable here, so
+// we synthesise matrices with the standard gravity model (the canonical
+// generative model for WAN TMs — Tune & Roughan 2013) plus uniform,
+// bimodal, and hotspot variants, all seeded and reproducible. Detection
+// accuracy in the paper's experiment depends on the invariant structure
+// (matrix shape and which entries are non-zero), not the exact values, so
+// gravity-model matrices preserve the experiment's behaviour (DESIGN.md §2).
+#pragma once
+
+#include "flow/demand_matrix.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace hodor::flow {
+
+struct GravityOptions {
+  // Total network demand as a fraction of the sum of external capacities.
+  double load_fraction = 0.25;
+  // Node "masses" are drawn Pareto(1, alpha): heavy-tailed like real PoPs.
+  double mass_alpha = 1.2;
+};
+
+// Gravity model: D(i,j) ∝ mass(i)·mass(j) for i≠j over external nodes,
+// scaled so the total equals load_fraction · Σ external capacities / 2.
+DemandMatrix GravityDemand(const net::Topology& topo, util::Rng& rng,
+                           const GravityOptions& opts = {});
+
+// Every external ordered pair gets the same rate `gbps_per_pair`.
+DemandMatrix UniformDemand(const net::Topology& topo, double gbps_per_pair);
+
+// Each external pair is "small" with rate lo or, with probability p_hi,
+// "large" with rate hi. Models mouse/elephant mixes.
+DemandMatrix BimodalDemand(const net::Topology& topo, util::Rng& rng,
+                           double lo, double hi, double p_hi = 0.2);
+
+// Uniform background plus `hotspot_count` random pairs carrying
+// `hotspot_gbps` each. Models flash events.
+DemandMatrix HotspotDemand(const net::Topology& topo, util::Rng& rng,
+                           double background_gbps, std::size_t hotspot_count,
+                           double hotspot_gbps);
+
+// Scales `d` so that the maximum ingress row-sum equals
+// `fraction` of that node's external capacity (keeps admission feasible).
+void NormalizeToExternalCapacity(const net::Topology& topo, double fraction,
+                                 DemandMatrix& d);
+
+// Scales `d` so that routing it on shortest paths over the full (healthy)
+// topology produces a maximum link utilisation of `target_max_util`.
+// Healthy-network fixtures use this so that "no fault" also means "no
+// congestion" — drops would legitimately break the demand invariants.
+void NormalizeToMaxUtilization(const net::Topology& topo,
+                               double target_max_util, DemandMatrix& d);
+
+}  // namespace hodor::flow

@@ -1,0 +1,228 @@
+#include "net/graph_algorithms.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+namespace hodor::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+LinkFilter AllLinks() {
+  return [](LinkId) { return true; };
+}
+
+double PathMetric(const Topology& topo, const Path& path) {
+  double total = 0.0;
+  for (LinkId lid : path) total += topo.link(lid).metric;
+  return total;
+}
+
+NodeId PathSource(const Topology& topo, const Path& path) {
+  HODOR_CHECK(!path.empty());
+  return topo.link(path.front()).src;
+}
+
+NodeId PathDestination(const Topology& topo, const Path& path) {
+  HODOR_CHECK(!path.empty());
+  return topo.link(path.back()).dst;
+}
+
+bool IsValidSimplePath(const Topology& topo, const Path& path) {
+  if (path.empty()) return false;
+  std::unordered_set<NodeId> seen;
+  seen.insert(topo.link(path.front()).src);
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const Link& l = topo.link(path[i]);
+    if (i + 1 < path.size() && l.dst != topo.link(path[i + 1]).src) {
+      return false;
+    }
+    if (!seen.insert(l.dst).second) return false;  // repeated node
+  }
+  return true;
+}
+
+namespace {
+
+// Dijkstra returning per-node (distance, incoming link) from src.
+struct DijkstraResult {
+  std::vector<double> dist;
+  std::vector<LinkId> prev_link;
+};
+
+DijkstraResult RunDijkstra(const Topology& topo, NodeId src,
+                           const LinkFilter& filter) {
+  const std::size_t n = topo.node_count();
+  DijkstraResult res;
+  res.dist.assign(n, kInf);
+  res.prev_link.assign(n, LinkId::Invalid());
+  res.dist[src.value()] = 0.0;
+
+  using Entry = std::pair<double, std::uint32_t>;  // (dist, node index)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  pq.emplace(0.0, src.value());
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > res.dist[u]) continue;  // stale entry
+    for (LinkId lid : topo.OutLinks(NodeId(u))) {
+      if (!filter(lid)) continue;
+      const Link& l = topo.link(lid);
+      const double nd = d + l.metric;
+      if (nd < res.dist[l.dst.value()]) {
+        res.dist[l.dst.value()] = nd;
+        res.prev_link[l.dst.value()] = lid;
+        pq.emplace(nd, l.dst.value());
+      }
+    }
+  }
+  return res;
+}
+
+Path ExtractPath(const Topology& topo, const DijkstraResult& res, NodeId src,
+                 NodeId dst) {
+  Path path;
+  NodeId cur = dst;
+  while (cur != src) {
+    const LinkId lid = res.prev_link[cur.value()];
+    HODOR_CHECK(lid.valid());
+    path.push_back(lid);
+    cur = topo.link(lid).src;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+util::StatusOr<Path> ShortestPath(const Topology& topo, NodeId src, NodeId dst,
+                                  const LinkFilter& filter) {
+  HODOR_CHECK(src.valid() && dst.valid());
+  if (src == dst) {
+    return util::InvalidArgumentError("src == dst: no self-paths");
+  }
+  const DijkstraResult res = RunDijkstra(topo, src, filter);
+  if (res.dist[dst.value()] == kInf) {
+    return util::NotFoundError("no path " + topo.node(src).name + "->" +
+                               topo.node(dst).name);
+  }
+  return ExtractPath(topo, res, src, dst);
+}
+
+std::vector<double> ShortestPathMetrics(const Topology& topo, NodeId src,
+                                        const LinkFilter& filter) {
+  return RunDijkstra(topo, src, filter).dist;
+}
+
+std::vector<Path> KShortestPaths(const Topology& topo, NodeId src, NodeId dst,
+                                 std::size_t k, const LinkFilter& filter) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  auto first = ShortestPath(topo, src, dst, filter);
+  if (!first.ok()) return result;
+  result.push_back(std::move(first).value());
+
+  // Candidate paths ordered by (metric, path) for deterministic tie-breaks.
+  auto cmp = [&](const Path& a, const Path& b) {
+    const double ma = PathMetric(topo, a);
+    const double mb = PathMetric(topo, b);
+    if (ma != mb) return ma < mb;
+    return a < b;
+  };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  while (result.size() < k) {
+    const Path& last = result.back();
+    // Spur from each node along the previous shortest path.
+    for (std::size_t i = 0; i < last.size(); ++i) {
+      // Root: prefix of `last` up to (not including) link i.
+      const Path root(last.begin(), last.begin() + static_cast<long>(i));
+      const NodeId spur =
+          root.empty() ? src : topo.link(root.back()).dst;
+
+      // Links removed: any link that would continue a previously found path
+      // sharing this root, plus links into root nodes (loopless constraint).
+      std::unordered_set<LinkId> banned_links;
+      for (const Path& p : result) {
+        if (p.size() > i &&
+            std::equal(root.begin(), root.end(), p.begin())) {
+          banned_links.insert(p[i]);
+        }
+      }
+      std::unordered_set<NodeId> banned_nodes;
+      banned_nodes.insert(src);
+      for (LinkId lid : root) banned_nodes.insert(topo.link(lid).dst);
+      banned_nodes.erase(spur);
+
+      LinkFilter spur_filter = [&](LinkId lid) {
+        if (!filter(lid)) return false;
+        if (banned_links.count(lid)) return false;
+        const Link& l = topo.link(lid);
+        if (banned_nodes.count(l.src) || banned_nodes.count(l.dst)) {
+          return false;
+        }
+        return true;
+      };
+      auto spur_path = ShortestPath(topo, spur, dst, spur_filter);
+      if (!spur_path.ok()) continue;
+      Path total = root;
+      const Path& sp = spur_path.value();
+      total.insert(total.end(), sp.begin(), sp.end());
+      if (IsValidSimplePath(topo, total)) candidates.insert(std::move(total));
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+std::vector<NodeId> ReachableFrom(const Topology& topo, NodeId src,
+                                  const LinkFilter& filter) {
+  std::vector<bool> seen(topo.node_count(), false);
+  std::queue<NodeId> q;
+  q.push(src);
+  seen[src.value()] = true;
+  std::vector<NodeId> out;
+  while (!q.empty()) {
+    const NodeId u = q.front();
+    q.pop();
+    out.push_back(u);
+    for (LinkId lid : topo.OutLinks(u)) {
+      if (!filter(lid)) continue;
+      const NodeId v = topo.link(lid).dst;
+      if (!seen[v.value()]) {
+        seen[v.value()] = true;
+        q.push(v);
+      }
+    }
+  }
+  return out;
+}
+
+bool IsStronglyConnected(const Topology& topo, const LinkFilter& filter) {
+  if (topo.node_count() == 0) return true;
+  // Physical links are bidirectional, but filters may not be symmetric, so
+  // check reachability from every node. Sizes here are control-plane scale.
+  for (const Node& n : topo.nodes()) {
+    if (ReachableFrom(topo, n.id, filter).size() != topo.node_count()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+util::Matrix IncidenceMatrix(const Topology& topo) {
+  util::Matrix m(topo.node_count(), topo.link_count(), 0.0);
+  for (const Link& l : topo.links()) {
+    m.At(l.dst.value(), l.id.value()) = 1.0;   // enters dst
+    m.At(l.src.value(), l.id.value()) = -1.0;  // leaves src
+  }
+  return m;
+}
+
+}  // namespace hodor::net

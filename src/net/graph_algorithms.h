@@ -1,0 +1,68 @@
+// Graph algorithms over Topology: shortest paths (Dijkstra), K-shortest
+// loopless paths (Yen), reachability, and the node-link incidence matrix
+// used by the flow-conservation hardening step.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/ids.h"
+#include "net/topology.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace hodor::net {
+
+// A path is an ordered sequence of directed links; Path[i].dst ==
+// Path[i+1].src. Empty paths are invalid (we never route a node to itself).
+using Path = std::vector<LinkId>;
+
+// Predicate selecting which directed links an algorithm may traverse.
+// Algorithms treat filtered-out links as absent.
+using LinkFilter = std::function<bool(LinkId)>;
+
+// A filter admitting every link.
+LinkFilter AllLinks();
+
+// Total metric of a path.
+double PathMetric(const Topology& topo, const Path& path);
+
+// Source node of a path (precondition: non-empty, coherent path).
+NodeId PathSource(const Topology& topo, const Path& path);
+// Destination node of a path.
+NodeId PathDestination(const Topology& topo, const Path& path);
+
+// Checks that consecutive links share endpoints and no node repeats.
+bool IsValidSimplePath(const Topology& topo, const Path& path);
+
+// Dijkstra over link metrics. Returns NotFound when dst is unreachable
+// through links admitted by `filter`.
+util::StatusOr<Path> ShortestPath(const Topology& topo, NodeId src, NodeId dst,
+                                  const LinkFilter& filter = AllLinks());
+
+// Shortest-path metric from src to every node (unreachable -> +inf).
+std::vector<double> ShortestPathMetrics(const Topology& topo, NodeId src,
+                                        const LinkFilter& filter = AllLinks());
+
+// Yen's algorithm: up to k loopless shortest paths, sorted by metric.
+// Returns fewer than k when the graph does not contain that many.
+std::vector<Path> KShortestPaths(const Topology& topo, NodeId src, NodeId dst,
+                                 std::size_t k,
+                                 const LinkFilter& filter = AllLinks());
+
+// Nodes reachable from src over admitted links (BFS), including src.
+std::vector<NodeId> ReachableFrom(const Topology& topo, NodeId src,
+                                  const LinkFilter& filter = AllLinks());
+
+// True when every node can reach every other over admitted links.
+bool IsStronglyConnected(const Topology& topo,
+                         const LinkFilter& filter = AllLinks());
+
+// Node-link incidence matrix M: rows are nodes, columns are directed links;
+// M[v][e] = +1 when e enters v, -1 when e leaves v, 0 otherwise. For a
+// connected topology rank(M) == |V| - 1, which bounds how many unknown
+// counters flow-conservation repair can recover (paper §4.1).
+util::Matrix IncidenceMatrix(const Topology& topo);
+
+}  // namespace hodor::net

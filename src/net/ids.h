@@ -1,0 +1,73 @@
+// Strongly-typed identifiers for topology entities.
+//
+// NodeId and LinkId are distinct types wrapping a dense index, so a link
+// index can never be passed where a node index is expected. Both are valid
+// keys for std::unordered_map via std::hash specialisations below.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace hodor::net {
+
+namespace internal {
+
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr Id() : value_(kInvalidValue) {}
+  constexpr explicit Id(underlying_type value) : value_(value) {}
+
+  static constexpr Id Invalid() { return Id(); }
+
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+  constexpr underlying_type value() const { return value_; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Id id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value_;
+  }
+
+ private:
+  static constexpr underlying_type kInvalidValue =
+      std::numeric_limits<underlying_type>::max();
+  underlying_type value_;
+};
+
+struct NodeTag {};
+struct LinkTag {};
+
+}  // namespace internal
+
+// Identifies a router (node) in a Topology. Dense: 0..node_count()-1.
+using NodeId = internal::Id<internal::NodeTag>;
+
+// Identifies a *directed* link in a Topology. Dense: 0..link_count()-1.
+// Every physical (bidirectional) link is represented as two directed links
+// that reference each other via Link::reverse.
+using LinkId = internal::Id<internal::LinkTag>;
+
+}  // namespace hodor::net
+
+namespace std {
+template <>
+struct hash<hodor::net::NodeId> {
+  size_t operator()(hodor::net::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>()(id.value());
+  }
+};
+template <>
+struct hash<hodor::net::LinkId> {
+  size_t operator()(hodor::net::LinkId id) const noexcept {
+    return std::hash<std::uint32_t>()(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,143 @@
+#include "net/serialization.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace hodor::net {
+
+std::string WriteTopology(const Topology& topo) {
+  std::ostringstream os;
+  os << "# hodor topology v1\n";
+  os << "topology " << topo.name() << "\n";
+  for (const Node& n : topo.nodes()) {
+    os << "node " << n.name;
+    if (n.has_external_port) {
+      os << " ext " << util::FormatDouble(n.external_capacity, 6);
+    }
+    os << "\n";
+  }
+  for (const Link& l : topo.links()) {
+    if (l.reverse.value() < l.id.value()) continue;  // physical links once
+    os << "link " << topo.node(l.src).name << " " << topo.node(l.dst).name
+       << " " << util::FormatDouble(l.capacity, 6);
+    if (l.metric != 1.0) os << " metric " << util::FormatDouble(l.metric, 6);
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+util::Status ParseError(std::size_t line_no, const std::string& message) {
+  return util::InvalidArgumentError("line " + std::to_string(line_no) + ": " +
+                                    message);
+}
+
+util::StatusOr<double> ParsePositiveDouble(std::size_t line_no,
+                                           const std::string& token,
+                                           const char* what) {
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end == token.c_str() || *end != '\0') {
+    return ParseError(line_no, std::string("malformed ") + what + " '" +
+                                   token + "'");
+  }
+  if (value <= 0.0) {
+    return ParseError(line_no, std::string(what) + " must be positive");
+  }
+  return value;
+}
+
+}  // namespace
+
+util::StatusOr<Topology> ParseTopology(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+
+  std::string topo_name = "net";
+  // First pass collects everything so `topology` may appear anywhere and
+  // all nodes precede links naturally in one pass (we require definition
+  // before use, as the writer emits).
+  Topology topo(topo_name);
+  bool named = false;
+  bool any_node = false;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string trimmed = util::Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> raw = util::Split(trimmed, ' ');
+    std::vector<std::string> tokens;
+    for (std::string& t : raw) {
+      if (!t.empty()) tokens.push_back(std::move(t));
+    }
+    const std::string& directive = tokens[0];
+
+    if (directive == "topology") {
+      if (tokens.size() != 2) return ParseError(line_no, "topology <name>");
+      if (named) return ParseError(line_no, "duplicate topology directive");
+      if (any_node) {
+        return ParseError(line_no, "topology directive must precede nodes");
+      }
+      topo = Topology(tokens[1]);
+      named = true;
+    } else if (directive == "node") {
+      if (tokens.size() != 2 && tokens.size() != 4) {
+        return ParseError(line_no, "node <name> [ext <capacity>]");
+      }
+      if (topo.FindNode(tokens[1]).ok()) {
+        return ParseError(line_no, "duplicate node '" + tokens[1] + "'");
+      }
+      const NodeId id = topo.AddNode(tokens[1]);
+      any_node = true;
+      if (tokens.size() == 4) {
+        if (tokens[2] != "ext") {
+          return ParseError(line_no, "expected 'ext', got '" + tokens[2] + "'");
+        }
+        auto cap = ParsePositiveDouble(line_no, tokens[3], "ext capacity");
+        if (!cap.ok()) return cap.status();
+        topo.AddExternalPort(id, cap.value());
+      }
+    } else if (directive == "link") {
+      if (tokens.size() != 4 && tokens.size() != 6) {
+        return ParseError(line_no,
+                          "link <a> <b> <capacity> [metric <m>]");
+      }
+      const auto a = topo.FindNode(tokens[1]);
+      if (!a.ok()) {
+        return ParseError(line_no, "unknown node '" + tokens[1] + "'");
+      }
+      const auto b = topo.FindNode(tokens[2]);
+      if (!b.ok()) {
+        return ParseError(line_no, "unknown node '" + tokens[2] + "'");
+      }
+      if (a.value() == b.value()) {
+        return ParseError(line_no, "self-loop link");
+      }
+      auto cap = ParsePositiveDouble(line_no, tokens[3], "capacity");
+      if (!cap.ok()) return cap.status();
+      double metric = 1.0;
+      if (tokens.size() == 6) {
+        if (tokens[4] != "metric") {
+          return ParseError(line_no,
+                            "expected 'metric', got '" + tokens[4] + "'");
+        }
+        auto m = ParsePositiveDouble(line_no, tokens[5], "metric");
+        if (!m.ok()) return m.status();
+        if (m.value() < 1.0) {
+          return ParseError(line_no, "metric must be >= 1");
+        }
+        metric = m.value();
+      }
+      topo.AddBidirectionalLink(a.value(), b.value(), cap.value(), metric);
+    } else {
+      return ParseError(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+  HODOR_RETURN_IF_ERROR(topo.Validate());
+  return topo;
+}
+
+}  // namespace hodor::net

@@ -1,0 +1,28 @@
+// Plain-text topology serialization, so downstream users can load their
+// own networks instead of the canned ones. Format ("hodor topology v1"):
+//
+//   # comments and blank lines are ignored
+//   topology <name>
+//   node <name> [ext <capacity_gbps>]
+//   link <node_a> <node_b> <capacity_gbps> [metric <m>]
+//
+// Links are physical (bidirectional). Round-trips exactly through
+// WriteTopology / ParseTopology.
+#pragma once
+
+#include <string>
+
+#include "net/topology.h"
+#include "util/status.h"
+
+namespace hodor::net {
+
+// Renders `topo` in the v1 text format.
+std::string WriteTopology(const Topology& topo);
+
+// Parses the v1 text format. Returns InvalidArgument with a line number on
+// malformed input (unknown directive, bad arity, unknown node, duplicate
+// node, non-positive capacity).
+util::StatusOr<Topology> ParseTopology(const std::string& text);
+
+}  // namespace hodor::net

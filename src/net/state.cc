@@ -1,0 +1,61 @@
+#include "net/state.h"
+
+namespace hodor::net {
+
+GroundTruthState::GroundTruthState(const Topology& topo)
+    : topo_(&topo),
+      link_up_(topo.link_count(), true),
+      link_dataplane_ok_(topo.link_count(), true),
+      link_drained_(topo.link_count(), false),
+      node_drained_(topo.node_count(), false),
+      node_forwarding_(topo.node_count(), true) {}
+
+void GroundTruthState::SetLinkUp(LinkId link, bool up) {
+  const Link& l = topo_->link(link);
+  link_up_[l.id.value()] = up;
+  link_up_[l.reverse.value()] = up;
+}
+
+void GroundTruthState::SetLinkDataplaneOk(LinkId link, bool ok) {
+  const Link& l = topo_->link(link);
+  link_dataplane_ok_[l.id.value()] = ok;
+  link_dataplane_ok_[l.reverse.value()] = ok;
+}
+
+void GroundTruthState::SetNodeDrained(NodeId node, bool drained) {
+  HODOR_CHECK(node.valid() && node.value() < node_drained_.size());
+  node_drained_[node.value()] = drained;
+}
+
+void GroundTruthState::SetLinkDrained(LinkId link, bool drained) {
+  const Link& l = topo_->link(link);
+  link_drained_[l.id.value()] = drained;
+  link_drained_[l.reverse.value()] = drained;
+}
+
+void GroundTruthState::SetNodeForwarding(NodeId node, bool ok) {
+  HODOR_CHECK(node.valid() && node.value() < node_forwarding_.size());
+  node_forwarding_[node.value()] = ok;
+}
+
+bool GroundTruthState::LinkUsable(LinkId link) const {
+  const Link& l = topo_->link(link);
+  return LinkPhysicallyUsable(link) && !link_drained_[link.value()] &&
+         !node_drained_[l.src.value()] && !node_drained_[l.dst.value()];
+}
+
+bool GroundTruthState::LinkPhysicallyUsable(LinkId link) const {
+  const Link& l = topo_->link(link);
+  return link_up_[link.value()] && link_dataplane_ok_[link.value()] &&
+         node_forwarding_[l.src.value()] && node_forwarding_[l.dst.value()];
+}
+
+std::size_t GroundTruthState::UsableLinkCount() const {
+  std::size_t n = 0;
+  for (const Link& l : topo_->links()) {
+    if (LinkUsable(l.id)) ++n;
+  }
+  return n;
+}
+
+}  // namespace hodor::net

@@ -1,0 +1,82 @@
+// Ground-truth dynamic network condition.
+//
+// A GroundTruthState records what is *actually* true in the simulated
+// network, independent of what any telemetry reports: which links carry
+// light, whose dataplanes really forward, and which elements operators
+// intend to be drained. Fault injection corrupts the *signals* about this
+// state (or the aggregation of those signals) — never the state itself —
+// which is exactly the situation the paper describes: the network is fine
+// (or drained, or down), but the controller hears otherwise.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+
+namespace hodor::net {
+
+class GroundTruthState {
+ public:
+  // All links up and healthy, nothing drained.
+  explicit GroundTruthState(const Topology& topo);
+
+  const Topology& topology() const { return *topo_; }
+
+  // --- physical link layer -------------------------------------------------
+
+  // Sets both directions of the physical link containing `link`.
+  void SetLinkUp(LinkId link, bool up);
+  bool link_up(LinkId link) const { return link_up_[link.value()]; }
+
+  // Dataplane health: when false the link reports "up" at the optical /
+  // interface-status level but cannot actually pass traffic (mis-programmed
+  // ACL, dataplane bug — the §4.2 semantic-incorrectness case). Set on both
+  // directions.
+  void SetLinkDataplaneOk(LinkId link, bool ok);
+  bool link_dataplane_ok(LinkId link) const {
+    return link_dataplane_ok_[link.value()];
+  }
+
+  // --- operator intent ------------------------------------------------------
+
+  // Intended drain on a node (maintenance, fault response). A drained node
+  // must not carry traffic.
+  void SetNodeDrained(NodeId node, bool drained);
+  bool node_drained(NodeId node) const { return node_drained_[node.value()]; }
+
+  // Intended drain on a physical link (both directions).
+  void SetLinkDrained(LinkId link, bool drained);
+  bool link_drained(LinkId link) const { return link_drained_[link.value()]; }
+
+  // --- node health -----------------------------------------------------------
+
+  // When false the router cannot forward traffic at all (it *should* be
+  // drained; §4.3 case 1 is the scenario where it is not).
+  void SetNodeForwarding(NodeId node, bool ok);
+  bool node_forwarding(NodeId node) const {
+    return node_forwarding_[node.value()];
+  }
+
+  // --- derived usability ------------------------------------------------------
+
+  // True when traffic can and may be routed over `link`: physically up,
+  // dataplane healthy, not drained, and both endpoint routers forwarding
+  // and undrained.
+  bool LinkUsable(LinkId link) const;
+
+  // True when the link can physically pass traffic, ignoring drain intent.
+  // Used to evaluate "drained but could still carry traffic" (§4.3 case 2).
+  bool LinkPhysicallyUsable(LinkId link) const;
+
+  std::size_t UsableLinkCount() const;
+
+ private:
+  const Topology* topo_;
+  std::vector<bool> link_up_;
+  std::vector<bool> link_dataplane_ok_;
+  std::vector<bool> link_drained_;
+  std::vector<bool> node_drained_;
+  std::vector<bool> node_forwarding_;
+};
+
+}  // namespace hodor::net

@@ -1,0 +1,271 @@
+#include "net/topologies.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hodor::net {
+
+namespace {
+
+// Adds every node to the topology and gives each an external port.
+std::vector<NodeId> AddNodes(Topology& topo,
+                             const std::vector<std::string>& names,
+                             const TopologyDefaults& d) {
+  std::vector<NodeId> ids;
+  ids.reserve(names.size());
+  for (const std::string& name : names) {
+    const NodeId id = topo.AddNode(name);
+    topo.AddExternalPort(id, d.external_capacity);
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<NodeId> AddNumberedNodes(Topology& topo, std::size_t n,
+                                     const TopologyDefaults& d) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) names.push_back("n" + std::to_string(i));
+  return AddNodes(topo, names, d);
+}
+
+}  // namespace
+
+Topology Abilene(const TopologyDefaults& d) {
+  Topology topo("abilene");
+  // SNDlib node set for abilene (12 PoPs).
+  const std::vector<std::string> names = {
+      "ATLAM5", "ATLAng", "CHINng", "DNVRng", "HSTNng", "IPLSng",
+      "KSCYng", "LOSAng", "NYCMng", "SNVAng", "STTLng", "WASHng"};
+  const auto ids = AddNodes(topo, names, d);
+  auto n = [&](const char* name) {
+    return topo.FindNode(name).value();
+  };
+  // SNDlib link set (15 physical links).
+  const std::vector<std::pair<const char*, const char*>> links = {
+      {"ATLAM5", "ATLAng"}, {"ATLAng", "HSTNng"}, {"ATLAng", "IPLSng"},
+      {"ATLAng", "WASHng"}, {"CHINng", "IPLSng"}, {"CHINng", "NYCMng"},
+      {"DNVRng", "KSCYng"}, {"DNVRng", "SNVAng"}, {"DNVRng", "STTLng"},
+      {"HSTNng", "KSCYng"}, {"HSTNng", "LOSAng"}, {"IPLSng", "KSCYng"},
+      {"LOSAng", "SNVAng"}, {"NYCMng", "WASHng"}, {"SNVAng", "STTLng"}};
+  for (const auto& [a, b] : links) {
+    topo.AddBidirectionalLink(n(a), n(b), d.link_capacity);
+  }
+  (void)ids;
+  return topo;
+}
+
+Topology B4Like(const TopologyDefaults& d) {
+  Topology topo("b4like");
+  // 12 sites roughly following the published B4 map (SIGCOMM'13 Fig. 1):
+  // North America (6), Europe (3), Asia (3).
+  const std::vector<std::string> names = {
+      "us-west1", "us-west2", "us-central1", "us-central2", "us-east1",
+      "us-east2", "eu-west1", "eu-west2", "eu-central1", "asia-east1",
+      "asia-east2", "asia-south1"};
+  AddNodes(topo, names, d);
+  auto n = [&](const char* name) { return topo.FindNode(name).value(); };
+  const std::vector<std::pair<const char*, const char*>> links = {
+      {"us-west1", "us-west2"},     {"us-west1", "us-central1"},
+      {"us-west2", "us-central2"},  {"us-west1", "asia-east1"},
+      {"us-west2", "asia-east2"},   {"us-central1", "us-central2"},
+      {"us-central1", "us-east1"},  {"us-central2", "us-east2"},
+      {"us-east1", "us-east2"},     {"us-east1", "eu-west1"},
+      {"us-east2", "eu-west2"},     {"eu-west1", "eu-west2"},
+      {"eu-west1", "eu-central1"},  {"eu-west2", "eu-central1"},
+      {"asia-east1", "asia-east2"}, {"asia-east1", "asia-south1"},
+      {"asia-east2", "asia-south1"},{"us-central1", "us-west2"},
+      {"us-central2", "us-east1"}};
+  for (const auto& [a, b] : links) {
+    topo.AddBidirectionalLink(n(a), n(b), d.link_capacity);
+  }
+  return topo;
+}
+
+Topology GeantLike(const TopologyDefaults& d) {
+  Topology topo("geantlike");
+  // 22 national PoPs with a link set approximating the GÉANT backbone
+  // distributed with SNDlib (37 physical links).
+  const std::vector<std::string> names = {
+      "at", "be", "ch", "cz", "de", "es", "fr", "gr", "hr", "hu", "ie",
+      "il", "it", "lu", "nl", "ny", "pl", "pt", "se", "si", "sk", "uk"};
+  AddNodes(topo, names, d);
+  auto n = [&](const char* name) { return topo.FindNode(name).value(); };
+  const std::vector<std::pair<const char*, const char*>> links = {
+      {"at", "ch"}, {"at", "cz"}, {"at", "de"}, {"at", "hu"}, {"at", "si"},
+      {"at", "sk"}, {"be", "fr"}, {"be", "nl"}, {"ch", "fr"}, {"ch", "it"},
+      {"cz", "de"}, {"cz", "pl"}, {"cz", "sk"}, {"de", "fr"}, {"de", "nl"},
+      {"de", "se"}, {"de", "ny"}, {"es", "fr"}, {"es", "it"}, {"es", "pt"},
+      {"fr", "lu"}, {"fr", "uk"}, {"gr", "it"}, {"gr", "at"}, {"hr", "hu"},
+      {"hr", "si"}, {"hu", "sk"}, {"ie", "uk"}, {"il", "it"}, {"il", "ny"},
+      {"it", "at"}, {"lu", "de"}, {"nl", "uk"}, {"ny", "uk"}, {"pl", "de"},
+      {"pt", "uk"}, {"se", "ny"}};
+  for (const auto& [a, b] : links) {
+    topo.AddBidirectionalLink(n(a), n(b), d.link_capacity);
+  }
+  return topo;
+}
+
+Topology Figure3Triangle(const TopologyDefaults& d) {
+  Topology topo("figure3");
+  const NodeId a = topo.AddNode("A");
+  const NodeId b = topo.AddNode("B");
+  const NodeId c = topo.AddNode("C");
+  for (NodeId id : {a, b, c}) topo.AddExternalPort(id, d.external_capacity);
+  topo.AddBidirectionalLink(a, b, d.link_capacity);
+  topo.AddBidirectionalLink(b, c, d.link_capacity);
+  topo.AddBidirectionalLink(a, c, d.link_capacity);
+  return topo;
+}
+
+Topology Line(std::size_t n, const TopologyDefaults& d) {
+  HODOR_CHECK(n >= 2);
+  Topology topo("line" + std::to_string(n));
+  const auto ids = AddNumberedNodes(topo, n, d);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    topo.AddBidirectionalLink(ids[i], ids[i + 1], d.link_capacity);
+  }
+  return topo;
+}
+
+Topology Ring(std::size_t n, const TopologyDefaults& d) {
+  HODOR_CHECK(n >= 3);
+  Topology topo("ring" + std::to_string(n));
+  const auto ids = AddNumberedNodes(topo, n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.AddBidirectionalLink(ids[i], ids[(i + 1) % n], d.link_capacity);
+  }
+  return topo;
+}
+
+Topology Star(std::size_t n, const TopologyDefaults& d) {
+  HODOR_CHECK(n >= 2);
+  Topology topo("star" + std::to_string(n));
+  const auto ids = AddNumberedNodes(topo, n, d);
+  for (std::size_t i = 1; i < n; ++i) {
+    topo.AddBidirectionalLink(ids[0], ids[i], d.link_capacity);
+  }
+  return topo;
+}
+
+Topology FullMesh(std::size_t n, const TopologyDefaults& d) {
+  HODOR_CHECK(n >= 2);
+  Topology topo("mesh" + std::to_string(n));
+  const auto ids = AddNumberedNodes(topo, n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      topo.AddBidirectionalLink(ids[i], ids[j], d.link_capacity);
+    }
+  }
+  return topo;
+}
+
+Topology Grid(std::size_t rows, std::size_t cols, const TopologyDefaults& d) {
+  HODOR_CHECK(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  Topology topo("grid" + std::to_string(rows) + "x" + std::to_string(cols));
+  const auto ids = AddNumberedNodes(topo, rows * cols, d);
+  auto at = [&](std::size_t r, std::size_t c) { return ids[r * cols + c]; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        topo.AddBidirectionalLink(at(r, c), at(r, c + 1), d.link_capacity);
+      }
+      if (r + 1 < rows) {
+        topo.AddBidirectionalLink(at(r, c), at(r + 1, c), d.link_capacity);
+      }
+    }
+  }
+  return topo;
+}
+
+Topology LeafSpine(std::size_t leaves, std::size_t spines,
+                   const TopologyDefaults& d) {
+  HODOR_CHECK(leaves >= 2 && spines >= 1);
+  Topology topo("leafspine" + std::to_string(leaves) + "x" +
+                std::to_string(spines));
+  std::vector<NodeId> leaf_ids, spine_ids;
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const NodeId id = topo.AddNode("leaf" + std::to_string(i));
+    topo.AddExternalPort(id, d.external_capacity);
+    leaf_ids.push_back(id);
+  }
+  for (std::size_t i = 0; i < spines; ++i) {
+    spine_ids.push_back(topo.AddNode("spine" + std::to_string(i)));
+  }
+  for (NodeId leaf : leaf_ids) {
+    for (NodeId spine : spine_ids) {
+      topo.AddBidirectionalLink(leaf, spine, d.link_capacity);
+    }
+  }
+  return topo;
+}
+
+namespace {
+
+// Adds a uniformly random spanning tree over `ids` so random graphs are
+// always connected (random-walk/Aldous-Broder would be exact; incremental
+// random attachment is sufficient here and simpler).
+void AddRandomSpanningTree(Topology& topo, const std::vector<NodeId>& ids,
+                           util::Rng& rng, double capacity) {
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    const std::size_t j = rng.Index(i);
+    topo.AddBidirectionalLink(ids[i], ids[j], capacity);
+  }
+}
+
+}  // namespace
+
+Topology Waxman(std::size_t n, util::Rng& rng, double alpha, double beta,
+                const TopologyDefaults& d) {
+  HODOR_CHECK(n >= 2);
+  HODOR_CHECK(alpha > 0.0 && alpha <= 1.0 && beta > 0.0);
+  Topology topo("waxman" + std::to_string(n));
+  const auto ids = AddNumberedNodes(topo, n, d);
+
+  std::vector<std::pair<double, double>> pos(n);
+  for (auto& p : pos) p = {rng.Uniform(0.0, 1.0), rng.Uniform(0.0, 1.0)};
+  double max_dist = 0.0;
+  auto dist = [&](std::size_t i, std::size_t j) {
+    const double dx = pos[i].first - pos[j].first;
+    const double dy = pos[i].second - pos[j].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      max_dist = std::max(max_dist, dist(i, j));
+    }
+  }
+  AddRandomSpanningTree(topo, ids, rng, d.link_capacity);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (topo.FindLink(ids[i], ids[j]).ok()) continue;  // tree edge
+      const double p = alpha * std::exp(-dist(i, j) / (beta * max_dist));
+      if (rng.Bernoulli(std::min(1.0, p))) {
+        topo.AddBidirectionalLink(ids[i], ids[j], d.link_capacity);
+      }
+    }
+  }
+  return topo;
+}
+
+Topology ErdosRenyi(std::size_t n, double p, util::Rng& rng,
+                    const TopologyDefaults& d) {
+  HODOR_CHECK(n >= 2);
+  HODOR_CHECK(p >= 0.0 && p <= 1.0);
+  Topology topo("er" + std::to_string(n));
+  const auto ids = AddNumberedNodes(topo, n, d);
+  AddRandomSpanningTree(topo, ids, rng, d.link_capacity);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (topo.FindLink(ids[i], ids[j]).ok()) continue;
+      if (rng.Bernoulli(p)) {
+        topo.AddBidirectionalLink(ids[i], ids[j], d.link_capacity);
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace hodor::net

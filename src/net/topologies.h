@@ -1,0 +1,83 @@
+// A library of concrete topologies.
+//
+// Canned research topologies (Abilene from SNDlib, a B4-like and a
+// GÉANT-like WAN), small regular shapes for unit tests, the three-router
+// network from the paper's Figure 3, and seeded random generators
+// (Waxman, Erdős–Rényi) for scaling experiments.
+//
+// All generated topologies give every node an external port so that any
+// node can be a demand endpoint, matching how the paper's demand input is
+// defined over ingress/egress routers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace hodor::net {
+
+// Knobs shared by the generators.
+struct TopologyDefaults {
+  double link_capacity = 100.0;     // Gbps per direction
+  double external_capacity = 400.0; // Gbps per external port
+};
+
+// The Abilene backbone as published in SNDlib [Orlowski et al. 2010]:
+// 12 PoPs and 15 physical links. Used by the paper's §4.1 preliminary
+// evaluation (144-entry demand matrices).
+Topology Abilene(const TopologyDefaults& d = {});
+
+// A 12-site, 19-link inter-datacenter WAN modeled on Google's published B4
+// topology (Jain et al., SIGCOMM'13).
+Topology B4Like(const TopologyDefaults& d = {});
+
+// A 22-node, 37-link pan-European research WAN modeled on the GÉANT
+// backbone as distributed with SNDlib.
+Topology GeantLike(const TopologyDefaults& d = {});
+
+// The three-router triangle from the paper's Figure 3 (nodes A, B, C, all
+// with external ports; links A-B, B-C, A-C).
+Topology Figure3Triangle(const TopologyDefaults& d = {});
+
+// --- regular shapes for tests ---------------------------------------------
+
+// n nodes in a line: 0-1-2-...-(n-1). Precondition: n >= 2.
+Topology Line(std::size_t n, const TopologyDefaults& d = {});
+
+// n nodes in a cycle. Precondition: n >= 3.
+Topology Ring(std::size_t n, const TopologyDefaults& d = {});
+
+// Hub node 0 connected to n-1 leaves. Precondition: n >= 2.
+Topology Star(std::size_t n, const TopologyDefaults& d = {});
+
+// Every pair connected. Precondition: n >= 2.
+Topology FullMesh(std::size_t n, const TopologyDefaults& d = {});
+
+// rows x cols grid with nearest-neighbour links. Precondition: rows,cols>=1
+// and rows*cols >= 2.
+Topology Grid(std::size_t rows, std::size_t cols,
+              const TopologyDefaults& d = {});
+
+// Two-tier leaf-spine (Clos) fabric: every leaf connects to every spine.
+// Only leaves have external ports (they face the servers); spines are pure
+// transit — the datacenter environment §6 asks about. Preconditions:
+// leaves >= 2, spines >= 1.
+Topology LeafSpine(std::size_t leaves, std::size_t spines,
+                   const TopologyDefaults& d = {});
+
+// --- random generators ------------------------------------------------------
+
+// Waxman random graph: nodes placed uniformly in the unit square; each pair
+// linked with probability alpha * exp(-dist / (beta * L)) where L is the
+// maximum pairwise distance. A spanning tree is added first so the result
+// is always connected. Typical parameters: alpha=0.4, beta=0.25.
+Topology Waxman(std::size_t n, util::Rng& rng, double alpha = 0.4,
+                double beta = 0.25, const TopologyDefaults& d = {});
+
+// Erdős–Rényi G(n, p) plus a random spanning tree for connectivity.
+Topology ErdosRenyi(std::size_t n, double p, util::Rng& rng,
+                    const TopologyDefaults& d = {});
+
+}  // namespace hodor::net

@@ -1,0 +1,131 @@
+#include "net/topology.h"
+
+#include <sstream>
+
+namespace hodor::net {
+
+NodeId Topology::AddNode(const std::string& name) {
+  HODOR_CHECK_MSG(!name.empty(), "node name must be non-empty");
+  HODOR_CHECK_MSG(name_index_.find(name) == name_index_.end(),
+                  "duplicate node name: " + name);
+  const NodeId id(static_cast<NodeId::underlying_type>(nodes_.size()));
+  nodes_.push_back(Node{id, name, /*has_external_port=*/false,
+                        /*external_capacity=*/0.0});
+  out_links_.emplace_back();
+  in_links_.emplace_back();
+  name_index_.emplace(name, id);
+  return id;
+}
+
+void Topology::AddExternalPort(NodeId node, double capacity) {
+  HODOR_CHECK(node.valid() && node.value() < nodes_.size());
+  HODOR_CHECK_MSG(capacity > 0.0, "external capacity must be positive");
+  nodes_[node.value()].has_external_port = true;
+  nodes_[node.value()].external_capacity = capacity;
+}
+
+LinkId Topology::AddBidirectionalLink(NodeId a, NodeId b, double capacity,
+                                      double metric) {
+  HODOR_CHECK(a.valid() && a.value() < nodes_.size());
+  HODOR_CHECK(b.valid() && b.value() < nodes_.size());
+  HODOR_CHECK_MSG(a != b, "self-loop links are not allowed");
+  HODOR_CHECK_MSG(capacity > 0.0, "link capacity must be positive");
+  HODOR_CHECK_MSG(metric >= 1.0, "link metric must be >= 1");
+
+  const LinkId fwd(static_cast<LinkId::underlying_type>(links_.size()));
+  const LinkId rev(static_cast<LinkId::underlying_type>(links_.size() + 1));
+  links_.push_back(Link{fwd, a, b, capacity, metric, rev});
+  links_.push_back(Link{rev, b, a, capacity, metric, fwd});
+  out_links_[a.value()].push_back(fwd);
+  in_links_[b.value()].push_back(fwd);
+  out_links_[b.value()].push_back(rev);
+  in_links_[a.value()].push_back(rev);
+  return fwd;
+}
+
+const Node& Topology::node(NodeId id) const {
+  HODOR_CHECK(id.valid() && id.value() < nodes_.size());
+  return nodes_[id.value()];
+}
+
+const Link& Topology::link(LinkId id) const {
+  HODOR_CHECK(id.valid() && id.value() < links_.size());
+  return links_[id.value()];
+}
+
+util::StatusOr<NodeId> Topology::FindNode(const std::string& name) const {
+  auto it = name_index_.find(name);
+  if (it == name_index_.end()) {
+    return util::NotFoundError("no node named '" + name + "'");
+  }
+  return it->second;
+}
+
+util::StatusOr<LinkId> Topology::FindLink(NodeId src, NodeId dst) const {
+  HODOR_CHECK(src.valid() && src.value() < nodes_.size());
+  for (LinkId lid : out_links_[src.value()]) {
+    if (links_[lid.value()].dst == dst) return lid;
+  }
+  std::ostringstream os;
+  os << "no link " << node(src).name << "->";
+  if (dst.valid() && dst.value() < nodes_.size()) os << node(dst).name;
+  else os << "<invalid>";
+  return util::NotFoundError(os.str());
+}
+
+const std::vector<LinkId>& Topology::OutLinks(NodeId node) const {
+  HODOR_CHECK(node.valid() && node.value() < nodes_.size());
+  return out_links_[node.value()];
+}
+
+const std::vector<LinkId>& Topology::InLinks(NodeId node) const {
+  HODOR_CHECK(node.valid() && node.value() < nodes_.size());
+  return in_links_[node.value()];
+}
+
+std::vector<NodeId> Topology::NodeIds() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const Node& n : nodes_) ids.push_back(n.id);
+  return ids;
+}
+
+std::vector<LinkId> Topology::LinkIds() const {
+  std::vector<LinkId> ids;
+  ids.reserve(links_.size());
+  for (const Link& l : links_) ids.push_back(l.id);
+  return ids;
+}
+
+std::vector<NodeId> Topology::ExternalNodes() const {
+  std::vector<NodeId> ids;
+  for (const Node& n : nodes_) {
+    if (n.has_external_port) ids.push_back(n.id);
+  }
+  return ids;
+}
+
+std::string Topology::LinkName(LinkId id) const {
+  const Link& l = link(id);
+  return node(l.src).name + "->" + node(l.dst).name;
+}
+
+util::Status Topology::Validate() const {
+  for (const Link& l : links_) {
+    if (!l.src.valid() || l.src.value() >= nodes_.size() ||
+        !l.dst.valid() || l.dst.value() >= nodes_.size()) {
+      return util::InternalError("link with invalid endpoint");
+    }
+    if (!l.reverse.valid() || l.reverse.value() >= links_.size()) {
+      return util::InternalError("link with invalid reverse pointer");
+    }
+    const Link& r = links_[l.reverse.value()];
+    if (r.reverse != l.id || r.src != l.dst || r.dst != l.src) {
+      return util::InternalError("inconsistent reverse link for " +
+                                 LinkName(l.id));
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace hodor::net

@@ -1,0 +1,114 @@
+// The static network model: routers, directed links, and external ports.
+//
+// A Topology describes the *designed* network — what exists physically.
+// Dynamic conditions (links down, routers drained) live in
+// net::GroundTruthState so one Topology can be shared across many simulated
+// network conditions.
+//
+// Conventions:
+//  - Physical links are bidirectional; AddBidirectionalLink creates two
+//    directed Link records that point at each other via `reverse`.
+//  - Capacities and rates are in Gbps throughout the repo.
+//  - Each node may own one "external port": the attachment through which
+//    traffic enters/leaves the WAN domain (e.g. toward a datacenter fabric).
+//    Demand originates and terminates only at nodes with external ports.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ids.h"
+#include "util/status.h"
+
+namespace hodor::net {
+
+struct Node {
+  NodeId id;
+  std::string name;
+  // True when this node can source/sink external (domain-edge) traffic.
+  bool has_external_port = false;
+  // Capacity of the external attachment, Gbps. Meaningful only when
+  // has_external_port.
+  double external_capacity = 0.0;
+};
+
+struct Link {
+  LinkId id;
+  NodeId src;
+  NodeId dst;
+  // Capacity of this direction, Gbps.
+  double capacity = 0.0;
+  // IGP-style routing metric (>= 1).
+  double metric = 1.0;
+  // The opposite direction of the same physical link.
+  LinkId reverse;
+};
+
+class Topology {
+ public:
+  explicit Topology(std::string name = "net") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // --- construction -------------------------------------------------------
+
+  // Adds a router. Names must be unique and non-empty.
+  NodeId AddNode(const std::string& name);
+
+  // Gives `node` an external port with the given capacity (Gbps).
+  void AddExternalPort(NodeId node, double capacity);
+
+  // Adds a physical link as two directed links (a->b, b->a) with the same
+  // capacity and metric. Returns the a->b direction; the other is its
+  // reverse. Self-loops are disallowed.
+  LinkId AddBidirectionalLink(NodeId a, NodeId b, double capacity,
+                              double metric = 1.0);
+
+  // --- lookup -------------------------------------------------------------
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  // Number of physical (bidirectional) links; link_count() == 2 * this.
+  std::size_t physical_link_count() const { return links_.size() / 2; }
+
+  const Node& node(NodeId id) const;
+  const Link& link(LinkId id) const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  // Finds a node by name.
+  util::StatusOr<NodeId> FindNode(const std::string& name) const;
+
+  // Finds the directed link src->dst, if any.
+  util::StatusOr<LinkId> FindLink(NodeId src, NodeId dst) const;
+
+  // Directed links leaving / entering `node`.
+  const std::vector<LinkId>& OutLinks(NodeId node) const;
+  const std::vector<LinkId>& InLinks(NodeId node) const;
+
+  // All NodeIds (dense 0..n-1), for range-for convenience.
+  std::vector<NodeId> NodeIds() const;
+  std::vector<LinkId> LinkIds() const;
+
+  // Nodes that have an external port (demand endpoints).
+  std::vector<NodeId> ExternalNodes() const;
+
+  // "A->B" rendering of a directed link.
+  std::string LinkName(LinkId id) const;
+
+  // Structural sanity: every link's reverse is consistent, endpoints valid.
+  util::Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+  std::vector<std::vector<LinkId>> in_links_;
+  std::unordered_map<std::string, NodeId> name_index_;
+};
+
+}  // namespace hodor::net

@@ -1,0 +1,21 @@
+#include "telemetry/collector.h"
+
+namespace hodor::telemetry {
+
+NetworkSnapshot Collector::Collect(const net::GroundTruthState& state,
+                                   const flow::SimulationResult& sim,
+                                   std::uint64_t epoch, util::Rng& rng,
+                                   const SnapshotMutator& mutator) const {
+  NetworkSnapshot snapshot(*topo_, epoch);
+  for (const net::Node& node : topo_->nodes()) {
+    ReportRouterSignals(*topo_, state, sim, node.id, opts_.agent, rng,
+                        snapshot);
+  }
+  if (mutator) mutator(snapshot);
+  if (opts_.run_probes) {
+    snapshot.SetProbeResults(ProbeAllLinks(*topo_, state, opts_.probes, rng));
+  }
+  return snapshot;
+}
+
+}  // namespace hodor::telemetry

@@ -1,0 +1,49 @@
+// Collector: paper §3 step 1 — reads (possibly incorrect) signals from all
+// routers into one comprehensive NetworkSnapshot.
+//
+// Router-level faults are applied through an optional SnapshotMutator hook,
+// which the fault library implements; the collector itself is deliberately
+// dumb (it only reads), matching the paper's argument that Hodor's own bug
+// surface stays small because it "does not process or aggregate signals".
+#pragma once
+
+#include <functional>
+
+#include "flow/simulator.h"
+#include "net/state.h"
+#include "telemetry/probes.h"
+#include "telemetry/router_agent.h"
+#include "telemetry/snapshot.h"
+
+namespace hodor::telemetry {
+
+// Mutates a freshly collected snapshot (fault injection hook).
+using SnapshotMutator = std::function<void(NetworkSnapshot&)>;
+
+struct CollectorOptions {
+  AgentOptions agent;
+  // When true, run active neighbor probes (R4) and attach their results.
+  bool run_probes = true;
+  ProbeOptions probes;
+};
+
+class Collector {
+ public:
+  Collector(const net::Topology& topo, CollectorOptions opts)
+      : topo_(&topo), opts_(std::move(opts)) {}
+
+  // Collects signals from every router for the given epoch. `mutator`
+  // (if any) is applied after honest collection, before probes are
+  // attached — probes are Hodor's own manufactured signals and are not
+  // subject to router telemetry bugs (they can instead be disabled).
+  NetworkSnapshot Collect(const net::GroundTruthState& state,
+                          const flow::SimulationResult& sim,
+                          std::uint64_t epoch, util::Rng& rng,
+                          const SnapshotMutator& mutator = nullptr) const;
+
+ private:
+  const net::Topology* topo_;
+  CollectorOptions opts_;
+};
+
+}  // namespace hodor::telemetry

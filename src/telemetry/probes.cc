@@ -1,0 +1,31 @@
+#include "telemetry/probes.h"
+
+namespace hodor::telemetry {
+
+std::vector<ProbeResult> ProbeAllLinks(const net::Topology& topo,
+                                       const net::GroundTruthState& state,
+                                       const ProbeOptions& opts,
+                                       util::Rng& rng) {
+  HODOR_CHECK(opts.attempts >= 1);
+  HODOR_CHECK(opts.false_loss_rate >= 0.0 && opts.false_loss_rate < 1.0);
+  std::vector<ProbeResult> out;
+  out.reserve(topo.link_count());
+  for (net::LinkId e : topo.LinkIds()) {
+    ProbeResult res;
+    res.link = e;
+    if (state.LinkPhysicallyUsable(e)) {
+      // Healthy link: succeeds unless every attempt is falsely lost.
+      bool ok = false;
+      for (int a = 0; a < opts.attempts && !ok; ++a) {
+        ok = !rng.Bernoulli(opts.false_loss_rate);
+      }
+      res.success = ok;
+    } else {
+      res.success = false;
+    }
+    out.push_back(res);
+  }
+  return out;
+}
+
+}  // namespace hodor::telemetry

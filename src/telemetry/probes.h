@@ -1,0 +1,35 @@
+// Active neighbor probes — the paper's "manufactured signals" (R4).
+//
+// A probe sends traffic across one directed link and reports whether it got
+// through. Unlike the optical status signal, a probe exercises the
+// dataplane, so it fails on links whose interface is up but whose dataplane
+// is broken (§4.2). Probes are lightweight apps running on the routers
+// themselves (the paper cites FBOSS-style on-box agents), independent of
+// the telemetry export path.
+#pragma once
+
+#include <vector>
+
+#include "net/state.h"
+#include "net/topology.h"
+#include "telemetry/signals.h"
+#include "util/rng.h"
+
+namespace hodor::telemetry {
+
+struct ProbeOptions {
+  // Probability that a single probe is lost despite a healthy link
+  // (congestion, QoS). Probes are retried to suppress this noise.
+  double false_loss_rate = 0.01;
+  int attempts = 3;  // a link counts as probe-up if any attempt succeeds
+};
+
+// Probes every directed link. A probe succeeds iff the link is physically
+// usable (up + dataplane healthy + both routers forwarding), modulo the
+// false-loss noise above.
+std::vector<ProbeResult> ProbeAllLinks(const net::Topology& topo,
+                                       const net::GroundTruthState& state,
+                                       const ProbeOptions& opts,
+                                       util::Rng& rng);
+
+}  // namespace hodor::telemetry

@@ -1,0 +1,52 @@
+#include "telemetry/router_agent.h"
+
+namespace hodor::telemetry {
+
+namespace {
+
+double Jitter(double true_rate, const AgentOptions& opts, util::Rng& rng) {
+  if (true_rate < opts.zero_floor) return 0.0;
+  return true_rate * (1.0 + rng.Uniform(-opts.rate_jitter, opts.rate_jitter));
+}
+
+}  // namespace
+
+void ReportRouterSignals(const net::Topology& topo,
+                         const net::GroundTruthState& state,
+                         const flow::SimulationResult& sim,
+                         net::NodeId node, const AgentOptions& opts,
+                         util::Rng& rng, NetworkSnapshot& snapshot) {
+  RouterSignals& r = snapshot.router(node);
+  r.responded = true;
+  r.drained = state.node_drained(node);
+  r.ext_in_rate = topo.node(node).has_external_port
+                      ? std::optional<double>(
+                            Jitter(sim.ext_in[node.value()], opts, rng))
+                      : std::nullopt;
+  r.ext_out_rate = topo.node(node).has_external_port
+                       ? std::optional<double>(
+                             Jitter(sim.ext_out[node.value()], opts, rng))
+                       : std::nullopt;
+
+  // Dropped rate at this router: drops on its out-link egress queues.
+  double dropped = 0.0;
+  for (net::LinkId e : topo.OutLinks(node)) dropped += sim.dropped[e.value()];
+  r.dropped_rate = Jitter(dropped, opts, rng);
+
+  for (net::LinkId e : topo.OutLinks(node)) {
+    OutInterfaceSignals s;
+    // Optical/admin status: light on unless the link is physically down.
+    // A broken dataplane (§4.2) still shows kUp here.
+    s.status = state.link_up(e) ? LinkStatus::kUp : LinkStatus::kDown;
+    s.tx_rate = Jitter(sim.carried[e.value()], opts, rng);
+    s.link_drained = state.link_drained(e);
+    r.out_ifaces[e] = s;
+  }
+  for (net::LinkId e : topo.InLinks(node)) {
+    InInterfaceSignals s;
+    s.rx_rate = Jitter(sim.carried[e.value()], opts, rng);
+    r.in_ifaces[e] = s;
+  }
+}
+
+}  // namespace hodor::telemetry

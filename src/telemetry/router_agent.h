@@ -1,0 +1,39 @@
+// RouterAgent: produces one router's honest telemetry from ground truth.
+//
+// Counters come from the flow simulation's true per-link carried rates,
+// perturbed by multiplicative rolling-window jitter — the paper's footnote 1
+// "approximation ... due to discrepancies in the time window over which
+// counters are measured". Link status reflects the optical/admin layer
+// only: a link whose dataplane is broken but whose light is on reports kUp
+// (the §4.2 semantic gap that alternative signals must catch).
+//
+// Dishonest behaviour (the §2.1 bug catalog) is NOT modeled here; the fault
+// library mutates honest snapshots afterwards, keeping "what is true" and
+// "what is corrupted" strictly separate.
+#pragma once
+
+#include "flow/simulator.h"
+#include "net/state.h"
+#include "net/topology.h"
+#include "telemetry/snapshot.h"
+#include "util/rng.h"
+
+namespace hodor::telemetry {
+
+struct AgentOptions {
+  // Max magnitude of the multiplicative measurement jitter: a reported rate
+  // is true_rate * (1 + U(-jitter, +jitter)). Production counter windows
+  // disagree by well under the paper's 2% hardening threshold.
+  double rate_jitter = 0.005;
+  // Rates below this (Gbps) are reported as exactly 0 (counter floor).
+  double zero_floor = 1e-9;
+};
+
+// Fills `snapshot` with honest signals for router `node`.
+void ReportRouterSignals(const net::Topology& topo,
+                         const net::GroundTruthState& state,
+                         const flow::SimulationResult& sim,
+                         net::NodeId node, const AgentOptions& opts,
+                         util::Rng& rng, NetworkSnapshot& snapshot);
+
+}  // namespace hodor::telemetry

@@ -1,0 +1,135 @@
+#include "telemetry/self_correction.h"
+
+#include <cmath>
+#include <optional>
+
+#include "util/stats.h"
+
+namespace hodor::telemetry {
+
+namespace {
+
+// Relative flow-conservation residual at router v when directed link
+// `link` takes `candidate` as its rate; empty when the router is missing
+// any other term it needs (silent neighbours, dropped signals).
+std::optional<double> LocalResidual(const net::Topology& topo,
+                                    const NetworkSnapshot& snap,
+                                    net::NodeId v, net::LinkId link,
+                                    double candidate) {
+  const RouterSignals& r = snap.router(v);
+  if (!r.responded || !r.dropped_rate) return std::nullopt;
+  const bool is_external = topo.node(v).has_external_port;
+  if (is_external && (!r.ext_in_rate || !r.ext_out_rate)) return std::nullopt;
+
+  double in_sum = is_external ? *r.ext_in_rate : 0.0;
+  for (net::LinkId e : topo.InLinks(v)) {
+    if (e == link) {
+      in_sum += candidate;
+      continue;
+    }
+    auto it = r.in_ifaces.find(e);
+    if (it == r.in_ifaces.end() || !it->second.rx_rate) return std::nullopt;
+    in_sum += *it->second.rx_rate;
+  }
+  double out_sum = *r.dropped_rate + (is_external ? *r.ext_out_rate : 0.0);
+  for (net::LinkId e : topo.OutLinks(v)) {
+    if (e == link) {
+      out_sum += candidate;
+      continue;
+    }
+    auto it = r.out_ifaces.find(e);
+    if (it == r.out_ifaces.end() || !it->second.tx_rate) return std::nullopt;
+    out_sum += *it->second.tx_rate;
+  }
+  return util::RelativeDifference(in_sum, out_sum);
+}
+
+}  // namespace
+
+SelfCorrectionStats SelfCorrectSnapshot(NetworkSnapshot& snapshot,
+                                        const SelfCorrectionOptions& opts) {
+  const net::Topology& topo = snapshot.topology();
+  SelfCorrectionStats stats;
+
+  // Decide all corrections from the pre-exchange values, then apply: each
+  // router sees its neighbours' *reported* counters, not their corrected
+  // ones (one synchronous exchange round).
+  struct Correction {
+    net::LinkId link;
+    bool fix_tx;  // overwrite the TX side (at src) vs the RX side (at dst)
+    double value;
+  };
+  std::vector<Correction> corrections;
+
+  // First sweep: find every mismatched pair and tally per-router mismatch
+  // counts. A router whose software zeroes *all* its counters stays
+  // self-consistent (zero in = zero out), so local books alone cannot
+  // convict it; being out of step with many neighbours at once can.
+  std::vector<net::LinkId> mismatched;
+  std::vector<std::size_t> mismatches_of(topo.node_count(), 0);
+  for (net::LinkId e : topo.LinkIds()) {
+    const auto tx = snapshot.TxRate(e);
+    const auto rx = snapshot.RxRate(e);
+    if (!tx || !rx) continue;  // nothing to exchange
+    if (util::WithinRelativeTolerance(*tx, *rx, opts.mismatch_tau)) continue;
+    mismatched.push_back(e);
+    const net::Link& l = topo.link(e);
+    ++mismatches_of[l.src.value()];
+    ++mismatches_of[l.dst.value()];
+  }
+  stats.mismatched_pairs = mismatched.size();
+
+  for (net::LinkId e : mismatched) {
+    const auto tx = snapshot.TxRate(e);
+    const auto rx = snapshot.RxRate(e);
+    const net::Link& l = topo.link(e);
+    // Each end tests its own value against its local books.
+    const auto tx_resid = LocalResidual(topo, snapshot, l.src, e, *tx);
+    const auto rx_resid = LocalResidual(topo, snapshot, l.dst, e, *rx);
+    const bool tx_fits = tx_resid && *tx_resid <= opts.conservation_tau;
+    const bool rx_fits = rx_resid && *rx_resid <= opts.conservation_tau;
+
+    if (tx_fits && !rx_fits) {
+      corrections.push_back(Correction{e, /*fix_tx=*/false, *tx});
+    } else if (rx_fits && !tx_fits) {
+      corrections.push_back(Correction{e, /*fix_tx=*/true, *rx});
+    } else if (tx_fits && rx_fits) {
+      // Both self-consistent: quorum tie-break. The router disagreeing
+      // with strictly more neighbours is presumed the liar.
+      const std::size_t src_m = mismatches_of[l.src.value()];
+      const std::size_t dst_m = mismatches_of[l.dst.value()];
+      if (src_m >= dst_m + 2) {
+        corrections.push_back(Correction{e, /*fix_tx=*/true, *rx});
+      } else if (dst_m >= src_m + 2) {
+        corrections.push_back(Correction{e, /*fix_tx=*/false, *tx});
+      } else {
+        ++stats.unresolved;
+      }
+    } else {
+      ++stats.unresolved;
+    }
+  }
+
+  for (const Correction& c : corrections) {
+    const net::Link& l = topo.link(c.link);
+    if (c.fix_tx) {
+      auto& r = snapshot.router(l.src);
+      auto it = r.out_ifaces.find(c.link);
+      if (it != r.out_ifaces.end()) it->second.tx_rate = c.value;
+    } else {
+      auto& r = snapshot.router(l.dst);
+      auto it = r.in_ifaces.find(c.link);
+      if (it != r.in_ifaces.end()) it->second.rx_rate = c.value;
+    }
+    ++stats.corrected;
+  }
+  return stats;
+}
+
+SnapshotMutator SelfCorrectionStage(const SelfCorrectionOptions& opts) {
+  return [opts](NetworkSnapshot& snapshot) {
+    (void)SelfCorrectSnapshot(snapshot, opts);
+  };
+}
+
+}  // namespace hodor::telemetry

@@ -1,0 +1,51 @@
+// Router-side self-correction — the §6 future direction implemented:
+//
+//   "a router may exchange interface counters with its neighboring
+//    routers, in order to detect and self-correct anomalies in its
+//    reported data."
+//
+// Each router compares every interface counter with the neighbour's
+// counterpart measurement of the same link. On a mismatch it arbitrates
+// with its *local* flow-conservation equation (it knows its own other
+// counters, external rates, and drops): if its own value breaks local
+// conservation while the neighbour's fits, it adopts the neighbour's value
+// before exporting telemetry. This pushes a slice of Hodor's hardening
+// into the routers themselves, so the control plane receives cleaner
+// signals in the first place.
+//
+// Applied as a snapshot transform after fault injection: the "exchange"
+// happens between the routers' (possibly corrupted) reported values.
+#pragma once
+
+#include <cstddef>
+
+#include "telemetry/collector.h"
+#include "telemetry/snapshot.h"
+
+namespace hodor::telemetry {
+
+struct SelfCorrectionOptions {
+  // Mismatch threshold between the two ends' measurements (same role as
+  // the hardener's τ_h).
+  double mismatch_tau = 0.02;
+  // A candidate fits local conservation when the relative residual is
+  // below this.
+  double conservation_tau = 0.02;
+};
+
+struct SelfCorrectionStats {
+  std::size_t mismatched_pairs = 0;  // counter pairs that disagreed
+  std::size_t corrected = 0;         // values overwritten at the source
+  std::size_t unresolved = 0;        // mismatch left for downstream hardening
+};
+
+// Runs one round of neighbour counter exchange across the whole network,
+// mutating `snapshot` in place. Returns what was fixed.
+SelfCorrectionStats SelfCorrectSnapshot(NetworkSnapshot& snapshot,
+                                        const SelfCorrectionOptions& opts = {});
+
+// Wraps SelfCorrectSnapshot as a collector mutator stage; compose it after
+// the fault mutator to model routers that self-correct before export.
+SnapshotMutator SelfCorrectionStage(const SelfCorrectionOptions& opts = {});
+
+}  // namespace hodor::telemetry

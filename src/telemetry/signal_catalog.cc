@@ -1,0 +1,124 @@
+#include "telemetry/signal_catalog.h"
+
+#include <sstream>
+
+namespace hodor::telemetry {
+
+namespace {
+
+std::string DevicePrefix(const net::Topology& topo, net::NodeId reporter) {
+  return "/devices/device[name=" + topo.node(reporter).name + "]";
+}
+
+std::string InterfacePath(const net::Topology& topo, net::NodeId reporter,
+                          net::LinkId link, const char* leaf) {
+  return DevicePrefix(topo, reporter) + "/interfaces/interface[name=" +
+         topo.LinkName(link) + "]/state/" + leaf;
+}
+
+}  // namespace
+
+SignalCatalog::SignalCatalog(const net::Topology& topo) : topo_(&topo) {
+  for (const net::Node& node : topo.nodes()) {
+    // Node-level signals.
+    signals_.push_back(SignalDescriptor{
+        SignalKind::kNodeDrain, node.id, net::LinkId::Invalid(),
+        DevicePrefix(topo, node.id) + "/system/state/drained",
+        // Drain is intent: only link-drain symmetry-style redundancy via
+        // the standardized protocol, plus probes for case-1 liveness.
+        RedundancySources{false, false, true, true}});
+    signals_.push_back(SignalDescriptor{
+        SignalKind::kDroppedRate, node.id, net::LinkId::Invalid(),
+        DevicePrefix(topo, node.id) + "/qos/state/dropped-octets",
+        RedundancySources{false, true, false, false}});
+    if (node.has_external_port) {
+      signals_.push_back(SignalDescriptor{
+          SignalKind::kExtInRate, node.id, net::LinkId::Invalid(),
+          DevicePrefix(topo, node.id) +
+              "/interfaces/interface[name=external]/state/counters/in-octets",
+          RedundancySources{false, true, false, false}});
+      signals_.push_back(SignalDescriptor{
+          SignalKind::kExtOutRate, node.id, net::LinkId::Invalid(),
+          DevicePrefix(topo, node.id) +
+              "/interfaces/interface[name=external]/state/counters/out-octets",
+          RedundancySources{false, true, false, false}});
+    }
+    // Per-interface signals.
+    for (net::LinkId e : topo.OutLinks(node.id)) {
+      signals_.push_back(SignalDescriptor{
+          SignalKind::kTxRate, node.id, e,
+          InterfacePath(topo, node.id, e, "counters/out-octets"),
+          RedundancySources{true, true, true, false}});
+      signals_.push_back(SignalDescriptor{
+          SignalKind::kLinkStatus, node.id, e,
+          InterfacePath(topo, node.id, e, "oper-status"),
+          RedundancySources{true, false, true, true}});
+      signals_.push_back(SignalDescriptor{
+          SignalKind::kLinkDrain, node.id, e,
+          InterfacePath(topo, node.id, e, "drained"),
+          RedundancySources{true, false, false, false}});
+    }
+    for (net::LinkId e : topo.InLinks(node.id)) {
+      signals_.push_back(SignalDescriptor{
+          SignalKind::kRxRate, node.id, e,
+          InterfacePath(topo, node.id, e, "counters/in-octets"),
+          RedundancySources{true, true, true, false}});
+    }
+  }
+}
+
+std::size_t SignalCatalog::CorroboratedCount() const {
+  std::size_t n = 0;
+  for (const SignalDescriptor& d : signals_) {
+    if (d.redundancy.link_symmetry || d.redundancy.flow_conservation ||
+        d.redundancy.alternative_signals ||
+        d.redundancy.manufactured_signals) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+util::StatusOr<const SignalDescriptor*> SignalCatalog::FindByPath(
+    const std::string& path) const {
+  for (const SignalDescriptor& d : signals_) {
+    if (d.path == path) return &d;
+  }
+  return util::NotFoundError("no signal with path '" + path + "'");
+}
+
+std::optional<double> SignalCatalog::Resolve(
+    const SignalDescriptor& d, const NetworkSnapshot& snapshot) const {
+  auto as_double = [](std::optional<bool> b) -> std::optional<double> {
+    if (!b) return std::nullopt;
+    return *b ? 1.0 : 0.0;
+  };
+  switch (d.kind) {
+    case SignalKind::kTxRate: return snapshot.TxRate(d.link);
+    case SignalKind::kRxRate: return snapshot.RxRate(d.link);
+    case SignalKind::kLinkStatus: {
+      const auto s = snapshot.StatusAtSrc(d.link);
+      if (!s) return std::nullopt;
+      return *s == LinkStatus::kUp ? 1.0 : 0.0;
+    }
+    case SignalKind::kLinkDrain:
+      return as_double(snapshot.LinkDrainAtSrc(d.link));
+    case SignalKind::kNodeDrain:
+      return as_double(snapshot.NodeDrained(d.reporter));
+    case SignalKind::kDroppedRate: return snapshot.DroppedRate(d.reporter);
+    case SignalKind::kExtInRate: return snapshot.ExtInRate(d.reporter);
+    case SignalKind::kExtOutRate: return snapshot.ExtOutRate(d.reporter);
+  }
+  return std::nullopt;
+}
+
+std::size_t SignalCatalog::PresentCount(
+    const NetworkSnapshot& snapshot) const {
+  std::size_t n = 0;
+  for (const SignalDescriptor& d : signals_) {
+    if (Resolve(d, snapshot).has_value()) ++n;
+  }
+  return n;
+}
+
+}  // namespace hodor::telemetry

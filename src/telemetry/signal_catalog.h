@@ -1,0 +1,102 @@
+// The signal catalog — Hodor step 1's design-time artifact (paper §3.2):
+//
+//   "The key challenge here is to identify what signals are available, and
+//    whether they are relevant ... Hodor leverages the fact that network
+//    operators today maintain detailed network models, and use
+//    vendor-agnostic APIs [gNMI/OpenConfig] which provide detailed
+//    documentation about each available router signal. The relevant
+//    signals are chosen once at system design time."
+//
+// SignalCatalog enumerates, for a topology, every signal the routers can
+// export, each with an OpenConfig-flavoured path (the form operators would
+// subscribe to over gNMI), the redundancy sources that can corroborate it,
+// and an accessor that resolves it against a NetworkSnapshot. Reports and
+// alerts reference signals by these paths.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "telemetry/snapshot.h"
+#include "util/status.h"
+
+namespace hodor::telemetry {
+
+enum class SignalKind {
+  kTxRate,       // /interfaces/interface[...]/state/counters/out-octets
+  kRxRate,       // /interfaces/interface[...]/state/counters/in-octets
+  kLinkStatus,   // /interfaces/interface[...]/state/oper-status
+  kLinkDrain,    // /interfaces/interface[...]/state/drained (intent)
+  kNodeDrain,    // /system/state/drained (intent)
+  kDroppedRate,  // /qos/interfaces/.../dropped-octets (router aggregate)
+  kExtInRate,    // external port in-octets
+  kExtOutRate,   // external port out-octets
+};
+
+constexpr const char* SignalKindName(SignalKind k) {
+  switch (k) {
+    case SignalKind::kTxRate: return "tx-rate";
+    case SignalKind::kRxRate: return "rx-rate";
+    case SignalKind::kLinkStatus: return "link-status";
+    case SignalKind::kLinkDrain: return "link-drain";
+    case SignalKind::kNodeDrain: return "node-drain";
+    case SignalKind::kDroppedRate: return "dropped-rate";
+    case SignalKind::kExtInRate: return "ext-in-rate";
+    case SignalKind::kExtOutRate: return "ext-out-rate";
+  }
+  return "?";
+}
+
+// Which of the paper's redundancy sources can corroborate a signal kind.
+struct RedundancySources {
+  bool link_symmetry = false;      // R1
+  bool flow_conservation = false;  // R2
+  bool alternative_signals = false;  // R3
+  bool manufactured_signals = false; // R4 (probes)
+};
+
+struct SignalDescriptor {
+  SignalKind kind;
+  // Reporting router.
+  net::NodeId reporter;
+  // The directed link the signal describes (invalid for node-level kinds).
+  net::LinkId link;
+  // OpenConfig-flavoured path, e.g.
+  // "/devices/device[name=NYCMng]/interfaces/interface[name=NYCMng->WASHng]
+  //  /state/counters/out-octets".
+  std::string path;
+  RedundancySources redundancy;
+};
+
+class SignalCatalog {
+ public:
+  // Enumerates every signal the topology's routers can export.
+  explicit SignalCatalog(const net::Topology& topo);
+
+  const std::vector<SignalDescriptor>& signals() const { return signals_; }
+  std::size_t size() const { return signals_.size(); }
+
+  // Count of signals that at least one redundancy source can corroborate
+  // (the design-time coverage number an operator would review).
+  std::size_t CorroboratedCount() const;
+
+  // Finds a descriptor by its path.
+  util::StatusOr<const SignalDescriptor*> FindByPath(
+      const std::string& path) const;
+
+  // Resolves a signal's current value (as a double; statuses/drains as
+  // 0/1) from a snapshot; empty when not reported.
+  std::optional<double> Resolve(const SignalDescriptor& d,
+                                const NetworkSnapshot& snapshot) const;
+
+  // How many catalog signals are present in the snapshot.
+  std::size_t PresentCount(const NetworkSnapshot& snapshot) const;
+
+ private:
+  const net::Topology* topo_;
+  std::vector<SignalDescriptor> signals_;
+};
+
+}  // namespace hodor::telemetry

@@ -1,0 +1,69 @@
+// A NetworkSnapshot is the comprehensive set of router signals gathered in
+// one collection round (paper §3 step 1) — the raw material hardening works
+// on. Accessors resolve the "two vantage points" of each signal:
+// TxRate(e)/RxRate(e) are the two independent measurements of the rate on
+// directed link e, StatusAtSrc/StatusAtDst the two views of a link's state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/topology.h"
+#include "telemetry/signals.h"
+#include "util/status.h"
+
+namespace hodor::telemetry {
+
+class NetworkSnapshot {
+ public:
+  NetworkSnapshot(const net::Topology& topo, std::uint64_t epoch);
+
+  const net::Topology& topology() const { return *topo_; }
+  std::uint64_t epoch() const { return epoch_; }
+
+  // Mutable access used by agents/collector and by fault injection.
+  RouterSignals& router(net::NodeId id);
+  const RouterSignals& router(net::NodeId id) const;
+  std::vector<RouterSignals>& routers() { return routers_; }
+  const std::vector<RouterSignals>& routers() const { return routers_; }
+
+  // --- resolved signal accessors (empty when missing / unresponsive) ------
+
+  // TX counter for directed link e, as reported by e.src.
+  std::optional<double> TxRate(net::LinkId e) const;
+  // RX counter for directed link e, as reported by e.dst.
+  std::optional<double> RxRate(net::LinkId e) const;
+
+  // Status of directed link e as reported by its src / its dst. The dst
+  // reports through the reverse direction's out-interface (same physical
+  // link).
+  std::optional<LinkStatus> StatusAtSrc(net::LinkId e) const;
+  std::optional<LinkStatus> StatusAtDst(net::LinkId e) const;
+
+  std::optional<bool> LinkDrainAtSrc(net::LinkId e) const;
+  std::optional<bool> LinkDrainAtDst(net::LinkId e) const;
+
+  std::optional<bool> NodeDrained(net::NodeId v) const;
+  std::optional<double> DroppedRate(net::NodeId v) const;
+  std::optional<double> ExtInRate(net::NodeId v) const;
+  std::optional<double> ExtOutRate(net::NodeId v) const;
+
+  // Probe results attached by the ProbeEngine (may be empty if probing is
+  // disabled). Indexed lookup by directed link.
+  void SetProbeResults(std::vector<ProbeResult> results);
+  std::optional<bool> ProbeSucceeded(net::LinkId e) const;
+  const std::vector<ProbeResult>& probe_results() const { return probes_; }
+
+  // Count of signal values present across all routers (for reporting).
+  std::size_t PresentSignalCount() const;
+
+ private:
+  const net::Topology* topo_;
+  std::uint64_t epoch_;
+  std::vector<RouterSignals> routers_;
+  std::vector<ProbeResult> probes_;
+  std::vector<std::optional<bool>> probe_by_link_;
+};
+
+}  // namespace hodor::telemetry

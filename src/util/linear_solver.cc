@@ -1,0 +1,120 @@
+#include "util/linear_solver.h"
+
+#include <cmath>
+
+namespace hodor::util {
+
+namespace {
+
+double ResidualNorm(const Matrix& m, const std::vector<double>& x,
+                    const std::vector<double>& b) {
+  std::vector<double> mx = m.Apply(x);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    const double d = mx[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+StatusOr<SolveResult> SolveLinearSystem(const Matrix& m,
+                                        const std::vector<double>& b,
+                                        double tol) {
+  if (b.size() != m.rows()) {
+    return InvalidArgumentError("rhs size does not match row count");
+  }
+  if (m.cols() == 0) {
+    return InvalidArgumentError("system has no unknowns");
+  }
+  const std::size_t rows = m.rows();
+  const std::size_t cols = m.cols();
+
+  // Augmented matrix [M | b].
+  Matrix aug(rows, cols + 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) aug.At(r, c) = m.At(r, c);
+    aug.At(r, cols) = b[r];
+  }
+
+  // Forward elimination with partial pivoting; record pivot column per row.
+  std::vector<std::size_t> pivot_col_of_row;
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < cols && pivot_row < rows; ++col) {
+    std::size_t best = pivot_row;
+    for (std::size_t r = pivot_row + 1; r < rows; ++r) {
+      if (std::fabs(aug.At(r, col)) > std::fabs(aug.At(best, col))) best = r;
+    }
+    if (std::fabs(aug.At(best, col)) <= tol) continue;
+    if (best != pivot_row) {
+      for (std::size_t c = 0; c <= cols; ++c) {
+        std::swap(aug.At(best, c), aug.At(pivot_row, c));
+      }
+    }
+    const double pivot = aug.At(pivot_row, col);
+    for (std::size_t r = pivot_row + 1; r < rows; ++r) {
+      const double factor = aug.At(r, col) / pivot;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c <= cols; ++c) {
+        aug.At(r, c) -= factor * aug.At(pivot_row, c);
+      }
+    }
+    pivot_col_of_row.push_back(col);
+    ++pivot_row;
+  }
+  const std::size_t rank = pivot_row;
+
+  // Inconsistency: a zero row of M with a nonzero rhs entry.
+  for (std::size_t r = rank; r < rows; ++r) {
+    if (std::fabs(aug.At(r, cols)) > tol) {
+      SolveResult res;
+      res.outcome = SolveOutcome::kInconsistent;
+      return res;
+    }
+  }
+  if (rank < cols) {
+    SolveResult res;
+    res.outcome = SolveOutcome::kUnderdetermined;
+    return res;
+  }
+
+  // Back substitution. rank == cols here; pivot_col_of_row is strictly
+  // increasing so pivot_col_of_row[i] identifies unknown i's row.
+  std::vector<double> x(cols, 0.0);
+  for (std::size_t ri = rank; ri-- > 0;) {
+    const std::size_t pc = pivot_col_of_row[ri];
+    double acc = aug.At(ri, cols);
+    for (std::size_t c = pc + 1; c < cols; ++c) acc -= aug.At(ri, c) * x[c];
+    x[pc] = acc / aug.At(ri, pc);
+  }
+
+  SolveResult res;
+  res.outcome = SolveOutcome::kUnique;
+  res.solution = std::move(x);
+  res.residual = ResidualNorm(m, res.solution, b);
+  return res;
+}
+
+StatusOr<SolveResult> SolveLeastSquares(const Matrix& m,
+                                        const std::vector<double>& b,
+                                        double tol) {
+  if (b.size() != m.rows()) {
+    return InvalidArgumentError("rhs size does not match row count");
+  }
+  if (m.cols() == 0) {
+    return InvalidArgumentError("system has no unknowns");
+  }
+  const Matrix mt = m.Transpose();
+  const Matrix mtm = mt.Multiply(m);
+  const std::vector<double> mtb = mt.Apply(b);
+  auto inner = SolveLinearSystem(mtm, mtb, tol);
+  if (!inner.ok()) return inner.status();
+  SolveResult res = std::move(inner).value();
+  if (res.outcome == SolveOutcome::kUnique) {
+    res.residual = ResidualNorm(m, res.solution, b);
+  }
+  return res;
+}
+
+}  // namespace hodor::util

@@ -1,0 +1,49 @@
+// Linear-system solvers used by the flow-conservation repair step (R2).
+//
+// The hardener forms the flow-conservation system M · x = b where M is
+// (a sub-block of) the network incidence matrix restricted to the unknown
+// counters and b collects the contribution of the trusted counters. The
+// system is typically over- or exactly-determined with rank ≤ |V|−1; we
+// provide an exact solver for uniquely determined systems and a least-squares
+// solver (normal equations) for the over-determined / noisy case.
+#pragma once
+
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace hodor::util {
+
+// Outcome of a solvability analysis of M x = b.
+enum class SolveOutcome {
+  kUnique,           // exactly one solution
+  kUnderdetermined,  // infinitely many solutions (rank < #unknowns)
+  kInconsistent,     // no solution (within tolerance)
+};
+
+struct SolveResult {
+  SolveOutcome outcome;
+  // Populated when outcome == kUnique (exact solve), or for least-squares
+  // always (the minimiser of ||Mx-b||). Size == M.cols().
+  std::vector<double> solution;
+  // Residual ||M·solution − b||₂; near zero for consistent systems.
+  double residual = 0.0;
+};
+
+// Solves M x = b by Gaussian elimination with partial pivoting.
+// Detects underdetermined and inconsistent systems instead of returning
+// garbage. `tol` is the magnitude below which pivots/residual entries are
+// treated as zero.
+StatusOr<SolveResult> SolveLinearSystem(const Matrix& m,
+                                        const std::vector<double>& b,
+                                        double tol = 1e-7);
+
+// Least-squares solution via the normal equations MᵀM x = Mᵀb.
+// Requires MᵀM nonsingular (columns of M linearly independent); otherwise
+// returns kUnderdetermined with an empty solution.
+StatusOr<SolveResult> SolveLeastSquares(const Matrix& m,
+                                        const std::vector<double>& b,
+                                        double tol = 1e-7);
+
+}  // namespace hodor::util

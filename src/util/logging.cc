@@ -1,0 +1,43 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+namespace hodor::util {
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& msg) {
+    std::cerr << "[" << LogLevelName(level) << "] " << msg << "\n";
+  };
+}
+
+void Logger::SetSink(Sink sink) {
+  if (sink) {
+    sink_ = std::move(sink);
+  } else {
+    sink_ = [](LogLevel level, const std::string& msg) {
+      std::cerr << "[" << LogLevelName(level) << "] " << msg << "\n";
+    };
+  }
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
+  sink_(level, message);
+}
+
+}  // namespace hodor::util

@@ -1,0 +1,58 @@
+// Minimal leveled logger. Sinks to stderr by default; the validation
+// pipeline's alerting policy also routes operator-facing alerts through it.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace hodor::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+// Global log configuration. Not thread-safe by design: the simulator is
+// single-threaded and benches configure logging once at startup.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& Instance();
+
+  void SetMinLevel(LogLevel level) { min_level_ = level; }
+  LogLevel min_level() const { return min_level_; }
+
+  // Replaces the output sink (tests capture logs this way). Passing nullptr
+  // restores the default stderr sink.
+  void SetSink(Sink sink);
+
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel min_level_ = LogLevel::kInfo;
+  Sink sink_;
+};
+
+namespace internal {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Instance().Log(level_, os_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace internal
+
+}  // namespace hodor::util
+
+#define HODOR_LOG(level) \
+  ::hodor::util::internal::LogMessage(::hodor::util::LogLevel::level)

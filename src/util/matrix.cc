@@ -1,0 +1,119 @@
+#include "util/matrix.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace hodor::util {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m.At(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::At(std::size_t r, std::size_t c) {
+  HODOR_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::At(std::size_t r, std::size_t c) const {
+  HODOR_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t.At(c, r) = At(r, c);
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  HODOR_CHECK_MSG(cols_ == other.rows_, "matrix product dimension mismatch");
+  Matrix out(rows_, other.cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = At(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out.At(i, j) += a * other.At(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::Apply(const std::vector<double>& v) const {
+  HODOR_CHECK_MSG(v.size() == cols_, "matrix-vector dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) acc += At(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+std::size_t Matrix::Rank(double tol) const {
+  Matrix work = *this;
+  std::size_t rank = 0;
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < cols_ && pivot_row < rows_; ++col) {
+    // Partial pivoting: pick the largest-magnitude entry in this column.
+    std::size_t best = pivot_row;
+    for (std::size_t r = pivot_row + 1; r < rows_; ++r) {
+      if (std::fabs(work.At(r, col)) > std::fabs(work.At(best, col))) best = r;
+    }
+    if (std::fabs(work.At(best, col)) <= tol) continue;
+    if (best != pivot_row) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        std::swap(work.At(best, c), work.At(pivot_row, c));
+      }
+    }
+    const double pivot = work.At(pivot_row, col);
+    for (std::size_t r = pivot_row + 1; r < rows_; ++r) {
+      const double factor = work.At(r, col) / pivot;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < cols_; ++c) {
+        work.At(r, c) -= factor * work.At(pivot_row, c);
+      }
+    }
+    ++pivot_row;
+    ++rank;
+  }
+  return rank;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+bool Matrix::AlmostEqual(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << "[";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ", ";
+      os << At(r, c);
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace hodor::util

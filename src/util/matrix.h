@@ -1,0 +1,61 @@
+// Dense row-major matrix of doubles, sized for control-plane scale
+// (hundreds of routers, not millions), plus the small set of operations the
+// hardening math needs: products, transpose, rank, and row reduction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hodor::util {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  // Creates a rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix Identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& At(std::size_t r, std::size_t c);
+  double At(std::size_t r, std::size_t c) const;
+
+  double& operator()(std::size_t r, std::size_t c) { return At(r, c); }
+  double operator()(std::size_t r, std::size_t c) const { return At(r, c); }
+
+  Matrix Transpose() const;
+
+  // Matrix product; preconditions checked.
+  Matrix Multiply(const Matrix& other) const;
+
+  // Matrix-vector product. Precondition: v.size() == cols().
+  std::vector<double> Apply(const std::vector<double>& v) const;
+
+  // Numerical rank via Gaussian elimination with partial pivoting.
+  // Entries with magnitude below `tol` after elimination count as zero.
+  std::size_t Rank(double tol = 1e-9) const;
+
+  // Frobenius norm.
+  double FrobeniusNorm() const;
+
+  // Element-wise near-equality within absolute tolerance.
+  bool AlmostEqual(const Matrix& other, double tol = 1e-9) const;
+
+  // Multi-line human-readable rendering (debugging and examples).
+  std::string ToString(int precision = 3) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hodor::util

@@ -1,0 +1,106 @@
+// Deterministic, seedable random number generation.
+//
+// All stochastic components in this repo (traffic-matrix generators, jitter
+// models, fault injectors, topology generators) draw from a Rng handed to
+// them explicitly. Nothing reads global entropy: every experiment is exactly
+// reproducible from its seed, which the benches print alongside results.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hodor::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    HODOR_CHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    HODOR_CHECK(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  // Index in [0, n). Precondition: n > 0.
+  std::size_t Index(std::size_t n) {
+    HODOR_CHECK(n > 0);
+    return static_cast<std::size_t>(
+        std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_));
+  }
+
+  // Bernoulli trial with probability p of true.
+  bool Bernoulli(double p) {
+    HODOR_CHECK(p >= 0.0 && p <= 1.0);
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  // Normal with given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    HODOR_CHECK(stddev >= 0.0);
+    if (stddev == 0.0) return mean;
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  // Exponential with given rate lambda (> 0).
+  double Exponential(double lambda) {
+    HODOR_CHECK(lambda > 0.0);
+    return std::exponential_distribution<double>(lambda)(engine_);
+  }
+
+  // Pareto-distributed value with given scale (minimum) and shape alpha.
+  // Heavy-tailed demand entries use this.
+  double Pareto(double scale, double alpha) {
+    HODOR_CHECK(scale > 0.0 && alpha > 0.0);
+    double u = Uniform(std::numeric_limits<double>::min(), 1.0);
+    return scale / std::pow(u, 1.0 / alpha);
+  }
+
+  // Choose k distinct indices from [0, n) uniformly at random.
+  // Precondition: k <= n.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n, std::size_t k) {
+    HODOR_CHECK(k <= n);
+    // Floyd's algorithm would be O(k) but for our sizes a partial
+    // Fisher-Yates over an index vector is simple and fast enough.
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + Index(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+  // Shuffle a vector in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  // Derive an independent child generator; useful for giving each router
+  // agent or trial its own stream so per-component behaviour is stable even
+  // when other components change how much randomness they consume.
+  Rng Fork() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace hodor::util

@@ -1,0 +1,105 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hodor::util {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  HODOR_CHECK(count_ > 0);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  HODOR_CHECK(count_ > 0);
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  HODOR_CHECK(count_ > 0);
+  return min_;
+}
+
+double RunningStats::max() const {
+  HODOR_CHECK(count_ > 0);
+  return max_;
+}
+
+double Percentile(std::vector<double> sample, double p) {
+  HODOR_CHECK(!sample.empty());
+  HODOR_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample[0];
+  const double rank = p / 100.0 * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sample[lo] + frac * (sample[hi] - sample[lo]);
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  HODOR_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+void Ewma::Add(double x) {
+  if (count_ == 0) {
+    mean_ = x;
+    var_ = 0.0;
+  } else {
+    const double delta = x - mean_;
+    mean_ += alpha_ * delta;
+    // EWM variance (West 1979 incremental form).
+    var_ = (1.0 - alpha_) * (var_ + alpha_ * delta * delta);
+  }
+  ++count_;
+}
+
+double Ewma::mean() const {
+  HODOR_CHECK(count_ > 0);
+  return mean_;
+}
+
+double Ewma::variance() const {
+  HODOR_CHECK(count_ > 0);
+  return var_;
+}
+
+double Ewma::stddev() const { return std::sqrt(variance()); }
+
+double Ewma::ZScore(double x) const {
+  HODOR_CHECK(count_ > 0);
+  const double sd = stddev();
+  if (sd < 1e-12) {
+    return std::fabs(x - mean_) < 1e-12 ? 0.0 : 1e9;
+  }
+  return (x - mean_) / sd;
+}
+
+double RelativeDifference(double a, double b) {
+  const double denom = std::max(std::fabs(a), std::fabs(b));
+  if (denom < 1e-12) return 0.0;
+  return std::fabs(a - b) / denom;
+}
+
+bool WithinRelativeTolerance(double a, double b, double tau) {
+  HODOR_CHECK(tau >= 0.0);
+  return RelativeDifference(a, b) <= tau;
+}
+
+}  // namespace hodor::util

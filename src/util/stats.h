@@ -1,0 +1,83 @@
+// Small statistics toolkit: running summaries, percentiles, EWMA tracking.
+//
+// The anomaly-detection baseline (core/baselines) and the experiment
+// harnesses both report through these types, so every bench prints
+// consistently computed aggregates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hodor::util {
+
+// Accumulates a stream of doubles and reports summary statistics.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const;
+  // Population variance / standard deviation (Welford's algorithm).
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample using linear interpolation between closest ranks.
+// p in [0, 100]. Precondition: non-empty sample.
+double Percentile(std::vector<double> sample, double p);
+
+// Exponentially weighted moving average with bias-corrected startup,
+// plus an EWM variance estimate. Used by the statistical anomaly-detection
+// baseline to model a signal's "historical" behaviour.
+class Ewma {
+ public:
+  // alpha in (0, 1]: weight of the newest observation.
+  explicit Ewma(double alpha);
+
+  void Add(double x);
+
+  bool initialized() const { return count_ > 0; }
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+
+  // Standard score of x against the tracked mean/stddev. If the tracked
+  // stddev is ~0, returns 0 when x matches the mean and a large sentinel
+  // otherwise.
+  double ZScore(double x) const;
+
+ private:
+  double alpha_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+// Fraction helper that renders sensibly for empty denominators.
+inline double SafeRate(std::size_t numer, std::size_t denom) {
+  return denom == 0 ? 0.0 : static_cast<double>(numer) / static_cast<double>(denom);
+}
+
+// Relative difference |a−b| / max(|a|,|b|), 0 when both are ~0. This is the
+// comparison primitive behind both thresholds in the paper (τ_h and τ_e).
+double RelativeDifference(double a, double b);
+
+// True when a and b agree within relative tolerance tau (see
+// RelativeDifference). Mirrors the paper's "within τ percent of equality".
+bool WithinRelativeTolerance(double a, double b, double tau);
+
+}  // namespace hodor::util

@@ -1,0 +1,168 @@
+// Lightweight error-handling vocabulary for the Hodor libraries.
+//
+// We follow an expected-style discipline: fallible operations return
+// StatusOr<T> (or Status when there is no value), and callers must branch on
+// ok(). Exceptions are reserved for programmer errors (precondition
+// violations), which raise std::logic_error via HODOR_CHECK.
+#pragma once
+
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hodor::util {
+
+// Error categories. Deliberately small: the libraries in this repo are
+// in-process simulators and validators, not RPC surfaces.
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // a referenced entity does not exist
+  kFailedPrecondition,// operation not valid in the current state
+  kOutOfRange,        // index/value outside the permitted range
+  kUnavailable,       // data missing (e.g. signal never collected)
+  kInternal,          // invariant violation inside the library
+};
+
+// Human-readable name of a StatusCode, e.g. "InvalidArgument".
+constexpr const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "Ok";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+// Value-semantic error carrier: a code plus a message.
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "Ok" or "InvalidArgument: <message>".
+  std::string ToString() const {
+    if (ok()) return "Ok";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+// Result-or-error. Accessing value() on an error is a programmer error and
+// throws std::logic_error with the underlying status message.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : value_(value) {}            // NOLINT(google-explicit-constructor)
+  StatusOr(T&& value) : value_(std::move(value)) {}      // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : status_(std::move(status)) { // NOLINT(google-explicit-constructor)
+    if (status_.ok()) {
+      throw std::logic_error("StatusOr constructed from OK status without a value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::move(*value_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return value_.has_value() ? *value_ : fallback;
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!value_.has_value()) {
+      throw std::logic_error("StatusOr::value() on error: " + status_.ToString());
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_ = Status::Ok();
+};
+
+namespace internal {
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const std::string& extra) {
+  std::ostringstream os;
+  os << "HODOR_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) os << " — " << extra;
+  throw std::logic_error(os.str());
+}
+}  // namespace internal
+
+}  // namespace hodor::util
+
+// Precondition check: throws std::logic_error on failure. Used for
+// programmer errors only; data-dependent failures return Status.
+#define HODOR_CHECK(expr)                                                     \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::hodor::util::internal::CheckFailed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                         \
+  } while (0)
+
+#define HODOR_CHECK_MSG(expr, msg)                                            \
+  do {                                                                        \
+    if (!(expr)) {                                                            \
+      ::hodor::util::internal::CheckFailed(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                         \
+  } while (0)
+
+// Propagate a non-OK Status from an expression returning Status.
+#define HODOR_RETURN_IF_ERROR(expr)                    \
+  do {                                                 \
+    ::hodor::util::Status hodor_status_ = (expr);      \
+    if (!hodor_status_.ok()) return hodor_status_;     \
+  } while (0)

@@ -1,0 +1,39 @@
+// String helpers shared across the repo (formatting, joining, splitting).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hodor::util {
+
+// Joins elements with a separator using operator<< for rendering.
+template <typename Range>
+std::string Join(const Range& range, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : range) {
+    if (!first) os << sep;
+    os << item;
+    first = false;
+  }
+  return os.str();
+}
+
+// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(std::string_view s);
+
+// Renders a double with fixed precision (default 2 decimal places).
+std::string FormatDouble(double x, int precision = 2);
+
+// Renders a fraction as a percentage string, e.g. 0.992 -> "99.2%".
+std::string FormatPercent(double fraction, int precision = 1);
+
+// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace hodor::util

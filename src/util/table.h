@@ -1,0 +1,57 @@
+// Fixed-width table and CSV rendering for the benchmark harnesses.
+//
+// Every bench in bench/ reports through TablePrinter so the reproduced
+// tables/figures have a uniform, diffable shape (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace hodor::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends a row; must match the header arity.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats each cell via operator<<.
+  template <typename... Ts>
+  void AddRowValues(const Ts&... values) {
+    std::vector<std::string> cells;
+    (cells.push_back(Render(values)), ...);
+    AddRow(std::move(cells));
+  }
+
+  // Renders as an aligned ASCII table with a header separator.
+  std::string ToString() const;
+
+  // Renders as CSV (RFC-4180-ish quoting for commas/quotes/newlines).
+  std::string ToCsv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  template <typename T>
+  static std::string Render(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Escapes one CSV field per RFC 4180.
+std::string CsvEscape(const std::string& field);
+
+}  // namespace hodor::util

@@ -1,0 +1,229 @@
+#include "controlplane/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "controlplane/sdn_controller.h"
+#include "faults/aggregation_faults.h"
+#include "flow/tm_generators.h"
+#include "net/topologies.h"
+#include "util/logging.h"
+
+namespace hodor::controlplane {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+struct PipelineFixture : ::testing::Test {
+  PipelineFixture()
+      : topo(net::Abilene()),
+        state(topo),
+        pipeline(topo, PipelineOptions{}, util::Rng(2)) {
+    util::Rng rng(1);
+    demand = flow::GravityDemand(topo, rng);
+    flow::NormalizeToMaxUtilization(topo, 0.6, demand);
+    pipeline.Bootstrap(state, demand);
+    util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+  }
+  ~PipelineFixture() override {
+    util::Logger::Instance().SetMinLevel(util::LogLevel::kInfo);
+  }
+
+  net::Topology topo;
+  net::GroundTruthState state;
+  flow::DemandMatrix demand;
+  Pipeline pipeline;
+};
+
+TEST_F(PipelineFixture, HealthyEpochDeliversEverything) {
+  const EpochResult r = pipeline.RunEpoch(state, demand);
+  EXPECT_EQ(r.epoch, 0u);
+  EXPECT_FALSE(r.validated);  // no validator installed
+  EXPECT_GT(r.metrics.demand_satisfaction, 0.999);
+  EXPECT_EQ(r.metrics.congested_link_count, 0u);
+  EXPECT_TRUE(pipeline.last_good_input().has_value());
+}
+
+TEST_F(PipelineFixture, EpochNumbersIncrease) {
+  EXPECT_EQ(pipeline.RunEpoch(state, demand).epoch, 0u);
+  EXPECT_EQ(pipeline.RunEpoch(state, demand).epoch, 1u);
+  EXPECT_EQ(pipeline.RunEpoch(state, demand).epoch, 2u);
+}
+
+TEST_F(PipelineFixture, UnvalidatedBadDemandCausesOutage) {
+  // Without a validator, dropping the two biggest sources' demand makes the
+  // controller under-provision paths: the real traffic then congests links.
+  NodeId biggest = NodeId(0);
+  double best = 0.0;
+  for (NodeId v : topo.ExternalNodes()) {
+    if (demand.RowSum(v) > best) {
+      best = demand.RowSum(v);
+      biggest = v;
+    }
+  }
+  AggregationFaultHooks hooks;
+  hooks.demand = faults::DemandRowsDropped(topo, {biggest});
+  const EpochResult r = pipeline.RunEpoch(state, demand, nullptr, hooks);
+  EXPECT_FALSE(r.validated);
+  // The controller never saw the demand, so its plan has no paths for that
+  // ingress: its traffic is unrouted (the §2.2 partial-demand outage).
+  EXPECT_LT(r.metrics.demand_satisfaction, 0.95);
+}
+
+TEST_F(PipelineFixture, RejectingValidatorTriggersFallback) {
+  int calls = 0;
+  pipeline.SetValidator(
+      [&](const ControllerInput&, const telemetry::NetworkSnapshot&) {
+        ++calls;
+        ValidationDecision d;
+        d.accept = calls == 1;  // accept the first epoch, reject after
+        d.reason = "synthetic rejection";
+        return d;
+      });
+  const EpochResult first = pipeline.RunEpoch(state, demand);
+  EXPECT_TRUE(first.decision.accept);
+  EXPECT_FALSE(first.used_fallback);
+
+  const EpochResult second = pipeline.RunEpoch(state, demand);
+  EXPECT_TRUE(second.validated);
+  EXPECT_FALSE(second.decision.accept);
+  EXPECT_TRUE(second.used_fallback);
+  EXPECT_EQ(second.decision.reason, "synthetic rejection");
+  // Fallback reuses epoch 0's (good) input: traffic still flows.
+  EXPECT_GT(second.metrics.demand_satisfaction, 0.999);
+}
+
+TEST_F(PipelineFixture, AlertOnlyPolicyUsesBadInputAnyway) {
+  PipelineOptions opts;
+  opts.policy = RejectionPolicy::kAlertOnly;
+  Pipeline alert_pipeline(topo, opts, util::Rng(3));
+  alert_pipeline.Bootstrap(state, demand);
+  alert_pipeline.SetValidator(
+      [](const ControllerInput&, const telemetry::NetworkSnapshot&) {
+        return ValidationDecision{false, "always reject"};
+      });
+  const EpochResult r = alert_pipeline.RunEpoch(state, demand);
+  EXPECT_FALSE(r.decision.accept);
+  EXPECT_FALSE(r.used_fallback);  // alert-only: no fallback
+}
+
+TEST_F(PipelineFixture, RejectionWithoutHistoryUsesRawInput) {
+  // First-ever epoch rejected: no last-good exists, so the raw input is
+  // used despite the fallback policy.
+  pipeline.SetValidator(
+      [](const ControllerInput&, const telemetry::NetworkSnapshot&) {
+        return ValidationDecision{false, "reject from the start"};
+      });
+  const EpochResult r = pipeline.RunEpoch(state, demand);
+  EXPECT_FALSE(r.decision.accept);
+  EXPECT_FALSE(r.used_fallback);
+  EXPECT_FALSE(pipeline.last_good_input().has_value());
+}
+
+TEST_F(PipelineFixture, RejectedInputNotRecordedAsLastGood) {
+  pipeline.SetValidator(
+      [](const ControllerInput&, const telemetry::NetworkSnapshot&) {
+        return ValidationDecision{true, ""};
+      });
+  (void)pipeline.RunEpoch(state, demand);
+  const auto& good = pipeline.last_good_input();
+  ASSERT_TRUE(good.has_value());
+  const double good_total = good->demand.Total();
+
+  pipeline.SetValidator(
+      [](const ControllerInput&, const telemetry::NetworkSnapshot&) {
+        return ValidationDecision{false, "bad"};
+      });
+  AggregationFaultHooks hooks;
+  hooks.demand = faults::DemandScaled(100.0);
+  (void)pipeline.RunEpoch(state, demand, nullptr, hooks);
+  // last-good still holds the accepted epoch's demand.
+  EXPECT_NEAR(pipeline.last_good_input()->demand.Total(), good_total, 1e-9);
+}
+
+TEST(SdnController, RoutesOnlyOverUsableLinks) {
+  net::Topology topo = net::Ring(4);
+  SdnController controller(topo);
+  ControllerInput input = MakeEmptyInput(topo);
+  input.demand = flow::DemandMatrix(topo.node_count());
+  input.demand.Set(NodeId(0), NodeId(2), 10.0);
+  const LinkId banned = topo.FindLink(NodeId(0), NodeId(1)).value();
+  input.link_available[banned.value()] = false;
+  input.link_available[topo.link(banned).reverse.value()] = false;
+  const flow::RoutingPlan plan = controller.ComputeRouting(input);
+  for (const auto& wp : plan.PathsFor(NodeId(0), NodeId(2))) {
+    for (LinkId e : wp.path) {
+      EXPECT_NE(e, banned);
+      EXPECT_NE(e, topo.link(banned).reverse);
+    }
+  }
+}
+
+TEST(SdnController, DrainedNodeAvoided) {
+  net::Topology topo = net::Ring(4);
+  SdnController controller(topo);
+  ControllerInput input = MakeEmptyInput(topo);
+  input.demand = flow::DemandMatrix(topo.node_count());
+  input.demand.Set(NodeId(0), NodeId(2), 10.0);
+  input.node_drained[1] = true;
+  const flow::RoutingPlan plan = controller.ComputeRouting(input);
+  const auto& paths = plan.PathsFor(NodeId(0), NodeId(2));
+  ASSERT_FALSE(paths.empty());
+  for (const auto& wp : paths) {
+    for (LinkId e : wp.path) {
+      EXPECT_NE(topo.link(e).src, NodeId(1));
+      EXPECT_NE(topo.link(e).dst, NodeId(1));
+    }
+  }
+}
+
+
+TEST(SdnController, AlgorithmOptionSelectsRouting) {
+  net::Topology topo = net::Ring(4);
+  ControllerInput input = MakeEmptyInput(topo);
+  input.demand = flow::DemandMatrix(topo.node_count());
+  input.demand.Set(NodeId(0), NodeId(2), 10.0);  // two equal-cost paths
+
+  ControllerOptions spf;
+  spf.algorithm = RoutingAlgorithm::kShortestPath;
+  const auto spf_paths = SdnController(topo, spf)
+                             .ComputeRouting(input)
+                             .PathsFor(NodeId(0), NodeId(2));
+  ASSERT_EQ(spf_paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(spf_paths[0].weight, 1.0);
+
+  ControllerOptions ecmp;
+  ecmp.algorithm = RoutingAlgorithm::kEcmp;
+  const auto ecmp_paths = SdnController(topo, ecmp)
+                              .ComputeRouting(input)
+                              .PathsFor(NodeId(0), NodeId(2));
+  ASSERT_EQ(ecmp_paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(ecmp_paths[0].weight, 0.5);
+
+  ControllerOptions te;
+  te.algorithm = RoutingAlgorithm::kGreedyTe;
+  const auto te_paths = SdnController(topo, te)
+                            .ComputeRouting(input)
+                            .PathsFor(NodeId(0), NodeId(2));
+  EXPECT_FALSE(te_paths.empty());
+}
+
+TEST(SdnController, EcmpSpreadsLeafSpineTraffic) {
+  // The datacenter configuration: ECMP over a 4-spine fabric splits each
+  // leaf pair's traffic four ways.
+  net::Topology topo = net::LeafSpine(4, 4);
+  ControllerInput input = MakeEmptyInput(topo);
+  input.demand = flow::DemandMatrix(topo.node_count());
+  const NodeId l0 = topo.FindNode("leaf0").value();
+  const NodeId l1 = topo.FindNode("leaf1").value();
+  input.demand.Set(l0, l1, 8.0);
+  ControllerOptions ecmp;
+  ecmp.algorithm = RoutingAlgorithm::kEcmp;
+  const auto paths =
+      SdnController(topo, ecmp).ComputeRouting(input).PathsFor(l0, l1);
+  ASSERT_EQ(paths.size(), 4u);
+  for (const auto& wp : paths) EXPECT_DOUBLE_EQ(wp.weight, 0.25);
+}
+
+}  // namespace
+}  // namespace hodor::controlplane

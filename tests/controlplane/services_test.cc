@@ -1,0 +1,171 @@
+#include "controlplane/services.h"
+
+#include <gtest/gtest.h>
+
+#include "faults/snapshot_faults.h"
+#include "util/stats.h"
+#include "test_util.h"
+
+namespace hodor::controlplane {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+TEST(TopologyService, HealthyLinksAllAvailable) {
+  testing::HealthyNetwork net(net::Figure3Triangle(), 3);
+  const auto snap = net.Snapshot();
+  TopologyService service;
+  const auto available = service.Aggregate(snap);
+  for (LinkId e : net.topo.LinkIds()) EXPECT_TRUE(available[e.value()]);
+}
+
+TEST(TopologyService, DownLinkExcluded) {
+  net::Topology topo = net::Figure3Triangle();
+  testing::HealthyNetwork net(std::move(topo), 3);
+  const LinkId dead = net.topo.LinkIds()[0];
+  net.state.SetLinkUp(dead, false);
+  net.sim = flow::SimulateFlow(net.topo, net.state, net.demand, net.plan);
+  const auto snap = net.Snapshot();
+  const auto available = TopologyService().Aggregate(snap);
+  EXPECT_FALSE(available[dead.value()]);
+  EXPECT_FALSE(available[net.topo.link(dead).reverse.value()]);
+}
+
+TEST(TopologyService, MissingStatusConservativelyDown) {
+  testing::HealthyNetwork net(net::Figure3Triangle(), 3);
+  const NodeId a = net.topo.FindNode("A").value();
+  const auto snap =
+      net.Snapshot(1, faults::UnresponsiveRouter(a));
+  const auto available = TopologyService().Aggregate(snap);
+  for (LinkId e : net.topo.OutLinks(a)) {
+    EXPECT_FALSE(available[e.value()]);
+  }
+  // The B<->C link is unaffected.
+  const LinkId bc = net.topo
+                        .FindLink(net.topo.FindNode("B").value(),
+                                  net.topo.FindNode("C").value())
+                        .value();
+  EXPECT_TRUE(available[bc.value()]);
+}
+
+TEST(TopologyService, MissingStatusPolicyCanBePermissive) {
+  testing::HealthyNetwork net(net::Figure3Triangle(), 3);
+  const NodeId a = net.topo.FindNode("A").value();
+  const auto snap = net.Snapshot(1, faults::UnresponsiveRouter(a));
+  TopologyServiceOptions opts;
+  opts.missing_status_means_down = false;
+  const auto available = TopologyService(opts).Aggregate(snap);
+  for (LinkId e : net.topo.LinkIds()) EXPECT_TRUE(available[e.value()]);
+}
+
+TEST(TopologyService, OneSideDownExcludesLink) {
+  testing::HealthyNetwork net(net::Figure3Triangle(), 3);
+  const LinkId e = net.topo.LinkIds()[0];
+  const auto snap = net.Snapshot(
+      1, faults::FalseLinkStatus(e, /*at_src=*/true,
+                                 telemetry::LinkStatus::kDown));
+  const auto available = TopologyService().Aggregate(snap);
+  EXPECT_FALSE(available[e.value()]);
+}
+
+TEST(DemandService, MeasuresTrueDemandWithinNoise) {
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  util::Rng rng(5);
+  DemandServiceOptions opts;
+  opts.measurement_noise = 0.002;
+  const auto measured =
+      DemandService(opts).Measure(net.topo, net.demand, rng);
+  for (const auto& [i, j] : net.demand.Pairs()) {
+    EXPECT_TRUE(util::WithinRelativeTolerance(measured.At(i, j),
+                                              net.demand.At(i, j), 0.0021));
+  }
+}
+
+TEST(DemandService, ZeroNoiseIsExact) {
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  util::Rng rng(5);
+  DemandServiceOptions opts;
+  opts.measurement_noise = 0.0;
+  const auto measured =
+      DemandService(opts).Measure(net.topo, net.demand, rng);
+  EXPECT_DOUBLE_EQ(measured.MaxAbsDifference(net.demand), 0.0);
+}
+
+TEST(DrainService, CollectsNodeAndLinkDrains) {
+  net::Topology topo = net::Figure3Triangle();
+  testing::HealthyNetwork net(std::move(topo), 3);
+  const NodeId a = net.topo.FindNode("A").value();
+  const LinkId bc = net.topo
+                        .FindLink(net.topo.FindNode("B").value(),
+                                  net.topo.FindNode("C").value())
+                        .value();
+  net.state.SetNodeDrained(a, true);
+  net.state.SetLinkDrained(bc, true);
+  net.sim = flow::SimulateFlow(net.topo, net.state, net.demand, net.plan);
+  const auto snap = net.Snapshot();
+
+  std::vector<bool> node_drained, link_drained;
+  DrainService().Aggregate(snap, node_drained, link_drained);
+  EXPECT_TRUE(node_drained[a.value()]);
+  EXPECT_TRUE(link_drained[bc.value()]);
+  EXPECT_TRUE(link_drained[net.topo.link(bc).reverse.value()]);
+  EXPECT_FALSE(node_drained[net.topo.FindNode("B").value().value()]);
+}
+
+TEST(DrainService, MissingSignalsDefaultUndrained) {
+  testing::HealthyNetwork net(net::Figure3Triangle(), 3);
+  const NodeId a = net.topo.FindNode("A").value();
+  const auto snap = net.Snapshot(1, faults::UnresponsiveRouter(a));
+  std::vector<bool> node_drained, link_drained;
+  DrainService().Aggregate(snap, node_drained, link_drained);
+  EXPECT_FALSE(node_drained[a.value()]);
+}
+
+TEST(AggregateInputs, AssemblesAllThreeInputs) {
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  const auto snap = net.Snapshot();
+  const auto input = net.Input(snap);
+  EXPECT_EQ(input.link_available.size(), net.topo.link_count());
+  EXPECT_EQ(input.AvailableLinkCount(), net.topo.link_count());
+  EXPECT_EQ(input.demand.node_count(), net.topo.node_count());
+  EXPECT_GT(input.demand.Total(), 0.0);
+  EXPECT_EQ(input.node_drained.size(), net.topo.node_count());
+}
+
+TEST(AggregateInputs, HooksMutateOutputs) {
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  const auto snap = net.Snapshot();
+  AggregationFaultHooks hooks;
+  hooks.topology = [](std::vector<bool>& links) {
+    links.assign(links.size(), false);
+  };
+  hooks.demand = [](flow::DemandMatrix& d) { d.Scale(0.0); };
+  hooks.drain = [](std::vector<bool>& nodes, std::vector<bool>&) {
+    nodes[0] = true;
+  };
+  const auto input = net.Input(snap, 2, hooks);
+  EXPECT_EQ(input.AvailableLinkCount(), 0u);
+  EXPECT_DOUBLE_EQ(input.demand.Total(), 0.0);
+  EXPECT_TRUE(input.node_drained[0]);
+}
+
+TEST(ControllerInput, UsableFilterCombinesAvailabilityAndDrains) {
+  net::Topology topo = net::Figure3Triangle();
+  ControllerInput input = MakeEmptyInput(topo);
+  const LinkId e = topo.LinkIds()[0];
+  EXPECT_TRUE(input.LinkUsable(topo, e));
+  input.link_drained[e.value()] = true;
+  EXPECT_FALSE(input.LinkUsable(topo, e));
+  input.link_drained[e.value()] = false;
+  input.node_drained[topo.link(e).dst.value()] = true;
+  EXPECT_FALSE(input.LinkUsable(topo, e));
+  input.node_drained[topo.link(e).dst.value()] = false;
+  input.link_available[e.value()] = false;
+  EXPECT_FALSE(input.LinkUsable(topo, e));
+  const auto filter = input.UsableFilter(topo);
+  EXPECT_FALSE(filter(e));
+}
+
+}  // namespace
+}  // namespace hodor::controlplane

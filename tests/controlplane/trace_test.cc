@@ -1,0 +1,100 @@
+#include "controlplane/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+
+namespace hodor::controlplane {
+namespace {
+
+EpochResult MakeResult(std::uint64_t epoch, double satisfaction,
+                       bool validated, bool accept, bool fallback) {
+  static const net::Topology topo = net::Line(2);
+  EpochResult r{epoch,
+                MakeEmptyInput(topo),
+                validated,
+                ValidationDecision{accept, ""},
+                fallback,
+                flow::NetworkMetrics{},
+                flow::SimulationResult{},
+                telemetry::NetworkSnapshot(topo, epoch)};
+  r.metrics.demand_satisfaction = satisfaction;
+  return r;
+}
+
+TEST(EpochTrace, EmptyTraceSummarizesCleanly) {
+  EpochTrace trace;
+  const auto report = trace.Summarize();
+  EXPECT_EQ(report.epochs, 0u);
+  EXPECT_DOUBLE_EQ(report.availability, 1.0);
+}
+
+TEST(EpochTrace, AllHealthyIsFullyAvailable) {
+  EpochTrace trace;
+  for (int e = 0; e < 10; ++e) {
+    trace.Record(MakeResult(e, 1.0, true, true, false), false);
+  }
+  const auto report = trace.Summarize(0.999);
+  EXPECT_EQ(report.epochs, 10u);
+  EXPECT_DOUBLE_EQ(report.availability, 1.0);
+  EXPECT_EQ(report.slo_violations, 0u);
+  EXPECT_EQ(report.outage_episodes, 0u);
+  EXPECT_DOUBLE_EQ(report.mean_satisfaction, 1.0);
+}
+
+TEST(EpochTrace, CountsViolationsAndEpisodes) {
+  EpochTrace trace;
+  // Pattern: ok ok BAD BAD ok BAD ok ok  -> 3 violations, 2 episodes,
+  // longest run 2.
+  const double sats[] = {1.0, 1.0, 0.5, 0.6, 1.0, 0.7, 1.0, 1.0};
+  for (int e = 0; e < 8; ++e) {
+    trace.Record(MakeResult(e, sats[e], false, true, false), false);
+  }
+  const auto report = trace.Summarize(0.999);
+  EXPECT_EQ(report.slo_violations, 3u);
+  EXPECT_EQ(report.outage_episodes, 2u);
+  EXPECT_EQ(report.longest_outage_epochs, 2u);
+  EXPECT_NEAR(report.availability, 5.0 / 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(report.worst_satisfaction, 0.5);
+}
+
+TEST(EpochTrace, DetectionCoverageSplitByFaultTruth) {
+  EpochTrace trace;
+  // Faulty epoch rejected; faulty epoch missed; clean epoch rejected;
+  // clean epoch accepted.
+  trace.Record(MakeResult(0, 1.0, true, false, true), true);
+  trace.Record(MakeResult(1, 0.9, true, true, false), true);
+  trace.Record(MakeResult(2, 1.0, true, false, true), false);
+  trace.Record(MakeResult(3, 1.0, true, true, false), false);
+  const auto report = trace.Summarize();
+  EXPECT_EQ(report.faulty_epochs, 2u);
+  EXPECT_EQ(report.faulty_epochs_rejected, 1u);
+  EXPECT_EQ(report.clean_epochs_rejected, 1u);
+}
+
+TEST(EpochTrace, UnvalidatedEpochsNeverCountAsRejected) {
+  EpochTrace trace;
+  trace.Record(MakeResult(0, 1.0, false, false, false), true);
+  const auto report = trace.Summarize();
+  EXPECT_EQ(report.faulty_epochs_rejected, 0u);
+}
+
+TEST(EpochTrace, SloBoundaryIsExclusive) {
+  EpochTrace trace;
+  trace.Record(MakeResult(0, 0.999, false, true, false), false);
+  trace.Record(MakeResult(1, 0.9989, false, true, false), false);
+  const auto report = trace.Summarize(0.999);
+  EXPECT_EQ(report.slo_violations, 1u);  // exactly-at-SLO passes
+}
+
+TEST(AvailabilityReport, ToStringMentionsKeyNumbers) {
+  EpochTrace trace;
+  trace.Record(MakeResult(0, 0.5, true, false, true), true);
+  trace.Record(MakeResult(1, 1.0, true, true, false), false);
+  const std::string s = trace.Summarize().ToString();
+  EXPECT_NE(s.find("availability=50.00%"), std::string::npos);
+  EXPECT_NE(s.find("1/1 faulty epochs rejected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hodor::controlplane

@@ -1,0 +1,139 @@
+#include "core/alerts.h"
+
+#include <gtest/gtest.h>
+
+#include "faults/aggregation_faults.h"
+#include "faults/snapshot_faults.h"
+#include "test_util.h"
+
+namespace hodor::core {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+struct AlertsFixture : ::testing::Test {
+  AlertsFixture()
+      : net(testing::MakeAbilene()),
+        catalog(net.topo),
+        validator(net.topo) {}
+
+  ValidationReport Validate(
+      const telemetry::SnapshotMutator& fault = nullptr,
+      const controlplane::AggregationFaultHooks& hooks = {}) {
+    telemetry::CollectorOptions copts;
+    copts.probes.false_loss_rate = 0.0;
+    const auto snap = net.Snapshot(1, fault, copts);
+    return validator.Validate(net.Input(snap, 2, hooks), snap);
+  }
+
+  testing::HealthyNetwork net;
+  telemetry::SignalCatalog catalog;
+  Validator validator;
+};
+
+TEST_F(AlertsFixture, HealthyReportYieldsNoAlerts) {
+  const auto alerts = BuildAlerts(net.topo, catalog, Validate());
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST_F(AlertsFixture, RepairedCounterYieldsInfoWithPaths) {
+  LinkId victim = LinkId::Invalid();
+  for (LinkId e : net.topo.LinkIds()) {
+    if (net.sim.carried[e.value()] > 5.0) {
+      victim = e;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  const auto report = Validate(faults::CorruptLinkCounter(
+      victim, faults::CounterSide::kTx, faults::CounterCorruption::kScale,
+      1.5));
+  const auto alerts = BuildAlerts(net.topo, catalog, report);
+  ASSERT_FALSE(alerts.empty());
+  bool found = false;
+  for (const Alert& a : alerts) {
+    if (a.source == "hardening" && a.entity == net.topo.LinkName(victim)) {
+      found = true;
+      EXPECT_EQ(a.severity, AlertSeverity::kInfo);
+      EXPECT_EQ(a.signal_paths.size(), 2u);  // TX and RX paths
+      EXPECT_NE(a.message.find("rejected reading"), std::string::npos);
+      EXPECT_NE(a.Render().find("[INFO] hardening"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AlertsFixture, RepairsCanBeSuppressed) {
+  LinkId victim = net.topo.LinkIds()[2];
+  const auto report = Validate(faults::CorruptLinkCounter(
+      victim, faults::CounterSide::kTx, faults::CounterCorruption::kScale,
+      2.0));
+  AlertOptions opts;
+  opts.report_repairs = false;
+  const auto alerts = BuildAlerts(net.topo, catalog, report, opts);
+  for (const Alert& a : alerts) {
+    EXPECT_NE(a.severity, AlertSeverity::kInfo);
+  }
+}
+
+TEST_F(AlertsFixture, DemandViolationIsCriticalWithExternalPaths) {
+  controlplane::AggregationFaultHooks hooks;
+  const NodeId victim = net.topo.ExternalNodes()[0];
+  hooks.demand = faults::DemandRowsDropped(net.topo, {victim});
+  const auto report = Validate(nullptr, hooks);
+  const auto alerts = BuildAlerts(net.topo, catalog, report);
+  bool found = false;
+  for (const Alert& a : alerts) {
+    if (a.source == "demand-check" &&
+        a.entity == net.topo.node(victim).name) {
+      found = true;
+      EXPECT_EQ(a.severity, AlertSeverity::kCritical);
+      ASSERT_EQ(a.signal_paths.size(), 1u);
+      EXPECT_NE(a.signal_paths[0].find("in-octets"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(AlertsFixture, SortedBySeverityDescending) {
+  // Mix: a repaired counter (info) + a demand violation (critical).
+  controlplane::AggregationFaultHooks hooks;
+  hooks.demand = faults::DemandScaled(2.0);
+  LinkId victim = net.topo.LinkIds()[2];
+  const auto report = Validate(
+      faults::CorruptLinkCounter(victim, faults::CounterSide::kTx,
+                                 faults::CounterCorruption::kScale, 2.0),
+      hooks);
+  const auto alerts = BuildAlerts(net.topo, catalog, report);
+  ASSERT_GE(alerts.size(), 2u);
+  for (std::size_t i = 1; i < alerts.size(); ++i) {
+    EXPECT_GE(static_cast<int>(alerts[i - 1].severity),
+              static_cast<int>(alerts[i].severity));
+  }
+  EXPECT_EQ(alerts.front().severity, AlertSeverity::kCritical);
+}
+
+TEST_F(AlertsFixture, DrainWarningIsWarningSeverity) {
+  const NodeId victim = net.topo.NodeIds()[1];
+  const auto report = Validate(faults::WrongDrainSignal(victim, true));
+  const auto alerts = BuildAlerts(net.topo, catalog, report);
+  bool found = false;
+  for (const Alert& a : alerts) {
+    if (a.source == "drain-check") {
+      found = true;
+      EXPECT_EQ(a.severity, AlertSeverity::kWarning);
+      EXPECT_NE(a.message.find("case 2"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AlertSeverityName, AllNamed) {
+  EXPECT_STREQ(AlertSeverityName(AlertSeverity::kInfo), "INFO");
+  EXPECT_STREQ(AlertSeverityName(AlertSeverity::kWarning), "WARNING");
+  EXPECT_STREQ(AlertSeverityName(AlertSeverity::kCritical), "CRITICAL");
+}
+
+}  // namespace
+}  // namespace hodor::core

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines/anomaly_detector.h"
+#include "core/baselines/static_checker.h"
+#include "faults/aggregation_faults.h"
+#include "test_util.h"
+
+namespace hodor::core::baselines {
+namespace {
+
+using controlplane::ControllerInput;
+using net::LinkId;
+using net::NodeId;
+
+struct BaselineFixture : ::testing::Test {
+  BaselineFixture() : net(testing::MakeAbilene()) {}
+
+  ControllerInput HonestInput(std::uint64_t seed = 2) {
+    return net.Input(net.Snapshot(seed), seed + 100);
+  }
+
+  testing::HealthyNetwork net;
+};
+
+// ---------- static checker ---------------------------------------------------
+
+TEST_F(BaselineFixture, StaticImpossibleDemandCaught) {
+  StaticChecker checker(net.topo);
+  ControllerInput input = HonestInput();
+  // More demand from one router than its physical edge capacity: impossible.
+  const NodeId v = net.topo.ExternalNodes()[0];
+  const NodeId other = net.topo.ExternalNodes()[1];
+  input.demand.Set(v, other,
+                   net.topo.node(v).external_capacity * 2.0);
+  const auto r = checker.Check(input);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations[0].find("impossible"), std::string::npos);
+}
+
+TEST_F(BaselineFixture, StaticWrongShapeCaught) {
+  StaticChecker checker(net.topo);
+  ControllerInput input = HonestInput();
+  input.demand = flow::DemandMatrix(net.topo.node_count() + 2);
+  EXPECT_FALSE(checker.Check(input).ok());
+}
+
+TEST_F(BaselineFixture, StaticHistoryChecksNeedTraining) {
+  StaticChecker checker(net.topo);
+  ControllerInput input = HonestInput();
+  // Untrained: plausible-looking inputs pass even when wrong.
+  faults::DemandScaled(0.5)(input.demand);
+  EXPECT_TRUE(checker.Check(input).ok());
+}
+
+TEST_F(BaselineFixture, StaticHistoryFlagsOutOfRange) {
+  StaticChecker checker(net.topo);
+  for (std::uint64_t s = 0; s < 5; ++s) checker.Observe(HonestInput(s));
+  EXPECT_EQ(checker.history_size(), 5u);
+  ControllerInput bad = HonestInput();
+  faults::DemandScaled(3.0)(bad.demand);  // way above any observed total
+  const auto r = checker.Check(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.violations[0].find("historically unlikely"),
+            std::string::npos);
+}
+
+TEST_F(BaselineFixture, StaticMissesWrongButPlausibleInput) {
+  // The paper's central criticism: an input inside historical ranges passes
+  // static checks even though it does not reflect *current* state.
+  StaticChecker checker(net.topo);
+  for (std::uint64_t s = 0; s < 5; ++s) checker.Observe(HonestInput(s));
+  ControllerInput stale = HonestInput(0);  // yesterday's input, unchanged
+  faults::DemandScaled(0.97)(stale.demand);
+  EXPECT_TRUE(checker.Check(stale).ok());
+}
+
+TEST_F(BaselineFixture, StaticFalsePositivesOnLegitimateDisaster) {
+  StaticChecker checker(net.topo);
+  for (std::uint64_t s = 0; s < 5; ++s) checker.Observe(HonestInput(s));
+  // Disaster: half the links go down, honestly reported.
+  ControllerInput disaster = HonestInput();
+  for (std::size_t i = 0; i < disaster.link_available.size() / 2; ++i) {
+    disaster.link_available[i] = false;
+  }
+  const auto r = checker.Check(disaster);
+  EXPECT_FALSE(r.ok()) << "range heuristics reject the truthful disaster";
+}
+
+// ---------- anomaly detector --------------------------------------------------
+
+TEST_F(BaselineFixture, AnomalyDetectorNeedsHistory) {
+  AnomalyDetector det(net.topo);
+  ControllerInput bad = HonestInput();
+  faults::DemandScaled(10.0)(bad.demand);
+  EXPECT_TRUE(det.Check(bad).ok());  // no history yet: silent
+}
+
+TEST_F(BaselineFixture, AnomalyDetectorFlagsLargeShift) {
+  AnomalyDetector det(net.topo);
+  for (std::uint64_t s = 0; s < 10; ++s) det.Observe(HonestInput(s));
+  ControllerInput bad = HonestInput();
+  faults::DemandScaled(5.0)(bad.demand);
+  const auto r = det.Check(bad);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.anomalies[0].find("deviates from history"), std::string::npos);
+}
+
+TEST_F(BaselineFixture, AnomalyDetectorAcceptsNormalVariation) {
+  AnomalyDetector det(net.topo);
+  for (std::uint64_t s = 0; s < 10; ++s) det.Observe(HonestInput(s));
+  EXPECT_TRUE(det.Check(HonestInput(42)).ok());
+}
+
+TEST_F(BaselineFixture, AnomalyDetectorMissesStaleInput) {
+  // A frozen input is statistically identical to history: undetectable by
+  // outlier analysis, caught only by comparing against current state.
+  AnomalyDetector det(net.topo);
+  const ControllerInput frozen = HonestInput(0);
+  for (int i = 0; i < 10; ++i) det.Observe(frozen);
+  EXPECT_TRUE(det.Check(frozen).ok());
+}
+
+TEST_F(BaselineFixture, AnomalyDetectorFalsePositivesOnDisaster) {
+  AnomalyDetector det(net.topo);
+  for (std::uint64_t s = 0; s < 10; ++s) det.Observe(HonestInput(s));
+  ControllerInput disaster = HonestInput();
+  for (std::size_t i = 0; i < disaster.link_available.size() / 2; ++i) {
+    disaster.link_available[i] = false;
+  }
+  EXPECT_FALSE(det.Check(disaster).ok());
+}
+
+}  // namespace
+}  // namespace hodor::core::baselines

@@ -1,0 +1,141 @@
+#include "core/demand_check.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hardening.h"
+#include "faults/demand_perturbations.h"
+#include "test_util.h"
+
+namespace hodor::core {
+namespace {
+
+using net::NodeId;
+
+struct DemandCheckFixture : ::testing::Test {
+  DemandCheckFixture() : net(testing::MakeAbilene()) {
+    hardened = HardeningEngine().Harden(net.Snapshot());
+  }
+
+  testing::HealthyNetwork net;
+  HardenedState hardened;
+};
+
+TEST_F(DemandCheckFixture, TrueDemandPasses) {
+  const DemandCheckResult r = CheckDemand(net.topo, hardened, net.demand);
+  EXPECT_TRUE(r.ok());
+  // 12 external nodes, ingress + egress each: 24 invariants (2·v, §4.1).
+  EXPECT_EQ(r.checked_invariants, 24u);
+  EXPECT_EQ(r.skipped_invariants, 0u);
+}
+
+TEST_F(DemandCheckFixture, ZeroedRowViolatesIngressAndEgress) {
+  flow::DemandMatrix bad = net.demand;
+  NodeId victim = net.topo.ExternalNodes()[0];
+  for (NodeId j : net.topo.NodeIds()) {
+    if (j != victim) bad.Set(victim, j, 0.0);
+  }
+  const DemandCheckResult r = CheckDemand(net.topo, hardened, bad);
+  ASSERT_FALSE(r.ok());
+  bool saw_ingress = false;
+  for (const auto& v : r.violations) {
+    if (v.node == victim && v.kind == DemandInvariantKind::kIngress) {
+      saw_ingress = true;
+      EXPECT_GT(v.relative_diff, 0.9);  // row sum went to ~0
+      EXPECT_FALSE(v.ToString(net.topo).empty());
+    }
+  }
+  EXPECT_TRUE(saw_ingress);
+}
+
+TEST_F(DemandCheckFixture, ScaledDemandViolatesEverywhere) {
+  flow::DemandMatrix bad = net.demand;
+  bad.Scale(1.5);
+  const DemandCheckResult r = CheckDemand(net.topo, hardened, bad);
+  // Every ingress and egress invariant breaks.
+  EXPECT_EQ(r.violations.size(), 24u);
+}
+
+TEST_F(DemandCheckFixture, SmallPerturbationWithinTauPasses) {
+  flow::DemandMatrix ok = net.demand;
+  ok.Scale(1.005);  // 0.5% shift, under τ_e = 2%
+  EXPECT_TRUE(CheckDemand(net.topo, hardened, ok).ok());
+}
+
+TEST_F(DemandCheckFixture, TauKnobControlsSensitivity) {
+  flow::DemandMatrix bad = net.demand;
+  bad.Scale(1.05);  // 5% off
+  DemandCheckOptions strict;
+  strict.tau_e = 0.02;
+  EXPECT_FALSE(CheckDemand(net.topo, hardened, bad, strict).ok());
+  DemandCheckOptions loose;
+  loose.tau_e = 0.10;
+  EXPECT_TRUE(CheckDemand(net.topo, hardened, bad, loose).ok());
+}
+
+TEST_F(DemandCheckFixture, MissingCountersAreSkippedNotViolated) {
+  HardenedState crippled = hardened;
+  const NodeId victim = net.topo.ExternalNodes()[3];
+  crippled.ext_in[victim.value()].reset();
+  crippled.ext_out[victim.value()].reset();
+  const DemandCheckResult r = CheckDemand(net.topo, crippled, net.demand);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.checked_invariants, 22u);
+  EXPECT_EQ(r.skipped_invariants, 2u);
+}
+
+TEST_F(DemandCheckFixture, SwappedEntriesAcrossRowsDetected) {
+  // Swapping entries between different rows/cols changes four sums.
+  util::Rng rng(5);
+  // Pick two entries in different rows with very different values.
+  auto pairs = net.demand.Pairs();
+  std::pair<NodeId, NodeId> p1 = pairs[0], p2 = pairs[0];
+  double best_gap = 0.0;
+  for (const auto& a : pairs) {
+    for (const auto& b : pairs) {
+      if (a.first == b.first || a.second == b.second) continue;
+      const double gap =
+          std::abs(net.demand.At(a.first, a.second) -
+                   net.demand.At(b.first, b.second));
+      if (gap > best_gap) {
+        best_gap = gap;
+        p1 = a;
+        p2 = b;
+      }
+    }
+  }
+  ASSERT_GT(best_gap, net.demand.Total() * 0.02);
+  flow::DemandMatrix bad = net.demand;
+  const double v1 = bad.At(p1.first, p1.second);
+  const double v2 = bad.At(p2.first, p2.second);
+  bad.Set(p1.first, p1.second, v2);
+  bad.Set(p2.first, p2.second, v1);
+  EXPECT_FALSE(CheckDemand(net.topo, hardened, bad).ok());
+}
+
+TEST_F(DemandCheckFixture, IdleNetworkWithZeroDemandPasses) {
+  testing::HealthyNetwork idle(net::Abilene(), 31);
+  idle.demand = flow::DemandMatrix(idle.topo.node_count());
+  idle.plan = flow::RoutingPlan{};
+  idle.sim = flow::SimulateFlow(idle.topo, idle.state, idle.demand, idle.plan);
+  const HardenedState hs = HardeningEngine().Harden(idle.Snapshot());
+  const DemandCheckResult r =
+      CheckDemand(idle.topo, hs, flow::DemandMatrix(idle.topo.node_count()));
+  EXPECT_TRUE(r.ok()) << "zero-vs-zero must not divide by zero";
+}
+
+TEST_F(DemandCheckFixture, PerturbationHelpersIntegrate) {
+  util::Rng rng(7);
+  const auto zeroed = faults::ZeroEntries(net.demand, 3, rng);
+  EXPECT_EQ(zeroed.touched.size(), 3u);
+  EXPECT_FALSE(CheckDemand(net.topo, hardened, zeroed.matrix).ok());
+}
+
+TEST(DemandCheck, WrongMatrixSizeRejected) {
+  testing::HealthyNetwork net(net::Figure3Triangle(), 3);
+  const HardenedState hs = HardeningEngine().Harden(net.Snapshot());
+  flow::DemandMatrix wrong(net.topo.node_count() + 1);
+  EXPECT_THROW(CheckDemand(net.topo, hs, wrong), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hodor::core

@@ -1,0 +1,149 @@
+#include "core/drain_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hardening.h"
+#include "test_util.h"
+
+namespace hodor::core {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+struct DrainProtocolFixture : ::testing::Test {
+  DrainProtocolFixture() : net(net::Abilene(), 41), ledger(net.topo) {
+    link = net.topo.LinkIds()[0];
+  }
+
+  HardenedState Harden() {
+    telemetry::CollectorOptions copts;
+    copts.probes.false_loss_rate = 0.0;
+    return HardeningEngine().Harden(net.Snapshot(1, nullptr, copts));
+  }
+
+  testing::HealthyNetwork net;
+  DrainLedger ledger;
+  LinkId link;
+};
+
+TEST_F(DrainProtocolFixture, EmptyLedgerValidates) {
+  const auto r = ValidateDrainLedger(net.topo, ledger, Harden());
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.validated_announcements, 0u);
+  EXPECT_EQ(ledger.announcement_count(), 0u);
+}
+
+TEST_F(DrainProtocolFixture, SymmetricMaintenanceDrainValidates) {
+  ledger.AnnounceBoth(link, DrainReason::kMaintenance);
+  EXPECT_TRUE(ledger.PhysicalLinkDrained(link));
+  const auto r = ValidateDrainLedger(net.topo, ledger, Harden());
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.validated_announcements, 1u);
+}
+
+TEST_F(DrainProtocolFixture, AsymmetricAnnouncementViolates) {
+  ledger.Announce(link, DrainReason::kMaintenance);  // one end only
+  const auto r = ValidateDrainLedger(net.topo, ledger, Harden());
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind,
+            DrainProtocolViolationKind::kAsymmetricAnnouncement);
+  EXPECT_NE(r.violations[0].ToString(net.topo).find("asymmetric"),
+            std::string::npos);
+}
+
+TEST_F(DrainProtocolFixture, FaultVsMaintenanceReasonMismatch) {
+  ledger.Announce(link, DrainReason::kFaultyNeighbor);
+  ledger.Announce(net.topo.link(link).reverse, DrainReason::kMaintenance);
+  const auto r = ValidateDrainLedger(net.topo, ledger, Harden());
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind,
+            DrainProtocolViolationKind::kReasonMismatch);
+}
+
+TEST_F(DrainProtocolFixture, MaintenanceFlavoursAreCompatible) {
+  ledger.Announce(link, DrainReason::kMaintenance);
+  ledger.Announce(net.topo.link(link).reverse,
+                  DrainReason::kNodeMaintenance);
+  EXPECT_TRUE(ValidateDrainLedger(net.topo, ledger, Harden()).ok());
+}
+
+TEST_F(DrainProtocolFixture, FaultDrainOnHealthyLinkRefuted) {
+  // Automation claims the link is sick; probes and statuses say it is
+  // confidently up — the paper's validation of reason-annotated drains.
+  ledger.AnnounceBoth(link, DrainReason::kFaultyNeighbor);
+  const auto r = ValidateDrainLedger(net.topo, ledger, Harden());
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind,
+            DrainProtocolViolationKind::kUnsubstantiatedFault);
+}
+
+TEST_F(DrainProtocolFixture, FaultDrainOnActuallySickLinkAccepted) {
+  net.state.SetLinkDataplaneOk(link, false);  // really broken
+  net.sim = flow::SimulateFlow(net.topo, net.state, net.demand, net.plan);
+  ledger.AnnounceBoth(link, DrainReason::kAutomation);
+  const auto r = ValidateDrainLedger(net.topo, ledger, Harden());
+  EXPECT_TRUE(r.ok()) << (r.violations.empty()
+                              ? std::string()
+                              : r.violations[0].ToString(net.topo));
+}
+
+TEST_F(DrainProtocolFixture, MaintenanceDrainOnHealthyLinkAccepted) {
+  // Pre-emptive drains of healthy links are the legitimate case that made
+  // §4.3 case 2 ambiguous; with reasons they validate cleanly.
+  ledger.AnnounceBoth(link, DrainReason::kMaintenance);
+  EXPECT_TRUE(ValidateDrainLedger(net.topo, ledger, Harden()).ok());
+}
+
+TEST_F(DrainProtocolFixture, NodeDrainDrainsAllLinksSymmetrically) {
+  const NodeId victim = net.topo.FindNode("IPLSng").value();
+  ledger.AnnounceNodeDrain(victim);
+  EXPECT_TRUE(ledger.NodeFullyDrained(net.topo, victim));
+  EXPECT_EQ(ledger.announcement_count(),
+            2 * net.topo.OutLinks(victim).size());
+  EXPECT_TRUE(ValidateDrainLedger(net.topo, ledger, Harden()).ok());
+}
+
+TEST_F(DrainProtocolFixture, NodeNotFullyDrainedWhenOneLinkMissing) {
+  const NodeId victim = net.topo.FindNode("IPLSng").value();
+  ledger.AnnounceNodeDrain(victim);
+  // Remove one far-end announcement.
+  DrainLedger partial(net.topo);
+  for (LinkId e : net.topo.OutLinks(victim)) {
+    partial.AnnounceBoth(e, DrainReason::kNodeMaintenance);
+  }
+  EXPECT_TRUE(partial.NodeFullyDrained(net.topo, victim));
+  // A fresh ledger missing the reverse of the first link:
+  DrainLedger missing(net.topo);
+  const auto& out = net.topo.OutLinks(victim);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    missing.Announce(out[i], DrainReason::kNodeMaintenance);
+    if (i > 0) {
+      missing.Announce(net.topo.link(out[i]).reverse,
+                       DrainReason::kNodeMaintenance);
+    }
+  }
+  EXPECT_FALSE(missing.NodeFullyDrained(net.topo, victim));
+}
+
+TEST_F(DrainProtocolFixture, RefuteConfidenceKnob) {
+  ledger.AnnounceBoth(link, DrainReason::kAutomation);
+  DrainProtocolOptions strict;
+  strict.refute_confidence = 0.1;  // refute aggressively
+  EXPECT_FALSE(ValidateDrainLedger(net.topo, ledger, Harden(), strict).ok());
+  DrainProtocolOptions lenient;
+  lenient.refute_confidence = 1.1;  // never refute
+  EXPECT_TRUE(ValidateDrainLedger(net.topo, ledger, Harden(), lenient).ok());
+}
+
+TEST(DrainReasonName, AllNamed) {
+  EXPECT_STREQ(DrainReasonName(DrainReason::kMaintenance), "maintenance");
+  EXPECT_STREQ(DrainReasonName(DrainReason::kNodeMaintenance),
+               "node-maintenance");
+  EXPECT_STREQ(DrainReasonName(DrainReason::kFaultyNeighbor),
+               "faulty-neighbor");
+  EXPECT_STREQ(DrainReasonName(DrainReason::kAutomation), "automation");
+}
+
+}  // namespace
+}  // namespace hodor::core

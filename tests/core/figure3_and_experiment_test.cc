@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/figure3_example.h"
+#include "core/hardening.h"
+#include "flow/simulator.h"
+#include "flow/tm_generators.h"
+#include "util/logging.h"
+
+namespace hodor::core {
+namespace {
+
+TEST(Figure3Example, HonestSnapshotIsInternallyConsistent) {
+  const Figure3Example fig;
+  // The constructed counters satisfy flow conservation at every router —
+  // otherwise the figure's repair narrative would be ill-posed.
+  const HardenedState hs = HardeningEngine().Harden(fig.HonestSnapshot());
+  EXPECT_EQ(hs.flagged_rate_count, 0u);
+  // And the demand matrix satisfies the 2·v invariants against them.
+  const auto check = CheckDemand(fig.topology(), hs, fig.Demand());
+  EXPECT_TRUE(check.ok());
+  EXPECT_EQ(check.checked_invariants, 6u);
+}
+
+TEST(Figure3Example, DemandMatchesFigure) {
+  const Figure3Example fig;
+  const flow::DemandMatrix d = fig.Demand();
+  EXPECT_DOUBLE_EQ(d.RowSum(fig.a()), 76.0);
+  EXPECT_DOUBLE_EQ(d.ColSum(fig.b()), 75.0);
+  EXPECT_DOUBLE_EQ(d.Total(), 104.0);
+}
+
+TEST(Figure3Example, FaultySnapshotHasTheFigureNumbers) {
+  const Figure3Example fig;
+  const auto snap = fig.FaultySnapshot();
+  EXPECT_DOUBLE_EQ(snap.TxRate(fig.ab()).value(),
+                   Figure3Example::kFaultyTxAB);
+  EXPECT_DOUBLE_EQ(snap.RxRate(fig.ab()).value(),
+                   Figure3Example::kTrueRateAB);
+}
+
+TEST(Figure3Example, TrueRatesRouteTheDemand) {
+  // The figure's link rates are exactly what SPF routing of its demand
+  // produces (A->C transits B).
+  const Figure3Example fig;
+  net::GroundTruthState state(fig.topology());
+  flow::RoutingPlan plan;
+  auto path = [&](net::NodeId s, net::NodeId t,
+                  std::initializer_list<net::LinkId> links) {
+    plan.SetPaths(s, t, {flow::WeightedPath{net::Path(links), 1.0}});
+  };
+  path(fig.a(), fig.b(), {fig.ab()});
+  path(fig.a(), fig.c(), {fig.ab(), fig.bc()});
+  path(fig.c(), fig.b(), {fig.cb()});
+  path(fig.c(), fig.a(), {fig.ca()});
+  const auto sim =
+      flow::SimulateFlow(fig.topology(), state, fig.Demand(), plan);
+  for (net::LinkId e : fig.topology().LinkIds()) {
+    EXPECT_NEAR(sim.carried[e.value()], fig.TrueRate(e), 1e-9)
+        << fig.topology().LinkName(e);
+  }
+}
+
+struct ExperimentTest : ::testing::Test {
+  static void SetUpTestSuite() {
+    util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+  }
+  static void TearDownTestSuite() {
+    util::Logger::Instance().SetMinLevel(util::LogLevel::kInfo);
+  }
+};
+
+TEST_F(ExperimentTest, RunScenarioIsDeterministic) {
+  const net::Topology topo = net::Abilene();
+  const faults::ScenarioCatalog catalog(topo);
+  util::Rng rng(77);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, rng);
+  flow::NormalizeToMaxUtilization(topo, 0.35, demand);
+  ScenarioRunOptions opts;
+  opts.seed = 5;
+  opts.pipeline.collector.probes.false_loss_rate = 0.0;
+  const auto* sc = catalog.Find("partial-demand").value();
+  const auto a = RunScenario(topo, *sc, demand, opts);
+  const auto b = RunScenario(topo, *sc, demand, opts);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.violation_count, b.violation_count);
+  EXPECT_DOUBLE_EQ(a.with_hodor.demand_satisfaction,
+                   b.with_hodor.demand_satisfaction);
+  EXPECT_DOUBLE_EQ(a.no_validation.demand_satisfaction,
+                   b.no_validation.demand_satisfaction);
+}
+
+TEST_F(ExperimentTest, OracleArmAlwaysAtLeastAsGoodAsNoValidation) {
+  const net::Topology topo = net::Abilene();
+  const faults::ScenarioCatalog catalog(topo);
+  util::Rng rng(77);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, rng);
+  flow::NormalizeToMaxUtilization(topo, 0.35, demand);
+  ScenarioRunOptions opts;
+  opts.seed = 5;
+  opts.pipeline.collector.probes.false_loss_rate = 0.0;
+  for (const auto& sc : catalog.scenarios()) {
+    const auto r = RunScenario(topo, sc, demand, opts);
+    EXPECT_GE(r.oracle.demand_satisfaction + 1e-6,
+              r.no_validation.demand_satisfaction)
+        << sc.id;
+  }
+}
+
+TEST_F(ExperimentTest, StaleDemandPatternScenarioDetected) {
+  const net::Topology topo = net::Abilene();
+  const faults::ScenarioCatalog catalog(topo);
+  util::Rng rng(77);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, rng);
+  flow::NormalizeToMaxUtilization(topo, 0.35, demand);
+  ScenarioRunOptions opts;
+  opts.seed = 5;
+  opts.pipeline.collector.probes.false_loss_rate = 0.0;
+  const auto* sc = catalog.Find("stale-demand-pattern").value();
+  const auto r = RunScenario(topo, *sc, demand, opts);
+  EXPECT_TRUE(r.detected) << r.detection_summary;
+  // The rotated matrix preserves the total demand — that is the point.
+  EXPECT_TRUE(r.fallback_used);
+}
+
+}  // namespace
+}  // namespace hodor::core

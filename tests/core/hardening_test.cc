@@ -1,0 +1,365 @@
+#include "core/hardening.h"
+
+#include <gtest/gtest.h>
+
+#include "faults/snapshot_faults.h"
+#include "util/stats.h"
+#include "net/topologies.h"
+#include "test_util.h"
+
+namespace hodor::core {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+using telemetry::LinkStatus;
+using telemetry::NetworkSnapshot;
+
+// Builds the paper's Figure 3 by hand: triangle A,B,C, demand
+// A->B=52, A->C=24 (routed via B), C->B=23, C->A=5. True link rates:
+// A->B=76, C->B=23, B->C=24, C->A=5, B->A=0, A->C=0. External counters:
+// ext_in(A)=76, ext_out(A)=5, ext_in(B)=0, ext_out(B)=75, ext_in(C)=28,
+// ext_out(C)=24. The faulty TX counter on A->B reports 98 instead of 76;
+// flow conservation at B recovers x = 76 (the worked example in §4.1).
+struct Figure3 {
+  net::Topology topo = net::Figure3Triangle();
+  NodeId a, b, c;
+  LinkId ab, ba, bc, cb, ac, ca;
+
+  Figure3() {
+    a = topo.FindNode("A").value();
+    b = topo.FindNode("B").value();
+    c = topo.FindNode("C").value();
+    ab = topo.FindLink(a, b).value();
+    ba = topo.link(ab).reverse;
+    bc = topo.FindLink(b, c).value();
+    cb = topo.link(bc).reverse;
+    ac = topo.FindLink(a, c).value();
+    ca = topo.link(ac).reverse;
+  }
+
+  double TrueRate(LinkId e) const {
+    if (e == ab) return 76.0;
+    if (e == cb) return 23.0;
+    if (e == bc) return 24.0;
+    if (e == ca) return 5.0;
+    return 0.0;  // ba, ac idle
+  }
+
+  // An honest, jitter-free snapshot of the scenario.
+  NetworkSnapshot Snapshot() const {
+    NetworkSnapshot snap(topo, 0);
+    auto fill = [&](NodeId v, double ext_in, double ext_out) {
+      telemetry::RouterSignals& r = snap.router(v);
+      r.drained = false;
+      r.dropped_rate = 0.0;
+      r.ext_in_rate = ext_in;
+      r.ext_out_rate = ext_out;
+      for (LinkId e : topo.OutLinks(v)) {
+        r.out_ifaces[e] = telemetry::OutInterfaceSignals{
+            LinkStatus::kUp, TrueRate(e), false};
+      }
+      for (LinkId e : topo.InLinks(v)) {
+        r.in_ifaces[e] = telemetry::InInterfaceSignals{TrueRate(e)};
+      }
+    };
+    fill(a, 76.0, 5.0);
+    fill(b, 0.0, 75.0);
+    fill(c, 28.0, 24.0);
+    return snap;
+  }
+
+  flow::DemandMatrix Demand() const {
+    flow::DemandMatrix d(topo.node_count());
+    d.Set(a, b, 52.0);
+    d.Set(a, c, 24.0);
+    d.Set(c, b, 23.0);
+    d.Set(c, a, 5.0);
+    return d;
+  }
+};
+
+TEST(Hardening, CleanSnapshotAllAgreeing) {
+  const Figure3 fig;
+  const NetworkSnapshot snap = fig.Snapshot();
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  EXPECT_EQ(hs.flagged_rate_count, 0u);
+  EXPECT_EQ(hs.repaired_rate_count, 0u);
+  EXPECT_EQ(hs.unknown_rate_count, 0u);
+  for (LinkId e : fig.topo.LinkIds()) {
+    const HardenedRate& r = hs.rates[e.value()];
+    EXPECT_EQ(r.origin, RateOrigin::kAgreeing);
+    EXPECT_DOUBLE_EQ(r.value.value(), fig.TrueRate(e));
+  }
+  EXPECT_DOUBLE_EQ(hs.ext_in[fig.a.value()].value(), 76.0);
+  EXPECT_DOUBLE_EQ(hs.ext_out[fig.b.value()].value(), 75.0);
+}
+
+TEST(Hardening, Figure3WorkedExample) {
+  // The paper's running example: TX on A->B reads 98, RX reads 76. R1
+  // flags the pair; conservation at B accepts 76 and rejects 98.
+  const Figure3 fig;
+  NetworkSnapshot snap = fig.Snapshot();
+  snap.router(fig.a).out_ifaces[fig.ab].tx_rate = 98.0;
+
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  const HardenedRate& r = hs.rates[fig.ab.value()];
+  EXPECT_TRUE(r.flagged);
+  EXPECT_EQ(r.origin, RateOrigin::kRepaired);
+  ASSERT_TRUE(r.value.has_value());
+  EXPECT_NEAR(*r.value, 76.0, 1e-9);
+  ASSERT_TRUE(r.rejected_value.has_value());
+  EXPECT_DOUBLE_EQ(*r.rejected_value, 98.0);
+  EXPECT_EQ(hs.flagged_rate_count, 1u);
+  EXPECT_EQ(hs.repaired_rate_count, 1u);
+  EXPECT_EQ(hs.unknown_rate_count, 0u);
+}
+
+TEST(Hardening, Figure3FaultyRxSideAlsoRepaired) {
+  // Mirror case: the RX counter lies instead; conservation at A keeps 76.
+  const Figure3 fig;
+  NetworkSnapshot snap = fig.Snapshot();
+  snap.router(fig.b).in_ifaces[fig.ab].rx_rate = 120.0;
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  const HardenedRate& r = hs.rates[fig.ab.value()];
+  EXPECT_EQ(r.origin, RateOrigin::kRepaired);
+  EXPECT_NEAR(r.value.value(), 76.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.rejected_value.value(), 120.0);
+}
+
+TEST(Hardening, BothCountersMissingRepairedByPropagation) {
+  // The pair is absent entirely; the per-node equation at B still has
+  // exactly one unknown and determines it.
+  const Figure3 fig;
+  NetworkSnapshot snap = fig.Snapshot();
+  snap.router(fig.a).out_ifaces[fig.ab].tx_rate.reset();
+  snap.router(fig.b).in_ifaces[fig.ab].rx_rate.reset();
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  const HardenedRate& r = hs.rates[fig.ab.value()];
+  EXPECT_TRUE(r.flagged);
+  EXPECT_EQ(r.origin, RateOrigin::kRepaired);
+  EXPECT_NEAR(r.value.value(), 76.0, 1e-9);
+}
+
+TEST(Hardening, DisambiguationDisabledFallsBackToPropagation) {
+  const Figure3 fig;
+  NetworkSnapshot snap = fig.Snapshot();
+  snap.router(fig.a).out_ifaces[fig.ab].tx_rate = 98.0;
+  HardeningOptions opts;
+  opts.pairwise_disambiguation = false;
+  const HardenedState hs = HardeningEngine(opts).Harden(snap);
+  const HardenedRate& r = hs.rates[fig.ab.value()];
+  // Propagation also recovers 76 (one unknown at B), but cannot attribute
+  // blame to a specific side.
+  EXPECT_EQ(r.origin, RateOrigin::kRepaired);
+  EXPECT_NEAR(r.value.value(), 76.0, 1e-9);
+  EXPECT_FALSE(r.rejected_value.has_value());
+}
+
+TEST(Hardening, AllRepairsDisabledLeavesUnknown) {
+  const Figure3 fig;
+  NetworkSnapshot snap = fig.Snapshot();
+  snap.router(fig.a).out_ifaces[fig.ab].tx_rate = 98.0;
+  HardeningOptions opts;
+  opts.pairwise_disambiguation = false;
+  opts.propagation_repair = false;
+  opts.global_least_squares = false;
+  const HardenedState hs = HardeningEngine(opts).Harden(snap);
+  const HardenedRate& r = hs.rates[fig.ab.value()];
+  EXPECT_TRUE(r.flagged);
+  EXPECT_EQ(r.origin, RateOrigin::kUnknown);
+  EXPECT_FALSE(r.value.has_value());
+  EXPECT_EQ(hs.unknown_rate_count, 1u);
+}
+
+TEST(Hardening, TwoFaultsOnDistinctRoutersBothRepaired) {
+  const Figure3 fig;
+  NetworkSnapshot snap = fig.Snapshot();
+  // Zero out both counters of A->B and of C->B: two unknowns, two
+  // distinct conservation equations (at B it's 2 unknowns; at A and C one
+  // each) — propagation solves A->B at A, then C->B at B or C.
+  snap.router(fig.a).out_ifaces[fig.ab].tx_rate.reset();
+  snap.router(fig.b).in_ifaces[fig.ab].rx_rate.reset();
+  snap.router(fig.c).out_ifaces[fig.cb].tx_rate.reset();
+  snap.router(fig.b).in_ifaces[fig.cb].rx_rate.reset();
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  EXPECT_NEAR(hs.rates[fig.ab.value()].value.value(), 76.0, 1e-9);
+  EXPECT_NEAR(hs.rates[fig.cb.value()].value.value(), 23.0, 1e-9);
+  EXPECT_EQ(hs.unknown_rate_count, 0u);
+}
+
+TEST(Hardening, JitteredHealthySnapshotRaisesNoFlags) {
+  // Soundness: measurement jitter below τ_h must not trigger detection.
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  const auto snap = net.Snapshot();
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  EXPECT_EQ(hs.flagged_rate_count, 0u);
+  EXPECT_EQ(hs.unknown_rate_count, 0u);
+}
+
+TEST(Hardening, ZeroedCountersOnRouterAreRepaired) {
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  const NodeId victim = net.topo.FindNode("KSCYng").value();
+  const auto snap =
+      net.Snapshot(1, faults::ZeroedCountersFault(victim, 0.5, 99));
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  EXPECT_GT(hs.flagged_rate_count, 0u);
+  // Every flagged rate that carried real traffic should be repaired close
+  // to the truth.
+  for (LinkId e : net.topo.LinkIds()) {
+    const HardenedRate& r = hs.rates[e.value()];
+    if (!r.value.has_value()) continue;
+    const double truth = net.sim.carried[e.value()];
+    if (truth > 1.0) {
+      EXPECT_TRUE(util::WithinRelativeTolerance(*r.value, truth, 0.05))
+          << net.topo.LinkName(e) << " hardened=" << *r.value
+          << " truth=" << truth;
+    }
+  }
+}
+
+TEST(Hardening, UnresponsiveRouterCountersRecovered) {
+  // A whole router goes silent: every incident link loses one side of its
+  // pair, but the far ends still report, and conservation fills gaps.
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  const NodeId victim = net.topo.FindNode("ATLAM5").value();  // degree 1
+  const auto snap = net.Snapshot(1, faults::UnresponsiveRouter(victim));
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  for (LinkId e : net.topo.OutLinks(victim)) {
+    const HardenedRate& r = hs.rates[e.value()];
+    EXPECT_TRUE(r.flagged);
+    ASSERT_TRUE(r.value.has_value()) << net.topo.LinkName(e);
+    const double truth = net.sim.carried[e.value()];
+    if (truth > 1.0) {
+      EXPECT_TRUE(util::WithinRelativeTolerance(*r.value, truth, 0.05));
+    }
+  }
+}
+
+TEST(Hardening, ScaledCountersFlaggedEverywhere) {
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  const NodeId victim = net.topo.FindNode("DNVRng").value();
+  const auto snap =
+      net.Snapshot(1, faults::ScaledRouterCounters(victim, 0.3));
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  // Every carrying link at the victim disagrees across ends.
+  std::size_t expected_flagged = 0;
+  for (LinkId e : net.topo.OutLinks(victim)) {
+    if (net.sim.carried[e.value()] > 1.0) ++expected_flagged;
+  }
+  for (LinkId e : net.topo.InLinks(victim)) {
+    if (net.sim.carried[e.value()] > 1.0) ++expected_flagged;
+  }
+  EXPECT_GE(hs.flagged_rate_count, expected_flagged);
+}
+
+TEST(HardenedStateSummary, MentionsCounts) {
+  HardenedState hs;
+  hs.flagged_rate_count = 3;
+  hs.repaired_rate_count = 2;
+  hs.unknown_rate_count = 1;
+  const std::string s = hs.Summary();
+  EXPECT_NE(s.find("flagged=3"), std::string::npos);
+  EXPECT_NE(s.find("repaired=2"), std::string::npos);
+  EXPECT_NE(s.find("unknown=1"), std::string::npos);
+}
+
+
+TEST(Hardening, Footnote3AveragingBothOptionsRepairAccurately) {
+  // Paper footnote 3: the missing A->B rate can be solved at A or at B,
+  // and under jitter the two solutions differ slightly. Both the
+  // averaging and the pick-one policies must land within tolerance.
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  // Pick a loaded link and drop BOTH counters so only conservation can
+  // recover it (both endpoint equations become solvable).
+  LinkId victim = LinkId::Invalid();
+  for (LinkId e : net.topo.LinkIds()) {
+    if (net.sim.carried[e.value()] > 5.0) {
+      victim = e;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  const auto snap = net.Snapshot(
+      1, faults::CorruptLinkCounter(victim, faults::CounterSide::kBoth,
+                                    faults::CounterCorruption::kDrop));
+  const double truth = net.sim.carried[victim.value()];
+
+  for (bool average : {true, false}) {
+    HardeningOptions opts;
+    opts.average_adjacent_solutions = average;
+    const HardenedState hs = HardeningEngine(opts).Harden(snap);
+    const HardenedRate& r = hs.rates[victim.value()];
+    ASSERT_TRUE(r.value.has_value()) << "average=" << average;
+    EXPECT_EQ(r.origin, RateOrigin::kRepaired);
+    EXPECT_TRUE(util::WithinRelativeTolerance(*r.value, truth, 0.03))
+        << "average=" << average << " got " << *r.value << " want " << truth;
+  }
+}
+
+TEST(Hardening, Footnote3PoliciesAgreeWithoutJitter) {
+  // Jitter-free Figure 3: both endpoint solutions are identical, so the
+  // two policies must produce exactly the same repair.
+  const Figure3 fig;
+  NetworkSnapshot snap = fig.Snapshot();
+  snap.router(fig.a).out_ifaces[fig.ab].tx_rate.reset();
+  snap.router(fig.b).in_ifaces[fig.ab].rx_rate.reset();
+  HardeningOptions avg;
+  avg.average_adjacent_solutions = true;
+  HardeningOptions pick;
+  pick.average_adjacent_solutions = false;
+  const auto a = HardeningEngine(avg).Harden(snap);
+  const auto b = HardeningEngine(pick).Harden(snap);
+  EXPECT_DOUBLE_EQ(a.rates[fig.ab.value()].value.value(),
+                   b.rates[fig.ab.value()].value.value());
+  EXPECT_NEAR(a.rates[fig.ab.value()].value.value(), 76.0, 1e-9);
+}
+
+
+TEST(Hardening, ConfidenceScoresReflectCorroboration) {
+  // Agreeing pairs score 1.0; the Figure 3 repair, corroborated by an up
+  // status on an active link, scores high but below 1; with all repairs
+  // disabled the unknown scores 0.
+  const Figure3 fig;
+  NetworkSnapshot snap = fig.Snapshot();
+  snap.router(fig.a).out_ifaces[fig.ab].tx_rate = 98.0;
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  EXPECT_DOUBLE_EQ(hs.rates[fig.bc.value()].confidence, 1.0);  // agreeing
+  const HardenedRate& repaired = hs.rates[fig.ab.value()];
+  EXPECT_GT(repaired.confidence, 0.7);
+  EXPECT_LT(repaired.confidence, 1.0);
+
+  HardeningOptions off;
+  off.pairwise_disambiguation = false;
+  off.propagation_repair = false;
+  off.global_least_squares = false;
+  off.accept_single_witness = false;
+  const HardenedState none = HardeningEngine(off).Harden(snap);
+  EXPECT_DOUBLE_EQ(none.rates[fig.ab.value()].confidence, 0.0);
+}
+
+TEST(Hardening, ProbeCorroborationRaisesRepairConfidence) {
+  // The same repair with and without a matching probe: R4 adds confidence.
+  const Figure3 fig;
+  NetworkSnapshot with_probe = fig.Snapshot();
+  with_probe.router(fig.a).out_ifaces[fig.ab].tx_rate = 98.0;
+  std::vector<telemetry::ProbeResult> probes;
+  for (LinkId e : fig.topo.LinkIds()) {
+    probes.push_back(telemetry::ProbeResult{e, true});
+  }
+  with_probe.SetProbeResults(probes);
+
+  NetworkSnapshot without_probe = fig.Snapshot();
+  without_probe.router(fig.a).out_ifaces[fig.ab].tx_rate = 98.0;
+
+  const double c_with =
+      HardeningEngine().Harden(with_probe).rates[fig.ab.value()].confidence;
+  const double c_without = HardeningEngine()
+                               .Harden(without_probe)
+                               .rates[fig.ab.value()]
+                               .confidence;
+  EXPECT_GT(c_with, c_without);
+}
+
+}  // namespace
+}  // namespace hodor::core

@@ -1,0 +1,168 @@
+#include "core/baselines/invariant_miner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "faults/snapshot_faults.h"
+#include "test_util.h"
+
+namespace hodor::core::baselines {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+struct MinerFixture : ::testing::Test {
+  MinerFixture() : net(testing::MakeAbilene()), miner(net.topo) {}
+
+  // Trains the miner on `n` honest snapshots with fresh jitter each time.
+  void Train(std::size_t n, std::uint64_t base_seed = 100) {
+    for (std::size_t i = 0; i < n; ++i) {
+      miner.Observe(net.Snapshot(base_seed + i));
+    }
+    miner.Mine();
+  }
+
+  bool Mined(const std::string& name) const {
+    return std::any_of(miner.invariants().begin(), miner.invariants().end(),
+                       [&](const MinedInvariant& inv) {
+                         return inv.name == name;
+                       });
+  }
+
+  testing::HealthyNetwork net;
+  InvariantMiner miner;
+};
+
+TEST_F(MinerFixture, DiscoversLinkSymmetryWithoutBeingTold) {
+  Train(6);
+  // R1 emerges from data: the TX/RX pair of every loaded link is mined.
+  std::size_t r1_found = 0;
+  for (LinkId e : net.topo.LinkIds()) {
+    if (net.sim.carried[e.value()] < 1.0) continue;
+    const std::string name =
+        "tx(" + net.topo.LinkName(e) + ") ~= rx(" + net.topo.LinkName(e) + ")";
+    if (Mined(name)) ++r1_found;
+  }
+  EXPECT_GT(r1_found, 20u);  // most of the 30 directed links carry traffic
+}
+
+TEST_F(MinerFixture, RequiresMinimumHistory) {
+  miner.Observe(net.Snapshot(1));
+  EXPECT_THROW(miner.Mine(), std::logic_error);
+  EXPECT_EQ(miner.observation_count(), 1u);
+}
+
+TEST_F(MinerFixture, HonestSnapshotPassesMinedInvariants) {
+  Train(6);
+  const auto r = miner.Check(net.Snapshot(999));
+  EXPECT_TRUE(r.ok()) << (r.violations.empty() ? "" : r.violations[0]);
+  EXPECT_GT(r.checked, 0u);
+}
+
+TEST_F(MinerFixture, DetectsCounterCorruption) {
+  Train(6);
+  // Find a loaded link and corrupt one side well beyond tolerance.
+  LinkId victim = LinkId::Invalid();
+  for (LinkId e : net.topo.LinkIds()) {
+    if (net.sim.carried[e.value()] > 5.0) {
+      victim = e;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  const auto snap = net.Snapshot(
+      999, faults::CorruptLinkCounter(victim, faults::CounterSide::kTx,
+                                      faults::CounterCorruption::kScale, 2.0));
+  EXPECT_FALSE(miner.Check(snap).ok());
+}
+
+TEST_F(MinerFixture, SpuriousInvariantsFromDrainedHistory) {
+  // The paper's §3.1 failure mode, reproduced: ATLAM5 stays drained (no
+  // traffic on its only link) throughout the training window, so the miner
+  // learns its counters "are always ~zero-equal" to each other AND to other
+  // idle signals. When the router is undrained, those spurious invariants
+  // erupt into false positives — on a perfectly healthy network.
+  const NodeId pop = net.topo.FindNode("ATLAM5").value();
+
+  // Training regime: ATLAM5 drained (its demand removed -> idle link).
+  testing::HealthyNetwork drained_net = testing::MakeAbilene();
+  for (NodeId j : drained_net.topo.NodeIds()) {
+    if (j != pop) {
+      drained_net.demand.Set(pop, j, 0.0);
+      drained_net.demand.Set(j, pop, 0.0);
+    }
+  }
+  drained_net.plan = flow::ShortestPathRouting(
+      drained_net.topo, drained_net.demand, net::AllLinks());
+  drained_net.sim = flow::SimulateFlow(drained_net.topo, drained_net.state,
+                                       drained_net.demand, drained_net.plan);
+  InvariantMiner trained(drained_net.topo);
+  for (std::size_t i = 0; i < 6; ++i) {
+    trained.Observe(drained_net.Snapshot(200 + i));
+  }
+  trained.Mine();
+
+  // More invariants mined than on the busy network (the spurious ones).
+  Train(6);
+  EXPECT_GT(trained.invariants().size(), miner.invariants().size());
+
+  // Deployment: the POP is undrained and carries real traffic — honest
+  // snapshot, yet the mined model rejects it.
+  const auto r = trained.Check(net.Snapshot(999));
+  EXPECT_FALSE(r.ok())
+      << "expected spurious-invariant false positives (paper §3.1)";
+}
+
+TEST_F(MinerFixture, MissingSignalsSkippedAtCheckTime) {
+  Train(6);
+  const NodeId victim = net.topo.FindNode("IPLSng").value();
+  const auto snap = net.Snapshot(999, faults::UnresponsiveRouter(victim));
+  const auto r = miner.Check(snap);
+  // The victim's invariants are unevaluable, not violations; far links
+  // still check clean.
+  for (const std::string& v : r.violations) {
+    EXPECT_EQ(v.find("IPLSng"), std::string::npos) << v;
+  }
+}
+
+
+TEST_F(MinerFixture, DiscoversConservationSumRelations) {
+  // §3.1 "which should sum to others": per-router balance relations are
+  // mined from data (R2 rediscovered).
+  Train(6);
+  EXPECT_EQ(miner.conservation_invariants().size(), net.topo.node_count());
+}
+
+TEST_F(MinerFixture, MinedConservationCatchesScalarCorruption) {
+  // An ext counter lie breaks the router's mined balance relation even
+  // though no counter *pair* disagrees.
+  Train(6);
+  const NodeId victim = net.topo.FindNode("IPLSng").value();
+  const auto snap = net.Snapshot(999, [victim](telemetry::NetworkSnapshot& s) {
+    if (s.router(victim).ext_in_rate) {
+      s.router(victim).ext_in_rate = *s.router(victim).ext_in_rate * 2.0 + 5.0;
+    }
+  });
+  const auto r = miner.Check(snap);
+  bool conservation_broken = false;
+  for (const std::string& v : r.violations) {
+    if (v.find("conservation(IPLSng)") != std::string::npos) {
+      conservation_broken = true;
+    }
+  }
+  EXPECT_TRUE(conservation_broken);
+}
+
+TEST_F(MinerFixture, ConservationMiningCanBeDisabled) {
+  InvariantMinerOptions opts;
+  opts.mine_conservation = false;
+  InvariantMiner no_sum(net.topo, opts);
+  for (std::size_t i = 0; i < 6; ++i) no_sum.Observe(net.Snapshot(100 + i));
+  no_sum.Mine();
+  EXPECT_TRUE(no_sum.conservation_invariants().empty());
+}
+
+}  // namespace
+}  // namespace hodor::core::baselines

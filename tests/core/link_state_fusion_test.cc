@@ -1,0 +1,148 @@
+// Tests for the link-state fusion truth table (paper §4.2): combining the
+// two status reports (R1), counter activity (R3), and probes (R4).
+#include <gtest/gtest.h>
+
+#include "core/hardening.h"
+#include "faults/snapshot_faults.h"
+#include "net/topologies.h"
+#include "test_util.h"
+
+namespace hodor::core {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+using telemetry::LinkStatus;
+
+struct FusionFixture : ::testing::Test {
+  FusionFixture() : net(net::Figure3Triangle(), 21) {
+    e = net.topo.LinkIds()[0];
+  }
+
+  HardenedState Harden(const telemetry::SnapshotMutator& fault = nullptr,
+                       HardeningOptions opts = {}) {
+    telemetry::CollectorOptions copts;
+    copts.probes.false_loss_rate = 0.0;
+    auto snap = net.Snapshot(1, fault, copts);
+    return HardeningEngine(opts).Harden(snap);
+  }
+
+  testing::HealthyNetwork net;
+  LinkId e;
+};
+
+TEST_F(FusionFixture, HealthyLinkIsConfidentlyUp) {
+  const HardenedState hs = Harden();
+  const HardenedLinkState& l = hs.links[e.value()];
+  EXPECT_EQ(l.verdict, LinkVerdict::kUp);
+  EXPECT_GT(l.confidence, 0.9);
+  EXPECT_FALSE(l.status_disagreement);
+  // Verdict is shared with the reverse direction (physical link).
+  EXPECT_EQ(hs.links[net.topo.link(e).reverse.value()].verdict,
+            LinkVerdict::kUp);
+}
+
+TEST_F(FusionFixture, DeadLinkIsConfidentlyDown) {
+  net.state.SetLinkUp(e, false);
+  net.sim = flow::SimulateFlow(net.topo, net.state, net.demand, net.plan);
+  const HardenedState hs = Harden();
+  EXPECT_EQ(hs.links[e.value()].verdict, LinkVerdict::kDown);
+  EXPECT_GT(hs.links[e.value()].confidence, 0.7);
+}
+
+TEST_F(FusionFixture, OneLyingStatusOutvotedByProbesAndCounters) {
+  // The paper's example: one side reports down, the other up; counters are
+  // large and probes succeed -> the link is likely up.
+  const HardenedState hs =
+      Harden(faults::FalseLinkStatus(e, /*at_src=*/true, LinkStatus::kDown));
+  const HardenedLinkState& l = hs.links[e.value()];
+  EXPECT_TRUE(l.status_disagreement);
+  EXPECT_EQ(l.verdict, LinkVerdict::kUp);
+  EXPECT_EQ(hs.status_disagreement_count, 1u);
+}
+
+TEST_F(FusionFixture, WithoutAltAndProbesLyingStatusIsAmbiguous) {
+  HardeningOptions opts;
+  opts.use_alternative_signals = false;
+  opts.use_probes = false;
+  const HardenedState hs = Harden(
+      faults::FalseLinkStatus(e, /*at_src=*/true, LinkStatus::kDown), opts);
+  // One vote up, one vote down: no verdict possible from statuses alone.
+  EXPECT_EQ(hs.links[e.value()].verdict, LinkVerdict::kUnknown);
+  EXPECT_DOUBLE_EQ(hs.links[e.value()].confidence, 0.0);
+}
+
+TEST_F(FusionFixture, BrokenDataplaneDetectedOnlyWithProbes) {
+  // §4.2 semantic bug: statuses read up, but nothing can flow. Probes are
+  // the only signal that exercises the dataplane on an idle link.
+  net.state.SetLinkDataplaneOk(e, false);
+  net.sim = flow::SimulateFlow(net.topo, net.state, net.demand, net.plan);
+
+  const HardenedState with_probes = Harden();
+  // Two up-statuses (weight 2) vs two failed probes (weight 3) + idle
+  // counters: down wins.
+  EXPECT_EQ(with_probes.links[e.value()].verdict, LinkVerdict::kDown);
+
+  HardeningOptions no_probes;
+  no_probes.use_probes = false;
+  const HardenedState without = Harden(nullptr, no_probes);
+  EXPECT_EQ(without.links[e.value()].verdict, LinkVerdict::kUp)
+      << "without probes the lie is invisible";
+}
+
+TEST_F(FusionFixture, MissingStatusesFallBackToProbesAndCounters) {
+  const NodeId a = net.topo.FindNode("A").value();
+  const NodeId b = net.topo.FindNode("B").value();
+  // Both endpoint routers silent: no statuses, no counters from them.
+  auto fault = faults::ComposeFaults(
+      {faults::UnresponsiveRouter(a), faults::UnresponsiveRouter(b)});
+  const HardenedState hs = Harden(fault);
+  // The A<->B link still gets an up verdict purely from probes.
+  const LinkId ab = net.topo.FindLink(a, b).value();
+  EXPECT_EQ(hs.links[ab.value()].verdict, LinkVerdict::kUp);
+}
+
+TEST_F(FusionFixture, NoSignalsAtAllYieldsUnknown) {
+  net::Topology topo = net::Figure3Triangle();
+  telemetry::NetworkSnapshot empty(topo, 0);
+  for (auto& r : empty.routers()) r.responded = false;
+  const HardenedState hs = HardeningEngine().Harden(empty);
+  for (LinkId lid : topo.LinkIds()) {
+    EXPECT_EQ(hs.links[lid.value()].verdict, LinkVerdict::kUnknown);
+  }
+}
+
+TEST_F(FusionFixture, IdleHealthyLinkStillUpFromStatusAndProbes) {
+  // Zero demand: counters are all zero (weak down evidence) but statuses
+  // and probes dominate.
+  testing::HealthyNetwork idle(net::Figure3Triangle(), 22);
+  idle.demand = flow::DemandMatrix(idle.topo.node_count());
+  idle.sim = flow::SimulateFlow(idle.topo, idle.state, idle.demand, idle.plan);
+  telemetry::CollectorOptions copts;
+  copts.probes.false_loss_rate = 0.0;
+  const auto snap = idle.Snapshot(1, nullptr, copts);
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  for (LinkId lid : idle.topo.LinkIds()) {
+    EXPECT_EQ(hs.links[lid.value()].verdict, LinkVerdict::kUp);
+  }
+}
+
+TEST_F(FusionFixture, ProbeWeightTunesRiskTolerance) {
+  // With probes weighted to zero, failed probes cannot pull a link down —
+  // the operator knob the paper mentions for the fusion table.
+  net.state.SetLinkDataplaneOk(e, false);
+  net.sim = flow::SimulateFlow(net.topo, net.state, net.demand, net.plan);
+  HardeningOptions opts;
+  opts.probe_weight = 0.0;
+  const HardenedState hs = Harden(nullptr, opts);
+  EXPECT_EQ(hs.links[e.value()].verdict, LinkVerdict::kUp);
+}
+
+TEST(LinkVerdictName, AllNamed) {
+  EXPECT_STREQ(LinkVerdictName(LinkVerdict::kUp), "up");
+  EXPECT_STREQ(LinkVerdictName(LinkVerdict::kDown), "down");
+  EXPECT_STREQ(LinkVerdictName(LinkVerdict::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace hodor::core

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "core/drain_check.h"
+#include "core/hardening.h"
+#include "core/topology_check.h"
+#include "faults/aggregation_faults.h"
+#include "faults/snapshot_faults.h"
+#include "test_util.h"
+
+namespace hodor::core {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+struct CheckFixture : ::testing::Test {
+  CheckFixture() : net(net::Abilene(), 33) {}
+
+  HardenedState Harden() {
+    telemetry::CollectorOptions copts;
+    copts.probes.false_loss_rate = 0.0;
+    return HardeningEngine().Harden(net.Snapshot(1, fault, copts));
+  }
+
+  controlplane::ControllerInput HonestInput() {
+    telemetry::CollectorOptions copts;
+    copts.probes.false_loss_rate = 0.0;
+    return net.Input(net.Snapshot(1, fault, copts));
+  }
+
+  void Resimulate() {
+    net.plan = flow::ShortestPathRouting(
+        net.topo, net.demand,
+        [this](LinkId e) { return net.state.LinkUsable(e); });
+    net.sim = flow::SimulateFlow(net.topo, net.state, net.demand, net.plan);
+  }
+
+  testing::HealthyNetwork net;
+  telemetry::SnapshotMutator fault;
+};
+
+// ---------- topology check -------------------------------------------------
+
+TEST_F(CheckFixture, HonestTopologyInputPasses) {
+  const auto input = HonestInput();
+  const auto r = CheckTopology(net.topo, Harden(), input.link_available);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.checked_links, net.topo.link_count());
+}
+
+TEST_F(CheckFixture, MissingLinkViolation) {
+  // Aggregation wrongly removes healthy links (liveness misreport).
+  auto input = HonestInput();
+  const LinkId victim = net.topo.LinkIds()[0];
+  input.link_available[victim.value()] = false;
+  input.link_available[net.topo.link(victim).reverse.value()] = false;
+  const auto r = CheckTopology(net.topo, Harden(), input.link_available);
+  ASSERT_EQ(r.violations.size(), 2u);  // both directions
+  EXPECT_EQ(r.violations[0].kind, TopologyViolationKind::kMissingLink);
+  EXPECT_NE(r.violations[0].ToString(net.topo).find("missing link"),
+            std::string::npos);
+}
+
+TEST_F(CheckFixture, PhantomLinkViolation) {
+  // A physically dead link presented as available.
+  const LinkId victim = net.topo.LinkIds()[4];
+  net.state.SetLinkUp(victim, false);
+  Resimulate();
+  auto input = HonestInput();  // honest service marks it down...
+  controlplane::AggregationFaultHooks hooks;
+  hooks.topology =
+      faults::LinksMarkedUp(net.topo, {victim});  // ...the bug restores it
+  hooks.topology(input.link_available);
+  const auto r = CheckTopology(net.topo, Harden(), input.link_available);
+  ASSERT_GE(r.violations.size(), 2u);
+  for (const auto& v : r.violations) {
+    EXPECT_EQ(v.kind, TopologyViolationKind::kPhantomLink);
+  }
+}
+
+TEST_F(CheckFixture, LowConfidenceVerdictsSkipped) {
+  auto input = HonestInput();
+  HardenedState hs = Harden();
+  hs.links[0].confidence = 0.1;  // force one verdict below threshold
+  TopologyCheckOptions opts;
+  opts.min_confidence = 0.5;
+  const auto r = CheckTopology(net.topo, hs, input.link_available, opts);
+  EXPECT_EQ(r.unknown_links, 1u);
+  EXPECT_EQ(r.checked_links, net.topo.link_count() - 1);
+}
+
+TEST_F(CheckFixture, SizeMismatchRejected) {
+  const HardenedState hs = Harden();
+  std::vector<bool> wrong(3, true);
+  EXPECT_THROW(CheckTopology(net.topo, hs, wrong), std::logic_error);
+}
+
+// ---------- drain check ------------------------------------------------------
+
+TEST_F(CheckFixture, HonestDrainInputPasses) {
+  const NodeId drained = net.topo.NodeIds()[2];
+  net.state.SetNodeDrained(drained, true);
+  Resimulate();
+  const auto input = HonestInput();
+  EXPECT_TRUE(input.node_drained[drained.value()]);
+  const auto r = CheckDrains(net.topo, Harden(), input.node_drained,
+                             input.link_drained);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST_F(CheckFixture, IgnoredDrainViolation) {
+  // Router reports drained; the aggregation drops it (§2.2 outage).
+  const NodeId drained = net.topo.NodeIds()[2];
+  net.state.SetNodeDrained(drained, true);
+  Resimulate();
+  auto input = HonestInput();
+  faults::DrainsDropped()(input.node_drained, input.link_drained);
+  const auto r = CheckDrains(net.topo, Harden(), input.node_drained,
+                             input.link_drained);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, DrainViolationKind::kInputIgnoresDrain);
+  EXPECT_EQ(r.violations[0].node, drained);
+}
+
+TEST_F(CheckFixture, InventedDrainViolation) {
+  auto input = HonestInput();
+  const NodeId victim = net.topo.NodeIds()[5];
+  faults::DrainsInvented({victim})(input.node_drained, input.link_drained);
+  const auto r = CheckDrains(net.topo, Harden(), input.node_drained,
+                             input.link_drained);
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_EQ(r.violations[0].kind, DrainViolationKind::kInputInventsDrain);
+}
+
+TEST_F(CheckFixture, UndrainedDeadRouterDetectedViaProbes) {
+  // §4.3 case 1 + wrong drain signal: the router is dead, statuses stay up,
+  // the drain signal lies "undrained".
+  const NodeId victim = net.topo.NodeIds()[3];
+  net.state.SetNodeDrained(victim, true);       // operator intent
+  net.state.SetNodeForwarding(victim, false);   // actually dead
+  Resimulate();
+  fault = faults::WrongDrainSignal(victim, false);  // the lying signal
+  const auto input = HonestInput();
+  EXPECT_FALSE(input.node_drained[victim.value()]);  // input ignores drain
+  const auto r = CheckDrains(net.topo, Harden(), input.node_drained,
+                             input.link_drained);
+  bool found = false;
+  for (const auto& v : r.violations) {
+    if (v.kind == DrainViolationKind::kUndrainedDeadRouter &&
+        v.node == victim) {
+      found = true;
+      EXPECT_NE(v.ToString(net.topo).find("cannot carry traffic"),
+                std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CheckFixture, DrainedButActiveIsWarningNotViolation) {
+  // §4.3 case 2: signal claims drained while traffic still flows — possibly
+  // legitimate (pre-emptive drain), so only a warning.
+  const NodeId victim = net.topo.NodeIds()[1];
+  fault = faults::WrongDrainSignal(victim, true);
+  const auto input = HonestInput();
+  const auto r = CheckDrains(net.topo, Harden(), input.node_drained,
+                             input.link_drained);
+  // Input is consistent with the (lying) signal, so no violation, but the
+  // router is visibly carrying traffic.
+  EXPECT_TRUE(r.ok());
+  ASSERT_EQ(r.warnings_drained_but_active.size(), 1u);
+  EXPECT_EQ(r.warnings_drained_but_active[0], victim);
+}
+
+TEST_F(CheckFixture, LinkDrainAsymmetryViolation) {
+  const LinkId victim = net.topo.LinkIds()[6];
+  fault = faults::AsymmetricLinkDrain(victim);
+  const auto input = HonestInput();
+  const auto r = CheckDrains(net.topo, Harden(), input.node_drained,
+                             input.link_drained);
+  bool found = false;
+  for (const auto& v : r.violations) {
+    if (v.kind == DrainViolationKind::kDrainAsymmetry) {
+      found = true;
+      EXPECT_NE(v.ToString(net.topo).find("asymmetry"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(CheckFixture, HonestLinkDrainPasses) {
+  const LinkId drained = net.topo.LinkIds()[8];
+  net.state.SetLinkDrained(drained, true);
+  Resimulate();
+  const auto input = HonestInput();
+  EXPECT_TRUE(input.link_drained[drained.value()]);
+  const auto r = CheckDrains(net.topo, Harden(), input.node_drained,
+                             input.link_drained);
+  EXPECT_TRUE(r.ok());
+}
+
+}  // namespace
+}  // namespace hodor::core

@@ -1,0 +1,108 @@
+#include "core/validator.h"
+
+#include <gtest/gtest.h>
+
+#include "faults/aggregation_faults.h"
+#include "faults/snapshot_faults.h"
+#include "test_util.h"
+
+namespace hodor::core {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+struct ValidatorFixture : ::testing::Test {
+  ValidatorFixture() : net(testing::MakeAbilene()), validator(net.topo) {}
+
+  testing::HealthyNetwork net;
+  Validator validator;
+};
+
+TEST_F(ValidatorFixture, HonestInputAccepted) {
+  const auto snap = net.Snapshot();
+  const auto report = validator.Validate(net.Input(snap), snap);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.violation_count(), 0u);
+  EXPECT_EQ(report.Summary(), "ACCEPT");
+}
+
+TEST_F(ValidatorFixture, EachCheckContributesToReport) {
+  const auto snap = net.Snapshot();
+  controlplane::AggregationFaultHooks hooks;
+  hooks.demand = faults::DemandScaled(2.0);
+  hooks.topology = faults::LinksMarkedDown(net.topo, {net.topo.LinkIds()[0]});
+  hooks.drain = faults::DrainsInvented({net.topo.NodeIds()[0]});
+  const auto input = net.Input(snap, 2, hooks);
+  const auto report = validator.Validate(input, snap);
+  EXPECT_FALSE(report.demand.ok());
+  EXPECT_FALSE(report.topology.ok());
+  EXPECT_FALSE(report.drain.ok());
+  const std::string summary = report.Summary();
+  EXPECT_NE(summary.find("REJECT"), std::string::npos);
+  const std::string detail = report.Describe(net.topo);
+  EXPECT_NE(detail.find("[demand]"), std::string::npos);
+  EXPECT_NE(detail.find("[topology]"), std::string::npos);
+  EXPECT_NE(detail.find("[drain]"), std::string::npos);
+}
+
+TEST_F(ValidatorFixture, ChecksCanBeIndividuallyDisabled) {
+  ValidatorOptions opts;
+  opts.check_demand = false;
+  Validator lenient(net.topo, opts);
+  const auto snap = net.Snapshot();
+  controlplane::AggregationFaultHooks hooks;
+  hooks.demand = faults::DemandScaled(2.0);
+  const auto input = net.Input(snap, 2, hooks);
+  EXPECT_TRUE(lenient.Validate(input, snap).ok());
+  EXPECT_FALSE(validator.Validate(input, snap).ok());
+}
+
+TEST_F(ValidatorFixture, PipelineAdapterMapsOkToAccept) {
+  const auto fn = validator.AsPipelineValidator();
+  const auto snap = net.Snapshot();
+  const auto good = fn(net.Input(snap), snap);
+  EXPECT_TRUE(good.accept);
+  controlplane::AggregationFaultHooks hooks;
+  hooks.demand = faults::DemandScaled(3.0);
+  const auto bad = fn(net.Input(snap, 2, hooks), snap);
+  EXPECT_FALSE(bad.accept);
+  EXPECT_NE(bad.reason.find("REJECT"), std::string::npos);
+}
+
+TEST_F(ValidatorFixture, HardeningSummaryExposedInReport) {
+  const NodeId victim = net.topo.FindNode("IPLSng").value();  // degree 3
+  const auto snap =
+      net.Snapshot(1, faults::ZeroedCountersFault(victim, 1.0, 7));
+  const auto report = validator.Validate(net.Input(snap), snap);
+  EXPECT_GT(report.hardened.flagged_rate_count, 0u);
+}
+
+TEST_F(ValidatorFixture, DisasterScenarioIsAccepted) {
+  // A third of links legitimately down + honest reporting: the dynamic
+  // validator must NOT false-positive (the paper's core criticism of
+  // static checks).
+  std::size_t i = 0;
+  for (LinkId e : net.topo.LinkIds()) {
+    if (e.value() % 6 == 0) net.state.SetLinkUp(e, false);
+    ++i;
+  }
+  // Re-route what remains and re-simulate honestly.
+  net.plan = flow::ShortestPathRouting(
+      net.topo, net.demand,
+      [this](LinkId e) { return net.state.LinkUsable(e); });
+  net.sim = flow::SimulateFlow(net.topo, net.state, net.demand, net.plan);
+  telemetry::CollectorOptions copts;
+  copts.probes.false_loss_rate = 0.0;
+  const auto snap = net.Snapshot(1, nullptr, copts);
+  const auto input = net.Input(snap);
+  const auto report = validator.Validate(input, snap);
+  EXPECT_TRUE(report.topology.ok()) << report.Describe(net.topo);
+  EXPECT_TRUE(report.drain.ok());
+  // Note: if surviving capacity can't carry all demand, drops make the
+  // demand input legitimately inconsistent with delivered traffic — that
+  // is a real signal, not a false positive. Use a light load to avoid it.
+}
+
+}  // namespace
+}  // namespace hodor::core

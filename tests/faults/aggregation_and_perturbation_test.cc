@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "faults/aggregation_faults.h"
+#include "faults/demand_perturbations.h"
+#include "test_util.h"
+
+namespace hodor::faults {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+struct AggFixture : ::testing::Test {
+  AggFixture() : net(testing::MakeAbilene()) {
+    input = net.Input(net.Snapshot());
+  }
+  testing::HealthyNetwork net;
+  controlplane::ControllerInput input;
+};
+
+TEST_F(AggFixture, PartialStitchRemovesIncidentLinks) {
+  const NodeId v = net.topo.FindNode("KSCYng").value();
+  PartialTopologyStitch(net.topo, {v})(input.link_available);
+  for (LinkId e : net.topo.OutLinks(v)) {
+    EXPECT_FALSE(input.link_available[e.value()]);
+    EXPECT_FALSE(input.link_available[net.topo.link(e).reverse.value()]);
+  }
+  // A far-away link survives.
+  const LinkId far = net.topo
+                         .FindLink(net.topo.FindNode("NYCMng").value(),
+                                   net.topo.FindNode("WASHng").value())
+                         .value();
+  EXPECT_TRUE(input.link_available[far.value()]);
+}
+
+TEST_F(AggFixture, LinksMarkedDownAndUp) {
+  const LinkId e = net.topo.LinkIds()[0];
+  LinksMarkedDown(net.topo, {e})(input.link_available);
+  EXPECT_FALSE(input.link_available[e.value()]);
+  EXPECT_FALSE(input.link_available[net.topo.link(e).reverse.value()]);
+  LinksMarkedUp(net.topo, {e})(input.link_available);
+  EXPECT_TRUE(input.link_available[e.value()]);
+}
+
+TEST_F(AggFixture, DrainHooks) {
+  input.node_drained[3] = true;
+  input.link_drained[5] = true;
+  DrainsDropped()(input.node_drained, input.link_drained);
+  for (bool b : input.node_drained) EXPECT_FALSE(b);
+  for (bool b : input.link_drained) EXPECT_FALSE(b);
+  DrainsInvented({NodeId(7)})(input.node_drained, input.link_drained);
+  EXPECT_TRUE(input.node_drained[7]);
+}
+
+TEST_F(AggFixture, DemandRowsDropped) {
+  const NodeId v = net.topo.ExternalNodes()[2];
+  ASSERT_GT(input.demand.RowSum(v), 0.0);
+  DemandRowsDropped(net.topo, {v})(input.demand);
+  EXPECT_DOUBLE_EQ(input.demand.RowSum(v), 0.0);
+  EXPECT_GT(input.demand.Total(), 0.0);  // other rows intact
+}
+
+TEST_F(AggFixture, DemandEntriesDroppedFraction) {
+  const std::size_t before = input.demand.PositiveEntryCount();
+  DemandEntriesDropped(0.5, 11)(input.demand);
+  const std::size_t after = input.demand.PositiveEntryCount();
+  EXPECT_LT(after, before);
+  EXPECT_GT(after, 0u);
+}
+
+TEST_F(AggFixture, DemandScaledAndFrozen) {
+  const double before = input.demand.Total();
+  DemandScaled(1.7)(input.demand);
+  EXPECT_NEAR(input.demand.Total(), 1.7 * before, 1e-6);
+
+  flow::DemandMatrix stale(net.topo.node_count());
+  stale.Set(NodeId(0), NodeId(1), 123.0);
+  DemandFrozen(stale)(input.demand);
+  EXPECT_DOUBLE_EQ(input.demand.Total(), 123.0);
+}
+
+
+TEST_F(AggFixture, DemandRowsRotatedPreservesTotalAndMovesRows) {
+  const double total_before = input.demand.Total();
+  const auto ext = net.topo.ExternalNodes();
+  const net::NodeId first = ext[0];
+  const net::NodeId second = ext[1];
+  const double first_row = input.demand.RowSum(first);
+  DemandRowsRotated(net.topo)(input.demand);
+  EXPECT_NEAR(input.demand.Total(), total_before, 1e-9);
+  // First row's demand moved (mostly) to the next external node.
+  EXPECT_NEAR(input.demand.RowSum(second), first_row,
+              first_row * 0.25 + 1e-9);
+}
+
+// ---------- demand perturbations continued -----------------------------------
+
+// ---------- demand perturbations (§4.1 experiment machinery) -----------------
+
+struct PerturbFixture : ::testing::Test {
+  PerturbFixture() : net(testing::MakeAbilene()), rng(5) {}
+  testing::HealthyNetwork net;
+  util::Rng rng;
+};
+
+TEST_F(PerturbFixture, ZeroEntriesZerosExactlyK) {
+  const auto p = ZeroEntries(net.demand, 4, rng);
+  EXPECT_EQ(p.touched.size(), 4u);
+  for (const auto& [i, j] : p.touched) {
+    EXPECT_DOUBLE_EQ(p.matrix.At(i, j), 0.0);
+    EXPECT_GT(net.demand.At(i, j), 0.0);  // original untouched
+  }
+  EXPECT_EQ(p.matrix.PositiveEntryCount(),
+            net.demand.PositiveEntryCount() - 4);
+}
+
+TEST_F(PerturbFixture, ZeroEntriesDistinct) {
+  const auto p = ZeroEntries(net.demand, 100, rng);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (const auto& [i, j] : p.touched) {
+    EXPECT_TRUE(seen.insert({i.value(), j.value()}).second);
+  }
+}
+
+TEST_F(PerturbFixture, ZeroEntriesRejectsOversizedK) {
+  EXPECT_THROW(ZeroEntries(net.demand, 1000, rng), std::logic_error);
+}
+
+TEST_F(PerturbFixture, ScaleEntriesMultiplies) {
+  const auto p = ScaleEntries(net.demand, 3, 0.5, rng);
+  for (const auto& [i, j] : p.touched) {
+    EXPECT_NEAR(p.matrix.At(i, j), 0.5 * net.demand.At(i, j), 1e-9);
+  }
+}
+
+TEST_F(PerturbFixture, NoiseTouchesAllPositiveEntries) {
+  const auto p = NoiseAllEntries(net.demand, 0.1, rng);
+  EXPECT_EQ(p.touched.size(), net.demand.PositiveEntryCount());
+  EXPECT_GT(p.matrix.MaxAbsDifference(net.demand), 0.0);
+}
+
+TEST_F(PerturbFixture, NoiseZeroSigmaIsIdentity) {
+  const auto p = NoiseAllEntries(net.demand, 0.0, rng);
+  EXPECT_DOUBLE_EQ(p.matrix.MaxAbsDifference(net.demand), 0.0);
+}
+
+TEST_F(PerturbFixture, SwapEntriesPreservesTotal) {
+  const auto p = SwapEntries(net.demand, 5, rng);
+  EXPECT_NEAR(p.matrix.Total(), net.demand.Total(), 1e-9);
+  EXPECT_GT(p.matrix.MaxAbsDifference(net.demand), 0.0);
+}
+
+}  // namespace
+}  // namespace hodor::faults

@@ -1,0 +1,182 @@
+#include "faults/snapshot_faults.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hodor::faults {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+using telemetry::LinkStatus;
+
+struct FaultFixture : ::testing::Test {
+  FaultFixture() : net(testing::MakeAbilene()) {
+    victim = net.topo.FindNode("IPLSng").value();
+    link = net.topo.OutLinks(victim)[0];
+  }
+
+  testing::HealthyNetwork net;
+  NodeId victim;
+  LinkId link;
+};
+
+TEST_F(FaultFixture, ZeroedCountersZeroSomeSignals) {
+  const auto snap = net.Snapshot(1, ZeroedCountersFault(victim, 1.0, 3));
+  for (LinkId e : net.topo.OutLinks(victim)) {
+    EXPECT_DOUBLE_EQ(snap.TxRate(e).value(), 0.0);
+  }
+  for (LinkId e : net.topo.InLinks(victim)) {
+    EXPECT_DOUBLE_EQ(snap.RxRate(e).value(), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(snap.ExtInRate(victim).value(), 0.0);
+}
+
+TEST_F(FaultFixture, ZeroedCountersProbabilityZeroIsNoOp) {
+  const auto clean = net.Snapshot(1);
+  const auto faulted = net.Snapshot(1, ZeroedCountersFault(victim, 0.0, 3));
+  for (LinkId e : net.topo.OutLinks(victim)) {
+    EXPECT_DOUBLE_EQ(faulted.TxRate(e).value(), clean.TxRate(e).value());
+  }
+}
+
+TEST_F(FaultFixture, ZeroedCountersDeterministicPerSeed) {
+  const auto a = net.Snapshot(1, ZeroedCountersFault(victim, 0.5, 3));
+  const auto b = net.Snapshot(1, ZeroedCountersFault(victim, 0.5, 3));
+  for (LinkId e : net.topo.OutLinks(victim)) {
+    EXPECT_DOUBLE_EQ(a.TxRate(e).value(), b.TxRate(e).value());
+  }
+}
+
+TEST_F(FaultFixture, CorruptLinkCounterVariants) {
+  const auto zeroed =
+      net.Snapshot(1, CorruptLinkCounter(link, CounterSide::kTx,
+                                         CounterCorruption::kZero));
+  EXPECT_DOUBLE_EQ(zeroed.TxRate(link).value(), 0.0);
+  EXPECT_GT(zeroed.RxRate(link).value(), 0.0);  // RX untouched
+
+  const auto scaled =
+      net.Snapshot(1, CorruptLinkCounter(link, CounterSide::kRx,
+                                         CounterCorruption::kScale, 2.0));
+  const auto clean = net.Snapshot(1);
+  EXPECT_NEAR(scaled.RxRate(link).value(), 2.0 * clean.RxRate(link).value(),
+              1e-9);
+
+  const auto absolute =
+      net.Snapshot(1, CorruptLinkCounter(link, CounterSide::kBoth,
+                                         CounterCorruption::kAbsolute, 7.5));
+  EXPECT_DOUBLE_EQ(absolute.TxRate(link).value(), 7.5);
+  EXPECT_DOUBLE_EQ(absolute.RxRate(link).value(), 7.5);
+
+  const auto dropped =
+      net.Snapshot(1, CorruptLinkCounter(link, CounterSide::kBoth,
+                                         CounterCorruption::kDrop));
+  EXPECT_FALSE(dropped.TxRate(link).has_value());
+  EXPECT_FALSE(dropped.RxRate(link).has_value());
+}
+
+TEST_F(FaultFixture, UnresponsiveRouterClearsEverything) {
+  const auto snap = net.Snapshot(1, UnresponsiveRouter(victim));
+  EXPECT_FALSE(snap.router(victim).responded);
+  EXPECT_FALSE(snap.NodeDrained(victim).has_value());
+  EXPECT_FALSE(snap.ExtInRate(victim).has_value());
+  for (LinkId e : net.topo.OutLinks(victim)) {
+    EXPECT_FALSE(snap.TxRate(e).has_value());
+    EXPECT_FALSE(snap.StatusAtSrc(e).has_value());
+  }
+  // Other routers unaffected.
+  const NodeId other = net.topo.FindNode("NYCMng").value();
+  EXPECT_TRUE(snap.NodeDrained(other).has_value());
+}
+
+TEST_F(FaultFixture, MalformedTelemetryDropsSubset) {
+  const auto snap = net.Snapshot(1, MalformedTelemetry(victim, 0.5, 17));
+  std::size_t present = 0, missing = 0;
+  for (LinkId e : net.topo.OutLinks(victim)) {
+    snap.TxRate(e).has_value() ? ++present : ++missing;
+    snap.StatusAtSrc(e).has_value() ? ++present : ++missing;
+  }
+  for (LinkId e : net.topo.InLinks(victim)) {
+    snap.RxRate(e).has_value() ? ++present : ++missing;
+  }
+  EXPECT_GT(missing, 0u);
+  EXPECT_GT(present, 0u);  // p=0.5: some survive (IPLS has degree 3)
+  EXPECT_TRUE(snap.router(victim).responded);
+}
+
+TEST_F(FaultFixture, WrongDrainSignalOverrides) {
+  const auto snap = net.Snapshot(1, WrongDrainSignal(victim, true));
+  EXPECT_TRUE(snap.NodeDrained(victim).value());
+}
+
+TEST_F(FaultFixture, AsymmetricLinkDrainSplitsEnds) {
+  const auto snap = net.Snapshot(1, AsymmetricLinkDrain(link));
+  EXPECT_TRUE(snap.LinkDrainAtSrc(link).value());
+  EXPECT_FALSE(snap.LinkDrainAtDst(link).value());
+}
+
+TEST_F(FaultFixture, FalseLinkStatusOneSide) {
+  const auto snap =
+      net.Snapshot(1, FalseLinkStatus(link, /*at_src=*/false,
+                                      LinkStatus::kDown));
+  EXPECT_EQ(snap.StatusAtSrc(link).value(), LinkStatus::kUp);
+  EXPECT_EQ(snap.StatusAtDst(link).value(), LinkStatus::kDown);
+}
+
+TEST_F(FaultFixture, ScaledRouterCountersScaleAll) {
+  const auto clean = net.Snapshot(1);
+  const auto snap = net.Snapshot(1, ScaledRouterCounters(victim, 0.5));
+  for (LinkId e : net.topo.OutLinks(victim)) {
+    EXPECT_NEAR(snap.TxRate(e).value(), 0.5 * clean.TxRate(e).value(), 1e-9);
+  }
+  EXPECT_NEAR(snap.ExtInRate(victim).value(),
+              0.5 * clean.ExtInRate(victim).value(), 1e-9);
+}
+
+TEST_F(FaultFixture, ComposeAppliesInOrder) {
+  auto composed = ComposeFaults(
+      {WrongDrainSignal(victim, true), WrongDrainSignal(victim, false)});
+  const auto snap = net.Snapshot(1, composed);
+  EXPECT_FALSE(snap.NodeDrained(victim).value());  // last write wins
+}
+
+TEST_F(FaultFixture, ComposeToleratesNullEntries) {
+  auto composed = ComposeFaults({nullptr, WrongDrainSignal(victim, true)});
+  const auto snap = net.Snapshot(1, composed);
+  EXPECT_TRUE(snap.NodeDrained(victim).value());
+}
+
+
+TEST_F(FaultFixture, VendorCounterBugConsistentInsideFleet) {
+  // Two adjacent routers on the buggy vendor: their shared link's TX and
+  // RX are scaled identically and still agree — R1 is blind inside the
+  // fleet (the §3 correlated-failure case).
+  const NodeId a = net.topo.FindNode("CHINng").value();
+  const NodeId b = net.topo.FindNode("NYCMng").value();
+  const LinkId shared = net.topo.FindLink(a, b).value();
+  const auto clean = net.Snapshot(1);
+  const auto snap = net.Snapshot(1, VendorCounterBug({a, b}, 0.5));
+  EXPECT_NEAR(snap.TxRate(shared).value(),
+              0.5 * clean.TxRate(shared).value(), 1e-9);
+  EXPECT_NEAR(snap.RxRate(shared).value(),
+              0.5 * clean.RxRate(shared).value(), 1e-9);
+  // Boundary link (a to a healthy neighbour): only one side scaled.
+  for (LinkId e : net.topo.OutLinks(a)) {
+    const net::Link& l = net.topo.link(e);
+    if (l.dst == b) continue;
+    EXPECT_NEAR(snap.TxRate(e).value(), 0.5 * clean.TxRate(e).value(), 1e-9);
+    EXPECT_NEAR(snap.RxRate(e).value(), clean.RxRate(e).value(), 1e-9);
+  }
+}
+
+TEST_F(FaultFixture, VendorCounterBugEmptyFleetIsNoOp) {
+  const auto clean = net.Snapshot(1);
+  const auto snap = net.Snapshot(1, VendorCounterBug({}, 0.5));
+  for (LinkId e : net.topo.LinkIds()) {
+    EXPECT_DOUBLE_EQ(snap.TxRate(e).value(), clean.TxRate(e).value());
+  }
+}
+
+}  // namespace
+}  // namespace hodor::faults

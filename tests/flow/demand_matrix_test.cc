@@ -1,0 +1,99 @@
+#include "flow/demand_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+
+namespace hodor::flow {
+namespace {
+
+using net::NodeId;
+
+TEST(DemandMatrix, StartsZero) {
+  DemandMatrix d(4);
+  EXPECT_EQ(d.node_count(), 4u);
+  EXPECT_EQ(d.entry_count(), 16u);
+  EXPECT_DOUBLE_EQ(d.Total(), 0.0);
+  EXPECT_EQ(d.PositiveEntryCount(), 0u);
+}
+
+TEST(DemandMatrix, SetGetRoundTrip) {
+  DemandMatrix d(3);
+  d.Set(NodeId(0), NodeId(1), 5.5);
+  EXPECT_DOUBLE_EQ(d.At(NodeId(0), NodeId(1)), 5.5);
+  EXPECT_DOUBLE_EQ(d.At(NodeId(1), NodeId(0)), 0.0);
+}
+
+TEST(DemandMatrix, RowAndColSums) {
+  DemandMatrix d(3);
+  d.Set(NodeId(0), NodeId(1), 1.0);
+  d.Set(NodeId(0), NodeId(2), 2.0);
+  d.Set(NodeId(1), NodeId(2), 4.0);
+  EXPECT_DOUBLE_EQ(d.RowSum(NodeId(0)), 3.0);
+  EXPECT_DOUBLE_EQ(d.RowSum(NodeId(2)), 0.0);
+  EXPECT_DOUBLE_EQ(d.ColSum(NodeId(2)), 6.0);
+  EXPECT_DOUBLE_EQ(d.ColSum(NodeId(0)), 0.0);
+  EXPECT_DOUBLE_EQ(d.Total(), 7.0);
+}
+
+TEST(DemandMatrix, DiagonalMustBeZero) {
+  DemandMatrix d(2);
+  EXPECT_THROW(d.Set(NodeId(1), NodeId(1), 1.0), std::logic_error);
+  EXPECT_NO_THROW(d.Set(NodeId(1), NodeId(1), 0.0));
+}
+
+TEST(DemandMatrix, NegativeRejected) {
+  DemandMatrix d(2);
+  EXPECT_THROW(d.Set(NodeId(0), NodeId(1), -1.0), std::logic_error);
+}
+
+TEST(DemandMatrix, OutOfRangeRejected) {
+  DemandMatrix d(2);
+  EXPECT_THROW(d.At(NodeId(2), NodeId(0)), std::logic_error);
+  EXPECT_THROW(d.At(NodeId::Invalid(), NodeId(0)), std::logic_error);
+}
+
+TEST(DemandMatrix, ScaleMultipliesEverything) {
+  DemandMatrix d(2);
+  d.Set(NodeId(0), NodeId(1), 3.0);
+  d.Scale(2.0);
+  EXPECT_DOUBLE_EQ(d.At(NodeId(0), NodeId(1)), 6.0);
+  d.Scale(0.0);
+  EXPECT_DOUBLE_EQ(d.Total(), 0.0);
+}
+
+TEST(DemandMatrix, PairsListsPositiveOffDiagonal) {
+  DemandMatrix d(3);
+  d.Set(NodeId(0), NodeId(2), 1.0);
+  d.Set(NodeId(2), NodeId(1), 2.0);
+  const auto pairs = d.Pairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0].first, NodeId(0));
+  EXPECT_EQ(pairs[0].second, NodeId(2));
+}
+
+TEST(DemandMatrix, MaxAbsDifference) {
+  DemandMatrix a(2), b(2);
+  a.Set(NodeId(0), NodeId(1), 10.0);
+  b.Set(NodeId(0), NodeId(1), 7.5);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDifference(b), 2.5);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDifference(a), 0.0);
+}
+
+TEST(DemandMatrix, MaxAbsDifferenceShapeChecked) {
+  DemandMatrix a(2), b(3);
+  EXPECT_FALSE(a.SameShape(b));
+  EXPECT_THROW(a.MaxAbsDifference(b), std::logic_error);
+}
+
+TEST(DemandMatrix, ToStringContainsNames) {
+  const net::Topology topo = net::Figure3Triangle();
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(1), 12.0);
+  const std::string s = d.ToString(topo);
+  EXPECT_NE(s.find("A"), std::string::npos);
+  EXPECT_NE(s.find("12.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hodor::flow

@@ -1,0 +1,179 @@
+#include "flow/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flow/simulator.h"
+#include "flow/tm_generators.h"
+#include "net/state.h"
+#include "net/topologies.h"
+
+namespace hodor::flow {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+TEST(RoutingPlan, SetAndGetPaths) {
+  net::Topology topo = net::Line(3);
+  const net::Path p =
+      net::ShortestPath(topo, NodeId(0), NodeId(2)).value();
+  RoutingPlan plan;
+  plan.SetPaths(NodeId(0), NodeId(2), {WeightedPath{p, 1.0}});
+  EXPECT_TRUE(plan.HasRoute(NodeId(0), NodeId(2)));
+  EXPECT_FALSE(plan.HasRoute(NodeId(2), NodeId(0)));
+  EXPECT_EQ(plan.PathsFor(NodeId(0), NodeId(2)).size(), 1u);
+  EXPECT_TRUE(plan.PathsFor(NodeId(2), NodeId(0)).empty());
+  EXPECT_EQ(plan.pair_count(), 1u);
+}
+
+TEST(RoutingPlan, WeightsMustSumToOne) {
+  net::Topology topo = net::Line(3);
+  const net::Path p =
+      net::ShortestPath(topo, NodeId(0), NodeId(2)).value();
+  RoutingPlan plan;
+  EXPECT_THROW(plan.SetPaths(NodeId(0), NodeId(2), {WeightedPath{p, 0.7}}),
+               std::logic_error);
+  EXPECT_THROW(plan.SetPaths(NodeId(0), NodeId(2),
+                             {WeightedPath{p, 0.5}, WeightedPath{p, 0.6}}),
+               std::logic_error);
+}
+
+TEST(RoutingPlan, EmptyPathRejected) {
+  RoutingPlan plan;
+  EXPECT_THROW(plan.SetPaths(NodeId(0), NodeId(1), {WeightedPath{{}, 1.0}}),
+               std::logic_error);
+}
+
+TEST(RoutingPlan, UsedLinksDeduplicates) {
+  net::Topology topo = net::Line(4);
+  RoutingPlan plan;
+  const DemandMatrix d = UniformDemand(topo, 1.0);
+  plan = ShortestPathRouting(topo, d, net::AllLinks());
+  const auto used = plan.UsedLinks();
+  // Line4 fully meshed demand uses every directed link exactly once in
+  // the used set.
+  EXPECT_EQ(used.size(), topo.link_count());
+}
+
+TEST(ShortestPathRouting, RoutesEveryRoutablePair) {
+  const net::Topology topo = net::Abilene();
+  const DemandMatrix d = UniformDemand(topo, 1.0);
+  const RoutingPlan plan = ShortestPathRouting(topo, d, net::AllLinks());
+  EXPECT_EQ(plan.pair_count(), 132u);
+  for (const auto& [i, j] : d.Pairs()) {
+    const auto& paths = plan.PathsFor(i, j);
+    ASSERT_EQ(paths.size(), 1u);
+    EXPECT_EQ(net::PathSource(topo, paths[0].path), i);
+    EXPECT_EQ(net::PathDestination(topo, paths[0].path), j);
+    EXPECT_DOUBLE_EQ(paths[0].weight, 1.0);
+  }
+}
+
+TEST(ShortestPathRouting, SkipsUnroutablePairs) {
+  net::Topology topo = net::Line(3);
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(2), 5.0);
+  // Filter cuts the line: no route exists.
+  const RoutingPlan plan = ShortestPathRouting(
+      topo, d, [](LinkId) { return false; });
+  EXPECT_EQ(plan.pair_count(), 0u);
+}
+
+TEST(EcmpRouting, SplitsAcrossEqualCostPaths) {
+  const net::Topology topo = net::Ring(4);
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(2), 8.0);  // two 2-hop paths around the ring
+  const RoutingPlan plan = EcmpRouting(topo, d, net::AllLinks());
+  const auto& paths = plan.PathsFor(NodeId(0), NodeId(2));
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(paths[0].weight, 0.5);
+  EXPECT_DOUBLE_EQ(paths[1].weight, 0.5);
+}
+
+TEST(EcmpRouting, SinglePathGetsFullWeight) {
+  const net::Topology topo = net::Line(3);
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(2), 1.0);
+  const RoutingPlan plan = EcmpRouting(topo, d, net::AllLinks());
+  const auto& paths = plan.PathsFor(NodeId(0), NodeId(2));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(paths[0].weight, 1.0);
+}
+
+TEST(GreedyTeRouting, WeightsSumToOnePerPair) {
+  const net::Topology topo = net::Abilene();
+  util::Rng rng(23);
+  DemandMatrix d = GravityDemand(topo, rng);
+  NormalizeToMaxUtilization(topo, 0.8, d);
+  const RoutingPlan plan = GreedyTeRouting(topo, d, net::AllLinks());
+  for (const auto& [i, j] : d.Pairs()) {
+    const auto& paths = plan.PathsFor(i, j);
+    ASSERT_FALSE(paths.empty());
+    double total = 0.0;
+    for (const auto& wp : paths) {
+      EXPECT_GT(wp.weight, 0.0);
+      EXPECT_TRUE(net::IsValidSimplePath(topo, wp.path));
+      total += wp.weight;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(GreedyTeRouting, SpreadsLoadBetterThanSpf) {
+  // A hotspot between two nodes with several parallel routes: TE must beat
+  // single shortest path on max utilisation.
+  const net::Topology topo = net::FullMesh(5);
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(1), 250.0);  // well above one 100G link
+
+  const net::GroundTruthState state(topo);
+  const RoutingPlan spf = ShortestPathRouting(topo, d, net::AllLinks());
+  TeOptions te;
+  te.k_paths = 4;
+  te.chunks_per_pair = 20;
+  const RoutingPlan teplan = GreedyTeRouting(topo, d, net::AllLinks(), te);
+
+  auto max_util = [&](const RoutingPlan& plan) {
+    const SimulationResult sim = SimulateFlow(topo, state, d, plan);
+    double worst = 0.0;
+    for (const net::Link& l : topo.links()) {
+      worst = std::max(worst, sim.arriving[l.id.value()] / l.capacity);
+    }
+    return worst;
+  };
+  EXPECT_GT(max_util(spf), 2.0);
+  EXPECT_LT(max_util(teplan), 1.01);
+}
+
+TEST(GreedyTeRouting, RespectsLinkFilter) {
+  const net::Topology topo = net::Ring(4);
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(2), 1.0);
+  const LinkId banned = topo.FindLink(NodeId(0), NodeId(1)).value();
+  const RoutingPlan plan = GreedyTeRouting(
+      topo, d, [banned](LinkId e) { return e != banned; });
+  for (const auto& wp : plan.PathsFor(NodeId(0), NodeId(2))) {
+    for (LinkId e : wp.path) EXPECT_NE(e, banned);
+  }
+}
+
+TEST(GreedyTeRouting, DeterministicForSameInputs) {
+  const net::Topology topo = net::Abilene();
+  DemandMatrix d = UniformDemand(topo, 3.0);
+  const RoutingPlan a = GreedyTeRouting(topo, d, net::AllLinks());
+  const RoutingPlan b = GreedyTeRouting(topo, d, net::AllLinks());
+  for (const auto& [i, j] : d.Pairs()) {
+    const auto& pa = a.PathsFor(i, j);
+    const auto& pb = b.PathsFor(i, j);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t k = 0; k < pa.size(); ++k) {
+      EXPECT_EQ(pa[k].path, pb[k].path);
+      EXPECT_DOUBLE_EQ(pa[k].weight, pb[k].weight);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hodor::flow

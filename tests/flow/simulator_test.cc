@@ -1,0 +1,254 @@
+#include "flow/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "flow/metrics.h"
+#include "flow/tm_generators.h"
+#include "net/topologies.h"
+
+namespace hodor::flow {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+// Exact flow conservation at every router: in + ext_in == out + drops +
+// ext_out. This is the invariant the paper's R2 redundancy builds on, so
+// the simulator must satisfy it to machine precision.
+void ExpectFlowConservation(const net::Topology& topo,
+                            const SimulationResult& sim) {
+  for (const net::Node& n : topo.nodes()) {
+    double in = sim.ext_in[n.id.value()];
+    for (LinkId e : topo.InLinks(n.id)) in += sim.carried[e.value()];
+    double out = sim.ext_out[n.id.value()];
+    for (LinkId e : topo.OutLinks(n.id)) {
+      out += sim.carried[e.value()] + sim.dropped[e.value()];
+    }
+    EXPECT_NEAR(in, out, 1e-6) << "at " << n.name;
+  }
+}
+
+TEST(Simulator, SingleFlowOnLine) {
+  const net::Topology topo = net::Line(3);
+  const net::GroundTruthState state(topo);
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(2), 10.0);
+  const RoutingPlan plan = ShortestPathRouting(topo, d, net::AllLinks());
+  const SimulationResult sim = SimulateFlow(topo, state, d, plan);
+
+  EXPECT_DOUBLE_EQ(sim.total_admitted_gbps, 10.0);
+  EXPECT_DOUBLE_EQ(sim.total_delivered_gbps, 10.0);
+  EXPECT_DOUBLE_EQ(sim.total_dropped_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(sim.unrouted_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(sim.ext_in[0], 10.0);
+  EXPECT_DOUBLE_EQ(sim.ext_out[2], 10.0);
+  EXPECT_DOUBLE_EQ(sim.delivered.At(NodeId(0), NodeId(2)), 10.0);
+  // Both hops carry the full rate.
+  const LinkId l01 = topo.FindLink(NodeId(0), NodeId(1)).value();
+  const LinkId l12 = topo.FindLink(NodeId(1), NodeId(2)).value();
+  EXPECT_DOUBLE_EQ(sim.carried[l01.value()], 10.0);
+  EXPECT_DOUBLE_EQ(sim.carried[l12.value()], 10.0);
+  ExpectFlowConservation(topo, sim);
+}
+
+TEST(Simulator, OverloadedLinkDropsExcess) {
+  net::TopologyDefaults defs;
+  defs.link_capacity = 10.0;
+  const net::Topology topo = net::Line(3, defs);
+  const net::GroundTruthState state(topo);
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(2), 25.0);
+  const RoutingPlan plan = ShortestPathRouting(topo, d, net::AllLinks());
+  const SimulationResult sim = SimulateFlow(topo, state, d, plan);
+
+  const LinkId l01 = topo.FindLink(NodeId(0), NodeId(1)).value();
+  EXPECT_DOUBLE_EQ(sim.arriving[l01.value()], 25.0);
+  EXPECT_DOUBLE_EQ(sim.carried[l01.value()], 10.0);
+  EXPECT_DOUBLE_EQ(sim.dropped[l01.value()], 15.0);
+  EXPECT_DOUBLE_EQ(sim.total_delivered_gbps, 10.0);
+  ExpectFlowConservation(topo, sim);
+}
+
+TEST(Simulator, DownLinkBlackholesTraffic) {
+  const net::Topology topo = net::Line(3);
+  net::GroundTruthState state(topo);
+  const LinkId l12 = topo.FindLink(NodeId(1), NodeId(2)).value();
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(2), 10.0);
+  // Plan computed before the failure still routes over the dead link.
+  const RoutingPlan plan = ShortestPathRouting(topo, d, net::AllLinks());
+  state.SetLinkUp(l12, false);
+  const SimulationResult sim = SimulateFlow(topo, state, d, plan);
+
+  EXPECT_DOUBLE_EQ(sim.total_delivered_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(sim.dropped[l12.value()], 10.0);  // blackholed at the link
+  EXPECT_DOUBLE_EQ(sim.ext_in[0], 10.0);             // it did enter
+  ExpectFlowConservation(topo, sim);
+}
+
+TEST(Simulator, BrokenDataplaneAlsoBlackholes) {
+  const net::Topology topo = net::Line(3);
+  net::GroundTruthState state(topo);
+  const LinkId l01 = topo.FindLink(NodeId(0), NodeId(1)).value();
+  state.SetLinkDataplaneOk(l01, false);
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(2), 4.0);
+  const RoutingPlan plan = ShortestPathRouting(topo, d, net::AllLinks());
+  const SimulationResult sim = SimulateFlow(topo, state, d, plan);
+  EXPECT_DOUBLE_EQ(sim.total_delivered_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(sim.dropped[l01.value()], 4.0);
+}
+
+TEST(Simulator, UnroutedDemandNeverEnters) {
+  const net::Topology topo = net::Line(3);
+  const net::GroundTruthState state(topo);
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(2), 10.0);
+  const RoutingPlan empty_plan;
+  const SimulationResult sim = SimulateFlow(topo, state, d, empty_plan);
+  EXPECT_DOUBLE_EQ(sim.unrouted_gbps, 10.0);
+  EXPECT_DOUBLE_EQ(sim.total_admitted_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(sim.ext_in[0], 0.0);
+}
+
+TEST(Simulator, DrainedIngressAdmitsNothing) {
+  const net::Topology topo = net::Line(3);
+  net::GroundTruthState state(topo);
+  state.SetNodeDrained(NodeId(0), true);
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(2), 10.0);
+  d.Set(NodeId(2), NodeId(0), 5.0);
+  const RoutingPlan plan = ShortestPathRouting(topo, d, net::AllLinks());
+  const SimulationResult sim = SimulateFlow(topo, state, d, plan);
+  EXPECT_DOUBLE_EQ(sim.ext_in[0], 0.0);
+  // Drain is *intent*: a drained router physically still forwards, so the
+  // reverse flow (admitted at healthy ingress 2) is delivered. Routing
+  // around drains is the controller's job, not the dataplane's.
+  EXPECT_DOUBLE_EQ(sim.ext_in[2], 5.0);
+  EXPECT_DOUBLE_EQ(sim.ext_out[0], 5.0);
+  ExpectFlowConservation(topo, sim);
+}
+
+TEST(Simulator, ExternalCapacityCapsAdmission) {
+  net::TopologyDefaults defs;
+  defs.external_capacity = 6.0;
+  const net::Topology topo = net::Line(3, defs);
+  const net::GroundTruthState state(topo);
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(1), 8.0);
+  d.Set(NodeId(0), NodeId(2), 4.0);  // row total 12 > 6
+  const RoutingPlan plan = ShortestPathRouting(topo, d, net::AllLinks());
+  const SimulationResult sim = SimulateFlow(topo, state, d, plan);
+  EXPECT_NEAR(sim.ext_in[0], 6.0, 1e-9);
+  EXPECT_NEAR(sim.unrouted_gbps, 6.0, 1e-9);
+  // Proportional shedding: 8->4, 4->2.
+  EXPECT_NEAR(sim.delivered.At(NodeId(0), NodeId(1)), 4.0, 1e-9);
+  EXPECT_NEAR(sim.delivered.At(NodeId(0), NodeId(2)), 2.0, 1e-9);
+  ExpectFlowConservation(topo, sim);
+}
+
+TEST(Simulator, MultiPathSplitting) {
+  const net::Topology topo = net::Ring(4);
+  const net::GroundTruthState state(topo);
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(2), 10.0);
+  const RoutingPlan plan = EcmpRouting(topo, d, net::AllLinks());
+  const SimulationResult sim = SimulateFlow(topo, state, d, plan);
+  const LinkId via1 = topo.FindLink(NodeId(0), NodeId(1)).value();
+  const LinkId via3 = topo.FindLink(NodeId(0), NodeId(3)).value();
+  EXPECT_DOUBLE_EQ(sim.carried[via1.value()], 5.0);
+  EXPECT_DOUBLE_EQ(sim.carried[via3.value()], 5.0);
+  ExpectFlowConservation(topo, sim);
+}
+
+TEST(Simulator, CascadedCongestionConverges) {
+  // Two flows share the first bottleneck; survivors then share a second.
+  net::TopologyDefaults defs;
+  defs.link_capacity = 10.0;
+  const net::Topology topo = net::Line(4, defs);
+  const net::GroundTruthState state(topo);
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(3), 30.0);
+  const RoutingPlan plan = ShortestPathRouting(topo, d, net::AllLinks());
+  const SimulationResult sim = SimulateFlow(topo, state, d, plan);
+  // First link drops to 10; downstream links see exactly 10, no more drops.
+  const LinkId l01 = topo.FindLink(NodeId(0), NodeId(1)).value();
+  const LinkId l12 = topo.FindLink(NodeId(1), NodeId(2)).value();
+  EXPECT_DOUBLE_EQ(sim.dropped[l01.value()], 20.0);
+  EXPECT_DOUBLE_EQ(sim.arriving[l12.value()], 10.0);
+  EXPECT_DOUBLE_EQ(sim.dropped[l12.value()], 0.0);
+  EXPECT_DOUBLE_EQ(sim.total_delivered_gbps, 10.0);
+  ExpectFlowConservation(topo, sim);
+}
+
+// Property sweep: conservation holds for random topologies, demands, and
+// network conditions, with and without congestion.
+class SimulatorPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorPropertyTest, FlowConservationAlwaysHolds) {
+  util::Rng rng(GetParam());
+  const net::Topology topo = net::Waxman(14, rng);
+  net::GroundTruthState state(topo);
+  // Random failures.
+  for (LinkId e : topo.LinkIds()) {
+    if (rng.Bernoulli(0.05)) state.SetLinkUp(e, false);
+  }
+  for (NodeId v : topo.NodeIds()) {
+    if (rng.Bernoulli(0.05)) state.SetNodeDrained(v, true);
+  }
+  DemandMatrix d = GravityDemand(topo, rng);
+  // Mix congested and uncongested regimes.
+  NormalizeToMaxUtilization(topo, GetParam() % 2 == 0 ? 0.5 : 2.5, d);
+  const RoutingPlan plan = GreedyTeRouting(topo, d, net::AllLinks());
+  const SimulationResult sim = SimulateFlow(topo, state, d, plan);
+
+  ExpectFlowConservation(topo, sim);
+  // Carried never exceeds capacity; dropped never negative.
+  for (const net::Link& l : topo.links()) {
+    EXPECT_LE(sim.carried[l.id.value()], l.capacity * (1.0 + 1e-9));
+    EXPECT_GE(sim.dropped[l.id.value()], -1e-12);
+  }
+  // Admitted = delivered + all drops.
+  double dropped_total = 0.0;
+  for (double x : sim.dropped) dropped_total += x;
+  EXPECT_NEAR(sim.total_admitted_gbps,
+              sim.total_delivered_gbps + dropped_total, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorPropertyTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Metrics, HealthyNetworkScoresClean) {
+  const net::Topology topo = net::Abilene();
+  const net::GroundTruthState state(topo);
+  util::Rng rng(3);
+  DemandMatrix d = GravityDemand(topo, rng);
+  NormalizeToMaxUtilization(topo, 0.5, d);
+  const RoutingPlan plan = ShortestPathRouting(topo, d, net::AllLinks());
+  const SimulationResult sim = SimulateFlow(topo, state, d, plan);
+  const NetworkMetrics m = ComputeMetrics(topo, d, sim);
+  EXPECT_NEAR(m.max_link_utilization, 0.5, 1e-6);
+  EXPECT_EQ(m.congested_link_count, 0u);
+  EXPECT_NEAR(m.demand_satisfaction, 1.0, 1e-9);
+  EXPECT_FALSE(IsMajorOutage(m));
+}
+
+TEST(Metrics, CongestionFlagsMajorOutage) {
+  net::TopologyDefaults defs;
+  defs.link_capacity = 5.0;
+  const net::Topology topo = net::Line(3, defs);
+  const net::GroundTruthState state(topo);
+  DemandMatrix d(topo.node_count());
+  d.Set(NodeId(0), NodeId(2), 50.0);
+  const RoutingPlan plan = ShortestPathRouting(topo, d, net::AllLinks());
+  const SimulationResult sim = SimulateFlow(topo, state, d, plan);
+  const NetworkMetrics m = ComputeMetrics(topo, d, sim);
+  EXPECT_GT(m.max_link_utilization, 1.0);
+  EXPECT_EQ(m.congested_link_count, 1u);
+  EXPECT_LT(m.demand_satisfaction, 0.2);
+  EXPECT_TRUE(IsMajorOutage(m));
+  EXPECT_FALSE(m.ToString().empty());
+}
+
+}  // namespace
+}  // namespace hodor::flow

@@ -1,0 +1,132 @@
+#include "flow/tm_generators.h"
+
+#include <gtest/gtest.h>
+
+#include "flow/simulator.h"
+#include "net/state.h"
+#include "net/topologies.h"
+
+namespace hodor::flow {
+namespace {
+
+using net::NodeId;
+
+TEST(GravityDemand, TotalMatchesLoadFraction) {
+  const net::Topology topo = net::Abilene();
+  util::Rng rng(3);
+  GravityOptions opts;
+  opts.load_fraction = 0.25;
+  const DemandMatrix d = GravityDemand(topo, rng, opts);
+  double ext_sum = 0.0;
+  for (NodeId v : topo.ExternalNodes()) {
+    ext_sum += topo.node(v).external_capacity;
+  }
+  EXPECT_NEAR(d.Total(), 0.25 * ext_sum / 2.0, 1e-6);
+}
+
+TEST(GravityDemand, AllOffDiagonalPositive) {
+  const net::Topology topo = net::Abilene();
+  util::Rng rng(3);
+  const DemandMatrix d = GravityDemand(topo, rng);
+  // 12 external nodes -> 132 ordered pairs, all positive under gravity.
+  EXPECT_EQ(d.PositiveEntryCount(), 132u);
+  for (NodeId v : topo.NodeIds()) EXPECT_DOUBLE_EQ(d.At(v, v), 0.0);
+}
+
+TEST(GravityDemand, DeterministicPerSeed) {
+  const net::Topology topo = net::Abilene();
+  util::Rng a(5), b(5), c(6);
+  EXPECT_DOUBLE_EQ(GravityDemand(topo, a).Total(),
+                   GravityDemand(topo, b).Total());
+  util::Rng a2(5);
+  const DemandMatrix da = GravityDemand(topo, a2);
+  const DemandMatrix dc = GravityDemand(topo, c);
+  EXPECT_GT(da.MaxAbsDifference(dc), 0.0);
+}
+
+TEST(GravityDemand, SkewedMassesGiveSkewedRows) {
+  const net::Topology topo = net::Abilene();
+  util::Rng rng(7);
+  GravityOptions opts;
+  opts.mass_alpha = 0.8;  // heavier tail
+  const DemandMatrix d = GravityDemand(topo, rng, opts);
+  double min_row = 1e18, max_row = 0.0;
+  for (NodeId v : topo.ExternalNodes()) {
+    min_row = std::min(min_row, d.RowSum(v));
+    max_row = std::max(max_row, d.RowSum(v));
+  }
+  EXPECT_GT(max_row, 2.0 * min_row);
+}
+
+TEST(GravityDemand, FewerThanTwoExternalNodesGivesZero) {
+  net::Topology topo;
+  const NodeId a = topo.AddNode("a");
+  const NodeId b = topo.AddNode("b");
+  topo.AddBidirectionalLink(a, b, 10.0);
+  topo.AddExternalPort(a, 100.0);  // only one external node
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(GravityDemand(topo, rng).Total(), 0.0);
+}
+
+TEST(UniformDemand, EveryPairEqual) {
+  const net::Topology topo = net::Figure3Triangle();
+  const DemandMatrix d = UniformDemand(topo, 2.5);
+  EXPECT_DOUBLE_EQ(d.At(NodeId(0), NodeId(1)), 2.5);
+  EXPECT_DOUBLE_EQ(d.At(NodeId(2), NodeId(0)), 2.5);
+  EXPECT_DOUBLE_EQ(d.Total(), 6 * 2.5);
+}
+
+TEST(BimodalDemand, OnlyTwoLevels) {
+  const net::Topology topo = net::Abilene();
+  util::Rng rng(11);
+  const DemandMatrix d = BimodalDemand(topo, rng, 1.0, 50.0, 0.3);
+  for (const auto& [i, j] : d.Pairs()) {
+    const double v = d.At(i, j);
+    EXPECT_TRUE(v == 1.0 || v == 50.0) << v;
+  }
+}
+
+TEST(HotspotDemand, AddsHotspotsOnTopOfBackground) {
+  const net::Topology topo = net::Abilene();
+  util::Rng rng(13);
+  const DemandMatrix d = HotspotDemand(topo, rng, 1.0, 3, 40.0);
+  EXPECT_NEAR(d.Total(), 132 * 1.0 + 3 * 40.0, 1e-9);
+}
+
+TEST(NormalizeToExternalCapacity, CapsWorstRow) {
+  const net::Topology topo = net::Abilene();
+  util::Rng rng(17);
+  DemandMatrix d = GravityDemand(topo, rng);
+  NormalizeToExternalCapacity(topo, 0.5, d);
+  double worst = 0.0;
+  for (NodeId v : topo.ExternalNodes()) {
+    worst = std::max(worst, d.RowSum(v) / topo.node(v).external_capacity);
+  }
+  EXPECT_NEAR(worst, 0.5, 1e-9);
+}
+
+TEST(NormalizeToMaxUtilization, HitsTargetUnderSpf) {
+  const net::Topology topo = net::Abilene();
+  util::Rng rng(19);
+  DemandMatrix d = GravityDemand(topo, rng);
+  NormalizeToMaxUtilization(topo, 0.7, d);
+
+  const net::GroundTruthState state(topo);
+  const RoutingPlan plan = ShortestPathRouting(topo, d, net::AllLinks());
+  const SimulationResult sim = SimulateFlow(topo, state, d, plan);
+  double max_util = 0.0;
+  for (const net::Link& l : topo.links()) {
+    max_util = std::max(max_util, sim.arriving[l.id.value()] / l.capacity);
+  }
+  EXPECT_NEAR(max_util, 0.7, 1e-6);
+}
+
+TEST(NormalizeToMaxUtilization, ZeroDemandIsNoOp) {
+  const net::Topology topo = net::Figure3Triangle();
+  DemandMatrix d(topo.node_count());
+  NormalizeToMaxUtilization(topo, 0.5, d);
+  EXPECT_DOUBLE_EQ(d.Total(), 0.0);
+}
+
+}  // namespace
+}  // namespace hodor::flow

@@ -1,0 +1,75 @@
+// End-to-end: healthy network → honest inputs accepted; corrupted inputs
+// rejected; pipeline fallback averts the outage.
+#include <gtest/gtest.h>
+
+#include "core/validator.h"
+#include "faults/aggregation_faults.h"
+#include "faults/scenario_catalog.h"
+#include "test_util.h"
+
+namespace hodor {
+namespace {
+
+TEST(EndToEnd, HealthyInputsAreAccepted) {
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  const auto snapshot = net.Snapshot();
+  const auto input = net.Input(snapshot);
+
+  core::Validator validator(net.topo);
+  const auto report = validator.Validate(input, snapshot);
+  EXPECT_TRUE(report.ok()) << report.Describe(net.topo);
+  EXPECT_EQ(report.hardened.flagged_rate_count, 0u);
+}
+
+TEST(EndToEnd, PartialDemandIsRejected) {
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  const auto snapshot = net.Snapshot();
+
+  controlplane::AggregationFaultHooks hooks;
+  const net::NodeId victim = net.topo.NodeIds()[0];
+  hooks.demand = faults::DemandRowsDropped(net.topo, {victim});
+  const auto input = net.Input(snapshot, /*seed=*/2, hooks);
+
+  core::Validator validator(net.topo);
+  const auto report = validator.Validate(input, snapshot);
+  EXPECT_FALSE(report.demand.ok());
+}
+
+TEST(EndToEnd, PipelineFallbackAvertsDemandOutage) {
+  net::Topology topo = net::Abilene();
+  net::GroundTruthState state(topo);
+  util::Rng rng(11);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, rng);
+  flow::NormalizeToMaxUtilization(topo, 0.6, demand);
+
+  controlplane::PipelineOptions opts;
+  controlplane::Pipeline pipeline(topo, opts, util::Rng(12));
+  pipeline.Bootstrap(state, demand);
+  core::Validator validator(topo);
+  pipeline.SetValidator(validator.AsPipelineValidator());
+
+  // Healthy epoch: accepted.
+  auto healthy = pipeline.RunEpoch(state, demand);
+  ASSERT_TRUE(healthy.decision.accept) << healthy.decision.reason;
+
+  // Corrupted epoch: demand for the two busiest sources vanishes.
+  controlplane::AggregationFaultHooks hooks;
+  hooks.demand = faults::DemandRowsDropped(
+      topo, {topo.NodeIds()[0], topo.NodeIds()[1]});
+  auto bad = pipeline.RunEpoch(state, demand, nullptr, hooks);
+  EXPECT_FALSE(bad.decision.accept);
+  EXPECT_TRUE(bad.used_fallback);
+  // Fallback reused the last good input, so the outcome stays healthy.
+  EXPECT_GT(bad.metrics.demand_satisfaction, 0.999);
+}
+
+TEST(EndToEnd, ScenarioCatalogBuildsForAbilene) {
+  net::Topology topo = net::Abilene();
+  faults::ScenarioCatalog catalog(topo);
+  EXPECT_GE(catalog.scenarios().size(), 12u);
+  EXPECT_TRUE(catalog.Find("partial-demand").ok());
+  EXPECT_FALSE(catalog.Find("nonexistent").ok());
+}
+
+}  // namespace
+}  // namespace hodor

@@ -1,0 +1,107 @@
+// Integration: routers that self-correct (§6) in front of the Hodor
+// validator — defense in depth along the full pipeline.
+#include <gtest/gtest.h>
+
+#include "core/validator.h"
+#include "faults/snapshot_faults.h"
+#include "flow/tm_generators.h"
+#include "net/topologies.h"
+#include "telemetry/self_correction.h"
+#include "util/logging.h"
+
+namespace hodor {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+struct SelfCorrectingPipelineTest : ::testing::Test {
+  SelfCorrectingPipelineTest()
+      : topo(net::Abilene()), state(topo) {
+    util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+    util::Rng rng(8);
+    demand = flow::GravityDemand(topo, rng);
+    flow::NormalizeToMaxUtilization(topo, 0.5, demand);
+  }
+  ~SelfCorrectingPipelineTest() override {
+    util::Logger::Instance().SetMinLevel(util::LogLevel::kInfo);
+  }
+
+  controlplane::EpochResult RunOneEpoch(
+      const telemetry::SnapshotMutator& fault) {
+    controlplane::PipelineOptions opts;
+    opts.collector.probes.false_loss_rate = 0.0;
+    controlplane::Pipeline pipeline(topo, opts, util::Rng(3));
+    pipeline.Bootstrap(state, demand);
+    core::Validator validator(topo);
+    pipeline.SetValidator(validator.AsPipelineValidator());
+    return pipeline.RunEpoch(state, demand, fault);
+  }
+
+  net::Topology topo;
+  net::GroundTruthState state;
+  flow::DemandMatrix demand;
+};
+
+TEST_F(SelfCorrectingPipelineTest, CounterLieCleanedBeforeValidation) {
+  // Pick a loaded link and corrupt its TX counter.
+  const flow::RoutingPlan plan =
+      flow::ShortestPathRouting(topo, demand, net::AllLinks());
+  const auto sim = flow::SimulateFlow(topo, state, demand, plan);
+  LinkId victim = LinkId::Invalid();
+  for (LinkId e : topo.LinkIds()) {
+    if (sim.carried[e.value()] > 5.0) {
+      victim = e;
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.valid());
+  auto lie = faults::CorruptLinkCounter(victim, faults::CounterSide::kTx,
+                                        faults::CounterCorruption::kScale,
+                                        1.5);
+
+  // Without self-correction: the validator's hardener sees and repairs the
+  // lie (flagged > 0 at the hardening layer; still accepted as an input).
+  const auto raw = RunOneEpoch(lie);
+  core::Validator validator(topo);
+  const auto raw_report = validator.Validate(raw.raw_input, raw.snapshot);
+  EXPECT_GT(raw_report.hardened.flagged_rate_count, 0u);
+
+  // With on-router self-correction composed after the bug: the lie never
+  // leaves the router, the central hardener sees a clean network.
+  auto corrected = faults::ComposeFaults(
+      {lie, telemetry::SelfCorrectionStage()});
+  const auto clean = RunOneEpoch(corrected);
+  const auto clean_report =
+      validator.Validate(clean.raw_input, clean.snapshot);
+  EXPECT_EQ(clean_report.hardened.flagged_rate_count, 0u);
+  EXPECT_TRUE(clean_report.ok());
+  EXPECT_TRUE(clean.decision.accept);
+}
+
+TEST_F(SelfCorrectingPipelineTest, BothLayersAcceptHealthyEpochs) {
+  auto healthy_with_stage =
+      faults::ComposeFaults({telemetry::SelfCorrectionStage()});
+  const auto result = RunOneEpoch(healthy_with_stage);
+  EXPECT_TRUE(result.decision.accept) << result.decision.reason;
+  EXPECT_GT(result.metrics.demand_satisfaction, 0.999);
+}
+
+TEST_F(SelfCorrectingPipelineTest, SelfCorrectionCannotFixExternalCounters) {
+  // Zero a router's external ingress counter: no neighbour measures it, so
+  // self-correction is powerless and the demand check (rightly) fires —
+  // central validation remains necessary (§6's point that these techniques
+  // complement, not replace, Hodor).
+  const NodeId victim = topo.FindNode("IPLSng").value();
+  auto fault = faults::ComposeFaults(
+      {[victim](telemetry::NetworkSnapshot& snap) {
+         snap.router(victim).ext_in_rate = 0.0;
+       },
+       telemetry::SelfCorrectionStage()});
+  const auto result = RunOneEpoch(fault);
+  EXPECT_FALSE(result.decision.accept);
+  EXPECT_NE(result.decision.reason.find("demand"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hodor

@@ -1,0 +1,216 @@
+#include "net/graph_algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+#include "util/rng.h"
+
+namespace hodor::net {
+namespace {
+
+TEST(ShortestPath, DirectBeatsDetour) {
+  // Triangle with a heavy direct edge: A-B metric 5, A-C-B metric 1+1.
+  Topology topo;
+  const NodeId a = topo.AddNode("a");
+  const NodeId b = topo.AddNode("b");
+  const NodeId c = topo.AddNode("c");
+  topo.AddBidirectionalLink(a, b, 10.0, 5.0);
+  topo.AddBidirectionalLink(a, c, 10.0, 1.0);
+  topo.AddBidirectionalLink(c, b, 10.0, 1.0);
+  const Path p = ShortestPath(topo, a, b).value();
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(PathMetric(topo, p), 2.0);
+  EXPECT_EQ(PathSource(topo, p), a);
+  EXPECT_EQ(PathDestination(topo, p), b);
+}
+
+TEST(ShortestPath, LineEndToEnd) {
+  Topology topo = Line(5);
+  const Path p =
+      ShortestPath(topo, NodeId(0), NodeId(4)).value();
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_TRUE(IsValidSimplePath(topo, p));
+}
+
+TEST(ShortestPath, SelfPathRejected) {
+  Topology topo = Line(3);
+  EXPECT_FALSE(ShortestPath(topo, NodeId(0), NodeId(0)).ok());
+}
+
+TEST(ShortestPath, UnreachableReturnsNotFound) {
+  Topology topo;
+  topo.AddNode("a");
+  topo.AddNode("b");
+  auto r = ShortestPath(topo, NodeId(0), NodeId(1));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(ShortestPath, FilterExcludesLinks) {
+  Topology topo = Ring(4);
+  // Block the clockwise first hop; path must go the other way (3 hops).
+  const LinkId blocked = topo.FindLink(NodeId(0), NodeId(1)).value();
+  const Path p = ShortestPath(topo, NodeId(0), NodeId(1),
+                              [blocked](LinkId e) { return e != blocked; })
+                     .value();
+  EXPECT_EQ(p.size(), 3u);
+}
+
+TEST(ShortestPathMetrics, DistancesOnLine) {
+  Topology topo = Line(4);
+  const auto dist = ShortestPathMetrics(topo, NodeId(0));
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[3], 3.0);
+}
+
+TEST(ShortestPathMetrics, UnreachableIsInfinity) {
+  Topology topo;
+  topo.AddNode("a");
+  topo.AddNode("b");
+  const auto dist = ShortestPathMetrics(topo, NodeId(0));
+  EXPECT_TRUE(std::isinf(dist[1]));
+}
+
+TEST(IsValidSimplePath, RejectsBrokenAndLoopyPaths) {
+  Topology topo = Ring(4);
+  EXPECT_FALSE(IsValidSimplePath(topo, {}));
+  // Disconnected pair of links.
+  const LinkId l01 = topo.FindLink(NodeId(0), NodeId(1)).value();
+  const LinkId l23 = topo.FindLink(NodeId(2), NodeId(3)).value();
+  EXPECT_FALSE(IsValidSimplePath(topo, {l01, l23}));
+  // Full loop back to start repeats node 0.
+  const LinkId l12 = topo.FindLink(NodeId(1), NodeId(2)).value();
+  const LinkId l30 = topo.FindLink(NodeId(3), NodeId(0)).value();
+  EXPECT_FALSE(IsValidSimplePath(topo, {l01, l12, l23, l30}));
+  // Proper sub-path is fine.
+  EXPECT_TRUE(IsValidSimplePath(topo, {l01, l12, l23}));
+}
+
+TEST(KShortestPaths, FindsBothRingDirections) {
+  Topology topo = Ring(4);
+  const auto paths = KShortestPaths(topo, NodeId(0), NodeId(2), 4);
+  // Ring4: 0->1->2 and 0->3->2, both metric 2; no other loopless paths.
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(PathMetric(topo, paths[0]), 2.0);
+  EXPECT_DOUBLE_EQ(PathMetric(topo, paths[1]), 2.0);
+  EXPECT_NE(paths[0], paths[1]);
+}
+
+TEST(KShortestPaths, SortedByMetric) {
+  Topology topo = FullMesh(5);
+  const auto paths = KShortestPaths(topo, NodeId(0), NodeId(1), 6);
+  ASSERT_GE(paths.size(), 3u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(PathMetric(topo, paths[i - 1]),
+              PathMetric(topo, paths[i]) + 1e-12);
+  }
+  for (const Path& p : paths) EXPECT_TRUE(IsValidSimplePath(topo, p));
+}
+
+TEST(KShortestPaths, KZeroAndUnreachable) {
+  Topology topo = Line(3);
+  EXPECT_TRUE(KShortestPaths(topo, NodeId(0), NodeId(2), 0).empty());
+  Topology disc;
+  disc.AddNode("a");
+  disc.AddNode("b");
+  EXPECT_TRUE(KShortestPaths(disc, NodeId(0), NodeId(1), 3).empty());
+}
+
+TEST(KShortestPaths, LineHasExactlyOnePath) {
+  Topology topo = Line(4);
+  const auto paths = KShortestPaths(topo, NodeId(0), NodeId(3), 5);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(KShortestPaths, PathsAreDistinct) {
+  Topology topo = FullMesh(6);
+  const auto paths = KShortestPaths(topo, NodeId(0), NodeId(5), 10);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_NE(paths[i], paths[j]);
+    }
+  }
+}
+
+TEST(ReachableFrom, CountsComponent) {
+  Topology topo = Line(4);
+  EXPECT_EQ(ReachableFrom(topo, NodeId(0)).size(), 4u);
+  // Cutting the middle splits reachability.
+  const LinkId mid = topo.FindLink(NodeId(1), NodeId(2)).value();
+  const LinkId mid_rev = topo.link(mid).reverse;
+  auto filter = [mid, mid_rev](LinkId e) { return e != mid && e != mid_rev; };
+  EXPECT_EQ(ReachableFrom(topo, NodeId(0), filter).size(), 2u);
+}
+
+TEST(IsStronglyConnected, DetectsPartition) {
+  Topology topo = Ring(5);
+  EXPECT_TRUE(IsStronglyConnected(topo));
+  const LinkId e = topo.LinkIds()[0];
+  const LinkId r = topo.link(e).reverse;
+  // A ring stays connected after losing one physical link...
+  EXPECT_TRUE(IsStronglyConnected(
+      topo, [e, r](LinkId x) { return x != e && x != r; }));
+  // ...but a line does not.
+  Topology line = Line(3);
+  const LinkId le = line.LinkIds()[0];
+  const LinkId lr = line.link(le).reverse;
+  EXPECT_FALSE(IsStronglyConnected(
+      line, [le, lr](LinkId x) { return x != le && x != lr; }));
+}
+
+TEST(IncidenceMatrix, ColumnsSumToZero) {
+  Topology topo = Ring(5);
+  const util::Matrix m = IncidenceMatrix(topo);
+  EXPECT_EQ(m.rows(), topo.node_count());
+  EXPECT_EQ(m.cols(), topo.link_count());
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < m.rows(); ++r) sum += m.At(r, c);
+    EXPECT_DOUBLE_EQ(sum, 0.0);  // each link leaves one node, enters one
+  }
+}
+
+TEST(IncidenceMatrix, RankIsNodesMinusOneOnConnected) {
+  // The paper's §4.1 claim: rank(M) = |V|−1 bounds repairable unknowns.
+  for (auto topo : {Ring(6), Line(5), FullMesh(4), Abilene()}) {
+    const util::Matrix m = IncidenceMatrix(topo);
+    EXPECT_EQ(m.Rank(), topo.node_count() - 1) << topo.name();
+  }
+}
+
+TEST(IncidenceMatrix, RankDropsPerComponent) {
+  // Two disconnected edges: rank = |V| - #components = 4 - 2.
+  Topology topo;
+  const NodeId a = topo.AddNode("a");
+  const NodeId b = topo.AddNode("b");
+  const NodeId c = topo.AddNode("c");
+  const NodeId d = topo.AddNode("d");
+  topo.AddBidirectionalLink(a, b, 1.0);
+  topo.AddBidirectionalLink(c, d, 1.0);
+  EXPECT_EQ(IncidenceMatrix(topo).Rank(), 2u);
+}
+
+TEST(KShortestPaths, RandomTopologyPropertySweep) {
+  // Property: on random connected graphs, every returned path is simple,
+  // sorted by metric, and starts/ends correctly.
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    Topology topo = ErdosRenyi(12, 0.25, rng);
+    const NodeId src(0), dst(11);
+    const auto paths = KShortestPaths(topo, src, dst, 5);
+    ASSERT_FALSE(paths.empty());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      EXPECT_TRUE(IsValidSimplePath(topo, paths[i]));
+      EXPECT_EQ(PathSource(topo, paths[i]), src);
+      EXPECT_EQ(PathDestination(topo, paths[i]), dst);
+      if (i > 0) {
+        EXPECT_LE(PathMetric(topo, paths[i - 1]),
+                  PathMetric(topo, paths[i]) + 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hodor::net

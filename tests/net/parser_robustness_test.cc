@@ -1,0 +1,89 @@
+// Robustness of the topology parser: random garbage and adversarial edge
+// cases must produce error Statuses, never crashes or invalid topologies.
+#include <gtest/gtest.h>
+
+#include "net/serialization.h"
+#include "util/rng.h"
+
+namespace hodor::net {
+namespace {
+
+TEST(ParserRobustness, RandomGarbageNeverCrashes) {
+  util::Rng rng(12345);
+  const std::string alphabet =
+      "abcdefgh 0123456789\n\t#.-<>[]{}()!@$%^&*topologynodelinkext metric";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string input;
+    const std::size_t len = rng.Index(200);
+    for (std::size_t i = 0; i < len; ++i) {
+      input += alphabet[rng.Index(alphabet.size())];
+    }
+    const auto result = ParseTopology(input);  // must not throw
+    if (result.ok()) {
+      // Whatever parsed must be structurally valid.
+      EXPECT_TRUE(result.value().Validate().ok());
+    }
+  }
+}
+
+TEST(ParserRobustness, MutatedValidInputNeverCrashes) {
+  const std::string valid = WriteTopology(
+      []() {
+        Topology t("mut");
+        const NodeId a = t.AddNode("alpha");
+        const NodeId b = t.AddNode("beta");
+        const NodeId c = t.AddNode("gamma");
+        t.AddExternalPort(a, 100);
+        t.AddExternalPort(b, 100);
+        t.AddBidirectionalLink(a, b, 10, 2);
+        t.AddBidirectionalLink(b, c, 20);
+        return t;
+      }());
+  util::Rng rng(999);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = valid;
+    // Apply 1-4 random single-character mutations.
+    const int edits = 1 + static_cast<int>(rng.Index(4));
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.Index(mutated.size());
+      switch (rng.Index(3)) {
+        case 0: mutated[pos] = static_cast<char>('!' + rng.Index(90)); break;
+        case 1: mutated.erase(pos, 1); break;
+        default: mutated.insert(pos, 1, ' '); break;
+      }
+    }
+    const auto result = ParseTopology(mutated);
+    if (result.ok()) {
+      EXPECT_TRUE(result.value().Validate().ok());
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST(ParserRobustness, HugeNumbersHandled) {
+  EXPECT_TRUE(ParseTopology("node a ext 1e300\n").ok());
+  // Overflows to inf — accepted as "positive"; structural validity holds.
+  const auto r = ParseTopology("node a\nnode b\nlink a b 1e400\n");
+  if (r.ok()) {
+    EXPECT_TRUE(r.value().Validate().ok());
+  }
+}
+
+TEST(ParserRobustness, DeepButValidInputScales) {
+  std::string big;
+  big.reserve(1 << 16);
+  for (int i = 0; i < 300; ++i) {
+    big += "node n" + std::to_string(i) + " ext 100\n";
+  }
+  for (int i = 1; i < 300; ++i) {
+    big += "link n0 n" + std::to_string(i) + " 10\n";
+  }
+  const auto r = ParseTopology(big);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().node_count(), 300u);
+  EXPECT_EQ(r.value().physical_link_count(), 299u);
+}
+
+}  // namespace
+}  // namespace hodor::net

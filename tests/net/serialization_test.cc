@@ -1,0 +1,161 @@
+#include "net/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include "net/graph_algorithms.h"
+#include "net/topologies.h"
+#include "util/rng.h"
+
+namespace hodor::net {
+namespace {
+
+TEST(Serialization, RoundTripsAbilene) {
+  const Topology original = Abilene();
+  const std::string text = WriteTopology(original);
+  auto parsed = ParseTopology(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Topology& topo = parsed.value();
+  EXPECT_EQ(topo.name(), "abilene");
+  EXPECT_EQ(topo.node_count(), original.node_count());
+  EXPECT_EQ(topo.link_count(), original.link_count());
+  for (const Node& n : original.nodes()) {
+    const NodeId id = topo.FindNode(n.name).value();
+    EXPECT_EQ(topo.node(id).has_external_port, n.has_external_port);
+    EXPECT_DOUBLE_EQ(topo.node(id).external_capacity, n.external_capacity);
+  }
+  for (const Link& l : original.links()) {
+    const NodeId src = topo.FindNode(original.node(l.src).name).value();
+    const NodeId dst = topo.FindNode(original.node(l.dst).name).value();
+    const auto found = topo.FindLink(src, dst);
+    ASSERT_TRUE(found.ok());
+    EXPECT_DOUBLE_EQ(topo.link(found.value()).capacity, l.capacity);
+    EXPECT_DOUBLE_EQ(topo.link(found.value()).metric, l.metric);
+  }
+}
+
+TEST(Serialization, RoundTripsMetricsAndMixedExternal) {
+  Topology t("mixed");
+  const NodeId a = t.AddNode("a");
+  const NodeId b = t.AddNode("b");
+  const NodeId c = t.AddNode("c");
+  t.AddExternalPort(a, 123.5);
+  t.AddBidirectionalLink(a, b, 40.0, 3.0);
+  t.AddBidirectionalLink(b, c, 10.0);
+  auto parsed = ParseTopology(WriteTopology(t));
+  ASSERT_TRUE(parsed.ok());
+  const Topology& topo = parsed.value();
+  EXPECT_TRUE(topo.node(topo.FindNode("a").value()).has_external_port);
+  EXPECT_FALSE(topo.node(topo.FindNode("b").value()).has_external_port);
+  const LinkId ab = topo.FindLink(topo.FindNode("a").value(),
+                                  topo.FindNode("b").value())
+                        .value();
+  EXPECT_DOUBLE_EQ(topo.link(ab).metric, 3.0);
+}
+
+TEST(Serialization, ParsesHandWrittenInput) {
+  const std::string text = R"(
+# my network
+topology demo
+node west ext 200
+node east ext 200
+node relay
+
+link west relay 100
+link relay east 100 metric 2
+)";
+  auto parsed = ParseTopology(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Topology& topo = parsed.value();
+  EXPECT_EQ(topo.name(), "demo");
+  EXPECT_EQ(topo.node_count(), 3u);
+  EXPECT_EQ(topo.physical_link_count(), 2u);
+  EXPECT_EQ(topo.ExternalNodes().size(), 2u);
+  EXPECT_TRUE(IsStronglyConnected(topo));
+}
+
+TEST(Serialization, ToleratesExtraWhitespace) {
+  auto parsed = ParseTopology("node   a   ext   5\nnode b\nlink  a  b  1\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().node_count(), 2u);
+}
+
+TEST(Serialization, RejectsUnknownDirective) {
+  auto r = ParseTopology("router a\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(r.status().message().find("unknown directive"),
+            std::string::npos);
+}
+
+TEST(Serialization, RejectsLinkToUnknownNode) {
+  auto r = ParseTopology("node a\nlink a ghost 10\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("ghost"), std::string::npos);
+}
+
+TEST(Serialization, RejectsDuplicateNode) {
+  auto r = ParseTopology("node a\nnode a\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate node"), std::string::npos);
+}
+
+TEST(Serialization, RejectsBadNumbers) {
+  EXPECT_FALSE(ParseTopology("node a ext zero\n").ok());
+  EXPECT_FALSE(ParseTopology("node a\nnode b\nlink a b -5\n").ok());
+  EXPECT_FALSE(ParseTopology("node a\nnode b\nlink a b 1 metric 0.5\n").ok());
+}
+
+TEST(Serialization, RejectsSelfLoopAndBadArity) {
+  EXPECT_FALSE(ParseTopology("node a\nlink a a 5\n").ok());
+  EXPECT_FALSE(ParseTopology("node\n").ok());
+  EXPECT_FALSE(ParseTopology("node a\nnode b\nlink a b\n").ok());
+}
+
+TEST(Serialization, RejectsLateOrDuplicateTopologyDirective) {
+  EXPECT_FALSE(ParseTopology("node a\ntopology late\n").ok());
+  EXPECT_FALSE(ParseTopology("topology a\ntopology b\n").ok());
+}
+
+TEST(Serialization, EmptyInputIsEmptyTopology) {
+  auto parsed = ParseTopology("# nothing here\n\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().node_count(), 0u);
+}
+
+
+// Round-trip sweep over every canned topology generator.
+class SerializationSweep
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SerializationSweep, RoundTripPreservesStructure) {
+  util::Rng rng(5);
+  const Topology original = [&]() {
+    const std::string& name = GetParam();
+    if (name == "abilene") return Abilene();
+    if (name == "b4like") return B4Like();
+    if (name == "geantlike") return GeantLike();
+    if (name == "figure3") return Figure3Triangle();
+    if (name == "leafspine") return LeafSpine(6, 3);
+    if (name == "grid") return Grid(3, 4);
+    if (name == "waxman") return Waxman(18, rng);
+    return ErdosRenyi(14, 0.3, rng);
+  }();
+  auto parsed = ParseTopology(WriteTopology(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Topology& topo = parsed.value();
+  EXPECT_EQ(topo.name(), original.name());
+  EXPECT_EQ(topo.node_count(), original.node_count());
+  EXPECT_EQ(topo.link_count(), original.link_count());
+  EXPECT_EQ(topo.ExternalNodes().size(), original.ExternalNodes().size());
+  EXPECT_TRUE(topo.Validate().ok());
+  EXPECT_EQ(IsStronglyConnected(topo), IsStronglyConnected(original));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGenerators, SerializationSweep,
+                         ::testing::Values("abilene", "b4like", "geantlike",
+                                           "figure3", "leafspine", "grid",
+                                           "waxman", "erdosrenyi"),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace hodor::net

@@ -1,0 +1,83 @@
+#include "net/state.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+
+namespace hodor::net {
+namespace {
+
+class StateTest : public ::testing::Test {
+ protected:
+  StateTest() : topo_(Line(3)), state_(topo_) {}
+  Topology topo_;
+  GroundTruthState state_;
+};
+
+TEST_F(StateTest, PristineIsAllUsable) {
+  for (LinkId e : topo_.LinkIds()) {
+    EXPECT_TRUE(state_.link_up(e));
+    EXPECT_TRUE(state_.link_dataplane_ok(e));
+    EXPECT_TRUE(state_.LinkUsable(e));
+    EXPECT_TRUE(state_.LinkPhysicallyUsable(e));
+  }
+  EXPECT_EQ(state_.UsableLinkCount(), topo_.link_count());
+}
+
+TEST_F(StateTest, LinkDownAffectsBothDirections) {
+  const LinkId e = topo_.LinkIds()[0];
+  state_.SetLinkUp(e, false);
+  EXPECT_FALSE(state_.link_up(e));
+  EXPECT_FALSE(state_.link_up(topo_.link(e).reverse));
+  EXPECT_FALSE(state_.LinkUsable(e));
+  state_.SetLinkUp(topo_.link(e).reverse, true);  // restore via reverse
+  EXPECT_TRUE(state_.link_up(e));
+}
+
+TEST_F(StateTest, DataplaneBreakLeavesLinkUp) {
+  const LinkId e = topo_.LinkIds()[0];
+  state_.SetLinkDataplaneOk(e, false);
+  EXPECT_TRUE(state_.link_up(e));  // light still on
+  EXPECT_FALSE(state_.LinkPhysicallyUsable(e));
+  EXPECT_FALSE(state_.LinkUsable(e));
+}
+
+TEST_F(StateTest, NodeDrainBlocksIncidentLinks) {
+  const NodeId middle = topo_.FindNode("n1").value();
+  state_.SetNodeDrained(middle, true);
+  EXPECT_TRUE(state_.node_drained(middle));
+  for (LinkId e : topo_.OutLinks(middle)) {
+    EXPECT_FALSE(state_.LinkUsable(e));
+    // Physically the link still works (drain is intent).
+    EXPECT_TRUE(state_.LinkPhysicallyUsable(e));
+  }
+}
+
+TEST_F(StateTest, LinkDrainBlocksOnlyThatLink) {
+  const LinkId e = topo_.LinkIds()[0];
+  state_.SetLinkDrained(e, true);
+  EXPECT_TRUE(state_.link_drained(e));
+  EXPECT_TRUE(state_.link_drained(topo_.link(e).reverse));
+  EXPECT_FALSE(state_.LinkUsable(e));
+  EXPECT_TRUE(state_.LinkPhysicallyUsable(e));
+}
+
+TEST_F(StateTest, NonForwardingNodeKillsIncidentLinks) {
+  const NodeId middle = topo_.FindNode("n1").value();
+  state_.SetNodeForwarding(middle, false);
+  for (LinkId e : topo_.OutLinks(middle)) {
+    EXPECT_FALSE(state_.LinkPhysicallyUsable(e));
+  }
+  for (LinkId e : topo_.InLinks(middle)) {
+    EXPECT_FALSE(state_.LinkPhysicallyUsable(e));
+  }
+}
+
+TEST_F(StateTest, UsableLinkCountTracksChanges) {
+  EXPECT_EQ(state_.UsableLinkCount(), 4u);  // line3: 2 physical = 4 directed
+  state_.SetLinkUp(topo_.LinkIds()[0], false);
+  EXPECT_EQ(state_.UsableLinkCount(), 2u);
+}
+
+}  // namespace
+}  // namespace hodor::net

@@ -1,0 +1,118 @@
+#include "net/topologies.h"
+
+#include <gtest/gtest.h>
+
+#include "net/graph_algorithms.h"
+
+namespace hodor::net {
+namespace {
+
+TEST(Abilene, MatchesSndlibShape) {
+  const Topology topo = Abilene();
+  EXPECT_EQ(topo.node_count(), 12u);       // 144-entry demand matrix (§4.1)
+  EXPECT_EQ(topo.physical_link_count(), 15u);
+  EXPECT_TRUE(topo.Validate().ok());
+  EXPECT_TRUE(IsStronglyConnected(topo));
+  EXPECT_EQ(topo.ExternalNodes().size(), 12u);
+  EXPECT_TRUE(topo.FindNode("NYCMng").ok());
+  EXPECT_TRUE(topo.FindNode("SNVAng").ok());
+  // Spot-check a known link and a known non-link.
+  const NodeId nyc = topo.FindNode("NYCMng").value();
+  const NodeId wash = topo.FindNode("WASHng").value();
+  const NodeId losa = topo.FindNode("LOSAng").value();
+  EXPECT_TRUE(topo.FindLink(nyc, wash).ok());
+  EXPECT_FALSE(topo.FindLink(nyc, losa).ok());
+}
+
+TEST(B4Like, ShapeAndConnectivity) {
+  const Topology topo = B4Like();
+  EXPECT_EQ(topo.node_count(), 12u);
+  EXPECT_EQ(topo.physical_link_count(), 19u);
+  EXPECT_TRUE(topo.Validate().ok());
+  EXPECT_TRUE(IsStronglyConnected(topo));
+}
+
+TEST(GeantLike, ShapeAndConnectivity) {
+  const Topology topo = GeantLike();
+  EXPECT_EQ(topo.node_count(), 22u);
+  EXPECT_EQ(topo.physical_link_count(), 37u);
+  EXPECT_TRUE(topo.Validate().ok());
+  EXPECT_TRUE(IsStronglyConnected(topo));
+}
+
+TEST(Figure3Triangle, ThreeNodesThreeLinks) {
+  const Topology topo = Figure3Triangle();
+  EXPECT_EQ(topo.node_count(), 3u);
+  EXPECT_EQ(topo.physical_link_count(), 3u);
+  EXPECT_EQ(topo.ExternalNodes().size(), 3u);
+  EXPECT_TRUE(topo.FindLink(topo.FindNode("A").value(),
+                            topo.FindNode("B").value())
+                  .ok());
+}
+
+TEST(RegularShapes, LinkCounts) {
+  EXPECT_EQ(Line(5).physical_link_count(), 4u);
+  EXPECT_EQ(Ring(5).physical_link_count(), 5u);
+  EXPECT_EQ(Star(5).physical_link_count(), 4u);
+  EXPECT_EQ(FullMesh(5).physical_link_count(), 10u);
+  EXPECT_EQ(Grid(2, 3).physical_link_count(), 7u);
+}
+
+TEST(RegularShapes, AllConnectedAndValid) {
+  for (const Topology& topo :
+       {Line(2), Ring(3), Star(4), FullMesh(3), Grid(3, 3)}) {
+    EXPECT_TRUE(topo.Validate().ok()) << topo.name();
+    EXPECT_TRUE(IsStronglyConnected(topo)) << topo.name();
+  }
+}
+
+TEST(RegularShapes, PreconditionsEnforced) {
+  EXPECT_THROW(Line(1), std::logic_error);
+  EXPECT_THROW(Ring(2), std::logic_error);
+  EXPECT_THROW(Star(1), std::logic_error);
+  EXPECT_THROW(Grid(1, 1), std::logic_error);
+}
+
+TEST(RegularShapes, CustomDefaultsApplied) {
+  TopologyDefaults d;
+  d.link_capacity = 42.0;
+  d.external_capacity = 17.0;
+  const Topology topo = Ring(3, d);
+  EXPECT_DOUBLE_EQ(topo.link(LinkId(0)).capacity, 42.0);
+  EXPECT_DOUBLE_EQ(topo.node(NodeId(0)).external_capacity, 17.0);
+}
+
+TEST(Waxman, AlwaysConnectedAndDeterministic) {
+  util::Rng rng1(5);
+  util::Rng rng2(5);
+  const Topology a = Waxman(20, rng1);
+  const Topology b = Waxman(20, rng2);
+  EXPECT_EQ(a.node_count(), 20u);
+  EXPECT_TRUE(IsStronglyConnected(a));
+  EXPECT_EQ(a.link_count(), b.link_count());  // same seed, same graph
+  EXPECT_GE(a.physical_link_count(), 19u);    // at least the spanning tree
+}
+
+TEST(Waxman, HigherAlphaMeansMoreLinks) {
+  util::Rng rng1(9);
+  util::Rng rng2(9);
+  const Topology sparse = Waxman(25, rng1, 0.1, 0.1);
+  const Topology dense = Waxman(25, rng2, 0.9, 0.9);
+  EXPECT_GT(dense.physical_link_count(), sparse.physical_link_count());
+}
+
+TEST(ErdosRenyi, ConnectedAtAnyP) {
+  util::Rng rng(13);
+  const Topology topo = ErdosRenyi(15, 0.0, rng);
+  EXPECT_TRUE(IsStronglyConnected(topo));  // spanning tree guarantees it
+  EXPECT_EQ(topo.physical_link_count(), 14u);
+}
+
+TEST(ErdosRenyi, FullProbabilityGivesCompleteGraph) {
+  util::Rng rng(13);
+  const Topology topo = ErdosRenyi(6, 1.0, rng);
+  EXPECT_EQ(topo.physical_link_count(), 15u);  // C(6,2)
+}
+
+}  // namespace
+}  // namespace hodor::net

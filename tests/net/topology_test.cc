@@ -1,0 +1,159 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace hodor::net {
+namespace {
+
+TEST(Ids, InvalidByDefault) {
+  NodeId n;
+  EXPECT_FALSE(n.valid());
+  LinkId l;
+  EXPECT_FALSE(l.valid());
+  EXPECT_EQ(n, NodeId::Invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  NodeId n(3);
+  EXPECT_TRUE(n.valid());
+  EXPECT_EQ(n.value(), 3u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(NodeId(1), NodeId(2));
+  EXPECT_NE(NodeId(1), NodeId(2));
+}
+
+TEST(Topology, AddNodesAndLookup) {
+  Topology topo("t");
+  const NodeId a = topo.AddNode("a");
+  const NodeId b = topo.AddNode("b");
+  EXPECT_EQ(topo.node_count(), 2u);
+  EXPECT_EQ(topo.node(a).name, "a");
+  EXPECT_EQ(topo.FindNode("b").value(), b);
+  EXPECT_FALSE(topo.FindNode("zz").ok());
+}
+
+TEST(Topology, DuplicateNodeNameRejected) {
+  Topology topo;
+  topo.AddNode("a");
+  EXPECT_THROW(topo.AddNode("a"), std::logic_error);
+}
+
+TEST(Topology, EmptyNodeNameRejected) {
+  Topology topo;
+  EXPECT_THROW(topo.AddNode(""), std::logic_error);
+}
+
+TEST(Topology, BidirectionalLinkCreatesReversePair) {
+  Topology topo;
+  const NodeId a = topo.AddNode("a");
+  const NodeId b = topo.AddNode("b");
+  const LinkId fwd = topo.AddBidirectionalLink(a, b, 100.0, 2.0);
+  EXPECT_EQ(topo.link_count(), 2u);
+  EXPECT_EQ(topo.physical_link_count(), 1u);
+  const Link& f = topo.link(fwd);
+  const Link& r = topo.link(f.reverse);
+  EXPECT_EQ(f.src, a);
+  EXPECT_EQ(f.dst, b);
+  EXPECT_EQ(r.src, b);
+  EXPECT_EQ(r.dst, a);
+  EXPECT_EQ(r.reverse, fwd);
+  EXPECT_DOUBLE_EQ(f.capacity, 100.0);
+  EXPECT_DOUBLE_EQ(r.capacity, 100.0);
+  EXPECT_DOUBLE_EQ(f.metric, 2.0);
+}
+
+TEST(Topology, SelfLoopRejected) {
+  Topology topo;
+  const NodeId a = topo.AddNode("a");
+  EXPECT_THROW(topo.AddBidirectionalLink(a, a, 1.0), std::logic_error);
+}
+
+TEST(Topology, NonPositiveCapacityRejected) {
+  Topology topo;
+  const NodeId a = topo.AddNode("a");
+  const NodeId b = topo.AddNode("b");
+  EXPECT_THROW(topo.AddBidirectionalLink(a, b, 0.0), std::logic_error);
+  EXPECT_THROW(topo.AddBidirectionalLink(a, b, 10.0, 0.5), std::logic_error);
+}
+
+TEST(Topology, InOutLinksIndexed) {
+  Topology topo;
+  const NodeId a = topo.AddNode("a");
+  const NodeId b = topo.AddNode("b");
+  const NodeId c = topo.AddNode("c");
+  topo.AddBidirectionalLink(a, b, 10.0);
+  topo.AddBidirectionalLink(a, c, 10.0);
+  EXPECT_EQ(topo.OutLinks(a).size(), 2u);
+  EXPECT_EQ(topo.InLinks(a).size(), 2u);
+  EXPECT_EQ(topo.OutLinks(b).size(), 1u);
+  for (LinkId e : topo.OutLinks(a)) EXPECT_EQ(topo.link(e).src, a);
+  for (LinkId e : topo.InLinks(a)) EXPECT_EQ(topo.link(e).dst, a);
+}
+
+TEST(Topology, FindLinkDirected) {
+  Topology topo;
+  const NodeId a = topo.AddNode("a");
+  const NodeId b = topo.AddNode("b");
+  const NodeId c = topo.AddNode("c");
+  const LinkId ab = topo.AddBidirectionalLink(a, b, 10.0);
+  EXPECT_EQ(topo.FindLink(a, b).value(), ab);
+  EXPECT_EQ(topo.FindLink(b, a).value(), topo.link(ab).reverse);
+  EXPECT_FALSE(topo.FindLink(a, c).ok());
+}
+
+TEST(Topology, ExternalPorts) {
+  Topology topo;
+  const NodeId a = topo.AddNode("a");
+  const NodeId b = topo.AddNode("b");
+  topo.AddExternalPort(a, 400.0);
+  EXPECT_TRUE(topo.node(a).has_external_port);
+  EXPECT_DOUBLE_EQ(topo.node(a).external_capacity, 400.0);
+  EXPECT_FALSE(topo.node(b).has_external_port);
+  const auto ext = topo.ExternalNodes();
+  ASSERT_EQ(ext.size(), 1u);
+  EXPECT_EQ(ext[0], a);
+}
+
+TEST(Topology, LinkNameRendering) {
+  Topology topo;
+  const NodeId a = topo.AddNode("A");
+  const NodeId b = topo.AddNode("B");
+  const LinkId ab = topo.AddBidirectionalLink(a, b, 10.0);
+  EXPECT_EQ(topo.LinkName(ab), "A->B");
+  EXPECT_EQ(topo.LinkName(topo.link(ab).reverse), "B->A");
+}
+
+TEST(Topology, NodeIdsAndLinkIdsDense) {
+  Topology topo;
+  topo.AddNode("a");
+  topo.AddNode("b");
+  topo.AddBidirectionalLink(NodeId(0), NodeId(1), 1.0);
+  const auto nodes = topo.NodeIds();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0].value(), 0u);
+  EXPECT_EQ(nodes[1].value(), 1u);
+  const auto links = topo.LinkIds();
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0].value(), 0u);
+}
+
+TEST(Topology, ValidatePassesOnWellFormed) {
+  Topology topo;
+  const NodeId a = topo.AddNode("a");
+  const NodeId b = topo.AddNode("b");
+  topo.AddBidirectionalLink(a, b, 1.0);
+  EXPECT_TRUE(topo.Validate().ok());
+}
+
+TEST(Topology, AccessorsBoundsChecked) {
+  Topology topo;
+  topo.AddNode("a");
+  EXPECT_THROW(topo.node(NodeId(5)), std::logic_error);
+  EXPECT_THROW(topo.link(LinkId(0)), std::logic_error);
+  EXPECT_THROW(topo.OutLinks(NodeId::Invalid()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hodor::net

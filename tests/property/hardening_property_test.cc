@@ -1,0 +1,217 @@
+// Property sweeps for the hardening engine across topologies, seeds, and
+// corruption patterns (parameterized gtest).
+//
+// Invariants enforced:
+//   P1  soundness: honest jittered snapshots never get flagged;
+//   P2  idempotence-ish: hardening never *invents* disagreement — every
+//       agreeing pair's hardened value lies between the two measurements;
+//   P3  detection: any single-sided corruption beyond τ_h on a loaded link
+//       is flagged;
+//   P4  repair correctness: with isolated corruption on distinct routers
+//       (k small), repaired values match ground truth within tolerance;
+//   P5  repairs never produce negative rates;
+//   P6  link verdicts match physical truth on honest snapshots.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/hardening.h"
+#include "faults/snapshot_faults.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace hodor::core {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+struct TopologyCase {
+  std::string name;
+  std::function<net::Topology(std::uint64_t)> make;
+};
+
+std::vector<TopologyCase> Topologies() {
+  return {
+      {"abilene", [](std::uint64_t) { return net::Abilene(); }},
+      {"b4like", [](std::uint64_t) { return net::B4Like(); }},
+      {"geantlike", [](std::uint64_t) { return net::GeantLike(); }},
+      {"waxman20",
+       [](std::uint64_t seed) {
+         util::Rng rng(seed);
+         return net::Waxman(20, rng);
+       }},
+      {"grid4x4",
+       [](std::uint64_t) { return net::Grid(4, 4); }},
+  };
+}
+
+struct Case {
+  std::string topo_name;
+  std::uint64_t seed;
+};
+
+class HardeningProperties : public ::testing::TestWithParam<Case> {
+ protected:
+  testing::HealthyNetwork MakeNet() const {
+    const Case& c = GetParam();
+    for (const TopologyCase& t : Topologies()) {
+      if (t.name == c.topo_name) {
+        return testing::HealthyNetwork(t.make(c.seed), c.seed);
+      }
+    }
+    throw std::logic_error("unknown topology " + c.topo_name);
+  }
+
+  static telemetry::CollectorOptions Copts() {
+    telemetry::CollectorOptions copts;
+    copts.probes.false_loss_rate = 0.0;
+    return copts;
+  }
+};
+
+TEST_P(HardeningProperties, P1SoundnessNoFalseFlags) {
+  auto net = MakeNet();
+  const auto snap = net.Snapshot(GetParam().seed, nullptr, Copts());
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  EXPECT_EQ(hs.flagged_rate_count, 0u);
+  EXPECT_EQ(hs.unknown_rate_count, 0u);
+  EXPECT_EQ(hs.status_disagreement_count, 0u);
+}
+
+TEST_P(HardeningProperties, P2AgreeingValuesBracketedByMeasurements) {
+  auto net = MakeNet();
+  const auto snap = net.Snapshot(GetParam().seed, nullptr, Copts());
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  for (LinkId e : net.topo.LinkIds()) {
+    const HardenedRate& r = hs.rates[e.value()];
+    ASSERT_EQ(r.origin, RateOrigin::kAgreeing);
+    const double lo = std::min(*snap.TxRate(e), *snap.RxRate(e));
+    const double hi = std::max(*snap.TxRate(e), *snap.RxRate(e));
+    EXPECT_GE(*r.value, lo - 1e-12);
+    EXPECT_LE(*r.value, hi + 1e-12);
+  }
+}
+
+TEST_P(HardeningProperties, P3SingleCorruptionAlwaysFlagged) {
+  auto net = MakeNet();
+  util::Rng rng(GetParam().seed ^ 0xfeed);
+  // Pick a loaded link; corrupt one side by 30%.
+  std::vector<LinkId> busy;
+  for (LinkId e : net.topo.LinkIds()) {
+    if (net.sim.carried[e.value()] > 1.0) busy.push_back(e);
+  }
+  ASSERT_FALSE(busy.empty());
+  const LinkId victim = busy[rng.Index(busy.size())];
+  const auto side =
+      rng.Bernoulli(0.5) ? faults::CounterSide::kTx : faults::CounterSide::kRx;
+  const auto snap = net.Snapshot(
+      GetParam().seed,
+      faults::CorruptLinkCounter(victim, side,
+                                 faults::CounterCorruption::kScale, 1.3),
+      Copts());
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  EXPECT_TRUE(hs.rates[victim.value()].flagged);
+}
+
+TEST_P(HardeningProperties, P4IsolatedCorruptionRepairedAccurately) {
+  auto net = MakeNet();
+  util::Rng rng(GetParam().seed ^ 0xbeef);
+  // Two corrupted TX counters on links not sharing any endpoint: the
+  // isolated-incorrect-counter assumption of the paper's repair argument.
+  std::vector<LinkId> busy;
+  for (LinkId e : net.topo.LinkIds()) {
+    if (net.sim.carried[e.value()] > 1.0) busy.push_back(e);
+  }
+  std::vector<LinkId> victims;
+  for (LinkId e : busy) {
+    const net::Link& l = net.topo.link(e);
+    const bool disjoint = std::all_of(
+        victims.begin(), victims.end(), [&](LinkId v) {
+          const net::Link& lv = net.topo.link(v);
+          return lv.src != l.src && lv.src != l.dst && lv.dst != l.src &&
+                 lv.dst != l.dst;
+        });
+    if (disjoint) victims.push_back(e);
+    if (victims.size() == 2) break;
+  }
+  ASSERT_GE(victims.size(), 1u);
+  std::vector<telemetry::SnapshotMutator> muts;
+  for (LinkId v : victims) {
+    muts.push_back(faults::CorruptLinkCounter(
+        v, faults::CounterSide::kTx, faults::CounterCorruption::kZero));
+  }
+  const auto snap = net.Snapshot(GetParam().seed,
+                                 faults::ComposeFaults(std::move(muts)),
+                                 Copts());
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  for (LinkId v : victims) {
+    const HardenedRate& r = hs.rates[v.value()];
+    ASSERT_TRUE(r.value.has_value()) << net.topo.LinkName(v);
+    EXPECT_TRUE(util::WithinRelativeTolerance(
+        *r.value, net.sim.carried[v.value()], 0.05))
+        << net.topo.LinkName(v) << ": " << *r.value << " vs "
+        << net.sim.carried[v.value()];
+  }
+}
+
+TEST_P(HardeningProperties, P5RepairsNeverNegative) {
+  auto net = MakeNet();
+  util::Rng rng(GetParam().seed ^ 0xabc);
+  // Heavy random corruption; whatever comes back must be >= 0.
+  std::vector<telemetry::SnapshotMutator> muts;
+  for (LinkId e : net.topo.LinkIds()) {
+    if (!rng.Bernoulli(0.3)) continue;
+    muts.push_back(faults::CorruptLinkCounter(
+        e, faults::CounterSide::kTx, faults::CounterCorruption::kAbsolute,
+        rng.Uniform(0.0, 200.0)));
+  }
+  const auto snap = net.Snapshot(GetParam().seed,
+                                 faults::ComposeFaults(std::move(muts)),
+                                 Copts());
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  for (const HardenedRate& r : hs.rates) {
+    if (r.value) {
+      EXPECT_GE(*r.value, 0.0);
+    }
+  }
+}
+
+TEST_P(HardeningProperties, P6HonestVerdictsMatchPhysicalTruth) {
+  auto net = MakeNet();
+  util::Rng rng(GetParam().seed ^ 0x123);
+  // Take down a few links (honestly reported).
+  for (LinkId e : net.topo.LinkIds()) {
+    if (net.topo.link(e).reverse.value() < e.value()) continue;
+    if (rng.Bernoulli(0.15)) net.state.SetLinkUp(e, false);
+  }
+  net.sim = flow::SimulateFlow(net.topo, net.state, net.demand, net.plan);
+  const auto snap = net.Snapshot(GetParam().seed, nullptr, Copts());
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  for (LinkId e : net.topo.LinkIds()) {
+    const bool truly_up = net.state.LinkPhysicallyUsable(e);
+    EXPECT_EQ(hs.links[e.value()].verdict,
+              truly_up ? LinkVerdict::kUp : LinkVerdict::kDown)
+        << net.topo.LinkName(e);
+  }
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (const TopologyCase& t : Topologies()) {
+    for (std::uint64_t seed : {101u, 202u, 303u}) {
+      cases.push_back(Case{t.name, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HardeningProperties,
+                         ::testing::ValuesIn(AllCases()),
+                         [](const auto& info) {
+                           return info.param.topo_name + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace hodor::core

@@ -1,0 +1,215 @@
+// Property sweeps for the full validation path across topologies, traffic
+// models, and perturbations.
+//
+// Invariants enforced:
+//   V1  honest inputs are accepted on every topology x TM generator;
+//   V2  detection lower bound: zeroing any entry whose share of BOTH its
+//       row and its column exceeds ~2·τ_e is always detected;
+//   V3  monotonicity in τ_e: detection never increases as τ_e grows;
+//   V4  validator determinism: identical (input, snapshot) -> identical
+//       report;
+//   V5  honest drains/downs never produce violations (dynamic state is not
+//       an anomaly).
+#include <gtest/gtest.h>
+
+#include "core/validator.h"
+#include "faults/demand_perturbations.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace hodor::core {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+struct Scenario {
+  std::string topo;
+  std::string tm;
+  std::uint64_t seed;
+};
+
+net::Topology MakeTopo(const std::string& name, std::uint64_t seed) {
+  if (name == "abilene") return net::Abilene();
+  if (name == "b4like") return net::B4Like();
+  if (name == "geantlike") return net::GeantLike();
+  util::Rng rng(seed);
+  return net::Waxman(16, rng);
+}
+
+flow::DemandMatrix MakeDemand(const net::Topology& topo,
+                              const std::string& tm, std::uint64_t seed) {
+  util::Rng rng(seed);
+  flow::DemandMatrix d;
+  if (tm == "gravity") {
+    d = flow::GravityDemand(topo, rng);
+  } else if (tm == "uniform") {
+    d = flow::UniformDemand(topo, 2.0);
+  } else if (tm == "bimodal") {
+    d = flow::BimodalDemand(topo, rng, 0.5, 8.0, 0.25);
+  } else {
+    d = flow::HotspotDemand(topo, rng, 1.0, 4, 20.0);
+  }
+  flow::NormalizeToMaxUtilization(topo, 0.5, d);
+  return d;
+}
+
+class ValidationProperties : public ::testing::TestWithParam<Scenario> {
+ protected:
+  struct World {
+    net::Topology topo;
+    net::GroundTruthState state;
+    flow::DemandMatrix demand;
+    flow::RoutingPlan plan;
+    flow::SimulationResult sim;
+
+    explicit World(const Scenario& s)
+        : topo(MakeTopo(s.topo, s.seed)),
+          state(topo),
+          demand(MakeDemand(topo, s.tm, s.seed)),
+          plan(flow::ShortestPathRouting(topo, demand, net::AllLinks())),
+          sim(flow::SimulateFlow(topo, state, demand, plan)) {}
+
+    telemetry::NetworkSnapshot Snapshot(std::uint64_t seed) const {
+      util::Rng rng(seed);
+      telemetry::CollectorOptions copts;
+      copts.probes.false_loss_rate = 0.0;
+      telemetry::Collector collector(topo, copts);
+      return collector.Collect(state, sim, 0, rng);
+    }
+
+    controlplane::ControllerInput Input(
+        const telemetry::NetworkSnapshot& snap, std::uint64_t seed) const {
+      util::Rng rng(seed);
+      return controlplane::AggregateInputs(topo, snap, demand, 0, rng, {},
+                                           {});
+    }
+  };
+};
+
+TEST_P(ValidationProperties, V1HonestInputsAccepted) {
+  World w(GetParam());
+  const auto snap = w.Snapshot(GetParam().seed + 1);
+  const auto input = w.Input(snap, GetParam().seed + 2);
+  const Validator validator(w.topo);
+  const auto report = validator.Validate(input, snap);
+  EXPECT_TRUE(report.ok()) << GetParam().topo << "/" << GetParam().tm << "\n"
+                           << report.Describe(w.topo);
+}
+
+TEST_P(ValidationProperties, V2DetectionLowerBound) {
+  World w(GetParam());
+  const auto snap = w.Snapshot(GetParam().seed + 1);
+  auto input = w.Input(snap, GetParam().seed + 2);
+  const double tau = 0.02;
+  const Validator validator(w.topo);
+
+  // Find an entry whose share of its row AND column exceeds 2.5·τ_e
+  // (margin over jitter); zeroing it must always fire an invariant.
+  for (const auto& [i, j] : w.demand.Pairs()) {
+    const double v = w.demand.At(i, j);
+    const double row = w.demand.RowSum(i);
+    const double col = w.demand.ColSum(j);
+    if (row <= 0 || col <= 0) continue;
+    if (v / row < 2.5 * tau || v / col < 2.5 * tau) continue;
+    flow::DemandMatrix bad = input.demand;
+    bad.Set(i, j, 0.0);
+    auto corrupted = input;
+    corrupted.demand = bad;
+    const auto report = validator.Validate(corrupted, snap);
+    EXPECT_FALSE(report.demand.ok())
+        << GetParam().topo << "/" << GetParam().tm << " entry "
+        << w.topo.node(i).name << "->" << w.topo.node(j).name
+        << " share row=" << v / row << " col=" << v / col;
+  }
+}
+
+TEST_P(ValidationProperties, V3DetectionMonotoneInTau) {
+  World w(GetParam());
+  const auto snap = w.Snapshot(GetParam().seed + 1);
+  auto input = w.Input(snap, GetParam().seed + 2);
+  util::Rng prng(GetParam().seed + 3);
+  input.demand = faults::ZeroEntries(input.demand, 2, prng).matrix;
+
+  const HardenedState hs = HardeningEngine().Harden(snap);
+  std::size_t prev = SIZE_MAX;
+  for (double tau : {0.005, 0.01, 0.02, 0.05, 0.10, 0.25}) {
+    DemandCheckOptions opts;
+    opts.tau_e = tau;
+    const auto r = CheckDemand(w.topo, hs, input.demand, opts);
+    EXPECT_LE(r.violations.size(), prev) << "tau=" << tau;
+    prev = r.violations.size();
+  }
+}
+
+TEST_P(ValidationProperties, V4ValidatorDeterministic) {
+  World w(GetParam());
+  const auto snap = w.Snapshot(GetParam().seed + 1);
+  const auto input = w.Input(snap, GetParam().seed + 2);
+  const Validator validator(w.topo);
+  const auto a = validator.Validate(input, snap);
+  const auto b = validator.Validate(input, snap);
+  EXPECT_EQ(a.ok(), b.ok());
+  EXPECT_EQ(a.violation_count(), b.violation_count());
+  EXPECT_EQ(a.hardened.flagged_rate_count, b.hardened.flagged_rate_count);
+  EXPECT_EQ(a.Summary(), b.Summary());
+}
+
+TEST_P(ValidationProperties, V5HonestDynamicStateAccepted) {
+  World w(GetParam());
+  util::Rng rng(GetParam().seed + 9);
+  // Drain one link and down another (choosing ones that keep the graph
+  // connected), honestly reported everywhere.
+  std::vector<LinkId> physical;
+  for (const net::Link& l : w.topo.links()) {
+    if (l.id.value() < l.reverse.value()) physical.push_back(l.id);
+  }
+  for (LinkId cand : physical) {
+    w.state.SetLinkUp(cand, false);
+    if (net::IsStronglyConnected(w.topo, [&](LinkId e) {
+          return w.state.LinkUsable(e);
+        })) {
+      break;
+    }
+    w.state.SetLinkUp(cand, true);
+  }
+  // Re-route and re-simulate honestly on the surviving graph.
+  w.plan = flow::ShortestPathRouting(
+      w.topo, w.demand, [&](LinkId e) { return w.state.LinkUsable(e); });
+  w.sim = flow::SimulateFlow(w.topo, w.state, w.demand, w.plan);
+  const auto snap = w.Snapshot(GetParam().seed + 10);
+  const auto input = w.Input(snap, GetParam().seed + 11);
+  const Validator validator(w.topo);
+  const auto report = validator.Validate(input, snap);
+  // Topology and drain views are consistent with reality: no violations
+  // from those checks. (Demand may legitimately flag if the smaller
+  // network congests; exclude that by checking there were no drops.)
+  EXPECT_TRUE(report.topology.ok()) << report.Describe(w.topo);
+  EXPECT_TRUE(report.drain.ok()) << report.Describe(w.topo);
+  if (w.sim.total_dropped_gbps < 1e-9 && w.sim.unrouted_gbps < 1e-9) {
+    EXPECT_TRUE(report.demand.ok()) << report.Describe(w.topo);
+  }
+}
+
+std::vector<Scenario> AllScenarios() {
+  std::vector<Scenario> out;
+  for (const char* topo : {"abilene", "b4like", "geantlike", "waxman16"}) {
+    for (const char* tm : {"gravity", "uniform", "bimodal", "hotspot"}) {
+      out.push_back(Scenario{topo, tm, 1234});
+    }
+  }
+  // Extra seeds on the headline configuration.
+  out.push_back(Scenario{"abilene", "gravity", 77});
+  out.push_back(Scenario{"abilene", "gravity", 4242});
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ValidationProperties,
+                         ::testing::ValuesIn(AllScenarios()),
+                         [](const auto& info) {
+                           return info.param.topo + "_" + info.param.tm +
+                                  "_s" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace hodor::core

@@ -1,0 +1,159 @@
+#include "telemetry/collector.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace hodor::telemetry {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+TEST(Collector, HonestSnapshotMatchesSimulationWithinJitter)
+{
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  const NetworkSnapshot snap = net.Snapshot();
+
+  for (LinkId e : net.topo.LinkIds()) {
+    const double truth = net.sim.carried[e.value()];
+    ASSERT_TRUE(snap.TxRate(e).has_value());
+    ASSERT_TRUE(snap.RxRate(e).has_value());
+    if (truth > 1e-9) {
+      EXPECT_TRUE(util::WithinRelativeTolerance(*snap.TxRate(e), truth, 0.006));
+      EXPECT_TRUE(util::WithinRelativeTolerance(*snap.RxRate(e), truth, 0.006));
+    } else {
+      EXPECT_DOUBLE_EQ(*snap.TxRate(e), 0.0);
+    }
+    EXPECT_EQ(snap.StatusAtSrc(e).value(), LinkStatus::kUp);
+  }
+  for (NodeId v : net.topo.NodeIds()) {
+    EXPECT_FALSE(snap.NodeDrained(v).value());
+    ASSERT_TRUE(snap.ExtInRate(v).has_value());
+    EXPECT_TRUE(util::WithinRelativeTolerance(
+        *snap.ExtInRate(v), net.sim.ext_in[v.value()], 0.006));
+  }
+}
+
+TEST(Collector, DownLinkReportedDownAtBothEnds) {
+  net::Topology topo = net::Figure3Triangle();
+  net::GroundTruthState state(topo);
+  const LinkId e = topo.LinkIds()[0];
+  state.SetLinkUp(e, false);
+  flow::DemandMatrix d(topo.node_count());
+  flow::SimulationResult sim =
+      flow::SimulateFlow(topo, state, d, flow::RoutingPlan{});
+  util::Rng rng(1);
+  Collector collector(topo, {});
+  const NetworkSnapshot snap = collector.Collect(state, sim, 0, rng);
+  EXPECT_EQ(snap.StatusAtSrc(e).value(), LinkStatus::kDown);
+  EXPECT_EQ(snap.StatusAtDst(e).value(), LinkStatus::kDown);
+}
+
+TEST(Collector, BrokenDataplaneStillReportsUp) {
+  // The §4.2 semantic gap: light on, dataplane dead.
+  net::Topology topo = net::Figure3Triangle();
+  net::GroundTruthState state(topo);
+  const LinkId e = topo.LinkIds()[0];
+  state.SetLinkDataplaneOk(e, false);
+  flow::DemandMatrix d(topo.node_count());
+  flow::SimulationResult sim =
+      flow::SimulateFlow(topo, state, d, flow::RoutingPlan{});
+  util::Rng rng(1);
+  CollectorOptions opts;
+  opts.probes.false_loss_rate = 0.0;
+  Collector collector(topo, opts);
+  const NetworkSnapshot snap = collector.Collect(state, sim, 0, rng);
+  EXPECT_EQ(snap.StatusAtSrc(e).value(), LinkStatus::kUp);
+  // ...but the probe, which exercises the dataplane, fails.
+  EXPECT_FALSE(snap.ProbeSucceeded(e).value());
+}
+
+TEST(Collector, MutatorRunsBeforeProbesAttached) {
+  testing::HealthyNetwork net(net::Figure3Triangle(), 3);
+  bool saw_probes = true;
+  const auto snap = net.Snapshot(1, [&](NetworkSnapshot& s) {
+    saw_probes = !s.probe_results().empty();
+  });
+  EXPECT_FALSE(saw_probes);          // mutator ran pre-probe
+  EXPECT_FALSE(snap.probe_results().empty());  // probes attached after
+}
+
+TEST(Collector, ProbesCanBeDisabled) {
+  testing::HealthyNetwork net(net::Figure3Triangle(), 3);
+  CollectorOptions opts;
+  opts.run_probes = false;
+  const auto snap = net.Snapshot(1, nullptr, opts);
+  EXPECT_TRUE(snap.probe_results().empty());
+}
+
+TEST(Collector, DrainSignalsReflectIntent) {
+  net::Topology topo = net::Figure3Triangle();
+  net::GroundTruthState state(topo);
+  const NodeId a = topo.FindNode("A").value();
+  state.SetNodeDrained(a, true);
+  const LinkId e = topo.LinkIds()[2];
+  state.SetLinkDrained(e, true);
+  flow::DemandMatrix d(topo.node_count());
+  flow::SimulationResult sim =
+      flow::SimulateFlow(topo, state, d, flow::RoutingPlan{});
+  util::Rng rng(1);
+  Collector collector(topo, {});
+  const NetworkSnapshot snap = collector.Collect(state, sim, 0, rng);
+  EXPECT_TRUE(snap.NodeDrained(a).value());
+  EXPECT_TRUE(snap.LinkDrainAtSrc(e).value());
+  EXPECT_TRUE(snap.LinkDrainAtDst(e).value());
+}
+
+TEST(Probes, HealthyLinksSucceedDeadLinksFail) {
+  net::Topology topo = net::Figure3Triangle();
+  net::GroundTruthState state(topo);
+  const LinkId dead = topo.LinkIds()[0];
+  state.SetLinkUp(dead, false);
+  util::Rng rng(5);
+  ProbeOptions opts;
+  opts.false_loss_rate = 0.0;
+  const auto probes = ProbeAllLinks(topo, state, opts, rng);
+  ASSERT_EQ(probes.size(), topo.link_count());
+  for (const ProbeResult& p : probes) {
+    const bool should_succeed =
+        p.link != dead && p.link != topo.link(dead).reverse;
+    EXPECT_EQ(p.success, should_succeed) << topo.LinkName(p.link);
+  }
+}
+
+TEST(Probes, RetriesSuppressFalseLoss) {
+  net::Topology topo = net::Figure3Triangle();
+  net::GroundTruthState state(topo);
+  util::Rng rng(7);
+  ProbeOptions opts;
+  opts.false_loss_rate = 0.3;  // very lossy
+  opts.attempts = 8;           // but many retries
+  int false_negatives = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    for (const ProbeResult& p : ProbeAllLinks(topo, state, opts, rng)) {
+      if (!p.success) ++false_negatives;
+    }
+  }
+  // P(all 8 attempts lost) = 0.3^8 ~ 6.6e-5; expect ~0 over 1200 probes.
+  EXPECT_LE(false_negatives, 2);
+}
+
+TEST(Probes, NonForwardingRouterFailsItsLinks) {
+  net::Topology topo = net::Figure3Triangle();
+  net::GroundTruthState state(topo);
+  const NodeId a = topo.FindNode("A").value();
+  state.SetNodeForwarding(a, false);
+  util::Rng rng(9);
+  ProbeOptions opts;
+  opts.false_loss_rate = 0.0;
+  for (const ProbeResult& p : ProbeAllLinks(topo, state, opts, rng)) {
+    const net::Link& l = topo.link(p.link);
+    const bool touches_a = l.src == a || l.dst == a;
+    EXPECT_EQ(p.success, !touches_a);
+  }
+}
+
+}  // namespace
+}  // namespace hodor::telemetry

@@ -1,0 +1,124 @@
+#include "telemetry/self_correction.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figure3_example.h"
+#include "faults/snapshot_faults.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace hodor::telemetry {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+TEST(SelfCorrection, CleanSnapshotUntouched) {
+  const core::Figure3Example fig;
+  NetworkSnapshot snap = fig.HonestSnapshot();
+  const SelfCorrectionStats stats = SelfCorrectSnapshot(snap);
+  EXPECT_EQ(stats.mismatched_pairs, 0u);
+  EXPECT_EQ(stats.corrected, 0u);
+  EXPECT_EQ(stats.unresolved, 0u);
+  EXPECT_DOUBLE_EQ(snap.TxRate(fig.ab()).value(),
+                   core::Figure3Example::kTrueRateAB);
+}
+
+TEST(SelfCorrection, FixesTheFigure3CounterAtSource) {
+  // The faulty router A hears 76 from B, sees its own 98 breaks its local
+  // books, and overwrites its TX counter before export.
+  const core::Figure3Example fig;
+  NetworkSnapshot snap = fig.FaultySnapshot();
+  const SelfCorrectionStats stats = SelfCorrectSnapshot(snap);
+  EXPECT_EQ(stats.mismatched_pairs, 1u);
+  EXPECT_EQ(stats.corrected, 1u);
+  EXPECT_EQ(stats.unresolved, 0u);
+  EXPECT_NEAR(snap.TxRate(fig.ab()).value(), 76.0, 1e-9);
+  EXPECT_NEAR(snap.RxRate(fig.ab()).value(), 76.0, 1e-9);
+}
+
+TEST(SelfCorrection, FixesRxSideToo) {
+  const core::Figure3Example fig;
+  NetworkSnapshot snap = fig.HonestSnapshot();
+  snap.router(fig.b()).in_ifaces[fig.ab()].rx_rate = 150.0;
+  const SelfCorrectionStats stats = SelfCorrectSnapshot(snap);
+  EXPECT_EQ(stats.corrected, 1u);
+  EXPECT_NEAR(snap.RxRate(fig.ab()).value(), 76.0, 1e-9);
+}
+
+TEST(SelfCorrection, UnresolvableMismatchLeftForHardening) {
+  // Both ends lie consistently with their own books being broken: neither
+  // candidate fits, so the router must not guess.
+  const core::Figure3Example fig;
+  NetworkSnapshot snap = fig.HonestSnapshot();
+  snap.router(fig.a()).out_ifaces[fig.ab()].tx_rate = 200.0;
+  snap.router(fig.b()).in_ifaces[fig.ab()].rx_rate = 150.0;
+  const SelfCorrectionStats stats = SelfCorrectSnapshot(snap);
+  EXPECT_EQ(stats.mismatched_pairs, 1u);
+  EXPECT_EQ(stats.corrected, 0u);
+  EXPECT_EQ(stats.unresolved, 1u);
+  EXPECT_DOUBLE_EQ(snap.TxRate(fig.ab()).value(), 200.0);  // untouched
+}
+
+TEST(SelfCorrection, MissingSideIsNotExchanged) {
+  const core::Figure3Example fig;
+  NetworkSnapshot snap = fig.HonestSnapshot();
+  snap.router(fig.a()).out_ifaces[fig.ab()].tx_rate.reset();
+  const SelfCorrectionStats stats = SelfCorrectSnapshot(snap);
+  EXPECT_EQ(stats.mismatched_pairs, 0u);
+  EXPECT_FALSE(snap.TxRate(fig.ab()).has_value());
+}
+
+TEST(SelfCorrection, CleansWholeRouterZeroBug) {
+  // The §2.1 duplication bug zeroes a router's counters; self-correction
+  // restores every value that local conservation can arbitrate.
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  const NodeId victim = net.topo.FindNode("IPLSng").value();
+  auto fault = faults::ComposeFaults(
+      {faults::ZeroedCountersFault(victim, 1.0, 3),
+       SelfCorrectionStage()});
+  const auto snap = net.Snapshot(1, fault);
+
+  // Link counters at the victim are restored from the neighbours...
+  std::size_t restored = 0;
+  for (LinkId e : net.topo.OutLinks(victim)) {
+    const double truth = net.sim.carried[e.value()];
+    if (truth < 1.0) continue;
+    if (snap.TxRate(e) &&
+        util::WithinRelativeTolerance(*snap.TxRate(e), truth, 0.05)) {
+      ++restored;
+    }
+  }
+  EXPECT_GT(restored, 0u);
+  // ...but the single-sourced external counters cannot be (no neighbour
+  // measures them); they stay zero and remain Hodor's job downstream.
+  EXPECT_DOUBLE_EQ(snap.ExtInRate(victim).value(), 0.0);
+}
+
+TEST(SelfCorrection, StageComposesAsMutator) {
+  const core::Figure3Example fig;
+  testing::HealthyNetwork net(net::Figure3Triangle(), 3);
+  const LinkId ab = net.topo.LinkIds()[0];
+  auto fault = faults::ComposeFaults(
+      {faults::CorruptLinkCounter(ab, faults::CounterSide::kTx,
+                                  faults::CounterCorruption::kScale, 1.5),
+       SelfCorrectionStage()});
+  const auto snap = net.Snapshot(1, fault);
+  // After self-correction the exported pair agrees again.
+  ASSERT_TRUE(snap.TxRate(ab).has_value());
+  ASSERT_TRUE(snap.RxRate(ab).has_value());
+  if (net.sim.carried[ab.value()] > 1.0) {
+    EXPECT_TRUE(util::WithinRelativeTolerance(*snap.TxRate(ab),
+                                              *snap.RxRate(ab), 0.02));
+  }
+}
+
+TEST(SelfCorrection, JitterBelowTauIgnored) {
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  auto snap = net.Snapshot();
+  const SelfCorrectionStats stats = SelfCorrectSnapshot(snap);
+  EXPECT_EQ(stats.mismatched_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace hodor::telemetry

@@ -1,0 +1,110 @@
+#include "telemetry/signal_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "faults/snapshot_faults.h"
+#include "test_util.h"
+
+namespace hodor::telemetry {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+TEST(SignalCatalog, EnumeratesExpectedCountForAbilene) {
+  const net::Topology topo = net::Abilene();
+  const SignalCatalog catalog(topo);
+  // Per node: drain + dropped + ext_in + ext_out (all 12 are external).
+  // Per directed link: tx + status + link-drain at src, rx at dst.
+  const std::size_t expected =
+      topo.node_count() * 4 + topo.link_count() * 4;
+  EXPECT_EQ(catalog.size(), expected);
+}
+
+TEST(SignalCatalog, NonExternalNodesHaveNoExternalCounters) {
+  net::Topology topo;
+  const NodeId a = topo.AddNode("a");
+  const NodeId b = topo.AddNode("b");
+  topo.AddExternalPort(a, 100.0);
+  topo.AddBidirectionalLink(a, b, 10.0);
+  const SignalCatalog catalog(topo);
+  std::size_t ext_signals = 0;
+  for (const auto& d : catalog.signals()) {
+    if (d.kind == SignalKind::kExtInRate ||
+        d.kind == SignalKind::kExtOutRate) {
+      EXPECT_EQ(d.reporter, a);
+      ++ext_signals;
+    }
+  }
+  EXPECT_EQ(ext_signals, 2u);
+}
+
+TEST(SignalCatalog, PathsAreUniqueAndOpenConfigFlavoured) {
+  const net::Topology topo = net::Abilene();
+  const SignalCatalog catalog(topo);
+  std::set<std::string> paths;
+  for (const auto& d : catalog.signals()) {
+    EXPECT_TRUE(paths.insert(d.path).second) << "duplicate: " << d.path;
+    EXPECT_EQ(d.path.rfind("/devices/device[name=", 0), 0u) << d.path;
+  }
+}
+
+TEST(SignalCatalog, FindByPathRoundTrips) {
+  const net::Topology topo = net::Figure3Triangle();
+  const SignalCatalog catalog(topo);
+  for (const auto& d : catalog.signals()) {
+    auto found = catalog.FindByPath(d.path);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ(found.value()->kind, d.kind);
+    EXPECT_EQ(found.value()->reporter, d.reporter);
+  }
+  EXPECT_FALSE(catalog.FindByPath("/devices/device[name=zz]/x").ok());
+}
+
+TEST(SignalCatalog, ResolvesAgainstSnapshot) {
+  testing::HealthyNetwork net(net::Figure3Triangle(), 17);
+  const auto snap = net.Snapshot();
+  const SignalCatalog catalog(net.topo);
+  // Every signal is present on an honest snapshot.
+  EXPECT_EQ(catalog.PresentCount(snap), catalog.size());
+  // Spot-check semantics: a tx-rate descriptor resolves to the TX counter.
+  for (const auto& d : catalog.signals()) {
+    if (d.kind == SignalKind::kTxRate) {
+      EXPECT_EQ(catalog.Resolve(d, snap), snap.TxRate(d.link));
+    }
+    if (d.kind == SignalKind::kNodeDrain) {
+      EXPECT_EQ(catalog.Resolve(d, snap), 0.0);  // nothing drained
+    }
+    if (d.kind == SignalKind::kLinkStatus) {
+      EXPECT_EQ(catalog.Resolve(d, snap), 1.0);  // all links up
+    }
+  }
+}
+
+TEST(SignalCatalog, PresentCountDropsWhenRouterSilent) {
+  testing::HealthyNetwork net(net::Figure3Triangle(), 17);
+  const NodeId a = net.topo.FindNode("A").value();
+  const auto snap = net.Snapshot(1, faults::UnresponsiveRouter(a));
+  const SignalCatalog catalog(net.topo);
+  // A reports 4 node signals + 2 out-links * 3 + 2 in-links * 1 = 12.
+  EXPECT_EQ(catalog.PresentCount(snap), catalog.size() - 12);
+}
+
+TEST(SignalCatalog, EverySignalHasSomeRedundancy) {
+  // The design-time review the paper describes: every chosen signal can be
+  // corroborated by at least one redundancy source in this model.
+  const net::Topology topo = net::Abilene();
+  const SignalCatalog catalog(topo);
+  EXPECT_EQ(catalog.CorroboratedCount(), catalog.size());
+}
+
+TEST(SignalKindName, AllNamed) {
+  EXPECT_STREQ(SignalKindName(SignalKind::kTxRate), "tx-rate");
+  EXPECT_STREQ(SignalKindName(SignalKind::kNodeDrain), "node-drain");
+  EXPECT_STREQ(SignalKindName(SignalKind::kExtOutRate), "ext-out-rate");
+}
+
+}  // namespace
+}  // namespace hodor::telemetry

@@ -1,0 +1,110 @@
+#include "telemetry/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+
+namespace hodor::telemetry {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  SnapshotTest() : topo_(net::Figure3Triangle()), snap_(topo_, 7) {}
+  net::Topology topo_;
+  NetworkSnapshot snap_;
+};
+
+TEST_F(SnapshotTest, EpochAndTopologyWiredThrough) {
+  EXPECT_EQ(snap_.epoch(), 7u);
+  EXPECT_EQ(&snap_.topology(), &topo_);
+  EXPECT_EQ(snap_.routers().size(), 3u);
+}
+
+TEST_F(SnapshotTest, FreshSnapshotHasNoSignals) {
+  EXPECT_EQ(snap_.PresentSignalCount(), 0u);
+  for (LinkId e : topo_.LinkIds()) {
+    EXPECT_FALSE(snap_.TxRate(e).has_value());
+    EXPECT_FALSE(snap_.RxRate(e).has_value());
+    EXPECT_FALSE(snap_.StatusAtSrc(e).has_value());
+  }
+}
+
+TEST_F(SnapshotTest, TxRateReportedBySrc) {
+  const LinkId ab = topo_.FindLink(topo_.FindNode("A").value(),
+                                   topo_.FindNode("B").value())
+                        .value();
+  RouterSignals& a = snap_.router(topo_.link(ab).src);
+  a.out_ifaces[ab].tx_rate = 42.0;
+  EXPECT_DOUBLE_EQ(snap_.TxRate(ab).value(), 42.0);
+  EXPECT_FALSE(snap_.RxRate(ab).has_value());
+}
+
+TEST_F(SnapshotTest, RxRateReportedByDst) {
+  const LinkId ab = topo_.FindLink(topo_.FindNode("A").value(),
+                                   topo_.FindNode("B").value())
+                        .value();
+  RouterSignals& b = snap_.router(topo_.link(ab).dst);
+  b.in_ifaces[ab].rx_rate = 41.5;
+  EXPECT_DOUBLE_EQ(snap_.RxRate(ab).value(), 41.5);
+}
+
+TEST_F(SnapshotTest, StatusAtDstReadsReverseDirection) {
+  const LinkId ab = topo_.FindLink(topo_.FindNode("A").value(),
+                                   topo_.FindNode("B").value())
+                        .value();
+  const LinkId ba = topo_.link(ab).reverse;
+  snap_.router(topo_.link(ba).src).out_ifaces[ba].status = LinkStatus::kDown;
+  EXPECT_EQ(snap_.StatusAtDst(ab).value(), LinkStatus::kDown);
+  EXPECT_FALSE(snap_.StatusAtSrc(ab).has_value());
+}
+
+TEST_F(SnapshotTest, UnresponsiveRouterHidesItsSignals) {
+  const NodeId a = topo_.FindNode("A").value();
+  RouterSignals& ra = snap_.router(a);
+  ra.drained = false;
+  ra.ext_in_rate = 10.0;
+  const LinkId out = topo_.OutLinks(a)[0];
+  ra.out_ifaces[out].tx_rate = 5.0;
+  EXPECT_TRUE(snap_.NodeDrained(a).has_value());
+  ra.responded = false;
+  EXPECT_FALSE(snap_.NodeDrained(a).has_value());
+  EXPECT_FALSE(snap_.ExtInRate(a).has_value());
+  EXPECT_FALSE(snap_.TxRate(out).has_value());
+  EXPECT_EQ(snap_.PresentSignalCount(), 0u);
+}
+
+TEST_F(SnapshotTest, ProbeResultsIndexedByLink) {
+  EXPECT_FALSE(snap_.ProbeSucceeded(LinkId(0)).has_value());
+  std::vector<ProbeResult> probes;
+  probes.push_back(ProbeResult{LinkId(0), true});
+  probes.push_back(ProbeResult{LinkId(3), false});
+  snap_.SetProbeResults(probes);
+  EXPECT_TRUE(snap_.ProbeSucceeded(LinkId(0)).value());
+  EXPECT_FALSE(snap_.ProbeSucceeded(LinkId(3)).value());
+  EXPECT_FALSE(snap_.ProbeSucceeded(LinkId(1)).has_value());
+  EXPECT_EQ(snap_.probe_results().size(), 2u);
+}
+
+TEST_F(SnapshotTest, PresentSignalCountCounts) {
+  const NodeId a = topo_.FindNode("A").value();
+  RouterSignals& ra = snap_.router(a);
+  ra.drained = true;
+  ra.dropped_rate = 0.0;
+  const LinkId out = topo_.OutLinks(a)[0];
+  ra.out_ifaces[out].status = LinkStatus::kUp;
+  ra.out_ifaces[out].tx_rate = 1.0;
+  EXPECT_EQ(snap_.PresentSignalCount(), 4u);
+}
+
+TEST_F(SnapshotTest, LinkDrainAccessors) {
+  const LinkId ab = topo_.LinkIds()[0];
+  snap_.router(topo_.link(ab).src).out_ifaces[ab].link_drained = true;
+  EXPECT_TRUE(snap_.LinkDrainAtSrc(ab).value());
+  EXPECT_FALSE(snap_.LinkDrainAtDst(ab).has_value());
+}
+
+}  // namespace
+}  // namespace hodor::telemetry

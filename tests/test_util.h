@@ -1,0 +1,65 @@
+// Shared fixtures and helpers for the Hodor test suite.
+#pragma once
+
+#include <cstdint>
+
+#include "controlplane/pipeline.h"
+#include "controlplane/services.h"
+#include "flow/simulator.h"
+#include "flow/tm_generators.h"
+#include "net/state.h"
+#include "net/topologies.h"
+#include "telemetry/collector.h"
+#include "util/rng.h"
+
+namespace hodor::testing {
+
+// A ready-to-use healthy network: topology, ground truth, demand routed on
+// shortest paths, simulated flows, and an honest snapshot.
+struct HealthyNetwork {
+  net::Topology topo;
+  net::GroundTruthState state;
+  flow::DemandMatrix demand;
+  flow::RoutingPlan plan;
+  flow::SimulationResult sim;
+
+  // `max_util`: demand is scaled so healthy shortest-path routing peaks at
+  // this link utilisation (uncongested by default — drops would legitimately
+  // violate the demand invariants).
+  HealthyNetwork(net::Topology t, std::uint64_t seed, double max_util = 0.6)
+      : topo(std::move(t)), state(topo) {
+    util::Rng rng(seed);
+    demand = flow::GravityDemand(topo, rng);
+    flow::NormalizeToMaxUtilization(topo, max_util, demand);
+    plan = flow::ShortestPathRouting(
+        topo, demand, [this](net::LinkId e) { return state.LinkUsable(e); });
+    sim = flow::SimulateFlow(topo, state, demand, plan);
+  }
+
+  // Collects an honest snapshot (optionally with a fault mutator).
+  telemetry::NetworkSnapshot Snapshot(
+      std::uint64_t seed = 1,
+      const telemetry::SnapshotMutator& fault = nullptr,
+      telemetry::CollectorOptions opts = {}) const {
+    util::Rng rng(seed);
+    telemetry::Collector collector(topo, opts);
+    return collector.Collect(state, sim, /*epoch=*/0, rng, fault);
+  }
+
+  // Aggregates honest controller inputs from an honest snapshot.
+  controlplane::ControllerInput Input(
+      const telemetry::NetworkSnapshot& snapshot,
+      std::uint64_t seed = 2,
+      const controlplane::AggregationFaultHooks& hooks = {}) const {
+    util::Rng rng(seed);
+    return controlplane::AggregateInputs(topo, snapshot, demand, /*epoch=*/0,
+                                         rng, {}, hooks);
+  }
+};
+
+inline HealthyNetwork MakeAbilene(std::uint64_t seed = 7,
+                                  double max_util = 0.6) {
+  return HealthyNetwork(net::Abilene(), seed, max_util);
+}
+
+}  // namespace hodor::testing

@@ -1,0 +1,131 @@
+#include "util/linear_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace hodor::util {
+namespace {
+
+Matrix FromRows(std::vector<std::vector<double>> rows) {
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t c = 0; c < rows[r].size(); ++c) m.At(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+TEST(SolveLinearSystem, Solves2x2) {
+  // x + y = 3; x - y = 1  => x=2, y=1.
+  const auto m = FromRows({{1, 1}, {1, -1}});
+  auto res = SolveLinearSystem(m, {3, 1});
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().outcome, SolveOutcome::kUnique);
+  EXPECT_NEAR(res.value().solution[0], 2.0, 1e-9);
+  EXPECT_NEAR(res.value().solution[1], 1.0, 1e-9);
+  EXPECT_NEAR(res.value().residual, 0.0, 1e-9);
+}
+
+TEST(SolveLinearSystem, SolvesSingleUnknown) {
+  // The paper's Figure 3 equation: x + 23 = 75 + 24.
+  const auto m = FromRows({{1.0}});
+  auto res = SolveLinearSystem(m, {75.0 + 24.0 - 23.0});
+  ASSERT_TRUE(res.ok());
+  EXPECT_NEAR(res.value().solution[0], 76.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, DetectsUnderdetermined) {
+  const auto m = FromRows({{1, 1}});
+  auto res = SolveLinearSystem(m, {3});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().outcome, SolveOutcome::kUnderdetermined);
+}
+
+TEST(SolveLinearSystem, DetectsInconsistent) {
+  // x + y = 3 and x + y = 4 cannot both hold.
+  const auto m = FromRows({{1, 1}, {1, 1}});
+  auto res = SolveLinearSystem(m, {3, 4});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().outcome, SolveOutcome::kInconsistent);
+}
+
+TEST(SolveLinearSystem, RedundantConsistentRowsStillUnique) {
+  const auto m = FromRows({{1, 0}, {0, 1}, {1, 1}});
+  auto res = SolveLinearSystem(m, {2, 3, 5});
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().outcome, SolveOutcome::kUnique);
+  EXPECT_NEAR(res.value().solution[0], 2.0, 1e-9);
+  EXPECT_NEAR(res.value().solution[1], 3.0, 1e-9);
+}
+
+TEST(SolveLinearSystem, RejectsMismatchedRhs) {
+  const auto m = FromRows({{1, 1}});
+  EXPECT_FALSE(SolveLinearSystem(m, {1, 2}).ok());
+}
+
+TEST(SolveLinearSystem, RejectsZeroUnknowns) {
+  Matrix m(2, 0);
+  EXPECT_FALSE(SolveLinearSystem(m, {1, 2}).ok());
+}
+
+TEST(SolveLinearSystem, PivotingHandlesZeroLeadingEntry) {
+  // First pivot position is zero; partial pivoting must swap.
+  const auto m = FromRows({{0, 1}, {1, 0}});
+  auto res = SolveLinearSystem(m, {5, 7});
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().outcome, SolveOutcome::kUnique);
+  EXPECT_NEAR(res.value().solution[0], 7.0, 1e-9);
+  EXPECT_NEAR(res.value().solution[1], 5.0, 1e-9);
+}
+
+TEST(SolveLeastSquares, ExactSystemMatchesDirectSolve) {
+  const auto m = FromRows({{2, 0}, {0, 4}});
+  auto res = SolveLeastSquares(m, {2, 8});
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().outcome, SolveOutcome::kUnique);
+  EXPECT_NEAR(res.value().solution[0], 1.0, 1e-9);
+  EXPECT_NEAR(res.value().solution[1], 2.0, 1e-9);
+}
+
+TEST(SolveLeastSquares, OverdeterminedNoisyAveraging) {
+  // Three noisy measurements of x: least squares returns their mean.
+  const auto m = FromRows({{1.0}, {1.0}, {1.0}});
+  auto res = SolveLeastSquares(m, {9.0, 10.0, 11.0});
+  ASSERT_TRUE(res.ok());
+  ASSERT_EQ(res.value().outcome, SolveOutcome::kUnique);
+  EXPECT_NEAR(res.value().solution[0], 10.0, 1e-9);
+  EXPECT_GT(res.value().residual, 0.0);
+}
+
+TEST(SolveLeastSquares, UnderdeterminedReported) {
+  // One equation, two unknowns: normal equations are singular.
+  const auto m = FromRows({{1, 1}});
+  auto res = SolveLeastSquares(m, {3});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value().outcome, SolveOutcome::kUnderdetermined);
+}
+
+TEST(SolveLinearSystem, RandomizedRoundTrip) {
+  // Property: for random well-conditioned systems, solving M x = M x0
+  // recovers x0.
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 2 + rng.Index(6);
+    Matrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) m.At(r, c) = rng.Uniform(-5, 5);
+      m.At(r, r) += 10.0;  // diagonal dominance: well-conditioned
+    }
+    std::vector<double> x0(n);
+    for (double& x : x0) x = rng.Uniform(-100, 100);
+    auto res = SolveLinearSystem(m, m.Apply(x0));
+    ASSERT_TRUE(res.ok());
+    ASSERT_EQ(res.value().outcome, SolveOutcome::kUnique);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(res.value().solution[i], x0[i], 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hodor::util

@@ -1,0 +1,73 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hodor::util {
+namespace {
+
+struct CapturedLog {
+  LogLevel level;
+  std::string message;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::Instance().SetSink([this](LogLevel level, const std::string& m) {
+      captured_.push_back(CapturedLog{level, m});
+    });
+    Logger::Instance().SetMinLevel(LogLevel::kDebug);
+  }
+  void TearDown() override {
+    Logger::Instance().SetSink(nullptr);
+    Logger::Instance().SetMinLevel(LogLevel::kInfo);
+  }
+  std::vector<CapturedLog> captured_;
+};
+
+TEST_F(LoggingTest, MacroStreamsAndDelivers) {
+  HODOR_LOG(kInfo) << "hello " << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].level, LogLevel::kInfo);
+  EXPECT_EQ(captured_[0].message, "hello 42");
+}
+
+TEST_F(LoggingTest, MinLevelFilters) {
+  Logger::Instance().SetMinLevel(LogLevel::kWarning);
+  HODOR_LOG(kDebug) << "too quiet";
+  HODOR_LOG(kInfo) << "still too quiet";
+  HODOR_LOG(kWarning) << "heard";
+  HODOR_LOG(kError) << "also heard";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].message, "heard");
+  EXPECT_EQ(captured_[1].level, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, LevelsOrdered) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning),
+            static_cast<int>(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LoggingTest, NullSinkRestoresDefault) {
+  Logger::Instance().SetSink(nullptr);
+  // Default sink writes to stderr; just verify logging does not crash and
+  // our captured vector no longer grows.
+  HODOR_LOG(kError) << "to stderr";
+  EXPECT_TRUE(captured_.empty());
+}
+
+}  // namespace
+}  // namespace hodor::util

@@ -1,0 +1,146 @@
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace hodor::util {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.empty());
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m.At(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.At(2, 0), std::logic_error);
+  EXPECT_THROW(m.At(0, 2), std::logic_error);
+}
+
+TEST(Matrix, IdentityDiagonal) {
+  Matrix id = Matrix::Identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id.At(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  m.At(0, 0) = 1;
+  m.At(0, 1) = 2;
+  m.At(0, 2) = 3;
+  m.At(1, 0) = 4;
+  m.At(1, 1) = 5;
+  m.At(1, 2) = 6;
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.At(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(t.At(2, 0), 3.0);
+}
+
+TEST(Matrix, TransposeTwiceIsIdentity) {
+  Matrix m(3, 2, 0.0);
+  m.At(1, 0) = 7.0;
+  m.At(2, 1) = -2.0;
+  EXPECT_TRUE(m.Transpose().Transpose().AlmostEqual(m));
+}
+
+TEST(Matrix, MultiplyByIdentity) {
+  Matrix m(2, 2);
+  m.At(0, 0) = 3;
+  m.At(0, 1) = -1;
+  m.At(1, 0) = 2;
+  m.At(1, 1) = 5;
+  EXPECT_TRUE(m.Multiply(Matrix::Identity(2)).AlmostEqual(m));
+  EXPECT_TRUE(Matrix::Identity(2).Multiply(m).AlmostEqual(m));
+}
+
+TEST(Matrix, MultiplyKnownProduct) {
+  Matrix a(2, 3);
+  // [1 2 3; 4 5 6]
+  a.At(0, 0) = 1; a.At(0, 1) = 2; a.At(0, 2) = 3;
+  a.At(1, 0) = 4; a.At(1, 1) = 5; a.At(1, 2) = 6;
+  Matrix b(3, 1);
+  b.At(0, 0) = 1; b.At(1, 0) = 0; b.At(2, 0) = -1;
+  Matrix p = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(p.At(0, 0), -2.0);
+  EXPECT_DOUBLE_EQ(p.At(1, 0), -2.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3), b(2, 3);
+  EXPECT_THROW(a.Multiply(b), std::logic_error);
+}
+
+TEST(Matrix, ApplyVector) {
+  Matrix m(2, 2);
+  m.At(0, 0) = 2; m.At(0, 1) = 0;
+  m.At(1, 0) = 1; m.At(1, 1) = 3;
+  const auto y = m.Apply({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, ApplySizeMismatchThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.Apply({1.0}), std::logic_error);
+}
+
+TEST(Matrix, RankFullAndDeficient) {
+  EXPECT_EQ(Matrix::Identity(4).Rank(), 4u);
+  Matrix zero(3, 3, 0.0);
+  EXPECT_EQ(zero.Rank(), 0u);
+  // Two identical rows -> rank 1.
+  Matrix dup(2, 3, 0.0);
+  dup.At(0, 0) = 1; dup.At(0, 1) = 2; dup.At(0, 2) = 3;
+  dup.At(1, 0) = 1; dup.At(1, 1) = 2; dup.At(1, 2) = 3;
+  EXPECT_EQ(dup.Rank(), 1u);
+}
+
+TEST(Matrix, RankOfLinearlyDependentColumns) {
+  // Third column = first + second.
+  Matrix m(3, 3, 0.0);
+  m.At(0, 0) = 1; m.At(0, 1) = 0; m.At(0, 2) = 1;
+  m.At(1, 0) = 0; m.At(1, 1) = 1; m.At(1, 2) = 1;
+  m.At(2, 0) = 2; m.At(2, 1) = 3; m.At(2, 2) = 5;
+  EXPECT_EQ(m.Rank(), 2u);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  Matrix m(1, 2);
+  m.At(0, 0) = 3;
+  m.At(0, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(Matrix, AlmostEqualToleratesSmallDiffs) {
+  Matrix a(1, 1, 1.0);
+  Matrix b(1, 1, 1.0 + 1e-12);
+  EXPECT_TRUE(a.AlmostEqual(b));
+  Matrix c(1, 1, 1.1);
+  EXPECT_FALSE(a.AlmostEqual(c));
+  Matrix d(2, 1, 1.0);
+  EXPECT_FALSE(a.AlmostEqual(d));  // shape mismatch
+}
+
+TEST(Matrix, ToStringRendersRows) {
+  Matrix m(1, 2);
+  m.At(0, 0) = 1.0;
+  m.At(0, 1) = 2.5;
+  EXPECT_EQ(m.ToString(1), "[1.0, 2.5]\n");
+}
+
+}  // namespace
+}  // namespace hodor::util

@@ -1,0 +1,155 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace hodor::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(0, 1), b.Uniform(0, 1));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a.Uniform(0, 1) != b.Uniform(0, 1)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.UniformInt(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit over 1000 draws
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(9);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Index(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, IndexRequiresPositiveN) {
+  Rng rng(1);
+  EXPECT_THROW(rng.Index(0), std::logic_error);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.5)) ++heads;
+  }
+  EXPECT_NEAR(heads, 5000, 300);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, GaussianZeroStddevIsDeterministic) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.Gaussian(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(rng.Exponential(0.5), 0.0);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(23);
+  const auto sample = rng.SampleWithoutReplacement(10, 7);
+  EXPECT_EQ(sample.size(), 7u);
+  std::set<std::size_t> distinct(sample.begin(), sample.end());
+  EXPECT_EQ(distinct.size(), 7u);
+  for (std::size_t s : sample) EXPECT_LT(s, 10u);
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(29);
+  auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Rng rng(1);
+  EXPECT_THROW(rng.SampleWithoutReplacement(3, 4), std::logic_error);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(31);
+  (void)parent_copy.Fork();
+  bool differs = false;
+  for (int i = 0; i < 8; ++i) {
+    if (child.Uniform(0, 1) != parent.Uniform(0, 1)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace hodor::util

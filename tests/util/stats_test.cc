@@ -1,0 +1,148 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hodor::util {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStats, EmptyThrowsOnAccess) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+}
+
+TEST(RunningStats, NegativeValues) {
+  RunningStats s;
+  s.Add(-5.0);
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25), 2.5);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({42.0}, 99), 42.0);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(Percentile({5, 1, 3, 2, 4}, 50), 3.0);
+}
+
+TEST(Percentile, PreconditionsEnforced) {
+  EXPECT_THROW(Percentile({}, 50), std::logic_error);
+  EXPECT_THROW(Percentile({1.0}, 101), std::logic_error);
+}
+
+TEST(Ewma, FirstObservationSeedsMean) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.initialized());
+  e.Add(10.0);
+  EXPECT_TRUE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(e.variance(), 0.0);
+}
+
+TEST(Ewma, ConvergesTowardConstantSignal) {
+  Ewma e(0.3);
+  for (int i = 0; i < 100; ++i) e.Add(5.0);
+  EXPECT_NEAR(e.mean(), 5.0, 1e-9);
+  EXPECT_NEAR(e.stddev(), 0.0, 1e-9);
+}
+
+TEST(Ewma, TracksShiftedSignal) {
+  Ewma e(0.3);
+  for (int i = 0; i < 50; ++i) e.Add(0.0);
+  for (int i = 0; i < 50; ++i) e.Add(100.0);
+  EXPECT_GT(e.mean(), 95.0);
+}
+
+TEST(Ewma, ZScoreOfFlatSignal) {
+  Ewma e(0.3);
+  for (int i = 0; i < 20; ++i) e.Add(7.0);
+  EXPECT_DOUBLE_EQ(e.ZScore(7.0), 0.0);
+  EXPECT_GT(e.ZScore(8.0), 1e6);  // any deviation from a flat history
+}
+
+TEST(Ewma, ZScoreScalesWithDeviation) {
+  Ewma e(0.3);
+  // Alternating signal gives non-zero variance.
+  for (int i = 0; i < 100; ++i) e.Add(i % 2 == 0 ? 9.0 : 11.0);
+  const double z_small = std::fabs(e.ZScore(10.5));
+  const double z_big = std::fabs(e.ZScore(20.0));
+  EXPECT_LT(z_small, z_big);
+}
+
+TEST(Ewma, AlphaValidated) {
+  EXPECT_THROW(Ewma(0.0), std::logic_error);
+  EXPECT_THROW(Ewma(1.5), std::logic_error);
+  EXPECT_NO_THROW(Ewma(1.0));
+}
+
+TEST(SafeRate, HandlesZeroDenominator) {
+  EXPECT_DOUBLE_EQ(SafeRate(3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(SafeRate(3, 4), 0.75);
+}
+
+TEST(RelativeDifference, Symmetric) {
+  EXPECT_DOUBLE_EQ(RelativeDifference(100, 98), RelativeDifference(98, 100));
+}
+
+TEST(RelativeDifference, ZeroWhenBothTiny) {
+  EXPECT_DOUBLE_EQ(RelativeDifference(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeDifference(1e-15, -1e-15), 0.0);
+}
+
+TEST(RelativeDifference, KnownValue) {
+  EXPECT_NEAR(RelativeDifference(100.0, 98.0), 0.02, 1e-12);
+}
+
+TEST(WithinRelativeTolerance, ThresholdIsInclusive) {
+  EXPECT_TRUE(WithinRelativeTolerance(100.0, 98.0, 0.02));
+  EXPECT_FALSE(WithinRelativeTolerance(100.0, 97.0, 0.02));
+  EXPECT_TRUE(WithinRelativeTolerance(0.0, 0.0, 0.0));
+}
+
+TEST(WithinRelativeTolerance, OneSideZero) {
+  // 0 vs anything nonzero is 100% different.
+  EXPECT_FALSE(WithinRelativeTolerance(0.0, 5.0, 0.5));
+  EXPECT_TRUE(WithinRelativeTolerance(0.0, 5.0, 1.0));
+}
+
+}  // namespace
+}  // namespace hodor::util

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace hodor::util {
+namespace {
+
+TEST(Join, JoinsWithSeparator) {
+  EXPECT_EQ(Join(std::vector<int>{1, 2, 3}, ", "), "1, 2, 3");
+  EXPECT_EQ(Join(std::vector<std::string>{"a"}, "-"), "a");
+  EXPECT_EQ(Join(std::vector<int>{}, ","), "");
+}
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Trim, RemovesEdgesOnly) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("ok"), "ok");
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatPercent, RendersFractionAsPercent) {
+  EXPECT_EQ(FormatPercent(0.992, 1), "99.2%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.0, 1), "0.0%");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(StartsWith("hodor", "ho"));
+  EXPECT_TRUE(StartsWith("hodor", ""));
+  EXPECT_FALSE(StartsWith("hodor", "hodor!"));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22 |"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinter, AddRowValuesFormatsMixedTypes) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRowValues("x", 42, 1.5);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+}
+
+TEST(TablePrinter, ArityMismatchThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::logic_error);
+}
+
+TEST(TablePrinter, EmptyHeadersRejected) {
+  EXPECT_THROW(TablePrinter({}), std::logic_error);
+}
+
+TEST(TablePrinter, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "x,y"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,\"x,y\"\n");
+}
+
+TEST(CsvEscape, QuotesSpecials) {
+  EXPECT_EQ(CsvEscape("plain"), "plain");
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+}  // namespace
+}  // namespace hodor::util
