@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abilene_detection.dir/bench_abilene_detection.cc.o"
+  "CMakeFiles/bench_abilene_detection.dir/bench_abilene_detection.cc.o.d"
+  "bench_abilene_detection"
+  "bench_abilene_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abilene_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

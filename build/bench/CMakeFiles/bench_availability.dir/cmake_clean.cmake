@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_availability.dir/bench_availability.cc.o"
+  "CMakeFiles/bench_availability.dir/bench_availability.cc.o.d"
+  "bench_availability"
+  "bench_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

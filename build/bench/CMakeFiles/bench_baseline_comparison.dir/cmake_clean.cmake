@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_comparison.dir/bench_baseline_comparison.cc.o"
+  "CMakeFiles/bench_baseline_comparison.dir/bench_baseline_comparison.cc.o.d"
+  "bench_baseline_comparison"
+  "bench_baseline_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

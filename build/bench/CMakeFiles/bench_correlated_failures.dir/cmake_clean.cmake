@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_correlated_failures.dir/bench_correlated_failures.cc.o"
+  "CMakeFiles/bench_correlated_failures.dir/bench_correlated_failures.cc.o.d"
+  "bench_correlated_failures"
+  "bench_correlated_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_correlated_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

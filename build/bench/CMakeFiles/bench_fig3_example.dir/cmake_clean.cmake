@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_example.dir/bench_fig3_example.cc.o"
+  "CMakeFiles/bench_fig3_example.dir/bench_fig3_example.cc.o.d"
+  "bench_fig3_example"
+  "bench_fig3_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

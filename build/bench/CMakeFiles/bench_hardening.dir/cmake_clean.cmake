@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hardening.dir/bench_hardening.cc.o"
+  "CMakeFiles/bench_hardening.dir/bench_hardening.cc.o.d"
+  "bench_hardening"
+  "bench_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_outage_scenarios.dir/bench_outage_scenarios.cc.o"
+  "CMakeFiles/bench_outage_scenarios.dir/bench_outage_scenarios.cc.o.d"
+  "bench_outage_scenarios"
+  "bench_outage_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_outage_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tau_sensitivity.dir/bench_tau_sensitivity.cc.o"
+  "CMakeFiles/bench_tau_sensitivity.dir/bench_tau_sensitivity.cc.o.d"
+  "bench_tau_sensitivity"
+  "bench_tau_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tau_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

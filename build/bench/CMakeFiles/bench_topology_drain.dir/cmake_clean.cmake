@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_topology_drain.dir/bench_topology_drain.cc.o"
+  "CMakeFiles/bench_topology_drain.dir/bench_topology_drain.cc.o.d"
+  "bench_topology_drain"
+  "bench_topology_drain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_topology_drain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

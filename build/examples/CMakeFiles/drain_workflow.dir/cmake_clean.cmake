@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drain_workflow.dir/drain_workflow.cpp.o"
+  "CMakeFiles/drain_workflow.dir/drain_workflow.cpp.o.d"
+  "drain_workflow"
+  "drain_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drain_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardening_playground.dir/hardening_playground.cpp.o"
+  "CMakeFiles/hardening_playground.dir/hardening_playground.cpp.o.d"
+  "hardening_playground"
+  "hardening_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardening_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_replay.dir/outage_replay.cpp.o"
+  "CMakeFiles/outage_replay.dir/outage_replay.cpp.o.d"
+  "outage_replay"
+  "outage_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/controlplane/controller_input.cc" "src/controlplane/CMakeFiles/hodor_controlplane.dir/controller_input.cc.o" "gcc" "src/controlplane/CMakeFiles/hodor_controlplane.dir/controller_input.cc.o.d"
+  "/root/repo/src/controlplane/pipeline.cc" "src/controlplane/CMakeFiles/hodor_controlplane.dir/pipeline.cc.o" "gcc" "src/controlplane/CMakeFiles/hodor_controlplane.dir/pipeline.cc.o.d"
+  "/root/repo/src/controlplane/sdn_controller.cc" "src/controlplane/CMakeFiles/hodor_controlplane.dir/sdn_controller.cc.o" "gcc" "src/controlplane/CMakeFiles/hodor_controlplane.dir/sdn_controller.cc.o.d"
+  "/root/repo/src/controlplane/services.cc" "src/controlplane/CMakeFiles/hodor_controlplane.dir/services.cc.o" "gcc" "src/controlplane/CMakeFiles/hodor_controlplane.dir/services.cc.o.d"
+  "/root/repo/src/controlplane/trace.cc" "src/controlplane/CMakeFiles/hodor_controlplane.dir/trace.cc.o" "gcc" "src/controlplane/CMakeFiles/hodor_controlplane.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telemetry/CMakeFiles/hodor_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/hodor_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hodor_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hodor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

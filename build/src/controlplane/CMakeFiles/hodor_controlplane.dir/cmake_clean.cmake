@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hodor_controlplane.dir/controller_input.cc.o"
+  "CMakeFiles/hodor_controlplane.dir/controller_input.cc.o.d"
+  "CMakeFiles/hodor_controlplane.dir/pipeline.cc.o"
+  "CMakeFiles/hodor_controlplane.dir/pipeline.cc.o.d"
+  "CMakeFiles/hodor_controlplane.dir/sdn_controller.cc.o"
+  "CMakeFiles/hodor_controlplane.dir/sdn_controller.cc.o.d"
+  "CMakeFiles/hodor_controlplane.dir/services.cc.o"
+  "CMakeFiles/hodor_controlplane.dir/services.cc.o.d"
+  "CMakeFiles/hodor_controlplane.dir/trace.cc.o"
+  "CMakeFiles/hodor_controlplane.dir/trace.cc.o.d"
+  "libhodor_controlplane.a"
+  "libhodor_controlplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hodor_controlplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

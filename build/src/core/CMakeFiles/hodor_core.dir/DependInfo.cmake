@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alerts.cc" "src/core/CMakeFiles/hodor_core.dir/alerts.cc.o" "gcc" "src/core/CMakeFiles/hodor_core.dir/alerts.cc.o.d"
+  "/root/repo/src/core/baselines/anomaly_detector.cc" "src/core/CMakeFiles/hodor_core.dir/baselines/anomaly_detector.cc.o" "gcc" "src/core/CMakeFiles/hodor_core.dir/baselines/anomaly_detector.cc.o.d"
+  "/root/repo/src/core/baselines/invariant_miner.cc" "src/core/CMakeFiles/hodor_core.dir/baselines/invariant_miner.cc.o" "gcc" "src/core/CMakeFiles/hodor_core.dir/baselines/invariant_miner.cc.o.d"
+  "/root/repo/src/core/baselines/static_checker.cc" "src/core/CMakeFiles/hodor_core.dir/baselines/static_checker.cc.o" "gcc" "src/core/CMakeFiles/hodor_core.dir/baselines/static_checker.cc.o.d"
+  "/root/repo/src/core/demand_check.cc" "src/core/CMakeFiles/hodor_core.dir/demand_check.cc.o" "gcc" "src/core/CMakeFiles/hodor_core.dir/demand_check.cc.o.d"
+  "/root/repo/src/core/drain_check.cc" "src/core/CMakeFiles/hodor_core.dir/drain_check.cc.o" "gcc" "src/core/CMakeFiles/hodor_core.dir/drain_check.cc.o.d"
+  "/root/repo/src/core/drain_protocol.cc" "src/core/CMakeFiles/hodor_core.dir/drain_protocol.cc.o" "gcc" "src/core/CMakeFiles/hodor_core.dir/drain_protocol.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/core/CMakeFiles/hodor_core.dir/experiment.cc.o" "gcc" "src/core/CMakeFiles/hodor_core.dir/experiment.cc.o.d"
+  "/root/repo/src/core/figure3_example.cc" "src/core/CMakeFiles/hodor_core.dir/figure3_example.cc.o" "gcc" "src/core/CMakeFiles/hodor_core.dir/figure3_example.cc.o.d"
+  "/root/repo/src/core/hardening.cc" "src/core/CMakeFiles/hodor_core.dir/hardening.cc.o" "gcc" "src/core/CMakeFiles/hodor_core.dir/hardening.cc.o.d"
+  "/root/repo/src/core/topology_check.cc" "src/core/CMakeFiles/hodor_core.dir/topology_check.cc.o" "gcc" "src/core/CMakeFiles/hodor_core.dir/topology_check.cc.o.d"
+  "/root/repo/src/core/validator.cc" "src/core/CMakeFiles/hodor_core.dir/validator.cc.o" "gcc" "src/core/CMakeFiles/hodor_core.dir/validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faults/CMakeFiles/hodor_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/controlplane/CMakeFiles/hodor_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hodor_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/hodor_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hodor_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hodor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hodor_core.dir/alerts.cc.o"
+  "CMakeFiles/hodor_core.dir/alerts.cc.o.d"
+  "CMakeFiles/hodor_core.dir/baselines/anomaly_detector.cc.o"
+  "CMakeFiles/hodor_core.dir/baselines/anomaly_detector.cc.o.d"
+  "CMakeFiles/hodor_core.dir/baselines/invariant_miner.cc.o"
+  "CMakeFiles/hodor_core.dir/baselines/invariant_miner.cc.o.d"
+  "CMakeFiles/hodor_core.dir/baselines/static_checker.cc.o"
+  "CMakeFiles/hodor_core.dir/baselines/static_checker.cc.o.d"
+  "CMakeFiles/hodor_core.dir/demand_check.cc.o"
+  "CMakeFiles/hodor_core.dir/demand_check.cc.o.d"
+  "CMakeFiles/hodor_core.dir/drain_check.cc.o"
+  "CMakeFiles/hodor_core.dir/drain_check.cc.o.d"
+  "CMakeFiles/hodor_core.dir/drain_protocol.cc.o"
+  "CMakeFiles/hodor_core.dir/drain_protocol.cc.o.d"
+  "CMakeFiles/hodor_core.dir/experiment.cc.o"
+  "CMakeFiles/hodor_core.dir/experiment.cc.o.d"
+  "CMakeFiles/hodor_core.dir/figure3_example.cc.o"
+  "CMakeFiles/hodor_core.dir/figure3_example.cc.o.d"
+  "CMakeFiles/hodor_core.dir/hardening.cc.o"
+  "CMakeFiles/hodor_core.dir/hardening.cc.o.d"
+  "CMakeFiles/hodor_core.dir/topology_check.cc.o"
+  "CMakeFiles/hodor_core.dir/topology_check.cc.o.d"
+  "CMakeFiles/hodor_core.dir/validator.cc.o"
+  "CMakeFiles/hodor_core.dir/validator.cc.o.d"
+  "libhodor_core.a"
+  "libhodor_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hodor_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/aggregation_faults.cc" "src/faults/CMakeFiles/hodor_faults.dir/aggregation_faults.cc.o" "gcc" "src/faults/CMakeFiles/hodor_faults.dir/aggregation_faults.cc.o.d"
+  "/root/repo/src/faults/demand_perturbations.cc" "src/faults/CMakeFiles/hodor_faults.dir/demand_perturbations.cc.o" "gcc" "src/faults/CMakeFiles/hodor_faults.dir/demand_perturbations.cc.o.d"
+  "/root/repo/src/faults/scenario_catalog.cc" "src/faults/CMakeFiles/hodor_faults.dir/scenario_catalog.cc.o" "gcc" "src/faults/CMakeFiles/hodor_faults.dir/scenario_catalog.cc.o.d"
+  "/root/repo/src/faults/snapshot_faults.cc" "src/faults/CMakeFiles/hodor_faults.dir/snapshot_faults.cc.o" "gcc" "src/faults/CMakeFiles/hodor_faults.dir/snapshot_faults.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/controlplane/CMakeFiles/hodor_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hodor_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/hodor_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hodor_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hodor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

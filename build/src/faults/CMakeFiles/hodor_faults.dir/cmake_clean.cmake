@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hodor_faults.dir/aggregation_faults.cc.o"
+  "CMakeFiles/hodor_faults.dir/aggregation_faults.cc.o.d"
+  "CMakeFiles/hodor_faults.dir/demand_perturbations.cc.o"
+  "CMakeFiles/hodor_faults.dir/demand_perturbations.cc.o.d"
+  "CMakeFiles/hodor_faults.dir/scenario_catalog.cc.o"
+  "CMakeFiles/hodor_faults.dir/scenario_catalog.cc.o.d"
+  "CMakeFiles/hodor_faults.dir/snapshot_faults.cc.o"
+  "CMakeFiles/hodor_faults.dir/snapshot_faults.cc.o.d"
+  "libhodor_faults.a"
+  "libhodor_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hodor_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

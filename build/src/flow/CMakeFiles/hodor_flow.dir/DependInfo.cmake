@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/demand_matrix.cc" "src/flow/CMakeFiles/hodor_flow.dir/demand_matrix.cc.o" "gcc" "src/flow/CMakeFiles/hodor_flow.dir/demand_matrix.cc.o.d"
+  "/root/repo/src/flow/metrics.cc" "src/flow/CMakeFiles/hodor_flow.dir/metrics.cc.o" "gcc" "src/flow/CMakeFiles/hodor_flow.dir/metrics.cc.o.d"
+  "/root/repo/src/flow/routing.cc" "src/flow/CMakeFiles/hodor_flow.dir/routing.cc.o" "gcc" "src/flow/CMakeFiles/hodor_flow.dir/routing.cc.o.d"
+  "/root/repo/src/flow/simulator.cc" "src/flow/CMakeFiles/hodor_flow.dir/simulator.cc.o" "gcc" "src/flow/CMakeFiles/hodor_flow.dir/simulator.cc.o.d"
+  "/root/repo/src/flow/tm_generators.cc" "src/flow/CMakeFiles/hodor_flow.dir/tm_generators.cc.o" "gcc" "src/flow/CMakeFiles/hodor_flow.dir/tm_generators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hodor_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hodor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

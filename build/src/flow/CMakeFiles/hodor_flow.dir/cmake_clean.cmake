@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hodor_flow.dir/demand_matrix.cc.o"
+  "CMakeFiles/hodor_flow.dir/demand_matrix.cc.o.d"
+  "CMakeFiles/hodor_flow.dir/metrics.cc.o"
+  "CMakeFiles/hodor_flow.dir/metrics.cc.o.d"
+  "CMakeFiles/hodor_flow.dir/routing.cc.o"
+  "CMakeFiles/hodor_flow.dir/routing.cc.o.d"
+  "CMakeFiles/hodor_flow.dir/simulator.cc.o"
+  "CMakeFiles/hodor_flow.dir/simulator.cc.o.d"
+  "CMakeFiles/hodor_flow.dir/tm_generators.cc.o"
+  "CMakeFiles/hodor_flow.dir/tm_generators.cc.o.d"
+  "libhodor_flow.a"
+  "libhodor_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hodor_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/graph_algorithms.cc" "src/net/CMakeFiles/hodor_net.dir/graph_algorithms.cc.o" "gcc" "src/net/CMakeFiles/hodor_net.dir/graph_algorithms.cc.o.d"
+  "/root/repo/src/net/serialization.cc" "src/net/CMakeFiles/hodor_net.dir/serialization.cc.o" "gcc" "src/net/CMakeFiles/hodor_net.dir/serialization.cc.o.d"
+  "/root/repo/src/net/state.cc" "src/net/CMakeFiles/hodor_net.dir/state.cc.o" "gcc" "src/net/CMakeFiles/hodor_net.dir/state.cc.o.d"
+  "/root/repo/src/net/topologies.cc" "src/net/CMakeFiles/hodor_net.dir/topologies.cc.o" "gcc" "src/net/CMakeFiles/hodor_net.dir/topologies.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/hodor_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/hodor_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hodor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

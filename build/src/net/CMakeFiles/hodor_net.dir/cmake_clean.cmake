@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hodor_net.dir/graph_algorithms.cc.o"
+  "CMakeFiles/hodor_net.dir/graph_algorithms.cc.o.d"
+  "CMakeFiles/hodor_net.dir/serialization.cc.o"
+  "CMakeFiles/hodor_net.dir/serialization.cc.o.d"
+  "CMakeFiles/hodor_net.dir/state.cc.o"
+  "CMakeFiles/hodor_net.dir/state.cc.o.d"
+  "CMakeFiles/hodor_net.dir/topologies.cc.o"
+  "CMakeFiles/hodor_net.dir/topologies.cc.o.d"
+  "CMakeFiles/hodor_net.dir/topology.cc.o"
+  "CMakeFiles/hodor_net.dir/topology.cc.o.d"
+  "libhodor_net.a"
+  "libhodor_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hodor_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/collector.cc" "src/telemetry/CMakeFiles/hodor_telemetry.dir/collector.cc.o" "gcc" "src/telemetry/CMakeFiles/hodor_telemetry.dir/collector.cc.o.d"
+  "/root/repo/src/telemetry/probes.cc" "src/telemetry/CMakeFiles/hodor_telemetry.dir/probes.cc.o" "gcc" "src/telemetry/CMakeFiles/hodor_telemetry.dir/probes.cc.o.d"
+  "/root/repo/src/telemetry/router_agent.cc" "src/telemetry/CMakeFiles/hodor_telemetry.dir/router_agent.cc.o" "gcc" "src/telemetry/CMakeFiles/hodor_telemetry.dir/router_agent.cc.o.d"
+  "/root/repo/src/telemetry/self_correction.cc" "src/telemetry/CMakeFiles/hodor_telemetry.dir/self_correction.cc.o" "gcc" "src/telemetry/CMakeFiles/hodor_telemetry.dir/self_correction.cc.o.d"
+  "/root/repo/src/telemetry/signal_catalog.cc" "src/telemetry/CMakeFiles/hodor_telemetry.dir/signal_catalog.cc.o" "gcc" "src/telemetry/CMakeFiles/hodor_telemetry.dir/signal_catalog.cc.o.d"
+  "/root/repo/src/telemetry/snapshot.cc" "src/telemetry/CMakeFiles/hodor_telemetry.dir/snapshot.cc.o" "gcc" "src/telemetry/CMakeFiles/hodor_telemetry.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/hodor_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hodor_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hodor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

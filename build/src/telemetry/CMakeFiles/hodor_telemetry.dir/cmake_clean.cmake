@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hodor_telemetry.dir/collector.cc.o"
+  "CMakeFiles/hodor_telemetry.dir/collector.cc.o.d"
+  "CMakeFiles/hodor_telemetry.dir/probes.cc.o"
+  "CMakeFiles/hodor_telemetry.dir/probes.cc.o.d"
+  "CMakeFiles/hodor_telemetry.dir/router_agent.cc.o"
+  "CMakeFiles/hodor_telemetry.dir/router_agent.cc.o.d"
+  "CMakeFiles/hodor_telemetry.dir/self_correction.cc.o"
+  "CMakeFiles/hodor_telemetry.dir/self_correction.cc.o.d"
+  "CMakeFiles/hodor_telemetry.dir/signal_catalog.cc.o"
+  "CMakeFiles/hodor_telemetry.dir/signal_catalog.cc.o.d"
+  "CMakeFiles/hodor_telemetry.dir/snapshot.cc.o"
+  "CMakeFiles/hodor_telemetry.dir/snapshot.cc.o.d"
+  "libhodor_telemetry.a"
+  "libhodor_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hodor_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

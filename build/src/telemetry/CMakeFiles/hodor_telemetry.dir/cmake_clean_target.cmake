@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhodor_telemetry.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hodor_util.dir/linear_solver.cc.o"
+  "CMakeFiles/hodor_util.dir/linear_solver.cc.o.d"
+  "CMakeFiles/hodor_util.dir/logging.cc.o"
+  "CMakeFiles/hodor_util.dir/logging.cc.o.d"
+  "CMakeFiles/hodor_util.dir/matrix.cc.o"
+  "CMakeFiles/hodor_util.dir/matrix.cc.o.d"
+  "CMakeFiles/hodor_util.dir/stats.cc.o"
+  "CMakeFiles/hodor_util.dir/stats.cc.o.d"
+  "CMakeFiles/hodor_util.dir/strings.cc.o"
+  "CMakeFiles/hodor_util.dir/strings.cc.o.d"
+  "CMakeFiles/hodor_util.dir/table.cc.o"
+  "CMakeFiles/hodor_util.dir/table.cc.o.d"
+  "libhodor_util.a"
+  "libhodor_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hodor_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controlplane_pipeline_test.dir/controlplane/pipeline_test.cc.o"
+  "CMakeFiles/controlplane_pipeline_test.dir/controlplane/pipeline_test.cc.o.d"
+  "controlplane_pipeline_test"
+  "controlplane_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controlplane_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/controlplane/services_test.cc" "tests/CMakeFiles/controlplane_services_test.dir/controlplane/services_test.cc.o" "gcc" "tests/CMakeFiles/controlplane_services_test.dir/controlplane/services_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hodor_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/hodor_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/controlplane/CMakeFiles/hodor_controlplane.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hodor_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/hodor_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hodor_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hodor_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controlplane_services_test.dir/controlplane/services_test.cc.o"
+  "CMakeFiles/controlplane_services_test.dir/controlplane/services_test.cc.o.d"
+  "controlplane_services_test"
+  "controlplane_services_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controlplane_services_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controlplane_trace_test.dir/controlplane/trace_test.cc.o"
+  "CMakeFiles/controlplane_trace_test.dir/controlplane/trace_test.cc.o.d"
+  "controlplane_trace_test"
+  "controlplane_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controlplane_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

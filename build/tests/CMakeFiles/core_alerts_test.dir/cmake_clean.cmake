@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_alerts_test.dir/core/alerts_test.cc.o"
+  "CMakeFiles/core_alerts_test.dir/core/alerts_test.cc.o.d"
+  "core_alerts_test"
+  "core_alerts_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_alerts_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

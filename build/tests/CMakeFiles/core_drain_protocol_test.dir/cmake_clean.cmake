@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_drain_protocol_test.dir/core/drain_protocol_test.cc.o"
+  "CMakeFiles/core_drain_protocol_test.dir/core/drain_protocol_test.cc.o.d"
+  "core_drain_protocol_test"
+  "core_drain_protocol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_drain_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_figure3_and_experiment_test.dir/core/figure3_and_experiment_test.cc.o"
+  "CMakeFiles/core_figure3_and_experiment_test.dir/core/figure3_and_experiment_test.cc.o.d"
+  "core_figure3_and_experiment_test"
+  "core_figure3_and_experiment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_figure3_and_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

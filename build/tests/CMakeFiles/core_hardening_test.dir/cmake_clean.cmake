@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hardening_test.dir/core/hardening_test.cc.o"
+  "CMakeFiles/core_hardening_test.dir/core/hardening_test.cc.o.d"
+  "core_hardening_test"
+  "core_hardening_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hardening_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_invariant_miner_test.dir/core/invariant_miner_test.cc.o"
+  "CMakeFiles/core_invariant_miner_test.dir/core/invariant_miner_test.cc.o.d"
+  "core_invariant_miner_test"
+  "core_invariant_miner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_invariant_miner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

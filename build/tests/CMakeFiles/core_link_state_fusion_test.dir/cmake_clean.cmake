@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_link_state_fusion_test.dir/core/link_state_fusion_test.cc.o"
+  "CMakeFiles/core_link_state_fusion_test.dir/core/link_state_fusion_test.cc.o.d"
+  "core_link_state_fusion_test"
+  "core_link_state_fusion_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_link_state_fusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_topology_drain_check_test.dir/core/topology_drain_check_test.cc.o"
+  "CMakeFiles/core_topology_drain_check_test.dir/core/topology_drain_check_test.cc.o.d"
+  "core_topology_drain_check_test"
+  "core_topology_drain_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_topology_drain_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_validator_test.dir/core/validator_test.cc.o"
+  "CMakeFiles/core_validator_test.dir/core/validator_test.cc.o.d"
+  "core_validator_test"
+  "core_validator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_validator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faults_aggregation_and_perturbation_test.dir/faults/aggregation_and_perturbation_test.cc.o"
+  "CMakeFiles/faults_aggregation_and_perturbation_test.dir/faults/aggregation_and_perturbation_test.cc.o.d"
+  "faults_aggregation_and_perturbation_test"
+  "faults_aggregation_and_perturbation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faults_aggregation_and_perturbation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

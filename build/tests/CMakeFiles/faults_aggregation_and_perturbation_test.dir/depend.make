@@ -1,0 +1,2 @@
+# Empty dependencies file for faults_aggregation_and_perturbation_test.
+# This may be replaced when dependencies are built.

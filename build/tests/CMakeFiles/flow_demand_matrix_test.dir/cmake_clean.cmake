@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_demand_matrix_test.dir/flow/demand_matrix_test.cc.o"
+  "CMakeFiles/flow_demand_matrix_test.dir/flow/demand_matrix_test.cc.o.d"
+  "flow_demand_matrix_test"
+  "flow_demand_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_demand_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_routing_test.dir/flow/routing_test.cc.o"
+  "CMakeFiles/flow_routing_test.dir/flow/routing_test.cc.o.d"
+  "flow_routing_test"
+  "flow_routing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_routing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

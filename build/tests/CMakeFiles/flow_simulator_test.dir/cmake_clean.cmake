@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_simulator_test.dir/flow/simulator_test.cc.o"
+  "CMakeFiles/flow_simulator_test.dir/flow/simulator_test.cc.o.d"
+  "flow_simulator_test"
+  "flow_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

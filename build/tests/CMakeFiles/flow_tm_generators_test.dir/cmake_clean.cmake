@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_tm_generators_test.dir/flow/tm_generators_test.cc.o"
+  "CMakeFiles/flow_tm_generators_test.dir/flow/tm_generators_test.cc.o.d"
+  "flow_tm_generators_test"
+  "flow_tm_generators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_tm_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_scenario_detection_test.dir/integration/scenario_detection_test.cc.o"
+  "CMakeFiles/integration_scenario_detection_test.dir/integration/scenario_detection_test.cc.o.d"
+  "integration_scenario_detection_test"
+  "integration_scenario_detection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_scenario_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_graph_algorithms_test.dir/net/graph_algorithms_test.cc.o"
+  "CMakeFiles/net_graph_algorithms_test.dir/net/graph_algorithms_test.cc.o.d"
+  "net_graph_algorithms_test"
+  "net_graph_algorithms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_graph_algorithms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

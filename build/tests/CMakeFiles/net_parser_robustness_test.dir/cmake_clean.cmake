@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_parser_robustness_test.dir/net/parser_robustness_test.cc.o"
+  "CMakeFiles/net_parser_robustness_test.dir/net/parser_robustness_test.cc.o.d"
+  "net_parser_robustness_test"
+  "net_parser_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_parser_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

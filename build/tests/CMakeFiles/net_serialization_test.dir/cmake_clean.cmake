@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_serialization_test.dir/net/serialization_test.cc.o"
+  "CMakeFiles/net_serialization_test.dir/net/serialization_test.cc.o.d"
+  "net_serialization_test"
+  "net_serialization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_serialization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_state_test.dir/net/state_test.cc.o"
+  "CMakeFiles/net_state_test.dir/net/state_test.cc.o.d"
+  "net_state_test"
+  "net_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_topologies_test.dir/net/topologies_test.cc.o"
+  "CMakeFiles/net_topologies_test.dir/net/topologies_test.cc.o.d"
+  "net_topologies_test"
+  "net_topologies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_topologies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_validation_property_test.dir/property/validation_property_test.cc.o"
+  "CMakeFiles/property_validation_property_test.dir/property/validation_property_test.cc.o.d"
+  "property_validation_property_test"
+  "property_validation_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_validation_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

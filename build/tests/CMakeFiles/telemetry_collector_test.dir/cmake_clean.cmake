@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_collector_test.dir/telemetry/collector_test.cc.o"
+  "CMakeFiles/telemetry_collector_test.dir/telemetry/collector_test.cc.o.d"
+  "telemetry_collector_test"
+  "telemetry_collector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_self_correction_test.dir/telemetry/self_correction_test.cc.o"
+  "CMakeFiles/telemetry_self_correction_test.dir/telemetry/self_correction_test.cc.o.d"
+  "telemetry_self_correction_test"
+  "telemetry_self_correction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_self_correction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

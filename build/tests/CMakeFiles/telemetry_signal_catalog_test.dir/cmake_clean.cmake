@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_signal_catalog_test.dir/telemetry/signal_catalog_test.cc.o"
+  "CMakeFiles/telemetry_signal_catalog_test.dir/telemetry/signal_catalog_test.cc.o.d"
+  "telemetry_signal_catalog_test"
+  "telemetry_signal_catalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_signal_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

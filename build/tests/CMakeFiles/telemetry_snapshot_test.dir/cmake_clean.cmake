@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_snapshot_test.dir/telemetry/snapshot_test.cc.o"
+  "CMakeFiles/telemetry_snapshot_test.dir/telemetry/snapshot_test.cc.o.d"
+  "telemetry_snapshot_test"
+  "telemetry_snapshot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

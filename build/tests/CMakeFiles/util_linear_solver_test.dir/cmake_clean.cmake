@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_linear_solver_test.dir/util/linear_solver_test.cc.o"
+  "CMakeFiles/util_linear_solver_test.dir/util/linear_solver_test.cc.o.d"
+  "util_linear_solver_test"
+  "util_linear_solver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_linear_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_matrix_test.dir/util/matrix_test.cc.o"
+  "CMakeFiles/util_matrix_test.dir/util/matrix_test.cc.o.d"
+  "util_matrix_test"
+  "util_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
