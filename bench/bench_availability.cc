@@ -88,6 +88,7 @@ int main() {
   util::TablePrinter table({"deployment", "availability", "episodes",
                             "longest", "worst sat", "detected",
                             "false rejects"});
+  std::string reports_json = "[";
   for (const Arm& arm : arms) {
     controlplane::PipelineOptions popts;
     popts.policy = arm.policy;
@@ -115,6 +116,9 @@ int main() {
       trace.Record(result, f.active);
     }
     const auto report = trace.Summarize(kSlo);
+    if (reports_json.size() > 1) reports_json += ",";
+    reports_json += "{\"deployment\":\"" + obs::JsonEscape(arm.name) +
+                    "\",\"report\":" + report.ToJson() + "}";
     table.AddRowValues(
         arm.name, util::FormatPercent(report.availability, 2),
         report.outage_episodes, report.longest_outage_epochs,
@@ -133,5 +137,9 @@ int main() {
   std::cout << fault_epochs << "/" << kEpochs
             << ". Alert-only detects but cannot protect; the fallback "
                "policy converts detections into availability.\n";
+  reports_json += "]";
+  std::cout << "\nPer-stage wall-clock (all arms pooled):\n";
+  bench::PrintStageLatencySummary();
+  bench::DumpObsSnapshot("E10", reports_json);
   return 0;
 }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -17,7 +18,11 @@
 #include "flow/tm_generators.h"
 #include "net/state.h"
 #include "net/topologies.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "telemetry/collector.h"
+#include "util/strings.h"
 #include "util/table.h"
 
 namespace hodor::bench {
@@ -74,6 +79,47 @@ inline void PrintHeader(const std::string& experiment_id,
             << experiment_id << " — " << paper_artifact << "\n"
             << "parameters: " << parameters << "\n"
             << "==============================================================\n";
+}
+
+// Writes the global metrics registry (per-stage latency histograms, check
+// fire counters — everything src/obs/ accumulated during the bench) to
+// BENCH_<experiment_id>.json next to the bench's stdout table.
+// `report_json`, when non-empty, must be a JSON value (e.g. an
+// AvailabilityReport::ToJson() or an array of them) and is embedded under
+// "reports". Prints one stdout line naming the snapshot so transcripts
+// show where it went.
+inline void DumpObsSnapshot(const std::string& experiment_id,
+                            const std::string& report_json = "") {
+  const std::string path = "BENCH_" + experiment_id + ".json";
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    std::cout << "[obs] could not write " << path << "\n";
+    return;
+  }
+  out << "{\"experiment\":\"" << obs::JsonEscape(experiment_id) << "\"";
+  if (!report_json.empty()) out << ",\"reports\":" << report_json;
+  out << ",\"metrics\":" << obs::MetricsRegistry::Global().ExportJson()
+      << "}\n";
+  std::cout << "[obs] registry snapshot -> " << path << "\n";
+}
+
+// Prints the mean per-stage wall-clock accumulated in the global registry
+// (span histograms), for benches/examples that end with a latency recap.
+inline void PrintStageLatencySummary(std::ostream& os = std::cout) {
+  const auto& reg = obs::MetricsRegistry::Global();
+  util::TablePrinter table({"stage", "runs", "mean us", "total ms"});
+  bool any = false;
+  for (obs::Stage stage : obs::kAllStages) {
+    const obs::Histogram* h = reg.FindHistogram(
+        "hodor_stage_duration_us", {{"stage", obs::StageName(stage)}});
+    if (!h || h->count() == 0) continue;
+    any = true;
+    table.AddRowValues(obs::StageName(stage), h->count(),
+                       util::FormatDouble(
+                           h->sum() / static_cast<double>(h->count()), 1),
+                       util::FormatDouble(h->sum() / 1000.0, 2));
+  }
+  if (any) os << table.ToString();
 }
 
 }  // namespace hodor::bench

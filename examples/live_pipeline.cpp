@@ -15,6 +15,9 @@
 #include "faults/aggregation_faults.h"
 #include "flow/tm_generators.h"
 #include "net/topologies.h"
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "obs/span.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -42,6 +45,9 @@ int main() {
   util::TablePrinter table({"epoch", "fault", "sat (unprotected)",
                             "sat (hodor)", "hodor verdict"});
 
+  // First rejected epoch's provenance, kept for the post-run printout.
+  obs::DecisionRecord sample_rejection;
+
   for (int epoch = 0; epoch < 20; ++epoch) {
     // Drift: each pair's demand wobbles a few percent per epoch.
     util::Rng drift_rng(1000 + epoch);
@@ -62,6 +68,9 @@ int main() {
 
     std::string verdict = p.decision.accept ? "accept" : "REJECT";
     if (p.used_fallback) verdict += " -> fallback";
+    if (!p.decision.accept && sample_rejection.invariants.empty()) {
+      sample_rejection = p.decision.provenance;
+    }
     table.AddRowValues(epoch, buggy_rollout ? "demand rollout bug" : "-",
                        util::FormatPercent(u.metrics.demand_satisfaction, 2),
                        util::FormatPercent(p.metrics.demand_satisfaction, 2),
@@ -72,5 +81,34 @@ int main() {
                "around a third of the real traffic;\nthe protected pipeline "
                "rejects each corrupted input and keeps serving on the last "
                "good one.\n";
+
+  // Observability recap: what the obs layer recorded while the two
+  // pipelines ran (both feed the process-global registry).
+  std::cout << "\nPer-stage wall-clock (both pipelines pooled):\n";
+  const auto& reg = obs::MetricsRegistry::Global();
+  util::TablePrinter spans({"stage", "runs", "mean us"});
+  for (obs::Stage stage : obs::kAllStages) {
+    const obs::Histogram* h = reg.FindHistogram(
+        "hodor_stage_duration_us", {{"stage", obs::StageName(stage)}});
+    if (!h || h->count() == 0) continue;
+    spans.AddRowValues(obs::StageName(stage), h->count(),
+                       util::FormatDouble(
+                           h->sum() / static_cast<double>(h->count()), 1));
+  }
+  std::cout << spans.ToString();
+
+  if (!sample_rejection.invariants.empty()) {
+    std::cout << "\nSample decision provenance (first rejected epoch, "
+              << sample_rejection.failed_count() << " of "
+              << sample_rejection.evaluated_count()
+              << " invariants failed):\n"
+              << sample_rejection.ToJson() << "\n";
+    if (const obs::InvariantRecord* first = sample_rejection.FirstFailure()) {
+      std::cout << "First failure: " << first->check << "/"
+                << first->invariant << " residual "
+                << util::FormatDouble(first->residual, 4) << " > threshold "
+                << util::FormatDouble(first->threshold, 4) << "\n";
+    }
+  }
   return 0;
 }

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Tier-1 verification plus a strict-warning pass over the observability
+# layer (run from anywhere).
+#
+#   1. Configure + build + ctest — the repo's tier-1 gate.
+#   2. Re-compile src/obs/ with -Wall -Wextra -Werror: the obs layer is the
+#      newest subsystem and must stay warning-clean even when the rest of
+#      the tree only warns.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+echo "== strict-warning pass over src/obs/ =="
+for f in src/obs/*.cc; do
+  echo "  g++ -Werror $f"
+  g++ -std=c++20 -fsyntax-only -Wall -Wextra -Werror -I src "$f"
+done
+echo "check_build: OK"

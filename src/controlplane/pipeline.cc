@@ -1,13 +1,25 @@
 #include "controlplane/pipeline.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace hodor::controlplane {
 
+namespace {
+
+// "nullptr means global" composes: a pipeline-level registry/trace reaches
+// the collector unless its options name their own.
+PipelineOptions PropagateObs(PipelineOptions opts) {
+  if (!opts.collector.metrics) opts.collector.metrics = opts.metrics;
+  return opts;
+}
+
+}  // namespace
+
 Pipeline::Pipeline(const net::Topology& topo, PipelineOptions opts,
                    util::Rng rng)
     : topo_(&topo),
-      opts_(std::move(opts)),
+      opts_(PropagateObs(std::move(opts))),
       rng_(rng),
       collector_(topo, opts_.collector),
       controller_(topo, opts_.controller) {}
@@ -23,18 +35,30 @@ EpochResult Pipeline::RunEpoch(const net::GroundTruthState& state,
                                const telemetry::SnapshotMutator& snapshot_fault,
                                const AggregationFaultHooks& aggregation_faults) {
   const std::uint64_t epoch = next_epoch_++;
+  obs::MetricsRegistry* reg = opts_.metrics;
+  obs::TraceWriter* trace = opts_.trace;
+  std::vector<obs::SpanRecord> spans;
+  spans.reserve(7);
+  obs::StageSpan epoch_span(obs::Stage::kEpoch, epoch, reg, trace);
 
   // 1. Traffic under the currently installed plan: this is what telemetry
   //    measures.
+  obs::StageSpan measure_span(obs::Stage::kSimulate, epoch, reg, trace);
   flow::SimulationResult measured =
       flow::SimulateFlow(*topo_, state, true_demand, installed_plan_);
+  spans.push_back(measure_span.End());
 
   // 2-3. Collect and aggregate, with fault hooks.
+  obs::StageSpan collect_span(obs::Stage::kCollect, epoch, reg, trace);
   telemetry::NetworkSnapshot snapshot =
       collector_.Collect(state, measured, epoch, rng_, snapshot_fault);
+  spans.push_back(collect_span.End());
+
+  obs::StageSpan aggregate_span(obs::Stage::kAggregate, epoch, reg, trace);
   ControllerInput input = AggregateInputs(*topo_, snapshot, true_demand,
                                           epoch, rng_, opts_.infra,
                                           aggregation_faults);
+  spans.push_back(aggregate_span.End());
 
   // 4. Validate + policy.
   EpochResult result{epoch,
@@ -44,11 +68,14 @@ EpochResult Pipeline::RunEpoch(const net::GroundTruthState& state,
                      /*used_fallback=*/false,
                      flow::NetworkMetrics{},
                      flow::SimulationResult{},
-                     snapshot};
+                     snapshot,
+                     /*spans=*/{}};
   const ControllerInput* chosen = &input;
   if (validator_) {
+    obs::StageSpan validate_span(obs::Stage::kValidate, epoch, reg, trace);
     result.validated = true;
     result.decision = validator_(input, snapshot);
+    spans.push_back(validate_span.End());
     if (!result.decision.accept) {
       HODOR_LOG(kWarning) << "epoch " << epoch
                           << ": input rejected: " << result.decision.reason;
@@ -61,16 +88,38 @@ EpochResult Pipeline::RunEpoch(const net::GroundTruthState& state,
   }
 
   // 5. Program routing from the chosen input.
+  obs::StageSpan program_span(obs::Stage::kProgram, epoch, reg, trace);
   installed_plan_ = controller_.ComputeRouting(*chosen);
+  spans.push_back(program_span.End());
 
   // 6. Outcome under the new plan.
+  obs::StageSpan outcome_span(obs::Stage::kSimulate, epoch, reg, trace);
   result.outcome = flow::SimulateFlow(*topo_, state, true_demand,
                                       installed_plan_);
   result.metrics = flow::ComputeMetrics(*topo_, true_demand, result.outcome);
+  spans.push_back(outcome_span.End());
 
   if (!result.validated || result.decision.accept) {
     last_good_input_ = input;
   }
+
+  obs::MetricsRegistry& registry = obs::ResolveRegistry(reg);
+  registry.GetCounter("hodor_epochs_total", {}, "Control epochs run")
+      .Increment();
+  if (result.validated && !result.decision.accept) {
+    registry
+        .GetCounter("hodor_epoch_rejects_total", {},
+                    "Epochs whose input the validator rejected")
+        .Increment();
+  }
+  if (result.used_fallback) {
+    registry
+        .GetCounter("hodor_epoch_fallbacks_total", {},
+                    "Epochs served from the last accepted input")
+        .Increment();
+  }
+  spans.push_back(epoch_span.End());
+  result.spans = std::move(spans);
   return result;
 }
 

@@ -28,6 +28,8 @@
 #include "flow/metrics.h"
 #include "flow/simulator.h"
 #include "net/state.h"
+#include "obs/provenance.h"
+#include "obs/span.h"
 #include "telemetry/collector.h"
 
 namespace hodor::controlplane {
@@ -36,6 +38,10 @@ namespace hodor::controlplane {
 struct ValidationDecision {
   bool accept = true;
   std::string reason;  // operator-facing summary when rejected
+  // Audit trail: which invariants were evaluated and which fired, with
+  // residuals and thresholds. Filled by provenance-aware validators
+  // (core::Validator::AsPipelineValidator); empty otherwise.
+  obs::DecisionRecord provenance;
 };
 
 using InputValidatorFn = std::function<ValidationDecision(
@@ -54,6 +60,14 @@ struct PipelineOptions {
   ControlInfraOptions infra;
   ControllerOptions controller;
   RejectionPolicy policy = RejectionPolicy::kFallbackToLastGood;
+
+  // Observability. Stage spans (epoch, collect, aggregate, validate,
+  // program, simulate) and epoch counters go to `metrics` (nullptr → the
+  // process-global registry); `trace`, when given, receives every span as
+  // a JSON-Lines record. Both propagate into the collector options unless
+  // those already name a registry/trace.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceWriter* trace = nullptr;
 };
 
 struct EpochResult {
@@ -65,6 +79,9 @@ struct EpochResult {
   flow::NetworkMetrics metrics;        // outcome under the new plan
   flow::SimulationResult outcome;
   telemetry::NetworkSnapshot snapshot; // what the validator saw
+  // Pipeline-level stage timings for this epoch (the validator's inner
+  // harden/check-* spans go to the registry/trace only).
+  std::vector<obs::SpanRecord> spans;
 };
 
 class Pipeline {

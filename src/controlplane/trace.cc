@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/json.h"
 #include "util/strings.h"
 
 namespace hodor::controlplane {
@@ -16,7 +17,9 @@ void EpochTrace::Record(const EpochResult& result, bool fault_active) {
   r.validated = result.validated;
   r.rejected = result.validated && !result.decision.accept;
   r.used_fallback = result.used_fallback;
-  records_.push_back(r);
+  r.invariants_failed = result.decision.provenance.failed_count();
+  r.spans = result.spans;
+  records_.push_back(std::move(r));
 }
 
 AvailabilityReport EpochTrace::Summarize(double satisfaction_slo) const {
@@ -51,6 +54,38 @@ AvailabilityReport EpochTrace::Summarize(double satisfaction_slo) const {
   report.availability =
       1.0 - static_cast<double>(report.slo_violations) /
                 static_cast<double>(report.epochs);
+
+  std::size_t validated_epochs = 0;
+  std::size_t invariants_failed = 0;
+  for (const EpochRecord& r : records_) {
+    if (r.validated) {
+      ++validated_epochs;
+      invariants_failed += r.invariants_failed;
+    }
+  }
+  if (validated_epochs > 0) {
+    report.mean_invariants_failed =
+        static_cast<double>(invariants_failed) /
+        static_cast<double>(validated_epochs);
+  }
+
+  // Mean duration per stage, in taxonomy order.
+  for (obs::Stage stage : obs::kAllStages) {
+    double total_us = 0.0;
+    std::size_t runs = 0;
+    for (const EpochRecord& r : records_) {
+      for (const obs::SpanRecord& span : r.spans) {
+        if (span.stage == stage) {
+          total_us += span.duration_us;
+          ++runs;
+        }
+      }
+    }
+    if (runs > 0) {
+      report.mean_stage_us.emplace_back(obs::StageName(stage),
+                                        total_us / static_cast<double>(runs));
+    }
+  }
   return report;
 }
 
@@ -64,6 +99,35 @@ std::string AvailabilityReport::ToString() const {
      << "  detection=" << faulty_epochs_rejected << "/" << faulty_epochs
      << " faulty epochs rejected, " << clean_epochs_rejected
      << " clean rejections";
+  if (!mean_stage_us.empty()) {
+    os << "\n  mean stage us:";
+    for (const auto& [stage, us] : mean_stage_us) {
+      os << " " << stage << "=" << util::FormatDouble(us, 1);
+    }
+  }
+  return os.str();
+}
+
+std::string AvailabilityReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"epochs\":" << epochs << ",\"slo_violations\":" << slo_violations
+     << ",\"availability\":" << obs::JsonNumber(availability)
+     << ",\"worst_satisfaction\":" << obs::JsonNumber(worst_satisfaction)
+     << ",\"mean_satisfaction\":" << obs::JsonNumber(mean_satisfaction)
+     << ",\"outage_episodes\":" << outage_episodes
+     << ",\"longest_outage_epochs\":" << longest_outage_epochs
+     << ",\"faulty_epochs\":" << faulty_epochs
+     << ",\"faulty_epochs_rejected\":" << faulty_epochs_rejected
+     << ",\"clean_epochs_rejected\":" << clean_epochs_rejected
+     << ",\"mean_invariants_failed\":"
+     << obs::JsonNumber(mean_invariants_failed) << ",\"mean_stage_us\":{";
+  bool first = true;
+  for (const auto& [stage, us] : mean_stage_us) {
+    if (!first) os << ",";
+    os << "\"" << obs::JsonEscape(stage) << "\":" << obs::JsonNumber(us);
+    first = false;
+  }
+  os << "}}";
   return os.str();
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "controlplane/pipeline.h"
@@ -24,6 +25,10 @@ struct EpochRecord {
   bool validated = false;
   bool rejected = false;
   bool used_fallback = false;
+  // Observability carried over from the EpochResult: how many invariants
+  // fired, and the pipeline-level stage timings.
+  std::size_t invariants_failed = 0;
+  std::vector<obs::SpanRecord> spans;
 };
 
 struct AvailabilityReport {
@@ -45,7 +50,17 @@ struct AvailabilityReport {
   // Rejections on fault-free epochs (false-positive cost).
   std::size_t clean_epochs_rejected = 0;
 
+  // Check fire rate: mean invariants fired per validated epoch.
+  double mean_invariants_failed = 0.0;
+
+  // Mean wall-clock per pipeline stage across the trace, in stage
+  // taxonomy order (obs::kAllStages); stages that never ran are absent.
+  std::vector<std::pair<std::string, double>> mean_stage_us;
+
   std::string ToString() const;
+  // Operator/ingest form of this report (see README "Observability"), e.g.
+  // dumped next to a bench's registry snapshot.
+  std::string ToJson() const;
 };
 
 class EpochTrace {

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "util/stats.h"
 #include "util/strings.h"
 
@@ -20,22 +22,45 @@ std::string DemandViolation::ToString(const net::Topology& topo) const {
 DemandCheckResult CheckDemand(const net::Topology& topo,
                               const HardenedState& hardened,
                               const flow::DemandMatrix& demand_input,
-                              const DemandCheckOptions& opts) {
+                              const DemandCheckOptions& opts,
+                              obs::DecisionRecord* provenance) {
   HODOR_CHECK(demand_input.node_count() == topo.node_count());
   DemandCheckResult result;
+
+  auto invariant_name = [&](net::NodeId v, DemandInvariantKind kind) {
+    return std::string(kind == DemandInvariantKind::kIngress ? "ingress("
+                                                             : "egress(") +
+           topo.node(v).name + ")";
+  };
+  auto record = [&](net::NodeId v, DemandInvariantKind kind, double residual,
+                    obs::InvariantVerdict verdict, std::string detail) {
+    if (!provenance) return;
+    provenance->Add(obs::InvariantRecord{"demand", invariant_name(v, kind),
+                                         residual, opts.tau_e, verdict,
+                                         std::move(detail)});
+  };
 
   auto evaluate = [&](net::NodeId v, DemandInvariantKind kind,
                       const std::optional<double>& counter, double sum) {
     if (!counter.has_value()) {
       ++result.skipped_invariants;
+      record(v, kind, 0.0, obs::InvariantVerdict::kSkipped,
+             "hardened external counter unknown");
       return;
     }
     ++result.checked_invariants;
-    if (*counter < opts.idle_floor && sum < opts.idle_floor) return;
+    if (*counter < opts.idle_floor && sum < opts.idle_floor) {
+      record(v, kind, 0.0, obs::InvariantVerdict::kPass, "both idle");
+      return;
+    }
     const double diff = util::RelativeDifference(*counter, sum);
     if (diff > opts.tau_e) {
-      result.violations.push_back(
-          DemandViolation{v, kind, *counter, sum, diff});
+      DemandViolation violation{v, kind, *counter, sum, diff};
+      record(v, kind, diff, obs::InvariantVerdict::kFail,
+             violation.ToString(topo));
+      result.violations.push_back(std::move(violation));
+    } else {
+      record(v, kind, diff, obs::InvariantVerdict::kPass, "");
     }
   };
 
@@ -66,8 +91,25 @@ DemandCheckResult CheckDemand(const net::Topology& topo,
                demand_input.ColSum(v));
     } else {
       ++result.skipped_invariants;
+      record(v, DemandInvariantKind::kEgress, 0.0,
+             obs::InvariantVerdict::kSkipped,
+             "egress suppressed: network loss fraction " +
+                 util::FormatPercent(result.network_loss_fraction, 2));
     }
   }
+
+  obs::MetricsRegistry& reg = obs::ResolveRegistry(opts.metrics);
+  const obs::Labels labels = {{"check", "demand"}};
+  reg.GetCounter("hodor_check_runs_total", labels, "Check invocations")
+      .Increment();
+  reg.GetCounter("hodor_check_invariants_total", labels,
+                 "Invariants evaluated")
+      .Increment(static_cast<double>(result.checked_invariants));
+  reg.GetCounter("hodor_check_violations_total", labels, "Invariants fired")
+      .Increment(static_cast<double>(result.violations.size()));
+  reg.GetCounter("hodor_check_skipped_total", labels,
+                 "Invariants skipped (signal unknown or suppressed)")
+      .Increment(static_cast<double>(result.skipped_invariants));
   return result;
 }
 

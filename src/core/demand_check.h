@@ -19,6 +19,11 @@
 #include "flow/demand_matrix.h"
 #include "net/topology.h"
 
+namespace hodor::obs {
+class MetricsRegistry;
+struct DecisionRecord;
+}  // namespace hodor::obs
+
 namespace hodor::core {
 
 enum class DemandInvariantKind { kIngress, kEgress };
@@ -63,11 +68,19 @@ struct DemandCheckOptions {
   // themselves are the actionable signal, and ingress invariants still
   // guard the demand input.
   double max_network_loss_fraction = 0.01;
+
+  // Observability: invariant/violation counters are emitted here
+  // (nullptr → the process-global registry).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
+// When `provenance` is given, one InvariantRecord per ingress/egress
+// invariant (evaluated or skipped) is appended — the paper's 2·|V| demand
+// invariants, each with its residual and τ_e.
 DemandCheckResult CheckDemand(const net::Topology& topo,
                               const HardenedState& hardened,
                               const flow::DemandMatrix& demand_input,
-                              const DemandCheckOptions& opts = {});
+                              const DemandCheckOptions& opts = {},
+                              obs::DecisionRecord* provenance = nullptr);
 
 }  // namespace hodor::core

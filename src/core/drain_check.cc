@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "util/status.h"
 
 namespace hodor::core {
@@ -32,29 +34,61 @@ std::string DrainViolation::ToString(const net::Topology& topo) const {
 DrainCheckResult CheckDrains(const net::Topology& topo,
                              const HardenedState& hardened,
                              const std::vector<bool>& node_drained_input,
-                             const std::vector<bool>& link_drained_input) {
+                             const std::vector<bool>& link_drained_input,
+                             obs::MetricsRegistry* metrics,
+                             obs::DecisionRecord* provenance) {
   HODOR_CHECK(node_drained_input.size() == topo.node_count());
   HODOR_CHECK(link_drained_input.size() == topo.link_count());
   DrainCheckResult result;
 
+  // Drain invariants are boolean; residual 1.0 marks a mismatch.
+  auto record = [&](const std::string& invariant, bool fired,
+                    std::string detail) {
+    if (!provenance) return;
+    provenance->Add(obs::InvariantRecord{
+        "drain", invariant, fired ? 1.0 : 0.0, 0.0,
+        fired ? obs::InvariantVerdict::kFail : obs::InvariantVerdict::kPass,
+        std::move(detail)});
+  };
+  auto fail = [&](net::NodeId node, net::LinkId link,
+                  DrainViolationKind kind, const std::string& invariant) {
+    DrainViolation violation{node, link, kind};
+    record(invariant, /*fired=*/true, violation.ToString(topo));
+    result.violations.push_back(violation);
+  };
+
   for (const net::Node& n : topo.nodes()) {
     const HardenedDrain& hd = hardened.drains[n.id.value()];
     const bool input_drained = node_drained_input[n.id.value()];
+    const std::string intent = "drain-intent(" + n.name + ")";
     if (hd.node_drained.has_value()) {
+      ++result.checked_signals;
       if (*hd.node_drained && !input_drained) {
-        result.violations.push_back(DrainViolation{
-            n.id, net::LinkId::Invalid(),
-            DrainViolationKind::kInputIgnoresDrain});
+        fail(n.id, net::LinkId::Invalid(),
+             DrainViolationKind::kInputIgnoresDrain, intent);
       } else if (!*hd.node_drained && input_drained) {
-        result.violations.push_back(DrainViolation{
-            n.id, net::LinkId::Invalid(),
-            DrainViolationKind::kInputInventsDrain});
+        fail(n.id, net::LinkId::Invalid(),
+             DrainViolationKind::kInputInventsDrain, intent);
+      } else {
+        record(intent, /*fired=*/false, "");
+      }
+    } else {
+      ++result.skipped_signals;
+      if (provenance) {
+        provenance->Add(obs::InvariantRecord{
+            "drain", intent, 0.0, 0.0, obs::InvariantVerdict::kSkipped,
+            "router intent signal unknown"});
       }
     }
+    ++result.checked_signals;
+    const std::string liveness = "drain-liveness(" + n.name + ")";
     if (hd.undrained_but_dead && !input_drained) {
-      result.violations.push_back(DrainViolation{
-          n.id, net::LinkId::Invalid(),
-          DrainViolationKind::kUndrainedDeadRouter});
+      fail(n.id, net::LinkId::Invalid(),
+           DrainViolationKind::kUndrainedDeadRouter, liveness);
+    } else {
+      record(liveness, /*fired=*/false,
+             hd.drained_but_active ? "drained but carrying traffic (warning)"
+                                   : "");
     }
     if (hd.drained_but_active) {
       result.warnings_drained_but_active.push_back(n.id);
@@ -64,21 +98,53 @@ DrainCheckResult CheckDrains(const net::Topology& topo,
   for (net::LinkId e : topo.LinkIds()) {
     const net::Link& l = topo.link(e);
     if (l.reverse.value() < e.value()) continue;  // once per physical link
+    const std::string symmetry = "drain-symmetry(" + topo.LinkName(e) + ")";
+    ++result.checked_signals;
     if (hardened.link_drain_disagreement[e.value()]) {
-      result.violations.push_back(DrainViolation{
-          net::NodeId::Invalid(), e, DrainViolationKind::kDrainAsymmetry});
+      fail(net::NodeId::Invalid(), e, DrainViolationKind::kDrainAsymmetry,
+           symmetry);
+    } else {
+      record(symmetry, /*fired=*/false, "");
     }
     const auto& hd = hardened.link_drained[e.value()];
-    if (!hd.has_value()) continue;
+    const std::string intent = "drain-intent(" + topo.LinkName(e) + ")";
+    if (!hd.has_value()) {
+      ++result.skipped_signals;
+      if (provenance) {
+        provenance->Add(obs::InvariantRecord{
+            "drain", intent, 0.0, 0.0, obs::InvariantVerdict::kSkipped,
+            "link drain status unknown"});
+      }
+      continue;
+    }
+    ++result.checked_signals;
     const bool input_drained = link_drained_input[e.value()];
     if (*hd && !input_drained) {
-      result.violations.push_back(DrainViolation{
-          net::NodeId::Invalid(), e, DrainViolationKind::kInputIgnoresDrain});
+      fail(net::NodeId::Invalid(), e, DrainViolationKind::kInputIgnoresDrain,
+           intent);
     } else if (!*hd && input_drained) {
-      result.violations.push_back(DrainViolation{
-          net::NodeId::Invalid(), e, DrainViolationKind::kInputInventsDrain});
+      fail(net::NodeId::Invalid(), e, DrainViolationKind::kInputInventsDrain,
+           intent);
+    } else {
+      record(intent, /*fired=*/false, "");
     }
   }
+
+  obs::MetricsRegistry& reg = obs::ResolveRegistry(metrics);
+  const obs::Labels labels = {{"check", "drain"}};
+  reg.GetCounter("hodor_check_runs_total", labels, "Check invocations")
+      .Increment();
+  reg.GetCounter("hodor_check_invariants_total", labels,
+                 "Invariants evaluated")
+      .Increment(static_cast<double>(result.checked_signals));
+  reg.GetCounter("hodor_check_violations_total", labels, "Invariants fired")
+      .Increment(static_cast<double>(result.violations.size()));
+  reg.GetCounter("hodor_check_skipped_total", labels,
+                 "Invariants skipped (signal unknown or suppressed)")
+      .Increment(static_cast<double>(result.skipped_signals));
+  reg.GetCounter("hodor_check_warnings_total", labels,
+                 "Drained-but-active warnings")
+      .Increment(static_cast<double>(result.warnings_drained_but_active.size()));
   return result;
 }
 

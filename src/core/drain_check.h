@@ -18,6 +18,11 @@
 #include "core/hardened_state.h"
 #include "net/topology.h"
 
+namespace hodor::obs {
+class MetricsRegistry;
+struct DecisionRecord;
+}  // namespace hodor::obs
+
 namespace hodor::core {
 
 enum class DrainViolationKind {
@@ -41,13 +46,24 @@ struct DrainCheckResult {
   // Case-2 style observations that deserve operator attention but are not
   // necessarily wrong (drained-but-active routers).
   std::vector<net::NodeId> warnings_drained_but_active;
+  // Drain signals compared against the input (node intents with a known
+  // hardened value, liveness checks, and physical-link drain agreements).
+  std::size_t checked_signals = 0;
+  // Signals that could not be compared (router intent / link drain unknown).
+  std::size_t skipped_signals = 0;
 
   bool ok() const { return violations.empty(); }
 };
 
+// `metrics` (nullptr → the process-global registry) receives check
+// counters; `provenance` (optional) one InvariantRecord per drain signal
+// compared. Drain invariants are boolean, so residual is a 0/1 mismatch
+// indicator against a threshold of 0.
 DrainCheckResult CheckDrains(const net::Topology& topo,
                              const HardenedState& hardened,
                              const std::vector<bool>& node_drained_input,
-                             const std::vector<bool>& link_drained_input);
+                             const std::vector<bool>& link_drained_input,
+                             obs::MetricsRegistry* metrics = nullptr,
+                             obs::DecisionRecord* provenance = nullptr);
 
 }  // namespace hodor::core

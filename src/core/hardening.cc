@@ -5,6 +5,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/linear_solver.h"
 #include "util/stats.h"
 
@@ -74,6 +76,8 @@ std::string HardenedState::Summary() const {
 }
 
 HardenedState HardeningEngine::Harden(const NetworkSnapshot& snapshot) const {
+  obs::StageSpan span(obs::Stage::kHarden, snapshot.epoch(), opts_.metrics,
+                      opts_.trace);
   const Topology& topo = snapshot.topology();
   HardenedState out;
   out.rates.resize(topo.link_count());
@@ -140,6 +144,22 @@ HardenedState HardeningEngine::Harden(const NetworkSnapshot& snapshot) const {
       ++out.status_disagreement_count;  // count each physical link once
     }
   }
+
+  obs::MetricsRegistry& reg = obs::ResolveRegistry(opts_.metrics);
+  reg.GetCounter("hodor_hardening_runs_total", {}, "Snapshots hardened")
+      .Increment();
+  reg.GetCounter("hodor_hardening_flagged_rates_total", {},
+                 "Rate pairs flagged by R1 link symmetry")
+      .Increment(static_cast<double>(out.flagged_rate_count));
+  reg.GetCounter("hodor_hardening_repaired_rates_total", {},
+                 "Rates recovered via R2 flow conservation")
+      .Increment(static_cast<double>(out.repaired_rate_count));
+  reg.GetCounter("hodor_hardening_unknown_rates_total", {},
+                 "Rates left unrecoverable after R1-R4")
+      .Increment(static_cast<double>(out.unknown_rate_count));
+  reg.GetCounter("hodor_hardening_status_disagreements_total", {},
+                 "Physical links whose two status reports disagreed")
+      .Increment(static_cast<double>(out.status_disagreement_count));
   return out;
 }
 

@@ -25,6 +25,11 @@
 #include "core/hardened_state.h"
 #include "telemetry/snapshot.h"
 
+namespace hodor::obs {
+class MetricsRegistry;
+class TraceWriter;
+}  // namespace hodor::obs
+
 namespace hodor::core {
 
 struct HardeningOptions {
@@ -62,6 +67,12 @@ struct HardeningOptions {
   double status_weight = 1.0;
   double probe_weight = 1.5;
   double rate_weight = 1.0;
+
+  // Observability (src/obs/): each Harden() call emits a "harden" stage
+  // span and R1/R2 repair counters here. nullptr → the process-global
+  // registry; `trace` optionally receives the span as a JSONL line.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceWriter* trace = nullptr;
 };
 
 class HardeningEngine {

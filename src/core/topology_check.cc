@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "util/status.h"
 #include "util/strings.h"
 
@@ -19,27 +21,59 @@ std::string TopologyViolation::ToString(const net::Topology& topo) const {
 TopologyCheckResult CheckTopology(const net::Topology& topo,
                                   const HardenedState& hardened,
                                   const std::vector<bool>& link_available,
-                                  const TopologyCheckOptions& opts) {
+                                  const TopologyCheckOptions& opts,
+                                  obs::DecisionRecord* provenance) {
   HODOR_CHECK(link_available.size() == topo.link_count());
   TopologyCheckResult result;
+  auto record = [&](net::LinkId e, double residual,
+                    obs::InvariantVerdict verdict, std::string detail) {
+    if (!provenance) return;
+    provenance->Add(obs::InvariantRecord{
+        "topology", "link-state(" + topo.LinkName(e) + ")", residual,
+        opts.min_confidence, verdict, std::move(detail)});
+  };
   for (net::LinkId e : topo.LinkIds()) {
     const HardenedLinkState& hl = hardened.links[e.value()];
     if (hl.verdict == LinkVerdict::kUnknown ||
         hl.confidence < opts.min_confidence) {
       ++result.unknown_links;
+      record(e, hl.confidence, obs::InvariantVerdict::kSkipped,
+             std::string("fused verdict ") + LinkVerdictName(hl.verdict) +
+                 " below confidence threshold");
       continue;
     }
     ++result.checked_links;
     const bool input_up = link_available[e.value()];
     const bool hardened_up = hl.verdict == LinkVerdict::kUp;
     if (input_up && !hardened_up) {
-      result.violations.push_back(TopologyViolation{
-          e, TopologyViolationKind::kPhantomLink, hl.confidence});
+      TopologyViolation violation{e, TopologyViolationKind::kPhantomLink,
+                                  hl.confidence};
+      record(e, hl.confidence, obs::InvariantVerdict::kFail,
+             violation.ToString(topo));
+      result.violations.push_back(violation);
     } else if (!input_up && hardened_up) {
-      result.violations.push_back(TopologyViolation{
-          e, TopologyViolationKind::kMissingLink, hl.confidence});
+      TopologyViolation violation{e, TopologyViolationKind::kMissingLink,
+                                  hl.confidence};
+      record(e, hl.confidence, obs::InvariantVerdict::kFail,
+             violation.ToString(topo));
+      result.violations.push_back(violation);
+    } else {
+      record(e, hl.confidence, obs::InvariantVerdict::kPass, "");
     }
   }
+
+  obs::MetricsRegistry& reg = obs::ResolveRegistry(opts.metrics);
+  const obs::Labels labels = {{"check", "topology"}};
+  reg.GetCounter("hodor_check_runs_total", labels, "Check invocations")
+      .Increment();
+  reg.GetCounter("hodor_check_invariants_total", labels,
+                 "Invariants evaluated")
+      .Increment(static_cast<double>(result.checked_links));
+  reg.GetCounter("hodor_check_violations_total", labels, "Invariants fired")
+      .Increment(static_cast<double>(result.violations.size()));
+  reg.GetCounter("hodor_check_skipped_total", labels,
+                 "Invariants skipped (signal unknown or suppressed)")
+      .Increment(static_cast<double>(result.unknown_links));
   return result;
 }
 

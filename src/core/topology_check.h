@@ -16,6 +16,11 @@
 #include "core/hardened_state.h"
 #include "net/topology.h"
 
+namespace hodor::obs {
+class MetricsRegistry;
+struct DecisionRecord;
+}  // namespace hodor::obs
+
 namespace hodor::core {
 
 enum class TopologyViolationKind {
@@ -44,11 +49,19 @@ struct TopologyCheckOptions {
   // Ignore hardened verdicts below this confidence (risk-tolerance knob —
   // the paper leaves the fusion truth table adjustable per operator).
   double min_confidence = 0.5;
+
+  // Observability: invariant/violation counters are emitted here
+  // (nullptr → the process-global registry).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
+// When `provenance` is given, one InvariantRecord per directed link is
+// appended (residual = fused verdict confidence, threshold =
+// min_confidence; unknown/low-confidence links record as skipped).
 TopologyCheckResult CheckTopology(const net::Topology& topo,
                                   const HardenedState& hardened,
                                   const std::vector<bool>& link_available,
-                                  const TopologyCheckOptions& opts = {});
+                                  const TopologyCheckOptions& opts = {},
+                                  obs::DecisionRecord* provenance = nullptr);
 
 }  // namespace hodor::core

@@ -2,7 +2,30 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "util/stats.h"
+#include "util/strings.h"
+
 namespace hodor::core {
+
+namespace {
+
+// "nullptr means global" composes across layers: a validator-level
+// registry/trace reaches the hardening engine and the checks unless those
+// options name their own.
+ValidatorOptions PropagateObs(ValidatorOptions opts) {
+  if (!opts.hardening.metrics) opts.hardening.metrics = opts.metrics;
+  if (!opts.hardening.trace) opts.hardening.trace = opts.trace;
+  if (!opts.demand.metrics) opts.demand.metrics = opts.metrics;
+  if (!opts.topology.metrics) opts.topology.metrics = opts.metrics;
+  return opts;
+}
+
+}  // namespace
+
+Validator::Validator(const net::Topology& topo, ValidatorOptions opts)
+    : topo_(&topo), opts_(PropagateObs(opts)), engine_(opts_.hardening) {}
 
 std::string ValidationReport::Describe(const net::Topology& topo) const {
   std::ostringstream os;
@@ -35,30 +58,109 @@ std::string ValidationReport::Summary() const {
 ValidationReport Validator::Validate(
     const controlplane::ControllerInput& input,
     const telemetry::NetworkSnapshot& snapshot) const {
+  const std::uint64_t epoch = snapshot.epoch();
   ValidationReport report;
-  report.hardened = engine_.Harden(snapshot);
+  obs::DecisionRecord* prov =
+      opts_.record_provenance ? &report.provenance : nullptr;
+
+  report.hardened = engine_.Harden(snapshot);  // emits the "harden" span
+  if (prov) AppendHardeningProvenance(report.hardened, *prov);
   if (opts_.check_demand) {
-    report.demand =
-        CheckDemand(*topo_, report.hardened, input.demand, opts_.demand);
+    obs::StageSpan span(obs::Stage::kCheckDemand, epoch, opts_.metrics,
+                        opts_.trace);
+    report.demand = CheckDemand(*topo_, report.hardened, input.demand,
+                                opts_.demand, prov);
   }
   if (opts_.check_topology) {
+    obs::StageSpan span(obs::Stage::kCheckTopology, epoch, opts_.metrics,
+                        opts_.trace);
     report.topology = CheckTopology(*topo_, report.hardened,
-                                    input.link_available, opts_.topology);
+                                    input.link_available, opts_.topology,
+                                    prov);
   }
   if (opts_.check_drain) {
+    obs::StageSpan span(obs::Stage::kCheckDrain, epoch, opts_.metrics,
+                        opts_.trace);
     report.drain = CheckDrains(*topo_, report.hardened, input.node_drained,
-                               input.link_drained);
+                               input.link_drained, opts_.metrics, prov);
+  }
+
+  report.provenance.epoch = epoch;
+  report.provenance.accept = report.ok();
+  report.provenance.summary = report.Summary();
+
+  obs::MetricsRegistry& reg = obs::ResolveRegistry(opts_.metrics);
+  reg.GetCounter("hodor_validations_total", {}, "Inputs validated")
+      .Increment();
+  if (!report.ok()) {
+    reg.GetCounter("hodor_validation_rejects_total", {},
+                   "Inputs rejected by validation")
+        .Increment();
   }
   return report;
+}
+
+void Validator::AppendHardeningProvenance(const HardenedState& hardened,
+                                          obs::DecisionRecord& record) const {
+  const double tau_h = engine_.options().tau_h;
+  for (net::LinkId e : topo_->LinkIds()) {
+    const HardenedRate& r = hardened.rates[e.value()];
+    if (!r.flagged && r.origin == RateOrigin::kAgreeing) continue;
+    obs::InvariantRecord rec;
+    rec.check = "hardening";
+    rec.invariant = "r1-symmetry(" + topo_->LinkName(e) + ")";
+    rec.threshold = tau_h;
+    if (r.rejected_value.has_value() && r.value.has_value()) {
+      rec.residual = util::RelativeDifference(*r.rejected_value, *r.value);
+    }
+    switch (r.origin) {
+      case RateOrigin::kAgreeing:
+        continue;  // unflagged handled above; nothing to report
+      case RateOrigin::kRepaired:
+        rec.verdict = obs::InvariantVerdict::kPass;
+        rec.detail = "repaired via flow conservation (R2), confidence " +
+                     util::FormatDouble(r.confidence, 2);
+        break;
+      case RateOrigin::kSingleWitness:
+        rec.verdict = obs::InvariantVerdict::kPass;
+        rec.detail = "single witness accepted, confidence " +
+                     util::FormatDouble(r.confidence, 2);
+        break;
+      case RateOrigin::kUnknown:
+        rec.verdict = obs::InvariantVerdict::kSkipped;
+        rec.detail = "rate unrecoverable after R1-R4";
+        break;
+    }
+    record.Add(std::move(rec));
+  }
+  for (net::LinkId e : topo_->LinkIds()) {
+    // Status disagreements, once per physical link.
+    if (topo_->link(e).reverse.value() < e.value()) continue;
+    const HardenedLinkState& hl = hardened.links[e.value()];
+    if (!hl.status_disagreement) continue;
+    obs::InvariantRecord rec;
+    rec.check = "hardening";
+    rec.invariant = "r1-status(" + topo_->LinkName(e) + ")";
+    rec.residual = 1.0 - hl.confidence;
+    rec.threshold = 0.0;
+    rec.verdict = hl.verdict == LinkVerdict::kUnknown
+                      ? obs::InvariantVerdict::kSkipped
+                      : obs::InvariantVerdict::kPass;
+    rec.detail = std::string("endpoint statuses disagree; fused verdict ") +
+                 LinkVerdictName(hl.verdict) + " at confidence " +
+                 util::FormatDouble(hl.confidence, 2);
+    record.Add(std::move(rec));
+  }
 }
 
 controlplane::InputValidatorFn Validator::AsPipelineValidator() const {
   return [this](const controlplane::ControllerInput& input,
                 const telemetry::NetworkSnapshot& snapshot) {
-    const ValidationReport report = Validate(input, snapshot);
+    ValidationReport report = Validate(input, snapshot);
     controlplane::ValidationDecision decision;
     decision.accept = report.ok();
     decision.reason = report.Summary();
+    decision.provenance = std::move(report.provenance);
     return decision;
   };
 }

@@ -13,6 +13,7 @@
 #include "core/drain_check.h"
 #include "core/hardening.h"
 #include "core/topology_check.h"
+#include "obs/provenance.h"
 #include "telemetry/snapshot.h"
 
 namespace hodor::core {
@@ -26,6 +27,16 @@ struct ValidatorOptions {
   bool check_demand = true;
   bool check_topology = true;
   bool check_drain = true;
+
+  // Observability. Stage spans (harden, check-*) and check counters are
+  // emitted to `metrics` (nullptr → the process-global registry) and
+  // optionally to `trace`; both propagate into the hardening/check options
+  // above unless those already name a registry. When `record_provenance`
+  // is set, every Validate() fills the report's DecisionRecord with one
+  // entry per invariant evaluated.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceWriter* trace = nullptr;
+  bool record_provenance = true;
 };
 
 struct ValidationReport {
@@ -33,6 +44,9 @@ struct ValidationReport {
   DemandCheckResult demand;
   TopologyCheckResult topology;
   DrainCheckResult drain;
+  // Audit record: every invariant evaluated with residual, threshold, and
+  // verdict (populated when ValidatorOptions::record_provenance is set).
+  obs::DecisionRecord provenance;
 
   bool ok() const {
     return demand.ok() && topology.ok() && drain.ok();
@@ -50,18 +64,24 @@ struct ValidationReport {
 
 class Validator {
  public:
-  explicit Validator(const net::Topology& topo, ValidatorOptions opts = {})
-      : topo_(&topo), opts_(opts), engine_(opts.hardening) {}
+  explicit Validator(const net::Topology& topo, ValidatorOptions opts = {});
 
   const ValidatorOptions& options() const { return opts_; }
 
   ValidationReport Validate(const controlplane::ControllerInput& input,
                             const telemetry::NetworkSnapshot& snapshot) const;
 
-  // Adapts this validator to the pipeline's callback interface.
+  // Adapts this validator to the pipeline's callback interface. The
+  // returned decision carries the report's DecisionRecord, so EpochResults
+  // downstream can name the invariant that fired.
   controlplane::InputValidatorFn AsPipelineValidator() const;
 
  private:
+  // Appends hardening provenance (R1 symmetry detections and their R2-R4
+  // resolution) to `record`.
+  void AppendHardeningProvenance(const HardenedState& hardened,
+                                 obs::DecisionRecord& record) const;
+
   const net::Topology* topo_;
   ValidatorOptions opts_;
   HardeningEngine engine_;

@@ -1,0 +1,199 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace hodor::obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+namespace {
+
+// Recursive-descent syntax checker. `pos` advances past the value parsed;
+// every Parse* returns false on the first syntax error.
+class Checker {
+ public:
+  explicit Checker(std::string_view s) : s_(s) {}
+
+  bool CheckDocument() {
+    SkipWs();
+    if (!ParseValue(0)) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseValue(int depth) {
+    if (depth > kMaxDepth || pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': return ParseString();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return ParseNumber();
+    }
+  }
+
+  bool ParseObject(int depth) {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"' || !ParseString()) return false;
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!ParseValue(depth + 1)) return false;
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool ParseArray(int depth) {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!ParseValue(depth + 1)) return false;
+      SkipWs();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool ParseString() {
+    ++pos_;  // opening quote
+    while (pos_ < s_.size()) {
+      const unsigned char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c < 0x20) return false;  // raw control character
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_];
+        if (esc == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' &&
+                   esc != 'f' && esc != 'n' && esc != 'r' && esc != 't') {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      return false;
+    }
+    if (s_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return false;
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return false;
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool IsValidJson(std::string_view s) { return Checker(s).CheckDocument(); }
+
+}  // namespace hodor::obs

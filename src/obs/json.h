@@ -1,0 +1,29 @@
+// Minimal JSON utilities for the observability layer.
+//
+// The obs exports (metrics registry snapshots, span trace lines, decision
+// provenance) are hand-rendered JSON: the repo deliberately takes no
+// third-party serialization dependency. This header centralises the two
+// things hand-rendering needs to get right — string escaping and a
+// syntax-only validator used by the obs_export smoke test and by operators'
+// ingestion pre-checks.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hodor::obs {
+
+// Escapes `s` for placement inside a JSON string literal (quotes are NOT
+// added). Handles quote, backslash, and control characters (\uXXXX).
+std::string JsonEscape(std::string_view s);
+
+// Renders a double as a JSON number. JSON has no NaN/Inf, so those become
+// null (callers embed the result bare, not quoted).
+std::string JsonNumber(double v);
+
+// Syntax-only RFC 8259 check: true iff `s` is one complete JSON value.
+// No DOM is built; this exists so tests and export smoke runs can assert
+// "this parses as JSON" without a parser dependency.
+bool IsValidJson(std::string_view s);
+
+}  // namespace hodor::obs

@@ -1,0 +1,270 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace hodor::obs {
+
+namespace {
+
+// Sorted copy: the series identity must not depend on caller label order.
+Labels SortedLabels(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+// Renders `stage="collect",check="demand"` — the Prometheus selector body
+// and the registry's internal series key.
+std::string RenderLabels(const Labels& sorted) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : sorted) {
+    if (!first) os << ",";
+    os << k << "=\"" << JsonEscape(v) << "\"";
+    first = false;
+  }
+  return os.str();
+}
+
+// Bound rendering for `le` labels: default ostream %g-style, "+Inf" last.
+std::string RenderBound(double bound) {
+  std::ostringstream os;
+  os << bound;
+  return os.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      counts_(upper_bounds_.size() + 1, 0) {
+  for (std::size_t i = 1; i < upper_bounds_.size(); ++i) {
+    HODOR_CHECK_MSG(upper_bounds_[i - 1] < upper_bounds_[i],
+                    "histogram bounds must be strictly increasing");
+  }
+}
+
+void Histogram::Observe(double v) {
+  std::size_t bucket = upper_bounds_.size();  // overflow by default
+  for (std::size_t i = 0; i < upper_bounds_.size(); ++i) {
+    if (v <= upper_bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += v;
+}
+
+std::vector<double> DefaultLatencyBucketsUs() {
+  return {10,    25,    50,    100,    250,    500,    1000,   2500,
+          5000,  10000, 25000, 50000,  100000, 250000, 500000, 1000000};
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Family& MetricsRegistry::GetFamily(const std::string& name,
+                                                    MetricType type,
+                                                    const std::string& help) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.type = type;
+    it->second.help = help;
+  } else {
+    HODOR_CHECK_MSG(it->second.type == type,
+                    "metric family re-registered with a different type: " +
+                        name);
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels,
+                                     const std::string& help) {
+  Family& family = GetFamily(name, MetricType::kCounter, help);
+  const Labels sorted = SortedLabels(labels);
+  auto [it, inserted] = family.series.try_emplace(RenderLabels(sorted));
+  if (inserted) {
+    it->second.labels = sorted;
+    it->second.counter = std::make_unique<Counter>();
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
+                                 const std::string& help) {
+  Family& family = GetFamily(name, MetricType::kGauge, help);
+  const Labels sorted = SortedLabels(labels);
+  auto [it, inserted] = family.series.try_emplace(RenderLabels(sorted));
+  if (inserted) {
+    it->second.labels = sorted;
+    it->second.gauge = std::make_unique<Gauge>();
+  }
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels,
+                                         std::vector<double> upper_bounds,
+                                         const std::string& help) {
+  Family& family = GetFamily(name, MetricType::kHistogram, help);
+  const Labels sorted = SortedLabels(labels);
+  auto [it, inserted] = family.series.try_emplace(RenderLabels(sorted));
+  if (inserted) {
+    it->second.labels = sorted;
+    if (upper_bounds.empty()) upper_bounds = DefaultLatencyBucketsUs();
+    it->second.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return *it->second.histogram;
+}
+
+const MetricsRegistry::Series* MetricsRegistry::FindSeries(
+    const std::string& name, MetricType type, const Labels& labels) const {
+  const auto fit = families_.find(name);
+  if (fit == families_.end() || fit->second.type != type) return nullptr;
+  const auto sit = fit->second.series.find(RenderLabels(SortedLabels(labels)));
+  if (sit == fit->second.series.end()) return nullptr;
+  return &sit->second;
+}
+
+const Counter* MetricsRegistry::FindCounter(const std::string& name,
+                                            const Labels& labels) const {
+  const Series* s = FindSeries(name, MetricType::kCounter, labels);
+  return s ? s->counter.get() : nullptr;
+}
+
+const Gauge* MetricsRegistry::FindGauge(const std::string& name,
+                                        const Labels& labels) const {
+  const Series* s = FindSeries(name, MetricType::kGauge, labels);
+  return s ? s->gauge.get() : nullptr;
+}
+
+const Histogram* MetricsRegistry::FindHistogram(const std::string& name,
+                                                const Labels& labels) const {
+  const Series* s = FindSeries(name, MetricType::kHistogram, labels);
+  return s ? s->histogram.get() : nullptr;
+}
+
+std::size_t MetricsRegistry::series_count() const {
+  std::size_t n = 0;
+  for (const auto& [name, family] : families_) n += family.series.size();
+  return n;
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  std::ostringstream os;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) os << "# HELP " << name << " " << family.help << "\n";
+    os << "# TYPE " << name << " "
+       << (family.type == MetricType::kCounter     ? "counter"
+           : family.type == MetricType::kGauge     ? "gauge"
+                                                   : "histogram")
+       << "\n";
+    for (const auto& [key, series] : family.series) {
+      const std::string selector = key.empty() ? "" : "{" + key + "}";
+      switch (family.type) {
+        case MetricType::kCounter:
+          os << name << selector << " " << JsonNumber(series.counter->value())
+             << "\n";
+          break;
+        case MetricType::kGauge:
+          os << name << selector << " " << JsonNumber(series.gauge->value())
+             << "\n";
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *series.histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
+            cumulative += h.bucket_counts()[i];
+            os << name << "_bucket{" << key << (key.empty() ? "" : ",")
+               << "le=\"" << RenderBound(h.upper_bounds()[i]) << "\"} "
+               << cumulative << "\n";
+          }
+          os << name << "_bucket{" << key << (key.empty() ? "" : ",")
+             << "le=\"+Inf\"} " << h.count() << "\n";
+          os << name << "_sum" << selector << " " << JsonNumber(h.sum())
+             << "\n";
+          os << name << "_count" << selector << " " << h.count() << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+void AppendLabelsJson(std::ostringstream& os, const Labels& labels) {
+  os << "\"labels\":{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) os << ",";
+    os << "\"" << JsonEscape(k) << "\":\"" << JsonEscape(v) << "\"";
+    first = false;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ExportJson() const {
+  std::ostringstream counters, gauges, histograms;
+  bool first_c = true, first_g = true, first_h = true;
+  for (const auto& [name, family] : families_) {
+    for (const auto& [key, series] : family.series) {
+      switch (family.type) {
+        case MetricType::kCounter: {
+          if (!first_c) counters << ",";
+          first_c = false;
+          counters << "{\"name\":\"" << JsonEscape(name) << "\",";
+          AppendLabelsJson(counters, series.labels);
+          counters << ",\"value\":" << JsonNumber(series.counter->value())
+                   << "}";
+          break;
+        }
+        case MetricType::kGauge: {
+          if (!first_g) gauges << ",";
+          first_g = false;
+          gauges << "{\"name\":\"" << JsonEscape(name) << "\",";
+          AppendLabelsJson(gauges, series.labels);
+          gauges << ",\"value\":" << JsonNumber(series.gauge->value()) << "}";
+          break;
+        }
+        case MetricType::kHistogram: {
+          if (!first_h) histograms << ",";
+          first_h = false;
+          const Histogram& h = *series.histogram;
+          histograms << "{\"name\":\"" << JsonEscape(name) << "\",";
+          AppendLabelsJson(histograms, series.labels);
+          histograms << ",\"buckets\":[";
+          for (std::size_t i = 0; i < h.upper_bounds().size(); ++i) {
+            if (i) histograms << ",";
+            histograms << "{\"le\":" << JsonNumber(h.upper_bounds()[i])
+                       << ",\"count\":" << h.bucket_counts()[i] << "}";
+          }
+          if (!h.upper_bounds().empty()) histograms << ",";
+          histograms << "{\"le\":null,\"count\":"
+                     << h.bucket_counts().back() << "}";
+          histograms << "],\"sum\":" << JsonNumber(h.sum())
+                     << ",\"count\":" << h.count() << "}";
+          break;
+        }
+      }
+    }
+  }
+  std::ostringstream os;
+  os << "{\"counters\":[" << counters.str() << "],\"gauges\":["
+     << gauges.str() << "],\"histograms\":[" << histograms.str() << "]}";
+  return os.str();
+}
+
+}  // namespace hodor::obs

@@ -1,0 +1,149 @@
+// Metrics registry: the process-wide accounting surface of the
+// observability layer.
+//
+// The paper frames Hodor as an always-on service in front of a production
+// controller, so operators need the standard three instrument kinds:
+//   - Counter:   monotone totals (inputs validated, invariants fired);
+//   - Gauge:     last-written values (current loss fraction, pool sizes);
+//   - Histogram: fixed-bucket distributions (per-stage wall-clock).
+//
+// Metrics are organised Prometheus-style: a *family* (name + type + help)
+// holds one series per distinct label set, e.g.
+//     hodor_stage_duration_us{stage="harden"}.
+// The registry renders either as Prometheus text exposition or as JSON
+// (see ExportPrometheus / ExportJson); both are covered by tests/obs/.
+//
+// Like util::Logger, the registry is deliberately not thread-safe: the
+// simulator is single-threaded and every bench configures observability at
+// startup. Instrumented components take a `MetricsRegistry*` where nullptr
+// means "the process-global registry" (ResolveRegistry); tests pass their
+// own instance to stay hermetic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hodor::obs {
+
+// Label set for one series, e.g. {{"stage", "collect"}}. Order-insensitive:
+// the registry sorts labels by key before building the series identity.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void Increment(double delta = 1.0) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  // `upper_bounds` must be strictly increasing; a +Inf overflow bucket is
+  // implicit (bucket_counts() has upper_bounds().size() + 1 entries).
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& upper_bounds() const { return upper_bounds_; }
+  // Per-bucket (non-cumulative) observation counts; last entry is overflow.
+  const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
+
+ private:
+  std::vector<double> upper_bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+// Default microsecond latency buckets for stage spans: 10us .. 1s.
+std::vector<double> DefaultLatencyBucketsUs();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-global registry all instrumentation defaults to.
+  static MetricsRegistry& Global();
+
+  // Get-or-create. Registering an existing family with a different type
+  // raises via HODOR_CHECK; `help` is kept from the first registration.
+  // Returned references stay valid until Reset() (series are heap-held).
+  Counter& GetCounter(const std::string& name, const Labels& labels = {},
+                      const std::string& help = "");
+  Gauge& GetGauge(const std::string& name, const Labels& labels = {},
+                  const std::string& help = "");
+  Histogram& GetHistogram(const std::string& name, const Labels& labels = {},
+                          std::vector<double> upper_bounds = {},
+                          const std::string& help = "");
+
+  // Lookup without creating; nullptr when the series does not exist.
+  const Counter* FindCounter(const std::string& name,
+                             const Labels& labels = {}) const;
+  const Gauge* FindGauge(const std::string& name,
+                         const Labels& labels = {}) const;
+  const Histogram* FindHistogram(const std::string& name,
+                                 const Labels& labels = {}) const;
+
+  std::size_t family_count() const { return families_.size(); }
+  std::size_t series_count() const;
+
+  // Prometheus text exposition format (# HELP/# TYPE + samples; histograms
+  // rendered with cumulative `le` buckets, _sum and _count).
+  std::string ExportPrometheus() const;
+  // One JSON object: {"counters":[...],"gauges":[...],"histograms":[...]}.
+  std::string ExportJson() const;
+
+  // Drops every family (benches isolate configurations this way).
+  void Reset() { families_.clear(); }
+
+ private:
+  enum class MetricType { kCounter, kGauge, kHistogram };
+
+  struct Series {
+    Labels labels;  // sorted by key
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    // Keyed by the rendered label string (stable series identity).
+    std::map<std::string, Series> series;
+  };
+
+  Family& GetFamily(const std::string& name, MetricType type,
+                    const std::string& help);
+  const Series* FindSeries(const std::string& name, MetricType type,
+                           const Labels& labels) const;
+
+  std::map<std::string, Family> families_;
+};
+
+// Resolves the "nullptr means global" convention used by every
+// instrumented options struct.
+inline MetricsRegistry& ResolveRegistry(MetricsRegistry* registry) {
+  return registry ? *registry : MetricsRegistry::Global();
+}
+
+}  // namespace hodor::obs

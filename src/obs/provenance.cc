@@ -1,0 +1,73 @@
+#include "obs/provenance.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace hodor::obs {
+
+const char* InvariantVerdictName(InvariantVerdict verdict) {
+  switch (verdict) {
+    case InvariantVerdict::kPass: return "pass";
+    case InvariantVerdict::kFail: return "fail";
+    case InvariantVerdict::kSkipped: return "skipped";
+  }
+  return "?";
+}
+
+std::string InvariantRecord::ToJson() const {
+  std::ostringstream os;
+  os << "{\"check\":\"" << JsonEscape(check) << "\",\"invariant\":\""
+     << JsonEscape(invariant) << "\",\"residual\":" << JsonNumber(residual)
+     << ",\"threshold\":" << JsonNumber(threshold) << ",\"verdict\":\""
+     << InvariantVerdictName(verdict) << "\"";
+  if (!detail.empty()) os << ",\"detail\":\"" << JsonEscape(detail) << "\"";
+  os << "}";
+  return os.str();
+}
+
+std::size_t DecisionRecord::evaluated_count() const {
+  std::size_t n = 0;
+  for (const auto& r : invariants) {
+    if (r.verdict != InvariantVerdict::kSkipped) ++n;
+  }
+  return n;
+}
+
+std::size_t DecisionRecord::failed_count() const {
+  std::size_t n = 0;
+  for (const auto& r : invariants) {
+    if (r.verdict == InvariantVerdict::kFail) ++n;
+  }
+  return n;
+}
+
+std::size_t DecisionRecord::skipped_count() const {
+  return invariants.size() - evaluated_count();
+}
+
+const InvariantRecord* DecisionRecord::FirstFailure() const {
+  for (const auto& r : invariants) {
+    if (r.verdict == InvariantVerdict::kFail) return &r;
+  }
+  return nullptr;
+}
+
+std::string DecisionRecord::ToJson() const {
+  std::ostringstream os;
+  os << "{\"epoch\":" << epoch << ",\"accept\":" << (accept ? "true" : "false")
+     << ",\"summary\":\"" << JsonEscape(summary)
+     << "\",\"evaluated\":" << evaluated_count()
+     << ",\"failed\":" << failed_count()
+     << ",\"skipped\":" << skipped_count() << ",\"invariants\":[";
+  bool first = true;
+  for (const auto& r : invariants) {
+    if (!first) os << ",";
+    os << r.ToJson();
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hodor::obs

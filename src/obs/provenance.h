@@ -1,0 +1,67 @@
+// Decision provenance: the operator-facing audit record behind every
+// accept/reject.
+//
+// CrossCheck (PAPERS.md) argues a deployable validator must *explain* its
+// verdicts: which invariant fired, with what residual, against what
+// threshold. A DecisionRecord captures exactly that for one validated
+// epoch — one InvariantRecord per invariant evaluated (the R1–R4 hardening
+// repairs, the 2·|V| demand conservation invariants, per-link topology
+// comparisons, and drain consistency checks) — and serializes to JSON for
+// audit pipelines.
+//
+// This lives in obs/ (below core/ and controlplane/) so the pipeline can
+// carry a DecisionRecord inside each EpochResult without depending on the
+// validator that produced it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hodor::obs {
+
+enum class InvariantVerdict {
+  kPass = 0,  // evaluated, within threshold
+  kFail,      // evaluated, fired (residual beyond threshold)
+  kSkipped,   // could not be evaluated (signal unknown / suppressed)
+};
+
+const char* InvariantVerdictName(InvariantVerdict verdict);
+
+// One invariant evaluation. `residual` and `threshold` share a unit per
+// check family (relative difference for demand, evidence confidence for
+// topology, 0/1 mismatch indicators for drain).
+struct InvariantRecord {
+  std::string check;      // "hardening" | "demand" | "topology" | "drain"
+  std::string invariant;  // e.g. "ingress(SEAT)", "link-state(A->B)"
+  double residual = 0.0;
+  double threshold = 0.0;
+  InvariantVerdict verdict = InvariantVerdict::kPass;
+  std::string detail;  // optional operator-facing elaboration
+
+  std::string ToJson() const;
+};
+
+struct DecisionRecord {
+  std::uint64_t epoch = 0;
+  bool accept = true;
+  std::string summary;  // e.g. the report's one-line verdict
+  std::vector<InvariantRecord> invariants;
+
+  std::size_t evaluated_count() const;  // pass + fail
+  std::size_t failed_count() const;
+  std::size_t skipped_count() const;
+  // First firing invariant, nullptr when everything passed. This is the
+  // record an alert should lead with.
+  const InvariantRecord* FirstFailure() const;
+
+  void Add(InvariantRecord record) { invariants.push_back(std::move(record)); }
+
+  // Schema (see README "Observability"):
+  //   {"epoch":N,"accept":bool,"summary":"...","evaluated":N,"failed":N,
+  //    "skipped":N,"invariants":[{"check":"demand","invariant":"...",
+  //    "residual":x,"threshold":y,"verdict":"fail","detail":"..."}]}
+  std::string ToJson() const;
+};
+
+}  // namespace hodor::obs

@@ -1,0 +1,76 @@
+#include "obs/span.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace hodor::obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kEpoch: return "epoch";
+    case Stage::kCollect: return "collect";
+    case Stage::kAggregate: return "aggregate";
+    case Stage::kValidate: return "validate";
+    case Stage::kHarden: return "harden";
+    case Stage::kCheckDemand: return "check-demand";
+    case Stage::kCheckTopology: return "check-topology";
+    case Stage::kCheckDrain: return "check-drain";
+    case Stage::kProgram: return "program";
+    case Stage::kSimulate: return "simulate";
+  }
+  return "?";
+}
+
+std::string SpanRecord::ToJson() const {
+  std::ostringstream os;
+  os << "{\"stage\":\"" << StageName(stage) << "\",\"epoch\":" << epoch
+     << ",\"duration_us\":" << JsonNumber(duration_us) << "}";
+  return os.str();
+}
+
+std::unique_ptr<TraceWriter> TraceWriter::OpenFile(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::app);
+  if (!file->is_open()) return nullptr;
+  std::unique_ptr<TraceWriter> writer(new TraceWriter());
+  writer->out_ = file.get();
+  writer->owned_ = std::move(file);
+  return writer;
+}
+
+void TraceWriter::Write(const SpanRecord& record) {
+  *out_ << record.ToJson() << "\n";
+  ++written_;
+}
+
+StageSpan::StageSpan(Stage stage, std::uint64_t epoch,
+                     MetricsRegistry* registry, TraceWriter* trace)
+    : registry_(registry),
+      trace_(trace),
+      start_(std::chrono::steady_clock::now()) {
+  record_.stage = stage;
+  record_.epoch = epoch;
+}
+
+StageSpan::~StageSpan() { End(); }
+
+SpanRecord StageSpan::End() {
+  if (ended_) return record_;
+  record_.duration_us = elapsed_us();
+  ended_ = true;
+  ResolveRegistry(registry_)
+      .GetHistogram("hodor_stage_duration_us",
+                    {{"stage", StageName(record_.stage)}}, {},
+                    "Wall-clock duration of one pipeline stage execution")
+      .Observe(record_.duration_us);
+  if (trace_) trace_->Write(record_);
+  return record_;
+}
+
+double StageSpan::elapsed_us() const {
+  if (ended_) return record_.duration_us;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+}  // namespace hodor::obs

@@ -1,0 +1,107 @@
+// Stage spans: RAII wall-clock timers over the pipeline's stage taxonomy.
+//
+// Every epoch passes through a fixed set of stages (paper §3's control
+// loop): collect → aggregate → [harden → check-demand → check-topology →
+// check-drain] → program → simulate, with "epoch" spanning the whole loop
+// and "validate" spanning whatever validator the pipeline was given.
+// A StageSpan measures one stage execution and, on End()/destruction:
+//   - observes the duration into the registry histogram
+//         hodor_stage_duration_us{stage="<name>"}
+//   - optionally appends a JSON-Lines record to a TraceWriter, giving
+//     operators a per-epoch timeline they can grep or load into any
+//     trace viewer.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace hodor::obs {
+
+enum class Stage {
+  kEpoch = 0,
+  kCollect,
+  kAggregate,
+  kValidate,
+  kHarden,
+  kCheckDemand,
+  kCheckTopology,
+  kCheckDrain,
+  kProgram,
+  kSimulate,
+};
+
+constexpr std::array<Stage, 10> kAllStages = {
+    Stage::kEpoch,         Stage::kCollect,    Stage::kAggregate,
+    Stage::kValidate,      Stage::kHarden,     Stage::kCheckDemand,
+    Stage::kCheckTopology, Stage::kCheckDrain, Stage::kProgram,
+    Stage::kSimulate,
+};
+
+const char* StageName(Stage stage);
+
+// One finished span, as recorded into traces and EpochResult.
+struct SpanRecord {
+  Stage stage = Stage::kEpoch;
+  std::uint64_t epoch = 0;
+  double duration_us = 0.0;
+
+  // One JSON object (no trailing newline), the JSONL trace line format:
+  //   {"stage":"collect","epoch":3,"duration_us":42.7}
+  std::string ToJson() const;
+};
+
+// Appends SpanRecords as JSON Lines to a stream it may or may not own.
+class TraceWriter {
+ public:
+  // Writes to a caller-owned stream (kept by pointer; must outlive this).
+  explicit TraceWriter(std::ostream& out) : out_(&out) {}
+
+  // Opens `path` for appending; nullptr if the file cannot be opened.
+  static std::unique_ptr<TraceWriter> OpenFile(const std::string& path);
+
+  void Write(const SpanRecord& record);
+  std::size_t written() const { return written_; }
+
+ private:
+  TraceWriter() = default;
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_ = nullptr;
+  std::size_t written_ = 0;
+};
+
+// RAII stage timer. Records into `registry` (nullptr → global) and, when
+// given, into `trace` exactly once — at End() or destruction, whichever
+// comes first.
+class StageSpan {
+ public:
+  explicit StageSpan(Stage stage, std::uint64_t epoch = 0,
+                     MetricsRegistry* registry = nullptr,
+                     TraceWriter* trace = nullptr);
+  ~StageSpan();
+
+  StageSpan(const StageSpan&) = delete;
+  StageSpan& operator=(const StageSpan&) = delete;
+
+  // Stops the clock and records; idempotent. Returns the finished record.
+  SpanRecord End();
+
+  // Microseconds elapsed so far (or final duration once ended).
+  double elapsed_us() const;
+
+ private:
+  SpanRecord record_;
+  MetricsRegistry* registry_;
+  TraceWriter* trace_;
+  std::chrono::steady_clock::time_point start_;
+  bool ended_ = false;
+};
+
+}  // namespace hodor::obs

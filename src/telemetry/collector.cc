@@ -1,5 +1,7 @@
 #include "telemetry/collector.h"
 
+#include "obs/metrics.h"
+
 namespace hodor::telemetry {
 
 NetworkSnapshot Collector::Collect(const net::GroundTruthState& state,
@@ -15,6 +17,18 @@ NetworkSnapshot Collector::Collect(const net::GroundTruthState& state,
   if (opts_.run_probes) {
     snapshot.SetProbeResults(ProbeAllLinks(*topo_, state, opts_.probes, rng));
   }
+
+  obs::MetricsRegistry& reg = obs::ResolveRegistry(opts_.metrics);
+  reg.GetCounter("hodor_snapshots_total", {}, "Telemetry snapshots collected")
+      .Increment();
+  if (opts_.run_probes) {
+    reg.GetCounter("hodor_probe_rounds_total", {},
+                   "Active probe rounds (R4 manufactured signals)")
+        .Increment();
+  }
+  reg.GetGauge("hodor_snapshot_signals_present", {},
+               "Signal values present in the latest snapshot")
+      .Set(static_cast<double>(snapshot.PresentSignalCount()));
   return snapshot;
 }
 

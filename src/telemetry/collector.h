@@ -15,6 +15,10 @@
 #include "telemetry/router_agent.h"
 #include "telemetry/snapshot.h"
 
+namespace hodor::obs {
+class MetricsRegistry;
+}  // namespace hodor::obs
+
 namespace hodor::telemetry {
 
 // Mutates a freshly collected snapshot (fault injection hook).
@@ -25,6 +29,10 @@ struct CollectorOptions {
   // When true, run active neighbor probes (R4) and attach their results.
   bool run_probes = true;
   ProbeOptions probes;
+
+  // Observability: collection counters and the signals-present gauge are
+  // emitted here (nullptr → the process-global registry).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Collector {

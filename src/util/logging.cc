@@ -1,8 +1,21 @@
 #include "util/logging.h"
 
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 
 namespace hodor::util {
+
+namespace {
+
+std::shared_ptr<const Logger::Sink> DefaultSink() {
+  return std::make_shared<const Logger::Sink>(
+      [](LogLevel level, const std::string& msg) {
+        std::cerr << "[" << LogLevelName(level) << "] " << msg << "\n";
+      });
+}
+
+}  // namespace
 
 const char* LogLevelName(LogLevel level) {
   switch (level) {
@@ -14,30 +27,45 @@ const char* LogLevelName(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> LogLevelFromString(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 Logger& Logger::Instance() {
   static Logger logger;
   return logger;
 }
 
-Logger::Logger() {
-  sink_ = [](LogLevel level, const std::string& msg) {
-    std::cerr << "[" << LogLevelName(level) << "] " << msg << "\n";
-  };
+Logger::Logger() : sink_(DefaultSink()) {
+  if (const char* env = std::getenv("HODOR_LOG_LEVEL")) {
+    if (const auto level = LogLevelFromString(env)) min_level_ = *level;
+  }
 }
 
 void Logger::SetSink(Sink sink) {
   if (sink) {
-    sink_ = std::move(sink);
+    sink_ = std::make_shared<const Sink>(std::move(sink));
   } else {
-    sink_ = [](LogLevel level, const std::string& msg) {
-      std::cerr << "[" << LogLevelName(level) << "] " << msg << "\n";
-    };
+    sink_ = DefaultSink();
   }
 }
 
 void Logger::Log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
-  sink_(level, message);
+  // Pin the current sink: if it replaces itself via SetSink mid-call, the
+  // std::function being executed must outlive the call.
+  const std::shared_ptr<const Sink> sink = sink_;
+  (*sink)(level, message);
 }
 
 }  // namespace hodor::util

@@ -3,8 +3,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace hodor::util {
 
@@ -12,8 +15,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 const char* LogLevelName(LogLevel level);
 
+// Parses "debug", "info", "warning"/"warn", "error" (case-insensitive,
+// surrounding whitespace ignored); empty when the name is unknown.
+std::optional<LogLevel> LogLevelFromString(std::string_view name);
+
 // Global log configuration. Not thread-safe by design: the simulator is
-// single-threaded and benches configure logging once at startup.
+// single-threaded and benches configure logging once at startup. The min
+// level initialises from the HODOR_LOG_LEVEL environment variable when set
+// (benches/examples raise verbosity without code edits), defaulting to
+// kInfo.
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, const std::string&)>;
@@ -24,7 +34,8 @@ class Logger {
   LogLevel min_level() const { return min_level_; }
 
   // Replaces the output sink (tests capture logs this way). Passing nullptr
-  // restores the default stderr sink.
+  // restores the default stderr sink. Safe to call from inside a running
+  // sink: the replaced sink stays alive until its in-flight call returns.
   void SetSink(Sink sink);
 
   void Log(LogLevel level, const std::string& message);
@@ -32,7 +43,9 @@ class Logger {
  private:
   Logger();
   LogLevel min_level_ = LogLevel::kInfo;
-  Sink sink_;
+  // Held by shared_ptr so Log() can pin the sink it invokes while SetSink
+  // swaps in a replacement (reentrant sink replacement).
+  std::shared_ptr<const Sink> sink_;
 };
 
 namespace internal {

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "net/topologies.h"
+#include "obs/json.h"
+#include "obs/provenance.h"
+#include "obs/span.h"
 
 namespace hodor::controlplane {
 namespace {
@@ -85,6 +88,87 @@ TEST(EpochTrace, SloBoundaryIsExclusive) {
   trace.Record(MakeResult(1, 0.9989, false, true, false), false);
   const auto report = trace.Summarize(0.999);
   EXPECT_EQ(report.slo_violations, 1u);  // exactly-at-SLO passes
+}
+
+TEST(EpochTrace, AllViolatingTraceIsOneEpisode) {
+  EpochTrace trace;
+  for (int e = 0; e < 5; ++e) {
+    trace.Record(MakeResult(e, 0.2, false, true, false), false);
+  }
+  const auto report = trace.Summarize(0.999);
+  EXPECT_EQ(report.slo_violations, 5u);
+  EXPECT_DOUBLE_EQ(report.availability, 0.0);
+  EXPECT_EQ(report.outage_episodes, 1u);
+  EXPECT_EQ(report.longest_outage_epochs, 5u);
+  EXPECT_DOUBLE_EQ(report.worst_satisfaction, 0.2);
+}
+
+TEST(EpochTrace, TrailingViolationRunStillCounts) {
+  EpochTrace trace;
+  // ok BAD ok BAD BAD — the trace *ends* mid-outage; both episodes and the
+  // final run length must still be counted.
+  const double sats[] = {1.0, 0.5, 1.0, 0.6, 0.4};
+  for (int e = 0; e < 5; ++e) {
+    trace.Record(MakeResult(e, sats[e], false, true, false), false);
+  }
+  const auto report = trace.Summarize(0.999);
+  EXPECT_EQ(report.outage_episodes, 2u);
+  EXPECT_EQ(report.longest_outage_epochs, 2u);
+  EXPECT_EQ(report.slo_violations, 3u);
+}
+
+TEST(EpochTrace, MeanInvariantsFailedCountsValidatedEpochsOnly) {
+  EpochTrace trace;
+  // Validated epoch with 3 failures, validated epoch with 1, and an
+  // unvalidated epoch that must not dilute the mean.
+  auto with_failures = [](std::uint64_t epoch, std::size_t n, bool validated) {
+    EpochResult r = MakeResult(epoch, 1.0, validated, n == 0, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      obs::InvariantRecord rec;
+      rec.check = "demand";
+      rec.verdict = obs::InvariantVerdict::kFail;
+      r.decision.provenance.Add(rec);
+    }
+    return r;
+  };
+  trace.Record(with_failures(0, 3, true), true);
+  trace.Record(with_failures(1, 1, true), true);
+  trace.Record(with_failures(2, 5, false), true);
+  const auto report = trace.Summarize();
+  EXPECT_DOUBLE_EQ(report.mean_invariants_failed, 2.0);
+}
+
+TEST(EpochTrace, StageMeansComeFromSpansInTaxonomyOrder) {
+  EpochTrace trace;
+  auto with_spans = [](std::uint64_t epoch, double collect_us,
+                       double program_us) {
+    EpochResult r = MakeResult(epoch, 1.0, false, true, false);
+    r.spans.push_back({obs::Stage::kProgram, epoch, program_us});
+    r.spans.push_back({obs::Stage::kCollect, epoch, collect_us});
+    return r;
+  };
+  trace.Record(with_spans(0, 10.0, 100.0), false);
+  trace.Record(with_spans(1, 30.0, 300.0), false);
+  const auto report = trace.Summarize();
+  ASSERT_EQ(report.mean_stage_us.size(), 2u);
+  // kAllStages order: collect before program, regardless of span order.
+  EXPECT_EQ(report.mean_stage_us[0].first, "collect");
+  EXPECT_DOUBLE_EQ(report.mean_stage_us[0].second, 20.0);
+  EXPECT_EQ(report.mean_stage_us[1].first, "program");
+  EXPECT_DOUBLE_EQ(report.mean_stage_us[1].second, 200.0);
+  EXPECT_NE(report.ToString().find("mean stage us:"), std::string::npos);
+}
+
+TEST(AvailabilityReport, ToJsonParsesAndCarriesStageMeans) {
+  EpochTrace trace;
+  EpochResult r = MakeResult(0, 0.5, true, false, true);
+  r.spans.push_back({obs::Stage::kEpoch, 0, 12.5});
+  trace.Record(r, true);
+  const std::string json = trace.Summarize().ToJson();
+  EXPECT_TRUE(obs::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"epochs\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_stage_us\":{\"epoch\":12.5}"),
+            std::string::npos);
 }
 
 TEST(AvailabilityReport, ToStringMentionsKeyNumbers) {

@@ -5,6 +5,8 @@
 #include "core/validator.h"
 #include "faults/aggregation_faults.h"
 #include "faults/scenario_catalog.h"
+#include "obs/json.h"
+#include "obs/provenance.h"
 #include "test_util.h"
 
 namespace hodor {
@@ -33,6 +35,18 @@ TEST(EndToEnd, PartialDemandIsRejected) {
   core::Validator validator(net.topo);
   const auto report = validator.Validate(input, snapshot);
   EXPECT_FALSE(report.demand.ok());
+
+  // The decision provenance names the invariant that fired, with the
+  // residual that breached the τ_e threshold.
+  const obs::DecisionRecord& prov = report.provenance;
+  EXPECT_FALSE(prov.accept);
+  EXPECT_GT(prov.failed_count(), 0u);
+  const obs::InvariantRecord* first = prov.FirstFailure();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->check, "demand");
+  EXPECT_DOUBLE_EQ(first->threshold, 0.02);
+  EXPECT_GT(first->residual, first->threshold);
+  EXPECT_TRUE(obs::IsValidJson(prov.ToJson()));
 }
 
 TEST(EndToEnd, PipelineFallbackAvertsDemandOutage) {

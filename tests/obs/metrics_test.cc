@@ -1,0 +1,196 @@
+// Metrics registry: instrument semantics, series identity, and both export
+// formats (Prometheus text exposition and JSON).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace hodor::obs {
+namespace {
+
+TEST(Counter, AccumulatesMonotonically) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("hodor_test_total");
+  EXPECT_EQ(c.value(), 0.0);
+  c.Increment();
+  c.Increment(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+  // Get-or-create returns the same instrument.
+  EXPECT_DOUBLE_EQ(reg.GetCounter("hodor_test_total").value(), 3.5);
+}
+
+TEST(Gauge, SetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.GetGauge("hodor_test_gauge");
+  g.Set(4.0);
+  g.Add(-1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+TEST(Histogram, BucketsObservationsWithOverflow) {
+  Histogram h({1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(100.0);  // beyond every bound → implicit +Inf bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.5);
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+}
+
+TEST(Histogram, BoundaryValueLandsInLowerBucket) {
+  Histogram h({1.0, 10.0});
+  h.Observe(1.0);  // le semantics: v <= bound
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+  EXPECT_THROW(Histogram({5.0, 5.0}), std::logic_error);
+  EXPECT_THROW(Histogram({5.0, 1.0}), std::logic_error);
+}
+
+TEST(Histogram, EmptyBoundsDefaultToLatencyBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("hodor_test_us");
+  EXPECT_EQ(h.upper_bounds(), DefaultLatencyBucketsUs());
+}
+
+TEST(MetricsRegistry, SeriesIdentityIgnoresLabelOrder) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("hodor_test_total",
+                              {{"check", "demand"}, {"stage", "validate"}});
+  Counter& b = reg.GetCounter("hodor_test_total",
+                              {{"stage", "validate"}, {"check", "demand"}});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.series_count(), 1u);
+}
+
+TEST(MetricsRegistry, DistinctLabelsAreDistinctSeries) {
+  MetricsRegistry reg;
+  reg.GetCounter("hodor_test_total", {{"check", "demand"}}).Increment();
+  reg.GetCounter("hodor_test_total", {{"check", "drain"}}).Increment(2.0);
+  EXPECT_EQ(reg.family_count(), 1u);
+  EXPECT_EQ(reg.series_count(), 2u);
+  const Counter* demand = reg.FindCounter("hodor_test_total",
+                                          {{"check", "demand"}});
+  ASSERT_NE(demand, nullptr);
+  EXPECT_DOUBLE_EQ(demand->value(), 1.0);
+}
+
+TEST(MetricsRegistry, FindDoesNotCreate) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.FindCounter("absent"), nullptr);
+  EXPECT_EQ(reg.FindGauge("absent"), nullptr);
+  EXPECT_EQ(reg.FindHistogram("absent"), nullptr);
+  EXPECT_EQ(reg.family_count(), 0u);
+}
+
+TEST(MetricsRegistry, TypeConflictRaises) {
+  MetricsRegistry reg;
+  reg.GetCounter("hodor_test_total");
+  EXPECT_THROW(reg.GetGauge("hodor_test_total"), std::logic_error);
+  // A Find under the wrong type misses rather than aliasing.
+  EXPECT_EQ(reg.FindGauge("hodor_test_total"), nullptr);
+}
+
+TEST(MetricsRegistry, ResetDropsEverything) {
+  MetricsRegistry reg;
+  reg.GetCounter("hodor_test_total").Increment();
+  reg.Reset();
+  EXPECT_EQ(reg.family_count(), 0u);
+  EXPECT_EQ(reg.FindCounter("hodor_test_total"), nullptr);
+}
+
+TEST(MetricsRegistry, ResolveRegistryNullMeansGlobal) {
+  MetricsRegistry reg;
+  EXPECT_EQ(&ResolveRegistry(&reg), &reg);
+  EXPECT_EQ(&ResolveRegistry(nullptr), &MetricsRegistry::Global());
+}
+
+TEST(MetricsRegistry, PrometheusExpositionShape) {
+  MetricsRegistry reg;
+  reg.GetCounter("hodor_epochs_total", {}, "Control epochs run").Increment(3);
+  reg.GetGauge("hodor_loss", {{"kind", "network"}}).Set(0.25);
+  Histogram& h = reg.GetHistogram("hodor_stage_duration_us",
+                                  {{"stage", "collect"}}, {10.0, 100.0});
+  h.Observe(5.0);
+  h.Observe(50.0);
+  h.Observe(5000.0);
+
+  const std::string text = reg.ExportPrometheus();
+  EXPECT_NE(text.find("# HELP hodor_epochs_total Control epochs run"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE hodor_epochs_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("hodor_epochs_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE hodor_loss gauge"), std::string::npos);
+  EXPECT_NE(text.find("hodor_loss{kind=\"network\"} 0.25"),
+            std::string::npos);
+  // Histogram: cumulative le buckets, +Inf equal to the total count.
+  EXPECT_NE(text.find("# TYPE hodor_stage_duration_us histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("hodor_stage_duration_us_bucket{stage=\"collect\",le=\"10\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "hodor_stage_duration_us_bucket{stage=\"collect\",le=\"100\"} 2"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "hodor_stage_duration_us_bucket{stage=\"collect\",le=\"+Inf\"} 3"),
+      std::string::npos);
+  EXPECT_NE(text.find("hodor_stage_duration_us_sum{stage=\"collect\"} 5055"),
+            std::string::npos);
+  EXPECT_NE(text.find("hodor_stage_duration_us_count{stage=\"collect\"} 3"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistry, JsonExportParsesAndNamesSeries) {
+  MetricsRegistry reg;
+  reg.GetCounter("hodor_epochs_total").Increment();
+  reg.GetGauge("hodor_loss", {{"kind", "network"}}).Set(0.5);
+  reg.GetHistogram("hodor_stage_duration_us", {{"stage", "harden"}},
+                   {10.0})
+      .Observe(3.0);
+
+  const std::string json = reg.ExportJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"hodor_epochs_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"network\""), std::string::npos);
+  // The overflow bucket renders with le:null.
+  EXPECT_NE(json.find("{\"le\":null,\"count\":0}"), std::string::npos);
+}
+
+TEST(Json, EscapeHandlesQuotesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, NumberRendersNonFiniteAsNull) {
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(Json, ValidatorAcceptsAndRejects) {
+  EXPECT_TRUE(IsValidJson("{\"a\":[1,2.5e3,true,null],\"b\":\"x\\n\"}"));
+  EXPECT_TRUE(IsValidJson("[]"));
+  EXPECT_TRUE(IsValidJson("-0.5"));
+  EXPECT_FALSE(IsValidJson(""));
+  EXPECT_FALSE(IsValidJson("{"));
+  EXPECT_FALSE(IsValidJson("{\"a\":1,}"));
+  EXPECT_FALSE(IsValidJson("[1 2]"));
+  EXPECT_FALSE(IsValidJson("\"unterminated"));
+  EXPECT_FALSE(IsValidJson("{} trailing"));
+}
+
+}  // namespace
+}  // namespace hodor::obs

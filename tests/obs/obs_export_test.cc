@@ -1,0 +1,161 @@
+// Export smoke test (the ISSUE's acceptance scenario): one pipeline epoch
+// through the validator on a hermetic registry must yield a registry export
+// with per-stage histograms and check counters — valid Prometheus text and
+// valid JSON — and, for an injected fault, a DecisionRecord naming the
+// failed invariant with its residual and threshold.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/validator.h"
+#include "faults/aggregation_faults.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "test_util.h"
+
+namespace hodor {
+namespace {
+
+TEST(ObsExport, OneValidatedEpochPopulatesRegistry) {
+  net::Topology topo = net::Abilene();
+  net::GroundTruthState state(topo);
+  util::Rng rng(11);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, rng);
+  flow::NormalizeToMaxUtilization(topo, 0.6, demand);
+
+  obs::MetricsRegistry reg;
+  std::ostringstream trace_out;
+  obs::TraceWriter trace(trace_out);
+
+  controlplane::PipelineOptions popts;
+  popts.metrics = &reg;
+  popts.trace = &trace;
+  controlplane::Pipeline pipeline(topo, popts, util::Rng(12));
+  pipeline.Bootstrap(state, demand);
+  core::ValidatorOptions vopts;
+  vopts.metrics = &reg;
+  vopts.trace = &trace;
+  core::Validator validator(topo, vopts);
+  pipeline.SetValidator(validator.AsPipelineValidator());
+
+  const auto result = pipeline.RunEpoch(state, demand);
+  ASSERT_TRUE(result.validated);
+  ASSERT_TRUE(result.decision.accept) << result.decision.reason;
+
+  // Per-stage histograms: every stage of the taxonomy ran exactly once
+  // except simulate (measure + outcome = 2).
+  for (obs::Stage stage : obs::kAllStages) {
+    const obs::Histogram* h = reg.FindHistogram(
+        "hodor_stage_duration_us", {{"stage", obs::StageName(stage)}});
+    ASSERT_NE(h, nullptr) << obs::StageName(stage);
+    const std::uint64_t expected = stage == obs::Stage::kSimulate ? 2u : 1u;
+    EXPECT_EQ(h->count(), expected) << obs::StageName(stage);
+  }
+  // The EpochResult carries the same spans for per-epoch reporting.
+  EXPECT_EQ(result.spans.size(), 7u);
+  // And the JSONL trace saw every span (pipeline's 7 + validator's 4).
+  EXPECT_EQ(trace.written(), 11u);
+
+  // Check counters: every check ran once and nothing fired.
+  for (const std::string check : {"demand", "topology", "drain"}) {
+    const obs::Counter* runs =
+        reg.FindCounter("hodor_check_runs_total", {{"check", check}});
+    ASSERT_NE(runs, nullptr) << check;
+    EXPECT_DOUBLE_EQ(runs->value(), 1.0) << check;
+    const obs::Counter* invariants =
+        reg.FindCounter("hodor_check_invariants_total", {{"check", check}});
+    ASSERT_NE(invariants, nullptr) << check;
+    EXPECT_GT(invariants->value(), 0.0) << check;
+    const obs::Counter* violations =
+        reg.FindCounter("hodor_check_violations_total", {{"check", check}});
+    ASSERT_NE(violations, nullptr) << check;
+    EXPECT_DOUBLE_EQ(violations->value(), 0.0) << check;
+  }
+  const obs::Counter* epochs = reg.FindCounter("hodor_epochs_total");
+  ASSERT_NE(epochs, nullptr);
+  EXPECT_DOUBLE_EQ(epochs->value(), 1.0);
+  const obs::Counter* validations =
+      reg.FindCounter("hodor_validations_total");
+  ASSERT_NE(validations, nullptr);
+  EXPECT_DOUBLE_EQ(validations->value(), 1.0);
+
+  // Prometheus text exposition: families typed, stage series present.
+  const std::string prom = reg.ExportPrometheus();
+  EXPECT_NE(prom.find("# TYPE hodor_stage_duration_us histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("hodor_stage_duration_us_bucket{stage=\"harden\""),
+            std::string::npos);
+  EXPECT_NE(prom.find("hodor_stage_duration_us_count{stage=\"check-demand\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("hodor_check_runs_total{check=\"demand\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE hodor_epochs_total counter"),
+            std::string::npos);
+
+  // JSON export parses.
+  const std::string json = reg.ExportJson();
+  EXPECT_TRUE(obs::IsValidJson(json)) << json.substr(0, 200);
+  EXPECT_NE(json.find("\"hodor_stage_duration_us\""), std::string::npos);
+
+  // Every trace line is one valid JSON object.
+  std::istringstream lines(trace_out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(obs::IsValidJson(line)) << line;
+  }
+}
+
+TEST(ObsExport, InjectedFaultYieldsNamedProvenance) {
+  net::Topology topo = net::Abilene();
+  net::GroundTruthState state(topo);
+  util::Rng rng(21);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, rng);
+  flow::NormalizeToMaxUtilization(topo, 0.6, demand);
+
+  obs::MetricsRegistry reg;
+  controlplane::PipelineOptions popts;
+  popts.metrics = &reg;
+  controlplane::Pipeline pipeline(topo, popts, util::Rng(22));
+  pipeline.Bootstrap(state, demand);
+  core::ValidatorOptions vopts;
+  vopts.metrics = &reg;
+  core::Validator validator(topo, vopts);
+  pipeline.SetValidator(validator.AsPipelineValidator());
+
+  // Epoch 0 healthy, epoch 1 loses the busiest node's demand rows.
+  ASSERT_TRUE(pipeline.RunEpoch(state, demand).decision.accept);
+  controlplane::AggregationFaultHooks hooks;
+  hooks.demand = faults::DemandRowsDropped(topo, {topo.NodeIds()[0]});
+  const auto bad = pipeline.RunEpoch(state, demand, nullptr, hooks);
+  ASSERT_FALSE(bad.decision.accept);
+
+  const obs::DecisionRecord& prov = bad.decision.provenance;
+  EXPECT_EQ(prov.epoch, 1u);
+  EXPECT_FALSE(prov.accept);
+  EXPECT_GT(prov.failed_count(), 0u);
+  EXPECT_GT(prov.evaluated_count(), prov.failed_count());
+  const obs::InvariantRecord* first = prov.FirstFailure();
+  ASSERT_NE(first, nullptr);
+  // The fault is a demand-input fault; the record names the invariant and
+  // quantifies the breach.
+  EXPECT_EQ(first->check, "demand");
+  EXPECT_NE(first->invariant.find("("), std::string::npos);
+  EXPECT_GT(first->residual, first->threshold);
+  EXPECT_EQ(first->verdict, obs::InvariantVerdict::kFail);
+  EXPECT_TRUE(obs::IsValidJson(prov.ToJson()));
+
+  // Rejection surfaced in the counters too.
+  const obs::Counter* rejects =
+      reg.FindCounter("hodor_validation_rejects_total");
+  ASSERT_NE(rejects, nullptr);
+  EXPECT_DOUBLE_EQ(rejects->value(), 1.0);
+  const obs::Counter* violations =
+      reg.FindCounter("hodor_check_violations_total", {{"check", "demand"}});
+  ASSERT_NE(violations, nullptr);
+  EXPECT_GT(violations->value(), 0.0);
+}
+
+}  // namespace
+}  // namespace hodor

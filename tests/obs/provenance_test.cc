@@ -1,0 +1,98 @@
+// Decision provenance: verdict accounting, first-failure lookup, JSON
+// serialization.
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/provenance.h"
+
+namespace hodor::obs {
+namespace {
+
+InvariantRecord Make(const std::string& check, const std::string& invariant,
+                     double residual, double threshold,
+                     InvariantVerdict verdict, const std::string& detail = "") {
+  InvariantRecord r;
+  r.check = check;
+  r.invariant = invariant;
+  r.residual = residual;
+  r.threshold = threshold;
+  r.verdict = verdict;
+  r.detail = detail;
+  return r;
+}
+
+TEST(InvariantVerdict, Names) {
+  EXPECT_EQ(InvariantVerdictName(InvariantVerdict::kPass), std::string("pass"));
+  EXPECT_EQ(InvariantVerdictName(InvariantVerdict::kFail), std::string("fail"));
+  EXPECT_EQ(InvariantVerdictName(InvariantVerdict::kSkipped),
+            std::string("skipped"));
+}
+
+TEST(DecisionRecord, CountsByVerdict) {
+  DecisionRecord d;
+  d.Add(Make("demand", "ingress(a)", 0.01, 0.02, InvariantVerdict::kPass));
+  d.Add(Make("demand", "egress(a)", 0.30, 0.02, InvariantVerdict::kFail));
+  d.Add(Make("demand", "ingress(b)", 0.0, 0.02, InvariantVerdict::kSkipped,
+             "counter unknown"));
+  EXPECT_EQ(d.evaluated_count(), 2u);  // pass + fail; skipped not evaluated
+  EXPECT_EQ(d.failed_count(), 1u);
+  EXPECT_EQ(d.skipped_count(), 1u);
+}
+
+TEST(DecisionRecord, FirstFailureIsTheLeadRecord) {
+  DecisionRecord d;
+  EXPECT_EQ(d.FirstFailure(), nullptr);
+  d.Add(Make("demand", "ingress(a)", 0.01, 0.02, InvariantVerdict::kPass));
+  EXPECT_EQ(d.FirstFailure(), nullptr);
+  d.Add(Make("topology", "link-state(a->b)", 0.9, 0.5,
+             InvariantVerdict::kFail));
+  d.Add(Make("drain", "drain-intent(c)", 1.0, 0.0, InvariantVerdict::kFail));
+  const InvariantRecord* first = d.FirstFailure();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->check, "topology");
+  EXPECT_EQ(first->invariant, "link-state(a->b)");
+}
+
+TEST(InvariantRecord, ToJsonOmitsEmptyDetail) {
+  const InvariantRecord bare =
+      Make("demand", "ingress(a)", 0.5, 0.02, InvariantVerdict::kFail);
+  const std::string json = bare.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_EQ(json.find("\"detail\""), std::string::npos);
+
+  const InvariantRecord detailed =
+      Make("demand", "ingress(a)", 0.5, 0.02, InvariantVerdict::kFail,
+           "rel_diff=50%");
+  EXPECT_NE(detailed.ToJson().find("\"detail\":\"rel_diff=50%\""),
+            std::string::npos);
+}
+
+TEST(DecisionRecord, ToJsonMatchesSchema) {
+  DecisionRecord d;
+  d.epoch = 9;
+  d.accept = false;
+  d.summary = "REJECT: 1 violations (demand:1)";
+  d.Add(Make("demand", "egress(a)", 0.30, 0.02, InvariantVerdict::kFail,
+             "rel_diff=30%"));
+  d.Add(Make("drain", "drain-intent(b)", 0.0, 0.0, InvariantVerdict::kPass));
+
+  const std::string json = d.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"epoch\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"accept\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"evaluated\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"failed\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"skipped\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"fail\""), std::string::npos);
+  EXPECT_NE(json.find("\"threshold\":0.02"), std::string::npos);
+}
+
+TEST(DecisionRecord, ToJsonEscapesSummary) {
+  DecisionRecord d;
+  d.summary = "quote \" and backslash \\";
+  const std::string json = d.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+}
+
+}  // namespace
+}  // namespace hodor::obs

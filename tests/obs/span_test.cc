@@ -1,0 +1,121 @@
+// Stage spans: taxonomy, RAII timing into the registry, JSONL tracing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/span.h"
+
+namespace hodor::obs {
+namespace {
+
+TEST(Stage, NamesAreUniqueAndKnown) {
+  std::set<std::string> names;
+  for (Stage stage : kAllStages) {
+    const std::string name = StageName(stage);
+    EXPECT_NE(name, "?");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), kAllStages.size());
+  EXPECT_EQ(StageName(Stage::kCheckDemand), std::string("check-demand"));
+}
+
+TEST(StageSpan, RecordsOneHistogramObservation) {
+  MetricsRegistry reg;
+  {
+    StageSpan span(Stage::kCollect, /*epoch=*/3, &reg);
+    // Burn a little time so the duration is visibly positive.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink += i * 0.5;
+    (void)sink;
+  }
+  const Histogram* h =
+      reg.FindHistogram("hodor_stage_duration_us", {{"stage", "collect"}});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  EXPECT_GT(h->sum(), 0.0);
+}
+
+TEST(StageSpan, EndIsIdempotentAndReturnsFinalRecord) {
+  MetricsRegistry reg;
+  StageSpan span(Stage::kHarden, /*epoch=*/7, &reg);
+  const SpanRecord first = span.End();
+  const SpanRecord second = span.End();
+  EXPECT_EQ(first.stage, Stage::kHarden);
+  EXPECT_EQ(first.epoch, 7u);
+  EXPECT_DOUBLE_EQ(first.duration_us, second.duration_us);
+  // The destructor must not observe again either.
+  const Histogram* h =
+      reg.FindHistogram("hodor_stage_duration_us", {{"stage", "harden"}});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 1u);
+  // elapsed_us is frozen once ended.
+  EXPECT_DOUBLE_EQ(span.elapsed_us(), first.duration_us);
+}
+
+TEST(StageSpan, DurationIsPositiveAndFrozen) {
+  MetricsRegistry reg;
+  StageSpan span(Stage::kSimulate, 0, &reg);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink += i * 0.5;
+  (void)sink;
+  const SpanRecord record = span.End();
+  EXPECT_GT(record.duration_us, 0.0);
+}
+
+TEST(SpanRecord, ToJsonIsOneValidObject) {
+  SpanRecord r;
+  r.stage = Stage::kValidate;
+  r.epoch = 12;
+  r.duration_us = 42.7;
+  const std::string json = r.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"stage\":\"validate\""), std::string::npos);
+  EXPECT_NE(json.find("\"epoch\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"duration_us\":"), std::string::npos);
+}
+
+TEST(TraceWriter, AppendsOneJsonLinePerSpan) {
+  std::ostringstream out;
+  MetricsRegistry reg;
+  TraceWriter trace(out);
+  {
+    StageSpan a(Stage::kCollect, 1, &reg, &trace);
+    StageSpan b(Stage::kAggregate, 1, &reg, &trace);
+  }
+  EXPECT_EQ(trace.written(), 2u);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_TRUE(IsValidJson(line)) << line;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(TraceWriter, OpenFileWritesJsonl) {
+  const std::string path = ::testing::TempDir() + "/hodor_span_trace.jsonl";
+  {
+    auto trace = TraceWriter::OpenFile(path);
+    ASSERT_NE(trace, nullptr);
+    MetricsRegistry reg;
+    StageSpan span(Stage::kProgram, 5, &reg, trace.get());
+    span.End();
+    EXPECT_EQ(trace->written(), 1u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_TRUE(IsValidJson(line)) << line;
+  EXPECT_NE(line.find("\"stage\":\"program\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hodor::obs

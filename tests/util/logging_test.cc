@@ -69,5 +69,33 @@ TEST_F(LoggingTest, NullSinkRestoresDefault) {
   EXPECT_TRUE(captured_.empty());
 }
 
+TEST_F(LoggingTest, SinkMayReplaceItselfMidCall) {
+  // A sink that swaps in a replacement while its own call is still on the
+  // stack (e.g. an alert handler that demotes itself after the first page).
+  // The replaced std::function must stay alive until it returns.
+  int first_calls = 0;
+  int second_calls = 0;
+  Logger::Instance().SetSink([&](LogLevel, const std::string&) {
+    ++first_calls;
+    Logger::Instance().SetSink([&](LogLevel, const std::string&) {
+      ++second_calls;
+    });
+  });
+  HODOR_LOG(kInfo) << "reentrant";
+  HODOR_LOG(kInfo) << "after swap";
+  EXPECT_EQ(first_calls, 1);
+  EXPECT_EQ(second_calls, 1);
+}
+
+TEST_F(LoggingTest, LogLevelFromStringParsesKnownNames) {
+  EXPECT_EQ(LogLevelFromString("debug"), LogLevel::kDebug);
+  EXPECT_EQ(LogLevelFromString("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(LogLevelFromString("Warning"), LogLevel::kWarning);
+  EXPECT_EQ(LogLevelFromString("warn"), LogLevel::kWarning);
+  EXPECT_EQ(LogLevelFromString(" error\n"), LogLevel::kError);
+  EXPECT_EQ(LogLevelFromString(""), std::nullopt);
+  EXPECT_EQ(LogLevelFromString("verbose"), std::nullopt);
+}
+
 }  // namespace
 }  // namespace hodor::util
