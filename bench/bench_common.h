@@ -22,6 +22,7 @@
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "telemetry/collector.h"
+#include "util/clock.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -96,7 +97,9 @@ inline void DumpObsSnapshot(const std::string& experiment_id,
     std::cout << "[obs] could not write " << path << "\n";
     return;
   }
-  out << "{\"experiment\":\"" << obs::JsonEscape(experiment_id) << "\"";
+  out << "{\"experiment\":\"" << obs::JsonEscape(experiment_id)
+      << "\",\"generated_at\":\"" << obs::JsonEscape(util::UtcTimestampNow())
+      << "\"";
   if (!report_json.empty()) out << ",\"reports\":" << report_json;
   out << ",\"metrics\":" << obs::MetricsRegistry::Global().ExportJson()
       << "}\n";

@@ -111,5 +111,9 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // Every Harden()/Validate() iteration above fed the global registry, so
+  // the snapshot holds the per-stage latency histograms this machine
+  // produced — the perf baseline scripts/bench_snapshot.sh refreshes.
+  hodor::bench::DumpObsSnapshot("overhead");
   return 0;
 }

@@ -7,16 +7,31 @@
 // fault schedule: one unprotected, one with the Hodor validator and the
 // fallback-to-last-good policy.
 //
+// The protected pipeline also carries the full operability stack: an
+// embedded TelemetryServer (GET /metrics, /metrics.json, /healthz,
+// /decisions, /health/signals, /alerts), a SignalHealthBoard scoring every
+// signal source 0-100, and an AlertEngine running the firing → active →
+// resolved lifecycle — all fed from a single epoch observer hook.
+//
 //   ./build/examples/live_pipeline
+//
+// Set HODOR_SERVE_SECONDS=60 to keep the HTTP endpoints up after the run
+// (curl the printed URL); by default the binary exits immediately.
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
+#include <thread>
 
 #include "controlplane/pipeline.h"
+#include "core/alerts.h"
 #include "core/validator.h"
 #include "faults/aggregation_faults.h"
 #include "flow/tm_generators.h"
 #include "net/topologies.h"
+#include "obs/health/signal_health.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
+#include "obs/serve/telemetry_server.h"
 #include "obs/span.h"
 #include "util/logging.h"
 #include "util/strings.h"
@@ -41,6 +56,51 @@ int main() {
   protected_pipeline.SetValidator(validator.AsPipelineValidator());
   unprotected.Bootstrap(state, base);
   protected_pipeline.Bootstrap(state, base);
+
+  // The operability stack, fed by one epoch observer on the protected
+  // pipeline and served live over HTTP.
+  obs::SignalHealthBoard board;
+  core::AlertEngineOptions engine_opts;
+  engine_opts.min_hold_epochs = 2;
+  engine_opts.escalation_threshold = 3;
+  core::AlertEngine engine(engine_opts);
+  obs::TelemetryServer server;
+  const bool serving = server.Start();
+  std::vector<std::string> alert_log;
+
+  protected_pipeline.SetEpochObserver(
+      [&](const controlplane::EpochResult& r) {
+        board.ObserveEpoch(r.decision.provenance);
+        board.PublishGauges(nullptr);  // trust rides /metrics too
+        const auto summary = engine.Observe(
+            r.epoch, core::AlertsFromProvenance(r.decision.provenance));
+        for (const core::AlertRecord& rec : engine.active()) {
+          if (rec.state == core::AlertState::kFiring ||
+              (rec.escalated && rec.last_seen_epoch == r.epoch &&
+               rec.consecutive_epochs == engine_opts.escalation_threshold)) {
+            alert_log.push_back(rec.Render());
+          }
+        }
+        if (summary.resolved > 0) {
+          for (const core::AlertRecord& rec : engine.resolved()) {
+            if (rec.resolved_epoch == r.epoch) {
+              alert_log.push_back(rec.Render());
+            }
+          }
+        }
+        if (serving) {
+          server.PublishMetrics();
+          server.PublishSignals(board);
+          server.PublishDecision(r.decision.provenance);
+          server.PublishAlerts(engine.ToJson());
+        }
+      });
+
+  if (serving) {
+    std::cout << "telemetry: " << server.url()
+              << "  (GET /metrics /metrics.json /healthz /decisions "
+                 "/health/signals /alerts)\n\n";
+  }
 
   util::TablePrinter table({"epoch", "fault", "sat (unprotected)",
                             "sat (hodor)", "hodor verdict"});
@@ -97,6 +157,29 @@ int main() {
   }
   std::cout << spans.ToString();
 
+  // Signal-health scoreboard: the least-trusted sources after the run.
+  std::cout << "\nSignal-health scoreboard (" << board.source_count()
+            << " sources, worst trust first; history oldest->newest, "
+               "P=pass F=fail S=skipped R=repaired .=quiet):\n";
+  util::TablePrinter health({"check", "entity", "trust", "fails",
+                             "residual ewma", "history"});
+  int shown = 0;
+  for (const obs::SignalHealth* h : board.SourcesByTrust()) {
+    if (++shown > 8) break;
+    health.AddRowValues(h->check, h->entity, util::FormatDouble(h->trust, 0),
+                        h->fail_epochs,
+                        util::FormatDouble(h->residual_ewma, 3),
+                        h->HistoryString());
+  }
+  std::cout << health.ToString();
+
+  // Alert lifecycle: what a paging system would have seen.
+  std::cout << "\nAlert lifecycle (" << alert_log.size()
+            << " transitions, dedup by source|entity, min-hold "
+            << engine_opts.min_hold_epochs << " epochs, escalation after "
+            << engine_opts.escalation_threshold << "):\n";
+  for (const std::string& line : alert_log) std::cout << "  " << line << "\n";
+
   if (!sample_rejection.invariants.empty()) {
     std::cout << "\nSample decision provenance (first rejected epoch, "
               << sample_rejection.failed_count() << " of "
@@ -109,6 +192,19 @@ int main() {
                 << util::FormatDouble(first->residual, 4) << " > threshold "
                 << util::FormatDouble(first->threshold, 4) << "\n";
     }
+  }
+
+  // Keep the HTTP surface up on request so operators can poke at it.
+  if (serving) {
+    if (const char* env = std::getenv("HODOR_SERVE_SECONDS")) {
+      const int seconds = std::atoi(env);
+      if (seconds > 0) {
+        std::cout << "\nServing telemetry at " << server.url() << " for "
+                  << seconds << "s (HODOR_SERVE_SECONDS)...\n";
+        std::this_thread::sleep_for(std::chrono::seconds(seconds));
+      }
+    }
+    server.Stop();
   }
   return 0;
 }

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Regenerates the committed BENCH_overhead.json perf baseline at the repo
+# root (run from anywhere).
+#
+# bench_overhead (E7, google-benchmark) exercises hardening / validation /
+# collection across topology sizes; every iteration feeds the global
+# metrics registry, and the bench dumps that registry — per-stage latency
+# histograms included — as BENCH_overhead.json on exit. Committing the
+# snapshot seeds the perf trajectory: future PRs rerun this script and
+# diff the histograms.
+#
+#   HODOR_BENCH_MIN_TIME=0.5 ./scripts/bench_snapshot.sh   # steadier stats
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j --target bench_overhead
+
+# Short per-benchmark time by default: the snapshot's value is the shape of
+# the histograms, not publication-grade means.
+MIN_TIME="${HODOR_BENCH_MIN_TIME:-0.05}"
+./build/bench/bench_overhead "--benchmark_min_time=${MIN_TIME}"
+
+python3 -m json.tool BENCH_overhead.json > /dev/null
+echo "bench_snapshot: BENCH_overhead.json refreshed"

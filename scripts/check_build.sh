@@ -6,6 +6,10 @@
 #   2. Re-compile src/obs/ with -Wall -Wextra -Werror: the obs layer is the
 #      newest subsystem and must stay warning-clean even when the rest of
 #      the tree only warns.
+#   3. With --sanitize: an ASan+UBSan configure/build/ctest pass in
+#      build-sanitize/. The telemetry server is the repo's first threaded
+#      and socket-handling code, so the sanitizers cover lifetime and
+#      data-race-adjacent bugs the plain build cannot see.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -14,8 +18,16 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 echo "== strict-warning pass over src/obs/ =="
-for f in src/obs/*.cc; do
+for f in src/obs/*.cc src/obs/health/*.cc src/obs/serve/*.cc; do
   echo "  g++ -Werror $f"
   g++ -std=c++20 -fsyntax-only -Wall -Wextra -Werror -I src "$f"
 done
+
+if [ "$1" = "--sanitize" ]; then
+  echo "== ASan+UBSan pass (build-sanitize/) =="
+  cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+  cmake --build build-sanitize -j
+  (cd build-sanitize && ctest --output-on-failure -j)
+fi
 echo "check_build: OK"

@@ -120,6 +120,7 @@ EpochResult Pipeline::RunEpoch(const net::GroundTruthState& state,
   }
   spans.push_back(epoch_span.End());
   result.spans = std::move(spans);
+  if (epoch_observer_) epoch_observer_(result);
   return result;
 }
 

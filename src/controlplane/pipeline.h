@@ -47,6 +47,15 @@ struct ValidationDecision {
 using InputValidatorFn = std::function<ValidationDecision(
     const ControllerInput&, const telemetry::NetworkSnapshot&)>;
 
+struct EpochResult;
+
+// Post-epoch hook: RunEpoch invokes it with the completed EpochResult just
+// before returning. This is where the operability layer hangs off the
+// pipeline — feeding a SignalHealthBoard, driving an AlertEngine,
+// publishing snapshots to a TelemetryServer — without the pipeline
+// depending on any of those types.
+using EpochObserverFn = std::function<void(const EpochResult&)>;
+
 // What to do when the validator rejects an input (paper §3 step 3:
 // "reject inputs that fail validation and fall back temporarily to the
 // last input state, or trigger an alert").
@@ -97,6 +106,11 @@ class Pipeline {
     validator_ = std::move(validator);
   }
 
+  // Installs the post-epoch observability hook (see EpochObserverFn).
+  void SetEpochObserver(EpochObserverFn observer) {
+    epoch_observer_ = std::move(observer);
+  }
+
   // Runs one epoch. `snapshot_fault` corrupts router telemetry (§2.1),
   // `aggregation_faults` corrupt service outputs (§2.2); both may be empty
   // for a healthy epoch.
@@ -117,6 +131,7 @@ class Pipeline {
   telemetry::Collector collector_;
   SdnController controller_;
   InputValidatorFn validator_;
+  EpochObserverFn epoch_observer_;
   flow::RoutingPlan installed_plan_;
   std::optional<ControllerInput> last_good_input_;
   std::uint64_t next_epoch_ = 0;

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/health/signal_health.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/strings.h"
+
 namespace hodor::core {
 
 std::string Alert::Render() const {
@@ -111,6 +116,263 @@ std::vector<Alert> BuildAlerts(const net::Topology& topo,
                      return a.source < b.source;
                    });
   return alerts;
+}
+
+namespace {
+
+// Provenance check families → the alert source vocabulary BuildAlerts
+// already uses ("demand" fires as "demand-check" etc.).
+std::string SourceForCheck(const std::string& check) {
+  return check == "hardening" ? check : check + "-check";
+}
+
+AlertSeverity Escalate(AlertSeverity s) {
+  switch (s) {
+    case AlertSeverity::kInfo: return AlertSeverity::kWarning;
+    case AlertSeverity::kWarning: return AlertSeverity::kCritical;
+    case AlertSeverity::kCritical: return AlertSeverity::kCritical;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<Alert> AlertsFromProvenance(const obs::DecisionRecord& record,
+                                        const AlertOptions& opts) {
+  std::vector<Alert> alerts;
+  for (const obs::InvariantRecord& rec : record.invariants) {
+    const bool hardening = rec.check == "hardening";
+    Alert alert;
+    alert.source = SourceForCheck(rec.check);
+    alert.entity = obs::ExtractInvariantEntity(rec.invariant);
+    switch (rec.verdict) {
+      case obs::InvariantVerdict::kFail: {
+        alert.severity =
+            hardening ? AlertSeverity::kWarning : AlertSeverity::kCritical;
+        std::ostringstream msg;
+        msg << rec.invariant << " fired (residual "
+            << util::FormatDouble(rec.residual, 4) << " > threshold "
+            << util::FormatDouble(rec.threshold, 4) << ")";
+        if (!rec.detail.empty()) msg << ": " << rec.detail;
+        alert.message = msg.str();
+        break;
+      }
+      case obs::InvariantVerdict::kSkipped:
+        // Only a hardening skip — an unrecoverable router signal — is
+        // actionable; skipped check invariants just lacked that signal.
+        if (!hardening) continue;
+        alert.severity = AlertSeverity::kWarning;
+        alert.message = rec.invariant + " unrecoverable" +
+                        (rec.detail.empty() ? "" : ": " + rec.detail);
+        break;
+      case obs::InvariantVerdict::kPass:
+        // Hardening pass records exist only for flagged-and-recovered
+        // signals: the paper trail BuildAlerts reports as kInfo.
+        if (!hardening || !opts.report_repairs) continue;
+        alert.severity = AlertSeverity::kInfo;
+        alert.message = rec.invariant + " flagged and repaired" +
+                        (rec.detail.empty() ? "" : ": " + rec.detail);
+        break;
+    }
+    alerts.push_back(std::move(alert));
+  }
+  std::stable_sort(alerts.begin(), alerts.end(),
+                   [](const Alert& a, const Alert& b) {
+                     if (a.severity != b.severity) {
+                       return static_cast<int>(a.severity) >
+                              static_cast<int>(b.severity);
+                     }
+                     return a.source < b.source;
+                   });
+  return alerts;
+}
+
+// --- alert lifecycle --------------------------------------------------------
+
+std::string AlertRecord::Render() const {
+  std::ostringstream os;
+  os << "[" << AlertSeverityName(alert.severity) << "] " << alert.source
+     << " " << alert.entity << " (" << AlertStateName(state) << " since epoch "
+     << first_epoch << ", seen " << observed_epochs << "x";
+  if (escalated) os << ", escalated";
+  if (state == AlertState::kResolved) {
+    os << ", resolved at epoch " << resolved_epoch;
+  }
+  os << "): " << alert.message;
+  return os.str();
+}
+
+std::string AlertRecord::ToJson() const {
+  std::ostringstream os;
+  os << "{\"key\":\"" << obs::JsonEscape(key) << "\",\"state\":\""
+     << AlertStateName(state) << "\",\"severity\":\""
+     << AlertSeverityName(alert.severity) << "\",\"source\":\""
+     << obs::JsonEscape(alert.source) << "\",\"entity\":\""
+     << obs::JsonEscape(alert.entity) << "\",\"message\":\""
+     << obs::JsonEscape(alert.message) << "\",\"first_epoch\":" << first_epoch
+     << ",\"last_seen_epoch\":" << last_seen_epoch;
+  if (state == AlertState::kResolved) {
+    os << ",\"resolved_epoch\":" << resolved_epoch;
+  }
+  os << ",\"observed_epochs\":" << observed_epochs
+     << ",\"consecutive_epochs\":" << consecutive_epochs << ",\"escalated\":"
+     << (escalated ? "true" : "false") << ",\"signal_paths\":[";
+  bool first = true;
+  for (const std::string& p : alert.signal_paths) {
+    if (!first) os << ",";
+    os << "\"" << obs::JsonEscape(p) << "\"";
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+AlertEngine::AlertEngine(AlertEngineOptions opts) : opts_(opts) {
+  if (opts_.min_hold_epochs == 0) opts_.min_hold_epochs = 1;
+}
+
+std::string AlertEngine::DedupKey(const Alert& alert) {
+  return alert.source + "|" + alert.entity;
+}
+
+AlertEngineSummary AlertEngine::Observe(std::uint64_t epoch,
+                                        const std::vector<Alert>& alerts) {
+  AlertEngineSummary summary;
+  obs::MetricsRegistry& reg = obs::ResolveRegistry(opts_.metrics);
+  last_epoch_ = epoch;
+  observed_any_ = true;
+
+  // Dedup the incoming snapshot: one condition per key, worst severity
+  // wins (BuildAlerts can report e.g. several violations per entity).
+  std::vector<std::pair<std::string, const Alert*>> incoming;
+  for (const Alert& alert : alerts) {
+    const std::string key = DedupKey(alert);
+    auto it = std::find_if(incoming.begin(), incoming.end(),
+                           [&](const auto& p) { return p.first == key; });
+    if (it == incoming.end()) {
+      incoming.emplace_back(key, &alert);
+    } else if (static_cast<int>(alert.severity) >
+               static_cast<int>(it->second->severity)) {
+      it->second = &alert;
+    }
+  }
+
+  std::vector<bool> seen(active_.size(), false);
+  for (const auto& [key, alert] : incoming) {
+    AlertRecord* rec = nullptr;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i].key == key) {
+        rec = &active_[i];
+        seen[i] = true;
+        break;
+      }
+    }
+    if (rec) {
+      rec->state = AlertState::kActive;
+      rec->alert = *alert;
+      rec->base_severity = alert->severity;
+      if (rec->escalated) {
+        rec->alert.severity = Escalate(rec->base_severity);
+      }
+      rec->last_seen_epoch = epoch;
+      ++rec->observed_epochs;
+      ++rec->consecutive_epochs;
+      ++summary.repeated;
+    } else {
+      AlertRecord fresh;
+      fresh.alert = *alert;
+      fresh.state = AlertState::kFiring;
+      fresh.key = key;
+      fresh.first_epoch = fresh.last_seen_epoch = epoch;
+      fresh.observed_epochs = fresh.consecutive_epochs = 1;
+      fresh.base_severity = alert->severity;
+      active_.push_back(std::move(fresh));
+      seen.push_back(true);
+      rec = &active_.back();
+      ++summary.fired;
+      if (FindResolved(key)) ++summary.refired;
+      reg.GetCounter("hodor_alerts_fired_total",
+                     {{"severity", AlertSeverityName(alert->severity)}},
+                     "Alert conditions that started firing")
+          .Increment();
+    }
+    if (opts_.escalation_threshold > 0 && !rec->escalated &&
+        rec->consecutive_epochs >= opts_.escalation_threshold &&
+        rec->base_severity != AlertSeverity::kCritical) {
+      rec->escalated = true;
+      rec->alert.severity = Escalate(rec->base_severity);
+      ++summary.escalated;
+      reg.GetCounter("hodor_alerts_escalated_total", {},
+                     "Alerts promoted one severity level after repeated "
+                     "failures")
+          .Increment();
+    }
+  }
+
+  // Resolution by absence, with the min-hold flap guard.
+  std::vector<AlertRecord> still_active;
+  still_active.reserve(active_.size());
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    AlertRecord& rec = active_[i];
+    if (seen[i]) {
+      still_active.push_back(std::move(rec));
+      continue;
+    }
+    rec.consecutive_epochs = 0;
+    if (epoch >= rec.last_seen_epoch + opts_.min_hold_epochs) {
+      rec.state = AlertState::kResolved;
+      rec.resolved_epoch = epoch;
+      resolved_.push_front(std::move(rec));
+      while (resolved_.size() > opts_.max_resolved) resolved_.pop_back();
+      ++summary.resolved;
+      reg.GetCounter("hodor_alerts_resolved_total", {},
+                     "Alert conditions that resolved")
+          .Increment();
+    } else {
+      ++summary.held;  // flap suppression: unobserved but within hold
+      still_active.push_back(std::move(rec));
+    }
+  }
+  active_ = std::move(still_active);
+
+  reg.GetGauge("hodor_alerts_active", {},
+               "Currently firing or active alert conditions")
+      .Set(static_cast<double>(active_.size()));
+  return summary;
+}
+
+const AlertRecord* AlertEngine::FindActive(const std::string& key) const {
+  for (const AlertRecord& rec : active_) {
+    if (rec.key == key) return &rec;
+  }
+  return nullptr;
+}
+
+const AlertRecord* AlertEngine::FindResolved(const std::string& key) const {
+  for (const AlertRecord& rec : resolved_) {  // newest first
+    if (rec.key == key) return &rec;
+  }
+  return nullptr;
+}
+
+std::string AlertEngine::ToJson() const {
+  std::ostringstream os;
+  os << "{\"active\":[";
+  bool first = true;
+  for (const AlertRecord& rec : active_) {
+    if (!first) os << ",";
+    os << rec.ToJson();
+    first = false;
+  }
+  os << "],\"resolved\":[";
+  first = true;
+  for (const AlertRecord& rec : resolved_) {
+    if (!first) os << ",";
+    os << rec.ToJson();
+    first = false;
+  }
+  os << "]}";
+  return os.str();
 }
 
 }  // namespace hodor::core

@@ -11,8 +11,16 @@
 // human-readable message, the paper mechanism that fired, and — where the
 // finding concerns concrete router signals — the OpenConfig-style paths an
 // engineer would query first (via the SignalCatalog).
+//
+// AlertEngine adds the lifecycle a management system expects on top of the
+// per-epoch BuildAlerts snapshots: alerts are deduplicated by a stable key
+// (source + entity), transition firing → active → resolved, are held
+// active for a minimum number of epochs so one-epoch flaps don't page
+// twice, and escalate in severity when the same invariant keeps failing.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -63,5 +71,116 @@ std::vector<Alert> BuildAlerts(const net::Topology& topo,
                                const telemetry::SignalCatalog& catalog,
                                const ValidationReport& report,
                                const AlertOptions& opts = {});
+
+// Builds alerts from decision provenance alone (the DecisionRecord each
+// EpochResult already carries), for consumers that sit behind the pipeline
+// and never see the full ValidationReport. Mapping: failed invariants are
+// critical (warning for hardening), hardening repairs are info (subject to
+// AlertOptions::report_repairs), hardening skips — an unrecoverable signal
+// — are warnings. Non-hardening skipped invariants produce no alert.
+// Signal paths are not resolved here (no catalog); entities come from the
+// invariant names.
+std::vector<Alert> AlertsFromProvenance(const obs::DecisionRecord& record,
+                                        const AlertOptions& opts = {});
+
+// --- alert lifecycle --------------------------------------------------------
+
+enum class AlertState {
+  kFiring,    // first epoch this condition was observed
+  kActive,    // observed again on a later epoch (or held by flap hold)
+  kResolved,  // unobserved for at least min_hold_epochs
+};
+
+constexpr const char* AlertStateName(AlertState s) {
+  switch (s) {
+    case AlertState::kFiring: return "firing";
+    case AlertState::kActive: return "active";
+    case AlertState::kResolved: return "resolved";
+  }
+  return "?";
+}
+
+struct AlertEngineOptions {
+  // Flap suppression: an alert stays active until it has gone unobserved
+  // for this many consecutive epochs. 1 resolves on the first clean epoch.
+  std::uint64_t min_hold_epochs = 2;
+  // Severity escalation: after this many consecutive observed epochs a
+  // non-critical alert is promoted one level (info → warning → critical).
+  // 0 disables escalation.
+  std::uint64_t escalation_threshold = 3;
+  // Resolved-alert history kept for /alerts and post-mortems.
+  std::size_t max_resolved = 64;
+  // Lifecycle counters/gauges (fired/resolved/escalated/active) are
+  // emitted here; nullptr → the process-global registry.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// One tracked condition with its lifecycle bookkeeping.
+struct AlertRecord {
+  Alert alert;  // latest content; message refreshes on re-observation
+  AlertState state = AlertState::kFiring;
+  std::string key;  // dedup identity, see AlertEngine::DedupKey
+  std::uint64_t first_epoch = 0;
+  std::uint64_t last_seen_epoch = 0;
+  std::uint64_t resolved_epoch = 0;  // meaningful once state == kResolved
+  std::uint64_t observed_epochs = 0;     // total epochs observed
+  std::uint64_t consecutive_epochs = 0;  // current observed run length
+  // Severity as reported before any escalation.
+  AlertSeverity base_severity = AlertSeverity::kInfo;
+  bool escalated = false;
+
+  // "[CRITICAL] demand-check NYCMng (active since epoch 8, seen 3x): ..."
+  std::string Render() const;
+  std::string ToJson() const;
+};
+
+// What one Observe() call changed — the transition log an operator console
+// would show for the epoch.
+struct AlertEngineSummary {
+  std::size_t fired = 0;      // new conditions (state kFiring)
+  std::size_t refired = 0;    // of `fired`, conditions seen before (flap)
+  std::size_t repeated = 0;   // already-active conditions observed again
+  std::size_t escalated = 0;  // severity promotions this epoch
+  std::size_t held = 0;       // unobserved but kept by flap suppression
+  std::size_t resolved = 0;   // transitioned to kResolved this epoch
+};
+
+// Feeds per-epoch alert snapshots (from BuildAlerts or
+// AlertsFromProvenance) through the lifecycle. Epochs must be observed in
+// non-decreasing order; call Observe once per epoch even when the alert
+// list is empty — resolution is driven by absence.
+class AlertEngine {
+ public:
+  explicit AlertEngine(AlertEngineOptions opts = {});
+
+  const AlertEngineOptions& options() const { return opts_; }
+
+  AlertEngineSummary Observe(std::uint64_t epoch,
+                             const std::vector<Alert>& alerts);
+
+  // Firing + active conditions, ordered by first_epoch then key.
+  const std::vector<AlertRecord>& active() const { return active_; }
+  // Most recently resolved first, capped at max_resolved.
+  const std::deque<AlertRecord>& resolved() const { return resolved_; }
+
+  // nullptr when the condition is not currently firing/active.
+  const AlertRecord* FindActive(const std::string& key) const;
+  // Searches the resolved history (newest match wins).
+  const AlertRecord* FindResolved(const std::string& key) const;
+
+  // The dedup identity: "source|entity". Messages and severities vary
+  // epoch to epoch (residuals move); the condition is the pair.
+  static std::string DedupKey(const Alert& alert);
+
+  // {"active":[...],"resolved":[...]} — the GET /alerts payload.
+  std::string ToJson() const;
+
+ private:
+  AlertEngineOptions opts_;
+  std::vector<AlertRecord> active_;
+  std::deque<AlertRecord> resolved_;
+  std::uint64_t last_epoch_ = 0;
+  bool observed_any_ = false;
+};
 
 }  // namespace hodor::core

@@ -1,0 +1,197 @@
+#include "obs/health/signal_health.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace hodor::obs {
+
+namespace {
+
+double Clamp01To100(double v) { return std::min(100.0, std::max(0.0, v)); }
+
+// Residual normalised by its threshold so different check families share a
+// scale (1.0 = exactly at tolerance). Thresholds of zero (boolean drain
+// invariants) pass the residual through unchanged — it is already a 0/1
+// mismatch indicator.
+double NormalisedResidual(const InvariantRecord& rec) {
+  return rec.threshold > 0.0 ? rec.residual / rec.threshold : rec.residual;
+}
+
+// Per-source reduction of one epoch: worst verdict wins.
+struct EpochObservation {
+  bool failed = false;
+  bool skipped = false;
+  bool evaluated = false;
+  bool repaired = false;  // hardening pass = flagged-but-recovered signal
+  double residual = 0.0;  // max normalised residual seen this epoch
+};
+
+}  // namespace
+
+std::string SignalHealth::HistoryString() const {
+  std::string s;
+  s.reserve(history.size());
+  for (EpochVerdict v : history) s += static_cast<char>(v);
+  return s;
+}
+
+std::string SignalHealth::ToJson() const {
+  std::ostringstream os;
+  os << "{\"check\":\"" << JsonEscape(check) << "\",\"entity\":\""
+     << JsonEscape(entity) << "\",\"trust\":" << JsonNumber(trust)
+     << ",\"residual_ewma\":" << JsonNumber(residual_ewma)
+     << ",\"last_residual\":" << JsonNumber(last_residual)
+     << ",\"first_epoch\":" << first_epoch << ",\"last_epoch\":" << last_epoch
+     << ",\"observed_epochs\":" << observed_epochs
+     << ",\"fail_epochs\":" << fail_epochs
+     << ",\"skipped_epochs\":" << skipped_epochs
+     << ",\"repair_events\":" << repair_events
+     << ",\"consecutive_failures\":" << consecutive_failures
+     << ",\"history\":\"" << JsonEscape(HistoryString()) << "\"}";
+  return os.str();
+}
+
+SignalHealthBoard::SignalHealthBoard(SignalHealthOptions opts)
+    : opts_(opts) {
+  if (opts_.window == 0) opts_.window = 1;
+}
+
+void SignalHealthBoard::ObserveEpoch(const DecisionRecord& record) {
+  ++epochs_observed_;
+
+  // Reduce the record to one observation per source.
+  std::map<std::pair<std::string, std::string>, EpochObservation> seen;
+  for (const InvariantRecord& rec : record.invariants) {
+    EpochObservation& obs =
+        seen[{rec.check, ExtractInvariantEntity(rec.invariant)}];
+    obs.residual = std::max(obs.residual, NormalisedResidual(rec));
+    switch (rec.verdict) {
+      case InvariantVerdict::kFail:
+        obs.failed = true;
+        obs.evaluated = true;
+        break;
+      case InvariantVerdict::kSkipped:
+        obs.skipped = true;
+        break;
+      case InvariantVerdict::kPass:
+        obs.evaluated = true;
+        // Hardening emits a record only for signals it flagged: a pass
+        // there means the signal misbehaved but was recovered (R2-R4).
+        if (rec.check == "hardening") obs.repaired = true;
+        break;
+    }
+  }
+
+  auto push_history = [this](SignalHealth& h, EpochVerdict v) {
+    h.history.push_back(v);
+    while (h.history.size() > opts_.window) h.history.pop_front();
+  };
+
+  // Apply observations (creating sources on first sight).
+  for (const auto& [key, obs] : seen) {
+    auto [it, inserted] = sources_.try_emplace(key);
+    SignalHealth& h = it->second;
+    if (inserted) {
+      h.check = key.first;
+      h.entity = key.second;
+      h.first_epoch = record.epoch;
+    }
+    h.last_epoch = record.epoch;
+    ++h.observed_epochs;
+    h.last_residual = obs.residual;
+    h.residual_ewma = opts_.ewma_alpha * obs.residual +
+                      (1.0 - opts_.ewma_alpha) * h.residual_ewma;
+
+    if (obs.failed) {
+      ++h.fail_epochs;
+      ++h.consecutive_failures;
+      h.trust = Clamp01To100(h.trust - opts_.fail_penalty);
+      push_history(h, EpochVerdict::kFailed);
+    } else if (obs.skipped && !obs.evaluated) {
+      ++h.skipped_epochs;
+      h.consecutive_failures = 0;
+      h.trust = Clamp01To100(h.trust - opts_.skip_penalty);
+      push_history(h, EpochVerdict::kSkipped);
+    } else if (obs.repaired) {
+      ++h.repair_events;
+      h.consecutive_failures = 0;
+      h.trust = Clamp01To100(h.trust - opts_.repair_penalty);
+      push_history(h, EpochVerdict::kRepaired);
+    } else {
+      h.consecutive_failures = 0;
+      h.trust = Clamp01To100(h.trust + opts_.recovery_credit);
+      push_history(h, EpochVerdict::kClean);
+    }
+  }
+
+  // Sources with no record this epoch: no evidence of trouble. Hardening
+  // sources only ever appear when flagged, so quiet epochs are how they
+  // regain trust after a repair.
+  for (auto& [key, h] : sources_) {
+    if (seen.count(key)) continue;
+    h.consecutive_failures = 0;
+    h.trust = Clamp01To100(h.trust + opts_.recovery_credit);
+    h.residual_ewma *= (1.0 - opts_.ewma_alpha);
+    push_history(h, EpochVerdict::kQuiet);
+  }
+}
+
+const SignalHealth* SignalHealthBoard::Find(const std::string& check,
+                                            const std::string& entity) const {
+  const auto it = sources_.find({check, entity});
+  return it == sources_.end() ? nullptr : &it->second;
+}
+
+std::vector<const SignalHealth*> SignalHealthBoard::SourcesByTrust() const {
+  std::vector<const SignalHealth*> out;
+  out.reserve(sources_.size());
+  for (const auto& [key, h] : sources_) out.push_back(&h);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SignalHealth* a, const SignalHealth* b) {
+                     if (a->trust != b->trust) return a->trust < b->trust;
+                     if (a->check != b->check) return a->check < b->check;
+                     return a->entity < b->entity;
+                   });
+  return out;
+}
+
+double SignalHealthBoard::MinTrust() const {
+  double min = 100.0;
+  for (const auto& [key, h] : sources_) min = std::min(min, h.trust);
+  return min;
+}
+
+void SignalHealthBoard::PublishGauges(MetricsRegistry* registry) const {
+  MetricsRegistry& reg = ResolveRegistry(registry);
+  for (const auto& [key, h] : sources_) {
+    reg.GetGauge("hodor_signal_trust",
+                 {{"check", h.check}, {"entity", h.entity}},
+                 "Signal-source trust score (0-100)")
+        .Set(h.trust);
+  }
+}
+
+std::string SignalHealthBoard::ToJson() const {
+  std::ostringstream os;
+  os << "{\"epochs\":" << epochs_observed_ << ",\"sources\":[";
+  bool first = true;
+  for (const SignalHealth* h : SourcesByTrust()) {
+    if (!first) os << ",";
+    os << h->ToJson();
+    first = false;
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string ExtractInvariantEntity(const std::string& invariant) {
+  if (invariant.empty() || invariant.back() != ')') return invariant;
+  const std::size_t open = invariant.rfind('(');
+  if (open == std::string::npos) return invariant;
+  return invariant.substr(open + 1, invariant.size() - open - 2);
+}
+
+}  // namespace hodor::obs

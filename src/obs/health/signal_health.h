@@ -1,0 +1,129 @@
+// Signal-health scoreboard: per-signal-source trust tracked over epochs.
+//
+// The paper's premise is that operators must know which low-level signals
+// are trustworthy *before* the controller acts on them; CrossCheck
+// (PAPERS.md) argues the same for production WAN control as continuous
+// per-signal confidence. The validator already explains each epoch through
+// a DecisionRecord (obs/provenance.h); this board folds those records over
+// time into one operator-facing number per signal source — a 0–100 trust
+// score — plus the evidence behind it (recent verdict history, repair
+// count, residual EWMA).
+//
+// A *source* is (check, entity): the entity a verdict speaks about, parsed
+// from the invariant name — "ingress(SEAT)" is entity SEAT under the
+// demand check, "r1-symmetry(A->B)" is link A->B under hardening. The
+// board is check-agnostic: it never looks at core/ types, only at the
+// DecisionRecords the pipeline already carries, so it lives in obs/ and
+// any layer can feed it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/provenance.h"
+
+namespace hodor::obs {
+
+class MetricsRegistry;
+
+struct SignalHealthOptions {
+  // Verdict-history ring capacity (epochs kept per source).
+  std::size_t window = 32;
+  // Smoothing factor for the normalised-residual EWMA (weight of the
+  // newest observation).
+  double ewma_alpha = 0.3;
+  // Trust-score deltas per epoch, applied on the source's worst verdict
+  // that epoch and clamped to [0, 100]:
+  double fail_penalty = 40.0;     // an invariant fired
+  double skip_penalty = 15.0;     // signal unavailable / unrecoverable
+  double repair_penalty = 10.0;   // hardening flagged-and-repaired it
+  double recovery_credit = 10.0;  // clean (or quiet) epoch
+};
+
+// What one epoch contributed to a source, for the history ring.
+enum class EpochVerdict : char {
+  kClean = 'P',     // evaluated, all invariants passed
+  kFailed = 'F',    // at least one invariant fired
+  kSkipped = 'S',   // could not be evaluated
+  kRepaired = 'R',  // hardening flagged the signal but recovered it
+  kQuiet = '.',     // no record mentioned the source this epoch
+};
+
+struct SignalHealth {
+  std::string check;   // "hardening" | "demand" | "topology" | "drain"
+  std::string entity;  // router or link name, e.g. "SEAT", "A->B"
+
+  double trust = 100.0;         // 0 (untrusted) .. 100 (clean record)
+  double residual_ewma = 0.0;   // EWMA of residual/threshold (1.0 = at τ)
+  double last_residual = 0.0;   // normalised, from the latest observation
+
+  std::uint64_t first_epoch = 0;
+  std::uint64_t last_epoch = 0;
+  std::uint64_t observed_epochs = 0;  // epochs with at least one record
+  std::uint64_t fail_epochs = 0;
+  std::uint64_t skipped_epochs = 0;
+  std::uint64_t repair_events = 0;
+  std::uint64_t consecutive_failures = 0;  // current failing run length
+
+  // Oldest → newest, capped at SignalHealthOptions::window.
+  std::deque<EpochVerdict> history;
+
+  // History as a compact string, e.g. "PPFRP.P" (oldest first).
+  std::string HistoryString() const;
+  // {"check":"demand","entity":"SEAT","trust":62.0,...,"history":"PPF"}
+  std::string ToJson() const;
+};
+
+// Folds epoch DecisionRecords into per-source trust. Single-threaded like
+// the rest of the obs layer; serve it over HTTP by publishing ToJson()
+// snapshots (see obs/serve/telemetry_server.h).
+class SignalHealthBoard {
+ public:
+  explicit SignalHealthBoard(SignalHealthOptions opts = {});
+
+  const SignalHealthOptions& options() const { return opts_; }
+
+  // Consumes one epoch's verdicts. Every invariant record is attributed to
+  // its (check, entity) source; sources known to the board but absent from
+  // the record count as quiet and regain trust.
+  void ObserveEpoch(const DecisionRecord& record);
+
+  std::size_t source_count() const { return sources_.size(); }
+  std::uint64_t epochs_observed() const { return epochs_observed_; }
+
+  // nullptr when the source has never been observed.
+  const SignalHealth* Find(const std::string& check,
+                           const std::string& entity) const;
+
+  // All sources ordered by ascending trust (worst first), ties by
+  // (check, entity) for deterministic output.
+  std::vector<const SignalHealth*> SourcesByTrust() const;
+
+  // Lowest trust across sources; 100 when the board is empty.
+  double MinTrust() const;
+
+  // Writes one gauge per source into `registry` (nullptr → global):
+  //   hodor_signal_trust{check="demand",entity="SEAT"} 62
+  // so trust rides the ordinary /metrics export.
+  void PublishGauges(MetricsRegistry* registry) const;
+
+  // {"epochs":N,"sources":[ ...worst trust first... ]} — the
+  // GET /health/signals payload.
+  std::string ToJson() const;
+
+ private:
+  SignalHealthOptions opts_;
+  std::map<std::pair<std::string, std::string>, SignalHealth> sources_;
+  std::uint64_t epochs_observed_ = 0;
+};
+
+// Extracts the entity a provenance invariant speaks about: the content of
+// the trailing "(...)" — "ingress(SEAT)" → "SEAT", "r1-symmetry(A->B)" →
+// "A->B" — or the whole name when there are no parentheses.
+std::string ExtractInvariantEntity(const std::string& invariant);
+
+}  // namespace hodor::obs

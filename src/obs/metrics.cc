@@ -120,7 +120,11 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   auto [it, inserted] = family.series.try_emplace(RenderLabels(sorted));
   if (inserted) {
     it->second.labels = sorted;
-    if (upper_bounds.empty()) upper_bounds = DefaultLatencyBucketsUs();
+    if (upper_bounds.empty()) {
+      upper_bounds = opts_.default_histogram_buckets.empty()
+                         ? DefaultLatencyBucketsUs()
+                         : opts_.default_histogram_buckets;
+    }
     it->second.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
   }
   return *it->second.histogram;

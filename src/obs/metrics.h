@@ -73,12 +73,24 @@ class Histogram {
   double sum_ = 0.0;
 };
 
-// Default microsecond latency buckets for stage spans: 10us .. 1s.
+// Default microsecond latency buckets for stage spans: 10us .. 1s
+// (see DESIGN.md "Observability defaults" for the exact boundaries).
 std::vector<double> DefaultLatencyBucketsUs();
+
+// Registry-wide knobs. Today this is just the histogram default; it is a
+// struct so later options (series limits, export prefixes) ride along
+// without touching every construction site.
+struct MetricsRegistryOptions {
+  // Bucket boundaries used when GetHistogram is called with empty
+  // `upper_bounds`. Empty means DefaultLatencyBucketsUs().
+  std::vector<double> default_histogram_buckets;
+};
 
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
+  explicit MetricsRegistry(MetricsRegistryOptions opts)
+      : opts_(std::move(opts)) {}
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -114,7 +126,16 @@ class MetricsRegistry {
   std::string ExportJson() const;
 
   // Drops every family (benches isolate configurations this way).
+  // Options survive a Reset: they describe the registry, not its contents.
   void Reset() { families_.clear(); }
+
+  const MetricsRegistryOptions& options() const { return opts_; }
+  // Replaces the default histogram buckets used by later GetHistogram
+  // calls with empty bounds; already-created histograms keep theirs.
+  // Empty restores DefaultLatencyBucketsUs().
+  void SetDefaultHistogramBuckets(std::vector<double> upper_bounds) {
+    opts_.default_histogram_buckets = std::move(upper_bounds);
+  }
 
  private:
   enum class MetricType { kCounter, kGauge, kHistogram };
@@ -137,6 +158,7 @@ class MetricsRegistry {
   const Series* FindSeries(const std::string& name, MetricType type,
                            const Labels& labels) const;
 
+  MetricsRegistryOptions opts_;
   std::map<std::string, Family> families_;
 };
 

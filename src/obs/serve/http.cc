@@ -1,0 +1,121 @@
+#include "obs/serve/http.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace hodor::obs {
+
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void ParseQueryInto(std::string_view qs,
+                    std::map<std::string, std::string>& out) {
+  std::size_t pos = 0;
+  while (pos <= qs.size()) {
+    const std::size_t amp = qs.find('&', pos);
+    const std::string_view pair =
+        qs.substr(pos, amp == std::string_view::npos ? qs.size() - pos
+                                                     : amp - pos);
+    if (!pair.empty()) {
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        out[UrlDecode(pair)] = "";
+      } else {
+        out[UrlDecode(pair.substr(0, eq))] = UrlDecode(pair.substr(eq + 1));
+      }
+    }
+    if (amp == std::string_view::npos) break;
+    pos = amp + 1;
+  }
+}
+
+}  // namespace
+
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = HexValue(s[i + 1]);
+      const int lo = HexValue(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+      } else {
+        out += s[i];
+      }
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::optional<HttpRequest> ParseHttpRequest(std::string_view head) {
+  const std::size_t eol = head.find("\r\n");
+  std::string_view line =
+      eol == std::string_view::npos ? head : head.substr(0, eol);
+  // Tolerate bare-LF clients (e.g. printf | nc).
+  if (eol == std::string_view::npos) {
+    const std::size_t lf = line.find('\n');
+    if (lf != std::string_view::npos) line = line.substr(0, lf);
+  }
+
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return std::nullopt;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return std::nullopt;
+
+  const std::string_view version = line.substr(sp2 + 1);
+  if (version.substr(0, 7) != "HTTP/1.") return std::nullopt;
+
+  HttpRequest req;
+  req.method = std::string(line.substr(0, sp1));
+  for (char& c : req.method) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  req.target = std::string(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  if (req.target.empty() || req.target[0] != '/') return std::nullopt;
+
+  const std::size_t qmark = req.target.find('?');
+  if (qmark == std::string::npos) {
+    req.path = req.target;
+  } else {
+    req.path = req.target.substr(0, qmark);
+    ParseQueryInto(std::string_view(req.target).substr(qmark + 1), req.query);
+  }
+  return req;
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+  }
+  return "Unknown";
+}
+
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << " " << HttpStatusText(status) << "\r\n"
+     << "Content-Type: " << content_type << "\r\n"
+     << "Content-Length: " << body.size() << "\r\n"
+     << "Connection: close\r\n"
+     << "\r\n"
+     << body;
+  return os.str();
+}
+
+}  // namespace hodor::obs

@@ -1,0 +1,43 @@
+// Minimal HTTP/1.1 message handling for the embedded telemetry server.
+//
+// Deliberately tiny and dependency-free, like obs/json.h: only what a
+// read-only, Connection: close exporter needs — parse the request line and
+// query string, render a response with Content-Length. Socket handling
+// lives in telemetry_server.cc; everything here is pure string work so the
+// parser is unit-testable without a network.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hodor::obs {
+
+struct HttpRequest {
+  std::string method;  // "GET"
+  std::string target;  // as sent: "/decisions?last=5"
+  std::string path;    // "/decisions"
+  // Decoded query parameters (last occurrence wins). Only %XX and '+'
+  // decoding — enough for numeric and name-valued parameters.
+  std::map<std::string, std::string> query;
+};
+
+// Parses the request line out of `head` (the bytes up to the blank line).
+// Returns std::nullopt for anything that is not a well-formed
+// "<METHOD> <target> HTTP/1.x" line. Headers are intentionally ignored:
+// every endpoint is a read-only GET with no content negotiation.
+std::optional<HttpRequest> ParseHttpRequest(std::string_view head);
+
+// Percent-decodes `s` ('+' becomes space; bad escapes are kept verbatim).
+std::string UrlDecode(std::string_view s);
+
+// Canonical reason phrase for the handful of statuses the server emits.
+const char* HttpStatusText(int status);
+
+// Renders a full response: status line, Content-Type, Content-Length,
+// Connection: close, blank line, body.
+std::string BuildHttpResponse(int status, std::string_view content_type,
+                              std::string_view body);
+
+}  // namespace hodor::obs

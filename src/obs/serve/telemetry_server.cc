@@ -1,0 +1,283 @@
+#include "obs/serve/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "obs/health/signal_health.h"
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "util/logging.h"
+
+namespace hodor::obs {
+
+namespace {
+
+constexpr const char* kJsonType = "application/json";
+// The Prometheus text exposition content type scrapers expect.
+constexpr const char* kPrometheusType =
+    "text/plain; version=0.0.4; charset=utf-8";
+// Request heads beyond this are rejected; every legitimate scrape fits in
+// a fraction of it.
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+bool SendAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(TelemetryServerOptions opts)
+    : opts_(std::move(opts)) {}
+
+TelemetryServer::~TelemetryServer() { Stop(); }
+
+bool TelemetryServer::Start() {
+  if (running_) return true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    CloseFd(listen_fd_);
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    HODOR_LOG(kWarning) << "telemetry server: cannot bind "
+                        << opts_.bind_address << ":" << opts_.port << ": "
+                        << std::strerror(errno);
+    CloseFd(listen_fd_);
+    return false;
+  }
+
+  // Resolve an ephemeral port request.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+
+  if (::pipe(wake_pipe_) != 0) {
+    CloseFd(listen_fd_);
+    return false;
+  }
+
+  running_ = true;
+  thread_ = std::thread(&TelemetryServer::Serve, this);
+  return true;
+}
+
+void TelemetryServer::Stop() {
+  if (!running_) return;
+  running_ = false;
+  // Wake the poll loop so the thread notices the flag.
+  const char byte = 'q';
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  CloseFd(listen_fd_);
+  CloseFd(wake_pipe_[0]);
+  CloseFd(wake_pipe_[1]);
+  port_ = 0;
+}
+
+std::string TelemetryServer::url() const {
+  return "http://" + opts_.bind_address + ":" + std::to_string(port_);
+}
+
+void TelemetryServer::Serve() {
+  while (running_) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, /*timeout_ms=*/500);
+    if (!running_) break;
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the flag
+    if (!(fds[0].revents & POLLIN)) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void TelemetryServer::HandleConnection(int client_fd) {
+  timeval tv{};
+  tv.tv_sec = opts_.request_timeout_ms / 1000;
+  tv.tv_usec = (opts_.request_timeout_ms % 1000) * 1000;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  // Read until the end of the header block (we never accept bodies).
+  std::string head;
+  char buf[2048];
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<std::size_t>(n));
+    if (head.size() > kMaxRequestBytes) {
+      SendAll(client_fd,
+              BuildHttpResponse(400, kJsonType,
+                                "{\"error\":\"request too large\"}"));
+      return;
+    }
+  }
+  if (head.empty()) return;  // client went away
+
+  const std::optional<HttpRequest> request = ParseHttpRequest(head);
+  std::string response;
+  if (!request) {
+    response = BuildHttpResponse(400, kJsonType,
+                                 "{\"error\":\"malformed request\"}");
+  } else {
+    response = HandleRequest(*request);
+  }
+  SendAll(client_fd, response);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_served_;
+  }
+}
+
+std::string TelemetryServer::HandleRequest(const HttpRequest& request) {
+  if (request.method != "GET") {
+    return BuildHttpResponse(405, kJsonType,
+                             "{\"error\":\"only GET is supported\"}");
+  }
+  if (request.path == "/metrics") {
+    std::lock_guard<std::mutex> lock(mu_);
+    return BuildHttpResponse(200, kPrometheusType, metrics_text_);
+  }
+  if (request.path == "/metrics.json") {
+    std::lock_guard<std::mutex> lock(mu_);
+    return BuildHttpResponse(
+        200, kJsonType, metrics_json_.empty() ? "{}" : metrics_json_);
+  }
+  if (request.path == "/healthz") {
+    return BuildHttpResponse(200, kJsonType, RenderHealthz());
+  }
+  if (request.path == "/decisions") {
+    return RenderDecisions(request);
+  }
+  if (request.path == "/health/signals") {
+    std::lock_guard<std::mutex> lock(mu_);
+    return BuildHttpResponse(200, kJsonType, signals_json_);
+  }
+  if (request.path == "/alerts") {
+    std::lock_guard<std::mutex> lock(mu_);
+    return BuildHttpResponse(200, kJsonType, alerts_json_);
+  }
+  if (request.path == "/") {
+    return BuildHttpResponse(200, kJsonType, RenderIndex());
+  }
+  return BuildHttpResponse(404, kJsonType, "{\"error\":\"unknown path\"}");
+}
+
+std::string TelemetryServer::RenderHealthz() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"status\":\"ok\",\"last_epoch\":" << last_published_epoch_
+     << ",\"published_epochs\":" << published_epochs_
+     << ",\"decisions_held\":" << decisions_.size()
+     << ",\"requests_served\":" << requests_served_ << "}";
+  return os.str();
+}
+
+std::string TelemetryServer::RenderDecisions(const HttpRequest& request) {
+  std::size_t limit = opts_.max_decisions;
+  const auto it = request.query.find("last");
+  if (it != request.query.end()) {
+    try {
+      limit = static_cast<std::size_t>(std::stoul(it->second));
+    } catch (...) {
+      return BuildHttpResponse(400, kJsonType,
+                               "{\"error\":\"last must be a number\"}");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "[";
+  std::size_t emitted = 0;
+  for (const std::string& d : decisions_) {  // newest first
+    if (emitted >= limit) break;
+    if (emitted) os << ",";
+    os << d;
+    ++emitted;
+  }
+  os << "]";
+  return BuildHttpResponse(200, kJsonType, os.str());
+}
+
+std::string TelemetryServer::RenderIndex() {
+  return "{\"endpoints\":[\"/metrics\",\"/metrics.json\",\"/healthz\","
+         "\"/decisions\",\"/health/signals\",\"/alerts\"]}";
+}
+
+void TelemetryServer::PublishMetrics(const MetricsRegistry* registry) {
+  const MetricsRegistry& reg =
+      ResolveRegistry(const_cast<MetricsRegistry*>(registry));
+  // Render outside the lock: export cost must not block in-flight scrapes.
+  std::string text = reg.ExportPrometheus();
+  std::string json = reg.ExportJson();
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_text_ = std::move(text);
+  metrics_json_ = std::move(json);
+}
+
+void TelemetryServer::PublishSignals(const SignalHealthBoard& board) {
+  std::string json = board.ToJson();
+  std::lock_guard<std::mutex> lock(mu_);
+  signals_json_ = std::move(json);
+}
+
+void TelemetryServer::PublishDecision(const DecisionRecord& record) {
+  std::string json = record.ToJson();
+  std::lock_guard<std::mutex> lock(mu_);
+  decisions_.push_front(std::move(json));
+  while (decisions_.size() > opts_.max_decisions) decisions_.pop_back();
+  last_published_epoch_ = record.epoch;
+  ++published_epochs_;
+}
+
+void TelemetryServer::PublishAlerts(std::string alerts_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  alerts_json_ = std::move(alerts_json);
+}
+
+std::uint64_t TelemetryServer::requests_served() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return requests_served_;
+}
+
+}  // namespace hodor::obs

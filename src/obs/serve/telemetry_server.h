@@ -1,0 +1,120 @@
+// Embedded telemetry HTTP server: the always-on serving surface that turns
+// the obs layer's in-process state into something an operator (or a
+// Prometheus scraper) can query while the pipeline runs.
+//
+// Endpoints (all GET, Connection: close):
+//   /              tiny JSON index of the endpoints below
+//   /metrics       Prometheus text exposition of the published registry
+//   /metrics.json  the same registry as one JSON object
+//   /healthz       liveness + serving statistics
+//   /decisions     recent DecisionRecord provenance, newest first
+//                  (?last=N trims to the N most recent)
+//   /health/signals  the SignalHealthBoard trust scoreboard
+//   /alerts        the AlertEngine lifecycle state (published upstream)
+//
+// Threading model. The rest of the obs layer is deliberately
+// single-threaded (see obs/metrics.h), so the server never touches a live
+// MetricsRegistry or SignalHealthBoard from its serving thread. Instead
+// the owner — the thread running the pipeline — *publishes* snapshots
+// after each epoch (PublishMetrics / PublishSignals / PublishDecision /
+// PublishAlerts); each call renders outside the lock and atomically swaps
+// the served string. The serving thread only ever reads those strings
+// under the same mutex. Scrapes are therefore epoch-consistent: an
+// operator never sees a half-updated registry.
+//
+// Dependency-free by design: plain POSIX sockets, one blocking accept
+// loop, HTTP/1.1 with Connection: close. This is an exporter, not a web
+// framework.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/serve/http.h"
+
+namespace hodor::obs {
+
+class MetricsRegistry;
+class SignalHealthBoard;
+struct DecisionRecord;
+
+struct TelemetryServerOptions {
+  // 0 → kernel-assigned ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  // Loopback by default: this is an operator surface, not a public one.
+  std::string bind_address = "127.0.0.1";
+  // Ring of recent decisions held for GET /decisions.
+  std::size_t max_decisions = 64;
+  // Per-connection receive timeout; a stalled client cannot wedge the
+  // single serving thread for longer than this.
+  int request_timeout_ms = 2000;
+};
+
+class TelemetryServer {
+ public:
+  explicit TelemetryServer(TelemetryServerOptions opts = {});
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  // Binds, listens, and starts the serving thread. False when the socket
+  // cannot be set up (port busy, no loopback); safe to call once.
+  bool Start();
+  // Stops the serving thread and closes the socket. Idempotent; also run
+  // by the destructor.
+  void Stop();
+
+  bool running() const { return running_; }
+  // The bound port (resolves option port 0); 0 before Start().
+  std::uint16_t port() const { return port_; }
+  // "http://127.0.0.1:8080" — for log lines and examples.
+  std::string url() const;
+
+  // --- publication (owner thread) ----------------------------------------
+  // Renders the registry (nullptr → the process-global one) and swaps it
+  // into /metrics and /metrics.json.
+  void PublishMetrics(const MetricsRegistry* registry = nullptr);
+  // Swaps the scoreboard snapshot into /health/signals.
+  void PublishSignals(const SignalHealthBoard& board);
+  // Appends one epoch's provenance to the /decisions ring.
+  void PublishDecision(const DecisionRecord& record);
+  // Swaps a pre-rendered JSON value (the AlertEngine's ToJson(); rendered
+  // upstream because core/ sits above obs/) into /alerts.
+  void PublishAlerts(std::string alerts_json);
+
+  std::uint64_t requests_served() const;
+
+  // Routing, exposed for tests: maps one parsed request to a full HTTP
+  // response using the currently published snapshots.
+  std::string HandleRequest(const HttpRequest& request);
+
+ private:
+  void Serve();
+  void HandleConnection(int client_fd);
+  std::string RenderHealthz();
+  std::string RenderDecisions(const HttpRequest& request);
+  std::string RenderIndex();
+
+  TelemetryServerOptions opts_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // Stop() wakes the poll loop through this
+  bool running_ = false;
+  std::thread thread_;
+
+  mutable std::mutex mu_;
+  std::string metrics_text_;   // Prometheus exposition
+  std::string metrics_json_;
+  std::string signals_json_ = "{\"epochs\":0,\"sources\":[]}";
+  std::string alerts_json_ = "{\"active\":[],\"resolved\":[]}";
+  std::deque<std::string> decisions_;  // newest at the front
+  std::uint64_t last_published_epoch_ = 0;
+  std::uint64_t published_epochs_ = 0;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace hodor::obs

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/json.h"
+#include "util/clock.h"
 
 namespace hodor::obs {
 
@@ -25,7 +26,9 @@ const char* StageName(Stage stage) {
 std::string SpanRecord::ToJson() const {
   std::ostringstream os;
   os << "{\"stage\":\"" << StageName(stage) << "\",\"epoch\":" << epoch
-     << ",\"duration_us\":" << JsonNumber(duration_us) << "}";
+     << ",\"duration_us\":" << JsonNumber(duration_us);
+  if (!wall_time.empty()) os << ",\"ts\":\"" << JsonEscape(wall_time) << "\"";
+  os << "}";
   return os.str();
 }
 
@@ -50,6 +53,10 @@ StageSpan::StageSpan(Stage stage, std::uint64_t epoch,
       start_(std::chrono::steady_clock::now()) {
   record_.stage = stage;
   record_.epoch = epoch;
+  // Wall time is stamped only when the span will be traced: registry
+  // histograms don't carry it, and skipping the gettimeofday keeps the
+  // hot path (every stage of every epoch) cheap.
+  if (trace_) record_.wall_time = util::UtcTimestampNow();
 }
 
 StageSpan::~StageSpan() { End(); }

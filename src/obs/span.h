@@ -51,9 +51,14 @@ struct SpanRecord {
   Stage stage = Stage::kEpoch;
   std::uint64_t epoch = 0;
   double duration_us = 0.0;
+  // UTC ISO-8601 wall-clock at span start (StageSpan fills it), so JSONL
+  // traces can be correlated with external telemetry. Omitted from the
+  // JSON when empty (hand-built records stay compact).
+  std::string wall_time;
 
   // One JSON object (no trailing newline), the JSONL trace line format:
-  //   {"stage":"collect","epoch":3,"duration_us":42.7}
+  //   {"stage":"collect","epoch":3,"duration_us":42.7,
+  //    "ts":"2024-11-05T17:03:21.042Z"}
   std::string ToJson() const;
 };
 

@@ -1,0 +1,31 @@
+#include "util/clock.h"
+
+#include <cstdio>
+#include <ctime>
+
+namespace hodor::util {
+
+std::string FormatUtcTimestamp(std::chrono::system_clock::time_point tp) {
+  using namespace std::chrono;
+  const auto since_epoch = tp.time_since_epoch();
+  const auto secs = duration_cast<seconds>(since_epoch);
+  auto millis = duration_cast<milliseconds>(since_epoch - secs).count();
+  std::time_t t = static_cast<std::time_t>(secs.count());
+  if (millis < 0) {  // pre-epoch points still render with millis in [0,999]
+    millis += 1000;
+    t -= 1;
+  }
+  std::tm utc{};
+  gmtime_r(&t, &utc);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+  return buf;
+}
+
+std::string UtcTimestampNow() {
+  return FormatUtcTimestamp(std::chrono::system_clock::now());
+}
+
+}  // namespace hodor::util

@@ -1,0 +1,21 @@
+// Wall-clock helpers for operator-facing timestamps.
+//
+// Everything simulated in this repo is deterministic and seeded; wall time
+// appears only in operator surfaces (log lines, JSONL trace records, bench
+// snapshots) so external telemetry can be correlated with Hodor's own.
+// Timestamps are UTC ISO-8601 with millisecond precision, e.g.
+//   2024-11-05T17:03:21.042Z
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace hodor::util {
+
+// Renders `tp` as UTC ISO-8601 with millisecond precision.
+std::string FormatUtcTimestamp(std::chrono::system_clock::time_point tp);
+
+// FormatUtcTimestamp(now).
+std::string UtcTimestampNow();
+
+}  // namespace hodor::util

@@ -4,14 +4,20 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "util/clock.h"
+
 namespace hodor::util {
 
 namespace {
 
+// Default stderr sink. Lines carry a UTC ISO-8601 wall-clock prefix so
+// operator logs can be correlated with external telemetry:
+//   2024-11-05T17:03:21.042Z [WARN] epoch 9: input rejected: ...
 std::shared_ptr<const Logger::Sink> DefaultSink() {
   return std::make_shared<const Logger::Sink>(
       [](LogLevel level, const std::string& msg) {
-        std::cerr << "[" << LogLevelName(level) << "] " << msg << "\n";
+        std::cerr << UtcTimestampNow() << " [" << LogLevelName(level) << "] "
+                  << msg << "\n";
       });
 }
 

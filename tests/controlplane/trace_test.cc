@@ -143,8 +143,8 @@ TEST(EpochTrace, StageMeansComeFromSpansInTaxonomyOrder) {
   auto with_spans = [](std::uint64_t epoch, double collect_us,
                        double program_us) {
     EpochResult r = MakeResult(epoch, 1.0, false, true, false);
-    r.spans.push_back({obs::Stage::kProgram, epoch, program_us});
-    r.spans.push_back({obs::Stage::kCollect, epoch, collect_us});
+    r.spans.push_back({obs::Stage::kProgram, epoch, program_us, {}});
+    r.spans.push_back({obs::Stage::kCollect, epoch, collect_us, {}});
     return r;
   };
   trace.Record(with_spans(0, 10.0, 100.0), false);
@@ -162,7 +162,7 @@ TEST(EpochTrace, StageMeansComeFromSpansInTaxonomyOrder) {
 TEST(AvailabilityReport, ToJsonParsesAndCarriesStageMeans) {
   EpochTrace trace;
   EpochResult r = MakeResult(0, 0.5, true, false, true);
-  r.spans.push_back({obs::Stage::kEpoch, 0, 12.5});
+  r.spans.push_back({obs::Stage::kEpoch, 0, 12.5, {}});
   trace.Record(r, true);
   const std::string json = trace.Summarize().ToJson();
   EXPECT_TRUE(obs::IsValidJson(json)) << json;

@@ -1,0 +1,255 @@
+// AlertEngine lifecycle: dedup, flap suppression, escalation, resolution —
+// plus the provenance → alert mapping the pipeline observer uses.
+#include <gtest/gtest.h>
+
+#include "core/alerts.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+
+namespace hodor::core {
+namespace {
+
+Alert MakeAlert(const std::string& source, const std::string& entity,
+                AlertSeverity severity = AlertSeverity::kWarning) {
+  Alert a;
+  a.severity = severity;
+  a.source = source;
+  a.entity = entity;
+  a.message = source + " fired for " + entity;
+  return a;
+}
+
+obs::InvariantRecord Inv(const std::string& check,
+                         const std::string& invariant,
+                         obs::InvariantVerdict verdict) {
+  obs::InvariantRecord rec;
+  rec.check = check;
+  rec.invariant = invariant;
+  rec.residual = 0.3;
+  rec.threshold = 0.02;
+  rec.verdict = verdict;
+  return rec;
+}
+
+// --- AlertsFromProvenance ---------------------------------------------------
+
+TEST(AlertsFromProvenance, MapsVerdictsToSeverities) {
+  obs::DecisionRecord record;
+  record.epoch = 2;
+  record.Add(Inv("demand", "ingress(SEAT)", obs::InvariantVerdict::kFail));
+  record.Add(Inv("hardening", "r1-symmetry(A->B)",
+                 obs::InvariantVerdict::kPass));  // flagged-and-repaired
+  record.Add(Inv("hardening", "r2-conservation(LOSA)",
+                 obs::InvariantVerdict::kSkipped));  // unrecoverable
+  record.Add(Inv("topology", "link-state(C->D)",
+                 obs::InvariantVerdict::kSkipped));  // no alert
+  record.Add(Inv("hardening", "r1-symmetry(E->F)",
+                 obs::InvariantVerdict::kFail));  // hardening fail → warning
+
+  const auto alerts = AlertsFromProvenance(record);
+  ASSERT_EQ(alerts.size(), 4u);
+  // Severity-descending ordering.
+  for (std::size_t i = 1; i < alerts.size(); ++i) {
+    EXPECT_GE(static_cast<int>(alerts[i - 1].severity),
+              static_cast<int>(alerts[i].severity));
+  }
+  auto find = [&](const std::string& entity) -> const Alert* {
+    for (const Alert& a : alerts) {
+      if (a.entity == entity) return &a;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("SEAT"), nullptr);
+  EXPECT_EQ(find("SEAT")->severity, AlertSeverity::kCritical);
+  EXPECT_EQ(find("SEAT")->source, "demand-check");
+  ASSERT_NE(find("A->B"), nullptr);
+  EXPECT_EQ(find("A->B")->severity, AlertSeverity::kInfo);
+  EXPECT_EQ(find("A->B")->source, "hardening");
+  ASSERT_NE(find("LOSA"), nullptr);
+  EXPECT_EQ(find("LOSA")->severity, AlertSeverity::kWarning);
+  ASSERT_NE(find("E->F"), nullptr);
+  EXPECT_EQ(find("E->F")->severity, AlertSeverity::kWarning);
+  EXPECT_EQ(find("C->D"), nullptr);  // non-hardening skips drop
+}
+
+TEST(AlertsFromProvenance, RepairsSuppressible) {
+  obs::DecisionRecord record;
+  record.Add(Inv("hardening", "r1-symmetry(A->B)",
+                 obs::InvariantVerdict::kPass));
+  AlertOptions opts;
+  opts.report_repairs = false;
+  EXPECT_TRUE(AlertsFromProvenance(record, opts).empty());
+}
+
+// --- AlertEngine ------------------------------------------------------------
+
+TEST(AlertEngine, LifecycleFiringActiveResolved) {
+  AlertEngine engine({.min_hold_epochs = 2});
+  const Alert a = MakeAlert("demand-check", "SEAT");
+  const std::string key = AlertEngine::DedupKey(a);
+  EXPECT_EQ(key, "demand-check|SEAT");
+
+  // Epoch 1: fires.
+  auto s = engine.Observe(1, {a});
+  EXPECT_EQ(s.fired, 1u);
+  const AlertRecord* rec = engine.FindActive(key);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->state, AlertState::kFiring);
+  EXPECT_EQ(rec->first_epoch, 1u);
+
+  // Epoch 2: observed again → active.
+  s = engine.Observe(2, {a});
+  EXPECT_EQ(s.repeated, 1u);
+  EXPECT_EQ(engine.FindActive(key)->state, AlertState::kActive);
+
+  // Epoch 3: clean, but min_hold_epochs=2 keeps it held.
+  s = engine.Observe(3, {});
+  EXPECT_EQ(s.held, 1u);
+  EXPECT_EQ(s.resolved, 0u);
+  ASSERT_NE(engine.FindActive(key), nullptr);
+
+  // Epoch 4: second clean epoch → resolved.
+  s = engine.Observe(4, {});
+  EXPECT_EQ(s.resolved, 1u);
+  EXPECT_EQ(engine.FindActive(key), nullptr);
+  const AlertRecord* resolved = engine.FindResolved(key);
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_EQ(resolved->state, AlertState::kResolved);
+  EXPECT_EQ(resolved->resolved_epoch, 4u);
+  EXPECT_EQ(resolved->observed_epochs, 2u);
+}
+
+TEST(AlertEngine, DedupMergesSameConditionWorstSeverityWins) {
+  AlertEngine engine;
+  // Same condition reported twice in one epoch at different severities.
+  engine.Observe(1, {MakeAlert("demand-check", "SEAT", AlertSeverity::kInfo),
+                     MakeAlert("demand-check", "SEAT",
+                               AlertSeverity::kCritical)});
+  EXPECT_EQ(engine.active().size(), 1u);
+  const AlertRecord* rec = engine.FindActive("demand-check|SEAT");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->alert.severity, AlertSeverity::kCritical);
+  EXPECT_EQ(rec->observed_epochs, 1u);  // one epoch, not two observations
+}
+
+TEST(AlertEngine, FlapIsSuppressedNotRefired) {
+  AlertEngine engine({.min_hold_epochs = 2});
+  const Alert a = MakeAlert("topology-check", "A->B");
+  engine.Observe(1, {a});
+  engine.Observe(2, {});   // held (1 quiet epoch < min_hold)
+  auto s = engine.Observe(3, {a});  // flaps back while still held
+  EXPECT_EQ(s.fired, 0u);  // no second page for the same condition
+  EXPECT_EQ(s.repeated, 1u);
+  const AlertRecord* rec = engine.FindActive("topology-check|A->B");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->first_epoch, 1u);  // identity preserved across the flap
+  EXPECT_EQ(rec->observed_epochs, 2u);
+}
+
+TEST(AlertEngine, ResolvedConditionRefiresAsNewIncident) {
+  AlertEngine engine({.min_hold_epochs = 1});
+  const Alert a = MakeAlert("drain-check", "NYCM");
+  engine.Observe(1, {a});
+  auto s = engine.Observe(2, {});  // min_hold 1: resolves immediately
+  EXPECT_EQ(s.resolved, 1u);
+  s = engine.Observe(3, {a});
+  EXPECT_EQ(s.fired, 1u);
+  EXPECT_EQ(s.refired, 1u);  // flagged as a repeat offender
+  const AlertRecord* rec = engine.FindActive("drain-check|NYCM");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->first_epoch, 3u);  // a fresh incident
+}
+
+TEST(AlertEngine, EscalatesAfterConsecutiveEpochs) {
+  AlertEngine engine({.min_hold_epochs = 1, .escalation_threshold = 3});
+  const Alert a = MakeAlert("hardening", "A->B", AlertSeverity::kInfo);
+  engine.Observe(1, {a});
+  engine.Observe(2, {a});
+  auto s = engine.Observe(3, {a});  // third consecutive epoch → promote
+  EXPECT_EQ(s.escalated, 1u);
+  const AlertRecord* rec = engine.FindActive("hardening|A->B");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->escalated);
+  EXPECT_EQ(rec->alert.severity, AlertSeverity::kWarning);
+  EXPECT_EQ(rec->base_severity, AlertSeverity::kInfo);
+}
+
+TEST(AlertEngine, EscalationDisabledWhenThresholdZero) {
+  AlertEngine engine({.min_hold_epochs = 1, .escalation_threshold = 0});
+  const Alert a = MakeAlert("hardening", "A->B", AlertSeverity::kInfo);
+  for (std::uint64_t e = 1; e <= 6; ++e) engine.Observe(e, {a});
+  const AlertRecord* rec = engine.FindActive("hardening|A->B");
+  ASSERT_NE(rec, nullptr);
+  EXPECT_FALSE(rec->escalated);
+  EXPECT_EQ(rec->alert.severity, AlertSeverity::kInfo);
+}
+
+TEST(AlertEngine, ResolvedHistoryIsCapped) {
+  AlertEngineOptions opts;
+  opts.min_hold_epochs = 1;
+  opts.max_resolved = 2;
+  AlertEngine engine(opts);
+  std::uint64_t epoch = 0;
+  for (int i = 0; i < 4; ++i) {
+    engine.Observe(++epoch, {MakeAlert("demand-check",
+                                       "R" + std::to_string(i))});
+    engine.Observe(++epoch, {});
+  }
+  EXPECT_EQ(engine.resolved().size(), 2u);
+  // Newest resolved first; oldest trimmed.
+  EXPECT_EQ(engine.resolved().front().alert.entity, "R3");
+  EXPECT_EQ(engine.FindResolved("demand-check|R0"), nullptr);
+}
+
+TEST(AlertEngine, EmitsLifecycleMetrics) {
+  obs::MetricsRegistry reg;
+  AlertEngineOptions opts;
+  opts.min_hold_epochs = 1;
+  opts.escalation_threshold = 2;
+  opts.metrics = &reg;
+  AlertEngine engine(opts);
+
+  const Alert a = MakeAlert("demand-check", "SEAT", AlertSeverity::kWarning);
+  engine.Observe(1, {a});
+  engine.Observe(2, {a});  // escalates to critical
+  engine.Observe(3, {});   // resolves
+
+  const obs::Counter* fired =
+      reg.FindCounter("hodor_alerts_fired_total", {{"severity", "WARNING"}});
+  ASSERT_NE(fired, nullptr);
+  EXPECT_DOUBLE_EQ(fired->value(), 1.0);
+  const obs::Counter* escalated =
+      reg.FindCounter("hodor_alerts_escalated_total");
+  ASSERT_NE(escalated, nullptr);
+  EXPECT_DOUBLE_EQ(escalated->value(), 1.0);
+  const obs::Counter* resolved =
+      reg.FindCounter("hodor_alerts_resolved_total");
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_DOUBLE_EQ(resolved->value(), 1.0);
+  const obs::Gauge* active = reg.FindGauge("hodor_alerts_active");
+  ASSERT_NE(active, nullptr);
+  EXPECT_DOUBLE_EQ(active->value(), 0.0);
+}
+
+TEST(AlertEngine, ToJsonIsValidAndRenderReadsWell) {
+  AlertEngine engine({.min_hold_epochs = 1});
+  engine.Observe(8, {MakeAlert("demand-check", "SEAT",
+                               AlertSeverity::kCritical)});
+  engine.Observe(9, {MakeAlert("demand-check", "SEAT",
+                               AlertSeverity::kCritical)});
+  const std::string json = engine.ToJson();
+  EXPECT_TRUE(obs::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"active\":["), std::string::npos);
+  EXPECT_NE(json.find("\"state\":\"active\""), std::string::npos);
+
+  const AlertRecord* rec = engine.FindActive("demand-check|SEAT");
+  ASSERT_NE(rec, nullptr);
+  const std::string line = rec->Render();
+  EXPECT_NE(line.find("[CRITICAL] demand-check SEAT"), std::string::npos);
+  EXPECT_NE(line.find("since epoch 8"), std::string::npos);
+  EXPECT_NE(line.find("seen 2x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hodor::core

@@ -1,0 +1,155 @@
+// Integration: the full operability stack around a validated pipeline —
+// the ISSUE acceptance scenario. A TelemetryServer runs while the pipeline
+// executes several epochs, one of which carries an injected router fault;
+// the SignalHealthBoard's trust score for the faulted signal must drop,
+// the AlertEngine must take the condition firing → resolved once the fault
+// clears, and the HTTP surface must reflect all of it.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/alerts.h"
+#include "core/validator.h"
+#include "flow/tm_generators.h"
+#include "net/topologies.h"
+#include "obs/health/signal_health.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/serve/telemetry_server.h"
+#include "test_util.h"
+#include "util/logging.h"
+
+namespace hodor {
+namespace {
+
+TEST(TelemetryServing, FaultDropsTrustFiresAndResolvesOverHttp) {
+  util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+
+  net::Topology topo = net::Abilene();
+  net::GroundTruthState state(topo);
+  util::Rng demand_rng(8);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, demand_rng);
+  flow::NormalizeToMaxUtilization(topo, 0.5, demand);
+
+  obs::MetricsRegistry registry;
+  controlplane::PipelineOptions popts;
+  popts.collector.probes.false_loss_rate = 0.0;
+  popts.metrics = &registry;
+  controlplane::Pipeline pipeline(topo, popts, util::Rng(3));
+  pipeline.Bootstrap(state, demand);
+
+  core::ValidatorOptions vopts;
+  vopts.metrics = &registry;
+  core::Validator validator(topo, vopts);
+  pipeline.SetValidator(validator.AsPipelineValidator());
+
+  // The operability stack under test.
+  obs::SignalHealthBoard board;
+  core::AlertEngineOptions aopts;
+  aopts.min_hold_epochs = 2;
+  aopts.metrics = &registry;
+  core::AlertEngine engine(aopts);
+  obs::TelemetryServer server;
+  ASSERT_TRUE(server.Start());
+
+  std::vector<std::string> transitions;
+  pipeline.SetEpochObserver([&](const controlplane::EpochResult& r) {
+    board.ObserveEpoch(r.decision.provenance);
+    board.PublishGauges(&registry);
+    const auto summary = engine.Observe(
+        r.epoch, core::AlertsFromProvenance(r.decision.provenance));
+    if (summary.fired) transitions.push_back("fired");
+    if (summary.resolved) transitions.push_back("resolved");
+    server.PublishMetrics(&registry);
+    server.PublishSignals(board);
+    server.PublishDecision(r.decision.provenance);
+    server.PublishAlerts(engine.ToJson());
+  });
+
+  // Zeroed external ingress counter: no neighbour measures it, so only the
+  // demand check can catch it — the canonical §2.1 input fault.
+  const net::NodeId victim = topo.FindNode("IPLSng").value();
+  const std::string entity = topo.node(victim).name;
+  auto fault = [victim](telemetry::NetworkSnapshot& snap) {
+    snap.router(victim).ext_in_rate = 0.0;
+  };
+
+  // Epoch 0: healthy. Epoch 1: faulted. Epochs 2-4: repaired (healthy).
+  pipeline.RunEpoch(state, demand);
+  const double trust_before = board.Find("demand", entity)
+                                  ? board.Find("demand", entity)->trust
+                                  : 100.0;
+  EXPECT_DOUBLE_EQ(trust_before, 100.0);
+
+  const auto faulted = pipeline.RunEpoch(state, demand, fault);
+  EXPECT_FALSE(faulted.decision.accept);
+  EXPECT_TRUE(faulted.used_fallback);
+
+  // Trust for the faulted signal dropped.
+  const obs::SignalHealth* health = board.Find("demand", entity);
+  ASSERT_NE(health, nullptr);
+  const double trust_after_fault = health->trust;
+  EXPECT_LT(trust_after_fault, trust_before);
+  EXPECT_GE(health->fail_epochs, 1u);
+
+  // The alert is live while the fault is in effect.
+  const std::string key = "demand-check|" + entity;
+  ASSERT_NE(engine.FindActive(key), nullptr);
+  EXPECT_EQ(engine.FindActive(key)->state, core::AlertState::kFiring);
+
+  for (int i = 0; i < 3; ++i) pipeline.RunEpoch(state, demand);
+
+  // After repair: the alert resolved and trust is recovering.
+  EXPECT_EQ(engine.FindActive(key), nullptr);
+  const core::AlertRecord* resolved = engine.FindResolved(key);
+  ASSERT_NE(resolved, nullptr);
+  EXPECT_EQ(resolved->state, core::AlertState::kResolved);
+  EXPECT_EQ(resolved->first_epoch, 1u);
+  EXPECT_GT(board.Find("demand", entity)->trust, trust_after_fault);
+  ASSERT_GE(transitions.size(), 2u);
+  EXPECT_EQ(transitions.front(), "fired");
+  EXPECT_EQ(transitions.back(), "resolved");
+
+  // --- the HTTP surface reflects the story ---------------------------------
+  // /metrics carries the trust gauge and the alert lifecycle counters.
+  const std::string metrics = testing::HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("hodor_signal_trust{check=\"demand\",entity=\"" +
+                         entity + "\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("hodor_alerts_fired_total"), std::string::npos);
+  EXPECT_NE(metrics.find("hodor_alerts_resolved_total"), std::string::npos);
+
+  // /healthz: live, with all five epochs published.
+  const std::string healthz =
+      testing::HttpBody(testing::HttpGet(server.port(), "/healthz"));
+  EXPECT_TRUE(obs::IsValidJson(healthz)) << healthz;
+  EXPECT_NE(healthz.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(healthz.find("\"published_epochs\":5"), std::string::npos);
+
+  // /health/signals: the faulted entity appears with its fail history.
+  const std::string signals =
+      testing::HttpBody(testing::HttpGet(server.port(), "/health/signals"));
+  EXPECT_TRUE(obs::IsValidJson(signals)) << signals;
+  EXPECT_NE(signals.find("\"entity\":\"" + entity + "\""), std::string::npos);
+
+  // /decisions: the faulted epoch's provenance is on the ring.
+  const std::string decisions =
+      testing::HttpBody(testing::HttpGet(server.port(), "/decisions?last=5"));
+  EXPECT_TRUE(obs::IsValidJson(decisions)) << decisions;
+  EXPECT_NE(decisions.find("\"accept\":false"), std::string::npos);
+  EXPECT_NE(decisions.find("ingress(" + entity + ")"), std::string::npos);
+
+  // /alerts: the incident is in the resolved history.
+  const std::string alerts =
+      testing::HttpBody(testing::HttpGet(server.port(), "/alerts"));
+  EXPECT_TRUE(obs::IsValidJson(alerts)) << alerts;
+  EXPECT_NE(alerts.find("\"state\":\"resolved\""), std::string::npos);
+  EXPECT_NE(alerts.find("\"entity\":\"" + entity + "\""), std::string::npos);
+
+  server.Stop();
+  util::Logger::Instance().SetMinLevel(util::LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace hodor

@@ -60,6 +60,31 @@ TEST(Histogram, EmptyBoundsDefaultToLatencyBuckets) {
   EXPECT_EQ(h.upper_bounds(), DefaultLatencyBucketsUs());
 }
 
+TEST(Histogram, RegistryOptionOverridesDefaultBuckets) {
+  MetricsRegistryOptions opts;
+  opts.default_histogram_buckets = {1.0, 2.0, 4.0};
+  MetricsRegistry reg(std::move(opts));
+  Histogram& h = reg.GetHistogram("hodor_test_us");
+  EXPECT_EQ(h.upper_bounds(), (std::vector<double>{1.0, 2.0, 4.0}));
+  // Explicit bounds still win over the registry default.
+  Histogram& explicit_h =
+      reg.GetHistogram("hodor_other_us", {}, {10.0, 20.0});
+  EXPECT_EQ(explicit_h.upper_bounds(), (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(Histogram, SetDefaultBucketsAffectsLaterHistogramsOnly) {
+  MetricsRegistry reg;
+  Histogram& before = reg.GetHistogram("hodor_before_us");
+  reg.SetDefaultHistogramBuckets({0.5, 1.5});
+  Histogram& after = reg.GetHistogram("hodor_after_us");
+  EXPECT_EQ(before.upper_bounds(), DefaultLatencyBucketsUs());
+  EXPECT_EQ(after.upper_bounds(), (std::vector<double>{0.5, 1.5}));
+  // Empty restores the built-in default.
+  reg.SetDefaultHistogramBuckets({});
+  Histogram& restored = reg.GetHistogram("hodor_restored_us");
+  EXPECT_EQ(restored.upper_bounds(), DefaultLatencyBucketsUs());
+}
+
 TEST(MetricsRegistry, SeriesIdentityIgnoresLabelOrder) {
   MetricsRegistry reg;
   Counter& a = reg.GetCounter("hodor_test_total",

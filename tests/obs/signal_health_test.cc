@@ -1,0 +1,203 @@
+// SignalHealthBoard: trust scoring, verdict history, residual EWMA.
+#include "obs/health/signal_health.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace hodor::obs {
+namespace {
+
+InvariantRecord Rec(const std::string& check, const std::string& invariant,
+                    InvariantVerdict verdict, double residual = 0.0,
+                    double threshold = 0.02) {
+  InvariantRecord rec;
+  rec.check = check;
+  rec.invariant = invariant;
+  rec.residual = residual;
+  rec.threshold = threshold;
+  rec.verdict = verdict;
+  return rec;
+}
+
+DecisionRecord Epoch(std::uint64_t epoch,
+                     std::vector<InvariantRecord> invariants) {
+  DecisionRecord record;
+  record.epoch = epoch;
+  for (auto& rec : invariants) record.Add(std::move(rec));
+  return record;
+}
+
+TEST(ExtractInvariantEntity, ParsesTrailingParens) {
+  EXPECT_EQ(ExtractInvariantEntity("ingress(SEAT)"), "SEAT");
+  EXPECT_EQ(ExtractInvariantEntity("r1-symmetry(A->B)"), "A->B");
+  EXPECT_EQ(ExtractInvariantEntity("link-state(NYCMng->WASHng)"),
+            "NYCMng->WASHng");
+  EXPECT_EQ(ExtractInvariantEntity("no-parens"), "no-parens");
+  EXPECT_EQ(ExtractInvariantEntity(""), "");
+  EXPECT_EQ(ExtractInvariantEntity("weird)"), "weird)");
+}
+
+TEST(SignalHealthBoard, CleanEpochsKeepFullTrust) {
+  SignalHealthBoard board;
+  for (std::uint64_t e = 0; e < 5; ++e) {
+    board.ObserveEpoch(Epoch(e, {Rec("demand", "ingress(SEAT)",
+                                     InvariantVerdict::kPass, 0.001)}));
+  }
+  const SignalHealth* h = board.Find("demand", "SEAT");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->trust, 100.0);
+  EXPECT_EQ(h->fail_epochs, 0u);
+  EXPECT_EQ(h->observed_epochs, 5u);
+  EXPECT_EQ(h->HistoryString(), "PPPPP");
+  EXPECT_DOUBLE_EQ(board.MinTrust(), 100.0);
+}
+
+TEST(SignalHealthBoard, FailureDropsTrustAndRecoveryRestoresIt) {
+  SignalHealthBoard board;
+  board.ObserveEpoch(Epoch(0, {Rec("demand", "ingress(SEAT)",
+                                   InvariantVerdict::kPass, 0.001)}));
+  board.ObserveEpoch(Epoch(1, {Rec("demand", "ingress(SEAT)",
+                                   InvariantVerdict::kFail, 0.3)}));
+  const SignalHealth* h = board.Find("demand", "SEAT");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->trust, 60.0);  // 100 - fail_penalty
+  EXPECT_EQ(h->consecutive_failures, 1u);
+  EXPECT_EQ(h->HistoryString(), "PF");
+
+  // Clean epochs claw trust back by recovery_credit each.
+  for (std::uint64_t e = 2; e < 6; ++e) {
+    board.ObserveEpoch(Epoch(e, {Rec("demand", "ingress(SEAT)",
+                                     InvariantVerdict::kPass, 0.001)}));
+  }
+  EXPECT_DOUBLE_EQ(h->trust, 100.0);
+  EXPECT_EQ(h->consecutive_failures, 0u);
+  EXPECT_EQ(h->fail_epochs, 1u);
+}
+
+TEST(SignalHealthBoard, WorstVerdictPerEpochWins) {
+  // Same source, ingress passes but egress fires: the epoch counts failed.
+  SignalHealthBoard board;
+  board.ObserveEpoch(Epoch(0, {Rec("demand", "ingress(SEAT)",
+                                   InvariantVerdict::kPass, 0.001),
+                               Rec("demand", "egress(SEAT)",
+                                   InvariantVerdict::kFail, 0.4)}));
+  const SignalHealth* h = board.Find("demand", "SEAT");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->trust, 60.0);
+  EXPECT_EQ(h->HistoryString(), "F");
+}
+
+TEST(SignalHealthBoard, HardeningPassCountsAsRepair) {
+  SignalHealthBoard board;
+  board.ObserveEpoch(Epoch(0, {Rec("hardening", "r1-symmetry(A->B)",
+                                   InvariantVerdict::kPass, 0.5)}));
+  const SignalHealth* h = board.Find("hardening", "A->B");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->trust, 90.0);  // repair_penalty
+  EXPECT_EQ(h->repair_events, 1u);
+  EXPECT_EQ(h->HistoryString(), "R");
+
+  // Hardening sources appear only when flagged: quiet epochs recover.
+  board.ObserveEpoch(Epoch(1, {}));
+  EXPECT_DOUBLE_EQ(h->trust, 100.0);
+  EXPECT_EQ(h->HistoryString(), "R.");
+}
+
+TEST(SignalHealthBoard, SkippedSignalLosesTrust) {
+  SignalHealthBoard board;
+  board.ObserveEpoch(Epoch(0, {Rec("topology", "link-state(A->B)",
+                                   InvariantVerdict::kSkipped, 1.0)}));
+  const SignalHealth* h = board.Find("topology", "A->B");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->trust, 85.0);  // skip_penalty
+  EXPECT_EQ(h->skipped_epochs, 1u);
+  EXPECT_EQ(h->HistoryString(), "S");
+}
+
+TEST(SignalHealthBoard, TrustClampsAtZero) {
+  SignalHealthBoard board;
+  for (std::uint64_t e = 0; e < 5; ++e) {
+    board.ObserveEpoch(Epoch(e, {Rec("demand", "ingress(SEAT)",
+                                     InvariantVerdict::kFail, 0.5)}));
+  }
+  const SignalHealth* h = board.Find("demand", "SEAT");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->trust, 0.0);
+  EXPECT_EQ(h->consecutive_failures, 5u);
+  EXPECT_DOUBLE_EQ(board.MinTrust(), 0.0);
+}
+
+TEST(SignalHealthBoard, ResidualEwmaTracksNormalisedResidual) {
+  SignalHealthOptions opts;
+  opts.ewma_alpha = 0.5;
+  SignalHealthBoard board(opts);
+  // residual 0.04 at τ 0.02 → normalised 2.0; EWMA from 0: 1.0.
+  board.ObserveEpoch(Epoch(0, {Rec("demand", "ingress(SEAT)",
+                                   InvariantVerdict::kFail, 0.04, 0.02)}));
+  const SignalHealth* h = board.Find("demand", "SEAT");
+  ASSERT_NE(h, nullptr);
+  EXPECT_DOUBLE_EQ(h->last_residual, 2.0);
+  EXPECT_DOUBLE_EQ(h->residual_ewma, 1.0);
+  board.ObserveEpoch(Epoch(1, {Rec("demand", "ingress(SEAT)",
+                                   InvariantVerdict::kFail, 0.04, 0.02)}));
+  EXPECT_DOUBLE_EQ(h->residual_ewma, 1.5);
+}
+
+TEST(SignalHealthBoard, HistoryRingIsCapped) {
+  SignalHealthOptions opts;
+  opts.window = 4;
+  SignalHealthBoard board(opts);
+  for (std::uint64_t e = 0; e < 10; ++e) {
+    board.ObserveEpoch(Epoch(e, {Rec("demand", "ingress(SEAT)",
+                                     e == 9 ? InvariantVerdict::kFail
+                                            : InvariantVerdict::kPass)}));
+  }
+  const SignalHealth* h = board.Find("demand", "SEAT");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->history.size(), 4u);
+  EXPECT_EQ(h->HistoryString(), "PPPF");
+}
+
+TEST(SignalHealthBoard, SourcesByTrustOrdersWorstFirst) {
+  SignalHealthBoard board;
+  board.ObserveEpoch(Epoch(0, {Rec("demand", "ingress(SEAT)",
+                                   InvariantVerdict::kFail, 0.3),
+                               Rec("demand", "ingress(LOSA)",
+                                   InvariantVerdict::kPass, 0.001),
+                               Rec("topology", "link-state(A->B)",
+                                   InvariantVerdict::kSkipped, 1.0)}));
+  const auto sources = board.SourcesByTrust();
+  ASSERT_EQ(sources.size(), 3u);
+  EXPECT_EQ(sources[0]->entity, "SEAT");   // 60
+  EXPECT_EQ(sources[1]->entity, "A->B");   // 85
+  EXPECT_EQ(sources[2]->entity, "LOSA");   // 100
+}
+
+TEST(SignalHealthBoard, ToJsonIsValidAndCarriesSources) {
+  SignalHealthBoard board;
+  board.ObserveEpoch(Epoch(3, {Rec("demand", "ingress(SEAT)",
+                                   InvariantVerdict::kFail, 0.3)}));
+  const std::string json = board.ToJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"epochs\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"entity\":\"SEAT\""), std::string::npos);
+  EXPECT_NE(json.find("\"history\":\"F\""), std::string::npos);
+  EXPECT_NE(json.find("\"trust\":60"), std::string::npos);
+}
+
+TEST(SignalHealthBoard, PublishGaugesExportsTrust) {
+  SignalHealthBoard board;
+  board.ObserveEpoch(Epoch(0, {Rec("demand", "ingress(SEAT)",
+                                   InvariantVerdict::kFail, 0.3)}));
+  MetricsRegistry reg;
+  board.PublishGauges(&reg);
+  const Gauge* g = reg.FindGauge("hodor_signal_trust",
+                                 {{"check", "demand"}, {"entity", "SEAT"}});
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->value(), 60.0);
+}
+
+}  // namespace
+}  // namespace hodor::obs

@@ -1,0 +1,190 @@
+// HTTP parsing/rendering units plus live TelemetryServer smoke tests.
+#include "obs/serve/telemetry_server.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/health/signal_health.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "obs/serve/http.h"
+#include "test_util.h"
+
+namespace hodor::obs {
+namespace {
+
+// --- http.h units ----------------------------------------------------------
+
+TEST(ParseHttpRequest, ParsesPlainGet) {
+  const auto req = ParseHttpRequest("GET /metrics HTTP/1.1\r\nHost: x\r\n");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->target, "/metrics");
+  EXPECT_EQ(req->path, "/metrics");
+  EXPECT_TRUE(req->query.empty());
+}
+
+TEST(ParseHttpRequest, SplitsQueryParameters) {
+  const auto req =
+      ParseHttpRequest("GET /decisions?last=5&who=a%20b HTTP/1.1\r\n");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->path, "/decisions");
+  EXPECT_EQ(req->query.at("last"), "5");
+  EXPECT_EQ(req->query.at("who"), "a b");
+}
+
+TEST(ParseHttpRequest, ToleratesBareLf) {
+  const auto req = ParseHttpRequest("GET /healthz HTTP/1.0\nHost: x\n");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->path, "/healthz");
+}
+
+TEST(ParseHttpRequest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseHttpRequest("").has_value());
+  EXPECT_FALSE(ParseHttpRequest("GET\r\n").has_value());
+  EXPECT_FALSE(ParseHttpRequest("GET /x SPDY/3\r\n").has_value());
+  EXPECT_FALSE(ParseHttpRequest("GET nopath HTTP/1.1\r\n").has_value());
+}
+
+TEST(UrlDecode, DecodesEscapesAndPlus) {
+  EXPECT_EQ(UrlDecode("a%20b+c"), "a b c");
+  EXPECT_EQ(UrlDecode("100%"), "100%");  // bad escape kept verbatim
+  EXPECT_EQ(UrlDecode("%2Fpath"), "/path");
+}
+
+TEST(BuildHttpResponse, CarriesStatusLengthAndClose) {
+  const std::string resp = BuildHttpResponse(200, "text/plain", "hello");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(resp.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(resp.substr(resp.size() - 5), "hello");
+}
+
+// --- routing (no sockets) --------------------------------------------------
+
+HttpRequest Get(const std::string& target) {
+  const auto req = ParseHttpRequest("GET " + target + " HTTP/1.1\r\n");
+  EXPECT_TRUE(req.has_value());
+  return *req;
+}
+
+TEST(TelemetryServerRouting, ServesPublishedMetrics) {
+  MetricsRegistry reg;
+  reg.GetCounter("hodor_epochs_total").Increment(3);
+  TelemetryServer server;
+  server.PublishMetrics(&reg);
+  const std::string resp = server.HandleRequest(Get("/metrics"));
+  EXPECT_NE(resp.find("200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("hodor_epochs_total 3"), std::string::npos);
+  const std::string json = server.HandleRequest(Get("/metrics.json"));
+  EXPECT_NE(json.find("hodor_epochs_total"), std::string::npos);
+}
+
+TEST(TelemetryServerRouting, DecisionsRingIsNewestFirstAndTrimmable) {
+  TelemetryServer server({.max_decisions = 2});
+  for (std::uint64_t e = 1; e <= 3; ++e) {
+    DecisionRecord record;
+    record.epoch = e;
+    server.PublishDecision(record);
+  }
+  // Ring capacity 2: epoch 1 evicted, epoch 3 first.
+  std::string body = testing::HttpBody(server.HandleRequest(Get("/decisions")));
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  EXPECT_EQ(body.find("\"epoch\":1"), std::string::npos);
+  EXPECT_LT(body.find("\"epoch\":3"), body.find("\"epoch\":2"));
+  // ?last=1 trims to the newest.
+  body = testing::HttpBody(server.HandleRequest(Get("/decisions?last=1")));
+  EXPECT_NE(body.find("\"epoch\":3"), std::string::npos);
+  EXPECT_EQ(body.find("\"epoch\":2"), std::string::npos);
+  // Non-numeric ?last is a client error.
+  const std::string bad = server.HandleRequest(Get("/decisions?last=banana"));
+  EXPECT_NE(bad.find("400 Bad Request"), std::string::npos);
+}
+
+TEST(TelemetryServerRouting, UnknownPathIs404NonGetIs405) {
+  TelemetryServer server;
+  EXPECT_NE(server.HandleRequest(Get("/nope")).find("404 Not Found"),
+            std::string::npos);
+  auto post = ParseHttpRequest("POST /metrics HTTP/1.1\r\n");
+  ASSERT_TRUE(post.has_value());
+  EXPECT_NE(server.HandleRequest(*post).find("405 Method Not Allowed"),
+            std::string::npos);
+}
+
+// --- live server smoke (real sockets) --------------------------------------
+
+TEST(TelemetryServerSmoke, ServesMetricsAndHealthzOverLoopback) {
+  MetricsRegistry reg;
+  reg.GetCounter("hodor_epochs_total").Increment(7);
+
+  TelemetryServer server;
+  ASSERT_TRUE(server.Start());
+  ASSERT_NE(server.port(), 0);
+  server.PublishMetrics(&reg);
+
+  // /metrics: Prometheus exposition with the published counter.
+  const std::string metrics = testing::HttpGet(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("hodor_epochs_total 7"), std::string::npos);
+
+  // /healthz: valid JSON, status ok, request accounting.
+  const std::string healthz = testing::HttpGet(server.port(), "/healthz");
+  EXPECT_NE(healthz.find("200 OK"), std::string::npos);
+  const std::string body = testing::HttpBody(healthz);
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+
+  // The index lists the endpoints.
+  EXPECT_NE(testing::HttpGet(server.port(), "/").find("/metrics"),
+            std::string::npos);
+
+  EXPECT_GE(server.requests_served(), 3u);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  // Stopped server no longer answers.
+  EXPECT_EQ(testing::HttpGet(server.port(), "/healthz"), "");
+}
+
+TEST(TelemetryServerSmoke, ServesSignalsAndAlertsSnapshots) {
+  TelemetryServer server;
+  ASSERT_TRUE(server.Start());
+
+  SignalHealthBoard board;
+  DecisionRecord record;
+  record.epoch = 4;
+  InvariantRecord inv;
+  inv.check = "demand";
+  inv.invariant = "ingress(SEAT)";
+  inv.residual = 0.3;
+  inv.threshold = 0.02;
+  inv.verdict = InvariantVerdict::kFail;
+  record.Add(inv);
+  board.ObserveEpoch(record);
+  server.PublishSignals(board);
+  server.PublishAlerts("{\"active\":[{\"entity\":\"SEAT\"}],\"resolved\":[]}");
+
+  const std::string signals =
+      testing::HttpBody(testing::HttpGet(server.port(), "/health/signals"));
+  EXPECT_TRUE(IsValidJson(signals)) << signals;
+  EXPECT_NE(signals.find("\"entity\":\"SEAT\""), std::string::npos);
+
+  const std::string alerts =
+      testing::HttpBody(testing::HttpGet(server.port(), "/alerts"));
+  EXPECT_NE(alerts.find("\"entity\":\"SEAT\""), std::string::npos);
+
+  server.Stop();
+}
+
+TEST(TelemetryServerSmoke, StartStopIsIdempotentAndRestartSafe) {
+  TelemetryServer server;
+  ASSERT_TRUE(server.Start());
+  const std::uint16_t port = server.port();
+  EXPECT_NE(port, 0);
+  server.Stop();
+  server.Stop();  // second stop is a no-op
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace hodor::obs

@@ -1,0 +1,35 @@
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace hodor::util {
+namespace {
+
+TEST(FormatUtcTimestamp, RendersKnownInstant) {
+  // 2024-11-11T12:30:45.250Z
+  const auto tp = std::chrono::system_clock::time_point(
+      std::chrono::milliseconds(1731328245250LL));
+  EXPECT_EQ(FormatUtcTimestamp(tp), "2024-11-11T12:30:45.250Z");
+}
+
+TEST(FormatUtcTimestamp, EpochIsZulu) {
+  EXPECT_EQ(FormatUtcTimestamp(std::chrono::system_clock::time_point{}),
+            "1970-01-01T00:00:00.000Z");
+}
+
+TEST(UtcTimestampNow, HasIso8601Shape) {
+  const std::string ts = UtcTimestampNow();
+  ASSERT_EQ(ts.size(), 24u) << ts;
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[7], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[13], ':');
+  EXPECT_EQ(ts[16], ':');
+  EXPECT_EQ(ts[19], '.');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+}  // namespace
+}  // namespace hodor::util
