@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "controlplane/services.h"
 #include "core/validator.h"
+#include "util/parallel.h"
 
 namespace {
 
@@ -56,9 +57,7 @@ void BM_HardenWithFlaggedCounters(benchmark::State& state) {
   util::Rng rng(4);
   for (net::LinkId e : t.topo.LinkIds()) {
     if (!rng.Bernoulli(0.1)) continue;
-    auto& r = snap.router(t.topo.link(e).src);
-    auto it = r.out_ifaces.find(e);
-    if (it != r.out_ifaces.end()) it->second.tx_rate = 0.0;
+    if (snap.TxRate(e)) snap.frame().SetTxRate(e, 0.0);
   }
   const core::HardeningEngine engine;
   for (auto _ : state) {
@@ -66,6 +65,22 @@ void BM_HardenWithFlaggedCounters(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HardenWithFlaggedCounters)->Arg(12)->Arg(50)->Arg(200);
+
+void BM_HardenThreaded(benchmark::State& state) {
+  // Sharded hardening: threads come from HODOR_THREADS (default 4 here) so
+  // operators can sweep thread counts without recompiling.
+  const bench::Trial& t = TrialForSize(static_cast<int>(state.range(0)));
+  core::HardeningOptions opts;
+  opts.num_threads = util::ThreadsFromEnv(4);
+  const core::HardeningEngine engine(opts);
+  core::HardenedState out;
+  for (auto _ : state) {
+    engine.HardenInto(t.snapshot, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel("threads=" + std::to_string(opts.num_threads));
+}
+BENCHMARK(BM_HardenThreaded)->Arg(100)->Arg(200)->Arg(400);
 
 void BM_FullValidation(benchmark::State& state) {
   const bench::Trial& t = TrialForSize(static_cast<int>(state.range(0)));
@@ -77,7 +92,24 @@ void BM_FullValidation(benchmark::State& state) {
     benchmark::DoNotOptimize(validator.Validate(input, t.snapshot));
   }
 }
-BENCHMARK(BM_FullValidation)->Arg(12)->Arg(22)->Arg(50)->Arg(100)->Arg(200);
+BENCHMARK(BM_FullValidation)->Arg(12)->Arg(22)->Arg(50)->Arg(100)->Arg(200)
+    ->Arg(400);
+
+void BM_FullValidationNoProvenance(benchmark::State& state) {
+  // Same round with the audit trail off: the gap to BM_FullValidation is
+  // the price of recording per-invariant provenance.
+  const bench::Trial& t = TrialForSize(static_cast<int>(state.range(0)));
+  util::Rng rng(7);
+  const auto input = controlplane::AggregateInputs(
+      t.topo, t.snapshot, t.demand, 0, rng, {}, {});
+  core::ValidatorOptions opts;
+  opts.record_provenance = false;
+  const core::Validator validator(t.topo, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validator.Validate(input, t.snapshot));
+  }
+}
+BENCHMARK(BM_FullValidationNoProvenance)->Arg(200)->Arg(400);
 
 void BM_CollectSnapshot(benchmark::State& state) {
   const bench::Trial& t = TrialForSize(static_cast<int>(state.range(0)));

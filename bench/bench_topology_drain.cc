@@ -43,19 +43,17 @@ core::LinkVerdict Fuse(const TruthTableRow& row,
   const net::LinkId ba = topo.link(ab).reverse;
 
   telemetry::NetworkSnapshot snap(topo, 0);
+  telemetry::SignalFrame& frame = snap.frame();
   auto fill = [&](net::NodeId v, net::LinkId out, net::LinkId in,
                   std::optional<telemetry::LinkStatus> status) {
-    auto& r = snap.router(v);
-    r.drained = false;
-    r.dropped_rate = 0.0;
-    r.ext_in_rate = row.rate.value_or(0.0);
-    r.ext_out_rate = row.rate.value_or(0.0);
-    telemetry::OutInterfaceSignals o;
-    o.status = status;
-    o.tx_rate = row.rate;
-    o.link_drained = false;
-    r.out_ifaces[out] = o;
-    r.in_ifaces[in] = telemetry::InInterfaceSignals{row.rate};
+    frame.SetNodeDrained(v, false);
+    frame.SetDroppedRate(v, 0.0);
+    frame.SetExtInRate(v, row.rate.value_or(0.0));
+    frame.SetExtOutRate(v, row.rate.value_or(0.0));
+    if (status) frame.SetStatus(out, *status);
+    if (row.rate) frame.SetTxRate(out, *row.rate);
+    frame.SetLinkDrain(out, false);
+    if (row.rate) frame.SetRxRate(in, *row.rate);
   };
   fill(a, ab, ba, row.status_src);
   fill(b, ba, ab, row.status_dst);

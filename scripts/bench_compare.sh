@@ -1,0 +1,103 @@
+#!/bin/sh
+# Latency regression gate over the committed BENCH_overhead.json.
+#
+# Re-runs bench_overhead the same way bench_snapshot.sh does (the full
+# suite, so the benchmark mix matches the committed baseline), recomputes
+# the per-stage latency medians from the hodor_stage_duration_us span
+# histograms the run dumps, and fails (exit 1) if the median of any
+# hardening/validation stage regressed more than 25% against the
+# baseline committed at the repo root.
+#
+#   scripts/bench_compare.sh            # full-length benchmark run
+#   scripts/bench_compare.sh --quick    # short run, for check_build --bench-smoke
+#
+# The gate is deliberately coarse (histogram-bucket medians, generous
+# threshold): it exists to catch order-of-magnitude mistakes — an
+# accidentally quadratic loop, provenance in a hot path — not single-digit
+# percentage noise from a busy machine.
+set -e
+cd "$(dirname "$0")/.."
+ROOT=$(pwd)
+
+BASELINE="$ROOT/BENCH_overhead.json"
+if [ ! -f "$BASELINE" ]; then
+  echo "bench_compare: missing committed baseline $BASELINE" >&2
+  exit 1
+fi
+
+# Same default as bench_snapshot.sh: iteration counts scale uniformly with
+# min-time, so the per-stage sample mix — and hence the medians — stay
+# comparable across the quick and full settings.
+MIN_TIME="${HODOR_BENCH_MIN_TIME:-0.5}"
+if [ "$1" = "--quick" ]; then
+  MIN_TIME=0.05
+fi
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_overhead >/dev/null
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+# The bench binary dumps the observability registry (including the stage
+# span histograms) to BENCH_overhead.json in its working directory at
+# exit; run it from a scratch dir so the committed baseline stays intact.
+(cd "$TMP" && "$ROOT/build/bench/bench_overhead" \
+    --benchmark_min_time="$MIN_TIME" >/dev/null)
+
+python3 - "$BASELINE" "$TMP/BENCH_overhead.json" <<'EOF'
+import json
+import sys
+
+THRESHOLD = 1.25  # fail when candidate median > 1.25x baseline median
+STAGES = ("harden", "check-demand", "check-topology", "check-drain")
+
+
+def stage_median(path, stage):
+    with open(path) as f:
+        doc = json.load(f)
+    for h in doc["metrics"]["histograms"]:
+        if (h["name"] == "hodor_stage_duration_us"
+                and h["labels"].get("stage") == stage):
+            total = h["count"]
+            if total == 0:
+                return None
+            target = total / 2.0
+            seen = 0
+            lo = 0.0
+            for b in h["buckets"]:
+                if seen + b["count"] >= target:
+                    # Linear interpolation inside the bucket; the +inf
+                    # bucket has no upper bound, so fall back to its floor.
+                    hi = b["le"]
+                    if hi is None or hi == "inf":
+                        return lo
+                    frac = (target - seen) / b["count"]
+                    return lo + (hi - lo) * frac
+                seen += b["count"]
+                if b["le"] not in (None, "inf"):
+                    lo = b["le"]
+            return lo
+    return None
+
+
+base_path, cand_path = sys.argv[1], sys.argv[2]
+failed = False
+print(f"{'stage':<16} {'baseline us':>12} {'candidate us':>13} {'ratio':>7}")
+for stage in STAGES:
+    base = stage_median(base_path, stage)
+    cand = stage_median(cand_path, stage)
+    if base is None or cand is None or base <= 0:
+        print(f"{stage:<16} {'n/a':>12} {'n/a':>13}   (skipped: missing data)")
+        continue
+    ratio = cand / base
+    mark = ""
+    if ratio > THRESHOLD:
+        failed = True
+        mark = "  <-- REGRESSION"
+    print(f"{stage:<16} {base:>12.1f} {cand:>13.1f} {ratio:>6.2f}x{mark}")
+if failed:
+    print(f"bench_compare: FAIL (median regressed beyond {THRESHOLD}x)")
+    sys.exit(1)
+print("bench_compare: OK")
+EOF

@@ -10,6 +10,9 @@
 #      build-sanitize/. The telemetry server is the repo's first threaded
 #      and socket-handling code, so the sanitizers cover lifetime and
 #      data-race-adjacent bugs the plain build cannot see.
+#   4. With --bench-smoke: a short bench_compare.sh run that fails on a
+#      >25% median regression of the hardening/validation stage latencies
+#      against the committed BENCH_overhead.json baseline.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -22,6 +25,11 @@ for f in src/obs/*.cc src/obs/health/*.cc src/obs/serve/*.cc; do
   echo "  g++ -Werror $f"
   g++ -std=c++20 -fsyntax-only -Wall -Wextra -Werror -I src "$f"
 done
+
+if [ "$1" = "--bench-smoke" ]; then
+  echo "== bench smoke (quick latency regression gate) =="
+  ./scripts/bench_compare.sh --quick
+fi
 
 if [ "$1" = "--sanitize" ]; then
   echo "== ASan+UBSan pass (build-sanitize/) =="

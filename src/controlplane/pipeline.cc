@@ -22,7 +22,8 @@ Pipeline::Pipeline(const net::Topology& topo, PipelineOptions opts,
       opts_(PropagateObs(std::move(opts))),
       rng_(rng),
       collector_(topo, opts_.collector),
-      controller_(topo, opts_.controller) {}
+      controller_(topo, opts_.controller),
+      scratch_snapshot_(topo, 0) {}
 
 void Pipeline::Bootstrap(const net::GroundTruthState& state,
                          const flow::DemandMatrix& true_demand) {
@@ -50,8 +51,9 @@ EpochResult Pipeline::RunEpoch(const net::GroundTruthState& state,
 
   // 2-3. Collect and aggregate, with fault hooks.
   obs::StageSpan collect_span(obs::Stage::kCollect, epoch, reg, trace);
-  telemetry::NetworkSnapshot snapshot =
-      collector_.Collect(state, measured, epoch, rng_, snapshot_fault);
+  telemetry::NetworkSnapshot& snapshot = scratch_snapshot_;
+  collector_.CollectInto(state, measured, epoch, rng_, snapshot,
+                         snapshot_fault);
   spans.push_back(collect_span.End());
 
   obs::StageSpan aggregate_span(obs::Stage::kAggregate, epoch, reg, trace);

@@ -135,6 +135,10 @@ class Pipeline {
   flow::RoutingPlan installed_plan_;
   std::optional<ControllerInput> last_good_input_;
   std::uint64_t next_epoch_ = 0;
+  // Per-epoch telemetry workspace: CollectInto refills these columnar
+  // buffers in place every epoch, so steady-state collection allocates
+  // nothing. The EpochResult's snapshot is copied out of this scratch.
+  telemetry::NetworkSnapshot scratch_snapshot_;
 };
 
 }  // namespace hodor::controlplane

@@ -6,7 +6,8 @@ std::vector<bool> TopologyService::Aggregate(
     const telemetry::NetworkSnapshot& snapshot) const {
   const net::Topology& topo = snapshot.topology();
   std::vector<bool> available(topo.link_count(), false);
-  for (net::LinkId e : topo.LinkIds()) {
+  for (std::uint32_t i = 0; i < topo.link_count(); ++i) {
+    const net::LinkId e(i);
     const auto src_status = snapshot.StatusAtSrc(e);
     const auto dst_status = snapshot.StatusAtDst(e);
     auto up = [&](const std::optional<telemetry::LinkStatus>& s) {
@@ -44,7 +45,8 @@ void DrainService::Aggregate(const telemetry::NetworkSnapshot& snapshot,
   for (const net::Node& n : topo.nodes()) {
     node_drained[n.id.value()] = snapshot.NodeDrained(n.id).value_or(false);
   }
-  for (net::LinkId e : topo.LinkIds()) {
+  for (std::uint32_t i = 0; i < topo.link_count(); ++i) {
+    const net::LinkId e(i);
     // A link counts as drained when either end announces a drain.
     link_drained[e.value()] = snapshot.LinkDrainAtSrc(e).value_or(false) ||
                               snapshot.LinkDrainAtDst(e).value_or(false);

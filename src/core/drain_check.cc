@@ -41,52 +41,53 @@ DrainCheckResult CheckDrains(const net::Topology& topo,
   HODOR_CHECK(link_drained_input.size() == topo.link_count());
   DrainCheckResult result;
 
-  // Drain invariants are boolean; residual 1.0 marks a mismatch.
-  auto record = [&](const std::string& invariant, bool fired,
-                    std::string detail) {
+  // Drain invariants are boolean; residual 1.0 marks a mismatch. Invariant
+  // names are taken by value and moved through: each call site composes the
+  // one name it needs, so every record costs a single string allocation.
+  auto record = [&](std::string invariant, bool fired, std::string detail) {
     if (!provenance) return;
     provenance->Add(obs::InvariantRecord{
-        "drain", invariant, fired ? 1.0 : 0.0, 0.0,
+        "drain", std::move(invariant), fired ? 1.0 : 0.0, 0.0,
         fired ? obs::InvariantVerdict::kFail : obs::InvariantVerdict::kPass,
         std::move(detail)});
   };
   auto fail = [&](net::NodeId node, net::LinkId link,
-                  DrainViolationKind kind, const std::string& invariant) {
+                  DrainViolationKind kind, std::string invariant) {
     DrainViolation violation{node, link, kind};
-    record(invariant, /*fired=*/true, violation.ToString(topo));
+    record(std::move(invariant), /*fired=*/true, violation.ToString(topo));
     result.violations.push_back(violation);
   };
 
   for (const net::Node& n : topo.nodes()) {
     const HardenedDrain& hd = hardened.drains[n.id.value()];
     const bool input_drained = node_drained_input[n.id.value()];
-    const std::string intent = "drain-intent(" + n.name + ")";
+    auto intent = [&n] { return "drain-intent(" + n.name + ")"; };
     if (hd.node_drained.has_value()) {
       ++result.checked_signals;
       if (*hd.node_drained && !input_drained) {
         fail(n.id, net::LinkId::Invalid(),
-             DrainViolationKind::kInputIgnoresDrain, intent);
+             DrainViolationKind::kInputIgnoresDrain, intent());
       } else if (!*hd.node_drained && input_drained) {
         fail(n.id, net::LinkId::Invalid(),
-             DrainViolationKind::kInputInventsDrain, intent);
+             DrainViolationKind::kInputInventsDrain, intent());
       } else {
-        record(intent, /*fired=*/false, "");
+        record(intent(), /*fired=*/false, "");
       }
     } else {
       ++result.skipped_signals;
       if (provenance) {
         provenance->Add(obs::InvariantRecord{
-            "drain", intent, 0.0, 0.0, obs::InvariantVerdict::kSkipped,
+            "drain", intent(), 0.0, 0.0, obs::InvariantVerdict::kSkipped,
             "router intent signal unknown"});
       }
     }
     ++result.checked_signals;
-    const std::string liveness = "drain-liveness(" + n.name + ")";
     if (hd.undrained_but_dead && !input_drained) {
       fail(n.id, net::LinkId::Invalid(),
-           DrainViolationKind::kUndrainedDeadRouter, liveness);
+           DrainViolationKind::kUndrainedDeadRouter,
+           "drain-liveness(" + n.name + ")");
     } else {
-      record(liveness, /*fired=*/false,
+      record("drain-liveness(" + n.name + ")", /*fired=*/false,
              hd.drained_but_active ? "drained but carrying traffic (warning)"
                                    : "");
     }
@@ -95,24 +96,25 @@ DrainCheckResult CheckDrains(const net::Topology& topo,
     }
   }
 
-  for (net::LinkId e : topo.LinkIds()) {
+  for (std::uint32_t i = 0; i < topo.link_count(); ++i) {
+    const net::LinkId e(i);
     const net::Link& l = topo.link(e);
     if (l.reverse.value() < e.value()) continue;  // once per physical link
-    const std::string symmetry = "drain-symmetry(" + topo.LinkName(e) + ")";
+    auto symmetry = [&] { return "drain-symmetry(" + topo.LinkNameRef(e) + ")"; };
     ++result.checked_signals;
     if (hardened.link_drain_disagreement[e.value()]) {
       fail(net::NodeId::Invalid(), e, DrainViolationKind::kDrainAsymmetry,
-           symmetry);
+           symmetry());
     } else {
-      record(symmetry, /*fired=*/false, "");
+      record(symmetry(), /*fired=*/false, "");
     }
     const auto& hd = hardened.link_drained[e.value()];
-    const std::string intent = "drain-intent(" + topo.LinkName(e) + ")";
+    auto intent = [&] { return "drain-intent(" + topo.LinkNameRef(e) + ")"; };
     if (!hd.has_value()) {
       ++result.skipped_signals;
       if (provenance) {
         provenance->Add(obs::InvariantRecord{
-            "drain", intent, 0.0, 0.0, obs::InvariantVerdict::kSkipped,
+            "drain", intent(), 0.0, 0.0, obs::InvariantVerdict::kSkipped,
             "link drain status unknown"});
       }
       continue;
@@ -121,12 +123,12 @@ DrainCheckResult CheckDrains(const net::Topology& topo,
     const bool input_drained = link_drained_input[e.value()];
     if (*hd && !input_drained) {
       fail(net::NodeId::Invalid(), e, DrainViolationKind::kInputIgnoresDrain,
-           intent);
+           intent());
     } else if (!*hd && input_drained) {
       fail(net::NodeId::Invalid(), e, DrainViolationKind::kInputInventsDrain,
-           intent);
+           intent());
     } else {
-      record(intent, /*fired=*/false, "");
+      record(intent(), /*fired=*/false, "");
     }
   }
 

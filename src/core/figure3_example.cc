@@ -24,18 +24,19 @@ double Figure3Example::TrueRate(net::LinkId e) const {
 
 telemetry::NetworkSnapshot Figure3Example::HonestSnapshot() const {
   telemetry::NetworkSnapshot snap(topo_, 0);
+  telemetry::SignalFrame& frame = snap.frame();
   auto fill = [&](net::NodeId v, double ext_in, double ext_out) {
-    telemetry::RouterSignals& r = snap.router(v);
-    r.drained = false;
-    r.dropped_rate = 0.0;
-    r.ext_in_rate = ext_in;
-    r.ext_out_rate = ext_out;
+    frame.SetNodeDrained(v, false);
+    frame.SetDroppedRate(v, 0.0);
+    frame.SetExtInRate(v, ext_in);
+    frame.SetExtOutRate(v, ext_out);
     for (net::LinkId e : topo_.OutLinks(v)) {
-      r.out_ifaces[e] = telemetry::OutInterfaceSignals{
-          telemetry::LinkStatus::kUp, TrueRate(e), false};
+      frame.SetStatus(e, telemetry::LinkStatus::kUp);
+      frame.SetTxRate(e, TrueRate(e));
+      frame.SetLinkDrain(e, false);
     }
     for (net::LinkId e : topo_.InLinks(v)) {
-      r.in_ifaces[e] = telemetry::InInterfaceSignals{TrueRate(e)};
+      frame.SetRxRate(e, TrueRate(e));
     }
   };
   fill(a_, 76.0, 5.0);
@@ -47,7 +48,7 @@ telemetry::NetworkSnapshot Figure3Example::HonestSnapshot() const {
 telemetry::NetworkSnapshot Figure3Example::FaultySnapshot(
     double faulty_tx) const {
   telemetry::NetworkSnapshot snap = HonestSnapshot();
-  snap.router(a_).out_ifaces[ab_].tx_rate = faulty_tx;
+  snap.frame().SetTxRate(ab_, faulty_tx);
   return snap;
 }
 

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <sstream>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/linear_solver.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 
 namespace hodor::core {
@@ -75,28 +78,97 @@ std::string HardenedState::Summary() const {
   return os.str();
 }
 
+// Scratch buffers reused across Harden calls (zero steady-state
+// allocation). Per-shard buffers are merged in shard index order, which —
+// shards being contiguous ranges — reproduces the serial iteration order
+// exactly, including floating-point accumulation order.
+struct HardeningEngine::Workspace {
+  // R1 candidate columns, one slot per directed link.
+  std::vector<std::optional<double>> tx;
+  std::vector<std::optional<double>> rx;
+
+  // Repair (a): decisions collected per shard, applied in shard order.
+  struct Decision {
+    LinkId link;
+    double value;
+    std::optional<double> rejected;
+  };
+  std::vector<std::vector<Decision>> shard_decisions;
+
+  // Repair (b): per-shard (link, solved) pairs plus the per-link
+  // accumulation columns they merge into.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> shard_solutions;
+  std::vector<double> prop_sum;
+  std::vector<double> prop_first;
+  std::vector<std::uint32_t> prop_count;
+  std::vector<std::uint32_t> prop_touched;
+
+  // Repair (c): unknown-column index, one slot per directed link.
+  std::vector<std::size_t> column_of;
+};
+
+HardeningEngine::HardeningEngine(HardeningOptions opts)
+    : opts_(opts), ws_(std::make_unique<Workspace>()) {}
+
+HardeningEngine::~HardeningEngine() = default;
+
+HardeningEngine::HardeningEngine(const HardeningEngine& other)
+    : opts_(other.opts_), ws_(std::make_unique<Workspace>()) {}
+
+HardeningEngine& HardeningEngine::operator=(const HardeningEngine& other) {
+  if (this != &other) {
+    opts_ = other.opts_;
+    pool_.reset();
+    ws_ = std::make_unique<Workspace>();
+  }
+  return *this;
+}
+
+HardeningEngine::HardeningEngine(HardeningEngine&&) noexcept = default;
+HardeningEngine& HardeningEngine::operator=(HardeningEngine&&) noexcept =
+    default;
+
+util::ThreadPool* HardeningEngine::pool() const {
+  if (opts_.num_threads <= 1) return nullptr;
+  if (!pool_) pool_ = std::make_unique<util::ThreadPool>(opts_.num_threads);
+  return pool_.get();
+}
+
 HardenedState HardeningEngine::Harden(const NetworkSnapshot& snapshot) const {
+  HardenedState out;
+  HardenInto(snapshot, out);
+  return out;
+}
+
+void HardeningEngine::HardenInto(const NetworkSnapshot& snapshot,
+                                 HardenedState& out) const {
   obs::StageSpan span(obs::Stage::kHarden, snapshot.epoch(), opts_.metrics,
                       opts_.trace);
   const Topology& topo = snapshot.topology();
-  HardenedState out;
-  out.rates.resize(topo.link_count());
-  out.links.resize(topo.link_count());
-  out.link_drained.resize(topo.link_count());
-  out.link_drain_disagreement.assign(topo.link_count(), false);
-  out.ext_in.resize(topo.node_count());
-  out.ext_out.resize(topo.node_count());
-  out.dropped.resize(topo.node_count());
-  out.drains.resize(topo.node_count());
+  const std::size_t links = topo.link_count();
+  const std::size_t nodes = topo.node_count();
+  out.rates.assign(links, HardenedRate{});
+  out.links.assign(links, HardenedLinkState{});
+  out.link_drained.assign(links, std::nullopt);
+  out.link_drain_disagreement.assign(links, false);
+  out.ext_in.assign(nodes, std::nullopt);
+  out.ext_out.assign(nodes, std::nullopt);
+  out.dropped.assign(nodes, std::nullopt);
+  out.drains.assign(nodes, HardenedDrain{});
+  out.flagged_rate_count = 0;
+  out.repaired_rate_count = 0;
+  out.unknown_rate_count = 0;
+  out.status_disagreement_count = 0;
 
   // Node-scalar signals are single-sourced; hardened value == reported value
   // (when the router answered). Their trustworthiness comes from being used
   // *jointly* in conservation equations: a corrupt scalar surfaces as an
   // unresolvable inconsistency rather than silently poisoning repairs.
-  for (const net::Node& n : topo.nodes()) {
-    out.ext_in[n.id.value()] = snapshot.ExtInRate(n.id);
-    out.ext_out[n.id.value()] = snapshot.ExtOutRate(n.id);
-    out.dropped[n.id.value()] = snapshot.DroppedRate(n.id);
+  for (std::uint32_t i = 0; i < nodes; ++i) {
+    const NodeId v(i);
+    out.ext_in[i] = snapshot.ExtInRate(v);
+    out.ext_out[i] = snapshot.ExtOutRate(v);
+    out.dropped[i] = snapshot.DroppedRate(v);
   }
 
   HardenRates(snapshot, out);
@@ -105,34 +177,39 @@ HardenedState HardeningEngine::Harden(const NetworkSnapshot& snapshot) const {
 
   // Confidence scoring (R3/R4's role in the repair process): agreeing
   // pairs are fully trusted; inferred values start lower and gain from
-  // each independent corroborating signal.
-  for (LinkId e : topo.LinkIds()) {
-    HardenedRate& r = out.rates[e.value()];
-    switch (r.origin) {
-      case RateOrigin::kAgreeing:
-        r.confidence = 1.0;
-        break;
-      case RateOrigin::kRepaired:
-      case RateOrigin::kSingleWitness: {
-        double c = r.origin == RateOrigin::kRepaired ? 0.7 : 0.5;
-        const bool active = r.value && *r.value > opts_.activity_floor;
-        const auto probe = snapshot.ProbeSucceeded(e);
-        // A successful probe corroborates a positive inferred rate; a
-        // failed probe corroborates an inferred-idle link.
-        if (probe && *probe == active) c += 0.15;
-        const auto status = snapshot.StatusAtSrc(e);
-        if (status &&
-            (*status == telemetry::LinkStatus::kUp) == active) {
-          c += 0.1;
+  // each independent corroborating signal. Each link scores alone, so the
+  // scan shards freely.
+  util::ParallelFor(pool(), links, [&](std::size_t begin, std::size_t end,
+                                       std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const LinkId e(static_cast<std::uint32_t>(i));
+      HardenedRate& r = out.rates[i];
+      switch (r.origin) {
+        case RateOrigin::kAgreeing:
+          r.confidence = 1.0;
+          break;
+        case RateOrigin::kRepaired:
+        case RateOrigin::kSingleWitness: {
+          double c = r.origin == RateOrigin::kRepaired ? 0.7 : 0.5;
+          const bool active = r.value && *r.value > opts_.activity_floor;
+          const auto probe = snapshot.ProbeSucceeded(e);
+          // A successful probe corroborates a positive inferred rate; a
+          // failed probe corroborates an inferred-idle link.
+          if (probe && *probe == active) c += 0.15;
+          const auto status = snapshot.StatusAtSrc(e);
+          if (status &&
+              (*status == telemetry::LinkStatus::kUp) == active) {
+            c += 0.1;
+          }
+          r.confidence = std::min(1.0, c);
+          break;
         }
-        r.confidence = std::min(1.0, c);
-        break;
+        case RateOrigin::kUnknown:
+          r.confidence = 0.0;
+          break;
       }
-      case RateOrigin::kUnknown:
-        r.confidence = 0.0;
-        break;
     }
-  }
+  });
 
   for (const HardenedRate& r : out.rates) {
     if (r.flagged) ++out.flagged_rate_count;
@@ -140,7 +217,8 @@ HardenedState HardeningEngine::Harden(const NetworkSnapshot& snapshot) const {
     if (!r.value) ++out.unknown_rate_count;
   }
   for (std::size_t e = 0; e < out.links.size(); ++e) {
-    if (out.links[e].status_disagreement && e < topo.link(LinkId(static_cast<std::uint32_t>(e))).reverse.value()) {
+    if (out.links[e].status_disagreement &&
+        e < topo.link(LinkId(static_cast<std::uint32_t>(e))).reverse.value()) {
       ++out.status_disagreement_count;  // count each physical link once
     }
   }
@@ -160,80 +238,93 @@ HardenedState HardeningEngine::Harden(const NetworkSnapshot& snapshot) const {
   reg.GetCounter("hodor_hardening_status_disagreements_total", {},
                  "Physical links whose two status reports disagreed")
       .Increment(static_cast<double>(out.status_disagreement_count));
-  return out;
 }
 
 void HardeningEngine::HardenRates(const NetworkSnapshot& snapshot,
                                   HardenedState& out) const {
   const Topology& topo = snapshot.topology();
+  const std::size_t links = topo.link_count();
+  Workspace& ws = *ws_;
+  util::ThreadPool* tp = pool();
 
   // --- R1: detection via link symmetry -----------------------------------
-  struct Candidates {
-    std::optional<double> tx, rx;
-  };
-  std::vector<Candidates> candidates(topo.link_count());
-  for (LinkId e : topo.LinkIds()) {
-    const auto tx = snapshot.TxRate(e);
-    const auto rx = snapshot.RxRate(e);
-    candidates[e.value()] = Candidates{tx, rx};
-    HardenedRate& r = out.rates[e.value()];
-    if (tx && rx && util::WithinRelativeTolerance(*tx, *rx, opts_.tau_h)) {
-      r.value = (*tx + *rx) / 2.0;
-      r.origin = RateOrigin::kAgreeing;
-    } else {
-      // Mismatch or missing side: the pair is spurious; the true rate
-      // becomes an unknown variable (paper §4.1).
-      r.flagged = true;
-      r.origin = RateOrigin::kUnknown;
+  // Each link reads and writes only its own slots: embarrassingly parallel.
+  ws.tx.assign(links, std::nullopt);
+  ws.rx.assign(links, std::nullopt);
+  util::ParallelFor(tp, links, [&](std::size_t begin, std::size_t end,
+                                   std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const LinkId e(static_cast<std::uint32_t>(i));
+      const auto tx = snapshot.TxRate(e);
+      const auto rx = snapshot.RxRate(e);
+      ws.tx[i] = tx;
+      ws.rx[i] = rx;
+      HardenedRate& r = out.rates[i];
+      if (tx && rx && util::WithinRelativeTolerance(*tx, *rx, opts_.tau_h)) {
+        r.value = (*tx + *rx) / 2.0;
+        r.origin = RateOrigin::kAgreeing;
+      } else {
+        // Mismatch or missing side: the pair is spurious; the true rate
+        // becomes an unknown variable (paper §4.1).
+        r.flagged = true;
+        r.origin = RateOrigin::kUnknown;
+      }
     }
-  }
+  });
 
   // --- repair (a): pairwise disambiguation --------------------------------
   // Decide from the pre-repair state, then apply, so ordering cannot let
-  // one repaired guess justify another within the same pass.
+  // one repaired guess justify another within the same pass. The scan only
+  // reads pre-repair rates, so flagged links disambiguate in parallel;
+  // per-shard decision lists concatenate back to serial link order.
   if (opts_.pairwise_disambiguation) {
-    struct Decision {
-      LinkId link;
-      double value;
-      std::optional<double> rejected;
-    };
-    std::vector<Decision> decisions;
-    for (LinkId e : topo.LinkIds()) {
-      const HardenedRate& r = out.rates[e.value()];
-      if (!r.flagged || r.value) continue;
-      const Candidates& c = candidates[e.value()];
-      const net::Link& l = topo.link(e);
+    const std::size_t shards = util::ShardCount(tp, links);
+    ws.shard_decisions.resize(shards);
+    for (auto& d : ws.shard_decisions) d.clear();
+    util::ParallelFor(tp, links, [&](std::size_t begin, std::size_t end,
+                                     std::size_t shard) {
+      std::vector<Workspace::Decision>& decisions = ws.shard_decisions[shard];
+      for (std::size_t i = begin; i < end; ++i) {
+        const LinkId e(static_cast<std::uint32_t>(i));
+        const HardenedRate& r = out.rates[i];
+        if (!r.flagged || r.value) continue;
+        const std::optional<double>& ctx = ws.tx[i];
+        const std::optional<double>& crx = ws.rx[i];
+        const net::Link& l = topo.link(e);
 
-      std::optional<double> tx_resid, rx_resid;
-      if (c.tx) {
-        const auto chk = CheckConservation(topo, out, l.src, e, *c.tx);
-        if (chk.computable) tx_resid = chk.relative_residual;
-      }
-      if (c.rx) {
-        const auto chk = CheckConservation(topo, out, l.dst, e, *c.rx);
-        if (chk.computable) rx_resid = chk.relative_residual;
-      }
-      const bool tx_fits = tx_resid && *tx_resid <= opts_.conservation_tau;
-      const bool rx_fits = rx_resid && *rx_resid <= opts_.conservation_tau;
-      if (tx_fits && rx_fits) {
-        // Both candidates satisfy conservation at their own routers; keep
-        // the one that fits more tightly.
-        if (*tx_resid <= *rx_resid) {
-          decisions.push_back({e, *c.tx, c.rx});
-        } else {
-          decisions.push_back({e, *c.rx, c.tx});
+        std::optional<double> tx_resid, rx_resid;
+        if (ctx) {
+          const auto chk = CheckConservation(topo, out, l.src, e, *ctx);
+          if (chk.computable) tx_resid = chk.relative_residual;
         }
-      } else if (tx_fits) {
-        decisions.push_back({e, *c.tx, c.rx});
-      } else if (rx_fits) {
-        decisions.push_back({e, *c.rx, c.tx});
+        if (crx) {
+          const auto chk = CheckConservation(topo, out, l.dst, e, *crx);
+          if (chk.computable) rx_resid = chk.relative_residual;
+        }
+        const bool tx_fits = tx_resid && *tx_resid <= opts_.conservation_tau;
+        const bool rx_fits = rx_resid && *rx_resid <= opts_.conservation_tau;
+        if (tx_fits && rx_fits) {
+          // Both candidates satisfy conservation at their own routers; keep
+          // the one that fits more tightly.
+          if (*tx_resid <= *rx_resid) {
+            decisions.push_back({e, *ctx, crx});
+          } else {
+            decisions.push_back({e, *crx, ctx});
+          }
+        } else if (tx_fits) {
+          decisions.push_back({e, *ctx, crx});
+        } else if (rx_fits) {
+          decisions.push_back({e, *crx, ctx});
+        }
       }
-    }
-    for (const Decision& d : decisions) {
-      HardenedRate& r = out.rates[d.link.value()];
-      r.value = d.value;
-      r.origin = RateOrigin::kRepaired;
-      r.rejected_value = d.rejected;
+    });
+    for (const auto& shard : ws.shard_decisions) {
+      for (const Workspace::Decision& d : shard) {
+        HardenedRate& r = out.rates[d.link.value()];
+        r.value = d.value;
+        r.origin = RateOrigin::kRepaired;
+        r.rejected_value = d.rejected;
+      }
     }
   }
 
@@ -241,63 +332,84 @@ void HardeningEngine::HardenRates(const NetworkSnapshot& snapshot,
   // A node equation with exactly one unknown incident rate determines it
   // (the paper's worked example: flow conservation at B gives x = 76).
   if (opts_.propagation_repair) {
+    const std::size_t nodes = topo.node_count();
+    ws.prop_sum.assign(links, 0.0);
+    ws.prop_first.assign(links, 0.0);
+    ws.prop_count.assign(links, 0);
+    const std::size_t shards = util::ShardCount(tp, nodes);
+    ws.shard_solutions.resize(shards);
     bool changed = true;
     while (changed) {
-      changed = false;
-      // One synchronous round: collect every single-unknown node equation's
-      // solution, then assign. An unknown adjacent to two solvable routers
-      // gets two (slightly differing, per footnote 3) solutions — averaged
-      // or first-picked per the option.
-      std::unordered_map<std::uint32_t, std::vector<double>> solutions;
-      for (const net::Node& n : topo.nodes()) {
-        const bool is_external = n.has_external_port;
-        if (!out.dropped[n.id.value()]) continue;
-        if (is_external &&
-            (!out.ext_in[n.id.value()] || !out.ext_out[n.id.value()])) {
-          continue;
-        }
-        LinkId unknown = LinkId::Invalid();
-        bool unknown_is_in = false;
-        int unknown_count = 0;
-        double in_sum = is_external ? *out.ext_in[n.id.value()] : 0.0;
-        double out_sum = *out.dropped[n.id.value()] +
-                         (is_external ? *out.ext_out[n.id.value()] : 0.0);
-        for (LinkId e : topo.InLinks(n.id)) {
-          const auto& r = out.rates[e.value()];
-          if (r.value) {
-            in_sum += *r.value;
-          } else {
-            ++unknown_count;
-            unknown = e;
-            unknown_is_in = true;
+      // One synchronous round: every single-unknown node equation solves
+      // against the rates as they stood at the start of the round; the
+      // solutions are merged in shard (= node) order and assigned after.
+      // An unknown adjacent to two solvable routers gets two (slightly
+      // differing, per footnote 3) solutions — averaged or first-picked
+      // per the option.
+      for (auto& s : ws.shard_solutions) s.clear();
+      util::ParallelFor(tp, nodes, [&](std::size_t begin, std::size_t end,
+                                       std::size_t shard) {
+        auto& sols = ws.shard_solutions[shard];
+        for (std::size_t i = begin; i < end; ++i) {
+          const NodeId v(static_cast<std::uint32_t>(i));
+          const bool is_external = topo.node(v).has_external_port;
+          if (!out.dropped[i]) continue;
+          if (is_external && (!out.ext_in[i] || !out.ext_out[i])) continue;
+          LinkId unknown = LinkId::Invalid();
+          bool unknown_is_in = false;
+          int unknown_count = 0;
+          double in_sum = is_external ? *out.ext_in[i] : 0.0;
+          double out_sum =
+              *out.dropped[i] + (is_external ? *out.ext_out[i] : 0.0);
+          for (LinkId e : topo.InLinks(v)) {
+            const auto& r = out.rates[e.value()];
+            if (r.value) {
+              in_sum += *r.value;
+            } else {
+              ++unknown_count;
+              unknown = e;
+              unknown_is_in = true;
+            }
           }
-        }
-        for (LinkId e : topo.OutLinks(n.id)) {
-          const auto& r = out.rates[e.value()];
-          if (r.value) {
-            out_sum += *r.value;
-          } else {
-            ++unknown_count;
-            unknown = e;
-            unknown_is_in = false;
+          for (LinkId e : topo.OutLinks(v)) {
+            const auto& r = out.rates[e.value()];
+            if (r.value) {
+              out_sum += *r.value;
+            } else {
+              ++unknown_count;
+              unknown = e;
+              unknown_is_in = false;
+            }
           }
+          if (unknown_count != 1) continue;
+          const double solved =
+              unknown_is_in ? out_sum - in_sum : in_sum - out_sum;
+          sols.emplace_back(unknown.value(), solved);
         }
-        if (unknown_count != 1) continue;
-        const double solved =
-            unknown_is_in ? out_sum - in_sum : in_sum - out_sum;
-        solutions[unknown.value()].push_back(solved);
+      });
+      ws.prop_touched.clear();
+      for (const auto& sols : ws.shard_solutions) {
+        for (const auto& [lid, v] : sols) {
+          if (ws.prop_count[lid] == 0) {
+            ws.prop_first[lid] = v;
+            ws.prop_sum[lid] = v;
+            ws.prop_touched.push_back(lid);
+          } else {
+            ws.prop_sum[lid] += v;
+          }
+          ++ws.prop_count[lid];
+        }
       }
-      for (const auto& [lid, vals] : solutions) {
-        double v = vals.front();
-        if (opts_.average_adjacent_solutions) {
-          double acc = 0.0;
-          for (double x : vals) acc += x;
-          v = acc / static_cast<double>(vals.size());
-        }
+      changed = !ws.prop_touched.empty();
+      for (std::uint32_t lid : ws.prop_touched) {
+        const double v = opts_.average_adjacent_solutions
+                             ? ws.prop_sum[lid] /
+                                   static_cast<double>(ws.prop_count[lid])
+                             : ws.prop_first[lid];
         HardenedRate& r = out.rates[lid];
         r.value = std::max(0.0, v);  // jitter can push tiny negatives
         r.origin = RateOrigin::kRepaired;
-        changed = true;
+        ws.prop_count[lid] = 0;  // reset for the next round
       }
     }
   }
@@ -305,11 +417,11 @@ void HardeningEngine::HardenRates(const NetworkSnapshot& snapshot,
   // --- repair (c): global least-squares over remaining unknowns -----------
   if (opts_.global_least_squares) {
     std::vector<LinkId> unknowns;
-    std::unordered_map<std::uint32_t, std::size_t> column_of;
-    for (LinkId e : topo.LinkIds()) {
-      if (!out.rates[e.value()].value) {
-        column_of[e.value()] = unknowns.size();
-        unknowns.push_back(e);
+    ws.column_of.assign(links, 0);
+    for (std::size_t i = 0; i < links; ++i) {
+      if (!out.rates[i].value) {
+        ws.column_of[i] = unknowns.size();
+        unknowns.push_back(LinkId(static_cast<std::uint32_t>(i)));
       }
     }
     if (!unknowns.empty()) {
@@ -334,7 +446,7 @@ void HardeningEngine::HardenRates(const NetworkSnapshot& snapshot,
           if (r.value) {
             b -= *r.value;
           } else {
-            row[column_of[e.value()]] += 1.0;
+            row[ws.column_of[e.value()]] += 1.0;
             any_unknown = true;
           }
         }
@@ -343,7 +455,7 @@ void HardeningEngine::HardenRates(const NetworkSnapshot& snapshot,
           if (r.value) {
             b += *r.value;
           } else {
-            row[column_of[e.value()]] -= 1.0;
+            row[ws.column_of[e.value()]] -= 1.0;
             any_unknown = true;
           }
         }
@@ -374,131 +486,152 @@ void HardeningEngine::HardenRates(const NetworkSnapshot& snapshot,
 
   // --- repair (d): single-witness acceptance -------------------------------
   if (opts_.accept_single_witness) {
-    for (LinkId e : topo.LinkIds()) {
-      HardenedRate& r = out.rates[e.value()];
-      if (r.value) continue;
-      const Candidates& c = candidates[e.value()];
-      if (c.tx.has_value() == c.rx.has_value()) continue;  // 0 or 2 witnesses
-      r.value = c.tx.has_value() ? *c.tx : *c.rx;
-      r.origin = RateOrigin::kSingleWitness;
-    }
+    util::ParallelFor(tp, links, [&](std::size_t begin, std::size_t end,
+                                     std::size_t) {
+      for (std::size_t i = begin; i < end; ++i) {
+        HardenedRate& r = out.rates[i];
+        if (r.value) continue;
+        const std::optional<double>& ctx = ws.tx[i];
+        const std::optional<double>& crx = ws.rx[i];
+        if (ctx.has_value() == crx.has_value()) continue;  // 0 or 2 witnesses
+        r.value = ctx.has_value() ? *ctx : *crx;
+        r.origin = RateOrigin::kSingleWitness;
+      }
+    });
   }
 }
 
 void HardeningEngine::HardenLinkStates(const NetworkSnapshot& snapshot,
                                        HardenedState& out) const {
   const Topology& topo = snapshot.topology();
-  for (LinkId e : topo.LinkIds()) {
-    const net::Link& l = topo.link(e);
-    if (l.reverse.value() < e.value()) continue;  // one pass per physical link
+  // One pass per physical link; each pass writes only its own direction
+  // pair, so the scan shards over the directed-link range.
+  util::ParallelFor(pool(), topo.link_count(), [&](std::size_t begin,
+                                                   std::size_t end,
+                                                   std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const LinkId e(static_cast<std::uint32_t>(i));
+      const net::Link& l = topo.link(e);
+      if (l.reverse.value() < e.value()) continue;
 
-    double up_evidence = 0.0;
-    double down_evidence = 0.0;
+      double up_evidence = 0.0;
+      double down_evidence = 0.0;
 
-    // R1: the two ends' status reports.
-    const auto s_src = snapshot.StatusAtSrc(e);
-    const auto s_dst = snapshot.StatusAtDst(e);
-    for (const auto& s : {s_src, s_dst}) {
-      if (!s) continue;
-      (*s == telemetry::LinkStatus::kUp ? up_evidence : down_evidence) +=
-          opts_.status_weight;
-    }
-    const bool disagreement = s_src && s_dst && *s_src != *s_dst;
+      // R1: the two ends' status reports.
+      const auto s_src = snapshot.StatusAtSrc(e);
+      const auto s_dst = snapshot.StatusAtDst(e);
+      for (const auto& s : {s_src, s_dst}) {
+        if (!s) continue;
+        (*s == telemetry::LinkStatus::kUp ? up_evidence : down_evidence) +=
+            opts_.status_weight;
+      }
+      const bool disagreement = s_src && s_dst && *s_src != *s_dst;
 
-    // R3: alternative signals — hardened rates. Traffic flowing is strong
-    // evidence the link is up; both directions idle is weak down-evidence
-    // (an up link may simply be unused).
-    if (opts_.use_alternative_signals) {
-      bool any_active = false;
-      bool all_known_idle = true;
-      for (LinkId dir : {e, l.reverse}) {
-        const auto& r = out.rates[dir.value()];
-        if (!r.value) {
-          all_known_idle = false;
-          continue;
+      // R3: alternative signals — hardened rates. Traffic flowing is strong
+      // evidence the link is up; both directions idle is weak down-evidence
+      // (an up link may simply be unused).
+      if (opts_.use_alternative_signals) {
+        bool any_active = false;
+        bool all_known_idle = true;
+        for (LinkId dir : {e, l.reverse}) {
+          const auto& r = out.rates[dir.value()];
+          if (!r.value) {
+            all_known_idle = false;
+            continue;
+          }
+          if (*r.value > opts_.activity_floor) {
+            any_active = true;
+            all_known_idle = false;
+          }
         }
-        if (*r.value > opts_.activity_floor) {
-          any_active = true;
-          all_known_idle = false;
+        if (any_active) up_evidence += opts_.rate_weight;
+        else if (all_known_idle) down_evidence += 0.5 * opts_.rate_weight;
+      }
+
+      // R4: manufactured signals — active probes exercise the dataplane.
+      if (opts_.use_probes) {
+        for (LinkId dir : {e, l.reverse}) {
+          const auto p = snapshot.ProbeSucceeded(dir);
+          if (!p) continue;
+          (*p ? up_evidence : down_evidence) += opts_.probe_weight;
         }
       }
-      if (any_active) up_evidence += opts_.rate_weight;
-      else if (all_known_idle) down_evidence += 0.5 * opts_.rate_weight;
-    }
 
-    // R4: manufactured signals — active probes exercise the dataplane.
-    if (opts_.use_probes) {
-      for (LinkId dir : {e, l.reverse}) {
-        const auto p = snapshot.ProbeSucceeded(dir);
-        if (!p) continue;
-        (*p ? up_evidence : down_evidence) += opts_.probe_weight;
+      HardenedLinkState verdict;
+      verdict.status_disagreement = disagreement;
+      const double total = up_evidence + down_evidence;
+      if (total <= 0.0 || up_evidence == down_evidence) {
+        verdict.verdict = LinkVerdict::kUnknown;
+        verdict.confidence = 0.0;
+      } else if (up_evidence > down_evidence) {
+        verdict.verdict = LinkVerdict::kUp;
+        verdict.confidence = up_evidence / total;
+      } else {
+        verdict.verdict = LinkVerdict::kDown;
+        verdict.confidence = down_evidence / total;
       }
+      out.links[i] = verdict;
+      out.links[l.reverse.value()] = verdict;
     }
-
-    HardenedLinkState verdict;
-    verdict.status_disagreement = disagreement;
-    const double total = up_evidence + down_evidence;
-    if (total <= 0.0 || up_evidence == down_evidence) {
-      verdict.verdict = LinkVerdict::kUnknown;
-      verdict.confidence = 0.0;
-    } else if (up_evidence > down_evidence) {
-      verdict.verdict = LinkVerdict::kUp;
-      verdict.confidence = up_evidence / total;
-    } else {
-      verdict.verdict = LinkVerdict::kDown;
-      verdict.confidence = down_evidence / total;
-    }
-    out.links[e.value()] = verdict;
-    out.links[l.reverse.value()] = verdict;
-  }
+  });
 }
 
 void HardeningEngine::HardenDrains(const NetworkSnapshot& snapshot,
                                    HardenedState& out) const {
   const Topology& topo = snapshot.topology();
+  util::ThreadPool* tp = pool();
 
-  for (const net::Node& n : topo.nodes()) {
-    HardenedDrain d;
-    d.node_drained = snapshot.NodeDrained(n.id);
+  // Per-router drain fusion: each node writes only its own slot.
+  util::ParallelFor(tp, topo.node_count(), [&](std::size_t begin,
+                                               std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeId v(static_cast<std::uint32_t>(i));
+      HardenedDrain d;
+      d.node_drained = snapshot.NodeDrained(v);
 
-    bool carrying = false;
-    bool any_up_status = false;
-    bool any_probe = false;
-    bool any_probe_ok = false;
-    auto consider = [&](LinkId e) {
-      const auto& r = out.rates[e.value()];
-      if (r.value && *r.value > opts_.activity_floor) carrying = true;
-      const auto s = snapshot.StatusAtSrc(e);
-      if (s && *s == telemetry::LinkStatus::kUp) any_up_status = true;
-      const auto p = snapshot.ProbeSucceeded(e);
-      if (p) {
-        any_probe = true;
-        if (*p) any_probe_ok = true;
-      }
-    };
-    for (LinkId e : topo.OutLinks(n.id)) consider(e);
-    for (LinkId e : topo.InLinks(n.id)) consider(e);
+      bool carrying = false;
+      bool any_up_status = false;
+      bool any_probe = false;
+      bool any_probe_ok = false;
+      auto consider = [&](LinkId e) {
+        const auto& r = out.rates[e.value()];
+        if (r.value && *r.value > opts_.activity_floor) carrying = true;
+        const auto s = snapshot.StatusAtSrc(e);
+        if (s && *s == telemetry::LinkStatus::kUp) any_up_status = true;
+        const auto p = snapshot.ProbeSucceeded(e);
+        if (p) {
+          any_probe = true;
+          if (*p) any_probe_ok = true;
+        }
+      };
+      for (LinkId e : topo.OutLinks(v)) consider(e);
+      for (LinkId e : topo.InLinks(v)) consider(e);
 
-    // §4.3 case 1: not marked drained, yet nothing gets through — statuses
-    // are up while every probe fails and no counter moves.
-    d.undrained_but_dead = !d.node_drained.value_or(false) && !carrying &&
-                           any_up_status && any_probe && !any_probe_ok;
-    // §4.3 case 2: marked drained but traffic is clearly flowing.
-    d.drained_but_active = d.node_drained.value_or(false) && carrying;
-    out.drains[n.id.value()] = d;
-  }
-
-  for (LinkId e : topo.LinkIds()) {
-    const auto d1 = snapshot.LinkDrainAtSrc(e);
-    const auto d2 = snapshot.LinkDrainAtDst(e);
-    if (!d1 && !d2) {
-      out.link_drained[e.value()] = std::nullopt;
-      continue;
+      // §4.3 case 1: not marked drained, yet nothing gets through —
+      // statuses are up while every probe fails and no counter moves.
+      d.undrained_but_dead = !d.node_drained.value_or(false) && !carrying &&
+                             any_up_status && any_probe && !any_probe_ok;
+      // §4.3 case 2: marked drained but traffic is clearly flowing.
+      d.drained_but_active = d.node_drained.value_or(false) && carrying;
+      out.drains[i] = d;
     }
-    out.link_drained[e.value()] = d1.value_or(false) || d2.value_or(false);
-    // Link drains carry natural symmetry (§4.3): both ends must agree.
-    out.link_drain_disagreement[e.value()] = d1 && d2 && *d1 != *d2;
-  }
+  });
+
+  util::ParallelFor(tp, topo.link_count(), [&](std::size_t begin,
+                                               std::size_t end, std::size_t) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const LinkId e(static_cast<std::uint32_t>(i));
+      const auto d1 = snapshot.LinkDrainAtSrc(e);
+      const auto d2 = snapshot.LinkDrainAtDst(e);
+      if (!d1 && !d2) {
+        out.link_drained[i] = std::nullopt;
+        continue;
+      }
+      out.link_drained[i] = d1.value_or(false) || d2.value_or(false);
+      // Link drains carry natural symmetry (§4.3): both ends must agree.
+      out.link_drain_disagreement[i] = d1 && d2 && *d1 != *d2;
+    }
+  });
 }
 
 }  // namespace hodor::core

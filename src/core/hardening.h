@@ -20,7 +20,14 @@
 // flowing implies up) and manufactured signals (R4: active probes), with a
 // weighted-evidence truth table that can be tuned to operator risk
 // tolerance.
+//
+// The engine reads the snapshot's columnar SignalFrame (O(1) per signal)
+// and, with num_threads > 1, shards the per-link R1 scan and the per-router
+// R2 solves across a util::ThreadPool. Shards are contiguous and merged in
+// shard order, so results are bit-identical at any thread count.
 #pragma once
+
+#include <memory>
 
 #include "core/hardened_state.h"
 #include "telemetry/snapshot.h"
@@ -29,6 +36,10 @@ namespace hodor::obs {
 class MetricsRegistry;
 class TraceWriter;
 }  // namespace hodor::obs
+
+namespace hodor::util {
+class ThreadPool;
+}  // namespace hodor::util
 
 namespace hodor::core {
 
@@ -68,6 +79,11 @@ struct HardeningOptions {
   double probe_weight = 1.5;
   double rate_weight = 1.0;
 
+  // Worker threads for the sharded stages (R1 scan, per-router R2 solves,
+  // link-state fusion, drains, confidence). 1 = fully serial; any value
+  // produces bit-identical results (deterministic shard merge order).
+  std::size_t num_threads = 1;
+
   // Observability (src/obs/): each Harden() call emits a "harden" stage
   // span and R1/R2 repair counters here. nullptr → the process-global
   // registry; `trace` optionally receives the span as a JSONL line.
@@ -77,14 +93,30 @@ struct HardeningOptions {
 
 class HardeningEngine {
  public:
-  explicit HardeningEngine(HardeningOptions opts = {}) : opts_(opts) {}
+  explicit HardeningEngine(HardeningOptions opts = {});
+  ~HardeningEngine();
+
+  // Copying shares the options but not the scratch workspace or pool.
+  HardeningEngine(const HardeningEngine& other);
+  HardeningEngine& operator=(const HardeningEngine& other);
+  HardeningEngine(HardeningEngine&&) noexcept;
+  HardeningEngine& operator=(HardeningEngine&&) noexcept;
 
   const HardeningOptions& options() const { return opts_; }
 
   // Hardens one snapshot. Deterministic; does not modify the snapshot.
+  // Reuses an internal scratch workspace across calls, so a given engine
+  // must not run two Harden calls concurrently (distinct engines may).
   HardenedState Harden(const telemetry::NetworkSnapshot& snapshot) const;
 
+  // Zero steady-state-allocation variant: `out` is cleared and refilled in
+  // place, reusing its buffers (the pipeline's per-epoch workspace path).
+  void HardenInto(const telemetry::NetworkSnapshot& snapshot,
+                  HardenedState& out) const;
+
  private:
+  struct Workspace;
+
   void HardenRates(const telemetry::NetworkSnapshot& snapshot,
                    HardenedState& out) const;
   void HardenLinkStates(const telemetry::NetworkSnapshot& snapshot,
@@ -92,7 +124,12 @@ class HardeningEngine {
   void HardenDrains(const telemetry::NetworkSnapshot& snapshot,
                     HardenedState& out) const;
 
+  // The pool backing ParallelFor; null while num_threads <= 1.
+  util::ThreadPool* pool() const;
+
   HardeningOptions opts_;
+  mutable std::unique_ptr<util::ThreadPool> pool_;
+  mutable std::unique_ptr<Workspace> ws_;
 };
 
 }  // namespace hodor::core

@@ -29,10 +29,11 @@ TopologyCheckResult CheckTopology(const net::Topology& topo,
                     obs::InvariantVerdict verdict, std::string detail) {
     if (!provenance) return;
     provenance->Add(obs::InvariantRecord{
-        "topology", "link-state(" + topo.LinkName(e) + ")", residual,
+        "topology", "link-state(" + topo.LinkNameRef(e) + ")", residual,
         opts.min_confidence, verdict, std::move(detail)});
   };
-  for (net::LinkId e : topo.LinkIds()) {
+  for (std::uint32_t i = 0; i < topo.link_count(); ++i) {
+    const net::LinkId e(i);
     const HardenedLinkState& hl = hardened.links[e.value()];
     if (hl.verdict == LinkVerdict::kUnknown ||
         hl.confidence < opts.min_confidence) {

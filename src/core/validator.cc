@@ -62,8 +62,17 @@ ValidationReport Validator::Validate(
   ValidationReport report;
   obs::DecisionRecord* prov =
       opts_.record_provenance ? &report.provenance : nullptr;
+  if (prov) {
+    // Steady state emits one record per directed link (topology), two per
+    // physical link (drain symmetry + intent), and four per node (drain
+    // intent + liveness, demand ingress + egress) = 2*links + 4*nodes;
+    // the slack absorbs hardening-repair records. Pre-sizing keeps the
+    // audit trail from reallocating mid-validation.
+    prov->invariants.reserve(2 * topo_->link_count() +
+                             4 * topo_->node_count() + 128);
+  }
 
-  report.hardened = engine_.Harden(snapshot);  // emits the "harden" span
+  engine_.HardenInto(snapshot, report.hardened);  // emits the "harden" span
   if (prov) AppendHardeningProvenance(report.hardened, *prov);
   if (opts_.check_demand) {
     obs::StageSpan span(obs::Stage::kCheckDemand, epoch, opts_.metrics,
@@ -103,12 +112,13 @@ ValidationReport Validator::Validate(
 void Validator::AppendHardeningProvenance(const HardenedState& hardened,
                                           obs::DecisionRecord& record) const {
   const double tau_h = engine_.options().tau_h;
-  for (net::LinkId e : topo_->LinkIds()) {
+  for (std::uint32_t i = 0; i < topo_->link_count(); ++i) {
+    const net::LinkId e(i);
     const HardenedRate& r = hardened.rates[e.value()];
     if (!r.flagged && r.origin == RateOrigin::kAgreeing) continue;
     obs::InvariantRecord rec;
     rec.check = "hardening";
-    rec.invariant = "r1-symmetry(" + topo_->LinkName(e) + ")";
+    rec.invariant = "r1-symmetry(" + topo_->LinkNameRef(e) + ")";
     rec.threshold = tau_h;
     if (r.rejected_value.has_value() && r.value.has_value()) {
       rec.residual = util::RelativeDifference(*r.rejected_value, *r.value);
@@ -133,14 +143,15 @@ void Validator::AppendHardeningProvenance(const HardenedState& hardened,
     }
     record.Add(std::move(rec));
   }
-  for (net::LinkId e : topo_->LinkIds()) {
+  for (std::uint32_t i = 0; i < topo_->link_count(); ++i) {
+    const net::LinkId e(i);
     // Status disagreements, once per physical link.
     if (topo_->link(e).reverse.value() < e.value()) continue;
     const HardenedLinkState& hl = hardened.links[e.value()];
     if (!hl.status_disagreement) continue;
     obs::InvariantRecord rec;
     rec.check = "hardening";
-    rec.invariant = "r1-status(" + topo_->LinkName(e) + ")";
+    rec.invariant = "r1-status(" + topo_->LinkNameRef(e) + ")";
     rec.residual = 1.0 - hl.confidence;
     rec.threshold = 0.0;
     rec.verdict = hl.verdict == LinkVerdict::kUnknown

@@ -3,6 +3,7 @@
 namespace hodor::faults {
 
 using telemetry::NetworkSnapshot;
+using telemetry::SignalFrame;
 using telemetry::SnapshotMutator;
 
 SnapshotMutator ComposeFaults(std::vector<SnapshotMutator> faults) {
@@ -17,56 +18,57 @@ SnapshotMutator ZeroedCountersFault(net::NodeId router, double probability,
                                     std::uint64_t seed) {
   return [router, probability, seed](NetworkSnapshot& snapshot) {
     util::Rng rng(seed);
-    telemetry::RouterSignals& r = snapshot.router(router);
-    for (auto& [lid, iface] : r.out_ifaces) {
-      if (iface.tx_rate && rng.Bernoulli(probability)) iface.tx_rate = 0.0;
+    const net::Topology& topo = snapshot.topology();
+    SignalFrame& frame = snapshot.frame();
+    for (net::LinkId e : topo.OutLinks(router)) {
+      if (frame.TxRate(e) && rng.Bernoulli(probability)) frame.SetTxRate(e, 0.0);
     }
-    for (auto& [lid, iface] : r.in_ifaces) {
-      if (iface.rx_rate && rng.Bernoulli(probability)) iface.rx_rate = 0.0;
+    for (net::LinkId e : topo.InLinks(router)) {
+      if (frame.RxRate(e) && rng.Bernoulli(probability)) frame.SetRxRate(e, 0.0);
     }
-    if (r.ext_in_rate && rng.Bernoulli(probability)) r.ext_in_rate = 0.0;
-    if (r.ext_out_rate && rng.Bernoulli(probability)) r.ext_out_rate = 0.0;
+    if (frame.ExtInRate(router) && rng.Bernoulli(probability)) {
+      frame.SetExtInRate(router, 0.0);
+    }
+    if (frame.ExtOutRate(router) && rng.Bernoulli(probability)) {
+      frame.SetExtOutRate(router, 0.0);
+    }
   };
 }
 
 SnapshotMutator CorruptLinkCounter(net::LinkId link, CounterSide side,
                                    CounterCorruption how, double param) {
   return [link, side, how, param](NetworkSnapshot& snapshot) {
-    const net::Topology& topo = snapshot.topology();
-    const net::Link& l = topo.link(link);
-    auto corrupt = [&](std::optional<double>& value) {
+    SignalFrame& frame = snapshot.frame();
+    // `get` reads the current value; `set`/`drop` write through the frame
+    // (no-ops when the owning router is unresponsive).
+    auto corrupt = [&](auto get, auto set, auto drop) {
       switch (how) {
-        case CounterCorruption::kZero: value = 0.0; break;
-        case CounterCorruption::kScale:
-          if (value) value = *value * param;
+        case CounterCorruption::kZero: set(0.0); break;
+        case CounterCorruption::kScale: {
+          const std::optional<double> v = get();
+          if (v) set(*v * param);
           break;
-        case CounterCorruption::kAbsolute: value = param; break;
-        case CounterCorruption::kDrop: value.reset(); break;
+        }
+        case CounterCorruption::kAbsolute: set(param); break;
+        case CounterCorruption::kDrop: drop(); break;
       }
     };
     if (side == CounterSide::kTx || side == CounterSide::kBoth) {
-      auto& r = snapshot.router(l.src);
-      auto it = r.out_ifaces.find(link);
-      if (it != r.out_ifaces.end()) corrupt(it->second.tx_rate);
+      corrupt([&] { return frame.TxRate(link); },
+              [&](double v) { frame.SetTxRate(link, v); },
+              [&] { frame.ClearTxRate(link); });
     }
     if (side == CounterSide::kRx || side == CounterSide::kBoth) {
-      auto& r = snapshot.router(l.dst);
-      auto it = r.in_ifaces.find(link);
-      if (it != r.in_ifaces.end()) corrupt(it->second.rx_rate);
+      corrupt([&] { return frame.RxRate(link); },
+              [&](double v) { frame.SetRxRate(link, v); },
+              [&] { frame.ClearRxRate(link); });
     }
   };
 }
 
 SnapshotMutator UnresponsiveRouter(net::NodeId router) {
   return [router](NetworkSnapshot& snapshot) {
-    telemetry::RouterSignals& r = snapshot.router(router);
-    r.responded = false;
-    r.drained.reset();
-    r.dropped_rate.reset();
-    r.ext_in_rate.reset();
-    r.ext_out_rate.reset();
-    r.out_ifaces.clear();
-    r.in_ifaces.clear();
+    snapshot.frame().MarkUnresponsive(router);
   };
 }
 
@@ -74,41 +76,46 @@ SnapshotMutator MalformedTelemetry(net::NodeId router, double probability,
                                    std::uint64_t seed) {
   return [router, probability, seed](NetworkSnapshot& snapshot) {
     util::Rng rng(seed);
-    telemetry::RouterSignals& r = snapshot.router(router);
-    auto maybe_drop = [&](auto& opt) {
-      if (opt && rng.Bernoulli(probability)) opt.reset();
+    const net::Topology& topo = snapshot.topology();
+    SignalFrame& frame = snapshot.frame();
+    // Drops roll the dice only for signals that are actually present.
+    auto maybe_drop = [&](bool present, auto drop) {
+      if (present && rng.Bernoulli(probability)) drop();
     };
-    maybe_drop(r.drained);
-    maybe_drop(r.dropped_rate);
-    maybe_drop(r.ext_in_rate);
-    maybe_drop(r.ext_out_rate);
-    for (auto& [lid, iface] : r.out_ifaces) {
-      maybe_drop(iface.status);
-      maybe_drop(iface.tx_rate);
-      maybe_drop(iface.link_drained);
+    maybe_drop(frame.NodeDrained(router).has_value(),
+               [&] { frame.ClearNodeDrained(router); });
+    maybe_drop(frame.DroppedRate(router).has_value(),
+               [&] { frame.ClearDroppedRate(router); });
+    maybe_drop(frame.ExtInRate(router).has_value(),
+               [&] { frame.ClearExtInRate(router); });
+    maybe_drop(frame.ExtOutRate(router).has_value(),
+               [&] { frame.ClearExtOutRate(router); });
+    for (net::LinkId e : topo.OutLinks(router)) {
+      maybe_drop(frame.Status(e).has_value(), [&] { frame.ClearStatus(e); });
+      maybe_drop(frame.TxRate(e).has_value(), [&] { frame.ClearTxRate(e); });
+      maybe_drop(frame.LinkDrain(e).has_value(),
+                 [&] { frame.ClearLinkDrain(e); });
     }
-    for (auto& [lid, iface] : r.in_ifaces) {
-      maybe_drop(iface.rx_rate);
+    for (net::LinkId e : topo.InLinks(router)) {
+      maybe_drop(frame.RxRate(e).has_value(), [&] { frame.ClearRxRate(e); });
     }
   };
 }
 
 SnapshotMutator WrongDrainSignal(net::NodeId router, bool reported) {
   return [router, reported](NetworkSnapshot& snapshot) {
-    snapshot.router(router).drained = reported;
+    snapshot.frame().SetNodeDrained(router, reported);
   };
 }
 
 SnapshotMutator AsymmetricLinkDrain(net::LinkId link) {
   return [link](NetworkSnapshot& snapshot) {
     const net::Topology& topo = snapshot.topology();
-    const net::Link& l = topo.link(link);
-    auto& src = snapshot.router(l.src);
-    auto it = src.out_ifaces.find(link);
-    if (it != src.out_ifaces.end()) it->second.link_drained = true;
-    auto& dst = snapshot.router(l.dst);
-    auto rit = dst.out_ifaces.find(l.reverse);
-    if (rit != dst.out_ifaces.end()) rit->second.link_drained = false;
+    SignalFrame& frame = snapshot.frame();
+    // src announces the drain; dst (through its own out-interface on the
+    // reverse direction) does not.
+    frame.SetLinkDrain(link, true);
+    frame.SetLinkDrain(topo.link(link).reverse, false);
   };
 }
 
@@ -116,42 +123,48 @@ SnapshotMutator FalseLinkStatus(net::LinkId link, bool at_src,
                                 telemetry::LinkStatus reported) {
   return [link, at_src, reported](NetworkSnapshot& snapshot) {
     const net::Topology& topo = snapshot.topology();
-    const net::Link& l = topo.link(link);
-    const net::LinkId iface = at_src ? link : l.reverse;
-    auto& r = snapshot.router(topo.link(iface).src);
-    auto it = r.out_ifaces.find(iface);
-    if (it != r.out_ifaces.end()) it->second.status = reported;
+    const net::LinkId iface = at_src ? link : topo.link(link).reverse;
+    snapshot.frame().SetStatus(iface, reported);
   };
 }
+
+namespace {
+
+void ScaleRouterCounters(NetworkSnapshot& snapshot, net::NodeId router,
+                         double factor) {
+  const net::Topology& topo = snapshot.topology();
+  SignalFrame& frame = snapshot.frame();
+  auto scale = [&](std::optional<double> v, auto set) {
+    if (v) set(*v * factor);
+  };
+  scale(frame.DroppedRate(router),
+        [&](double v) { frame.SetDroppedRate(router, v); });
+  scale(frame.ExtInRate(router),
+        [&](double v) { frame.SetExtInRate(router, v); });
+  scale(frame.ExtOutRate(router),
+        [&](double v) { frame.SetExtOutRate(router, v); });
+  for (net::LinkId e : topo.OutLinks(router)) {
+    scale(frame.TxRate(e), [&](double v) { frame.SetTxRate(e, v); });
+  }
+  for (net::LinkId e : topo.InLinks(router)) {
+    scale(frame.RxRate(e), [&](double v) { frame.SetRxRate(e, v); });
+  }
+}
+
+}  // namespace
 
 SnapshotMutator VendorCounterBug(std::vector<net::NodeId> fleet,
                                  double factor) {
   return [fleet = std::move(fleet), factor](NetworkSnapshot& snapshot) {
     for (net::NodeId router : fleet) {
-      telemetry::RouterSignals& r = snapshot.router(router);
-      auto scale = [&](std::optional<double>& v) {
-        if (v) v = *v * factor;
-      };
-      scale(r.dropped_rate);
-      scale(r.ext_in_rate);
-      scale(r.ext_out_rate);
-      for (auto& [lid, iface] : r.out_ifaces) scale(iface.tx_rate);
-      for (auto& [lid, iface] : r.in_ifaces) scale(iface.rx_rate);
+      ScaleRouterCounters(snapshot, router, factor);
     }
   };
 }
 
 SnapshotMutator ScaledRouterCounters(net::NodeId router, double factor) {
   return [router, factor](NetworkSnapshot& snapshot) {
-    telemetry::RouterSignals& r = snapshot.router(router);
-    auto scale = [&](std::optional<double>& v) {
-      if (v) v = *v * factor;
-    };
-    scale(r.dropped_rate);
-    scale(r.ext_in_rate);
-    scale(r.ext_out_rate);
-    for (auto& [lid, iface] : r.out_ifaces) scale(iface.tx_rate);
-    for (auto& [lid, iface] : r.in_ifaces) scale(iface.rx_rate);
+    ScaleRouterCounters(snapshot, router, factor);
   };
 }
 

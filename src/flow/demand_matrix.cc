@@ -41,6 +41,21 @@ double DemandMatrix::RowSum(net::NodeId i) const {
   return acc;
 }
 
+void DemandMatrix::Marginals(std::vector<double>& row_sums,
+                             std::vector<double>& col_sums) const {
+  row_sums.assign(n_, 0.0);
+  col_sums.assign(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double* row = data_.data() + i * n_;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      acc += row[j];
+      col_sums[j] += row[j];
+    }
+    row_sums[i] = acc;
+  }
+}
+
 double DemandMatrix::ColSum(net::NodeId j) const {
   double acc = 0.0;
   for (std::size_t i = 0; i < n_; ++i) {

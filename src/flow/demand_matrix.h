@@ -39,6 +39,14 @@ class DemandMatrix {
   // Σ_i D(i, j): all traffic leaving the WAN at router j (egress invariant).
   double ColSum(net::NodeId j) const;
 
+  // Row and column sums for every node in one row-major pass. Fills
+  // row_sums[i] = RowSum(i) and col_sums[j] = ColSum(j) with the same
+  // per-entry accumulation order as the single-node accessors (so results
+  // are bit-identical), but without ColSum's stride-n access pattern --
+  // one call replaces O(n) strided column walks on the validation path.
+  void Marginals(std::vector<double>& row_sums,
+                 std::vector<double>& col_sums) const;
+
   // Multiplies every entry by `factor` (>= 0).
   void Scale(double factor);
 

@@ -105,9 +105,15 @@ std::vector<NodeId> Topology::ExternalNodes() const {
   return ids;
 }
 
-std::string Topology::LinkName(LinkId id) const {
-  const Link& l = link(id);
-  return node(l.src).name + "->" + node(l.dst).name;
+const std::string& Topology::LinkNameRef(LinkId id) const {
+  if (link_name_cache_.size() != links_.size()) {
+    link_name_cache_.clear();
+    link_name_cache_.reserve(links_.size());
+    for (const Link& l : links_) {
+      link_name_cache_.push_back(node(l.src).name + "->" + node(l.dst).name);
+    }
+  }
+  return link_name_cache_[link(id).id.value()];
 }
 
 util::Status Topology::Validate() const {

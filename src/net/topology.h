@@ -97,7 +97,12 @@ class Topology {
   std::vector<NodeId> ExternalNodes() const;
 
   // "A->B" rendering of a directed link.
-  std::string LinkName(LinkId id) const;
+  std::string LinkName(LinkId id) const { return LinkNameRef(id); }
+
+  // Allocation-free variant for hot provenance loops: the rendered names
+  // are cached lazily (invalidated when links are added) and returned by
+  // reference. Not safe to call concurrently with construction.
+  const std::string& LinkNameRef(LinkId id) const;
 
   // Structural sanity: every link's reverse is consistent, endpoints valid.
   util::Status Validate() const;
@@ -109,6 +114,9 @@ class Topology {
   std::vector<std::vector<LinkId>> out_links_;
   std::vector<std::vector<LinkId>> in_links_;
   std::unordered_map<std::string, NodeId> name_index_;
+  // Lazy LinkNameRef cache; sized to links_.size() when valid, rebuilt
+  // whenever a link (or a node rename-by-growth) invalidates it.
+  mutable std::vector<std::string> link_name_cache_;
 };
 
 }  // namespace hodor::net

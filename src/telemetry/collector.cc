@@ -4,18 +4,21 @@
 
 namespace hodor::telemetry {
 
-NetworkSnapshot Collector::Collect(const net::GroundTruthState& state,
-                                   const flow::SimulationResult& sim,
-                                   std::uint64_t epoch, util::Rng& rng,
-                                   const SnapshotMutator& mutator) const {
-  NetworkSnapshot snapshot(*topo_, epoch);
+void Collector::CollectInto(const net::GroundTruthState& state,
+                            const flow::SimulationResult& sim,
+                            std::uint64_t epoch, util::Rng& rng,
+                            NetworkSnapshot& snapshot,
+                            const SnapshotMutator& mutator) const {
+  snapshot.Reset(epoch);
   for (const net::Node& node : topo_->nodes()) {
     ReportRouterSignals(*topo_, state, sim, node.id, opts_.agent, rng,
                         snapshot);
   }
   if (mutator) mutator(snapshot);
   if (opts_.run_probes) {
-    snapshot.SetProbeResults(ProbeAllLinks(*topo_, state, opts_.probes, rng));
+    ProbeAllLinksInto(*topo_, state, opts_.probes, rng,
+                      snapshot.probe_buffer());
+    snapshot.IndexProbeResults();
   }
 
   obs::MetricsRegistry& reg = obs::ResolveRegistry(opts_.metrics);
@@ -29,6 +32,14 @@ NetworkSnapshot Collector::Collect(const net::GroundTruthState& state,
   reg.GetGauge("hodor_snapshot_signals_present", {},
                "Signal values present in the latest snapshot")
       .Set(static_cast<double>(snapshot.PresentSignalCount()));
+}
+
+NetworkSnapshot Collector::Collect(const net::GroundTruthState& state,
+                                   const flow::SimulationResult& sim,
+                                   std::uint64_t epoch, util::Rng& rng,
+                                   const SnapshotMutator& mutator) const {
+  NetworkSnapshot snapshot(*topo_, epoch);
+  CollectInto(state, sim, epoch, rng, snapshot, mutator);
   return snapshot;
 }
 

@@ -49,6 +49,14 @@ class Collector {
                           std::uint64_t epoch, util::Rng& rng,
                           const SnapshotMutator& mutator = nullptr) const;
 
+  // Zero-allocation variant: resets and refills `snapshot` in place,
+  // reusing its frame and probe buffers across epochs. `snapshot` must be
+  // built over the same topology.
+  void CollectInto(const net::GroundTruthState& state,
+                   const flow::SimulationResult& sim, std::uint64_t epoch,
+                   util::Rng& rng, NetworkSnapshot& snapshot,
+                   const SnapshotMutator& mutator = nullptr) const;
+
  private:
   const net::Topology* topo_;
   CollectorOptions opts_;

@@ -2,15 +2,16 @@
 
 namespace hodor::telemetry {
 
-std::vector<ProbeResult> ProbeAllLinks(const net::Topology& topo,
-                                       const net::GroundTruthState& state,
-                                       const ProbeOptions& opts,
-                                       util::Rng& rng) {
+void ProbeAllLinksInto(const net::Topology& topo,
+                       const net::GroundTruthState& state,
+                       const ProbeOptions& opts, util::Rng& rng,
+                       std::vector<ProbeResult>& out) {
   HODOR_CHECK(opts.attempts >= 1);
   HODOR_CHECK(opts.false_loss_rate >= 0.0 && opts.false_loss_rate < 1.0);
-  std::vector<ProbeResult> out;
+  out.clear();
   out.reserve(topo.link_count());
-  for (net::LinkId e : topo.LinkIds()) {
+  for (std::uint32_t i = 0; i < topo.link_count(); ++i) {
+    const net::LinkId e(i);
     ProbeResult res;
     res.link = e;
     if (state.LinkPhysicallyUsable(e)) {
@@ -25,6 +26,14 @@ std::vector<ProbeResult> ProbeAllLinks(const net::Topology& topo,
     }
     out.push_back(res);
   }
+}
+
+std::vector<ProbeResult> ProbeAllLinks(const net::Topology& topo,
+                                       const net::GroundTruthState& state,
+                                       const ProbeOptions& opts,
+                                       util::Rng& rng) {
+  std::vector<ProbeResult> out;
+  ProbeAllLinksInto(topo, state, opts, rng, out);
   return out;
 }
 

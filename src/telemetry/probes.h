@@ -32,4 +32,11 @@ std::vector<ProbeResult> ProbeAllLinks(const net::Topology& topo,
                                        const ProbeOptions& opts,
                                        util::Rng& rng);
 
+// Reuse variant: clears and refills `out` (capacity is pre-sized to the
+// link count and survives across rounds).
+void ProbeAllLinksInto(const net::Topology& topo,
+                       const net::GroundTruthState& state,
+                       const ProbeOptions& opts, util::Rng& rng,
+                       std::vector<ProbeResult>& out);
+
 }  // namespace hodor::telemetry

@@ -16,36 +16,27 @@ void ReportRouterSignals(const net::Topology& topo,
                          const flow::SimulationResult& sim,
                          net::NodeId node, const AgentOptions& opts,
                          util::Rng& rng, NetworkSnapshot& snapshot) {
-  RouterSignals& r = snapshot.router(node);
-  r.responded = true;
-  r.drained = state.node_drained(node);
-  r.ext_in_rate = topo.node(node).has_external_port
-                      ? std::optional<double>(
-                            Jitter(sim.ext_in[node.value()], opts, rng))
-                      : std::nullopt;
-  r.ext_out_rate = topo.node(node).has_external_port
-                       ? std::optional<double>(
-                             Jitter(sim.ext_out[node.value()], opts, rng))
-                       : std::nullopt;
+  SignalFrame& frame = snapshot.frame();
+  frame.SetNodeDrained(node, state.node_drained(node));
+  if (topo.node(node).has_external_port) {
+    frame.SetExtInRate(node, Jitter(sim.ext_in[node.value()], opts, rng));
+    frame.SetExtOutRate(node, Jitter(sim.ext_out[node.value()], opts, rng));
+  }
 
   // Dropped rate at this router: drops on its out-link egress queues.
   double dropped = 0.0;
   for (net::LinkId e : topo.OutLinks(node)) dropped += sim.dropped[e.value()];
-  r.dropped_rate = Jitter(dropped, opts, rng);
+  frame.SetDroppedRate(node, Jitter(dropped, opts, rng));
 
   for (net::LinkId e : topo.OutLinks(node)) {
-    OutInterfaceSignals s;
     // Optical/admin status: light on unless the link is physically down.
     // A broken dataplane (§4.2) still shows kUp here.
-    s.status = state.link_up(e) ? LinkStatus::kUp : LinkStatus::kDown;
-    s.tx_rate = Jitter(sim.carried[e.value()], opts, rng);
-    s.link_drained = state.link_drained(e);
-    r.out_ifaces[e] = s;
+    frame.SetStatus(e, state.link_up(e) ? LinkStatus::kUp : LinkStatus::kDown);
+    frame.SetTxRate(e, Jitter(sim.carried[e.value()], opts, rng));
+    frame.SetLinkDrain(e, state.link_drained(e));
   }
   for (net::LinkId e : topo.InLinks(node)) {
-    InInterfaceSignals s;
-    s.rx_rate = Jitter(sim.carried[e.value()], opts, rng);
-    r.in_ifaces[e] = s;
+    frame.SetRxRate(e, Jitter(sim.carried[e.value()], opts, rng));
   }
 }
 

@@ -16,30 +16,32 @@ std::optional<double> LocalResidual(const net::Topology& topo,
                                     const NetworkSnapshot& snap,
                                     net::NodeId v, net::LinkId link,
                                     double candidate) {
-  const RouterSignals& r = snap.router(v);
-  if (!r.responded || !r.dropped_rate) return std::nullopt;
+  const std::optional<double> dropped = snap.DroppedRate(v);
+  if (!snap.Responded(v) || !dropped) return std::nullopt;
   const bool is_external = topo.node(v).has_external_port;
-  if (is_external && (!r.ext_in_rate || !r.ext_out_rate)) return std::nullopt;
+  const std::optional<double> ext_in = snap.ExtInRate(v);
+  const std::optional<double> ext_out = snap.ExtOutRate(v);
+  if (is_external && (!ext_in || !ext_out)) return std::nullopt;
 
-  double in_sum = is_external ? *r.ext_in_rate : 0.0;
+  double in_sum = is_external ? *ext_in : 0.0;
   for (net::LinkId e : topo.InLinks(v)) {
     if (e == link) {
       in_sum += candidate;
       continue;
     }
-    auto it = r.in_ifaces.find(e);
-    if (it == r.in_ifaces.end() || !it->second.rx_rate) return std::nullopt;
-    in_sum += *it->second.rx_rate;
+    const std::optional<double> rx = snap.RxRate(e);
+    if (!rx) return std::nullopt;
+    in_sum += *rx;
   }
-  double out_sum = *r.dropped_rate + (is_external ? *r.ext_out_rate : 0.0);
+  double out_sum = *dropped + (is_external ? *ext_out : 0.0);
   for (net::LinkId e : topo.OutLinks(v)) {
     if (e == link) {
       out_sum += candidate;
       continue;
     }
-    auto it = r.out_ifaces.find(e);
-    if (it == r.out_ifaces.end() || !it->second.tx_rate) return std::nullopt;
-    out_sum += *it->second.tx_rate;
+    const std::optional<double> tx = snap.TxRate(e);
+    if (!tx) return std::nullopt;
+    out_sum += *tx;
   }
   return util::RelativeDifference(in_sum, out_sum);
 }
@@ -67,7 +69,8 @@ SelfCorrectionStats SelfCorrectSnapshot(NetworkSnapshot& snapshot,
   // convict it; being out of step with many neighbours at once can.
   std::vector<net::LinkId> mismatched;
   std::vector<std::size_t> mismatches_of(topo.node_count(), 0);
-  for (net::LinkId e : topo.LinkIds()) {
+  for (std::uint32_t i = 0; i < topo.link_count(); ++i) {
+    const net::LinkId e(i);
     const auto tx = snapshot.TxRate(e);
     const auto rx = snapshot.RxRate(e);
     if (!tx || !rx) continue;  // nothing to exchange
@@ -110,16 +113,12 @@ SelfCorrectionStats SelfCorrectSnapshot(NetworkSnapshot& snapshot,
     }
   }
 
+  SignalFrame& frame = snapshot.frame();
   for (const Correction& c : corrections) {
-    const net::Link& l = topo.link(c.link);
     if (c.fix_tx) {
-      auto& r = snapshot.router(l.src);
-      auto it = r.out_ifaces.find(c.link);
-      if (it != r.out_ifaces.end()) it->second.tx_rate = c.value;
+      if (frame.TxRate(c.link)) frame.SetTxRate(c.link, c.value);
     } else {
-      auto& r = snapshot.router(l.dst);
-      auto it = r.in_ifaces.find(c.link);
-      if (it != r.in_ifaces.end()) it->second.rx_rate = c.value;
+      if (frame.RxRate(c.link)) frame.SetRxRate(c.link, c.value);
     }
     ++stats.corrected;
   }

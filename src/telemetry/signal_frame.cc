@@ -1,0 +1,60 @@
+#include "telemetry/signal_frame.h"
+
+namespace hodor::telemetry {
+
+SignalFrame::SignalFrame(const net::Topology& topo) : topo_(&topo) {
+  const std::size_t links = topo.link_count();
+  const std::size_t nodes = topo.node_count();
+  tx_.resize(links);
+  rx_.resize(links);
+  status_.resize(links);
+  link_drain_.resize(links);
+  tx_present_.Resize(links);
+  rx_present_.Resize(links);
+  status_present_.Resize(links);
+  link_drain_present_.Resize(links);
+
+  responded_.assign(nodes, 1);
+  node_drain_.resize(nodes);
+  dropped_.resize(nodes);
+  ext_in_.resize(nodes);
+  ext_out_.resize(nodes);
+  node_drain_present_.Resize(nodes);
+  dropped_present_.Resize(nodes);
+  ext_in_present_.Resize(nodes);
+  ext_out_present_.Resize(nodes);
+  responded_count_ = nodes;
+}
+
+void SignalFrame::Clear() {
+  tx_present_.Clear();
+  rx_present_.Clear();
+  status_present_.Clear();
+  link_drain_present_.Clear();
+  node_drain_present_.Clear();
+  dropped_present_.Clear();
+  ext_in_present_.Clear();
+  ext_out_present_.Clear();
+  std::fill(responded_.begin(), responded_.end(), 1);
+  responded_count_ = responded_.size();
+}
+
+void SignalFrame::MarkUnresponsive(net::NodeId v) {
+  if (responded_[v.value()] == 0) return;
+  responded_[v.value()] = 0;
+  --responded_count_;
+  node_drain_present_.Reset(v.value());
+  dropped_present_.Reset(v.value());
+  ext_in_present_.Reset(v.value());
+  ext_out_present_.Reset(v.value());
+  for (net::LinkId e : topo_->OutLinks(v)) {
+    tx_present_.Reset(e.value());
+    status_present_.Reset(e.value());
+    link_drain_present_.Reset(e.value());
+  }
+  for (net::LinkId e : topo_->InLinks(v)) {
+    rx_present_.Reset(e.value());
+  }
+}
+
+}  // namespace hodor::telemetry

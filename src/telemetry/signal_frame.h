@@ -1,0 +1,216 @@
+// The columnar signal plane: one dense, structure-of-arrays frame holding
+// every signal a collection round can produce, indexed by the compact
+// NodeId/LinkId values the Topology assigns.
+//
+// This replaces the per-router hash maps the snapshot used to carry: each
+// signal kind is one flat column (one slot per directed LinkId or per
+// NodeId) plus a presence bitset standing in for the scattered
+// std::optional state. Reads become O(1) array indexing; clearing a frame
+// for the next epoch reuses every buffer; and PresentSignalCount is a sum
+// of incrementally maintained popcounts.
+//
+// Ownership model (paper §2.1): every signal belongs to the router that
+// reports it — tx/status/link-drain of directed link e to src(e), rx of e
+// to dst(e), node scalars to the node itself. A router marked unresponsive
+// loses all its signals, and setters on an unresponsive owner are no-ops,
+// which keeps the invariant "present ⇒ owner responded" so accessors only
+// test the presence bit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/topology.h"
+#include "telemetry/signals.h"
+
+namespace hodor::telemetry {
+
+// A fixed-size bitset that maintains its popcount incrementally, so
+// "how many signals are present" is O(1) at any time.
+class PresenceBitset {
+ public:
+  void Resize(std::size_t bits) {
+    size_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+    count_ = 0;
+  }
+  void Clear() {
+    std::fill(words_.begin(), words_.end(), 0);
+    count_ = 0;
+  }
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(std::size_t i) {
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t bit = 1ull << (i & 63);
+    count_ += !(w & bit);
+    w |= bit;
+  }
+  void Reset(std::size_t i) {
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t bit = 1ull << (i & 63);
+    count_ -= !!(w & bit);
+    w &= ~bit;
+  }
+  std::size_t count() const { return count_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+  std::size_t count_ = 0;
+};
+
+class SignalFrame {
+ public:
+  explicit SignalFrame(const net::Topology& topo);
+
+  const net::Topology& topology() const { return *topo_; }
+
+  // Forgets every signal and marks every router responsive again, without
+  // releasing any buffer — the per-epoch reset of the pipeline workspace.
+  void Clear();
+
+  // --- responsiveness -------------------------------------------------------
+
+  bool Responded(net::NodeId v) const { return responded_[v.value()] != 0; }
+  std::size_t responded_count() const { return responded_count_; }
+  // Drops the router's entire report: node scalars, every out-interface
+  // signal, and every rx it would have reported.
+  void MarkUnresponsive(net::NodeId v);
+
+  // --- per-link columns (owner: src(e) except rx, owned by dst(e)) ----------
+
+  std::optional<double> TxRate(net::LinkId e) const {
+    if (!tx_present_.Test(e.value())) return std::nullopt;
+    return tx_[e.value()];
+  }
+  void SetTxRate(net::LinkId e, double v) {
+    if (!Responded(topo_->link(e).src)) return;
+    tx_[e.value()] = v;
+    tx_present_.Set(e.value());
+  }
+  void ClearTxRate(net::LinkId e) { tx_present_.Reset(e.value()); }
+
+  std::optional<double> RxRate(net::LinkId e) const {
+    if (!rx_present_.Test(e.value())) return std::nullopt;
+    return rx_[e.value()];
+  }
+  void SetRxRate(net::LinkId e, double v) {
+    if (!Responded(topo_->link(e).dst)) return;
+    rx_[e.value()] = v;
+    rx_present_.Set(e.value());
+  }
+  void ClearRxRate(net::LinkId e) { rx_present_.Reset(e.value()); }
+
+  // Status of directed link e as seen from its src end (the dst end's view
+  // lives in the reverse link's slot).
+  std::optional<LinkStatus> Status(net::LinkId e) const {
+    if (!status_present_.Test(e.value())) return std::nullopt;
+    return static_cast<LinkStatus>(status_[e.value()]);
+  }
+  void SetStatus(net::LinkId e, LinkStatus s) {
+    if (!Responded(topo_->link(e).src)) return;
+    status_[e.value()] = static_cast<std::uint8_t>(s);
+    status_present_.Set(e.value());
+  }
+  void ClearStatus(net::LinkId e) { status_present_.Reset(e.value()); }
+
+  std::optional<bool> LinkDrain(net::LinkId e) const {
+    if (!link_drain_present_.Test(e.value())) return std::nullopt;
+    return link_drain_[e.value()] != 0;
+  }
+  void SetLinkDrain(net::LinkId e, bool v) {
+    if (!Responded(topo_->link(e).src)) return;
+    link_drain_[e.value()] = v ? 1 : 0;
+    link_drain_present_.Set(e.value());
+  }
+  void ClearLinkDrain(net::LinkId e) { link_drain_present_.Reset(e.value()); }
+
+  // --- per-node columns -----------------------------------------------------
+
+  std::optional<bool> NodeDrained(net::NodeId v) const {
+    if (!node_drain_present_.Test(v.value())) return std::nullopt;
+    return node_drain_[v.value()] != 0;
+  }
+  void SetNodeDrained(net::NodeId v, bool d) {
+    if (!Responded(v)) return;
+    node_drain_[v.value()] = d ? 1 : 0;
+    node_drain_present_.Set(v.value());
+  }
+  void ClearNodeDrained(net::NodeId v) {
+    node_drain_present_.Reset(v.value());
+  }
+
+  std::optional<double> DroppedRate(net::NodeId v) const {
+    if (!dropped_present_.Test(v.value())) return std::nullopt;
+    return dropped_[v.value()];
+  }
+  void SetDroppedRate(net::NodeId v, double d) {
+    if (!Responded(v)) return;
+    dropped_[v.value()] = d;
+    dropped_present_.Set(v.value());
+  }
+  void ClearDroppedRate(net::NodeId v) { dropped_present_.Reset(v.value()); }
+
+  std::optional<double> ExtInRate(net::NodeId v) const {
+    if (!ext_in_present_.Test(v.value())) return std::nullopt;
+    return ext_in_[v.value()];
+  }
+  void SetExtInRate(net::NodeId v, double d) {
+    if (!Responded(v)) return;
+    ext_in_[v.value()] = d;
+    ext_in_present_.Set(v.value());
+  }
+  void ClearExtInRate(net::NodeId v) { ext_in_present_.Reset(v.value()); }
+
+  std::optional<double> ExtOutRate(net::NodeId v) const {
+    if (!ext_out_present_.Test(v.value())) return std::nullopt;
+    return ext_out_[v.value()];
+  }
+  void SetExtOutRate(net::NodeId v, double d) {
+    if (!Responded(v)) return;
+    ext_out_[v.value()] = d;
+    ext_out_present_.Set(v.value());
+  }
+  void ClearExtOutRate(net::NodeId v) { ext_out_present_.Reset(v.value()); }
+
+  // Signal values present across all columns — O(1) from the maintained
+  // popcounts.
+  std::size_t PresentSignalCount() const {
+    return tx_present_.count() + rx_present_.count() +
+           status_present_.count() + link_drain_present_.count() +
+           node_drain_present_.count() + dropped_present_.count() +
+           ext_in_present_.count() + ext_out_present_.count();
+  }
+
+ private:
+  const net::Topology* topo_;
+
+  // Link columns, one slot per directed LinkId.
+  std::vector<double> tx_;
+  std::vector<double> rx_;
+  std::vector<std::uint8_t> status_;
+  std::vector<std::uint8_t> link_drain_;
+  PresenceBitset tx_present_;
+  PresenceBitset rx_present_;
+  PresenceBitset status_present_;
+  PresenceBitset link_drain_present_;
+
+  // Node columns, one slot per NodeId.
+  std::vector<std::uint8_t> responded_;
+  std::vector<std::uint8_t> node_drain_;
+  std::vector<double> dropped_;
+  std::vector<double> ext_in_;
+  std::vector<double> ext_out_;
+  PresenceBitset node_drain_present_;
+  PresenceBitset dropped_present_;
+  PresenceBitset ext_in_present_;
+  PresenceBitset ext_out_present_;
+  std::size_t responded_count_ = 0;
+};
+
+}  // namespace hodor::telemetry

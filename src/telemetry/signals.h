@@ -1,17 +1,16 @@
 // The router-signal vocabulary (paper §2.1, §3 step 1).
 //
-// Every quantity a router can report is modeled here, always as an
-// std::optional so that *missing* telemetry (delayed, malformed, dropped)
-// is a first-class state distinct from any value. The two ends of a
-// physical link observe overlapping quantities, which is precisely the
-// redundancy (R1) the hardening step exploits:
+// Every quantity a router can report is a first-class signal whose absence
+// (delayed, malformed, dropped telemetry) is distinct from any value. The
+// two ends of a physical link observe overlapping quantities, which is
+// precisely the redundancy (R1) the hardening step exploits:
 //   - the rate on directed link e is reported twice: by src as a TX counter
 //     and by dst as an RX counter;
 //   - the status of a physical link is reported by both ends.
+// The signals themselves live in the columnar SignalFrame
+// (telemetry/signal_frame.h); this header keeps the shared vocabulary
+// types.
 #pragma once
-
-#include <optional>
-#include <unordered_map>
 
 #include "net/ids.h"
 
@@ -24,39 +23,6 @@ enum class LinkStatus { kDown = 0, kUp = 1 };
 constexpr const char* LinkStatusName(LinkStatus s) {
   return s == LinkStatus::kUp ? "up" : "down";
 }
-
-// Signals a router reports about one of its *outgoing* interfaces
-// (the src end of directed link e).
-struct OutInterfaceSignals {
-  std::optional<LinkStatus> status;  // operational status of the link
-  std::optional<double> tx_rate;     // Gbps transmitted, rolling window
-  std::optional<bool> link_drained;  // intent: this link is drained
-};
-
-// Signals a router reports about one of its *incoming* interfaces
-// (the dst end of directed link e).
-struct InInterfaceSignals {
-  std::optional<double> rx_rate;  // Gbps received, rolling window
-};
-
-// Everything one router reports in one collection round.
-struct RouterSignals {
-  net::NodeId router;
-
-  // False when the router's telemetry endpoint did not answer at all; all
-  // other fields are then meaningless and should be empty.
-  bool responded = true;
-
-  std::optional<bool> drained;        // router-level drain intent signal
-  std::optional<double> dropped_rate; // Gbps dropped at this router
-  std::optional<double> ext_in_rate;  // external-port ingress counter
-  std::optional<double> ext_out_rate; // external-port egress counter
-
-  // Keyed by the directed LinkId whose src is this router.
-  std::unordered_map<net::LinkId, OutInterfaceSignals> out_ifaces;
-  // Keyed by the directed LinkId whose dst is this router.
-  std::unordered_map<net::LinkId, InInterfaceSignals> in_ifaces;
-};
 
 // Result of one active neighbor probe over a physical link (R4).
 struct ProbeResult {

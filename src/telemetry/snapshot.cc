@@ -4,94 +4,21 @@ namespace hodor::telemetry {
 
 NetworkSnapshot::NetworkSnapshot(const net::Topology& topo,
                                  std::uint64_t epoch)
-    : topo_(&topo), epoch_(epoch), routers_(topo.node_count()) {
-  for (const net::Node& n : topo.nodes()) {
-    routers_[n.id.value()].router = n.id;
-  }
-}
+    : topo_(&topo), epoch_(epoch), frame_(topo) {}
 
-RouterSignals& NetworkSnapshot::router(net::NodeId id) {
-  HODOR_CHECK(id.valid() && id.value() < routers_.size());
-  return routers_[id.value()];
-}
-
-const RouterSignals& NetworkSnapshot::router(net::NodeId id) const {
-  HODOR_CHECK(id.valid() && id.value() < routers_.size());
-  return routers_[id.value()];
-}
-
-std::optional<double> NetworkSnapshot::TxRate(net::LinkId e) const {
-  const net::Link& l = topo_->link(e);
-  const RouterSignals& r = router(l.src);
-  if (!r.responded) return std::nullopt;
-  auto it = r.out_ifaces.find(e);
-  if (it == r.out_ifaces.end()) return std::nullopt;
-  return it->second.tx_rate;
-}
-
-std::optional<double> NetworkSnapshot::RxRate(net::LinkId e) const {
-  const net::Link& l = topo_->link(e);
-  const RouterSignals& r = router(l.dst);
-  if (!r.responded) return std::nullopt;
-  auto it = r.in_ifaces.find(e);
-  if (it == r.in_ifaces.end()) return std::nullopt;
-  return it->second.rx_rate;
-}
-
-std::optional<LinkStatus> NetworkSnapshot::StatusAtSrc(net::LinkId e) const {
-  const net::Link& l = topo_->link(e);
-  const RouterSignals& r = router(l.src);
-  if (!r.responded) return std::nullopt;
-  auto it = r.out_ifaces.find(e);
-  if (it == r.out_ifaces.end()) return std::nullopt;
-  return it->second.status;
-}
-
-std::optional<LinkStatus> NetworkSnapshot::StatusAtDst(net::LinkId e) const {
-  // The dst end observes the same physical link through its own outgoing
-  // interface, i.e. the reverse directed link.
-  return StatusAtSrc(topo_->link(e).reverse);
-}
-
-std::optional<bool> NetworkSnapshot::LinkDrainAtSrc(net::LinkId e) const {
-  const net::Link& l = topo_->link(e);
-  const RouterSignals& r = router(l.src);
-  if (!r.responded) return std::nullopt;
-  auto it = r.out_ifaces.find(e);
-  if (it == r.out_ifaces.end()) return std::nullopt;
-  return it->second.link_drained;
-}
-
-std::optional<bool> NetworkSnapshot::LinkDrainAtDst(net::LinkId e) const {
-  return LinkDrainAtSrc(topo_->link(e).reverse);
-}
-
-std::optional<bool> NetworkSnapshot::NodeDrained(net::NodeId v) const {
-  const RouterSignals& r = router(v);
-  if (!r.responded) return std::nullopt;
-  return r.drained;
-}
-
-std::optional<double> NetworkSnapshot::DroppedRate(net::NodeId v) const {
-  const RouterSignals& r = router(v);
-  if (!r.responded) return std::nullopt;
-  return r.dropped_rate;
-}
-
-std::optional<double> NetworkSnapshot::ExtInRate(net::NodeId v) const {
-  const RouterSignals& r = router(v);
-  if (!r.responded) return std::nullopt;
-  return r.ext_in_rate;
-}
-
-std::optional<double> NetworkSnapshot::ExtOutRate(net::NodeId v) const {
-  const RouterSignals& r = router(v);
-  if (!r.responded) return std::nullopt;
-  return r.ext_out_rate;
+void NetworkSnapshot::Reset(std::uint64_t epoch) {
+  epoch_ = epoch;
+  frame_.Clear();
+  probes_.clear();
+  probe_by_link_.clear();
 }
 
 void NetworkSnapshot::SetProbeResults(std::vector<ProbeResult> results) {
   probes_ = std::move(results);
+  IndexProbeResults();
+}
+
+void NetworkSnapshot::IndexProbeResults() {
   probe_by_link_.assign(topo_->link_count(), std::nullopt);
   for (const ProbeResult& p : probes_) {
     HODOR_CHECK(p.link.valid() && p.link.value() < probe_by_link_.size());
@@ -103,26 +30,6 @@ std::optional<bool> NetworkSnapshot::ProbeSucceeded(net::LinkId e) const {
   if (probe_by_link_.empty()) return std::nullopt;
   HODOR_CHECK(e.valid() && e.value() < probe_by_link_.size());
   return probe_by_link_[e.value()];
-}
-
-std::size_t NetworkSnapshot::PresentSignalCount() const {
-  std::size_t n = 0;
-  for (const RouterSignals& r : routers_) {
-    if (!r.responded) continue;
-    if (r.drained) ++n;
-    if (r.dropped_rate) ++n;
-    if (r.ext_in_rate) ++n;
-    if (r.ext_out_rate) ++n;
-    for (const auto& [lid, s] : r.out_ifaces) {
-      if (s.status) ++n;
-      if (s.tx_rate) ++n;
-      if (s.link_drained) ++n;
-    }
-    for (const auto& [lid, s] : r.in_ifaces) {
-      if (s.rx_rate) ++n;
-    }
-  }
-  return n;
 }
 
 }  // namespace hodor::telemetry

@@ -1,8 +1,10 @@
 // A NetworkSnapshot is the comprehensive set of router signals gathered in
 // one collection round (paper §3 step 1) — the raw material hardening works
-// on. Accessors resolve the "two vantage points" of each signal:
-// TxRate(e)/RxRate(e) are the two independent measurements of the rate on
-// directed link e, StatusAtSrc/StatusAtDst the two views of a link's state.
+// on. It wraps one columnar SignalFrame plus the probe results; accessors
+// resolve the "two vantage points" of each signal: TxRate(e)/RxRate(e) are
+// the two independent measurements of the rate on directed link e,
+// StatusAtSrc/StatusAtDst the two views of a link's state. Every accessor
+// is an O(1) array read.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "net/topology.h"
+#include "telemetry/signal_frame.h"
 #include "telemetry/signals.h"
 #include "util/status.h"
 
@@ -22,46 +25,73 @@ class NetworkSnapshot {
   const net::Topology& topology() const { return *topo_; }
   std::uint64_t epoch() const { return epoch_; }
 
-  // Mutable access used by agents/collector and by fault injection.
-  RouterSignals& router(net::NodeId id);
-  const RouterSignals& router(net::NodeId id) const;
-  std::vector<RouterSignals>& routers() { return routers_; }
-  const std::vector<RouterSignals>& routers() const { return routers_; }
+  // Forgets all signals and probe results for a new collection round,
+  // reusing every buffer (the pipeline's per-epoch workspace reset).
+  void Reset(std::uint64_t epoch);
+
+  // The raw columnar frame: agents and fault injection write through it.
+  SignalFrame& frame() { return frame_; }
+  const SignalFrame& frame() const { return frame_; }
+
+  bool Responded(net::NodeId v) const { return frame_.Responded(v); }
 
   // --- resolved signal accessors (empty when missing / unresponsive) ------
 
   // TX counter for directed link e, as reported by e.src.
-  std::optional<double> TxRate(net::LinkId e) const;
+  std::optional<double> TxRate(net::LinkId e) const { return frame_.TxRate(e); }
   // RX counter for directed link e, as reported by e.dst.
-  std::optional<double> RxRate(net::LinkId e) const;
+  std::optional<double> RxRate(net::LinkId e) const { return frame_.RxRate(e); }
 
   // Status of directed link e as reported by its src / its dst. The dst
   // reports through the reverse direction's out-interface (same physical
   // link).
-  std::optional<LinkStatus> StatusAtSrc(net::LinkId e) const;
-  std::optional<LinkStatus> StatusAtDst(net::LinkId e) const;
+  std::optional<LinkStatus> StatusAtSrc(net::LinkId e) const {
+    return frame_.Status(e);
+  }
+  std::optional<LinkStatus> StatusAtDst(net::LinkId e) const {
+    return frame_.Status(topo_->link(e).reverse);
+  }
 
-  std::optional<bool> LinkDrainAtSrc(net::LinkId e) const;
-  std::optional<bool> LinkDrainAtDst(net::LinkId e) const;
+  std::optional<bool> LinkDrainAtSrc(net::LinkId e) const {
+    return frame_.LinkDrain(e);
+  }
+  std::optional<bool> LinkDrainAtDst(net::LinkId e) const {
+    return frame_.LinkDrain(topo_->link(e).reverse);
+  }
 
-  std::optional<bool> NodeDrained(net::NodeId v) const;
-  std::optional<double> DroppedRate(net::NodeId v) const;
-  std::optional<double> ExtInRate(net::NodeId v) const;
-  std::optional<double> ExtOutRate(net::NodeId v) const;
+  std::optional<bool> NodeDrained(net::NodeId v) const {
+    return frame_.NodeDrained(v);
+  }
+  std::optional<double> DroppedRate(net::NodeId v) const {
+    return frame_.DroppedRate(v);
+  }
+  std::optional<double> ExtInRate(net::NodeId v) const {
+    return frame_.ExtInRate(v);
+  }
+  std::optional<double> ExtOutRate(net::NodeId v) const {
+    return frame_.ExtOutRate(v);
+  }
 
   // Probe results attached by the ProbeEngine (may be empty if probing is
   // disabled). Indexed lookup by directed link.
   void SetProbeResults(std::vector<ProbeResult> results);
+  // Zero-allocation path: the collector fills probe_buffer() in place
+  // (capacity survives Reset), then calls IndexProbeResults().
+  std::vector<ProbeResult>& probe_buffer() { return probes_; }
+  void IndexProbeResults();
   std::optional<bool> ProbeSucceeded(net::LinkId e) const;
   const std::vector<ProbeResult>& probe_results() const { return probes_; }
 
-  // Count of signal values present across all routers (for reporting).
-  std::size_t PresentSignalCount() const;
+  // Count of signal values present across all routers — O(1) from the
+  // frame's incrementally maintained presence popcounts.
+  std::size_t PresentSignalCount() const {
+    return frame_.PresentSignalCount();
+  }
 
  private:
   const net::Topology* topo_;
   std::uint64_t epoch_;
-  std::vector<RouterSignals> routers_;
+  SignalFrame frame_;
   std::vector<ProbeResult> probes_;
   std::vector<std::optional<bool>> probe_by_link_;
 };

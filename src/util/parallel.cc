@@ -1,0 +1,152 @@
+#include "util/parallel.h"
+
+#include <cstdlib>
+
+namespace hodor::util {
+
+namespace {
+
+// The sharded stages are microseconds long and come in quick bursts (several
+// ParallelFor calls per Harden), so a worker that sleeps on the condition
+// variable between stages pays a futex wake-up per stage — enough to cancel
+// the parallel speedup outright. Workers therefore spin briefly polling the
+// generation counter before falling back to the cv.
+constexpr int kSpinIterations = 20000;
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads == 0 ? 1 : threads) {
+  // Spinning only pays when every thread can actually run: an oversubscribed
+  // pool (more threads than cores, e.g. a 4-thread pool in a 1-CPU
+  // container) must yield the core instead of pausing on it, or the spinners
+  // starve the thread doing real work.
+  const std::size_t hw = std::thread::hardware_concurrency();
+  spin_ok_ = hw == 0 || threads_ <= hw;
+  workers_.reserve(threads_ > 0 ? threads_ - 1 : 0);
+  for (std::size_t i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_.store(true, std::memory_order_relaxed);
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    // Wait for a new generation: spin first, sleep only if work stays away.
+    int spins = 0;
+    while (generation_.load(std::memory_order_acquire) == seen_generation &&
+           !shutdown_.load(std::memory_order_relaxed)) {
+      if (!spin_ok_ || ++spins >= kSpinIterations) {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] {
+          return shutdown_.load(std::memory_order_relaxed) ||
+                 generation_.load(std::memory_order_relaxed) !=
+                     seen_generation;
+        });
+        break;
+      }
+      CpuRelax();
+    }
+    if (shutdown_.load(std::memory_order_relaxed)) return;
+    const std::function<void(std::size_t)>* task;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      seen_generation = generation_.load(std::memory_order_relaxed);
+      task = task_;
+    }
+    if (task == nullptr) continue;
+    for (;;) {
+      std::size_t i;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        // The generation check fences off a worker that raced past the end
+        // of the previous run: once Run() moved on, its task pointer is
+        // dead and must not be re-entered.
+        if (generation_.load(std::memory_order_relaxed) != seen_generation ||
+            next_index_ >= task_count_) {
+          break;
+        }
+        i = next_index_++;
+      }
+      (*task)(i);
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+void ThreadPool::Run(std::size_t count,
+                     const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &task;
+    task_count_ = count;
+    next_index_ = 0;
+    pending_.store(count, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+  work_cv_.notify_all();
+  // The calling thread chips in instead of idling.
+  for (;;) {
+    std::size_t i;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (next_index_ >= task_count_) break;
+      i = next_index_++;
+    }
+    task(i);
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  // Completion wait mirrors the workers' strategy: spin (the straggler is
+  // typically microseconds away) or, when oversubscribed, hand the core to
+  // whichever worker still holds a task.
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (spin_ok_) {
+      CpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  task_ = nullptr;
+}
+
+std::size_t ShardCount(const ThreadPool* pool, std::size_t total) {
+  if (total == 0) return 0;
+  if (pool == nullptr || pool->thread_count() <= 1) return 1;
+  // No point sharding a handful of items across threads.
+  if (total < 2 * pool->thread_count()) return 1;
+  return pool->thread_count();
+}
+
+std::size_t ThreadsFromEnv(std::size_t fallback) {
+  const char* raw = std::getenv("HODOR_THREADS");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(raw, &end, 10);
+  if (end == raw || parsed <= 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace hodor::util

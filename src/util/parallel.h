@@ -1,0 +1,91 @@
+// Deterministic work sharding for the hot validation loops.
+//
+// A ThreadPool owns long-lived worker threads; ParallelFor splits an index
+// range [0, total) into at most `pool->thread_count()` contiguous shards and
+// runs `body(begin, end, shard)` on each. Shards are contiguous and ordered,
+// so a caller that writes per-shard results and concatenates them in shard
+// index order reproduces the exact serial iteration order — including
+// floating-point accumulation order — at any thread count. With a null pool
+// (or one thread) the body runs inline on the calling thread, making
+// single-threaded behaviour trivially identical to unsharded code.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hodor::util {
+
+class ThreadPool {
+ public:
+  // Spawns `threads - 1` workers (the calling thread always executes the
+  // first shard itself). `threads <= 1` spawns nothing.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return threads_; }
+
+  // Runs `task(i)` for i in [0, count) across the workers plus the calling
+  // thread; returns when every task finished. Tasks must not throw.
+  void Run(std::size_t count, const std::function<void(std::size_t)>& task);
+
+ private:
+  void WorkerLoop();
+
+  std::size_t threads_;
+  bool spin_ok_ = true;  // false when threads_ exceeds the hardware cores
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  // task_/task_count_/next_index_ are guarded by mu_; generation_ and
+  // pending_ are atomics so the spin-then-sleep waits can poll them without
+  // taking the lock (they are still only *written* while holding mu_, or —
+  // for pending_ — by the worker that just finished a task).
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t task_count_ = 0;
+  std::size_t next_index_ = 0;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+// How many shards ParallelFor will use for a range of `total` items — the
+// size callers should use for per-shard result buffers.
+std::size_t ShardCount(const ThreadPool* pool, std::size_t total);
+
+// Shards [0, total) over `pool` (inline when pool is null, has one thread,
+// or the range is small). `body(begin, end, shard)` sees contiguous,
+// in-order shards; `shard` indexes them densely from 0. A template so the
+// serial path invokes the body directly — no std::function allocation on
+// the default num_threads=1 hot path.
+template <typename Body>
+void ParallelFor(ThreadPool* pool, std::size_t total, Body&& body) {
+  const std::size_t shards = ShardCount(pool, total);
+  if (shards == 0) return;
+  if (shards == 1) {
+    body(std::size_t{0}, total, std::size_t{0});
+    return;
+  }
+  const std::size_t chunk = (total + shards - 1) / shards;
+  pool->Run(shards, [&](std::size_t s) {
+    const std::size_t begin = s * chunk;
+    const std::size_t end = begin + chunk < total ? begin + chunk : total;
+    if (begin < end) body(begin, end, s);
+  });
+}
+
+// Thread count requested via the HODOR_THREADS environment variable;
+// `fallback` when unset or unparsable. Benchmarks and CLI drivers use this
+// so operators can sweep thread counts without recompiling.
+std::size_t ThreadsFromEnv(std::size_t fallback = 1);
+
+}  // namespace hodor::util

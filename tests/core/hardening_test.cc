@@ -49,18 +49,19 @@ struct Figure3 {
   // An honest, jitter-free snapshot of the scenario.
   NetworkSnapshot Snapshot() const {
     NetworkSnapshot snap(topo, 0);
+    telemetry::SignalFrame& frame = snap.frame();
     auto fill = [&](NodeId v, double ext_in, double ext_out) {
-      telemetry::RouterSignals& r = snap.router(v);
-      r.drained = false;
-      r.dropped_rate = 0.0;
-      r.ext_in_rate = ext_in;
-      r.ext_out_rate = ext_out;
+      frame.SetNodeDrained(v, false);
+      frame.SetDroppedRate(v, 0.0);
+      frame.SetExtInRate(v, ext_in);
+      frame.SetExtOutRate(v, ext_out);
       for (LinkId e : topo.OutLinks(v)) {
-        r.out_ifaces[e] = telemetry::OutInterfaceSignals{
-            LinkStatus::kUp, TrueRate(e), false};
+        frame.SetStatus(e, LinkStatus::kUp);
+        frame.SetTxRate(e, TrueRate(e));
+        frame.SetLinkDrain(e, false);
       }
       for (LinkId e : topo.InLinks(v)) {
-        r.in_ifaces[e] = telemetry::InInterfaceSignals{TrueRate(e)};
+        frame.SetRxRate(e, TrueRate(e));
       }
     };
     fill(a, 76.0, 5.0);
@@ -100,7 +101,7 @@ TEST(Hardening, Figure3WorkedExample) {
   // flags the pair; conservation at B accepts 76 and rejects 98.
   const Figure3 fig;
   NetworkSnapshot snap = fig.Snapshot();
-  snap.router(fig.a).out_ifaces[fig.ab].tx_rate = 98.0;
+  snap.frame().SetTxRate(fig.ab, 98.0);
 
   const HardenedState hs = HardeningEngine().Harden(snap);
   const HardenedRate& r = hs.rates[fig.ab.value()];
@@ -119,7 +120,7 @@ TEST(Hardening, Figure3FaultyRxSideAlsoRepaired) {
   // Mirror case: the RX counter lies instead; conservation at A keeps 76.
   const Figure3 fig;
   NetworkSnapshot snap = fig.Snapshot();
-  snap.router(fig.b).in_ifaces[fig.ab].rx_rate = 120.0;
+  snap.frame().SetRxRate(fig.ab, 120.0);
   const HardenedState hs = HardeningEngine().Harden(snap);
   const HardenedRate& r = hs.rates[fig.ab.value()];
   EXPECT_EQ(r.origin, RateOrigin::kRepaired);
@@ -132,8 +133,8 @@ TEST(Hardening, BothCountersMissingRepairedByPropagation) {
   // exactly one unknown and determines it.
   const Figure3 fig;
   NetworkSnapshot snap = fig.Snapshot();
-  snap.router(fig.a).out_ifaces[fig.ab].tx_rate.reset();
-  snap.router(fig.b).in_ifaces[fig.ab].rx_rate.reset();
+  snap.frame().ClearTxRate(fig.ab);
+  snap.frame().ClearRxRate(fig.ab);
   const HardenedState hs = HardeningEngine().Harden(snap);
   const HardenedRate& r = hs.rates[fig.ab.value()];
   EXPECT_TRUE(r.flagged);
@@ -144,7 +145,7 @@ TEST(Hardening, BothCountersMissingRepairedByPropagation) {
 TEST(Hardening, DisambiguationDisabledFallsBackToPropagation) {
   const Figure3 fig;
   NetworkSnapshot snap = fig.Snapshot();
-  snap.router(fig.a).out_ifaces[fig.ab].tx_rate = 98.0;
+  snap.frame().SetTxRate(fig.ab, 98.0);
   HardeningOptions opts;
   opts.pairwise_disambiguation = false;
   const HardenedState hs = HardeningEngine(opts).Harden(snap);
@@ -159,7 +160,7 @@ TEST(Hardening, DisambiguationDisabledFallsBackToPropagation) {
 TEST(Hardening, AllRepairsDisabledLeavesUnknown) {
   const Figure3 fig;
   NetworkSnapshot snap = fig.Snapshot();
-  snap.router(fig.a).out_ifaces[fig.ab].tx_rate = 98.0;
+  snap.frame().SetTxRate(fig.ab, 98.0);
   HardeningOptions opts;
   opts.pairwise_disambiguation = false;
   opts.propagation_repair = false;
@@ -178,10 +179,10 @@ TEST(Hardening, TwoFaultsOnDistinctRoutersBothRepaired) {
   // Zero out both counters of A->B and of C->B: two unknowns, two
   // distinct conservation equations (at B it's 2 unknowns; at A and C one
   // each) — propagation solves A->B at A, then C->B at B or C.
-  snap.router(fig.a).out_ifaces[fig.ab].tx_rate.reset();
-  snap.router(fig.b).in_ifaces[fig.ab].rx_rate.reset();
-  snap.router(fig.c).out_ifaces[fig.cb].tx_rate.reset();
-  snap.router(fig.b).in_ifaces[fig.cb].rx_rate.reset();
+  snap.frame().ClearTxRate(fig.ab);
+  snap.frame().ClearRxRate(fig.ab);
+  snap.frame().ClearTxRate(fig.cb);
+  snap.frame().ClearRxRate(fig.cb);
   const HardenedState hs = HardeningEngine().Harden(snap);
   EXPECT_NEAR(hs.rates[fig.ab.value()].value.value(), 76.0, 1e-9);
   EXPECT_NEAR(hs.rates[fig.cb.value()].value.value(), 23.0, 1e-9);
@@ -302,8 +303,8 @@ TEST(Hardening, Footnote3PoliciesAgreeWithoutJitter) {
   // two policies must produce exactly the same repair.
   const Figure3 fig;
   NetworkSnapshot snap = fig.Snapshot();
-  snap.router(fig.a).out_ifaces[fig.ab].tx_rate.reset();
-  snap.router(fig.b).in_ifaces[fig.ab].rx_rate.reset();
+  snap.frame().ClearTxRate(fig.ab);
+  snap.frame().ClearRxRate(fig.ab);
   HardeningOptions avg;
   avg.average_adjacent_solutions = true;
   HardeningOptions pick;
@@ -322,7 +323,7 @@ TEST(Hardening, ConfidenceScoresReflectCorroboration) {
   // disabled the unknown scores 0.
   const Figure3 fig;
   NetworkSnapshot snap = fig.Snapshot();
-  snap.router(fig.a).out_ifaces[fig.ab].tx_rate = 98.0;
+  snap.frame().SetTxRate(fig.ab, 98.0);
   const HardenedState hs = HardeningEngine().Harden(snap);
   EXPECT_DOUBLE_EQ(hs.rates[fig.bc.value()].confidence, 1.0);  // agreeing
   const HardenedRate& repaired = hs.rates[fig.ab.value()];
@@ -338,11 +339,48 @@ TEST(Hardening, ConfidenceScoresReflectCorroboration) {
   EXPECT_DOUBLE_EQ(none.rates[fig.ab.value()].confidence, 0.0);
 }
 
+TEST(Hardening, ThreadedHardeningBitIdentical) {
+  // Sharded stages must reproduce the serial result exactly — including
+  // floating-point accumulation order — at any thread count.
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  const NodeId victim = net.topo.FindNode("KSCYng").value();
+  const auto snap =
+      net.Snapshot(1, faults::ZeroedCountersFault(victim, 0.5, 99));
+  const HardenedState serial = HardeningEngine().Harden(snap);
+  for (std::size_t threads : {2u, 4u}) {
+    HardeningOptions opts;
+    opts.num_threads = threads;
+    const HardeningEngine engine(opts);
+    // Run twice through the same engine to exercise workspace reuse.
+    (void)engine.Harden(snap);
+    const HardenedState threaded = engine.Harden(snap);
+    ASSERT_EQ(serial.rates.size(), threaded.rates.size());
+    for (std::size_t i = 0; i < serial.rates.size(); ++i) {
+      EXPECT_EQ(serial.rates[i].value, threaded.rates[i].value)
+          << "link " << i << " threads=" << threads;
+      EXPECT_EQ(serial.rates[i].origin, threaded.rates[i].origin);
+      EXPECT_EQ(serial.rates[i].rejected_value, threaded.rates[i].rejected_value);
+      EXPECT_EQ(serial.rates[i].confidence, threaded.rates[i].confidence);
+      EXPECT_EQ(serial.links[i].verdict, threaded.links[i].verdict);
+      EXPECT_EQ(serial.links[i].confidence, threaded.links[i].confidence);
+      EXPECT_EQ(serial.link_drained[i], threaded.link_drained[i]);
+    }
+    for (std::size_t i = 0; i < serial.drains.size(); ++i) {
+      EXPECT_EQ(serial.drains[i].node_drained, threaded.drains[i].node_drained);
+      EXPECT_EQ(serial.drains[i].undrained_but_dead,
+                threaded.drains[i].undrained_but_dead);
+    }
+    EXPECT_EQ(serial.flagged_rate_count, threaded.flagged_rate_count);
+    EXPECT_EQ(serial.repaired_rate_count, threaded.repaired_rate_count);
+    EXPECT_EQ(serial.unknown_rate_count, threaded.unknown_rate_count);
+  }
+}
+
 TEST(Hardening, ProbeCorroborationRaisesRepairConfidence) {
   // The same repair with and without a matching probe: R4 adds confidence.
   const Figure3 fig;
   NetworkSnapshot with_probe = fig.Snapshot();
-  with_probe.router(fig.a).out_ifaces[fig.ab].tx_rate = 98.0;
+  with_probe.frame().SetTxRate(fig.ab, 98.0);
   std::vector<telemetry::ProbeResult> probes;
   for (LinkId e : fig.topo.LinkIds()) {
     probes.push_back(telemetry::ProbeResult{e, true});
@@ -350,7 +388,7 @@ TEST(Hardening, ProbeCorroborationRaisesRepairConfidence) {
   with_probe.SetProbeResults(probes);
 
   NetworkSnapshot without_probe = fig.Snapshot();
-  without_probe.router(fig.a).out_ifaces[fig.ab].tx_rate = 98.0;
+  without_probe.frame().SetTxRate(fig.ab, 98.0);
 
   const double c_with =
       HardeningEngine().Harden(with_probe).rates[fig.ab.value()].confidence;

@@ -141,8 +141,8 @@ TEST_F(MinerFixture, MinedConservationCatchesScalarCorruption) {
   Train(6);
   const NodeId victim = net.topo.FindNode("IPLSng").value();
   const auto snap = net.Snapshot(999, [victim](telemetry::NetworkSnapshot& s) {
-    if (s.router(victim).ext_in_rate) {
-      s.router(victim).ext_in_rate = *s.router(victim).ext_in_rate * 2.0 + 5.0;
+    if (s.ExtInRate(victim)) {
+      s.frame().SetExtInRate(victim, *s.ExtInRate(victim) * 2.0 + 5.0);
     }
   });
   const auto r = miner.Check(snap);

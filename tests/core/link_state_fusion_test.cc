@@ -105,7 +105,9 @@ TEST_F(FusionFixture, MissingStatusesFallBackToProbesAndCounters) {
 TEST_F(FusionFixture, NoSignalsAtAllYieldsUnknown) {
   net::Topology topo = net::Figure3Triangle();
   telemetry::NetworkSnapshot empty(topo, 0);
-  for (auto& r : empty.routers()) r.responded = false;
+  for (const net::Node& n : empty.topology().nodes()) {
+    empty.frame().MarkUnresponsive(n.id);
+  }
   const HardenedState hs = HardeningEngine().Harden(empty);
   for (LinkId lid : topo.LinkIds()) {
     EXPECT_EQ(hs.links[lid.value()].verdict, LinkVerdict::kUnknown);

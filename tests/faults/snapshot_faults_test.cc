@@ -78,7 +78,7 @@ TEST_F(FaultFixture, CorruptLinkCounterVariants) {
 
 TEST_F(FaultFixture, UnresponsiveRouterClearsEverything) {
   const auto snap = net.Snapshot(1, UnresponsiveRouter(victim));
-  EXPECT_FALSE(snap.router(victim).responded);
+  EXPECT_FALSE(snap.Responded(victim));
   EXPECT_FALSE(snap.NodeDrained(victim).has_value());
   EXPECT_FALSE(snap.ExtInRate(victim).has_value());
   for (LinkId e : net.topo.OutLinks(victim)) {
@@ -102,7 +102,7 @@ TEST_F(FaultFixture, MalformedTelemetryDropsSubset) {
   }
   EXPECT_GT(missing, 0u);
   EXPECT_GT(present, 0u);  // p=0.5: some survive (IPLS has degree 3)
-  EXPECT_TRUE(snap.router(victim).responded);
+  EXPECT_TRUE(snap.Responded(victim));
 }
 
 TEST_F(FaultFixture, WrongDrainSignalOverrides) {

@@ -1,0 +1,126 @@
+// Canonical fingerprints for the frame-refactor equivalence goldens.
+//
+// These serialise every observable artefact of a validated epoch — the
+// DecisionRecord stream, the hardened (repaired) state, and the trace-level
+// verdict — into a canonical text digest, so the golden test can assert
+// bit-identical behaviour across the columnar-frame refactor and across
+// num_threads settings. Doubles are printed with %.17g: round-trip exact,
+// so two fingerprints match iff every value is bit-identical.
+#pragma once
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "controlplane/pipeline.h"
+#include "core/hardened_state.h"
+#include "obs/provenance.h"
+
+namespace hodor::testing {
+
+inline void AppendF64(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+inline void AppendOpt(std::string& out, const std::optional<double>& v) {
+  if (v.has_value()) {
+    AppendF64(out, *v);
+  } else {
+    out += "~";
+  }
+}
+
+inline void AppendOpt(std::string& out, const std::optional<bool>& v) {
+  out += v.has_value() ? (*v ? "T" : "F") : "~";
+}
+
+// The full DecisionRecord stream for one epoch, one line per invariant.
+inline std::string DecisionText(const obs::DecisionRecord& rec) {
+  std::string out;
+  out += rec.accept ? "accept" : "reject";
+  out += "|" + rec.summary + "\n";
+  for (const obs::InvariantRecord& inv : rec.invariants) {
+    out += inv.check + "|" + inv.invariant + "|";
+    AppendF64(out, inv.residual);
+    out += "|";
+    AppendF64(out, inv.threshold);
+    out += "|";
+    out += obs::InvariantVerdictName(inv.verdict);
+    out += "|" + inv.detail + "\n";
+  }
+  return out;
+}
+
+// Every repaired value, origin, flag, and confidence in a HardenedState.
+inline std::string HardenedText(const core::HardenedState& hs) {
+  std::string out;
+  for (std::size_t e = 0; e < hs.rates.size(); ++e) {
+    const core::HardenedRate& r = hs.rates[e];
+    out += "r" + std::to_string(e) + ":";
+    AppendOpt(out, r.value);
+    out += "|" + std::to_string(static_cast<int>(r.origin)) + "|";
+    out += r.flagged ? "f" : ".";
+    out += "|";
+    AppendOpt(out, r.rejected_value);
+    out += "|";
+    AppendF64(out, r.confidence);
+    out += "\n";
+  }
+  for (std::size_t e = 0; e < hs.links.size(); ++e) {
+    out += "l" + std::to_string(e) + ":" +
+           core::LinkVerdictName(hs.links[e].verdict) + "|";
+    AppendF64(out, hs.links[e].confidence);
+    out += hs.links[e].status_disagreement ? "|d" : "|.";
+    out += "|";
+    AppendOpt(out, hs.link_drained[e]);
+    out += hs.link_drain_disagreement[e] ? "|d" : "|.";
+    out += "\n";
+  }
+  for (std::size_t v = 0; v < hs.drains.size(); ++v) {
+    out += "n" + std::to_string(v) + ":";
+    AppendOpt(out, hs.ext_in[v]);
+    out += "|";
+    AppendOpt(out, hs.ext_out[v]);
+    out += "|";
+    AppendOpt(out, hs.dropped[v]);
+    out += "|";
+    AppendOpt(out, hs.drains[v].node_drained);
+    out += hs.drains[v].undrained_but_dead ? "|D" : "|.";
+    out += hs.drains[v].drained_but_active ? "|A" : "|.";
+    out += "\n";
+  }
+  out += "counts:" + std::to_string(hs.flagged_rate_count) + "|" +
+         std::to_string(hs.repaired_rate_count) + "|" +
+         std::to_string(hs.unknown_rate_count) + "|" +
+         std::to_string(hs.status_disagreement_count) + "\n";
+  return out;
+}
+
+// Trace-level verdict for one epoch: what availability accounting sees.
+inline std::string EpochVerdictText(const controlplane::EpochResult& r) {
+  std::string out;
+  out += r.decision.accept ? "A" : "R";
+  out += r.used_fallback ? "F" : ".";
+  out += "|" + std::to_string(r.decision.provenance.failed_count()) + "|";
+  AppendF64(out, r.metrics.demand_satisfaction);
+  out += "|";
+  AppendF64(out, r.metrics.max_link_utilization);
+  out += "\n";
+  return out;
+}
+
+// FNV-1a 64-bit over the canonical text, rendered as fixed-width hex.
+inline std::string Fingerprint(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+  return std::string(buf) + ":" + std::to_string(text.size());
+}
+
+}  // namespace hodor::testing

@@ -95,7 +95,7 @@ TEST_F(SelfCorrectingPipelineTest, SelfCorrectionCannotFixExternalCounters) {
   const NodeId victim = topo.FindNode("IPLSng").value();
   auto fault = faults::ComposeFaults(
       {[victim](telemetry::NetworkSnapshot& snap) {
-         snap.router(victim).ext_in_rate = 0.0;
+         snap.frame().SetExtInRate(victim, 0.0);
        },
        telemetry::SelfCorrectionStage()});
   const auto result = RunOneEpoch(fault);

@@ -72,7 +72,7 @@ TEST(TelemetryServing, FaultDropsTrustFiresAndResolvesOverHttp) {
   const net::NodeId victim = topo.FindNode("IPLSng").value();
   const std::string entity = topo.node(victim).name;
   auto fault = [victim](telemetry::NetworkSnapshot& snap) {
-    snap.router(victim).ext_in_rate = 0.0;
+    snap.frame().SetExtInRate(victim, 0.0);
   };
 
   // Epoch 0: healthy. Epoch 1: faulted. Epochs 2-4: repaired (healthy).

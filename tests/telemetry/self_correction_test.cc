@@ -40,7 +40,7 @@ TEST(SelfCorrection, FixesTheFigure3CounterAtSource) {
 TEST(SelfCorrection, FixesRxSideToo) {
   const core::Figure3Example fig;
   NetworkSnapshot snap = fig.HonestSnapshot();
-  snap.router(fig.b()).in_ifaces[fig.ab()].rx_rate = 150.0;
+  snap.frame().SetRxRate(fig.ab(), 150.0);
   const SelfCorrectionStats stats = SelfCorrectSnapshot(snap);
   EXPECT_EQ(stats.corrected, 1u);
   EXPECT_NEAR(snap.RxRate(fig.ab()).value(), 76.0, 1e-9);
@@ -51,8 +51,8 @@ TEST(SelfCorrection, UnresolvableMismatchLeftForHardening) {
   // candidate fits, so the router must not guess.
   const core::Figure3Example fig;
   NetworkSnapshot snap = fig.HonestSnapshot();
-  snap.router(fig.a()).out_ifaces[fig.ab()].tx_rate = 200.0;
-  snap.router(fig.b()).in_ifaces[fig.ab()].rx_rate = 150.0;
+  snap.frame().SetTxRate(fig.ab(), 200.0);
+  snap.frame().SetRxRate(fig.ab(), 150.0);
   const SelfCorrectionStats stats = SelfCorrectSnapshot(snap);
   EXPECT_EQ(stats.mismatched_pairs, 1u);
   EXPECT_EQ(stats.corrected, 0u);
@@ -63,7 +63,7 @@ TEST(SelfCorrection, UnresolvableMismatchLeftForHardening) {
 TEST(SelfCorrection, MissingSideIsNotExchanged) {
   const core::Figure3Example fig;
   NetworkSnapshot snap = fig.HonestSnapshot();
-  snap.router(fig.a()).out_ifaces[fig.ab()].tx_rate.reset();
+  snap.frame().ClearTxRate(fig.ab());
   const SelfCorrectionStats stats = SelfCorrectSnapshot(snap);
   EXPECT_EQ(stats.mismatched_pairs, 0u);
   EXPECT_FALSE(snap.TxRate(fig.ab()).has_value());

@@ -20,7 +20,9 @@ class SnapshotTest : public ::testing::Test {
 TEST_F(SnapshotTest, EpochAndTopologyWiredThrough) {
   EXPECT_EQ(snap_.epoch(), 7u);
   EXPECT_EQ(&snap_.topology(), &topo_);
-  EXPECT_EQ(snap_.routers().size(), 3u);
+  for (const net::Node& n : topo_.nodes()) {
+    EXPECT_TRUE(snap_.Responded(n.id));
+  }
 }
 
 TEST_F(SnapshotTest, FreshSnapshotHasNoSignals) {
@@ -36,8 +38,7 @@ TEST_F(SnapshotTest, TxRateReportedBySrc) {
   const LinkId ab = topo_.FindLink(topo_.FindNode("A").value(),
                                    topo_.FindNode("B").value())
                         .value();
-  RouterSignals& a = snap_.router(topo_.link(ab).src);
-  a.out_ifaces[ab].tx_rate = 42.0;
+  snap_.frame().SetTxRate(ab, 42.0);
   EXPECT_DOUBLE_EQ(snap_.TxRate(ab).value(), 42.0);
   EXPECT_FALSE(snap_.RxRate(ab).has_value());
 }
@@ -46,9 +47,9 @@ TEST_F(SnapshotTest, RxRateReportedByDst) {
   const LinkId ab = topo_.FindLink(topo_.FindNode("A").value(),
                                    topo_.FindNode("B").value())
                         .value();
-  RouterSignals& b = snap_.router(topo_.link(ab).dst);
-  b.in_ifaces[ab].rx_rate = 41.5;
+  snap_.frame().SetRxRate(ab, 41.5);
   EXPECT_DOUBLE_EQ(snap_.RxRate(ab).value(), 41.5);
+  EXPECT_FALSE(snap_.TxRate(ab).has_value());
 }
 
 TEST_F(SnapshotTest, StatusAtDstReadsReverseDirection) {
@@ -56,24 +57,56 @@ TEST_F(SnapshotTest, StatusAtDstReadsReverseDirection) {
                                    topo_.FindNode("B").value())
                         .value();
   const LinkId ba = topo_.link(ab).reverse;
-  snap_.router(topo_.link(ba).src).out_ifaces[ba].status = LinkStatus::kDown;
+  // dst's view of a↔b travels on dst's own out-interface: the reverse link.
+  snap_.frame().SetStatus(ba, LinkStatus::kDown);
   EXPECT_EQ(snap_.StatusAtDst(ab).value(), LinkStatus::kDown);
   EXPECT_FALSE(snap_.StatusAtSrc(ab).has_value());
 }
 
 TEST_F(SnapshotTest, UnresponsiveRouterHidesItsSignals) {
   const NodeId a = topo_.FindNode("A").value();
-  RouterSignals& ra = snap_.router(a);
-  ra.drained = false;
-  ra.ext_in_rate = 10.0;
+  SignalFrame& frame = snap_.frame();
+  frame.SetNodeDrained(a, false);
+  frame.SetExtInRate(a, 10.0);
   const LinkId out = topo_.OutLinks(a)[0];
-  ra.out_ifaces[out].tx_rate = 5.0;
+  frame.SetTxRate(out, 5.0);
   EXPECT_TRUE(snap_.NodeDrained(a).has_value());
-  ra.responded = false;
+  frame.MarkUnresponsive(a);
+  EXPECT_FALSE(snap_.Responded(a));
   EXPECT_FALSE(snap_.NodeDrained(a).has_value());
   EXPECT_FALSE(snap_.ExtInRate(a).has_value());
   EXPECT_FALSE(snap_.TxRate(out).has_value());
   EXPECT_EQ(snap_.PresentSignalCount(), 0u);
+}
+
+TEST_F(SnapshotTest, SettersNoOpOnUnresponsiveRouter) {
+  const NodeId a = topo_.FindNode("A").value();
+  SignalFrame& frame = snap_.frame();
+  frame.MarkUnresponsive(a);
+  const LinkId out = topo_.OutLinks(a)[0];
+  const LinkId in = topo_.InLinks(a)[0];
+  frame.SetTxRate(out, 5.0);
+  frame.SetStatus(out, LinkStatus::kUp);
+  frame.SetLinkDrain(out, true);
+  frame.SetRxRate(in, 2.0);
+  frame.SetDroppedRate(a, 0.1);
+  frame.SetExtInRate(a, 1.0);
+  frame.SetExtOutRate(a, 1.0);
+  frame.SetNodeDrained(a, true);
+  EXPECT_EQ(snap_.PresentSignalCount(), 0u);
+  EXPECT_FALSE(snap_.TxRate(out).has_value());
+  EXPECT_FALSE(snap_.RxRate(in).has_value());
+}
+
+TEST_F(SnapshotTest, ResetClearsSignalsAndBumpsEpoch) {
+  const NodeId a = topo_.FindNode("A").value();
+  snap_.frame().SetExtInRate(a, 10.0);
+  snap_.SetProbeResults({ProbeResult{LinkId(0), true}});
+  snap_.Reset(11);
+  EXPECT_EQ(snap_.epoch(), 11u);
+  EXPECT_EQ(snap_.PresentSignalCount(), 0u);
+  EXPECT_TRUE(snap_.Responded(a));
+  EXPECT_FALSE(snap_.ProbeSucceeded(LinkId(0)).has_value());
 }
 
 TEST_F(SnapshotTest, ProbeResultsIndexedByLink) {
@@ -90,18 +123,23 @@ TEST_F(SnapshotTest, ProbeResultsIndexedByLink) {
 
 TEST_F(SnapshotTest, PresentSignalCountCounts) {
   const NodeId a = topo_.FindNode("A").value();
-  RouterSignals& ra = snap_.router(a);
-  ra.drained = true;
-  ra.dropped_rate = 0.0;
+  SignalFrame& frame = snap_.frame();
+  frame.SetNodeDrained(a, true);
+  frame.SetDroppedRate(a, 0.0);
   const LinkId out = topo_.OutLinks(a)[0];
-  ra.out_ifaces[out].status = LinkStatus::kUp;
-  ra.out_ifaces[out].tx_rate = 1.0;
+  frame.SetStatus(out, LinkStatus::kUp);
+  frame.SetTxRate(out, 1.0);
   EXPECT_EQ(snap_.PresentSignalCount(), 4u);
+  // Overwriting a present signal does not double-count.
+  frame.SetTxRate(out, 2.0);
+  EXPECT_EQ(snap_.PresentSignalCount(), 4u);
+  frame.ClearTxRate(out);
+  EXPECT_EQ(snap_.PresentSignalCount(), 3u);
 }
 
 TEST_F(SnapshotTest, LinkDrainAccessors) {
   const LinkId ab = topo_.LinkIds()[0];
-  snap_.router(topo_.link(ab).src).out_ifaces[ab].link_drained = true;
+  snap_.frame().SetLinkDrain(ab, true);
   EXPECT_TRUE(snap_.LinkDrainAtSrc(ab).value());
   EXPECT_FALSE(snap_.LinkDrainAtDst(ab).has_value());
 }

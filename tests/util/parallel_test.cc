@@ -1,0 +1,112 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+namespace hodor::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::vector<std::atomic<int>> hits(100);
+  pool.Run(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossRuns) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.Run(17, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+    EXPECT_EQ(sum.load(), 136);  // 0+1+...+16
+  }
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  int count = 0;  // no atomics needed: everything on the calling thread
+  pool.Run(10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(ShardCountTest, SerialAndSmallRangesGetOneShard) {
+  EXPECT_EQ(ShardCount(nullptr, 1000), 1u);
+  ThreadPool pool(4);
+  EXPECT_EQ(ShardCount(&pool, 0), 0u);
+  EXPECT_EQ(ShardCount(&pool, 7), 1u);  // < 2 * threads: not worth sharding
+  EXPECT_EQ(ShardCount(&pool, 8), 4u);
+  EXPECT_EQ(ShardCount(&pool, 1000), 4u);
+}
+
+TEST(ParallelForTest, ShardsAreContiguousOrderedAndComplete) {
+  ThreadPool pool(4);
+  const std::size_t total = 1001;
+  const std::size_t shards = ShardCount(&pool, total);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges(shards);
+  ParallelFor(&pool, total,
+              [&](std::size_t begin, std::size_t end, std::size_t shard) {
+                ranges[shard] = {begin, end};
+              });
+  std::size_t expect_begin = 0;
+  for (const auto& [begin, end] : ranges) {
+    EXPECT_EQ(begin, expect_begin);
+    EXPECT_LT(begin, end);
+    expect_begin = end;
+  }
+  EXPECT_EQ(expect_begin, total);
+}
+
+TEST(ParallelForTest, ShardMergeReproducesSerialOrder) {
+  // The determinism contract the hardening engine relies on: per-shard
+  // result lists concatenated in shard index order equal the serial
+  // iteration order.
+  const std::size_t total = 500;
+  std::vector<std::size_t> serial(total);
+  std::iota(serial.begin(), serial.end(), 0);
+
+  ThreadPool pool(4);
+  std::vector<std::vector<std::size_t>> per_shard(ShardCount(&pool, total));
+  ParallelFor(&pool, total,
+              [&](std::size_t begin, std::size_t end, std::size_t shard) {
+                for (std::size_t i = begin; i < end; ++i) {
+                  per_shard[shard].push_back(i);
+                }
+              });
+  std::vector<std::size_t> merged;
+  for (const auto& s : per_shard) {
+    merged.insert(merged.end(), s.begin(), s.end());
+  }
+  EXPECT_EQ(merged, serial);
+}
+
+TEST(ParallelForTest, NullPoolRunsInlineAsOneShard) {
+  std::vector<std::pair<std::size_t, std::size_t>> calls;
+  ParallelFor(nullptr, 42,
+              [&](std::size_t begin, std::size_t end, std::size_t shard) {
+                calls.emplace_back(begin, end);
+                EXPECT_EQ(shard, 0u);
+              });
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0].first, 0u);
+  EXPECT_EQ(calls[0].second, 42u);
+}
+
+TEST(ThreadsFromEnvTest, ParsesAndFallsBack) {
+  unsetenv("HODOR_THREADS");
+  EXPECT_EQ(ThreadsFromEnv(3), 3u);
+  setenv("HODOR_THREADS", "8", 1);
+  EXPECT_EQ(ThreadsFromEnv(3), 8u);
+  setenv("HODOR_THREADS", "junk", 1);
+  EXPECT_EQ(ThreadsFromEnv(3), 3u);
+  setenv("HODOR_THREADS", "-2", 1);
+  EXPECT_EQ(ThreadsFromEnv(3), 3u);
+  unsetenv("HODOR_THREADS");
+}
+
+}  // namespace
+}  // namespace hodor::util
