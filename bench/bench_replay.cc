@@ -1,0 +1,194 @@
+// E-replay — flight-recorder cost: what recording and replaying a run
+// actually costs, so "always-on recording" is a defensible default.
+//
+// Part A: raw frame codec throughput on a 400-node Waxman WAN — the
+//         columnar SignalFrame encodes/decodes as a handful of bulk column
+//         copies, so both directions should run at memory speed (the
+//         acceptance floor is 100 MB/s decode; typical results are far
+//         above it).
+// Part B: end-to-end epoch log cost on the GÉANT-like pipeline: record a
+//         validated 20-epoch run (one buggy-rollout window), then replay
+//         it — live epoch latency vs replay epoch latency side by side,
+//         plus on-disk bytes per epoch.
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "bench_common.h"
+#include "controlplane/pipeline.h"
+#include "faults/aggregation_faults.h"
+#include "replay/epoch_log.h"
+#include "replay/frame_codec.h"
+#include "replay/recorder.h"
+#include "replay/replayer.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace hodor;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Throughput {
+  double mbps = 0.0;
+  std::size_t iters = 0;
+};
+
+// Runs `fn` until ~0.25s of wall clock has elapsed and reports MB/s for
+// `bytes_per_iter` payload bytes per call.
+template <typename Fn>
+Throughput Measure(std::size_t bytes_per_iter, Fn&& fn) {
+  // Warm-up (tables, caches, allocator).
+  fn();
+  Throughput result;
+  const Clock::time_point t0 = Clock::now();
+  double elapsed = 0.0;
+  do {
+    fn();
+    ++result.iters;
+    elapsed = SecondsSince(t0);
+  } while (elapsed < 0.25);
+  result.mbps = static_cast<double>(bytes_per_iter) *
+                static_cast<double>(result.iters) / elapsed / 1e6;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+  bench::PrintHeader(
+      "replay", "flight-recorder codec throughput & replay latency",
+      "frame: Waxman n=400 seed=11; pipeline: GeantLike, 20 epochs, "
+      "demand fault epochs 8-11, seeds as in examples/live_pipeline");
+
+  // --- Part A: frame codec throughput -----------------------------------
+  util::Rng topo_rng(11);
+  const net::Topology big = net::Waxman(400, topo_rng);
+  bench::Trial trial(big, /*seed=*/11, /*max_util=*/0.5,
+                     bench::DefaultCollector());
+
+  std::string encoded;
+  {
+    replay::ByteWriter w(encoded);
+    replay::EncodeFrame(trial.snapshot.frame(), w);
+  }
+  const std::size_t frame_bytes = encoded.size();
+
+  std::string scratch;
+  const Throughput enc = Measure(frame_bytes, [&] {
+    scratch.clear();
+    replay::ByteWriter w(scratch);
+    replay::EncodeFrame(trial.snapshot.frame(), w);
+  });
+
+  telemetry::NetworkSnapshot decode_target(big, 0);
+  bool decode_ok = true;
+  const Throughput dec = Measure(frame_bytes, [&] {
+    replay::ByteReader r(encoded);
+    decode_ok = replay::DecodeFrame(r, decode_target.frame()).ok() && decode_ok;
+  });
+
+  util::TablePrinter codec({"direction", "frame bytes", "iters", "MB/s"});
+  codec.AddRowValues("encode", frame_bytes, enc.iters,
+                     util::FormatDouble(enc.mbps, 1));
+  codec.AddRowValues("decode", frame_bytes, dec.iters,
+                     util::FormatDouble(dec.mbps, 1));
+  std::cout << codec.ToString();
+  std::cout << "decode floor 100 MB/s: "
+            << (decode_ok && dec.mbps >= 100.0 ? "PASS" : "FAIL") << " ("
+            << big.node_count() << " nodes, " << big.link_count()
+            << " directed links)\n\n";
+
+  // --- Part B: record + replay a validated pipeline run ------------------
+  const char* log_path = "bench_replay.tmp.hlog";
+  const net::Topology topo = net::GeantLike();
+  const net::GroundTruthState state(topo);
+  util::Rng demand_rng(99);
+  flow::DemandMatrix base = flow::GravityDemand(topo, demand_rng);
+  flow::NormalizeToMaxUtilization(topo, 0.45, base);
+
+  controlplane::Pipeline pipeline(topo, {}, util::Rng(1));
+  const core::Validator validator(topo);
+  pipeline.SetValidator(validator.AsPipelineValidator());
+  pipeline.Bootstrap(state, base);
+
+  replay::PipelineRecorder recorder;
+  if (!recorder.Open(log_path, topo).ok()) {
+    std::cerr << "cannot open " << log_path << "\n";
+    return 1;
+  }
+  pipeline.SetEpochRecorder(recorder.Hook());
+
+  constexpr int kEpochs = 20;
+  const Clock::time_point live0 = Clock::now();
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    util::Rng drift_rng(1000 + epoch);
+    flow::DemandMatrix demand = base;
+    for (const auto& [i, j] : base.Pairs()) {
+      demand.Set(i, j,
+                 base.At(i, j) * (1.0 + drift_rng.Uniform(-0.04, 0.04)));
+    }
+    controlplane::AggregationFaultHooks hooks;
+    if (epoch >= 8 && epoch < 12) {
+      hooks.demand = faults::DemandEntriesDropped(
+          0.33, 4242 + static_cast<std::uint64_t>(epoch));
+    }
+    pipeline.RunEpoch(state, demand, nullptr, hooks);
+  }
+  const double live_s = SecondsSince(live0);
+  if (!recorder.Close().ok()) {
+    std::cerr << "recorder close failed\n";
+    return 1;
+  }
+
+  replay::EpochLogReader reader;
+  if (!reader.Open(log_path).ok()) {
+    std::cerr << "cannot reopen " << log_path << "\n";
+    return 1;
+  }
+  std::size_t log_bytes = 0;
+  if (std::FILE* f = std::fopen(log_path, "rb")) {
+    std::fseek(f, 0, SEEK_END);
+    log_bytes = static_cast<std::size_t>(std::ftell(f));
+    std::fclose(f);
+  }
+
+  const replay::Replayer replayer;
+  const Clock::time_point replay0 = Clock::now();
+  auto report_or = replayer.Replay(reader);
+  const double replay_s = SecondsSince(replay0);
+  if (!report_or.ok()) {
+    std::cerr << "replay failed: " << report_or.status().ToString() << "\n";
+    return 1;
+  }
+  const replay::ReplayReport& report = report_or.value();
+
+  const double live_us = live_s * 1e6 / kEpochs;
+  const double replay_us = replay_s * 1e6 / kEpochs;
+  util::TablePrinter run({"phase", "epochs", "us/epoch", "notes"});
+  run.AddRowValues("live (record on)", kEpochs, util::FormatDouble(live_us, 1),
+                   std::to_string(log_bytes / kEpochs) + " B/epoch on disk");
+  run.AddRowValues("replay + diff", report.epochs_replayed,
+                   util::FormatDouble(replay_us, 1), report.Summary());
+  std::cout << run.ToString();
+  std::cout << "replay divergence (same binary, stock options): "
+            << (report.clean() ? "PASS (zero)" : "FAIL") << "\n";
+  std::remove(log_path);
+
+  std::ostringstream json;
+  json << "{\"frame_bytes\":" << frame_bytes
+       << ",\"frame_encode_mbps\":" << util::FormatDouble(enc.mbps, 1)
+       << ",\"frame_decode_mbps\":" << util::FormatDouble(dec.mbps, 1)
+       << ",\"decode_floor_mbps\":100"
+       << ",\"log_bytes_per_epoch\":" << log_bytes / kEpochs
+       << ",\"live_us_per_epoch\":" << util::FormatDouble(live_us, 1)
+       << ",\"replay_us_per_epoch\":" << util::FormatDouble(replay_us, 1)
+       << ",\"replay_divergent_epochs\":" << report.divergent_epochs << "}";
+  bench::DumpObsSnapshot("replay", json.str());
+  return report.clean() && decode_ok && dec.mbps >= 100.0 ? 0 : 1;
+}

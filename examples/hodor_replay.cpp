@@ -1,0 +1,248 @@
+// hodor_replay: the flight-recorder CLI.
+//
+//   record  — run a small validated pipeline (with one injected demand
+//             fault) and flight-record every epoch to a binary log. This
+//             is also how tests/data/golden_abilene.hlog is generated.
+//   inspect — print a log's header and a per-epoch verdict table without
+//             re-running anything.
+//   replay  — re-run core::Validator over every recorded epoch and diff
+//             fresh decision digests against the recorded ones. Same
+//             binary, stock options => clean. Exit code 1 on divergence,
+//             so a replay doubles as a regression gate in CI.
+//   diff    — replay with overridden validator thresholds: answers "which
+//             recorded decisions would change if τ_e were 0.05?" with a
+//             precise per-epoch list of flipped invariants.
+//
+//   ./build/examples/hodor_replay record  /tmp/run.hlog --topo=abilene
+//   ./build/examples/hodor_replay inspect /tmp/run.hlog
+//   ./build/examples/hodor_replay replay  /tmp/run.hlog
+//   ./build/examples/hodor_replay diff    /tmp/run.hlog --demand-tau=0.5
+//
+// Recorded logs come from here or from any pipeline with a
+// replay::PipelineRecorder installed (e.g. live_pipeline with
+// HODOR_RECORD_PATH). Not to be confused with examples/outage_replay,
+// which replays *synthetic scenario scripts* from the fault catalog, not
+// recorded epoch logs.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "controlplane/pipeline.h"
+#include "core/validator.h"
+#include "faults/aggregation_faults.h"
+#include "flow/tm_generators.h"
+#include "net/topologies.h"
+#include "replay/epoch_log.h"
+#include "replay/recorder.h"
+#include "replay/replayer.h"
+#include "util/logging.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace hodor;
+
+int Usage() {
+  std::cerr <<
+      "usage: hodor_replay <command> <log> [flags]\n"
+      "  record <log> [--topo=abilene|geant] [--epochs=N] [--seed=S]\n"
+      "               [--fault-epoch=K]   record a fresh validated run\n"
+      "  inspect <log>                    header + per-epoch verdicts\n"
+      "  replay <log>                     re-validate, expect zero divergence\n"
+      "  diff <log> [--demand-tau=X] [--min-confidence=X]\n"
+      "             [--no-demand] [--no-topology] [--no-drain]\n"
+      "                                  re-validate under changed options\n";
+  return 2;
+}
+
+bool ParseFlag(const std::string& arg, const char* name, double* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = std::atof(arg.c_str() + prefix.size());
+  return true;
+}
+
+bool ParseFlag(const std::string& arg, const char* name, std::uint64_t* out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = std::strtoull(arg.c_str() + prefix.size(), nullptr, 10);
+  return true;
+}
+
+// Deterministic small run: drifting gravity demand over the chosen
+// topology, Hodor validating every epoch, one buggy demand-aggregation
+// epoch in the middle. Everything derives from --seed, so the same flags
+// always produce a byte-identical log.
+int RunRecord(const std::string& path, const std::vector<std::string>& flags) {
+  std::string topo_name = "abilene";
+  std::uint64_t epochs = 5;
+  std::uint64_t seed = 7;
+  std::uint64_t fault_epoch = 2;
+  for (const std::string& f : flags) {
+    if (f == "--topo=abilene" || f == "--topo=geant") {
+      topo_name = f.substr(7);
+    } else if (ParseFlag(f, "--epochs", &epochs) ||
+               ParseFlag(f, "--seed", &seed) ||
+               ParseFlag(f, "--fault-epoch", &fault_epoch)) {
+    } else {
+      std::cerr << "unknown flag: " << f << "\n";
+      return Usage();
+    }
+  }
+
+  const net::Topology topo =
+      topo_name == "geant" ? net::GeantLike() : net::Abilene();
+  const net::GroundTruthState state(topo);
+  util::Rng demand_rng(seed);
+  flow::DemandMatrix base = flow::GravityDemand(topo, demand_rng);
+  flow::NormalizeToMaxUtilization(topo, 0.45, base);
+
+  controlplane::Pipeline pipeline(topo, {}, util::Rng(seed + 1));
+  const core::Validator validator(topo);
+  pipeline.SetValidator(validator.AsPipelineValidator());
+  pipeline.Bootstrap(state, base);
+
+  replay::PipelineRecorder recorder;
+  const util::Status opened = recorder.Open(path, topo);
+  if (!opened.ok()) {
+    std::cerr << "open " << path << ": " << opened.ToString() << "\n";
+    return 1;
+  }
+  pipeline.SetEpochRecorder(recorder.Hook());
+
+  for (std::uint64_t epoch = 0; epoch < epochs; ++epoch) {
+    util::Rng drift_rng(seed * 1000 + epoch);
+    flow::DemandMatrix demand = base;
+    for (const auto& [i, j] : base.Pairs()) {
+      demand.Set(i, j,
+                 base.At(i, j) * (1.0 + drift_rng.Uniform(-0.04, 0.04)));
+    }
+    controlplane::AggregationFaultHooks hooks;
+    if (epoch == fault_epoch) {
+      hooks.demand = faults::DemandEntriesDropped(0.33, seed + 4242);
+    }
+    const auto r = pipeline.RunEpoch(state, demand, nullptr, hooks);
+    std::cout << "epoch " << r.epoch << ": "
+              << (r.decision.accept ? "accept" : "REJECT")
+              << (r.used_fallback ? " -> fallback" : "")
+              << (epoch == fault_epoch ? "   [demand fault injected]" : "")
+              << "\n";
+  }
+  const util::Status closed = recorder.Close();
+  if (!closed.ok()) {
+    std::cerr << "close: " << closed.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "recorded " << recorder.recorded_epochs() << " epochs ("
+            << topo.name() << ") to " << path << "\n";
+  return 0;
+}
+
+int RunInspect(const std::string& path) {
+  replay::EpochLogReader reader;
+  const util::Status opened = reader.Open(path);
+  if (!opened.ok()) {
+    std::cerr << path << ": " << opened.ToString() << "\n";
+    return 1;
+  }
+  const net::Topology& topo = reader.topology();
+  std::cout << path << ": format v" << reader.format_version() << ", "
+            << topo.name() << " (" << topo.node_count() << " nodes, "
+            << topo.physical_link_count() << " links), "
+            << reader.epoch_count() << " epochs, "
+            << (reader.had_index() ? "indexed" : "recovered by scan") << "\n";
+  if (reader.tail_truncated()) {
+    std::cout << "torn tail: " << reader.tail_message() << "\n";
+  }
+
+  util::TablePrinter table(
+      {"epoch", "verdict", "invariants", "failed", "digest"});
+  for (std::size_t i = 0; i < reader.epoch_count(); ++i) {
+    auto rec = reader.Read(i);
+    if (!rec.ok()) {
+      std::cerr << "record " << i << ": " << rec.status().ToString() << "\n";
+      return 1;
+    }
+    const replay::EpochVerdict& v = rec.value().verdict;
+    std::string verdict = !v.validated ? "(unvalidated)"
+                          : v.accept   ? "accept"
+                                       : "REJECT";
+    if (v.used_fallback) verdict += " -> fallback";
+    char digest[20];
+    std::snprintf(digest, sizeof digest, "%016llx",
+                  static_cast<unsigned long long>(v.decision_digest));
+    table.AddRowValues(rec.value().epoch, verdict, v.evaluated, v.failed,
+                       digest);
+  }
+  std::cout << table.ToString();
+  return 0;
+}
+
+int RunReplay(const std::string& path, const std::vector<std::string>& flags,
+              bool is_diff) {
+  replay::ReplayOptions opts;
+  for (const std::string& f : flags) {
+    if (ParseFlag(f, "--demand-tau", &opts.validator.demand.tau_e) ||
+        ParseFlag(f, "--min-confidence",
+                  &opts.validator.topology.min_confidence)) {
+    } else if (f == "--no-demand") {
+      opts.validator.check_demand = false;
+    } else if (f == "--no-topology") {
+      opts.validator.check_topology = false;
+    } else if (f == "--no-drain") {
+      opts.validator.check_drain = false;
+    } else {
+      std::cerr << "unknown flag: " << f << "\n";
+      return Usage();
+    }
+  }
+
+  replay::Replayer replayer(opts);
+  auto report_or = replayer.ReplayFile(path);
+  if (!report_or.ok()) {
+    std::cerr << path << ": " << report_or.status().ToString() << "\n";
+    return 1;
+  }
+  const replay::ReplayReport& report = report_or.value();
+  std::cout << report.Summary() << "\n";
+  for (const replay::EpochDiff& diff : report.epochs) {
+    if (!diff.diverged()) continue;
+    std::cout << "epoch " << diff.epoch << ": recorded "
+              << (diff.recorded_accept ? "accept" : "reject") << ", fresh "
+              << (diff.fresh_accept ? "accept" : "reject")
+              << (diff.verdict_flipped() ? "   ** verdict flipped **" : "")
+              << "\n";
+    for (const replay::InvariantFlip& flip : diff.flips) {
+      std::cout << "  " << flip.ToString() << "\n";
+    }
+    if (diff.flips.empty()) {
+      std::cout << "  (no verdict flips; residual values moved)\n";
+    }
+  }
+  // `replay` is a regression gate: divergence is a failure. `diff` is a
+  // what-if tool: divergence is the expected, interesting output.
+  if (is_diff) return 0;
+  return report.clean() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  std::vector<std::string> flags(argv + 3, argv + argc);
+
+  if (command == "record") return RunRecord(path, flags);
+  if (command == "inspect") {
+    if (!flags.empty()) return Usage();
+    return RunInspect(path);
+  }
+  if (command == "replay") return RunReplay(path, flags, /*is_diff=*/false);
+  if (command == "diff") return RunReplay(path, flags, /*is_diff=*/true);
+  return Usage();
+}

@@ -17,6 +17,11 @@
 //
 // Set HODOR_SERVE_SECONDS=60 to keep the HTTP endpoints up after the run
 // (curl the printed URL); by default the binary exits immediately.
+//
+// Set HODOR_RECORD_PATH=run.hlog to flight-record the protected pipeline:
+// every epoch's snapshot, raw input, and validation verdict goes to a
+// binary epoch log that `hodor_replay inspect|replay|diff` can re-examine
+// offline (see README "Recording and replaying runs").
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -33,6 +38,7 @@
 #include "obs/provenance.h"
 #include "obs/serve/telemetry_server.h"
 #include "obs/span.h"
+#include "replay/recorder.h"
 #include "util/logging.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -67,6 +73,18 @@ int main() {
   obs::TelemetryServer server;
   const bool serving = server.Start();
   std::vector<std::string> alert_log;
+
+  // Optional flight recorder on the protected pipeline.
+  replay::PipelineRecorder recorder;
+  if (const char* record_path = std::getenv("HODOR_RECORD_PATH")) {
+    const util::Status opened = recorder.Open(record_path, topo);
+    if (opened.ok()) {
+      protected_pipeline.SetEpochRecorder(recorder.Hook());
+      std::cout << "recording epochs to " << record_path << "\n";
+    } else {
+      std::cerr << "HODOR_RECORD_PATH: " << opened.ToString() << "\n";
+    }
+  }
 
   protected_pipeline.SetEpochObserver(
       [&](const controlplane::EpochResult& r) {
@@ -205,6 +223,18 @@ int main() {
       }
     }
     server.Stop();
+  }
+
+  if (recorder.recorded_epochs() > 0 || !recorder.status().ok()) {
+    const util::Status closed = recorder.Close();
+    if (closed.ok()) {
+      std::cout << "\nrecorded " << recorder.recorded_epochs()
+                << " epochs to " << recorder.path()
+                << " (inspect with: ./build/examples/hodor_replay inspect "
+                << recorder.path() << ")\n";
+    } else {
+      std::cerr << "flight recorder: " << closed.ToString() << "\n";
+    }
   }
   return 0;
 }

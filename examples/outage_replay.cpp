@@ -1,6 +1,12 @@
 // Outage replay: re-create any incident from the §2 catalog and compare
 // what happens with and without input validation.
 //
+// "Replay" here means re-running a *synthetic scenario script* from
+// faults::ScenarioCatalog — not replaying a recorded run. For bit-exact
+// replay of actual recorded epochs (the flight-recorder logs written via
+// HODOR_RECORD_PATH or replay::PipelineRecorder), use
+// examples/hodor_replay; see README "Recording and replaying runs".
+//
 //   ./build/examples/outage_replay                  # list scenarios
 //   ./build/examples/outage_replay partial-demand   # replay one
 //   ./build/examples/outage_replay all              # replay everything

@@ -10,7 +10,12 @@
 #      build-sanitize/. The telemetry server is the repo's first threaded
 #      and socket-handling code, so the sanitizers cover lifetime and
 #      data-race-adjacent bugs the plain build cannot see.
-#   4. With --bench-smoke: a short bench_compare.sh run that fails on a
+#   4. With --sanitize=thread: a TSan configure/build in build-tsan/
+#      running just the genuinely threaded tests — the util parallel
+#      runtime, the sharded hardening path, and the thread-count
+#      equivalence fingerprints. TSan and ASan cannot share a build tree
+#      (or a process), hence the separate mode and directory.
+#   5. With --bench-smoke: a short bench_compare.sh run that fails on a
 #      >25% median regression of the hardening/validation stage latencies
 #      against the committed BENCH_overhead.json baseline.
 set -e
@@ -20,8 +25,8 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-echo "== strict-warning pass over src/obs/ =="
-for f in src/obs/*.cc src/obs/health/*.cc src/obs/serve/*.cc; do
+echo "== strict-warning pass over src/obs/ and src/replay/ =="
+for f in src/obs/*.cc src/obs/health/*.cc src/obs/serve/*.cc src/replay/*.cc; do
   echo "  g++ -Werror $f"
   g++ -std=c++20 -fsyntax-only -Wall -Wextra -Werror -I src "$f"
 done
@@ -37,5 +42,15 @@ if [ "$1" = "--sanitize" ]; then
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
   cmake --build build-sanitize -j
   (cd build-sanitize && ctest --output-on-failure -j)
+fi
+
+if [ "$1" = "--sanitize=thread" ]; then
+  echo "== TSan pass over the threaded tests (build-tsan/) =="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+  cmake --build build-tsan -j --target \
+    util_parallel_test core_hardening_test integration_frame_equivalence_test
+  (cd build-tsan && ctest --output-on-failure \
+    -R "util_parallel_test|core_hardening_test|integration_frame_equivalence_test" -j)
 fi
 echo "check_build: OK"

@@ -123,6 +123,7 @@ EpochResult Pipeline::RunEpoch(const net::GroundTruthState& state,
   spans.push_back(epoch_span.End());
   result.spans = std::move(spans);
   if (epoch_observer_) epoch_observer_(result);
+  if (epoch_recorder_) epoch_recorder_(result);
   return result;
 }
 

@@ -56,6 +56,12 @@ struct EpochResult;
 // depending on any of those types.
 using EpochObserverFn = std::function<void(const EpochResult&)>;
 
+// Flight-recorder hook: invoked with the completed EpochResult right after
+// the epoch observer. Separate from EpochObserverFn so a run can both feed
+// live telemetry and append to a replay::EpochLogWriter; the pipeline still
+// sees only a plain std::function, never a replay type.
+using EpochRecorderFn = std::function<void(const EpochResult&)>;
+
 // What to do when the validator rejects an input (paper §3 step 3:
 // "reject inputs that fail validation and fall back temporarily to the
 // last input state, or trigger an alert").
@@ -111,6 +117,12 @@ class Pipeline {
     epoch_observer_ = std::move(observer);
   }
 
+  // Installs the flight-recorder hook (see EpochRecorderFn). Install an
+  // empty function to detach a recorder that may be destroyed early.
+  void SetEpochRecorder(EpochRecorderFn recorder) {
+    epoch_recorder_ = std::move(recorder);
+  }
+
   // Runs one epoch. `snapshot_fault` corrupts router telemetry (§2.1),
   // `aggregation_faults` corrupt service outputs (§2.2); both may be empty
   // for a healthy epoch.
@@ -132,6 +144,7 @@ class Pipeline {
   SdnController controller_;
   InputValidatorFn validator_;
   EpochObserverFn epoch_observer_;
+  EpochRecorderFn epoch_recorder_;
   flow::RoutingPlan installed_plan_;
   std::optional<ControllerInput> last_good_input_;
   std::uint64_t next_epoch_ = 0;

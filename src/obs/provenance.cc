@@ -1,10 +1,20 @@
 #include "obs/provenance.h"
 
+#include <cstdio>
 #include <sstream>
 
 #include "obs/json.h"
 
 namespace hodor::obs {
+
+std::uint64_t Fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 
 const char* InvariantVerdictName(InvariantVerdict verdict) {
   switch (verdict) {
@@ -68,6 +78,44 @@ std::string DecisionRecord::ToJson() const {
   }
   os << "]}";
   return os.str();
+}
+
+namespace {
+
+void AppendExactF64(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void DecisionRecord::AppendCanonicalText(std::string& out) const {
+  out += std::to_string(epoch);
+  out += accept ? "|accept|" : "|reject|";
+  out += summary;
+  out += '\n';
+  for (const InvariantRecord& inv : invariants) {
+    out += inv.check;
+    out += '|';
+    out += inv.invariant;
+    out += '|';
+    AppendExactF64(out, inv.residual);
+    out += '|';
+    AppendExactF64(out, inv.threshold);
+    out += '|';
+    out += InvariantVerdictName(inv.verdict);
+    out += '|';
+    out += inv.detail;
+    out += '\n';
+  }
+}
+
+std::uint64_t DecisionRecord::CanonicalDigest() const {
+  std::string text;
+  text.reserve(64 + invariants.size() * 96);
+  AppendCanonicalText(text);
+  return Fnv1a64(text);
 }
 
 }  // namespace hodor::obs

@@ -16,9 +16,15 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace hodor::obs {
+
+// FNV-1a 64-bit over a byte string: the digest primitive behind
+// DecisionRecord::CanonicalDigest (and the flight recorder's recorded
+// verdict fingerprints).
+std::uint64_t Fnv1a64(std::string_view bytes);
 
 enum class InvariantVerdict {
   kPass = 0,  // evaluated, within threshold
@@ -62,6 +68,17 @@ struct DecisionRecord {
   //    "skipped":N,"invariants":[{"check":"demand","invariant":"...",
   //    "residual":x,"threshold":y,"verdict":"fail","detail":"..."}]}
   std::string ToJson() const;
+
+  // Canonical text: every field of every invariant, doubles rendered
+  // round-trip exact (%.17g), one line per invariant. Two records have the
+  // same canonical text iff they are bit-identical, which is what makes
+  // the digest below usable as a replay-divergence fingerprint.
+  void AppendCanonicalText(std::string& out) const;
+
+  // Fnv1a64 over the canonical text. The flight recorder stores this per
+  // epoch; replay recomputes it from fresh validation and any mismatch
+  // pins the exact epoch whose decision changed.
+  std::uint64_t CanonicalDigest() const;
 };
 
 }  // namespace hodor::obs

@@ -1,0 +1,377 @@
+#include "replay/epoch_log.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "net/serialization.h"
+
+namespace hodor::replay {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'O', 'D', 'O', 'R', 'L', 'O', 'G'};
+constexpr char kIndexMagic[8] = {'H', 'O', 'D', 'O', 'R', 'I', 'D', 'X'};
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::size_t kHeaderSize = 16;   // magic + version + endian tag
+constexpr std::size_t kTrailerSize = 16;  // footer offset + index magic
+constexpr std::size_t kFrameHeader = 8;   // payload_len + crc32c
+
+util::Status IoError(const std::string& what) {
+  return util::UnavailableError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// --- writer -----------------------------------------------------------------
+
+EpochLogWriter::~EpochLogWriter() {
+  Close().ok();  // best effort; errors surface only through explicit Close
+}
+
+util::Status EpochLogWriter::Open(const std::string& path,
+                                  const net::Topology& topo,
+                                  EpochLogWriterOptions opts) {
+  if (file_ != nullptr) {
+    return util::FailedPreconditionError("writer already open on " + path_);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoError("cannot create " + path);
+  file_ = f;
+  path_ = path;
+  opts_ = opts;
+  offset_ = 0;
+  index_.clear();
+
+  std::string header;
+  ByteWriter w(header);
+  w.Bytes(kMagic, sizeof(kMagic));
+  w.U32(kFormatVersion);
+  w.U32(kEndianTag);
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    const util::Status s = IoError("cannot write header to " + path);
+    std::fclose(file_);
+    file_ = nullptr;
+    return s;
+  }
+  offset_ = header.size();
+
+  scratch_.clear();
+  ByteWriter p(scratch_);
+  p.U8(static_cast<std::uint8_t>(RecordKind::kTopology));
+  p.Str(net::WriteTopology(topo));
+  return WriteRecord(scratch_);
+}
+
+util::Status EpochLogWriter::Append(std::uint64_t epoch,
+                                    const telemetry::NetworkSnapshot& snapshot,
+                                    const controlplane::ControllerInput& input,
+                                    const EpochVerdict& verdict) {
+  if (file_ == nullptr) {
+    return util::FailedPreconditionError("Append on a closed epoch log");
+  }
+  const std::uint64_t record_offset = offset_;
+  scratch_.clear();
+  ByteWriter w(scratch_);
+  w.U8(static_cast<std::uint8_t>(RecordKind::kEpoch));
+  EncodeEpochRecord(epoch, snapshot, input, verdict, w);
+  HODOR_RETURN_IF_ERROR(WriteRecord(scratch_));
+  index_.emplace_back(epoch, record_offset);
+  return util::Status::Ok();
+}
+
+util::Status EpochLogWriter::Close() {
+  if (file_ == nullptr) return util::Status::Ok();
+  util::Status result = util::Status::Ok();
+  if (opts_.write_index) {
+    const std::uint64_t footer_offset = offset_;
+    scratch_.clear();
+    ByteWriter w(scratch_);
+    w.U8(static_cast<std::uint8_t>(RecordKind::kIndex));
+    w.U32(static_cast<std::uint32_t>(index_.size()));
+    for (const auto& [epoch, off] : index_) {
+      w.U64(epoch);
+      w.U64(off);
+    }
+    result = WriteRecord(scratch_);
+    if (result.ok()) {
+      std::string trailer;
+      ByteWriter t(trailer);
+      t.U64(footer_offset);
+      t.Bytes(kIndexMagic, sizeof(kIndexMagic));
+      if (std::fwrite(trailer.data(), 1, trailer.size(), file_) !=
+          trailer.size()) {
+        result = IoError("cannot write index trailer to " + path_);
+      }
+    }
+  }
+  if (std::fclose(file_) != 0 && result.ok()) {
+    result = IoError("close failed on " + path_);
+  }
+  file_ = nullptr;
+  return result;
+}
+
+util::Status EpochLogWriter::WriteRecord(const std::string& payload) {
+  std::string frame;
+  ByteWriter w(frame);
+  w.U32(static_cast<std::uint32_t>(payload.size()));
+  w.U32(Crc32c(payload));
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fwrite(payload.data(), 1, payload.size(), file_) !=
+          payload.size()) {
+    return IoError("write failed on " + path_);
+  }
+  offset_ += frame.size() + payload.size();
+  return util::Status::Ok();
+}
+
+// --- reader -----------------------------------------------------------------
+
+util::Status EpochLogReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return util::NotFoundError("cannot open " + path);
+  }
+  buffer_.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  if (in.bad()) return util::UnavailableError("read failed on " + path);
+
+  topo_.reset();
+  offsets_.clear();
+  epochs_.clear();
+  by_epoch_.clear();
+  had_index_ = false;
+  tail_truncated_ = false;
+  tail_message_.clear();
+
+  if (buffer_.size() < kHeaderSize) {
+    return util::InvalidArgumentError(path +
+                                      " is too short to be a hodor epoch log");
+  }
+  if (std::memcmp(buffer_.data(), kMagic, sizeof(kMagic)) != 0) {
+    return util::InvalidArgumentError(path + " is not a hodor epoch log "
+                                             "(bad magic)");
+  }
+  ByteReader header(buffer_.data() + sizeof(kMagic), kHeaderSize -
+                                                         sizeof(kMagic));
+  std::uint32_t endian_tag = 0;
+  HODOR_RETURN_IF_ERROR(header.U32(version_));
+  HODOR_RETURN_IF_ERROR(header.U32(endian_tag));
+  if (version_ != kFormatVersion) {
+    return util::FailedPreconditionError(
+        "unsupported epoch log format version " + std::to_string(version_) +
+        " (this build reads version " + std::to_string(kFormatVersion) + ")");
+  }
+  if (endian_tag != kEndianTag) {
+    return util::InvalidArgumentError(
+        "endianness guard mismatch: log written on an incompatible platform");
+  }
+
+  // Topology prologue: without it nothing else can decode, so damage here
+  // is fatal rather than a skippable tail.
+  auto prologue = PayloadAt(kHeaderSize);
+  if (!prologue.ok()) {
+    return util::InvalidArgumentError("topology prologue unreadable: " +
+                                      prologue.status().message());
+  }
+  const std::string_view payload = prologue.value();
+  if (payload.empty() ||
+      payload[0] != static_cast<char>(RecordKind::kTopology)) {
+    return util::InvalidArgumentError(
+        "first record is not the topology prologue");
+  }
+  ByteReader topo_reader(payload.data() + 1, payload.size() - 1);
+  std::string topo_text;
+  HODOR_RETURN_IF_ERROR(topo_reader.Str(topo_text));
+  auto parsed = net::ParseTopology(topo_text);
+  if (!parsed.ok()) {
+    return util::InvalidArgumentError("topology prologue does not parse: " +
+                                      parsed.status().message());
+  }
+  topo_ = std::make_unique<net::Topology>(std::move(parsed).value());
+
+  const std::size_t first_record_end =
+      kHeaderSize + kFrameHeader + payload.size();
+  if (IndexFromFooter().ok() && had_index_) {
+    return util::Status::Ok();
+  }
+  IndexByScan(first_record_end);
+  return util::Status::Ok();
+}
+
+util::Status EpochLogReader::IndexFromFooter() {
+  if (buffer_.size() < kHeaderSize + kTrailerSize) {
+    return util::NotFoundError("no trailer");
+  }
+  const char* tail = buffer_.data() + buffer_.size() - sizeof(kIndexMagic);
+  if (std::memcmp(tail, kIndexMagic, sizeof(kIndexMagic)) != 0) {
+    return util::NotFoundError("no trailer");
+  }
+  ByteReader t(buffer_.data() + buffer_.size() - kTrailerSize, 8);
+  std::uint64_t footer_offset = 0;
+  HODOR_RETURN_IF_ERROR(t.U64(footer_offset));
+  if (footer_offset < kHeaderSize ||
+      footer_offset + kFrameHeader > buffer_.size() - kTrailerSize) {
+    return util::InvalidArgumentError("footer offset out of bounds");
+  }
+  auto payload_or = PayloadAt(footer_offset);
+  if (!payload_or.ok()) return payload_or.status();
+  const std::string_view payload = payload_or.value();
+  if (payload.empty() || payload[0] != static_cast<char>(RecordKind::kIndex)) {
+    return util::InvalidArgumentError("footer record is not an index");
+  }
+  ByteReader r(payload.data() + 1, payload.size() - 1);
+  std::uint32_t count = 0;
+  HODOR_RETURN_IF_ERROR(r.U32(count));
+  if (count > r.remaining() / 16) {
+    return util::InvalidArgumentError("index entry count exceeds its record");
+  }
+  std::vector<std::uint64_t> offsets, epochs;
+  offsets.reserve(count);
+  epochs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t epoch = 0, off = 0;
+    HODOR_RETURN_IF_ERROR(r.U64(epoch));
+    HODOR_RETURN_IF_ERROR(r.U64(off));
+    if (off < kHeaderSize || off + kFrameHeader > footer_offset) {
+      return util::InvalidArgumentError("index entry offset out of bounds");
+    }
+    epochs.push_back(epoch);
+    offsets.push_back(off);
+  }
+  offsets_ = std::move(offsets);
+  epochs_ = std::move(epochs);
+  for (std::size_t i = 0; i < epochs_.size(); ++i) {
+    by_epoch_.emplace(epochs_[i], i);
+  }
+  had_index_ = true;
+  return util::Status::Ok();
+}
+
+void EpochLogReader::IndexByScan(std::size_t first_record_end) {
+  std::size_t pos = first_record_end;
+  const std::size_t size = buffer_.size();
+  auto torn = [&](const std::string& why) {
+    tail_truncated_ = true;
+    tail_message_ = why + " at offset " + std::to_string(pos) + " (" +
+                    std::to_string(size - pos) + " trailing bytes skipped)";
+  };
+
+  while (pos < size) {
+    const std::size_t remaining = size - pos;
+    // A trailer left behind by a damaged index record: recognized, not torn.
+    if (remaining == kTrailerSize &&
+        std::memcmp(buffer_.data() + size - sizeof(kIndexMagic), kIndexMagic,
+                    sizeof(kIndexMagic)) == 0) {
+      break;
+    }
+    if (remaining < kFrameHeader) {
+      torn("torn final record (incomplete frame header)");
+      break;
+    }
+    ByteReader frame(buffer_.data() + pos, kFrameHeader);
+    std::uint32_t len = 0, crc = 0;
+    frame.U32(len).ok();
+    frame.U32(crc).ok();
+    if (len == 0 || len > remaining - kFrameHeader) {
+      torn("torn final record (length " + std::to_string(len) +
+           " runs past end of file)");
+      break;
+    }
+    const char* payload = buffer_.data() + pos + kFrameHeader;
+    const auto kind = static_cast<std::uint8_t>(payload[0]);
+    if (kind == static_cast<std::uint8_t>(RecordKind::kEpoch)) {
+      if (len < 9) {
+        torn("epoch record too short to carry an epoch id");
+        break;
+      }
+      ByteReader id(payload + 1, 8);
+      std::uint64_t epoch = 0;
+      id.U64(epoch).ok();
+      epochs_.push_back(epoch);
+      offsets_.push_back(pos);
+    } else if (kind != static_cast<std::uint8_t>(RecordKind::kTopology) &&
+               kind != static_cast<std::uint8_t>(RecordKind::kIndex)) {
+      torn("unrecognized record kind " + std::to_string(kind));
+      break;
+    }
+    pos += kFrameHeader + len;
+  }
+
+  // A structurally complete final record can still be torn mid-payload
+  // (buffered write flushed a prefix); its CRC is the witness. Earlier
+  // records keep lazy CRC checking — a bad one surfaces from Read().
+  if (!tail_truncated_ && !offsets_.empty()) {
+    const std::uint64_t last = offsets_.back();
+    if (!PayloadAt(last).ok()) {
+      pos = last;
+      torn("final record failed CRC32C");
+      offsets_.pop_back();
+      epochs_.pop_back();
+    }
+  }
+  for (std::size_t i = 0; i < epochs_.size(); ++i) {
+    by_epoch_.emplace(epochs_[i], i);
+  }
+}
+
+util::StatusOr<std::string_view> EpochLogReader::PayloadAt(
+    std::uint64_t offset) const {
+  if (offset + kFrameHeader > buffer_.size()) {
+    return util::OutOfRangeError("record frame at offset " +
+                                 std::to_string(offset) +
+                                 " runs past end of file");
+  }
+  ByteReader frame(buffer_.data() + offset, kFrameHeader);
+  std::uint32_t len = 0, crc = 0;
+  HODOR_RETURN_IF_ERROR(frame.U32(len));
+  HODOR_RETURN_IF_ERROR(frame.U32(crc));
+  if (len == 0 || offset + kFrameHeader + len > buffer_.size()) {
+    return util::OutOfRangeError("record payload at offset " +
+                                 std::to_string(offset) +
+                                 " runs past end of file");
+  }
+  const std::string_view payload(buffer_.data() + offset + kFrameHeader, len);
+  const std::uint32_t computed = Crc32c(payload);
+  if (computed != crc) {
+    return util::InvalidArgumentError(
+        "record at offset " + std::to_string(offset) +
+        " failed CRC32C (stored " + std::to_string(crc) + ", computed " +
+        std::to_string(computed) + ")");
+  }
+  return payload;
+}
+
+util::StatusOr<EpochRecord> EpochLogReader::Read(std::size_t i) const {
+  if (topo_ == nullptr) {
+    return util::FailedPreconditionError("reader is not open");
+  }
+  if (i >= offsets_.size()) {
+    return util::OutOfRangeError("record index " + std::to_string(i) +
+                                 " out of range (log holds " +
+                                 std::to_string(offsets_.size()) + ")");
+  }
+  auto payload_or = PayloadAt(offsets_[i]);
+  if (!payload_or.ok()) return payload_or.status();
+  const std::string_view payload = payload_or.value();
+  if (payload[0] != static_cast<char>(RecordKind::kEpoch)) {
+    return util::InvalidArgumentError("record " + std::to_string(i) +
+                                      " is not an epoch record");
+  }
+  EpochRecord record(*topo_);
+  ByteReader r(payload.data() + 1, payload.size() - 1);
+  HODOR_RETURN_IF_ERROR(DecodeEpochRecord(r, record));
+  return record;
+}
+
+util::StatusOr<EpochRecord> EpochLogReader::Seek(std::uint64_t epoch) const {
+  const auto it = by_epoch_.find(epoch);
+  if (it == by_epoch_.end()) {
+    return util::NotFoundError("epoch " + std::to_string(epoch) +
+                               " is not in the log");
+  }
+  return Read(it->second);
+}
+
+}  // namespace hodor::replay

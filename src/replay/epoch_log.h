@@ -1,0 +1,134 @@
+// The flight-recorder container: an append-only binary log of control
+// epochs with crash-tolerant framing.
+//
+// File layout ("hodor epoch log v1"):
+//
+//   header   : "HODORLOG" (8)  format_version u32  endian_tag u32
+//   records  : [payload_len u32][crc32c u32][payload ...]        repeated
+//              payload[0] is the record kind; the first record must be the
+//              topology prologue (net::WriteTopology text), the rest are
+//              epoch records (replay/frame_codec.h), and a clean Close()
+//              appends one index record.
+//   trailer  : footer_offset u64  "HODORIDX" (8)                 optional
+//
+// The trailing index maps epoch id -> file offset, giving O(1) Seek after
+// a clean shutdown; when the trailer is missing or damaged (crash, torn
+// write, truncation) the reader falls back to a full forward scan. A torn
+// final record is *reported and skipped* — everything before it stays
+// readable — while corruption anywhere else surfaces as a structured
+// util::Status from Read(), never UB or an abort.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.h"
+#include "replay/frame_codec.h"
+#include "util/status.h"
+
+namespace hodor::replay {
+
+// Record kinds (first payload byte).
+enum class RecordKind : std::uint8_t {
+  kTopology = 1,
+  kEpoch = 2,
+  kIndex = 3,
+};
+
+struct EpochLogWriterOptions {
+  // When false, Close() skips the index footer; readers then take the
+  // full-scan path (exercised by tests, useful for crash simulations).
+  bool write_index = true;
+};
+
+// Appends epoch records to a log file. Not thread-safe; one writer per
+// file. Close() (or destruction) finishes the file with the index footer.
+class EpochLogWriter {
+ public:
+  EpochLogWriter() = default;
+  ~EpochLogWriter();
+  EpochLogWriter(const EpochLogWriter&) = delete;
+  EpochLogWriter& operator=(const EpochLogWriter&) = delete;
+
+  // Creates/truncates `path` and writes the header plus the topology
+  // prologue. The topology must outlive the writer.
+  util::Status Open(const std::string& path, const net::Topology& topo,
+                    EpochLogWriterOptions opts = {});
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+  std::size_t record_count() const { return index_.size(); }
+  std::uint64_t bytes_written() const { return offset_; }
+
+  util::Status Append(std::uint64_t epoch,
+                      const telemetry::NetworkSnapshot& snapshot,
+                      const controlplane::ControllerInput& input,
+                      const EpochVerdict& verdict);
+
+  // Writes the index footer (unless disabled) and closes the file.
+  // Idempotent; returns the first error encountered.
+  util::Status Close();
+
+ private:
+  util::Status WriteRecord(const std::string& payload);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  EpochLogWriterOptions opts_;
+  std::uint64_t offset_ = 0;                               // bytes written
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> index_;  // epoch, off
+  std::string scratch_;  // payload buffer reused across Append calls
+};
+
+// Reads a log back. Open() decodes the header, the topology prologue, and
+// the record index (from the footer when present, otherwise by scanning);
+// individual epoch records decode lazily via Read()/Seek().
+class EpochLogReader {
+ public:
+  util::Status Open(const std::string& path);
+
+  const net::Topology& topology() const { return *topo_; }
+  std::uint32_t format_version() const { return version_; }
+
+  // Epoch records available (excludes a torn final record).
+  std::size_t epoch_count() const { return offsets_.size(); }
+  // Epoch id of record `i`, in file order.
+  std::uint64_t epoch_at(std::size_t i) const { return epochs_[i]; }
+  // True when the footer index was present and intact (O(1) Seek, no scan).
+  bool had_index() const { return had_index_; }
+  // Torn-tail report: true when trailing bytes did not form a complete,
+  // CRC-clean record; `tail_message` says what was skipped.
+  bool tail_truncated() const { return tail_truncated_; }
+  const std::string& tail_message() const { return tail_message_; }
+
+  // Decodes record `i` (0-based file order). The returned record's
+  // snapshot points at this reader's topology: it must not outlive the
+  // reader. CRC and structural errors come back as Status.
+  util::StatusOr<EpochRecord> Read(std::size_t i) const;
+
+  // O(1) lookup by epoch id (hash over the index), then Read.
+  util::StatusOr<EpochRecord> Seek(std::uint64_t epoch) const;
+
+ private:
+  util::Status IndexFromFooter();
+  void IndexByScan(std::size_t first_record_end);
+
+  // Validates framing at `offset` and returns the payload span.
+  util::StatusOr<std::string_view> PayloadAt(std::uint64_t offset) const;
+
+  std::string buffer_;  // the whole file
+  std::unique_ptr<net::Topology> topo_;
+  std::uint32_t version_ = 0;
+  bool had_index_ = false;
+  bool tail_truncated_ = false;
+  std::string tail_message_;
+  std::vector<std::uint64_t> offsets_;  // offset of each epoch record
+  std::vector<std::uint64_t> epochs_;   // epoch id of each record
+  std::unordered_map<std::uint64_t, std::size_t> by_epoch_;
+};
+
+}  // namespace hodor::replay

@@ -1,0 +1,415 @@
+#include "replay/frame_codec.h"
+
+#include <cmath>
+
+#include "telemetry/signal_frame.h"
+
+namespace hodor::replay {
+
+// Private-member bridge declared as a friend by telemetry::SignalFrame:
+// the codec reads and restores raw columns (values, presence words,
+// responded bytes) without going through the owner-gated setters.
+class FrameCodecAccess {
+ public:
+  using Frame = telemetry::SignalFrame;
+  using Bits = telemetry::PresenceBitset;
+
+  static const std::vector<std::uint8_t>& responded(const Frame& f) {
+    return f.responded_;
+  }
+  static void RestoreResponded(Frame& f, const std::vector<std::uint8_t>& v) {
+    f.responded_ = v;
+    f.responded_count_ = 0;
+    for (std::uint8_t b : v) f.responded_count_ += b;
+  }
+
+  // Column accessors, mutable (decode) and const (encode).
+  static std::vector<double>& tx(Frame& f) { return f.tx_; }
+  static std::vector<double>& rx(Frame& f) { return f.rx_; }
+  static std::vector<std::uint8_t>& status(Frame& f) { return f.status_; }
+  static std::vector<std::uint8_t>& link_drain(Frame& f) {
+    return f.link_drain_;
+  }
+  static std::vector<std::uint8_t>& node_drain(Frame& f) {
+    return f.node_drain_;
+  }
+  static std::vector<double>& dropped(Frame& f) { return f.dropped_; }
+  static std::vector<double>& ext_in(Frame& f) { return f.ext_in_; }
+  static std::vector<double>& ext_out(Frame& f) { return f.ext_out_; }
+
+  static Bits& tx_present(Frame& f) { return f.tx_present_; }
+  static Bits& rx_present(Frame& f) { return f.rx_present_; }
+  static Bits& status_present(Frame& f) { return f.status_present_; }
+  static Bits& link_drain_present(Frame& f) { return f.link_drain_present_; }
+  static Bits& node_drain_present(Frame& f) { return f.node_drain_present_; }
+  static Bits& dropped_present(Frame& f) { return f.dropped_present_; }
+  static Bits& ext_in_present(Frame& f) { return f.ext_in_present_; }
+  static Bits& ext_out_present(Frame& f) { return f.ext_out_present_; }
+
+  static const std::vector<double>& tx(const Frame& f) { return f.tx_; }
+  static const std::vector<double>& rx(const Frame& f) { return f.rx_; }
+  static const std::vector<std::uint8_t>& status(const Frame& f) {
+    return f.status_;
+  }
+  static const std::vector<std::uint8_t>& link_drain(const Frame& f) {
+    return f.link_drain_;
+  }
+  static const std::vector<std::uint8_t>& node_drain(const Frame& f) {
+    return f.node_drain_;
+  }
+  static const std::vector<double>& dropped(const Frame& f) {
+    return f.dropped_;
+  }
+  static const std::vector<double>& ext_in(const Frame& f) {
+    return f.ext_in_;
+  }
+  static const std::vector<double>& ext_out(const Frame& f) {
+    return f.ext_out_;
+  }
+
+  static const Bits& tx_present(const Frame& f) { return f.tx_present_; }
+  static const Bits& rx_present(const Frame& f) { return f.rx_present_; }
+  static const Bits& status_present(const Frame& f) {
+    return f.status_present_;
+  }
+  static const Bits& link_drain_present(const Frame& f) {
+    return f.link_drain_present_;
+  }
+  static const Bits& node_drain_present(const Frame& f) {
+    return f.node_drain_present_;
+  }
+  static const Bits& dropped_present(const Frame& f) {
+    return f.dropped_present_;
+  }
+  static const Bits& ext_in_present(const Frame& f) {
+    return f.ext_in_present_;
+  }
+  static const Bits& ext_out_present(const Frame& f) {
+    return f.ext_out_present_;
+  }
+};
+
+namespace {
+
+using Access = FrameCodecAccess;
+
+void EncodePresence(const telemetry::PresenceBitset& bits, ByteWriter& w) {
+  w.U64Array(bits.words().data(), bits.words().size());
+}
+
+util::Status DecodePresence(ByteReader& r, telemetry::PresenceBitset& bits,
+                            std::vector<std::uint64_t>& scratch) {
+  scratch.resize(bits.words().size());
+  HODOR_RETURN_IF_ERROR(r.U64Array(scratch.data(), scratch.size()));
+  bits.AssignWords(scratch.data(), scratch.size());
+  return util::Status::Ok();
+}
+
+util::Status DecodeBoolBytes(ByteReader& r, std::vector<std::uint8_t>& out,
+                             const char* what) {
+  HODOR_RETURN_IF_ERROR(r.Bytes(out.data(), out.size()));
+  for (std::uint8_t b : out) {
+    if (b > 1) {
+      return util::InvalidArgumentError(
+          std::string(what) + " column holds a byte that is neither 0 nor 1");
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status DecodeBoolVector(ByteReader& r, std::size_t n,
+                              std::vector<bool>& out, const char* what) {
+  // vector<bool> has no contiguous storage; go byte by byte.
+  out.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t b = 0;
+    HODOR_RETURN_IF_ERROR(r.U8(b));
+    if (b > 1) {
+      return util::InvalidArgumentError(
+          std::string(what) + " holds a byte that is neither 0 nor 1");
+    }
+    out[i] = b != 0;
+  }
+  return util::Status::Ok();
+}
+
+void EncodeBoolVector(const std::vector<bool>& v, ByteWriter& w) {
+  w.U32(static_cast<std::uint32_t>(v.size()));
+  for (bool b : v) w.U8(b ? 1 : 0);
+}
+
+}  // namespace
+
+void EncodeFrame(const telemetry::SignalFrame& frame, ByteWriter& w) {
+  const net::Topology& topo = frame.topology();
+  const std::size_t nodes = topo.node_count();
+  const std::size_t links = topo.link_count();
+  w.U32(static_cast<std::uint32_t>(nodes));
+  w.U32(static_cast<std::uint32_t>(links));
+
+  w.Bytes(Access::responded(frame).data(), nodes);
+
+  EncodePresence(Access::tx_present(frame), w);
+  w.F64Array(Access::tx(frame).data(), links);
+  EncodePresence(Access::rx_present(frame), w);
+  w.F64Array(Access::rx(frame).data(), links);
+  EncodePresence(Access::status_present(frame), w);
+  w.Bytes(Access::status(frame).data(), links);
+  EncodePresence(Access::link_drain_present(frame), w);
+  w.Bytes(Access::link_drain(frame).data(), links);
+
+  EncodePresence(Access::node_drain_present(frame), w);
+  w.Bytes(Access::node_drain(frame).data(), nodes);
+  EncodePresence(Access::dropped_present(frame), w);
+  w.F64Array(Access::dropped(frame).data(), nodes);
+  EncodePresence(Access::ext_in_present(frame), w);
+  w.F64Array(Access::ext_in(frame).data(), nodes);
+  EncodePresence(Access::ext_out_present(frame), w);
+  w.F64Array(Access::ext_out(frame).data(), nodes);
+}
+
+util::Status DecodeFrame(ByteReader& r, telemetry::SignalFrame& frame) {
+  const net::Topology& topo = frame.topology();
+  std::uint32_t nodes = 0, links = 0;
+  HODOR_RETURN_IF_ERROR(r.U32(nodes));
+  HODOR_RETURN_IF_ERROR(r.U32(links));
+  if (nodes != topo.node_count() || links != topo.link_count()) {
+    return util::InvalidArgumentError(
+        "frame shape " + std::to_string(nodes) + "x" + std::to_string(links) +
+        " does not match topology " + std::to_string(topo.node_count()) + "x" +
+        std::to_string(topo.link_count()));
+  }
+
+  std::vector<std::uint64_t> scratch;
+  std::vector<std::uint8_t> responded(nodes);
+  HODOR_RETURN_IF_ERROR(DecodeBoolBytes(r, responded, "responded"));
+  Access::RestoreResponded(frame, responded);
+
+  HODOR_RETURN_IF_ERROR(DecodePresence(r, Access::tx_present(frame), scratch));
+  HODOR_RETURN_IF_ERROR(r.F64Array(Access::tx(frame).data(), links));
+  HODOR_RETURN_IF_ERROR(DecodePresence(r, Access::rx_present(frame), scratch));
+  HODOR_RETURN_IF_ERROR(r.F64Array(Access::rx(frame).data(), links));
+  HODOR_RETURN_IF_ERROR(
+      DecodePresence(r, Access::status_present(frame), scratch));
+  HODOR_RETURN_IF_ERROR(DecodeBoolBytes(r, Access::status(frame), "status"));
+  HODOR_RETURN_IF_ERROR(
+      DecodePresence(r, Access::link_drain_present(frame), scratch));
+  HODOR_RETURN_IF_ERROR(
+      DecodeBoolBytes(r, Access::link_drain(frame), "link-drain"));
+
+  HODOR_RETURN_IF_ERROR(
+      DecodePresence(r, Access::node_drain_present(frame), scratch));
+  HODOR_RETURN_IF_ERROR(
+      DecodeBoolBytes(r, Access::node_drain(frame), "node-drain"));
+  HODOR_RETURN_IF_ERROR(
+      DecodePresence(r, Access::dropped_present(frame), scratch));
+  HODOR_RETURN_IF_ERROR(r.F64Array(Access::dropped(frame).data(), nodes));
+  HODOR_RETURN_IF_ERROR(
+      DecodePresence(r, Access::ext_in_present(frame), scratch));
+  HODOR_RETURN_IF_ERROR(r.F64Array(Access::ext_in(frame).data(), nodes));
+  HODOR_RETURN_IF_ERROR(
+      DecodePresence(r, Access::ext_out_present(frame), scratch));
+  HODOR_RETURN_IF_ERROR(r.F64Array(Access::ext_out(frame).data(), nodes));
+  return util::Status::Ok();
+}
+
+void EncodeSnapshot(const telemetry::NetworkSnapshot& snapshot,
+                    ByteWriter& w) {
+  EncodeFrame(snapshot.frame(), w);
+  const auto& probes = snapshot.probe_results();
+  w.U32(static_cast<std::uint32_t>(probes.size()));
+  for (const telemetry::ProbeResult& p : probes) {
+    w.U32(p.link.value());
+    w.U8(p.success ? 1 : 0);
+  }
+}
+
+util::Status DecodeSnapshot(ByteReader& r,
+                            telemetry::NetworkSnapshot& snapshot) {
+  HODOR_RETURN_IF_ERROR(DecodeFrame(r, snapshot.frame()));
+  std::uint32_t count = 0;
+  HODOR_RETURN_IF_ERROR(r.U32(count));
+  // Each probe is 5 bytes on the wire; a count promising more than the
+  // remaining payload is corruption, caught before any reserve.
+  if (count > r.remaining() / 5) {
+    return util::InvalidArgumentError("probe count exceeds payload size");
+  }
+  const std::uint32_t links =
+      static_cast<std::uint32_t>(snapshot.topology().link_count());
+  std::vector<telemetry::ProbeResult>& buf = snapshot.probe_buffer();
+  buf.clear();
+  buf.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t link = 0;
+    std::uint8_t success = 0;
+    HODOR_RETURN_IF_ERROR(r.U32(link));
+    HODOR_RETURN_IF_ERROR(r.U8(success));
+    if (link >= links) {
+      return util::InvalidArgumentError("probe names link " +
+                                        std::to_string(link) +
+                                        " outside the topology");
+    }
+    if (success > 1) {
+      return util::InvalidArgumentError("probe success byte is not 0/1");
+    }
+    buf.push_back({net::LinkId(link), success != 0});
+  }
+  snapshot.IndexProbeResults();
+  return util::Status::Ok();
+}
+
+void EncodeInput(const controlplane::ControllerInput& input, ByteWriter& w) {
+  w.U64(input.epoch);
+  EncodeBoolVector(input.link_available, w);
+  EncodeBoolVector(input.node_drained, w);
+  EncodeBoolVector(input.link_drained, w);
+  const std::size_t n = input.demand.node_count();
+  w.U32(static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      w.F64(input.demand.At(net::NodeId(static_cast<std::uint32_t>(i)),
+                            net::NodeId(static_cast<std::uint32_t>(j))));
+    }
+  }
+}
+
+util::Status DecodeInput(ByteReader& r, const net::Topology& topo,
+                         controlplane::ControllerInput& input) {
+  HODOR_RETURN_IF_ERROR(r.U64(input.epoch));
+  auto sized = [&r](std::size_t expect, std::vector<bool>& out,
+                    const char* what) -> util::Status {
+    std::uint32_t n = 0;
+    HODOR_RETURN_IF_ERROR(r.U32(n));
+    if (n != expect) {
+      return util::InvalidArgumentError(
+          std::string(what) + " length " + std::to_string(n) +
+          " does not match topology (" + std::to_string(expect) + ")");
+    }
+    return DecodeBoolVector(r, n, out, what);
+  };
+  HODOR_RETURN_IF_ERROR(
+      sized(topo.link_count(), input.link_available, "link-available"));
+  HODOR_RETURN_IF_ERROR(
+      sized(topo.node_count(), input.node_drained, "node-drained"));
+  HODOR_RETURN_IF_ERROR(
+      sized(topo.link_count(), input.link_drained, "link-drained"));
+
+  std::uint32_t n = 0;
+  HODOR_RETURN_IF_ERROR(r.U32(n));
+  if (n != topo.node_count()) {
+    return util::InvalidArgumentError(
+        "demand matrix is " + std::to_string(n) + "x" + std::to_string(n) +
+        " but the topology has " + std::to_string(topo.node_count()) +
+        " nodes");
+  }
+  input.demand = flow::DemandMatrix(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      double v = 0.0;
+      HODOR_RETURN_IF_ERROR(r.F64(v));
+      // DemandMatrix::Set treats these as programmer errors (throws); a
+      // decoded log must fail them as data errors instead.
+      if (!(v >= 0.0)) {
+        return util::InvalidArgumentError(
+            "demand entry (" + std::to_string(i) + "," + std::to_string(j) +
+            ") is negative or NaN");
+      }
+      if (i == j && v != 0.0) {
+        return util::InvalidArgumentError("demand diagonal entry (" +
+                                          std::to_string(i) + ") is nonzero");
+      }
+      input.demand.Set(net::NodeId(i), net::NodeId(j), v);
+    }
+  }
+  return util::Status::Ok();
+}
+
+void EncodeVerdict(const EpochVerdict& verdict, ByteWriter& w) {
+  std::uint8_t flags = 0;
+  if (verdict.validated) flags |= 1;
+  if (verdict.accept) flags |= 2;
+  if (verdict.used_fallback) flags |= 4;
+  w.U8(flags);
+  w.Str(verdict.reason);
+  w.Str(verdict.summary);
+  w.U64(verdict.decision_digest);
+  w.U32(verdict.evaluated);
+  w.U32(verdict.failed);
+  w.U32(verdict.skipped);
+  w.U32(static_cast<std::uint32_t>(verdict.invariants.size()));
+  for (const RecordedInvariant& inv : verdict.invariants) {
+    w.Str(inv.check);
+    w.Str(inv.invariant);
+    w.F64(inv.residual);
+    w.F64(inv.threshold);
+    w.U8(static_cast<std::uint8_t>(inv.verdict));
+  }
+}
+
+util::Status DecodeVerdict(ByteReader& r, EpochVerdict& verdict) {
+  std::uint8_t flags = 0;
+  HODOR_RETURN_IF_ERROR(r.U8(flags));
+  if (flags & ~7u) {
+    return util::InvalidArgumentError("verdict flags byte has unknown bits");
+  }
+  verdict.validated = flags & 1;
+  verdict.accept = flags & 2;
+  verdict.used_fallback = flags & 4;
+  HODOR_RETURN_IF_ERROR(r.Str(verdict.reason));
+  HODOR_RETURN_IF_ERROR(r.Str(verdict.summary));
+  HODOR_RETURN_IF_ERROR(r.U64(verdict.decision_digest));
+  HODOR_RETURN_IF_ERROR(r.U32(verdict.evaluated));
+  HODOR_RETURN_IF_ERROR(r.U32(verdict.failed));
+  HODOR_RETURN_IF_ERROR(r.U32(verdict.skipped));
+  std::uint32_t count = 0;
+  HODOR_RETURN_IF_ERROR(r.U32(count));
+  // Minimum wire size of one invariant is 25 bytes (two empty strings);
+  // reject impossible counts before reserving.
+  if (count > r.remaining() / 25) {
+    return util::InvalidArgumentError("invariant count exceeds payload size");
+  }
+  verdict.invariants.clear();
+  verdict.invariants.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    RecordedInvariant inv;
+    HODOR_RETURN_IF_ERROR(r.Str(inv.check));
+    HODOR_RETURN_IF_ERROR(r.Str(inv.invariant));
+    HODOR_RETURN_IF_ERROR(r.F64(inv.residual));
+    HODOR_RETURN_IF_ERROR(r.F64(inv.threshold));
+    std::uint8_t v = 0;
+    HODOR_RETURN_IF_ERROR(r.U8(v));
+    if (v > static_cast<std::uint8_t>(obs::InvariantVerdict::kSkipped)) {
+      return util::InvalidArgumentError("invariant verdict byte out of range");
+    }
+    inv.verdict = static_cast<obs::InvariantVerdict>(v);
+    verdict.invariants.push_back(std::move(inv));
+  }
+  return util::Status::Ok();
+}
+
+void EncodeEpochRecord(std::uint64_t epoch,
+                       const telemetry::NetworkSnapshot& snapshot,
+                       const controlplane::ControllerInput& input,
+                       const EpochVerdict& verdict, ByteWriter& w) {
+  w.U64(epoch);
+  EncodeVerdict(verdict, w);
+  EncodeInput(input, w);
+  EncodeSnapshot(snapshot, w);
+}
+
+util::Status DecodeEpochRecord(ByteReader& r, EpochRecord& record) {
+  HODOR_RETURN_IF_ERROR(r.U64(record.epoch));
+  record.snapshot.Reset(record.epoch);
+  HODOR_RETURN_IF_ERROR(DecodeVerdict(r, record.verdict));
+  HODOR_RETURN_IF_ERROR(
+      DecodeInput(r, record.snapshot.topology(), record.input));
+  HODOR_RETURN_IF_ERROR(DecodeSnapshot(r, record.snapshot));
+  if (r.remaining() != 0) {
+    return util::InvalidArgumentError(
+        std::to_string(r.remaining()) +
+        " trailing bytes after a complete epoch record");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace hodor::replay

@@ -1,0 +1,101 @@
+// FrameCodec: versioned little-endian binary encode/decode of everything
+// one control epoch leaves behind — the columnar telemetry::SignalFrame
+// (per-column contiguous value writes, presence bitsets verbatim), the
+// controlplane::ControllerInput the services aggregated (demand matrix,
+// topology view, drain sets), and the validation verdict with its
+// decision-record digest.
+//
+// The columnar SoA frame makes this codec almost free: each signal kind is
+// one contiguous value array plus one packed presence bitset, so encode
+// and decode are a handful of bulk copies per column instead of a
+// per-router map walk. Every decode path is bounds-checked and returns
+// util::Status on malformed input — a corrupted or truncated log must be
+// a reportable condition, never UB.
+//
+// Container framing (magic, CRC32C, record lengths, the index footer)
+// lives in replay/epoch_log.h; this header is only the payload codec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "controlplane/controller_input.h"
+#include "obs/provenance.h"
+#include "replay/wire.h"
+#include "telemetry/snapshot.h"
+#include "util/status.h"
+
+namespace hodor::replay {
+
+// Bumped whenever the wire layout changes. Readers refuse other versions
+// with a structured error (no silent misparse across format revisions).
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+// One invariant evaluation in compact recorded form — enough to diff a
+// replayed decision invariant-by-invariant (the operator-facing `detail`
+// string participates in the digest but is not stored per invariant).
+struct RecordedInvariant {
+  std::string check;      // "hardening" | "demand" | "topology" | "drain"
+  std::string invariant;  // e.g. "ingress(SEAT)"
+  double residual = 0.0;
+  double threshold = 0.0;
+  obs::InvariantVerdict verdict = obs::InvariantVerdict::kPass;
+};
+
+// The validation outcome of one recorded epoch.
+struct EpochVerdict {
+  bool validated = false;      // was a validator installed that epoch?
+  bool accept = true;
+  bool used_fallback = false;  // pipeline replaced the input by last-good
+  std::string reason;          // ValidationDecision::reason
+  std::string summary;         // DecisionRecord::summary
+  // obs::DecisionRecord::CanonicalDigest() of the full decision record at
+  // record time: the bit-exact fingerprint replay diffs against.
+  std::uint64_t decision_digest = 0;
+  std::uint32_t evaluated = 0;
+  std::uint32_t failed = 0;
+  std::uint32_t skipped = 0;
+  std::vector<RecordedInvariant> invariants;
+};
+
+// One fully decoded epoch. The snapshot's frame points at the topology the
+// log reader decoded from the prologue, so records must not outlive the
+// reader that produced them.
+struct EpochRecord {
+  std::uint64_t epoch = 0;
+  telemetry::NetworkSnapshot snapshot;
+  controlplane::ControllerInput input;
+  EpochVerdict verdict;
+
+  explicit EpochRecord(const net::Topology& topo) : snapshot(topo, 0) {}
+};
+
+// --- payload codecs ---------------------------------------------------------
+// Encoders append to the writer and cannot fail; decoders fill a
+// caller-provided object sized for `topo` and fail with InvalidArgument /
+// OutOfRange on any malformed byte.
+
+void EncodeFrame(const telemetry::SignalFrame& frame, ByteWriter& w);
+util::Status DecodeFrame(ByteReader& r, telemetry::SignalFrame& frame);
+
+// Frame plus probe results (the snapshot's epoch is carried by the
+// enclosing record).
+void EncodeSnapshot(const telemetry::NetworkSnapshot& snapshot, ByteWriter& w);
+util::Status DecodeSnapshot(ByteReader& r, telemetry::NetworkSnapshot& snapshot);
+
+void EncodeInput(const controlplane::ControllerInput& input, ByteWriter& w);
+util::Status DecodeInput(ByteReader& r, const net::Topology& topo,
+                         controlplane::ControllerInput& input);
+
+void EncodeVerdict(const EpochVerdict& verdict, ByteWriter& w);
+util::Status DecodeVerdict(ByteReader& r, EpochVerdict& verdict);
+
+// Whole epoch record (epoch id + snapshot + input + verdict).
+void EncodeEpochRecord(std::uint64_t epoch,
+                       const telemetry::NetworkSnapshot& snapshot,
+                       const controlplane::ControllerInput& input,
+                       const EpochVerdict& verdict, ByteWriter& w);
+util::Status DecodeEpochRecord(ByteReader& r, EpochRecord& record);
+
+}  // namespace hodor::replay

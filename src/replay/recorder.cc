@@ -1,0 +1,47 @@
+#include "replay/recorder.h"
+
+namespace hodor::replay {
+
+EpochVerdict VerdictFromEpochResult(const controlplane::EpochResult& result) {
+  const obs::DecisionRecord& prov = result.decision.provenance;
+  EpochVerdict v;
+  v.validated = result.validated;
+  v.accept = result.decision.accept;
+  v.used_fallback = result.used_fallback;
+  v.reason = result.decision.reason;
+  v.summary = prov.summary;
+  v.decision_digest = prov.CanonicalDigest();
+  v.evaluated = static_cast<std::uint32_t>(prov.evaluated_count());
+  v.failed = static_cast<std::uint32_t>(prov.failed_count());
+  v.skipped = static_cast<std::uint32_t>(prov.skipped_count());
+  v.invariants.reserve(prov.invariants.size());
+  for (const obs::InvariantRecord& inv : prov.invariants) {
+    v.invariants.push_back(
+        {inv.check, inv.invariant, inv.residual, inv.threshold, inv.verdict});
+  }
+  return v;
+}
+
+util::Status PipelineRecorder::Open(const std::string& path,
+                                    const net::Topology& topo,
+                                    EpochLogWriterOptions opts) {
+  status_ = util::Status::Ok();
+  return writer_.Open(path, topo, opts);
+}
+
+controlplane::EpochRecorderFn PipelineRecorder::Hook() {
+  return [this](const controlplane::EpochResult& result) { Record(result); };
+}
+
+void PipelineRecorder::Record(const controlplane::EpochResult& result) {
+  if (!status_.ok() || !writer_.is_open()) return;
+  status_ = writer_.Append(result.epoch, result.snapshot, result.raw_input,
+                           VerdictFromEpochResult(result));
+}
+
+util::Status PipelineRecorder::Close() {
+  const util::Status close_status = writer_.Close();
+  return status_.ok() ? close_status : status_;
+}
+
+}  // namespace hodor::replay

@@ -1,0 +1,55 @@
+// PipelineRecorder: the glue between controlplane::Pipeline and the epoch
+// log. The pipeline exposes a SetEpochRecorder hook taking a plain
+// std::function over EpochResult — it never sees replay types — and this
+// adapter turns each completed epoch into one appended EpochRecord:
+// the snapshot the validator saw, the raw aggregated input (before any
+// fallback), and the validation verdict with its decision digest.
+//
+// Append errors (disk full, closed file) are sticky and do not throw into
+// the control loop: recording is an observer, and a failing recorder must
+// never take the pipeline down with it. Check status() after the run.
+#pragma once
+
+#include <cstdint>
+
+#include "controlplane/pipeline.h"
+#include "replay/epoch_log.h"
+#include "util/status.h"
+
+namespace hodor::replay {
+
+// Builds the recorded verdict (flags, digest, compact invariant list) from
+// a completed epoch. Exposed for tests and for callers recording epochs
+// outside a Pipeline.
+EpochVerdict VerdictFromEpochResult(const controlplane::EpochResult& result);
+
+class PipelineRecorder {
+ public:
+  util::Status Open(const std::string& path, const net::Topology& topo,
+                    EpochLogWriterOptions opts = {});
+
+  // The hook to install: pipeline.SetEpochRecorder(recorder.Hook()).
+  // The recorder must outlive the pipeline (or be detached by installing
+  // an empty hook first).
+  controlplane::EpochRecorderFn Hook();
+
+  // Records one epoch directly (what Hook() calls).
+  void Record(const controlplane::EpochResult& result);
+
+  std::size_t recorded_epochs() const { return writer_.record_count(); }
+  const std::string& path() const { return writer_.path(); }
+
+  // First append error, if any: appends after a failure are dropped so a
+  // sick disk cannot stall the control loop.
+  const util::Status& status() const { return status_; }
+
+  // Finishes the log (index footer) and returns the sticky status or the
+  // close error.
+  util::Status Close();
+
+ private:
+  EpochLogWriter writer_;
+  util::Status status_;
+};
+
+}  // namespace hodor::replay

@@ -1,0 +1,154 @@
+#include "replay/replayer.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace hodor::replay {
+
+namespace {
+
+// Diffs recorded vs fresh invariants by (check, invariant) key; a flip is
+// a verdict change or an invariant present on only one side.
+void DiffInvariants(const std::vector<RecordedInvariant>& recorded,
+                    const std::vector<obs::InvariantRecord>& fresh,
+                    std::vector<InvariantFlip>& out) {
+  std::unordered_map<std::string, std::size_t> by_key;
+  by_key.reserve(recorded.size());
+  for (std::size_t i = 0; i < recorded.size(); ++i) {
+    by_key.emplace(recorded[i].check + "|" + recorded[i].invariant, i);
+  }
+  std::vector<bool> matched(recorded.size(), false);
+  for (const obs::InvariantRecord& f : fresh) {
+    const auto it = by_key.find(f.check + "|" + f.invariant);
+    if (it == by_key.end()) {
+      InvariantFlip flip;
+      flip.check = f.check;
+      flip.invariant = f.invariant;
+      flip.fresh_present = true;
+      flip.fresh = f.verdict;
+      flip.fresh_residual = f.residual;
+      flip.fresh_threshold = f.threshold;
+      out.push_back(std::move(flip));
+      continue;
+    }
+    matched[it->second] = true;
+    const RecordedInvariant& r = recorded[it->second];
+    if (r.verdict == f.verdict) continue;
+    InvariantFlip flip;
+    flip.check = f.check;
+    flip.invariant = f.invariant;
+    flip.recorded_present = true;
+    flip.fresh_present = true;
+    flip.recorded = r.verdict;
+    flip.fresh = f.verdict;
+    flip.recorded_residual = r.residual;
+    flip.fresh_residual = f.residual;
+    flip.recorded_threshold = r.threshold;
+    flip.fresh_threshold = f.threshold;
+    out.push_back(std::move(flip));
+  }
+  for (std::size_t i = 0; i < recorded.size(); ++i) {
+    if (matched[i]) continue;
+    InvariantFlip flip;
+    flip.check = recorded[i].check;
+    flip.invariant = recorded[i].invariant;
+    flip.recorded_present = true;
+    flip.recorded = recorded[i].verdict;
+    flip.recorded_residual = recorded[i].residual;
+    flip.recorded_threshold = recorded[i].threshold;
+    out.push_back(std::move(flip));
+  }
+}
+
+}  // namespace
+
+std::string InvariantFlip::ToString() const {
+  std::ostringstream os;
+  os << check << "/" << invariant << ": ";
+  if (!recorded_present) {
+    os << "(absent) -> " << obs::InvariantVerdictName(fresh) << " (residual "
+       << util::FormatDouble(fresh_residual, 4) << ", threshold "
+       << util::FormatDouble(fresh_threshold, 4) << ")";
+  } else if (!fresh_present) {
+    os << obs::InvariantVerdictName(recorded) << " -> (absent)";
+  } else {
+    os << obs::InvariantVerdictName(recorded) << " -> "
+       << obs::InvariantVerdictName(fresh) << " (residual "
+       << util::FormatDouble(recorded_residual, 4) << " -> "
+       << util::FormatDouble(fresh_residual, 4) << ", threshold "
+       << util::FormatDouble(recorded_threshold, 4) << " -> "
+       << util::FormatDouble(fresh_threshold, 4) << ")";
+  }
+  return os.str();
+}
+
+std::string ReplayReport::Summary() const {
+  std::ostringstream os;
+  os << "replayed " << epochs_replayed << "/" << epochs_total << " epochs";
+  if (epochs_unvalidated > 0) {
+    os << " (" << epochs_unvalidated << " recorded without a validator)";
+  }
+  if (tail_truncated) os << " [torn tail skipped]";
+  if (clean()) {
+    os << ": no divergence";
+  } else {
+    os << ": " << divergent_epochs << " divergent, " << verdict_flips
+       << " verdict flips";
+  }
+  return os.str();
+}
+
+Replayer::Replayer(ReplayOptions opts) : opts_(std::move(opts)) {
+  // The diff is over decision records; without provenance there is nothing
+  // to fingerprint.
+  opts_.validator.record_provenance = true;
+}
+
+util::StatusOr<ReplayReport> Replayer::Replay(
+    const EpochLogReader& reader) const {
+  const core::Validator validator(reader.topology(), opts_.validator);
+  ReplayReport report;
+  report.epochs_total = reader.epoch_count();
+  report.tail_truncated = reader.tail_truncated();
+
+  for (std::size_t i = 0; i < reader.epoch_count(); ++i) {
+    auto record_or = reader.Read(i);
+    if (!record_or.ok()) return record_or.status();
+    const EpochRecord& rec = record_or.value();
+    if (!rec.verdict.validated) {
+      ++report.epochs_unvalidated;
+      continue;
+    }
+    const core::ValidationReport fresh =
+        validator.Validate(rec.input, rec.snapshot);
+    ++report.epochs_replayed;
+
+    EpochDiff diff;
+    diff.epoch = rec.epoch;
+    diff.recorded_accept = rec.verdict.accept;
+    diff.fresh_accept = fresh.ok();
+    diff.recorded_digest = rec.verdict.decision_digest;
+    diff.fresh_digest = fresh.provenance.CanonicalDigest();
+    if (diff.diverged()) {
+      DiffInvariants(rec.verdict.invariants, fresh.provenance.invariants,
+                     diff.flips);
+      ++report.divergent_epochs;
+      if (diff.verdict_flipped()) ++report.verdict_flips;
+      report.epochs.push_back(std::move(diff));
+    } else if (opts_.keep_clean_epochs) {
+      report.epochs.push_back(std::move(diff));
+    }
+  }
+  return report;
+}
+
+util::StatusOr<ReplayReport> Replayer::ReplayFile(
+    const std::string& path) const {
+  EpochLogReader reader;
+  HODOR_RETURN_IF_ERROR(reader.Open(path));
+  return Replay(reader);
+}
+
+}  // namespace hodor::replay

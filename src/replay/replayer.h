@@ -1,0 +1,100 @@
+// Replayer: turns any recorded run into a regression oracle.
+//
+// For every epoch in a log it re-runs core::Validator — including the full
+// R1-R4 hardening path — over the *recorded* snapshot and input, then
+// diffs the fresh decision against the recorded one:
+//
+//   - same binary, same options  =>  every decision digest matches
+//     bit-for-bit and the report is clean;
+//   - changed thresholds (or changed validator code)  =>  a precise
+//     per-epoch list of exactly which invariants flipped verdict, with
+//     recorded and fresh residuals side by side.
+//
+// The recorded verdict fingerprint is obs::DecisionRecord::CanonicalDigest
+// over the full decision record (round-trip-exact doubles), so any numeric
+// drift — not just accept/reject flips — registers as divergence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/validator.h"
+#include "obs/provenance.h"
+#include "replay/epoch_log.h"
+#include "util/status.h"
+
+namespace hodor::replay {
+
+struct ReplayOptions {
+  // Validator configuration for the fresh run. Defaults reproduce the
+  // stock validator; override thresholds (tau_e, tau_h, min_confidence,
+  // per-check switches...) to ask "which recorded decisions would change?".
+  // record_provenance is forced on — the digest diff needs it.
+  core::ValidatorOptions validator;
+
+  // When true the report keeps a per-epoch entry even for clean epochs
+  // (inspect-style listings); by default only divergent epochs are kept.
+  bool keep_clean_epochs = false;
+};
+
+// One invariant whose verdict changed between the recorded and fresh run.
+struct InvariantFlip {
+  std::string check;
+  std::string invariant;
+  bool recorded_present = false;  // evaluated at record time?
+  bool fresh_present = false;     // evaluated by the fresh validator?
+  obs::InvariantVerdict recorded = obs::InvariantVerdict::kPass;
+  obs::InvariantVerdict fresh = obs::InvariantVerdict::kPass;
+  double recorded_residual = 0.0;
+  double fresh_residual = 0.0;
+  double recorded_threshold = 0.0;
+  double fresh_threshold = 0.0;
+
+  std::string ToString() const;
+};
+
+struct EpochDiff {
+  std::uint64_t epoch = 0;
+  bool recorded_accept = true;
+  bool fresh_accept = true;
+  std::uint64_t recorded_digest = 0;
+  std::uint64_t fresh_digest = 0;
+  // Invariants whose verdict changed (or that exist on only one side).
+  // Empty with differing digests means only residual values moved.
+  std::vector<InvariantFlip> flips;
+
+  bool diverged() const { return recorded_digest != fresh_digest; }
+  bool verdict_flipped() const { return recorded_accept != fresh_accept; }
+};
+
+struct ReplayReport {
+  std::size_t epochs_total = 0;        // records in the log
+  std::size_t epochs_replayed = 0;     // decoded + re-validated
+  std::size_t epochs_unvalidated = 0;  // recorded without a validator
+  std::size_t divergent_epochs = 0;
+  std::size_t verdict_flips = 0;       // accept/reject changed
+  bool tail_truncated = false;         // log ended in a torn record
+  std::vector<EpochDiff> epochs;       // divergent (and clean, if kept)
+
+  // Zero divergent epochs (a torn tail does not spoil cleanliness; the
+  // skipped record was never decodable evidence).
+  bool clean() const { return divergent_epochs == 0; }
+  std::string Summary() const;
+};
+
+class Replayer {
+ public:
+  explicit Replayer(ReplayOptions opts = {});
+
+  // Replays every epoch of an opened log.
+  util::StatusOr<ReplayReport> Replay(const EpochLogReader& reader) const;
+
+  // Convenience: open + replay.
+  util::StatusOr<ReplayReport> ReplayFile(const std::string& path) const;
+
+ private:
+  ReplayOptions opts_;
+};
+
+}  // namespace hodor::replay

@@ -1,0 +1,79 @@
+#include "replay/wire.h"
+
+#include <array>
+
+namespace hodor::replay {
+
+namespace {
+
+// Slicing-by-8 CRC32C tables, generated once. Table 0 is the classic
+// reflected-polynomial byte table; table k folds k extra zero bytes.
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+
+  Crc32cTables() {
+    constexpr std::uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (std::size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t size) {
+  const auto& t = Tables().t;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+
+  // Byte-at-a-time until 8-byte alignment, then 8 bytes per step.
+  while (size > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --size;
+  }
+  while (size >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    if constexpr (std::endian::native == std::endian::big) {
+      // The slicing tables assume little-endian byte order within the word.
+      word = ((word & 0x00000000000000FFull) << 56) |
+             ((word & 0x000000000000FF00ull) << 40) |
+             ((word & 0x0000000000FF0000ull) << 24) |
+             ((word & 0x00000000FF000000ull) << 8) |
+             ((word & 0x000000FF00000000ull) >> 8) |
+             ((word & 0x0000FF0000000000ull) >> 24) |
+             ((word & 0x00FF000000000000ull) >> 40) |
+             ((word & 0xFF00000000000000ull) >> 56);
+    }
+    word ^= crc;
+    crc = t[7][word & 0xFFu] ^ t[6][(word >> 8) & 0xFFu] ^
+          t[5][(word >> 16) & 0xFFu] ^ t[4][(word >> 24) & 0xFFu] ^
+          t[3][(word >> 32) & 0xFFu] ^ t[2][(word >> 40) & 0xFFu] ^
+          t[1][(word >> 48) & 0xFFu] ^ t[0][(word >> 56) & 0xFFu];
+    p += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --size;
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace hodor::replay

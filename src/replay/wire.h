@@ -1,0 +1,173 @@
+// Byte-level plumbing for the flight-recorder codec: a growing
+// little-endian ByteWriter, a bounds-checked ByteReader whose every read
+// can fail with a structured util::Status (truncated or bit-flipped logs
+// must surface as clean errors, never UB), and CRC32C (Castagnoli) for the
+// per-record integrity check.
+//
+// The wire format is declared little-endian regardless of host; on
+// little-endian hosts the bulk array paths degenerate to memcpy, which is
+// what makes frame decode run at memory speed.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace hodor::replay {
+
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41 reflected) over `size` bytes.
+// Software slicing-by-8; tables are built on first use.
+std::uint32_t Crc32c(const void* data, std::size_t size);
+inline std::uint32_t Crc32c(std::string_view s) {
+  return Crc32c(s.data(), s.size());
+}
+
+// Appends little-endian primitives to a caller-owned byte buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string& out) : out_(&out) {}
+
+  std::size_t size() const { return out_->size(); }
+
+  void U8(std::uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) {
+    char b[4];
+    b[0] = static_cast<char>(v);
+    b[1] = static_cast<char>(v >> 8);
+    b[2] = static_cast<char>(v >> 16);
+    b[3] = static_cast<char>(v >> 24);
+    out_->append(b, 4);
+  }
+  void U64(std::uint64_t v) {
+    U32(static_cast<std::uint32_t>(v));
+    U32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void F64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Bytes(const void* data, std::size_t n) {
+    out_->append(static_cast<const char*>(data), n);
+  }
+  // Length-prefixed string (u32 length + raw bytes).
+  void Str(std::string_view s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+
+  // Bulk little-endian arrays: memcpy on little-endian hosts.
+  void F64Array(const double* v, std::size_t n) {
+    if constexpr (std::endian::native == std::endian::little) {
+      Bytes(v, n * sizeof(double));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) F64(v[i]);
+    }
+  }
+  void U64Array(const std::uint64_t* v, std::size_t n) {
+    if constexpr (std::endian::native == std::endian::little) {
+      Bytes(v, n * sizeof(std::uint64_t));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) U64(v[i]);
+    }
+  }
+
+ private:
+  std::string* out_;
+};
+
+// Cursor over an immutable byte span. Every accessor checks bounds and
+// returns kOutOfRange when the payload is shorter than the field it
+// promises — the decoder's only defense against torn and corrupted logs.
+class ByteReader {
+ public:
+  ByteReader(const char* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(std::string_view s) : ByteReader(s.data(), s.size()) {}
+
+  std::size_t offset() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+
+  util::Status U8(std::uint8_t& out) {
+    HODOR_RETURN_IF_ERROR(Need(1));
+    out = static_cast<std::uint8_t>(data_[pos_++]);
+    return util::Status::Ok();
+  }
+  util::Status U32(std::uint32_t& out) {
+    HODOR_RETURN_IF_ERROR(Need(4));
+    const unsigned char* p =
+        reinterpret_cast<const unsigned char*>(data_ + pos_);
+    out = static_cast<std::uint32_t>(p[0]) |
+          (static_cast<std::uint32_t>(p[1]) << 8) |
+          (static_cast<std::uint32_t>(p[2]) << 16) |
+          (static_cast<std::uint32_t>(p[3]) << 24);
+    pos_ += 4;
+    return util::Status::Ok();
+  }
+  util::Status U64(std::uint64_t& out) {
+    std::uint32_t lo = 0, hi = 0;
+    HODOR_RETURN_IF_ERROR(U32(lo));
+    HODOR_RETURN_IF_ERROR(U32(hi));
+    out = static_cast<std::uint64_t>(lo) |
+          (static_cast<std::uint64_t>(hi) << 32);
+    return util::Status::Ok();
+  }
+  util::Status F64(double& out) {
+    std::uint64_t bits = 0;
+    HODOR_RETURN_IF_ERROR(U64(bits));
+    std::memcpy(&out, &bits, sizeof(out));
+    return util::Status::Ok();
+  }
+  util::Status Bytes(void* out, std::size_t n) {
+    HODOR_RETURN_IF_ERROR(Need(n));
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return util::Status::Ok();
+  }
+  // Length-prefixed string. Fails cleanly when the prefix promises more
+  // bytes than the payload holds.
+  util::Status Str(std::string& out) {
+    std::uint32_t len = 0;
+    HODOR_RETURN_IF_ERROR(U32(len));
+    HODOR_RETURN_IF_ERROR(Need(len));
+    out.assign(data_ + pos_, len);
+    pos_ += len;
+    return util::Status::Ok();
+  }
+
+  util::Status F64Array(double* out, std::size_t n) {
+    if constexpr (std::endian::native == std::endian::little) {
+      return Bytes(out, n * sizeof(double));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) HODOR_RETURN_IF_ERROR(F64(out[i]));
+      return util::Status::Ok();
+    }
+  }
+  util::Status U64Array(std::uint64_t* out, std::size_t n) {
+    if constexpr (std::endian::native == std::endian::little) {
+      return Bytes(out, n * sizeof(std::uint64_t));
+    } else {
+      for (std::size_t i = 0; i < n; ++i) HODOR_RETURN_IF_ERROR(U64(out[i]));
+      return util::Status::Ok();
+    }
+  }
+
+ private:
+  util::Status Need(std::size_t n) const {
+    if (remaining() < n) {
+      return util::OutOfRangeError(
+          "truncated payload: need " + std::to_string(n) + " bytes at offset " +
+          std::to_string(pos_) + ", " + std::to_string(remaining()) + " left");
+    }
+    return util::Status::Ok();
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hodor::replay

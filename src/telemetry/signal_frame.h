@@ -18,12 +18,21 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
 
 #include "net/topology.h"
 #include "telemetry/signals.h"
+
+namespace hodor::replay {
+// The flight-recorder codec (src/replay/frame_codec.cc) serializes frames
+// column-by-column; it is the one component allowed to bypass the
+// owner-gated setters, because it restores a frame exactly as another
+// frame once legitimately was.
+class FrameCodecAccess;
+}  // namespace hodor::replay
 
 namespace hodor::telemetry {
 
@@ -57,6 +66,24 @@ class PresenceBitset {
   }
   std::size_t count() const { return count_; }
   std::size_t size() const { return size_; }
+
+  // Raw packed words, exactly as maintained — the replay codec writes them
+  // to disk verbatim so a presence column round-trips bit-for-bit.
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  // Restores packed bits from a decoded log (the codec's inverse of
+  // words()). Bits beyond size() are cleared and the popcount is
+  // recomputed, so count() stays consistent even for corrupted input.
+  void AssignWords(const std::uint64_t* w, std::size_t n) {
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      words_[i] = i < n ? w[i] : 0;
+    }
+    if (!words_.empty() && (size_ & 63) != 0) {
+      words_.back() &= (1ull << (size_ & 63)) - 1;
+    }
+    count_ = 0;
+    for (std::uint64_t word : words_) count_ += std::popcount(word);
+  }
 
  private:
   std::vector<std::uint64_t> words_;
@@ -188,6 +215,8 @@ class SignalFrame {
   }
 
  private:
+  friend class ::hodor::replay::FrameCodecAccess;
+
   const net::Topology* topo_;
 
   // Link columns, one slot per directed LinkId.

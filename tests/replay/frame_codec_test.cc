@@ -1,0 +1,186 @@
+// Round-trip property of the flight-recorder payload codec: for any frame,
+// snapshot, input, or verdict, encode -> decode -> encode must be
+// byte-identical. Byte identity is a stronger check than field-by-field
+// equality — it proves the decoder recovered every column and bitset word
+// exactly, with no canonicalization drift that would break the replay
+// digest diff.
+#include "replay/frame_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "faults/snapshot_faults.h"
+#include "test_util.h"
+
+namespace hodor {
+namespace {
+
+std::string EncodeFrameBytes(const telemetry::SignalFrame& frame) {
+  std::string out;
+  replay::ByteWriter w(out);
+  replay::EncodeFrame(frame, w);
+  return out;
+}
+
+std::string EncodeSnapshotBytes(const telemetry::NetworkSnapshot& snapshot) {
+  std::string out;
+  replay::ByteWriter w(out);
+  replay::EncodeSnapshot(snapshot, w);
+  return out;
+}
+
+TEST(FrameCodec, FrameRoundTripIsByteIdentical) {
+  const testing::HealthyNetwork net = testing::MakeAbilene();
+  const telemetry::NetworkSnapshot snapshot = net.Snapshot();
+  const std::string encoded = EncodeFrameBytes(snapshot.frame());
+
+  telemetry::NetworkSnapshot decoded(net.topo, 0);
+  replay::ByteReader r(encoded);
+  ASSERT_TRUE(replay::DecodeFrame(r, decoded.frame()).ok());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(EncodeFrameBytes(decoded.frame()), encoded);
+
+  // Spot-check through the public API too.
+  for (net::LinkId e : net.topo.LinkIds()) {
+    EXPECT_EQ(decoded.TxRate(e), snapshot.TxRate(e));
+    EXPECT_EQ(decoded.RxRate(e), snapshot.RxRate(e));
+  }
+  for (net::NodeId v : net.topo.NodeIds()) {
+    EXPECT_EQ(decoded.Responded(v), snapshot.Responded(v));
+    EXPECT_EQ(decoded.ExtInRate(v), snapshot.ExtInRate(v));
+  }
+}
+
+TEST(FrameCodec, RoundTripSurvivesMissingAndCorruptSignals) {
+  // Unresponsive and malformed routers punch holes in the presence
+  // bitsets; the codec must reproduce those holes bit-for-bit.
+  const testing::HealthyNetwork net = testing::MakeAbilene();
+  const auto fault = faults::ComposeFaults(
+      {faults::UnresponsiveRouter(net::NodeId(2)),
+       faults::MalformedTelemetry(net::NodeId(5), 0.5, 77),
+       faults::ZeroedCountersFault(net::NodeId(8), 0.4, 78)});
+  const telemetry::NetworkSnapshot snapshot = net.Snapshot(3, fault);
+  const std::string encoded = EncodeFrameBytes(snapshot.frame());
+
+  telemetry::NetworkSnapshot decoded(net.topo, 0);
+  replay::ByteReader r(encoded);
+  ASSERT_TRUE(replay::DecodeFrame(r, decoded.frame()).ok());
+  EXPECT_EQ(EncodeFrameBytes(decoded.frame()), encoded);
+  EXPECT_FALSE(decoded.Responded(net::NodeId(2)));
+  EXPECT_EQ(decoded.frame().PresentSignalCount(),
+            snapshot.frame().PresentSignalCount());
+}
+
+TEST(FrameCodec, RandomTopologiesRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng topo_rng(seed);
+    const testing::HealthyNetwork net(net::Waxman(20 + 7 * seed, topo_rng),
+                                      seed);
+    const telemetry::NetworkSnapshot snapshot = net.Snapshot(seed);
+    const std::string encoded = EncodeSnapshotBytes(snapshot);
+
+    telemetry::NetworkSnapshot decoded(net.topo, 0);
+    replay::ByteReader r(encoded);
+    ASSERT_TRUE(replay::DecodeSnapshot(r, decoded).ok()) << "seed " << seed;
+    EXPECT_EQ(EncodeSnapshotBytes(decoded), encoded) << "seed " << seed;
+  }
+}
+
+TEST(FrameCodec, InputRoundTripIsByteIdentical) {
+  const testing::HealthyNetwork net = testing::MakeAbilene();
+  const controlplane::ControllerInput input = net.Input(net.Snapshot());
+
+  std::string encoded;
+  replay::ByteWriter w(encoded);
+  replay::EncodeInput(input, w);
+
+  controlplane::ControllerInput decoded;
+  replay::ByteReader r(encoded);
+  ASSERT_TRUE(replay::DecodeInput(r, net.topo, decoded).ok());
+  EXPECT_EQ(r.remaining(), 0u);
+
+  std::string reencoded;
+  replay::ByteWriter w2(reencoded);
+  replay::EncodeInput(decoded, w2);
+  EXPECT_EQ(reencoded, encoded);
+  EXPECT_EQ(decoded.epoch, input.epoch);
+  EXPECT_EQ(decoded.link_available, input.link_available);
+  EXPECT_EQ(decoded.node_drained, input.node_drained);
+}
+
+TEST(FrameCodec, VerdictRoundTripIsByteIdentical) {
+  replay::EpochVerdict verdict;
+  verdict.validated = true;
+  verdict.accept = false;
+  verdict.used_fallback = true;
+  verdict.reason = "REJECT: 3 violations";
+  verdict.summary = "demand:2 topology:1";
+  verdict.decision_digest = 0xdeadbeefcafef00dull;
+  verdict.evaluated = 42;
+  verdict.failed = 3;
+  verdict.skipped = 1;
+  verdict.invariants.push_back(
+      {"demand", "ingress(SEAT)", 0.31, 0.02, obs::InvariantVerdict::kFail});
+  verdict.invariants.push_back(
+      {"topology", "link(A->B)", 0.9, 0.5, obs::InvariantVerdict::kPass});
+
+  std::string encoded;
+  replay::ByteWriter w(encoded);
+  replay::EncodeVerdict(verdict, w);
+
+  replay::EpochVerdict decoded;
+  replay::ByteReader r(encoded);
+  ASSERT_TRUE(replay::DecodeVerdict(r, decoded).ok());
+  EXPECT_EQ(r.remaining(), 0u);
+
+  std::string reencoded;
+  replay::ByteWriter w2(reencoded);
+  replay::EncodeVerdict(decoded, w2);
+  EXPECT_EQ(reencoded, encoded);
+  EXPECT_EQ(decoded.reason, verdict.reason);
+  EXPECT_EQ(decoded.decision_digest, verdict.decision_digest);
+  ASSERT_EQ(decoded.invariants.size(), 2u);
+  EXPECT_EQ(decoded.invariants[0].invariant, "ingress(SEAT)");
+  EXPECT_EQ(decoded.invariants[0].verdict, obs::InvariantVerdict::kFail);
+}
+
+TEST(FrameCodec, EpochRecordRoundTripIsByteIdentical) {
+  const testing::HealthyNetwork net = testing::MakeAbilene();
+  const telemetry::NetworkSnapshot snapshot = net.Snapshot();
+  const controlplane::ControllerInput input = net.Input(snapshot);
+  replay::EpochVerdict verdict;
+  verdict.validated = true;
+  verdict.decision_digest = 17;
+
+  std::string encoded;
+  replay::ByteWriter w(encoded);
+  replay::EncodeEpochRecord(9, snapshot, input, verdict, w);
+
+  replay::EpochRecord decoded(net.topo);
+  replay::ByteReader r(encoded);
+  ASSERT_TRUE(replay::DecodeEpochRecord(r, decoded).ok());
+  EXPECT_EQ(decoded.epoch, 9u);
+
+  std::string reencoded;
+  replay::ByteWriter w2(reencoded);
+  replay::EncodeEpochRecord(decoded.epoch, decoded.snapshot, decoded.input,
+                            decoded.verdict, w2);
+  EXPECT_EQ(reencoded, encoded);
+}
+
+TEST(FrameCodec, TrailingBytesAreAnError) {
+  const testing::HealthyNetwork net = testing::MakeAbilene();
+  const telemetry::NetworkSnapshot snapshot = net.Snapshot();
+  const controlplane::ControllerInput input = net.Input(snapshot);
+  std::string encoded;
+  replay::ByteWriter w(encoded);
+  replay::EncodeEpochRecord(1, snapshot, input, replay::EpochVerdict{}, w);
+  encoded.push_back('\0');
+
+  replay::EpochRecord decoded(net.topo);
+  replay::ByteReader r(encoded);
+  const util::Status status = replay::DecodeEpochRecord(r, decoded);
+  EXPECT_FALSE(status.ok());
+}
+
+}  // namespace
+}  // namespace hodor

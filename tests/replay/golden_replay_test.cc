@@ -1,0 +1,64 @@
+// Golden replay regression: a tiny recorded Abilene run (5 epochs, one
+// injected demand-aggregation fault at epoch 2) is checked in under
+// tests/data/. Replaying it must reproduce every recorded verdict
+// fingerprint bit-for-bit — any validator change that moves a residual,
+// threshold, or verdict on this log fails here first, with a precise diff.
+//
+// Regenerate (only when the wire format or validator intentionally
+// changes):
+//   ./build/examples/hodor_replay record tests/data/golden_abilene.hlog
+//       --topo=abilene --epochs=5 --seed=7 --fault-epoch=2
+//   (one command line; flags continue the record subcommand)
+#include <gtest/gtest.h>
+
+#include "replay/epoch_log.h"
+#include "replay/replayer.h"
+
+namespace hodor {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(HODOR_SOURCE_DIR) + "/tests/data/golden_abilene.hlog";
+}
+
+TEST(GoldenReplay, LogStructureMatchesTheRecordedRun) {
+  replay::EpochLogReader reader;
+  const util::Status opened = reader.Open(GoldenPath());
+  ASSERT_TRUE(opened.ok()) << opened.ToString();
+  EXPECT_EQ(reader.format_version(), replay::kFormatVersion);
+  EXPECT_TRUE(reader.had_index());
+  EXPECT_FALSE(reader.tail_truncated());
+  ASSERT_EQ(reader.epoch_count(), 5u);
+  EXPECT_EQ(reader.topology().name(), "abilene");
+
+  // The injected fault epoch is the one rejected (and replaced by
+  // fallback); every other epoch was accepted.
+  for (std::size_t i = 0; i < 5; ++i) {
+    auto rec = reader.Read(i);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    EXPECT_TRUE(rec.value().verdict.validated);
+    EXPECT_EQ(rec.value().verdict.accept, i != 2) << "epoch " << i;
+    EXPECT_EQ(rec.value().verdict.used_fallback, i == 2) << "epoch " << i;
+    EXPECT_NE(rec.value().verdict.decision_digest, 0u);
+  }
+  auto faulty = reader.Seek(2);
+  ASSERT_TRUE(faulty.ok());
+  EXPECT_GT(faulty.value().verdict.failed, 0u);
+}
+
+TEST(GoldenReplay, VerdictFingerprintsReproduceBitForBit) {
+  const replay::Replayer replayer;
+  auto report_or = replayer.ReplayFile(GoldenPath());
+  ASSERT_TRUE(report_or.ok()) << report_or.status().ToString();
+  const replay::ReplayReport& report = report_or.value();
+  EXPECT_EQ(report.epochs_replayed, 5u);
+  EXPECT_TRUE(report.clean())
+      << report.Summary()
+      << " — the validator's decisions changed on the golden log; if the "
+         "change is intentional, regenerate tests/data/golden_abilene.hlog "
+         "(see the header of this file)";
+  EXPECT_EQ(report.verdict_flips, 0u);
+}
+
+}  // namespace
+}  // namespace hodor

@@ -1,0 +1,136 @@
+// The replay contract: a log recorded by this binary replays with zero
+// divergence under the same validator options, and changed thresholds
+// produce a precise list of flipped invariants instead of a vague "digest
+// mismatch".
+#include "replay/replayer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/validator.h"
+#include "faults/aggregation_faults.h"
+#include "replay/recorder.h"
+#include "test_util.h"
+
+namespace hodor {
+namespace {
+
+// Records `epochs` pipeline epochs (with a demand-aggregation fault in the
+// middle) and returns the log path.
+std::string RecordRun(const std::string& name, int epochs,
+                      bool with_validator) {
+  const net::Topology topo = net::Abilene();
+  const net::GroundTruthState state(topo);
+  util::Rng demand_rng(7);
+  flow::DemandMatrix base = flow::GravityDemand(topo, demand_rng);
+  flow::NormalizeToMaxUtilization(topo, 0.45, base);
+
+  controlplane::Pipeline pipeline(topo, {}, util::Rng(8));
+  const core::Validator validator(topo);
+  if (with_validator) {
+    pipeline.SetValidator(validator.AsPipelineValidator());
+  }
+  pipeline.Bootstrap(state, base);
+
+  const std::string path = ::testing::TempDir() + "/" + name;
+  replay::PipelineRecorder recorder;
+  EXPECT_TRUE(recorder.Open(path, topo).ok());
+  pipeline.SetEpochRecorder(recorder.Hook());
+
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    controlplane::AggregationFaultHooks hooks;
+    if (epoch == epochs / 2) {
+      hooks.demand = faults::DemandEntriesDropped(0.33, 4242);
+    }
+    pipeline.RunEpoch(state, base, nullptr, hooks);
+  }
+  EXPECT_TRUE(recorder.status().ok());
+  EXPECT_TRUE(recorder.Close().ok());
+  EXPECT_EQ(recorder.recorded_epochs(), static_cast<std::size_t>(epochs));
+  return path;
+}
+
+TEST(Replayer, FreshRecordingReplaysWithZeroDivergence) {
+  const std::string path = RecordRun("clean.hlog", 5, /*with_validator=*/true);
+  const replay::Replayer replayer;
+  auto report = replayer.ReplayFile(path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().epochs_total, 5u);
+  EXPECT_EQ(report.value().epochs_replayed, 5u);
+  EXPECT_TRUE(report.value().clean()) << report.value().Summary();
+  EXPECT_EQ(report.value().verdict_flips, 0u);
+  EXPECT_FALSE(report.value().tail_truncated);
+}
+
+TEST(Replayer, ChangedThresholdListsFlippedInvariants) {
+  const std::string path = RecordRun("tau.hlog", 5, /*with_validator=*/true);
+
+  // A far looser τ_e lets every recorded demand violation pass: the faulty
+  // epoch must diverge with named demand-invariant flips (fail -> pass).
+  replay::ReplayOptions opts;
+  opts.validator.demand.tau_e = 10.0;
+  const replay::Replayer replayer(opts);
+  auto report_or = replayer.ReplayFile(path);
+  ASSERT_TRUE(report_or.ok());
+  const replay::ReplayReport& report = report_or.value();
+  EXPECT_FALSE(report.clean());
+  EXPECT_GE(report.verdict_flips, 1u);
+
+  bool saw_demand_flip = false;
+  for (const replay::EpochDiff& diff : report.epochs) {
+    for (const replay::InvariantFlip& flip : diff.flips) {
+      if (flip.check == "demand" &&
+          flip.recorded == obs::InvariantVerdict::kFail &&
+          flip.fresh == obs::InvariantVerdict::kPass) {
+        saw_demand_flip = true;
+        EXPECT_TRUE(flip.recorded_present);
+        EXPECT_TRUE(flip.fresh_present);
+        EXPECT_EQ(flip.fresh_threshold, 10.0);
+        EXPECT_FALSE(flip.ToString().empty());
+      }
+    }
+  }
+  EXPECT_TRUE(saw_demand_flip);
+}
+
+TEST(Replayer, UnvalidatedEpochsAreCountedNotReplayed) {
+  const std::string path =
+      RecordRun("noval.hlog", 3, /*with_validator=*/false);
+  const replay::Replayer replayer;
+  auto report = replayer.ReplayFile(path);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().epochs_total, 3u);
+  EXPECT_EQ(report.value().epochs_replayed, 0u);
+  EXPECT_EQ(report.value().epochs_unvalidated, 3u);
+  EXPECT_TRUE(report.value().clean());
+}
+
+TEST(Replayer, MissingFileIsAStatusNotACrash) {
+  const replay::Replayer replayer;
+  const auto report = replayer.ReplayFile("/nonexistent/nowhere.hlog");
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(Replayer, VerdictFromEpochResultCarriesTheDigest) {
+  const testing::HealthyNetwork net = testing::MakeAbilene();
+  const core::Validator validator(net.topo);
+  const telemetry::NetworkSnapshot snapshot = net.Snapshot();
+  const controlplane::ControllerInput input = net.Input(snapshot);
+  const core::ValidationReport report = validator.Validate(input, snapshot);
+
+  controlplane::EpochResult result{
+      .epoch = 4, .validated = true, .snapshot = snapshot};
+  result.decision.accept = report.ok();
+  result.decision.provenance = report.provenance;
+
+  const replay::EpochVerdict verdict =
+      replay::VerdictFromEpochResult(result);
+  EXPECT_TRUE(verdict.validated);
+  EXPECT_EQ(verdict.decision_digest, report.provenance.CanonicalDigest());
+  EXPECT_EQ(verdict.invariants.size(), report.provenance.invariants.size());
+  EXPECT_EQ(verdict.evaluated,
+            static_cast<std::uint32_t>(report.provenance.evaluated_count()));
+}
+
+}  // namespace
+}  // namespace hodor
