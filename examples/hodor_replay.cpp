@@ -51,10 +51,12 @@ int Usage() {
       "  record <log> [--topo=abilene|geant] [--epochs=N] [--seed=S]\n"
       "               [--fault-epoch=K]   record a fresh validated run\n"
       "  inspect <log>                    header + per-epoch verdicts\n"
-      "  replay <log>                     re-validate, expect zero divergence\n"
+      "  replay <log> [--threads=N]       re-validate, expect zero divergence\n"
       "  diff <log> [--demand-tau=X] [--min-confidence=X]\n"
-      "             [--no-demand] [--no-topology] [--no-drain]\n"
-      "                                  re-validate under changed options\n";
+      "             [--no-demand] [--no-topology] [--no-drain] [--threads=N]\n"
+      "                                  re-validate under changed options\n"
+      "--threads=N runs hardening + the three checks over N workers; replay\n"
+      "must stay digest-clean at any N (the determinism gate).\n";
   return 2;
 }
 
@@ -184,10 +186,12 @@ int RunInspect(const std::string& path) {
 int RunReplay(const std::string& path, const std::vector<std::string>& flags,
               bool is_diff) {
   replay::ReplayOptions opts;
+  std::uint64_t threads = 1;
   for (const std::string& f : flags) {
     if (ParseFlag(f, "--demand-tau", &opts.validator.demand.tau_e) ||
         ParseFlag(f, "--min-confidence",
-                  &opts.validator.topology.min_confidence)) {
+                  &opts.validator.topology.min_confidence) ||
+        ParseFlag(f, "--threads", &threads)) {
     } else if (f == "--no-demand") {
       opts.validator.check_demand = false;
     } else if (f == "--no-topology") {
@@ -199,6 +203,8 @@ int RunReplay(const std::string& path, const std::vector<std::string>& flags,
       return Usage();
     }
   }
+
+  opts.validator.hardening.num_threads = static_cast<std::size_t>(threads);
 
   replay::Replayer replayer(opts);
   auto report_or = replayer.ReplayFile(path);

@@ -22,7 +22,16 @@
 // every epoch's snapshot, raw input, and validation verdict goes to a
 // binary epoch log that `hodor_replay inspect|replay|diff` can re-examine
 // offline (see README "Recording and replaying runs").
+//
+// Set HODOR_THREADS=N to run the staged epoch engine: honest collection
+// and the validator's checks shard over N workers, and all epoch sinks
+// (recorder, health board, alert engine, HTTP snapshots) move to a
+// dedicated sink thread — bit-identical results either way (DESIGN §9).
+//
+// SIGINT/SIGTERM interrupt the run cleanly: the epoch loop stops, sinks
+// drain, and the epoch log is flushed and closed before exit.
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <iostream>
 #include <thread>
@@ -40,12 +49,25 @@
 #include "obs/span.h"
 #include "replay/recorder.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 #include "util/table.h"
+
+namespace {
+
+// Async-signal-safe stop flag: the epoch loop and the serve-wait both poll
+// it, so Ctrl-C lands between epochs and the recorder still closes cleanly.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+}  // namespace
 
 int main() {
   using namespace hodor;
   util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
 
   const net::Topology topo = net::GeantLike();
   const net::GroundTruthState state(topo);
@@ -55,10 +77,20 @@ int main() {
   flow::DemandMatrix base = flow::GravityDemand(topo, demand_rng);
   flow::NormalizeToMaxUtilization(topo, 0.45, base);
 
+  // HODOR_THREADS > 1 engages the staged engine on the protected pipeline:
+  // sharded collection + sibling validator checks, sinks on their own
+  // thread. Results are bit-identical to the serial default.
+  const std::size_t threads = util::ThreadsFromEnv(1);
   controlplane::PipelineOptions opts;
   controlplane::Pipeline unprotected(topo, opts, util::Rng(1));
-  controlplane::Pipeline protected_pipeline(topo, opts, util::Rng(1));
-  const core::Validator validator(topo);
+  controlplane::PipelineOptions protected_opts = opts;
+  protected_opts.num_threads = threads;
+  protected_opts.threaded_sinks = threads > 1;
+  controlplane::Pipeline protected_pipeline(topo, protected_opts,
+                                            util::Rng(1));
+  core::ValidatorOptions validator_opts;
+  validator_opts.hardening.num_threads = threads;
+  const core::Validator validator(topo, validator_opts);
   protected_pipeline.SetValidator(validator.AsPipelineValidator());
   unprotected.Bootstrap(state, base);
   protected_pipeline.Bootstrap(state, base);
@@ -66,9 +98,16 @@ int main() {
   // The operability stack, fed by one epoch observer on the protected
   // pipeline and served live over HTTP.
   obs::SignalHealthBoard board;
+  // Sink-side registry: with threaded sinks the hook below runs on the
+  // engine's sink thread, so everything it renders — health gauges, alert
+  // counters, the /metrics page — goes through this registry (refreshed
+  // from the per-epoch metrics mirror) instead of the live one the control
+  // thread is mutating.
+  obs::MetricsRegistry serving_registry;
   core::AlertEngineOptions engine_opts;
   engine_opts.min_hold_epochs = 2;
   engine_opts.escalation_threshold = 3;
+  engine_opts.metrics = &serving_registry;
   core::AlertEngine engine(engine_opts);
   obs::TelemetryServer server;
   const bool serving = server.Start();
@@ -79,17 +118,23 @@ int main() {
   if (const char* record_path = std::getenv("HODOR_RECORD_PATH")) {
     const util::Status opened = recorder.Open(record_path, topo);
     if (opened.ok()) {
-      protected_pipeline.SetEpochRecorder(recorder.Hook());
+      protected_pipeline.AddEpochSink(recorder.Hook());
       std::cout << "recording epochs to " << record_path << "\n";
     } else {
       std::cerr << "HODOR_RECORD_PATH: " << opened.ToString() << "\n";
     }
   }
 
-  protected_pipeline.SetEpochObserver(
+  protected_pipeline.AddEpochSink(
       [&](const controlplane::EpochResult& r) {
+        // Refresh the sink-side registry from the epoch's mirror (live
+        // registry when sinks are synchronous), then layer trust gauges
+        // and alert counters on top.
+        serving_registry.CopyFrom(r.metrics_mirror
+                                      ? *r.metrics_mirror
+                                      : obs::MetricsRegistry::Global());
         board.ObserveEpoch(r.decision.provenance);
-        board.PublishGauges(nullptr);  // trust rides /metrics too
+        board.PublishGauges(&serving_registry);  // trust rides /metrics too
         const auto summary = engine.Observe(
             r.epoch, core::AlertsFromProvenance(r.decision.provenance));
         for (const core::AlertRecord& rec : engine.active()) {
@@ -107,7 +152,7 @@ int main() {
           }
         }
         if (serving) {
-          server.PublishMetrics();
+          server.PublishMetrics(&serving_registry);
           server.PublishSignals(board);
           server.PublishDecision(r.decision.provenance);
           server.PublishAlerts(engine.ToJson());
@@ -126,7 +171,7 @@ int main() {
   // First rejected epoch's provenance, kept for the post-run printout.
   obs::DecisionRecord sample_rejection;
 
-  for (int epoch = 0; epoch < 20; ++epoch) {
+  for (int epoch = 0; epoch < 20 && !g_stop_requested; ++epoch) {
     // Drift: each pair's demand wobbles a few percent per epoch.
     util::Rng drift_rng(1000 + epoch);
     flow::DemandMatrix demand = base;
@@ -153,6 +198,14 @@ int main() {
                        util::FormatPercent(u.metrics.demand_satisfaction, 2),
                        util::FormatPercent(p.metrics.demand_satisfaction, 2),
                        verdict);
+  }
+  // Every epoch reaches every sink before we read their state (health
+  // board, alert log, serving registry) back on this thread — and before
+  // an interrupted run closes the recorder below.
+  protected_pipeline.DrainSinks();
+  if (g_stop_requested) {
+    std::cout << "\ninterrupted: stopping after the current epoch; sinks "
+                 "drained, closing the epoch log.\n";
   }
   std::cout << table.ToString();
   std::cout << "\nDuring the buggy rollout the unprotected controller plans "
@@ -218,8 +271,15 @@ int main() {
       const int seconds = std::atoi(env);
       if (seconds > 0) {
         std::cout << "\nServing telemetry at " << server.url() << " for "
-                  << seconds << "s (HODOR_SERVE_SECONDS)...\n";
-        std::this_thread::sleep_for(std::chrono::seconds(seconds));
+                  << seconds << "s (HODOR_SERVE_SECONDS, Ctrl-C to stop)"
+                  << "...\n";
+        // Sleep in short slices so SIGINT/SIGTERM end the wait promptly.
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(seconds);
+        while (!g_stop_requested &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
       }
     }
     server.Stop();

@@ -92,7 +92,7 @@ def stage_median(path, stage):
 
 
 base_path, cand_path = sys.argv[1], sys.argv[2]
-failed = False
+regressed = []  # (stage, ratio), so the failure line names the culprits
 print(f"{'stage':<16} {'baseline us':>12} {'candidate us':>13} {'ratio':>7}")
 for stage in STAGES:
     base = stage_median(base_path, stage)
@@ -103,11 +103,12 @@ for stage in STAGES:
     ratio = cand / base
     mark = ""
     if ratio > THRESHOLD:
-        failed = True
+        regressed.append((stage, ratio))
         mark = "  <-- REGRESSION"
     print(f"{stage:<16} {base:>12.1f} {cand:>13.1f} {ratio:>6.2f}x{mark}")
-if failed:
-    print(f"bench_compare: FAIL (median regressed beyond {THRESHOLD}x)")
+if regressed:
+    names = ", ".join(f"{stage} ({ratio:.2f}x)" for stage, ratio in regressed)
+    print(f"bench_compare: FAIL (median regressed beyond {THRESHOLD}x): {names}")
     sys.exit(1)
 print("bench_compare: OK")
 EOF

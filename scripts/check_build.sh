@@ -12,12 +12,17 @@
 #      data-race-adjacent bugs the plain build cannot see.
 #   4. With --sanitize=thread: a TSan configure/build in build-tsan/
 #      running just the genuinely threaded tests — the util parallel
-#      runtime, the sharded hardening path, and the thread-count
-#      equivalence fingerprints. TSan and ASan cannot share a build tree
-#      (or a process), hence the separate mode and directory.
+#      runtime, the sink-queue SPSC stress test, the sharded hardening
+#      path, the staged epoch engine, and the thread-count equivalence
+#      fingerprints. TSan and ASan cannot share a build tree (or a
+#      process), hence the separate mode and directory.
 #   5. With --bench-smoke: a short bench_compare.sh run that fails on a
 #      >25% median regression of the hardening/validation stage latencies
 #      against the committed BENCH_overhead.json baseline.
+#   6. With --replay-gate: replays tests/data/golden_abilene.hlog through
+#      `hodor_replay replay` at 1 and 4 threads. Any decision-digest
+#      divergence fails — the staged epoch engine's determinism contract
+#      (DESIGN §9) enforced against a recorded log.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -49,8 +54,19 @@ if [ "$1" = "--sanitize=thread" ]; then
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
   cmake --build build-tsan -j --target \
-    util_parallel_test core_hardening_test integration_frame_equivalence_test
+    util_parallel_test util_spsc_queue_test core_hardening_test \
+    controlplane_epoch_engine_test integration_frame_equivalence_test
   (cd build-tsan && ctest --output-on-failure \
-    -R "util_parallel_test|core_hardening_test|integration_frame_equivalence_test" -j)
+    -R "util_parallel_test|util_spsc_queue_test|core_hardening_test|controlplane_epoch_engine_test|integration_frame_equivalence_test" -j)
+fi
+
+if [ "$1" = "--replay-gate" ]; then
+  echo "== golden replay gate (digest determinism at 1 and 4 threads) =="
+  cmake --build build -j --target hodor_replay_cli
+  for n in 1 4; do
+    echo "  hodor_replay replay --threads=$n"
+    ./build/examples/hodor_replay replay tests/data/golden_abilene.hlog \
+      --threads="$n"
+  done
 fi
 echo "check_build: OK"

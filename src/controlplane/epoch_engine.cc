@@ -1,0 +1,323 @@
+#include "controlplane/epoch_engine.h"
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace hodor::controlplane {
+
+namespace {
+
+// "nullptr means global" composes: a pipeline-level registry/trace reaches
+// the collector unless its options name their own.
+PipelineOptions PropagateObs(PipelineOptions opts) {
+  if (!opts.collector.metrics) opts.collector.metrics = opts.metrics;
+  return opts;
+}
+
+constexpr std::uint32_t Bit(EpochStageId id) {
+  return 1u << static_cast<std::uint32_t>(id);
+}
+
+// How many EpochState buffers the threaded-sink runtime ping-pongs: one
+// being filled by the control thread, one being consumed by the sink
+// thread (the classic double buffer).
+constexpr std::size_t kSinkBuffers = 2;
+
+}  // namespace
+
+const std::array<EpochStageNode, kEpochStageCount>& EpochStageGraph() {
+  static const std::array<EpochStageNode, kEpochStageCount> kGraph = {{
+      {EpochStageId::kSimulate, "simulate", obs::Stage::kSimulate, 0u},
+      {EpochStageId::kCollect, "collect", obs::Stage::kCollect,
+       Bit(EpochStageId::kSimulate)},
+      {EpochStageId::kAggregate, "aggregate", obs::Stage::kAggregate,
+       Bit(EpochStageId::kCollect)},
+      {EpochStageId::kValidate, "validate", obs::Stage::kValidate,
+       Bit(EpochStageId::kCollect) | Bit(EpochStageId::kAggregate)},
+      {EpochStageId::kProgram, "program", obs::Stage::kProgram,
+       Bit(EpochStageId::kValidate)},
+      {EpochStageId::kMeasure, "measure", obs::Stage::kSimulate,
+       Bit(EpochStageId::kProgram)},
+  }};
+  return kGraph;
+}
+
+EpochEngine::EpochEngine(const net::Topology& topo, PipelineOptions opts,
+                         util::Rng rng)
+    : topo_(&topo),
+      opts_(PropagateObs(std::move(opts))),
+      rng_(rng),
+      collector_(topo, opts_.collector),
+      controller_(topo, opts_.controller),
+      free_(kSinkBuffers),
+      ready_(kSinkBuffers) {
+  if (opts_.num_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(opts_.num_threads);
+  }
+  const std::size_t buffers = opts_.threaded_sinks ? kSinkBuffers : 1;
+  states_.reserve(buffers);
+  for (std::size_t i = 0; i < buffers; ++i) {
+    states_.push_back(std::make_unique<EpochState>(topo));
+  }
+  if (opts_.threaded_sinks) {
+    for (const auto& st : states_) free_.Push(st.get());
+    sink_thread_ = std::thread([this] { SinkLoop(); });
+  }
+}
+
+EpochEngine::~EpochEngine() { StopSinkThread(); }
+
+void EpochEngine::StopSinkThread() {
+  if (!sink_thread_.joinable()) return;
+  // Close drains: the sink loop keeps popping queued epochs until the
+  // ready queue is empty, so no recorded epoch is ever dropped.
+  ready_.Close();
+  sink_thread_.join();
+}
+
+void EpochEngine::Bootstrap(const net::GroundTruthState& state,
+                            const flow::DemandMatrix& true_demand) {
+  installed_plan_ = flow::ShortestPathRouting(
+      *topo_, true_demand, [&](net::LinkId e) { return state.LinkUsable(e); });
+}
+
+void EpochEngine::SetValidator(InputValidatorFn validator) {
+  validator_ = std::move(validator);
+}
+
+void EpochEngine::AddEpochSink(EpochSinkFn sink) {
+  HODOR_CHECK_MSG(!opts_.threaded_sinks || next_epoch_ == 0,
+                  "AddEpochSink after the first epoch with threaded sinks — "
+                  "subscribe before RunEpoch");
+  sinks_.push_back(std::move(sink));
+}
+
+void EpochEngine::SetSlotSink(std::size_t slot, EpochSinkFn sink) {
+  HODOR_CHECK(slot < slot_sinks_.size());
+  HODOR_CHECK_MSG(!opts_.threaded_sinks || next_epoch_ == 0,
+                  "sink slot changed after the first epoch with threaded "
+                  "sinks — install hooks before RunEpoch");
+  slot_sinks_[slot] = std::move(sink);
+}
+
+void EpochEngine::InvokeSinks(const EpochResult& result) {
+  for (const EpochSinkFn& sink : slot_sinks_) {
+    if (sink) sink(result);
+  }
+  for (const EpochSinkFn& sink : sinks_) {
+    if (sink) sink(result);
+  }
+}
+
+EpochState& EpochEngine::AcquireState() {
+  if (!opts_.threaded_sinks) return *states_[0];
+  // Backpressure: blocks while the sink thread still holds every buffer.
+  EpochState* st = nullptr;
+  HODOR_CHECK(free_.Pop(st));
+  return *st;
+}
+
+EpochResult EpochEngine::RunEpoch(
+    const net::GroundTruthState& state, const flow::DemandMatrix& true_demand,
+    const telemetry::SnapshotMutator& snapshot_fault,
+    const AggregationFaultHooks& aggregation_faults) {
+  EpochState& st = AcquireState();
+  const std::uint64_t epoch = next_epoch_++;
+  obs::MetricsRegistry* reg = opts_.metrics;
+  obs::TraceWriter* trace = opts_.trace;
+
+  // Reset the buffer in place: plain fields rewound, big buffers (the
+  // snapshot's columns, the input's vectors) reused by the stages.
+  st.result.epoch = epoch;
+  st.result.validated = false;
+  st.result.decision = ValidationDecision{};
+  st.result.used_fallback = false;
+  st.result.metrics = flow::NetworkMetrics{};
+  st.result.metrics_mirror = nullptr;
+  st.result.spans.clear();
+  st.result.spans.reserve(7);
+  st.chosen = nullptr;
+
+  StageContext ctx{&state,  &true_demand, &snapshot_fault,
+                   &aggregation_faults, &st, epoch};
+
+  obs::StageSpan epoch_span(obs::Stage::kEpoch, epoch, reg, trace);
+  std::uint32_t done = 0;
+  for (const EpochStageNode& node : EpochStageGraph()) {
+    HODOR_CHECK_MSG((node.deps & ~done) == 0,
+                    std::string("epoch stage graph violates dependencies at "
+                                "stage ") +
+                        node.name);
+    RunStage(node.id, ctx);
+    done |= Bit(node.id);
+  }
+
+  if (!st.result.validated || st.result.decision.accept) {
+    last_good_input_ = st.result.raw_input;
+  }
+
+  obs::MetricsRegistry& registry = obs::ResolveRegistry(reg);
+  registry.GetCounter("hodor_epochs_total", {}, "Control epochs run")
+      .Increment();
+  if (st.result.validated && !st.result.decision.accept) {
+    registry
+        .GetCounter("hodor_epoch_rejects_total", {},
+                    "Epochs whose input the validator rejected")
+        .Increment();
+  }
+  if (st.result.used_fallback) {
+    registry
+        .GetCounter("hodor_epoch_fallbacks_total", {},
+                    "Epochs served from the last accepted input")
+        .Increment();
+  }
+  st.result.spans.push_back(epoch_span.End());
+
+  return FinishAndDispatch(st);
+}
+
+EpochResult EpochEngine::FinishAndDispatch(EpochState& st) {
+  if (!opts_.threaded_sinks) {
+    // Synchronous mode, the historical behavior: sinks run here, on the
+    // control thread, and may read the live registry directly.
+    st.result.metrics_mirror = opts_.metrics;  // nullptr keeps meaning global
+    InvokeSinks(st.result);
+    EpochResult out = st.result;
+    out.metrics_mirror = nullptr;
+    return out;
+  }
+  // Threaded mode: snapshot the registry values for the sink thread (a
+  // value copy is far cheaper than the string rendering it displaces),
+  // copy the result for the caller, and hand the buffer over.
+  st.metrics_mirror.CopyFrom(obs::ResolveRegistry(opts_.metrics));
+  st.metrics_mirror.ReleaseOwnerThread();
+  st.result.metrics_mirror = &st.metrics_mirror;
+  EpochResult out = st.result;
+  out.metrics_mirror = nullptr;
+  ++submitted_;
+  ready_.Push(&st);
+  return out;
+}
+
+void EpochEngine::SinkLoop() {
+  EpochState* st = nullptr;
+  while (ready_.Pop(st)) {
+    InvokeSinks(st->result);
+    st->result.metrics_mirror = nullptr;
+    // The mirror's next writer is the control thread (CopyFrom next time
+    // this buffer cycles around); unbind it before handing the buffer back.
+    st->metrics_mirror.ReleaseOwnerThread();
+    free_.Push(st);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++delivered_;
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+void EpochEngine::DrainSinks() {
+  if (!opts_.threaded_sinks) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [&] { return delivered_ == submitted_; });
+}
+
+void EpochEngine::RunStage(EpochStageId id, StageContext& ctx) {
+  switch (id) {
+    case EpochStageId::kSimulate:
+      StageSimulate(ctx);
+      return;
+    case EpochStageId::kCollect:
+      StageCollect(ctx);
+      return;
+    case EpochStageId::kAggregate:
+      StageAggregate(ctx);
+      return;
+    case EpochStageId::kValidate:
+      StageValidate(ctx);
+      return;
+    case EpochStageId::kProgram:
+      StageProgram(ctx);
+      return;
+    case EpochStageId::kMeasure:
+      StageMeasure(ctx);
+      return;
+  }
+  HODOR_CHECK_MSG(false, "unknown epoch stage");
+}
+
+// 1. Traffic under the currently installed plan: this is what telemetry
+//    measures.
+void EpochEngine::StageSimulate(StageContext& ctx) {
+  obs::StageSpan span(obs::Stage::kSimulate, ctx.epoch, opts_.metrics,
+                      opts_.trace);
+  ctx.st->measured =
+      flow::SimulateFlow(*topo_, *ctx.state, *ctx.demand, installed_plan_);
+  ctx.st->result.spans.push_back(span.End());
+}
+
+// 2. Collect router signals into the state's snapshot workspace, with the
+//    fault hook applied. Sharded over router agents when a pool exists —
+//    bit-identical to serial by the pre-drawn-jitter contract
+//    (telemetry/router_agent.h).
+void EpochEngine::StageCollect(StageContext& ctx) {
+  obs::StageSpan span(obs::Stage::kCollect, ctx.epoch, opts_.metrics,
+                      opts_.trace);
+  collector_.CollectInto(*ctx.state, ctx.st->measured, ctx.epoch, rng_,
+                         ctx.st->result.snapshot, *ctx.fault, pool_.get());
+  ctx.st->result.spans.push_back(span.End());
+}
+
+// 3. The instrumentation services aggregate the controller's inputs.
+void EpochEngine::StageAggregate(StageContext& ctx) {
+  obs::StageSpan span(obs::Stage::kAggregate, ctx.epoch, opts_.metrics,
+                      opts_.trace);
+  ctx.st->result.raw_input =
+      AggregateInputs(*topo_, ctx.st->result.snapshot, *ctx.demand, ctx.epoch,
+                      rng_, opts_.infra, *ctx.hooks);
+  ctx.st->result.spans.push_back(span.End());
+}
+
+// 4. Validate + rejection policy. Without a validator the raw input is
+//    chosen as-is and no validate span is emitted (matching the
+//    historical loop).
+void EpochEngine::StageValidate(StageContext& ctx) {
+  EpochResult& result = ctx.st->result;
+  ctx.st->chosen = &result.raw_input;
+  if (!validator_) return;
+  obs::StageSpan span(obs::Stage::kValidate, ctx.epoch, opts_.metrics,
+                      opts_.trace);
+  result.validated = true;
+  result.decision = validator_(result.raw_input, result.snapshot);
+  result.spans.push_back(span.End());
+  if (!result.decision.accept) {
+    HODOR_LOG(kWarning) << "epoch " << ctx.epoch
+                        << ": input rejected: " << result.decision.reason;
+    if (opts_.policy == RejectionPolicy::kFallbackToLastGood &&
+        last_good_input_.has_value()) {
+      ctx.st->chosen = &*last_good_input_;
+      result.used_fallback = true;
+    }
+  }
+}
+
+// 5. Program routing from the chosen input.
+void EpochEngine::StageProgram(StageContext& ctx) {
+  obs::StageSpan span(obs::Stage::kProgram, ctx.epoch, opts_.metrics,
+                      opts_.trace);
+  installed_plan_ = controller_.ComputeRouting(*ctx.st->chosen);
+  ctx.st->result.spans.push_back(span.End());
+}
+
+// 6. Outcome under the new plan.
+void EpochEngine::StageMeasure(StageContext& ctx) {
+  obs::StageSpan span(obs::Stage::kSimulate, ctx.epoch, opts_.metrics,
+                      opts_.trace);
+  ctx.st->result.outcome =
+      flow::SimulateFlow(*topo_, *ctx.state, *ctx.demand, installed_plan_);
+  ctx.st->result.metrics =
+      flow::ComputeMetrics(*topo_, *ctx.demand, ctx.st->result.outcome);
+  ctx.st->result.spans.push_back(span.End());
+}
+
+}  // namespace hodor::controlplane

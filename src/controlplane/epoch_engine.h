@@ -1,0 +1,207 @@
+// The staged epoch engine: the explicit execution model behind
+// controlplane::Pipeline.
+//
+// Where the historical RunEpoch was a hard-coded call sequence, the engine
+// makes the epoch's structure first-class:
+//
+//   - An explicit stage graph. kEpochStageGraph lists the six stages
+//     (simulate → collect → aggregate → validate → program → measure) with
+//     their dependencies as data; the runner executes them in topological
+//     order and HODOR_CHECKs every dependency, so reordering bugs fail
+//     loudly instead of silently changing semantics. Parallelism is
+//     *intra*-stage — collect shards router agents over a thread pool, the
+//     validator runs its three checks as sibling tasks — which keeps the
+//     inter-stage dataflow (and thus determinism) trivially auditable.
+//
+//   - An owned EpochState value: the snapshot workspace, aggregated input,
+//     verdict + provenance, outcome, and stage timings for one epoch live
+//     in one buffer the engine reuses. With threaded sinks the engine
+//     double-buffers EpochState: the control thread fills one buffer while
+//     the sink thread renders/records the previous one, handing buffers
+//     back and forth through two bounded SPSC queues (backpressure blocks,
+//     never drops — the replay log stays complete).
+//
+//   - A deterministic registry discipline. The (single-threaded)
+//     MetricsRegistry is only ever mutated by its owning thread: stage
+//     code writes the control thread's registry, parallel sections write
+//     per-worker shards merged back in fixed order (obs/metrics.h), and
+//     sinks render from a per-epoch mirror the control thread copies at
+//     the epoch boundary.
+//
+// Determinism contract: for identical inputs and seeds, every output that
+// feeds DecisionRecord::CanonicalDigest — and the snapshot, input, and
+// outcome bytes themselves — is identical at any num_threads and with
+// sinks threaded or synchronous. The golden replay gate
+// (scripts/check_build.sh --replay-gate) enforces this against a recorded
+// log at threads 1 and 4.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "controlplane/pipeline.h"
+#include "obs/metrics.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/spsc_queue.h"
+
+namespace hodor::controlplane {
+
+// The stages of one epoch, in graph order.
+enum class EpochStageId : std::uint32_t {
+  kSimulate = 0,  // traffic under the installed plan (what telemetry sees)
+  kCollect,       // router agents fill the snapshot (sharded when threaded)
+  kAggregate,     // control infra aggregates the controller's inputs
+  kValidate,      // optional validator + rejection policy
+  kProgram,       // controller programs a plan from the chosen input
+  kMeasure,       // outcome simulation + metrics under the new plan
+};
+
+inline constexpr std::size_t kEpochStageCount = 6;
+
+// One node of the stage graph. `deps` is a bitmask of EpochStageId bits
+// that must have completed before this stage may run.
+struct EpochStageNode {
+  EpochStageId id;
+  const char* name;
+  obs::Stage span;     // the obs/span.h taxonomy label this stage times
+  std::uint32_t deps;  // bitmask: 1u << static_cast<uint32_t>(dep)
+};
+
+// The epoch stage DAG as data. Today's graph is a chain — each stage
+// consumes its predecessor's output — but the runner only requires a
+// topological order, and the explicit dependency masks are validated on
+// every run.
+const std::array<EpochStageNode, kEpochStageCount>& EpochStageGraph();
+
+// One epoch's owned state: the workspace the stages fill in place and the
+// sinks read. The engine allocates one (synchronous sinks) or two
+// (threaded sinks, double-buffered) and reuses them forever — steady-state
+// epochs allocate nothing beyond what the stages themselves need.
+struct EpochState {
+  explicit EpochState(const net::Topology& topo)
+      : result{0,
+               ControllerInput{},
+               false,
+               ValidationDecision{},
+               false,
+               flow::NetworkMetrics{},
+               flow::SimulationResult{},
+               telemetry::NetworkSnapshot(topo, 0),
+               {},
+               nullptr} {}
+
+  // The completed epoch as sinks and the caller see it. result.snapshot
+  // doubles as the collect stage's workspace (filled in place).
+  EpochResult result;
+  // Stage 1 output: traffic under the *old* plan — telemetry's input.
+  flow::SimulationResult measured;
+  // Which input the program stage used (raw or last-good fallback).
+  const ControllerInput* chosen = nullptr;
+  // Per-epoch value mirror of the control thread's registry, rendered by
+  // the sink thread while the control thread runs ahead (threaded mode).
+  obs::MetricsRegistry metrics_mirror;
+};
+
+// The engine owns everything Pipeline::RunEpoch needs across epochs:
+// collector, controller, validator, installed plan, last-good input, the
+// EpochState buffers, and (optionally) the sink thread. Pipeline is a thin
+// facade over this class; see pipeline.h for the user-facing contract.
+class EpochEngine {
+ public:
+  EpochEngine(const net::Topology& topo, PipelineOptions opts, util::Rng rng);
+  ~EpochEngine();
+
+  EpochEngine(const EpochEngine&) = delete;
+  EpochEngine& operator=(const EpochEngine&) = delete;
+
+  void Bootstrap(const net::GroundTruthState& state,
+                 const flow::DemandMatrix& true_demand);
+
+  void SetValidator(InputValidatorFn validator);
+  void AddEpochSink(EpochSinkFn sink);
+  // Deprecated-slot management for Pipeline::SetEpochObserver/Recorder:
+  // slot 0 = observer, slot 1 = recorder, invoked in slot order before the
+  // AddEpochSink list. An empty function clears the slot.
+  void SetSlotSink(std::size_t slot, EpochSinkFn sink);
+
+  EpochResult RunEpoch(const net::GroundTruthState& state,
+                       const flow::DemandMatrix& true_demand,
+                       const telemetry::SnapshotMutator& snapshot_fault,
+                       const AggregationFaultHooks& aggregation_faults);
+
+  // Blocks until every epoch submitted so far has been delivered to all
+  // sinks (no-op in synchronous mode).
+  void DrainSinks();
+
+  const flow::RoutingPlan& installed_plan() const { return installed_plan_; }
+  const std::optional<ControllerInput>& last_good_input() const {
+    return last_good_input_;
+  }
+  const PipelineOptions& options() const { return opts_; }
+
+ private:
+  // Everything one stage needs, threaded through the runner.
+  struct StageContext {
+    const net::GroundTruthState* state;
+    const flow::DemandMatrix* demand;
+    const telemetry::SnapshotMutator* fault;
+    const AggregationFaultHooks* hooks;
+    EpochState* st;
+    std::uint64_t epoch;
+  };
+
+  void RunStage(EpochStageId id, StageContext& ctx);
+  void StageSimulate(StageContext& ctx);
+  void StageCollect(StageContext& ctx);
+  void StageAggregate(StageContext& ctx);
+  void StageValidate(StageContext& ctx);
+  void StageProgram(StageContext& ctx);
+  void StageMeasure(StageContext& ctx);
+
+  EpochState& AcquireState();
+  EpochResult FinishAndDispatch(EpochState& st);
+  void SinkLoop();
+  void InvokeSinks(const EpochResult& result);
+  void StopSinkThread();
+
+  const net::Topology* topo_;
+  PipelineOptions opts_;
+  util::Rng rng_;
+  telemetry::Collector collector_;
+  SdnController controller_;
+  InputValidatorFn validator_;
+  // Deprecated observer/recorder slots, then the unified sink list.
+  std::array<EpochSinkFn, 2> slot_sinks_;
+  std::vector<EpochSinkFn> sinks_;
+  flow::RoutingPlan installed_plan_;
+  std::optional<ControllerInput> last_good_input_;
+  std::uint64_t next_epoch_ = 0;
+
+  // Worker pool for the intra-epoch sharded stages; null while
+  // opts_.num_threads <= 1.
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  // EpochState buffers plus the two hand-off queues of the threaded-sink
+  // runtime: free_ holds buffers the control thread may fill, ready_ holds
+  // completed epochs awaiting the sink thread. In synchronous mode only
+  // states_[0] exists and the queues/thread stay unused.
+  std::vector<std::unique_ptr<EpochState>> states_;
+  util::BoundedSpscQueue<EpochState*> free_;
+  util::BoundedSpscQueue<EpochState*> ready_;
+  std::thread sink_thread_;
+  // submitted_ is control-thread-only; delivered_ advances under mu_ so
+  // DrainSinks can wait on the pair.
+  std::uint64_t submitted_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::mutex mu_;
+  std::condition_variable drained_cv_;
+};
+
+}  // namespace hodor::controlplane

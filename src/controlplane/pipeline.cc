@@ -1,130 +1,56 @@
 #include "controlplane/pipeline.h"
 
-#include "obs/metrics.h"
-#include "util/logging.h"
+#include <utility>
+
+#include "controlplane/epoch_engine.h"
 
 namespace hodor::controlplane {
 
-namespace {
-
-// "nullptr means global" composes: a pipeline-level registry/trace reaches
-// the collector unless its options name their own.
-PipelineOptions PropagateObs(PipelineOptions opts) {
-  if (!opts.collector.metrics) opts.collector.metrics = opts.metrics;
-  return opts;
-}
-
-}  // namespace
-
 Pipeline::Pipeline(const net::Topology& topo, PipelineOptions opts,
                    util::Rng rng)
-    : topo_(&topo),
-      opts_(PropagateObs(std::move(opts))),
-      rng_(rng),
-      collector_(topo, opts_.collector),
-      controller_(topo, opts_.controller),
-      scratch_snapshot_(topo, 0) {}
+    : engine_(std::make_unique<EpochEngine>(topo, std::move(opts), rng)) {}
+
+Pipeline::~Pipeline() = default;
+Pipeline::Pipeline(Pipeline&&) noexcept = default;
+Pipeline& Pipeline::operator=(Pipeline&&) noexcept = default;
 
 void Pipeline::Bootstrap(const net::GroundTruthState& state,
                          const flow::DemandMatrix& true_demand) {
-  installed_plan_ = flow::ShortestPathRouting(
-      *topo_, true_demand, [&](net::LinkId e) { return state.LinkUsable(e); });
+  engine_->Bootstrap(state, true_demand);
+}
+
+void Pipeline::SetValidator(InputValidatorFn validator) {
+  engine_->SetValidator(std::move(validator));
+}
+
+void Pipeline::AddEpochSink(EpochSinkFn sink) {
+  engine_->AddEpochSink(std::move(sink));
+}
+
+void Pipeline::SetEpochObserver(EpochObserverFn observer) {
+  engine_->SetSlotSink(0, std::move(observer));
+}
+
+void Pipeline::SetEpochRecorder(EpochRecorderFn recorder) {
+  engine_->SetSlotSink(1, std::move(recorder));
 }
 
 EpochResult Pipeline::RunEpoch(const net::GroundTruthState& state,
                                const flow::DemandMatrix& true_demand,
                                const telemetry::SnapshotMutator& snapshot_fault,
                                const AggregationFaultHooks& aggregation_faults) {
-  const std::uint64_t epoch = next_epoch_++;
-  obs::MetricsRegistry* reg = opts_.metrics;
-  obs::TraceWriter* trace = opts_.trace;
-  std::vector<obs::SpanRecord> spans;
-  spans.reserve(7);
-  obs::StageSpan epoch_span(obs::Stage::kEpoch, epoch, reg, trace);
+  return engine_->RunEpoch(state, true_demand, snapshot_fault,
+                           aggregation_faults);
+}
 
-  // 1. Traffic under the currently installed plan: this is what telemetry
-  //    measures.
-  obs::StageSpan measure_span(obs::Stage::kSimulate, epoch, reg, trace);
-  flow::SimulationResult measured =
-      flow::SimulateFlow(*topo_, state, true_demand, installed_plan_);
-  spans.push_back(measure_span.End());
+void Pipeline::DrainSinks() { engine_->DrainSinks(); }
 
-  // 2-3. Collect and aggregate, with fault hooks.
-  obs::StageSpan collect_span(obs::Stage::kCollect, epoch, reg, trace);
-  telemetry::NetworkSnapshot& snapshot = scratch_snapshot_;
-  collector_.CollectInto(state, measured, epoch, rng_, snapshot,
-                         snapshot_fault);
-  spans.push_back(collect_span.End());
+const flow::RoutingPlan& Pipeline::installed_plan() const {
+  return engine_->installed_plan();
+}
 
-  obs::StageSpan aggregate_span(obs::Stage::kAggregate, epoch, reg, trace);
-  ControllerInput input = AggregateInputs(*topo_, snapshot, true_demand,
-                                          epoch, rng_, opts_.infra,
-                                          aggregation_faults);
-  spans.push_back(aggregate_span.End());
-
-  // 4. Validate + policy.
-  EpochResult result{epoch,
-                     input,
-                     /*validated=*/false,
-                     ValidationDecision{},
-                     /*used_fallback=*/false,
-                     flow::NetworkMetrics{},
-                     flow::SimulationResult{},
-                     snapshot,
-                     /*spans=*/{}};
-  const ControllerInput* chosen = &input;
-  if (validator_) {
-    obs::StageSpan validate_span(obs::Stage::kValidate, epoch, reg, trace);
-    result.validated = true;
-    result.decision = validator_(input, snapshot);
-    spans.push_back(validate_span.End());
-    if (!result.decision.accept) {
-      HODOR_LOG(kWarning) << "epoch " << epoch
-                          << ": input rejected: " << result.decision.reason;
-      if (opts_.policy == RejectionPolicy::kFallbackToLastGood &&
-          last_good_input_.has_value()) {
-        chosen = &*last_good_input_;
-        result.used_fallback = true;
-      }
-    }
-  }
-
-  // 5. Program routing from the chosen input.
-  obs::StageSpan program_span(obs::Stage::kProgram, epoch, reg, trace);
-  installed_plan_ = controller_.ComputeRouting(*chosen);
-  spans.push_back(program_span.End());
-
-  // 6. Outcome under the new plan.
-  obs::StageSpan outcome_span(obs::Stage::kSimulate, epoch, reg, trace);
-  result.outcome = flow::SimulateFlow(*topo_, state, true_demand,
-                                      installed_plan_);
-  result.metrics = flow::ComputeMetrics(*topo_, true_demand, result.outcome);
-  spans.push_back(outcome_span.End());
-
-  if (!result.validated || result.decision.accept) {
-    last_good_input_ = input;
-  }
-
-  obs::MetricsRegistry& registry = obs::ResolveRegistry(reg);
-  registry.GetCounter("hodor_epochs_total", {}, "Control epochs run")
-      .Increment();
-  if (result.validated && !result.decision.accept) {
-    registry
-        .GetCounter("hodor_epoch_rejects_total", {},
-                    "Epochs whose input the validator rejected")
-        .Increment();
-  }
-  if (result.used_fallback) {
-    registry
-        .GetCounter("hodor_epoch_fallbacks_total", {},
-                    "Epochs served from the last accepted input")
-        .Increment();
-  }
-  spans.push_back(epoch_span.End());
-  result.spans = std::move(spans);
-  if (epoch_observer_) epoch_observer_(result);
-  if (epoch_recorder_) epoch_recorder_(result);
-  return result;
+const std::optional<ControllerInput>& Pipeline::last_good_input() const {
+  return engine_->last_good_input();
 }
 
 }  // namespace hodor::controlplane

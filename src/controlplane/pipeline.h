@@ -16,9 +16,17 @@
 // The pipeline deliberately knows nothing about Hodor's internals: the
 // validator is injected as a callback, so the same harness runs "no
 // validation", "static checks", "anomaly detection", and "Hodor".
+//
+// Since the staged-epoch refactor, Pipeline is a thin facade over
+// controlplane::EpochEngine (epoch_engine.h), which owns the explicit
+// stage graph, the double-buffered EpochState, and the optional sink
+// thread. The default configuration behaves exactly like the historical
+// monolithic loop: serial stages, sinks invoked synchronously on the
+// calling thread, bit-identical outputs.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -49,18 +57,19 @@ using InputValidatorFn = std::function<ValidationDecision(
 
 struct EpochResult;
 
-// Post-epoch hook: RunEpoch invokes it with the completed EpochResult just
-// before returning. This is where the operability layer hangs off the
-// pipeline — feeding a SignalHealthBoard, driving an AlertEngine,
-// publishing snapshots to a TelemetryServer — without the pipeline
-// depending on any of those types.
-using EpochObserverFn = std::function<void(const EpochResult&)>;
+// Epoch sink: invoked with every completed EpochResult. Sinks are the
+// operability fan-out — feeding a SignalHealthBoard, driving an
+// AlertEngine, appending to a replay::EpochLogWriter, publishing to a
+// TelemetryServer — without the pipeline depending on any of those types.
+// With threaded sinks enabled (PipelineOptions::threaded_sinks) every sink
+// runs on the engine's dedicated sink thread; otherwise they run inline at
+// the end of RunEpoch. Either way all sinks see all epochs in order, and a
+// sink must not throw.
+using EpochSinkFn = std::function<void(const EpochResult&)>;
 
-// Flight-recorder hook: invoked with the completed EpochResult right after
-// the epoch observer. Separate from EpochObserverFn so a run can both feed
-// live telemetry and append to a replay::EpochLogWriter; the pipeline still
-// sees only a plain std::function, never a replay type.
-using EpochRecorderFn = std::function<void(const EpochResult&)>;
+// Deprecated aliases kept for the pre-AddEpochSink hook API.
+using EpochObserverFn = EpochSinkFn;
+using EpochRecorderFn = EpochSinkFn;
 
 // What to do when the validator rejects an input (paper §3 step 3:
 // "reject inputs that fail validation and fall back temporarily to the
@@ -75,6 +84,19 @@ struct PipelineOptions {
   ControlInfraOptions infra;
   ControllerOptions controller;
   RejectionPolicy policy = RejectionPolicy::kFallbackToLastGood;
+
+  // Intra-epoch parallelism: worker threads for the sharded stages
+  // (honest collection over router agents; the validator's sibling checks
+  // follow core::ValidatorOptions::hardening.num_threads). 1 = fully
+  // serial. Any value produces bit-identical results — see DESIGN §9.
+  std::size_t num_threads = 1;
+
+  // When true, epoch sinks run on a dedicated sink thread fed by a small
+  // bounded queue (double-buffered EpochState; backpressure blocks, never
+  // drops), taking disk and string-rendering cost off the control loop.
+  // When false (default), sinks run synchronously inside RunEpoch — the
+  // historical behavior.
+  bool threaded_sinks = false;
 
   // Observability. Stage spans (epoch, collect, aggregate, validate,
   // program, simulate) and epoch counters go to `metrics` (nullptr → the
@@ -97,31 +119,44 @@ struct EpochResult {
   // Pipeline-level stage timings for this epoch (the validator's inner
   // harden/check-* spans go to the registry/trace only).
   std::vector<obs::SpanRecord> spans;
+  // Registry a sink may render race-free while the control thread runs
+  // ahead: with threaded sinks this points at the engine's per-epoch
+  // metrics mirror; with synchronous sinks it is the pipeline's configured
+  // registry (nullptr → the process-global one, per ResolveRegistry).
+  // Valid only during sink invocation — nulled in the EpochResult that
+  // RunEpoch returns.
+  const obs::MetricsRegistry* metrics_mirror = nullptr;
 };
+
+class EpochEngine;
 
 class Pipeline {
  public:
   Pipeline(const net::Topology& topo, PipelineOptions opts, util::Rng rng);
+  ~Pipeline();
+  Pipeline(Pipeline&&) noexcept;
+  Pipeline& operator=(Pipeline&&) noexcept;
 
   // Installs an initial honest plan: SPF over the true usable topology for
   // the given demand. Call once before the first RunEpoch.
   void Bootstrap(const net::GroundTruthState& state,
                  const flow::DemandMatrix& true_demand);
 
-  void SetValidator(InputValidatorFn validator) {
-    validator_ = std::move(validator);
-  }
+  void SetValidator(InputValidatorFn validator);
 
-  // Installs the post-epoch observability hook (see EpochObserverFn).
-  void SetEpochObserver(EpochObserverFn observer) {
-    epoch_observer_ = std::move(observer);
-  }
+  // Subscribes a sink to every future epoch (see EpochSinkFn). Sinks are
+  // invoked in subscription order, after any observer/recorder installed
+  // through the deprecated setters below. Subscribe before the first
+  // RunEpoch; with threaded sinks, subscribing mid-run is rejected.
+  void AddEpochSink(EpochSinkFn sink);
 
-  // Installs the flight-recorder hook (see EpochRecorderFn). Install an
-  // empty function to detach a recorder that may be destroyed early.
-  void SetEpochRecorder(EpochRecorderFn recorder) {
-    epoch_recorder_ = std::move(recorder);
-  }
+  // Deprecated: thin wrappers over the unified sink list, kept so existing
+  // call sites compile unchanged. SetEpochObserver/SetEpochRecorder each
+  // manage one named slot (setting again replaces, empty detaches — the
+  // recorder contract), invoked in that order before AddEpochSink sinks.
+  // New code should use AddEpochSink.
+  void SetEpochObserver(EpochObserverFn observer);
+  void SetEpochRecorder(EpochRecorderFn recorder);
 
   // Runs one epoch. `snapshot_fault` corrupts router telemetry (§2.1),
   // `aggregation_faults` corrupt service outputs (§2.2); both may be empty
@@ -131,27 +166,16 @@ class Pipeline {
                        const telemetry::SnapshotMutator& snapshot_fault = nullptr,
                        const AggregationFaultHooks& aggregation_faults = {});
 
-  const flow::RoutingPlan& installed_plan() const { return installed_plan_; }
-  const std::optional<ControllerInput>& last_good_input() const {
-    return last_good_input_;
-  }
+  // Blocks until every epoch produced so far has been delivered to all
+  // sinks. No-op with synchronous sinks. Call before reading state a
+  // threaded sink mutates (boards, alert logs) from the control thread.
+  void DrainSinks();
+
+  const flow::RoutingPlan& installed_plan() const;
+  const std::optional<ControllerInput>& last_good_input() const;
 
  private:
-  const net::Topology* topo_;
-  PipelineOptions opts_;
-  util::Rng rng_;
-  telemetry::Collector collector_;
-  SdnController controller_;
-  InputValidatorFn validator_;
-  EpochObserverFn epoch_observer_;
-  EpochRecorderFn epoch_recorder_;
-  flow::RoutingPlan installed_plan_;
-  std::optional<ControllerInput> last_good_input_;
-  std::uint64_t next_epoch_ = 0;
-  // Per-epoch telemetry workspace: CollectInto refills these columnar
-  // buffers in place every epoch, so steady-state collection allocates
-  // nothing. The EpochResult's snapshot is copied out of this scratch.
-  telemetry::NetworkSnapshot scratch_snapshot_;
+  std::unique_ptr<EpochEngine> engine_;
 };
 
 }  // namespace hodor::controlplane

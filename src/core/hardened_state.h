@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -73,8 +74,11 @@ struct HardenedState {
   std::vector<HardenedRate> rates;
   std::vector<HardenedLinkState> links;
   // Agreed link-drain status (both ends must announce; disagreement noted).
+  // The disagreement flags are written by parallel hardening shards, one
+  // link apiece, so they must be byte-addressable — vector<bool> packs
+  // neighbouring links into one shared word and the writes would race.
   std::vector<std::optional<bool>> link_drained;
-  std::vector<bool> link_drain_disagreement;
+  std::vector<std::uint8_t> link_drain_disagreement;
 
   // Indexed by NodeId.
   std::vector<std::optional<double>> ext_in;

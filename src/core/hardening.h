@@ -114,6 +114,11 @@ class HardeningEngine {
   void HardenInto(const telemetry::NetworkSnapshot& snapshot,
                   HardenedState& out) const;
 
+  // The pool backing the sharded stages; null while num_threads <= 1.
+  // Exposed so the Validator can run its three post-hardening checks as
+  // sibling stages on the same workers instead of spawning a second pool.
+  util::ThreadPool* pool() const;
+
  private:
   struct Workspace;
 
@@ -123,9 +128,6 @@ class HardeningEngine {
                         HardenedState& out) const;
   void HardenDrains(const telemetry::NetworkSnapshot& snapshot,
                     HardenedState& out) const;
-
-  // The pool backing ParallelFor; null while num_threads <= 1.
-  util::ThreadPool* pool() const;
 
   HardeningOptions opts_;
   mutable std::unique_ptr<util::ThreadPool> pool_;

@@ -1,9 +1,11 @@
 #include "core/validator.h"
 
+#include <array>
 #include <sstream>
 
 #include "obs/metrics.h"
 #include "obs/span.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 #include "util/strings.h"
 
@@ -73,25 +75,34 @@ ValidationReport Validator::Validate(
   }
 
   engine_.HardenInto(snapshot, report.hardened);  // emits the "harden" span
+
   if (prov) AppendHardeningProvenance(report.hardened, *prov);
-  if (opts_.check_demand) {
-    obs::StageSpan span(obs::Stage::kCheckDemand, epoch, opts_.metrics,
-                        opts_.trace);
-    report.demand = CheckDemand(*topo_, report.hardened, input.demand,
-                                opts_.demand, prov);
-  }
-  if (opts_.check_topology) {
-    obs::StageSpan span(obs::Stage::kCheckTopology, epoch, opts_.metrics,
-                        opts_.trace);
-    report.topology = CheckTopology(*topo_, report.hardened,
-                                    input.link_available, opts_.topology,
-                                    prov);
-  }
-  if (opts_.check_drain) {
-    obs::StageSpan span(obs::Stage::kCheckDrain, epoch, opts_.metrics,
-                        opts_.trace);
-    report.drain = CheckDrains(*topo_, report.hardened, input.node_drained,
-                               input.link_drained, opts_.metrics, prov);
+  util::ThreadPool* pool = engine_.pool();
+  const int enabled_checks = static_cast<int>(opts_.check_demand) +
+                             static_cast<int>(opts_.check_topology) +
+                             static_cast<int>(opts_.check_drain);
+  if (pool != nullptr && enabled_checks >= 2) {
+    RunChecksParallel(input, epoch, *pool, report, prov);
+  } else {
+    if (opts_.check_demand) {
+      obs::StageSpan span(obs::Stage::kCheckDemand, epoch, opts_.metrics,
+                          opts_.trace);
+      report.demand = CheckDemand(*topo_, report.hardened, input.demand,
+                                  opts_.demand, prov);
+    }
+    if (opts_.check_topology) {
+      obs::StageSpan span(obs::Stage::kCheckTopology, epoch, opts_.metrics,
+                          opts_.trace);
+      report.topology = CheckTopology(*topo_, report.hardened,
+                                      input.link_available, opts_.topology,
+                                      prov);
+    }
+    if (opts_.check_drain) {
+      obs::StageSpan span(obs::Stage::kCheckDrain, epoch, opts_.metrics,
+                          opts_.trace);
+      report.drain = CheckDrains(*topo_, report.hardened, input.node_drained,
+                                 input.link_drained, opts_.metrics, prov);
+    }
   }
 
   report.provenance.epoch = epoch;
@@ -107,6 +118,88 @@ ValidationReport Validator::Validate(
         .Increment();
   }
   return report;
+}
+
+void Validator::RunChecksParallel(const controlplane::ControllerInput& input,
+                                  std::uint64_t epoch, util::ThreadPool& pool,
+                                  ValidationReport& report,
+                                  obs::DecisionRecord* prov) const {
+  // Shard registries inherit the main registry's options so histograms
+  // merged back (stage spans, check counters) carry identical bounds.
+  for (auto& shard : check_shards_) {
+    if (!shard) {
+      shard = std::make_unique<obs::MetricsRegistry>(
+          obs::ResolveRegistry(opts_.metrics).options());
+    }
+  }
+
+  // Check slots in the serial order the single-threaded path runs them.
+  enum : int { kDemand = 0, kTopology = 1, kDrain = 2 };
+  std::array<int, 3> tasks{};
+  std::size_t task_count = 0;
+  if (opts_.check_demand) tasks[task_count++] = kDemand;
+  if (opts_.check_topology) tasks[task_count++] = kTopology;
+  if (opts_.check_drain) tasks[task_count++] = kDrain;
+
+  std::array<obs::DecisionRecord, 3> sub;
+  std::array<obs::SpanRecord, 3> span_records;
+  // Dynamic task assignment is fine here: each check writes only its own
+  // report member, sub-record, and shard; determinism comes from the
+  // fixed-order integration below, not from which worker ran what.
+  pool.Run(task_count, [&](std::size_t i) {
+    const int kind = tasks[i];
+    obs::MetricsRegistry* shard = check_shards_[kind].get();
+    obs::DecisionRecord* sub_prov = prov ? &sub[kind] : nullptr;
+    switch (kind) {
+      case kDemand: {
+        obs::StageSpan span(obs::Stage::kCheckDemand, epoch, shard, nullptr);
+        DemandCheckOptions opts = opts_.demand;
+        opts.metrics = shard;
+        report.demand = CheckDemand(*topo_, report.hardened, input.demand,
+                                    opts, sub_prov);
+        span_records[kDemand] = span.End();
+        break;
+      }
+      case kTopology: {
+        obs::StageSpan span(obs::Stage::kCheckTopology, epoch, shard,
+                            nullptr);
+        TopologyCheckOptions opts = opts_.topology;
+        opts.metrics = shard;
+        report.topology = CheckTopology(*topo_, report.hardened,
+                                        input.link_available, opts, sub_prov);
+        span_records[kTopology] = span.End();
+        break;
+      }
+      case kDrain: {
+        obs::StageSpan span(obs::Stage::kCheckDrain, epoch, shard, nullptr);
+        report.drain = CheckDrains(*topo_, report.hardened,
+                                   input.node_drained, input.link_drained,
+                                   shard, sub_prov);
+        span_records[kDrain] = span.End();
+        break;
+      }
+    }
+  });
+
+  // Deterministic integration, in the serial order: trace lines, metric
+  // shard merges, and provenance splices all happen demand → topology →
+  // drain on this thread, so every observable output matches the serial
+  // path bit for bit.
+  obs::MetricsRegistry& reg = obs::ResolveRegistry(opts_.metrics);
+  for (std::size_t i = 0; i < task_count; ++i) {
+    const int kind = tasks[i];
+    if (opts_.trace) opts_.trace->Write(span_records[kind]);
+    reg.MergeFrom(*check_shards_[kind]);
+    // Hand the shard back for whichever worker picks it up next epoch
+    // (Reset re-binds to this thread, then releases again).
+    check_shards_[kind]->ReleaseOwnerThread();
+    check_shards_[kind]->Reset();
+    if (prov) {
+      for (obs::InvariantRecord& rec : sub[kind].invariants) {
+        prov->Add(std::move(rec));
+      }
+    }
+  }
 }
 
 void Validator::AppendHardeningProvenance(const HardenedState& hardened,

@@ -5,6 +5,8 @@
 // decision suitable for the pipeline's rejection policy.
 #pragma once
 
+#include <array>
+#include <memory>
 #include <string>
 
 #include "controlplane/controller_input.h"
@@ -27,6 +29,14 @@ struct ValidatorOptions {
   bool check_demand = true;
   bool check_topology = true;
   bool check_drain = true;
+
+  // The three checks are independent of each other (all read only the
+  // hardened state and the input), so with hardening.num_threads > 1 they
+  // run as sibling stages on the hardening engine's pool. Each check
+  // writes its own provenance sub-record and metrics shard; both are
+  // merged back in the fixed serial order demand → topology → drain, so
+  // the DecisionRecord — and its CanonicalDigest — is bit-identical to
+  // the serial path at any thread count.
 
   // Observability. Stage spans (harden, check-*) and check counters are
   // emitted to `metrics` (nullptr → the process-global registry) and
@@ -82,9 +92,23 @@ class Validator {
   void AppendHardeningProvenance(const HardenedState& hardened,
                                  obs::DecisionRecord& record) const;
 
+  // The demand/topology/drain checks as sibling stages on the hardening
+  // engine's pool (see the ValidatorOptions comment). Fills the report's
+  // check results and, when `prov` is set, splices each check's
+  // sub-record into it in the fixed serial order.
+  void RunChecksParallel(const controlplane::ControllerInput& input,
+                         std::uint64_t epoch, util::ThreadPool& pool,
+                         ValidationReport& report,
+                         obs::DecisionRecord* prov) const;
+
   const net::Topology* topo_;
   ValidatorOptions opts_;
   HardeningEngine engine_;
+  // Per-check metrics shards for the parallel path, lazily created and
+  // reused across Validate calls. Like the hardening workspace, this makes
+  // a Validator single-validation-at-a-time (distinct Validators may run
+  // concurrently).
+  mutable std::array<std::unique_ptr<obs::MetricsRegistry>, 3> check_shards_;
 };
 
 }  // namespace hodor::core

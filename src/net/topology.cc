@@ -36,6 +36,10 @@ LinkId Topology::AddBidirectionalLink(NodeId a, NodeId b, double capacity,
   const LinkId rev(static_cast<LinkId::underlying_type>(links_.size() + 1));
   links_.push_back(Link{fwd, a, b, capacity, metric, rev});
   links_.push_back(Link{rev, b, a, capacity, metric, fwd});
+  link_name_cache_.push_back(nodes_[a.value()].name + "->" +
+                             nodes_[b.value()].name);
+  link_name_cache_.push_back(nodes_[b.value()].name + "->" +
+                             nodes_[a.value()].name);
   out_links_[a.value()].push_back(fwd);
   in_links_[b.value()].push_back(fwd);
   out_links_[b.value()].push_back(rev);
@@ -106,13 +110,6 @@ std::vector<NodeId> Topology::ExternalNodes() const {
 }
 
 const std::string& Topology::LinkNameRef(LinkId id) const {
-  if (link_name_cache_.size() != links_.size()) {
-    link_name_cache_.clear();
-    link_name_cache_.reserve(links_.size());
-    for (const Link& l : links_) {
-      link_name_cache_.push_back(node(l.src).name + "->" + node(l.dst).name);
-    }
-  }
   return link_name_cache_[link(id).id.value()];
 }
 

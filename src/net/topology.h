@@ -100,8 +100,8 @@ class Topology {
   std::string LinkName(LinkId id) const { return LinkNameRef(id); }
 
   // Allocation-free variant for hot provenance loops: the rendered names
-  // are cached lazily (invalidated when links are added) and returned by
-  // reference. Not safe to call concurrently with construction.
+  // are built as links are added and returned by reference, so concurrent
+  // readers (the validator's sibling checks) never mutate shared state.
   const std::string& LinkNameRef(LinkId id) const;
 
   // Structural sanity: every link's reverse is consistent, endpoints valid.
@@ -114,9 +114,9 @@ class Topology {
   std::vector<std::vector<LinkId>> out_links_;
   std::vector<std::vector<LinkId>> in_links_;
   std::unordered_map<std::string, NodeId> name_index_;
-  // Lazy LinkNameRef cache; sized to links_.size() when valid, rebuilt
-  // whenever a link (or a node rename-by-growth) invalidates it.
-  mutable std::vector<std::string> link_name_cache_;
+  // LinkNameRef cache, filled eagerly in AddBidirectionalLink (one entry
+  // per directed link) so const lookups stay read-only and thread-safe.
+  std::vector<std::string> link_name_cache_;
 };
 
 }  // namespace hodor::net

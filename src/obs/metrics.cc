@@ -71,6 +71,92 @@ MetricsRegistry& MetricsRegistry::Global() {
   return registry;
 }
 
+void MetricsRegistry::AssertOwnedByCurrentThread() {
+#ifndef NDEBUG
+  const std::thread::id self = std::this_thread::get_id();
+  std::thread::id expected{};  // unowned
+  if (owner_.compare_exchange_strong(expected, self,
+                                     std::memory_order_acq_rel)) {
+    return;  // first mutating access binds the registry to this thread
+  }
+  HODOR_CHECK_MSG(expected == self,
+                  "MetricsRegistry mutated from a second thread — give each "
+                  "worker its own shard and MergeFrom it in a fixed order "
+                  "(ReleaseOwnerThread() hands a shard to a new owner)");
+#endif
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& src) {
+  AssertOwnedByCurrentThread();
+  for (const auto& [name, src_family] : src.families_) {
+    Family& family = GetFamily(name, src_family.type, src_family.help);
+    for (const auto& [key, src_series] : src_family.series) {
+      auto [it, inserted] = family.series.try_emplace(key);
+      Series& series = it->second;
+      if (inserted) series.labels = src_series.labels;
+      switch (src_family.type) {
+        case MetricType::kCounter:
+          if (!series.counter) series.counter = std::make_unique<Counter>();
+          series.counter->Increment(src_series.counter->value());
+          break;
+        case MetricType::kGauge:
+          if (!series.gauge) series.gauge = std::make_unique<Gauge>();
+          series.gauge->Set(src_series.gauge->value());
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& sh = *src_series.histogram;
+          if (!series.histogram) {
+            series.histogram = std::make_unique<Histogram>(sh.upper_bounds());
+          }
+          Histogram& dh = *series.histogram;
+          HODOR_CHECK_MSG(dh.upper_bounds_ == sh.upper_bounds_,
+                          "MergeFrom: histogram bucket bounds differ: " + name);
+          for (std::size_t i = 0; i < dh.counts_.size(); ++i) {
+            dh.counts_[i] += sh.counts_[i];
+          }
+          dh.count_ += sh.count_;
+          dh.sum_ += sh.sum_;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void MetricsRegistry::CopyFrom(const MetricsRegistry& src) {
+  AssertOwnedByCurrentThread();
+  for (const auto& [name, src_family] : src.families_) {
+    Family& family = GetFamily(name, src_family.type, src_family.help);
+    for (const auto& [key, src_series] : src_family.series) {
+      auto [it, inserted] = family.series.try_emplace(key);
+      Series& series = it->second;
+      if (inserted) series.labels = src_series.labels;
+      switch (src_family.type) {
+        case MetricType::kCounter:
+          if (!series.counter) series.counter = std::make_unique<Counter>();
+          series.counter->value_ = src_series.counter->value();
+          break;
+        case MetricType::kGauge:
+          if (!series.gauge) series.gauge = std::make_unique<Gauge>();
+          series.gauge->Set(src_series.gauge->value());
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& sh = *src_series.histogram;
+          if (!series.histogram ||
+              series.histogram->upper_bounds_ != sh.upper_bounds_) {
+            series.histogram = std::make_unique<Histogram>(sh.upper_bounds());
+          }
+          Histogram& dh = *series.histogram;
+          dh.counts_ = sh.counts_;
+          dh.count_ = sh.count_;
+          dh.sum_ = sh.sum_;
+          break;
+        }
+      }
+    }
+  }
+}
+
 MetricsRegistry::Family& MetricsRegistry::GetFamily(const std::string& name,
                                                     MetricType type,
                                                     const std::string& help) {
@@ -89,6 +175,7 @@ MetricsRegistry::Family& MetricsRegistry::GetFamily(const std::string& name,
 Counter& MetricsRegistry::GetCounter(const std::string& name,
                                      const Labels& labels,
                                      const std::string& help) {
+  AssertOwnedByCurrentThread();
   Family& family = GetFamily(name, MetricType::kCounter, help);
   const Labels sorted = SortedLabels(labels);
   auto [it, inserted] = family.series.try_emplace(RenderLabels(sorted));
@@ -101,6 +188,7 @@ Counter& MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name, const Labels& labels,
                                  const std::string& help) {
+  AssertOwnedByCurrentThread();
   Family& family = GetFamily(name, MetricType::kGauge, help);
   const Labels sorted = SortedLabels(labels);
   auto [it, inserted] = family.series.try_emplace(RenderLabels(sorted));
@@ -115,6 +203,7 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          const Labels& labels,
                                          std::vector<double> upper_bounds,
                                          const std::string& help) {
+  AssertOwnedByCurrentThread();
   Family& family = GetFamily(name, MetricType::kHistogram, help);
   const Labels sorted = SortedLabels(labels);
   auto [it, inserted] = family.series.try_emplace(RenderLabels(sorted));

@@ -13,11 +13,18 @@
 // The registry renders either as Prometheus text exposition or as JSON
 // (see ExportPrometheus / ExportJson); both are covered by tests/obs/.
 //
-// Like util::Logger, the registry is deliberately not thread-safe: the
-// simulator is single-threaded and every bench configures observability at
-// startup. Instrumented components take a `MetricsRegistry*` where nullptr
-// means "the process-global registry" (ResolveRegistry); tests pass their
-// own instance to stay hermetic.
+// Like util::Logger, the registry is deliberately not thread-safe.
+// Parallel sections follow the same ordered-merge discipline as
+// util/parallel's sharded ParallelFor: each worker mutates its own shard
+// registry and the control thread merges the shards back (MergeFrom) in a
+// fixed order at stage/epoch boundaries, so totals are deterministic at
+// any thread count. Debug builds enforce the single-writer rule with a
+// thread-ownership assertion: the first mutating call binds the registry
+// to the calling thread and any mutation from another thread raises via
+// HODOR_CHECK; ReleaseOwnerThread() hands a shard to its next worker.
+// Instrumented components take a `MetricsRegistry*` where nullptr means
+// "the process-global registry" (ResolveRegistry); tests pass their own
+// instance to stay hermetic.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +33,11 @@
 #include <string>
 #include <utility>
 #include <vector>
+
+#ifndef NDEBUG
+#include <atomic>
+#include <thread>
+#endif
 
 namespace hodor::obs {
 
@@ -39,6 +51,7 @@ class Counter {
   double value() const { return value_; }
 
  private:
+  friend class MetricsRegistry;  // CopyFrom mirrors the exact value
   double value_ = 0.0;
 };
 
@@ -67,6 +80,7 @@ class Histogram {
   const std::vector<std::uint64_t>& bucket_counts() const { return counts_; }
 
  private:
+  friend class MetricsRegistry;  // MergeFrom / CopyFrom manipulate buckets
   std::vector<double> upper_bounds_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t count_ = 0;
@@ -125,9 +139,40 @@ class MetricsRegistry {
   // One JSON object: {"counters":[...],"gauges":[...],"histograms":[...]}.
   std::string ExportJson() const;
 
+  // Ordered-merge discipline for parallel sections: folds another
+  // registry's contents into this one. Counters add, gauges adopt the
+  // source's last-written value, histograms add per-bucket counts (bounds
+  // must match; mismatched bounds raise via HODOR_CHECK). Families and
+  // series missing here are created. Deterministic totals follow from the
+  // caller merging shards in a fixed order; `src` is typically Reset()
+  // afterwards so each merge carries one stage's delta.
+  void MergeFrom(const MetricsRegistry& src);
+
+  // Makes this registry an exact value mirror of `src` (the epoch engine's
+  // per-epoch snapshot for the sink thread). Series present in `src` are
+  // overwritten in place — steady state allocates nothing — and series
+  // this registry has that `src` lacks are left untouched, so a sink may
+  // keep its own gauges alongside the mirror. Mirrors therefore only grow.
+  void CopyFrom(const MetricsRegistry& src);
+
   // Drops every family (benches isolate configurations this way).
   // Options survive a Reset: they describe the registry, not its contents.
-  void Reset() { families_.clear(); }
+  // Also releases the debug-build thread binding: a reset registry is
+  // ready for a new owner.
+  void Reset() {
+    AssertOwnedByCurrentThread();
+    families_.clear();
+    ReleaseOwnerThread();
+  }
+
+  // Debug builds bind a registry to the first thread that mutates it.
+  // Call this when handing a shard registry to a different worker (after
+  // the control thread merged and reset it); release-build no-op.
+  void ReleaseOwnerThread() {
+#ifndef NDEBUG
+    owner_.store(std::thread::id(), std::memory_order_release);
+#endif
+  }
 
   const MetricsRegistryOptions& options() const { return opts_; }
   // Replaces the default histogram buckets used by later GetHistogram
@@ -158,8 +203,16 @@ class MetricsRegistry {
   const Series* FindSeries(const std::string& name, MetricType type,
                            const Labels& labels) const;
 
+  // Debug-build single-writer assertion (see the header comment). Reads
+  // (Find*/Export*) are deliberately unchecked: the engine publishes
+  // immutable mirrors across threads with external synchronization.
+  void AssertOwnedByCurrentThread();
+
   MetricsRegistryOptions opts_;
   std::map<std::string, Family> families_;
+#ifndef NDEBUG
+  std::atomic<std::thread::id> owner_{};
+#endif
 };
 
 // Resolves the "nullptr means global" convention used by every

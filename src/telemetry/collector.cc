@@ -1,6 +1,7 @@
 #include "telemetry/collector.h"
 
 #include "obs/metrics.h"
+#include "util/parallel.h"
 
 namespace hodor::telemetry {
 
@@ -8,11 +9,41 @@ void Collector::CollectInto(const net::GroundTruthState& state,
                             const flow::SimulationResult& sim,
                             std::uint64_t epoch, util::Rng& rng,
                             NetworkSnapshot& snapshot,
-                            const SnapshotMutator& mutator) const {
+                            const SnapshotMutator& mutator,
+                            util::ThreadPool* pool) const {
   snapshot.Reset(epoch);
-  for (const net::Node& node : topo_->nodes()) {
-    ReportRouterSignals(*topo_, state, sim, node.id, opts_.agent, rng,
-                        snapshot);
+  const std::size_t nodes = topo_->node_count();
+  if (util::ShardCount(pool, nodes) <= 1) {
+    for (const net::Node& node : topo_->nodes()) {
+      ReportRouterSignals(*topo_, state, sim, node.id, opts_.agent, rng,
+                          snapshot);
+    }
+  } else {
+    // Determinism contract (router_agent.h): pre-draw every jitter uniform
+    // from the shared rng in serial report order, then shard the fill.
+    draw_offsets_.resize(nodes + 1);
+    draw_offsets_[0] = 0;
+    for (std::size_t v = 0; v < nodes; ++v) {
+      draw_offsets_[v + 1] =
+          draw_offsets_[v] +
+          CountJitterDraws(*topo_, sim, net::NodeId(static_cast<uint32_t>(v)),
+                           opts_.agent);
+    }
+    jitter_scratch_.resize(draw_offsets_[nodes]);
+    const double j = opts_.agent.rate_jitter;
+    for (double& u : jitter_scratch_) u = rng.Uniform(-j, j);
+    util::ParallelFor(pool, nodes,
+                      [&](std::size_t begin, std::size_t end, std::size_t) {
+                        for (std::size_t v = begin; v < end; ++v) {
+                          ReportRouterSignalsPredrawn(
+                              *topo_, state, sim,
+                              net::NodeId(static_cast<uint32_t>(v)),
+                              opts_.agent,
+                              jitter_scratch_.data() + draw_offsets_[v],
+                              snapshot);
+                        }
+                      });
+    snapshot.frame().MarkHonestPresence();
   }
   if (mutator) mutator(snapshot);
   if (opts_.run_probes) {

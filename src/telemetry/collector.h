@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "flow/simulator.h"
 #include "net/state.h"
@@ -18,6 +19,10 @@
 namespace hodor::obs {
 class MetricsRegistry;
 }  // namespace hodor::obs
+
+namespace hodor::util {
+class ThreadPool;
+}  // namespace hodor::util
 
 namespace hodor::telemetry {
 
@@ -52,14 +57,26 @@ class Collector {
   // Zero-allocation variant: resets and refills `snapshot` in place,
   // reusing its frame and probe buffers across epochs. `snapshot` must be
   // built over the same topology.
+  //
+  // With a non-null `pool`, honest collection is sharded over contiguous
+  // router ranges. Every jitter value is pre-drawn from `rng` in exact
+  // serial order first (see router_agent.h), so the snapshot — and the
+  // master Rng's final state — are bit-identical to the serial path at any
+  // thread count. Like HardeningEngine, a given Collector must not run two
+  // parallel CollectInto calls concurrently (it reuses a scratch buffer).
   void CollectInto(const net::GroundTruthState& state,
                    const flow::SimulationResult& sim, std::uint64_t epoch,
                    util::Rng& rng, NetworkSnapshot& snapshot,
-                   const SnapshotMutator& mutator = nullptr) const;
+                   const SnapshotMutator& mutator = nullptr,
+                   util::ThreadPool* pool = nullptr) const;
 
  private:
   const net::Topology* topo_;
   CollectorOptions opts_;
+  // Parallel-path scratch (draw counts prefix sum + pre-drawn uniforms),
+  // reused across epochs so steady-state collection stays allocation-free.
+  mutable std::vector<std::size_t> draw_offsets_;
+  mutable std::vector<double> jitter_scratch_;
 };
 
 }  // namespace hodor::telemetry

@@ -40,4 +40,62 @@ void ReportRouterSignals(const net::Topology& topo,
   }
 }
 
+std::size_t CountJitterDraws(const net::Topology& topo,
+                             const flow::SimulationResult& sim,
+                             net::NodeId node, const AgentOptions& opts) {
+  // Mirrors ReportRouterSignals exactly: one draw per Jitter() call whose
+  // rate clears the zero floor. The `!(rate < floor)` form matches
+  // Jitter's branch literally.
+  std::size_t draws = 0;
+  if (topo.node(node).has_external_port) {
+    draws += !(sim.ext_in[node.value()] < opts.zero_floor);
+    draws += !(sim.ext_out[node.value()] < opts.zero_floor);
+  }
+  double dropped = 0.0;
+  for (net::LinkId e : topo.OutLinks(node)) dropped += sim.dropped[e.value()];
+  draws += !(dropped < opts.zero_floor);
+  for (net::LinkId e : topo.OutLinks(node)) {
+    draws += !(sim.carried[e.value()] < opts.zero_floor);
+  }
+  for (net::LinkId e : topo.InLinks(node)) {
+    draws += !(sim.carried[e.value()] < opts.zero_floor);
+  }
+  return draws;
+}
+
+void ReportRouterSignalsPredrawn(const net::Topology& topo,
+                                 const net::GroundTruthState& state,
+                                 const flow::SimulationResult& sim,
+                                 net::NodeId node, const AgentOptions& opts,
+                                 const double* jitter,
+                                 NetworkSnapshot& snapshot) {
+  // Same statement order as ReportRouterSignals, with Jitter() inlined
+  // against the pre-drawn uniforms and the frame's value-only Fill* path.
+  const double* cur = jitter;
+  auto jittered = [&](double true_rate) {
+    if (true_rate < opts.zero_floor) return 0.0;
+    return true_rate * (1.0 + *cur++);
+  };
+  SignalFrame& frame = snapshot.frame();
+  frame.FillNodeDrained(node, state.node_drained(node));
+  if (topo.node(node).has_external_port) {
+    frame.FillExtInRate(node, jittered(sim.ext_in[node.value()]));
+    frame.FillExtOutRate(node, jittered(sim.ext_out[node.value()]));
+  }
+
+  double dropped = 0.0;
+  for (net::LinkId e : topo.OutLinks(node)) dropped += sim.dropped[e.value()];
+  frame.FillDroppedRate(node, jittered(dropped));
+
+  for (net::LinkId e : topo.OutLinks(node)) {
+    frame.FillStatus(e,
+                     state.link_up(e) ? LinkStatus::kUp : LinkStatus::kDown);
+    frame.FillTxRate(e, jittered(sim.carried[e.value()]));
+    frame.FillLinkDrain(e, state.link_drained(e));
+  }
+  for (net::LinkId e : topo.InLinks(node)) {
+    frame.FillRxRate(e, jittered(sim.carried[e.value()]));
+  }
+}
+
 }  // namespace hodor::telemetry

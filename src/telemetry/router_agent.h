@@ -36,4 +36,34 @@ void ReportRouterSignals(const net::Topology& topo,
                          net::NodeId node, const AgentOptions& opts,
                          util::Rng& rng, NetworkSnapshot& snapshot);
 
+// --- deterministic parallel collection ------------------------------------
+//
+// Sharding honest collection across threads must not change a single
+// reported bit, and every jitter value comes from one shared Rng whose
+// draw order IS the serial report order. The split that preserves this:
+// the collector first counts the draws each router will make
+// (CountJitterDraws mirrors ReportRouterSignals' zero-floor branches),
+// pre-draws them all from the shared Rng in exact serial order into a
+// flat buffer, then lets worker threads run ReportRouterSignalsPredrawn,
+// which consumes its router's slice in the same order Jitter would have
+// drawn. The master Rng ends in the same state as the serial path, and
+// every reported value is bit-identical.
+
+// Number of Uniform(-jitter,+jitter) draws ReportRouterSignals makes for
+// `node` (rates at/above the zero floor draw; floored rates do not).
+std::size_t CountJitterDraws(const net::Topology& topo,
+                             const flow::SimulationResult& sim,
+                             net::NodeId node, const AgentOptions& opts);
+
+// ReportRouterSignals with the jitter uniforms supplied by the caller.
+// `jitter` must hold CountJitterDraws(...) values drawn in serial report
+// order. Writes through the frame's Fill* fast path (value slots only);
+// the collector commits presence afterwards via MarkHonestPresence().
+void ReportRouterSignalsPredrawn(const net::Topology& topo,
+                                 const net::GroundTruthState& state,
+                                 const flow::SimulationResult& sim,
+                                 net::NodeId node, const AgentOptions& opts,
+                                 const double* jitter,
+                                 NetworkSnapshot& snapshot);
+
 }  // namespace hodor::telemetry

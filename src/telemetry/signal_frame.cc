@@ -39,6 +39,22 @@ void SignalFrame::Clear() {
   responded_count_ = responded_.size();
 }
 
+void SignalFrame::MarkHonestPresence() {
+  tx_present_.SetAll();
+  rx_present_.SetAll();
+  status_present_.SetAll();
+  link_drain_present_.SetAll();
+  node_drain_present_.SetAll();
+  dropped_present_.SetAll();
+  ext_in_present_.Clear();
+  ext_out_present_.Clear();
+  for (const net::Node& node : topo_->nodes()) {
+    if (!node.has_external_port) continue;
+    ext_in_present_.Set(node.id.value());
+    ext_out_present_.Set(node.id.value());
+  }
+}
+
 void SignalFrame::MarkUnresponsive(net::NodeId v) {
   if (responded_[v.value()] == 0) return;
   responded_[v.value()] = 0;

@@ -64,6 +64,15 @@ class PresenceBitset {
     count_ -= !!(w & bit);
     w &= ~bit;
   }
+  // Sets every bit (the parallel collector's bulk presence commit).
+  void SetAll() {
+    std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+    if (!words_.empty() && (size_ & 63) != 0) {
+      words_.back() = (1ull << (size_ & 63)) - 1;
+    }
+    count_ = size_;
+  }
+
   std::size_t count() const { return count_; }
   std::size_t size() const { return size_; }
 
@@ -204,6 +213,39 @@ class SignalFrame {
     ext_out_present_.Set(v.value());
   }
   void ClearExtOutRate(net::NodeId v) { ext_out_present_.Reset(v.value()); }
+
+  // --- deterministic parallel collection fast path --------------------------
+  //
+  // The Fill* setters write the column value only: no presence-bit update,
+  // no owner gate. They exist so the collector can shard honest collection
+  // over contiguous node ranges without two shards racing on a shared
+  // presence word (each value slot has exactly one writer; the bitset
+  // words do not). They are only valid on a freshly Clear()ed frame where
+  // every router responded; the collector commits presence afterwards in
+  // one serial MarkHonestPresence() call.
+
+  void FillTxRate(net::LinkId e, double v) { tx_[e.value()] = v; }
+  void FillRxRate(net::LinkId e, double v) { rx_[e.value()] = v; }
+  void FillStatus(net::LinkId e, LinkStatus s) {
+    status_[e.value()] = static_cast<std::uint8_t>(s);
+  }
+  void FillLinkDrain(net::LinkId e, bool v) {
+    link_drain_[e.value()] = v ? 1 : 0;
+  }
+  void FillNodeDrained(net::NodeId v, bool d) {
+    node_drain_[v.value()] = d ? 1 : 0;
+  }
+  void FillDroppedRate(net::NodeId v, double d) { dropped_[v.value()] = d; }
+  void FillExtInRate(net::NodeId v, double d) { ext_in_[v.value()] = d; }
+  void FillExtOutRate(net::NodeId v, double d) { ext_out_[v.value()] = d; }
+
+  // Commits the presence pattern of a complete honest collection round:
+  // every link column and every node's drain/dropped slot is present, and
+  // ext in/out only for routers with an external port. This is exactly the
+  // pattern the serial owner-gated path produces when all routers respond
+  // (zero-floored rates are still reported, hence still present), so the
+  // parallel path is presence-identical to the serial one.
+  void MarkHonestPresence();
 
   // Signal values present across all columns — O(1) from the maintained
   // popcounts.

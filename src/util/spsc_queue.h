@@ -1,0 +1,96 @@
+// A small bounded single-producer/single-consumer queue: the hand-off
+// between the epoch engine's control thread and its sink thread.
+//
+// Design constraints, in order:
+//   - Bounded + blocking on both ends. The producer blocks when the queue
+//     is full (backpressure: the replay log must stay complete, so epochs
+//     are never dropped) and the consumer blocks when it is empty.
+//   - Drain-on-close. Close() wakes both ends; Pop keeps returning queued
+//     items until the ring is empty and only then reports closed, so a
+//     stopping engine always delivers every recorded epoch.
+//   - Simplicity over throughput. The queue moves a handful of pointers
+//     per epoch (milliseconds apart), so a mutex + two condition variables
+//     is the right cost/assurance trade-off — TSan can reason about it,
+//     and there is no lock-free subtlety to audit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hodor::util {
+
+template <typename T>
+class BoundedSpscQueue {
+ public:
+  explicit BoundedSpscQueue(std::size_t capacity) : ring_(capacity) {
+    HODOR_CHECK_MSG(capacity > 0, "BoundedSpscQueue capacity must be > 0");
+  }
+
+  BoundedSpscQueue(const BoundedSpscQueue&) = delete;
+  BoundedSpscQueue& operator=(const BoundedSpscQueue&) = delete;
+
+  // Blocks while the queue is full. Pushing after Close() is a programmer
+  // error (the producer owns the close decision in an SPSC pairing).
+  void Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return count_ < ring_.size() || closed_; });
+    HODOR_CHECK_MSG(!closed_, "Push on a closed BoundedSpscQueue");
+    ring_[(head_ + count_) % ring_.size()] = std::move(value);
+    ++count_;
+    lock.unlock();
+    not_empty_.notify_one();
+  }
+
+  // Blocks while the queue is empty and open. Returns false — without
+  // touching `out` — once the queue is closed *and* fully drained.
+  bool Pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0) return false;  // closed and drained
+    out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --count_;
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  // Marks the queue closed and wakes both ends. Items already queued stay
+  // poppable (drain-on-close); idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+  std::size_t capacity() const { return ring_.size(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<T> ring_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace hodor::util

@@ -1,0 +1,225 @@
+// The staged epoch engine's contract: the explicit stage graph is a valid
+// topological order, the unified sink API fans out to every subscriber in a
+// fixed order, and — the non-negotiable — the staged configuration
+// (num_threads > 1, threaded sinks) is bit-identical to the serial loop:
+// same decisions, same provenance digests, same hardened state, at every
+// epoch of every faulted scenario.
+#include "controlplane/epoch_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/validator.h"
+#include "faults/scenario_catalog.h"
+#include "flow/tm_generators.h"
+#include "integration/equivalence_fingerprint.h"
+#include "net/topologies.h"
+#include "util/logging.h"
+
+namespace hodor::controlplane {
+namespace {
+
+TEST(EpochStageGraph, IsAValidTopologicalOrder) {
+  const auto& graph = EpochStageGraph();
+  ASSERT_EQ(graph.size(), kEpochStageCount);
+  std::uint32_t done = 0;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const EpochStageNode& node = graph[i];
+    EXPECT_EQ(static_cast<std::size_t>(node.id), i)
+        << "graph order must match EpochStageId order";
+    EXPECT_NE(node.name, nullptr);
+    // Every dependency must already have run, and no stage depends on
+    // itself or the future.
+    EXPECT_EQ(node.deps & ~done, 0u) << "stage " << node.name
+                                     << " depends on a later stage";
+    done |= 1u << static_cast<std::uint32_t>(node.id);
+  }
+}
+
+// One pipeline run of a catalog scenario: per-epoch provenance digest plus
+// the full fingerprintable epoch text (decision provenance + verdict).
+struct ScenarioRun {
+  std::vector<std::uint64_t> digests;
+  std::vector<std::string> texts;
+};
+
+ScenarioRun RunScenario(const std::string& id, std::size_t num_threads,
+                        bool threaded_sinks) {
+  net::Topology topo = net::Abilene();
+  faults::ScenarioCatalog catalog(topo);
+  const faults::OutageScenario* sc = catalog.Find(id).value();
+
+  net::GroundTruthState state(topo);
+  if (sc->setup) sc->setup(state);
+  util::Rng demand_rng(11);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, demand_rng);
+  flow::NormalizeToMaxUtilization(topo, 0.6, demand);
+
+  PipelineOptions opts;
+  opts.num_threads = num_threads;
+  opts.threaded_sinks = threaded_sinks;
+  // The validator's sibling checks follow the same thread count.
+  core::ValidatorOptions vopts;
+  vopts.hardening.num_threads = num_threads;
+
+  Pipeline pipeline(topo, opts, util::Rng(13));
+  pipeline.Bootstrap(state, demand);
+  core::Validator validator(topo, vopts);
+  pipeline.SetValidator(validator.AsPipelineValidator());
+
+  ScenarioRun run;
+  // Collect through a sink (the threaded path renders results there), but
+  // fingerprint from the returned EpochResult — both must agree.
+  std::vector<std::uint64_t> sink_digests;
+  pipeline.AddEpochSink([&](const EpochResult& r) {
+    sink_digests.push_back(r.decision.provenance.CanonicalDigest());
+  });
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    const EpochResult r =
+        pipeline.RunEpoch(state, demand, sc->snapshot_fault, sc->aggregation);
+    run.digests.push_back(r.decision.provenance.CanonicalDigest());
+    std::string text = testing::DecisionText(r.decision.provenance);
+    text += testing::EpochVerdictText(r);
+    run.texts.push_back(std::move(text));
+  }
+  pipeline.DrainSinks();
+  EXPECT_EQ(sink_digests, run.digests);
+  return run;
+}
+
+TEST(EpochEngine, StagedBitIdenticalToSerialAcrossScenarios) {
+  util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+  for (const char* id :
+       {"counter-corruption", "phantom-links", "partial-demand"}) {
+    const ScenarioRun serial =
+        RunScenario(id, /*num_threads=*/1, /*threaded_sinks=*/false);
+    const ScenarioRun staged =
+        RunScenario(id, /*num_threads=*/4, /*threaded_sinks=*/true);
+    ASSERT_EQ(serial.digests.size(), staged.digests.size());
+    for (std::size_t i = 0; i < serial.digests.size(); ++i) {
+      EXPECT_EQ(serial.digests[i], staged.digests[i]) << id << " epoch " << i;
+      EXPECT_EQ(serial.texts[i], staged.texts[i]) << id << " epoch " << i;
+    }
+  }
+  util::Logger::Instance().SetMinLevel(util::LogLevel::kInfo);
+}
+
+struct EngineFixture : ::testing::Test {
+  EngineFixture() : topo(net::Abilene()), state(topo) {
+    util::Rng rng(1);
+    demand = flow::GravityDemand(topo, rng);
+    flow::NormalizeToMaxUtilization(topo, 0.6, demand);
+  }
+
+  Pipeline MakePipeline(PipelineOptions opts = {}) {
+    Pipeline p(topo, opts, util::Rng(2));
+    p.Bootstrap(state, demand);
+    return p;
+  }
+
+  net::Topology topo;
+  net::GroundTruthState state;
+  flow::DemandMatrix demand;
+};
+
+TEST_F(EngineFixture, SinksFanOutInSubscriptionOrderAfterSlots) {
+  Pipeline pipeline = MakePipeline();
+  std::vector<std::string> calls;
+  pipeline.AddEpochSink([&](const EpochResult&) { calls.push_back("sink1"); });
+  pipeline.AddEpochSink([&](const EpochResult&) { calls.push_back("sink2"); });
+  // Deprecated slots run first regardless of when they were installed.
+  pipeline.SetEpochRecorder([&](const EpochResult&) {
+    calls.push_back("recorder");
+  });
+  pipeline.SetEpochObserver([&](const EpochResult&) {
+    calls.push_back("observer");
+  });
+  (void)pipeline.RunEpoch(state, demand);
+  EXPECT_EQ(calls, (std::vector<std::string>{"observer", "recorder", "sink1",
+                                             "sink2"}));
+}
+
+TEST_F(EngineFixture, DeprecatedSettersReplaceAndDetach) {
+  Pipeline pipeline = MakePipeline();
+  int first = 0, second = 0, recorded = 0;
+  pipeline.SetEpochObserver([&](const EpochResult&) { ++first; });
+  pipeline.SetEpochObserver([&](const EpochResult&) { ++second; });
+  pipeline.SetEpochRecorder([&](const EpochResult&) { ++recorded; });
+  (void)pipeline.RunEpoch(state, demand);
+  EXPECT_EQ(first, 0);  // replaced before the epoch ran
+  EXPECT_EQ(second, 1);
+  EXPECT_EQ(recorded, 1);
+  pipeline.SetEpochRecorder(nullptr);  // empty detaches (recorder contract)
+  (void)pipeline.RunEpoch(state, demand);
+  EXPECT_EQ(second, 2);
+  EXPECT_EQ(recorded, 1);
+}
+
+TEST_F(EngineFixture, ThreadedSinksDeliverEveryEpochInOrder) {
+  PipelineOptions opts;
+  opts.threaded_sinks = true;
+  Pipeline pipeline = MakePipeline(opts);
+  std::vector<std::uint64_t> seen;  // sink-thread-only until DrainSinks
+  pipeline.AddEpochSink(
+      [&](const EpochResult& r) { seen.push_back(r.epoch); });
+  constexpr std::uint64_t kEpochs = 32;
+  for (std::uint64_t i = 0; i < kEpochs; ++i) {
+    (void)pipeline.RunEpoch(state, demand);
+  }
+  pipeline.DrainSinks();
+  ASSERT_EQ(seen.size(), kEpochs);
+  for (std::uint64_t i = 0; i < kEpochs; ++i) EXPECT_EQ(seen[i], i);
+}
+
+TEST_F(EngineFixture, ThreadedSinkSeesMetricsMirrorCallerDoesNot) {
+  PipelineOptions opts;
+  opts.threaded_sinks = true;
+  obs::MetricsRegistry registry;
+  opts.metrics = &registry;
+  Pipeline pipeline = MakePipeline(opts);
+  std::vector<double> epochs_total;
+  pipeline.AddEpochSink([&](const EpochResult& r) {
+    ASSERT_NE(r.metrics_mirror, nullptr);
+    // The mirror is a value snapshot taken at this epoch's boundary: the
+    // epoch counter must already include this epoch.
+    const obs::Counter* c =
+        r.metrics_mirror->FindCounter("hodor_epochs_total", {});
+    ASSERT_NE(c, nullptr);
+    epochs_total.push_back(c->value());
+  });
+  const EpochResult r0 = pipeline.RunEpoch(state, demand);
+  const EpochResult r1 = pipeline.RunEpoch(state, demand);
+  pipeline.DrainSinks();
+  EXPECT_EQ(r0.metrics_mirror, nullptr);  // valid only during sink invocation
+  EXPECT_EQ(r1.metrics_mirror, nullptr);
+  ASSERT_EQ(epochs_total.size(), 2u);
+  EXPECT_DOUBLE_EQ(epochs_total[0], 1.0);
+  EXPECT_DOUBLE_EQ(epochs_total[1], 2.0);
+}
+
+TEST_F(EngineFixture, SynchronousSinkSeesConfiguredRegistry) {
+  PipelineOptions opts;
+  obs::MetricsRegistry registry;
+  opts.metrics = &registry;
+  Pipeline pipeline = MakePipeline(opts);
+  const obs::MetricsRegistry* seen = nullptr;
+  pipeline.AddEpochSink(
+      [&](const EpochResult& r) { seen = r.metrics_mirror; });
+  (void)pipeline.RunEpoch(state, demand);
+  EXPECT_EQ(seen, &registry);  // live registry, not a copy, in sync mode
+}
+
+TEST_F(EngineFixture, ThreadedSubscriptionAfterFirstEpochRejected) {
+  PipelineOptions opts;
+  opts.threaded_sinks = true;
+  Pipeline pipeline = MakePipeline(opts);
+  (void)pipeline.RunEpoch(state, demand);
+  EXPECT_THROW(pipeline.AddEpochSink([](const EpochResult&) {}),
+               std::logic_error);
+  pipeline.DrainSinks();
+}
+
+}  // namespace
+}  // namespace hodor::controlplane

@@ -4,6 +4,7 @@
 
 #include <limits>
 #include <stdexcept>
+#include <thread>
 
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -204,6 +205,117 @@ TEST(Json, NumberRendersNonFiniteAsNull) {
   EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
   EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
 }
+
+TEST(MergeFrom, FoldsCountersGaugesAndHistograms) {
+  MetricsRegistry dest;
+  dest.GetCounter("hodor_m_total", {{"k", "a"}}, "help").Increment(2.0);
+  dest.GetHistogram("hodor_m_us", {}, {1.0, 10.0}).Observe(0.5);
+
+  MetricsRegistry shard;
+  shard.GetCounter("hodor_m_total", {{"k", "a"}}).Increment(3.0);
+  shard.GetCounter("hodor_m_total", {{"k", "b"}}).Increment(7.0);
+  shard.GetGauge("hodor_m_gauge").Set(4.5);
+  Histogram& sh = shard.GetHistogram("hodor_m_us", {}, {1.0, 10.0});
+  sh.Observe(5.0);
+  sh.Observe(100.0);
+
+  dest.MergeFrom(shard);
+  EXPECT_DOUBLE_EQ(dest.FindCounter("hodor_m_total", {{"k", "a"}})->value(),
+                   5.0);  // counters add
+  EXPECT_DOUBLE_EQ(dest.FindCounter("hodor_m_total", {{"k", "b"}})->value(),
+                   7.0);  // new series materialize
+  EXPECT_DOUBLE_EQ(dest.FindGauge("hodor_m_gauge")->value(), 4.5);
+  const Histogram* h = dest.FindHistogram("hodor_m_us");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 3u);  // bucket counts add
+  EXPECT_DOUBLE_EQ(h->sum(), 105.5);
+  EXPECT_EQ(h->bucket_counts()[0], 1u);
+  EXPECT_EQ(h->bucket_counts()[1], 1u);
+  EXPECT_EQ(h->bucket_counts()[2], 1u);
+}
+
+TEST(MergeFrom, MismatchedHistogramBoundsRejected) {
+  MetricsRegistry dest;
+  dest.GetHistogram("hodor_m_us", {}, {1.0, 10.0}).Observe(0.5);
+  MetricsRegistry shard;
+  shard.GetHistogram("hodor_m_us", {}, {2.0, 20.0}).Observe(0.5);
+  EXPECT_THROW(dest.MergeFrom(shard), std::logic_error);
+}
+
+TEST(MergeFrom, RepeatedShardFoldsAreDeterministic) {
+  // The parallel discipline: per-worker shards folded in a fixed order
+  // must equal a single serial registry, whatever the shard split was.
+  MetricsRegistry serial;
+  for (int i = 0; i < 10; ++i) {
+    serial.GetCounter("hodor_m_total").Increment();
+    serial.GetHistogram("hodor_m_us", {}, {1.0}).Observe(static_cast<double>(i));
+  }
+  MetricsRegistry merged;
+  for (int shard_idx = 0; shard_idx < 2; ++shard_idx) {
+    MetricsRegistry shard;
+    for (int i = shard_idx * 5; i < (shard_idx + 1) * 5; ++i) {
+      shard.GetCounter("hodor_m_total").Increment();
+      shard.GetHistogram("hodor_m_us", {}, {1.0}).Observe(static_cast<double>(i));
+    }
+    merged.MergeFrom(shard);
+  }
+  EXPECT_EQ(merged.ExportPrometheus(), serial.ExportPrometheus());
+}
+
+TEST(CopyFrom, MirrorsValuesAndKeepsDestOnlySeries) {
+  MetricsRegistry src;
+  src.GetCounter("hodor_m_total").Increment(6.0);
+  src.GetHistogram("hodor_m_us", {}, {1.0}).Observe(0.5);
+
+  MetricsRegistry mirror;
+  mirror.GetCounter("hodor_m_total").Increment(100.0);  // stale value
+  mirror.GetGauge("hodor_sink_private").Set(9.0);       // sink-owned series
+
+  mirror.CopyFrom(src);
+  // Values mirror the source exactly (no accumulation)...
+  EXPECT_DOUBLE_EQ(mirror.FindCounter("hodor_m_total")->value(), 6.0);
+  EXPECT_EQ(mirror.FindHistogram("hodor_m_us")->count(), 1u);
+  // ...and the mirror's own series survive (grows-only contract).
+  EXPECT_DOUBLE_EQ(mirror.FindGauge("hodor_sink_private")->value(), 9.0);
+
+  src.GetCounter("hodor_m_total").Increment();
+  mirror.CopyFrom(src);
+  EXPECT_DOUBLE_EQ(mirror.FindCounter("hodor_m_total")->value(), 7.0);
+}
+
+#ifndef NDEBUG
+TEST(OwnershipAssertion, SecondThreadMutationCaughtInDebugBuilds) {
+  MetricsRegistry reg;
+  reg.GetCounter("hodor_m_total").Increment();  // binds to this thread
+  bool threw = false;
+  std::thread other([&] {
+    try {
+      reg.GetCounter("hodor_m_total").Increment();
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(threw);
+}
+
+TEST(OwnershipAssertion, ReleaseOwnerThreadHandsOff) {
+  MetricsRegistry reg;
+  reg.GetCounter("hodor_m_total").Increment();
+  reg.ReleaseOwnerThread();
+  bool threw = false;
+  std::thread other([&] {
+    try {
+      reg.GetCounter("hodor_m_total").Increment();  // rebinds to this thread
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  other.join();
+  EXPECT_FALSE(threw);
+  EXPECT_DOUBLE_EQ(reg.FindCounter("hodor_m_total")->value(), 2.0);
+}
+#endif  // NDEBUG
 
 TEST(Json, ValidatorAcceptsAndRejects) {
   EXPECT_TRUE(IsValidJson("{\"a\":[1,2.5e3,true,null],\"b\":\"x\\n\"}"));

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "test_util.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 
 namespace hodor::telemetry {
@@ -138,6 +139,56 @@ TEST(Probes, RetriesSuppressFalseLoss) {
   }
   // P(all 8 attempts lost) = 0.3^8 ~ 6.6e-5; expect ~0 over 1200 probes.
   EXPECT_LE(false_negatives, 2);
+}
+
+TEST(Collector, ParallelCollectionBitIdenticalToSerial) {
+  // The staged-epoch contract: sharding honest collection over a pool must
+  // reproduce the serial snapshot bit for bit AND leave the master Rng in
+  // the same state (jitter is pre-drawn in serial order).
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  Collector collector(net.topo, {});
+
+  util::Rng serial_rng(42);
+  NetworkSnapshot serial(net.topo, 0);
+  collector.CollectInto(net.state, net.sim, 3, serial_rng, serial);
+
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    util::ThreadPool pool(threads);
+    util::Rng par_rng(42);
+    NetworkSnapshot parallel(net.topo, 0);
+    collector.CollectInto(net.state, net.sim, 3, par_rng, parallel, nullptr,
+                          &pool);
+    for (LinkId e : net.topo.LinkIds()) {
+      EXPECT_EQ(serial.TxRate(e), parallel.TxRate(e)) << threads;
+      EXPECT_EQ(serial.RxRate(e), parallel.RxRate(e));
+      EXPECT_EQ(serial.StatusAtSrc(e), parallel.StatusAtSrc(e));
+      EXPECT_EQ(serial.LinkDrainAtSrc(e), parallel.LinkDrainAtSrc(e));
+      EXPECT_EQ(serial.ProbeSucceeded(e), parallel.ProbeSucceeded(e));
+    }
+    for (NodeId v : net.topo.NodeIds()) {
+      EXPECT_EQ(serial.NodeDrained(v), parallel.NodeDrained(v));
+      EXPECT_EQ(serial.DroppedRate(v), parallel.DroppedRate(v));
+      EXPECT_EQ(serial.ExtInRate(v), parallel.ExtInRate(v));
+      EXPECT_EQ(serial.ExtOutRate(v), parallel.ExtOutRate(v));
+    }
+    // Identical Rng consumption: the next draw must agree exactly.
+    util::Rng serial_probe = serial_rng;  // keep serial_rng untouched
+    EXPECT_DOUBLE_EQ(serial_probe.Uniform(0.0, 1.0),
+                     par_rng.Uniform(0.0, 1.0));
+  }
+}
+
+TEST(Collector, ParallelCollectionAppliesMutator) {
+  testing::HealthyNetwork net = testing::MakeAbilene();
+  Collector collector(net.topo, {});
+  util::ThreadPool pool(4);
+  util::Rng rng(5);
+  NetworkSnapshot snap(net.topo, 0);
+  const LinkId e = net.topo.LinkIds()[0];
+  collector.CollectInto(
+      net.state, net.sim, 0, rng, snap,
+      [&](NetworkSnapshot& s) { s.frame().SetTxRate(e, 1e9); }, &pool);
+  EXPECT_DOUBLE_EQ(snap.TxRate(e).value(), 1e9);
 }
 
 TEST(Probes, NonForwardingRouterFailsItsLinks) {
