@@ -10,6 +10,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "core/hardening.h"
 #include "core/validator.h"
@@ -23,6 +24,7 @@
 #include "obs/span.h"
 #include "telemetry/collector.h"
 #include "util/clock.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 #include "util/table.h"
 
@@ -87,8 +89,11 @@ inline void PrintHeader(const std::string& experiment_id,
 // BENCH_<experiment_id>.json next to the bench's stdout table.
 // `report_json`, when non-empty, must be a JSON value (e.g. an
 // AvailabilityReport::ToJson() or an array of them) and is embedded under
-// "reports". Prints one stdout line naming the snapshot so transcripts
-// show where it went.
+// "reports". Every snapshot records the host's hardware_threads and the
+// effective HODOR_THREADS so cross-machine comparisons
+// (scripts/bench_compare.sh) can flag apples-to-oranges baselines.
+// Prints one stdout line naming the snapshot so transcripts show where it
+// went.
 inline void DumpObsSnapshot(const std::string& experiment_id,
                             const std::string& report_json = "") {
   const std::string path = "BENCH_" + experiment_id + ".json";
@@ -99,7 +104,8 @@ inline void DumpObsSnapshot(const std::string& experiment_id,
   }
   out << "{\"experiment\":\"" << obs::JsonEscape(experiment_id)
       << "\",\"generated_at\":\"" << obs::JsonEscape(util::UtcTimestampNow())
-      << "\"";
+      << "\",\"hardware_threads\":" << std::thread::hardware_concurrency()
+      << ",\"hodor_threads\":" << util::ThreadsFromEnv(1);
   if (!report_json.empty()) out << ",\"reports\":" << report_json;
   out << ",\"metrics\":" << obs::MetricsRegistry::Global().ExportJson()
       << "}\n";

@@ -28,15 +28,26 @@
 // The floor needs a second hardware thread to be physically expressible
 // (displaced work must overlap on another core); on a single-CPU host the
 // bench reports the measurement and enforces only the digest contract.
+//
+// Flags:
+//   --trace-out=PATH   also write each configuration's execution trace as
+//       Chrome/Perfetto JSON; the tag and mode are inserted before the
+//       extension (trace.json -> trace.waxman400_staged.json).
+//   --trace-overhead   instead of the main comparison, gate the tracer's
+//       own cost: waxman100 serial with tracing off vs on, fail (exit 1)
+//       if the fastest epoch regresses more than 3% or digests diverge.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
+#include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "controlplane/pipeline.h"
+#include "obs/exec_timeline.h"
 #include "obs/health/signal_health.h"
 #include "obs/provenance.h"
 #include "obs/serve/telemetry_server.h"
@@ -83,8 +94,29 @@ flow::DemandMatrix BenchDemand(const net::Topology& topo) {
 
 struct RunResult {
   double median_ms = 0.0;
+  // Fastest measured epoch — the overhead gate compares minima because
+  // they are robust to load spikes from whatever else the host is doing.
+  double min_ms = 0.0;
   std::vector<std::uint64_t> digests;
+  // Execution-trace aggregate over the measured epochs (per-stage
+  // self/wait, modal bottleneck, pool occupancy, sink health); valid only
+  // when the run traced.
+  obs::ExecSummary trace;
+  bool has_trace = false;
 };
+
+// Inserts "<tag>_<mode>" before the path's extension so one --trace-out
+// value yields a distinct file per configuration.
+std::string TracePathFor(const std::string& base, const char* tag,
+                         bool staged) {
+  const std::string suffix =
+      std::string(tag) + (staged ? "_staged" : "_serial");
+  const std::size_t dot = base.rfind('.');
+  if (dot == std::string::npos || base.find('/', dot) != std::string::npos) {
+    return base + "." + suffix;
+  }
+  return base.substr(0, dot) + "." + suffix + base.substr(dot);
+}
 
 double MedianMs(std::vector<double> samples) {
   std::sort(samples.begin(), samples.end());
@@ -94,9 +126,11 @@ double MedianMs(std::vector<double> samples) {
 }
 
 // One full run: validator + flight recorder + serving sinks attached,
-// kWarmupEpochs discarded, kMeasuredEpochs timed around RunEpoch only.
+// kWarmupEpochs discarded, `measured_epochs` timed around RunEpoch only.
 RunResult RunConfig(const net::Topology& topo, bool staged,
-                    const char* log_tag) {
+                    const char* log_tag, bool exec_trace = true,
+                    const std::string& trace_out = "",
+                    int measured_epochs = kMeasuredEpochs) {
   const net::GroundTruthState state(topo);
   const flow::DemandMatrix base = BenchDemand(topo);
 
@@ -105,6 +139,7 @@ RunResult RunConfig(const net::Topology& topo, bool staged,
   opts.controller.algorithm = controlplane::RoutingAlgorithm::kShortestPath;
   opts.num_threads = staged ? StagedThreads() : 1;
   opts.threaded_sinks = staged;
+  opts.exec_trace = exec_trace;
   controlplane::Pipeline pipeline(topo, opts, util::Rng(13));
   core::ValidatorOptions vopts;
   vopts.hardening.num_threads = opts.num_threads;
@@ -136,8 +171,8 @@ RunResult RunConfig(const net::Topology& topo, bool staged,
   });
 
   std::vector<double> samples;
-  samples.reserve(kMeasuredEpochs);
-  for (int epoch = 0; epoch < kWarmupEpochs + kMeasuredEpochs; ++epoch) {
+  samples.reserve(measured_epochs);
+  for (int epoch = 0; epoch < kWarmupEpochs + measured_epochs; ++epoch) {
     util::Rng drift_rng(1000 + epoch);
     flow::DemandMatrix demand = base;
     for (const auto& [i, j] : base.Pairs()) {
@@ -152,16 +187,104 @@ RunResult RunConfig(const net::Topology& topo, bool staged,
     result.digests.push_back(r.decision.provenance.CanonicalDigest());
   }
   pipeline.DrainSinks();
+  if (obs::ExecTimeline* tl = pipeline.exec_timeline()) {
+    result.trace = obs::Summarize(
+        tl->Recent(static_cast<std::size_t>(measured_epochs)));
+    result.has_trace = result.trace.epochs > 0;
+    if (!trace_out.empty()) {
+      const std::string path = TracePathFor(trace_out, log_tag, staged);
+      if (pipeline.WriteExecTrace(path)) {
+        std::cout << "[trace] " << path << "\n";
+      } else {
+        std::cout << "[trace] could not write " << path << "\n";
+      }
+    }
+  }
   (void)recorder.Close();
   std::remove(log_path.c_str());
+  result.min_ms = *std::min_element(samples.begin(), samples.end());
   result.median_ms = MedianMs(std::move(samples));
   return result;
 }
 
+// --trace-overhead: the tracer must stay cheap enough to leave on. Runs
+// waxman100 serial (the smallest size where the epoch is non-trivial but
+// the tracer's fixed cost is proportionally largest among the bench
+// sizes) with tracing disabled, then enabled, and compares the fastest
+// epoch of each run — the minimum isolates the tracer's cost from load
+// spikes that inflate medians on a busy host. Digest parity doubles as
+// the determinism check.
+int RunTraceOverheadGate() {
+  constexpr int kOverheadEpochs = 20;
+  constexpr double kMaxRatio = 1.03;
+  util::Rng topo_rng(21);
+  const net::Topology topo = net::Waxman(100, topo_rng);
+  bench::PrintHeader(
+      "epoch_engine --trace-overhead",
+      "execution tracer overhead gate (tracer on vs off)",
+      "waxman100 seed=21 serial, " + std::to_string(kOverheadEpochs) +
+          " measured epochs after 2 warm-up; pass: min-epoch ratio <= 1.03 "
+          "and digest parity");
+  // Two interleaved rounds per configuration: a load spike during one
+  // measurement window then penalises (at most) one round of one config,
+  // and the min over both rounds discards it.
+  RunResult off = RunConfig(topo, /*staged=*/false, "overhead_off",
+                            /*exec_trace=*/false, "", kOverheadEpochs);
+  RunResult on = RunConfig(topo, /*staged=*/false, "overhead_on",
+                           /*exec_trace=*/true, "", kOverheadEpochs);
+  const RunResult off2 = RunConfig(topo, /*staged=*/false, "overhead_off",
+                                   /*exec_trace=*/false, "", kOverheadEpochs);
+  const RunResult on2 = RunConfig(topo, /*staged=*/false, "overhead_on",
+                                  /*exec_trace=*/true, "", kOverheadEpochs);
+  off.min_ms = std::min(off.min_ms, off2.min_ms);
+  on.min_ms = std::min(on.min_ms, on2.min_ms);
+  const double ratio = on.min_ms / off.min_ms;
+  const bool digests_match = off.digests == on.digests &&
+                             off.digests == off2.digests &&
+                             on.digests == on2.digests;
+  util::TablePrinter table(
+      {"config", "ms/epoch (min)", "ms/epoch (median)", "ratio", "digests"});
+  table.AddRowValues("trace off", util::FormatDouble(off.min_ms, 3),
+                     util::FormatDouble(off.median_ms, 3), "-", "-");
+  table.AddRowValues("trace on", util::FormatDouble(on.min_ms, 3),
+                     util::FormatDouble(on.median_ms, 3),
+                     util::FormatDouble(ratio, 4),
+                     digests_match ? "match" : "DIVERGED");
+  std::cout << table.ToString();
+  if (on.has_trace) {
+    std::cout << "bottleneck stage: " << on.trace.bottleneck
+              << ", mean critical path "
+              << util::FormatDouble(on.trace.mean_critical_path_ms, 3)
+              << " ms\n";
+  }
+  const bool ratio_ok = ratio <= kMaxRatio;
+  std::cout << "tracer overhead " << util::FormatPercent(ratio - 1.0, 2)
+            << " (gate " << util::FormatPercent(kMaxRatio - 1.0, 0)
+            << "): " << (ratio_ok ? "PASS" : "FAIL") << "; digests "
+            << (digests_match ? "bit-identical" : "DIVERGED") << "\n";
+  return ratio_ok && digests_match ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+  std::string trace_out;
+  bool trace_overhead = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = std::string(arg.substr(12));
+    } else if (arg == "--trace-overhead") {
+      trace_overhead = true;
+    } else {
+      std::cerr << "unknown flag: " << arg
+                << "\nusage: bench_epoch_engine [--trace-out=PATH] "
+                   "[--trace-overhead]\n";
+      return 2;
+    }
+  }
+  if (trace_overhead) return RunTraceOverheadGate();
   const unsigned hardware_threads = std::thread::hardware_concurrency();
   const bool can_overlap = hardware_threads >= 2;
   bench::PrintHeader(
@@ -183,15 +306,18 @@ int main() {
   sizes.push_back({"waxman400", net::Waxman(400, topo_rng)});
 
   util::TablePrinter table({"topology", "nodes", "serial ms/epoch",
-                            "staged ms/epoch", "speedup", "digests"});
+                            "staged ms/epoch", "speedup", "bottleneck",
+                            "digests"});
   std::ostringstream reports;
   reports << "[";
   bool all_match = true;
   double improvement_400 = 0.0;
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     const Size& s = sizes[i];
-    const RunResult serial = RunConfig(s.topo, /*staged=*/false, s.tag);
-    const RunResult staged = RunConfig(s.topo, /*staged=*/true, s.tag);
+    const RunResult serial =
+        RunConfig(s.topo, /*staged=*/false, s.tag, true, trace_out);
+    const RunResult staged =
+        RunConfig(s.topo, /*staged=*/true, s.tag, true, trace_out);
     const bool match = serial.digests == staged.digests;
     all_match = all_match && match;
     const double speedup = serial.median_ms / staged.median_ms;
@@ -202,13 +328,28 @@ int main() {
                        util::FormatDouble(serial.median_ms, 3),
                        util::FormatDouble(staged.median_ms, 3),
                        util::FormatDouble(speedup, 2) + "x",
+                       staged.has_trace ? staged.trace.bottleneck : "-",
                        match ? "match" : "DIVERGED");
     reports << (i ? "," : "") << "{\"topology\":\"" << s.tag
             << "\",\"nodes\":" << s.topo.node_count()
             << ",\"serial_ms_per_epoch\":" << obs::JsonNumber(serial.median_ms)
             << ",\"staged_ms_per_epoch\":" << obs::JsonNumber(staged.median_ms)
             << ",\"speedup\":" << obs::JsonNumber(speedup)
-            << ",\"digests_match\":" << (match ? "true" : "false") << "}";
+            << ",\"digests_match\":" << (match ? "true" : "false");
+    // Per-stage execution breakdown from the always-on tracer: where each
+    // configuration's epoch wall time went, and what bottlenecks it.
+    if (serial.has_trace || staged.has_trace) {
+      reports << ",\"trace\":{";
+      if (serial.has_trace) {
+        reports << "\"serial\":" << serial.trace.ToJson();
+      }
+      if (staged.has_trace) {
+        reports << (serial.has_trace ? "," : "")
+                << "\"staged\":" << staged.trace.ToJson();
+      }
+      reports << "}";
+    }
+    reports << "}";
   }
   reports << ",{\"staged_threads\":" << StagedThreads()
           << ",\"hardware_threads\":" << hardware_threads << "}]";

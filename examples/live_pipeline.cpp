@@ -14,6 +14,15 @@
 // resolved lifecycle — all fed from a single epoch observer hook.
 //
 //   ./build/examples/live_pipeline
+//   ./build/examples/live_pipeline --topo=waxman400 --epochs=8
+//       --trace-out=trace.json
+//
+// Flags:
+//   --topo=geant|abilene|waxman100|waxman400   topology (default geant;
+//       waxman sizes use seed 21 and sparse demand, like the bench)
+//   --epochs=N        control epochs to run (default 20)
+//   --trace-out=PATH  write the protected pipeline's execution trace as
+//       Chrome/Perfetto trace JSON after the run (load in ui.perfetto.dev)
 //
 // Set HODOR_SERVE_SECONDS=60 to keep the HTTP endpoints up after the run
 // (curl the printed URL); by default the binary exits immediately.
@@ -30,10 +39,13 @@
 //
 // SIGINT/SIGTERM interrupt the run cleanly: the epoch loop stops, sinks
 // drain, and the epoch log is flushed and closed before exit.
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
+#include <string>
+#include <string_view>
 #include <thread>
 
 #include "controlplane/pipeline.h"
@@ -42,6 +54,7 @@
 #include "faults/aggregation_faults.h"
 #include "flow/tm_generators.h"
 #include "net/topologies.h"
+#include "obs/exec_timeline.h"
 #include "obs/health/signal_health.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
@@ -61,20 +74,72 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 
 void HandleStopSignal(int) { g_stop_requested = 1; }
 
+hodor::net::Topology TopologyByName(const std::string& name, bool* sparse) {
+  using namespace hodor;
+  *sparse = false;
+  if (name == "geant") return net::GeantLike();
+  if (name == "abilene") return net::Abilene();
+  if (name == "waxman100" || name == "waxman400") {
+    // Same seed as bench/bench_epoch_engine so traces are comparable.
+    util::Rng topo_rng(21);
+    *sparse = true;
+    return net::Waxman(name == "waxman100" ? 100 : 400, topo_rng);
+  }
+  std::cerr << "unknown --topo=" << name
+            << " (expected geant|abilene|waxman100|waxman400)\n";
+  std::exit(2);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hodor;
   util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
 
-  const net::Topology topo = net::GeantLike();
+  std::string topo_name = "geant";
+  std::string trace_out;
+  int total_epochs = 20;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--topo=", 0) == 0) {
+      topo_name = std::string(arg.substr(7));
+    } else if (arg.rfind("--epochs=", 0) == 0) {
+      total_epochs = std::atoi(std::string(arg.substr(9)).c_str());
+      if (total_epochs <= 0) {
+        std::cerr << "--epochs must be a positive integer\n";
+        return 2;
+      }
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = std::string(arg.substr(12));
+    } else {
+      std::cerr << "unknown flag: " << arg
+                << "\nusage: live_pipeline [--topo=geant|abilene|waxman100|"
+                   "waxman400] [--epochs=N] [--trace-out=PATH]\n";
+      return 2;
+    }
+  }
+
+  bool sparse_demand = false;
+  const net::Topology topo = TopologyByName(topo_name, &sparse_demand);
   const net::GroundTruthState state(topo);
 
   // Base demand plus per-epoch drift: the network's "diurnal" variation.
+  // Waxman sizes sparsify to ~2 peers per site, like the bench (WAN
+  // matrices are sparse; a dense 400-node matrix is not realistic).
   util::Rng demand_rng(99);
   flow::DemandMatrix base = flow::GravityDemand(topo, demand_rng);
+  if (sparse_demand) {
+    const auto pairs = base.Pairs();
+    const double keep =
+        std::min(1.0, 2.0 * static_cast<double>(topo.node_count()) /
+                          static_cast<double>(pairs.size()));
+    util::Rng sparsify_rng(29);
+    for (const auto& [i, j] : pairs) {
+      if (sparsify_rng.Uniform(0.0, 1.0) > keep) base.Set(i, j, 0.0);
+    }
+  }
   flow::NormalizeToMaxUtilization(topo, 0.45, base);
 
   // HODOR_THREADS > 1 engages the staged engine on the protected pipeline:
@@ -161,7 +226,7 @@ int main() {
 
   if (serving) {
     std::cout << "telemetry: " << server.url()
-              << "  (GET /metrics /metrics.json /healthz /decisions "
+              << "  (GET /metrics /metrics.json /healthz /decisions /trace "
                  "/health/signals /alerts)\n\n";
   }
 
@@ -171,7 +236,7 @@ int main() {
   // First rejected epoch's provenance, kept for the post-run printout.
   obs::DecisionRecord sample_rejection;
 
-  for (int epoch = 0; epoch < 20 && !g_stop_requested; ++epoch) {
+  for (int epoch = 0; epoch < total_epochs && !g_stop_requested; ++epoch) {
     // Drift: each pair's demand wobbles a few percent per epoch.
     util::Rng drift_rng(1000 + epoch);
     flow::DemandMatrix demand = base;
@@ -188,6 +253,16 @@ int main() {
 
     const auto u = unprotected.RunEpoch(state, demand, nullptr, hooks);
     const auto p = protected_pipeline.RunEpoch(state, demand, nullptr, hooks);
+
+    // The epoch's execution breakdown (critical path, per-stage self/wait,
+    // sink health) goes to GET /trace, newest first.
+    if (serving) {
+      if (obs::ExecTimeline* tl = protected_pipeline.exec_timeline()) {
+        if (const auto latest = tl->Latest()) {
+          server.PublishTrace(latest->epoch, latest->ToJson());
+        }
+      }
+    }
 
     std::string verdict = p.decision.accept ? "accept" : "REJECT";
     if (p.used_fallback) verdict += " -> fallback";
@@ -227,6 +302,38 @@ int main() {
                            h->sum() / static_cast<double>(h->count()), 1));
   }
   std::cout << spans.ToString();
+
+  // Critical-path recap: where the last epoch's wall time actually went
+  // (protected pipeline's execution tracer; see README "Profiling Hodor").
+  if (obs::ExecTimeline* tl = protected_pipeline.exec_timeline()) {
+    if (const auto last = tl->Latest()) {
+      std::cout << "\nCritical path, last epoch (" << last->epoch << "): "
+                << util::FormatDouble(last->critical_path_ms, 2)
+                << " ms, bottleneck stage: " << last->bottleneck << "\n";
+      util::TablePrinter cp({"stage", "self ms", "wait ms", "busy"});
+      for (const obs::StageBreakdown& s : last->stages) {
+        cp.AddRowValues(s.name, util::FormatDouble(s.self_ms, 3),
+                        util::FormatDouble(s.wait_ms, 3),
+                        util::FormatPercent(s.busy_ratio, 1));
+      }
+      std::cout << cp.ToString();
+      if (protected_opts.threaded_sinks || last->sink_queue_depth_max > 0) {
+        std::cout << "sink queue depth max " << last->sink_queue_depth_max
+                  << ", backpressure "
+                  << util::FormatDouble(last->backpressure_ms, 3)
+                  << " ms, sink lag "
+                  << util::FormatDouble(last->sink_lag_ms, 3) << " ms\n";
+      }
+    }
+  }
+  if (!trace_out.empty()) {
+    if (protected_pipeline.WriteExecTrace(trace_out)) {
+      std::cout << "\nwrote execution trace to " << trace_out
+                << " (load in ui.perfetto.dev or chrome://tracing)\n";
+    } else {
+      std::cerr << "\n--trace-out: could not write " << trace_out << "\n";
+    }
+  }
 
   // Signal-health scoreboard: the least-trusted sources after the run.
   std::cout << "\nSignal-health scoreboard (" << board.source_count()

@@ -63,6 +63,31 @@ THRESHOLD = 1.25  # fail when candidate median > 1.25x baseline median
 STAGES = ("harden", "check-demand", "check-topology", "check-drain")
 
 
+def hardware_threads(path):
+    # Snapshots record the host's hardware_threads (bench_common.h);
+    # baselines from before that field return None.
+    with open(path) as f:
+        return json.load(f).get("hardware_threads")
+
+
+def warn_on_host_mismatch(base_path, cand_path):
+    # A baseline recorded on different hardware makes the ratios
+    # apples-to-oranges; that is an operator problem (regenerate the
+    # baseline on this host), not a code regression, so warn — don't fail.
+    base_ht = hardware_threads(base_path)
+    cand_ht = hardware_threads(cand_path)
+    if base_ht is None:
+        print("bench_compare: WARNING baseline predates the "
+              "hardware_threads field; regenerate it with "
+              "scripts/bench_snapshot.sh for host-comparability checks")
+        return
+    if cand_ht is not None and base_ht != cand_ht:
+        print(f"bench_compare: WARNING baseline recorded with "
+              f"hardware_threads={base_ht} but this host has {cand_ht}; "
+              f"ratios below compare different machines — regenerate the "
+              f"baseline here before trusting a failure")
+
+
 def stage_median(path, stage):
     with open(path) as f:
         doc = json.load(f)
@@ -92,6 +117,7 @@ def stage_median(path, stage):
 
 
 base_path, cand_path = sys.argv[1], sys.argv[2]
+warn_on_host_mismatch(base_path, cand_path)
 regressed = []  # (stage, ratio), so the failure line names the culprits
 print(f"{'stage':<16} {'baseline us':>12} {'candidate us':>13} {'ratio':>7}")
 for stage in STAGES:

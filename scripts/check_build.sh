@@ -23,6 +23,11 @@
 #      `hodor_replay replay` at 1 and 4 threads. Any decision-digest
 #      divergence fails — the staged epoch engine's determinism contract
 #      (DESIGN §9) enforced against a recorded log.
+#   7. With --trace-gate: the execution tracer's cost and output gates
+#      (DESIGN §10) — bench_epoch_engine --trace-overhead fails if tracing
+#      regresses the fastest waxman100 epoch by more than 3% or perturbs a
+#      digest, then a live_pipeline run must produce a Perfetto trace that
+#      parses as JSON with a non-empty traceEvents array.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -54,10 +59,36 @@ if [ "$1" = "--sanitize=thread" ]; then
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
   cmake --build build-tsan -j --target \
-    util_parallel_test util_spsc_queue_test core_hardening_test \
-    controlplane_epoch_engine_test integration_frame_equivalence_test
+    util_parallel_test util_spsc_queue_test util_exec_trace_test \
+    core_hardening_test controlplane_epoch_engine_test \
+    integration_frame_equivalence_test
   (cd build-tsan && ctest --output-on-failure \
-    -R "util_parallel_test|util_spsc_queue_test|core_hardening_test|controlplane_epoch_engine_test|integration_frame_equivalence_test" -j)
+    -R "util_parallel_test|util_spsc_queue_test|util_exec_trace_test|core_hardening_test|controlplane_epoch_engine_test|integration_frame_equivalence_test" -j)
+fi
+
+if [ "$1" = "--trace-gate" ]; then
+  echo "== execution tracer gates (overhead + Perfetto output) =="
+  cmake --build build -j --target bench_epoch_engine live_pipeline
+  ROOT=$(pwd)
+  TMP=$(mktemp -d)
+  trap 'rm -rf "$TMP"' EXIT
+  # Overhead: tracer on vs off, min-epoch ratio <= 1.03, digest parity.
+  (cd "$TMP" && "$ROOT/build/bench/bench_epoch_engine" --trace-overhead)
+  # Output: the emitted trace must be a loadable, non-empty Perfetto JSON.
+  ./build/examples/live_pipeline --topo=waxman100 --epochs=6 \
+    --trace-out="$TMP/trace.json" >/dev/null
+  python3 - "$TMP/trace.json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "traceEvents is empty"
+kinds = {e.get("ph") for e in events}
+assert "X" in kinds, f"no complete events in trace (phases: {kinds})"
+print(f"trace-gate: {len(events)} trace events parse cleanly")
+EOF
 fi
 
 if [ "$1" = "--replay-gate" ]; then

@@ -23,6 +23,11 @@ constexpr std::uint32_t Bit(EpochStageId id) {
 // thread (the classic double buffer).
 constexpr std::size_t kSinkBuffers = 2;
 
+// Trace queue ids: the ready queue's depth is what "sink queue depth"
+// means in the analyzer and on /metrics.
+constexpr std::uint16_t kReadyQueueId = 0;
+constexpr std::uint16_t kFreeQueueId = 1;
+
 }  // namespace
 
 const std::array<EpochStageNode, kEpochStageCount>& EpochStageGraph() {
@@ -54,13 +59,38 @@ EpochEngine::EpochEngine(const net::Topology& topo, PipelineOptions opts,
   if (opts_.num_threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(opts_.num_threads);
   }
+  if (opts_.exec_trace) {
+    tracer_ = std::make_unique<util::ExecTracer>(opts_.trace_ring_capacity);
+    control_handle_ = tracer_->RegisterThread("control");
+    if (pool_) pool_->SetTracer(tracer_.get());
+    obs::ExecTimelineOptions tl;
+    tl.stage_names.reserve(kEpochStageCount);
+    for (const EpochStageNode& node : EpochStageGraph()) {
+      tl.stage_names.emplace_back(node.name);
+    }
+    tl.pool_threads = pool_ ? pool_->thread_count() : 1;
+    tl.sink_queue_id = kReadyQueueId;
+    tl.retain_events = opts_.trace_retain_events;
+    timeline_ = std::make_unique<obs::ExecTimeline>(tracer_.get(),
+                                                    std::move(tl));
+  }
   const std::size_t buffers = opts_.threaded_sinks ? kSinkBuffers : 1;
   states_.reserve(buffers);
   for (std::size_t i = 0; i < buffers; ++i) {
     states_.push_back(std::make_unique<EpochState>(topo));
   }
   if (opts_.threaded_sinks) {
+    // Seed the free list before attaching the tracer: the initial fills
+    // are setup, not epoch hand-offs, and must not be attributed to the
+    // (sink-owned) producer stream.
     for (const auto& st : states_) free_.Push(st.get());
+    if (tracer_) {
+      sink_handle_ = tracer_->RegisterThread("sink");
+      ready_.AttachTracer(tracer_.get(), kReadyQueueId, control_handle_,
+                          sink_handle_);
+      free_.AttachTracer(tracer_.get(), kFreeQueueId, sink_handle_,
+                         control_handle_);
+    }
     sink_thread_ = std::thread([this] { SinkLoop(); });
   }
 }
@@ -121,6 +151,10 @@ EpochResult EpochEngine::RunEpoch(
     const net::GroundTruthState& state, const flow::DemandMatrix& true_demand,
     const telemetry::SnapshotMutator& snapshot_fault,
     const AggregationFaultHooks& aggregation_faults) {
+  // Stamp the tracer's epoch before acquiring a buffer so the (possibly
+  // blocking) free-queue pop is attributed to the epoch it stalls.
+  const std::uint64_t trace_t0 = tracer_ ? tracer_->NowNs() : 0;
+  if (tracer_) tracer_->SetCurrentEpoch(next_epoch_);
   EpochState& st = AcquireState();
   const std::uint64_t epoch = next_epoch_++;
   obs::MetricsRegistry* reg = opts_.metrics;
@@ -173,7 +207,23 @@ EpochResult EpochEngine::RunEpoch(
   }
   st.result.spans.push_back(epoch_span.End());
 
-  return FinishAndDispatch(st);
+  EpochResult out = FinishAndDispatch(st);
+  if (tracer_) {
+    // The kEpoch event closes over FinishAndDispatch so backpressure on
+    // the ready queue lands inside the epoch's span.
+    tracer_->Emit(control_handle_,
+                  util::ExecEvent{trace_t0, tracer_->NowNs() - trace_t0,
+                                  epoch, util::ExecEventKind::kEpoch, 0, 0});
+    timeline_->Poll();
+    timeline_->PublishGauges(reg);
+    if (opts_.threaded_sinks) {
+      registry
+          .GetGauge("hodor_sink_queue_depth", {},
+                    "Completed epochs queued for the sink thread")
+          .Set(static_cast<double>(ready_.size()));
+    }
+  }
+  return out;
 }
 
 EpochResult EpochEngine::FinishAndDispatch(EpochState& st) {
@@ -202,7 +252,14 @@ EpochResult EpochEngine::FinishAndDispatch(EpochState& st) {
 void EpochEngine::SinkLoop() {
   EpochState* st = nullptr;
   while (ready_.Pop(st)) {
+    const std::uint64_t t0 = tracer_ ? tracer_->NowNs() : 0;
     InvokeSinks(st->result);
+    if (tracer_) {
+      tracer_->Emit(sink_handle_,
+                    util::ExecEvent{t0, tracer_->NowNs() - t0,
+                                    st->result.epoch,
+                                    util::ExecEventKind::kSinkDeliver, 0, 0});
+    }
     st->result.metrics_mirror = nullptr;
     // The mirror's next writer is the control thread (CopyFrom next time
     // this buffer cycles around); unbind it before handing the buffer back.
@@ -217,12 +274,34 @@ void EpochEngine::SinkLoop() {
 }
 
 void EpochEngine::DrainSinks() {
-  if (!opts_.threaded_sinks) return;
-  std::unique_lock<std::mutex> lock(mu_);
-  drained_cv_.wait(lock, [&] { return delivered_ == submitted_; });
+  if (opts_.threaded_sinks) {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [&] { return delivered_ == submitted_; });
+  }
+  if (timeline_ == nullptr) return;
+  // Pick up the sink thread's deliveries (it is now idle) and reflect the
+  // drained queue in the live gauge.
+  timeline_->Poll();
+  if (opts_.threaded_sinks) {
+    obs::ResolveRegistry(opts_.metrics)
+        .GetGauge("hodor_sink_queue_depth", {},
+                  "Completed epochs queued for the sink thread")
+        .Set(static_cast<double>(ready_.size()));
+  }
 }
 
 void EpochEngine::RunStage(EpochStageId id, StageContext& ctx) {
+  const std::uint64_t t0 = tracer_ ? tracer_->NowNs() : 0;
+  DispatchStage(id, ctx);
+  if (tracer_) {
+    tracer_->Emit(control_handle_,
+                  util::ExecEvent{t0, tracer_->NowNs() - t0, ctx.epoch,
+                                  util::ExecEventKind::kStage,
+                                  static_cast<std::uint16_t>(id), 0});
+  }
+}
+
+void EpochEngine::DispatchStage(EpochStageId id, StageContext& ctx) {
   switch (id) {
     case EpochStageId::kSimulate:
       StageSimulate(ctx);

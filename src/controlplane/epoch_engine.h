@@ -46,7 +46,9 @@
 #include <vector>
 
 #include "controlplane/pipeline.h"
+#include "obs/exec_timeline.h"
 #include "obs/metrics.h"
+#include "util/exec_trace.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/spsc_queue.h"
@@ -146,6 +148,11 @@ class EpochEngine {
   }
   const PipelineOptions& options() const { return opts_; }
 
+  // Execution-trace surfaces; nullptr while opts_.exec_trace is false.
+  // The timeline is polled/analyzed by the control thread only.
+  obs::ExecTimeline* exec_timeline() { return timeline_.get(); }
+  util::ExecTracer* exec_tracer() { return tracer_.get(); }
+
  private:
   // Everything one stage needs, threaded through the runner.
   struct StageContext {
@@ -158,6 +165,7 @@ class EpochEngine {
   };
 
   void RunStage(EpochStageId id, StageContext& ctx);
+  void DispatchStage(EpochStageId id, StageContext& ctx);
   void StageSimulate(StageContext& ctx);
   void StageCollect(StageContext& ctx);
   void StageAggregate(StageContext& ctx);
@@ -183,6 +191,14 @@ class EpochEngine {
   flow::RoutingPlan installed_plan_;
   std::optional<ControllerInput> last_good_input_;
   std::uint64_t next_epoch_ = 0;
+
+  // Execution tracer + analyzer. Declared before the pool, queues, and
+  // sink thread so every emitter (pool workers, queue hand-offs, the sink
+  // loop) is torn down before the rings it writes into.
+  std::unique_ptr<util::ExecTracer> tracer_;
+  std::unique_ptr<obs::ExecTimeline> timeline_;
+  util::ExecThreadHandle control_handle_;
+  util::ExecThreadHandle sink_handle_;
 
   // Worker pool for the intra-epoch sharded stages; null while
   // opts_.num_threads <= 1.

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "controlplane/epoch_engine.h"
+#include "obs/exec_timeline.h"
 
 namespace hodor::controlplane {
 
@@ -44,6 +45,14 @@ EpochResult Pipeline::RunEpoch(const net::GroundTruthState& state,
 }
 
 void Pipeline::DrainSinks() { engine_->DrainSinks(); }
+
+obs::ExecTimeline* Pipeline::exec_timeline() { return engine_->exec_timeline(); }
+
+bool Pipeline::WriteExecTrace(const std::string& path) {
+  obs::ExecTimeline* timeline = engine_->exec_timeline();
+  if (timeline == nullptr) return false;
+  return timeline->WritePerfettoFile(path);
+}
 
 const flow::RoutingPlan& Pipeline::installed_plan() const {
   return engine_->installed_plan();

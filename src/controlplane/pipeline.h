@@ -40,6 +40,10 @@
 #include "obs/span.h"
 #include "telemetry/collector.h"
 
+namespace hodor::obs {
+class ExecTimeline;
+}  // namespace hodor::obs
+
 namespace hodor::controlplane {
 
 // What a validator decided about one epoch's inputs.
@@ -105,6 +109,20 @@ struct PipelineOptions {
   // those already name a registry/trace.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceWriter* trace = nullptr;
+
+  // Always-on execution tracer (util/exec_trace.h + obs/exec_timeline.h):
+  // per-thread ring buffers of stage/pool-task/queue events, drained
+  // off-path into a critical-path analyzer and a Perfetto exporter. On by
+  // default — the rings are wait-free and drop-oldest, so the control loop
+  // never blocks on its own instrumentation (overhead is gated ≤ 3% by
+  // scripts/check_build.sh --trace-gate). Disable for A/B overhead runs.
+  bool exec_trace = true;
+  // Events each registered thread's ring holds before overwriting its
+  // oldest (counted in hodor_trace_dropped_total).
+  std::size_t trace_ring_capacity = 8192;
+  // Drained events the analyzer retains in memory for /trace breakdowns
+  // and Perfetto export.
+  std::size_t trace_retain_events = 1 << 16;
 };
 
 struct EpochResult {
@@ -173,6 +191,17 @@ class Pipeline {
 
   const flow::RoutingPlan& installed_plan() const;
   const std::optional<ControllerInput>& last_good_input() const;
+
+  // The execution-trace analyzer (critical path, per-stage self/wait,
+  // sink health); nullptr when options().exec_trace is false. Poll/Analyze
+  // from the thread running the epochs only.
+  obs::ExecTimeline* exec_timeline();
+
+  // Drains outstanding trace events and writes everything retained as
+  // Chrome/Perfetto trace JSON to `path` (load in ui.perfetto.dev). False
+  // when tracing is disabled, nothing was recorded, or the file cannot be
+  // written.
+  bool WriteExecTrace(const std::string& path);
 
  private:
   std::unique_ptr<EpochEngine> engine_;

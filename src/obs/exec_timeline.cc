@@ -1,0 +1,419 @@
+#include "obs/exec_timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace hodor::obs {
+
+namespace {
+
+constexpr double kNsPerMs = 1e6;
+
+// Fixed-point milliseconds with microsecond resolution: enough for
+// human-readable breakdowns without JsonNumber's full precision churn.
+std::string Ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return std::string(buf);
+}
+
+std::string Ratio(double r) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", r);
+  return std::string(buf);
+}
+
+void AppendStages(std::ostringstream& os,
+                  const std::vector<StageBreakdown>& stages) {
+  os << "\"stages\":[";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "{\"stage\":\"" << JsonEscape(stages[i].name) << "\",\"self_ms\":"
+       << Ms(stages[i].self_ms) << ",\"wait_ms\":" << Ms(stages[i].wait_ms)
+       << ",\"busy_ratio\":" << Ratio(stages[i].busy_ratio) << '}';
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string EpochBreakdown::ToJson() const {
+  std::ostringstream os;
+  os << "{\"epoch\":" << epoch << ",\"critical_path_ms\":"
+     << Ms(critical_path_ms) << ",\"bottleneck\":\"" << JsonEscape(bottleneck)
+     << "\",";
+  AppendStages(os, stages);
+  os << ",\"pool_busy_ratio\":" << Ratio(pool_busy_ratio)
+     << ",\"backpressure_ms\":" << Ms(backpressure_ms)
+     << ",\"sink_queue_depth_max\":" << sink_queue_depth_max
+     << ",\"sink_delivered\":" << (sink_delivered ? "true" : "false")
+     << ",\"sink_lag_ms\":" << Ms(sink_lag_ms) << '}';
+  return os.str();
+}
+
+std::string ExecSummary::ToJson() const {
+  std::ostringstream os;
+  os << "{\"epochs\":" << epochs << ",\"mean_critical_path_ms\":"
+     << Ms(mean_critical_path_ms) << ",\"bottleneck\":\""
+     << JsonEscape(bottleneck) << "\",";
+  AppendStages(os, stages);
+  os << ",\"mean_pool_busy_ratio\":" << Ratio(mean_pool_busy_ratio)
+     << ",\"mean_backpressure_ms\":" << Ms(mean_backpressure_ms)
+     << ",\"sink_queue_depth_max\":" << sink_queue_depth_max
+     << ",\"mean_sink_lag_ms\":" << Ms(mean_sink_lag_ms) << '}';
+  return os.str();
+}
+
+ExecSummary Summarize(const std::vector<EpochBreakdown>& breakdowns) {
+  ExecSummary summary;
+  summary.epochs = breakdowns.size();
+  if (breakdowns.empty()) return summary;
+
+  // Stage order follows the first breakdown; epochs that miss a stage
+  // (none in practice — the graph is fixed) contribute zero.
+  std::map<std::string, std::size_t> index;
+  for (const StageBreakdown& s : breakdowns.front().stages) {
+    index.emplace(s.name, summary.stages.size());
+    summary.stages.push_back(StageBreakdown{s.name, 0.0, 0.0, 0.0});
+  }
+  std::map<std::string, std::size_t> bottleneck_votes;
+  for (const EpochBreakdown& b : breakdowns) {
+    summary.mean_critical_path_ms += b.critical_path_ms;
+    summary.mean_pool_busy_ratio += b.pool_busy_ratio;
+    summary.mean_backpressure_ms += b.backpressure_ms;
+    summary.mean_sink_lag_ms += b.sink_lag_ms;
+    summary.sink_queue_depth_max =
+        std::max(summary.sink_queue_depth_max, b.sink_queue_depth_max);
+    if (!b.bottleneck.empty()) ++bottleneck_votes[b.bottleneck];
+    for (const StageBreakdown& s : b.stages) {
+      const auto it = index.find(s.name);
+      if (it == index.end()) continue;
+      summary.stages[it->second].self_ms += s.self_ms;
+      summary.stages[it->second].wait_ms += s.wait_ms;
+      summary.stages[it->second].busy_ratio += s.busy_ratio;
+    }
+  }
+  const double n = static_cast<double>(breakdowns.size());
+  summary.mean_critical_path_ms /= n;
+  summary.mean_pool_busy_ratio /= n;
+  summary.mean_backpressure_ms /= n;
+  summary.mean_sink_lag_ms /= n;
+  for (StageBreakdown& s : summary.stages) {
+    s.self_ms /= n;
+    s.wait_ms /= n;
+    s.busy_ratio /= n;
+  }
+  std::size_t best = 0;
+  for (const auto& [name, votes] : bottleneck_votes) {
+    if (votes > best) {
+      best = votes;
+      summary.bottleneck = name;
+    }
+  }
+  return summary;
+}
+
+ExecTimeline::ExecTimeline(util::ExecTracer* tracer, ExecTimelineOptions opts)
+    : tracer_(tracer), opts_(std::move(opts)) {
+  if (opts_.retain_events == 0) opts_.retain_events = 1;
+}
+
+void ExecTimeline::Poll() {
+  std::vector<util::ExecTracer::ThreadEvents> batches;
+  tracer_->Drain(&batches);
+  for (const util::ExecTracer::ThreadEvents& batch : batches) {
+    if (batch.tid >= thread_names_.size()) {
+      thread_names_.resize(batch.tid + 1);
+    }
+    thread_names_[batch.tid] = batch.name;
+    for (const util::ExecEvent& ev : batch.events) {
+      retained_.push_back(TaggedEvent{batch.tid, ev});
+    }
+  }
+  while (retained_.size() > opts_.retain_events) retained_.pop_front();
+}
+
+std::optional<EpochBreakdown> ExecTimeline::Analyze(
+    std::uint64_t epoch) const {
+  // The epoch's anchor is its kEpoch event on the control thread.
+  const TaggedEvent* anchor = nullptr;
+  for (const TaggedEvent& te : retained_) {
+    if (te.ev.kind == util::ExecEventKind::kEpoch && te.ev.epoch == epoch) {
+      anchor = &te;
+      break;
+    }
+  }
+  if (anchor == nullptr) return std::nullopt;
+
+  EpochBreakdown b;
+  b.epoch = epoch;
+  const std::uint64_t span_start = anchor->ev.start_ns;
+  const std::uint64_t span_end = span_start + anchor->ev.duration_ns;
+  b.critical_path_ms =
+      static_cast<double>(anchor->ev.duration_ns) / kNsPerMs;
+
+  std::vector<const TaggedEvent*> stage_events;
+  std::uint64_t pool_busy_ns = 0;
+  std::uint64_t backpressure_ns = 0;
+  for (const TaggedEvent& te : retained_) {
+    if (te.ev.epoch != epoch) continue;
+    switch (te.ev.kind) {
+      case util::ExecEventKind::kStage:
+        if (te.tid == anchor->tid) stage_events.push_back(&te);
+        break;
+      case util::ExecEventKind::kPoolTask:
+        pool_busy_ns += te.ev.duration_ns;
+        break;
+      case util::ExecEventKind::kQueuePush:
+      case util::ExecEventKind::kQueuePop:
+        // Hand-off stalls on the control thread are backpressure: the
+        // epoch loop waiting for the sink side to return a buffer or to
+        // make queue room.
+        if (te.tid == anchor->tid) backpressure_ns += te.ev.duration_ns;
+        if (te.ev.arg == opts_.sink_queue_id) {
+          b.sink_queue_depth_max =
+              std::max(b.sink_queue_depth_max, te.ev.detail);
+        }
+        break;
+      case util::ExecEventKind::kSinkDeliver: {
+        b.sink_delivered = true;
+        const std::uint64_t deliver_end = te.ev.start_ns + te.ev.duration_ns;
+        const double lag = deliver_end > span_end
+                               ? static_cast<double>(deliver_end - span_end) /
+                                     kNsPerMs
+                               : 0.0;
+        b.sink_lag_ms = std::max(b.sink_lag_ms, lag);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::sort(stage_events.begin(), stage_events.end(),
+            [](const TaggedEvent* a, const TaggedEvent* c) {
+              return a->ev.start_ns < c->ev.start_ns;
+            });
+  std::uint64_t prev_end = span_start;
+  double best_self = -1.0;
+  for (const TaggedEvent* te : stage_events) {
+    StageBreakdown s;
+    s.name = te->ev.arg < opts_.stage_names.size()
+                 ? opts_.stage_names[te->ev.arg]
+                 : "stage-" + std::to_string(te->ev.arg);
+    s.self_ms = static_cast<double>(te->ev.duration_ns) / kNsPerMs;
+    s.wait_ms = te->ev.start_ns > prev_end
+                    ? static_cast<double>(te->ev.start_ns - prev_end) / kNsPerMs
+                    : 0.0;
+    if (b.critical_path_ms > 0.0) s.busy_ratio = s.self_ms / b.critical_path_ms;
+    prev_end = te->ev.start_ns + te->ev.duration_ns;
+    if (s.self_ms > best_self) {
+      best_self = s.self_ms;
+      b.bottleneck = s.name;
+    }
+    b.stages.push_back(std::move(s));
+  }
+
+  const std::uint64_t span_ns = span_end - span_start;
+  if (span_ns > 0 && opts_.pool_threads > 0) {
+    b.pool_busy_ratio =
+        static_cast<double>(pool_busy_ns) /
+        (static_cast<double>(span_ns) *
+         static_cast<double>(opts_.pool_threads));
+    if (b.pool_busy_ratio > 1.0) b.pool_busy_ratio = 1.0;
+  }
+  b.backpressure_ms = static_cast<double>(backpressure_ns) / kNsPerMs;
+  return b;
+}
+
+std::vector<EpochBreakdown> ExecTimeline::Recent(std::size_t n) const {
+  std::vector<std::uint64_t> epochs;
+  for (const TaggedEvent& te : retained_) {
+    if (te.ev.kind == util::ExecEventKind::kEpoch) {
+      epochs.push_back(te.ev.epoch);
+    }
+  }
+  std::sort(epochs.begin(), epochs.end());
+  epochs.erase(std::unique(epochs.begin(), epochs.end()), epochs.end());
+  std::vector<EpochBreakdown> out;
+  for (auto it = epochs.rbegin(); it != epochs.rend() && out.size() < n;
+       ++it) {
+    if (std::optional<EpochBreakdown> b = Analyze(*it)) {
+      out.push_back(*std::move(b));
+    }
+  }
+  return out;
+}
+
+std::optional<EpochBreakdown> ExecTimeline::Latest() const {
+  std::vector<EpochBreakdown> recent = Recent(1);
+  if (recent.empty()) return std::nullopt;
+  return std::move(recent.front());
+}
+
+std::string ExecTimeline::RecentJson(std::size_t n) const {
+  const std::vector<EpochBreakdown> recent = Recent(n);
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < recent.size(); ++i) {
+    if (i > 0) os << ',';
+    os << recent[i].ToJson();
+  }
+  os << ']';
+  return os.str();
+}
+
+void ExecTimeline::PublishGauges(MetricsRegistry* registry) {
+  MetricsRegistry& reg = ResolveRegistry(registry);
+  // The gauge handles are looked up once per registry and reused: this
+  // runs every epoch, and the name/label churn of repeated GetGauge calls
+  // is exactly the kind of per-epoch cost the tracer's ≤3% overhead gate
+  // budgets against. Caveat: a Reset() of the bound registry invalidates
+  // the handles — rebinding happens only when the registry *instance*
+  // changes, which covers the engine's usage (one registry per pipeline).
+  if (&reg != gauge_registry_) {
+    gauge_registry_ = &reg;
+    dropped_counter_ = &reg.GetCounter("hodor_trace_dropped_total", {},
+                                       "Trace events lost to ring overwrite");
+    critical_path_gauge_ =
+        &reg.GetGauge("hodor_epoch_critical_path_ms", {},
+                      "Control-thread wall time of the latest epoch");
+    pool_busy_gauge_ =
+        &reg.GetGauge("hodor_pool_busy_ratio", {},
+                      "Pool task time / (epoch span x pool threads)");
+    backpressure_gauge_ =
+        &reg.GetGauge("hodor_epoch_backpressure_ms", {},
+                      "Control-thread time blocked on sink hand-offs");
+    bottleneck_gauge_ = &reg.GetGauge(
+        "hodor_epoch_bottleneck", {},
+        "Stage-graph index of the stage with the largest self time");
+    stage_busy_gauges_.clear();
+    stage_busy_gauges_.reserve(opts_.stage_names.size());
+    for (const std::string& name : opts_.stage_names) {
+      stage_busy_gauges_.push_back(
+          &reg.GetGauge("hodor_stage_busy_ratio", {{"stage", name}},
+                        "Stage self time / epoch wall time"));
+    }
+  }
+
+  const std::uint64_t dropped = tracer_->dropped_total();
+  if (dropped > published_dropped_) {
+    dropped_counter_->Increment(
+        static_cast<double>(dropped - published_dropped_));
+    published_dropped_ = dropped;
+  }
+
+  const std::optional<EpochBreakdown> latest = Latest();
+  if (!latest) return;
+  critical_path_gauge_->Set(latest->critical_path_ms);
+  pool_busy_gauge_->Set(latest->pool_busy_ratio);
+  backpressure_gauge_->Set(latest->backpressure_ms);
+  for (const StageBreakdown& s : latest->stages) {
+    for (std::size_t i = 0; i < opts_.stage_names.size(); ++i) {
+      if (opts_.stage_names[i] == s.name) {
+        stage_busy_gauges_[i]->Set(s.busy_ratio);
+        if (s.name == latest->bottleneck) {
+          bottleneck_gauge_->Set(static_cast<double>(i));
+        }
+        break;
+      }
+    }
+  }
+}
+
+bool ExecTimeline::WritePerfetto(std::ostream& os) const {
+  if (retained_.empty()) return false;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  // Track metadata: Perfetto shows these as the per-thread lane names.
+  for (std::size_t tid = 0; tid < thread_names_.size(); ++tid) {
+    if (thread_names_[tid].empty()) continue;
+    comma();
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid + 1
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+       << JsonEscape(thread_names_[tid]) << "\"}}";
+  }
+  char ts_buf[32];
+  const auto us = [&](std::uint64_t ns) {
+    std::snprintf(ts_buf, sizeof(ts_buf), "%.3f",
+                  static_cast<double>(ns) / 1000.0);
+    return ts_buf;
+  };
+  for (const TaggedEvent& te : retained_) {
+    std::string name;
+    const char* cat = "epoch";
+    std::string args;
+    switch (te.ev.kind) {
+      case util::ExecEventKind::kEpoch:
+        name = "epoch";
+        break;
+      case util::ExecEventKind::kStage:
+        name = te.ev.arg < opts_.stage_names.size()
+                   ? opts_.stage_names[te.ev.arg]
+                   : "stage-" + std::to_string(te.ev.arg);
+        cat = "stage";
+        break;
+      case util::ExecEventKind::kPoolTask:
+        name = "shard";
+        cat = "pool";
+        args = ",\"args\":{\"index\":" + std::to_string(te.ev.arg) + '}';
+        break;
+      case util::ExecEventKind::kQueuePush:
+      case util::ExecEventKind::kQueuePop:
+        name = te.ev.kind == util::ExecEventKind::kQueuePush ? "queue-push"
+                                                             : "queue-pop";
+        cat = "queue";
+        args = ",\"args\":{\"queue\":" + std::to_string(te.ev.arg) +
+               ",\"depth\":" + std::to_string(te.ev.detail) + '}';
+        break;
+      case util::ExecEventKind::kSinkDeliver:
+        name = "sink-deliver";
+        cat = "sink";
+        break;
+      case util::ExecEventKind::kMark:
+        name = "mark";
+        cat = "mark";
+        break;
+      default:
+        continue;
+    }
+    comma();
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << te.tid + 1 << ",\"ts\":"
+       << us(te.ev.start_ns) << ",\"dur\":" << us(te.ev.duration_ns)
+       << ",\"name\":\"" << JsonEscape(name) << "\",\"cat\":\"" << cat
+       << '"' << args << '}';
+    // Sink-queue depth doubles as a Perfetto counter track.
+    if ((te.ev.kind == util::ExecEventKind::kQueuePush ||
+         te.ev.kind == util::ExecEventKind::kQueuePop) &&
+        te.ev.arg == opts_.sink_queue_id) {
+      comma();
+      os << "{\"ph\":\"C\",\"pid\":1,\"name\":\"sink_queue_depth\",\"ts\":"
+         << us(te.ev.start_ns + te.ev.duration_ns)
+         << ",\"args\":{\"depth\":" << te.ev.detail << "}}";
+    }
+  }
+  os << "]}";
+  return true;
+}
+
+bool ExecTimeline::WritePerfettoFile(const std::string& path) {
+  Poll();
+  std::ofstream out(path);
+  if (!out) return false;
+  if (!WritePerfetto(out)) return false;
+  out.flush();
+  return out.good();
+}
+
+}  // namespace hodor::obs

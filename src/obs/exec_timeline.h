@@ -1,0 +1,165 @@
+// Execution timeline: the analysis and export side of the execution
+// tracer (util/exec_trace.h; DESIGN §10).
+//
+// ExecTimeline drains a util::ExecTracer into a bounded in-memory store of
+// raw events and answers the questions the stage-span histograms cannot:
+//
+//   - Critical-path analysis. Per epoch it decomposes the control thread's
+//     wall time into per-stage self time and dependency wait time, scores
+//     each stage's busy ratio, and names the bottleneck stage — the
+//     instrumentation ROADMAP open item 2 asks for before the staged
+//     engine's concurrency payoff can be proven or fixed.
+//   - Pool occupancy: the fraction of (epoch span × pool threads) spent
+//     actually executing ThreadPool tasks.
+//   - Sink health: peak sink-queue depth inside the epoch, the control
+//     thread's backpressure stalls (blocked queue hand-offs), and sink
+//     delivery lag behind the epoch's end.
+//
+// Results surface three ways, all fed by the owner thread (the thread
+// that runs the epochs — registry discipline is unchanged):
+//   - PublishGauges → hodor_epoch_critical_path_ms, per-stage
+//     hodor_stage_busy_ratio, hodor_pool_busy_ratio,
+//     hodor_epoch_backpressure_ms, hodor_epoch_bottleneck (the bottleneck
+//     stage's graph index), and the hodor_trace_dropped_total counter
+//     (per-stage wait times stay in the JSON breakdowns — the gauge
+//     surface is kept small because it is re-rendered every scrape);
+//   - ToJson breakdowns → the TelemetryServer's /trace endpoint and the
+//     BENCH_epoch_engine.json per-stage block;
+//   - WritePerfetto → Chrome trace_event JSON loadable in ui.perfetto.dev.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/exec_trace.h"
+
+namespace hodor::obs {
+
+class Counter;
+class Gauge;
+class MetricsRegistry;
+
+struct ExecTimelineOptions {
+  // Stage names indexed by the kStage events' `arg` (the epoch engine
+  // passes its stage-graph names in graph order).
+  std::vector<std::string> stage_names;
+  // Occupancy denominator: how many threads the traced pool can run.
+  std::size_t pool_threads = 1;
+  // Queue id whose depth counts as "the sink queue" (the engine's ready
+  // queue).
+  std::uint16_t sink_queue_id = 0;
+  // Cap on retained raw events; oldest are discarded beyond it. At ~10-60
+  // events per epoch the default retains thousands of epochs.
+  std::size_t retain_events = 1 << 16;
+};
+
+// One stage's share of one epoch.
+struct StageBreakdown {
+  std::string name;
+  double self_ms = 0.0;   // stage execution time
+  double wait_ms = 0.0;   // gap since the previous stage ended
+  double busy_ratio = 0.0;  // self / epoch total
+};
+
+// One epoch, decomposed. critical_path_ms is the control thread's wall
+// time for the epoch (the kEpoch event); stage self+wait times partition
+// it up to scheduling gaps.
+struct EpochBreakdown {
+  std::uint64_t epoch = 0;
+  double critical_path_ms = 0.0;
+  std::string bottleneck;  // stage with the largest self time
+  std::vector<StageBreakdown> stages;
+  double pool_busy_ratio = 0.0;     // task time / (span × pool threads)
+  double backpressure_ms = 0.0;     // control thread blocked on hand-offs
+  std::uint32_t sink_queue_depth_max = 0;
+  bool sink_delivered = false;      // sink thread finished this epoch
+  double sink_lag_ms = 0.0;         // delivery end − epoch end (≥ 0)
+
+  std::string ToJson() const;
+};
+
+// Aggregate over several epochs (the bench's per-stage breakdown block).
+struct ExecSummary {
+  std::size_t epochs = 0;
+  double mean_critical_path_ms = 0.0;
+  std::string bottleneck;  // modal per-epoch bottleneck
+  std::vector<StageBreakdown> stages;  // mean self/wait/busy per stage
+  double mean_pool_busy_ratio = 0.0;
+  double mean_backpressure_ms = 0.0;
+  std::uint32_t sink_queue_depth_max = 0;
+  double mean_sink_lag_ms = 0.0;
+
+  std::string ToJson() const;
+};
+
+ExecSummary Summarize(const std::vector<EpochBreakdown>& breakdowns);
+
+class ExecTimeline {
+ public:
+  // `tracer` must outlive this timeline.
+  ExecTimeline(util::ExecTracer* tracer, ExecTimelineOptions opts);
+
+  ExecTimeline(const ExecTimeline&) = delete;
+  ExecTimeline& operator=(const ExecTimeline&) = delete;
+
+  // Drains the tracer into the retained store. Call from one thread only
+  // (the epoch engine polls at every epoch boundary); safe against
+  // concurrent emitters.
+  void Poll();
+
+  // Analyzes one epoch from the retained events; nullopt when the epoch's
+  // kEpoch event is not (or no longer) retained.
+  std::optional<EpochBreakdown> Analyze(std::uint64_t epoch) const;
+
+  // The `n` most recent analyzable epochs, newest first.
+  std::vector<EpochBreakdown> Recent(std::size_t n) const;
+  std::optional<EpochBreakdown> Latest() const;
+
+  // JSON array of Recent(n), newest first — the /trace payload shape.
+  std::string RecentJson(std::size_t n) const;
+
+  // Publishes the latest breakdown's gauges and the dropped-events
+  // counter into `registry` (nullptr → global). Owner-thread only, like
+  // every registry mutation.
+  void PublishGauges(MetricsRegistry* registry);
+
+  // Chrome trace_event JSON ("traceEvents" array with per-thread tracks,
+  // complete events, and a sink-queue-depth counter track) from every
+  // retained event. Open the output in ui.perfetto.dev or
+  // chrome://tracing. Returns false when nothing has been retained.
+  bool WritePerfetto(std::ostream& os) const;
+  // Convenience: Poll, then write to `path`; false on IO error or when
+  // nothing was retained.
+  bool WritePerfettoFile(const std::string& path);
+
+  std::uint64_t dropped_total() const { return tracer_->dropped_total(); }
+  std::size_t retained_events() const { return retained_.size(); }
+
+ private:
+  struct TaggedEvent {
+    std::uint16_t tid = 0;
+    util::ExecEvent ev;
+  };
+
+  util::ExecTracer* tracer_;
+  ExecTimelineOptions opts_;
+  std::deque<TaggedEvent> retained_;      // drain order
+  std::vector<std::string> thread_names_;  // by tid
+  std::uint64_t published_dropped_ = 0;    // counter delta bookkeeping
+
+  // Gauge handles cached per bound registry (PublishGauges runs every
+  // epoch; repeated name/label lookups are measurable at that cadence).
+  MetricsRegistry* gauge_registry_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+  Gauge* critical_path_gauge_ = nullptr;
+  Gauge* pool_busy_gauge_ = nullptr;
+  Gauge* backpressure_gauge_ = nullptr;
+  Gauge* bottleneck_gauge_ = nullptr;
+  std::vector<Gauge*> stage_busy_gauges_;  // by stage-graph index
+};
+
+}  // namespace hodor::obs

@@ -190,6 +190,9 @@ std::string TelemetryServer::HandleRequest(const HttpRequest& request) {
   if (request.path == "/decisions") {
     return RenderDecisions(request);
   }
+  if (request.path == "/trace") {
+    return RenderTrace(request);
+  }
   if (request.path == "/health/signals") {
     std::lock_guard<std::mutex> lock(mu_);
     return BuildHttpResponse(200, kJsonType, signals_json_);
@@ -239,9 +242,34 @@ std::string TelemetryServer::RenderDecisions(const HttpRequest& request) {
   return BuildHttpResponse(200, kJsonType, os.str());
 }
 
+std::string TelemetryServer::RenderTrace(const HttpRequest& request) {
+  std::size_t limit = opts_.max_trace_epochs;
+  const auto it = request.query.find("last");
+  if (it != request.query.end()) {
+    try {
+      limit = static_cast<std::size_t>(std::stoul(it->second));
+    } catch (...) {
+      return BuildHttpResponse(400, kJsonType,
+                               "{\"error\":\"last must be a number\"}");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "[";
+  std::size_t emitted = 0;
+  for (const std::string& t : traces_) {  // newest first
+    if (emitted >= limit) break;
+    if (emitted) os << ",";
+    os << t;
+    ++emitted;
+  }
+  os << "]";
+  return BuildHttpResponse(200, kJsonType, os.str());
+}
+
 std::string TelemetryServer::RenderIndex() {
   return "{\"endpoints\":[\"/metrics\",\"/metrics.json\",\"/healthz\","
-         "\"/decisions\",\"/health/signals\",\"/alerts\"]}";
+         "\"/decisions\",\"/trace\",\"/health/signals\",\"/alerts\"]}";
 }
 
 void TelemetryServer::PublishMetrics(const MetricsRegistry* registry) {
@@ -273,6 +301,14 @@ void TelemetryServer::PublishDecision(const DecisionRecord& record) {
 void TelemetryServer::PublishAlerts(std::string alerts_json) {
   std::lock_guard<std::mutex> lock(mu_);
   alerts_json_ = std::move(alerts_json);
+}
+
+void TelemetryServer::PublishTrace(std::uint64_t epoch,
+                                   std::string breakdown_json) {
+  (void)epoch;  // identity lives inside the JSON; kept for future filters
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.push_front(std::move(breakdown_json));
+  while (traces_.size() > opts_.max_trace_epochs) traces_.pop_back();
 }
 
 std::uint64_t TelemetryServer::requests_served() const {

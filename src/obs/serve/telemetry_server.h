@@ -9,6 +9,9 @@
 //   /healthz       liveness + serving statistics
 //   /decisions     recent DecisionRecord provenance, newest first
 //                  (?last=N trims to the N most recent)
+//   /trace         recent per-epoch execution breakdowns (critical path,
+//                  per-stage self/wait, sink health), newest first
+//                  (?last=N trims to the N most recent)
 //   /health/signals  the SignalHealthBoard trust scoreboard
 //   /alerts        the AlertEngine lifecycle state (published upstream)
 //
@@ -48,6 +51,8 @@ struct TelemetryServerOptions {
   std::string bind_address = "127.0.0.1";
   // Ring of recent decisions held for GET /decisions.
   std::size_t max_decisions = 64;
+  // Ring of recent per-epoch execution breakdowns held for GET /trace.
+  std::size_t max_trace_epochs = 64;
   // Per-connection receive timeout; a stalled client cannot wedge the
   // single serving thread for longer than this.
   int request_timeout_ms = 2000;
@@ -85,6 +90,9 @@ class TelemetryServer {
   // Swaps a pre-rendered JSON value (the AlertEngine's ToJson(); rendered
   // upstream because core/ sits above obs/) into /alerts.
   void PublishAlerts(std::string alerts_json);
+  // Appends one epoch's execution breakdown (an EpochBreakdown::ToJson()
+  // value, rendered by the owner thread) to the /trace ring.
+  void PublishTrace(std::uint64_t epoch, std::string breakdown_json);
 
   std::uint64_t requests_served() const;
 
@@ -97,6 +105,7 @@ class TelemetryServer {
   void HandleConnection(int client_fd);
   std::string RenderHealthz();
   std::string RenderDecisions(const HttpRequest& request);
+  std::string RenderTrace(const HttpRequest& request);
   std::string RenderIndex();
 
   TelemetryServerOptions opts_;
@@ -112,6 +121,7 @@ class TelemetryServer {
   std::string signals_json_ = "{\"epochs\":0,\"sources\":[]}";
   std::string alerts_json_ = "{\"active\":[],\"resolved\":[]}";
   std::deque<std::string> decisions_;  // newest at the front
+  std::deque<std::string> traces_;     // newest at the front
   std::uint64_t last_published_epoch_ = 0;
   std::uint64_t published_epochs_ = 0;
   std::uint64_t requests_served_ = 0;

@@ -1,0 +1,106 @@
+#include "util/exec_trace.h"
+
+#include "util/status.h"
+
+namespace hodor::util {
+
+namespace {
+
+std::size_t RoundUpPowerOfTwo(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ExecRing::ExecRing(std::size_t capacity)
+    : slots_(RoundUpPowerOfTwo(capacity)),
+      mask_(RoundUpPowerOfTwo(capacity) - 1) {}
+
+std::uint64_t ExecRing::DrainInto(std::uint64_t* cursor,
+                                  std::vector<ExecEvent>* out) const {
+  HODOR_CHECK(cursor != nullptr && out != nullptr);
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  std::uint64_t from = *cursor;
+  HODOR_CHECK_MSG(from <= head, "ExecRing drain cursor ran ahead of head");
+  std::uint64_t dropped = 0;
+  // Everything older than one ring's worth below head has been (or is
+  // being) overwritten; count it lost and start at the oldest survivor.
+  const std::uint64_t cap = mask_ + 1;
+  if (head > cap && from < head - cap) {
+    dropped += (head - cap) - from;
+    from = head - cap;
+  }
+  out->reserve(out->size() + static_cast<std::size_t>(head - from));
+  for (std::uint64_t n = from; n < head; ++n) {
+    const Slot& slot = slots_[n & mask_];
+    // Per-slot seqlock, reader protocol: the slot must hold exactly event
+    // n, before and after the copy, or the writer lapped us mid-read.
+    const std::uint64_t expected = 2 * n + 2;
+    if (slot.seq.load(std::memory_order_acquire) != expected) {
+      ++dropped;
+      continue;
+    }
+    ExecEvent ev;
+    ev.start_ns = slot.word[0].load(std::memory_order_relaxed);
+    ev.duration_ns = slot.word[1].load(std::memory_order_relaxed);
+    ev.epoch = slot.word[2].load(std::memory_order_relaxed);
+    Unpack(slot.word[3].load(std::memory_order_relaxed), &ev);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != expected) {
+      ++dropped;
+      continue;
+    }
+    out->push_back(ev);
+  }
+  *cursor = head;
+  return dropped;
+}
+
+ExecTracer::ExecTracer(std::size_t ring_capacity)
+    : base_(std::chrono::steady_clock::now()),
+      ring_capacity_(ring_capacity) {}
+
+ExecThreadHandle ExecTracer::RegisterThread(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (threads_.size() >= kMaxThreads) return {};
+  ThreadStream stream;
+  stream.name = std::move(name);
+  stream.ring = std::make_unique<ExecRing>(ring_capacity_);
+  threads_.push_back(std::move(stream));
+  return {threads_.back().ring.get(),
+          static_cast<std::uint16_t>(threads_.size() - 1)};
+}
+
+void ExecTracer::Drain(std::vector<ThreadEvents>* out) {
+  HODOR_CHECK(out != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < threads_.size(); ++i) {
+    ThreadStream& stream = threads_[i];
+    ThreadEvents batch;
+    batch.tid = static_cast<std::uint16_t>(i);
+    batch.name = stream.name;
+    dropped_total_ +=
+        stream.ring->DrainInto(&stream.drain_cursor, &batch.events);
+    if (!batch.events.empty()) out->push_back(std::move(batch));
+  }
+}
+
+std::uint64_t ExecTracer::dropped_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_total_;
+}
+
+std::size_t ExecTracer::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threads_.size();
+}
+
+std::string ExecTracer::thread_name(std::uint16_t tid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tid >= threads_.size()) return {};
+  return threads_[tid].name;
+}
+
+}  // namespace hodor::util

@@ -1,0 +1,217 @@
+// Execution tracer: per-thread lock-free ring buffers of fixed-size trace
+// events, the substrate under the obs layer's timeline analysis and
+// Perfetto export (DESIGN §10).
+//
+// Why this exists: the staged epoch engine moves work onto worker threads
+// and a sink thread, and the stage-span histograms (obs/span.h) can say
+// *how long* a stage took but not *where* the epoch's wall time went —
+// which thread ran what, when, and who waited on whom. The tracer records
+// exactly that, cheaply enough to stay on in production:
+//
+//   - One ExecRing per registered thread, single writer, no locks on the
+//     emit path. An emit is four relaxed atomic word stores plus two
+//     sequence stores — no allocation, no syscalls, no branches beyond a
+//     null check at the call site.
+//   - Bounded and loss-tolerant. A full ring overwrites its oldest events
+//     (the epoch loop must never block on its own instrumentation); the
+//     drain counts every overwritten event so `hodor_trace_dropped_total`
+//     stays honest.
+//   - Race-free by construction, not by hope. Every shared word is a
+//     std::atomic accessed with explicit ordering (per-slot seqlock:
+//     odd sequence while the writer is mid-slot, even when published), so
+//     the deliberately concurrent writer/drainer pair is clean under TSan.
+//
+// Layering: util owns the event record and the rings (no obs dependency);
+// obs/exec_timeline.h owns drains-to-analysis and export. The epoch
+// engine, util::ThreadPool, and util::BoundedSpscQueue emit; everything
+// else only reads.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hodor::util {
+
+// What one trace event describes. Values are stable across a process (the
+// exporter maps them to track names); `arg`/`detail` are kind-specific.
+enum class ExecEventKind : std::uint16_t {
+  kNone = 0,
+  kEpoch,        // control thread: one whole epoch; arg unused
+  kStage,        // control thread: one stage execution; arg = stage index
+  kPoolTask,     // pool thread: one ThreadPool task; arg = task index
+  kQueuePush,    // producer: queue hand-off; arg = queue id,
+                 // detail = depth after push, duration = blocked wait
+  kQueuePop,     // consumer: queue hand-off; arg = queue id,
+                 // detail = depth after pop, duration = blocked wait
+  kSinkDeliver,  // sink thread: delivering one epoch to all sinks
+  kMark,         // free-form instant; arg/detail caller-defined
+};
+
+// One fixed-size trace record. Timestamps are steady-clock nanoseconds
+// since the owning ExecTracer's construction (ExecTracer::NowNs), so all
+// threads of one tracer share a timebase.
+struct ExecEvent {
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;
+  std::uint64_t epoch = 0;
+  ExecEventKind kind = ExecEventKind::kNone;
+  std::uint16_t arg = 0;
+  std::uint32_t detail = 0;
+};
+static_assert(sizeof(ExecEvent) == 32, "ExecEvent must stay four words");
+
+// Single-writer ring of ExecEvents with per-slot seqlocks. The writer
+// never blocks and never observes the reader; the reader (ExecTracer's
+// drain) validates each slot's sequence around the copy and counts any
+// event it lost to overwrite or a mid-copy race as dropped.
+class ExecRing {
+ public:
+  // Capacity is rounded up to a power of two, minimum 8.
+  explicit ExecRing(std::size_t capacity);
+
+  ExecRing(const ExecRing&) = delete;
+  ExecRing& operator=(const ExecRing&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Writer side: publish one event. Wait-free; overwrites the oldest
+  // event when the ring is full. Must only ever be called from the one
+  // thread that owns this ring.
+  void Emit(const ExecEvent& ev) {
+    const std::uint64_t n = write_index_++;
+    Slot& slot = slots_[n & mask_];
+    // Per-slot seqlock, writer protocol: mark busy (odd), store the
+    // payload, publish (even, keyed to this event index).
+    slot.seq.store(2 * n + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    slot.word[0].store(ev.start_ns, std::memory_order_relaxed);
+    slot.word[1].store(ev.duration_ns, std::memory_order_relaxed);
+    slot.word[2].store(ev.epoch, std::memory_order_relaxed);
+    slot.word[3].store(Pack(ev), std::memory_order_relaxed);
+    slot.seq.store(2 * n + 2, std::memory_order_release);
+    head_.store(n + 1, std::memory_order_release);
+  }
+
+  // Reader side: copy every event in [*cursor, head) that is still intact
+  // into `out`, advance *cursor to head, and return how many events in
+  // that range were lost (overwritten before or torn during the copy).
+  std::uint64_t DrainInto(std::uint64_t* cursor,
+                          std::vector<ExecEvent>* out) const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::array<std::atomic<std::uint64_t>, 4> word{};
+  };
+
+  static std::uint64_t Pack(const ExecEvent& ev) {
+    return (static_cast<std::uint64_t>(ev.kind) << 48) |
+           (static_cast<std::uint64_t>(ev.arg) << 32) |
+           static_cast<std::uint64_t>(ev.detail);
+  }
+  static void Unpack(std::uint64_t w, ExecEvent* ev) {
+    ev->kind = static_cast<ExecEventKind>((w >> 48) & 0xffff);
+    ev->arg = static_cast<std::uint16_t>((w >> 32) & 0xffff);
+    ev->detail = static_cast<std::uint32_t>(w & 0xffffffffu);
+  }
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_;
+  std::atomic<std::uint64_t> head_{0};  // next event index to be published
+  std::uint64_t write_index_ = 0;       // writer-local mirror of head_
+};
+
+// Handle a registered thread emits through. Null handles (tracing
+// disabled, or the tracer ran out of thread slots) swallow emits.
+struct ExecThreadHandle {
+  ExecRing* ring = nullptr;
+  std::uint16_t tid = 0;
+  explicit operator bool() const { return ring != nullptr; }
+};
+
+// The tracer: a registry of per-thread rings sharing one timebase plus
+// the drain side. Registration and drains are mutex-protected (rare);
+// emits are lock-free through the handle.
+class ExecTracer {
+ public:
+  // Every registered thread gets its own ring of `ring_capacity` events.
+  explicit ExecTracer(std::size_t ring_capacity = 8192);
+
+  ExecTracer(const ExecTracer&) = delete;
+  ExecTracer& operator=(const ExecTracer&) = delete;
+
+  // Registers a named event stream and returns the handle its owning
+  // thread emits through. May be called on behalf of another thread (the
+  // handle, not the caller, fixes the writer). Returns a null handle once
+  // kMaxThreads streams exist.
+  ExecThreadHandle RegisterThread(std::string name);
+
+  void Emit(ExecThreadHandle handle, const ExecEvent& ev) {
+    if (handle.ring) handle.ring->Emit(ev);
+  }
+
+  // Steady-clock nanoseconds since this tracer was constructed: the
+  // shared timebase of every event it records.
+  std::uint64_t NowNs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - base_)
+            .count());
+  }
+
+  // The epoch id emitters that lack their own epoch context (pool tasks,
+  // queue hand-offs) stamp into their events. The control thread sets it
+  // at each epoch boundary; readers load relaxed.
+  void SetCurrentEpoch(std::uint64_t epoch) {
+    current_epoch_.store(epoch, std::memory_order_relaxed);
+  }
+  std::uint64_t current_epoch() const {
+    return current_epoch_.load(std::memory_order_relaxed);
+  }
+
+  // One drained batch: the events a thread published since the previous
+  // Drain, in emission order.
+  struct ThreadEvents {
+    std::uint16_t tid = 0;
+    std::string name;
+    std::vector<ExecEvent> events;
+  };
+
+  // Drains every ring since the previous Drain call, appending one
+  // ThreadEvents per registered thread (empty batches omitted). Safe to
+  // call concurrently with emitters; serialized against other drains.
+  void Drain(std::vector<ThreadEvents>* out);
+
+  // Total events lost to ring overwrite across all threads, accumulated
+  // at drain time.
+  std::uint64_t dropped_total() const;
+
+  std::size_t thread_count() const;
+  // Name of a registered stream (empty when out of range).
+  std::string thread_name(std::uint16_t tid) const;
+
+  static constexpr std::size_t kMaxThreads = 64;
+
+ private:
+  struct ThreadStream {
+    std::string name;
+    std::unique_ptr<ExecRing> ring;
+    std::uint64_t drain_cursor = 0;
+  };
+
+  const std::chrono::steady_clock::time_point base_;
+  const std::size_t ring_capacity_;
+  std::atomic<std::uint64_t> current_epoch_{0};
+
+  mutable std::mutex mu_;  // guards threads_ and dropped_total_
+  std::vector<ThreadStream> threads_;
+  std::uint64_t dropped_total_ = 0;
+};
+
+}  // namespace hodor::util

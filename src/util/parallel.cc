@@ -33,7 +33,18 @@ ThreadPool::ThreadPool(std::size_t threads)
   spin_ok_ = hw == 0 || threads_ <= hw;
   workers_.reserve(threads_ > 0 ? threads_ - 1 : 0);
   for (std::size_t i = 1; i < threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+void ThreadPool::SetTracer(ExecTracer* tracer) {
+  tracer_ = tracer;
+  trace_handles_.clear();
+  if (tracer == nullptr) return;
+  trace_handles_.reserve(threads_);
+  for (std::size_t i = 0; i < threads_; ++i) {
+    trace_handles_.push_back(tracer->RegisterThread(
+        "pool-" + std::to_string(i)));
   }
 }
 
@@ -46,7 +57,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(std::size_t worker) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     // Wait for a new generation: spin first, sleep only if work stays away.
@@ -85,7 +96,7 @@ void ThreadPool::WorkerLoop() {
         }
         i = next_index_++;
       }
-      (*task)(i);
+      RunTask(*task, i, worker);
       pending_.fetch_sub(1, std::memory_order_acq_rel);
     }
   }
@@ -95,7 +106,7 @@ void ThreadPool::Run(std::size_t count,
                      const std::function<void(std::size_t)>& task) {
   if (count == 0) return;
   if (workers_.empty()) {
-    for (std::size_t i = 0; i < count; ++i) task(i);
+    for (std::size_t i = 0; i < count; ++i) RunTask(task, i, 0);
     return;
   }
   {
@@ -115,7 +126,7 @@ void ThreadPool::Run(std::size_t count,
       if (next_index_ >= task_count_) break;
       i = next_index_++;
     }
-    task(i);
+    RunTask(task, i, 0);
     pending_.fetch_sub(1, std::memory_order_acq_rel);
   }
   // Completion wait mirrors the workers' strategy: spin (the straggler is

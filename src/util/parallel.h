@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/exec_trace.h"
+
 namespace hodor::util {
 
 class ThreadPool {
@@ -33,15 +35,41 @@ class ThreadPool {
 
   std::size_t thread_count() const { return threads_; }
 
+  // Attaches an execution tracer: every task execution emits one
+  // kPoolTask event (arg = task index) on the executing thread's stream
+  // ("pool-0" is the calling thread's share, "pool-1".. the workers).
+  // Call before the first Run — Run's dispatch handshake is what
+  // publishes the tracer pointer to the workers.
+  void SetTracer(ExecTracer* tracer);
+
   // Runs `task(i)` for i in [0, count) across the workers plus the calling
   // thread; returns when every task finished. Tasks must not throw.
   void Run(std::size_t count, const std::function<void(std::size_t)>& task);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(std::size_t worker);
+
+  // Runs one task, tracing it when a tracer is attached. `stream` indexes
+  // trace_handles_: 0 for the calling thread, worker index otherwise.
+  void RunTask(const std::function<void(std::size_t)>& task, std::size_t i,
+               std::size_t stream) {
+    if (tracer_ != nullptr) {
+      const std::uint64_t t0 = tracer_->NowNs();
+      task(i);
+      tracer_->Emit(trace_handles_[stream],
+                    ExecEvent{t0, tracer_->NowNs() - t0,
+                              tracer_->current_epoch(),
+                              ExecEventKind::kPoolTask,
+                              static_cast<std::uint16_t>(i & 0xffff), 0});
+    } else {
+      task(i);
+    }
+  }
 
   std::size_t threads_;
   bool spin_ok_ = true;  // false when threads_ exceeds the hardware cores
+  ExecTracer* tracer_ = nullptr;
+  std::vector<ExecThreadHandle> trace_handles_;  // [0]=caller, [i]=worker i
   std::vector<std::thread> workers_;
 
   std::mutex mu_;

@@ -16,10 +16,12 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <utility>
 #include <vector>
 
+#include "util/exec_trace.h"
 #include "util/status.h"
 
 namespace hodor::util {
@@ -34,29 +36,63 @@ class BoundedSpscQueue {
   BoundedSpscQueue(const BoundedSpscQueue&) = delete;
   BoundedSpscQueue& operator=(const BoundedSpscQueue&) = delete;
 
+  // Attaches an execution tracer: every Push emits a kQueuePush event on
+  // the producer's stream and every Pop a kQueuePop event on the
+  // consumer's (arg = queue_id, detail = depth after the operation,
+  // duration = time spent blocked, epoch = the tracer's current epoch).
+  // Call before the threads start exchanging items — the fields are
+  // plain, published to the consumer by whatever starts its thread.
+  void AttachTracer(ExecTracer* tracer, std::uint16_t queue_id,
+                    ExecThreadHandle producer, ExecThreadHandle consumer) {
+    tracer_ = tracer;
+    queue_id_ = queue_id;
+    producer_ = producer;
+    consumer_ = consumer;
+  }
+
   // Blocks while the queue is full. Pushing after Close() is a programmer
   // error (the producer owns the close decision in an SPSC pairing).
   void Push(T value) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return count_ < ring_.size() || closed_; });
-    HODOR_CHECK_MSG(!closed_, "Push on a closed BoundedSpscQueue");
-    ring_[(head_ + count_) % ring_.size()] = std::move(value);
-    ++count_;
-    lock.unlock();
+    const std::uint64_t t0 = tracer_ ? tracer_->NowNs() : 0;
+    std::size_t depth;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] { return count_ < ring_.size() || closed_; });
+      HODOR_CHECK_MSG(!closed_, "Push on a closed BoundedSpscQueue");
+      ring_[(head_ + count_) % ring_.size()] = std::move(value);
+      depth = ++count_;
+    }
     not_empty_.notify_one();
+    if (tracer_) {
+      tracer_->Emit(producer_,
+                    ExecEvent{t0, tracer_->NowNs() - t0,
+                              tracer_->current_epoch(),
+                              ExecEventKind::kQueuePush, queue_id_,
+                              static_cast<std::uint32_t>(depth)});
+    }
   }
 
   // Blocks while the queue is empty and open. Returns false — without
   // touching `out` — once the queue is closed *and* fully drained.
   bool Pop(T& out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
-    if (count_ == 0) return false;  // closed and drained
-    out = std::move(ring_[head_]);
-    head_ = (head_ + 1) % ring_.size();
-    --count_;
-    lock.unlock();
+    const std::uint64_t t0 = tracer_ ? tracer_->NowNs() : 0;
+    std::size_t depth;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
+      if (count_ == 0) return false;  // closed and drained
+      out = std::move(ring_[head_]);
+      head_ = (head_ + 1) % ring_.size();
+      depth = --count_;
+    }
     not_full_.notify_one();
+    if (tracer_) {
+      tracer_->Emit(consumer_,
+                    ExecEvent{t0, tracer_->NowNs() - t0,
+                              tracer_->current_epoch(),
+                              ExecEventKind::kQueuePop, queue_id_,
+                              static_cast<std::uint32_t>(depth)});
+    }
     return true;
   }
 
@@ -84,6 +120,11 @@ class BoundedSpscQueue {
   std::size_t capacity() const { return ring_.size(); }
 
  private:
+  ExecTracer* tracer_ = nullptr;
+  std::uint16_t queue_id_ = 0;
+  ExecThreadHandle producer_;
+  ExecThreadHandle consumer_;
+
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

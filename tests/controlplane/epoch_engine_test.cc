@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/validator.h"
@@ -16,6 +19,8 @@
 #include "flow/tm_generators.h"
 #include "integration/equivalence_fingerprint.h"
 #include "net/topologies.h"
+#include "obs/exec_timeline.h"
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace hodor::controlplane {
@@ -219,6 +224,118 @@ TEST_F(EngineFixture, ThreadedSubscriptionAfterFirstEpochRejected) {
   EXPECT_THROW(pipeline.AddEpochSink([](const EpochResult&) {}),
                std::logic_error);
   pipeline.DrainSinks();
+}
+
+// --- execution tracer integration (obs/exec_timeline.h) --------------------
+
+TEST_F(EngineFixture, TracingNeverPerturbsDecisions) {
+  // The determinism contract extends to the tracer: digests must be
+  // bit-identical with tracing on and off, serial and staged alike.
+  const auto digests = [&](std::size_t num_threads, bool threaded_sinks,
+                           bool exec_trace) {
+    PipelineOptions opts;
+    opts.num_threads = num_threads;
+    opts.threaded_sinks = threaded_sinks;
+    opts.exec_trace = exec_trace;
+    Pipeline pipeline = MakePipeline(opts);
+    std::vector<std::uint64_t> out;
+    for (int epoch = 0; epoch < 4; ++epoch) {
+      out.push_back(pipeline.RunEpoch(state, demand)
+                        .decision.provenance.CanonicalDigest());
+    }
+    pipeline.DrainSinks();
+    return out;
+  };
+  const std::vector<std::uint64_t> baseline = digests(1, false, false);
+  EXPECT_EQ(digests(1, false, true), baseline);
+  EXPECT_EQ(digests(4, true, false), baseline);
+  EXPECT_EQ(digests(4, true, true), baseline);
+}
+
+TEST_F(EngineFixture, TimelineNamesABottleneckEveryEpoch) {
+  Pipeline pipeline = MakePipeline();
+  ASSERT_NE(pipeline.exec_timeline(), nullptr);  // on by default
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    (void)pipeline.RunEpoch(state, demand);
+  }
+  const auto recent = pipeline.exec_timeline()->Recent(3);
+  ASSERT_EQ(recent.size(), 3u);
+  for (const obs::EpochBreakdown& b : recent) {
+    EXPECT_FALSE(b.bottleneck.empty());
+    EXPECT_EQ(b.stages.size(), kEpochStageCount);
+    EXPECT_GT(b.critical_path_ms, 0.0);
+  }
+}
+
+TEST_F(EngineFixture, TracingDisabledLeavesNoTimeline) {
+  PipelineOptions opts;
+  opts.exec_trace = false;
+  Pipeline pipeline = MakePipeline(opts);
+  (void)pipeline.RunEpoch(state, demand);
+  EXPECT_EQ(pipeline.exec_timeline(), nullptr);
+}
+
+// S3: a slow sink shows up as queue depth, backpressure, and delivery lag
+// while running, and the depth gauge returns to zero after DrainSinks.
+TEST_F(EngineFixture, SlowSinkRaisesDepthAndLagUntilDrained) {
+  PipelineOptions opts;
+  opts.threaded_sinks = true;
+  obs::MetricsRegistry registry;
+  opts.metrics = &registry;
+  Pipeline pipeline = MakePipeline(opts);
+  pipeline.AddEpochSink([](const EpochResult&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  });
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    (void)pipeline.RunEpoch(state, demand);
+  }
+  pipeline.DrainSinks();
+
+  ASSERT_NE(pipeline.exec_timeline(), nullptr);
+  const auto recent = pipeline.exec_timeline()->Recent(6);
+  ASSERT_FALSE(recent.empty());
+  std::uint32_t depth_max = 0;
+  double lag_max = 0.0;
+  double backpressure_max = 0.0;
+  for (const obs::EpochBreakdown& b : recent) {
+    depth_max = std::max(depth_max, b.sink_queue_depth_max);
+    lag_max = std::max(lag_max, b.sink_lag_ms);
+    backpressure_max = std::max(backpressure_max, b.backpressure_ms);
+  }
+  EXPECT_GE(depth_max, 1u);        // hand-offs were queued
+  EXPECT_GT(lag_max, 0.0);         // delivery finished after the epoch
+  EXPECT_GT(backpressure_max, 0.0);  // the control thread had to wait
+  // Drained: nothing left in flight for the sink thread.
+  const obs::Gauge* depth = registry.FindGauge("hodor_sink_queue_depth", {});
+  ASSERT_NE(depth, nullptr);
+  EXPECT_DOUBLE_EQ(depth->value(), 0.0);
+}
+
+// S3: an undersized ring drops (oldest) events but never stalls or skews
+// the epochs themselves, and the loss is visible in the dropped counter.
+TEST_F(EngineFixture, TinyTraceRingDropsAreCountedNotFatal) {
+  PipelineOptions opts;
+  opts.threaded_sinks = true;
+  opts.trace_ring_capacity = 1;  // rounds up to the 8-slot minimum
+  obs::MetricsRegistry registry;
+  opts.metrics = &registry;
+  Pipeline pipeline = MakePipeline(opts);
+  std::vector<std::uint64_t> seen;
+  pipeline.AddEpochSink(
+      [&](const EpochResult& r) { seen.push_back(r.epoch); });
+  constexpr std::uint64_t kEpochs = 8;
+  for (std::uint64_t i = 0; i < kEpochs; ++i) {
+    (void)pipeline.RunEpoch(state, demand);
+  }
+  pipeline.DrainSinks();
+  ASSERT_EQ(seen.size(), kEpochs);  // every epoch still delivered, in order
+  for (std::uint64_t i = 0; i < kEpochs; ++i) EXPECT_EQ(seen[i], i);
+  ASSERT_NE(pipeline.exec_timeline(), nullptr);
+  EXPECT_GT(pipeline.exec_timeline()->dropped_total(), 0u);
+  const obs::Counter* dropped =
+      registry.FindCounter("hodor_trace_dropped_total", {});
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_GT(dropped->value(), 0.0);
 }
 
 }  // namespace

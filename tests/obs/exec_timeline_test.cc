@@ -1,0 +1,247 @@
+// ExecTimeline units: critical-path decomposition from synthetic event
+// streams, gauge publication, retention, and the Perfetto exporter.
+#include "obs/exec_timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/exec_trace.h"
+
+namespace hodor::obs {
+namespace {
+
+using util::ExecEvent;
+using util::ExecEventKind;
+using util::ExecThreadHandle;
+using util::ExecTracer;
+
+constexpr std::uint64_t kMs = 1'000'000;  // ns per ms
+
+ExecEvent Ev(std::uint64_t start_ns, std::uint64_t duration_ns,
+             std::uint64_t epoch, ExecEventKind kind, std::uint16_t arg = 0,
+             std::uint32_t detail = 0) {
+  ExecEvent ev;
+  ev.start_ns = start_ns;
+  ev.duration_ns = duration_ns;
+  ev.epoch = epoch;
+  ev.kind = kind;
+  ev.arg = arg;
+  ev.detail = detail;
+  return ev;
+}
+
+ExecTimelineOptions TwoStageOptions() {
+  ExecTimelineOptions opts;
+  opts.stage_names = {"collect", "program"};
+  opts.pool_threads = 2;
+  opts.sink_queue_id = 0;
+  return opts;
+}
+
+// One hand-built epoch covering every analysis dimension:
+//   epoch 5 spans [1ms, 11ms] on the control thread (tid 0);
+//   stage collect runs [1ms, 5ms], program [6ms, 9ms] (1ms dependency gap);
+//   two 2ms pool tasks → 4ms / (10ms × 2 threads) = 0.2 occupancy;
+//   one control-thread queue push blocked 0.5ms, depth-after 2;
+//   sink delivery [9ms, 13ms] → 2ms past the epoch's end.
+struct SyntheticEpoch {
+  ExecTracer tracer{256};
+  ExecThreadHandle control = tracer.RegisterThread("control");
+  ExecThreadHandle pool = tracer.RegisterThread("pool-0");
+  ExecThreadHandle sink = tracer.RegisterThread("sink");
+
+  explicit SyntheticEpoch(std::uint64_t epoch = 5, std::uint64_t base = kMs) {
+    tracer.Emit(control, Ev(base, 4 * kMs, epoch, ExecEventKind::kStage, 0));
+    tracer.Emit(control,
+                Ev(base + 5 * kMs, 3 * kMs, epoch, ExecEventKind::kStage, 1));
+    tracer.Emit(pool, Ev(base + kMs, 2 * kMs, epoch, ExecEventKind::kPoolTask, 0));
+    tracer.Emit(pool, Ev(base + 3 * kMs, 2 * kMs, epoch,
+                         ExecEventKind::kPoolTask, 1));
+    tracer.Emit(control, Ev(base + 8 * kMs, kMs / 2, epoch,
+                            ExecEventKind::kQueuePush, 0, 2));
+    tracer.Emit(sink, Ev(base + 8 * kMs, 4 * kMs, epoch,
+                         ExecEventKind::kSinkDeliver));
+    tracer.Emit(control, Ev(base, 10 * kMs, epoch, ExecEventKind::kEpoch));
+  }
+};
+
+TEST(ExecTimeline, DecomposesTheCriticalPathExactly) {
+  SyntheticEpoch synth;
+  ExecTimeline tl(&synth.tracer, TwoStageOptions());
+  tl.Poll();
+
+  const auto b = tl.Analyze(5);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->epoch, 5u);
+  EXPECT_DOUBLE_EQ(b->critical_path_ms, 10.0);
+  EXPECT_EQ(b->bottleneck, "collect");
+
+  ASSERT_EQ(b->stages.size(), 2u);
+  EXPECT_EQ(b->stages[0].name, "collect");
+  EXPECT_DOUBLE_EQ(b->stages[0].self_ms, 4.0);
+  EXPECT_DOUBLE_EQ(b->stages[0].wait_ms, 0.0);
+  EXPECT_DOUBLE_EQ(b->stages[0].busy_ratio, 0.4);
+  EXPECT_EQ(b->stages[1].name, "program");
+  EXPECT_DOUBLE_EQ(b->stages[1].self_ms, 3.0);
+  EXPECT_DOUBLE_EQ(b->stages[1].wait_ms, 1.0);  // gap after collect ended
+
+  EXPECT_DOUBLE_EQ(b->pool_busy_ratio, 0.2);
+  EXPECT_DOUBLE_EQ(b->backpressure_ms, 0.5);
+  EXPECT_EQ(b->sink_queue_depth_max, 2u);
+  EXPECT_TRUE(b->sink_delivered);
+  EXPECT_DOUBLE_EQ(b->sink_lag_ms, 2.0);
+
+  EXPECT_TRUE(IsValidJson(b->ToJson())) << b->ToJson();
+}
+
+TEST(ExecTimeline, AnalyzeUnknownEpochIsEmpty) {
+  SyntheticEpoch synth;
+  ExecTimeline tl(&synth.tracer, TwoStageOptions());
+  tl.Poll();
+  EXPECT_FALSE(tl.Analyze(99).has_value());
+}
+
+TEST(ExecTimeline, RecentIsNewestFirstAndLatestMatches) {
+  ExecTracer tracer(256);
+  ExecThreadHandle control = tracer.RegisterThread("control");
+  for (std::uint64_t epoch = 1; epoch <= 3; ++epoch) {
+    const std::uint64_t base = epoch * 100 * kMs;
+    tracer.Emit(control, Ev(base, 2 * kMs, epoch, ExecEventKind::kStage, 0));
+    tracer.Emit(control, Ev(base, 5 * kMs, epoch, ExecEventKind::kEpoch));
+  }
+  ExecTimeline tl(&tracer, TwoStageOptions());
+  tl.Poll();
+
+  const auto recent = tl.Recent(2);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].epoch, 3u);
+  EXPECT_EQ(recent[1].epoch, 2u);
+  const auto latest = tl.Latest();
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->epoch, 3u);
+
+  const std::string json = tl.RecentJson(10);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_LT(json.find("\"epoch\":3"), json.find("\"epoch\":1"));
+}
+
+TEST(ExecTimeline, SummarizeAveragesAndVotesTheBottleneck) {
+  ExecTracer tracer(256);
+  ExecThreadHandle control = tracer.RegisterThread("control");
+  // Epoch 1: collect 4ms dominates; epochs 2 and 3: program 6ms dominates.
+  for (std::uint64_t epoch = 1; epoch <= 3; ++epoch) {
+    const std::uint64_t base = epoch * 100 * kMs;
+    const std::uint64_t program_ms = epoch == 1 ? 2 : 6;
+    tracer.Emit(control, Ev(base, 4 * kMs, epoch, ExecEventKind::kStage, 0));
+    tracer.Emit(control, Ev(base + 4 * kMs, program_ms * kMs, epoch,
+                            ExecEventKind::kStage, 1));
+    tracer.Emit(control,
+                Ev(base, (4 + program_ms) * kMs, epoch, ExecEventKind::kEpoch));
+  }
+  ExecTimeline tl(&tracer, TwoStageOptions());
+  tl.Poll();
+
+  const ExecSummary summary = Summarize(tl.Recent(3));
+  EXPECT_EQ(summary.epochs, 3u);
+  EXPECT_EQ(summary.bottleneck, "program");  // 2 votes out of 3
+  ASSERT_EQ(summary.stages.size(), 2u);
+  EXPECT_DOUBLE_EQ(summary.stages[0].self_ms, 4.0);
+  EXPECT_NEAR(summary.stages[1].self_ms, (2.0 + 6.0 + 6.0) / 3.0, 1e-9);
+  EXPECT_NEAR(summary.mean_critical_path_ms, (6.0 + 10.0 + 10.0) / 3.0, 1e-9);
+  EXPECT_TRUE(IsValidJson(summary.ToJson())) << summary.ToJson();
+}
+
+TEST(ExecTimeline, PublishGaugesExposesTheBreakdown) {
+  SyntheticEpoch synth;
+  ExecTimeline tl(&synth.tracer, TwoStageOptions());
+  tl.Poll();
+  MetricsRegistry reg;
+  tl.PublishGauges(&reg);
+
+  const Gauge* critical = reg.FindGauge("hodor_epoch_critical_path_ms", {});
+  ASSERT_NE(critical, nullptr);
+  EXPECT_DOUBLE_EQ(critical->value(), 10.0);
+  const Gauge* collect_busy =
+      reg.FindGauge("hodor_stage_busy_ratio", {{"stage", "collect"}});
+  ASSERT_NE(collect_busy, nullptr);
+  EXPECT_DOUBLE_EQ(collect_busy->value(), 0.4);
+  const Gauge* bottleneck = reg.FindGauge("hodor_epoch_bottleneck", {});
+  ASSERT_NE(bottleneck, nullptr);
+  EXPECT_DOUBLE_EQ(bottleneck->value(), 0.0);  // collect's stage-graph index
+  const Gauge* pool = reg.FindGauge("hodor_pool_busy_ratio", {});
+  ASSERT_NE(pool, nullptr);
+  EXPECT_DOUBLE_EQ(pool->value(), 0.2);
+  const Gauge* backpressure = reg.FindGauge("hodor_epoch_backpressure_ms", {});
+  ASSERT_NE(backpressure, nullptr);
+  EXPECT_DOUBLE_EQ(backpressure->value(), 0.5);
+  const Counter* dropped = reg.FindCounter("hodor_trace_dropped_total", {});
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_DOUBLE_EQ(dropped->value(), 0.0);
+}
+
+// S3: ring overflow surfaces as a monotone hodor_trace_dropped_total.
+TEST(ExecTimeline, RingOverflowLandsInTheDroppedCounter) {
+  ExecTracer tracer(8);
+  ExecThreadHandle control = tracer.RegisterThread("control");
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    tracer.Emit(control, Ev(i, 1, 0, ExecEventKind::kMark));
+  }
+  ExecTimeline tl(&tracer, TwoStageOptions());
+  tl.Poll();
+  MetricsRegistry reg;
+  tl.PublishGauges(&reg);
+  const Counter* dropped = reg.FindCounter("hodor_trace_dropped_total", {});
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_GE(dropped->value(), 92.0);
+  EXPECT_DOUBLE_EQ(dropped->value(),
+                   static_cast<double>(tl.dropped_total()));
+  // Republishing without new drops must not double-count the delta.
+  tl.PublishGauges(&reg);
+  EXPECT_DOUBLE_EQ(dropped->value(),
+                   static_cast<double>(tl.dropped_total()));
+}
+
+TEST(ExecTimeline, RetentionTrimsOldestEvents) {
+  ExecTracer tracer(256);
+  ExecThreadHandle control = tracer.RegisterThread("control");
+  ExecTimelineOptions opts = TwoStageOptions();
+  opts.retain_events = 4;
+  ExecTimeline tl(&tracer, opts);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    tracer.Emit(control, Ev(i, 1, 0, ExecEventKind::kMark));
+  }
+  tl.Poll();
+  EXPECT_EQ(tl.retained_events(), 4u);
+}
+
+TEST(ExecTimeline, WritePerfettoEmitsLoadableTraceJson) {
+  SyntheticEpoch synth;
+  ExecTimeline tl(&synth.tracer, TwoStageOptions());
+  tl.Poll();
+
+  std::ostringstream os;
+  ASSERT_TRUE(tl.WritePerfetto(os));
+  const std::string json = os.str();
+  EXPECT_TRUE(IsValidJson(json)) << json.substr(0, 300);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  // Per-thread metadata, stage slices by name, and the depth counter track.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"control\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"collect\""), std::string::npos);
+  EXPECT_NE(json.find("\"sink_queue_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(ExecTimeline, WritePerfettoWithNothingRetainedFails) {
+  ExecTracer tracer(8);
+  ExecTimeline tl(&tracer, TwoStageOptions());
+  std::ostringstream os;
+  EXPECT_FALSE(tl.WritePerfetto(os));
+}
+
+}  // namespace
+}  // namespace hodor::obs

@@ -101,6 +101,38 @@ TEST(TelemetryServerRouting, DecisionsRingIsNewestFirstAndTrimmable) {
   EXPECT_NE(bad.find("400 Bad Request"), std::string::npos);
 }
 
+TEST(TelemetryServerRouting, TraceRingIsNewestFirstAndTrimmable) {
+  TelemetryServer server({.max_trace_epochs = 2});
+  for (std::uint64_t e = 1; e <= 3; ++e) {
+    server.PublishTrace(e, "{\"epoch\":" + std::to_string(e) +
+                               ",\"bottleneck\":\"program\"}");
+  }
+  // Ring capacity 2: epoch 1 evicted, newest first.
+  std::string body = testing::HttpBody(server.HandleRequest(Get("/trace")));
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  EXPECT_EQ(body.find("\"epoch\":1"), std::string::npos);
+  EXPECT_LT(body.find("\"epoch\":3"), body.find("\"epoch\":2"));
+  EXPECT_NE(body.find("\"bottleneck\":\"program\""), std::string::npos);
+  // ?last=1 trims to the newest breakdown.
+  body = testing::HttpBody(server.HandleRequest(Get("/trace?last=1")));
+  EXPECT_NE(body.find("\"epoch\":3"), std::string::npos);
+  EXPECT_EQ(body.find("\"epoch\":2"), std::string::npos);
+  // Non-numeric ?last is a client error.
+  EXPECT_NE(server.HandleRequest(Get("/trace?last=soon")).find(
+                "400 Bad Request"),
+            std::string::npos);
+  // The index advertises the endpoint.
+  EXPECT_NE(server.HandleRequest(Get("/")).find("/trace"), std::string::npos);
+}
+
+TEST(TelemetryServerRouting, TraceWithNothingPublishedIsAnEmptyArray) {
+  TelemetryServer server;
+  const std::string body =
+      testing::HttpBody(server.HandleRequest(Get("/trace")));
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  EXPECT_EQ(body, "[]");
+}
+
 TEST(TelemetryServerRouting, UnknownPathIs404NonGetIs405) {
   TelemetryServer server;
   EXPECT_NE(server.HandleRequest(Get("/nope")).find("404 Not Found"),

@@ -1,0 +1,181 @@
+#include "util/exec_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace hodor::util {
+namespace {
+
+ExecEvent MakeEvent(std::uint64_t start_ns, std::uint64_t duration_ns,
+                    std::uint64_t epoch, ExecEventKind kind,
+                    std::uint16_t arg = 0, std::uint32_t detail = 0) {
+  ExecEvent ev;
+  ev.start_ns = start_ns;
+  ev.duration_ns = duration_ns;
+  ev.epoch = epoch;
+  ev.kind = kind;
+  ev.arg = arg;
+  ev.detail = detail;
+  return ev;
+}
+
+// Collapses a Drain result into one flat event list for a single tid.
+std::vector<ExecEvent> EventsFor(const std::vector<ExecTracer::ThreadEvents>& batches,
+                                 std::uint16_t tid) {
+  std::vector<ExecEvent> out;
+  for (const auto& b : batches) {
+    if (b.tid != tid) continue;
+    out.insert(out.end(), b.events.begin(), b.events.end());
+  }
+  return out;
+}
+
+TEST(ExecRing, CapacityRoundsUpToPowerOfTwoMinimumEight) {
+  EXPECT_EQ(ExecRing(0).capacity(), 8u);
+  EXPECT_EQ(ExecRing(5).capacity(), 8u);
+  EXPECT_EQ(ExecRing(8).capacity(), 8u);
+  EXPECT_EQ(ExecRing(9).capacity(), 16u);
+  EXPECT_EQ(ExecRing(8192).capacity(), 8192u);
+}
+
+TEST(ExecTracer, EmitDrainRoundtripPreservesEveryField) {
+  ExecTracer tracer(64);
+  ExecThreadHandle h = tracer.RegisterThread("control");
+  ASSERT_TRUE(h);
+  tracer.Emit(h, MakeEvent(100, 50, 7, ExecEventKind::kStage, 3, 0));
+  tracer.Emit(h, MakeEvent(200, 25, 7, ExecEventKind::kQueuePush, 1, 42));
+
+  std::vector<ExecTracer::ThreadEvents> batches;
+  tracer.Drain(&batches);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].name, "control");
+  const std::vector<ExecEvent> evs = EventsFor(batches, h.tid);
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_EQ(evs[0].start_ns, 100u);
+  EXPECT_EQ(evs[0].duration_ns, 50u);
+  EXPECT_EQ(evs[0].epoch, 7u);
+  EXPECT_EQ(evs[0].kind, ExecEventKind::kStage);
+  EXPECT_EQ(evs[0].arg, 3);
+  EXPECT_EQ(evs[1].kind, ExecEventKind::kQueuePush);
+  EXPECT_EQ(evs[1].arg, 1);
+  EXPECT_EQ(evs[1].detail, 42u);
+  EXPECT_EQ(tracer.dropped_total(), 0u);
+}
+
+TEST(ExecTracer, DrainIsIncremental) {
+  ExecTracer tracer(64);
+  ExecThreadHandle h = tracer.RegisterThread("control");
+  tracer.Emit(h, MakeEvent(1, 1, 0, ExecEventKind::kMark));
+  std::vector<ExecTracer::ThreadEvents> first;
+  tracer.Drain(&first);
+  EXPECT_EQ(EventsFor(first, h.tid).size(), 1u);
+
+  std::vector<ExecTracer::ThreadEvents> second;
+  tracer.Drain(&second);  // nothing new → empty batches omitted
+  EXPECT_TRUE(second.empty());
+
+  tracer.Emit(h, MakeEvent(2, 1, 0, ExecEventKind::kMark));
+  std::vector<ExecTracer::ThreadEvents> third;
+  tracer.Drain(&third);
+  const std::vector<ExecEvent> evs = EventsFor(third, h.tid);
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].start_ns, 2u);
+}
+
+// S3: a full ring overwrites its oldest events, the drain keeps the newest
+// window, and every lost event lands in dropped_total.
+TEST(ExecTracer, OverflowDropsOldestAndCountsEveryLoss) {
+  ExecTracer tracer(8);  // exact power of two → capacity 8
+  ExecThreadHandle h = tracer.RegisterThread("control");
+  constexpr std::uint64_t kEmitted = 100;
+  for (std::uint64_t i = 0; i < kEmitted; ++i) {
+    tracer.Emit(h, MakeEvent(i, 1, 0, ExecEventKind::kMark));
+  }
+  std::vector<ExecTracer::ThreadEvents> batches;
+  tracer.Drain(&batches);
+  const std::vector<ExecEvent> evs = EventsFor(batches, h.tid);
+  EXPECT_LE(evs.size(), 8u);
+  EXPECT_EQ(evs.size() + tracer.dropped_total(), kEmitted);
+  EXPECT_GE(tracer.dropped_total(), kEmitted - 8);
+  // The survivors are the newest events, still in emission order.
+  ASSERT_FALSE(evs.empty());
+  EXPECT_EQ(evs.back().start_ns, kEmitted - 1);
+  for (std::size_t i = 1; i < evs.size(); ++i) {
+    EXPECT_EQ(evs[i].start_ns, evs[i - 1].start_ns + 1);
+  }
+}
+
+TEST(ExecTracer, NullHandleSwallowsEmits) {
+  ExecTracer tracer(8);
+  ExecThreadHandle null_handle;
+  EXPECT_FALSE(null_handle);
+  tracer.Emit(null_handle, MakeEvent(1, 1, 0, ExecEventKind::kMark));
+  std::vector<ExecTracer::ThreadEvents> batches;
+  tracer.Drain(&batches);
+  EXPECT_TRUE(batches.empty());
+  EXPECT_EQ(tracer.dropped_total(), 0u);
+}
+
+TEST(ExecTracer, RegistrationCapsAtMaxThreads) {
+  ExecTracer tracer(8);
+  for (std::size_t i = 0; i < ExecTracer::kMaxThreads; ++i) {
+    EXPECT_TRUE(tracer.RegisterThread("t" + std::to_string(i)));
+  }
+  EXPECT_FALSE(tracer.RegisterThread("one-too-many"));
+  EXPECT_EQ(tracer.thread_count(), ExecTracer::kMaxThreads);
+  EXPECT_EQ(tracer.thread_name(0), "t0");
+  EXPECT_EQ(tracer.thread_name(ExecTracer::kMaxThreads), "");
+}
+
+TEST(ExecTracer, CurrentEpochIsSharedWithEmitters) {
+  ExecTracer tracer(8);
+  EXPECT_EQ(tracer.current_epoch(), 0u);
+  tracer.SetCurrentEpoch(41);
+  EXPECT_EQ(tracer.current_epoch(), 41u);
+}
+
+TEST(ExecTracer, NowNsIsMonotoneFromConstruction) {
+  ExecTracer tracer(8);
+  const std::uint64_t a = tracer.NowNs();
+  const std::uint64_t b = tracer.NowNs();
+  EXPECT_LE(a, b);
+}
+
+// Deliberately concurrent writer/drainer: the per-slot seqlock must keep
+// the accounting exact — every emitted event is either drained intact or
+// counted dropped, never both, never neither. The TSan configuration of
+// check_build.sh runs this to vet the protocol.
+TEST(ExecTracer, ConcurrentDrainNeverMiscountsEvents) {
+  ExecTracer tracer(32);  // small ring → constant overwrite pressure
+  ExecThreadHandle h = tracer.RegisterThread("writer");
+  constexpr std::uint64_t kEmitted = 200000;
+  std::atomic<bool> done{false};
+  std::uint64_t drained = 0;
+  std::thread drainer([&] {
+    std::vector<ExecTracer::ThreadEvents> batches;
+    while (!done.load(std::memory_order_acquire)) {
+      batches.clear();
+      tracer.Drain(&batches);
+      for (const auto& b : batches) drained += b.events.size();
+    }
+  });
+  for (std::uint64_t i = 0; i < kEmitted; ++i) {
+    tracer.Emit(h, MakeEvent(i, 1, i, ExecEventKind::kPoolTask,
+                             static_cast<std::uint16_t>(i & 0xffff)));
+  }
+  done.store(true, std::memory_order_release);
+  drainer.join();
+  // Pick up whatever the drainer had not reached yet.
+  std::vector<ExecTracer::ThreadEvents> tail;
+  tracer.Drain(&tail);
+  for (const auto& b : tail) drained += b.events.size();
+  EXPECT_EQ(drained + tracer.dropped_total(), kEmitted);
+  EXPECT_GT(drained, 0u);
+}
+
+}  // namespace
+}  // namespace hodor::util

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <thread>
 #include <vector>
+
+#include "util/exec_trace.h"
 
 namespace hodor::util {
 namespace {
@@ -98,6 +102,82 @@ TEST(BoundedSpscQueue, PushOnClosedThrows) {
   BoundedSpscQueue<int> q(2);
   q.Close();
   EXPECT_THROW(q.Push(1), std::logic_error);
+}
+
+// --- execution-trace instrumentation (util/exec_trace.h) -------------------
+
+std::vector<ExecEvent> DrainAll(ExecTracer& tracer) {
+  std::vector<ExecTracer::ThreadEvents> batches;
+  tracer.Drain(&batches);
+  std::vector<ExecEvent> out;
+  for (const auto& b : batches) {
+    out.insert(out.end(), b.events.begin(), b.events.end());
+  }
+  return out;
+}
+
+TEST(BoundedSpscQueue, TracedOpsRecordDepthAfterEachOperation) {
+  ExecTracer tracer(64);
+  ExecThreadHandle producer = tracer.RegisterThread("producer");
+  ExecThreadHandle consumer = tracer.RegisterThread("consumer");
+  BoundedSpscQueue<int> q(4);
+  q.AttachTracer(&tracer, /*queue_id=*/3, producer, consumer);
+  tracer.SetCurrentEpoch(9);
+
+  q.Push(1);
+  q.Push(2);
+  int v = 0;
+  ASSERT_TRUE(q.Pop(v));
+  ASSERT_TRUE(q.Pop(v));
+
+  const std::vector<ExecEvent> evs = DrainAll(tracer);
+  std::vector<std::uint32_t> push_depths;
+  std::vector<std::uint32_t> pop_depths;
+  for (const ExecEvent& ev : evs) {
+    EXPECT_EQ(ev.arg, 3);  // the attached queue id
+    EXPECT_EQ(ev.epoch, 9u);
+    if (ev.kind == ExecEventKind::kQueuePush) push_depths.push_back(ev.detail);
+    if (ev.kind == ExecEventKind::kQueuePop) pop_depths.push_back(ev.detail);
+  }
+  // Depth after each op: pushes grow 1→2, pops shrink 1→0.
+  EXPECT_EQ(push_depths, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_EQ(pop_depths, (std::vector<std::uint32_t>{1, 0}));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedSpscQueue, TracedPushRecordsBlockedWait) {
+  ExecTracer tracer(64);
+  ExecThreadHandle producer = tracer.RegisterThread("producer");
+  ExecThreadHandle consumer = tracer.RegisterThread("consumer");
+  BoundedSpscQueue<int> q(1);
+  q.AttachTracer(&tracer, /*queue_id=*/0, producer, consumer);
+
+  q.Push(1);
+  std::thread producer_thread([&] { q.Push(2); });  // blocks: queue is full
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  int v = 0;
+  ASSERT_TRUE(q.Pop(v));
+  producer_thread.join();
+
+  const std::vector<ExecEvent> evs = DrainAll(tracer);
+  std::uint64_t max_push_wait_ns = 0;
+  for (const ExecEvent& ev : evs) {
+    if (ev.kind == ExecEventKind::kQueuePush) {
+      max_push_wait_ns = std::max(max_push_wait_ns, ev.duration_ns);
+    }
+  }
+  // The blocked push waited through (at least most of) the sleep.
+  EXPECT_GE(max_push_wait_ns, 10u * 1000 * 1000);
+}
+
+TEST(BoundedSpscQueue, UntracedQueueEmitsNothing) {
+  ExecTracer tracer(64);
+  (void)tracer.RegisterThread("unused");
+  BoundedSpscQueue<int> q(2);
+  q.Push(5);
+  int v = 0;
+  ASSERT_TRUE(q.Pop(v));
+  EXPECT_TRUE(DrainAll(tracer).empty());
 }
 
 // Two-thread stress: the TSan configuration of check_build.sh runs this to
