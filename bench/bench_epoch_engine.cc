@@ -49,6 +49,7 @@
 #include "controlplane/pipeline.h"
 #include "obs/exec_timeline.h"
 #include "obs/health/signal_health.h"
+#include "obs/observatory.h"
 #include "obs/provenance.h"
 #include "obs/serve/telemetry_server.h"
 #include "replay/recorder.h"
@@ -127,10 +128,15 @@ double MedianMs(std::vector<double> samples) {
 
 // One full run: validator + flight recorder + serving sinks attached,
 // kWarmupEpochs discarded, `measured_epochs` timed around RunEpoch only.
+// `with_observatory` swaps the hand-rolled serving sink for the full
+// obs::Observatory (trust + detection tracking + per-epoch time-series
+// sampling + /slo + /query publication) — the extra cost the
+// --timeseries-overhead gate measures.
 RunResult RunConfig(const net::Topology& topo, bool staged,
                     const char* log_tag, bool exec_trace = true,
                     const std::string& trace_out = "",
-                    int measured_epochs = kMeasuredEpochs) {
+                    int measured_epochs = kMeasuredEpochs,
+                    bool with_observatory = false) {
   const net::GroundTruthState state(topo);
   const flow::DemandMatrix base = BenchDemand(topo);
 
@@ -158,17 +164,26 @@ RunResult RunConfig(const net::Topology& topo, bool staged,
   obs::SignalHealthBoard board;
   obs::MetricsRegistry serving_registry;
   obs::TelemetryServer server;  // not Started: pure snapshot rendering
+  obs::Observatory observatory;
   RunResult result;
-  pipeline.AddEpochSink([&](const controlplane::EpochResult& r) {
-    serving_registry.CopyFrom(r.metrics_mirror
-                                  ? *r.metrics_mirror
-                                  : obs::MetricsRegistry::Global());
-    board.ObserveEpoch(r.decision.provenance);
-    board.PublishGauges(&serving_registry);
-    server.PublishMetrics(&serving_registry);
-    server.PublishSignals(board);
-    server.PublishDecision(r.decision.provenance);
-  });
+  if (with_observatory) {
+    pipeline.AddEpochSink([&](const controlplane::EpochResult& r) {
+      observatory.ObserveAndPublish(r.epoch, r.metrics_mirror,
+                                    r.decision.provenance, r.fault_classes,
+                                    &server);
+    });
+  } else {
+    pipeline.AddEpochSink([&](const controlplane::EpochResult& r) {
+      serving_registry.CopyFrom(r.metrics_mirror
+                                    ? *r.metrics_mirror
+                                    : obs::MetricsRegistry::Global());
+      board.ObserveEpoch(r.decision.provenance);
+      board.PublishGauges(&serving_registry);
+      server.PublishMetrics(&serving_registry);
+      server.PublishSignals(board);
+      server.PublishDecision(r.decision.provenance);
+    });
+  }
 
   std::vector<double> samples;
   samples.reserve(measured_epochs);
@@ -265,26 +280,99 @@ int RunTraceOverheadGate() {
   return ratio_ok && digests_match ? 0 : 1;
 }
 
+// --timeseries-overhead: the observatory's per-epoch cost — detection
+// tracking, time-series sampling, /slo + /query publication — must fit
+// inside the same ≤3% budget as the tracer. Waxman n=400 serial (the
+// acceptance size: the absolute budget is smallest relative to noise
+// there), hand-rolled serving sink vs full Observatory, interleaved
+// rounds, min-epoch comparison. Digest parity doubles as the proof that
+// observation never feeds back into decisions.
+int RunTimeseriesOverheadGate() {
+  constexpr int kOverheadRounds = 4;
+  constexpr int kOverheadEpochs = 6;
+  constexpr double kMaxRatio = 1.03;
+  util::Rng topo_rng(21);
+  const net::Topology topo = net::Waxman(400, topo_rng);
+  bench::PrintHeader(
+      "epoch_engine --timeseries-overhead",
+      "observatory sampling overhead gate (observatory on vs off)",
+      "waxman400 seed=21 serial, " + std::to_string(kOverheadRounds) + "x" +
+          std::to_string(kOverheadEpochs) +
+          " interleaved measured epochs after 2 warm-up per round; pass: "
+          "min-epoch ratio <= 1.03 and digest parity");
+  // A discarded settle round absorbs decaying host load from whatever ran
+  // before the gate (ctest, the 60s serve window in check_build.sh
+  // --dashboard-gate); without it the first config systematically pays
+  // for the cool-down and the ratio drifts either way.
+  (void)RunConfig(topo, /*staged=*/false, "ts_settle", true, "", 2,
+                  /*with_observatory=*/false);
+  // Interleaved rounds, like --trace-overhead but finer-grained: off/on
+  // alternate kOverheadRounds times so any load window — spike or slow
+  // decay — is sampled by both configs, and the min discards it.
+  RunResult off;
+  RunResult on;
+  bool digests_match = true;
+  for (int round = 0; round < kOverheadRounds; ++round) {
+    RunResult off_r = RunConfig(topo, /*staged=*/false, "ts_off", true, "",
+                                kOverheadEpochs, /*with_observatory=*/false);
+    RunResult on_r = RunConfig(topo, /*staged=*/false, "ts_on", true, "",
+                               kOverheadEpochs, /*with_observatory=*/true);
+    digests_match = digests_match && off_r.digests == on_r.digests;
+    if (round == 0) {
+      off = std::move(off_r);
+      on = std::move(on_r);
+    } else {
+      digests_match = digests_match && off.digests == off_r.digests &&
+                      on.digests == on_r.digests;
+      off.min_ms = std::min(off.min_ms, off_r.min_ms);
+      on.min_ms = std::min(on.min_ms, on_r.min_ms);
+      // Display-only: the best round's median, same robustness story.
+      off.median_ms = std::min(off.median_ms, off_r.median_ms);
+      on.median_ms = std::min(on.median_ms, on_r.median_ms);
+    }
+  }
+  const double ratio = on.min_ms / off.min_ms;
+  util::TablePrinter table(
+      {"config", "ms/epoch (min)", "ms/epoch (median)", "ratio", "digests"});
+  table.AddRowValues("observatory off", util::FormatDouble(off.min_ms, 3),
+                     util::FormatDouble(off.median_ms, 3), "-", "-");
+  table.AddRowValues("observatory on", util::FormatDouble(on.min_ms, 3),
+                     util::FormatDouble(on.median_ms, 3),
+                     util::FormatDouble(ratio, 4),
+                     digests_match ? "match" : "DIVERGED");
+  std::cout << table.ToString();
+  const bool ratio_ok = ratio <= kMaxRatio;
+  std::cout << "observatory overhead " << util::FormatPercent(ratio - 1.0, 2)
+            << " (gate " << util::FormatPercent(kMaxRatio - 1.0, 0)
+            << "): " << (ratio_ok ? "PASS" : "FAIL") << "; digests "
+            << (digests_match ? "bit-identical" : "DIVERGED") << "\n";
+  return ratio_ok && digests_match ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
   std::string trace_out;
   bool trace_overhead = false;
+  bool timeseries_overhead = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = std::string(arg.substr(12));
     } else if (arg == "--trace-overhead") {
       trace_overhead = true;
+    } else if (arg == "--timeseries-overhead") {
+      timeseries_overhead = true;
     } else {
       std::cerr << "unknown flag: " << arg
                 << "\nusage: bench_epoch_engine [--trace-out=PATH] "
-                   "[--trace-overhead]\n";
+                   "[--trace-overhead] [--timeseries-overhead]\n";
       return 2;
     }
   }
   if (trace_overhead) return RunTraceOverheadGate();
+  if (timeseries_overhead) return RunTimeseriesOverheadGate();
   const unsigned hardware_threads = std::thread::hardware_concurrency();
   const bool can_overlap = hardware_threads >= 2;
   bench::PrintHeader(

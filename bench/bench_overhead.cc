@@ -12,6 +12,9 @@
 #include "bench_common.h"
 #include "controlplane/services.h"
 #include "core/validator.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/timeseries.h"
 #include "util/parallel.h"
 
 namespace {
@@ -110,6 +113,38 @@ void BM_FullValidationNoProvenance(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullValidationNoProvenance)->Arg(200)->Arg(400);
+
+void BM_TimeseriesSample(benchmark::State& state) {
+  // One observatory sampling pass: fold every sample of a registry sized
+  // like a live run (per-entity trust gauges for the three checks, the
+  // epoch counters, a stage histogram) into the /query store's rings.
+  // This is the per-epoch cost the --timeseries-overhead gate budgets;
+  // the stage span makes it a "timeseries-sample" column in the obs
+  // snapshot, so scripts/bench_compare.sh tracks it like any stage.
+  const bench::Trial& t = TrialForSize(static_cast<int>(state.range(0)));
+  obs::MetricsRegistry reg;
+  for (const char* check : {"demand", "topology", "drain"}) {
+    for (std::size_t i = 0; i < t.topo.node_count(); ++i) {
+      reg.GetGauge("hodor_signal_trust",
+                   {{"check", check}, {"entity", std::to_string(i)}},
+                   "bench trust gauge")
+          .Set(static_cast<double>((i * 7) % 101));
+    }
+  }
+  reg.GetCounter("hodor_epochs_total", {}, "bench counter").Increment();
+  auto& hist = reg.GetHistogram("hodor_stage_duration_us",
+                                {{"stage", "validate"}});
+  for (int i = 0; i < 64; ++i) hist.Observe(100.0 + i);
+  obs::TimeSeriesStore store;
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    obs::StageSpan span(obs::Stage::kTimeseriesSample, epoch);
+    store.Sample(epoch++, reg);
+    benchmark::DoNotOptimize(store.epochs_sampled());
+  }
+  state.SetLabel("series=" + std::to_string(store.series_count()));
+}
+BENCHMARK(BM_TimeseriesSample)->Arg(12)->Arg(100)->Arg(400);
 
 void BM_CollectSnapshot(benchmark::State& state) {
   const bench::Trial& t = TrialForSize(static_cast<int>(state.range(0)));

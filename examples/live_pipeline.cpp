@@ -57,6 +57,7 @@
 #include "obs/exec_timeline.h"
 #include "obs/health/signal_health.h"
 #include "obs/metrics.h"
+#include "obs/observatory.h"
 #include "obs/provenance.h"
 #include "obs/serve/telemetry_server.h"
 #include "obs/span.h"
@@ -161,18 +162,17 @@ int main(int argc, char** argv) {
   protected_pipeline.Bootstrap(state, base);
 
   // The operability stack, fed by one epoch observer on the protected
-  // pipeline and served live over HTTP.
-  obs::SignalHealthBoard board;
-  // Sink-side registry: with threaded sinks the hook below runs on the
-  // engine's sink thread, so everything it renders — health gauges, alert
-  // counters, the /metrics page — goes through this registry (refreshed
-  // from the per-epoch metrics mirror) instead of the live one the control
-  // thread is mutating.
-  obs::MetricsRegistry serving_registry;
+  // pipeline and served live over HTTP. The Observatory bundles the
+  // sink-side registry (with threaded sinks the hook below runs on the
+  // engine's sink thread, so everything it renders goes through that
+  // registry, refreshed from the per-epoch metrics mirror), the trust
+  // board, the detection-latency tracker, and the time-series store behind
+  // /query and /dashboard.
+  obs::Observatory observatory;
   core::AlertEngineOptions engine_opts;
   engine_opts.min_hold_epochs = 2;
   engine_opts.escalation_threshold = 3;
-  engine_opts.metrics = &serving_registry;
+  engine_opts.metrics = &observatory.serving_registry();
   core::AlertEngine engine(engine_opts);
   obs::TelemetryServer server;
   const bool serving = server.Start();
@@ -192,14 +192,12 @@ int main(int argc, char** argv) {
 
   protected_pipeline.AddEpochSink(
       [&](const controlplane::EpochResult& r) {
-        // Refresh the sink-side registry from the epoch's mirror (live
-        // registry when sinks are synchronous), then layer trust gauges
-        // and alert counters on top.
-        serving_registry.CopyFrom(r.metrics_mirror
-                                      ? *r.metrics_mirror
-                                      : obs::MetricsRegistry::Global());
-        board.ObserveEpoch(r.decision.provenance);
-        board.PublishGauges(&serving_registry);  // trust rides /metrics too
+        // Step 1: mirror the epoch's metrics (live registry when sinks are
+        // synchronous), fold trust + detection latency.
+        observatory.ObserveEpoch(r.epoch, r.metrics_mirror,
+                                 r.decision.provenance, r.fault_classes);
+        // The alert engine writes its counters into the serving registry
+        // between steps 1 and 2, so the time-series store retains them.
         const auto summary = engine.Observe(
             r.epoch, core::AlertsFromProvenance(r.decision.provenance));
         for (const core::AlertRecord& rec : engine.active()) {
@@ -216,10 +214,10 @@ int main(int argc, char** argv) {
             }
           }
         }
+        // Step 2: retain this epoch's samples for /query and /dashboard.
+        observatory.SampleTimeseries(r.epoch);
         if (serving) {
-          server.PublishMetrics(&serving_registry);
-          server.PublishSignals(board);
-          server.PublishDecision(r.decision.provenance);
+          observatory.PublishTo(server, &r.decision.provenance);
           server.PublishAlerts(engine.ToJson());
         }
       });
@@ -227,7 +225,8 @@ int main(int argc, char** argv) {
   if (serving) {
     std::cout << "telemetry: " << server.url()
               << "  (GET /metrics /metrics.json /healthz /decisions /trace "
-                 "/health/signals /alerts)\n\n";
+                 "/health/signals /alerts /query /slo /buildz)\n"
+              << "dashboard: " << server.url() << "/dashboard\n\n";
   }
 
   util::TablePrinter table({"epoch", "fault", "sat (unprotected)",
@@ -336,6 +335,7 @@ int main(int argc, char** argv) {
   }
 
   // Signal-health scoreboard: the least-trusted sources after the run.
+  obs::SignalHealthBoard& board = observatory.board();
   std::cout << "\nSignal-health scoreboard (" << board.source_count()
             << " sources, worst trust first; history oldest->newest, "
                "P=pass F=fail S=skipped R=repaired .=quiet):\n";
@@ -377,9 +377,12 @@ int main(int argc, char** argv) {
     if (const char* env = std::getenv("HODOR_SERVE_SECONDS")) {
       const int seconds = std::atoi(env);
       if (seconds > 0) {
+        // Explicit flush: with stdout redirected to a file this line
+        // would otherwise sit in the stdio buffer for the whole serve
+        // window, and check_build.sh --dashboard-gate polls for it.
         std::cout << "\nServing telemetry at " << server.url() << " for "
                   << seconds << "s (HODOR_SERVE_SECONDS, Ctrl-C to stop)"
-                  << "...\n";
+                  << "..." << std::endl;
         // Sleep in short slices so SIGINT/SIGTERM end the wait promptly.
         const auto deadline = std::chrono::steady_clock::now() +
                               std::chrono::seconds(seconds);

@@ -60,7 +60,8 @@ import json
 import sys
 
 THRESHOLD = 1.25  # fail when candidate median > 1.25x baseline median
-STAGES = ("harden", "check-demand", "check-topology", "check-drain")
+STAGES = ("harden", "check-demand", "check-topology", "check-drain",
+          "timeseries-sample")
 
 
 def hardware_threads(path):

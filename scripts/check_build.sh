@@ -28,6 +28,14 @@
 #      regresses the fastest waxman100 epoch by more than 3% or perturbs a
 #      digest, then a live_pipeline run must produce a Perfetto trace that
 #      parses as JSON with a non-empty traceEvents array.
+#   8. With --dashboard-gate: the validation-observatory gates (DESIGN
+#      §11) — a headless live_pipeline run must serve /query JSON matching
+#      the documented schema at all three resolutions, /slo and /buildz
+#      must parse, and /dashboard must be one self-contained HTML page
+#      (no external src=/href= URLs); any 5xx fails. Then
+#      bench_epoch_engine --timeseries-overhead fails if observatory
+#      sampling regresses the fastest waxman400 epoch by more than 3% or
+#      perturbs a digest.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -61,9 +69,10 @@ if [ "$1" = "--sanitize=thread" ]; then
   cmake --build build-tsan -j --target \
     util_parallel_test util_spsc_queue_test util_exec_trace_test \
     core_hardening_test controlplane_epoch_engine_test \
-    integration_frame_equivalence_test
+    integration_frame_equivalence_test obs_telemetry_server_test \
+    obs_timeseries_test
   (cd build-tsan && ctest --output-on-failure \
-    -R "util_parallel_test|util_spsc_queue_test|util_exec_trace_test|core_hardening_test|controlplane_epoch_engine_test|integration_frame_equivalence_test" -j)
+    -R "util_parallel_test|util_spsc_queue_test|util_exec_trace_test|core_hardening_test|controlplane_epoch_engine_test|integration_frame_equivalence_test|obs_telemetry_server_test|obs_timeseries_test" -j)
 fi
 
 if [ "$1" = "--trace-gate" ]; then
@@ -89,6 +98,97 @@ kinds = {e.get("ph") for e in events}
 assert "X" in kinds, f"no complete events in trace (phases: {kinds})"
 print(f"trace-gate: {len(events)} trace events parse cleanly")
 EOF
+fi
+
+if [ "$1" = "--dashboard-gate" ]; then
+  echo "== validation observatory gates (/query schema, /dashboard, overhead) =="
+  cmake --build build -j --target live_pipeline bench_epoch_engine
+  ROOT=$(pwd)
+  TMP=$(mktemp -d)
+  trap 'rm -rf "$TMP"' EXIT
+  # Headless run: the serve window keeps the HTTP surface up after the
+  # epochs finish, so every probe below sees a fully-populated store.
+  HODOR_SERVE_SECONDS=60 ./build/examples/live_pipeline --epochs=12 \
+    > "$TMP/lp.out" 2>&1 &
+  LP_PID=$!
+  URL=""
+  i=0
+  while [ $i -lt 300 ]; do
+    if grep -q "Serving telemetry" "$TMP/lp.out" 2>/dev/null; then
+      URL=$(sed -n 's/^telemetry: \(http:[^ ]*\).*/\1/p' "$TMP/lp.out" | head -1)
+      break
+    fi
+    if ! kill -0 "$LP_PID" 2>/dev/null; then break; fi
+    i=$((i + 1))
+    sleep 0.2
+  done
+  if [ -z "$URL" ]; then
+    echo "dashboard-gate: live_pipeline never reached its serve window:"
+    cat "$TMP/lp.out"
+    exit 1
+  fi
+  if python3 - "$URL" <<'EOF'
+import json
+import sys
+import urllib.request
+
+base = sys.argv[1]
+
+
+def get(path):
+    # urlopen raises on any 4xx/5xx, which is exactly the gate's contract.
+    with urllib.request.urlopen(base + path, timeout=10) as resp:
+        assert resp.status == 200, f"{path}: HTTP {resp.status}"
+        assert resp.headers.get("Cache-Control") == "no-store", \
+            f"{path}: missing Cache-Control: no-store"
+        return resp.read().decode()
+
+
+# /query must answer the documented schema at every resolution, with the
+# trust series populated (acceptance: >= 3 resolutions for signal trust).
+for res in ("raw", "10", "100"):
+    doc = json.loads(get(f"/query?series=hodor_signal_trust*&res={res}&last=5"))
+    for key in ("resolution", "stride", "last", "epochs_sampled",
+                "series_total", "dropped_series", "series"):
+        assert key in doc, f"/query res={res}: missing key {key}"
+    assert doc["resolution"] == res
+    assert doc["epochs_sampled"] > 0, f"/query res={res}: nothing sampled"
+    assert doc["series"], f"/query res={res}: no trust series"
+    for s in doc["series"]:
+        assert s["name"].startswith("hodor_signal_trust"), s["name"]
+        assert s["kind"] == "gauge"
+        assert s["points"], f"{s['name']}: no points at res={res}"
+        width = 2 if res == "raw" else 6
+        assert all(len(p) == width for p in s["points"]), \
+            f"{s['name']}: point width != {width} at res={res}"
+
+slo = json.loads(get("/slo"))
+for key in ("detection_latency", "false_positives", "ok", "fault_classes"):
+    assert key in slo, f"/slo: missing key {key}"
+
+buildz = json.loads(get("/buildz"))
+assert buildz.get("status") == "ok", buildz
+assert "git" in buildz and "uptime_seconds" in buildz, buildz
+
+html = get("/dashboard")
+assert "<html" in html, "/dashboard: not an HTML page"
+for needle in ('src="http', "src='http", 'href="http', "href='http"):
+    assert needle not in html, f"/dashboard references an external asset: {needle}"
+
+print("dashboard-gate: /query schema, /slo, /buildz, and /dashboard "
+      "self-containment all pass")
+EOF
+  then
+    :
+  else
+    kill "$LP_PID" 2>/dev/null || true
+    wait "$LP_PID" 2>/dev/null || true
+    exit 1
+  fi
+  kill "$LP_PID" 2>/dev/null || true
+  wait "$LP_PID" 2>/dev/null || true
+  # Observatory sampling must fit the same <= 3% budget as the tracer.
+  (cd "$TMP" && "$ROOT/build/bench/bench_epoch_engine" --timeseries-overhead)
 fi
 
 if [ "$1" = "--replay-gate" ]; then

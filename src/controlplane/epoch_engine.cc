@@ -1,5 +1,7 @@
 #include "controlplane/epoch_engine.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 #include "util/status.h"
 
@@ -122,6 +124,12 @@ void EpochEngine::AddEpochSink(EpochSinkFn sink) {
   sinks_.push_back(std::move(sink));
 }
 
+void EpochEngine::SetFaultStamp(std::vector<std::string> classes) {
+  fault_stamp_ = std::move(classes);
+}
+
+void EpochEngine::ClearFaultStamp() { fault_stamp_.reset(); }
+
 void EpochEngine::SetSlotSink(std::size_t slot, EpochSinkFn sink) {
   HODOR_CHECK(slot < slot_sinks_.size());
   HODOR_CHECK_MSG(!opts_.threaded_sinks || next_epoch_ == 0,
@@ -172,6 +180,22 @@ EpochResult EpochEngine::RunEpoch(
   st.result.spans.reserve(7);
   st.chosen = nullptr;
 
+  // Ground-truth fault stamp for this epoch: the caller's sticky stamp
+  // wins; otherwise infer from which fault hooks are armed. Stamps never
+  // reach the decision digest (pipeline.h).
+  st.result.fault_classes.clear();
+  if (fault_stamp_.has_value()) {
+    st.result.fault_classes = *fault_stamp_;
+  } else {
+    if (snapshot_fault) st.result.fault_classes.push_back("router-signal");
+    if (aggregation_faults.topology || aggregation_faults.drain) {
+      st.result.fault_classes.push_back("aggregation");
+    }
+    if (aggregation_faults.demand) {
+      st.result.fault_classes.push_back("external-input");
+    }
+  }
+
   StageContext ctx{&state,  &true_demand, &snapshot_fault,
                    &aggregation_faults, &st, epoch};
 
@@ -204,6 +228,25 @@ EpochResult EpochEngine::RunEpoch(
         .GetCounter("hodor_epoch_fallbacks_total", {},
                     "Epochs served from the last accepted input")
         .Increment();
+  }
+  // hodor_fault_active{class}: 1 while the class is injected, explicitly 0
+  // once a previously-seen class goes quiet (stale 1s would read as a
+  // never-ending outage on the dashboard).
+  for (const std::string& cls : st.result.fault_classes) {
+    if (std::find(seen_fault_classes_.begin(), seen_fault_classes_.end(),
+                  cls) == seen_fault_classes_.end()) {
+      seen_fault_classes_.push_back(cls);
+    }
+  }
+  for (const std::string& cls : seen_fault_classes_) {
+    const bool active =
+        std::find(st.result.fault_classes.begin(),
+                  st.result.fault_classes.end(),
+                  cls) != st.result.fault_classes.end();
+    registry
+        .GetGauge("hodor_fault_active", {{"class", cls}},
+                  "1 while a fault of this class is being injected")
+        .Set(active ? 1.0 : 0.0);
   }
   st.result.spans.push_back(epoch_span.End());
 

@@ -97,7 +97,8 @@ struct EpochState {
                flow::SimulationResult{},
                telemetry::NetworkSnapshot(topo, 0),
                {},
-               nullptr} {}
+               nullptr,
+               {}} {}
 
   // The completed epoch as sinks and the caller see it. result.snapshot
   // doubles as the collect stage's workspace (filled in place).
@@ -137,6 +138,11 @@ class EpochEngine {
                        const flow::DemandMatrix& true_demand,
                        const telemetry::SnapshotMutator& snapshot_fault,
                        const AggregationFaultHooks& aggregation_faults);
+
+  // Fault-class stamping (see Pipeline::SetFaultStamp). While a stamp is
+  // set it overrides per-epoch inference from the RunEpoch fault hooks.
+  void SetFaultStamp(std::vector<std::string> classes);
+  void ClearFaultStamp();
 
   // Blocks until every epoch submitted so far has been delivered to all
   // sinks (no-op in synchronous mode).
@@ -191,6 +197,13 @@ class EpochEngine {
   flow::RoutingPlan installed_plan_;
   std::optional<ControllerInput> last_good_input_;
   std::uint64_t next_epoch_ = 0;
+
+  // Fault-class ground truth for EpochResult::fault_classes: the sticky
+  // caller stamp (overrides inference while set) and every class name ever
+  // active, so hodor_fault_active gauges return to 0 instead of going
+  // stale when a fault window closes. Control-thread-only.
+  std::optional<std::vector<std::string>> fault_stamp_;
+  std::vector<std::string> seen_fault_classes_;
 
   // Execution tracer + analyzer. Declared before the pool, queues, and
   // sink thread so every emitter (pool workers, queue hand-offs, the sink

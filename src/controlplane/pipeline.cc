@@ -44,6 +44,12 @@ EpochResult Pipeline::RunEpoch(const net::GroundTruthState& state,
                            aggregation_faults);
 }
 
+void Pipeline::SetFaultStamp(std::vector<std::string> classes) {
+  engine_->SetFaultStamp(std::move(classes));
+}
+
+void Pipeline::ClearFaultStamp() { engine_->ClearFaultStamp(); }
+
 void Pipeline::DrainSinks() { engine_->DrainSinks(); }
 
 obs::ExecTimeline* Pipeline::exec_timeline() { return engine_->exec_timeline(); }

@@ -144,6 +144,12 @@ struct EpochResult {
   // Valid only during sink invocation — nulled in the EpochResult that
   // RunEpoch returns.
   const obs::MetricsRegistry* metrics_mirror = nullptr;
+  // Fault classes active this epoch (faults::FaultClassName values, e.g.
+  // "router-signal"). Inferred from the RunEpoch fault hooks unless the
+  // caller stamped an explicit set (Pipeline::SetFaultStamp). Ground truth
+  // for detection-latency scoring — deliberately kept out of
+  // DecisionRecord's canonical text so digests stay fault-stamp-agnostic.
+  std::vector<std::string> fault_classes;
 };
 
 class EpochEngine;
@@ -183,6 +189,17 @@ class Pipeline {
                        const flow::DemandMatrix& true_demand,
                        const telemetry::SnapshotMutator& snapshot_fault = nullptr,
                        const AggregationFaultHooks& aggregation_faults = {});
+
+  // Fault-class stamping for detection-latency scoring. By default each
+  // epoch's EpochResult::fault_classes is inferred from the RunEpoch
+  // arguments (snapshot fault → "router-signal", topology/drain hooks →
+  // "aggregation", demand hook → "external-input"). A harness injecting
+  // faults some other way (e.g. by mutating ground truth) can override
+  // with an explicit sticky stamp; ClearFaultStamp returns to inference.
+  // Stamps feed EpochResult and the hodor_fault_active{class} gauges only
+  // — never the decision digest.
+  void SetFaultStamp(std::vector<std::string> classes);
+  void ClearFaultStamp();
 
   // Blocks until every epoch produced so far has been delivered to all
   // sinks. No-op with synchronous sinks. Call before reading state a

@@ -63,6 +63,21 @@ struct OutageScenario {
   controlplane::AggregationFaultHooks aggregation;
 };
 
+// The fault classes a scenario actually injects into the pipeline's
+// inputs, as FaultClassName strings for Pipeline::SetFaultStamp /
+// EpochResult::fault_classes. Usually just the scenario's fault_class,
+// but control scenarios (kNone, input_fault = false) return an empty
+// vector — nothing is wrong with the inputs, so detection-latency scoring
+// must treat their epochs as clean.
+inline std::vector<std::string> ActiveFaultClasses(
+    const OutageScenario& scenario) {
+  if (scenario.fault_class == FaultClass::kNone) return {};
+  // Hardening-only corruptions (e.g. the Figure 3 single counter) still
+  // count: a detector flagging them is a hit, not a false positive.
+  if (!scenario.input_fault && !scenario.expect_hardening_flags) return {};
+  return {FaultClassName(scenario.fault_class)};
+}
+
 class ScenarioCatalog {
  public:
   // Scenarios pick concrete routers/links deterministically from `topo`

@@ -1,0 +1,236 @@
+#include "obs/detection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace hodor::obs {
+
+namespace {
+
+// Nearest-rank percentile over an unsorted sample set; NaN when empty.
+double Percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) return std::nan("");
+  std::sort(samples.begin(), samples.end());
+  const double rank = pct / 100.0 * static_cast<double>(samples.size());
+  std::size_t index = static_cast<std::size_t>(std::ceil(rank));
+  if (index > 0) --index;
+  if (index >= samples.size()) index = samples.size() - 1;
+  return samples[index];
+}
+
+void AppendNullableNumber(std::ostringstream& os, double v) {
+  if (std::isnan(v)) {
+    os << "null";
+  } else {
+    os << JsonNumber(v);
+  }
+}
+
+}  // namespace
+
+DetectionLatencyTracker::DetectionLatencyTracker(DetectionOptions opts)
+    : opts_(std::move(opts)) {
+  if (opts_.max_latency_samples == 0) opts_.max_latency_samples = 1;
+}
+
+void DetectionLatencyTracker::RecordLatency(const std::string& fault_class,
+                                            const std::string& detector,
+                                            double latency,
+                                            MetricsRegistry* registry) {
+  PairStats& stats = pairs_[{fault_class, detector}];
+  ++stats.flags;
+  if (stats.latencies.size() >= opts_.max_latency_samples) {
+    stats.latencies.erase(stats.latencies.begin());
+  }
+  stats.latencies.push_back(latency);
+  if (registry != nullptr) {
+    registry
+        ->GetHistogram(
+            "hodor_detection_latency_epochs",
+            {{"fault_class", fault_class}, {"detector", detector}},
+            opts_.latency_buckets,
+            "Epochs from fault-class injection to first flag per detector")
+        .Observe(latency);
+    registry
+        ->GetCounter("hodor_detection_flag_total",
+                     {{"fault_class", fault_class}, {"detector", detector}},
+                     "First-flag events per (fault class, detector) episode")
+        .Increment();
+  }
+}
+
+void DetectionLatencyTracker::ObserveEpoch(
+    std::uint64_t epoch, const std::vector<std::string>& fault_classes,
+    const DecisionRecord& decision, MetricsRegistry* registry) {
+  // Reduce the decision to the set of detectors that fired and the set
+  // that repaired. Hardening emits records only for signals it flagged
+  // (see obs/health/signal_health), so its mere presence is a detection;
+  // dynamic checks detect on a fail verdict.
+  std::set<std::string> fired;
+  std::set<std::string> repaired;
+  for (const InvariantRecord& rec : decision.invariants) {
+    if (rec.check == "hardening") {
+      if (rec.verdict != InvariantVerdict::kSkipped) fired.insert(rec.check);
+      if (rec.verdict == InvariantVerdict::kPass) repaired.insert(rec.check);
+    } else if (rec.verdict == InvariantVerdict::kFail) {
+      fired.insert(rec.check);
+    }
+  }
+
+  const bool faulted = !fault_classes.empty();
+  if (faulted) {
+    ++fault_epochs_;
+  } else {
+    ++clean_epochs_;
+  }
+
+  // Open episodes for classes that just became active; fire latency
+  // samples for detectors newly flagging inside an episode.
+  for (const std::string& fault_class : fault_classes) {
+    auto [it, inserted] = active_.try_emplace(fault_class);
+    Episode& episode = it->second;
+    if (inserted) {
+      episode.start_epoch = epoch;
+      ++classes_[fault_class].episodes;
+    }
+    for (const std::string& detector : fired) {
+      if (!episode.flagged.insert(detector).second) continue;
+      RecordLatency(fault_class, detector,
+                    static_cast<double>(epoch - episode.start_epoch),
+                    registry);
+    }
+    for (const std::string& detector : repaired) {
+      PairStats& stats = pairs_[{fault_class, detector}];
+      ++stats.repairs;
+      if (registry != nullptr) {
+        registry
+            ->GetCounter(
+                "hodor_detection_repair_total",
+                {{"fault_class", fault_class}, {"detector", detector}},
+                "Repaired-signal epochs per (fault class, detector)")
+            .Increment();
+      }
+    }
+  }
+
+  // Close episodes whose class left the active set; a close with no
+  // detector having fired is a miss.
+  for (auto it = active_.begin(); it != active_.end();) {
+    const bool still_active =
+        std::find(fault_classes.begin(), fault_classes.end(), it->first) !=
+        fault_classes.end();
+    if (still_active) {
+      ++it;
+      continue;
+    }
+    if (it->second.flagged.empty()) {
+      ++classes_[it->first].misses;
+      if (registry != nullptr) {
+        registry
+            ->GetCounter("hodor_detection_miss_total",
+                         {{"fault_class", it->first}},
+                         "Fault episodes that ended with no detector firing")
+            .Increment();
+      }
+    }
+    it = active_.erase(it);
+  }
+
+  // Clean-run control: every firing detector is a false positive.
+  if (!faulted && !fired.empty()) {
+    ++fp_epochs_;
+    for (const std::string& detector : fired) {
+      ++false_flags_[detector];
+      if (registry != nullptr) {
+        registry
+            ->GetCounter("hodor_detection_false_positive_total",
+                         {{"detector", detector}},
+                         "Detector flags raised in fault-free epochs")
+            .Increment();
+      }
+    }
+  }
+}
+
+std::uint64_t DetectionLatencyTracker::episodes(
+    const std::string& fault_class) const {
+  const auto it = classes_.find(fault_class);
+  return it == classes_.end() ? 0 : it->second.episodes;
+}
+
+std::uint64_t DetectionLatencyTracker::misses(
+    const std::string& fault_class) const {
+  const auto it = classes_.find(fault_class);
+  return it == classes_.end() ? 0 : it->second.misses;
+}
+
+std::vector<double> DetectionLatencyTracker::Latencies(
+    const std::string& fault_class, const std::string& detector) const {
+  const auto it = pairs_.find({fault_class, detector});
+  return it == pairs_.end() ? std::vector<double>{} : it->second.latencies;
+}
+
+std::string DetectionLatencyTracker::SloJson() const {
+  std::vector<double> all;
+  for (const auto& [key, stats] : pairs_) {
+    all.insert(all.end(), stats.latencies.begin(), stats.latencies.end());
+  }
+  const double p50 = Percentile(all, 50.0);
+  const double p99 = Percentile(all, 99.0);
+  const bool p50_ok =
+      std::isnan(p50) || p50 <= opts_.slo.latency_p50_epochs;
+  const bool p99_ok =
+      std::isnan(p99) || p99 <= opts_.slo.latency_p99_epochs;
+  const double fp_rate =
+      clean_epochs_ == 0
+          ? 0.0
+          : static_cast<double>(fp_epochs_) / static_cast<double>(clean_epochs_);
+  const bool fp_ok = fp_rate <= opts_.slo.false_positive_budget;
+
+  std::ostringstream os;
+  os << "{\"detection_latency\":{\"samples\":" << all.size() << ",\"p50\":";
+  AppendNullableNumber(os, p50);
+  os << ",\"p99\":";
+  AppendNullableNumber(os, p99);
+  os << ",\"p50_target\":" << JsonNumber(opts_.slo.latency_p50_epochs)
+     << ",\"p99_target\":" << JsonNumber(opts_.slo.latency_p99_epochs)
+     << ",\"p50_ok\":" << (p50_ok ? "true" : "false")
+     << ",\"p99_ok\":" << (p99_ok ? "true" : "false") << "}"
+     << ",\"false_positives\":{\"flag_epochs\":" << fp_epochs_
+     << ",\"clean_epochs\":" << clean_epochs_
+     << ",\"rate\":" << JsonNumber(fp_rate)
+     << ",\"budget\":" << JsonNumber(opts_.slo.false_positive_budget)
+     << ",\"ok\":" << (fp_ok ? "true" : "false") << "}"
+     << ",\"ok\":" << (p50_ok && p99_ok && fp_ok ? "true" : "false")
+     << ",\"fault_epochs\":" << fault_epochs_ << ",\"fault_classes\":[";
+
+  bool first_class = true;
+  for (const auto& [fault_class, stats] : classes_) {
+    if (!first_class) os << ",";
+    first_class = false;
+    os << "{\"fault_class\":\"" << JsonEscape(fault_class)
+       << "\",\"episodes\":" << stats.episodes
+       << ",\"misses\":" << stats.misses << ",\"detectors\":[";
+    bool first_pair = true;
+    for (const auto& [key, pair_stats] : pairs_) {
+      if (key.first != fault_class) continue;
+      if (!first_pair) os << ",";
+      first_pair = false;
+      os << "{\"detector\":\"" << JsonEscape(key.second)
+         << "\",\"flags\":" << pair_stats.flags
+         << ",\"repairs\":" << pair_stats.repairs << ",\"latency_p50\":";
+      AppendNullableNumber(os, Percentile(pair_stats.latencies, 50.0));
+      os << ",\"latency_p99\":";
+      AppendNullableNumber(os, Percentile(pair_stats.latencies, 99.0));
+      os << "}";
+    }
+    os << "]}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hodor::obs

@@ -1,0 +1,133 @@
+// Detection-latency tracking: how fast does the validator notice a fault?
+//
+// The paper's headline operational number (§4.1) is not "did an invariant
+// fire" but "how many epochs after the bad input appeared did it fire" —
+// the calibration signal CrossCheck builds its confidence scoring on.
+// DetectionLatencyTracker correlates fault-injection *episodes* (the
+// engine stamps active fault classes into every EpochResult, see
+// controlplane/pipeline.h) with the first flagging verdict per detector:
+//
+//   - an episode opens when a fault class first appears in the active set
+//     and closes when it leaves it;
+//   - the first epoch each detector (invariant check family: "hardening",
+//     "demand", "topology", "drain") fires inside an episode yields one
+//     latency sample `fire_epoch - episode_start` for that
+//     (fault class, detector) pair, observed into
+//     `hodor_detection_latency_epochs{fault_class,detector}`;
+//   - an episode that closes with no detector having fired counts as a
+//     miss (`hodor_detection_miss_total{fault_class}`);
+//   - hardening records with a pass verdict are repairs
+//     (`hodor_detection_repair_total{fault_class,detector="hardening"}`,
+//     same convention as obs/health/signal_health);
+//   - epochs with NO active fault class are the clean-run control: any
+//     detector firing there is a false positive
+//     (`hodor_detection_false_positive_total{detector}`), and the
+//     fraction of clean epochs with at least one false flag is the
+//     false-positive rate budgeted by the /slo endpoint.
+//
+// When several fault classes are active simultaneously a firing detector
+// cannot be attributed uniquely; the sample is credited to every active
+// class (documented in EXPERIMENTS.md "Measuring detection latency").
+//
+// Single-threaded like the rest of obs/: lives on the epoch sink thread
+// next to SignalHealthBoard; the server sees only rendered SloJson().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+
+namespace hodor::obs {
+
+// /slo pass/fail targets; all epochs-valued latencies.
+struct DetectionSloTargets {
+  double latency_p50_epochs = 1.0;
+  double latency_p99_epochs = 5.0;
+  // Max tolerated fraction of clean (fault-free) epochs that raise at
+  // least one false flag.
+  double false_positive_budget = 0.01;
+};
+
+struct DetectionOptions {
+  DetectionSloTargets slo;
+  // Latency samples retained per (fault class, detector) for percentile
+  // computation; oldest are discarded beyond this.
+  std::size_t max_latency_samples = 4096;
+  // Epoch-valued histogram buckets for hodor_detection_latency_epochs.
+  std::vector<double> latency_buckets = {0, 1, 2, 3, 5, 8, 13, 21, 34, 55};
+};
+
+class DetectionLatencyTracker {
+ public:
+  explicit DetectionLatencyTracker(DetectionOptions opts = {});
+
+  // Folds one epoch: `fault_classes` is the engine-stamped active set
+  // (EpochResult::fault_classes, typically from
+  // faults::ActiveFaultClasses), `decision` the epoch's provenance.
+  // Metrics are written into `registry` (nullptr → none); pass the same
+  // registry every epoch.
+  void ObserveEpoch(std::uint64_t epoch,
+                    const std::vector<std::string>& fault_classes,
+                    const DecisionRecord& decision,
+                    MetricsRegistry* registry);
+
+  // /slo payload:
+  //   {"detection_latency":{"samples":N,"p50":x,"p99":y,
+  //      "p50_target":a,"p99_target":b,"p50_ok":bool,"p99_ok":bool},
+  //    "false_positives":{"flag_epochs":n,"clean_epochs":m,"rate":r,
+  //      "budget":b,"ok":bool},
+  //    "ok":bool,
+  //    "fault_classes":[{"fault_class":"...","episodes":n,"misses":n,
+  //      "detectors":[{"detector":"...","flags":n,"repairs":n,
+  //        "latency_p50":x,"latency_p99":y}]}]}
+  // Percentiles are nearest-rank over the retained samples; with zero
+  // samples they render as null and count as passing (nothing measured).
+  std::string SloJson() const;
+
+  // Test accessors.
+  std::uint64_t clean_epochs() const { return clean_epochs_; }
+  std::uint64_t fault_epochs() const { return fault_epochs_; }
+  std::uint64_t false_positive_epochs() const { return fp_epochs_; }
+  std::uint64_t episodes(const std::string& fault_class) const;
+  std::uint64_t misses(const std::string& fault_class) const;
+  // Latency samples (epochs) for one (fault class, detector) pair.
+  std::vector<double> Latencies(const std::string& fault_class,
+                                const std::string& detector) const;
+
+  const DetectionOptions& options() const { return opts_; }
+
+ private:
+  struct Episode {
+    std::uint64_t start_epoch = 0;
+    std::set<std::string> flagged;  // detectors that already fired
+  };
+  struct PairStats {
+    std::vector<double> latencies;  // capped at max_latency_samples
+    std::uint64_t flags = 0;
+    std::uint64_t repairs = 0;
+  };
+  struct ClassStats {
+    std::uint64_t episodes = 0;
+    std::uint64_t misses = 0;
+  };
+
+  void RecordLatency(const std::string& fault_class,
+                     const std::string& detector, double latency,
+                     MetricsRegistry* registry);
+
+  DetectionOptions opts_;
+  std::map<std::string, Episode> active_;
+  std::map<std::pair<std::string, std::string>, PairStats> pairs_;
+  std::map<std::string, ClassStats> classes_;
+  std::map<std::string, std::uint64_t> false_flags_;  // per detector
+  std::uint64_t clean_epochs_ = 0;
+  std::uint64_t fault_epochs_ = 0;
+  std::uint64_t fp_epochs_ = 0;
+};
+
+}  // namespace hodor::obs

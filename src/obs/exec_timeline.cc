@@ -137,7 +137,15 @@ void ExecTimeline::Poll() {
       retained_.push_back(TaggedEvent{batch.tid, ev});
     }
   }
-  while (retained_.size() > opts_.retain_events) retained_.pop_front();
+  while (retained_.size() > opts_.retain_events) {
+    // Count evicted epoch anchors: once an epoch's kEpoch event is gone
+    // the epoch can no longer be analyzed, and that loss should be a
+    // metric, not a silent nullopt from Analyze.
+    if (retained_.front().ev.kind == util::ExecEventKind::kEpoch) {
+      ++epochs_dropped_;
+    }
+    retained_.pop_front();
+  }
 }
 
 std::optional<EpochBreakdown> ExecTimeline::Analyze(
@@ -282,6 +290,9 @@ void ExecTimeline::PublishGauges(MetricsRegistry* registry) {
     gauge_registry_ = &reg;
     dropped_counter_ = &reg.GetCounter("hodor_trace_dropped_total", {},
                                        "Trace events lost to ring overwrite");
+    epochs_dropped_counter_ = &reg.GetCounter(
+        "hodor_timeline_epochs_dropped_total", {},
+        "Epochs whose trace anchor the bounded timeline store evicted");
     critical_path_gauge_ =
         &reg.GetGauge("hodor_epoch_critical_path_ms", {},
                       "Control-thread wall time of the latest epoch");
@@ -308,6 +319,11 @@ void ExecTimeline::PublishGauges(MetricsRegistry* registry) {
     dropped_counter_->Increment(
         static_cast<double>(dropped - published_dropped_));
     published_dropped_ = dropped;
+  }
+  if (epochs_dropped_ > published_epochs_dropped_) {
+    epochs_dropped_counter_->Increment(
+        static_cast<double>(epochs_dropped_ - published_epochs_dropped_));
+    published_epochs_dropped_ = epochs_dropped_;
   }
 
   const std::optional<EpochBreakdown> latest = Latest();

@@ -138,6 +138,10 @@ class ExecTimeline {
 
   std::uint64_t dropped_total() const { return tracer_->dropped_total(); }
   std::size_t retained_events() const { return retained_.size(); }
+  // Epochs whose kEpoch anchor the bounded store has evicted — once an
+  // anchor is gone the epoch is unanalyzable, so eviction is surfaced via
+  // hodor_timeline_epochs_dropped_total rather than silently.
+  std::uint64_t epochs_dropped() const { return epochs_dropped_; }
 
  private:
   struct TaggedEvent {
@@ -150,11 +154,14 @@ class ExecTimeline {
   std::deque<TaggedEvent> retained_;      // drain order
   std::vector<std::string> thread_names_;  // by tid
   std::uint64_t published_dropped_ = 0;    // counter delta bookkeeping
+  std::uint64_t epochs_dropped_ = 0;       // kEpoch anchors evicted by trim
+  std::uint64_t published_epochs_dropped_ = 0;
 
   // Gauge handles cached per bound registry (PublishGauges runs every
   // epoch; repeated name/label lookups are measurable at that cadence).
   MetricsRegistry* gauge_registry_ = nullptr;
   Counter* dropped_counter_ = nullptr;
+  Counter* epochs_dropped_counter_ = nullptr;
   Gauge* critical_path_gauge_ = nullptr;
   Gauge* pool_busy_gauge_ = nullptr;
   Gauge* backpressure_gauge_ = nullptr;

@@ -91,6 +91,12 @@ class Histogram {
 // (see DESIGN.md "Observability defaults" for the exact boundaries).
 std::vector<double> DefaultLatencyBucketsUs();
 
+// One scalar sample as seen by sample visitors (the time-series layer).
+// Counters and gauges contribute one sample each; a histogram contributes
+// its running count and sum — enough to derive rates and means over time
+// without retaining per-bucket history.
+enum class SampleKind { kCounter, kGauge, kHistogramCount, kHistogramSum };
+
 // Registry-wide knobs. Today this is just the histogram default; it is a
 // struct so later options (series limits, export prefixes) ride along
 // without touching every construction site.
@@ -138,6 +144,34 @@ class MetricsRegistry {
   std::string ExportPrometheus() const;
   // One JSON object: {"counters":[...],"gauges":[...],"histograms":[...]}.
   std::string ExportJson() const;
+
+  // Visits every scalar sample in deterministic (family, series) order
+  // without allocating: counters and gauges yield one call each, histograms
+  // yield a kHistogramCount then a kHistogramSum call. `label_key` is the
+  // registry's internal rendered label string (`check="demand",...`);
+  // callers compose display names as `name{label_key}` plus a
+  // `_count`/`_sum` suffix for the histogram kinds. `fn` must not mutate
+  // the registry (same read contract as Find*/Export*).
+  template <typename Fn>
+  void VisitSamples(Fn&& fn) const {
+    for (const auto& [name, family] : families_) {
+      for (const auto& [key, series] : family.series) {
+        switch (family.type) {
+          case MetricType::kCounter:
+            fn(name, key, SampleKind::kCounter, series.counter->value());
+            break;
+          case MetricType::kGauge:
+            fn(name, key, SampleKind::kGauge, series.gauge->value());
+            break;
+          case MetricType::kHistogram:
+            fn(name, key, SampleKind::kHistogramCount,
+               static_cast<double>(series.histogram->count()));
+            fn(name, key, SampleKind::kHistogramSum, series.histogram->sum());
+            break;
+        }
+      }
+    }
+  }
 
   // Ordered-merge discipline for parallel sections: folds another
   // registry's contents into this one. Counters add, gauges adopt the

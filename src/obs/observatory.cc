@@ -1,0 +1,51 @@
+#include "obs/observatory.h"
+
+#include "obs/span.h"
+
+namespace hodor::obs {
+
+Observatory::Observatory(ObservatoryOptions opts)
+    : board_(opts.health),
+      detection_(std::move(opts.detection)),
+      timeseries_(std::make_shared<TimeSeriesStore>(std::move(opts.timeseries))) {}
+
+void Observatory::ObserveEpoch(std::uint64_t epoch,
+                               const MetricsRegistry* metrics_mirror,
+                               const DecisionRecord& decision,
+                               const std::vector<std::string>& fault_classes) {
+  serving_.CopyFrom(metrics_mirror != nullptr ? *metrics_mirror
+                                               : MetricsRegistry::Global());
+  board_.ObserveEpoch(decision);
+  board_.PublishGauges(&serving_);
+  detection_.ObserveEpoch(epoch, fault_classes, decision, &serving_);
+  ++epochs_observed_;
+}
+
+void Observatory::SampleTimeseries(std::uint64_t epoch) {
+  // The span's own histogram lands in serving_ after the sample, so the
+  // measured cost shows up in the store one epoch later — acceptable lag
+  // for a per-epoch gauge of sink-side work.
+  StageSpan span(Stage::kTimeseriesSample, epoch, &serving_);
+  timeseries_->Sample(epoch, serving_);
+}
+
+void Observatory::PublishTo(TelemetryServer& server,
+                            const DecisionRecord* decision) {
+  server.PublishMetrics(&serving_);
+  server.PublishSignals(board_);
+  server.PublishSlo(detection_.SloJson());
+  server.PublishTimeSeries(timeseries_);
+  if (decision != nullptr) server.PublishDecision(*decision);
+}
+
+void Observatory::ObserveAndPublish(std::uint64_t epoch,
+                                    const MetricsRegistry* metrics_mirror,
+                                    const DecisionRecord& decision,
+                                    const std::vector<std::string>& fault_classes,
+                                    TelemetryServer* server) {
+  ObserveEpoch(epoch, metrics_mirror, decision, fault_classes);
+  SampleTimeseries(epoch);
+  if (server != nullptr) PublishTo(*server, &decision);
+}
+
+}  // namespace hodor::obs

@@ -1,0 +1,97 @@
+// Validation observatory: the one-stop epoch-sink bundle.
+//
+// Every serving deployment wires the same four pieces behind
+// Pipeline::AddEpochSink: a serving MetricsRegistry mirroring the epoch's
+// metrics snapshot, a SignalHealthBoard folding trust, a
+// DetectionLatencyTracker correlating fault injection with first flags,
+// and a TimeSeriesStore retaining every registry sample per epoch.
+// Observatory owns that wiring so examples, benches, and tests share one
+// tested composition instead of four hand-rolled lambdas.
+//
+// The per-epoch flow is split into three steps so callers can interleave
+// their own sink work (e.g. core::AlertEngine writes its counters into
+// serving_registry() between steps 1 and 2, and the time series then
+// retains them):
+//
+//   1. ObserveEpoch(...)      — mirror metrics, fold board + tracker;
+//   2. SampleTimeseries(...)  — fold serving_registry() into the store
+//                               (timed as stage "timeseries-sample");
+//   3. PublishTo(server, ...) — swap every snapshot into the telemetry
+//                               server (/metrics, /health/signals, /slo,
+//                               /query, /decisions, /dashboard data).
+//
+// ObserveAndPublish() runs all three for the common case. Layering: obs/
+// cannot see controlplane/, so the epoch inputs are primitives — the
+// caller's sink lambda passes EpochResult fields straight through.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/detection.h"
+#include "obs/health/signal_health.h"
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "obs/serve/telemetry_server.h"
+#include "obs/timeseries.h"
+
+namespace hodor::obs {
+
+struct ObservatoryOptions {
+  TimeSeriesOptions timeseries;
+  DetectionOptions detection;
+  SignalHealthOptions health;
+};
+
+class Observatory {
+ public:
+  explicit Observatory(ObservatoryOptions opts = {});
+
+  Observatory(const Observatory&) = delete;
+  Observatory& operator=(const Observatory&) = delete;
+
+  // Step 1: mirrors `metrics_mirror` (nullptr → the global registry) into
+  // the serving registry, folds the decision into the trust board, and
+  // feeds the detection tracker with the engine-stamped fault classes.
+  void ObserveEpoch(std::uint64_t epoch, const MetricsRegistry* metrics_mirror,
+                    const DecisionRecord& decision,
+                    const std::vector<std::string>& fault_classes);
+
+  // Step 2: samples serving_registry() into the time-series store. Timed
+  // into hodor_stage_duration_us{stage="timeseries-sample"} (visible the
+  // next epoch: the span closes after the sample it measures).
+  void SampleTimeseries(std::uint64_t epoch);
+
+  // Step 3: swaps metrics/signals/slo/time-series snapshots into the
+  // server; `decision` (optional) is appended to the /decisions ring.
+  void PublishTo(TelemetryServer& server,
+                 const DecisionRecord* decision = nullptr);
+
+  // Steps 1–3 in order; `server` may be nullptr (observe-only).
+  void ObserveAndPublish(std::uint64_t epoch,
+                         const MetricsRegistry* metrics_mirror,
+                         const DecisionRecord& decision,
+                         const std::vector<std::string>& fault_classes,
+                         TelemetryServer* server);
+
+  // The sink-side registry: the epoch mirror plus whatever the caller and
+  // the observatory itself add (trust gauges, detection counters, ...).
+  MetricsRegistry& serving_registry() { return serving_; }
+  SignalHealthBoard& board() { return board_; }
+  DetectionLatencyTracker& detection() { return detection_; }
+  TimeSeriesStore& timeseries() { return *timeseries_; }
+  std::uint64_t epochs_observed() const { return epochs_observed_; }
+
+ private:
+  MetricsRegistry serving_;
+  SignalHealthBoard board_;
+  DetectionLatencyTracker detection_;
+  // shared_ptr so PublishTo can hand the server a stable const alias (the
+  // store is internally synchronized; see obs/timeseries.h).
+  std::shared_ptr<TimeSeriesStore> timeseries_;
+  std::uint64_t epochs_observed_ = 0;
+};
+
+}  // namespace hodor::obs

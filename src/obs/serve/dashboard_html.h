@@ -1,0 +1,413 @@
+// The /dashboard page: one embedded HTML file, zero external assets.
+//
+// Everything the page needs ships inline — styles, SVG sparkline
+// rendering, and fetch-based auto-refresh against the sibling JSON
+// endpoints (/query, /slo, /trace, /alerts, /healthz, /buildz). No
+// external src=/href= URLs by contract: check_build.sh --dashboard-gate
+// and the integration tests fail the build if one appears.
+//
+// Visual conventions (see DESIGN §11): single-series sparklines in the
+// categorical slot-1 blue with the card title naming the series (no
+// legend needed for one series); SLO stat tiles pair a status color with
+// a glyph + text so state is never color-alone; the detection scoreboard
+// is a plain table (the accessible fallback view); the critical-path
+// bars use one hue because they encode one measure. Light and dark
+// palettes are both explicit steps validated against their surfaces.
+#pragma once
+
+namespace hodor::obs {
+
+inline constexpr const char kDashboardHtml[] = R"dash(<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>Hodor validation observatory</title>
+<style>
+:root {
+  color-scheme: light;
+  --surface: #fcfcfb;
+  --page: #f9f9f7;
+  --ink: #0b0b0b;
+  --ink-2: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --baseline: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --status-good: #0ca30c;
+  --status-warning: #fab219;
+  --status-serious: #ec835a;
+  --status-critical: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  :root {
+    color-scheme: dark;
+    --surface: #1a1a19;
+    --page: #0d0d0d;
+    --ink: #ffffff;
+    --ink-2: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+  }
+}
+* { box-sizing: border-box; }
+body {
+  margin: 0; padding: 16px 20px; background: var(--page); color: var(--ink);
+  font: 13px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+h1 { font-size: 16px; font-weight: 600; margin: 0; }
+h2 { font-size: 12px; font-weight: 600; color: var(--ink-2);
+     text-transform: uppercase; letter-spacing: .04em; margin: 22px 0 8px; }
+header { display: flex; align-items: baseline; gap: 14px; flex-wrap: wrap; }
+#build { color: var(--muted); font-size: 12px; }
+#status { color: var(--muted); font-size: 12px; margin-left: auto; }
+.tiles { display: flex; gap: 10px; flex-wrap: wrap; }
+.tile {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 14px; min-width: 150px;
+}
+.tile .label { color: var(--ink-2); font-size: 11px; }
+.tile .value { font-size: 22px; font-weight: 600; margin: 2px 0; }
+.tile .target { color: var(--muted); font-size: 11px; }
+.tile .state { font-size: 11px; font-weight: 600; }
+.state.ok { color: var(--status-good); }
+.state.breach { color: var(--status-critical); }
+.cards { display: grid; gap: 10px;
+         grid-template-columns: repeat(auto-fill, minmax(250px, 1fr)); }
+.card {
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 8px; padding: 8px 12px 10px;
+}
+.card .name { color: var(--ink-2); font-size: 11px; overflow: hidden;
+              text-overflow: ellipsis; white-space: nowrap; }
+.card .reading { font-size: 13px; font-weight: 600;
+                 font-variant-numeric: tabular-nums; }
+.card svg { display: block; width: 100%; height: 48px; margin-top: 4px; }
+.spark-line { fill: none; stroke: var(--series-1); stroke-width: 2;
+              stroke-linejoin: round; stroke-linecap: round; }
+.spark-band { fill: var(--series-1); opacity: .14; }
+.spark-base { stroke: var(--grid); stroke-width: 1; }
+.spark-dot { fill: var(--series-1); }
+.spark-hover { stroke: var(--baseline); stroke-width: 1; }
+.res { display: inline-flex; gap: 0; margin-left: 10px; border: 1px solid
+       var(--border); border-radius: 6px; overflow: hidden; }
+.res button {
+  border: 0; background: var(--surface); color: var(--ink-2);
+  font: inherit; font-size: 11px; padding: 2px 10px; cursor: pointer;
+}
+.res button.on { background: var(--series-1); color: #fff; }
+table { border-collapse: collapse; background: var(--surface);
+        border: 1px solid var(--border); border-radius: 8px; }
+th, td { padding: 5px 12px; text-align: right; font-size: 12px;
+         font-variant-numeric: tabular-nums; border-top: 1px solid var(--grid); }
+th { color: var(--ink-2); font-weight: 600; border-top: 0; }
+th:first-child, td:first-child,
+th:nth-child(2), td:nth-child(2) { text-align: left; }
+.bars .row { display: flex; align-items: center; gap: 8px; margin: 3px 0; }
+.bars .stage { width: 130px; color: var(--ink-2); font-size: 12px;
+               text-align: right; }
+.bars .track { flex: 1; }
+.bars svg { display: block; width: 100%; height: 14px; }
+.bars rect { fill: var(--series-1); }
+.bars .ms { width: 90px; font-variant-numeric: tabular-nums; font-size: 12px; }
+.chips { display: flex; gap: 6px; flex-wrap: wrap; }
+.chip { border: 1px solid var(--border); background: var(--surface);
+        border-radius: 10px; padding: 2px 10px; font-size: 12px; }
+.chip .glyph { font-weight: 700; }
+.sev-critical .glyph { color: var(--status-critical); }
+.sev-warning .glyph { color: var(--status-warning); }
+.sev-info .glyph { color: var(--series-1); }
+.empty { color: var(--muted); font-size: 12px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>Hodor validation observatory</h1>
+  <span id="build">…</span>
+  <span id="status">connecting…</span>
+</header>
+
+<h2>Detection SLOs</h2>
+<div class="tiles" id="slo-tiles"><span class="empty">no data yet</span></div>
+
+<h2>Active faults</h2>
+<div class="chips" id="faults"><span class="empty">none</span></div>
+
+<h2>Signal trust — worst sources
+  <span class="res" id="res-toggle"></span></h2>
+<div class="cards" id="trust"><span class="empty">no series yet</span></div>
+
+<h2>Detection scoreboard</h2>
+<div id="scoreboard"><span class="empty">no fault episodes yet</span></div>
+
+<h2>Epoch critical path (latest epoch)</h2>
+<div class="bars" id="critpath"><span class="empty">no trace yet</span></div>
+
+<h2>Alerts</h2>
+<div class="chips" id="alerts"><span class="empty">none</span></div>
+
+<script>
+"use strict";
+const RESOLUTIONS = ["raw", "10", "100"];
+let resolution = "raw";
+let timer = null;
+
+function el(id) { return document.getElementById(id); }
+function esc(s) {
+  return String(s).replace(/[&<>"]/g, c => ({
+    "&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;" }[c]));
+}
+async function getJson(path) {
+  const r = await fetch(path, { cache: "no-store" });
+  if (!r.ok) throw new Error(path + " -> " + r.status);
+  return r.json();
+}
+function fmt(v, digits) {
+  if (v === null || v === undefined || Number.isNaN(v)) return "–";
+  return Number(v).toFixed(digits === undefined ? 2 : digits)
+      .replace(/\.?0+$/, s => s.includes(".") || s === "0" ? "" : s) || "0";
+}
+
+// points: [{epoch, value, lo, hi}] oldest first. Returns an inline SVG
+// sparkline: optional min/max band (aggregate resolutions), 2px line,
+// baseline hairline, a dot + crosshair readout on hover.
+function spark(points, readoutEl) {
+  const W = 240, H = 48, PAD = 3;
+  if (!points.length) return document.createElementNS(
+      "http://www.w3.org/2000/svg", "svg");
+  let lo = Infinity, hi = -Infinity;
+  for (const p of points) {
+    lo = Math.min(lo, p.lo === undefined ? p.value : p.lo);
+    hi = Math.max(hi, p.hi === undefined ? p.value : p.hi);
+  }
+  if (hi - lo < 1e-9) { hi += 1; lo -= 1; }
+  const x = i => points.length === 1 ? W / 2 :
+      PAD + (W - 2 * PAD) * i / (points.length - 1);
+  const y = v => H - PAD - (H - 2 * PAD) * (v - lo) / (hi - lo);
+  const svg = document.createElementNS("http://www.w3.org/2000/svg", "svg");
+  svg.setAttribute("viewBox", `0 0 ${W} ${H}`);
+  svg.setAttribute("preserveAspectRatio", "none");
+  let inner = `<line class="spark-base" x1="0" y1="${H - 0.5}"` +
+              ` x2="${W}" y2="${H - 0.5}"></line>`;
+  if (points.some(p => p.lo !== undefined)) {
+    const up = points.map((p, i) => `${x(i)},${y(p.hi)}`).join(" ");
+    const down = points.map((p, i) => `${x(i)},${y(p.lo)}`).reverse().join(" ");
+    inner += `<polygon class="spark-band" points="${up} ${down}"></polygon>`;
+  }
+  const line = points.map((p, i) => `${x(i)},${y(p.value)}`).join(" ");
+  inner += `<polyline class="spark-line" points="${line}"></polyline>`;
+  const last = points[points.length - 1];
+  inner += `<circle class="spark-dot" r="2.5"` +
+           ` cx="${x(points.length - 1)}" cy="${y(last.value)}"></circle>`;
+  inner += `<line class="spark-hover" y1="0" y2="${H}" x1="-9" x2="-9"></line>` +
+           `<circle class="spark-dot hover-dot" r="3" cx="-9" cy="-9"></circle>`;
+  svg.innerHTML = inner;
+  const base = `epoch ${last.epoch} · ${fmt(last.value)}`;
+  readoutEl.textContent = base;
+  svg.addEventListener("mousemove", ev => {
+    const box = svg.getBoundingClientRect();
+    const fx = (ev.clientX - box.left) / box.width * W;
+    let best = 0;
+    for (let i = 1; i < points.length; ++i) {
+      if (Math.abs(x(i) - fx) < Math.abs(x(best) - fx)) best = i;
+    }
+    const p = points[best];
+    svg.querySelector(".spark-hover").setAttribute("x1", x(best));
+    svg.querySelector(".spark-hover").setAttribute("x2", x(best));
+    const dot = svg.querySelector(".hover-dot");
+    dot.setAttribute("cx", x(best));
+    dot.setAttribute("cy", y(p.value));
+    readoutEl.textContent = p.lo !== undefined
+        ? `epoch ${p.epoch} · mean ${fmt(p.value)} [${fmt(p.lo)}–${fmt(p.hi)}]`
+        : `epoch ${p.epoch} · ${fmt(p.value)}`;
+  });
+  svg.addEventListener("mouseleave", () => {
+    svg.querySelector(".spark-hover").setAttribute("x1", -9);
+    svg.querySelector(".spark-hover").setAttribute("x2", -9);
+    readoutEl.textContent = base;
+  });
+  return svg;
+}
+
+// /query points -> [{epoch, value, lo, hi}]: raw rows are [epoch, value],
+// aggregate rows are [first_epoch, min, max, mean, last, count].
+function toPoints(rows) {
+  return rows.map(r => r.length === 2
+      ? { epoch: r[0], value: r[1] }
+      : { epoch: r[0], value: r[3], lo: r[1], hi: r[2] });
+}
+
+function tile(label, value, target, ok) {
+  const cls = ok ? "ok" : "breach";
+  const glyph = ok ? "✓ within target" : "✗ breached";
+  return `<div class="tile"><div class="label">${esc(label)}</div>` +
+         `<div class="value">${esc(value)}</div>` +
+         `<div class="target">${esc(target)}</div>` +
+         `<div class="state ${cls}">${glyph}</div></div>`;
+}
+
+function renderSlo(slo) {
+  const L = slo.detection_latency, F = slo.false_positives;
+  el("slo-tiles").innerHTML =
+      tile("detection p50 (epochs)", fmt(L.p50), `target ≤ ${L.p50_target}`,
+           L.p50_ok) +
+      tile("detection p99 (epochs)", fmt(L.p99), `target ≤ ${L.p99_target}`,
+           L.p99_ok) +
+      tile("false-positive rate", fmt(F.rate, 4),
+           `budget ≤ ${F.budget} over ${F.clean_epochs} clean epochs`, F.ok) +
+      tile("latency samples", String(L.samples),
+           `${slo.fault_epochs} faulted epochs observed`, true);
+}
+
+function renderScoreboard(slo) {
+  if (!slo.fault_classes.length) {
+    el("scoreboard").innerHTML = '<span class="empty">no fault episodes yet</span>';
+    return;
+  }
+  let html = "<table><tr><th>fault class</th><th>detector</th><th>flags</th>" +
+             "<th>repairs</th><th>p50</th><th>p99</th><th>episodes</th>" +
+             "<th>misses</th></tr>";
+  for (const fc of slo.fault_classes) {
+    if (!fc.detectors.length) {
+      html += `<tr><td>${esc(fc.fault_class)}</td><td>–</td><td>0</td>` +
+              `<td>0</td><td>–</td><td>–</td><td>${fc.episodes}</td>` +
+              `<td>${fc.misses}</td></tr>`;
+    }
+    fc.detectors.forEach((d, i) => {
+      html += `<tr><td>${i ? "" : esc(fc.fault_class)}</td>` +
+              `<td>${esc(d.detector)}</td><td>${d.flags}</td>` +
+              `<td>${d.repairs}</td><td>${fmt(d.latency_p50)}</td>` +
+              `<td>${fmt(d.latency_p99)}</td>` +
+              `<td>${i ? "" : fc.episodes}</td>` +
+              `<td>${i ? "" : fc.misses}</td></tr>`;
+    });
+  }
+  el("scoreboard").innerHTML = html + "</table>";
+}
+
+function renderTrust(query) {
+  const root = el("trust");
+  const series = query.series
+      .filter(s => s.points.length)
+      .map(s => ({ name: s.name, points: toPoints(s.points) }))
+      .sort((a, b) => a.points[a.points.length - 1].value -
+                      b.points[b.points.length - 1].value)
+      .slice(0, 8);
+  if (!series.length) {
+    root.innerHTML = '<span class="empty">no series yet</span>';
+    return;
+  }
+  root.innerHTML = "";
+  for (const s of series) {
+    const card = document.createElement("div");
+    card.className = "card";
+    const m = s.name.match(/check="([^"]*)",entity="([^"]*)"/);
+    const short = m ? `${m[2]} · ${m[1]}` : s.name;
+    card.innerHTML = `<div class="name" title="${esc(s.name)}">` +
+                     `${esc(short)}</div><div class="reading"></div>`;
+    card.appendChild(spark(s.points, card.querySelector(".reading")));
+    root.appendChild(card);
+  }
+}
+
+function renderFaults(query) {
+  const chips = [];
+  for (const s of query.series) {
+    if (!s.points.length) continue;
+    const last = s.points[s.points.length - 1];
+    const m = s.name.match(/class="([^"]*)"/);
+    if (last[1] > 0) {
+      chips.push(`<span class="chip sev-critical">` +
+                 `<span class="glyph">●</span> ${esc(m ? m[1] : s.name)}</span>`);
+    }
+  }
+  el("faults").innerHTML = chips.length ? chips.join("")
+      : '<span class="empty">none</span>';
+}
+
+function renderCritPath(traces) {
+  if (!traces.length) return;
+  const t = traces[0];
+  const stages = (t.stages || []).filter(s => s.self_ms > 0)
+      .sort((a, b) => b.self_ms - a.self_ms);
+  if (!stages.length) return;
+  const max = stages[0].self_ms;
+  let html = "";
+  for (const s of stages) {
+    const w = Math.max(1, 100 * s.self_ms / max);
+    html += `<div class="row"><span class="stage">${esc(s.stage)}</span>` +
+            `<span class="track"><svg viewBox="0 0 100 14"` +
+            ` preserveAspectRatio="none"><rect x="0" y="1" height="12"` +
+            ` rx="1" width="${w}"><title>${esc(s.stage)}: self ` +
+            `${fmt(s.self_ms, 3)} ms, wait ${fmt(s.wait_ms, 3)} ms</title>` +
+            `</rect></svg></span>` +
+            `<span class="ms">${fmt(s.self_ms, 3)} ms</span></div>`;
+  }
+  html += `<div class="row"><span class="stage">critical path</span>` +
+          `<span class="track"></span><span class="ms">` +
+          `${fmt(t.critical_path_ms, 3)} ms</span></div>` +
+          `<div class="row"><span class="stage">bottleneck</span>` +
+          `<span class="track"></span><span class="ms">` +
+          `${esc(t.bottleneck)}</span></div>`;
+  el("critpath").innerHTML = html;
+}
+
+function renderAlerts(alerts) {
+  const chips = alerts.active.map(a => {
+    const sev = a.severity === "critical" ? "sev-critical"
+        : a.severity === "warning" ? "sev-warning" : "sev-info";
+    return `<span class="chip ${sev}"><span class="glyph">▲</span> ` +
+           `${esc(a.severity)} ${esc(a.source)} ${esc(a.entity)} ` +
+           `(${esc(a.state)})</span>`;
+  });
+  el("alerts").innerHTML = chips.length ? chips.join("")
+      : '<span class="empty">none</span>';
+}
+
+function renderResToggle() {
+  el("res-toggle").innerHTML = RESOLUTIONS.map(r =>
+      `<button class="${r === resolution ? "on" : ""}"` +
+      ` data-res="${r}">${r === "raw" ? "raw" : r + "×"}</button>`).join("");
+  for (const b of el("res-toggle").querySelectorAll("button")) {
+    b.onclick = () => { resolution = b.dataset.res; refresh(); };
+  }
+}
+
+async function refresh() {
+  clearTimeout(timer);
+  try {
+    const [build, healthz, slo, trust, faults, traces, alerts] =
+        await Promise.all([
+          getJson("/buildz"), getJson("/healthz"), getJson("/slo"),
+          getJson(`/query?series=hodor_signal_trust*&res=${resolution}&last=120`),
+          getJson("/query?series=hodor_fault_active*&res=raw&last=1"),
+          getJson("/trace?last=1"), getJson("/alerts"),
+        ]);
+    el("build").textContent = `${build.git} · up ${build.uptime_seconds}s · ` +
+        `${build.hodor_threads}/${build.hardware_threads} threads`;
+    el("status").textContent =
+        `epoch ${healthz.last_epoch} · auto-refresh 2s`;
+    renderSlo(slo);
+    renderScoreboard(slo);
+    renderTrust(trust);
+    renderFaults(faults);
+    renderCritPath(traces);
+    renderAlerts(alerts);
+  } catch (err) {
+    el("status").textContent = "disconnected (" + err.message + ")";
+  }
+  timer = setTimeout(refresh, 2000);
+}
+
+renderResToggle();
+refresh();
+</script>
+</body>
+</html>
+)dash";
+
+}  // namespace hodor::obs

@@ -107,13 +107,14 @@ const char* HttpStatusText(int status) {
 }
 
 std::string BuildHttpResponse(int status, std::string_view content_type,
-                              std::string_view body) {
+                              std::string_view body,
+                              std::string_view extra_headers) {
   std::ostringstream os;
   os << "HTTP/1.1 " << status << " " << HttpStatusText(status) << "\r\n"
      << "Content-Type: " << content_type << "\r\n"
      << "Content-Length: " << body.size() << "\r\n"
      << "Connection: close\r\n"
-     << "\r\n"
+     << extra_headers << "\r\n"
      << body;
   return os.str();
 }

@@ -36,8 +36,11 @@ std::string UrlDecode(std::string_view s);
 const char* HttpStatusText(int status);
 
 // Renders a full response: status line, Content-Type, Content-Length,
-// Connection: close, blank line, body.
+// Connection: close, blank line, body. `extra_headers` is zero or more
+// complete "Header: value\r\n" lines inserted before the blank line
+// (the telemetry server stamps Cache-Control: no-store through it).
 std::string BuildHttpResponse(int status, std::string_view content_type,
-                              std::string_view body);
+                              std::string_view body,
+                              std::string_view extra_headers = {});
 
 }  // namespace hodor::obs

@@ -14,19 +14,39 @@
 #include "obs/health/signal_health.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
+#include "obs/serve/dashboard_html.h"
+#include "obs/timeseries.h"
 #include "util/logging.h"
+#include "util/parallel.h"
+
+// Stamped by CMake from `git describe --always --dirty`; the fallback
+// covers out-of-tree compiles (e.g. the strict-warning syntax pass).
+#ifndef HODOR_GIT_DESCRIBE
+#define HODOR_GIT_DESCRIBE "unknown"
+#endif
 
 namespace hodor::obs {
 
 namespace {
 
 constexpr const char* kJsonType = "application/json";
+constexpr const char* kHtmlType = "text/html; charset=utf-8";
 // The Prometheus text exposition content type scrapers expect.
 constexpr const char* kPrometheusType =
     "text/plain; version=0.0.4; charset=utf-8";
 // Request heads beyond this are rejected; every legitimate scrape fits in
 // a fraction of it.
 constexpr std::size_t kMaxRequestBytes = 8192;
+// /query series globs beyond this are hostile, not queries.
+constexpr std::size_t kMaxSeriesGlobBytes = 512;
+
+// Every endpoint reports live state: a cached response is a stale lie, so
+// all responses (errors included) carry Cache-Control: no-store.
+std::string Respond(int status, const char* content_type,
+                    std::string_view body) {
+  return BuildHttpResponse(status, content_type, body,
+                           "Cache-Control: no-store\r\n");
+}
 
 void CloseFd(int& fd) {
   if (fd >= 0) {
@@ -95,6 +115,7 @@ bool TelemetryServer::Start() {
   }
 
   running_ = true;
+  start_time_ = std::chrono::steady_clock::now();
   thread_ = std::thread(&TelemetryServer::Serve, this);
   return true;
 }
@@ -148,7 +169,7 @@ void TelemetryServer::HandleConnection(int client_fd) {
     head.append(buf, static_cast<std::size_t>(n));
     if (head.size() > kMaxRequestBytes) {
       SendAll(client_fd,
-              BuildHttpResponse(400, kJsonType,
+              Respond(400, kJsonType,
                                 "{\"error\":\"request too large\"}"));
       return;
     }
@@ -158,7 +179,7 @@ void TelemetryServer::HandleConnection(int client_fd) {
   const std::optional<HttpRequest> request = ParseHttpRequest(head);
   std::string response;
   if (!request) {
-    response = BuildHttpResponse(400, kJsonType,
+    response = Respond(400, kJsonType,
                                  "{\"error\":\"malformed request\"}");
   } else {
     response = HandleRequest(*request);
@@ -172,20 +193,20 @@ void TelemetryServer::HandleConnection(int client_fd) {
 
 std::string TelemetryServer::HandleRequest(const HttpRequest& request) {
   if (request.method != "GET") {
-    return BuildHttpResponse(405, kJsonType,
+    return Respond(405, kJsonType,
                              "{\"error\":\"only GET is supported\"}");
   }
   if (request.path == "/metrics") {
     std::lock_guard<std::mutex> lock(mu_);
-    return BuildHttpResponse(200, kPrometheusType, metrics_text_);
+    return Respond(200, kPrometheusType, metrics_text_);
   }
   if (request.path == "/metrics.json") {
     std::lock_guard<std::mutex> lock(mu_);
-    return BuildHttpResponse(
+    return Respond(
         200, kJsonType, metrics_json_.empty() ? "{}" : metrics_json_);
   }
   if (request.path == "/healthz") {
-    return BuildHttpResponse(200, kJsonType, RenderHealthz());
+    return Respond(200, kJsonType, RenderHealthz());
   }
   if (request.path == "/decisions") {
     return RenderDecisions(request);
@@ -195,16 +216,88 @@ std::string TelemetryServer::HandleRequest(const HttpRequest& request) {
   }
   if (request.path == "/health/signals") {
     std::lock_guard<std::mutex> lock(mu_);
-    return BuildHttpResponse(200, kJsonType, signals_json_);
+    return Respond(200, kJsonType, signals_json_);
   }
   if (request.path == "/alerts") {
     std::lock_guard<std::mutex> lock(mu_);
-    return BuildHttpResponse(200, kJsonType, alerts_json_);
+    return Respond(200, kJsonType, alerts_json_);
+  }
+  if (request.path == "/query") {
+    return RenderQuery(request);
+  }
+  if (request.path == "/slo") {
+    std::lock_guard<std::mutex> lock(mu_);
+    return Respond(200, kJsonType, slo_json_);
+  }
+  if (request.path == "/buildz") {
+    return Respond(200, kJsonType, RenderBuildz());
+  }
+  if (request.path == "/dashboard") {
+    return Respond(200, kHtmlType, kDashboardHtml);
   }
   if (request.path == "/") {
-    return BuildHttpResponse(200, kJsonType, RenderIndex());
+    return Respond(200, kJsonType, RenderIndex());
   }
-  return BuildHttpResponse(404, kJsonType, "{\"error\":\"unknown path\"}");
+  return Respond(404, kJsonType, "{\"error\":\"unknown path\"}");
+}
+
+std::string TelemetryServer::RenderQuery(const HttpRequest& request) {
+  TimeSeriesQuery query;
+  auto it = request.query.find("series");
+  if (it != request.query.end()) {
+    if (it->second.size() > kMaxSeriesGlobBytes) {
+      return Respond(400, kJsonType, "{\"error\":\"series glob too long\"}");
+    }
+    query.series = it->second;
+  }
+  it = request.query.find("last");
+  if (it != request.query.end()) {
+    try {
+      query.last = static_cast<std::size_t>(std::stoul(it->second));
+    } catch (...) {
+      return Respond(400, kJsonType, "{\"error\":\"last must be a number\"}");
+    }
+  }
+  it = request.query.find("res");
+  if (it != request.query.end()) query.resolution = it->second;
+
+  // Grab the published pointer under the lock, render outside it: the
+  // store has its own internal synchronization against the sampler.
+  std::shared_ptr<const TimeSeriesStore> store;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    store = timeseries_;
+  }
+  if (store == nullptr) {
+    if (query.resolution != "raw" && query.resolution != "10" &&
+        query.resolution != "100") {
+      return Respond(400, kJsonType, "{\"error\":\"unknown resolution\"}");
+    }
+    return Respond(200, kJsonType,
+                   "{\"resolution\":\"" + query.resolution +
+                       "\",\"stride\":0,\"last\":" +
+                       std::to_string(query.last) +
+                       ",\"epochs_sampled\":0,\"series_total\":0,"
+                       "\"dropped_series\":0,\"series\":[]}");
+  }
+  if (!store->HasResolution(query.resolution)) {
+    return Respond(400, kJsonType, "{\"error\":\"unknown resolution\"}");
+  }
+  return Respond(200, kJsonType, store->QueryJson(query));
+}
+
+std::string TelemetryServer::RenderBuildz() {
+  const auto uptime =
+      start_time_.time_since_epoch().count() == 0
+          ? std::chrono::steady_clock::duration::zero()
+          : std::chrono::steady_clock::now() - start_time_;
+  std::ostringstream os;
+  os << "{\"status\":\"ok\",\"git\":\"" << HODOR_GIT_DESCRIBE
+     << "\",\"uptime_seconds\":"
+     << std::chrono::duration_cast<std::chrono::seconds>(uptime).count()
+     << ",\"hardware_threads\":" << std::thread::hardware_concurrency()
+     << ",\"hodor_threads\":" << util::ThreadsFromEnv(1) << "}";
+  return os.str();
 }
 
 std::string TelemetryServer::RenderHealthz() {
@@ -224,7 +317,7 @@ std::string TelemetryServer::RenderDecisions(const HttpRequest& request) {
     try {
       limit = static_cast<std::size_t>(std::stoul(it->second));
     } catch (...) {
-      return BuildHttpResponse(400, kJsonType,
+      return Respond(400, kJsonType,
                                "{\"error\":\"last must be a number\"}");
     }
   }
@@ -239,7 +332,7 @@ std::string TelemetryServer::RenderDecisions(const HttpRequest& request) {
     ++emitted;
   }
   os << "]";
-  return BuildHttpResponse(200, kJsonType, os.str());
+  return Respond(200, kJsonType, os.str());
 }
 
 std::string TelemetryServer::RenderTrace(const HttpRequest& request) {
@@ -249,7 +342,7 @@ std::string TelemetryServer::RenderTrace(const HttpRequest& request) {
     try {
       limit = static_cast<std::size_t>(std::stoul(it->second));
     } catch (...) {
-      return BuildHttpResponse(400, kJsonType,
+      return Respond(400, kJsonType,
                                "{\"error\":\"last must be a number\"}");
     }
   }
@@ -264,12 +357,13 @@ std::string TelemetryServer::RenderTrace(const HttpRequest& request) {
     ++emitted;
   }
   os << "]";
-  return BuildHttpResponse(200, kJsonType, os.str());
+  return Respond(200, kJsonType, os.str());
 }
 
 std::string TelemetryServer::RenderIndex() {
   return "{\"endpoints\":[\"/metrics\",\"/metrics.json\",\"/healthz\","
-         "\"/decisions\",\"/trace\",\"/health/signals\",\"/alerts\"]}";
+         "\"/decisions\",\"/trace\",\"/health/signals\",\"/alerts\","
+         "\"/query\",\"/slo\",\"/buildz\",\"/dashboard\"]}";
 }
 
 void TelemetryServer::PublishMetrics(const MetricsRegistry* registry) {
@@ -309,6 +403,17 @@ void TelemetryServer::PublishTrace(std::uint64_t epoch,
   std::lock_guard<std::mutex> lock(mu_);
   traces_.push_front(std::move(breakdown_json));
   while (traces_.size() > opts_.max_trace_epochs) traces_.pop_back();
+}
+
+void TelemetryServer::PublishSlo(std::string slo_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slo_json_ = std::move(slo_json);
+}
+
+void TelemetryServer::PublishTimeSeries(
+    std::shared_ptr<const TimeSeriesStore> store) {
+  std::lock_guard<std::mutex> lock(mu_);
+  timeseries_ = std::move(store);
 }
 
 std::uint64_t TelemetryServer::requests_served() const {

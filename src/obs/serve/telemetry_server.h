@@ -14,6 +14,13 @@
 //                  (?last=N trims to the N most recent)
 //   /health/signals  the SignalHealthBoard trust scoreboard
 //   /alerts        the AlertEngine lifecycle state (published upstream)
+//   /query         retained time series (?series=<glob>&last=N&res=raw|10|100)
+//   /slo           detection-latency / false-positive budget scorecard
+//   /buildz        build + host identity (git describe, uptime, threads)
+//   /dashboard     embedded single-file HTML dashboard (no external assets)
+//
+// Every response carries Cache-Control: no-store — each endpoint reports
+// live state, and a cached scrape is worse than a slow one.
 //
 // Threading model. The rest of the obs layer is deliberately
 // single-threaded (see obs/metrics.h), so the server never touches a live
@@ -30,8 +37,10 @@
 // framework.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -42,6 +51,7 @@ namespace hodor::obs {
 
 class MetricsRegistry;
 class SignalHealthBoard;
+class TimeSeriesStore;
 struct DecisionRecord;
 
 struct TelemetryServerOptions {
@@ -93,6 +103,14 @@ class TelemetryServer {
   // Appends one epoch's execution breakdown (an EpochBreakdown::ToJson()
   // value, rendered by the owner thread) to the /trace ring.
   void PublishTrace(std::uint64_t epoch, std::string breakdown_json);
+  // Swaps a pre-rendered SLO scorecard (DetectionLatencyTracker::SloJson())
+  // into /slo.
+  void PublishSlo(std::string slo_json);
+  // Hands /query the time-series store. The store is internally
+  // synchronized (see obs/timeseries.h), so the owner keeps sampling the
+  // same instance; only the pointer swap happens under the server lock.
+  // Republishing the same pointer every epoch is free.
+  void PublishTimeSeries(std::shared_ptr<const TimeSeriesStore> store);
 
   std::uint64_t requests_served() const;
 
@@ -106,6 +124,8 @@ class TelemetryServer {
   std::string RenderHealthz();
   std::string RenderDecisions(const HttpRequest& request);
   std::string RenderTrace(const HttpRequest& request);
+  std::string RenderQuery(const HttpRequest& request);
+  std::string RenderBuildz();
   std::string RenderIndex();
 
   TelemetryServerOptions opts_;
@@ -120,6 +140,16 @@ class TelemetryServer {
   std::string metrics_json_;
   std::string signals_json_ = "{\"epochs\":0,\"sources\":[]}";
   std::string alerts_json_ = "{\"active\":[],\"resolved\":[]}";
+  // Schema-complete empty scorecard so /slo (and the dashboard) work
+  // before the first publication.
+  std::string slo_json_ =
+      "{\"detection_latency\":{\"samples\":0,\"p50\":null,\"p99\":null,"
+      "\"p50_target\":1,\"p99_target\":5,\"p50_ok\":true,\"p99_ok\":true},"
+      "\"false_positives\":{\"flag_epochs\":0,\"clean_epochs\":0,\"rate\":0,"
+      "\"budget\":0.01,\"ok\":true},\"ok\":true,\"fault_epochs\":0,"
+      "\"fault_classes\":[]}";
+  std::shared_ptr<const TimeSeriesStore> timeseries_;
+  std::chrono::steady_clock::time_point start_time_{};
   std::deque<std::string> decisions_;  // newest at the front
   std::deque<std::string> traces_;     // newest at the front
   std::uint64_t last_published_epoch_ = 0;

@@ -19,6 +19,7 @@ const char* StageName(Stage stage) {
     case Stage::kCheckDrain: return "check-drain";
     case Stage::kProgram: return "program";
     case Stage::kSimulate: return "simulate";
+    case Stage::kTimeseriesSample: return "timeseries-sample";
   }
   return "?";
 }

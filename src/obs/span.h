@@ -35,13 +35,16 @@ enum class Stage {
   kCheckDrain,
   kProgram,
   kSimulate,
+  // Off-critical-path sink work: the observatory sampling the per-epoch
+  // metrics mirror into the time-series store (obs/timeseries.h).
+  kTimeseriesSample,
 };
 
-constexpr std::array<Stage, 10> kAllStages = {
+constexpr std::array<Stage, 11> kAllStages = {
     Stage::kEpoch,         Stage::kCollect,    Stage::kAggregate,
     Stage::kValidate,      Stage::kHarden,     Stage::kCheckDemand,
     Stage::kCheckTopology, Stage::kCheckDrain, Stage::kProgram,
-    Stage::kSimulate,
+    Stage::kSimulate,      Stage::kTimeseriesSample,
 };
 
 const char* StageName(Stage stage);

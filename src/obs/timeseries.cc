@@ -1,0 +1,268 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace hodor::obs {
+
+namespace {
+
+const char* KindName(SampleKind kind) {
+  switch (kind) {
+    case SampleKind::kCounter: return "counter";
+    case SampleKind::kGauge: return "gauge";
+    case SampleKind::kHistogramCount: return "histogram_count";
+    case SampleKind::kHistogramSum: return "histogram_sum";
+  }
+  return "?";
+}
+
+const char* KindSuffix(SampleKind kind) {
+  switch (kind) {
+    case SampleKind::kHistogramCount: return "_count";
+    case SampleKind::kHistogramSum: return "_sum";
+    default: return "";
+  }
+}
+
+std::string DisplayName(const std::string& name, const std::string& label_key,
+                        SampleKind kind) {
+  std::string display = name;
+  display += KindSuffix(kind);
+  if (!label_key.empty()) {
+    display += "{";
+    display += label_key;
+    display += "}";
+  }
+  return display;
+}
+
+}  // namespace
+
+bool MatchGlob(const std::string& pattern, const std::string& text) {
+  // Iterative wildcard match with one backtrack point (the last `*`).
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+TimeSeriesStore::TimeSeriesStore(TimeSeriesOptions opts)
+    : opts_(std::move(opts)) {
+  HODOR_CHECK_MSG(opts_.raw_capacity > 0, "raw_capacity must be positive");
+  HODOR_CHECK_MSG(opts_.agg_capacity > 0, "agg_capacity must be positive");
+  std::size_t prev = 1;
+  for (std::size_t stride : opts_.strides) {
+    HODOR_CHECK_MSG(stride > prev,
+                    "strides must be > 1 and strictly increasing");
+    prev = stride;
+  }
+}
+
+TimeSeriesStore::SeriesData* TimeSeriesStore::FindOrCreateLocked(
+    const std::string& name, const std::string& label_key, SampleKind kind) {
+  auto& by_label = families_[name];
+  LabelEntry& entry = by_label[label_key];
+  std::optional<SeriesData>& slot = entry.slots[static_cast<int>(kind)];
+  if (!slot) {
+    if (series_count_ >= opts_.max_series) {
+      ++dropped_series_;
+      return nullptr;
+    }
+    slot.emplace();
+    slot->display_name = DisplayName(name, label_key, kind);
+    slot->kind = kind;
+    slot->raw.Reset(opts_.raw_capacity);
+    slot->aggs.resize(opts_.strides.size());
+    for (std::size_t i = 0; i < opts_.strides.size(); ++i) {
+      slot->aggs[i].stride = opts_.strides[i];
+      slot->aggs[i].ring.Reset(opts_.agg_capacity);
+    }
+    ++series_count_;
+  }
+  return &*slot;
+}
+
+void TimeSeriesStore::FoldLocked(SeriesData& series, std::uint64_t epoch,
+                                 double value) {
+  series.raw.Push({epoch, value});
+  for (AggTrack& track : series.aggs) {
+    TimeSeriesBucket& open = track.open;
+    if (open.count == 0) {
+      open.first_epoch = epoch;
+      open.min = open.max = open.last = value;
+      open.sum = value;
+      open.count = 1;
+    } else {
+      open.min = std::min(open.min, value);
+      open.max = std::max(open.max, value);
+      open.sum += value;
+      open.last = value;
+      ++open.count;
+    }
+    if (open.count >= track.stride) {
+      track.ring.Push(open);
+      open = TimeSeriesBucket{};
+    }
+  }
+}
+
+void TimeSeriesStore::Sample(std::uint64_t epoch,
+                             const MetricsRegistry& registry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  registry.VisitSamples([&](const std::string& name,
+                            const std::string& label_key, SampleKind kind,
+                            double value) {
+    SeriesData* series = FindOrCreateLocked(name, label_key, kind);
+    if (series != nullptr) FoldLocked(*series, epoch, value);
+  });
+  ++epochs_sampled_;
+}
+
+bool TimeSeriesStore::HasResolution(const std::string& res) const {
+  if (res == "raw") return true;
+  for (std::size_t stride : opts_.strides) {
+    if (res == std::to_string(stride)) return true;
+  }
+  return false;
+}
+
+const TimeSeriesStore::SeriesData* TimeSeriesStore::FindByDisplayNameLocked(
+    const std::string& display_name) const {
+  for (const auto& [name, by_label] : families_) {
+    for (const auto& [key, entry] : by_label) {
+      for (const std::optional<SeriesData>& slot : entry.slots) {
+        if (slot && slot->display_name == display_name) return &*slot;
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::vector<TimeSeriesPoint> TimeSeriesStore::RawPoints(
+    const std::string& display_name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TimeSeriesPoint> out;
+  const SeriesData* series = FindByDisplayNameLocked(display_name);
+  if (series == nullptr) return out;
+  out.reserve(series->raw.size());
+  for (std::size_t i = 0; i < series->raw.size(); ++i) {
+    out.push_back(series->raw.At(i));
+  }
+  return out;
+}
+
+std::vector<TimeSeriesBucket> TimeSeriesStore::Buckets(
+    const std::string& display_name, std::size_t stride) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TimeSeriesBucket> out;
+  const SeriesData* series = FindByDisplayNameLocked(display_name);
+  if (series == nullptr) return out;
+  for (const AggTrack& track : series->aggs) {
+    if (track.stride != stride) continue;
+    out.reserve(track.ring.size() + 1);
+    for (std::size_t i = 0; i < track.ring.size(); ++i) {
+      out.push_back(track.ring.At(i));
+    }
+    if (track.open.count > 0) out.push_back(track.open);
+  }
+  return out;
+}
+
+std::size_t TimeSeriesStore::series_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return series_count_;
+}
+
+std::uint64_t TimeSeriesStore::epochs_sampled() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return epochs_sampled_;
+}
+
+std::uint64_t TimeSeriesStore::dropped_series() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_series_;
+}
+
+std::string TimeSeriesStore::QueryJson(const TimeSeriesQuery& query) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t stride = 1;
+  if (query.resolution != "raw") {
+    stride = static_cast<std::size_t>(std::stoul(query.resolution));
+  }
+  std::ostringstream os;
+  os << "{\"resolution\":\"" << JsonEscape(query.resolution)
+     << "\",\"stride\":" << stride << ",\"last\":" << query.last
+     << ",\"epochs_sampled\":" << epochs_sampled_
+     << ",\"series_total\":" << series_count_
+     << ",\"dropped_series\":" << dropped_series_ << ",\"series\":[";
+  bool first_series = true;
+  for (const auto& [name, by_label] : families_) {
+    for (const auto& [key, entry] : by_label) {
+      for (const std::optional<SeriesData>& slot : entry.slots) {
+        if (!slot || !MatchGlob(query.series, slot->display_name)) continue;
+        if (!first_series) os << ",";
+        first_series = false;
+        os << "{\"name\":\"" << JsonEscape(slot->display_name)
+           << "\",\"kind\":\"" << KindName(slot->kind) << "\",\"points\":[";
+        if (stride == 1) {
+          const auto& ring = slot->raw;
+          std::size_t begin = 0;
+          if (query.last > 0 && query.last < ring.size()) {
+            begin = ring.size() - query.last;
+          }
+          for (std::size_t i = begin; i < ring.size(); ++i) {
+            const TimeSeriesPoint& p = ring.At(i);
+            if (i != begin) os << ",";
+            os << "[" << p.epoch << "," << JsonNumber(p.value) << "]";
+          }
+        } else {
+          for (const AggTrack& track : slot->aggs) {
+            if (track.stride != stride) continue;
+            // Closed buckets plus the open partial one (count < stride
+            // marks it), so short runs still answer at every resolution.
+            const std::size_t open = track.open.count > 0 ? 1 : 0;
+            const std::size_t total = track.ring.size() + open;
+            std::size_t begin = 0;
+            if (query.last > 0 && query.last < total) {
+              begin = total - query.last;
+            }
+            bool first_point = true;
+            for (std::size_t i = begin; i < total; ++i) {
+              const TimeSeriesBucket& b =
+                  i < track.ring.size() ? track.ring.At(i) : track.open;
+              if (!first_point) os << ",";
+              first_point = false;
+              os << "[" << b.first_epoch << "," << JsonNumber(b.min) << ","
+                 << JsonNumber(b.max) << "," << JsonNumber(b.mean()) << ","
+                 << JsonNumber(b.last) << "," << b.count << "]";
+            }
+          }
+        }
+        os << "]}";
+      }
+    }
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace hodor::obs

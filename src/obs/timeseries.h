@@ -1,0 +1,186 @@
+// Epoch time-series store: retained history for every registry sample.
+//
+// /metrics is a point-in-time scrape; the paper's operational claims
+// (detection latency, trust decay, repair rates) are about *trajectories*.
+// TimeSeriesStore samples a MetricsRegistry once per epoch — driven from
+// the epoch sink thread, off the critical path — into fixed-capacity
+// per-series ring buffers with multi-resolution downsampling:
+//
+//   raw ring:   the last `raw_capacity` (epoch, value) points, verbatim;
+//   aggregates: for each configured stride S (default 10 and 100), a ring
+//               of `agg_capacity` buckets folding S consecutive epochs
+//               into {first_epoch, min, max, sum, last, count}.
+//
+// Aggregate buckets close when `count == stride`; queries additionally
+// see the still-open partial bucket as their newest point (count < stride
+// marks it), so every resolution answers from epoch 1 onward. Series
+// identity is the rendered display name `family{label_key}` with a
+// `_count`/`_sum` suffix for histogram samples — exactly the Prometheus
+// selector an operator would grep for. Steady state allocates nothing:
+// rings are preallocated at series creation and lookups are exact string
+// finds on the registry's own rendered label keys.
+//
+// Threading: the store is internally synchronized — Sample() (sink
+// thread) and QueryJson()/accessors (server thread) share one mutex — so
+// the telemetry server publishes one stable shared_ptr<const
+// TimeSeriesStore> and serves /query from it without copying history.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hodor::obs {
+
+// Returns true when `text` matches `pattern`, where `*` matches any run
+// (including empty) and `?` matches exactly one character. Used by the
+// /query series selector; exposed for tests.
+bool MatchGlob(const std::string& pattern, const std::string& text);
+
+struct TimeSeriesOptions {
+  // Raw (epoch, value) points retained per series.
+  std::size_t raw_capacity = 240;
+  // Closed buckets retained per series per aggregate resolution.
+  std::size_t agg_capacity = 120;
+  // Downsampling strides, in epochs per bucket. Must be > 1, strictly
+  // increasing. Each adds one aggregate ring per series.
+  std::vector<std::size_t> strides = {10, 100};
+  // Safety valve against label-cardinality explosions: once this many
+  // series exist, new series are counted (dropped_series) and ignored.
+  std::size_t max_series = 8192;
+};
+
+// One raw sample.
+struct TimeSeriesPoint {
+  std::uint64_t epoch = 0;
+  double value = 0.0;
+};
+
+// One downsampled bucket covering `count` consecutive epochs starting at
+// `first_epoch`. `count < stride` only for the open (partial) bucket.
+struct TimeSeriesBucket {
+  std::uint64_t first_epoch = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double last = 0.0;
+  std::uint32_t count = 0;
+
+  double mean() const { return count ? sum / count : 0.0; }
+};
+
+// /query parameters, parsed by the telemetry server.
+struct TimeSeriesQuery {
+  std::string series = "*";     // glob over display names
+  std::size_t last = 0;         // max points per series; 0 = all retained
+  std::string resolution = "raw";  // "raw" or a stride rendered in decimal
+};
+
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(TimeSeriesOptions opts = {});
+
+  TimeSeriesStore(const TimeSeriesStore&) = delete;
+  TimeSeriesStore& operator=(const TimeSeriesStore&) = delete;
+
+  // Folds every sample the registry currently holds into the rings under
+  // `epoch`. Call once per epoch with a non-decreasing epoch number.
+  void Sample(std::uint64_t epoch, const MetricsRegistry& registry);
+
+  // True when `res` names a resolution this store can answer ("raw" or a
+  // configured stride in decimal). The server 400s anything else.
+  bool HasResolution(const std::string& res) const;
+
+  // Renders the query result as one JSON object:
+  //   {"resolution":"raw","stride":1,"last":N,"epochs_sampled":E,
+  //    "series_total":S,"dropped_series":D,"series":[
+  //      {"name":"...","kind":"gauge","points":[[epoch,value],...]},...]}
+  // Aggregate resolutions render points as
+  //   [first_epoch,min,max,mean,last,count]
+  // newest-last, with the open partial bucket (count < stride) included
+  // as the final point. Callers must pass a resolution HasResolution()
+  // accepts.
+  std::string QueryJson(const TimeSeriesQuery& query) const;
+
+  // Raw points currently retained for one display name (oldest first);
+  // empty when the series does not exist. Test/bench convenience.
+  std::vector<TimeSeriesPoint> RawPoints(const std::string& display_name) const;
+  // Closed + open buckets for one display name at `stride`, oldest first.
+  std::vector<TimeSeriesBucket> Buckets(const std::string& display_name,
+                                        std::size_t stride) const;
+
+  std::size_t series_count() const;
+  std::uint64_t epochs_sampled() const;
+  // Samples dropped because the max_series valve refused to create their
+  // series (a refused series re-attempts — and re-counts — every epoch).
+  std::uint64_t dropped_series() const;
+
+  const TimeSeriesOptions& options() const { return opts_; }
+
+ private:
+  // Fixed-capacity overwrite-oldest ring. Storage is preallocated by
+  // Reset(); Push never allocates.
+  template <typename T>
+  class FixedRing {
+   public:
+    void Reset(std::size_t capacity) {
+      data_.assign(capacity ? capacity : 1, T{});
+      head_ = size_ = 0;
+    }
+    void Push(const T& v) {
+      data_[head_] = v;
+      head_ = (head_ + 1) % data_.size();
+      if (size_ < data_.size()) ++size_;
+    }
+    std::size_t size() const { return size_; }
+    // i = 0 → oldest retained; i = size()-1 → newest.
+    const T& At(std::size_t i) const {
+      return data_[(head_ + data_.size() - size_ + i) % data_.size()];
+    }
+
+   private:
+    std::vector<T> data_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+  };
+
+  struct AggTrack {
+    std::size_t stride = 0;
+    FixedRing<TimeSeriesBucket> ring;
+    TimeSeriesBucket open;  // open.count == 0 means "no partial bucket"
+  };
+
+  struct SeriesData {
+    std::string display_name;
+    SampleKind kind = SampleKind::kGauge;
+    FixedRing<TimeSeriesPoint> raw;
+    std::vector<AggTrack> aggs;
+  };
+
+  // Per (family, label-key) slot: one SeriesData per sample kind that has
+  // actually appeared (a histogram occupies two slots, count and sum).
+  struct LabelEntry {
+    std::optional<SeriesData> slots[4];
+  };
+
+  SeriesData* FindOrCreateLocked(const std::string& name,
+                                 const std::string& label_key,
+                                 SampleKind kind);
+  void FoldLocked(SeriesData& series, std::uint64_t epoch, double value);
+  const SeriesData* FindByDisplayNameLocked(
+      const std::string& display_name) const;
+
+  TimeSeriesOptions opts_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<std::string, LabelEntry>> families_;
+  std::size_t series_count_ = 0;
+  std::uint64_t epochs_sampled_ = 0;
+  std::uint64_t dropped_series_ = 0;
+};
+
+}  // namespace hodor::obs

@@ -338,5 +338,90 @@ TEST_F(EngineFixture, TinyTraceRingDropsAreCountedNotFatal) {
   EXPECT_GT(dropped->value(), 0.0);
 }
 
+// --- fault-class stamping (observatory detection scoring) ------------------
+
+TEST_F(EngineFixture, FaultClassesInferredFromRunEpochHooks) {
+  Pipeline pipeline = MakePipeline();
+  // Clean epoch: no classes.
+  EXPECT_TRUE(pipeline.RunEpoch(state, demand).fault_classes.empty());
+  // A snapshot mutator marks the epoch router-signal.
+  const telemetry::SnapshotMutator snap_fault =
+      [this](telemetry::NetworkSnapshot& snap) {
+        snap.frame().SetTxRate(topo.LinkIds().front(), 0.0);
+      };
+  EXPECT_EQ(pipeline.RunEpoch(state, demand, snap_fault).fault_classes,
+            (std::vector<std::string>{"router-signal"}));
+  // Topology and drain hooks both read as aggregation faults.
+  AggregationFaultHooks hooks;
+  hooks.topology = [](std::vector<bool>&) {};
+  EXPECT_EQ(pipeline.RunEpoch(state, demand, nullptr, hooks).fault_classes,
+            (std::vector<std::string>{"aggregation"}));
+  hooks = {};
+  hooks.drain = [](std::vector<bool>&, std::vector<bool>&) {};
+  EXPECT_EQ(pipeline.RunEpoch(state, demand, nullptr, hooks).fault_classes,
+            (std::vector<std::string>{"aggregation"}));
+  // A demand hook is an external-input fault; combined hooks stack classes.
+  hooks = {};
+  hooks.demand = [](flow::DemandMatrix&) {};
+  EXPECT_EQ(pipeline.RunEpoch(state, demand, nullptr, hooks).fault_classes,
+            (std::vector<std::string>{"external-input"}));
+  hooks.topology = [](std::vector<bool>&) {};
+  EXPECT_EQ(
+      pipeline.RunEpoch(state, demand, snap_fault, hooks).fault_classes,
+      (std::vector<std::string>{"router-signal", "aggregation",
+                                "external-input"}));
+}
+
+TEST_F(EngineFixture, FaultStampOverridesInferenceUntilCleared) {
+  obs::MetricsRegistry registry;
+  PipelineOptions opts;
+  opts.metrics = &registry;
+  Pipeline pipeline = MakePipeline(opts);
+  // The sticky stamp wins even when the hooks would infer differently.
+  pipeline.SetFaultStamp({"router-signal"});
+  AggregationFaultHooks hooks;
+  hooks.demand = [](flow::DemandMatrix&) {};
+  EXPECT_EQ(pipeline.RunEpoch(state, demand, nullptr, hooks).fault_classes,
+            (std::vector<std::string>{"router-signal"}));
+  const obs::Gauge* active = registry.FindGauge(
+      "hodor_fault_active", {{"class", "router-signal"}});
+  ASSERT_NE(active, nullptr);
+  EXPECT_DOUBLE_EQ(active->value(), 1.0);
+  // An empty stamp forces "clean" regardless of hooks.
+  pipeline.SetFaultStamp({});
+  EXPECT_TRUE(
+      pipeline.RunEpoch(state, demand, nullptr, hooks).fault_classes.empty());
+  EXPECT_DOUBLE_EQ(active->value(), 0.0);  // window closed → gauge zeroed
+  // Clearing the stamp restores inference.
+  pipeline.ClearFaultStamp();
+  EXPECT_EQ(pipeline.RunEpoch(state, demand, nullptr, hooks).fault_classes,
+            (std::vector<std::string>{"external-input"}));
+  EXPECT_DOUBLE_EQ(active->value(), 0.0);  // only external-input active now
+  const obs::Gauge* external = registry.FindGauge(
+      "hodor_fault_active", {{"class", "external-input"}});
+  ASSERT_NE(external, nullptr);
+  EXPECT_DOUBLE_EQ(external->value(), 1.0);
+}
+
+TEST_F(EngineFixture, FaultStampNeverTouchesTheDecisionDigest) {
+  // Stamping is observability-only: the canonical decision text (and hence
+  // the digest the replay/equivalence gates compare) must be bit-identical
+  // with and without a stamp.
+  Pipeline unstamped = MakePipeline();
+  Pipeline stamped = MakePipeline();
+  stamped.SetFaultStamp({"router-signal", "external-input"});
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const EpochResult a = unstamped.RunEpoch(state, demand);
+    const EpochResult b = stamped.RunEpoch(state, demand);
+    EXPECT_EQ(a.decision.provenance.CanonicalDigest(),
+              b.decision.provenance.CanonicalDigest())
+        << "epoch " << epoch;
+    EXPECT_EQ(testing::DecisionText(a.decision.provenance),
+              testing::DecisionText(b.decision.provenance));
+    EXPECT_TRUE(a.fault_classes.empty());
+    EXPECT_EQ(b.fault_classes.size(), 2u);
+  }
+}
+
 }  // namespace
 }  // namespace hodor::controlplane

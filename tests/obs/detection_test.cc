@@ -1,0 +1,177 @@
+// DetectionLatencyTracker: episode lifecycle, per-(fault class, detector)
+// latency samples, misses, repairs, and the clean-run false-positive
+// control (DESIGN §11).
+#include "obs/detection.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+
+namespace hodor::obs {
+namespace {
+
+DecisionRecord Decision(std::vector<InvariantRecord> records) {
+  DecisionRecord decision;
+  decision.invariants = std::move(records);
+  return decision;
+}
+
+InvariantRecord Record(std::string check, InvariantVerdict verdict) {
+  InvariantRecord rec;
+  rec.check = std::move(check);
+  rec.invariant = "inv";
+  rec.verdict = verdict;
+  return rec;
+}
+
+TEST(DetectionLatencyTrackerTest, FirstFlagLatencyPerDetector) {
+  DetectionLatencyTracker tracker;
+  MetricsRegistry reg;
+  // Fault injected at epoch 5; nothing fires until epoch 7.
+  tracker.ObserveEpoch(5, {"external-input"}, Decision({}), &reg);
+  tracker.ObserveEpoch(6, {"external-input"}, Decision({}), &reg);
+  tracker.ObserveEpoch(
+      7, {"external-input"},
+      Decision({Record("demand", InvariantVerdict::kFail)}), &reg);
+  // The same detector firing again must not add a second sample.
+  tracker.ObserveEpoch(
+      8, {"external-input"},
+      Decision({Record("demand", InvariantVerdict::kFail)}), &reg);
+
+  EXPECT_EQ(tracker.episodes("external-input"), 1u);
+  const std::vector<double> latencies =
+      tracker.Latencies("external-input", "demand");
+  ASSERT_EQ(latencies.size(), 1u);
+  EXPECT_DOUBLE_EQ(latencies[0], 2.0);
+  const Histogram* hist = reg.FindHistogram(
+      "hodor_detection_latency_epochs",
+      {{"fault_class", "external-input"}, {"detector", "demand"}});
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count(), 1u);
+  EXPECT_DOUBLE_EQ(hist->sum(), 2.0);
+}
+
+TEST(DetectionLatencyTrackerTest, EpisodeClosesAndReopens) {
+  DetectionLatencyTracker tracker;
+  tracker.ObserveEpoch(
+      0, {"aggregation"},
+      Decision({Record("topology", InvariantVerdict::kFail)}), nullptr);
+  tracker.ObserveEpoch(1, {}, Decision({}), nullptr);  // episode closes
+  tracker.ObserveEpoch(
+      2, {"aggregation"},
+      Decision({Record("topology", InvariantVerdict::kFail)}), nullptr);
+  EXPECT_EQ(tracker.episodes("aggregation"), 2u);
+  EXPECT_EQ(tracker.misses("aggregation"), 0u);
+  // Each episode contributes its own first-flag sample.
+  EXPECT_EQ(tracker.Latencies("aggregation", "topology").size(), 2u);
+}
+
+TEST(DetectionLatencyTrackerTest, UnflaggedEpisodeIsAMiss) {
+  DetectionLatencyTracker tracker;
+  MetricsRegistry reg;
+  tracker.ObserveEpoch(0, {"router-signal"}, Decision({}), &reg);
+  tracker.ObserveEpoch(1, {"router-signal"}, Decision({}), &reg);
+  tracker.ObserveEpoch(2, {}, Decision({}), &reg);  // closes with no flag
+  EXPECT_EQ(tracker.episodes("router-signal"), 1u);
+  EXPECT_EQ(tracker.misses("router-signal"), 1u);
+  const Counter* miss = reg.FindCounter("hodor_detection_miss_total",
+                                        {{"fault_class", "router-signal"}});
+  ASSERT_NE(miss, nullptr);
+  EXPECT_DOUBLE_EQ(miss->value(), 1.0);
+}
+
+TEST(DetectionLatencyTrackerTest, HardeningFiresOnAnyRecordAndPassRepairs) {
+  // signal_health convention: hardening emits records only for flagged
+  // signals, so kPass there means flagged-and-repaired.
+  DetectionLatencyTracker tracker;
+  MetricsRegistry reg;
+  tracker.ObserveEpoch(
+      0, {"router-signal"},
+      Decision({Record("hardening", InvariantVerdict::kPass)}), &reg);
+  EXPECT_EQ(tracker.Latencies("router-signal", "hardening").size(), 1u);
+  const Counter* repair = reg.FindCounter(
+      "hodor_detection_repair_total",
+      {{"fault_class", "router-signal"}, {"detector", "hardening"}});
+  ASSERT_NE(repair, nullptr);
+  EXPECT_DOUBLE_EQ(repair->value(), 1.0);
+  // Skipped hardening records do not fire.
+  DetectionLatencyTracker tracker2;
+  tracker2.ObserveEpoch(
+      0, {"router-signal"},
+      Decision({Record("hardening", InvariantVerdict::kSkipped)}), nullptr);
+  tracker2.ObserveEpoch(1, {}, Decision({}), nullptr);
+  EXPECT_EQ(tracker2.misses("router-signal"), 1u);
+}
+
+TEST(DetectionLatencyTrackerTest, MultiClassAttributionCreditsEveryClass) {
+  DetectionLatencyTracker tracker;
+  tracker.ObserveEpoch(
+      0, {"router-signal", "aggregation"},
+      Decision({Record("topology", InvariantVerdict::kFail)}), nullptr);
+  EXPECT_EQ(tracker.Latencies("router-signal", "topology").size(), 1u);
+  EXPECT_EQ(tracker.Latencies("aggregation", "topology").size(), 1u);
+}
+
+TEST(DetectionLatencyTrackerTest, CleanEpochFlagsAreFalsePositives) {
+  DetectionLatencyTracker tracker;
+  MetricsRegistry reg;
+  tracker.ObserveEpoch(0, {}, Decision({}), &reg);
+  tracker.ObserveEpoch(
+      1, {}, Decision({Record("drain", InvariantVerdict::kFail)}), &reg);
+  EXPECT_EQ(tracker.clean_epochs(), 2u);
+  EXPECT_EQ(tracker.fault_epochs(), 0u);
+  EXPECT_EQ(tracker.false_positive_epochs(), 1u);
+  const Counter* fp = reg.FindCounter("hodor_detection_false_positive_total",
+                                      {{"detector", "drain"}});
+  ASSERT_NE(fp, nullptr);
+  EXPECT_DOUBLE_EQ(fp->value(), 1.0);
+  // Passing verdicts on a clean epoch are not false positives.
+  tracker.ObserveEpoch(
+      2, {}, Decision({Record("demand", InvariantVerdict::kPass)}), &reg);
+  EXPECT_EQ(tracker.false_positive_epochs(), 1u);
+}
+
+TEST(DetectionLatencyTrackerTest, SloJsonReflectsSamplesAndBudgets) {
+  DetectionOptions opts;
+  opts.slo.latency_p50_epochs = 1.0;
+  opts.slo.latency_p99_epochs = 2.0;
+  opts.slo.false_positive_budget = 0.5;
+  DetectionLatencyTracker tracker(opts);
+  // Empty tracker: percentiles render null and count as passing.
+  std::string json = tracker.SloJson();
+  EXPECT_NE(json.find("\"samples\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+
+  tracker.ObserveEpoch(
+      0, {"external-input"},
+      Decision({Record("demand", InvariantVerdict::kFail)}), nullptr);
+  tracker.ObserveEpoch(1, {}, Decision({}), nullptr);
+  json = tracker.SloJson();
+  EXPECT_NE(json.find("\"samples\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"fault_class\":\"external-input\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"detector\":\"demand\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault_epochs\":1"), std::string::npos);
+}
+
+TEST(DetectionLatencyTrackerTest, SloLatencyBreachFlips) {
+  DetectionOptions opts;
+  opts.slo.latency_p50_epochs = 0.5;  // any latency >= 1 breaches
+  DetectionLatencyTracker tracker(opts);
+  tracker.ObserveEpoch(0, {"aggregation"}, Decision({}), nullptr);
+  tracker.ObserveEpoch(
+      3, {"aggregation"},
+      Decision({Record("topology", InvariantVerdict::kFail)}), nullptr);
+  const std::string json = tracker.SloJson();
+  EXPECT_NE(json.find("\"p50_ok\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hodor::obs

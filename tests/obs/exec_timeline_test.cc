@@ -218,6 +218,43 @@ TEST(ExecTimeline, RetentionTrimsOldestEvents) {
   EXPECT_EQ(tl.retained_events(), 4u);
 }
 
+// S2 (observatory): bounded retention that evicts whole epoch anchors is
+// not silent — it lands in hodor_timeline_epochs_dropped_total.
+TEST(ExecTimeline, EvictedEpochAnchorsLandInTheEpochsDroppedCounter) {
+  ExecTracer tracer(256);
+  ExecThreadHandle control = tracer.RegisterThread("control");
+  ExecTimelineOptions opts = TwoStageOptions();
+  opts.retain_events = 4;  // tiny: each epoch emits 2 events
+  ExecTimeline tl(&tracer, opts);
+  for (std::uint64_t epoch = 1; epoch <= 6; ++epoch) {
+    const std::uint64_t base = epoch * 100 * kMs;
+    tracer.Emit(control, Ev(base, 2 * kMs, epoch, ExecEventKind::kStage, 0));
+    tracer.Emit(control, Ev(base, 5 * kMs, epoch, ExecEventKind::kEpoch));
+  }
+  tl.Poll();
+  // 6 epochs × 2 events against a 4-event window: at least the first four
+  // epoch anchors were trimmed away.
+  EXPECT_GE(tl.epochs_dropped(), 4u);
+  MetricsRegistry reg;
+  tl.PublishGauges(&reg);
+  const Counter* dropped =
+      reg.FindCounter("hodor_timeline_epochs_dropped_total", {});
+  ASSERT_NE(dropped, nullptr);
+  EXPECT_DOUBLE_EQ(dropped->value(),
+                   static_cast<double>(tl.epochs_dropped()));
+  // Republishing without new evictions must not double-count the delta.
+  tl.PublishGauges(&reg);
+  EXPECT_DOUBLE_EQ(dropped->value(),
+                   static_cast<double>(tl.epochs_dropped()));
+  // A roomy timeline never drops an epoch.
+  ExecTracer tracer2(256);
+  ExecThreadHandle control2 = tracer2.RegisterThread("control");
+  ExecTimeline roomy(&tracer2, TwoStageOptions());
+  tracer2.Emit(control2, Ev(kMs, 5 * kMs, 1, ExecEventKind::kEpoch));
+  roomy.Poll();
+  EXPECT_EQ(roomy.epochs_dropped(), 0u);
+}
+
 TEST(ExecTimeline, WritePerfettoEmitsLoadableTraceJson) {
   SyntheticEpoch synth;
   ExecTimeline tl(&synth.tracer, TwoStageOptions());

@@ -3,11 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
 #include "obs/health/signal_health.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
 #include "obs/serve/http.h"
+#include "obs/timeseries.h"
 #include "test_util.h"
 
 namespace hodor::obs {
@@ -143,6 +149,145 @@ TEST(TelemetryServerRouting, UnknownPathIs404NonGetIs405) {
             std::string::npos);
 }
 
+// --- observatory endpoints (/query, /slo, /buildz, /dashboard) -------------
+
+TEST(TelemetryServerRouting, EveryResponseIsNoStore) {
+  TelemetryServer server;
+  for (const char* target :
+       {"/", "/metrics", "/metrics.json", "/healthz", "/decisions", "/trace",
+        "/health/signals", "/alerts", "/query", "/slo", "/buildz",
+        "/dashboard", "/definitely-not-a-path"}) {
+    EXPECT_NE(server.HandleRequest(Get(target))
+                  .find("Cache-Control: no-store\r\n"),
+              std::string::npos)
+        << target;
+  }
+}
+
+TEST(TelemetryServerRouting, QueryWithoutStoreAnswersEmptySchema) {
+  TelemetryServer server;
+  const std::string body =
+      testing::HttpBody(server.HandleRequest(Get("/query")));
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  EXPECT_NE(body.find("\"resolution\":\"raw\""), std::string::npos);
+  EXPECT_NE(body.find("\"epochs_sampled\":0"), std::string::npos);
+  EXPECT_NE(body.find("\"series\":[]"), std::string::npos);
+}
+
+TEST(TelemetryServerRouting, QueryRejectsMalformedParameters) {
+  TelemetryServer server;
+  // Non-numeric ?last is a client error — with and without a store.
+  EXPECT_NE(server.HandleRequest(Get("/query?last=banana"))
+                .find("400 Bad Request"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequest(Get("/query?last=banana"))
+                .find("last must be a number"),
+            std::string::npos);
+  // Unconfigured resolutions are refused, not silently remapped.
+  EXPECT_NE(server.HandleRequest(Get("/query?res=37"))
+                .find("unknown resolution"),
+            std::string::npos);
+  auto store = std::make_shared<TimeSeriesStore>();
+  server.PublishTimeSeries(store);
+  EXPECT_NE(server.HandleRequest(Get("/query?res=37"))
+                .find("unknown resolution"),
+            std::string::npos);
+  EXPECT_NE(server.HandleRequest(Get("/query?last=soon"))
+                .find("last must be a number"),
+            std::string::npos);
+  // An oversized glob is bounded out before matching.
+  const std::string long_glob(600, 'a');
+  EXPECT_NE(server.HandleRequest(Get("/query?series=" + long_glob))
+                .find("series glob too long"),
+            std::string::npos);
+}
+
+TEST(TelemetryServerRouting, QueryServesPublishedStore) {
+  MetricsRegistry reg;
+  reg.GetGauge("hodor_signal_trust", {{"check", "demand"}}, "").Set(93.0);
+  auto store = std::make_shared<TimeSeriesStore>();
+  store->Sample(0, reg);
+  store->Sample(1, reg);
+  TelemetryServer server;
+  server.PublishTimeSeries(store);
+  const std::string body = testing::HttpBody(
+      server.HandleRequest(Get("/query?series=hodor_signal_trust*&last=1")));
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  EXPECT_NE(body.find("hodor_signal_trust{check=\\\"demand\\\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("[1,93]"), std::string::npos);
+  EXPECT_EQ(body.find("[0,93]"), std::string::npos);  // last=1 trims
+}
+
+TEST(TelemetryServerRouting, BuildzReportsBuildAndRuntimeFacts) {
+  TelemetryServer server;
+  const std::string body =
+      testing::HttpBody(server.HandleRequest(Get("/buildz")));
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(body.find("\"git\":\""), std::string::npos);
+  EXPECT_NE(body.find("\"uptime_seconds\":"), std::string::npos);
+  EXPECT_NE(body.find("\"hardware_threads\":"), std::string::npos);
+  EXPECT_NE(body.find("\"hodor_threads\":"), std::string::npos);
+}
+
+TEST(TelemetryServerRouting, SloDefaultsToEmptyObjectUntilPublished) {
+  TelemetryServer server;
+  std::string body = testing::HttpBody(server.HandleRequest(Get("/slo")));
+  EXPECT_TRUE(IsValidJson(body)) << body;
+  server.PublishSlo("{\"ok\":true}");
+  body = testing::HttpBody(server.HandleRequest(Get("/slo")));
+  EXPECT_NE(body.find("\"ok\":true"), std::string::npos);
+}
+
+TEST(TelemetryServerRouting, DashboardIsSelfContainedHtml) {
+  TelemetryServer server;
+  const std::string resp = server.HandleRequest(Get("/dashboard"));
+  EXPECT_NE(resp.find("200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("text/html"), std::string::npos);
+  EXPECT_NE(resp.find("<html"), std::string::npos);
+  // The page must never trigger an external fetch (acceptance: zero
+  // external requests).
+  for (const char* needle :
+       {"src=\"http", "src='http", "href=\"http", "href='http"}) {
+    EXPECT_EQ(resp.find(needle), std::string::npos) << needle;
+  }
+  // The index advertises the new endpoints.
+  const std::string index = server.HandleRequest(Get("/"));
+  for (const char* endpoint : {"/query", "/slo", "/buildz", "/dashboard"}) {
+    EXPECT_NE(index.find(endpoint), std::string::npos) << endpoint;
+  }
+}
+
+TEST(TelemetryServerConcurrency, QueryRacesPublishTimeSeriesSwapSafely) {
+  // Readers hold a shared_ptr snapshot of the store while the publisher
+  // swaps in replacements; the store itself synchronizes Sample vs
+  // QueryJson. Nothing here should tear, crash, or 500 (TSan covers the
+  // data-race half via check_build.sh --sanitize=thread).
+  MetricsRegistry reg;
+  Gauge& g = reg.GetGauge("hodor_signal_trust", {{"check", "demand"}}, "");
+  TelemetryServer server;
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    auto store = std::make_shared<TimeSeriesStore>();
+    for (std::uint64_t epoch = 0; !stop.load(std::memory_order_relaxed);
+         ++epoch) {
+      g.Set(static_cast<double>(epoch % 100));
+      store->Sample(epoch, reg);
+      server.PublishTimeSeries(store);
+      if (epoch % 16 == 0) store = std::make_shared<TimeSeriesStore>();
+    }
+  });
+  for (int i = 0; i < 500; ++i) {
+    const std::string resp = server.HandleRequest(
+        Get(i % 2 ? "/query?series=*&res=10" : "/query?last=3"));
+    ASSERT_NE(resp.find("200 OK"), std::string::npos) << resp;
+    EXPECT_TRUE(IsValidJson(testing::HttpBody(resp)));
+  }
+  stop.store(true);
+  publisher.join();
+}
+
 // --- live server smoke (real sockets) --------------------------------------
 
 TEST(TelemetryServerSmoke, ServesMetricsAndHealthzOverLoopback) {
@@ -205,6 +350,45 @@ TEST(TelemetryServerSmoke, ServesSignalsAndAlertsSnapshots) {
       testing::HttpBody(testing::HttpGet(server.port(), "/alerts"));
   EXPECT_NE(alerts.find("\"entity\":\"SEAT\""), std::string::npos);
 
+  server.Stop();
+}
+
+TEST(TelemetryServerSmoke, OversizedRequestLineIsRejectedNotBuffered) {
+  TelemetryServer server;
+  ASSERT_TRUE(server.Start());
+  // A request head past the 8 KiB cap must be refused with a 400 before the
+  // terminator ever arrives — the server must not buffer it indefinitely.
+  const std::string huge =
+      "GET /metrics?pad=" + std::string(16 * 1024, 'x') + " HTTP/1.1\r\n\r\n";
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::size_t sent = 0;
+  while (sent < huge.size()) {
+    const ssize_t n =
+        ::send(fd, huge.data() + sent, huge.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;  // server may close mid-send after responding
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("400 Bad Request"), std::string::npos) << response;
+  EXPECT_NE(response.find("request too large"), std::string::npos);
+  // The server stays healthy for the next client.
+  EXPECT_NE(testing::HttpGet(server.port(), "/healthz")
+                .find("\"status\":\"ok\""),
+            std::string::npos);
   server.Stop();
 }
 

@@ -1,0 +1,188 @@
+// TimeSeriesStore: ring retention, multi-resolution downsampling, the
+// /query glob selector, and the cardinality safety valve (DESIGN §11).
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hodor::obs {
+namespace {
+
+TEST(MatchGlobTest, LiteralStarAndQuestionMark) {
+  EXPECT_TRUE(MatchGlob("abc", "abc"));
+  EXPECT_FALSE(MatchGlob("abc", "abd"));
+  EXPECT_TRUE(MatchGlob("*", ""));
+  EXPECT_TRUE(MatchGlob("*", "anything"));
+  EXPECT_TRUE(MatchGlob("hodor_*", "hodor_signal_trust"));
+  EXPECT_FALSE(MatchGlob("hodor_*", "other_metric"));
+  EXPECT_TRUE(MatchGlob("*trust*", "hodor_signal_trust{check=\"demand\"}"));
+  EXPECT_TRUE(MatchGlob("a?c", "abc"));
+  EXPECT_FALSE(MatchGlob("a?c", "ac"));
+  EXPECT_TRUE(MatchGlob("*_total", "hodor_epochs_total"));
+  EXPECT_FALSE(MatchGlob("*_total", "hodor_epochs_total_count"));
+  // Multiple stars force the backtracking path.
+  EXPECT_TRUE(MatchGlob("*sig*tru*", "hodor_signal_trust"));
+  EXPECT_FALSE(MatchGlob("*sig*xyz*", "hodor_signal_trust"));
+}
+
+TEST(TimeSeriesStoreTest, RawRingRetainsNewestPoints) {
+  TimeSeriesOptions opts;
+  opts.raw_capacity = 4;
+  opts.strides = {10};
+  TimeSeriesStore store(opts);
+  MetricsRegistry reg;
+  Gauge& g = reg.GetGauge("g", {}, "test gauge");
+  for (std::uint64_t e = 0; e < 10; ++e) {
+    g.Set(static_cast<double>(e) * 2.0);
+    store.Sample(e, reg);
+  }
+  EXPECT_EQ(store.epochs_sampled(), 10u);
+  EXPECT_EQ(store.series_count(), 1u);
+  const std::vector<TimeSeriesPoint> points = store.RawPoints("g");
+  ASSERT_EQ(points.size(), 4u);  // capacity, oldest evicted
+  EXPECT_EQ(points.front().epoch, 6u);
+  EXPECT_EQ(points.back().epoch, 9u);
+  EXPECT_DOUBLE_EQ(points.back().value, 18.0);
+}
+
+TEST(TimeSeriesStoreTest, DownsamplingFoldsMinMaxMeanLast) {
+  TimeSeriesOptions opts;
+  opts.strides = {4, 8};
+  TimeSeriesStore store(opts);
+  MetricsRegistry reg;
+  Gauge& g = reg.GetGauge("g", {}, "test gauge");
+  const double values[] = {5, 1, 9, 3, 7, 2};
+  for (std::uint64_t e = 0; e < 6; ++e) {
+    g.Set(values[e]);
+    store.Sample(e, reg);
+  }
+  // Stride 4: one closed bucket over epochs 0-3, one open over 4-5.
+  const std::vector<TimeSeriesBucket> b4 = store.Buckets("g", 4);
+  ASSERT_EQ(b4.size(), 2u);
+  EXPECT_EQ(b4[0].first_epoch, 0u);
+  EXPECT_EQ(b4[0].count, 4u);
+  EXPECT_DOUBLE_EQ(b4[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(b4[0].max, 9.0);
+  EXPECT_DOUBLE_EQ(b4[0].mean(), 4.5);
+  EXPECT_DOUBLE_EQ(b4[0].last, 3.0);
+  EXPECT_EQ(b4[1].first_epoch, 4u);
+  EXPECT_EQ(b4[1].count, 2u);  // open partial bucket
+  EXPECT_DOUBLE_EQ(b4[1].last, 2.0);
+  // Stride 8: nothing closed yet, but the open bucket still answers.
+  const std::vector<TimeSeriesBucket> b8 = store.Buckets("g", 8);
+  ASSERT_EQ(b8.size(), 1u);
+  EXPECT_EQ(b8[0].count, 6u);
+  EXPECT_DOUBLE_EQ(b8[0].min, 1.0);
+  EXPECT_DOUBLE_EQ(b8[0].max, 9.0);
+}
+
+TEST(TimeSeriesStoreTest, HistogramsSplitIntoCountAndSumSeries) {
+  TimeSeriesStore store;
+  MetricsRegistry reg;
+  Histogram& h =
+      reg.GetHistogram("hodor_stage_duration_us", {{"stage", "validate"}});
+  h.Observe(10.0);
+  h.Observe(30.0);
+  store.Sample(0, reg);
+  const auto count_points =
+      store.RawPoints("hodor_stage_duration_us_count{stage=\"validate\"}");
+  const auto sum_points =
+      store.RawPoints("hodor_stage_duration_us_sum{stage=\"validate\"}");
+  ASSERT_EQ(count_points.size(), 1u);
+  ASSERT_EQ(sum_points.size(), 1u);
+  EXPECT_DOUBLE_EQ(count_points[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(sum_points[0].value, 40.0);
+  EXPECT_EQ(store.series_count(), 2u);
+}
+
+TEST(TimeSeriesStoreTest, MaxSeriesValveCountsDroppedSamples) {
+  TimeSeriesOptions opts;
+  opts.max_series = 2;
+  TimeSeriesStore store(opts);
+  MetricsRegistry reg;
+  reg.GetGauge("a", {}, "").Set(1.0);
+  reg.GetGauge("b", {}, "").Set(2.0);
+  reg.GetGauge("c", {}, "").Set(3.0);
+  store.Sample(0, reg);
+  store.Sample(1, reg);
+  EXPECT_EQ(store.series_count(), 2u);
+  // The refused series re-attempts (and re-counts) every epoch.
+  EXPECT_EQ(store.dropped_series(), 2u);
+  EXPECT_TRUE(store.RawPoints("c").empty());
+  ASSERT_EQ(store.RawPoints("a").size(), 2u);
+}
+
+TEST(TimeSeriesStoreTest, HasResolutionAcceptsRawAndConfiguredStrides) {
+  TimeSeriesStore store;  // default strides {10, 100}
+  EXPECT_TRUE(store.HasResolution("raw"));
+  EXPECT_TRUE(store.HasResolution("10"));
+  EXPECT_TRUE(store.HasResolution("100"));
+  EXPECT_FALSE(store.HasResolution("50"));
+  EXPECT_FALSE(store.HasResolution(""));
+  EXPECT_FALSE(store.HasResolution("RAW"));
+}
+
+TEST(TimeSeriesStoreTest, QueryJsonFiltersAndTrims) {
+  TimeSeriesStore store;
+  MetricsRegistry reg;
+  Gauge& trust = reg.GetGauge("hodor_signal_trust",
+                              {{"check", "demand"}, {"entity", "x"}}, "");
+  Counter& epochs = reg.GetCounter("hodor_epochs_total", {}, "");
+  for (std::uint64_t e = 0; e < 5; ++e) {
+    trust.Set(100.0 - static_cast<double>(e));
+    epochs.Increment();
+    store.Sample(e, reg);
+  }
+  // Glob selects only the trust series; last=2 trims to the newest two.
+  TimeSeriesQuery query;
+  query.series = "hodor_signal_trust*";
+  query.last = 2;
+  const std::string json = store.QueryJson(query);
+  EXPECT_NE(json.find("\"resolution\":\"raw\""), std::string::npos);
+  EXPECT_NE(json.find("\"stride\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"epochs_sampled\":5"), std::string::npos);
+  EXPECT_NE(json.find("hodor_signal_trust{check=\\\"demand\\\""),
+            std::string::npos);
+  EXPECT_EQ(json.find("hodor_epochs_total"), std::string::npos);
+  // Newest two points only: epochs 3 and 4.
+  EXPECT_NE(json.find("[3,97]"), std::string::npos);
+  EXPECT_NE(json.find("[4,96]"), std::string::npos);
+  EXPECT_EQ(json.find("[2,98]"), std::string::npos);
+}
+
+TEST(TimeSeriesStoreTest, QueryJsonAggregateIncludesOpenBucket) {
+  TimeSeriesStore store;  // strides {10, 100}
+  MetricsRegistry reg;
+  Gauge& g = reg.GetGauge("g", {}, "");
+  for (std::uint64_t e = 0; e < 12; ++e) {
+    g.Set(static_cast<double>(e));
+    store.Sample(e, reg);
+  }
+  TimeSeriesQuery query;
+  query.resolution = "10";
+  const std::string json = store.QueryJson(query);
+  EXPECT_NE(json.find("\"resolution\":\"10\""), std::string::npos);
+  EXPECT_NE(json.find("\"stride\":10"), std::string::npos);
+  // Closed bucket epochs 0-9: [0,min,max,mean,last,count].
+  EXPECT_NE(json.find("[0,0,9,4.5,9,10]"), std::string::npos);
+  // Open partial bucket epochs 10-11.
+  EXPECT_NE(json.find("[10,10,11,10.5,11,2]"), std::string::npos);
+}
+
+TEST(TimeSeriesStoreTest, SteadyStateCreatesNoNewSeries) {
+  TimeSeriesStore store;
+  MetricsRegistry reg;
+  reg.GetGauge("g", {{"k", "v"}}, "").Set(1.0);
+  store.Sample(0, reg);
+  const std::size_t series_after_first = store.series_count();
+  for (std::uint64_t e = 1; e < 50; ++e) store.Sample(e, reg);
+  EXPECT_EQ(store.series_count(), series_after_first);
+  EXPECT_EQ(store.dropped_series(), 0u);
+}
+
+}  // namespace
+}  // namespace hodor::obs
