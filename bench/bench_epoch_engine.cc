@@ -36,9 +36,15 @@
 //   --trace-overhead   instead of the main comparison, gate the tracer's
 //       own cost: waxman100 serial with tracing off vs on, fail (exit 1)
 //       if the fastest epoch regresses more than 3% or digests diverge.
+//   --steady-state     instead of the main comparison, gate the DESIGN §12
+//       incremental-validation payoff: waxman400 with zero telemetry noise
+//       and ~1% of links nudged per epoch, incremental vs HODOR_FORCE_FULL
+//       arms; fail (exit 1) if the median validate+harden call is not at
+//       least 3x faster incrementally, or any digest diverges.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -349,6 +355,194 @@ int RunTimeseriesOverheadGate() {
   return ratio_ok && digests_match ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// --steady-state: the incremental-validation payoff (DESIGN §12).
+//
+// Production WANs between faults are boring: with zero telemetry noise and
+// a fixed demand matrix, consecutive snapshots differ only where something
+// actually moved. This gate manufactures that regime at the acceptance
+// size (waxman400): rate jitter and probe loss are zeroed, demand never
+// drifts, and a SnapshotMutator nudges the tx/rx counters of a fixed ~1%
+// of directed links by an epoch-varying factor (tx == rx, so R1 keeps
+// agreeing and the repair working set stays empty). Two arms run the
+// identical schedule — incremental (FrameDelta threaded through the
+// engine) and force-full (PipelineOptions::force_full, the pre-§12
+// behavior) — and the wrapped validator times each Validate call, i.e.
+// exactly the harden + three-checks work the delta machinery avoids.
+// (The diff itself is an O(signals) word-compare in the collect stage,
+// orders of magnitude below one full harden; it is deliberately outside
+// the timed window.)
+//
+// Pass: median incremental validate+harden >= 3x faster than full, and
+// every epoch digest bit-identical across the arms.
+
+constexpr int kSteadyWarmup = 2;  // epoch 0 is full by definition (no prev)
+constexpr int kSteadyMeasured = 8;
+constexpr double kSteadyMinRatio = 3.0;
+
+struct SteadyArm {
+  std::vector<double> validate_ms;  // measured epochs only
+  std::vector<std::uint64_t> digests;
+};
+
+SteadyArm RunSteadyArm(const net::Topology& topo,
+                       const flow::DemandMatrix& base, bool force_full) {
+  const net::GroundTruthState state(topo);
+
+  controlplane::PipelineOptions opts;
+  opts.collector = bench::DefaultCollector();
+  opts.collector.agent.rate_jitter = 0.0;  // steady state: honest signals repeat
+  opts.infra.demand.measurement_noise = 0.0;  // aggregated demand repeats too
+  opts.controller.algorithm = controlplane::RoutingAlgorithm::kShortestPath;
+  opts.num_threads = 1;
+  opts.force_full = force_full;
+  controlplane::Pipeline pipeline(topo, opts, util::Rng(13));
+
+  core::ValidatorOptions vopts;
+  vopts.hardening.num_threads = 1;
+  const core::Validator validator(topo, vopts);
+  SteadyArm arm;
+  const auto inner = validator.AsDeltaPipelineValidator();
+  pipeline.SetDeltaValidator(
+      [&arm, inner](const controlplane::ControllerInput& input,
+                    const telemetry::NetworkSnapshot& snapshot,
+                    const telemetry::FrameDelta* delta) {
+        const Clock::time_point t0 = Clock::now();
+        auto decision = inner(input, snapshot, delta);
+        arm.validate_ms.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count());
+        return decision;
+      });
+  pipeline.Bootstrap(state, base);
+
+  const std::size_t links = topo.link_count();
+  const std::size_t perturbed = std::max<std::size_t>(1, links / 100);
+  for (int epoch = 0; epoch < kSteadyWarmup + kSteadyMeasured; ++epoch) {
+    // Same 1% window every epoch, epoch-varying factor: the changed-signal
+    // set is exactly these links' tx+rx columns, nothing reverts behind
+    // the window's back.
+    const telemetry::SnapshotMutator nudge =
+        [perturbed, epoch](telemetry::NetworkSnapshot& snap) {
+          telemetry::SignalFrame& frame = snap.frame();
+          const double factor = 1.0 + 0.001 * (epoch + 1);
+          for (std::size_t k = 0; k < perturbed; ++k) {
+            const net::LinkId e = static_cast<net::LinkId>(k);
+            const std::optional<double> tx = frame.TxRate(e);
+            if (!tx) continue;
+            const double v = *tx * factor;
+            frame.SetTxRate(e, v);
+            frame.SetRxRate(e, v);  // symmetric: R1 keeps agreeing
+          }
+        };
+    const auto r = pipeline.RunEpoch(state, base, nudge, {});
+    arm.digests.push_back(r.decision.provenance.CanonicalDigest());
+  }
+  arm.validate_ms.erase(arm.validate_ms.begin(),
+                        arm.validate_ms.begin() + kSteadyWarmup);
+  return arm;
+}
+
+struct SteadyStateResult {
+  double full_ms = 0.0;  // median validate+harden call, full recompute
+  double inc_ms = 0.0;   // same, incremental
+  double ratio = 0.0;
+  bool digests_match = false;
+  std::size_t perturbed_links = 0;
+  std::size_t total_links = 0;
+  // Incremental-arm skip counts per stage (out of warmup+measured epochs):
+  // how often each stage rode the cache instead of recomputing.
+  double skips_harden = 0.0;
+  double skips_demand = 0.0;
+  double skips_topology = 0.0;
+  double skips_drain = 0.0;
+
+  bool pass() const { return digests_match && ratio >= kSteadyMinRatio; }
+  std::string ToJson() const {
+    std::ostringstream os;
+    os << "{\"topology\":\"waxman400\",\"measured_epochs\":" << kSteadyMeasured
+       << ",\"perturbed_links_per_epoch\":" << perturbed_links
+       << ",\"total_links\":" << total_links
+       << ",\"full_validate_ms\":" << obs::JsonNumber(full_ms)
+       << ",\"incremental_validate_ms\":" << obs::JsonNumber(inc_ms)
+       << ",\"ratio\":" << obs::JsonNumber(ratio)
+       << ",\"min_ratio\":" << obs::JsonNumber(kSteadyMinRatio)
+       << ",\"digests_match\":" << (digests_match ? "true" : "false")
+       << ",\"hardware_threads\":" << std::thread::hardware_concurrency()
+       << "}";
+    return os.str();
+  }
+};
+
+SteadyStateResult MeasureSteadyState() {
+  util::Rng topo_rng(21);
+  const net::Topology topo = net::Waxman(400, topo_rng);
+  const flow::DemandMatrix base = BenchDemand(topo);
+
+  const auto skip_count = [](const char* stage) {
+    const obs::Counter* c = obs::MetricsRegistry::Global().FindCounter(
+        "hodor_incremental_skips_total", {{"stage", stage}});
+    return c ? c->value() : 0.0;
+  };
+
+  const SteadyArm full = RunSteadyArm(topo, base, /*force_full=*/true);
+  const double base_harden = skip_count("harden");
+  const double base_demand = skip_count("check-demand");
+  const double base_topology = skip_count("check-topology");
+  const double base_drain = skip_count("check-drain");
+  const SteadyArm inc = RunSteadyArm(topo, base, /*force_full=*/false);
+
+  SteadyStateResult r;
+  r.skips_harden = skip_count("harden") - base_harden;
+  r.skips_demand = skip_count("check-demand") - base_demand;
+  r.skips_topology = skip_count("check-topology") - base_topology;
+  r.skips_drain = skip_count("check-drain") - base_drain;
+  r.full_ms = MedianMs(full.validate_ms);
+  r.inc_ms = MedianMs(inc.validate_ms);
+  r.ratio = r.inc_ms > 0.0 ? r.full_ms / r.inc_ms : 0.0;
+  r.digests_match = full.digests == inc.digests;
+  r.total_links = topo.link_count();
+  r.perturbed_links = std::max<std::size_t>(1, r.total_links / 100);
+  return r;
+}
+
+void PrintSteadyState(const SteadyStateResult& r) {
+  util::TablePrinter table({"config", "validate+harden ms (median)", "ratio",
+                            "digests"});
+  table.AddRowValues("full recompute", util::FormatDouble(r.full_ms, 3), "-",
+                     "-");
+  table.AddRowValues("incremental", util::FormatDouble(r.inc_ms, 3),
+                     util::FormatDouble(r.ratio, 2) + "x",
+                     r.digests_match ? "match" : "DIVERGED");
+  std::cout << table.ToString();
+  std::cout << "incremental-arm cache hits (of "
+            << kSteadyWarmup + kSteadyMeasured << " epochs): harden "
+            << util::FormatDouble(r.skips_harden, 0) << ", demand "
+            << util::FormatDouble(r.skips_demand, 0) << ", topology "
+            << util::FormatDouble(r.skips_topology, 0) << ", drain "
+            << util::FormatDouble(r.skips_drain, 0) << "\n";
+  std::cout << "steady-state speedup " << util::FormatDouble(r.ratio, 2)
+            << "x (floor " << util::FormatDouble(kSteadyMinRatio, 0)
+            << "x): " << (r.ratio >= kSteadyMinRatio ? "PASS" : "FAIL")
+            << "; digests "
+            << (r.digests_match ? "bit-identical" : "DIVERGED") << "\n";
+}
+
+int RunSteadyStateGate() {
+  bench::PrintHeader(
+      "epoch_engine --steady-state",
+      "incremental validation payoff gate (DESIGN §12)",
+      "waxman400 seed=21 serial, zero noise, fixed demand, ~1% of links "
+      "nudged per epoch (tx==rx), " + std::to_string(kSteadyMeasured) +
+          " measured epochs after " + std::to_string(kSteadyWarmup) +
+          " warm-up; pass: median validate+harden >= " +
+          util::FormatDouble(kSteadyMinRatio, 0) +
+          "x faster incrementally and digest parity");
+  const SteadyStateResult r = MeasureSteadyState();
+  PrintSteadyState(r);
+  return r.pass() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -356,6 +550,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   bool trace_overhead = false;
   bool timeseries_overhead = false;
+  bool steady_state = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg.rfind("--trace-out=", 0) == 0) {
@@ -364,15 +559,19 @@ int main(int argc, char** argv) {
       trace_overhead = true;
     } else if (arg == "--timeseries-overhead") {
       timeseries_overhead = true;
+    } else if (arg == "--steady-state") {
+      steady_state = true;
     } else {
       std::cerr << "unknown flag: " << arg
                 << "\nusage: bench_epoch_engine [--trace-out=PATH] "
-                   "[--trace-overhead] [--timeseries-overhead]\n";
+                   "[--trace-overhead] [--timeseries-overhead] "
+                   "[--steady-state]\n";
       return 2;
     }
   }
   if (trace_overhead) return RunTraceOverheadGate();
   if (timeseries_overhead) return RunTimeseriesOverheadGate();
+  if (steady_state) return RunSteadyStateGate();
   const unsigned hardware_threads = std::thread::hardware_concurrency();
   const bool can_overlap = hardware_threads >= 2;
   bench::PrintHeader(
@@ -439,9 +638,17 @@ int main(int argc, char** argv) {
     }
     reports << "}";
   }
-  reports << ",{\"staged_threads\":" << StagedThreads()
-          << ",\"hardware_threads\":" << hardware_threads << "}]";
+  // The steady-state column (DESIGN §12): incremental vs full-recompute
+  // validate+harden at waxman400 with ~1% of links changing per epoch.
   std::cout << table.ToString();
+  std::cout << "\nsteady-state incremental validation (waxman400, ~1% of "
+               "links nudged per epoch):\n";
+  const SteadyStateResult steady = MeasureSteadyState();
+  PrintSteadyState(steady);
+  all_match = all_match && steady.digests_match;
+  reports << ",{\"staged_threads\":" << StagedThreads()
+          << ",\"hardware_threads\":" << hardware_threads
+          << ",\"steady_state\":" << steady.ToJson() << "}]";
   std::cout << "\ncritical-path improvement at n=400: "
             << util::FormatPercent(improvement_400, 1)
             << " (acceptance floor 20%)\n"

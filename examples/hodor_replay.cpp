@@ -51,12 +51,16 @@ int Usage() {
       "  record <log> [--topo=abilene|geant] [--epochs=N] [--seed=S]\n"
       "               [--fault-epoch=K]   record a fresh validated run\n"
       "  inspect <log>                    header + per-epoch verdicts\n"
-      "  replay <log> [--threads=N]       re-validate, expect zero divergence\n"
+      "  replay <log> [--threads=N] [--force-full]\n"
+      "                                  re-validate, expect zero divergence\n"
       "  diff <log> [--demand-tau=X] [--min-confidence=X]\n"
       "             [--no-demand] [--no-topology] [--no-drain] [--threads=N]\n"
-      "                                  re-validate under changed options\n"
+      "             [--force-full]      re-validate under changed options\n"
       "--threads=N runs hardening + the three checks over N workers; replay\n"
-      "must stay digest-clean at any N (the determinism gate).\n";
+      "must stay digest-clean at any N (the determinism gate).\n"
+      "--force-full (or HODOR_FORCE_FULL=1) disables the incremental\n"
+      "validation path; the default incremental replay must match the\n"
+      "recorded full-recompute digests bit for bit (the delta gate).\n";
   return 2;
 }
 
@@ -198,11 +202,15 @@ int RunReplay(const std::string& path, const std::vector<std::string>& flags,
       opts.validator.check_topology = false;
     } else if (f == "--no-drain") {
       opts.validator.check_drain = false;
+    } else if (f == "--force-full") {
+      opts.force_full = true;
     } else {
       std::cerr << "unknown flag: " << f << "\n";
       return Usage();
     }
   }
+  const char* force_env = std::getenv("HODOR_FORCE_FULL");
+  if (force_env != nullptr && force_env[0] == '1') opts.force_full = true;
 
   opts.validator.hardening.num_threads = static_cast<std::size_t>(threads);
 

@@ -265,7 +265,7 @@ int main(int argc, char** argv) {
 
     std::string verdict = p.decision.accept ? "accept" : "REJECT";
     if (p.used_fallback) verdict += " -> fallback";
-    if (!p.decision.accept && sample_rejection.invariants.empty()) {
+    if (!p.decision.accept && sample_rejection.Invariants().empty()) {
       sample_rejection = p.decision.provenance;
     }
     table.AddRowValues(epoch, buggy_rollout ? "demand rollout bug" : "-",
@@ -358,7 +358,7 @@ int main(int argc, char** argv) {
             << engine_opts.escalation_threshold << "):\n";
   for (const std::string& line : alert_log) std::cout << "  " << line << "\n";
 
-  if (!sample_rejection.invariants.empty()) {
+  if (!sample_rejection.Invariants().empty()) {
     std::cout << "\nSample decision provenance (first rejected epoch, "
               << sample_rejection.failed_count() << " of "
               << sample_rejection.evaluated_count()

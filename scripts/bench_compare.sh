@@ -6,7 +6,10 @@
 # the per-stage latency medians from the hodor_stage_duration_us span
 # histograms the run dumps, and fails (exit 1) if the median of any
 # hardening/validation stage regressed more than 25% against the
-# baseline committed at the repo root.
+# baseline committed at the repo root. Afterwards it runs the absolute
+# steady-state gate (bench_epoch_engine --steady-state): incremental
+# validation must stay >= 3x faster than full recompute with bit-identical
+# digests, baseline or no baseline.
 #
 #   scripts/bench_compare.sh            # full-length benchmark run
 #   scripts/bench_compare.sh --quick    # short run, for check_build --bench-smoke
@@ -14,7 +17,11 @@
 # The gate is deliberately coarse (histogram-bucket medians, generous
 # threshold): it exists to catch order-of-magnitude mistakes — an
 # accidentally quadratic loop, provenance in a hot path — not single-digit
-# percentage noise from a busy machine.
+# percentage noise from a busy machine. On shared hosts even the committed
+# baseline binary blows the threshold during a noisy window (CPU steal,
+# a sibling build), so a regression only fails the gate when it reproduces
+# on every one of HODOR_BENCH_ATTEMPTS (default 3) fresh runs; a real
+# regression is just as slow on the quiet runs.
 set -e
 cd "$(dirname "$0")/.."
 ROOT=$(pwd)
@@ -52,10 +59,16 @@ trap 'rm -rf "$TMP"' EXIT
 # The bench binary dumps the observability registry (including the stage
 # span histograms) to BENCH_overhead.json in its working directory at
 # exit; run it from a scratch dir so the committed baseline stays intact.
-(cd "$TMP" && "$ROOT/build/bench/bench_overhead" \
-    --benchmark_min_time="$MIN_TIME" >/dev/null)
+# A failing comparison re-runs the whole benchmark (fresh samples, not a
+# re-read of the same noisy ones) up to ATTEMPTS times before the gate
+# fails for real.
+ATTEMPTS="${HODOR_BENCH_ATTEMPTS:-3}"
+attempt=1
+while :; do
+  (cd "$TMP" && "$ROOT/build/bench/bench_overhead" \
+      --benchmark_min_time="$MIN_TIME" >/dev/null)
 
-python3 - "$BASELINE" "$TMP/BENCH_overhead.json" <<'EOF'
+  if python3 - "$BASELINE" "$TMP/BENCH_overhead.json" <<'EOF'
 import json
 import sys
 
@@ -139,3 +152,21 @@ if regressed:
     sys.exit(1)
 print("bench_compare: OK")
 EOF
+  then
+    break
+  fi
+  if [ "$attempt" -ge "$ATTEMPTS" ]; then
+    echo "bench_compare: FAIL — regression reproduced on all $ATTEMPTS runs."
+    exit 1
+  fi
+  attempt=$((attempt + 1))
+  echo "bench_compare: retrying with fresh samples ($attempt/$ATTEMPTS) —" \
+       "a real regression reproduces; host noise should not"
+  sleep 5
+done
+# --steady-state self-gates, exiting 1 when the steady-state speedup falls
+# below its 3x floor or the incremental digests diverge from the forced
+# full recompute. Unlike the stage medians above this needs no committed
+# baseline — the floor is absolute — so it runs in --quick mode too.
+cmake --build build -j --target bench_epoch_engine >/dev/null
+(cd "$TMP" && "$ROOT/build/bench/bench_epoch_engine" --steady-state)

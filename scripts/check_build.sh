@@ -28,7 +28,15 @@
 #      regresses the fastest waxman100 epoch by more than 3% or perturbs a
 #      digest, then a live_pipeline run must produce a Perfetto trace that
 #      parses as JSON with a non-empty traceEvents array.
-#   8. With --dashboard-gate: the validation-observatory gates (DESIGN
+#   8. With --delta-gate: the incremental-validation equivalence gates
+#      (DESIGN §12). delta_sweep runs every fault scenario at 1 and 4
+#      threads twice — incremental and HODOR_FORCE_FULL=1 — and the two
+#      digest streams must be byte-identical; then the golden Abilene log
+#      replays through the incremental path (fresh digests vs the recorded
+#      full-recompute digests) and again with --force-full. Any divergence
+#      fails: the delta is a work-avoidance hint, never a correctness
+#      input.
+#   9. With --dashboard-gate: the validation-observatory gates (DESIGN
 #      §11) — a headless live_pipeline run must serve /query JSON matching
 #      the documented schema at all three resolutions, /slo and /buildz
 #      must parse, and /dashboard must be one self-contained HTML page
@@ -189,6 +197,29 @@ EOF
   wait "$LP_PID" 2>/dev/null || true
   # Observatory sampling must fit the same <= 3% budget as the tracer.
   (cd "$TMP" && "$ROOT/build/bench/bench_epoch_engine" --timeseries-overhead)
+fi
+
+if [ "$1" = "--delta-gate" ]; then
+  echo "== delta gate (incremental vs full-recompute digest equivalence) =="
+  cmake --build build -j --target delta_sweep hodor_replay_cli
+  TMP=$(mktemp -d)
+  trap 'rm -rf "$TMP"' EXIT
+  echo "  delta_sweep: scenario catalog x {1,4} threads, incremental arm"
+  ./build/examples/delta_sweep > "$TMP/incremental.out"
+  echo "  delta_sweep: same sweep, HODOR_FORCE_FULL=1 control arm"
+  HODOR_FORCE_FULL=1 ./build/examples/delta_sweep > "$TMP/full.out"
+  if ! diff -u "$TMP/full.out" "$TMP/incremental.out"; then
+    echo "delta-gate: incremental digests diverged from full recompute"
+    exit 1
+  fi
+  LINES=$(wc -l < "$TMP/incremental.out")
+  echo "  delta_sweep: $LINES epoch digests identical"
+  for extra in "" "--force-full"; do
+    echo "  hodor_replay replay --threads=4 $extra"
+    # shellcheck disable=SC2086  # $extra is intentionally word-split
+    ./build/examples/hodor_replay replay tests/data/golden_abilene.hlog \
+      --threads=4 $extra
+  done
 fi
 
 if [ "$1" = "--replay-gate" ]; then

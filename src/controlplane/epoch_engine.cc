@@ -1,6 +1,7 @@
 #include "controlplane/epoch_engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "util/logging.h"
 #include "util/status.h"
@@ -13,6 +14,10 @@ namespace {
 // the collector unless its options name their own.
 PipelineOptions PropagateObs(PipelineOptions opts) {
   if (!opts.collector.metrics) opts.collector.metrics = opts.metrics;
+  // HODOR_FORCE_FULL=1: operator escape hatch disabling the incremental
+  // validation path without a rebuild (pipeline.h).
+  const char* force = std::getenv("HODOR_FORCE_FULL");
+  if (force != nullptr && force[0] == '1') opts.force_full = true;
   return opts;
 }
 
@@ -56,6 +61,7 @@ EpochEngine::EpochEngine(const net::Topology& topo, PipelineOptions opts,
       rng_(rng),
       collector_(topo, opts_.collector),
       controller_(topo, opts_.controller),
+      prev_snapshot_(topo, 0),
       free_(kSinkBuffers),
       ready_(kSinkBuffers) {
   if (opts_.num_threads > 1) {
@@ -115,6 +121,13 @@ void EpochEngine::Bootstrap(const net::GroundTruthState& state,
 
 void EpochEngine::SetValidator(InputValidatorFn validator) {
   validator_ = std::move(validator);
+  delta_validator_ = nullptr;
+}
+
+void EpochEngine::SetDeltaValidator(DeltaInputValidatorFn validator) {
+  delta_validator_ = std::move(validator);
+  validator_ = nullptr;
+  have_prev_snapshot_ = false;
 }
 
 void EpochEngine::AddEpochSink(EpochSinkFn sink) {
@@ -387,6 +400,29 @@ void EpochEngine::StageCollect(StageContext& ctx) {
                       opts_.trace);
   collector_.CollectInto(*ctx.state, ctx.st->measured, ctx.epoch, rng_,
                          ctx.st->result.snapshot, *ctx.fault, pool_.get());
+  if (delta_validator_) {
+    // Delta epoch bookkeeping (DESIGN.md §12). Full-recompute triggers:
+    // no previous epoch yet, a sticky fault stamp (ground truth says the
+    // world shifted in ways telemetry may only partially reflect), or the
+    // operator escape hatch. The per-epoch inferred fault hooks do NOT
+    // force full: the diff is exact under injected faults, which is
+    // precisely what the delta gate's fault sweep exercises.
+    if (!have_prev_snapshot_ || fault_stamp_.has_value() ||
+        opts_.force_full) {
+      frame_delta_.full = true;
+    } else {
+      ctx.st->result.snapshot.DiffAgainst(prev_snapshot_, frame_delta_);
+    }
+    prev_snapshot_ = ctx.st->result.snapshot;  // copy reuses buffers
+    have_prev_snapshot_ = true;
+    obs::ResolveRegistry(opts_.metrics)
+        .GetGauge("hodor_dirty_signals", {},
+                  "Signals changed since the previous epoch's snapshot "
+                  "(full recompute epochs report every present signal)")
+        .Set(static_cast<double>(
+            frame_delta_.full ? ctx.st->result.snapshot.PresentSignalCount()
+                              : frame_delta_.ChangedSignalCount()));
+  }
   ctx.st->result.spans.push_back(span.End());
 }
 
@@ -406,11 +442,14 @@ void EpochEngine::StageAggregate(StageContext& ctx) {
 void EpochEngine::StageValidate(StageContext& ctx) {
   EpochResult& result = ctx.st->result;
   ctx.st->chosen = &result.raw_input;
-  if (!validator_) return;
+  if (!validator_ && !delta_validator_) return;
   obs::StageSpan span(obs::Stage::kValidate, ctx.epoch, opts_.metrics,
                       opts_.trace);
   result.validated = true;
-  result.decision = validator_(result.raw_input, result.snapshot);
+  result.decision =
+      delta_validator_
+          ? delta_validator_(result.raw_input, result.snapshot, &frame_delta_)
+          : validator_(result.raw_input, result.snapshot);
   result.spans.push_back(span.End());
   if (!result.decision.accept) {
     HODOR_LOG(kWarning) << "epoch " << ctx.epoch

@@ -128,6 +128,7 @@ class EpochEngine {
                  const flow::DemandMatrix& true_demand);
 
   void SetValidator(InputValidatorFn validator);
+  void SetDeltaValidator(DeltaInputValidatorFn validator);
   void AddEpochSink(EpochSinkFn sink);
   // Deprecated-slot management for Pipeline::SetEpochObserver/Recorder:
   // slot 0 = observer, slot 1 = recorder, invoked in slot order before the
@@ -191,6 +192,16 @@ class EpochEngine {
   telemetry::Collector collector_;
   SdnController controller_;
   InputValidatorFn validator_;
+  DeltaInputValidatorFn delta_validator_;
+
+  // Incremental-validation state (DESIGN.md §12): the engine's private
+  // copy of the previous epoch's collected snapshot (the other EpochState
+  // buffer may be in the sink thread's hands, so diffing against it would
+  // race), the delta scratch handed to the validator, and whether a
+  // previous epoch exists to diff against. Control-thread-only.
+  telemetry::NetworkSnapshot prev_snapshot_;
+  telemetry::FrameDelta frame_delta_;
+  bool have_prev_snapshot_ = false;
   // Deprecated observer/recorder slots, then the unified sink list.
   std::array<EpochSinkFn, 2> slot_sinks_;
   std::vector<EpochSinkFn> sinks_;

@@ -24,6 +24,10 @@ void Pipeline::SetValidator(InputValidatorFn validator) {
   engine_->SetValidator(std::move(validator));
 }
 
+void Pipeline::SetDeltaValidator(DeltaInputValidatorFn validator) {
+  engine_->SetDeltaValidator(std::move(validator));
+}
+
 void Pipeline::AddEpochSink(EpochSinkFn sink) {
   engine_->AddEpochSink(std::move(sink));
 }

@@ -59,6 +59,17 @@ struct ValidationDecision {
 using InputValidatorFn = std::function<ValidationDecision(
     const ControllerInput&, const telemetry::NetworkSnapshot&)>;
 
+// Delta-aware validator callback (DESIGN.md §12): additionally receives
+// the exact changed-signal set between this epoch's snapshot and the
+// previous one, or nullptr / a delta with full=true when no incremental
+// basis exists (first epoch, fault stamp set, HODOR_FORCE_FULL, topology
+// change). Implementations must produce decisions bit-identical to a full
+// recompute regardless of the delta — it is a work-avoidance hint, never a
+// correctness input.
+using DeltaInputValidatorFn = std::function<ValidationDecision(
+    const ControllerInput&, const telemetry::NetworkSnapshot&,
+    const telemetry::FrameDelta*)>;
+
 struct EpochResult;
 
 // Epoch sink: invoked with every completed EpochResult. Sinks are the
@@ -94,6 +105,13 @@ struct PipelineOptions {
   // follow core::ValidatorOptions::hardening.num_threads). 1 = fully
   // serial. Any value produces bit-identical results — see DESIGN §9.
   std::size_t num_threads = 1;
+
+  // Escape hatch for the incremental validation path: when true, every
+  // epoch hands the delta validator a full=true delta, forcing the full
+  // recompute (the incremental path's A/B and safety switch). Also
+  // settable without a rebuild via the HODOR_FORCE_FULL=1 environment
+  // variable, read once at pipeline construction.
+  bool force_full = false;
 
   // When true, epoch sinks run on a dedicated sink thread fed by a small
   // bounded queue (double-buffered EpochState; backpressure blocks, never
@@ -167,6 +185,15 @@ class Pipeline {
                  const flow::DemandMatrix& true_demand);
 
   void SetValidator(InputValidatorFn validator);
+
+  // Installs a delta-aware validator (core::Validator::
+  // AsDeltaPipelineValidator). The engine then tracks the previous epoch's
+  // snapshot, computes the per-epoch FrameDelta after collection, and
+  // passes it through — forcing full=true on the first epoch, while a
+  // fault stamp is set, and under PipelineOptions::force_full /
+  // HODOR_FORCE_FULL=1. Mutually exclusive with SetValidator (the last
+  // call wins).
+  void SetDeltaValidator(DeltaInputValidatorFn validator);
 
   // Subscribes a sink to every future epoch (see EpochSinkFn). Sinks are
   // invoked in subscription order, after any observer/recorder installed

@@ -140,7 +140,7 @@ AlertSeverity Escalate(AlertSeverity s) {
 std::vector<Alert> AlertsFromProvenance(const obs::DecisionRecord& record,
                                         const AlertOptions& opts) {
   std::vector<Alert> alerts;
-  for (const obs::InvariantRecord& rec : record.invariants) {
+  for (const obs::InvariantRecord& rec : record.Invariants()) {
     const bool hardening = rec.check == "hardening";
     Alert alert;
     alert.source = SourceForCheck(rec.check);

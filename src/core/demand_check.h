@@ -74,6 +74,13 @@ struct DemandCheckOptions {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
+// Declared input columns (DESIGN.md §12): on the hardened side the check
+// reads only the node scalars (ext_in for ingress, ext_out for egress,
+// dropped for the loss gauge); on the controller-input side only the
+// demand matrix. When both are unchanged between epochs the incremental
+// validator replays the prior verdict instead of re-evaluating.
+inline constexpr HardenedFacets kDemandCheckFacets{.scalars = true};
+
 // When `provenance` is given, one InvariantRecord per ingress/egress
 // invariant (evaluated or skipped) is appended — the paper's 2·|V| demand
 // invariants, each with its residual and τ_e.

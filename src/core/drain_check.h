@@ -55,6 +55,13 @@ struct DrainCheckResult {
   bool ok() const { return violations.empty(); }
 };
 
+// Declared input columns (DESIGN.md §12): the check reads the hardened
+// drain facet (node drains with their liveness verdicts, link drains and
+// their disagreement flags) and the node/link drain sets of the
+// controller input. Clean on both → the incremental validator replays the
+// prior verdict.
+inline constexpr HardenedFacets kDrainCheckFacets{.drains = true};
+
 // `metrics` (nullptr → the process-global registry) receives check
 // counters; `provenance` (optional) one InvariantRecord per drain signal
 // compared. Drain invariants are boolean, so residual is a 0/1 mismatch

@@ -95,4 +95,35 @@ struct HardenedState {
   std::string Summary() const;
 };
 
+// Which facets of the hardened state changed between two consecutive
+// epochs, as computed by the incremental hardening path (DESIGN.md §12).
+// The flags are exact: a facet reads clean only when every one of its
+// entries is bit-identical to the prior epoch's. `incremental == false` is
+// the full-recompute state — nothing is known about what moved, so every
+// facet conservatively reads as changed (the default).
+struct HardenDelta {
+  bool incremental = false;
+  bool rates_changed = true;    // any HardenedRate entry differs
+  bool links_changed = true;    // any fused HardenedLinkState differs
+  bool drains_changed = true;   // node drains, link drains, or disagreements
+  bool scalars_changed = true;  // ext_in / ext_out / dropped
+};
+
+// A check's declared hardened-input facets: each of demand/topology/drain
+// names the slices of HardenedState it reads, and the incremental
+// validator replays the check's prior verdict when all of them are clean
+// (and the check's controller-input slice is bit-identical).
+struct HardenedFacets {
+  bool rates = false;
+  bool links = false;
+  bool drains = false;
+  bool scalars = false;
+
+  bool CleanUnder(const HardenDelta& d) const {
+    if (!d.incremental) return false;
+    return !(rates && d.rates_changed) && !(links && d.links_changed) &&
+           !(drains && d.drains_changed) && !(scalars && d.scalars_changed);
+  }
+};
+
 }  // namespace hodor::core

@@ -1,6 +1,7 @@
 #include "core/hardening.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <optional>
 #include <sstream>
@@ -21,6 +22,7 @@ using net::LinkId;
 using net::NodeId;
 using net::Topology;
 using telemetry::NetworkSnapshot;
+using telemetry::PresenceBitset;
 
 // Flow-conservation bookkeeping at one router:
 //   (Σ_in rates + ext_in)  vs  (Σ_out rates + dropped + ext_out).
@@ -67,6 +69,225 @@ ConservationCheck CheckConservation(const Topology& topo,
   return out;
 }
 
+// --- single-entity kernels shared by the full and incremental paths --------
+//
+// Each of these is the exact per-entity body the full path's sharded scans
+// execute, extracted so the incremental path re-runs the identical
+// floating-point operations on just the touched entities. Bit-identity
+// between the two paths rests on this sharing.
+
+// The R1 verdict for one link pair: agreeing within τ_h → averaged value;
+// anything else → flagged unknown (paper §4.1).
+HardenedRate R1Outcome(const HardeningOptions& opts,
+                       const std::optional<double>& tx,
+                       const std::optional<double>& rx) {
+  HardenedRate r;
+  if (tx && rx && util::WithinRelativeTolerance(*tx, *rx, opts.tau_h)) {
+    r.value = (*tx + *rx) / 2.0;
+    r.origin = RateOrigin::kAgreeing;
+  } else {
+    r.flagged = true;
+    r.origin = RateOrigin::kUnknown;
+  }
+  return r;
+}
+
+// Confidence scoring for one hardened rate (R3/R4's role in the repair
+// process): agreeing pairs are fully trusted; inferred values start lower
+// and gain from each independent corroborating signal.
+void ScoreRate(const HardeningOptions& opts, const NetworkSnapshot& snapshot,
+               LinkId e, HardenedRate& r) {
+  switch (r.origin) {
+    case RateOrigin::kAgreeing:
+      r.confidence = 1.0;
+      break;
+    case RateOrigin::kRepaired:
+    case RateOrigin::kSingleWitness: {
+      double c = r.origin == RateOrigin::kRepaired ? 0.7 : 0.5;
+      const bool active = r.value && *r.value > opts.activity_floor;
+      const auto probe = snapshot.ProbeSucceeded(e);
+      // A successful probe corroborates a positive inferred rate; a
+      // failed probe corroborates an inferred-idle link.
+      if (probe && *probe == active) c += 0.15;
+      const auto status = snapshot.StatusAtSrc(e);
+      if (status && (*status == telemetry::LinkStatus::kUp) == active) {
+        c += 0.1;
+      }
+      r.confidence = std::min(1.0, c);
+      break;
+    }
+    case RateOrigin::kUnknown:
+      r.confidence = 0.0;
+      break;
+  }
+}
+
+// Link-state fusion for one physical link; `e` must be the canonical
+// direction (e < reverse). Writes both direction slots.
+void FuseLinkPair(const HardeningOptions& opts, const NetworkSnapshot& snapshot,
+                  HardenedState& out, LinkId e) {
+  const Topology& topo = snapshot.topology();
+  const net::Link& l = topo.link(e);
+
+  double up_evidence = 0.0;
+  double down_evidence = 0.0;
+
+  // R1: the two ends' status reports.
+  const auto s_src = snapshot.StatusAtSrc(e);
+  const auto s_dst = snapshot.StatusAtDst(e);
+  for (const auto& s : {s_src, s_dst}) {
+    if (!s) continue;
+    (*s == telemetry::LinkStatus::kUp ? up_evidence : down_evidence) +=
+        opts.status_weight;
+  }
+  const bool disagreement = s_src && s_dst && *s_src != *s_dst;
+
+  // R3: alternative signals — hardened rates. Traffic flowing is strong
+  // evidence the link is up; both directions idle is weak down-evidence
+  // (an up link may simply be unused).
+  if (opts.use_alternative_signals) {
+    bool any_active = false;
+    bool all_known_idle = true;
+    for (LinkId dir : {e, l.reverse}) {
+      const auto& r = out.rates[dir.value()];
+      if (!r.value) {
+        all_known_idle = false;
+        continue;
+      }
+      if (*r.value > opts.activity_floor) {
+        any_active = true;
+        all_known_idle = false;
+      }
+    }
+    if (any_active) up_evidence += opts.rate_weight;
+    else if (all_known_idle) down_evidence += 0.5 * opts.rate_weight;
+  }
+
+  // R4: manufactured signals — active probes exercise the dataplane.
+  if (opts.use_probes) {
+    for (LinkId dir : {e, l.reverse}) {
+      const auto p = snapshot.ProbeSucceeded(dir);
+      if (!p) continue;
+      (*p ? up_evidence : down_evidence) += opts.probe_weight;
+    }
+  }
+
+  HardenedLinkState verdict;
+  verdict.status_disagreement = disagreement;
+  const double total = up_evidence + down_evidence;
+  if (total <= 0.0 || up_evidence == down_evidence) {
+    verdict.verdict = LinkVerdict::kUnknown;
+    verdict.confidence = 0.0;
+  } else if (up_evidence > down_evidence) {
+    verdict.verdict = LinkVerdict::kUp;
+    verdict.confidence = up_evidence / total;
+  } else {
+    verdict.verdict = LinkVerdict::kDown;
+    verdict.confidence = down_evidence / total;
+  }
+  out.links[e.value()] = verdict;
+  out.links[l.reverse.value()] = verdict;
+}
+
+// Drain fusion for one router (§4.3 cases 1 and 2).
+void FuseNodeDrain(const HardeningOptions& opts,
+                   const NetworkSnapshot& snapshot, HardenedState& out,
+                   NodeId v) {
+  const Topology& topo = snapshot.topology();
+  HardenedDrain d;
+  d.node_drained = snapshot.NodeDrained(v);
+
+  bool carrying = false;
+  bool any_up_status = false;
+  bool any_probe = false;
+  bool any_probe_ok = false;
+  auto consider = [&](LinkId e) {
+    const auto& r = out.rates[e.value()];
+    if (r.value && *r.value > opts.activity_floor) carrying = true;
+    const auto s = snapshot.StatusAtSrc(e);
+    if (s && *s == telemetry::LinkStatus::kUp) any_up_status = true;
+    const auto p = snapshot.ProbeSucceeded(e);
+    if (p) {
+      any_probe = true;
+      if (*p) any_probe_ok = true;
+    }
+  };
+  for (LinkId e : topo.OutLinks(v)) consider(e);
+  for (LinkId e : topo.InLinks(v)) consider(e);
+
+  // §4.3 case 1: not marked drained, yet nothing gets through —
+  // statuses are up while every probe fails and no counter moves.
+  d.undrained_but_dead = !d.node_drained.value_or(false) && !carrying &&
+                         any_up_status && any_probe && !any_probe_ok;
+  // §4.3 case 2: marked drained but traffic is clearly flowing.
+  d.drained_but_active = d.node_drained.value_or(false) && carrying;
+  out.drains[v.value()] = d;
+}
+
+// Link-drain fusion for one directed link.
+void FuseLinkDrain(const NetworkSnapshot& snapshot, HardenedState& out,
+                   LinkId e) {
+  const std::size_t i = e.value();
+  const auto d1 = snapshot.LinkDrainAtSrc(e);
+  const auto d2 = snapshot.LinkDrainAtDst(e);
+  if (!d1 && !d2) {
+    out.link_drained[i] = std::nullopt;
+    out.link_drain_disagreement[i] = false;
+    return;
+  }
+  out.link_drained[i] = d1.value_or(false) || d2.value_or(false);
+  // Link drains carry natural symmetry (§4.3): both ends must agree.
+  out.link_drain_disagreement[i] = d1 && d2 && *d1 != *d2;
+}
+
+// --- bit-identity comparators ----------------------------------------------
+//
+// The incremental path's change summaries must be exact under the canonical
+// digest's %.17g rendering, so doubles compare as bit patterns (-0.0 vs
+// +0.0 would otherwise slip through).
+
+bool SameBits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+bool SameBits(const std::optional<double>& a, const std::optional<double>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  return !a || SameBits(*a, *b);
+}
+bool RateValueEqual(const HardenedRate& a, const HardenedRate& b) {
+  return SameBits(a.value, b.value);
+}
+bool RateEntryEqual(const HardenedRate& a, const HardenedRate& b) {
+  return SameBits(a.value, b.value) && a.origin == b.origin &&
+         a.flagged == b.flagged &&
+         SameBits(a.rejected_value, b.rejected_value) &&
+         SameBits(a.confidence, b.confidence);
+}
+bool LinkStateEqual(const HardenedLinkState& a, const HardenedLinkState& b) {
+  return a.verdict == b.verdict && SameBits(a.confidence, b.confidence) &&
+         a.status_disagreement == b.status_disagreement;
+}
+bool DrainEqual(const HardenedDrain& a, const HardenedDrain& b) {
+  return a.node_drained == b.node_drained &&
+         a.undrained_but_dead == b.undrained_but_dead &&
+         a.drained_but_active == b.drained_but_active;
+}
+
+// Iterates the set bits of the word-wise union of equally sized bitsets.
+template <typename Fn>
+void ForEachUnionBit(std::initializer_list<const PresenceBitset*> sets,
+                     Fn&& fn) {
+  const std::size_t words = (*sets.begin())->words().size();
+  for (std::size_t wi = 0; wi < words; ++wi) {
+    std::uint64_t w = 0;
+    for (const PresenceBitset* s : sets) w |= s->words()[wi];
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      w &= w - 1;
+      fn((wi << 6) + static_cast<std::size_t>(b));
+    }
+  }
+}
+
 }  // namespace
 
 std::string HardenedState::Summary() const {
@@ -83,7 +304,11 @@ std::string HardenedState::Summary() const {
 // shards being contiguous ranges — reproduces the serial iteration order
 // exactly, including floating-point accumulation order.
 struct HardeningEngine::Workspace {
-  // R1 candidate columns, one slot per directed link.
+  // R1 candidate columns, one slot per directed link. After every
+  // HardenInto these hold the *current* epoch's candidates: the full path
+  // reassigns them wholesale, the incremental path patches the changed
+  // slots — so the next incremental run can rebuild exact post-R1 state
+  // for any link without another snapshot pass.
   std::vector<std::optional<double>> tx;
   std::vector<std::optional<double>> rx;
 
@@ -105,6 +330,24 @@ struct HardeningEngine::Workspace {
 
   // Repair (c): unknown-column index, one slot per directed link.
   std::vector<std::size_t> column_of;
+
+  // --- delta cache (DESIGN.md §12) -----------------------------------------
+  // The prior epoch's final hardened state, the anchor the incremental
+  // path starts from. Valid only when `epoch`/`topo` line up with the
+  // incoming FrameDelta; anything else falls back to the full path.
+  struct DeltaCache {
+    bool valid = false;
+    std::uint64_t epoch = 0;
+    const Topology* topo = nullptr;
+    HardenedState prev;
+  };
+  DeltaCache cache;
+
+  // Incremental-path scratch bitsets (sized per topology, reused).
+  PresenceBitset rate_value_changed;  // final rate value bits moved
+  PresenceBitset pair_touched;        // canonical link ids to re-fuse
+  PresenceBitset node_touched;        // nodes whose drain fusion re-runs
+  PresenceBitset ld_touched;          // directed links whose drain re-fuses
 };
 
 HardeningEngine::HardeningEngine(HardeningOptions opts)
@@ -142,8 +385,82 @@ HardenedState HardeningEngine::Harden(const NetworkSnapshot& snapshot) const {
 
 void HardeningEngine::HardenInto(const NetworkSnapshot& snapshot,
                                  HardenedState& out) const {
+  HardenInto(snapshot, out, nullptr, nullptr);
+}
+
+void HardeningEngine::HardenInto(const NetworkSnapshot& snapshot,
+                                 HardenedState& out,
+                                 const telemetry::FrameDelta* delta,
+                                 HardenDelta* harden_delta) const {
   obs::StageSpan span(obs::Stage::kHarden, snapshot.epoch(), opts_.metrics,
                       opts_.trace);
+  const Topology& topo = snapshot.topology();
+  Workspace& ws = *ws_;
+
+  HardenDelta hd;  // defaults: full recompute, everything changed
+  const bool incremental = delta != nullptr && !delta->full &&
+                           ws.cache.valid && ws.cache.topo == &topo &&
+                           ws.cache.epoch == delta->base_epoch &&
+                           delta->target_epoch == snapshot.epoch();
+  if (incremental) {
+    HardenIncremental(snapshot, *delta, out, hd);
+  } else {
+    HardenFull(snapshot, out);
+  }
+
+  for (auto& c :
+       {&out.flagged_rate_count, &out.repaired_rate_count,
+        &out.unknown_rate_count, &out.status_disagreement_count}) {
+    *c = 0;
+  }
+  for (const HardenedRate& r : out.rates) {
+    if (r.flagged) ++out.flagged_rate_count;
+    if (r.origin == RateOrigin::kRepaired) ++out.repaired_rate_count;
+    if (!r.value) ++out.unknown_rate_count;
+  }
+  for (std::size_t e = 0; e < out.links.size(); ++e) {
+    if (out.links[e].status_disagreement &&
+        e < topo.link(LinkId(static_cast<std::uint32_t>(e))).reverse.value()) {
+      ++out.status_disagreement_count;  // count each physical link once
+    }
+  }
+
+  // Prime the cache for the next epoch's delta (both paths: a full run is
+  // just as good an anchor as an incremental one).
+  ws.cache.prev = out;
+  ws.cache.epoch = snapshot.epoch();
+  ws.cache.topo = &topo;
+  ws.cache.valid = true;
+
+  if (harden_delta) *harden_delta = hd;
+
+  obs::MetricsRegistry& reg = obs::ResolveRegistry(opts_.metrics);
+  reg.GetCounter("hodor_hardening_runs_total", {}, "Snapshots hardened")
+      .Increment();
+  if (hd.incremental) {
+    reg.GetCounter("hodor_hardening_incremental_runs_total", {},
+                   "Hardening runs served by the incremental path")
+        .Increment();
+    reg.GetCounter("hodor_incremental_skips_total", {{"stage", "harden"}},
+                   "Stage evaluations served by the incremental path")
+        .Increment();
+  }
+  reg.GetCounter("hodor_hardening_flagged_rates_total", {},
+                 "Rate pairs flagged by R1 link symmetry")
+      .Increment(static_cast<double>(out.flagged_rate_count));
+  reg.GetCounter("hodor_hardening_repaired_rates_total", {},
+                 "Rates recovered via R2 flow conservation")
+      .Increment(static_cast<double>(out.repaired_rate_count));
+  reg.GetCounter("hodor_hardening_unknown_rates_total", {},
+                 "Rates left unrecoverable after R1-R4")
+      .Increment(static_cast<double>(out.unknown_rate_count));
+  reg.GetCounter("hodor_hardening_status_disagreements_total", {},
+                 "Physical links whose two status reports disagreed")
+      .Increment(static_cast<double>(out.status_disagreement_count));
+}
+
+void HardeningEngine::HardenFull(const NetworkSnapshot& snapshot,
+                                 HardenedState& out) const {
   const Topology& topo = snapshot.topology();
   const std::size_t links = topo.link_count();
   const std::size_t nodes = topo.node_count();
@@ -155,10 +472,6 @@ void HardeningEngine::HardenInto(const NetworkSnapshot& snapshot,
   out.ext_out.assign(nodes, std::nullopt);
   out.dropped.assign(nodes, std::nullopt);
   out.drains.assign(nodes, HardenedDrain{});
-  out.flagged_rate_count = 0;
-  out.repaired_rate_count = 0;
-  out.unknown_rate_count = 0;
-  out.status_disagreement_count = 0;
 
   // Node-scalar signals are single-sourced; hardened value == reported value
   // (when the router answered). Their trustworthiness comes from being used
@@ -174,70 +487,199 @@ void HardeningEngine::HardenInto(const NetworkSnapshot& snapshot,
   HardenRates(snapshot, out);
   HardenLinkStates(snapshot, out);
   HardenDrains(snapshot, out);
+  ScoreRateConfidence(snapshot, out);
+}
 
-  // Confidence scoring (R3/R4's role in the repair process): agreeing
-  // pairs are fully trusted; inferred values start lower and gain from
-  // each independent corroborating signal. Each link scores alone, so the
-  // scan shards freely.
-  util::ParallelFor(pool(), links, [&](std::size_t begin, std::size_t end,
-                                       std::size_t) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const LinkId e(static_cast<std::uint32_t>(i));
-      HardenedRate& r = out.rates[i];
-      switch (r.origin) {
-        case RateOrigin::kAgreeing:
-          r.confidence = 1.0;
-          break;
-        case RateOrigin::kRepaired:
-        case RateOrigin::kSingleWitness: {
-          double c = r.origin == RateOrigin::kRepaired ? 0.7 : 0.5;
-          const bool active = r.value && *r.value > opts_.activity_floor;
-          const auto probe = snapshot.ProbeSucceeded(e);
-          // A successful probe corroborates a positive inferred rate; a
-          // failed probe corroborates an inferred-idle link.
-          if (probe && *probe == active) c += 0.15;
-          const auto status = snapshot.StatusAtSrc(e);
-          if (status &&
-              (*status == telemetry::LinkStatus::kUp) == active) {
-            c += 0.1;
-          }
-          r.confidence = std::min(1.0, c);
-          break;
-        }
-        case RateOrigin::kUnknown:
-          r.confidence = 0.0;
-          break;
-      }
+void HardeningEngine::HardenIncremental(const NetworkSnapshot& snapshot,
+                                        const telemetry::FrameDelta& delta,
+                                        HardenedState& out,
+                                        HardenDelta& hd) const {
+  const Topology& topo = snapshot.topology();
+  const std::size_t links = topo.link_count();
+  const std::size_t nodes = topo.node_count();
+  Workspace& ws = *ws_;
+  const HardenedState& prev = ws.cache.prev;
+  out = prev;  // start from last epoch's verdicts; redo only what moved
+
+  hd.incremental = true;
+  hd.rates_changed = false;
+  hd.links_changed = false;
+  hd.drains_changed = false;
+  hd.scalars_changed = false;
+
+  // --- node scalars (single-sourced: hardened == reported) -----------------
+  // The frame delta is exact, so every set bit is a real change.
+  auto apply_scalars = [&](const PresenceBitset& changed, auto read,
+                           std::vector<std::optional<double>>& col) {
+    telemetry::ForEachSetBit(changed, [&](std::size_t i) {
+      col[i] = read(NodeId(static_cast<std::uint32_t>(i)));
+      hd.scalars_changed = true;
+    });
+  };
+  apply_scalars(delta.ext_in,
+                [&](NodeId v) { return snapshot.ExtInRate(v); }, out.ext_in);
+  apply_scalars(delta.ext_out,
+                [&](NodeId v) { return snapshot.ExtOutRate(v); }, out.ext_out);
+  apply_scalars(delta.dropped,
+                [&](NodeId v) { return snapshot.DroppedRate(v); }, out.dropped);
+
+  // --- R1 rescan over changed link pairs ------------------------------------
+  // prev.rates[i].flagged marks last epoch's repair working set F (R1
+  // leaves exactly the non-agreeing pairs flagged; repairs never clear the
+  // flag). Every repair equation reads only F's candidates, the rates of
+  // links incident to F's endpoint routers N(F), and N(F)'s scalars — so
+  // repairs can be skipped wholesale when none of those inputs moved and F
+  // itself is unchanged, with every F link keeping its prior verdict.
+  auto node_adjacent_to_F = [&](NodeId v) {
+    for (LinkId e : topo.OutLinks(v)) {
+      if (prev.rates[e.value()].flagged) return true;
     }
+    for (LinkId e : topo.InLinks(v)) {
+      if (prev.rates[e.value()].flagged) return true;
+    }
+    return false;
+  };
+
+  ws.rate_value_changed.Resize(links);
+  bool repairs_dirty = false;
+  ForEachUnionBit({&delta.tx, &delta.rx}, [&](std::size_t i) {
+    const LinkId e(static_cast<std::uint32_t>(i));
+    ws.tx[i] = snapshot.TxRate(e);
+    ws.rx[i] = snapshot.RxRate(e);
+    HardenedRate nr = R1Outcome(opts_, ws.tx[i], ws.rx[i]);
+    if (nr.flagged || prev.rates[i].flagged) {
+      // The link enters, leaves, or moves within the repair working set:
+      // repair outcomes may differ, so the repair chain must re-run.
+      repairs_dirty = true;
+      return;  // rates rebuilt wholesale on the repair path below
+    }
+    // Agreeing in both epochs: the final value is the R1 average and the
+    // confidence pass pins it at 1.0.
+    nr.confidence = 1.0;
+    if (!RateValueEqual(nr, prev.rates[i])) ws.rate_value_changed.Set(i);
+    if (!RateEntryEqual(nr, prev.rates[i])) hd.rates_changed = true;
+    out.rates[i] = nr;
   });
 
-  for (const HardenedRate& r : out.rates) {
-    if (r.flagged) ++out.flagged_rate_count;
-    if (r.origin == RateOrigin::kRepaired) ++out.repaired_rate_count;
-    if (!r.value) ++out.unknown_rate_count;
-  }
-  for (std::size_t e = 0; e < out.links.size(); ++e) {
-    if (out.links[e].status_disagreement &&
-        e < topo.link(LinkId(static_cast<std::uint32_t>(e))).reverse.value()) {
-      ++out.status_disagreement_count;  // count each physical link once
-    }
+  if (!repairs_dirty && prev.flagged_rate_count > 0) {
+    // F unchanged and its candidates untouched — but repairs also read the
+    // neighbourhood: conservation at N(F) routers uses every incident link
+    // rate and the routers' own scalars.
+    telemetry::ForEachSetBit(ws.rate_value_changed, [&](std::size_t i) {
+      const net::Link& l = topo.link(LinkId(static_cast<std::uint32_t>(i)));
+      if (node_adjacent_to_F(l.src) || node_adjacent_to_F(l.dst)) {
+        repairs_dirty = true;
+      }
+    });
+    auto scalar_near_F = [&](const PresenceBitset& changed) {
+      telemetry::ForEachSetBit(changed, [&](std::size_t i) {
+        if (node_adjacent_to_F(NodeId(static_cast<std::uint32_t>(i)))) {
+          repairs_dirty = true;
+        }
+      });
+    };
+    scalar_near_F(delta.ext_in);
+    scalar_near_F(delta.ext_out);
+    scalar_near_F(delta.dropped);
   }
 
-  obs::MetricsRegistry& reg = obs::ResolveRegistry(opts_.metrics);
-  reg.GetCounter("hodor_hardening_runs_total", {}, "Snapshots hardened")
-      .Increment();
-  reg.GetCounter("hodor_hardening_flagged_rates_total", {},
-                 "Rate pairs flagged by R1 link symmetry")
-      .Increment(static_cast<double>(out.flagged_rate_count));
-  reg.GetCounter("hodor_hardening_repaired_rates_total", {},
-                 "Rates recovered via R2 flow conservation")
-      .Increment(static_cast<double>(out.repaired_rate_count));
-  reg.GetCounter("hodor_hardening_unknown_rates_total", {},
-                 "Rates left unrecoverable after R1-R4")
-      .Increment(static_cast<double>(out.unknown_rate_count));
-  reg.GetCounter("hodor_hardening_status_disagreements_total", {},
-                 "Physical links whose two status reports disagreed")
-      .Increment(static_cast<double>(out.status_disagreement_count));
+  if (repairs_dirty) {
+    // Rebuild exact post-R1 state for every link from the maintained
+    // candidate columns, then re-run the repair chain verbatim — it
+    // consumes the same post-R1 state and scalars the full path would, so
+    // the outcome is bit-identical.
+    for (std::size_t i = 0; i < links; ++i) {
+      out.rates[i] = R1Outcome(opts_, ws.tx[i], ws.rx[i]);
+    }
+    RunRateRepairs(snapshot, out);
+    ScoreRateConfidence(snapshot, out);
+    hd.rates_changed = false;
+    ws.rate_value_changed.Resize(links);
+    for (std::size_t i = 0; i < links; ++i) {
+      if (!RateValueEqual(out.rates[i], prev.rates[i])) {
+        ws.rate_value_changed.Set(i);
+      }
+      if (!RateEntryEqual(out.rates[i], prev.rates[i])) {
+        hd.rates_changed = true;
+      }
+    }
+  } else if (prev.flagged_rate_count > 0) {
+    // Repairs skipped: every F link keeps its prior value, but a probe or
+    // status flip still moves its corroboration score.
+    ForEachUnionBit({&delta.probe, &delta.status}, [&](std::size_t i) {
+      if (!prev.rates[i].flagged) return;  // agreeing: confidence pinned 1.0
+      const LinkId e(static_cast<std::uint32_t>(i));
+      ScoreRate(opts_, snapshot, e, out.rates[i]);
+      if (!RateEntryEqual(out.rates[i], prev.rates[i])) {
+        hd.rates_changed = true;
+      }
+    });
+  }
+
+  // --- link-state fusion over touched physical pairs ------------------------
+  // A pair's verdict reads both directions' statuses, probes, and final
+  // rate values; re-fuse when any of those moved on either direction.
+  ws.pair_touched.Resize(links);
+  ForEachUnionBit({&delta.status, &delta.probe, &ws.rate_value_changed},
+                  [&](std::size_t i) {
+                    const net::Link& l =
+                        topo.link(LinkId(static_cast<std::uint32_t>(i)));
+                    ws.pair_touched.Set(
+                        std::min<std::size_t>(i, l.reverse.value()));
+                  });
+  telemetry::ForEachSetBit(ws.pair_touched, [&](std::size_t i) {
+    FuseLinkPair(opts_, snapshot, out, LinkId(static_cast<std::uint32_t>(i)));
+    if (!LinkStateEqual(out.links[i], prev.links[i])) hd.links_changed = true;
+  });
+
+  // --- drain fusion over touched routers ------------------------------------
+  // A router's drain verdict reads its own intent plus rate/status/probe
+  // of every incident directed link (out and in).
+  ws.node_touched.Resize(nodes);
+  ForEachUnionBit({&delta.status, &delta.probe, &ws.rate_value_changed},
+                  [&](std::size_t i) {
+                    const net::Link& l =
+                        topo.link(LinkId(static_cast<std::uint32_t>(i)));
+                    ws.node_touched.Set(l.src.value());
+                    ws.node_touched.Set(l.dst.value());
+                  });
+  telemetry::ForEachSetBit(delta.node_drain, [&](std::size_t i) {
+    ws.node_touched.Set(i);
+  });
+  telemetry::ForEachSetBit(ws.node_touched, [&](std::size_t i) {
+    const NodeId v(static_cast<std::uint32_t>(i));
+    FuseNodeDrain(opts_, snapshot, out, v);
+    if (!DrainEqual(out.drains[i], prev.drains[i])) hd.drains_changed = true;
+  });
+
+  // --- link drains ----------------------------------------------------------
+  // Each directed slot reads its own and its reverse's drain signal.
+  ws.ld_touched.Resize(links);
+  telemetry::ForEachSetBit(delta.link_drain, [&](std::size_t i) {
+    const net::Link& l = topo.link(LinkId(static_cast<std::uint32_t>(i)));
+    ws.ld_touched.Set(i);
+    ws.ld_touched.Set(l.reverse.value());
+  });
+  telemetry::ForEachSetBit(ws.ld_touched, [&](std::size_t i) {
+    const LinkId e(static_cast<std::uint32_t>(i));
+    FuseLinkDrain(snapshot, out, e);
+    if (out.link_drained[i] != prev.link_drained[i] ||
+        out.link_drain_disagreement[i] != prev.link_drain_disagreement[i]) {
+      hd.drains_changed = true;
+    }
+  });
+}
+
+void HardeningEngine::ScoreRateConfidence(const NetworkSnapshot& snapshot,
+                                          HardenedState& out) const {
+  // Each link scores alone, so the scan shards freely.
+  util::ParallelFor(pool(), snapshot.topology().link_count(),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        const LinkId e(static_cast<std::uint32_t>(i));
+                        ScoreRate(opts_, snapshot, e, out.rates[i]);
+                      }
+                    });
 }
 
 void HardeningEngine::HardenRates(const NetworkSnapshot& snapshot,
@@ -245,32 +687,30 @@ void HardeningEngine::HardenRates(const NetworkSnapshot& snapshot,
   const Topology& topo = snapshot.topology();
   const std::size_t links = topo.link_count();
   Workspace& ws = *ws_;
-  util::ThreadPool* tp = pool();
 
   // --- R1: detection via link symmetry -----------------------------------
   // Each link reads and writes only its own slots: embarrassingly parallel.
   ws.tx.assign(links, std::nullopt);
   ws.rx.assign(links, std::nullopt);
-  util::ParallelFor(tp, links, [&](std::size_t begin, std::size_t end,
-                                   std::size_t) {
+  util::ParallelFor(pool(), links, [&](std::size_t begin, std::size_t end,
+                                       std::size_t) {
     for (std::size_t i = begin; i < end; ++i) {
       const LinkId e(static_cast<std::uint32_t>(i));
-      const auto tx = snapshot.TxRate(e);
-      const auto rx = snapshot.RxRate(e);
-      ws.tx[i] = tx;
-      ws.rx[i] = rx;
-      HardenedRate& r = out.rates[i];
-      if (tx && rx && util::WithinRelativeTolerance(*tx, *rx, opts_.tau_h)) {
-        r.value = (*tx + *rx) / 2.0;
-        r.origin = RateOrigin::kAgreeing;
-      } else {
-        // Mismatch or missing side: the pair is spurious; the true rate
-        // becomes an unknown variable (paper §4.1).
-        r.flagged = true;
-        r.origin = RateOrigin::kUnknown;
-      }
+      ws.tx[i] = snapshot.TxRate(e);
+      ws.rx[i] = snapshot.RxRate(e);
+      out.rates[i] = R1Outcome(opts_, ws.tx[i], ws.rx[i]);
     }
   });
+
+  RunRateRepairs(snapshot, out);
+}
+
+void HardeningEngine::RunRateRepairs(const NetworkSnapshot& snapshot,
+                                     HardenedState& out) const {
+  const Topology& topo = snapshot.topology();
+  const std::size_t links = topo.link_count();
+  Workspace& ws = *ws_;
+  util::ThreadPool* tp = pool();
 
   // --- repair (a): pairwise disambiguation --------------------------------
   // Decide from the pre-repair state, then apply, so ordering cannot let
@@ -511,67 +951,8 @@ void HardeningEngine::HardenLinkStates(const NetworkSnapshot& snapshot,
                                                    std::size_t) {
     for (std::size_t i = begin; i < end; ++i) {
       const LinkId e(static_cast<std::uint32_t>(i));
-      const net::Link& l = topo.link(e);
-      if (l.reverse.value() < e.value()) continue;
-
-      double up_evidence = 0.0;
-      double down_evidence = 0.0;
-
-      // R1: the two ends' status reports.
-      const auto s_src = snapshot.StatusAtSrc(e);
-      const auto s_dst = snapshot.StatusAtDst(e);
-      for (const auto& s : {s_src, s_dst}) {
-        if (!s) continue;
-        (*s == telemetry::LinkStatus::kUp ? up_evidence : down_evidence) +=
-            opts_.status_weight;
-      }
-      const bool disagreement = s_src && s_dst && *s_src != *s_dst;
-
-      // R3: alternative signals — hardened rates. Traffic flowing is strong
-      // evidence the link is up; both directions idle is weak down-evidence
-      // (an up link may simply be unused).
-      if (opts_.use_alternative_signals) {
-        bool any_active = false;
-        bool all_known_idle = true;
-        for (LinkId dir : {e, l.reverse}) {
-          const auto& r = out.rates[dir.value()];
-          if (!r.value) {
-            all_known_idle = false;
-            continue;
-          }
-          if (*r.value > opts_.activity_floor) {
-            any_active = true;
-            all_known_idle = false;
-          }
-        }
-        if (any_active) up_evidence += opts_.rate_weight;
-        else if (all_known_idle) down_evidence += 0.5 * opts_.rate_weight;
-      }
-
-      // R4: manufactured signals — active probes exercise the dataplane.
-      if (opts_.use_probes) {
-        for (LinkId dir : {e, l.reverse}) {
-          const auto p = snapshot.ProbeSucceeded(dir);
-          if (!p) continue;
-          (*p ? up_evidence : down_evidence) += opts_.probe_weight;
-        }
-      }
-
-      HardenedLinkState verdict;
-      verdict.status_disagreement = disagreement;
-      const double total = up_evidence + down_evidence;
-      if (total <= 0.0 || up_evidence == down_evidence) {
-        verdict.verdict = LinkVerdict::kUnknown;
-        verdict.confidence = 0.0;
-      } else if (up_evidence > down_evidence) {
-        verdict.verdict = LinkVerdict::kUp;
-        verdict.confidence = up_evidence / total;
-      } else {
-        verdict.verdict = LinkVerdict::kDown;
-        verdict.confidence = down_evidence / total;
-      }
-      out.links[i] = verdict;
-      out.links[l.reverse.value()] = verdict;
+      if (topo.link(e).reverse.value() < e.value()) continue;
+      FuseLinkPair(opts_, snapshot, out, e);
     }
   });
 }
@@ -585,51 +966,14 @@ void HardeningEngine::HardenDrains(const NetworkSnapshot& snapshot,
   util::ParallelFor(tp, topo.node_count(), [&](std::size_t begin,
                                                std::size_t end, std::size_t) {
     for (std::size_t i = begin; i < end; ++i) {
-      const NodeId v(static_cast<std::uint32_t>(i));
-      HardenedDrain d;
-      d.node_drained = snapshot.NodeDrained(v);
-
-      bool carrying = false;
-      bool any_up_status = false;
-      bool any_probe = false;
-      bool any_probe_ok = false;
-      auto consider = [&](LinkId e) {
-        const auto& r = out.rates[e.value()];
-        if (r.value && *r.value > opts_.activity_floor) carrying = true;
-        const auto s = snapshot.StatusAtSrc(e);
-        if (s && *s == telemetry::LinkStatus::kUp) any_up_status = true;
-        const auto p = snapshot.ProbeSucceeded(e);
-        if (p) {
-          any_probe = true;
-          if (*p) any_probe_ok = true;
-        }
-      };
-      for (LinkId e : topo.OutLinks(v)) consider(e);
-      for (LinkId e : topo.InLinks(v)) consider(e);
-
-      // §4.3 case 1: not marked drained, yet nothing gets through —
-      // statuses are up while every probe fails and no counter moves.
-      d.undrained_but_dead = !d.node_drained.value_or(false) && !carrying &&
-                             any_up_status && any_probe && !any_probe_ok;
-      // §4.3 case 2: marked drained but traffic is clearly flowing.
-      d.drained_but_active = d.node_drained.value_or(false) && carrying;
-      out.drains[i] = d;
+      FuseNodeDrain(opts_, snapshot, out, NodeId(static_cast<std::uint32_t>(i)));
     }
   });
 
   util::ParallelFor(tp, topo.link_count(), [&](std::size_t begin,
                                                std::size_t end, std::size_t) {
     for (std::size_t i = begin; i < end; ++i) {
-      const LinkId e(static_cast<std::uint32_t>(i));
-      const auto d1 = snapshot.LinkDrainAtSrc(e);
-      const auto d2 = snapshot.LinkDrainAtDst(e);
-      if (!d1 && !d2) {
-        out.link_drained[i] = std::nullopt;
-        continue;
-      }
-      out.link_drained[i] = d1.value_or(false) || d2.value_or(false);
-      // Link drains carry natural symmetry (§4.3): both ends must agree.
-      out.link_drain_disagreement[i] = d1 && d2 && *d1 != *d2;
+      FuseLinkDrain(snapshot, out, LinkId(static_cast<std::uint32_t>(i)));
     }
   });
 }

@@ -114,6 +114,21 @@ class HardeningEngine {
   void HardenInto(const telemetry::NetworkSnapshot& snapshot,
                   HardenedState& out) const;
 
+  // Incremental variant (DESIGN.md §12). When `delta` is non-null, not
+  // `full`, and continues the epoch this engine hardened last
+  // (delta->base_epoch matches, same topology), only the work reachable
+  // from the changed signals is redone: the R1 scan runs over changed link
+  // pairs only, repairs are skipped entirely when nothing in the repair
+  // working set's neighbourhood moved (re-run globally from the maintained
+  // candidate columns otherwise), and link-state/drain fusion re-fuses
+  // only touched entities. The result is bit-identical to the full
+  // recompute by construction. Any precondition failure silently falls
+  // back to the full path and re-primes the cache. `harden_delta`, when
+  // given, receives the exact changed-facet summary the checks consult.
+  void HardenInto(const telemetry::NetworkSnapshot& snapshot,
+                  HardenedState& out, const telemetry::FrameDelta* delta,
+                  HardenDelta* harden_delta = nullptr) const;
+
   // The pool backing the sharded stages; null while num_threads <= 1.
   // Exposed so the Validator can run its three post-hardening checks as
   // sibling stages on the same workers instead of spawning a second pool.
@@ -122,8 +137,24 @@ class HardeningEngine {
  private:
   struct Workspace;
 
+  // The full recompute (everything below the stage span / counts / metrics
+  // epilogue shared by both paths).
+  void HardenFull(const telemetry::NetworkSnapshot& snapshot,
+                  HardenedState& out) const;
+  // The incremental path; preconditions checked by the caller.
+  void HardenIncremental(const telemetry::NetworkSnapshot& snapshot,
+                         const telemetry::FrameDelta& delta,
+                         HardenedState& out, HardenDelta& hd) const;
+
   void HardenRates(const telemetry::NetworkSnapshot& snapshot,
                    HardenedState& out) const;
+  // Repairs (a)-(d) over the post-R1 state in `out` (split out so the
+  // incremental path can re-run them verbatim when its skip condition
+  // fails).
+  void RunRateRepairs(const telemetry::NetworkSnapshot& snapshot,
+                      HardenedState& out) const;
+  void ScoreRateConfidence(const telemetry::NetworkSnapshot& snapshot,
+                           HardenedState& out) const;
   void HardenLinkStates(const telemetry::NetworkSnapshot& snapshot,
                         HardenedState& out) const;
   void HardenDrains(const telemetry::NetworkSnapshot& snapshot,

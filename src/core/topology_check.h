@@ -55,6 +55,12 @@ struct TopologyCheckOptions {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
+// Declared input columns (DESIGN.md §12): the check reads only the fused
+// per-link verdicts on the hardened side and `link_available` on the
+// controller-input side. Clean on both → the incremental validator
+// replays the prior verdict.
+inline constexpr HardenedFacets kTopologyCheckFacets{.links = true};
+
 // When `provenance` is given, one InvariantRecord per directed link is
 // appended (residual = fused verdict confidence, threshold =
 // min_confidence; unknown/low-confidence links record as skipped).

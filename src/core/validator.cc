@@ -24,6 +24,34 @@ ValidatorOptions PropagateObs(ValidatorOptions opts) {
   return opts;
 }
 
+// Re-emits the counter increments the cached run of a check produced, plus
+// the incremental-skip counter — a replayed epoch is metric-identical to
+// an evaluated one except for hodor_incremental_skips_total itself.
+void EmitReplayedCheckMetrics(obs::MetricsRegistry& reg, const char* check,
+                              const char* stage, std::size_t invariants,
+                              std::size_t violations, std::size_t skipped,
+                              const std::size_t* warnings) {
+  const obs::Labels labels = {{"check", check}};
+  reg.GetCounter("hodor_check_runs_total", labels, "Check invocations")
+      .Increment();
+  reg.GetCounter("hodor_check_invariants_total", labels,
+                 "Invariants evaluated")
+      .Increment(static_cast<double>(invariants));
+  reg.GetCounter("hodor_check_violations_total", labels, "Invariants fired")
+      .Increment(static_cast<double>(violations));
+  reg.GetCounter("hodor_check_skipped_total", labels,
+                 "Invariants skipped (signal unknown or suppressed)")
+      .Increment(static_cast<double>(skipped));
+  if (warnings != nullptr) {
+    reg.GetCounter("hodor_check_warnings_total", labels,
+                   "Drained-but-active warnings")
+        .Increment(static_cast<double>(*warnings));
+  }
+  reg.GetCounter("hodor_incremental_skips_total", {{"stage", stage}},
+                 "Stage evaluations replayed from the delta cache")
+      .Increment();
+}
+
 }  // namespace
 
 Validator::Validator(const net::Topology& topo, ValidatorOptions opts)
@@ -60,50 +88,97 @@ std::string ValidationReport::Summary() const {
 ValidationReport Validator::Validate(
     const controlplane::ControllerInput& input,
     const telemetry::NetworkSnapshot& snapshot) const {
+  return Validate(input, snapshot, nullptr);
+}
+
+ValidationReport Validator::Validate(
+    const controlplane::ControllerInput& input,
+    const telemetry::NetworkSnapshot& snapshot,
+    const telemetry::FrameDelta* delta) const {
   const std::uint64_t epoch = snapshot.epoch();
   ValidationReport report;
   obs::DecisionRecord* prov =
       opts_.record_provenance ? &report.provenance : nullptr;
-  if (prov) {
-    // Steady state emits one record per directed link (topology), two per
-    // physical link (drain symmetry + intent), and four per node (drain
-    // intent + liveness, demand ingress + egress) = 2*links + 4*nodes;
-    // the slack absorbs hardening-repair records. Pre-sizing keeps the
-    // audit trail from reallocating mid-validation.
-    prov->invariants.reserve(2 * topo_->link_count() +
-                             4 * topo_->node_count() + 128);
-  }
+  // No pre-sizing needed: the bulk of the audit trail — one record per
+  // directed link (topology), two per physical link plus four per node
+  // (drain, demand) — arrives as frozen per-check blocks via AddBlock;
+  // the owned tail only holds the (few) hardening repair records.
 
-  engine_.HardenInto(snapshot, report.hardened);  // emits the "harden" span
+  HardenDelta hd;  // emits the "harden" span
+  engine_.HardenInto(snapshot, report.hardened, delta, &hd);
 
   if (prov) AppendHardeningProvenance(report.hardened, *prov);
+
+  // Replay plan, decided before any check runs: a check replays its cached
+  // verdict only when the incremental chain is unbroken (the hardening ran
+  // incrementally against the same base epoch the cache holds), its
+  // declared hardened facets are clean, and its controller-input columns
+  // compare equal to the previous epoch's. Anything else re-evaluates.
+  ReplayPlan plan;
+  const bool chain_ok = hd.incremental && cache_.valid && delta != nullptr &&
+                        !delta->full && delta->base_epoch == cache_.epoch &&
+                        (prov == nullptr || cache_.prov_cached);
+  if (chain_ok) {
+    plan.demand = cache_.has_demand && kDemandCheckFacets.CleanUnder(hd) &&
+                  input.demand.BitwiseEqual(cache_.demand_input);
+    plan.topology = cache_.has_topology &&
+                    kTopologyCheckFacets.CleanUnder(hd) &&
+                    input.link_available == cache_.link_available;
+    plan.drain = cache_.has_drain && kDrainCheckFacets.CleanUnder(hd) &&
+                 input.node_drained == cache_.node_drained &&
+                 input.link_drained == cache_.link_drained;
+  }
+
   util::ThreadPool* pool = engine_.pool();
   const int enabled_checks = static_cast<int>(opts_.check_demand) +
                              static_cast<int>(opts_.check_topology) +
                              static_cast<int>(opts_.check_drain);
   if (pool != nullptr && enabled_checks >= 2) {
-    RunChecksParallel(input, epoch, *pool, report, prov);
+    RunChecksParallel(input, epoch, *pool, plan, report, prov);
   } else {
     if (opts_.check_demand) {
       obs::StageSpan span(obs::Stage::kCheckDemand, epoch, opts_.metrics,
                           opts_.trace);
-      report.demand = CheckDemand(*topo_, report.hardened, input.demand,
-                                  opts_.demand, prov);
+      EvalDemand(input, report.hardened, plan.demand, prov != nullptr,
+                 opts_.demand.metrics);
+      if (prov) prov->AddBlock(cache_.demand_records);
     }
     if (opts_.check_topology) {
       obs::StageSpan span(obs::Stage::kCheckTopology, epoch, opts_.metrics,
                           opts_.trace);
-      report.topology = CheckTopology(*topo_, report.hardened,
-                                      input.link_available, opts_.topology,
-                                      prov);
+      EvalTopology(input, report.hardened, plan.topology, prov != nullptr,
+                   opts_.topology.metrics);
+      if (prov) prov->AddBlock(cache_.topology_records);
     }
     if (opts_.check_drain) {
       obs::StageSpan span(obs::Stage::kCheckDrain, epoch, opts_.metrics,
                           opts_.trace);
-      report.drain = CheckDrains(*topo_, report.hardened, input.node_drained,
-                                 input.link_drained, opts_.metrics, prov);
+      EvalDrain(input, report.hardened, plan.drain, prov != nullptr,
+                opts_.metrics);
+      if (prov) prov->AddBlock(cache_.drain_records);
     }
   }
+
+  // Release the record blocks the fresh evaluations displaced, now that
+  // every check span has closed (see CheckCache::*_retired).
+  cache_.demand_retired = nullptr;
+  cache_.topology_retired = nullptr;
+  cache_.drain_retired = nullptr;
+
+  // The report serves from the cache slots, which hold either this epoch's
+  // fresh evaluation or the replayed (bit-identical) prior verdict.
+  if (opts_.check_demand) report.demand = cache_.demand_result;
+  if (opts_.check_topology) report.topology = cache_.topology_result;
+  if (opts_.check_drain) report.drain = cache_.drain_result;
+
+  // Refresh the cached input columns so the next epoch can compare.
+  cache_.demand_input = input.demand;
+  cache_.link_available = input.link_available;
+  cache_.node_drained = input.node_drained;
+  cache_.link_drained = input.link_drained;
+  cache_.epoch = epoch;
+  cache_.prov_cached = prov != nullptr;
+  cache_.valid = true;
 
   report.provenance.epoch = epoch;
   report.provenance.accept = report.ok();
@@ -120,8 +195,89 @@ ValidationReport Validator::Validate(
   return report;
 }
 
+void Validator::EvalDemand(const controlplane::ControllerInput& input,
+                           const HardenedState& hardened, bool replay,
+                           bool want_prov,
+                           obs::MetricsRegistry* metrics) const {
+  if (replay) {
+    EmitReplayedCheckMetrics(obs::ResolveRegistry(metrics), "demand",
+                             "check-demand",
+                             cache_.demand_result.checked_invariants,
+                             cache_.demand_result.violations.size(),
+                             cache_.demand_result.skipped_invariants,
+                             nullptr);
+    return;
+  }
+  DemandCheckOptions opts = opts_.demand;
+  opts.metrics = metrics;
+  obs::DecisionRecord sub;
+  if (want_prov) sub.Reserve(2 * topo_->node_count());
+  cache_.demand_result = CheckDemand(*topo_, hardened, input.demand, opts,
+                                     want_prov ? &sub : nullptr);
+  cache_.demand_retired = std::move(cache_.demand_records);
+  cache_.demand_records =
+      want_prov ? std::make_shared<const std::vector<obs::InvariantRecord>>(
+                      sub.TakeRecords())
+                : nullptr;
+  cache_.has_demand = true;
+}
+
+void Validator::EvalTopology(const controlplane::ControllerInput& input,
+                             const HardenedState& hardened, bool replay,
+                             bool want_prov,
+                             obs::MetricsRegistry* metrics) const {
+  if (replay) {
+    EmitReplayedCheckMetrics(obs::ResolveRegistry(metrics), "topology",
+                             "check-topology",
+                             cache_.topology_result.checked_links,
+                             cache_.topology_result.violations.size(),
+                             cache_.topology_result.unknown_links, nullptr);
+    return;
+  }
+  TopologyCheckOptions opts = opts_.topology;
+  opts.metrics = metrics;
+  obs::DecisionRecord sub;
+  if (want_prov) sub.Reserve(topo_->link_count());
+  cache_.topology_result = CheckTopology(*topo_, hardened,
+                                         input.link_available, opts,
+                                         want_prov ? &sub : nullptr);
+  cache_.topology_retired = std::move(cache_.topology_records);
+  cache_.topology_records =
+      want_prov ? std::make_shared<const std::vector<obs::InvariantRecord>>(
+                      sub.TakeRecords())
+                : nullptr;
+  cache_.has_topology = true;
+}
+
+void Validator::EvalDrain(const controlplane::ControllerInput& input,
+                          const HardenedState& hardened, bool replay,
+                          bool want_prov, obs::MetricsRegistry* metrics) const {
+  if (replay) {
+    const std::size_t warnings =
+        cache_.drain_result.warnings_drained_but_active.size();
+    EmitReplayedCheckMetrics(obs::ResolveRegistry(metrics), "drain",
+                             "check-drain",
+                             cache_.drain_result.checked_signals,
+                             cache_.drain_result.violations.size(),
+                             cache_.drain_result.skipped_signals, &warnings);
+    return;
+  }
+  obs::DecisionRecord sub;
+  if (want_prov) sub.Reserve(topo_->link_count() + 2 * topo_->node_count());
+  cache_.drain_result = CheckDrains(*topo_, hardened, input.node_drained,
+                                    input.link_drained, metrics,
+                                    want_prov ? &sub : nullptr);
+  cache_.drain_retired = std::move(cache_.drain_records);
+  cache_.drain_records =
+      want_prov ? std::make_shared<const std::vector<obs::InvariantRecord>>(
+                      sub.TakeRecords())
+                : nullptr;
+  cache_.has_drain = true;
+}
+
 void Validator::RunChecksParallel(const controlplane::ControllerInput& input,
                                   std::uint64_t epoch, util::ThreadPool& pool,
+                                  const ReplayPlan& plan,
                                   ValidationReport& report,
                                   obs::DecisionRecord* prov) const {
   // Shard registries inherit the main registry's options so histograms
@@ -141,40 +297,33 @@ void Validator::RunChecksParallel(const controlplane::ControllerInput& input,
   if (opts_.check_topology) tasks[task_count++] = kTopology;
   if (opts_.check_drain) tasks[task_count++] = kDrain;
 
-  std::array<obs::DecisionRecord, 3> sub;
   std::array<obs::SpanRecord, 3> span_records;
   // Dynamic task assignment is fine here: each check writes only its own
-  // report member, sub-record, and shard; determinism comes from the
-  // fixed-order integration below, not from which worker ran what.
+  // cache slot and shard; determinism comes from the fixed-order
+  // integration below, not from which worker ran what. Replayed checks
+  // run the same task slot — they just re-emit cached counters instead of
+  // re-evaluating.
   pool.Run(task_count, [&](std::size_t i) {
     const int kind = tasks[i];
     obs::MetricsRegistry* shard = check_shards_[kind].get();
-    obs::DecisionRecord* sub_prov = prov ? &sub[kind] : nullptr;
+    const bool want_prov = prov != nullptr;
     switch (kind) {
       case kDemand: {
         obs::StageSpan span(obs::Stage::kCheckDemand, epoch, shard, nullptr);
-        DemandCheckOptions opts = opts_.demand;
-        opts.metrics = shard;
-        report.demand = CheckDemand(*topo_, report.hardened, input.demand,
-                                    opts, sub_prov);
+        EvalDemand(input, report.hardened, plan.demand, want_prov, shard);
         span_records[kDemand] = span.End();
         break;
       }
       case kTopology: {
         obs::StageSpan span(obs::Stage::kCheckTopology, epoch, shard,
                             nullptr);
-        TopologyCheckOptions opts = opts_.topology;
-        opts.metrics = shard;
-        report.topology = CheckTopology(*topo_, report.hardened,
-                                        input.link_available, opts, sub_prov);
+        EvalTopology(input, report.hardened, plan.topology, want_prov, shard);
         span_records[kTopology] = span.End();
         break;
       }
       case kDrain: {
         obs::StageSpan span(obs::Stage::kCheckDrain, epoch, shard, nullptr);
-        report.drain = CheckDrains(*topo_, report.hardened,
-                                   input.node_drained, input.link_drained,
-                                   shard, sub_prov);
+        EvalDrain(input, report.hardened, plan.drain, want_prov, shard);
         span_records[kDrain] = span.End();
         break;
       }
@@ -195,9 +344,10 @@ void Validator::RunChecksParallel(const controlplane::ControllerInput& input,
     check_shards_[kind]->ReleaseOwnerThread();
     check_shards_[kind]->Reset();
     if (prov) {
-      for (obs::InvariantRecord& rec : sub[kind].invariants) {
-        prov->Add(std::move(rec));
-      }
+      prov->AddBlock(kind == kDemand
+                         ? cache_.demand_records
+                         : kind == kTopology ? cache_.topology_records
+                                             : cache_.drain_records);
     }
   }
 }
@@ -261,6 +411,20 @@ controlplane::InputValidatorFn Validator::AsPipelineValidator() const {
   return [this](const controlplane::ControllerInput& input,
                 const telemetry::NetworkSnapshot& snapshot) {
     ValidationReport report = Validate(input, snapshot);
+    controlplane::ValidationDecision decision;
+    decision.accept = report.ok();
+    decision.reason = report.Summary();
+    decision.provenance = std::move(report.provenance);
+    return decision;
+  };
+}
+
+controlplane::DeltaInputValidatorFn Validator::AsDeltaPipelineValidator()
+    const {
+  return [this](const controlplane::ControllerInput& input,
+                const telemetry::NetworkSnapshot& snapshot,
+                const telemetry::FrameDelta* delta) {
+    ValidationReport report = Validate(input, snapshot, delta);
     controlplane::ValidationDecision decision;
     decision.accept = report.ok();
     decision.reason = report.Summary();

@@ -81,16 +81,98 @@ class Validator {
   ValidationReport Validate(const controlplane::ControllerInput& input,
                             const telemetry::NetworkSnapshot& snapshot) const;
 
+  // Incremental variant (DESIGN.md §12). `delta` is the exact changed-signal
+  // set between `snapshot` and the one this validator validated last
+  // (NetworkSnapshot::DiffAgainst). Hardening re-runs only over the changed
+  // signals, and each check replays its prior verdict — results, provenance
+  // records, and metric increments alike — whenever its declared facets
+  // (kDemandCheckFacets etc.) are clean AND its controller-input columns
+  // compare equal to the previous epoch's. The report is bit-identical to
+  // the full recompute; a null/full/chain-broken delta falls back to it.
+  ValidationReport Validate(const controlplane::ControllerInput& input,
+                            const telemetry::NetworkSnapshot& snapshot,
+                            const telemetry::FrameDelta* delta) const;
+
   // Adapts this validator to the pipeline's callback interface. The
   // returned decision carries the report's DecisionRecord, so EpochResults
   // downstream can name the invariant that fired.
   controlplane::InputValidatorFn AsPipelineValidator() const;
 
+  // The delta-aware adaptation: the epoch engine hands the per-epoch
+  // FrameDelta through (controlplane::DeltaInputValidatorFn), enabling the
+  // incremental path end-to-end.
+  controlplane::DeltaInputValidatorFn AsDeltaPipelineValidator() const;
+
  private:
+  // Which checks this Validate call may replay from the cache (decided
+  // up front, before any check runs, from the HardenDelta facets and the
+  // input-column comparisons).
+  struct ReplayPlan {
+    bool demand = false;
+    bool topology = false;
+    bool drain = false;
+  };
+
+  // The previous epoch's check verdicts, provenance records, and the
+  // controller-input columns they were computed from (DESIGN.md §12).
+  // Every Validate refreshes it; a replay is only legal when the epoch
+  // chain through the FrameDelta is unbroken.
+  struct CheckCache {
+    bool valid = false;
+    std::uint64_t epoch = 0;
+    // True when the cached run captured provenance records (a
+    // provenance-less run may not be replayed into a provenance-wanting
+    // one).
+    bool prov_cached = false;
+
+    // Input columns as validated last epoch.
+    flow::DemandMatrix demand_input;
+    std::vector<bool> link_available;
+    std::vector<bool> node_drained;
+    std::vector<bool> link_drained;
+
+    // Cached verdicts + per-check provenance sub-records.
+    bool has_demand = false;
+    bool has_topology = false;
+    bool has_drain = false;
+    DemandCheckResult demand_result;
+    TopologyCheckResult topology_result;
+    DrainCheckResult drain_result;
+    // Frozen record blocks: spliced into each epoch's DecisionRecord via
+    // AddBlock (O(1) — shared with every decision that replayed them). A
+    // fresh evaluation allocates a new block; decisions holding the old
+    // one keep it alive.
+    obs::DecisionRecord::RecordBlock demand_records;
+    obs::DecisionRecord::RecordBlock topology_records;
+    obs::DecisionRecord::RecordBlock drain_records;
+    // Last epoch's blocks, parked here by a fresh evaluation so that
+    // releasing them (thousands of invariant-string frees at WAN scale)
+    // lands outside the check stage spans — the pre-cache validator freed
+    // its records with the report, off the measured path. Validate clears
+    // these after the check spans close. One slot per check keeps the
+    // parallel path race-free (each check touches only its own slot).
+    obs::DecisionRecord::RecordBlock demand_retired;
+    obs::DecisionRecord::RecordBlock topology_retired;
+    obs::DecisionRecord::RecordBlock drain_retired;
+  };
+
   // Appends hardening provenance (R1 symmetry detections and their R2-R4
   // resolution) to `record`.
   void AppendHardeningProvenance(const HardenedState& hardened,
                                  obs::DecisionRecord& record) const;
+
+  // Runs one check into its cache slot, or — on replay — re-emits the
+  // cached counter increments (plus hodor_incremental_skips_total) to
+  // `metrics` without re-evaluating. `want_prov` captures the sub-record.
+  void EvalDemand(const controlplane::ControllerInput& input,
+                  const HardenedState& hardened, bool replay, bool want_prov,
+                  obs::MetricsRegistry* metrics) const;
+  void EvalTopology(const controlplane::ControllerInput& input,
+                    const HardenedState& hardened, bool replay,
+                    bool want_prov, obs::MetricsRegistry* metrics) const;
+  void EvalDrain(const controlplane::ControllerInput& input,
+                 const HardenedState& hardened, bool replay, bool want_prov,
+                 obs::MetricsRegistry* metrics) const;
 
   // The demand/topology/drain checks as sibling stages on the hardening
   // engine's pool (see the ValidatorOptions comment). Fills the report's
@@ -98,7 +180,7 @@ class Validator {
   // sub-record into it in the fixed serial order.
   void RunChecksParallel(const controlplane::ControllerInput& input,
                          std::uint64_t epoch, util::ThreadPool& pool,
-                         ValidationReport& report,
+                         const ReplayPlan& plan, ValidationReport& report,
                          obs::DecisionRecord* prov) const;
 
   const net::Topology* topo_;
@@ -109,6 +191,7 @@ class Validator {
   // a Validator single-validation-at-a-time (distinct Validators may run
   // concurrently).
   mutable std::array<std::unique_ptr<obs::MetricsRegistry>, 3> check_shards_;
+  mutable CheckCache cache_;
 };
 
 }  // namespace hodor::core

@@ -1,6 +1,7 @@
 #include "flow/demand_matrix.h"
 
 #include <cmath>
+#include <cstring>
 #include <iomanip>
 #include <sstream>
 
@@ -97,6 +98,13 @@ double DemandMatrix::MaxAbsDifference(const DemandMatrix& other) const {
     worst = std::max(worst, std::fabs(data_[i] - other.data_[i]));
   }
   return worst;
+}
+
+bool DemandMatrix::BitwiseEqual(const DemandMatrix& other) const {
+  if (n_ != other.n_) return false;
+  if (data_.empty()) return true;
+  return std::memcmp(data_.data(), other.data_.data(),
+                     data_.size() * sizeof(double)) == 0;
 }
 
 std::string DemandMatrix::ToString(const net::Topology& topo,

@@ -61,6 +61,13 @@ class DemandMatrix {
 
   bool SameShape(const DemandMatrix& other) const { return n_ == other.n_; }
 
+  // True when every entry is bit-identical to `other` (same shape, same
+  // bit patterns — stricter than MaxAbsDifference() == 0, which would call
+  // -0.0 and +0.0 equal even though they render differently under %.17g).
+  // This is the equality the incremental validator's input cache needs:
+  // anything weaker could let a replayed verdict's canonical digest drift.
+  bool BitwiseEqual(const DemandMatrix& other) const;
+
   // Multi-line rendering with node names taken from `topo`.
   std::string ToString(const net::Topology& topo, int precision = 1) const;
 

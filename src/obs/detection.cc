@@ -71,7 +71,7 @@ void DetectionLatencyTracker::ObserveEpoch(
   // dynamic checks detect on a fail verdict.
   std::set<std::string> fired;
   std::set<std::string> repaired;
-  for (const InvariantRecord& rec : decision.invariants) {
+  for (const InvariantRecord& rec : decision.Invariants()) {
     if (rec.check == "hardening") {
       if (rec.verdict != InvariantVerdict::kSkipped) fired.insert(rec.check);
       if (rec.verdict == InvariantVerdict::kPass) repaired.insert(rec.check);

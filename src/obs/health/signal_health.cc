@@ -64,7 +64,7 @@ void SignalHealthBoard::ObserveEpoch(const DecisionRecord& record) {
 
   // Reduce the record to one observation per source.
   std::map<std::pair<std::string, std::string>, EpochObservation> seen;
-  for (const InvariantRecord& rec : record.invariants) {
+  for (const InvariantRecord& rec : record.Invariants()) {
     EpochObservation& obs =
         seen[{rec.check, ExtractInvariantEntity(rec.invariant)}];
     obs.residual = std::max(obs.residual, NormalisedResidual(rec));

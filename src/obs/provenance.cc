@@ -36,9 +36,66 @@ std::string InvariantRecord::ToJson() const {
   return os.str();
 }
 
+std::size_t DecisionRecord::InvariantView::size() const {
+  std::size_t n = 0;
+  for (const Chunk& c : *chunks_) n += c.records().size();
+  return n;
+}
+
+bool DecisionRecord::InvariantView::empty() const {
+  for (const Chunk& c : *chunks_) {
+    if (!c.records().empty()) return false;
+  }
+  return true;
+}
+
+void DecisionRecord::Add(InvariantRecord record) {
+  if (chunks_.empty() || chunks_.back().shared != nullptr) {
+    chunks_.emplace_back();
+  }
+  chunks_.back().owned.push_back(std::move(record));
+}
+
+void DecisionRecord::Reserve(std::size_t n) {
+  if (chunks_.empty() || chunks_.back().shared != nullptr) {
+    chunks_.emplace_back();
+  }
+  std::vector<InvariantRecord>& owned = chunks_.back().owned;
+  owned.reserve(owned.size() + n);
+}
+
+void DecisionRecord::AddBlock(RecordBlock block) {
+  if (block == nullptr) return;
+  Chunk chunk;
+  chunk.shared = std::move(block);
+  chunks_.push_back(std::move(chunk));
+}
+
+std::vector<InvariantRecord> DecisionRecord::TakeRecords() {
+  // Fast path for the usual fresh-evaluation shape — one owned chunk —
+  // where the flat sequence already exists and can be moved wholesale.
+  if (chunks_.size() == 1 && chunks_[0].shared == nullptr) {
+    std::vector<InvariantRecord> out = std::move(chunks_[0].owned);
+    chunks_.clear();
+    return out;
+  }
+  std::vector<InvariantRecord> out;
+  out.reserve(Invariants().size());
+  for (Chunk& c : chunks_) {
+    if (c.shared) {
+      out.insert(out.end(), c.shared->begin(), c.shared->end());
+    } else {
+      out.insert(out.end(), std::make_move_iterator(c.owned.begin()),
+                 std::make_move_iterator(c.owned.end()));
+    }
+  }
+  chunks_.clear();
+  return out;
+}
+
 std::size_t DecisionRecord::evaluated_count() const {
   std::size_t n = 0;
-  for (const auto& r : invariants) {
+  for (const auto& r : Invariants()) {
     if (r.verdict != InvariantVerdict::kSkipped) ++n;
   }
   return n;
@@ -46,18 +103,18 @@ std::size_t DecisionRecord::evaluated_count() const {
 
 std::size_t DecisionRecord::failed_count() const {
   std::size_t n = 0;
-  for (const auto& r : invariants) {
+  for (const auto& r : Invariants()) {
     if (r.verdict == InvariantVerdict::kFail) ++n;
   }
   return n;
 }
 
 std::size_t DecisionRecord::skipped_count() const {
-  return invariants.size() - evaluated_count();
+  return Invariants().size() - evaluated_count();
 }
 
 const InvariantRecord* DecisionRecord::FirstFailure() const {
-  for (const auto& r : invariants) {
+  for (const auto& r : Invariants()) {
     if (r.verdict == InvariantVerdict::kFail) return &r;
   }
   return nullptr;
@@ -71,7 +128,7 @@ std::string DecisionRecord::ToJson() const {
      << ",\"failed\":" << failed_count()
      << ",\"skipped\":" << skipped_count() << ",\"invariants\":[";
   bool first = true;
-  for (const auto& r : invariants) {
+  for (const auto& r : Invariants()) {
     if (!first) os << ",";
     os << r.ToJson();
     first = false;
@@ -95,7 +152,7 @@ void DecisionRecord::AppendCanonicalText(std::string& out) const {
   out += accept ? "|accept|" : "|reject|";
   out += summary;
   out += '\n';
-  for (const InvariantRecord& inv : invariants) {
+  for (const InvariantRecord& inv : Invariants()) {
     out += inv.check;
     out += '|';
     out += inv.invariant;
@@ -113,7 +170,7 @@ void DecisionRecord::AppendCanonicalText(std::string& out) const {
 
 std::uint64_t DecisionRecord::CanonicalDigest() const {
   std::string text;
-  text.reserve(64 + invariants.size() * 96);
+  text.reserve(64 + Invariants().size() * 96);
   AppendCanonicalText(text);
   return Fnv1a64(text);
 }

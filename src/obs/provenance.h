@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -52,16 +53,112 @@ struct DecisionRecord {
   std::uint64_t epoch = 0;
   bool accept = true;
   std::string summary;  // e.g. the report's one-line verdict
-  std::vector<InvariantRecord> invariants;
+
+  // A shared immutable run of invariant records. Incremental validation
+  // (DESIGN §12) replays a check's cached verdict by splicing the cached
+  // records into the epoch's DecisionRecord; with tens of thousands of
+  // records per epoch at WAN scale, that splice must not copy. Blocks make
+  // it an O(1) refcount bump: the validator's cache and every decision
+  // that replayed from it share one frozen vector.
+  using RecordBlock = std::shared_ptr<const std::vector<InvariantRecord>>;
 
   std::size_t evaluated_count() const;  // pass + fail
   std::size_t failed_count() const;
   std::size_t skipped_count() const;
   // First firing invariant, nullptr when everything passed. This is the
-  // record an alert should lead with.
+  // record an alert should lead with. The pointer is stable until the next
+  // Add (which may grow the owned tail chunk).
   const InvariantRecord* FirstFailure() const;
 
-  void Add(InvariantRecord record) { invariants.push_back(std::move(record)); }
+  // Appends one record. The logical invariant sequence is the append order
+  // of Add and AddBlock calls, exactly as a flat vector would hold it.
+  void Add(InvariantRecord record);
+  // Allocation hint: pre-sizes the owned tail for `n` upcoming Add calls
+  // (opening a fresh owned chunk if the tail is frozen), so a caller that
+  // knows its record count — e.g. a check emitting one line per entity —
+  // skips the growth reallocations.
+  void Reserve(std::size_t n);
+  // Appends a shared immutable chunk in O(1). nullptr is a no-op.
+  void AddBlock(RecordBlock block);
+  // Moves the full logical sequence out as one flat vector (records from
+  // shared blocks are copied — they stay frozen). Leaves this record with
+  // no invariants.
+  std::vector<InvariantRecord> TakeRecords();
+
+ private:
+  struct Chunk {
+    std::vector<InvariantRecord> owned;  // used when `shared` is null
+    RecordBlock shared;
+    const std::vector<InvariantRecord>& records() const {
+      return shared ? *shared : owned;
+    }
+  };
+  std::vector<Chunk> chunks_;
+
+ public:
+  // Forward iteration over the logical record sequence, chunk by chunk.
+  class const_iterator {
+   public:
+    using value_type = InvariantRecord;
+    using reference = const InvariantRecord&;
+    using pointer = const InvariantRecord*;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    reference operator*() const { return (*chunks_)[chunk_].records()[i_]; }
+    pointer operator->() const { return &**this; }
+    const_iterator& operator++() {
+      ++i_;
+      SkipEmpty();
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator prev = *this;
+      ++*this;
+      return prev;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.chunk_ == b.chunk_ && a.i_ == b.i_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    friend struct DecisionRecord;
+    const_iterator(const std::vector<Chunk>* chunks, std::size_t chunk)
+        : chunks_(chunks), chunk_(chunk) {
+      SkipEmpty();
+    }
+    void SkipEmpty() {
+      while (chunk_ < chunks_->size() &&
+             i_ >= (*chunks_)[chunk_].records().size()) {
+        ++chunk_;
+        i_ = 0;
+      }
+    }
+    const std::vector<Chunk>* chunks_;
+    std::size_t chunk_ = 0;
+    std::size_t i_ = 0;
+  };
+
+  // View of the logical record sequence, for range-for and counting:
+  //   for (const obs::InvariantRecord& rec : record.Invariants()) ...
+  class InvariantView {
+   public:
+    const_iterator begin() const { return {chunks_, 0}; }
+    const_iterator end() const { return {chunks_, chunks_->size()}; }
+    std::size_t size() const;
+    bool empty() const;
+
+   private:
+    friend struct DecisionRecord;
+    explicit InvariantView(const std::vector<Chunk>* chunks)
+        : chunks_(chunks) {}
+    const std::vector<Chunk>* chunks_;
+  };
+
+  InvariantView Invariants() const { return InvariantView(&chunks_); }
 
   // Schema (see README "Observability"):
   //   {"epoch":N,"accept":bool,"summary":"...","evaluated":N,"failed":N,

@@ -144,6 +144,9 @@ th:nth-child(2), td:nth-child(2) { text-align: left; }
 <h2>Detection scoreboard</h2>
 <div id="scoreboard"><span class="empty">no fault episodes yet</span></div>
 
+<h2>Incremental validation</h2>
+<div class="cards" id="delta"><span class="empty">no incremental epochs yet</span></div>
+
 <h2>Epoch critical path (latest epoch)</h2>
 <div class="bars" id="critpath"><span class="empty">no trace yet</span></div>
 
@@ -314,6 +317,55 @@ function renderTrust(query) {
   }
 }
 
+// Cumulative per-stage hodor_incremental_skips_total counters -> per-epoch
+// replay fraction: of the validation stages that could have replayed a
+// cached verdict this epoch, how many did. 1.0 = steady state (everything
+// replayed), 0.0 = full recompute.
+function deltaHitRate(skips) {
+  const byEpoch = new Map();
+  let stages = 0;
+  for (const s of skips.series) {
+    if (s.points.length < 2) continue;  // diffing needs a predecessor
+    ++stages;
+    for (let i = 1; i < s.points.length; ++i) {
+      const e = s.points[i][0];
+      const d = Math.max(0, Math.min(1, s.points[i][1] - s.points[i - 1][1]));
+      byEpoch.set(e, (byEpoch.get(e) || 0) + d);
+    }
+  }
+  if (!stages) return [];
+  return [...byEpoch.entries()].sort((a, b) => a[0] - b[0])
+      .map(([e, d]) => ({ epoch: e, value: d / stages }));
+}
+
+function renderDelta(dirty, skips) {
+  const root = el("delta");
+  const cards = [];
+  const ds = dirty.series.find(s => s.points.length);
+  if (ds) {
+    cards.push({ title: "dirty signals per epoch",
+                 points: toPoints(ds.points) });
+  }
+  const rate = deltaHitRate(skips);
+  if (rate.length) {
+    cards.push({ title: "incremental hit rate (stages replayed / eligible)",
+                 points: rate });
+  }
+  if (!cards.length) {
+    root.innerHTML = '<span class="empty">no incremental epochs yet</span>';
+    return;
+  }
+  root.innerHTML = "";
+  for (const c of cards) {
+    const card = document.createElement("div");
+    card.className = "card";
+    card.innerHTML = `<div class="name" title="${esc(c.title)}">` +
+                     `${esc(c.title)}</div><div class="reading"></div>`;
+    card.appendChild(spark(c.points, card.querySelector(".reading")));
+    root.appendChild(card);
+  }
+}
+
 function renderFaults(query) {
   const chips = [];
   for (const s of query.series) {
@@ -380,12 +432,14 @@ function renderResToggle() {
 async function refresh() {
   clearTimeout(timer);
   try {
-    const [build, healthz, slo, trust, faults, traces, alerts] =
+    const [build, healthz, slo, trust, faults, traces, alerts, dirty, skips] =
         await Promise.all([
           getJson("/buildz"), getJson("/healthz"), getJson("/slo"),
           getJson(`/query?series=hodor_signal_trust*&res=${resolution}&last=120`),
           getJson("/query?series=hodor_fault_active*&res=raw&last=1"),
           getJson("/trace?last=1"), getJson("/alerts"),
+          getJson("/query?series=hodor_dirty_signals*&res=raw&last=120"),
+          getJson("/query?series=hodor_incremental_skips_total*&res=raw&last=121"),
         ]);
     el("build").textContent = `${build.git} · up ${build.uptime_seconds}s · ` +
         `${build.hodor_threads}/${build.hardware_threads} threads`;
@@ -397,6 +451,7 @@ async function refresh() {
     renderFaults(faults);
     renderCritPath(traces);
     renderAlerts(alerts);
+    renderDelta(dirty, skips);
   } catch (err) {
     el("status").textContent = "disconnected (" + err.message + ")";
   }

@@ -210,6 +210,12 @@ util::Status DecodeFrame(ByteReader& r, telemetry::SignalFrame& frame) {
   HODOR_RETURN_IF_ERROR(
       DecodePresence(r, Access::ext_out_present(frame), scratch));
   HODOR_RETURN_IF_ERROR(r.F64Array(Access::ext_out(frame).data(), nodes));
+  // Dirty bitsets are transient working state and deliberately not on the
+  // wire (the format predates them and stays byte-identical). A decoded
+  // frame's slots were all "touched" as far as change tracking is
+  // concerned, so mark everything dirty: DiffAgainst then degrades to a
+  // full bitwise value compare, which is exact, just unpruned.
+  frame.MarkAllDirty();
   return util::Status::Ok();
 }
 

@@ -14,8 +14,8 @@ EpochVerdict VerdictFromEpochResult(const controlplane::EpochResult& result) {
   v.evaluated = static_cast<std::uint32_t>(prov.evaluated_count());
   v.failed = static_cast<std::uint32_t>(prov.failed_count());
   v.skipped = static_cast<std::uint32_t>(prov.skipped_count());
-  v.invariants.reserve(prov.invariants.size());
-  for (const obs::InvariantRecord& inv : prov.invariants) {
+  v.invariants.reserve(prov.Invariants().size());
+  for (const obs::InvariantRecord& inv : prov.Invariants()) {
     v.invariants.push_back(
         {inv.check, inv.invariant, inv.residual, inv.threshold, inv.verdict});
   }

@@ -12,8 +12,9 @@ namespace {
 // Diffs recorded vs fresh invariants by (check, invariant) key; a flip is
 // a verdict change or an invariant present on only one side.
 void DiffInvariants(const std::vector<RecordedInvariant>& recorded,
-                    const std::vector<obs::InvariantRecord>& fresh,
+                    const obs::DecisionRecord& fresh_record,
                     std::vector<InvariantFlip>& out) {
+  const auto fresh = fresh_record.Invariants();
   std::unordered_map<std::string, std::size_t> by_key;
   by_key.reserve(recorded.size());
   for (std::size_t i = 0; i < recorded.size(); ++i) {
@@ -113,16 +114,34 @@ util::StatusOr<ReplayReport> Replayer::Replay(
   report.epochs_total = reader.epoch_count();
   report.tail_truncated = reader.tail_truncated();
 
+  // Incremental replay state: the previous decoded snapshot and the delta
+  // scratch. Decoded frames are all-dirty (frame_codec), so the diff is an
+  // unpruned — still exact — value compare. An unvalidated record still
+  // advances `prev`, but the validator's cache epoch won't match the
+  // resulting delta, so the next epoch safely falls back to full.
+  telemetry::NetworkSnapshot prev(reader.topology(), 0);
+  telemetry::FrameDelta delta;
+  bool have_prev = false;
+
   for (std::size_t i = 0; i < reader.epoch_count(); ++i) {
     auto record_or = reader.Read(i);
     if (!record_or.ok()) return record_or.status();
     const EpochRecord& rec = record_or.value();
+    const telemetry::FrameDelta* delta_ptr = nullptr;
+    if (!opts_.force_full) {
+      if (have_prev) {
+        rec.snapshot.DiffAgainst(prev, delta);
+        delta_ptr = &delta;
+      }
+      prev = rec.snapshot;
+      have_prev = true;
+    }
     if (!rec.verdict.validated) {
       ++report.epochs_unvalidated;
       continue;
     }
     const core::ValidationReport fresh =
-        validator.Validate(rec.input, rec.snapshot);
+        validator.Validate(rec.input, rec.snapshot, delta_ptr);
     ++report.epochs_replayed;
 
     EpochDiff diff;
@@ -132,8 +151,7 @@ util::StatusOr<ReplayReport> Replayer::Replay(
     diff.recorded_digest = rec.verdict.decision_digest;
     diff.fresh_digest = fresh.provenance.CanonicalDigest();
     if (diff.diverged()) {
-      DiffInvariants(rec.verdict.invariants, fresh.provenance.invariants,
-                     diff.flips);
+      DiffInvariants(rec.verdict.invariants, fresh.provenance, diff.flips);
       ++report.divergent_epochs;
       if (diff.verdict_flipped()) ++report.verdict_flips;
       report.epochs.push_back(std::move(diff));

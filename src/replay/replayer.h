@@ -36,6 +36,14 @@ struct ReplayOptions {
   // When true the report keeps a per-epoch entry even for clean epochs
   // (inspect-style listings); by default only divergent epochs are kept.
   bool keep_clean_epochs = false;
+
+  // By default the replayer feeds the validator the FrameDelta between
+  // consecutive decoded snapshots, exercising the incremental path
+  // (DESIGN.md §12) — recorded digests came from full-recompute epochs, so
+  // a clean incremental replay directly proves incremental == full. Set to
+  // run every epoch cold instead (the pre-delta behavior, and the control
+  // arm of the --delta-gate).
+  bool force_full = false;
 };
 
 // One invariant whose verdict changed between the recorded and fresh run.

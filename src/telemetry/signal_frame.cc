@@ -2,6 +2,44 @@
 
 namespace hodor::telemetry {
 
+namespace {
+
+// Bitwise value identity. Doubles are compared as their bit patterns on
+// purpose: the canonical digest renders values with %.17g, under which
+// -0.0 and +0.0 (or two NaN payloads) format differently, so anything
+// short of bit identity could let the incremental path diverge from the
+// full recompute.
+inline bool BitIdentical(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+inline bool BitIdentical(std::uint8_t a, std::uint8_t b) { return a == b; }
+
+// Reports into `out` every slot of one column that differs between the
+// current and base frames. Candidates per 64-bit word are the presence
+// flips plus the slots present in both where the current frame's dirty
+// bit allows a change; within candidates a bitwise value compare decides.
+template <typename T>
+void DiffColumn(const PresenceBitset& cur_present, const std::vector<T>& cur,
+                const PresenceBitset& prev_present, const std::vector<T>& prev,
+                const PresenceBitset& cur_dirty, PresenceBitset& out) {
+  const std::vector<std::uint64_t>& cw = cur_present.words();
+  const std::vector<std::uint64_t>& pw = prev_present.words();
+  const std::vector<std::uint64_t>& dw = cur_dirty.words();
+  for (std::size_t wi = 0; wi < cw.size(); ++wi) {
+    std::uint64_t candidates = (cw[wi] ^ pw[wi]) | (cw[wi] & pw[wi] & dw[wi]);
+    const std::uint64_t both = cw[wi] & pw[wi];
+    while (candidates != 0) {
+      const int b = std::countr_zero(candidates);
+      candidates &= candidates - 1;
+      const std::size_t i = (wi << 6) + static_cast<std::size_t>(b);
+      if (((both >> b) & 1u) && BitIdentical(cur[i], prev[i])) continue;
+      out.Set(i);
+    }
+  }
+}
+
+}  // namespace
+
 SignalFrame::SignalFrame(const net::Topology& topo) : topo_(&topo) {
   const std::size_t links = topo.link_count();
   const std::size_t nodes = topo.node_count();
@@ -13,6 +51,10 @@ SignalFrame::SignalFrame(const net::Topology& topo) : topo_(&topo) {
   rx_present_.Resize(links);
   status_present_.Resize(links);
   link_drain_present_.Resize(links);
+  tx_dirty_.Resize(links);
+  rx_dirty_.Resize(links);
+  status_dirty_.Resize(links);
+  link_drain_dirty_.Resize(links);
 
   responded_.assign(nodes, 1);
   node_drain_.resize(nodes);
@@ -23,6 +65,10 @@ SignalFrame::SignalFrame(const net::Topology& topo) : topo_(&topo) {
   dropped_present_.Resize(nodes);
   ext_in_present_.Resize(nodes);
   ext_out_present_.Resize(nodes);
+  node_drain_dirty_.Resize(nodes);
+  dropped_dirty_.Resize(nodes);
+  ext_in_dirty_.Resize(nodes);
+  ext_out_dirty_.Resize(nodes);
   responded_count_ = nodes;
 }
 
@@ -35,6 +81,14 @@ void SignalFrame::Clear() {
   dropped_present_.Clear();
   ext_in_present_.Clear();
   ext_out_present_.Clear();
+  tx_dirty_.Clear();
+  rx_dirty_.Clear();
+  status_dirty_.Clear();
+  link_drain_dirty_.Clear();
+  node_drain_dirty_.Clear();
+  dropped_dirty_.Clear();
+  ext_in_dirty_.Clear();
+  ext_out_dirty_.Clear();
   std::fill(responded_.begin(), responded_.end(), 1);
   responded_count_ = responded_.size();
 }
@@ -48,10 +102,21 @@ void SignalFrame::MarkHonestPresence() {
   dropped_present_.SetAll();
   ext_in_present_.Clear();
   ext_out_present_.Clear();
+  // The dirty marks are additive (an earlier mutation must stay dirty), so
+  // only the Set side of the pattern is mirrored — exactly the marks the
+  // serial owner-gated path leaves when every router reports honestly.
+  tx_dirty_.SetAll();
+  rx_dirty_.SetAll();
+  status_dirty_.SetAll();
+  link_drain_dirty_.SetAll();
+  node_drain_dirty_.SetAll();
+  dropped_dirty_.SetAll();
   for (const net::Node& node : topo_->nodes()) {
     if (!node.has_external_port) continue;
     ext_in_present_.Set(node.id.value());
     ext_out_present_.Set(node.id.value());
+    ext_in_dirty_.Set(node.id.value());
+    ext_out_dirty_.Set(node.id.value());
   }
 }
 
@@ -63,14 +128,51 @@ void SignalFrame::MarkUnresponsive(net::NodeId v) {
   dropped_present_.Reset(v.value());
   ext_in_present_.Reset(v.value());
   ext_out_present_.Reset(v.value());
+  node_drain_dirty_.Set(v.value());
+  dropped_dirty_.Set(v.value());
+  ext_in_dirty_.Set(v.value());
+  ext_out_dirty_.Set(v.value());
   for (net::LinkId e : topo_->OutLinks(v)) {
     tx_present_.Reset(e.value());
     status_present_.Reset(e.value());
     link_drain_present_.Reset(e.value());
+    tx_dirty_.Set(e.value());
+    status_dirty_.Set(e.value());
+    link_drain_dirty_.Set(e.value());
   }
   for (net::LinkId e : topo_->InLinks(v)) {
     rx_present_.Reset(e.value());
+    rx_dirty_.Set(e.value());
   }
+}
+
+void SignalFrame::MarkAllDirty() {
+  tx_dirty_.SetAll();
+  rx_dirty_.SetAll();
+  status_dirty_.SetAll();
+  link_drain_dirty_.SetAll();
+  node_drain_dirty_.SetAll();
+  dropped_dirty_.SetAll();
+  ext_in_dirty_.SetAll();
+  ext_out_dirty_.SetAll();
+}
+
+void SignalFrame::DiffAgainst(const SignalFrame& prev, FrameDelta& delta) const {
+  delta.Reset(topo_->link_count(), topo_->node_count());
+  DiffColumn(tx_present_, tx_, prev.tx_present_, prev.tx_, tx_dirty_, delta.tx);
+  DiffColumn(rx_present_, rx_, prev.rx_present_, prev.rx_, rx_dirty_, delta.rx);
+  DiffColumn(status_present_, status_, prev.status_present_, prev.status_,
+             status_dirty_, delta.status);
+  DiffColumn(link_drain_present_, link_drain_, prev.link_drain_present_,
+             prev.link_drain_, link_drain_dirty_, delta.link_drain);
+  DiffColumn(node_drain_present_, node_drain_, prev.node_drain_present_,
+             prev.node_drain_, node_drain_dirty_, delta.node_drain);
+  DiffColumn(dropped_present_, dropped_, prev.dropped_present_, prev.dropped_,
+             dropped_dirty_, delta.dropped);
+  DiffColumn(ext_in_present_, ext_in_, prev.ext_in_present_, prev.ext_in_,
+             ext_in_dirty_, delta.ext_in);
+  DiffColumn(ext_out_present_, ext_out_, prev.ext_out_present_, prev.ext_out_,
+             ext_out_dirty_, delta.ext_out);
 }
 
 }  // namespace hodor::telemetry

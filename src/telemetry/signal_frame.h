@@ -15,11 +15,18 @@
 // loses all its signals, and setters on an unresponsive owner are no-ops,
 // which keeps the invariant "present ⇒ owner responded" so accessors only
 // test the presence bit.
+//
+// Change tracking (DESIGN.md §12): alongside each presence bitset the frame
+// keeps a dirty bitset recording which slots any mutating path touched
+// since the last Clear(). DiffAgainst() intersects the dirty set with a
+// bitwise value compare to produce the exact changed-signal set between
+// two frames — the unit of work the incremental validation path consumes.
 #pragma once
 
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <optional>
 #include <vector>
 
@@ -100,6 +107,77 @@ class PresenceBitset {
   std::size_t count_ = 0;
 };
 
+// Calls fn(index) for every set bit, in ascending index order.
+template <typename Fn>
+void ForEachSetBit(const PresenceBitset& bits, Fn&& fn) {
+  const std::vector<std::uint64_t>& words = bits.words();
+  for (std::size_t wi = 0; wi < words.size(); ++wi) {
+    std::uint64_t w = words[wi];
+    while (w != 0) {
+      const int b = std::countr_zero(w);
+      fn((wi << 6) + static_cast<std::size_t>(b));
+      w &= w - 1;
+    }
+  }
+}
+
+// The exact changed-signal set between two snapshots of the same topology,
+// produced by SignalFrame::DiffAgainst / NetworkSnapshot::DiffAgainst. A
+// bit is set when the slot's value or presence differs from the base
+// frame; `probe` is filled at the snapshot level (probe outcomes live
+// beside the frame, not in it).
+//
+// `full == true` means "assume everything changed": consumers must ignore
+// the bitsets and run the full recompute. This is the constructed state,
+// the state after a topology mismatch, and the state the epoch engine
+// forces on the first epoch, on a fault stamp, and under HODOR_FORCE_FULL.
+struct FrameDelta {
+  bool full = true;
+  std::uint64_t base_epoch = 0;
+  std::uint64_t target_epoch = 0;
+
+  // Per directed LinkId.
+  PresenceBitset tx;
+  PresenceBitset rx;
+  PresenceBitset status;
+  PresenceBitset link_drain;
+  PresenceBitset probe;
+  // Per NodeId.
+  PresenceBitset node_drain;
+  PresenceBitset dropped;
+  PresenceBitset ext_in;
+  PresenceBitset ext_out;
+
+  // Clears every changed set (reusing buffers) and leaves the delta in the
+  // "nothing changed yet" incremental state.
+  void Reset(std::size_t links, std::size_t nodes) {
+    full = false;
+    base_epoch = 0;
+    target_epoch = 0;
+    tx.Resize(links);
+    rx.Resize(links);
+    status.Resize(links);
+    link_drain.Resize(links);
+    probe.Resize(links);
+    node_drain.Resize(nodes);
+    dropped.Resize(nodes);
+    ext_in.Resize(nodes);
+    ext_out.Resize(nodes);
+  }
+
+  std::size_t ChangedSignalCount() const {
+    return tx.count() + rx.count() + status.count() + link_drain.count() +
+           probe.count() + node_drain.count() + dropped.count() +
+           ext_in.count() + ext_out.count();
+  }
+
+  // Any change to the per-node scalar columns (the demand check's hardened
+  // inputs).
+  bool AnyScalarChanges() const {
+    return dropped.count() + ext_in.count() + ext_out.count() > 0;
+  }
+};
+
 class SignalFrame {
  public:
   explicit SignalFrame(const net::Topology& topo);
@@ -128,8 +206,12 @@ class SignalFrame {
     if (!Responded(topo_->link(e).src)) return;
     tx_[e.value()] = v;
     tx_present_.Set(e.value());
+    tx_dirty_.Set(e.value());
   }
-  void ClearTxRate(net::LinkId e) { tx_present_.Reset(e.value()); }
+  void ClearTxRate(net::LinkId e) {
+    tx_present_.Reset(e.value());
+    tx_dirty_.Set(e.value());
+  }
 
   std::optional<double> RxRate(net::LinkId e) const {
     if (!rx_present_.Test(e.value())) return std::nullopt;
@@ -139,8 +221,12 @@ class SignalFrame {
     if (!Responded(topo_->link(e).dst)) return;
     rx_[e.value()] = v;
     rx_present_.Set(e.value());
+    rx_dirty_.Set(e.value());
   }
-  void ClearRxRate(net::LinkId e) { rx_present_.Reset(e.value()); }
+  void ClearRxRate(net::LinkId e) {
+    rx_present_.Reset(e.value());
+    rx_dirty_.Set(e.value());
+  }
 
   // Status of directed link e as seen from its src end (the dst end's view
   // lives in the reverse link's slot).
@@ -152,8 +238,12 @@ class SignalFrame {
     if (!Responded(topo_->link(e).src)) return;
     status_[e.value()] = static_cast<std::uint8_t>(s);
     status_present_.Set(e.value());
+    status_dirty_.Set(e.value());
   }
-  void ClearStatus(net::LinkId e) { status_present_.Reset(e.value()); }
+  void ClearStatus(net::LinkId e) {
+    status_present_.Reset(e.value());
+    status_dirty_.Set(e.value());
+  }
 
   std::optional<bool> LinkDrain(net::LinkId e) const {
     if (!link_drain_present_.Test(e.value())) return std::nullopt;
@@ -163,8 +253,12 @@ class SignalFrame {
     if (!Responded(topo_->link(e).src)) return;
     link_drain_[e.value()] = v ? 1 : 0;
     link_drain_present_.Set(e.value());
+    link_drain_dirty_.Set(e.value());
   }
-  void ClearLinkDrain(net::LinkId e) { link_drain_present_.Reset(e.value()); }
+  void ClearLinkDrain(net::LinkId e) {
+    link_drain_present_.Reset(e.value());
+    link_drain_dirty_.Set(e.value());
+  }
 
   // --- per-node columns -----------------------------------------------------
 
@@ -176,9 +270,11 @@ class SignalFrame {
     if (!Responded(v)) return;
     node_drain_[v.value()] = d ? 1 : 0;
     node_drain_present_.Set(v.value());
+    node_drain_dirty_.Set(v.value());
   }
   void ClearNodeDrained(net::NodeId v) {
     node_drain_present_.Reset(v.value());
+    node_drain_dirty_.Set(v.value());
   }
 
   std::optional<double> DroppedRate(net::NodeId v) const {
@@ -189,8 +285,12 @@ class SignalFrame {
     if (!Responded(v)) return;
     dropped_[v.value()] = d;
     dropped_present_.Set(v.value());
+    dropped_dirty_.Set(v.value());
   }
-  void ClearDroppedRate(net::NodeId v) { dropped_present_.Reset(v.value()); }
+  void ClearDroppedRate(net::NodeId v) {
+    dropped_present_.Reset(v.value());
+    dropped_dirty_.Set(v.value());
+  }
 
   std::optional<double> ExtInRate(net::NodeId v) const {
     if (!ext_in_present_.Test(v.value())) return std::nullopt;
@@ -200,8 +300,12 @@ class SignalFrame {
     if (!Responded(v)) return;
     ext_in_[v.value()] = d;
     ext_in_present_.Set(v.value());
+    ext_in_dirty_.Set(v.value());
   }
-  void ClearExtInRate(net::NodeId v) { ext_in_present_.Reset(v.value()); }
+  void ClearExtInRate(net::NodeId v) {
+    ext_in_present_.Reset(v.value());
+    ext_in_dirty_.Set(v.value());
+  }
 
   std::optional<double> ExtOutRate(net::NodeId v) const {
     if (!ext_out_present_.Test(v.value())) return std::nullopt;
@@ -211,18 +315,23 @@ class SignalFrame {
     if (!Responded(v)) return;
     ext_out_[v.value()] = d;
     ext_out_present_.Set(v.value());
+    ext_out_dirty_.Set(v.value());
   }
-  void ClearExtOutRate(net::NodeId v) { ext_out_present_.Reset(v.value()); }
+  void ClearExtOutRate(net::NodeId v) {
+    ext_out_present_.Reset(v.value());
+    ext_out_dirty_.Set(v.value());
+  }
 
   // --- deterministic parallel collection fast path --------------------------
   //
   // The Fill* setters write the column value only: no presence-bit update,
-  // no owner gate. They exist so the collector can shard honest collection
-  // over contiguous node ranges without two shards racing on a shared
-  // presence word (each value slot has exactly one writer; the bitset
-  // words do not). They are only valid on a freshly Clear()ed frame where
-  // every router responded; the collector commits presence afterwards in
-  // one serial MarkHonestPresence() call.
+  // no owner gate, and — for the same reason — no dirty-bit update. They
+  // exist so the collector can shard honest collection over contiguous node
+  // ranges without two shards racing on a shared presence word (each value
+  // slot has exactly one writer; the bitset words do not). They are only
+  // valid on a freshly Clear()ed frame where every router responded; the
+  // collector commits presence afterwards in one serial
+  // MarkHonestPresence() call, which also carries their dirty marks.
 
   void FillTxRate(net::LinkId e, double v) { tx_[e.value()] = v; }
   void FillRxRate(net::LinkId e, double v) { rx_[e.value()] = v; }
@@ -244,7 +353,8 @@ class SignalFrame {
   // ext in/out only for routers with an external port. This is exactly the
   // pattern the serial owner-gated path produces when all routers respond
   // (zero-floored rates are still reported, hence still present), so the
-  // parallel path is presence-identical to the serial one.
+  // parallel path is presence-identical to the serial one. The same
+  // pattern is added to the dirty bitsets, so it is dirty-identical too.
   void MarkHonestPresence();
 
   // Signal values present across all columns — O(1) from the maintained
@@ -255,6 +365,46 @@ class SignalFrame {
            node_drain_present_.count() + dropped_present_.count() +
            ext_in_present_.count() + ext_out_present_.count();
   }
+
+  // --- change tracking ------------------------------------------------------
+  //
+  // Dirty bitsets record which slots any mutating path touched since the
+  // last Clear(): Set*/Clear* mark individually, MarkUnresponsive marks
+  // the report it drops, MarkHonestPresence marks the honest pattern. The
+  // contract is one-sided: an untouched slot is never dirty (so DiffAgainst
+  // may trust clean slots without looking at values), while a dirty slot
+  // may still hold an unchanged value (DiffAgainst filters those with a
+  // bitwise compare). Dirty bits are transient working state — the replay
+  // codec neither stores nor restores them; decode calls MarkAllDirty().
+
+  // Computes the exact changed set against `prev`, which must be a frame
+  // over the same topology: a slot is reported when its presence flipped,
+  // or when present in both frames with bitwise-different values (dirty
+  // bits prune the compare to touched slots). Resets `delta` (link/node
+  // sizes from the topology, probe set left empty) and leaves
+  // full = false; epochs are the caller's to stamp.
+  void DiffAgainst(const SignalFrame& prev, FrameDelta& delta) const;
+
+  // Conservatively marks every slot dirty — the decoded-frame and
+  // unknown-provenance fallback. Any subsequent DiffAgainst degrades to a
+  // full value compare, which is still exact, just not pruned.
+  void MarkAllDirty();
+
+  std::size_t DirtySignalCount() const {
+    return tx_dirty_.count() + rx_dirty_.count() + status_dirty_.count() +
+           link_drain_dirty_.count() + node_drain_dirty_.count() +
+           dropped_dirty_.count() + ext_in_dirty_.count() +
+           ext_out_dirty_.count();
+  }
+
+  const PresenceBitset& tx_dirty() const { return tx_dirty_; }
+  const PresenceBitset& rx_dirty() const { return rx_dirty_; }
+  const PresenceBitset& status_dirty() const { return status_dirty_; }
+  const PresenceBitset& link_drain_dirty() const { return link_drain_dirty_; }
+  const PresenceBitset& node_drain_dirty() const { return node_drain_dirty_; }
+  const PresenceBitset& dropped_dirty() const { return dropped_dirty_; }
+  const PresenceBitset& ext_in_dirty() const { return ext_in_dirty_; }
+  const PresenceBitset& ext_out_dirty() const { return ext_out_dirty_; }
 
  private:
   friend class ::hodor::replay::FrameCodecAccess;
@@ -270,6 +420,10 @@ class SignalFrame {
   PresenceBitset rx_present_;
   PresenceBitset status_present_;
   PresenceBitset link_drain_present_;
+  PresenceBitset tx_dirty_;
+  PresenceBitset rx_dirty_;
+  PresenceBitset status_dirty_;
+  PresenceBitset link_drain_dirty_;
 
   // Node columns, one slot per NodeId.
   std::vector<std::uint8_t> responded_;
@@ -281,6 +435,10 @@ class SignalFrame {
   PresenceBitset dropped_present_;
   PresenceBitset ext_in_present_;
   PresenceBitset ext_out_present_;
+  PresenceBitset node_drain_dirty_;
+  PresenceBitset dropped_dirty_;
+  PresenceBitset ext_in_dirty_;
+  PresenceBitset ext_out_dirty_;
   std::size_t responded_count_ = 0;
 };
 

@@ -26,6 +26,28 @@ void NetworkSnapshot::IndexProbeResults() {
   }
 }
 
+void NetworkSnapshot::DiffAgainst(const NetworkSnapshot& prev,
+                                  FrameDelta& delta) const {
+  if (topo_ != prev.topo_) {
+    delta.full = true;
+    return;
+  }
+  frame_.DiffAgainst(prev.frame_, delta);
+  delta.base_epoch = prev.epoch_;
+  delta.target_epoch = epoch_;
+  // Probe outcomes are tri-state (success / failure / not probed) and live
+  // beside the frame; any transition counts as a change. An empty index
+  // means probing did not run, i.e. every link is "not probed".
+  const std::size_t links = topo_->link_count();
+  for (std::size_t i = 0; i < links; ++i) {
+    const std::optional<bool> cur =
+        i < probe_by_link_.size() ? probe_by_link_[i] : std::nullopt;
+    const std::optional<bool> was =
+        i < prev.probe_by_link_.size() ? prev.probe_by_link_[i] : std::nullopt;
+    if (cur != was) delta.probe.Set(i);
+  }
+}
+
 std::optional<bool> NetworkSnapshot::ProbeSucceeded(net::LinkId e) const {
   if (probe_by_link_.empty()) return std::nullopt;
   HODOR_CHECK(e.valid() && e.value() < probe_by_link_.size());

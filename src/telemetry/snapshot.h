@@ -88,6 +88,13 @@ class NetworkSnapshot {
     return frame_.PresentSignalCount();
   }
 
+  // Computes the exact changed-signal set against `prev` — the frame's
+  // columns (via SignalFrame::DiffAgainst) plus probe outcomes — and stamps
+  // base/target epochs. Both snapshots must be over the same Topology
+  // object; otherwise the delta degrades to `full` (assume everything
+  // changed), which is always safe for consumers.
+  void DiffAgainst(const NetworkSnapshot& prev, FrameDelta& delta) const;
+
  private:
   const net::Topology* topo_;
   std::uint64_t epoch_;

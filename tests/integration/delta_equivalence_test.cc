@@ -1,0 +1,133 @@
+// Incremental-validation equivalence (DESIGN.md §12): running the pipeline
+// with the delta-aware validator must produce bit-identical decision
+// digests to a forced full recompute, across the §2 outage scenario
+// catalog, at serial and parallel thread counts. The in-process sibling of
+// scripts/check_build.sh --delta-gate, with the extra assertion the shell
+// diff cannot make: that the incremental arm actually took the incremental
+// path rather than silently falling back to full recompute.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "controlplane/pipeline.h"
+#include "core/validator.h"
+#include "faults/scenario_catalog.h"
+#include "flow/tm_generators.h"
+#include "net/topologies.h"
+#include "obs/metrics.h"
+
+namespace hodor {
+namespace {
+
+constexpr std::uint64_t kEpochs = 6;
+constexpr std::uint64_t kFaultStart = 2;  // window [kFaultStart, kFaultEnd)
+constexpr std::uint64_t kFaultEnd = 4;
+
+struct ArmResult {
+  std::vector<std::uint64_t> digests;
+  double incremental_hardening_runs = 0.0;
+};
+
+// One pipeline run over a scenario: healthy epochs, fault onset, steady
+// faulted state, recovery. Hermetic metrics so arms don't see each other.
+ArmResult RunArm(const net::Topology& topo,
+                 const faults::OutageScenario& scenario,
+                 const flow::DemandMatrix& base, std::size_t threads,
+                 bool force_full) {
+  net::GroundTruthState state(topo);
+  obs::MetricsRegistry metrics;
+
+  controlplane::PipelineOptions popts;
+  popts.num_threads = threads;
+  popts.force_full = force_full;
+  popts.metrics = &metrics;
+  popts.collector.probes.false_loss_rate = 0.0;
+  core::ValidatorOptions vopts;
+  vopts.hardening.num_threads = threads;
+  vopts.metrics = &metrics;
+
+  controlplane::Pipeline pipeline(topo, popts, util::Rng(11));
+  const core::Validator validator(topo, vopts);
+  pipeline.SetDeltaValidator(validator.AsDeltaPipelineValidator());
+  pipeline.Bootstrap(state, base);
+
+  ArmResult result;
+  for (std::uint64_t epoch = 0; epoch < kEpochs; ++epoch) {
+    const bool faulted = epoch >= kFaultStart && epoch < kFaultEnd;
+    if (epoch == kFaultStart && scenario.setup) scenario.setup(state);
+
+    // Drifting demand, like production telemetry: the diff is never
+    // trivially empty, so replay eligibility is genuinely decided per
+    // check, not handed out by a frozen input.
+    util::Rng drift(1000 * epoch + 17);
+    flow::DemandMatrix demand = base;
+    for (const auto& [i, j] : base.Pairs()) {
+      demand.Set(i, j, base.At(i, j) * (1.0 + drift.Uniform(-0.03, 0.03)));
+    }
+
+    const auto r = pipeline.RunEpoch(
+        state, demand, faulted ? scenario.snapshot_fault : nullptr,
+        faulted ? scenario.aggregation
+                : controlplane::AggregationFaultHooks{});
+    result.digests.push_back(r.decision.provenance.CanonicalDigest());
+  }
+
+  const obs::Counter* inc =
+      metrics.FindCounter("hodor_hardening_incremental_runs_total", {});
+  result.incremental_hardening_runs = inc ? inc->value() : 0.0;
+  return result;
+}
+
+TEST(DeltaEquivalence, IncrementalDigestsMatchFullAcrossScenarioCatalog) {
+  const net::Topology topo = net::Abilene();
+  const faults::ScenarioCatalog catalog(topo);
+
+  util::Rng rng(77);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, rng);
+  flow::NormalizeToMaxUtilization(topo, 0.35, demand);
+
+  double incremental_runs_total = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const auto& scenario : catalog.scenarios()) {
+      const ArmResult inc = RunArm(topo, scenario, demand, threads, false);
+      const ArmResult full = RunArm(topo, scenario, demand, threads, true);
+      ASSERT_EQ(inc.digests.size(), full.digests.size());
+      for (std::size_t e = 0; e < inc.digests.size(); ++e) {
+        EXPECT_EQ(inc.digests[e], full.digests[e])
+            << scenario.id << " t" << threads << " epoch " << e
+            << ": incremental decision diverged from full recompute";
+      }
+      // force_full must really disable the incremental path.
+      EXPECT_EQ(full.incremental_hardening_runs, 0.0) << scenario.id;
+      incremental_runs_total += inc.incremental_hardening_runs;
+    }
+  }
+  // The equivalence above is vacuous if nothing ran incrementally.
+  EXPECT_GT(incremental_runs_total, 0.0);
+}
+
+TEST(DeltaEquivalence, IncrementalDigestsAreThreadCountInvariant) {
+  // The parallel check/hardening path must integrate deterministically:
+  // same epochs, same digests, regardless of worker count — including when
+  // replayed verdicts and fresh evaluations mix within one epoch.
+  const net::Topology topo = net::Abilene();
+  const faults::ScenarioCatalog catalog(topo);
+
+  util::Rng rng(77);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, rng);
+  flow::NormalizeToMaxUtilization(topo, 0.35, demand);
+
+  const auto& scenario = catalog.scenarios().front();
+  const ArmResult serial = RunArm(topo, scenario, demand, 1, false);
+  const ArmResult threaded = RunArm(topo, scenario, demand, 4, false);
+  ASSERT_EQ(serial.digests.size(), threaded.digests.size());
+  for (std::size_t e = 0; e < serial.digests.size(); ++e) {
+    EXPECT_EQ(serial.digests[e], threaded.digests[e]) << "epoch " << e;
+  }
+  EXPECT_GT(serial.incremental_hardening_runs, 0.0);
+  EXPECT_GT(threaded.incremental_hardening_runs, 0.0);
+}
+
+}  // namespace
+}  // namespace hodor

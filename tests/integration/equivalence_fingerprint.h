@@ -41,7 +41,7 @@ inline std::string DecisionText(const obs::DecisionRecord& rec) {
   std::string out;
   out += rec.accept ? "accept" : "reject";
   out += "|" + rec.summary + "\n";
-  for (const obs::InvariantRecord& inv : rec.invariants) {
+  for (const obs::InvariantRecord& inv : rec.Invariants()) {
     out += inv.check + "|" + inv.invariant + "|";
     AppendF64(out, inv.residual);
     out += "|";

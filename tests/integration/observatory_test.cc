@@ -52,7 +52,10 @@ std::vector<std::uint64_t> RunFaultedAbilene(obs::Observatory* observatory) {
   core::ValidatorOptions vopts;
   vopts.metrics = &registry;
   core::Validator validator(topo, vopts);
-  pipeline.SetValidator(validator.AsPipelineValidator());
+  // Delta-aware wiring: healthy epochs take the incremental path, fault
+  // windows force full recompute — so the observatory also sees the
+  // change-tracking series (hodor_dirty_signals, incremental skips).
+  pipeline.SetDeltaValidator(validator.AsDeltaPipelineValidator());
 
   if (observatory != nullptr) {
     pipeline.AddEpochSink([observatory](const controlplane::EpochResult& r) {
@@ -135,6 +138,25 @@ TEST(ObservatoryIntegration, FaultWindowsScoreEveryClassAndDigestsHold) {
     EXPECT_NE(body.find("\"points\":[["), std::string::npos)
         << "no points at res=" << res;
   }
+  // The incremental-validation series reached the store: the dashboard's
+  // dirty-signal sparkline and hit-rate computation both draw from /query.
+  for (const char* series :
+       {"hodor_dirty_signals", "hodor_incremental_skips_total"}) {
+    const auto req = obs::ParseHttpRequest(
+        std::string("GET /query?series=") + series + "*&res=raw HTTP/1.1\r\n");
+    ASSERT_TRUE(req.has_value());
+    const std::string body = testing::HttpBody(server.HandleRequest(*req));
+    EXPECT_TRUE(obs::IsValidJson(body)) << series << ": " << body;
+    EXPECT_NE(body.find(series), std::string::npos) << series;
+    EXPECT_NE(body.find("\"points\":[["), std::string::npos)
+        << "no points for " << series;
+  }
+  // And the incremental path genuinely ran during the healthy epochs.
+  const obs::Counter* harden_skips = observatory.serving_registry().FindCounter(
+      "hodor_incremental_skips_total", {{"stage", "harden"}});
+  ASSERT_NE(harden_skips, nullptr);
+  EXPECT_GT(harden_skips->value(), 0.0);
+
   // The fault gauges closed with their windows: every class reads 0 now.
   for (const auto& [cls, detector] : kClassToDetector) {
     (void)detector;

@@ -16,7 +16,7 @@ namespace {
 
 DecisionRecord Decision(std::vector<InvariantRecord> records) {
   DecisionRecord decision;
-  decision.invariants = std::move(records);
+  for (InvariantRecord& rec : records) decision.Add(std::move(rec));
   return decision;
 }
 

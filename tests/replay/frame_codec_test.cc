@@ -50,6 +50,28 @@ TEST(FrameCodec, FrameRoundTripIsByteIdentical) {
   }
 }
 
+TEST(FrameCodec, DecodeMarksEveryColumnDirtyAndDirtyBitsStayOffDisk) {
+  // Dirty bits are transient working state (DESIGN.md §12): the codec must
+  // neither store nor restore them, and a decoded frame — whose mutation
+  // history is unknown — must come back conservatively all-dirty so a
+  // later DiffAgainst degrades to an exact full value compare.
+  const testing::HealthyNetwork net = testing::MakeAbilene();
+  const telemetry::NetworkSnapshot snapshot = net.Snapshot();
+  const std::string encoded = EncodeFrameBytes(snapshot.frame());
+
+  telemetry::NetworkSnapshot decoded(net.topo, 0);
+  replay::ByteReader r(encoded);
+  ASSERT_TRUE(replay::DecodeFrame(r, decoded.frame()).ok());
+  const std::size_t links = net.topo.link_count();
+  const std::size_t nodes = net.topo.node_count();
+  EXPECT_EQ(decoded.frame().DirtySignalCount(), 4 * links + 4 * nodes);
+
+  // And the dirty state is invisible to the encoder: the all-dirty decoded
+  // frame re-encodes byte-identically to the original, whose dirty set was
+  // only the honest collection pattern.
+  EXPECT_EQ(EncodeFrameBytes(decoded.frame()), encoded);
+}
+
 TEST(FrameCodec, RoundTripSurvivesMissingAndCorruptSignals) {
   // Unresponsive and malformed routers punch holes in the presence
   // bitsets; the codec must reproduce those holes bit-for-bit.

@@ -127,7 +127,7 @@ TEST(Replayer, VerdictFromEpochResultCarriesTheDigest) {
       replay::VerdictFromEpochResult(result);
   EXPECT_TRUE(verdict.validated);
   EXPECT_EQ(verdict.decision_digest, report.provenance.CanonicalDigest());
-  EXPECT_EQ(verdict.invariants.size(), report.provenance.invariants.size());
+  EXPECT_EQ(verdict.invariants.size(), report.provenance.Invariants().size());
   EXPECT_EQ(verdict.evaluated,
             static_cast<std::uint32_t>(report.provenance.evaluated_count()));
 }

@@ -1,0 +1,221 @@
+// Change tracking on the columnar signal plane (DESIGN.md §12): dirty
+// bitsets, the one-sided dirty contract, and DiffAgainst exactness — the
+// foundations the incremental validation path stands on.
+#include <gtest/gtest.h>
+
+#include "net/topologies.h"
+#include "telemetry/signal_frame.h"
+#include "telemetry/snapshot.h"
+
+namespace hodor::telemetry {
+namespace {
+
+using net::LinkId;
+using net::NodeId;
+
+class SignalFrameDeltaTest : public ::testing::Test {
+ protected:
+  SignalFrameDeltaTest()
+      : topo_(net::Figure3Triangle()), base_(topo_), cur_(topo_) {}
+
+  FrameDelta Diff() {
+    FrameDelta delta;
+    cur_.DiffAgainst(base_, delta);
+    return delta;
+  }
+
+  net::Topology topo_;
+  SignalFrame base_;
+  SignalFrame cur_;
+};
+
+TEST_F(SignalFrameDeltaTest, FreshAndClearedFramesHaveNoDirtyBits) {
+  EXPECT_EQ(cur_.DirtySignalCount(), 0u);
+  cur_.SetTxRate(LinkId(0), 1.0);
+  EXPECT_GT(cur_.DirtySignalCount(), 0u);
+  cur_.Clear();
+  EXPECT_EQ(cur_.DirtySignalCount(), 0u);
+}
+
+TEST_F(SignalFrameDeltaTest, SettersAndClearersMarkDirty) {
+  const NodeId a = topo_.FindNode("A").value();
+  cur_.SetTxRate(LinkId(0), 1.0);
+  EXPECT_TRUE(cur_.tx_dirty().Test(0));
+  // Overwriting stays one dirty bit, not two.
+  cur_.SetTxRate(LinkId(0), 2.0);
+  EXPECT_EQ(cur_.tx_dirty().count(), 1u);
+  // Clearing a signal is a mutation too: presence flips are changes.
+  cur_.ClearRxRate(LinkId(1));
+  EXPECT_TRUE(cur_.rx_dirty().Test(1));
+  cur_.SetExtInRate(a, 3.0);
+  EXPECT_TRUE(cur_.ext_in_dirty().Test(a.value()));
+}
+
+TEST_F(SignalFrameDeltaTest, FillFastPathDefersDirtyToHonestCommit) {
+  for (LinkId e : topo_.LinkIds()) {
+    cur_.FillTxRate(e, 1.0);
+    cur_.FillRxRate(e, 1.0);
+  }
+  // Fill* writes values only: no presence, no dirty marks (the whole point
+  // of the shard-safe fast path).
+  EXPECT_EQ(cur_.PresentSignalCount(), 0u);
+  EXPECT_EQ(cur_.DirtySignalCount(), 0u);
+  cur_.MarkHonestPresence();
+  // The serial commit carries both: whatever became present became dirty.
+  EXPECT_GT(cur_.PresentSignalCount(), 0u);
+  EXPECT_EQ(cur_.DirtySignalCount(), cur_.PresentSignalCount());
+}
+
+TEST_F(SignalFrameDeltaTest, HonestCommitKeepsEarlierDirtyMarks) {
+  // A slot dirtied before the bulk commit (e.g. a targeted Clear) must stay
+  // dirty afterwards — the commit is additive, never a reset.
+  cur_.ClearStatus(LinkId(0));
+  ASSERT_TRUE(cur_.status_dirty().Test(0));
+  cur_.MarkHonestPresence();
+  EXPECT_TRUE(cur_.status_dirty().Test(0));
+}
+
+TEST_F(SignalFrameDeltaTest, DiffReportsValueChangesAndFiltersUnchanged) {
+  base_.SetTxRate(LinkId(0), 1.0);
+  base_.SetTxRate(LinkId(1), 5.0);
+  cur_.SetTxRate(LinkId(0), 2.0);  // changed
+  cur_.SetTxRate(LinkId(1), 5.0);  // dirty, but bitwise-equal: filtered
+  const FrameDelta delta = Diff();
+  EXPECT_FALSE(delta.full);
+  EXPECT_TRUE(delta.tx.Test(0));
+  EXPECT_FALSE(delta.tx.Test(1));
+  EXPECT_EQ(delta.ChangedSignalCount(), 1u);
+}
+
+TEST_F(SignalFrameDeltaTest, DiffReportsPresenceFlipsBothWays) {
+  base_.SetRxRate(LinkId(2), 7.0);  // present -> absent in cur
+  cur_.SetStatus(LinkId(3), LinkStatus::kUp);  // absent -> present
+  const FrameDelta delta = Diff();
+  EXPECT_TRUE(delta.rx.Test(2));
+  EXPECT_TRUE(delta.status.Test(3));
+  EXPECT_EQ(delta.ChangedSignalCount(), 2u);
+}
+
+TEST_F(SignalFrameDeltaTest, DiffDistinguishesSignedZero) {
+  // Digests render doubles with %.17g, where -0 and +0 differ — so the
+  // value compare must be bitwise, not arithmetic.
+  const NodeId a = topo_.FindNode("A").value();
+  base_.SetDroppedRate(a, 0.0);
+  cur_.SetDroppedRate(a, -0.0);
+  const FrameDelta delta = Diff();
+  EXPECT_TRUE(delta.dropped.Test(a.value()));
+}
+
+TEST_F(SignalFrameDeltaTest, UntouchedSlotsNeverReported) {
+  // The one-sided contract: a slot nobody touched is clean, and DiffAgainst
+  // must trust that without inspecting its value.
+  const FrameDelta delta = Diff();
+  EXPECT_FALSE(delta.full);
+  EXPECT_EQ(delta.ChangedSignalCount(), 0u);
+}
+
+TEST_F(SignalFrameDeltaTest, MarkAllDirtyDegradesToExactFullCompare) {
+  base_.SetTxRate(LinkId(0), 1.0);
+  cur_.SetTxRate(LinkId(0), 1.0);
+  cur_.SetTxRate(LinkId(1), 9.0);
+  cur_.MarkAllDirty();  // the decoded-frame fallback
+  const FrameDelta delta = Diff();
+  // Unpruned but still exact: only the real change survives the compare.
+  EXPECT_FALSE(delta.tx.Test(0));
+  EXPECT_TRUE(delta.tx.Test(1));
+  EXPECT_EQ(delta.ChangedSignalCount(), 1u);
+}
+
+TEST_F(SignalFrameDeltaTest, UnresponsiveRouterDirtiesItsDroppedReport) {
+  const NodeId a = topo_.FindNode("A").value();
+  base_.SetExtInRate(a, 4.0);
+  cur_.SetExtInRate(a, 4.0);
+  cur_.MarkUnresponsive(a);  // drops the report: presence flips are changes
+  const FrameDelta delta = Diff();
+  EXPECT_TRUE(delta.ext_in.Test(a.value()));
+}
+
+TEST_F(SignalFrameDeltaTest, FillCommitPathDiffsIdenticallyToSetters) {
+  // The parallel collection fast path (Fill* + MarkHonestPresence) must be
+  // dirty- and diff-identical to the serial owner-gated path.
+  SignalFrame serial(topo_);
+  for (LinkId e : topo_.LinkIds()) {
+    serial.SetTxRate(e, 1.5 * e.value());
+    cur_.FillTxRate(e, 1.5 * e.value());
+  }
+  for (LinkId e : topo_.LinkIds()) {
+    serial.SetRxRate(e, 1.5 * e.value());
+    cur_.FillRxRate(e, 1.5 * e.value());
+    serial.SetStatus(e, LinkStatus::kUp);
+    cur_.FillStatus(e, LinkStatus::kUp);
+    serial.SetLinkDrain(e, false);
+    cur_.FillLinkDrain(e, false);
+  }
+  for (const net::Node& n : topo_.nodes()) {
+    serial.SetNodeDrained(n.id, false);
+    cur_.FillNodeDrained(n.id, false);
+    serial.SetDroppedRate(n.id, 0.0);
+    cur_.FillDroppedRate(n.id, 0.0);
+    if (n.has_external_port) {
+      serial.SetExtInRate(n.id, 2.0);
+      cur_.FillExtInRate(n.id, 2.0);
+      serial.SetExtOutRate(n.id, 3.0);
+      cur_.FillExtOutRate(n.id, 3.0);
+    }
+  }
+  cur_.MarkHonestPresence();
+  EXPECT_EQ(cur_.PresentSignalCount(), serial.PresentSignalCount());
+  EXPECT_EQ(cur_.DirtySignalCount(), serial.DirtySignalCount());
+  FrameDelta via_fill;
+  FrameDelta via_set;
+  cur_.DiffAgainst(base_, via_fill);
+  serial.DiffAgainst(base_, via_set);
+  EXPECT_EQ(via_fill.ChangedSignalCount(), via_set.ChangedSignalCount());
+  for (LinkId e : topo_.LinkIds()) {
+    EXPECT_EQ(via_fill.tx.Test(e.value()), via_set.tx.Test(e.value()));
+    EXPECT_EQ(via_fill.rx.Test(e.value()), via_set.rx.Test(e.value()));
+  }
+}
+
+TEST(SnapshotDeltaTest, ProbeTransitionsCountAsChanges) {
+  const net::Topology topo = net::Figure3Triangle();
+  NetworkSnapshot base(topo, 1);
+  NetworkSnapshot cur(topo, 2);
+  base.SetProbeResults({ProbeResult{LinkId(0), true}});
+  cur.SetProbeResults(
+      {ProbeResult{LinkId(0), false},   // flipped outcome
+       ProbeResult{LinkId(1), true}});  // not-probed -> probed
+  FrameDelta delta;
+  cur.DiffAgainst(base, delta);
+  EXPECT_FALSE(delta.full);
+  EXPECT_EQ(delta.base_epoch, 1u);
+  EXPECT_EQ(delta.target_epoch, 2u);
+  EXPECT_TRUE(delta.probe.Test(0));
+  EXPECT_TRUE(delta.probe.Test(1));
+  EXPECT_FALSE(delta.probe.Test(2));
+}
+
+TEST(SnapshotDeltaTest, DistinctTopologyObjectsForceFullDelta) {
+  const net::Topology topo_a = net::Figure3Triangle();
+  const net::Topology topo_b = net::Figure3Triangle();
+  NetworkSnapshot base(topo_a, 1);
+  NetworkSnapshot cur(topo_b, 2);
+  FrameDelta delta;
+  delta.full = false;
+  cur.DiffAgainst(base, delta);
+  EXPECT_TRUE(delta.full);
+}
+
+TEST(FrameDeltaTest, ScalarChangeSummary) {
+  FrameDelta delta;
+  delta.Reset(/*links=*/6, /*nodes=*/3);
+  EXPECT_FALSE(delta.AnyScalarChanges());
+  delta.status.Set(4);
+  EXPECT_FALSE(delta.AnyScalarChanges());  // link column, not a node scalar
+  delta.ext_out.Set(1);
+  EXPECT_TRUE(delta.AnyScalarChanges());
+  EXPECT_EQ(delta.ChangedSignalCount(), 2u);
+}
+
+}  // namespace
+}  // namespace hodor::telemetry
