@@ -1,0 +1,145 @@
+// E15 — fleet mode: aggregate validation throughput as the instance count
+// grows over one shared pool (DESIGN §13).
+//
+// A fleet of N independent validation instances (rotating through the
+// mixed acceptance topologies: abilene, waxman100, hier400) runs to
+// completion in rounds over one util::ThreadPool, at N = 1, 2, 4, 8 and
+// pool widths 1 and min(4, hardware). Reported per cell: aggregate
+// epochs/sec (total epochs / wall-clock of all rounds), per-round
+// scheduling overhead, and — the contract that makes the numbers
+// trustworthy — whether every instance's digest stream matched a
+// standalone run of the same spec bit for bit.
+//
+// The shared pool parallelises ACROSS instances (one task per instance
+// per round; intra-instance stages stay serial), so threads > 1 can only
+// help when the host has more than one core. On a single-CPU host the
+// bench reports both widths and enforces only digest parity, which holds
+// at any width by construction.
+//
+// Pass: zero digest divergence anywhere. Throughput rows are recorded to
+// BENCH_fleet.json (hardware_threads stamped) for bench_compare.sh.
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "fleet/fleet.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace hodor;
+
+constexpr std::uint64_t kEpochsPerInstance = 6;
+const char* kMix[] = {"abilene", "waxman100", "hier400"};
+const char* kScenarioRotation[] = {"phantom-links", "", ""};
+
+std::vector<fleet::InstanceSpec> MakeSpecs(std::size_t count) {
+  std::vector<fleet::InstanceSpec> specs;
+  constexpr std::size_t kMixSize = sizeof(kMix) / sizeof(kMix[0]);
+  constexpr std::size_t kRotation =
+      sizeof(kScenarioRotation) / sizeof(kScenarioRotation[0]);
+  for (std::size_t i = 0; i < count; ++i) {
+    fleet::InstanceSpec spec;
+    spec.topology = kMix[i % kMixSize];
+    spec.name = std::string(spec.topology) + "-" + std::to_string(i);
+    spec.seed = 100 + i;
+    spec.epochs = kEpochsPerInstance;
+    spec.scenario = kScenarioRotation[i % kRotation];
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+struct Cell {
+  std::size_t instances = 0;
+  std::size_t threads = 0;
+  std::size_t rounds = 0;
+  std::uint64_t epochs = 0;
+  double eps = 0.0;  // aggregate epochs/sec
+  bool digests_match = true;
+};
+
+Cell RunCell(std::size_t instance_count, std::size_t threads) {
+  fleet::FleetOptions opts;
+  opts.threads = threads;
+  fleet::FleetManager manager(opts);
+  const std::vector<fleet::InstanceSpec> specs = MakeSpecs(instance_count);
+  for (const auto& spec : specs) manager.AddInstance(spec);
+  manager.RunAll();
+
+  Cell cell;
+  cell.instances = instance_count;
+  cell.threads = manager.threads();
+  cell.rounds = manager.rounds();
+  cell.epochs = manager.epochs_total();
+  cell.eps = manager.aggregate_epochs_per_sec();
+  for (const auto& instance : manager.instances()) {
+    if (fleet::StandaloneDigests(instance->spec()) != instance->digests()) {
+      cell.digests_match = false;
+    }
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hodor;
+  util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  const std::size_t wide = hardware_threads >= 4
+                               ? 4
+                               : (hardware_threads >= 2 ? hardware_threads : 1);
+  bench::PrintHeader(
+      "fleet",
+      "aggregate fleet throughput vs instance count (DESIGN §13, E15)",
+      "mix abilene/waxman100/hier400 seeds 100+i, " +
+          std::to_string(kEpochsPerInstance) +
+          " epochs per instance, pool width" +
+          (wide > 1 ? "s 1 and " + std::to_string(wide) : std::string(" 1")) +
+          "; pass: every instance digest-identical to its standalone run");
+
+  std::vector<std::size_t> widths = {1};
+  if (wide > 1) widths.push_back(wide);
+
+  util::TablePrinter table({"instances", "threads", "rounds", "epochs",
+                            "agg epochs/s", "digests"});
+  std::ostringstream reports;
+  reports << "[";
+  bool all_match = true;
+  bool first = true;
+  for (std::size_t width : widths) {
+    for (std::size_t count : {1, 2, 4, 8}) {
+      const Cell cell = RunCell(count, width);
+      all_match = all_match && cell.digests_match;
+      table.AddRowValues(cell.instances, cell.threads, cell.rounds,
+                         cell.epochs, util::FormatDouble(cell.eps, 2),
+                         cell.digests_match ? "match" : "DIVERGED");
+      reports << (first ? "" : ",") << "{\"instances\":" << cell.instances
+              << ",\"threads\":" << cell.threads
+              << ",\"rounds\":" << cell.rounds
+              << ",\"epochs\":" << cell.epochs
+              << ",\"aggregate_epochs_per_sec\":" << obs::JsonNumber(cell.eps)
+              << ",\"digests_match\":"
+              << (cell.digests_match ? "true" : "false") << "}";
+      first = false;
+    }
+  }
+  reports << "]";
+  std::cout << table.ToString();
+  std::cout << "fleet digests "
+            << (all_match ? "bit-identical to standalone runs everywhere"
+                          : "DIVERGED from standalone runs")
+            << "\n";
+  if (hardware_threads < 2) {
+    std::cout << "single hardware thread: inter-instance overlap cannot "
+                 "speed up wall-clock here; digest parity remains the hard "
+                 "gate\n";
+  }
+  bench::DumpObsSnapshot("fleet", reports.str());
+  return all_match ? 0 : 1;
+}

@@ -122,7 +122,7 @@ int main() {
     std::cerr << "cannot open " << log_path << "\n";
     return 1;
   }
-  pipeline.SetEpochRecorder(recorder.Hook());
+  pipeline.AddEpochSink(recorder.Hook());
 
   constexpr int kEpochs = 20;
   const Clock::time_point live0 = Clock::now();

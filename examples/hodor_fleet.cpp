@@ -1,0 +1,260 @@
+// hodor_fleet: many validation instances over one shared pool (DESIGN §13).
+//
+// Builds a fleet of independent pipelines — each with its own topology,
+// seed, scenario schedule, and metrics registry — and runs them to
+// completion in rounds over one util::ThreadPool, printing a per-instance
+// scoreboard and serving /fleet + instance-labeled /metrics live.
+//
+//   ./build/examples/hodor_fleet
+//   ./build/examples/hodor_fleet --instances=8 --mix=abilene,waxman100
+//   ./build/examples/hodor_fleet --spec=fleet.spec --verify-standalone
+//
+// Flags:
+//   --instances=N   fleet size (default 4)
+//   --mix=a,b,...   topology rotation for generated specs (default
+//                   abilene,waxman100,waxman400,hier1k); instance i gets
+//                   mix[i % mix.size()], seed 100+i, and the i-th scenario
+//                   from the catalog rotation
+//   --epochs=N      epochs per instance (default 8)
+//   --spec=PATH     instead of --instances/--mix, read one instance per
+//                   line: `name topology seed epochs [scenario]`
+//                   (# comments and blank lines skipped)
+//   --verify-standalone   after the fleet run, re-run every spec
+//                   standalone on this thread and compare the per-epoch
+//                   digest streams; exit 1 on any mismatch (the
+//                   --fleet-gate oracle)
+//
+// Set HODOR_THREADS=N for the shared pool width (default 1) and
+// HODOR_SERVE_SECONDS=60 to keep /fleet and /dashboard up after the run.
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "faults/scenario_catalog.h"
+#include "fleet/fleet.h"
+#include "net/topologies.h"
+#include "obs/serve/telemetry_server.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+void HandleStopSignal(int) { g_stop_requested = 1; }
+
+// The default mixed fleet: the acceptance mix from ISSUE/EXPERIMENTS E15.
+const char* kDefaultMix = "abilene,waxman100,waxman400,hier1k";
+
+// Scenario rotation for generated specs: one outage class per instance,
+// plus a healthy control every 4th. Ids are stable catalog ids.
+const char* kScenarioRotation[] = {"phantom-links",
+                                   "partial-demand", "", ""};
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool LoadSpecFile(const std::string& path,
+                  std::vector<hodor::fleet::InstanceSpec>* specs) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "--spec: cannot open " << path << "\n";
+    return false;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    hodor::fleet::InstanceSpec spec;
+    if (!(ls >> spec.name)) continue;        // blank line
+    if (spec.name[0] == '#') continue;       // comment
+    if (!(ls >> spec.topology >> spec.seed >> spec.epochs)) {
+      std::cerr << "--spec: malformed line: " << line
+                << "\n  expected: name topology seed epochs [scenario]\n";
+      return false;
+    }
+    ls >> spec.scenario;  // optional
+    specs->push_back(std::move(spec));
+  }
+  if (specs->empty()) {
+    std::cerr << "--spec: " << path << " defines no instances\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hodor;
+  util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  std::size_t instances = 4;
+  std::uint64_t epochs = 8;
+  std::string mix_csv = kDefaultMix;
+  std::string spec_path;
+  bool verify_standalone = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--instances=", 0) == 0) {
+      const int n = std::atoi(std::string(arg.substr(12)).c_str());
+      if (n <= 0) {
+        std::cerr << "--instances must be a positive integer\n";
+        return 2;
+      }
+      instances = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--epochs=", 0) == 0) {
+      const int n = std::atoi(std::string(arg.substr(9)).c_str());
+      if (n <= 0) {
+        std::cerr << "--epochs must be a positive integer\n";
+        return 2;
+      }
+      epochs = static_cast<std::uint64_t>(n);
+    } else if (arg.rfind("--mix=", 0) == 0) {
+      mix_csv = std::string(arg.substr(6));
+    } else if (arg.rfind("--spec=", 0) == 0) {
+      spec_path = std::string(arg.substr(7));
+    } else if (arg == "--verify-standalone") {
+      verify_standalone = true;
+    } else {
+      std::cerr << "unknown flag: " << arg
+                << "\nusage: hodor_fleet [--instances=N] [--mix=a,b,...]"
+                   " [--epochs=N] [--spec=PATH] [--verify-standalone]\n";
+      return 2;
+    }
+  }
+
+  std::vector<fleet::InstanceSpec> specs;
+  if (!spec_path.empty()) {
+    if (!LoadSpecFile(spec_path, &specs)) return 2;
+  } else {
+    const std::vector<std::string> mix = SplitCsv(mix_csv);
+    if (mix.empty()) {
+      std::cerr << "--mix must name at least one topology\n";
+      return 2;
+    }
+    constexpr std::size_t kRotation =
+        sizeof(kScenarioRotation) / sizeof(kScenarioRotation[0]);
+    for (std::size_t i = 0; i < instances; ++i) {
+      fleet::InstanceSpec spec;
+      spec.topology = mix[i % mix.size()];
+      spec.name = spec.topology + "-" + std::to_string(i);
+      spec.seed = 100 + i;
+      spec.epochs = epochs;
+      spec.scenario = kScenarioRotation[i % kRotation];
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  fleet::FleetOptions fopts;
+  fopts.threads = util::ThreadsFromEnv(1);
+  fleet::FleetManager manager(fopts);
+  for (const auto& spec : specs) manager.AddInstance(spec);
+
+  obs::TelemetryServer server;
+  const bool serving = server.Start();
+  if (serving) {
+    std::cout << "telemetry: " << server.url() << "  (GET /fleet for the "
+              << "scoreboard, /metrics for instance-labeled series)\n";
+  }
+
+  // Rounds until every instance finishes; the scoreboard refreshes after
+  // each round so an operator watching /fleet sees progress live.
+  while (!g_stop_requested && manager.RunRound()) {
+    if (serving) manager.PublishTo(server);
+  }
+  if (serving) manager.PublishTo(server);
+
+  std::cout << "\nFleet: " << manager.instances().size() << " instances, "
+            << manager.threads() << " pool thread(s), " << manager.rounds()
+            << " rounds, " << manager.epochs_total() << " epochs, "
+            << util::FormatDouble(manager.aggregate_epochs_per_sec(), 1)
+            << " epochs/s aggregate\n\n";
+
+  util::TablePrinter table({"instance", "topology", "nodes", "epochs",
+                            "eps", "accept", "reject", "min trust", "rank",
+                            "last digest"});
+  for (const auto& instance : manager.instances()) {
+    table.AddRowValues(
+        instance->spec().name, instance->spec().topology,
+        instance->topology().node_count(), instance->epochs_done(),
+        util::FormatDouble(instance->epochs_per_sec(), 1),
+        instance->accepts(), instance->rejects(),
+        util::FormatDouble(instance->board().MinTrust(), 0), "-",
+        instance->digests().empty()
+            ? std::string("-")
+            : util::FormatHex64(instance->digests().back()));
+  }
+  std::cout << table.ToString();
+
+  int rc = 0;
+  if (verify_standalone) {
+    // The equivalence oracle behind check_build.sh --fleet-gate: every
+    // instance's digest stream must be bit-identical to a fresh standalone
+    // run of the same spec on this thread.
+    std::cout << "\nverifying fleet digests against standalone runs...\n";
+    for (const auto& instance : manager.instances()) {
+      const std::vector<std::uint64_t> expected =
+          fleet::StandaloneDigests(instance->spec());
+      if (expected == instance->digests()) {
+        std::cout << "  " << instance->spec().name << ": OK ("
+                  << expected.size() << " epochs)\n";
+      } else {
+        rc = 1;
+        std::cout << "  " << instance->spec().name
+                  << ": DIGEST MISMATCH — fleet run is not isolated\n";
+        for (std::size_t e = 0;
+             e < std::max(expected.size(), instance->digests().size()); ++e) {
+          const std::string fleet_d =
+              e < instance->digests().size()
+                  ? util::FormatHex64(instance->digests()[e])
+                  : "<missing>";
+          const std::string solo_d = e < expected.size()
+                                         ? util::FormatHex64(expected[e])
+                                         : "<missing>";
+          if (fleet_d != solo_d) {
+            std::cout << "    epoch " << e << ": fleet " << fleet_d
+                      << " standalone " << solo_d << "\n";
+          }
+        }
+      }
+    }
+    std::cout << (rc == 0 ? "fleet digests match standalone runs\n"
+                          : "fleet digest verification FAILED\n");
+  }
+
+  if (serving) {
+    if (const char* env = std::getenv("HODOR_SERVE_SECONDS")) {
+      const int seconds = std::atoi(env);
+      if (seconds > 0) {
+        std::cout << "\nServing telemetry at " << server.url() << " for "
+                  << seconds << "s (HODOR_SERVE_SECONDS, Ctrl-C to stop)"
+                  << "..." << std::endl;
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(seconds);
+        while (!g_stop_requested &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      }
+    }
+    server.Stop();
+  }
+  return rc;
+}

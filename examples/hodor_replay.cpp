@@ -117,7 +117,7 @@ int RunRecord(const std::string& path, const std::vector<std::string>& flags) {
     std::cerr << "open " << path << ": " << opened.ToString() << "\n";
     return 1;
   }
-  pipeline.SetEpochRecorder(recorder.Hook());
+  pipeline.AddEpochSink(recorder.Hook());
 
   for (std::uint64_t epoch = 0; epoch < epochs; ++epoch) {
     util::Rng drift_rng(seed * 1000 + epoch);

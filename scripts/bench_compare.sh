@@ -9,7 +9,10 @@
 # baseline committed at the repo root. Afterwards it runs the absolute
 # steady-state gate (bench_epoch_engine --steady-state): incremental
 # validation must stay >= 3x faster than full recompute with bit-identical
-# digests, baseline or no baseline.
+# digests, baseline or no baseline. Finally bench_fleet runs (digest
+# parity self-gated) and, when BENCH_fleet.json is committed and was
+# recorded on a host with the same hardware_threads, its aggregate
+# epochs/sec cells are compared against the baseline.
 #
 #   scripts/bench_compare.sh            # full-length benchmark run
 #   scripts/bench_compare.sh --quick    # short run, for check_build --bench-smoke
@@ -170,3 +173,70 @@ done
 # baseline — the floor is absolute — so it runs in --quick mode too.
 cmake --build build -j --target bench_epoch_engine >/dev/null
 (cd "$TMP" && "$ROOT/build/bench/bench_epoch_engine" --steady-state)
+
+# Fleet throughput gate over the committed BENCH_fleet.json. bench_fleet
+# self-gates digest parity (exit 1 on any fleet/standalone divergence);
+# the comparison below additionally flags an aggregate epochs/sec collapse
+# against the committed baseline, same philosophy as the stage medians:
+# generous threshold, warn-don't-fail on a hardware mismatch.
+FLEET_BASELINE="$ROOT/BENCH_fleet.json"
+cmake --build build -j --target bench_fleet >/dev/null
+(cd "$TMP" && "$ROOT/build/bench/bench_fleet")
+if [ -f "$FLEET_BASELINE" ]; then
+  python3 - "$FLEET_BASELINE" "$TMP/BENCH_fleet.json" <<'EOF'
+import json
+import sys
+
+THRESHOLD = 1.5  # fail when aggregate epochs/sec drops below baseline/1.5
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+base_doc, cand_doc = load(sys.argv[1]), load(sys.argv[2])
+base_ht = base_doc.get("hardware_threads")
+cand_ht = cand_doc.get("hardware_threads")
+compare = True
+if base_ht != cand_ht:
+    print(f"bench_compare: WARNING fleet baseline recorded with "
+          f"hardware_threads={base_ht} but this host has {cand_ht}; "
+          f"skipping the throughput comparison (digest parity already "
+          f"gated by bench_fleet itself) — regenerate the baseline here")
+    compare = False
+
+
+def cells(doc):
+    return {(r["instances"], r["threads"]): r["aggregate_epochs_per_sec"]
+            for r in doc.get("reports", [])}
+
+
+if compare:
+    base_cells, cand_cells = cells(base_doc), cells(cand_doc)
+    regressed = []
+    print(f"{'instances':>9} {'threads':>7} {'baseline eps':>13} "
+          f"{'candidate eps':>14} {'ratio':>7}")
+    for key in sorted(base_cells):
+        if key not in cand_cells or base_cells[key] <= 0:
+            continue
+        ratio = base_cells[key] / max(cand_cells[key], 1e-9)
+        mark = ""
+        if ratio > THRESHOLD:
+            regressed.append((key, ratio))
+            mark = "  <-- REGRESSION"
+        print(f"{key[0]:>9} {key[1]:>7} {base_cells[key]:>13.2f} "
+              f"{cand_cells[key]:>14.2f} {ratio:>6.2f}x{mark}")
+    if regressed:
+        names = ", ".join(f"{k[0]}x{k[1]}t ({r:.2f}x)" for k, r in regressed)
+        print(f"bench_compare: FAIL (fleet throughput collapsed beyond "
+              f"{THRESHOLD}x): {names}")
+        sys.exit(1)
+    print("bench_compare: fleet throughput OK")
+EOF
+else
+  echo "bench_compare: no fleet baseline at $FLEET_BASELINE — digest parity"
+  echo "bench_compare: gated by bench_fleet above; commit BENCH_fleet.json"
+  echo "bench_compare: (scripts/bench_snapshot.sh or a bench_fleet run at"
+  echo "bench_compare: the repo root) to enable the throughput comparison."
+fi

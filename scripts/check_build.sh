@@ -36,7 +36,14 @@
 #      full-recompute digests) and again with --force-full. Any divergence
 #      fails: the delta is a work-avoidance hint, never a correctness
 #      input.
-#   9. With --dashboard-gate: the validation-observatory gates (DESIGN
+#   9. With --fleet-gate: the fleet-mode gates (DESIGN §13) — the mixed
+#      acceptance fleet (abilene + waxman100 + waxman400 + hier1k, >= 4
+#      instances) runs over one shared pool at HODOR_THREADS=1 and 4 with
+#      --verify-standalone, so every instance's digest stream must be
+#      bit-identical to a standalone run of the same spec; then /fleet
+#      must serve the documented scoreboard schema and /metrics must carry
+#      instance-labeled series.
+#  10. With --dashboard-gate: the validation-observatory gates (DESIGN
 #      §11) — a headless live_pipeline run must serve /query JSON matching
 #      the documented schema at all three resolutions, /slo and /buildz
 #      must parse, and /dashboard must be one self-contained HTML page
@@ -106,6 +113,116 @@ kinds = {e.get("ph") for e in events}
 assert "X" in kinds, f"no complete events in trace (phases: {kinds})"
 print(f"trace-gate: {len(events)} trace events parse cleanly")
 EOF
+fi
+
+if [ "$1" = "--fleet-gate" ]; then
+  echo "== fleet gates (standalone digest equivalence, /fleet schema) =="
+  cmake --build build -j --target hodor_fleet_cli
+  TMP=$(mktemp -d)
+  trap 'rm -rf "$TMP"' EXIT
+  # The equivalence oracle at pool width 1: every instance of the mixed
+  # acceptance fleet must reproduce its standalone digest stream.
+  echo "  hodor_fleet --verify-standalone, HODOR_THREADS=1"
+  HODOR_THREADS=1 ./build/examples/hodor_fleet --epochs=6 --verify-standalone
+  # Same fleet at width 4, kept alive afterwards so the scoreboard probes
+  # see the finished run.
+  echo "  hodor_fleet --verify-standalone + /fleet probes, HODOR_THREADS=4"
+  HODOR_THREADS=4 HODOR_SERVE_SECONDS=60 ./build/examples/hodor_fleet \
+    --epochs=6 --verify-standalone > "$TMP/fleet.out" 2>&1 &
+  FLEET_PID=$!
+  # The serve window only opens after the fleet run AND the standalone
+  # oracle re-runs complete; instance bootstrap (the initial full-recompute
+  # validation) costs minutes per large topology on a small host, so the
+  # poll budget is generous — a wedged run is caught by the liveness check
+  # on the PID, not the clock.
+  URL=""
+  i=0
+  while [ $i -lt 2700 ]; do
+    if grep -q "Serving telemetry" "$TMP/fleet.out" 2>/dev/null; then
+      URL=$(sed -n 's/^telemetry: \(http:[^ ]*\).*/\1/p' "$TMP/fleet.out" | head -1)
+      break
+    fi
+    if ! kill -0 "$FLEET_PID" 2>/dev/null; then break; fi
+    i=$((i + 1))
+    sleep 1
+  done
+  if [ -z "$URL" ]; then
+    echo "fleet-gate: hodor_fleet never reached its serve window:"
+    cat "$TMP/fleet.out"
+    wait "$FLEET_PID" 2>/dev/null || true
+    exit 1
+  fi
+  if python3 - "$URL" <<'EOF'
+import json
+import re
+import sys
+import urllib.request
+
+base = sys.argv[1]
+
+
+def get(path):
+    with urllib.request.urlopen(base + path, timeout=10) as resp:
+        assert resp.status == 200, f"{path}: HTTP {resp.status}"
+        assert resp.headers.get("Cache-Control") == "no-store", \
+            f"{path}: missing Cache-Control: no-store"
+        return resp.read().decode()
+
+
+doc = json.loads(get("/fleet"))
+summary = doc["summary"]
+for key in ("instances", "threads", "rounds", "epochs_total",
+            "aggregate_epochs_per_sec"):
+    assert key in summary, f"/fleet summary: missing key {key}"
+assert summary["instances"] >= 4, summary
+assert summary["threads"] == 4, summary
+assert len(doc["instances"]) == summary["instances"]
+assert summary["epochs_total"] == sum(
+    inst["epochs_done"] for inst in doc["instances"])
+topologies = set()
+for inst in doc["instances"]:
+    for key in ("name", "topology", "nodes", "seed", "scenario",
+                "epochs_done", "epochs_target", "done", "epochs_per_sec",
+                "accepts", "rejects", "min_trust", "active_faults",
+                "laggard_rank", "last_digest", "slo"):
+        assert key in inst, f"/fleet instance: missing key {key}"
+    assert inst["done"] is True, inst["name"]
+    assert inst["epochs_done"] == inst["epochs_target"], inst["name"]
+    assert re.fullmatch(r"[0-9a-f]{16}", inst["last_digest"]), \
+        f"{inst['name']}: bad digest {inst['last_digest']!r}"
+    topologies.add(inst["topology"])
+assert {"abilene", "waxman100", "waxman400", "hier1k"} <= topologies, \
+    f"acceptance mix incomplete: {topologies}"
+ranks = sorted(inst["laggard_rank"] for inst in doc["instances"])
+assert ranks == list(range(1, len(ranks) + 1)), f"bad laggard ranks: {ranks}"
+
+# The merged registry serves per-instance series under the instance label.
+metrics = get("/metrics")
+names = {inst["name"] for inst in doc["instances"]}
+for name in names:
+    assert f'instance="{name}"' in metrics, \
+        f"/metrics: no series labeled instance=\"{name}\""
+
+print(f"fleet-gate: /fleet schema ok ({summary['instances']} instances, "
+      f"{summary['epochs_total']} epochs), /metrics instance-labeled")
+EOF
+  then
+    :
+  else
+    kill "$FLEET_PID" 2>/dev/null || true
+    wait "$FLEET_PID" 2>/dev/null || true
+    exit 1
+  fi
+  # End the serve window; the CLI's exit code is the digest verdict.
+  kill -TERM "$FLEET_PID" 2>/dev/null || true
+  if wait "$FLEET_PID"; then
+    :
+  else
+    echo "fleet-gate: digest verification failed at HODOR_THREADS=4:"
+    cat "$TMP/fleet.out"
+    exit 1
+  fi
+  grep -E "OK|match" "$TMP/fleet.out" | sed 's/^/  /' || true
 fi
 
 if [ "$1" = "--dashboard-gate" ]; then

@@ -143,18 +143,7 @@ void EpochEngine::SetFaultStamp(std::vector<std::string> classes) {
 
 void EpochEngine::ClearFaultStamp() { fault_stamp_.reset(); }
 
-void EpochEngine::SetSlotSink(std::size_t slot, EpochSinkFn sink) {
-  HODOR_CHECK(slot < slot_sinks_.size());
-  HODOR_CHECK_MSG(!opts_.threaded_sinks || next_epoch_ == 0,
-                  "sink slot changed after the first epoch with threaded "
-                  "sinks — install hooks before RunEpoch");
-  slot_sinks_[slot] = std::move(sink);
-}
-
 void EpochEngine::InvokeSinks(const EpochResult& result) {
-  for (const EpochSinkFn& sink : slot_sinks_) {
-    if (sink) sink(result);
-  }
   for (const EpochSinkFn& sink : sinks_) {
     if (sink) sink(result);
   }

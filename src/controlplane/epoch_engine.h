@@ -130,10 +130,6 @@ class EpochEngine {
   void SetValidator(InputValidatorFn validator);
   void SetDeltaValidator(DeltaInputValidatorFn validator);
   void AddEpochSink(EpochSinkFn sink);
-  // Deprecated-slot management for Pipeline::SetEpochObserver/Recorder:
-  // slot 0 = observer, slot 1 = recorder, invoked in slot order before the
-  // AddEpochSink list. An empty function clears the slot.
-  void SetSlotSink(std::size_t slot, EpochSinkFn sink);
 
   EpochResult RunEpoch(const net::GroundTruthState& state,
                        const flow::DemandMatrix& true_demand,
@@ -202,8 +198,6 @@ class EpochEngine {
   telemetry::NetworkSnapshot prev_snapshot_;
   telemetry::FrameDelta frame_delta_;
   bool have_prev_snapshot_ = false;
-  // Deprecated observer/recorder slots, then the unified sink list.
-  std::array<EpochSinkFn, 2> slot_sinks_;
   std::vector<EpochSinkFn> sinks_;
   flow::RoutingPlan installed_plan_;
   std::optional<ControllerInput> last_good_input_;

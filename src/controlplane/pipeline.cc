@@ -32,14 +32,6 @@ void Pipeline::AddEpochSink(EpochSinkFn sink) {
   engine_->AddEpochSink(std::move(sink));
 }
 
-void Pipeline::SetEpochObserver(EpochObserverFn observer) {
-  engine_->SetSlotSink(0, std::move(observer));
-}
-
-void Pipeline::SetEpochRecorder(EpochRecorderFn recorder) {
-  engine_->SetSlotSink(1, std::move(recorder));
-}
-
 EpochResult Pipeline::RunEpoch(const net::GroundTruthState& state,
                                const flow::DemandMatrix& true_demand,
                                const telemetry::SnapshotMutator& snapshot_fault,

@@ -82,10 +82,6 @@ struct EpochResult;
 // sink must not throw.
 using EpochSinkFn = std::function<void(const EpochResult&)>;
 
-// Deprecated aliases kept for the pre-AddEpochSink hook API.
-using EpochObserverFn = EpochSinkFn;
-using EpochRecorderFn = EpochSinkFn;
-
 // What to do when the validator rejects an input (paper §3 step 3:
 // "reject inputs that fail validation and fall back temporarily to the
 // last input state, or trigger an alert").
@@ -196,18 +192,11 @@ class Pipeline {
   void SetDeltaValidator(DeltaInputValidatorFn validator);
 
   // Subscribes a sink to every future epoch (see EpochSinkFn). Sinks are
-  // invoked in subscription order, after any observer/recorder installed
-  // through the deprecated setters below. Subscribe before the first
-  // RunEpoch; with threaded sinks, subscribing mid-run is rejected.
+  // invoked in subscription order. Subscribe before the first RunEpoch;
+  // with threaded sinks, subscribing mid-run is rejected. An empty
+  // function is a no-op subscription (skipped at dispatch), so conditional
+  // hooks can subscribe unconditionally.
   void AddEpochSink(EpochSinkFn sink);
-
-  // Deprecated: thin wrappers over the unified sink list, kept so existing
-  // call sites compile unchanged. SetEpochObserver/SetEpochRecorder each
-  // manage one named slot (setting again replaces, empty detaches — the
-  // recorder contract), invoked in that order before AddEpochSink sinks.
-  // New code should use AddEpochSink.
-  void SetEpochObserver(EpochObserverFn observer);
-  void SetEpochRecorder(EpochRecorderFn recorder);
 
   // Runs one epoch. `snapshot_fault` corrupts router telemetry (§2.1),
   // `aggregation_faults` corrupt service outputs (§2.2); both may be empty

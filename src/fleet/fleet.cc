@@ -1,0 +1,351 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "flow/tm_generators.h"
+#include "net/hierarchical_wan.h"
+#include "net/topologies.h"
+#include "obs/json.h"
+#include "obs/serve/telemetry_server.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace hodor::fleet {
+
+namespace {
+
+// Sparse matrices for the big generated families: a dense 400- or
+// 1000-node matrix is not a realistic WAN input (same policy and keep
+// ratio as the epoch-engine bench and live_pipeline).
+bool WantsSparseDemand(const net::Topology& topo) {
+  return topo.node_count() >= 100;
+}
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+net::Topology TopologyForSpec(const InstanceSpec& spec) {
+  if (spec.topology == "abilene") return net::Abilene();
+  if (spec.topology == "geant") return net::GeantLike();
+  if (spec.topology == "b4") return net::B4Like();
+  util::Rng topo_rng(spec.seed);
+  if (spec.topology == "waxman100") return net::Waxman(100, topo_rng);
+  if (spec.topology == "waxman400") return net::Waxman(400, topo_rng);
+  if (spec.topology == "hier400") {
+    return net::HierarchicalWan(net::HierarchicalWanPreset(400), topo_rng);
+  }
+  if (spec.topology == "hier1k") {
+    return net::HierarchicalWan(net::HierarchicalWanPreset(1000), topo_rng);
+  }
+  if (spec.topology == "hier10k") {
+    return net::HierarchicalWan(net::HierarchicalWanPreset(10000), topo_rng);
+  }
+  HODOR_CHECK_MSG(false, "unknown fleet topology '" + spec.topology +
+                             "' (abilene|geant|b4|waxman100|waxman400|"
+                             "hier400|hier1k|hier10k)");
+  return net::Abilene();  // unreachable
+}
+
+namespace {
+
+// The instance's pipeline configuration. Intra-instance stages stay
+// serial (num_threads = 1): the shared pool's unit of parallelism is the
+// instance, and nesting pool.Run calls is not supported by the fork-join
+// ThreadPool. exec_trace is off — N tracer rings for N instances would be
+// pure overhead on the fleet path.
+controlplane::PipelineOptions InstancePipelineOptions(
+    obs::MetricsRegistry* registry) {
+  controlplane::PipelineOptions opts;
+  // IGP-style SPF keeps the program stage proportionate at hier1k/hier10k
+  // scale — GreedyTe's k-shortest-paths on a 1000-node slice would drown
+  // the fleet in one instance's controller (same call as bench_epoch_engine).
+  opts.controller.algorithm = controlplane::RoutingAlgorithm::kShortestPath;
+  opts.num_threads = 1;
+  opts.threaded_sinks = false;
+  opts.exec_trace = false;
+  opts.metrics = registry;
+  return opts;
+}
+
+core::ValidatorOptions InstanceValidatorOptions(
+    obs::MetricsRegistry* registry) {
+  core::ValidatorOptions opts;
+  opts.hardening.num_threads = 1;
+  opts.metrics = registry;
+  return opts;
+}
+
+flow::DemandMatrix BaseDemand(const net::Topology& topo,
+                              const InstanceSpec& spec) {
+  util::Rng demand_rng(spec.seed);
+  flow::DemandMatrix base = flow::GravityDemand(topo, demand_rng);
+  if (WantsSparseDemand(topo)) {
+    const auto pairs = base.Pairs();
+    const double keep =
+        std::min(1.0, 2.0 * static_cast<double>(topo.node_count()) /
+                          static_cast<double>(pairs.size()));
+    util::Rng sparsify_rng(spec.seed + 29);
+    for (const auto& [i, j] : pairs) {
+      if (sparsify_rng.Uniform(0.0, 1.0) > keep) base.Set(i, j, 0.0);
+    }
+  }
+  flow::NormalizeToMaxUtilization(topo, spec.max_utilization, base);
+  return base;
+}
+
+}  // namespace
+
+FleetInstance::FleetInstance(InstanceSpec spec)
+    : spec_(std::move(spec)),
+      topo_(TopologyForSpec(spec_)),
+      state_(topo_),
+      base_demand_(BaseDemand(topo_, spec_)),
+      catalog_(topo_),
+      validator_(topo_, InstanceValidatorOptions(&registry_)),
+      pipeline_(topo_, InstancePipelineOptions(&registry_),
+                util::Rng(spec_.seed)) {
+  if (!spec_.scenario.empty()) {
+    auto found = catalog_.Find(spec_.scenario);
+    HODOR_CHECK_MSG(found.ok(), "instance '" + spec_.name +
+                                    "': unknown scenario '" + spec_.scenario +
+                                    "'");
+    scenario_ = found.value();
+  }
+  pipeline_.SetDeltaValidator(validator_.AsDeltaPipelineValidator());
+  if (!spec_.record_path.empty()) {
+    const util::Status opened = recorder_.Open(spec_.record_path, topo_);
+    if (opened.ok()) {
+      pipeline_.AddEpochSink(recorder_.Hook());
+      recording_ = true;
+    } else {
+      HODOR_LOG(kWarning) << "fleet instance " << spec_.name
+                          << ": recorder: " << opened.ToString();
+    }
+  }
+  pipeline_.Bootstrap(state_, base_demand_);
+  // Construction happens on the control thread; rounds run on pool
+  // workers. Hand the registry to whichever thread mutates it next.
+  registry_.ReleaseOwnerThread();
+}
+
+FleetInstance::~FleetInstance() { (void)Close(); }
+
+util::Status FleetInstance::Close() {
+  if (!recording_ || recorder_closed_) return util::Status::Ok();
+  recorder_closed_ = true;
+  return recorder_.Close();
+}
+
+std::size_t FleetInstance::RunEpochs(std::size_t count) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t ran = 0;
+  while (ran < count && epochs_done_ < spec_.epochs) {
+    const std::uint64_t epoch = epochs_done_;
+    const bool faulted = scenario_ != nullptr && epoch >= spec_.fault_start &&
+                         epoch < spec_.fault_end;
+    if (scenario_ != nullptr && epoch == spec_.fault_start &&
+        scenario_->setup) {
+      scenario_->setup(state_);
+    }
+    if (scenario_ != nullptr) {
+      // Explicit stamp: scenarios may inject via ground truth, which the
+      // engine's hook-based inference cannot see.
+      if (faulted) {
+        pipeline_.SetFaultStamp(faults::ActiveFaultClasses(*scenario_));
+      } else {
+        pipeline_.ClearFaultStamp();
+      }
+    }
+
+    // Per-epoch drift, a pure function of (seed, epoch): production-like
+    // telemetry wobble that keeps the delta path honest, reproduced
+    // exactly by StandaloneDigests.
+    util::Rng drift(spec_.seed * 1000003 + epoch);
+    flow::DemandMatrix demand = base_demand_;
+    for (const auto& [i, j] : base_demand_.Pairs()) {
+      demand.Set(i, j,
+                 base_demand_.At(i, j) * (1.0 + drift.Uniform(-0.03, 0.03)));
+    }
+
+    const controlplane::EpochResult r = pipeline_.RunEpoch(
+        state_, demand, faulted ? scenario_->snapshot_fault : nullptr,
+        faulted ? scenario_->aggregation
+                : controlplane::AggregationFaultHooks{});
+
+    digests_.push_back(r.decision.provenance.CanonicalDigest());
+    active_faults_ = r.fault_classes;
+    if (r.decision.accept) {
+      ++accepts_;
+    } else {
+      ++rejects_;
+    }
+    board_.ObserveEpoch(r.decision.provenance);
+    detection_.ObserveEpoch(r.epoch, r.fault_classes, r.decision.provenance,
+                            &registry_);
+    board_.PublishGauges(&registry_);
+
+    ++epochs_done_;
+    ++ran;
+  }
+  seconds_ += Seconds(std::chrono::steady_clock::now() - t0);
+  // Next round may land on a different pool worker; release the
+  // debug-build thread binding so the hand-off is legal.
+  registry_.ReleaseOwnerThread();
+  return ran;
+}
+
+double FleetInstance::epochs_per_sec() const {
+  if (seconds_ <= 0.0) return 0.0;
+  return static_cast<double>(epochs_done_) / seconds_;
+}
+
+std::vector<std::uint64_t> StandaloneDigests(const InstanceSpec& spec) {
+  InstanceSpec standalone = spec;
+  standalone.record_path.clear();  // the oracle never re-records
+  FleetInstance instance(std::move(standalone));
+  while (!instance.done()) {
+    instance.RunEpochs(instance.spec().epochs);
+  }
+  return instance.digests();
+}
+
+FleetManager::FleetManager(FleetOptions opts) : opts_(opts) {
+  if (opts_.epochs_per_round == 0) opts_.epochs_per_round = 1;
+  if (opts_.threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(opts_.threads);
+  }
+}
+
+FleetInstance& FleetManager::AddInstance(InstanceSpec spec) {
+  for (const auto& existing : instances_) {
+    HODOR_CHECK_MSG(existing->spec().name != spec.name,
+                    "duplicate fleet instance name: " + spec.name);
+  }
+  instances_.push_back(std::make_unique<FleetInstance>(std::move(spec)));
+  return *instances_.back();
+}
+
+bool FleetManager::RunRound() {
+  // Collect unfinished instances first so every pool task does real work.
+  std::vector<FleetInstance*> active;
+  active.reserve(instances_.size());
+  for (const auto& instance : instances_) {
+    if (!instance->done()) active.push_back(instance.get());
+  }
+  if (active.empty()) return false;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t per_round = opts_.epochs_per_round;
+  if (pool_ != nullptr) {
+    pool_->Run(active.size(), [&](std::size_t i) {
+      active[i]->RunEpochs(per_round);
+    });
+  } else {
+    for (FleetInstance* instance : active) instance->RunEpochs(per_round);
+  }
+  round_seconds_ += Seconds(std::chrono::steady_clock::now() - t0);
+  ++rounds_;
+
+  // Rebuild the scoreboard registry: instances accumulate, so the merge
+  // starts from empty each round (repeated MergeFrom of cumulative
+  // registries would double-count counters).
+  merged_.Reset();
+  for (const auto& instance : instances_) {
+    merged_.MergeFrom(instance->registry(),
+                      {{"instance", instance->spec().name}});
+  }
+
+  for (const auto& instance : instances_) {
+    if (!instance->done()) return true;
+  }
+  return false;
+}
+
+void FleetManager::RunAll() {
+  while (RunRound()) {
+  }
+}
+
+std::uint64_t FleetManager::epochs_total() const {
+  std::uint64_t total = 0;
+  for (const auto& instance : instances_) total += instance->epochs_done();
+  return total;
+}
+
+double FleetManager::aggregate_epochs_per_sec() const {
+  if (round_seconds_ <= 0.0) return 0.0;
+  return static_cast<double>(epochs_total()) / round_seconds_;
+}
+
+std::string FleetManager::ScoreboardJson() const {
+  // Laggard ranking: 1 = slowest instance by epoch rate (the one an
+  // operator investigates first). Finished-vs-running does not matter —
+  // the rate is wall-clock inside RunEpochs only.
+  std::vector<const FleetInstance*> by_rate;
+  by_rate.reserve(instances_.size());
+  for (const auto& instance : instances_) by_rate.push_back(instance.get());
+  std::sort(by_rate.begin(), by_rate.end(),
+            [](const FleetInstance* a, const FleetInstance* b) {
+              if (a->epochs_per_sec() != b->epochs_per_sec()) {
+                return a->epochs_per_sec() < b->epochs_per_sec();
+              }
+              return a->spec().name < b->spec().name;
+            });
+  std::map<const FleetInstance*, std::size_t> rank;
+  for (std::size_t i = 0; i < by_rate.size(); ++i) rank[by_rate[i]] = i + 1;
+
+  std::ostringstream os;
+  os << "{\"summary\":{\"instances\":" << instances_.size()
+     << ",\"threads\":" << threads() << ",\"rounds\":" << rounds_
+     << ",\"epochs_total\":" << epochs_total()
+     << ",\"aggregate_epochs_per_sec\":"
+     << obs::JsonNumber(aggregate_epochs_per_sec()) << "},\"instances\":[";
+  bool first = true;
+  for (const auto& instance : instances_) {
+    if (!first) os << ",";
+    first = false;
+    const InstanceSpec& spec = instance->spec();
+    os << "{\"name\":\"" << obs::JsonEscape(spec.name) << "\""
+       << ",\"topology\":\"" << obs::JsonEscape(spec.topology) << "\""
+       << ",\"nodes\":" << instance->topology().node_count()
+       << ",\"seed\":" << spec.seed
+       << ",\"scenario\":\"" << obs::JsonEscape(spec.scenario) << "\""
+       << ",\"epochs_done\":" << instance->epochs_done()
+       << ",\"epochs_target\":" << spec.epochs
+       << ",\"done\":" << (instance->done() ? "true" : "false")
+       << ",\"epochs_per_sec\":"
+       << obs::JsonNumber(instance->epochs_per_sec())
+       << ",\"accepts\":" << instance->accepts()
+       << ",\"rejects\":" << instance->rejects()
+       << ",\"min_trust\":" << obs::JsonNumber(instance->board().MinTrust())
+       << ",\"active_faults\":[";
+    bool first_fault = true;
+    for (const std::string& fault : instance->active_faults()) {
+      if (!first_fault) os << ",";
+      first_fault = false;
+      os << "\"" << obs::JsonEscape(fault) << "\"";
+    }
+    os << "],\"laggard_rank\":" << rank[instance.get()]
+       << ",\"last_digest\":\""
+       << (instance->digests().empty()
+               ? ""
+               : util::FormatHex64(instance->digests().back()))
+       << "\",\"slo\":" << instance->detection().SloJson() << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void FleetManager::PublishTo(obs::TelemetryServer& server) const {
+  server.PublishFleet(ScoreboardJson());
+  server.PublishMetrics(&merged_);
+}
+
+}  // namespace hodor::fleet

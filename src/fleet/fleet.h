@@ -1,0 +1,206 @@
+// Fleet mode: many independent validation instances over one shared pool.
+//
+// The paper's deployment target is not one WAN graph but an operator
+// running dozens of slices (ROADMAP item 3: "many topologies × high epoch
+// rates over shared cores"). A FleetInstance is one complete validation
+// world — its own topology, ground truth, scenario schedule, delta-aware
+// validator, per-instance MetricsRegistry, trust board, detection-latency
+// tracker, and optional flight recorder — driven by its own seeded Rng.
+// FleetManager schedules N of them over one util::ThreadPool in rounds
+// (one pool task per instance per round; the pool is fork-join and
+// single-caller, so parallelism is inter-instance by design) and folds the
+// per-instance registries into one instance-labeled scoreboard registry
+// (`hodor_*{...,instance="..."}`) plus a /fleet JSON scoreboard.
+//
+// Isolation contract: an instance shares NOTHING mutable with its
+// neighbours — no global registry (both PipelineOptions::metrics and
+// ValidatorOptions::metrics point at the instance's own), no global rng,
+// no cross-instance buffers. Every random draw is a pure function of
+// (spec.seed, epoch). Consequently an instance's per-epoch
+// DecisionRecord::CanonicalDigest stream is bit-identical to a standalone
+// run of the same spec at any pool size and any instance mix —
+// StandaloneDigests() is the oracle and scripts/check_build.sh
+// --fleet-gate enforces the equivalence at threads 1 and 4.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controlplane/pipeline.h"
+#include "core/validator.h"
+#include "faults/scenario_catalog.h"
+#include "flow/demand_matrix.h"
+#include "net/state.h"
+#include "net/topology.h"
+#include "obs/detection.h"
+#include "obs/health/signal_health.h"
+#include "obs/metrics.h"
+#include "replay/recorder.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hodor::obs {
+class TelemetryServer;
+}
+
+namespace hodor::fleet {
+
+// One instance's complete configuration. Everything an instance does —
+// topology generation, demand, drift, fault schedule — derives from this
+// struct alone, which is what makes fleet/standalone equivalence testable.
+struct InstanceSpec {
+  // Unique scoreboard label ("abilene-0"); also the `instance` label value
+  // on merged metrics.
+  std::string name;
+  // abilene | geant | b4 | waxman100 | waxman400 | hier400 | hier1k |
+  // hier10k. Generated topologies (waxman*, hier*) are seeded by `seed`.
+  std::string topology = "abilene";
+  std::uint64_t seed = 1;
+  // Total control epochs this instance runs.
+  std::uint64_t epochs = 8;
+  // Outage scenario id from faults::ScenarioCatalog, injected over
+  // [fault_start, fault_end); empty = healthy run.
+  std::string scenario;
+  std::uint64_t fault_start = 3;
+  std::uint64_t fault_end = 6;
+  // Demand normalization target (max link utilization of the base matrix).
+  double max_utilization = 0.35;
+  // Optional flight-recorder output (replay::PipelineRecorder).
+  std::string record_path;
+};
+
+// Builds the spec's topology. Generated families draw from Rng(spec.seed),
+// so the same spec always yields the same graph (net::StructuralDigest).
+// Unknown names raise via HODOR_CHECK.
+net::Topology TopologyForSpec(const InstanceSpec& spec);
+
+// The digest stream a standalone run of `spec` produces: constructs a
+// fresh instance and runs every epoch inline on the calling thread. The
+// fleet gate compares each fleet instance's stream against this oracle.
+std::vector<std::uint64_t> StandaloneDigests(const InstanceSpec& spec);
+
+class FleetInstance {
+ public:
+  explicit FleetInstance(InstanceSpec spec);
+  ~FleetInstance();
+
+  FleetInstance(const FleetInstance&) = delete;
+  FleetInstance& operator=(const FleetInstance&) = delete;
+
+  // Runs up to `count` more epochs inline on the calling thread; returns
+  // how many actually ran (0 when the schedule is exhausted). Callable
+  // from a different thread each round — the instance hands its registry
+  // to the next owner on exit.
+  std::size_t RunEpochs(std::size_t count);
+
+  bool done() const { return epochs_done_ >= spec_.epochs; }
+  std::uint64_t epochs_done() const { return epochs_done_; }
+  const InstanceSpec& spec() const { return spec_; }
+  const net::Topology& topology() const { return topo_; }
+
+  // One CanonicalDigest per completed epoch, in epoch order.
+  const std::vector<std::uint64_t>& digests() const { return digests_; }
+
+  // Wall-clock spent inside RunEpochs so far, and the resulting rate.
+  double seconds() const { return seconds_; }
+  double epochs_per_sec() const;
+
+  const obs::MetricsRegistry& registry() const { return registry_; }
+  const obs::SignalHealthBoard& board() const { return board_; }
+  const obs::DetectionLatencyTracker& detection() const { return detection_; }
+  // Fault classes active at the most recently completed epoch.
+  const std::vector<std::string>& active_faults() const {
+    return active_faults_;
+  }
+  std::uint64_t accepts() const { return accepts_; }
+  std::uint64_t rejects() const { return rejects_; }
+
+  // Closes the flight recorder, if one is open. Also run by the destructor.
+  util::Status Close();
+
+ private:
+  InstanceSpec spec_;
+  net::Topology topo_;
+  net::GroundTruthState state_;
+  flow::DemandMatrix base_demand_;
+  faults::ScenarioCatalog catalog_;
+  const faults::OutageScenario* scenario_ = nullptr;  // null = healthy run
+
+  obs::MetricsRegistry registry_;
+  core::Validator validator_;
+  controlplane::Pipeline pipeline_;
+  replay::PipelineRecorder recorder_;
+  bool recording_ = false;
+  bool recorder_closed_ = false;
+
+  obs::SignalHealthBoard board_;
+  obs::DetectionLatencyTracker detection_;
+
+  std::uint64_t epochs_done_ = 0;
+  std::vector<std::uint64_t> digests_;
+  std::vector<std::string> active_faults_;
+  std::uint64_t accepts_ = 0;
+  std::uint64_t rejects_ = 0;
+  double seconds_ = 0.0;
+};
+
+struct FleetOptions {
+  // Shared pool width. 1 = all instances run serially on the calling
+  // thread (bit-identical results either way — the equivalence the fleet
+  // gate checks).
+  std::size_t threads = 1;
+  // Epochs each instance advances per scheduling round. Small values keep
+  // the scoreboard fresh; large values amortize dispatch.
+  std::size_t epochs_per_round = 2;
+};
+
+class FleetManager {
+ public:
+  explicit FleetManager(FleetOptions opts = {});
+
+  // Adds one instance. Names must be unique (scoreboard identity). Add
+  // every instance before the first RunRound.
+  FleetInstance& AddInstance(InstanceSpec spec);
+
+  // Advances every unfinished instance by up to epochs_per_round epochs —
+  // one shared-pool task per instance — then refreshes the merged
+  // registry. Returns false once every instance is done.
+  bool RunRound();
+
+  // Rounds until completion.
+  void RunAll();
+
+  const std::vector<std::unique_ptr<FleetInstance>>& instances() const {
+    return instances_;
+  }
+  std::size_t rounds() const { return rounds_; }
+  std::size_t threads() const { return pool_ ? pool_->thread_count() : 1; }
+  std::uint64_t epochs_total() const;
+  // Fleet throughput: total epochs / wall-clock of all rounds so far.
+  double aggregate_epochs_per_sec() const;
+
+  // Per-instance series merged under an added `instance` label, rebuilt
+  // each round: hodor_epochs_total{instance="abilene-0"} etc.
+  const obs::MetricsRegistry& registry() const { return merged_; }
+
+  // The /fleet payload: {"summary":{...},"instances":[...]} with
+  // per-instance epoch rate, trust floor, verdict counts, active faults,
+  // embedded SLO scorecard, and laggard ranking (1 = slowest).
+  std::string ScoreboardJson() const;
+
+  // PublishFleet(ScoreboardJson()) + PublishMetrics(merged registry).
+  void PublishTo(obs::TelemetryServer& server) const;
+
+ private:
+  FleetOptions opts_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when threads <= 1
+  std::vector<std::unique_ptr<FleetInstance>> instances_;
+  obs::MetricsRegistry merged_;
+  std::size_t rounds_ = 0;
+  double round_seconds_ = 0.0;
+};
+
+}  // namespace hodor::fleet

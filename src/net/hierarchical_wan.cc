@@ -1,0 +1,112 @@
+#include "net/hierarchical_wan.h"
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hodor::net {
+
+Topology HierarchicalWan(const HierarchicalWanParams& params, util::Rng& rng) {
+  HODOR_CHECK_MSG(params.cores >= 3, "hierarchical WAN needs >= 3 cores");
+  HODOR_CHECK_MSG(params.aggs_per_core >= 1, "need >= 1 agg per core");
+  HODOR_CHECK_MSG(params.edges_per_agg >= 1, "need >= 1 edge per agg");
+
+  const std::size_t total =
+      params.cores * (1 + params.aggs_per_core * (1 + params.edges_per_agg));
+  Topology topo("hier" + std::to_string(total));
+
+  // Core ring. Metric 1 on ring links keeps shortest paths following the
+  // physical backbone by default.
+  std::vector<NodeId> cores;
+  cores.reserve(params.cores);
+  for (std::size_t c = 0; c < params.cores; ++c) {
+    cores.push_back(topo.AddNode("core" + std::to_string(c)));
+  }
+  for (std::size_t c = 0; c < params.cores; ++c) {
+    topo.AddBidirectionalLink(cores[c], cores[(c + 1) % params.cores],
+                              params.core_capacity);
+  }
+  // Seeded express chords between non-adjacent cores. Iteration order is
+  // fixed (lexicographic pairs), so the rng draw sequence — and therefore
+  // the resulting graph — is a pure function of the seed.
+  for (std::size_t a = 0; a < params.cores; ++a) {
+    for (std::size_t b = a + 2; b < params.cores; ++b) {
+      if (a == 0 && b == params.cores - 1) continue;  // already a ring link
+      if (rng.Bernoulli(params.core_chord_prob)) {
+        topo.AddBidirectionalLink(cores[a], cores[b], params.core_capacity,
+                                  /*metric=*/2.0);
+      }
+    }
+  }
+
+  // Aggregation tier: dual-homed to parent core and the next core over.
+  std::vector<std::vector<NodeId>> aggs(params.cores);
+  for (std::size_t c = 0; c < params.cores; ++c) {
+    aggs[c].reserve(params.aggs_per_core);
+    for (std::size_t a = 0; a < params.aggs_per_core; ++a) {
+      const NodeId agg = topo.AddNode("agg" + std::to_string(c) + "-" +
+                                      std::to_string(a));
+      aggs[c].push_back(agg);
+      topo.AddBidirectionalLink(agg, cores[c], params.agg_capacity);
+      topo.AddBidirectionalLink(agg, cores[(c + 1) % params.cores],
+                                params.agg_capacity, /*metric=*/2.0);
+    }
+  }
+
+  // Edge tier: homed to the parent agg plus a seeded-random second agg in
+  // the same core region (falls back to a neighbouring region's agg when
+  // the region has only one). External ports live here and only here.
+  for (std::size_t c = 0; c < params.cores; ++c) {
+    for (std::size_t a = 0; a < params.aggs_per_core; ++a) {
+      for (std::size_t e = 0; e < params.edges_per_agg; ++e) {
+        const NodeId edge = topo.AddNode(
+            "edge" + std::to_string(c) + "-" + std::to_string(a) + "-" +
+            std::to_string(e));
+        topo.AddBidirectionalLink(edge, aggs[c][a], params.edge_capacity);
+        NodeId second;
+        if (params.aggs_per_core > 1) {
+          // A random sibling agg other than the parent.
+          std::size_t pick = rng.Index(params.aggs_per_core - 1);
+          if (pick >= a) ++pick;
+          second = aggs[c][pick];
+        } else {
+          second = aggs[(c + 1) % params.cores][0];
+        }
+        topo.AddBidirectionalLink(edge, second, params.edge_capacity,
+                                  /*metric=*/2.0);
+        topo.AddExternalPort(edge, params.external_capacity);
+      }
+    }
+  }
+
+  HODOR_CHECK(topo.node_count() == total);
+  return topo;
+}
+
+HierarchicalWanParams HierarchicalWanPreset(std::size_t approx_nodes) {
+  HierarchicalWanParams p;
+  switch (approx_nodes) {
+    case 400:
+      p.cores = 4;
+      p.aggs_per_core = 4;
+      p.edges_per_agg = 24;  // 4 * (1 + 4 * 25) = 404
+      return p;
+    case 1000:
+      p.cores = 8;
+      p.aggs_per_core = 4;
+      p.edges_per_agg = 30;  // 8 * (1 + 4 * 31) = 1000
+      return p;
+    case 10000:
+      p.cores = 16;
+      p.aggs_per_core = 8;
+      p.edges_per_agg = 77;  // 16 * (1 + 8 * 78) = 10000
+      return p;
+    default:
+      HODOR_CHECK_MSG(false, "no hierarchical WAN preset for " +
+                                 std::to_string(approx_nodes) + " nodes");
+  }
+  return p;  // unreachable
+}
+
+}  // namespace hodor::net

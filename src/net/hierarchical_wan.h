@@ -1,0 +1,61 @@
+// Seeded hierarchical WAN generator for fleet-scale experiments.
+//
+// Real operator WANs are not flat random graphs: they are built in tiers —
+// a small full-bandwidth core, a middle aggregation layer dual-homed into
+// the core, and a wide edge tier where customer/datacenter traffic actually
+// attaches. The generator reproduces that shape at 400–10k nodes so fleet
+// experiments can mix realistic large slices with the canned research
+// topologies (Abilene, waxman100/400) without shipping a 10k-node file.
+//
+// Structure (connected by construction):
+//  - Core tier: a ring over `cores` routers plus seeded random chords
+//    (probability `core_chord_prob` per non-ring pair). Highest capacity.
+//  - Aggregation tier: `aggs_per_core` routers per core, each dual-homed to
+//    its parent core and the next core around the ring (survives any single
+//    core failure).
+//  - Edge tier: `edges_per_agg` routers per aggregation, each homed to its
+//    parent and to a second, seeded-random aggregation in the same core
+//    region. Only edge routers carry external ports — demand enters and
+//    leaves at the edge, transits agg/core.
+//
+// Total nodes = cores * (1 + aggs_per_core * (1 + edges_per_agg)).
+// The rng drives chord selection and secondary edge homing, so the same
+// seed yields a bit-identical topology (see net::StructuralDigest) and
+// different seeds yield structurally different graphs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace hodor::net {
+
+struct HierarchicalWanParams {
+  std::size_t cores = 8;
+  std::size_t aggs_per_core = 4;
+  std::size_t edges_per_agg = 30;
+  // Probability of an extra core-core chord beyond the ring, per pair.
+  double core_chord_prob = 0.3;
+  // Capacity tiers, Gbps per direction.
+  double core_capacity = 400.0;
+  double agg_capacity = 100.0;
+  double edge_capacity = 25.0;
+  // External port capacity on edge routers.
+  double external_capacity = 50.0;
+};
+
+// Generates one hierarchical WAN. Preconditions: cores >= 3 (ring),
+// aggs_per_core >= 1, edges_per_agg >= 1.
+Topology HierarchicalWan(const HierarchicalWanParams& params, util::Rng& rng);
+
+// Canned parameter sets by approximate node count. Accepts 400, 1000
+// (alias 1k) and 10000 (alias 10k):
+//   400   -> 4 cores x 4 aggs x 24 edges   = 404 nodes
+//   1000  -> 8 cores x 4 aggs x 30 edges   = 1000 nodes
+//   10000 -> 16 cores x 8 aggs x 77 edges  = 10000 nodes
+// Any other value CHECK-fails.
+HierarchicalWanParams HierarchicalWanPreset(std::size_t approx_nodes);
+
+}  // namespace hodor::net

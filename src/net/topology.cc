@@ -1,5 +1,6 @@
 #include "net/topology.h"
 
+#include <cstdint>
 #include <sstream>
 
 namespace hodor::net {
@@ -111,6 +112,52 @@ std::vector<NodeId> Topology::ExternalNodes() const {
 
 const std::string& Topology::LinkNameRef(LinkId id) const {
   return link_name_cache_[link(id).id.value()];
+}
+
+namespace {
+
+// Local FNV-1a 64: net links only hodor_util, and the digest must stay
+// stable independent of any hashing changes elsewhere in the tree.
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void HashBytes(std::uint64_t* h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashString(std::uint64_t* h, const std::string& s) {
+  HashBytes(h, s.data(), s.size());
+  const unsigned char sep = 0xff;  // length-prefix-free field separator
+  HashBytes(h, &sep, 1);
+}
+
+void HashU64(std::uint64_t* h, std::uint64_t v) { HashBytes(h, &v, sizeof v); }
+
+void HashDouble(std::uint64_t* h, double v) { HashBytes(h, &v, sizeof v); }
+
+}  // namespace
+
+std::uint64_t StructuralDigest(const Topology& topo) {
+  std::uint64_t h = kFnvOffset;
+  HashString(&h, topo.name());
+  HashU64(&h, topo.node_count());
+  for (const Node& n : topo.nodes()) {
+    HashString(&h, n.name);
+    HashU64(&h, n.has_external_port ? 1 : 0);
+    if (n.has_external_port) HashDouble(&h, n.external_capacity);
+  }
+  HashU64(&h, topo.link_count());
+  for (const Link& l : topo.links()) {
+    HashU64(&h, l.src.value());
+    HashU64(&h, l.dst.value());
+    HashDouble(&h, l.capacity);
+    HashDouble(&h, l.metric);
+  }
+  return h;
 }
 
 util::Status Topology::Validate() const {

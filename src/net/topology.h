@@ -14,6 +14,7 @@
 //    Demand originates and terminates only at nodes with external ports.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -118,5 +119,13 @@ class Topology {
   // per directed link) so const lookups stay read-only and thread-safe.
   std::vector<std::string> link_name_cache_;
 };
+
+// Order-sensitive structural fingerprint: FNV-1a 64 over node names,
+// external ports, and directed links (endpoints, capacity, metric).
+// Two topologies built by the same construction sequence hash equal; any
+// structural difference — renamed node, flipped capacity, reordered add —
+// hashes different. Used by the generator tests (seeded determinism) and
+// the fleet gate to pin "same topology" down to the bit level.
+std::uint64_t StructuralDigest(const Topology& topo);
 
 }  // namespace hodor::net

@@ -87,13 +87,28 @@ void MetricsRegistry::AssertOwnedByCurrentThread() {
 }
 
 void MetricsRegistry::MergeFrom(const MetricsRegistry& src) {
+  MergeFrom(src, Labels{});
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& src,
+                                const Labels& extra_labels) {
   AssertOwnedByCurrentThread();
   for (const auto& [name, src_family] : src.families_) {
     Family& family = GetFamily(name, src_family.type, src_family.help);
     for (const auto& [key, src_series] : src_family.series) {
-      auto [it, inserted] = family.series.try_emplace(key);
+      // With extra labels the destination series identity differs from the
+      // source's: re-sort and re-render so label order stays canonical.
+      Labels dst_labels = src_series.labels;
+      std::string dst_key = key;
+      if (!extra_labels.empty()) {
+        dst_labels.insert(dst_labels.end(), extra_labels.begin(),
+                          extra_labels.end());
+        dst_labels = SortedLabels(dst_labels);
+        dst_key = RenderLabels(dst_labels);
+      }
+      auto [it, inserted] = family.series.try_emplace(dst_key);
       Series& series = it->second;
-      if (inserted) series.labels = src_series.labels;
+      if (inserted) series.labels = dst_labels;
       switch (src_family.type) {
         case MetricType::kCounter:
           if (!series.counter) series.counter = std::make_unique<Counter>();

@@ -182,6 +182,14 @@ class MetricsRegistry {
   // afterwards so each merge carries one stage's delta.
   void MergeFrom(const MetricsRegistry& src);
 
+  // MergeFrom variant that stamps `extra_labels` onto every merged series —
+  // how the fleet folds per-instance registries into one scoreboard registry
+  // as `hodor_*{...,instance="abilene-0"}` without the instances knowing
+  // they are being aggregated. `extra_labels` keys must not collide with
+  // keys the source series already carry (the rendered selector would hold
+  // the key twice).
+  void MergeFrom(const MetricsRegistry& src, const Labels& extra_labels);
+
   // Makes this registry an exact value mirror of `src` (the epoch engine's
   // per-epoch snapshot for the sink thread). Series present in `src` are
   // overwritten in place — steady state allocates nothing — and series

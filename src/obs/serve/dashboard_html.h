@@ -153,6 +153,9 @@ th:nth-child(2), td:nth-child(2) { text-align: left; }
 <h2>Alerts</h2>
 <div class="chips" id="alerts"><span class="empty">none</span></div>
 
+<h2>Fleet</h2>
+<div id="fleet"><span class="empty">not running in fleet mode</span></div>
+
 <script>
 "use strict";
 const RESOLUTIONS = ["raw", "10", "100"];
@@ -420,6 +423,36 @@ function renderAlerts(alerts) {
       : '<span class="empty">none</span>';
 }
 
+function renderFleet(fleet) {
+  // An empty scoreboard (instances: 0) is the pre-publication default —
+  // this process is not a FleetManager, so leave the placeholder.
+  if (!fleet.summary || !fleet.summary.instances) return;
+  const s = fleet.summary;
+  let html = `<p class="empty">${s.instances} instances · ` +
+             `${s.threads} pool thread(s) · ${s.rounds} rounds · ` +
+             `${s.epochs_total} epochs · ` +
+             `${fmt(s.aggregate_epochs_per_sec)} epochs/s aggregate</p>`;
+  html += "<table><tr><th>instance</th><th>topology</th><th>nodes</th>" +
+          "<th>epochs</th><th>epochs/s</th><th>accept</th><th>reject</th>" +
+          "<th>min trust</th><th>faults</th><th>SLO</th><th>rank</th></tr>";
+  for (const inst of fleet.instances) {
+    const prog = `${inst.epochs_done}/${inst.epochs_target}` +
+                 (inst.done ? "" : " …");
+    const faults = inst.active_faults.length
+        ? esc(inst.active_faults.join(", ")) : "–";
+    const slo = inst.slo && "ok" in inst.slo
+        ? (inst.slo.ok ? "ok" : "MISS") : "–";
+    html += `<tr><td>${esc(inst.name)}</td><td>${esc(inst.topology)}</td>` +
+            `<td>${inst.nodes}</td><td>${prog}</td>` +
+            `<td>${fmt(inst.epochs_per_sec)}</td><td>${inst.accepts}</td>` +
+            `<td>${inst.rejects}</td><td>${fmt(inst.min_trust)}</td>` +
+            `<td>${faults}</td><td>${slo}</td>` +
+            `<td>${inst.laggard_rank}</td></tr>`;
+  }
+  html += "</table>";
+  el("fleet").innerHTML = html;
+}
+
 function renderResToggle() {
   el("res-toggle").innerHTML = RESOLUTIONS.map(r =>
       `<button class="${r === resolution ? "on" : ""}"` +
@@ -432,7 +465,8 @@ function renderResToggle() {
 async function refresh() {
   clearTimeout(timer);
   try {
-    const [build, healthz, slo, trust, faults, traces, alerts, dirty, skips] =
+    const [build, healthz, slo, trust, faults, traces, alerts, dirty, skips,
+           fleet] =
         await Promise.all([
           getJson("/buildz"), getJson("/healthz"), getJson("/slo"),
           getJson(`/query?series=hodor_signal_trust*&res=${resolution}&last=120`),
@@ -440,6 +474,7 @@ async function refresh() {
           getJson("/trace?last=1"), getJson("/alerts"),
           getJson("/query?series=hodor_dirty_signals*&res=raw&last=120"),
           getJson("/query?series=hodor_incremental_skips_total*&res=raw&last=121"),
+          getJson("/fleet"),
         ]);
     el("build").textContent = `${build.git} · up ${build.uptime_seconds}s · ` +
         `${build.hodor_threads}/${build.hardware_threads} threads`;
@@ -452,6 +487,7 @@ async function refresh() {
     renderCritPath(traces);
     renderAlerts(alerts);
     renderDelta(dirty, skips);
+    renderFleet(fleet);
   } catch (err) {
     el("status").textContent = "disconnected (" + err.message + ")";
   }

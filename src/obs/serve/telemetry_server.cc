@@ -191,54 +191,71 @@ void TelemetryServer::HandleConnection(int client_fd) {
   }
 }
 
+const std::vector<TelemetryServer::Route>& TelemetryServer::Routes() {
+  // Declaration order is presentation order on "/". "/" itself routes like
+  // any other entry but is filtered out of the index it renders.
+  static const std::vector<Route> routes = {
+      {"/metrics", &TelemetryServer::HandleMetrics},
+      {"/metrics.json", &TelemetryServer::HandleMetricsJson},
+      {"/healthz", &TelemetryServer::RenderHealthz},
+      {"/decisions", &TelemetryServer::RenderDecisions},
+      {"/trace", &TelemetryServer::RenderTrace},
+      {"/health/signals", &TelemetryServer::HandleSignals},
+      {"/alerts", &TelemetryServer::HandleAlerts},
+      {"/query", &TelemetryServer::RenderQuery},
+      {"/slo", &TelemetryServer::HandleSlo},
+      {"/fleet", &TelemetryServer::HandleFleet},
+      {"/buildz", &TelemetryServer::RenderBuildz},
+      {"/dashboard", &TelemetryServer::HandleDashboard},
+      {"/", &TelemetryServer::RenderIndex},
+  };
+  return routes;
+}
+
 std::string TelemetryServer::HandleRequest(const HttpRequest& request) {
   if (request.method != "GET") {
     return Respond(405, kJsonType,
                              "{\"error\":\"only GET is supported\"}");
   }
-  if (request.path == "/metrics") {
-    std::lock_guard<std::mutex> lock(mu_);
-    return Respond(200, kPrometheusType, metrics_text_);
-  }
-  if (request.path == "/metrics.json") {
-    std::lock_guard<std::mutex> lock(mu_);
-    return Respond(
-        200, kJsonType, metrics_json_.empty() ? "{}" : metrics_json_);
-  }
-  if (request.path == "/healthz") {
-    return Respond(200, kJsonType, RenderHealthz());
-  }
-  if (request.path == "/decisions") {
-    return RenderDecisions(request);
-  }
-  if (request.path == "/trace") {
-    return RenderTrace(request);
-  }
-  if (request.path == "/health/signals") {
-    std::lock_guard<std::mutex> lock(mu_);
-    return Respond(200, kJsonType, signals_json_);
-  }
-  if (request.path == "/alerts") {
-    std::lock_guard<std::mutex> lock(mu_);
-    return Respond(200, kJsonType, alerts_json_);
-  }
-  if (request.path == "/query") {
-    return RenderQuery(request);
-  }
-  if (request.path == "/slo") {
-    std::lock_guard<std::mutex> lock(mu_);
-    return Respond(200, kJsonType, slo_json_);
-  }
-  if (request.path == "/buildz") {
-    return Respond(200, kJsonType, RenderBuildz());
-  }
-  if (request.path == "/dashboard") {
-    return Respond(200, kHtmlType, kDashboardHtml);
-  }
-  if (request.path == "/") {
-    return Respond(200, kJsonType, RenderIndex());
+  for (const Route& route : Routes()) {
+    if (request.path == route.path) return (this->*route.handler)(request);
   }
   return Respond(404, kJsonType, "{\"error\":\"unknown path\"}");
+}
+
+std::string TelemetryServer::HandleMetrics(const HttpRequest&) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Respond(200, kPrometheusType, metrics_text_);
+}
+
+std::string TelemetryServer::HandleMetricsJson(const HttpRequest&) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Respond(200, kJsonType,
+                 metrics_json_.empty() ? "{}" : metrics_json_);
+}
+
+std::string TelemetryServer::HandleSignals(const HttpRequest&) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Respond(200, kJsonType, signals_json_);
+}
+
+std::string TelemetryServer::HandleAlerts(const HttpRequest&) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Respond(200, kJsonType, alerts_json_);
+}
+
+std::string TelemetryServer::HandleSlo(const HttpRequest&) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Respond(200, kJsonType, slo_json_);
+}
+
+std::string TelemetryServer::HandleFleet(const HttpRequest&) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Respond(200, kJsonType, fleet_json_);
+}
+
+std::string TelemetryServer::HandleDashboard(const HttpRequest&) {
+  return Respond(200, kHtmlType, kDashboardHtml);
 }
 
 std::string TelemetryServer::RenderQuery(const HttpRequest& request) {
@@ -286,7 +303,7 @@ std::string TelemetryServer::RenderQuery(const HttpRequest& request) {
   return Respond(200, kJsonType, store->QueryJson(query));
 }
 
-std::string TelemetryServer::RenderBuildz() {
+std::string TelemetryServer::RenderBuildz(const HttpRequest&) {
   const auto uptime =
       start_time_.time_since_epoch().count() == 0
           ? std::chrono::steady_clock::duration::zero()
@@ -297,17 +314,17 @@ std::string TelemetryServer::RenderBuildz() {
      << std::chrono::duration_cast<std::chrono::seconds>(uptime).count()
      << ",\"hardware_threads\":" << std::thread::hardware_concurrency()
      << ",\"hodor_threads\":" << util::ThreadsFromEnv(1) << "}";
-  return os.str();
+  return Respond(200, kJsonType, os.str());
 }
 
-std::string TelemetryServer::RenderHealthz() {
+std::string TelemetryServer::RenderHealthz(const HttpRequest&) {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "{\"status\":\"ok\",\"last_epoch\":" << last_published_epoch_
      << ",\"published_epochs\":" << published_epochs_
      << ",\"decisions_held\":" << decisions_.size()
      << ",\"requests_served\":" << requests_served_ << "}";
-  return os.str();
+  return Respond(200, kJsonType, os.str());
 }
 
 std::string TelemetryServer::RenderDecisions(const HttpRequest& request) {
@@ -360,10 +377,20 @@ std::string TelemetryServer::RenderTrace(const HttpRequest& request) {
   return Respond(200, kJsonType, os.str());
 }
 
-std::string TelemetryServer::RenderIndex() {
-  return "{\"endpoints\":[\"/metrics\",\"/metrics.json\",\"/healthz\","
-         "\"/decisions\",\"/trace\",\"/health/signals\",\"/alerts\","
-         "\"/query\",\"/slo\",\"/buildz\",\"/dashboard\"]}";
+std::string TelemetryServer::RenderIndex(const HttpRequest&) {
+  // Enumerates the route table so new endpoints list themselves; "/" is
+  // the page being rendered and is omitted.
+  std::ostringstream os;
+  os << "{\"endpoints\":[";
+  bool first = true;
+  for (const Route& route : Routes()) {
+    if (std::string_view(route.path) == "/") continue;
+    if (!first) os << ",";
+    os << "\"" << route.path << "\"";
+    first = false;
+  }
+  os << "]}";
+  return Respond(200, kJsonType, os.str());
 }
 
 void TelemetryServer::PublishMetrics(const MetricsRegistry* registry) {
@@ -408,6 +435,11 @@ void TelemetryServer::PublishTrace(std::uint64_t epoch,
 void TelemetryServer::PublishSlo(std::string slo_json) {
   std::lock_guard<std::mutex> lock(mu_);
   slo_json_ = std::move(slo_json);
+}
+
+void TelemetryServer::PublishFleet(std::string fleet_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fleet_json_ = std::move(fleet_json);
 }
 
 void TelemetryServer::PublishTimeSeries(

@@ -16,8 +16,12 @@
 //   /alerts        the AlertEngine lifecycle state (published upstream)
 //   /query         retained time series (?series=<glob>&last=N&res=raw|10|100)
 //   /slo           detection-latency / false-positive budget scorecard
+//   /fleet         fleet scoreboard (per-instance rates, trust, laggards)
 //   /buildz        build + host identity (git describe, uptime, threads)
 //   /dashboard     embedded single-file HTML dashboard (no external assets)
+//
+// Endpoints live in one route table that drives both dispatch and the "/"
+// index, so adding a route automatically lists it on the index page.
 //
 // Every response carries Cache-Control: no-store — each endpoint reports
 // live state, and a cached scrape is worse than a slow one.
@@ -44,6 +48,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/serve/http.h"
 
@@ -106,6 +111,9 @@ class TelemetryServer {
   // Swaps a pre-rendered SLO scorecard (DetectionLatencyTracker::SloJson())
   // into /slo.
   void PublishSlo(std::string slo_json);
+  // Swaps a pre-rendered fleet scoreboard (fleet::FleetManager's
+  // ScoreboardJson()) into /fleet.
+  void PublishFleet(std::string fleet_json);
   // Hands /query the time-series store. The store is internally
   // synchronized (see obs/timeseries.h), so the owner keeps sampling the
   // same instance; only the pointer swap happens under the server lock.
@@ -119,14 +127,31 @@ class TelemetryServer {
   std::string HandleRequest(const HttpRequest& request);
 
  private:
+  // One routed endpoint: the path plus the member handler that renders the
+  // full HTTP response. HandleRequest dispatches over this table and
+  // RenderIndex enumerates it, so registering a route here is the single
+  // step needed for it to both serve and appear on "/".
+  struct Route {
+    const char* path;
+    std::string (TelemetryServer::*handler)(const HttpRequest&);
+  };
+  static const std::vector<Route>& Routes();
+
   void Serve();
   void HandleConnection(int client_fd);
-  std::string RenderHealthz();
+  std::string HandleMetrics(const HttpRequest& request);
+  std::string HandleMetricsJson(const HttpRequest& request);
+  std::string RenderHealthz(const HttpRequest& request);
   std::string RenderDecisions(const HttpRequest& request);
   std::string RenderTrace(const HttpRequest& request);
+  std::string HandleSignals(const HttpRequest& request);
+  std::string HandleAlerts(const HttpRequest& request);
   std::string RenderQuery(const HttpRequest& request);
-  std::string RenderBuildz();
-  std::string RenderIndex();
+  std::string HandleSlo(const HttpRequest& request);
+  std::string HandleFleet(const HttpRequest& request);
+  std::string RenderBuildz(const HttpRequest& request);
+  std::string HandleDashboard(const HttpRequest& request);
+  std::string RenderIndex(const HttpRequest& request);
 
   TelemetryServerOptions opts_;
   std::uint16_t port_ = 0;
@@ -148,6 +173,11 @@ class TelemetryServer {
       "\"false_positives\":{\"flag_epochs\":0,\"clean_epochs\":0,\"rate\":0,"
       "\"budget\":0.01,\"ok\":true},\"ok\":true,\"fault_epochs\":0,"
       "\"fault_classes\":[]}";
+  // Schema-complete empty scoreboard so /fleet probes work before (or
+  // without) a fleet publishing.
+  std::string fleet_json_ =
+      "{\"summary\":{\"instances\":0,\"threads\":0,\"rounds\":0,"
+      "\"epochs_total\":0,\"aggregate_epochs_per_sec\":0},\"instances\":[]}";
   std::shared_ptr<const TimeSeriesStore> timeseries_;
   std::chrono::steady_clock::time_point start_time_{};
   std::deque<std::string> decisions_;  // newest at the front

@@ -29,7 +29,7 @@ util::Status PipelineRecorder::Open(const std::string& path,
   return writer_.Open(path, topo, opts);
 }
 
-controlplane::EpochRecorderFn PipelineRecorder::Hook() {
+controlplane::EpochSinkFn PipelineRecorder::Hook() {
   return [this](const controlplane::EpochResult& result) { Record(result); };
 }
 

@@ -1,6 +1,6 @@
 // PipelineRecorder: the glue between controlplane::Pipeline and the epoch
-// log. The pipeline exposes a SetEpochRecorder hook taking a plain
-// std::function over EpochResult — it never sees replay types — and this
+// log. The pipeline exposes AddEpochSink taking a plain std::function over
+// EpochResult — it never sees replay types — and this
 // adapter turns each completed epoch into one appended EpochRecord:
 // the snapshot the validator saw, the raw aggregated input (before any
 // fallback), and the validation verdict with its decision digest.
@@ -28,10 +28,9 @@ class PipelineRecorder {
   util::Status Open(const std::string& path, const net::Topology& topo,
                     EpochLogWriterOptions opts = {});
 
-  // The hook to install: pipeline.SetEpochRecorder(recorder.Hook()).
-  // The recorder must outlive the pipeline (or be detached by installing
-  // an empty hook first).
-  controlplane::EpochRecorderFn Hook();
+  // The hook to install: pipeline.AddEpochSink(recorder.Hook()).
+  // The recorder must outlive the pipeline.
+  controlplane::EpochSinkFn Hook();
 
   // Records one epoch directly (what Hook() calls).
   void Record(const controlplane::EpochResult& result);

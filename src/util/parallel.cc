@@ -1,6 +1,10 @@
 #include "util/parallel.h"
 
+#include <cerrno>
 #include <cstdlib>
+#include <string>
+
+#include "util/logging.h"
 
 namespace hodor::util {
 
@@ -154,9 +158,34 @@ std::size_t ShardCount(const ThreadPool* pool, std::size_t total) {
 std::size_t ThreadsFromEnv(std::size_t fallback) {
   const char* raw = std::getenv("HODOR_THREADS");
   if (raw == nullptr || *raw == '\0') return fallback;
+  // One warning per distinct malformed/clamped value: callers invoke this
+  // freely (every bench snapshot, every /buildz render — possibly from the
+  // serving thread) and a hot loop must not turn one operator typo into a
+  // log flood. The mutex only guards the dedup state, never the parse.
+  static std::mutex warn_mu;
+  static std::string warned_value;
+  const auto warn_once = [&](const std::string& message) {
+    std::lock_guard<std::mutex> lock(warn_mu);
+    if (warned_value == raw) return;
+    warned_value = raw;
+    HODOR_LOG(kWarning) << message;
+  };
   char* end = nullptr;
+  errno = 0;
   const long parsed = std::strtol(raw, &end, 10);
-  if (end == raw || parsed <= 0) return fallback;
+  const bool overflowed = errno == ERANGE;
+  if (end == raw || *end != '\0' || (parsed <= 0 && !overflowed)) {
+    warn_once("HODOR_THREADS=\"" + std::string(raw) +
+              "\" is not a positive integer; using " +
+              std::to_string(fallback));
+    return fallback;
+  }
+  if (overflowed || static_cast<std::size_t>(parsed) > kMaxThreadsFromEnv) {
+    warn_once("HODOR_THREADS=\"" + std::string(raw) + "\" exceeds the " +
+              std::to_string(kMaxThreadsFromEnv) +
+              "-thread cap; clamping");
+    return kMaxThreadsFromEnv;
+  }
   return static_cast<std::size_t>(parsed);
 }
 

@@ -111,9 +111,15 @@ void ParallelFor(ThreadPool* pool, std::size_t total, Body&& body) {
   });
 }
 
-// Thread count requested via the HODOR_THREADS environment variable;
-// `fallback` when unset or unparsable. Benchmarks and CLI drivers use this
-// so operators can sweep thread counts without recompiling.
+// Thread count requested via the HODOR_THREADS environment variable —
+// the one parser every consumer (epoch engine wiring, hardening options,
+// CLI drivers, benches, /buildz) goes through, so validation and
+// diagnostics live in exactly one place. Returns `fallback` when the
+// variable is unset; a malformed value (non-numeric, trailing junk, zero,
+// negative) logs one warning per distinct value and falls back; values
+// beyond kMaxThreadsFromEnv are clamped with a warning. The result is
+// always in [1, kMaxThreadsFromEnv] or `fallback`.
+inline constexpr std::size_t kMaxThreadsFromEnv = 512;
 std::size_t ThreadsFromEnv(std::size_t fallback = 1);
 
 }  // namespace hodor::util

@@ -1,6 +1,7 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <cstdio>
 #include <iomanip>
 
 namespace hodor::util {
@@ -36,6 +37,13 @@ std::string FormatDouble(double x, int precision) {
 
 std::string FormatPercent(double fraction, int precision) {
   return FormatDouble(fraction * 100.0, precision) + "%";
+}
+
+std::string FormatHex64(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return std::string(buf);
 }
 
 bool StartsWith(std::string_view s, std::string_view prefix) {

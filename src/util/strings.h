@@ -1,6 +1,7 @@
 // String helpers shared across the repo (formatting, joining, splitting).
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -32,6 +33,9 @@ std::string FormatDouble(double x, int precision = 2);
 
 // Renders a fraction as a percentage string, e.g. 0.992 -> "99.2%".
 std::string FormatPercent(double fraction, int precision = 1);
+
+// Renders a 64-bit value as 16 lowercase hex digits (canonical digest form).
+std::string FormatHex64(std::uint64_t value);
 
 // True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);

@@ -129,37 +129,24 @@ struct EngineFixture : ::testing::Test {
   flow::DemandMatrix demand;
 };
 
-TEST_F(EngineFixture, SinksFanOutInSubscriptionOrderAfterSlots) {
+TEST_F(EngineFixture, SinksFanOutInSubscriptionOrder) {
   Pipeline pipeline = MakePipeline();
   std::vector<std::string> calls;
   pipeline.AddEpochSink([&](const EpochResult&) { calls.push_back("sink1"); });
   pipeline.AddEpochSink([&](const EpochResult&) { calls.push_back("sink2"); });
-  // Deprecated slots run first regardless of when they were installed.
-  pipeline.SetEpochRecorder([&](const EpochResult&) {
-    calls.push_back("recorder");
-  });
-  pipeline.SetEpochObserver([&](const EpochResult&) {
-    calls.push_back("observer");
-  });
+  pipeline.AddEpochSink([&](const EpochResult&) { calls.push_back("sink3"); });
   (void)pipeline.RunEpoch(state, demand);
-  EXPECT_EQ(calls, (std::vector<std::string>{"observer", "recorder", "sink1",
-                                             "sink2"}));
+  EXPECT_EQ(calls,
+            (std::vector<std::string>{"sink1", "sink2", "sink3"}));
 }
 
-TEST_F(EngineFixture, DeprecatedSettersReplaceAndDetach) {
+TEST_F(EngineFixture, EmptySinksAreSkipped) {
   Pipeline pipeline = MakePipeline();
-  int first = 0, second = 0, recorded = 0;
-  pipeline.SetEpochObserver([&](const EpochResult&) { ++first; });
-  pipeline.SetEpochObserver([&](const EpochResult&) { ++second; });
-  pipeline.SetEpochRecorder([&](const EpochResult&) { ++recorded; });
+  int called = 0;
+  pipeline.AddEpochSink(nullptr);  // no-op subscription
+  pipeline.AddEpochSink([&](const EpochResult&) { ++called; });
   (void)pipeline.RunEpoch(state, demand);
-  EXPECT_EQ(first, 0);  // replaced before the epoch ran
-  EXPECT_EQ(second, 1);
-  EXPECT_EQ(recorded, 1);
-  pipeline.SetEpochRecorder(nullptr);  // empty detaches (recorder contract)
-  (void)pipeline.RunEpoch(state, demand);
-  EXPECT_EQ(second, 2);
-  EXPECT_EQ(recorded, 1);
+  EXPECT_EQ(called, 1);
 }
 
 TEST_F(EngineFixture, ThreadedSinksDeliverEveryEpochInOrder) {

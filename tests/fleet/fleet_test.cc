@@ -1,0 +1,142 @@
+#include "fleet/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hodor::fleet {
+namespace {
+
+InstanceSpec SmallSpec(const std::string& name, std::uint64_t seed,
+                       const std::string& scenario = "") {
+  InstanceSpec spec;
+  spec.name = name;
+  spec.topology = "abilene";
+  spec.seed = seed;
+  spec.epochs = 6;
+  spec.scenario = scenario;
+  return spec;
+}
+
+TEST(FleetInstance, DeterministicForAGivenSpec) {
+  const InstanceSpec spec = SmallSpec("a", 7, "phantom-links");
+  FleetInstance first(spec);
+  FleetInstance second(spec);
+  while (!first.done()) first.RunEpochs(2);
+  while (!second.done()) second.RunEpochs(3);  // different round splits
+  EXPECT_EQ(first.digests(), second.digests());
+  EXPECT_EQ(first.digests().size(), 6u);
+  EXPECT_EQ(first.digests(), StandaloneDigests(spec));
+}
+
+TEST(FleetInstance, SeedChangesTheDigestStream) {
+  FleetInstance a(SmallSpec("a", 7));
+  FleetInstance b(SmallSpec("b", 8));
+  while (!a.done()) a.RunEpochs(6);
+  while (!b.done()) b.RunEpochs(6);
+  EXPECT_NE(a.digests(), b.digests());
+}
+
+TEST(FleetInstance, ScenarioWindowProducesRejects) {
+  // A phantom-links outage inside [fault_start, fault_end) must be caught
+  // by the instance's own validator at least once.
+  FleetInstance instance(SmallSpec("a", 7, "phantom-links"));
+  while (!instance.done()) instance.RunEpochs(2);
+  EXPECT_GT(instance.rejects(), 0u);
+  EXPECT_GT(instance.accepts(), 0u);  // healthy epochs outside the window
+}
+
+TEST(FleetManager, SerialFleetMatchesStandaloneOracle) {
+  FleetManager manager({/*threads=*/1, /*epochs_per_round=*/2});
+  manager.AddInstance(SmallSpec("a", 7, "phantom-links"));
+  manager.AddInstance(SmallSpec("b", 8));
+  manager.AddInstance(SmallSpec("c", 9, "partial-demand"));
+  manager.RunAll();
+  EXPECT_EQ(manager.epochs_total(), 18u);
+  for (const auto& instance : manager.instances()) {
+    EXPECT_EQ(instance->digests(), StandaloneDigests(instance->spec()))
+        << instance->spec().name;
+  }
+}
+
+TEST(FleetManager, PooledFleetMatchesStandaloneOracle) {
+  FleetManager manager({/*threads=*/4, /*epochs_per_round=*/2});
+  manager.AddInstance(SmallSpec("a", 7, "phantom-links"));
+  manager.AddInstance(SmallSpec("b", 8));
+  manager.AddInstance(SmallSpec("c", 9));
+  manager.AddInstance(SmallSpec("d", 10, "partial-demand"));
+  manager.RunAll();
+  for (const auto& instance : manager.instances()) {
+    EXPECT_EQ(instance->digests(), StandaloneDigests(instance->spec()))
+        << instance->spec().name;
+  }
+}
+
+TEST(FleetManager, MergedRegistryCarriesInstanceLabels) {
+  FleetManager manager({/*threads=*/1, /*epochs_per_round=*/3});
+  manager.AddInstance(SmallSpec("alpha", 7));
+  manager.AddInstance(SmallSpec("beta", 8));
+  manager.RunAll();
+  const obs::MetricsRegistry& merged = manager.registry();
+  const obs::Counter* alpha =
+      merged.FindCounter("hodor_epochs_total", {{"instance", "alpha"}});
+  const obs::Counter* beta =
+      merged.FindCounter("hodor_epochs_total", {{"instance", "beta"}});
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_NE(beta, nullptr);
+  // Each instance ran exactly its own 6 epochs — no cross-instance bleed,
+  // no double-counting from the per-round re-merge.
+  EXPECT_DOUBLE_EQ(alpha->value(), 6.0);
+  EXPECT_DOUBLE_EQ(beta->value(), 6.0);
+  // The unlabeled process-global series must not appear in the merge.
+  EXPECT_EQ(merged.FindCounter("hodor_epochs_total", {}), nullptr);
+}
+
+TEST(FleetManager, ScoreboardJsonShape) {
+  FleetManager manager({/*threads=*/1, /*epochs_per_round=*/2});
+  manager.AddInstance(SmallSpec("alpha", 7, "phantom-links"));
+  manager.AddInstance(SmallSpec("beta", 8));
+  manager.RunAll();
+  const std::string json = manager.ScoreboardJson();
+  EXPECT_NE(json.find("\"summary\""), std::string::npos);
+  EXPECT_NE(json.find("\"instances\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"aggregate_epochs_per_sec\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"laggard_rank\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"laggard_rank\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"last_digest\""), std::string::npos);
+  EXPECT_NE(json.find("\"slo\""), std::string::npos);
+  EXPECT_NE(json.find("\"done\":true"), std::string::npos);
+}
+
+TEST(FleetManager, RoundsAdvanceAndTerminate) {
+  FleetManager manager({/*threads=*/1, /*epochs_per_round=*/2});
+  manager.AddInstance(SmallSpec("a", 7));  // 6 epochs -> 3 rounds
+  EXPECT_TRUE(manager.RunRound());
+  EXPECT_TRUE(manager.RunRound());
+  EXPECT_FALSE(manager.RunRound());  // finishes on the third
+  EXPECT_FALSE(manager.RunRound());  // idempotent once done
+  EXPECT_EQ(manager.rounds(), 3u);
+  EXPECT_EQ(manager.epochs_total(), 6u);
+}
+
+TEST(TopologyForSpecTest, GeneratedFamiliesAreSeedDeterministic) {
+  InstanceSpec spec;
+  spec.topology = "hier400";
+  spec.seed = 21;
+  const net::Topology a = TopologyForSpec(spec);
+  const net::Topology b = TopologyForSpec(spec);
+  EXPECT_EQ(net::StructuralDigest(a), net::StructuralDigest(b));
+  EXPECT_EQ(a.node_count(), 404u);
+  spec.seed = 22;
+  const net::Topology c = TopologyForSpec(spec);
+  EXPECT_NE(net::StructuralDigest(a), net::StructuralDigest(c));
+}
+
+}  // namespace
+}  // namespace hodor::fleet

@@ -1,0 +1,80 @@
+// The fleet isolation contract end to end (DESIGN §13): the acceptance
+// mix — Abilene + waxman100 + waxman400 + hierarchical-1k, scenarios
+// included — runs over one shared pool at widths 1 and 4, and every
+// instance's per-epoch CanonicalDigest stream is bit-identical to a
+// standalone run of the same spec. Any shared mutable state between
+// instances (a global registry, a shared rng, a leaked buffer) shows up
+// here as a digest divergence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "util/logging.h"
+
+namespace hodor::fleet {
+namespace {
+
+std::vector<InstanceSpec> AcceptanceMix() {
+  const char* topologies[] = {"abilene", "waxman100", "waxman400", "hier1k"};
+  const char* scenarios[] = {"phantom-links", "partial-demand", "", ""};
+  std::vector<InstanceSpec> specs;
+  for (std::size_t i = 0; i < 4; ++i) {
+    InstanceSpec spec;
+    spec.topology = topologies[i];
+    spec.name = std::string(topologies[i]) + "-" + std::to_string(i);
+    spec.seed = 100 + i;
+    spec.epochs = 6;
+    spec.scenario = scenarios[i];
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+class FleetEquivalence : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::Logger::Instance().SetMinLevel(util::LogLevel::kError);
+    // The oracle is spec-deterministic, so one standalone pass serves both
+    // pool widths.
+    for (const InstanceSpec& spec : AcceptanceMix()) {
+      oracle_[spec.name] = StandaloneDigests(spec);
+    }
+  }
+  static void TearDownTestSuite() {
+    util::Logger::Instance().SetMinLevel(util::LogLevel::kInfo);
+    oracle_.clear();
+  }
+
+  static void RunAtWidth(std::size_t threads) {
+    FleetManager manager({threads, /*epochs_per_round=*/2});
+    for (const InstanceSpec& spec : AcceptanceMix()) {
+      manager.AddInstance(spec);
+    }
+    manager.RunAll();
+    ASSERT_EQ(manager.instances().size(), 4u);
+    EXPECT_EQ(manager.epochs_total(), 24u);
+    for (const auto& instance : manager.instances()) {
+      EXPECT_EQ(instance->digests(), oracle_[instance->spec().name])
+          << instance->spec().name << " at " << threads << " thread(s)";
+    }
+  }
+
+  static std::map<std::string, std::vector<std::uint64_t>> oracle_;
+};
+
+std::map<std::string, std::vector<std::uint64_t>> FleetEquivalence::oracle_;
+
+TEST_F(FleetEquivalence, MixedFleetSerialMatchesStandalone) {
+  RunAtWidth(1);
+}
+
+TEST_F(FleetEquivalence, MixedFleetPooledMatchesStandalone) {
+  RunAtWidth(4);
+}
+
+}  // namespace
+}  // namespace hodor::fleet

@@ -54,7 +54,7 @@ TEST(TelemetryServing, FaultDropsTrustFiresAndResolvesOverHttp) {
   ASSERT_TRUE(server.Start());
 
   std::vector<std::string> transitions;
-  pipeline.SetEpochObserver([&](const controlplane::EpochResult& r) {
+  pipeline.AddEpochSink([&](const controlplane::EpochResult& r) {
     board.ObserveEpoch(r.decision.provenance);
     board.PublishGauges(&registry);
     const auto summary = engine.Observe(

@@ -1,0 +1,161 @@
+#include "net/hierarchical_wan.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "net/graph_algorithms.h"
+#include "net/topology.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace hodor::net {
+namespace {
+
+TEST(HierarchicalWan, PresetNodeCounts) {
+  util::Rng rng(7);
+  EXPECT_EQ(HierarchicalWan(HierarchicalWanPreset(400), rng).node_count(),
+            404u);
+  EXPECT_EQ(HierarchicalWan(HierarchicalWanPreset(1000), rng).node_count(),
+            1000u);
+  // The 10k preset is exercised in tests/property (slow tier); here we only
+  // check the parameter arithmetic.
+  const HierarchicalWanParams p10k = HierarchicalWanPreset(10000);
+  EXPECT_EQ(p10k.cores * (1 + p10k.aggs_per_core * (1 + p10k.edges_per_agg)),
+            10000u);
+}
+
+TEST(HierarchicalWan, SameSeedIsBitIdentical) {
+  const HierarchicalWanParams params = HierarchicalWanPreset(400);
+  util::Rng rng_a(42);
+  util::Rng rng_b(42);
+  const Topology a = HierarchicalWan(params, rng_a);
+  const Topology b = HierarchicalWan(params, rng_b);
+  EXPECT_EQ(StructuralDigest(a), StructuralDigest(b));
+}
+
+TEST(HierarchicalWan, DifferentSeedsDiffer) {
+  const HierarchicalWanParams params = HierarchicalWanPreset(400);
+  util::Rng rng_a(42);
+  util::Rng rng_b(43);
+  const Topology a = HierarchicalWan(params, rng_a);
+  const Topology b = HierarchicalWan(params, rng_b);
+  // Same tier skeleton (node set), different chords/secondary homing.
+  EXPECT_EQ(a.node_count(), b.node_count());
+  EXPECT_NE(StructuralDigest(a), StructuralDigest(b));
+}
+
+TEST(HierarchicalWan, TierStructureAndFanOut) {
+  HierarchicalWanParams params;
+  params.cores = 4;
+  params.aggs_per_core = 3;
+  params.edges_per_agg = 5;
+  util::Rng rng(11);
+  const Topology topo = HierarchicalWan(params, rng);
+
+  const std::size_t cores = params.cores;
+  const std::size_t aggs = params.cores * params.aggs_per_core;
+  const std::size_t edges = aggs * params.edges_per_agg;
+  ASSERT_EQ(topo.node_count(), cores + aggs + edges);
+  EXPECT_TRUE(topo.Validate().ok());
+
+  // Physical link floor: core ring + dual-homed aggs + dual-homed edges.
+  // Chords are seeded extras on top, bounded by the non-ring core pairs.
+  const std::size_t floor = cores + 2 * aggs + 2 * edges;
+  const std::size_t max_chords = cores * (cores - 1) / 2 - cores;
+  EXPECT_GE(topo.physical_link_count(), floor);
+  EXPECT_LE(topo.physical_link_count(), floor + max_chords);
+
+  std::size_t seen_cores = 0, seen_aggs = 0, seen_edges = 0;
+  for (const Node& node : topo.nodes()) {
+    if (util::StartsWith(node.name, "core")) {
+      ++seen_cores;
+      EXPECT_FALSE(node.has_external_port) << node.name;
+    } else if (util::StartsWith(node.name, "agg")) {
+      ++seen_aggs;
+      EXPECT_FALSE(node.has_external_port) << node.name;
+      // Dual-homed: exactly two uplinks into the core tier.
+      std::size_t core_links = 0;
+      for (LinkId out : topo.OutLinks(node.id)) {
+        if (util::StartsWith(topo.node(topo.link(out).dst).name, "core")) {
+          ++core_links;
+        }
+      }
+      EXPECT_EQ(core_links, 2u) << node.name;
+    } else if (util::StartsWith(node.name, "edge")) {
+      ++seen_edges;
+      // Every edge router carries the external port and exactly two
+      // aggregation uplinks (parent + seeded secondary).
+      EXPECT_TRUE(node.has_external_port) << node.name;
+      EXPECT_EQ(topo.OutLinks(node.id).size(), 2u) << node.name;
+      for (LinkId out : topo.OutLinks(node.id)) {
+        EXPECT_TRUE(util::StartsWith(topo.node(topo.link(out).dst).name,
+                                     "agg"))
+            << node.name;
+      }
+    } else {
+      ADD_FAILURE() << "unexpected node name: " << node.name;
+    }
+  }
+  EXPECT_EQ(seen_cores, cores);
+  EXPECT_EQ(seen_aggs, aggs);
+  EXPECT_EQ(seen_edges, edges);
+  EXPECT_EQ(topo.ExternalNodes().size(), edges);
+}
+
+TEST(HierarchicalWan, Hier1kIsConnected) {
+  util::Rng rng(42);
+  const Topology topo = HierarchicalWan(HierarchicalWanPreset(1000), rng);
+  ASSERT_EQ(topo.node_count(), 1000u);
+  EXPECT_TRUE(topo.Validate().ok());
+  EXPECT_TRUE(IsStronglyConnected(topo));
+}
+
+TEST(HierarchicalWan, CapacityTiersDescend) {
+  util::Rng rng(5);
+  const HierarchicalWanParams params = HierarchicalWanPreset(400);
+  const Topology topo = HierarchicalWan(params, rng);
+  for (const Link& link : topo.links()) {
+    const std::string& src = topo.node(link.src).name;
+    const std::string& dst = topo.node(link.dst).name;
+    if (util::StartsWith(src, "core") && util::StartsWith(dst, "core")) {
+      EXPECT_EQ(link.capacity, params.core_capacity);
+    } else if (util::StartsWith(src, "edge") ||
+               util::StartsWith(dst, "edge")) {
+      EXPECT_EQ(link.capacity, params.edge_capacity);
+    } else {
+      EXPECT_EQ(link.capacity, params.agg_capacity);
+    }
+  }
+}
+
+TEST(StructuralDigestTest, SensitiveToStructure) {
+  Topology a("t");
+  const NodeId a0 = a.AddNode("n0");
+  const NodeId a1 = a.AddNode("n1");
+  a.AddBidirectionalLink(a0, a1, 10.0);
+
+  Topology b("t");
+  const NodeId b0 = b.AddNode("n0");
+  const NodeId b1 = b.AddNode("n1");
+  b.AddBidirectionalLink(b0, b1, 10.0);
+  EXPECT_EQ(StructuralDigest(a), StructuralDigest(b));
+
+  // Capacity change flips the digest.
+  Topology c("t");
+  const NodeId c0 = c.AddNode("n0");
+  const NodeId c1 = c.AddNode("n1");
+  c.AddBidirectionalLink(c0, c1, 20.0);
+  EXPECT_NE(StructuralDigest(a), StructuralDigest(c));
+
+  // So does an external port.
+  Topology d("t");
+  const NodeId d0 = d.AddNode("n0");
+  const NodeId d1 = d.AddNode("n1");
+  d.AddBidirectionalLink(d0, d1, 10.0);
+  d.AddExternalPort(d0, 5.0);
+  EXPECT_NE(StructuralDigest(a), StructuralDigest(d));
+}
+
+}  // namespace
+}  // namespace hodor::net

@@ -259,6 +259,40 @@ TEST(TelemetryServerRouting, DashboardIsSelfContainedHtml) {
   }
 }
 
+TEST(TelemetryServerRouting, FleetDefaultsToEmptySchemaUntilPublished) {
+  TelemetryServer server;
+  const std::string resp = server.HandleRequest(Get("/fleet"));
+  EXPECT_NE(resp.find("200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("application/json"), std::string::npos);
+  // Schema-complete before the first publish, so probes can validate shape.
+  EXPECT_NE(resp.find("\"summary\""), std::string::npos);
+  EXPECT_NE(resp.find("\"instances\":[]"), std::string::npos);
+
+  server.PublishFleet(
+      "{\"summary\":{\"instances\":2},\"instances\":[{\"name\":\"a\"}]}");
+  const std::string published = server.HandleRequest(Get("/fleet"));
+  EXPECT_NE(published.find("\"name\":\"a\""), std::string::npos);
+}
+
+TEST(TelemetryServerRouting, IndexEnumeratesEveryRegisteredEndpoint) {
+  TelemetryServer server;
+  const std::string index = server.HandleRequest(Get("/"));
+  // The index is generated from the same route table that dispatches
+  // requests, so every endpoint it lists must actually serve.
+  for (const char* endpoint :
+       {"/metrics", "/metrics.json", "/healthz", "/decisions", "/trace",
+        "/health/signals", "/alerts", "/query", "/slo", "/fleet", "/buildz",
+        "/dashboard"}) {
+    EXPECT_NE(index.find(std::string("\"") + endpoint + "\""),
+              std::string::npos)
+        << endpoint;
+    const std::string resp = server.HandleRequest(Get(endpoint));
+    EXPECT_NE(resp.find("200 OK"), std::string::npos) << endpoint;
+  }
+  // But not itself.
+  EXPECT_EQ(index.find("\"/\""), std::string::npos);
+}
+
 TEST(TelemetryServerConcurrency, QueryRacesPublishTimeSeriesSwapSafely) {
   // Readers hold a shared_ptr snapshot of the store while the publisher
   // swaps in replacements; the store itself synchronizes Sample vs

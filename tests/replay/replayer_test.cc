@@ -34,7 +34,7 @@ std::string RecordRun(const std::string& name, int epochs,
   const std::string path = ::testing::TempDir() + "/" + name;
   replay::PipelineRecorder recorder;
   EXPECT_TRUE(recorder.Open(path, topo).ok());
-  pipeline.SetEpochRecorder(recorder.Hook());
+  pipeline.AddEpochSink(recorder.Hook());
 
   for (int epoch = 0; epoch < epochs; ++epoch) {
     controlplane::AggregationFaultHooks hooks;

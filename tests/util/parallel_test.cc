@@ -108,5 +108,23 @@ TEST(ThreadsFromEnvTest, ParsesAndFallsBack) {
   unsetenv("HODOR_THREADS");
 }
 
+TEST(ThreadsFromEnvTest, ValidatesRangeAndRejectsTrailingJunk) {
+  // Trailing junk is malformed, not "parse the prefix": an operator who
+  // typed HODOR_THREADS=8x meant something — do not silently guess 8.
+  setenv("HODOR_THREADS", "8x", 1);
+  EXPECT_EQ(ThreadsFromEnv(3), 3u);
+  setenv("HODOR_THREADS", "0", 1);
+  EXPECT_EQ(ThreadsFromEnv(3), 3u);
+  // Absurd values clamp to the documented cap instead of spawning a
+  // fork-bomb-sized pool.
+  setenv("HODOR_THREADS", "100000", 1);
+  EXPECT_EQ(ThreadsFromEnv(3), kMaxThreadsFromEnv);
+  setenv("HODOR_THREADS", "99999999999999999999", 1);  // strtol overflow
+  EXPECT_EQ(ThreadsFromEnv(3), kMaxThreadsFromEnv);
+  setenv("HODOR_THREADS", "512", 1);
+  EXPECT_EQ(ThreadsFromEnv(3), 512u);
+  unsetenv("HODOR_THREADS");
+}
+
 }  // namespace
 }  // namespace hodor::util
