@@ -1,0 +1,191 @@
+// E16 — confidence-calibrated τ sweep (§4.1 curve with confidence bands).
+//
+// Reproduces the §4.1 detection-rate-vs-τ_e curve twice — once with the
+// fixed tolerance the paper sweeps, once with CrossCheck-style
+// confidence-scaled tolerances τ_eff(v) = τ_e·(1 + α·(1 − c(v))) — and
+// adds a telemetry-degradation arm that measures false positives on an
+// HONEST demand matrix when a few routers report drifted external
+// counters with their drop counters missing. Low scalar confidence at
+// exactly those routers widens τ_eff and absorbs the drift; the fixed
+// threshold fires on it.
+//
+// Claims gated (exit 1 on violation, making this the --confidence-gate
+// smoke in scripts/check_build.sh):
+//   1. detection falls (weakly) as τ_e widens — the §4.1 shape;
+//   2. confidence scaling keeps detection within a band of fixed-τ
+//      detection (tight at the paper's τ_e <= 2% operating range, where
+//      clean telemetry → c ≈ 1 → τ_eff ≈ τ; coarse on the wide-τ tail);
+//   3. at equal detection, the scaled arm's false-positive rate under
+//      degraded telemetry is no worse everywhere and strictly lower at
+//      the paper's τ_e = 2% operating point.
+//
+// `--quick` shrinks to 3 τ points and fewer trials for the CI gate.
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/demand_check.h"
+#include "faults/demand_perturbations.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace hodor;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+  const int kTrials = quick ? 120 : 400;
+  constexpr std::uint64_t kBaseSeed = 16000;
+  // The scaled arm's α. The default DemandCheckOptions::confidence_scaling
+  // is a conservative 1.0; the sweep uses a wider α so the separation
+  // between the arms is visible at every τ point.
+  constexpr double kAlpha = 4.0;
+  constexpr int kDriftRouters = 3;
+
+  const std::vector<double> taus =
+      quick ? std::vector<double>{0.01, 0.02, 0.05}
+            : std::vector<double>{0.005, 0.01, 0.02, 0.05, 0.10};
+
+  bench::PrintHeader(
+      "E16", "§4.1 τ-sweep with confidence-scaled tolerances",
+      "abilene, gravity TMs, trials=" + std::to_string(kTrials) +
+          "/cell, base_seed=" + std::to_string(kBaseSeed) +
+          ", alpha=" + util::FormatDouble(kAlpha, 1) +
+          ", fault: halve 3 TM entries; degradation: ext drift "
+          "2.5-5% + dropped counter lost at " +
+          std::to_string(kDriftRouters) + " routers");
+
+  // Per-trial fixtures, computed once and reused across every (τ, arm)
+  // cell: a clean hardened state, the perturbed demand it should reject,
+  // and a hardened state over degraded telemetry whose honest demand it
+  // should still accept.
+  const auto copts = bench::DefaultCollector();
+  std::vector<bench::Trial> trials;
+  std::vector<core::HardenedState> clean;     // honest telemetry
+  std::vector<core::HardenedState> degraded;  // drifted ext counters
+  std::vector<flow::DemandMatrix> perturbed;  // corrupted controller input
+  trials.reserve(kTrials);
+  const core::HardeningEngine engine;
+  for (int i = 0; i < kTrials; ++i) {
+    trials.emplace_back(net::Abilene(), kBaseSeed + i, 0.5, copts);
+    const bench::Trial& t = trials.back();
+    clean.push_back(engine.Harden(t.snapshot));
+
+    util::Rng prng(kBaseSeed + 31 * i + 7);
+    perturbed.push_back(faults::ScaleEntries(t.demand, 3, 0.5, prng).matrix);
+
+    // Degrade telemetry at kDriftRouters external routers: external
+    // counters drift by a factor (1 ± δ), δ ∈ [2.5%, 5%], and the drop
+    // counter goes missing — so ScalarConfidence at those routers is 0
+    // (required scalar absent) while the honest demand now misses the
+    // drifted counter by ~δ.
+    telemetry::NetworkSnapshot snap = t.snapshot;
+    util::Rng drng(kBaseSeed + 113 * i + 3);
+    const auto externals = t.topo.ExternalNodes();
+    for (int k = 0; k < kDriftRouters; ++k) {
+      const net::NodeId v = externals[static_cast<std::size_t>(
+          drng.UniformInt(0, static_cast<std::int64_t>(externals.size()) - 1))];
+      const double delta = drng.Uniform(0.025, 0.05);
+      const double factor = drng.Bernoulli(0.5) ? 1.0 + delta : 1.0 - delta;
+      if (const auto ei = snap.frame().ExtInRate(v)) {
+        snap.frame().SetExtInRate(v, *ei * factor);
+      }
+      if (const auto eo = snap.frame().ExtOutRate(v)) {
+        snap.frame().SetExtOutRate(v, *eo * factor);
+      }
+      snap.frame().ClearDroppedRate(v);
+    }
+    degraded.push_back(engine.Harden(snap));
+  }
+
+  struct Cell {
+    double det_fixed = 0.0, det_scaled = 0.0;
+    double fp_fixed = 0.0, fp_scaled = 0.0;
+  };
+  auto rate = [&](double tau, double alpha,
+                  const std::vector<core::HardenedState>& hs,
+                  const std::vector<flow::DemandMatrix>* inputs) {
+    core::DemandCheckOptions opts;
+    opts.tau_e = tau;
+    opts.confidence_scaling = alpha;
+    int fired = 0;
+    for (int i = 0; i < kTrials; ++i) {
+      const flow::DemandMatrix& input =
+          inputs ? (*inputs)[i] : trials[i].demand;
+      if (!core::CheckDemand(trials[i].topo, hs[i], input, opts).ok()) {
+        ++fired;
+      }
+    }
+    return static_cast<double>(fired) / kTrials;
+  };
+  // Normal-approximation 95% band over kTrials Bernoulli trials.
+  auto band = [&](double p) {
+    return 1.96 * std::sqrt(p * (1.0 - p) / kTrials);
+  };
+  auto cell = [&](double p) {
+    return util::FormatPercent(p, 1) + " ±" + util::FormatPercent(band(p), 1);
+  };
+
+  std::vector<Cell> cells;
+  util::TablePrinter table({"tau_e", "detect fixed", "detect scaled",
+                            "fp fixed", "fp scaled"});
+  for (double tau : taus) {
+    Cell c;
+    c.det_fixed = rate(tau, 0.0, clean, &perturbed);
+    c.det_scaled = rate(tau, kAlpha, clean, &perturbed);
+    c.fp_fixed = rate(tau, 0.0, degraded, nullptr);
+    c.fp_scaled = rate(tau, kAlpha, degraded, nullptr);
+    cells.push_back(c);
+    table.AddRow({util::FormatPercent(tau, 1), cell(c.det_fixed),
+                  cell(c.det_scaled), cell(c.fp_fixed), cell(c.fp_scaled)});
+  }
+  std::cout << table.ToString();
+  std::cout << "\nreading: detection falls as tau_e widens (§4.1 shape); "
+               "the scaled arm tracks fixed-τ detection on clean telemetry\n"
+               "but suppresses the drifted-counter false positives that "
+               "fixed tau_e fires on degraded telemetry.\n";
+
+  // --- self-gate --------------------------------------------------------
+  int violations = 0;
+  auto check = [&](bool ok, const std::string& what) {
+    if (ok) return;
+    ++violations;
+    std::cout << "GATE VIOLATION: " << what << "\n";
+  };
+  for (std::size_t i = 0; i + 1 < cells.size(); ++i) {
+    check(cells[i + 1].det_fixed <= cells[i].det_fixed + 0.02,
+          "detection rose from tau_e=" + util::FormatPercent(taus[i], 1) +
+              " to " + util::FormatPercent(taus[i + 1], 1));
+  }
+  bool strictly_lower_somewhere = false;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::string at = " at tau_e=" + util::FormatPercent(taus[i], 1);
+    // Tracking band: tight inside the paper's operating range (τ_e <= 2%,
+    // where clean-telemetry confidence ≈ 1 keeps τ_eff ≈ τ_e), coarse on
+    // the wide-τ tail where the detection curve is steep and the residual
+    // jitter-driven confidence shortfall is amplified.
+    const double track_tol = taus[i] <= 0.02 ? 0.03 : 0.10;
+    check(std::abs(cells[i].det_scaled - cells[i].det_fixed) <= track_tol,
+          "scaled-arm detection diverged from fixed" + at);
+    check(cells[i].fp_scaled <= cells[i].fp_fixed,
+          "scaled-arm false positives exceed fixed" + at);
+    if (taus[i] == 0.02) {
+      check(cells[i].fp_scaled < cells[i].fp_fixed,
+            "no false-positive win at the paper's tau_e=2% point");
+    }
+    if (cells[i].fp_scaled < cells[i].fp_fixed) {
+      strictly_lower_somewhere = true;
+    }
+  }
+  check(strictly_lower_somewhere,
+        "confidence scaling never beat the fixed threshold");
+
+  if (violations > 0) {
+    std::cout << violations << " gate violation(s)\n";
+    return 1;
+  }
+  std::cout << "confidence gate: all curve-shape checks passed\n";
+  return 0;
+}

@@ -146,6 +146,37 @@ void BM_TimeseriesSample(benchmark::State& state) {
 }
 BENCHMARK(BM_TimeseriesSample)->Arg(12)->Arg(100)->Arg(400);
 
+void BM_ConfidenceScore(benchmark::State& state) {
+  // The confidence scoring kernels (core/confidence.h) in isolation: one
+  // RateConfidence per directed link plus one ScalarConfidence per node —
+  // exactly the extra per-epoch work confidence calibration added to
+  // hardening. The stage span makes it a "confidence-score" column in the
+  // obs snapshot for scripts/bench_compare.sh.
+  const bench::Trial& t = TrialForSize(static_cast<int>(state.range(0)));
+  const core::HardeningOptions opts;
+  const core::HardeningEngine engine(opts);
+  const core::HardenedState hardened = engine.Harden(t.snapshot);
+  std::uint64_t epoch = 0;
+  for (auto _ : state) {
+    obs::StageSpan span(obs::Stage::kConfidenceScore, epoch++);
+    double acc = 0.0;
+    for (net::LinkId e : t.topo.LinkIds()) {
+      acc += core::RateConfidence(opts.confidence, opts.activity_floor,
+                                  opts.conservation_tau, t.snapshot, e,
+                                  hardened.rates[e.value()]);
+    }
+    for (std::size_t i = 0; i < t.topo.node_count(); ++i) {
+      acc += core::ScalarConfidence(
+          opts.confidence, opts.conservation_tau, t.topo, hardened,
+          net::NodeId(static_cast<std::uint32_t>(i)));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetLabel(t.topo.name() + " links=" +
+                 std::to_string(t.topo.link_count()));
+}
+BENCHMARK(BM_ConfidenceScore)->Arg(12)->Arg(100)->Arg(400);
+
 void BM_CollectSnapshot(benchmark::State& state) {
   const bench::Trial& t = TrialForSize(static_cast<int>(state.range(0)));
   telemetry::Collector collector(t.topo, bench::DefaultCollector());

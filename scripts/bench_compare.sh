@@ -77,7 +77,7 @@ import sys
 
 THRESHOLD = 1.25  # fail when candidate median > 1.25x baseline median
 STAGES = ("harden", "check-demand", "check-topology", "check-drain",
-          "timeseries-sample")
+          "timeseries-sample", "confidence-score")
 
 
 def hardware_threads(path):

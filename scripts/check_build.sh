@@ -43,7 +43,16 @@
 #      bit-identical to a standalone run of the same spec; then /fleet
 #      must serve the documented scoreboard schema and /metrics must carry
 #      instance-labeled series.
-#  10. With --dashboard-gate: the validation-observatory gates (DESIGN
+#  10. With --confidence-gate: the confidence-calibration gates (DESIGN
+#      §14) — bench_confidence_sweep --quick reproduces the §4.1
+#      detection-vs-τ_e curve at 3 τ points and self-checks its shape
+#      (detection non-increasing in τ_e, the scaled arm tracking fixed-τ
+#      detection while strictly beating its false-positive rate under
+#      degraded telemetry); then delta_sweep runs incremental vs
+#      HODOR_FORCE_FULL=1 and the digest streams (which fold every
+#      confidence column through the canonical provenance text) must be
+#      byte-identical.
+#  11. With --dashboard-gate: the validation-observatory gates (DESIGN
 #      §11) — a headless live_pipeline run must serve /query JSON matching
 #      the documented schema at all three resolutions, /slo and /buildz
 #      must parse, and /dashboard must be one self-contained HTML page
@@ -337,6 +346,23 @@ if [ "$1" = "--delta-gate" ]; then
     ./build/examples/hodor_replay replay tests/data/golden_abilene.hlog \
       --threads=4 $extra
   done
+fi
+
+if [ "$1" = "--confidence-gate" ]; then
+  echo "== confidence gate (§4.1 curve shape + confidence-column digest parity) =="
+  cmake --build build -j --target bench_confidence_sweep delta_sweep
+  TMP=$(mktemp -d)
+  trap 'rm -rf "$TMP"' EXIT
+  echo "  bench_confidence_sweep --quick (self-gating curve-shape checks)"
+  ./build/bench/bench_confidence_sweep --quick
+  echo "  delta_sweep: incremental vs HODOR_FORCE_FULL=1 digest parity"
+  ./build/examples/delta_sweep > "$TMP/incremental.out"
+  HODOR_FORCE_FULL=1 ./build/examples/delta_sweep > "$TMP/full.out"
+  if ! diff -u "$TMP/full.out" "$TMP/incremental.out"; then
+    echo "confidence-gate: incremental digests diverged from full recompute"
+    exit 1
+  fi
+  echo "  delta_sweep: $(wc -l < "$TMP/incremental.out") epoch digests identical"
 fi
 
 if [ "$1" = "--replay-gate" ]; then

@@ -1,0 +1,67 @@
+#!/bin/sh
+# Regenerates every checked-in golden after an INTENTIONAL change to the
+# validator's observable outputs (canonical provenance text, fingerprint
+# columns, or the flight-recorder wire format):
+#
+#   1. tests/data/golden_abilene.hlog — the recorded Abilene run the
+#      golden-replay test and the --replay-gate / --delta-gate replay
+#      against, re-recorded at the current wire format.
+#   2. The frame-equivalence fingerprint table in
+#      tests/integration/frame_equivalence_test.cc — recomputed via the
+#      test's HODOR_PRINT_GOLDENS=1 mode and patched in place between the
+#      REGEN-BEGIN/REGEN-END markers.
+#
+# Then re-runs the affected tests and gates to prove the refreshed goldens
+# are self-consistent. Commit the resulting diffs together with the change
+# that motivated them — never to paper over an unexplained divergence.
+set -e
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target hodor_replay_cli \
+  integration_frame_equivalence_test replay_golden_replay_test
+
+echo "== 1/2: re-record tests/data/golden_abilene.hlog =="
+./build/examples/hodor_replay record tests/data/golden_abilene.hlog \
+  --topo=abilene --epochs=5 --seed=7 --fault-epoch=2
+
+echo "== 2/2: recompute frame-equivalence fingerprints =="
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+HODOR_PRINT_GOLDENS=1 ./build/tests/integration_frame_equivalence_test \
+  --gtest_filter='FrameEquivalence.MatchesPreRefactorGoldens' \
+  > "$TMP/goldens.out"
+grep '^GOLDEN ' "$TMP/goldens.out" | sed 's/^GOLDEN //' > "$TMP/table"
+LINES=$(wc -l < "$TMP/table")
+if [ "$LINES" -eq 0 ]; then
+  echo "regen_goldens: fingerprint print mode produced no rows" >&2
+  exit 1
+fi
+python3 - "$TMP/table" tests/integration/frame_equivalence_test.cc <<'EOF'
+import sys
+
+with open(sys.argv[1]) as f:
+    rows = f.read()
+path = sys.argv[2]
+with open(path) as f:
+    src = f.read()
+
+begin = "// REGEN-BEGIN golden-fingerprints\n"
+end = "// REGEN-END golden-fingerprints"
+i = src.index(begin) + len(begin)
+j = src.index(end)
+body = "constexpr GoldenEpoch kGolden[] = {\n" + rows + "};\n"
+with open(path, "w") as f:
+    f.write(src[:i] + body + src[j:])
+print(f"patched {rows.count(chr(10))} fingerprints into {path}")
+EOF
+
+echo "== verify: rebuild + replay the refreshed goldens =="
+cmake --build build -j --target integration_frame_equivalence_test
+./build/tests/integration_frame_equivalence_test
+./build/tests/replay_golden_replay_test
+for n in 1 4; do
+  ./build/examples/hodor_replay replay tests/data/golden_abilene.hlog \
+    --threads="$n"
+done
+echo "regen_goldens: OK ($LINES fingerprints, golden log re-recorded)"

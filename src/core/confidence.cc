@@ -1,0 +1,100 @@
+#include "core/confidence.h"
+
+#include <algorithm>
+
+#include "util/stats.h"
+
+namespace hodor::core {
+
+using net::LinkId;
+using net::NodeId;
+using net::Topology;
+
+ConservationCheck CheckConservation(const Topology& topo,
+                                    const HardenedState& hs, NodeId v,
+                                    LinkId override_link,
+                                    double override_value) {
+  ConservationCheck out;
+  const auto& ei = hs.ext_in[v.value()];
+  const auto& eo = hs.ext_out[v.value()];
+  const auto& dr = hs.dropped[v.value()];
+  const bool is_external = topo.node(v).has_external_port;
+  if ((is_external && (!ei || !eo)) || !dr) return out;
+
+  double in_sum = is_external ? *ei : 0.0;
+  for (LinkId e : topo.InLinks(v)) {
+    if (e == override_link) {
+      in_sum += override_value;
+      continue;
+    }
+    const auto& r = hs.rates[e.value()];
+    if (!r.value) return out;
+    in_sum += *r.value;
+  }
+  double out_sum = *dr + (is_external ? *eo : 0.0);
+  for (LinkId e : topo.OutLinks(v)) {
+    if (e == override_link) {
+      out_sum += override_value;
+      continue;
+    }
+    const auto& r = hs.rates[e.value()];
+    if (!r.value) return out;
+    out_sum += *r.value;
+  }
+  out.computable = true;
+  out.relative_residual = util::RelativeDifference(in_sum, out_sum);
+  return out;
+}
+
+double RateConfidence(const ConfidenceModel& m, double activity_floor,
+                      double conservation_tau,
+                      const telemetry::NetworkSnapshot& snapshot, LinkId e,
+                      const HardenedRate& r) {
+  switch (r.origin) {
+    case RateOrigin::kAgreeing:
+      return m.agreeing;
+    case RateOrigin::kRepaired:
+    case RateOrigin::kSingleWitness: {
+      double c = r.origin == RateOrigin::kRepaired ? m.repaired_base
+                                                   : m.single_witness_base;
+      if (r.origin == RateOrigin::kRepaired && conservation_tau > 0.0) {
+        c -= m.residual_penalty *
+             std::min(1.0, r.repair_residual / conservation_tau);
+      }
+      const bool active = r.value && *r.value > activity_floor;
+      // A successful probe corroborates a positive inferred rate; a
+      // failed probe corroborates an inferred-idle link.
+      const auto probe = snapshot.ProbeSucceeded(e);
+      if (probe && *probe == active) c += m.probe_bonus;
+      const auto status = snapshot.StatusAtSrc(e);
+      if (status && (*status == telemetry::LinkStatus::kUp) == active) {
+        c += m.status_bonus;
+      }
+      return std::clamp(c, 0.0, 1.0);
+    }
+    case RateOrigin::kUnknown:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+double ScalarConfidence(const ConfidenceModel& m, double conservation_tau,
+                        const Topology& topo, const HardenedState& hs,
+                        NodeId v) {
+  const std::size_t i = v.value();
+  const bool is_external = topo.node(v).has_external_port;
+  if (!hs.dropped[i] ||
+      (is_external && (!hs.ext_in[i] || !hs.ext_out[i]))) {
+    return 0.0;  // a required scalar is missing: nothing to corroborate
+  }
+  const ConservationCheck chk =
+      CheckConservation(topo, hs, v, LinkId::Invalid(), 0.0);
+  if (!chk.computable) return m.scalar_base;  // unknown incident rates
+  const double frac =
+      conservation_tau > 0.0
+          ? std::min(1.0, chk.relative_residual / conservation_tau)
+          : 1.0;
+  return std::min(1.0, m.scalar_base + m.conservation_bonus * (1.0 - frac));
+}
+
+}  // namespace hodor::core

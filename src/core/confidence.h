@@ -1,0 +1,78 @@
+// ConfidenceModel: the scoring rules that turn R1–R4 agreement into the
+// per-signal confidence columns of HardenedState (CrossCheck's central
+// idea: confidence grows with the number of independent redundancy
+// sources that corroborate a signal, and dynamic-check thresholds adapt
+// to it).
+//
+// The kernels here are the exact per-entity bodies the hardening engine
+// runs — full and incremental paths share them, so confidence columns
+// stay bit-identical across both (DESIGN.md §12 contract). They are
+// exported so property tests and benches can exercise the scoring in
+// isolation.
+//
+// Guaranteed properties (tested in tests/core/confidence_model_test.cc):
+//  - monotonicity: adding a corroborating source never lowers a score;
+//  - residual penalty: a repair justified by a looser conservation fit
+//    never scores above the same repair with a tighter fit;
+//  - ordering: single-witness < repaired-base < agreeing (at defaults).
+#pragma once
+
+#include "core/hardened_state.h"
+#include "net/topology.h"
+#include "telemetry/snapshot.h"
+
+namespace hodor::core {
+
+// Named scoring parameters. Defaults keep the historical ordering
+// (agreeing > repaired > single-witness) while adding the repair-residual
+// penalty and the scalar conservation-corroboration score.
+struct ConfidenceModel {
+  // Base score per origin, before corroboration bonuses.
+  double agreeing = 1.0;             // two independent witnesses matched
+  double repaired_base = 0.7;        // R2 inferred the value
+  double single_witness_base = 0.5;  // one counter, nothing to cross-check
+  // Independent corroboration bonuses (R4 probes, R1 status channel).
+  double probe_bonus = 0.15;
+  double status_bonus = 0.1;
+  // A repaired value whose justifying conservation equation closed with
+  // relative residual ρ loses residual_penalty · min(1, ρ/τ_c) — a repair
+  // that barely fits its own equation deserves less trust than an exact
+  // solve.
+  double residual_penalty = 0.2;
+  // Node scalars are single-sourced; their only corroboration is the
+  // node's conservation equation closing over the final hardened rates.
+  double scalar_base = 0.5;
+  double conservation_bonus = 0.5;
+};
+
+// Flow-conservation bookkeeping at one router:
+//   (Σ_in rates + ext_in)  vs  (Σ_out rates + dropped + ext_out).
+// Computable only when the node's own scalar signals and all incident link
+// rates are known (an override supplies the candidate value under test;
+// pass LinkId::Invalid() for none).
+struct ConservationCheck {
+  bool computable = false;
+  double relative_residual = 0.0;
+};
+
+ConservationCheck CheckConservation(const net::Topology& topo,
+                                    const HardenedState& hs, net::NodeId v,
+                                    net::LinkId override_link,
+                                    double override_value);
+
+// Confidence for one hardened rate. Reads the rate's origin, repair
+// residual, and the snapshot's probe/status signals on the link.
+double RateConfidence(const ConfidenceModel& m, double activity_floor,
+                      double conservation_tau,
+                      const telemetry::NetworkSnapshot& snapshot,
+                      net::LinkId e, const HardenedRate& r);
+
+// Confidence for one node's single-sourced scalars: scalar_base when the
+// scalars are present, plus conservation_bonus scaled by how tightly the
+// node's equation closes over the final rates. 0.0 when a required scalar
+// is missing.
+double ScalarConfidence(const ConfidenceModel& m, double conservation_tau,
+                        const net::Topology& topo, const HardenedState& hs,
+                        net::NodeId v);
+
+}  // namespace hodor::core

@@ -15,7 +15,9 @@ std::string DemandViolation::ToString(const net::Topology& topo) const {
      << " invariant at " << topo.node(node).name << ": counter="
      << util::FormatDouble(counter_value, 3)
      << " demand_sum=" << util::FormatDouble(demand_sum, 3)
-     << " rel_diff=" << util::FormatPercent(relative_diff, 2);
+     << " rel_diff=" << util::FormatPercent(relative_diff, 2)
+     << " tau_eff=" << util::FormatPercent(tau_eff, 2)
+     << " confidence=" << util::FormatDouble(confidence, 2);
   return os.str();
 }
 
@@ -32,35 +34,47 @@ DemandCheckResult CheckDemand(const net::Topology& topo,
                                                              : "egress(") +
            topo.node(v).name + ")";
   };
+  // CrossCheck-style confidence scaling: the tolerance each node is judged
+  // against widens with how little the hardening layer could corroborate
+  // its external counters (see DemandCheckOptions::confidence_scaling).
+  auto tau_eff_at = [&](net::NodeId v) {
+    const double c = hardened.scalar_confidence[v.value()];
+    return opts.tau_e * (1.0 + opts.confidence_scaling * (1.0 - c));
+  };
   auto record = [&](net::NodeId v, DemandInvariantKind kind, double residual,
-                    obs::InvariantVerdict verdict, std::string detail) {
+                    double threshold, obs::InvariantVerdict verdict,
+                    std::string detail) {
     if (!provenance) return;
-    provenance->Add(obs::InvariantRecord{"demand", invariant_name(v, kind),
-                                         residual, opts.tau_e, verdict,
-                                         std::move(detail)});
+    obs::InvariantRecord rec{"demand", invariant_name(v, kind), residual,
+                             threshold, verdict, std::move(detail)};
+    rec.confidence = hardened.scalar_confidence[v.value()];
+    provenance->Add(std::move(rec));
   };
 
   auto evaluate = [&](net::NodeId v, DemandInvariantKind kind,
                       const std::optional<double>& counter, double sum) {
+    const double tau_eff = tau_eff_at(v);
     if (!counter.has_value()) {
       ++result.skipped_invariants;
-      record(v, kind, 0.0, obs::InvariantVerdict::kSkipped,
+      record(v, kind, 0.0, tau_eff, obs::InvariantVerdict::kSkipped,
              "hardened external counter unknown");
       return;
     }
     ++result.checked_invariants;
     if (*counter < opts.idle_floor && sum < opts.idle_floor) {
-      record(v, kind, 0.0, obs::InvariantVerdict::kPass, "both idle");
+      record(v, kind, 0.0, tau_eff, obs::InvariantVerdict::kPass, "both idle");
       return;
     }
     const double diff = util::RelativeDifference(*counter, sum);
-    if (diff > opts.tau_e) {
-      DemandViolation violation{v, kind, *counter, sum, diff};
-      record(v, kind, diff, obs::InvariantVerdict::kFail,
+    if (diff > tau_eff) {
+      DemandViolation violation{v,    kind,    *counter,
+                                sum,  diff,    tau_eff,
+                                hardened.scalar_confidence[v.value()]};
+      record(v, kind, diff, tau_eff, obs::InvariantVerdict::kFail,
              violation.ToString(topo));
       result.violations.push_back(std::move(violation));
     } else {
-      record(v, kind, diff, obs::InvariantVerdict::kPass, "");
+      record(v, kind, diff, tau_eff, obs::InvariantVerdict::kPass, "");
     }
   };
 
@@ -94,7 +108,7 @@ DemandCheckResult CheckDemand(const net::Topology& topo,
                col_sums[v.value()]);
     } else {
       ++result.skipped_invariants;
-      record(v, DemandInvariantKind::kEgress, 0.0,
+      record(v, DemandInvariantKind::kEgress, 0.0, tau_eff_at(v),
              obs::InvariantVerdict::kSkipped,
              "egress suppressed: network loss fraction " +
                  util::FormatPercent(result.network_loss_fraction, 2));

@@ -34,6 +34,11 @@ struct DemandViolation {
   double counter_value = 0.0;  // hardened external counter
   double demand_sum = 0.0;     // row/column sum of the input D
   double relative_diff = 0.0;
+  // The effective tolerance the violation was judged against (τ_e widened
+  // by the node's scalar confidence; see DemandCheckOptions).
+  double tau_eff = 0.0;
+  // The node's hardened scalar confidence at evaluation time.
+  double confidence = 0.0;
 
   std::string ToString(const net::Topology& topo) const;
 };
@@ -69,6 +74,20 @@ struct DemandCheckOptions {
   // guard the demand input.
   double max_network_loss_fraction = 0.01;
 
+  // Confidence scaling (CrossCheck): the effective tolerance at node v is
+  //
+  //   τ_eff(v) = τ_e · (1 + confidence_scaling · (1 − c(v)))
+  //
+  // where c(v) is the hardened scalar confidence of v's external counters
+  // (HardenedState::scalar_confidence). A fully corroborated counter
+  // (c = 1) keeps τ_e exactly; an uncorroborated one widens up to
+  // (1 + confidence_scaling)·τ_e — the check demands less precision from
+  // inputs the hardening layer itself could not vouch for, trading a
+  // little detection sharpness at suspect nodes for far fewer false
+  // positives on miscalibrated-but-honest counters (EXPERIMENTS E16).
+  // 0 restores fixed thresholds.
+  double confidence_scaling = 1.0;
+
   // Observability: invariant/violation counters are emitted here
   // (nullptr → the process-global registry).
   obs::MetricsRegistry* metrics = nullptr;
@@ -76,9 +95,11 @@ struct DemandCheckOptions {
 
 // Declared input columns (DESIGN.md §12): on the hardened side the check
 // reads only the node scalars (ext_in for ingress, ext_out for egress,
-// dropped for the loss gauge); on the controller-input side only the
-// demand matrix. When both are unchanged between epochs the incremental
-// validator replays the prior verdict instead of re-evaluating.
+// dropped for the loss gauge, scalar_confidence for the effective
+// tolerances — all covered by HardenDelta::scalars_changed); on the
+// controller-input side only the demand matrix. When both are unchanged
+// between epochs the incremental validator replays the prior verdict
+// instead of re-evaluating.
 inline constexpr HardenedFacets kDemandCheckFacets{.scalars = true};
 
 // When `provenance` is given, one InvariantRecord per ingress/egress

@@ -35,7 +35,7 @@ DrainCheckResult CheckDrains(const net::Topology& topo,
                              const HardenedState& hardened,
                              const std::vector<bool>& node_drained_input,
                              const std::vector<bool>& link_drained_input,
-                             obs::MetricsRegistry* metrics,
+                             const DrainCheckOptions& opts,
                              obs::DecisionRecord* provenance) {
   HODOR_CHECK(node_drained_input.size() == topo.node_count());
   HODOR_CHECK(link_drained_input.size() == topo.link_count());
@@ -49,7 +49,7 @@ DrainCheckResult CheckDrains(const net::Topology& topo,
     provenance->Add(obs::InvariantRecord{
         "drain", std::move(invariant), fired ? 1.0 : 0.0, 0.0,
         fired ? obs::InvariantVerdict::kFail : obs::InvariantVerdict::kPass,
-        std::move(detail)});
+        std::move(detail), /*source=*/"", /*confidence=*/0.0});
   };
   auto fail = [&](net::NodeId node, net::LinkId link,
                   DrainViolationKind kind, std::string invariant) {
@@ -78,18 +78,41 @@ DrainCheckResult CheckDrains(const net::Topology& topo,
       if (provenance) {
         provenance->Add(obs::InvariantRecord{
             "drain", intent(), 0.0, 0.0, obs::InvariantVerdict::kSkipped,
-            "router intent signal unknown"});
+            "router intent signal unknown", /*source=*/"",
+            /*confidence=*/0.0});
       }
     }
-    ++result.checked_signals;
-    if (hd.undrained_but_dead && !input_drained) {
-      fail(n.id, net::LinkId::Invalid(),
-           DrainViolationKind::kUndrainedDeadRouter,
-           "drain-liveness(" + n.name + ")");
+    // §4.3 case 1, gated by probe coverage: firing "dead but undrained"
+    // from a handful of probes is exactly the low-confidence false
+    // positive the confidence calibration exists to avoid.
+    const double live_conf = hd.liveness_confidence;
+    auto live_record = [&](double residual, obs::InvariantVerdict verdict,
+                           std::string detail) {
+      if (!provenance) return;
+      provenance->Add(obs::InvariantRecord{
+          "drain", "drain-liveness(" + n.name + ")", residual, 0.0, verdict,
+          std::move(detail), /*source=*/"r4-probes",
+          /*confidence=*/live_conf});
+    };
+    if (hd.undrained_but_dead && !input_drained &&
+        live_conf < opts.min_liveness_confidence) {
+      ++result.skipped_signals;
+      live_record(1.0, obs::InvariantVerdict::kSkipped,
+                  "dead-router evidence below liveness confidence floor");
     } else {
-      record("drain-liveness(" + n.name + ")", /*fired=*/false,
-             hd.drained_but_active ? "drained but carrying traffic (warning)"
-                                   : "");
+      ++result.checked_signals;
+      if (hd.undrained_but_dead && !input_drained) {
+        DrainViolation violation{n.id, net::LinkId::Invalid(),
+                                 DrainViolationKind::kUndrainedDeadRouter};
+        live_record(1.0, obs::InvariantVerdict::kFail,
+                    violation.ToString(topo));
+        result.violations.push_back(violation);
+      } else {
+        live_record(0.0, obs::InvariantVerdict::kPass,
+                    hd.drained_but_active
+                        ? "drained but carrying traffic (warning)"
+                        : "");
+      }
     }
     if (hd.drained_but_active) {
       result.warnings_drained_but_active.push_back(n.id);
@@ -115,7 +138,7 @@ DrainCheckResult CheckDrains(const net::Topology& topo,
       if (provenance) {
         provenance->Add(obs::InvariantRecord{
             "drain", intent(), 0.0, 0.0, obs::InvariantVerdict::kSkipped,
-            "link drain status unknown"});
+            "link drain status unknown", /*source=*/"", /*confidence=*/0.0});
       }
       continue;
     }
@@ -132,7 +155,7 @@ DrainCheckResult CheckDrains(const net::Topology& topo,
     }
   }
 
-  obs::MetricsRegistry& reg = obs::ResolveRegistry(metrics);
+  obs::MetricsRegistry& reg = obs::ResolveRegistry(opts.metrics);
   const obs::Labels labels = {{"check", "drain"}};
   reg.GetCounter("hodor_check_runs_total", labels, "Check invocations")
       .Increment();

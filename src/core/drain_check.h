@@ -62,15 +62,43 @@ struct DrainCheckResult {
 // prior verdict.
 inline constexpr HardenedFacets kDrainCheckFacets{.drains = true};
 
-// `metrics` (nullptr → the process-global registry) receives check
-// counters; `provenance` (optional) one InvariantRecord per drain signal
+struct DrainCheckOptions {
+  // Confidence gating for the §4.3 case-1 violation (the boolean analogue
+  // of the demand check's τ-scaling): "this router is dead" rests on every
+  // probe failing, which is only as trustworthy as the probe coverage of
+  // the router's links (HardenedDrain::liveness_confidence). Below this
+  // floor the verdict demotes to skipped instead of firing — thin evidence
+  // should widen the tolerance, not invent an outage. 0 restores
+  // always-fire.
+  double min_liveness_confidence = 0.25;
+
+  // Observability: invariant/violation counters are emitted here
+  // (nullptr → the process-global registry).
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// `provenance` (optional) receives one InvariantRecord per drain signal
 // compared. Drain invariants are boolean, so residual is a 0/1 mismatch
-// indicator against a threshold of 0.
+// indicator against a threshold of 0; liveness records carry the probe
+// coverage in their confidence field (source "r4-probes").
 DrainCheckResult CheckDrains(const net::Topology& topo,
                              const HardenedState& hardened,
                              const std::vector<bool>& node_drained_input,
                              const std::vector<bool>& link_drained_input,
-                             obs::MetricsRegistry* metrics = nullptr,
+                             const DrainCheckOptions& opts,
                              obs::DecisionRecord* provenance = nullptr);
+
+// Legacy signature: default options with an explicit metrics sink.
+inline DrainCheckResult CheckDrains(
+    const net::Topology& topo, const HardenedState& hardened,
+    const std::vector<bool>& node_drained_input,
+    const std::vector<bool>& link_drained_input,
+    obs::MetricsRegistry* metrics = nullptr,
+    obs::DecisionRecord* provenance = nullptr) {
+  DrainCheckOptions opts;
+  opts.metrics = metrics;
+  return CheckDrains(topo, hardened, node_drained_input, link_drained_input,
+                     opts, provenance);
+}
 
 }  // namespace hodor::core

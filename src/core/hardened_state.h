@@ -22,6 +22,27 @@ enum class RateOrigin {
   kUnknown,       // could not be recovered
 };
 
+// Which redundancy mechanism produced a repaired value — the repair
+// provenance that flows through DecisionRecord and the flight recorder.
+enum class RepairSource {
+  kNone = 0,          // not repaired (agreeing or unknown)
+  kPairwise,          // repair (a): conservation disambiguated TX vs RX
+  kPropagation,       // repair (b): single-unknown node equation solved it
+  kLeastSquares,      // repair (c): global least-squares over unknowns
+  kSingleWitness,     // repair (d): lone counter accepted uncorroborated
+};
+
+constexpr const char* RepairSourceName(RepairSource s) {
+  switch (s) {
+    case RepairSource::kNone: return "none";
+    case RepairSource::kPairwise: return "r2-pairwise";
+    case RepairSource::kPropagation: return "r2-propagation";
+    case RepairSource::kLeastSquares: return "r2-least-squares";
+    case RepairSource::kSingleWitness: return "single-witness";
+  }
+  return "?";
+}
+
 struct HardenedRate {
   std::optional<double> value;  // Gbps; empty iff origin == kUnknown
   RateOrigin origin = RateOrigin::kUnknown;
@@ -30,12 +51,17 @@ struct HardenedRate {
   // When the repair disambiguated which end's counter was wrong, the
   // faulty side's reported value (for operator alerts).
   std::optional<double> rejected_value;
-  // Confidence in `value`, in [0, 1]. Agreeing pairs score 1.0; repairs
-  // start lower and gain when independent signals corroborate them (the
-  // paper's R3/R4 role: "the greater the number of signals, the higher the
-  // confidence that Hodor's inference is correct") — a probe confirming
-  // the link is up while the inferred rate is positive, and link statuses
-  // consistent with activity.
+  // Which mechanism repaired the value (kNone unless origin is kRepaired
+  // or kSingleWitness), and how well the justifying conservation equation
+  // closed: the relative residual of the accepted candidate at its router
+  // (0.0 for exact solves and for repairs without a residual notion).
+  RepairSource repair_source = RepairSource::kNone;
+  double repair_residual = 0.0;
+  // Confidence in `value`, in [0, 1], scored by core::ConfidenceModel.
+  // Agreeing pairs score highest; repairs start lower, pay for a loose
+  // conservation fit, and gain from each independent corroborating signal
+  // (the paper's R3/R4 role: "the greater the number of signals, the
+  // higher the confidence that Hodor's inference is correct").
   double confidence = 0.0;
 };
 
@@ -67,6 +93,11 @@ struct HardenedDrain {
   // Marked drained yet clearly carrying traffic (§4.3 case 2 — possibly
   // legitimate, reported as a warning, not an error).
   bool drained_but_active = false;
+  // Probe coverage behind the liveness verdict, in [0,1]: the fraction of
+  // the router's directed links that returned a probe result this epoch.
+  // More corroborating probes ⇒ higher confidence that "every probe
+  // failed" actually means the router is dead rather than unobserved.
+  double liveness_confidence = 0.0;
 };
 
 struct HardenedState {
@@ -85,6 +116,12 @@ struct HardenedState {
   std::vector<std::optional<double>> ext_out;
   std::vector<std::optional<double>> dropped;
   std::vector<HardenedDrain> drains;
+  // Confidence in the node's single-sourced scalars (ext_in/ext_out/
+  // dropped), in [0,1]: corroboration comes from the node's flow-
+  // conservation equation closing over the final hardened rates
+  // (core::ScalarConfidence). The demand check widens its effective τ_e
+  // for low-confidence nodes. Covered by HardenDelta::scalars_changed.
+  std::vector<double> scalar_confidence;
 
   // --- hardening summary ----------------------------------------------------
   std::size_t flagged_rate_count = 0;

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/confidence.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/linear_solver.h"
@@ -23,51 +24,6 @@ using net::NodeId;
 using net::Topology;
 using telemetry::NetworkSnapshot;
 using telemetry::PresenceBitset;
-
-// Flow-conservation bookkeeping at one router:
-//   (Σ_in rates + ext_in)  vs  (Σ_out rates + dropped + ext_out).
-// Computable only when the node's own scalar signals and all incident link
-// rates are known (an override supplies the candidate value under test).
-struct ConservationCheck {
-  bool computable = false;
-  double relative_residual = 0.0;
-};
-
-ConservationCheck CheckConservation(const Topology& topo,
-                                    const HardenedState& hs, NodeId v,
-                                    LinkId override_link,
-                                    double override_value) {
-  ConservationCheck out;
-  const auto& ei = hs.ext_in[v.value()];
-  const auto& eo = hs.ext_out[v.value()];
-  const auto& dr = hs.dropped[v.value()];
-  const bool is_external = topo.node(v).has_external_port;
-  if ((is_external && (!ei || !eo)) || !dr) return out;
-
-  double in_sum = is_external ? *ei : 0.0;
-  for (LinkId e : topo.InLinks(v)) {
-    if (e == override_link) {
-      in_sum += override_value;
-      continue;
-    }
-    const auto& r = hs.rates[e.value()];
-    if (!r.value) return out;
-    in_sum += *r.value;
-  }
-  double out_sum = *dr + (is_external ? *eo : 0.0);
-  for (LinkId e : topo.OutLinks(v)) {
-    if (e == override_link) {
-      out_sum += override_value;
-      continue;
-    }
-    const auto& r = hs.rates[e.value()];
-    if (!r.value) return out;
-    out_sum += *r.value;
-  }
-  out.computable = true;
-  out.relative_residual = util::RelativeDifference(in_sum, out_sum);
-  return out;
-}
 
 // --- single-entity kernels shared by the full and incremental paths --------
 //
@@ -93,33 +49,12 @@ HardenedRate R1Outcome(const HardeningOptions& opts,
 }
 
 // Confidence scoring for one hardened rate (R3/R4's role in the repair
-// process): agreeing pairs are fully trusted; inferred values start lower
-// and gain from each independent corroborating signal.
+// process), delegated to the shared ConfidenceModel kernel so property
+// tests and benches exercise exactly what the engine runs.
 void ScoreRate(const HardeningOptions& opts, const NetworkSnapshot& snapshot,
                LinkId e, HardenedRate& r) {
-  switch (r.origin) {
-    case RateOrigin::kAgreeing:
-      r.confidence = 1.0;
-      break;
-    case RateOrigin::kRepaired:
-    case RateOrigin::kSingleWitness: {
-      double c = r.origin == RateOrigin::kRepaired ? 0.7 : 0.5;
-      const bool active = r.value && *r.value > opts.activity_floor;
-      const auto probe = snapshot.ProbeSucceeded(e);
-      // A successful probe corroborates a positive inferred rate; a
-      // failed probe corroborates an inferred-idle link.
-      if (probe && *probe == active) c += 0.15;
-      const auto status = snapshot.StatusAtSrc(e);
-      if (status && (*status == telemetry::LinkStatus::kUp) == active) {
-        c += 0.1;
-      }
-      r.confidence = std::min(1.0, c);
-      break;
-    }
-    case RateOrigin::kUnknown:
-      r.confidence = 0.0;
-      break;
-  }
+  r.confidence = RateConfidence(opts.confidence, opts.activity_floor,
+                                opts.conservation_tau, snapshot, e, r);
 }
 
 // Link-state fusion for one physical link; `e` must be the canonical
@@ -201,14 +136,18 @@ void FuseNodeDrain(const HardeningOptions& opts,
   bool any_up_status = false;
   bool any_probe = false;
   bool any_probe_ok = false;
+  std::size_t probe_slots = 0;
+  std::size_t probes_present = 0;
   auto consider = [&](LinkId e) {
     const auto& r = out.rates[e.value()];
     if (r.value && *r.value > opts.activity_floor) carrying = true;
     const auto s = snapshot.StatusAtSrc(e);
     if (s && *s == telemetry::LinkStatus::kUp) any_up_status = true;
+    ++probe_slots;
     const auto p = snapshot.ProbeSucceeded(e);
     if (p) {
       any_probe = true;
+      ++probes_present;
       if (*p) any_probe_ok = true;
     }
   };
@@ -221,6 +160,12 @@ void FuseNodeDrain(const HardeningOptions& opts,
                          any_up_status && any_probe && !any_probe_ok;
   // §4.3 case 2: marked drained but traffic is clearly flowing.
   d.drained_but_active = d.node_drained.value_or(false) && carrying;
+  // Probe coverage behind case 1: "every probe failed" is only as strong
+  // as the fraction of the router's links a probe actually exercised.
+  d.liveness_confidence =
+      probe_slots > 0
+          ? static_cast<double>(probes_present) / static_cast<double>(probe_slots)
+          : 0.0;
   out.drains[v.value()] = d;
 }
 
@@ -260,6 +205,8 @@ bool RateEntryEqual(const HardenedRate& a, const HardenedRate& b) {
   return SameBits(a.value, b.value) && a.origin == b.origin &&
          a.flagged == b.flagged &&
          SameBits(a.rejected_value, b.rejected_value) &&
+         a.repair_source == b.repair_source &&
+         SameBits(a.repair_residual, b.repair_residual) &&
          SameBits(a.confidence, b.confidence);
 }
 bool LinkStateEqual(const HardenedLinkState& a, const HardenedLinkState& b) {
@@ -269,7 +216,8 @@ bool LinkStateEqual(const HardenedLinkState& a, const HardenedLinkState& b) {
 bool DrainEqual(const HardenedDrain& a, const HardenedDrain& b) {
   return a.node_drained == b.node_drained &&
          a.undrained_but_dead == b.undrained_but_dead &&
-         a.drained_but_active == b.drained_but_active;
+         a.drained_but_active == b.drained_but_active &&
+         SameBits(a.liveness_confidence, b.liveness_confidence);
 }
 
 // Iterates the set bits of the word-wise union of equally sized bitsets.
@@ -317,6 +265,9 @@ struct HardeningEngine::Workspace {
     LinkId link;
     double value;
     std::optional<double> rejected;
+    // The accepted candidate's conservation residual at its router — the
+    // repair-provenance residual the ConfidenceModel penalizes.
+    double residual = 0.0;
   };
   std::vector<std::vector<Decision>> shard_decisions;
 
@@ -348,6 +299,7 @@ struct HardeningEngine::Workspace {
   PresenceBitset pair_touched;        // canonical link ids to re-fuse
   PresenceBitset node_touched;        // nodes whose drain fusion re-runs
   PresenceBitset ld_touched;          // directed links whose drain re-fuses
+  PresenceBitset sc_touched;          // nodes whose scalar confidence re-scores
 };
 
 HardeningEngine::HardeningEngine(HardeningOptions opts)
@@ -413,17 +365,28 @@ void HardeningEngine::HardenInto(const NetworkSnapshot& snapshot,
         &out.unknown_rate_count, &out.status_disagreement_count}) {
     *c = 0;
   }
+  // One pass over the columns also folds the confidence means and the
+  // per-source repair counts the metrics epilogue publishes — no extra
+  // scans on the hot path.
+  std::size_t repairs_by_source[5] = {0, 0, 0, 0, 0};
+  double rate_conf_sum = 0.0;
   for (const HardenedRate& r : out.rates) {
     if (r.flagged) ++out.flagged_rate_count;
     if (r.origin == RateOrigin::kRepaired) ++out.repaired_rate_count;
     if (!r.value) ++out.unknown_rate_count;
+    ++repairs_by_source[static_cast<std::size_t>(r.repair_source)];
+    rate_conf_sum += r.confidence;
   }
+  double link_conf_sum = 0.0;
   for (std::size_t e = 0; e < out.links.size(); ++e) {
+    link_conf_sum += out.links[e].confidence;
     if (out.links[e].status_disagreement &&
         e < topo.link(LinkId(static_cast<std::uint32_t>(e))).reverse.value()) {
       ++out.status_disagreement_count;  // count each physical link once
     }
   }
+  double scalar_conf_sum = 0.0;
+  for (const double c : out.scalar_confidence) scalar_conf_sum += c;
 
   // Prime the cache for the next epoch's delta (both paths: a full run is
   // just as good an anchor as an incremental one).
@@ -457,6 +420,39 @@ void HardeningEngine::HardenInto(const NetworkSnapshot& snapshot,
   reg.GetCounter("hodor_hardening_status_disagreements_total", {},
                  "Physical links whose two status reports disagreed")
       .Increment(static_cast<double>(out.status_disagreement_count));
+
+  // Repair provenance: which redundancy mechanism fixed how many signals.
+  for (const RepairSource s :
+       {RepairSource::kPairwise, RepairSource::kPropagation,
+        RepairSource::kLeastSquares, RepairSource::kSingleWitness}) {
+    reg.GetCounter("hodor_repairs_total", {{"source", RepairSourceName(s)}},
+                   "Hardened rates repaired, by redundancy source")
+        .Increment(static_cast<double>(
+            repairs_by_source[static_cast<std::size_t>(s)]));
+  }
+  // Per-epoch mean confidence by signal family: a histogram for the
+  // distribution over epochs plus a gauge the /query store samples.
+  static const std::vector<double> kConfidenceBuckets = {
+      0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  const struct {
+    const char* signal;
+    double sum;
+    std::size_t n;
+  } families[] = {
+      {"rate", rate_conf_sum, out.rates.size()},
+      {"link", link_conf_sum, out.links.size()},
+      {"scalar", scalar_conf_sum, out.scalar_confidence.size()},
+  };
+  for (const auto& f : families) {
+    const double mean = f.n > 0 ? f.sum / static_cast<double>(f.n) : 0.0;
+    reg.GetHistogram("hodor_confidence", {{"signal", f.signal}},
+                     kConfidenceBuckets,
+                     "Per-epoch mean hardened-signal confidence")
+        .Observe(mean);
+    reg.GetGauge("hodor_confidence_mean", {{"signal", f.signal}},
+                 "Mean hardened-signal confidence, latest epoch")
+        .Set(mean);
+  }
 }
 
 void HardeningEngine::HardenFull(const NetworkSnapshot& snapshot,
@@ -472,6 +468,7 @@ void HardeningEngine::HardenFull(const NetworkSnapshot& snapshot,
   out.ext_out.assign(nodes, std::nullopt);
   out.dropped.assign(nodes, std::nullopt);
   out.drains.assign(nodes, HardenedDrain{});
+  out.scalar_confidence.assign(nodes, 0.0);
 
   // Node-scalar signals are single-sourced; hardened value == reported value
   // (when the router answered). Their trustworthiness comes from being used
@@ -488,6 +485,7 @@ void HardeningEngine::HardenFull(const NetworkSnapshot& snapshot,
   HardenLinkStates(snapshot, out);
   HardenDrains(snapshot, out);
   ScoreRateConfidence(snapshot, out);
+  ScoreScalarConfidence(snapshot, out);
 }
 
 void HardeningEngine::HardenIncremental(const NetworkSnapshot& snapshot,
@@ -554,8 +552,8 @@ void HardeningEngine::HardenIncremental(const NetworkSnapshot& snapshot,
       return;  // rates rebuilt wholesale on the repair path below
     }
     // Agreeing in both epochs: the final value is the R1 average and the
-    // confidence pass pins it at 1.0.
-    nr.confidence = 1.0;
+    // confidence pass pins it at the model's agreeing score.
+    nr.confidence = opts_.confidence.agreeing;
     if (!RateValueEqual(nr, prev.rates[i])) ws.rate_value_changed.Set(i);
     if (!RateEntryEqual(nr, prev.rates[i])) hd.rates_changed = true;
     out.rates[i] = nr;
@@ -604,10 +602,11 @@ void HardeningEngine::HardenIncremental(const NetworkSnapshot& snapshot,
       }
     }
   } else if (prev.flagged_rate_count > 0) {
-    // Repairs skipped: every F link keeps its prior value, but a probe or
-    // status flip still moves its corroboration score.
+    // Repairs skipped: every F link keeps its prior value (including its
+    // repair provenance), but a probe or status flip still moves its
+    // corroboration score.
     ForEachUnionBit({&delta.probe, &delta.status}, [&](std::size_t i) {
-      if (!prev.rates[i].flagged) return;  // agreeing: confidence pinned 1.0
+      if (!prev.rates[i].flagged) return;  // agreeing: confidence pinned
       const LinkId e(static_cast<std::uint32_t>(i));
       ScoreRate(opts_, snapshot, e, out.rates[i]);
       if (!RateEntryEqual(out.rates[i], prev.rates[i])) {
@@ -615,6 +614,30 @@ void HardeningEngine::HardenIncremental(const NetworkSnapshot& snapshot,
       }
     });
   }
+
+  // --- node-scalar confidence -----------------------------------------------
+  // A node's scalar confidence reads its own scalars plus every incident
+  // final rate value; re-score exactly where either moved. The result
+  // lands in the scalars facet so the demand check's cached verdict is
+  // invalidated whenever its effective tolerances would move.
+  ws.sc_touched.Resize(nodes);
+  auto touch_scalar_node = [&](std::size_t i) { ws.sc_touched.Set(i); };
+  telemetry::ForEachSetBit(delta.ext_in, touch_scalar_node);
+  telemetry::ForEachSetBit(delta.ext_out, touch_scalar_node);
+  telemetry::ForEachSetBit(delta.dropped, touch_scalar_node);
+  telemetry::ForEachSetBit(ws.rate_value_changed, [&](std::size_t i) {
+    const net::Link& l = topo.link(LinkId(static_cast<std::uint32_t>(i)));
+    ws.sc_touched.Set(l.src.value());
+    ws.sc_touched.Set(l.dst.value());
+  });
+  telemetry::ForEachSetBit(ws.sc_touched, [&](std::size_t i) {
+    const NodeId v(static_cast<std::uint32_t>(i));
+    out.scalar_confidence[i] = ScalarConfidence(
+        opts_.confidence, opts_.conservation_tau, topo, out, v);
+    if (!SameBits(out.scalar_confidence[i], prev.scalar_confidence[i])) {
+      hd.scalars_changed = true;
+    }
+  });
 
   // --- link-state fusion over touched physical pairs ------------------------
   // A pair's verdict reads both directions' statuses, probes, and final
@@ -678,6 +701,22 @@ void HardeningEngine::ScoreRateConfidence(const NetworkSnapshot& snapshot,
                       for (std::size_t i = begin; i < end; ++i) {
                         const LinkId e(static_cast<std::uint32_t>(i));
                         ScoreRate(opts_, snapshot, e, out.rates[i]);
+                      }
+                    });
+}
+
+void HardeningEngine::ScoreScalarConfidence(const NetworkSnapshot& snapshot,
+                                            HardenedState& out) const {
+  // Each node reads its own scalars and incident final rates, and writes
+  // only its own slot.
+  const Topology& topo = snapshot.topology();
+  util::ParallelFor(pool(), topo.node_count(),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        const NodeId v(static_cast<std::uint32_t>(i));
+                        out.scalar_confidence[i] = ScalarConfidence(
+                            opts_.confidence, opts_.conservation_tau, topo,
+                            out, v);
                       }
                     });
 }
@@ -747,14 +786,14 @@ void HardeningEngine::RunRateRepairs(const NetworkSnapshot& snapshot,
           // Both candidates satisfy conservation at their own routers; keep
           // the one that fits more tightly.
           if (*tx_resid <= *rx_resid) {
-            decisions.push_back({e, *ctx, crx});
+            decisions.push_back({e, *ctx, crx, *tx_resid});
           } else {
-            decisions.push_back({e, *crx, ctx});
+            decisions.push_back({e, *crx, ctx, *rx_resid});
           }
         } else if (tx_fits) {
-          decisions.push_back({e, *ctx, crx});
+          decisions.push_back({e, *ctx, crx, *tx_resid});
         } else if (rx_fits) {
-          decisions.push_back({e, *crx, ctx});
+          decisions.push_back({e, *crx, ctx, *rx_resid});
         }
       }
     });
@@ -764,6 +803,8 @@ void HardeningEngine::RunRateRepairs(const NetworkSnapshot& snapshot,
         r.value = d.value;
         r.origin = RateOrigin::kRepaired;
         r.rejected_value = d.rejected;
+        r.repair_source = RepairSource::kPairwise;
+        r.repair_residual = d.residual;
       }
     }
   }
@@ -849,6 +890,8 @@ void HardeningEngine::RunRateRepairs(const NetworkSnapshot& snapshot,
         HardenedRate& r = out.rates[lid];
         r.value = std::max(0.0, v);  // jitter can push tiny negatives
         r.origin = RateOrigin::kRepaired;
+        r.repair_source = RepairSource::kPropagation;
+        r.repair_residual = 0.0;  // exact single-unknown solve
         ws.prop_count[lid] = 0;  // reset for the next round
       }
     }
@@ -918,6 +961,8 @@ void HardeningEngine::RunRateRepairs(const NetworkSnapshot& snapshot,
             HardenedRate& r = out.rates[unknowns[c].value()];
             r.value = std::max(0.0, x[c]);
             r.origin = RateOrigin::kRepaired;
+            r.repair_source = RepairSource::kLeastSquares;
+            r.repair_residual = 0.0;  // rank-complete solve
           }
         }
       }
@@ -936,6 +981,8 @@ void HardeningEngine::RunRateRepairs(const NetworkSnapshot& snapshot,
         if (ctx.has_value() == crx.has_value()) continue;  // 0 or 2 witnesses
         r.value = ctx.has_value() ? *ctx : *crx;
         r.origin = RateOrigin::kSingleWitness;
+        r.repair_source = RepairSource::kSingleWitness;
+        r.repair_residual = 0.0;  // conservation offered no second opinion
       }
     });
   }

@@ -29,6 +29,7 @@
 
 #include <memory>
 
+#include "core/confidence.h"
 #include "core/hardened_state.h"
 #include "telemetry/snapshot.h"
 
@@ -78,6 +79,11 @@ struct HardeningOptions {
   double status_weight = 1.0;
   double probe_weight = 1.5;
   double rate_weight = 1.0;
+
+  // Scoring parameters for the confidence columns (rates + node scalars).
+  // Both hardening paths run the same core::RateConfidence /
+  // core::ScalarConfidence kernels with these parameters.
+  ConfidenceModel confidence;
 
   // Worker threads for the sharded stages (R1 scan, per-router R2 solves,
   // link-state fusion, drains, confidence). 1 = fully serial; any value
@@ -155,6 +161,8 @@ class HardeningEngine {
                       HardenedState& out) const;
   void ScoreRateConfidence(const telemetry::NetworkSnapshot& snapshot,
                            HardenedState& out) const;
+  void ScoreScalarConfidence(const telemetry::NetworkSnapshot& snapshot,
+                             HardenedState& out) const;
   void HardenLinkStates(const telemetry::NetworkSnapshot& snapshot,
                         HardenedState& out) const;
   void HardenDrains(const telemetry::NetworkSnapshot& snapshot,

@@ -28,9 +28,13 @@ TopologyCheckResult CheckTopology(const net::Topology& topo,
   auto record = [&](net::LinkId e, double residual,
                     obs::InvariantVerdict verdict, std::string detail) {
     if (!provenance) return;
-    provenance->Add(obs::InvariantRecord{
+    obs::InvariantRecord rec{
         "topology", "link-state(" + topo.LinkNameRef(e) + ")", residual,
-        opts.min_confidence, verdict, std::move(detail)});
+        opts.min_confidence, verdict, std::move(detail)};
+    // The fused verdict confidence is both this record's residual and the
+    // confidence of the input the verdict rests on.
+    rec.confidence = hardened.links[e.value()].confidence;
+    provenance->Add(std::move(rec));
   };
   for (std::uint32_t i = 0; i < topo.link_count(); ++i) {
     const net::LinkId e(i);

@@ -21,6 +21,7 @@ ValidatorOptions PropagateObs(ValidatorOptions opts) {
   if (!opts.hardening.trace) opts.hardening.trace = opts.trace;
   if (!opts.demand.metrics) opts.demand.metrics = opts.metrics;
   if (!opts.topology.metrics) opts.topology.metrics = opts.metrics;
+  if (!opts.drain.metrics) opts.drain.metrics = opts.metrics;
   return opts;
 }
 
@@ -154,7 +155,7 @@ ValidationReport Validator::Validate(
       obs::StageSpan span(obs::Stage::kCheckDrain, epoch, opts_.metrics,
                           opts_.trace);
       EvalDrain(input, report.hardened, plan.drain, prov != nullptr,
-                opts_.metrics);
+                opts_.drain.metrics);
       if (prov) prov->AddBlock(cache_.drain_records);
     }
   }
@@ -262,10 +263,12 @@ void Validator::EvalDrain(const controlplane::ControllerInput& input,
                              cache_.drain_result.skipped_signals, &warnings);
     return;
   }
+  DrainCheckOptions opts = opts_.drain;
+  opts.metrics = metrics;
   obs::DecisionRecord sub;
   if (want_prov) sub.Reserve(topo_->link_count() + 2 * topo_->node_count());
   cache_.drain_result = CheckDrains(*topo_, hardened, input.node_drained,
-                                    input.link_drained, metrics,
+                                    input.link_drained, opts,
                                     want_prov ? &sub : nullptr);
   cache_.drain_retired = std::move(cache_.drain_records);
   cache_.drain_records =
@@ -371,7 +374,8 @@ void Validator::AppendHardeningProvenance(const HardenedState& hardened,
         continue;  // unflagged handled above; nothing to report
       case RateOrigin::kRepaired:
         rec.verdict = obs::InvariantVerdict::kPass;
-        rec.detail = "repaired via flow conservation (R2), confidence " +
+        rec.detail = std::string("repaired via ") +
+                     RepairSourceName(r.repair_source) + ", confidence " +
                      util::FormatDouble(r.confidence, 2);
         break;
       case RateOrigin::kSingleWitness:
@@ -384,6 +388,12 @@ void Validator::AppendHardeningProvenance(const HardenedState& hardened,
         rec.detail = "rate unrecoverable after R1-R4";
         break;
     }
+    // Structured repair provenance: the redundancy source that justified
+    // the accepted value, and the confidence it was accepted at.
+    if (r.repair_source != RepairSource::kNone) {
+      rec.source = RepairSourceName(r.repair_source);
+    }
+    rec.confidence = r.confidence;
     record.Add(std::move(rec));
   }
   for (std::uint32_t i = 0; i < topo_->link_count(); ++i) {
@@ -403,6 +413,8 @@ void Validator::AppendHardeningProvenance(const HardenedState& hardened,
     rec.detail = std::string("endpoint statuses disagree; fused verdict ") +
                  LinkVerdictName(hl.verdict) + " at confidence " +
                  util::FormatDouble(hl.confidence, 2);
+    rec.source = "r3-fusion";
+    rec.confidence = hl.confidence;
     record.Add(std::move(rec));
   }
 }

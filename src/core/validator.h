@@ -24,6 +24,7 @@ struct ValidatorOptions {
   HardeningOptions hardening;
   DemandCheckOptions demand;
   TopologyCheckOptions topology;
+  DrainCheckOptions drain;
 
   // Per-input switches (ablations / staged rollout).
   bool check_demand = true;

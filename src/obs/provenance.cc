@@ -32,6 +32,8 @@ std::string InvariantRecord::ToJson() const {
      << ",\"threshold\":" << JsonNumber(threshold) << ",\"verdict\":\""
      << InvariantVerdictName(verdict) << "\"";
   if (!detail.empty()) os << ",\"detail\":\"" << JsonEscape(detail) << "\"";
+  if (!source.empty()) os << ",\"source\":\"" << JsonEscape(source) << "\"";
+  os << ",\"confidence\":" << JsonNumber(confidence);
   os << "}";
   return os.str();
 }
@@ -162,6 +164,10 @@ void DecisionRecord::AppendCanonicalText(std::string& out) const {
     AppendExactF64(out, inv.threshold);
     out += '|';
     out += InvariantVerdictName(inv.verdict);
+    out += '|';
+    out += inv.source;
+    out += '|';
+    AppendExactF64(out, inv.confidence);
     out += '|';
     out += inv.detail;
     out += '\n';

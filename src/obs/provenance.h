@@ -45,6 +45,13 @@ struct InvariantRecord {
   double threshold = 0.0;
   InvariantVerdict verdict = InvariantVerdict::kPass;
   std::string detail;  // optional operator-facing elaboration
+  // Repair provenance: which redundancy source justified the record
+  // (core::RepairSourceName for hardening repairs, "r4-probes" for drain
+  // liveness; empty when no repair was involved), and the confidence of
+  // the input the verdict rests on, in [0,1]. Both are part of the
+  // canonical digest text and the v2 flight-recorder verdict record.
+  std::string source;
+  double confidence = 0.0;
 
   std::string ToJson() const;
 };
@@ -163,7 +170,8 @@ struct DecisionRecord {
   // Schema (see README "Observability"):
   //   {"epoch":N,"accept":bool,"summary":"...","evaluated":N,"failed":N,
   //    "skipped":N,"invariants":[{"check":"demand","invariant":"...",
-  //    "residual":x,"threshold":y,"verdict":"fail","detail":"..."}]}
+  //    "residual":x,"threshold":y,"verdict":"fail","detail":"...",
+  //    "source":"r2-pairwise","confidence":c}]}
   std::string ToJson() const;
 
   // Canonical text: every field of every invariant, doubles rendered

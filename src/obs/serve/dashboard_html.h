@@ -141,6 +141,9 @@ th:nth-child(2), td:nth-child(2) { text-align: left; }
   <span class="res" id="res-toggle"></span></h2>
 <div class="cards" id="trust"><span class="empty">no series yet</span></div>
 
+<h2>Hardened-input confidence</h2>
+<div class="cards" id="confidence"><span class="empty">no series yet</span></div>
+
 <h2>Detection scoreboard</h2>
 <div id="scoreboard"><span class="empty">no fault episodes yet</span></div>
 
@@ -320,6 +323,30 @@ function renderTrust(query) {
   }
 }
 
+// Mean per-family confidence of the hardened inputs (rate / link /
+// scalar), the quantity the checks scale their tolerances by.
+function renderConfidence(query) {
+  const root = el("confidence");
+  const series = query.series
+      .filter(s => s.points.length)
+      .map(s => ({ name: s.name, points: toPoints(s.points) }));
+  if (!series.length) {
+    root.innerHTML = '<span class="empty">no series yet</span>';
+    return;
+  }
+  root.innerHTML = "";
+  for (const s of series) {
+    const card = document.createElement("div");
+    card.className = "card";
+    const m = s.name.match(/signal="([^"]*)"/);
+    const short = m ? `${m[1]} confidence (mean)` : s.name;
+    card.innerHTML = `<div class="name" title="${esc(s.name)}">` +
+                     `${esc(short)}</div><div class="reading"></div>`;
+    card.appendChild(spark(s.points, card.querySelector(".reading")));
+    root.appendChild(card);
+  }
+}
+
 // Cumulative per-stage hodor_incremental_skips_total counters -> per-epoch
 // replay fraction: of the validation stages that could have replayed a
 // cached verdict this epoch, how many did. 1.0 = steady state (everything
@@ -465,11 +492,12 @@ function renderResToggle() {
 async function refresh() {
   clearTimeout(timer);
   try {
-    const [build, healthz, slo, trust, faults, traces, alerts, dirty, skips,
-           fleet] =
+    const [build, healthz, slo, trust, conf, faults, traces, alerts, dirty,
+           skips, fleet] =
         await Promise.all([
           getJson("/buildz"), getJson("/healthz"), getJson("/slo"),
           getJson(`/query?series=hodor_signal_trust*&res=${resolution}&last=120`),
+          getJson(`/query?series=hodor_confidence_mean*&res=${resolution}&last=120`),
           getJson("/query?series=hodor_fault_active*&res=raw&last=1"),
           getJson("/trace?last=1"), getJson("/alerts"),
           getJson("/query?series=hodor_dirty_signals*&res=raw&last=120"),
@@ -483,6 +511,7 @@ async function refresh() {
     renderSlo(slo);
     renderScoreboard(slo);
     renderTrust(trust);
+    renderConfidence(conf);
     renderFaults(faults);
     renderCritPath(traces);
     renderAlerts(alerts);

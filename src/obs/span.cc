@@ -20,6 +20,7 @@ const char* StageName(Stage stage) {
     case Stage::kProgram: return "program";
     case Stage::kSimulate: return "simulate";
     case Stage::kTimeseriesSample: return "timeseries-sample";
+    case Stage::kConfidenceScore: return "confidence-score";
   }
   return "?";
 }

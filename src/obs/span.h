@@ -38,13 +38,19 @@ enum class Stage {
   // Off-critical-path sink work: the observatory sampling the per-epoch
   // metrics mirror into the time-series store (obs/timeseries.h).
   kTimeseriesSample,
+  // The confidence scoring kernels (core/confidence.h), benchmarked in
+  // isolation: hardening runs them inline, so this stage only appears in
+  // bench_overhead's BM_ConfidenceScore.
+  kConfidenceScore,
 };
 
-constexpr std::array<Stage, 11> kAllStages = {
-    Stage::kEpoch,         Stage::kCollect,    Stage::kAggregate,
-    Stage::kValidate,      Stage::kHarden,     Stage::kCheckDemand,
-    Stage::kCheckTopology, Stage::kCheckDrain, Stage::kProgram,
-    Stage::kSimulate,      Stage::kTimeseriesSample,
+constexpr std::array<Stage, 12> kAllStages = {
+    Stage::kEpoch,         Stage::kCollect,
+    Stage::kAggregate,     Stage::kValidate,
+    Stage::kHarden,        Stage::kCheckDemand,
+    Stage::kCheckTopology, Stage::kCheckDrain,
+    Stage::kProgram,       Stage::kSimulate,
+    Stage::kTimeseriesSample, Stage::kConfidenceScore,
 };
 
 const char* StageName(Stage stage);

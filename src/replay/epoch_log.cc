@@ -35,6 +35,14 @@ util::Status EpochLogWriter::Open(const std::string& path,
   if (file_ != nullptr) {
     return util::FailedPreconditionError("writer already open on " + path_);
   }
+  if (opts.format_version < kMinFormatVersion ||
+      opts.format_version > kFormatVersion) {
+    return util::InvalidArgumentError(
+        "cannot write epoch log format version " +
+        std::to_string(opts.format_version) + " (this build encodes " +
+        std::to_string(kMinFormatVersion) + ".." +
+        std::to_string(kFormatVersion) + ")");
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return IoError("cannot create " + path);
   file_ = f;
@@ -46,7 +54,7 @@ util::Status EpochLogWriter::Open(const std::string& path,
   std::string header;
   ByteWriter w(header);
   w.Bytes(kMagic, sizeof(kMagic));
-  w.U32(kFormatVersion);
+  w.U32(opts.format_version);
   w.U32(kEndianTag);
   if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
     const util::Status s = IoError("cannot write header to " + path);
@@ -74,7 +82,7 @@ util::Status EpochLogWriter::Append(std::uint64_t epoch,
   scratch_.clear();
   ByteWriter w(scratch_);
   w.U8(static_cast<std::uint8_t>(RecordKind::kEpoch));
-  EncodeEpochRecord(epoch, snapshot, input, verdict, w);
+  EncodeEpochRecord(epoch, snapshot, input, verdict, w, opts_.format_version);
   HODOR_RETURN_IF_ERROR(WriteRecord(scratch_));
   index_.emplace_back(epoch, record_offset);
   return util::Status::Ok();
@@ -158,10 +166,11 @@ util::Status EpochLogReader::Open(const std::string& path) {
   std::uint32_t endian_tag = 0;
   HODOR_RETURN_IF_ERROR(header.U32(version_));
   HODOR_RETURN_IF_ERROR(header.U32(endian_tag));
-  if (version_ != kFormatVersion) {
+  if (version_ < kMinFormatVersion || version_ > kFormatVersion) {
     return util::FailedPreconditionError(
         "unsupported epoch log format version " + std::to_string(version_) +
-        " (this build reads version " + std::to_string(kFormatVersion) + ")");
+        " (this build reads versions " + std::to_string(kMinFormatVersion) +
+        ".." + std::to_string(kFormatVersion) + ")");
   }
   if (endian_tag != kEndianTag) {
     return util::InvalidArgumentError(
@@ -361,7 +370,7 @@ util::StatusOr<EpochRecord> EpochLogReader::Read(std::size_t i) const {
   }
   EpochRecord record(*topo_);
   ByteReader r(payload.data() + 1, payload.size() - 1);
-  HODOR_RETURN_IF_ERROR(DecodeEpochRecord(r, record));
+  HODOR_RETURN_IF_ERROR(DecodeEpochRecord(r, record, version_));
   return record;
 }
 

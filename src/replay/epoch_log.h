@@ -1,7 +1,8 @@
 // The flight-recorder container: an append-only binary log of control
 // epochs with crash-tolerant framing.
 //
-// File layout ("hodor epoch log v1"):
+// File layout (the header stamps the payload format version; this build
+// writes v2 by default and reads [kMinFormatVersion, kFormatVersion]):
 //
 //   header   : "HODORLOG" (8)  format_version u32  endian_tag u32
 //   records  : [payload_len u32][crc32c u32][payload ...]        repeated
@@ -43,6 +44,12 @@ struct EpochLogWriterOptions {
   // When false, Close() skips the index footer; readers then take the
   // full-scan path (exercised by tests, useful for crash simulations).
   bool write_index = true;
+  // Payload format version stamped in the header and used by every
+  // Append. Defaults to the current format; set to an older supported
+  // version (≥ kMinFormatVersion) to record a genuinely downlevel log —
+  // e.g. the backward-compat tests record v1 files with a v2 build. Open
+  // rejects versions this build cannot encode.
+  std::uint32_t format_version = kFormatVersion;
 };
 
 // Appends epoch records to a log file. Not thread-safe; one writer per

@@ -330,7 +330,8 @@ util::Status DecodeInput(ByteReader& r, const net::Topology& topo,
   return util::Status::Ok();
 }
 
-void EncodeVerdict(const EpochVerdict& verdict, ByteWriter& w) {
+void EncodeVerdict(const EpochVerdict& verdict, ByteWriter& w,
+                   std::uint32_t version) {
   std::uint8_t flags = 0;
   if (verdict.validated) flags |= 1;
   if (verdict.accept) flags |= 2;
@@ -349,10 +350,15 @@ void EncodeVerdict(const EpochVerdict& verdict, ByteWriter& w) {
     w.F64(inv.residual);
     w.F64(inv.threshold);
     w.U8(static_cast<std::uint8_t>(inv.verdict));
+    if (version >= 2) {
+      w.Str(inv.source);
+      w.F64(inv.confidence);
+    }
   }
 }
 
-util::Status DecodeVerdict(ByteReader& r, EpochVerdict& verdict) {
+util::Status DecodeVerdict(ByteReader& r, EpochVerdict& verdict,
+                           std::uint32_t version) {
   std::uint8_t flags = 0;
   HODOR_RETURN_IF_ERROR(r.U8(flags));
   if (flags & ~7u) {
@@ -369,9 +375,11 @@ util::Status DecodeVerdict(ByteReader& r, EpochVerdict& verdict) {
   HODOR_RETURN_IF_ERROR(r.U32(verdict.skipped));
   std::uint32_t count = 0;
   HODOR_RETURN_IF_ERROR(r.U32(count));
-  // Minimum wire size of one invariant is 25 bytes (two empty strings);
-  // reject impossible counts before reserving.
-  if (count > r.remaining() / 25) {
+  // Minimum wire size of one invariant — 25 bytes on the v1 wire (two
+  // empty strings), 37 on v2 (plus an empty source and a confidence) —
+  // bounds the count; reject impossible counts before reserving.
+  const std::size_t min_invariant_bytes = version >= 2 ? 37 : 25;
+  if (count > r.remaining() / min_invariant_bytes) {
     return util::InvalidArgumentError("invariant count exceeds payload size");
   }
   verdict.invariants.clear();
@@ -388,6 +396,14 @@ util::Status DecodeVerdict(ByteReader& r, EpochVerdict& verdict) {
       return util::InvalidArgumentError("invariant verdict byte out of range");
     }
     inv.verdict = static_cast<obs::InvariantVerdict>(v);
+    if (version >= 2) {
+      HODOR_RETURN_IF_ERROR(r.Str(inv.source));
+      HODOR_RETURN_IF_ERROR(r.F64(inv.confidence));
+      if (!(inv.confidence >= 0.0 && inv.confidence <= 1.0)) {
+        return util::InvalidArgumentError(
+            "invariant confidence is outside [0,1]");
+      }
+    }
     verdict.invariants.push_back(std::move(inv));
   }
   return util::Status::Ok();
@@ -396,17 +412,19 @@ util::Status DecodeVerdict(ByteReader& r, EpochVerdict& verdict) {
 void EncodeEpochRecord(std::uint64_t epoch,
                        const telemetry::NetworkSnapshot& snapshot,
                        const controlplane::ControllerInput& input,
-                       const EpochVerdict& verdict, ByteWriter& w) {
+                       const EpochVerdict& verdict, ByteWriter& w,
+                       std::uint32_t version) {
   w.U64(epoch);
-  EncodeVerdict(verdict, w);
+  EncodeVerdict(verdict, w, version);
   EncodeInput(input, w);
   EncodeSnapshot(snapshot, w);
 }
 
-util::Status DecodeEpochRecord(ByteReader& r, EpochRecord& record) {
+util::Status DecodeEpochRecord(ByteReader& r, EpochRecord& record,
+                               std::uint32_t version) {
   HODOR_RETURN_IF_ERROR(r.U64(record.epoch));
   record.snapshot.Reset(record.epoch);
-  HODOR_RETURN_IF_ERROR(DecodeVerdict(r, record.verdict));
+  HODOR_RETURN_IF_ERROR(DecodeVerdict(r, record.verdict, version));
   HODOR_RETURN_IF_ERROR(
       DecodeInput(r, record.snapshot.topology(), record.input));
   HODOR_RETURN_IF_ERROR(DecodeSnapshot(r, record.snapshot));

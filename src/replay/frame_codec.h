@@ -28,9 +28,18 @@
 
 namespace hodor::replay {
 
-// Bumped whenever the wire layout changes. Readers refuse other versions
-// with a structured error (no silent misparse across format revisions).
-inline constexpr std::uint32_t kFormatVersion = 1;
+// Bumped whenever the wire layout changes. Readers accept any version in
+// [kMinFormatVersion, kFormatVersion] — older fields decode with their
+// documented defaults — and refuse anything else with a structured error
+// (no silent misparse across format revisions).
+//
+// History:
+//   v1  original layout.
+//   v2  each recorded invariant gains repair provenance: a source string
+//       and a confidence double. A v1 log decodes with source empty and
+//       confidence 0.0.
+inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kMinFormatVersion = 1;
 
 // One invariant evaluation in compact recorded form — enough to diff a
 // replayed decision invariant-by-invariant (the operator-facing `detail`
@@ -41,6 +50,10 @@ struct RecordedInvariant {
   double residual = 0.0;
   double threshold = 0.0;
   obs::InvariantVerdict verdict = obs::InvariantVerdict::kPass;
+  // v2: repair provenance (obs::InvariantRecord::source / ::confidence).
+  // Absent on the v1 wire; a v1 decode leaves these defaults.
+  std::string source;
+  double confidence = 0.0;
 };
 
 // The validation outcome of one recorded epoch.
@@ -88,14 +101,20 @@ void EncodeInput(const controlplane::ControllerInput& input, ByteWriter& w);
 util::Status DecodeInput(ByteReader& r, const net::Topology& topo,
                          controlplane::ControllerInput& input);
 
-void EncodeVerdict(const EpochVerdict& verdict, ByteWriter& w);
-util::Status DecodeVerdict(ByteReader& r, EpochVerdict& verdict);
+// `version` selects the wire layout (see kFormatVersion history); the
+// epoch-log container passes the version it stamped in its file header.
+void EncodeVerdict(const EpochVerdict& verdict, ByteWriter& w,
+                   std::uint32_t version = kFormatVersion);
+util::Status DecodeVerdict(ByteReader& r, EpochVerdict& verdict,
+                           std::uint32_t version = kFormatVersion);
 
 // Whole epoch record (epoch id + snapshot + input + verdict).
 void EncodeEpochRecord(std::uint64_t epoch,
                        const telemetry::NetworkSnapshot& snapshot,
                        const controlplane::ControllerInput& input,
-                       const EpochVerdict& verdict, ByteWriter& w);
-util::Status DecodeEpochRecord(ByteReader& r, EpochRecord& record);
+                       const EpochVerdict& verdict, ByteWriter& w,
+                       std::uint32_t version = kFormatVersion);
+util::Status DecodeEpochRecord(ByteReader& r, EpochRecord& record,
+                               std::uint32_t version = kFormatVersion);
 
 }  // namespace hodor::replay

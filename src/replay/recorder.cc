@@ -16,8 +16,9 @@ EpochVerdict VerdictFromEpochResult(const controlplane::EpochResult& result) {
   v.skipped = static_cast<std::uint32_t>(prov.skipped_count());
   v.invariants.reserve(prov.Invariants().size());
   for (const obs::InvariantRecord& inv : prov.Invariants()) {
-    v.invariants.push_back(
-        {inv.check, inv.invariant, inv.residual, inv.threshold, inv.verdict});
+    v.invariants.push_back({inv.check, inv.invariant, inv.residual,
+                            inv.threshold, inv.verdict, inv.source,
+                            inv.confidence});
   }
   return v;
 }

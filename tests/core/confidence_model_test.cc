@@ -1,0 +1,181 @@
+// Property tests for the confidence scoring kernels (core/confidence.h):
+// the guarantees the header documents — corroboration monotonicity, the
+// repair-residual penalty, and the origin ordering — hold at the default
+// ConfidenceModel and survive clamping at the extremes.
+#include "core/confidence.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hardening.h"
+#include "net/topologies.h"
+#include "telemetry/snapshot.h"
+
+namespace hodor::core {
+namespace {
+
+class ConfidenceModelTest : public ::testing::Test {
+ protected:
+  ConfidenceModelTest() : topo_(net::Abilene()), snapshot_(topo_, 0) {}
+
+  double Score(const HardenedRate& r, net::LinkId e = net::LinkId(0)) {
+    const HardeningOptions opts;
+    return RateConfidence(opts.confidence, opts.activity_floor,
+                          opts.conservation_tau, snapshot_, e, r);
+  }
+
+  static HardenedRate Repaired(double residual) {
+    HardenedRate r;
+    r.value = 5.0;
+    r.origin = RateOrigin::kRepaired;
+    r.flagged = true;
+    r.repair_source = RepairSource::kPairwise;
+    r.repair_residual = residual;
+    return r;
+  }
+
+  net::Topology topo_;
+  telemetry::NetworkSnapshot snapshot_;
+};
+
+TEST_F(ConfidenceModelTest, OriginOrderingAtDefaults) {
+  HardenedRate agreeing;
+  agreeing.value = 5.0;
+  agreeing.origin = RateOrigin::kAgreeing;
+
+  HardenedRate witness;
+  witness.value = 5.0;
+  witness.origin = RateOrigin::kSingleWitness;
+  witness.repair_source = RepairSource::kSingleWitness;
+
+  HardenedRate unknown;  // origin kUnknown, no value
+
+  // No probe or status signals on the bare snapshot: pure base scores.
+  EXPECT_LT(Score(witness), Score(Repaired(0.0)));
+  EXPECT_LT(Score(Repaired(0.0)), Score(agreeing));
+  EXPECT_DOUBLE_EQ(Score(agreeing), 1.0);
+  EXPECT_DOUBLE_EQ(Score(unknown), 0.0);
+}
+
+TEST_F(ConfidenceModelTest, ResidualPenaltyIsMonotoneAndCapped) {
+  const HardeningOptions opts;
+  const double tau_c = opts.conservation_tau;
+  double prev = Score(Repaired(0.0));
+  for (double rho : {0.25 * tau_c, 0.5 * tau_c, tau_c, 2.0 * tau_c}) {
+    const double c = Score(Repaired(rho));
+    EXPECT_LE(c, prev) << "residual " << rho << " raised the score";
+    prev = c;
+  }
+  // The penalty saturates at ρ = τ_c: beyond it the score stays put.
+  EXPECT_DOUBLE_EQ(Score(Repaired(tau_c)), Score(Repaired(10.0 * tau_c)));
+  EXPECT_DOUBLE_EQ(Score(Repaired(tau_c)),
+                   opts.confidence.repaired_base -
+                       opts.confidence.residual_penalty);
+}
+
+TEST_F(ConfidenceModelTest, CorroborationNeverLowersAScore) {
+  const net::LinkId e(0);
+  const HardenedRate r = Repaired(0.0);
+  const double bare = Score(r, e);
+
+  // A successful probe on an active link corroborates the inferred rate.
+  snapshot_.SetProbeResults({{e, true}});
+  const double with_probe = Score(r, e);
+  EXPECT_GE(with_probe, bare);
+  EXPECT_GT(with_probe, bare);  // default probe_bonus is nonzero
+
+  // An agreeing status report stacks on top of the probe.
+  snapshot_.frame().SetStatus(e, telemetry::LinkStatus::kUp);
+  const double with_both = Score(r, e);
+  EXPECT_GE(with_both, with_probe);
+
+  // A contradicting signal adds no bonus but never subtracts: a failed
+  // probe on an active link just leaves the base score.
+  snapshot_.Reset(0);
+  snapshot_.SetProbeResults({{e, false}});
+  EXPECT_DOUBLE_EQ(Score(r, e), bare);
+}
+
+TEST_F(ConfidenceModelTest, ScoresStayInUnitInterval) {
+  ConfidenceModel extreme;
+  extreme.repaired_base = 0.95;
+  extreme.probe_bonus = 0.5;
+  extreme.status_bonus = 0.5;
+  const net::LinkId e(0);
+  snapshot_.SetProbeResults({{e, true}});
+  snapshot_.frame().SetStatus(e, telemetry::LinkStatus::kUp);
+  const HardeningOptions opts;
+  const double c = RateConfidence(extreme, opts.activity_floor,
+                                  opts.conservation_tau, snapshot_, e,
+                                  Repaired(0.0));
+  EXPECT_DOUBLE_EQ(c, 1.0);
+
+  extreme.repaired_base = 0.1;
+  extreme.residual_penalty = 0.9;
+  const double floor = RateConfidence(extreme, opts.activity_floor,
+                                      opts.conservation_tau,
+                                      telemetry::NetworkSnapshot(topo_, 0), e,
+                                      Repaired(1.0));
+  EXPECT_DOUBLE_EQ(floor, 0.0);
+}
+
+TEST_F(ConfidenceModelTest, ScalarConfidenceRequiresAndRewardsConservation) {
+  // Engine-hardened state over a frame where node 0's equation closes
+  // exactly: every incident rate 0, scalars 0 — in = out = 0.
+  const HardeningOptions opts;
+  for (net::LinkId e : topo_.LinkIds()) {
+    snapshot_.frame().SetTxRate(e, 0.0);
+    snapshot_.frame().SetRxRate(e, 0.0);
+  }
+  for (const net::Node& n : topo_.nodes()) {
+    snapshot_.frame().SetDroppedRate(n.id, 0.0);
+    snapshot_.frame().SetExtInRate(n.id, 0.0);
+    snapshot_.frame().SetExtOutRate(n.id, 0.0);
+  }
+  const HardeningEngine engine(opts);
+  HardenedState hs = engine.Harden(snapshot_);
+
+  const net::NodeId v(0);
+  EXPECT_DOUBLE_EQ(
+      ScalarConfidence(opts.confidence, opts.conservation_tau, topo_, hs, v),
+      1.0);
+
+  // A missing required scalar zeroes the score outright.
+  HardenedState no_dropped = hs;
+  no_dropped.dropped[v.value()].reset();
+  EXPECT_DOUBLE_EQ(ScalarConfidence(opts.confidence, opts.conservation_tau,
+                                    topo_, no_dropped, v),
+                   0.0);
+
+  // Unknown incident rates make conservation incomputable: base score.
+  HardenedState no_rate = hs;
+  for (net::LinkId e : topo_.InLinks(v)) {
+    no_rate.rates[e.value()].value.reset();
+    no_rate.rates[e.value()].origin = RateOrigin::kUnknown;
+    break;
+  }
+  EXPECT_DOUBLE_EQ(ScalarConfidence(opts.confidence, opts.conservation_tau,
+                                    topo_, no_rate, v),
+                   opts.confidence.scalar_base);
+
+  // A loose-but-computable fit lands between base and full: poke ext_in so
+  // the equation misses by half of τ_c.
+  HardenedState drift = hs;
+  // in = ext_in, out = 0 ⇒ relative residual is 1.0 for any positive
+  // ext_in; use rates instead for a controlled miss: out_sum = dropped.
+  drift.dropped[v.value()] = 0.0;
+  drift.ext_in[v.value()] = 0.0;
+  drift.ext_out[v.value()] = 0.0;
+  // Make one inbound rate 1.0 and the matching outbound 1.0 - ε where the
+  // relative miss is τ_c/2.
+  const net::LinkId in = *topo_.InLinks(v).begin();
+  const net::LinkId out = *topo_.OutLinks(v).begin();
+  drift.rates[in.value()].value = 1.0;
+  drift.rates[out.value()].value = 1.0 - opts.conservation_tau / 2.0;
+  const double mid = ScalarConfidence(opts.confidence, opts.conservation_tau,
+                                      topo_, drift, v);
+  EXPECT_GT(mid, opts.confidence.scalar_base);
+  EXPECT_LT(mid, 1.0);
+}
+
+}  // namespace
+}  // namespace hodor::core

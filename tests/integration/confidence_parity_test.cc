@@ -1,0 +1,146 @@
+// Confidence-column parity (DESIGN.md §12 + §14): the incremental
+// hardening path must leave every confidence output — per-rate confidence
+// with its repair provenance, link-state confidence, drain liveness
+// confidence, and per-node scalar confidence — bit-identical to a full
+// recompute, across the §2 outage scenario catalog, at serial and
+// parallel thread counts. Digest equality (delta_equivalence_test)
+// already covers what reaches provenance records; this test compares the
+// HardenedState columns themselves, including ones no check happened to
+// read this epoch.
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hardening.h"
+#include "faults/scenario_catalog.h"
+#include "flow/routing.h"
+#include "flow/simulator.h"
+#include "flow/tm_generators.h"
+#include "net/topologies.h"
+#include "obs/metrics.h"
+#include "telemetry/collector.h"
+
+namespace hodor {
+namespace {
+
+constexpr std::uint64_t kEpochs = 6;
+constexpr std::uint64_t kFaultStart = 2;  // window [kFaultStart, kFaultEnd)
+constexpr std::uint64_t kFaultEnd = 4;
+
+bool SameBits(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+// The per-epoch snapshot sequence one scenario produces: honest epochs,
+// fault onset (ground-truth setup + router-signal corruption), recovery.
+// Shared verbatim by both arms so any divergence is the engine's doing.
+std::vector<telemetry::NetworkSnapshot> CollectScenario(
+    const net::Topology& topo, const faults::OutageScenario& scenario,
+    const flow::DemandMatrix& demand) {
+  telemetry::CollectorOptions copts;
+  copts.probes.false_loss_rate = 0.0;
+  const telemetry::Collector collector(topo, copts);
+
+  net::GroundTruthState state(topo);
+  const flow::RoutingPlan plan =
+      flow::ShortestPathRouting(topo, demand, net::AllLinks());
+  std::vector<telemetry::NetworkSnapshot> snaps;
+  for (std::uint64_t epoch = 0; epoch < kEpochs; ++epoch) {
+    const bool faulted = epoch >= kFaultStart && epoch < kFaultEnd;
+    if (epoch == kFaultStart && scenario.setup) scenario.setup(state);
+    const flow::SimulationResult sim =
+        flow::SimulateFlow(topo, state, demand, plan);
+    util::Rng rng(9000 + 37 * epoch);
+    snaps.push_back(collector.Collect(
+        state, sim, epoch, rng, faulted ? scenario.snapshot_fault : nullptr));
+  }
+  return snaps;
+}
+
+void ExpectConfidenceColumnsIdentical(const core::HardenedState& inc,
+                                      const core::HardenedState& full,
+                                      const std::string& context) {
+  ASSERT_EQ(inc.rates.size(), full.rates.size()) << context;
+  for (std::size_t e = 0; e < inc.rates.size(); ++e) {
+    const auto& a = inc.rates[e];
+    const auto& b = full.rates[e];
+    EXPECT_TRUE(SameBits(a.confidence, b.confidence))
+        << context << " link " << e << ": rate confidence " << a.confidence
+        << " vs " << b.confidence;
+    EXPECT_EQ(a.repair_source, b.repair_source) << context << " link " << e;
+    EXPECT_TRUE(SameBits(a.repair_residual, b.repair_residual))
+        << context << " link " << e << ": repair residual";
+  }
+  ASSERT_EQ(inc.links.size(), full.links.size()) << context;
+  for (std::size_t e = 0; e < inc.links.size(); ++e) {
+    EXPECT_TRUE(
+        SameBits(inc.links[e].confidence, full.links[e].confidence))
+        << context << " link " << e << ": link-state confidence";
+  }
+  ASSERT_EQ(inc.drains.size(), full.drains.size()) << context;
+  for (std::size_t v = 0; v < inc.drains.size(); ++v) {
+    EXPECT_TRUE(SameBits(inc.drains[v].liveness_confidence,
+                         full.drains[v].liveness_confidence))
+        << context << " node " << v << ": liveness confidence";
+  }
+  ASSERT_EQ(inc.scalar_confidence.size(), full.scalar_confidence.size())
+      << context;
+  for (std::size_t v = 0; v < inc.scalar_confidence.size(); ++v) {
+    EXPECT_TRUE(
+        SameBits(inc.scalar_confidence[v], full.scalar_confidence[v]))
+        << context << " node " << v << ": scalar confidence "
+        << inc.scalar_confidence[v] << " vs " << full.scalar_confidence[v];
+  }
+}
+
+TEST(ConfidenceParity, DeltaPathMatchesFullAcrossScenarioCatalog) {
+  const net::Topology topo = net::Abilene();
+  const faults::ScenarioCatalog catalog(topo);
+
+  util::Rng rng(77);
+  flow::DemandMatrix demand = flow::GravityDemand(topo, rng);
+  flow::NormalizeToMaxUtilization(topo, 0.35, demand);
+
+  double incremental_runs = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (const auto& scenario : catalog.scenarios()) {
+      const auto snaps = CollectScenario(topo, scenario, demand);
+
+      obs::MetricsRegistry metrics;
+      core::HardeningOptions iopts;
+      iopts.num_threads = threads;
+      iopts.metrics = &metrics;
+      const core::HardeningEngine inc_engine(iopts);
+      core::HardeningOptions fopts;
+      fopts.num_threads = threads;
+      const core::HardeningEngine full_engine(fopts);
+
+      core::HardenedState inc;
+      telemetry::FrameDelta delta;
+      for (std::uint64_t epoch = 0; epoch < kEpochs; ++epoch) {
+        const telemetry::FrameDelta* dp = nullptr;
+        if (epoch > 0) {
+          delta.Reset(topo.link_count(), topo.node_count());
+          snaps[epoch].DiffAgainst(snaps[epoch - 1], delta);
+          dp = &delta;
+        }
+        inc_engine.HardenInto(snaps[epoch], inc, dp);
+        const core::HardenedState full = full_engine.Harden(snaps[epoch]);
+        ExpectConfidenceColumnsIdentical(
+            inc, full,
+            scenario.id + " t" + std::to_string(threads) + " epoch " +
+                std::to_string(epoch));
+      }
+      const obs::Counter* c =
+          metrics.FindCounter("hodor_hardening_incremental_runs_total", {});
+      incremental_runs += c ? c->value() : 0.0;
+    }
+  }
+  // The parity above is vacuous if every epoch fell back to full.
+  EXPECT_GT(incremental_runs, 0.0);
+}
+
+}  // namespace
+}  // namespace hodor

@@ -48,6 +48,8 @@ inline std::string DecisionText(const obs::DecisionRecord& rec) {
     AppendF64(out, inv.threshold);
     out += "|";
     out += obs::InvariantVerdictName(inv.verdict);
+    out += "|" + inv.source + "|";
+    AppendF64(out, inv.confidence);
     out += "|" + inv.detail + "\n";
   }
   return out;
@@ -66,6 +68,8 @@ inline std::string HardenedText(const core::HardenedState& hs) {
     AppendOpt(out, r.rejected_value);
     out += "|";
     AppendF64(out, r.confidence);
+    out += "|" + std::string(core::RepairSourceName(r.repair_source)) + "|";
+    AppendF64(out, r.repair_residual);
     out += "\n";
   }
   for (std::size_t e = 0; e < hs.links.size(); ++e) {
@@ -89,6 +93,10 @@ inline std::string HardenedText(const core::HardenedState& hs) {
     AppendOpt(out, hs.drains[v].node_drained);
     out += hs.drains[v].undrained_but_dead ? "|D" : "|.";
     out += hs.drains[v].drained_but_active ? "|A" : "|.";
+    out += "|";
+    AppendF64(out, hs.drains[v].liveness_confidence);
+    out += "|";
+    AppendF64(out, hs.scalar_confidence[v]);
     out += "\n";
   }
   out += "counts:" + std::to_string(hs.flagged_rate_count) + "|" +

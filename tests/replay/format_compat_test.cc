@@ -1,0 +1,143 @@
+// Wire-format compatibility across the v1 → v2 bump (repair provenance:
+// per-invariant source + confidence, absent on the v1 wire). The contract:
+// this build writes v2 by default but can still write v1 on request, and
+// a v1 log — whatever binary produced it — decodes and replays cleanly,
+// with the provenance fields at their documented defaults.
+#include <gtest/gtest.h>
+
+#include "core/validator.h"
+#include "replay/epoch_log.h"
+#include "replay/recorder.h"
+#include "replay/replayer.h"
+#include "test_util.h"
+
+namespace hodor {
+namespace {
+
+std::string TempLogPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+replay::EpochVerdict VerdictWithProvenance() {
+  replay::EpochVerdict verdict;
+  verdict.validated = true;
+  verdict.accept = false;
+  verdict.reason = "demand check failed";
+  verdict.decision_digest = 0xabcdef12u;
+  verdict.evaluated = 2;
+  verdict.failed = 1;
+  replay::RecordedInvariant inv;
+  inv.check = "demand";
+  inv.invariant = "ingress(SEAT)";
+  inv.residual = 0.21;
+  inv.threshold = 0.02;
+  inv.verdict = obs::InvariantVerdict::kFail;
+  inv.source = "r2-pairwise";
+  inv.confidence = 0.55;
+  verdict.invariants.push_back(inv);
+  return verdict;
+}
+
+// Writes a one-epoch log at the requested wire version, with an invariant
+// that carries provenance, and returns its path.
+std::string WriteLogAtVersion(const testing::HealthyNetwork& net,
+                              const std::string& name,
+                              std::uint32_t version) {
+  const std::string path = TempLogPath(name);
+  replay::EpochLogWriterOptions opts;
+  opts.format_version = version;
+  replay::EpochLogWriter writer;
+  EXPECT_TRUE(writer.Open(path, net.topo, opts).ok());
+  const telemetry::NetworkSnapshot snapshot = net.Snapshot(1);
+  const controlplane::ControllerInput input = net.Input(snapshot, 2);
+  EXPECT_TRUE(writer.Append(7, snapshot, input, VerdictWithProvenance()).ok());
+  EXPECT_TRUE(writer.Close().ok());
+  return path;
+}
+
+TEST(FormatCompat, V1LogDecodesWithDefaultProvenance) {
+  const testing::HealthyNetwork net = testing::MakeAbilene();
+  const std::string path = WriteLogAtVersion(net, "v1.hlog", 1);
+
+  replay::EpochLogReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_EQ(reader.format_version(), 1u);
+  auto rec = reader.Read(0);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+
+  // Everything the v1 wire carries survives; the v2-only provenance
+  // fields come back at their decode defaults.
+  const replay::EpochVerdict& v = rec.value().verdict;
+  EXPECT_FALSE(v.accept);
+  EXPECT_EQ(v.decision_digest, 0xabcdef12u);
+  ASSERT_EQ(v.invariants.size(), 1u);
+  EXPECT_EQ(v.invariants[0].invariant, "ingress(SEAT)");
+  EXPECT_EQ(v.invariants[0].verdict, obs::InvariantVerdict::kFail);
+  EXPECT_EQ(v.invariants[0].source, "");
+  EXPECT_EQ(v.invariants[0].confidence, 0.0);
+}
+
+TEST(FormatCompat, V2LogRoundTripsProvenance) {
+  const testing::HealthyNetwork net = testing::MakeAbilene();
+  const std::string path =
+      WriteLogAtVersion(net, "v2.hlog", replay::kFormatVersion);
+
+  replay::EpochLogReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  EXPECT_EQ(reader.format_version(), replay::kFormatVersion);
+  auto rec = reader.Read(0);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_EQ(rec.value().verdict.invariants.size(), 1u);
+  EXPECT_EQ(rec.value().verdict.invariants[0].source, "r2-pairwise");
+  EXPECT_DOUBLE_EQ(rec.value().verdict.invariants[0].confidence, 0.55);
+}
+
+TEST(FormatCompat, WriterRejectsUnknownVersions) {
+  const testing::HealthyNetwork net = testing::MakeAbilene();
+  replay::EpochLogWriterOptions opts;
+  opts.format_version = replay::kFormatVersion + 1;
+  replay::EpochLogWriter writer;
+  EXPECT_EQ(writer.Open(TempLogPath("vnext.hlog"), net.topo, opts).code(),
+            util::StatusCode::kInvalidArgument);
+  opts.format_version = 0;
+  EXPECT_EQ(writer.Open(TempLogPath("v0.hlog"), net.topo, opts).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(FormatCompat, V1RecordingReplaysClean) {
+  // A real pipeline run recorded on the v1 wire — what an operator's
+  // pre-bump flight recorder produced — must still replay with zero
+  // divergence: the digest is a passthrough and the validator re-runs
+  // from the recorded inputs, neither of which needs the v2 fields.
+  const net::Topology topo = net::Abilene();
+  const net::GroundTruthState state(topo);
+  util::Rng demand_rng(7);
+  flow::DemandMatrix base = flow::GravityDemand(topo, demand_rng);
+  flow::NormalizeToMaxUtilization(topo, 0.45, base);
+
+  controlplane::Pipeline pipeline(topo, {}, util::Rng(8));
+  const core::Validator validator(topo);
+  pipeline.SetValidator(validator.AsPipelineValidator());
+  pipeline.Bootstrap(state, base);
+
+  const std::string path = TempLogPath("v1_run.hlog");
+  replay::EpochLogWriterOptions opts;
+  opts.format_version = 1;
+  replay::PipelineRecorder recorder;
+  ASSERT_TRUE(recorder.Open(path, topo, opts).ok());
+  pipeline.AddEpochSink(recorder.Hook());
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    pipeline.RunEpoch(state, base, nullptr, {});
+  }
+  ASSERT_TRUE(recorder.status().ok());
+  ASSERT_TRUE(recorder.Close().ok());
+
+  const replay::Replayer replayer;
+  auto report = replayer.ReplayFile(path);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().epochs_replayed, 3u);
+  EXPECT_TRUE(report.value().clean()) << report.value().Summary();
+}
+
+}  // namespace
+}  // namespace hodor
